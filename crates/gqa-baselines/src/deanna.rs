@@ -1,0 +1,573 @@
+//! The DEANNA-style eager joint-disambiguation baseline.
+//!
+//! DEANNA \[29\] resolves all mapping ambiguity **during question
+//! understanding**: it builds a disambiguation graph whose nodes are
+//! (phrase, candidate) pairs, scores pairwise *semantic coherence* between
+//! candidates against the knowledge graph, and solves a joint integer
+//! linear program selecting one candidate per phrase. Only then does it
+//! emit (and evaluate) a single SPARQL query.
+//!
+//! This implementation keeps the question-analysis substrate identical to
+//! gAnswer's (same dependency parser, relation extraction, linker and
+//! paraphrase dictionary) so the measured difference is the
+//! disambiguation strategy itself:
+//!
+//! * the joint selection is solved **exactly** by branch-and-bound over
+//!   the candidate product space — exponential in the number of phrases,
+//!   matching the NP-hard ILP of the paper's Table 12;
+//! * coherence weights are computed on the fly with graph probes (the
+//!   expensive part the paper highlights);
+//! * evaluation runs the one selected SPARQL query; if it returns empty —
+//!   because the jointly "coherent" mapping has no data support — the
+//!   question simply fails, with no lazy fallback.
+
+use gqa_core::arguments::ArgumentRules;
+use gqa_core::mapping::{map_query, LiteralIndex, MappedQuery, MappingError, MappingOptions, VertexBinding};
+use gqa_core::sqg::{self, SqgOptions};
+use gqa_core::{coref, embedding};
+use gqa_linker::Linker;
+use gqa_nlp::question::QuestionAnalysis;
+use gqa_nlp::DependencyParser;
+use gqa_paraphrase::dict::ParaphraseDict;
+use gqa_rdf::paths::{Dir, PathPattern};
+use gqa_rdf::schema::Schema;
+use gqa_rdf::{Store, Term};
+use gqa_sparql::ast::{Query, QueryForm, TermAst, TriplePatternAst};
+use std::time::{Duration, Instant};
+
+/// Baseline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DeannaConfig {
+    /// Cap on candidates considered per phrase (DEANNA prunes too).
+    pub max_candidates: usize,
+    /// Weight of a coherence point relative to log-confidence units.
+    pub coherence_weight: f64,
+}
+
+impl Default for DeannaConfig {
+    fn default() -> Self {
+        DeannaConfig { max_candidates: 6, coherence_weight: 1.0 }
+    }
+}
+
+/// Outcome of one baseline run.
+#[derive(Clone, Debug)]
+pub struct DeannaResponse {
+    /// Answer texts (IRI labels / literal lexical forms).
+    pub answers: Vec<String>,
+    /// Boolean verdict for yes/no questions.
+    pub boolean: Option<bool>,
+    /// The single SPARQL query the joint disambiguation produced.
+    pub sparql: Option<String>,
+    /// Question-understanding time — includes candidate generation, all
+    /// coherence probes and the joint optimization (Figure 6's bar).
+    pub understanding_time: Duration,
+    /// SPARQL evaluation time.
+    pub evaluation_time: Duration,
+    /// Number of pairwise coherence probes executed.
+    pub coherence_probes: usize,
+    /// Number of joint assignments explored by branch-and-bound.
+    pub assignments_explored: usize,
+}
+
+impl DeannaResponse {
+    /// Total response time.
+    pub fn total_time(&self) -> Duration {
+        self.understanding_time + self.evaluation_time
+    }
+
+    fn empty(understanding_time: Duration) -> Self {
+        DeannaResponse {
+            answers: Vec::new(),
+            boolean: None,
+            sparql: None,
+            understanding_time,
+            evaluation_time: Duration::ZERO,
+            coherence_probes: 0,
+            assignments_explored: 0,
+        }
+    }
+}
+
+/// The baseline system.
+pub struct Deanna<'s> {
+    store: &'s Store,
+    #[allow(dead_code)] // kept for API symmetry with GAnswer
+    schema: Schema,
+    linker: Linker,
+    literals: LiteralIndex,
+    dict: ParaphraseDict,
+    parser: DependencyParser,
+    /// Configuration.
+    pub config: DeannaConfig,
+}
+
+/// One selectable unit of the disambiguation graph: a vertex or an edge of
+/// the query structure with its candidate list.
+enum Unit {
+    Vertex { index: usize, cands: Vec<(gqa_rdf::TermId, f64, bool)> },
+    Edge { index: usize, cands: Vec<(PathPattern, f64)> },
+}
+
+impl<'s> Deanna<'s> {
+    /// Build the baseline over the same substrates as the main system.
+    pub fn new(store: &'s Store, dict: ParaphraseDict, config: DeannaConfig) -> Self {
+        let schema = Schema::new(store);
+        let mut linker = Linker::new(store, &schema);
+        linker.set_max_candidates(config.max_candidates);
+        let literals = LiteralIndex::new(store);
+        Deanna { store, schema, linker, literals, dict, parser: DependencyParser::new(), config }
+    }
+
+    /// Answer a question: eager joint disambiguation, then one SPARQL.
+    pub fn answer(&self, question: &str) -> DeannaResponse {
+        let t0 = Instant::now();
+
+        // --- shared question analysis (same as gAnswer) -------------------
+        let Some(tree) = self.parser.parse(question) else {
+            return DeannaResponse::empty(t0.elapsed());
+        };
+        let analysis = QuestionAnalysis::of(&tree);
+        if analysis.aggregation.is_some() {
+            // DEANNA has no aggregation support either.
+            return DeannaResponse::empty(t0.elapsed());
+        }
+        let embeddings = embedding::find_embeddings(&tree, &self.dict);
+        let mut relations: Vec<_> = embeddings
+            .iter()
+            .filter_map(|e| gqa_core::arguments::find_arguments(&tree, e, ArgumentRules::all()))
+            .collect();
+        coref::resolve(&tree, &mut relations);
+        // DEANNA generates its query triples strictly from detected
+        // phrases: no implicit/wildcard edges, no target-only fallback.
+        let graph = sqg::build(&tree, &relations, &analysis, SqgOptions { implicit_edges: false });
+        if relations.is_empty() {
+            return DeannaResponse::empty(t0.elapsed());
+        }
+        let mut mapped = match map_query(&graph, &self.linker, &self.literals, &self.dict, &MappingOptions::default()) {
+            Ok(m) => m,
+            Err(MappingError::UnlinkableMention { .. }) | Err(MappingError::UnknownRelation { .. }) => {
+                return DeannaResponse::empty(t0.elapsed());
+            }
+        };
+        // §7: "existing systems, such as [33] and DEANNA [29], only
+        // consider mapping the relation phrase to single predicates" —
+        // multi-hop paraphrase paths are unavailable to this baseline.
+        for e in &mut mapped.edges {
+            e.list.retain(|(p, _)| p.len() == 1);
+            if e.list.is_empty() && e.wildcard.is_none() {
+                return DeannaResponse::empty(t0.elapsed());
+            }
+        }
+
+        // --- disambiguation graph + joint ILP-style selection --------------
+        let mut probes = 0usize;
+        let mut explored = 0usize;
+        let selection = self.joint_disambiguate(&mapped, &mut probes, &mut explored);
+        let understanding_time = t0.elapsed();
+        let Some(selection) = selection else {
+            let mut r = DeannaResponse::empty(understanding_time);
+            r.coherence_probes = probes;
+            r.assignments_explored = explored;
+            return r;
+        };
+
+        // --- generate the single SPARQL query and evaluate -----------------
+        let t1 = Instant::now();
+        let target = mapped.sqg.target();
+        let is_boolean = target.is_none();
+        let queries = self.generate_sparql(&mapped, &selection, target);
+        let mut answers: Vec<String> = Vec::new();
+        let mut boolean = is_boolean.then_some(false);
+        for q in &queries {
+            let rs = gqa_sparql::evaluate(self.store, q);
+            if let Some(b) = rs.boolean {
+                if b {
+                    boolean = Some(true);
+                }
+            }
+            for row in &rs.rows {
+                let text = self.store.term(row[0]).label().into_owned();
+                if !answers.contains(&text) {
+                    answers.push(text);
+                }
+            }
+        }
+        DeannaResponse {
+            answers,
+            boolean,
+            sparql: queries.first().map(|q| q.to_string()),
+            understanding_time,
+            evaluation_time: t1.elapsed(),
+            coherence_probes: probes,
+            assignments_explored: explored,
+        }
+    }
+
+    /// Exact joint selection over the candidate product space: maximize
+    /// Σ log-confidence + coherence. Branch-and-bound with an optimistic
+    /// bound (best remaining unary scores + max coherence).
+    fn joint_disambiguate(
+        &self,
+        q: &MappedQuery,
+        probes: &mut usize,
+        explored: &mut usize,
+    ) -> Option<Vec<Option<usize>>> {
+        let mut units: Vec<Unit> = Vec::new();
+        for (i, v) in q.vertices.iter().enumerate() {
+            if let VertexBinding::Candidates(c) = v {
+                let cands = c
+                    .iter()
+                    .take(self.config.max_candidates)
+                    .map(|x| (x.id, x.confidence, x.is_class))
+                    .collect();
+                units.push(Unit::Vertex { index: i, cands });
+            }
+        }
+        for (i, e) in q.edges.iter().enumerate() {
+            if e.wildcard.is_none() {
+                let cands = e.list.iter().take(self.config.max_candidates).cloned().collect();
+                units.push(Unit::Edge { index: i, cands });
+            }
+        }
+        if units.is_empty() {
+            // Nothing ambiguous: empty selection.
+            return Some(vec![None; q.vertices.len() + q.edges.len()]);
+        }
+
+        // Branch and bound over unit choices.
+        let n = units.len();
+        let mut choice = vec![0usize; n];
+        let mut best_choice: Option<Vec<usize>> = None;
+        let mut best_score = f64::NEG_INFINITY;
+        // Optimistic per-unit max unary score.
+        let unary_max: Vec<f64> = units
+            .iter()
+            .map(|u| match u {
+                Unit::Vertex { cands, .. } => {
+                    cands.iter().map(|c| c.1.max(1e-9).ln()).fold(f64::NEG_INFINITY, f64::max)
+                }
+                Unit::Edge { cands, .. } => {
+                    cands.iter().map(|c| c.1.max(1e-9).ln()).fold(f64::NEG_INFINITY, f64::max)
+                }
+            })
+            .collect();
+        let coh_w = self.config.coherence_weight;
+
+        // Recursive exploration (explicit because of borrow rules).
+        #[allow(clippy::too_many_arguments)]
+        fn explore(
+            this: &Deanna<'_>,
+            q: &MappedQuery,
+            units: &[Unit],
+            unary_max: &[f64],
+            coh_w: f64,
+            depth: usize,
+            choice: &mut Vec<usize>,
+            score_so_far: f64,
+            best_score: &mut f64,
+            best_choice: &mut Option<Vec<usize>>,
+            probes: &mut usize,
+            explored: &mut usize,
+        ) {
+            if depth == units.len() {
+                *explored += 1;
+                if score_so_far > *best_score {
+                    *best_score = score_so_far;
+                    *best_choice = Some(choice.clone());
+                }
+                return;
+            }
+            // Optimistic bound: every remaining unit takes its best unary
+            // score plus full coherence with every later unit.
+            let remaining: f64 = unary_max[depth..].iter().sum::<f64>()
+                + coh_w * ((units.len() - depth) * (units.len() - depth)) as f64;
+            if score_so_far + remaining <= *best_score {
+                return;
+            }
+            let k = match &units[depth] {
+                Unit::Vertex { cands, .. } => cands.len(),
+                Unit::Edge { cands, .. } => cands.len(),
+            };
+            for c in 0..k {
+                choice[depth] = c;
+                let unary = match &units[depth] {
+                    Unit::Vertex { cands, .. } => cands[c].1.max(1e-9).ln(),
+                    Unit::Edge { cands, .. } => cands[c].1.max(1e-9).ln(),
+                };
+                // Pairwise coherence with all previously chosen units.
+                let mut coherence = 0.0;
+                for d in 0..depth {
+                    coherence += coh_w * this.coherence(q, &units[d], choice[d], &units[depth], c, probes);
+                }
+                explore(
+                    this, q, units, unary_max, coh_w, depth + 1, choice,
+                    score_so_far + unary + coherence, best_score, best_choice, probes, explored,
+                );
+            }
+        }
+        explore(
+            self, q, &units, &unary_max, coh_w, 0, &mut choice, 0.0, &mut best_score,
+            &mut best_choice, probes, explored,
+        );
+
+        let picked = best_choice?;
+        // Expand to a per-vertex/per-edge selection table.
+        let mut selection = vec![None; q.vertices.len() + q.edges.len()];
+        for (u, &c) in units.iter().zip(&picked) {
+            match u {
+                Unit::Vertex { index, .. } => selection[*index] = Some(c),
+                Unit::Edge { index, .. } => selection[q.vertices.len() + *index] = Some(c),
+            }
+        }
+        Some(selection)
+    }
+
+    /// Pairwise semantic coherence of two chosen candidates, probed against
+    /// the RDF graph (the costly on-the-fly computation the paper calls
+    /// out). Entity–predicate: 1 if the entity touches the predicate;
+    /// entity–entity: 1 if adjacent; predicate–predicate: 1 if they share a
+    /// subject somewhere.
+    fn coherence(&self, _q: &MappedQuery, a: &Unit, ca: usize, b: &Unit, cb: usize, probes: &mut usize) -> f64 {
+        *probes += 1;
+        match (a, b) {
+            (Unit::Vertex { cands: va, .. }, Unit::Vertex { cands: vb, .. }) => {
+                let (ua, _, class_a) = va[ca];
+                let (ub, _, class_b) = vb[cb];
+                if class_a || class_b {
+                    return 0.5; // classes cohere weakly with everything
+                }
+                let adjacent = self.store.out_edges(ua).iter().any(|t| t.o == ub)
+                    || self.store.out_edges(ub).iter().any(|t| t.o == ua);
+                if adjacent {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            (Unit::Vertex { cands, .. }, Unit::Edge { cands: ec, .. })
+            | (Unit::Edge { cands: ec, .. }, Unit::Vertex { cands, .. }) => {
+                let (u, _, is_class) = match a {
+                    Unit::Vertex { cands, .. } => cands[ca],
+                    _ => cands[cb],
+                };
+                let pattern = match a {
+                    Unit::Edge { cands, .. } => &cands[ca].0,
+                    _ => &ec[cb].0,
+                };
+                if is_class {
+                    return 0.5;
+                }
+                let first = pattern.0[0].pred;
+                let last = pattern.0[pattern.len() - 1].pred;
+                let touches = !self.store.out_edges_with(u, first).is_empty()
+                    || self.store.in_edges_with(u, first).next().is_some()
+                    || !self.store.out_edges_with(u, last).is_empty()
+                    || self.store.in_edges_with(u, last).next().is_some();
+                if touches {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            (Unit::Edge { cands: ea, .. }, Unit::Edge { cands: eb, .. }) => {
+                let pa = ea[ca].0 .0[0].pred;
+                let pb = eb[cb].0 .0[0].pred;
+                // Do the two predicates co-occur on any subject?
+                let shares = self
+                    .store
+                    .with_predicate(pa)
+                    .take(500)
+                    .any(|t| !self.store.out_edges_with(t.s, pb).is_empty());
+                if shares {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Emit the SPARQL of the selected mapping. Since triple orientation is
+    /// not part of the selection, all orientation combinations are emitted
+    /// (bounded: 2^|E| with |E| ≤ 3 in the workload).
+    fn generate_sparql(
+        &self,
+        q: &MappedQuery,
+        selection: &[Option<usize>],
+        target: Option<usize>,
+    ) -> Vec<Query> {
+        let nv = q.vertices.len();
+        let node_ast = |vi: usize| -> TermAst {
+            match (&q.vertices[vi], selection[vi]) {
+                (VertexBinding::Candidates(c), Some(k)) if !c[k].is_class => {
+                    match self.store.term(c[k].id) {
+                        Term::Iri(s) => TermAst::Iri(s.to_string()),
+                        lit => TermAst::Literal(lit.clone()),
+                    }
+                }
+                // Classes and variables stay variables; classes add a type
+                // constraint below.
+                _ => TermAst::Var(format!("v{vi}")),
+            }
+        };
+
+        // Base patterns: type constraints for class-selected vertices and
+        // class-constrained variables.
+        let mut base: Vec<TriplePatternAst> = Vec::new();
+        for (vi, v) in q.vertices.iter().enumerate() {
+            let class = match (v, selection[vi]) {
+                (VertexBinding::Candidates(c), Some(k)) if c[k].is_class => Some(c[k].id),
+                (VertexBinding::Variable { classes }, _) => classes.first().map(|&(c, _)| c),
+                _ => None,
+            };
+            if let Some(c) = class {
+                base.push(TriplePatternAst {
+                    s: TermAst::Var(format!("v{vi}")),
+                    p: TermAst::Iri("rdf:type".into()),
+                    o: TermAst::Iri(self.store.term(c).as_iri().unwrap_or("?").to_owned()),
+                });
+            }
+        }
+
+        // Edge chains, parametrized by orientation bits.
+        let oriented_edges: Vec<(usize, PathPattern)> = q
+            .sqg
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(ei, _)| {
+                let pattern = match (&q.edges[ei].wildcard, selection[nv + ei]) {
+                    (Some(_), _) | (_, None) => None,
+                    (None, Some(k)) => Some(q.edges[ei].list[k].0.clone()),
+                };
+                (ei, pattern.unwrap_or_else(|| PathPattern(Box::new([]))))
+            })
+            .collect();
+        let real_edges: Vec<&(usize, PathPattern)> =
+            oriented_edges.iter().filter(|(_, p)| !p.is_empty()).collect();
+
+        // Triple orientation is not part of the joint selection; DEANNA-style
+        // systems emit the orientation alternatives as one UNION query.
+        let combos = 1usize << real_edges.len().min(6);
+        let mut union_groups: Vec<Vec<TriplePatternAst>> = Vec::new();
+        for bits in 0..combos {
+            let mut group: Vec<TriplePatternAst> = Vec::new();
+            for (bi, (ei, pattern)) in real_edges.iter().enumerate() {
+                let e = &q.sqg.edges[*ei];
+                let p = if bits >> bi & 1 == 1 { pattern.reversed() } else { pattern.clone() };
+                let mut prev = node_ast(e.from);
+                for (k, step) in p.0.iter().enumerate() {
+                    let next = if k + 1 == p.len() {
+                        node_ast(e.to)
+                    } else {
+                        TermAst::Var(format!("i{ei}_{k}_{bits}"))
+                    };
+                    let pred = TermAst::Iri(self.store.term(step.pred).as_iri().unwrap_or("?").to_owned());
+                    let (s, o) = match step.dir {
+                        Dir::Forward => (prev.clone(), next.clone()),
+                        Dir::Backward => (next.clone(), prev.clone()),
+                    };
+                    group.push(TriplePatternAst { s, p: pred, o });
+                    prev = next;
+                }
+            }
+            if !group.is_empty() && !union_groups.contains(&group) {
+                union_groups.push(group);
+            }
+        }
+        // Wildcard edges: a free-predicate triple in the required part.
+        let mut patterns = base;
+        for (ei, e) in q.sqg.edges.iter().enumerate() {
+            if q.edges[ei].wildcard.is_some() {
+                patterns.push(TriplePatternAst {
+                    s: node_ast(e.from),
+                    p: TermAst::Var(format!("wp{ei}")),
+                    o: node_ast(e.to),
+                });
+            }
+        }
+        if patterns.is_empty() && union_groups.is_empty() {
+            return Vec::new();
+        }
+        let form = match target {
+            Some(t) => QueryForm::Select { vars: vec![format!("v{t}")], distinct: true },
+            None => QueryForm::Ask,
+        };
+        let union_groups = if union_groups.len() > 1 { union_groups } else {
+            // A single orientation needs no UNION wrapper.
+            for g in union_groups {
+                patterns.extend(g);
+            }
+            Vec::new()
+        };
+        vec![Query { form, patterns, union_groups, filters: Vec::new(), order_by: None, limit: None, offset: 0 }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_datagen::minidbp::mini_dbpedia;
+    use gqa_datagen::patty::{curated_literal_mappings, mini_phrase_dataset};
+    use gqa_paraphrase::miner::{mine, MinerConfig};
+    use gqa_paraphrase::ParaMapping;
+
+    fn system(store: &Store) -> Deanna<'_> {
+        let mut dict = mine(store, &mini_phrase_dataset(), &MinerConfig::default());
+        for (phrase, pred) in curated_literal_mappings() {
+            if let Some(p) = store.iri(pred) {
+                dict.insert(
+                    phrase.to_owned(),
+                    vec![ParaMapping { path: PathPattern::single(p), tfidf: 1.0, confidence: 1.0 }],
+                );
+            }
+        }
+        Deanna::new(store, dict, DeannaConfig::default())
+    }
+
+    #[test]
+    fn answers_an_unambiguous_question() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let r = sys.answer("Who is the mayor of Berlin?");
+        assert_eq!(r.answers, vec!["Klaus Wowereit"], "{:?}", r.sparql);
+        assert!(r.sparql.is_some());
+    }
+
+    #[test]
+    fn joint_disambiguation_does_probe_work() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let r = sys.answer("Who was married to an actor that played in Philadelphia?");
+        assert!(r.coherence_probes > 0, "{r:?}");
+        assert!(r.assignments_explored > 0, "{r:?}");
+    }
+
+    #[test]
+    fn boolean_questions() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let yes = sys.answer("Is Michelle Obama the wife of Barack Obama?");
+        assert_eq!(yes.boolean, Some(true), "{:?}", yes.sparql);
+    }
+
+    #[test]
+    fn unanswerable_questions_return_empty() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let r = sys.answer("In which UK city are the headquarters of the MI6?");
+        assert!(r.answers.is_empty());
+        let agg = sys.answer("How many companies are in Munich?");
+        assert!(agg.answers.is_empty(), "DEANNA cannot aggregate either");
+    }
+
+    #[test]
+    fn timings_cover_both_stages() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let r = sys.answer("Who founded Intel?");
+        assert!(r.total_time() >= r.understanding_time);
+        assert!(!r.answers.is_empty(), "{:?}", r.sparql);
+    }
+}

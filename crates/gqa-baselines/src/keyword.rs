@@ -1,0 +1,105 @@
+//! A naive keyword baseline: no structure, no disambiguation.
+//!
+//! Links every noun phrase of the question, picks the best-linked entity,
+//! and returns its neighborhood (objects first, then subjects). This is the
+//! precision floor the structured systems must beat — akin to the keyword
+//! search systems the paper contrasts Q/A against in §7.
+
+use gqa_linker::Linker;
+use gqa_nlp::token::analyze;
+use gqa_nlp::Pos;
+use gqa_rdf::schema::Schema;
+use gqa_rdf::Store;
+
+/// The keyword baseline.
+pub struct KeywordBaseline<'s> {
+    store: &'s Store,
+    linker: Linker,
+    /// Cap on returned answers.
+    pub max_answers: usize,
+}
+
+impl<'s> KeywordBaseline<'s> {
+    /// Build over a store.
+    pub fn new(store: &'s Store) -> Self {
+        let schema = Schema::new(store);
+        let linker = Linker::new(store, &schema);
+        KeywordBaseline { store, linker, max_answers: 10 }
+    }
+
+    /// Answer: neighborhood of the best-linked mention.
+    pub fn answer(&self, question: &str) -> Vec<String> {
+        let tokens = analyze(question);
+        // Candidate mentions: maximal proper-noun runs, then single nouns.
+        let mut mentions: Vec<String> = Vec::new();
+        let mut run: Vec<&str> = Vec::new();
+        for t in &tokens {
+            if t.pos == Pos::Nnp {
+                run.push(&t.text);
+            } else {
+                if !run.is_empty() {
+                    mentions.push(run.join(" "));
+                    run.clear();
+                }
+                if t.pos.is_noun() {
+                    mentions.push(t.lemma.clone());
+                }
+            }
+        }
+        if !run.is_empty() {
+            mentions.push(run.join(" "));
+        }
+
+        // Best-confidence entity across mentions.
+        let best = mentions
+            .iter()
+            .flat_map(|m| self.linker.link(m))
+            .filter(|c| !c.is_class)
+            .max_by(|a, b| a.confidence.partial_cmp(&b.confidence).unwrap_or(std::cmp::Ordering::Equal));
+        let Some(best) = best else { return Vec::new() };
+
+        let mut out: Vec<String> = Vec::new();
+        for t in self.store.out_edges(best.id) {
+            let text = self.store.term(t.o).label().into_owned();
+            if !out.contains(&text) {
+                out.push(text);
+            }
+            if out.len() >= self.max_answers {
+                return out;
+            }
+        }
+        for t in self.store.in_edges(best.id) {
+            let text = self.store.term(t.s).label().into_owned();
+            if !out.contains(&text) {
+                out.push(text);
+            }
+            if out.len() >= self.max_answers {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_datagen::minidbp::mini_dbpedia;
+
+    #[test]
+    fn returns_the_neighborhood_of_the_linked_entity() {
+        let store = mini_dbpedia();
+        let sys = KeywordBaseline::new(&store);
+        let answers = sys.answer("Who is the mayor of Berlin?");
+        assert!(answers.contains(&"Klaus Wowereit".to_owned()), "{answers:?}");
+        // …but with plenty of noise alongside (low precision by design).
+        assert!(answers.len() > 1, "{answers:?}");
+    }
+
+    #[test]
+    fn unlinkable_question_returns_nothing() {
+        let store = mini_dbpedia();
+        let sys = KeywordBaseline::new(&store);
+        assert!(sys.answer("What is the meaning of life?").is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! # gqa-baselines — comparison systems (paper §6, §7)
+//!
+//! * [`deanna`] — a DEANNA-style pipeline [Yahya et al., EMNLP 2012]: the
+//!   question is understood *eagerly* — a disambiguation graph is built
+//!   over every phrase's candidates, a joint ILP-style optimization picks
+//!   exactly one candidate per phrase (solved exactly by branch-and-bound;
+//!   exponential, as the paper's Table 12 notes), a single SPARQL query is
+//!   generated and evaluated. Pairwise semantic-coherence weights are
+//!   computed against the RDF graph on the fly — the cost the paper calls
+//!   out ("it is very costly").
+//! * [`keyword`] — a naive keyword matcher: link every noun phrase, return
+//!   the neighborhood of the best-linked entity. A floor for precision.
+//!
+//! Both share gAnswer's substrates (parser, linker, dictionary, store), so
+//! measured differences isolate the *disambiguation strategy* — exactly the
+//! comparison Figure 6 and Table 8 make.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deanna;
+pub mod keyword;
+
+pub use deanna::{Deanna, DeannaConfig, DeannaResponse};
+pub use keyword::KeywordBaseline;

@@ -1,0 +1,109 @@
+//! Criterion microbenchmarks, one group per pipeline stage — the
+//! per-component complement of the table-level harness binaries. Run with
+//! `cargo bench -p gqa-bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gqa_core::matcher::MatcherConfig;
+use gqa_core::topk::top_k;
+use gqa_datagen::minidbp::{ambiguous_dbpedia, mini_dbpedia};
+use gqa_datagen::patty::{mini_dict, mini_phrase_dataset};
+use gqa_datagen::scale::{scale_graph, ScaleConfig};
+use gqa_nlp::DependencyParser;
+use gqa_paraphrase::miner::{mine, MinerConfig};
+use gqa_rdf::paths::{simple_paths, PathConfig};
+use gqa_rdf::schema::Schema;
+
+const RUNNING_EXAMPLE: &str = "Who was married to an actor that played in Philadelphia?";
+
+fn bench_nlp(c: &mut Criterion) {
+    let parser = DependencyParser::new();
+    c.bench_function("nlp/parse_running_example", |b| {
+        b.iter(|| parser.parse(std::hint::black_box(RUNNING_EXAMPLE)))
+    });
+    c.bench_function("nlp/parse_long_coordination", |b| {
+        b.iter(|| {
+            parser.parse(std::hint::black_box(
+                "Give me all people that were born in Vienna and died in Berlin and played in Philadelphia?",
+            ))
+        })
+    });
+}
+
+fn bench_understanding(c: &mut Criterion) {
+    let store = mini_dbpedia();
+    let sys = gqa_bench::ganswer(&store);
+    c.bench_function("understand/running_example", |b| {
+        b.iter(|| sys.understand(std::hint::black_box(RUNNING_EXAMPLE)))
+    });
+    c.bench_function("answer/running_example_end_to_end", |b| {
+        b.iter(|| sys.answer(std::hint::black_box(RUNNING_EXAMPLE)))
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let store = ambiguous_dbpedia(8, 42);
+    let sys = gqa_core::pipeline::GAnswer::new(
+        &store,
+        mini_dict(&store),
+        gqa_core::pipeline::GAnswerConfig::default(),
+    );
+    let u = sys.understand(RUNNING_EXAMPLE).expect("understanding");
+    let mapped = sys.map(&u.sqg).expect("mapping");
+    let schema = Schema::new(&store);
+    c.bench_function("match/topk_running_example_ambiguous", |b| {
+        b.iter(|| top_k(&store, &schema, std::hint::black_box(&mapped), &MatcherConfig::default(), 10))
+    });
+    let no_prune = MatcherConfig { neighborhood_pruning: false, ..Default::default() };
+    c.bench_function("match/topk_no_pruning", |b| {
+        b.iter(|| top_k(&store, &schema, std::hint::black_box(&mapped), &no_prune, 10))
+    });
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let store = mini_dbpedia();
+    let dataset = mini_phrase_dataset();
+    c.bench_function("mine/curated_dataset_theta4", |b| {
+        b.iter_batched(
+            || dataset.clone(),
+            |ds| mine(&store, &ds, &MinerConfig::default()),
+            BatchSize::SmallInput,
+        )
+    });
+    let ted = store.expect_iri("dbr:Ted_Kennedy");
+    let jr = store.expect_iri("dbr:John_F._Kennedy,_Jr.");
+    let cfg = PathConfig::with_max_len(4).skip_schema_predicates(&store);
+    c.bench_function("paths/simple_paths_theta4", |b| {
+        b.iter(|| simple_paths(&store, std::hint::black_box(ted), jr, &cfg))
+    });
+}
+
+fn bench_sparql(c: &mut Criterion) {
+    let store = scale_graph(&ScaleConfig { entities: 20_000, predicates: 40, classes: 12, avg_degree: 4.0, seed: 9 });
+    let query = "SELECT DISTINCT ?x WHERE { ?x <p:P0> ?y . ?y <p:P1> ?z . } LIMIT 50";
+    c.bench_function("sparql/two_hop_join_20k_entities", |b| {
+        b.iter(|| gqa_sparql::run(&store, std::hint::black_box(query)).unwrap())
+    });
+    c.bench_function("sparql/parse_only", |b| {
+        b.iter(|| gqa_sparql::parse_query(std::hint::black_box(query)).unwrap())
+    });
+}
+
+fn bench_linking(c: &mut Criterion) {
+    let store = ambiguous_dbpedia(8, 42);
+    let schema = Schema::new(&store);
+    let linker = gqa_linker::Linker::new(&store, &schema);
+    c.bench_function("link/ambiguous_mention", |b| {
+        b.iter(|| linker.link(std::hint::black_box("Philadelphia")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_nlp,
+    bench_understanding,
+    bench_matching,
+    bench_mining,
+    bench_sparql,
+    bench_linking
+);
+criterion_main!(benches);

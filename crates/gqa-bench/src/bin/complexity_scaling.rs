@@ -1,0 +1,224 @@
+//! Tables 3 / 12 — empirical stage complexity, plus the matcher ablations.
+//!
+//! Three sweeps:
+//!
+//! 1. **question length** — question-understanding time vs `|Y|` must grow
+//!    polynomially (ours) while DEANNA's joint step grows exponentially in
+//!    the number of ambiguous phrases (Table 12's claim);
+//! 2. **graph size** — query-evaluation time vs triples, on scaled graphs;
+//! 3. **ablations** — TA early termination vs exhaustive enumeration, and
+//!    neighborhood pruning on/off (the §4.2.2 design decisions).
+
+use gqa_bench::print_table;
+use gqa_core::matcher::{find_matches, MatcherConfig};
+use gqa_core::topk::top_k;
+use gqa_datagen::scale::{scale_graph, ScaleConfig};
+use gqa_rdf::schema::Schema;
+use std::time::Instant;
+
+fn main() {
+    question_length_sweep();
+    graph_size_sweep();
+    matcher_ablations();
+}
+
+/// Longer and longer chained questions: understanding must stay polynomial.
+fn question_length_sweep() {
+    let st = gqa_bench::store();
+    let sys = gqa_bench::ganswer(&st);
+    let base = gqa_bench::deanna(&st);
+    let questions = [
+        "Who developed Minecraft?",
+        "Who was married to an actor?",
+        "Who was married to an actor that played in Philadelphia?",
+        "Who was married to an actor that played in Philadelphia and died in Berlin?",
+        "Who was married to an actor that played in Philadelphia and died in Berlin and was born in Vienna?",
+    ];
+    let mut rows = Vec::new();
+    for q in questions {
+        let tokens = q.split_whitespace().count();
+        let mut ours = f64::MAX;
+        let mut theirs = f64::MAX;
+        let mut probes = 0usize;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let _ = sys.understand(q);
+            ours = ours.min(t0.elapsed().as_secs_f64());
+            let d = base.answer(q);
+            theirs = theirs.min(d.understanding_time.as_secs_f64());
+            probes = d.coherence_probes;
+        }
+        rows.push(vec![
+            tokens.to_string(),
+            format!("{:.3}", ours * 1e3),
+            format!("{:.3}", theirs * 1e3),
+            probes.to_string(),
+        ]);
+    }
+    print_table(
+        "Tables 3/12 — question understanding time vs question length (ms)",
+        &["|Y| (tokens)", "ours understand", "DEANNA understand (joint ILP)", "DEANNA coherence probes"],
+        &rows,
+    );
+}
+
+/// Evaluation time vs graph size on synthetic graphs with a planted query.
+fn graph_size_sweep() {
+    let mut rows = Vec::new();
+    for &entities in &[2_000usize, 10_000, 50_000, 200_000] {
+        let store = scale_graph(&ScaleConfig { entities, predicates: 40, classes: 12, avg_degree: 4.0, seed: 3 });
+        let schema = Schema::new(&store);
+        // Planted 2-edge star query over the most frequent predicates.
+        let p0 = store.expect_iri("p:P0");
+        let p1 = store.expect_iri("p:P1");
+        // Anchor: a vertex carrying both a P0 and a P1 edge, so the planted
+        // query has at least one match at every scale.
+        let anchor = store
+            .with_predicate(p0)
+            .map(|t| t.s)
+            .find(|&s| {
+                !store.out_edges_with(s, p1).is_empty() || store.in_edges_with(s, p1).next().is_some()
+            })
+            .expect("anchor with P0 and P1 edges");
+        let q = gqa_core::mapping::MappedQuery {
+            sqg: {
+                let mut g = gqa_core::sqg::SemanticQueryGraph::default();
+                for (i, t) in ["x", "anchor", "y"].iter().enumerate() {
+                    g.vertices.push(gqa_core::sqg::SqgVertex {
+                        node: i,
+                        text: (*t).into(),
+                        is_wh: i == 0,
+                        is_target: i == 0,
+                        is_proper: false,
+                    });
+                }
+                g.edges.push(gqa_core::sqg::SqgEdge { from: 0, to: 1, phrase: Some((0, "p0".into())) });
+                g.edges.push(gqa_core::sqg::SqgEdge { from: 1, to: 2, phrase: Some((1, "p1".into())) });
+                g
+            },
+            vertices: vec![
+                gqa_core::mapping::VertexBinding::Variable { classes: vec![] },
+                gqa_core::mapping::VertexBinding::Candidates(vec![gqa_core::mapping::VertexCandidate {
+                    id: anchor,
+                    confidence: 1.0,
+                    is_class: false,
+                }]),
+                gqa_core::mapping::VertexBinding::Variable { classes: vec![] },
+            ],
+            edges: vec![
+                gqa_core::mapping::EdgeCandidates {
+                    list: vec![(gqa_rdf::PathPattern::single(p0), 1.0)],
+                    wildcard: None,
+                },
+                gqa_core::mapping::EdgeCandidates {
+                    list: vec![(gqa_rdf::PathPattern::single(p1), 0.9)],
+                    wildcard: None,
+                },
+            ],
+        };
+        let mut best = f64::MAX;
+        let mut found = 0usize;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let (ms, _) = top_k(&store, &schema, &q, &MatcherConfig::default(), 10);
+            best = best.min(t0.elapsed().as_secs_f64());
+            found = ms.len();
+        }
+        rows.push(vec![
+            entities.to_string(),
+            store.len().to_string(),
+            format!("{:.3}", best * 1e3),
+            found.to_string(),
+        ]);
+    }
+    print_table(
+        "Query evaluation time vs graph size (planted 2-edge query, top-10)",
+        &["entities", "triples", "top-k time (ms)", "matches"],
+        &rows,
+    );
+}
+
+/// TA early termination and neighborhood pruning ablations.
+fn matcher_ablations() {
+    let st = gqa_bench::store();
+    let questions = [
+        "Who was married to an actor that played in Philadelphia?",
+        "Who is the uncle of John F. Kennedy, Jr.?",
+        "Which books by Kerouac were published by Viking Press?",
+    ];
+    let mut rows = Vec::new();
+    for q in questions {
+        // With pruning + TA (default).
+        let sys = gqa_bench::ganswer(&st);
+        let u = sys.understand(q).expect("understand");
+        let mapped = sys.map(&u.sqg).expect("map");
+        let schema = Schema::new(&st);
+
+        let t0 = Instant::now();
+        let (ta_matches, stats) = top_k(&st, &schema, &mapped, &MatcherConfig::default(), 10);
+        let ta_time = t0.elapsed();
+
+        // Exhaustive enumeration (no TA).
+        let t1 = Instant::now();
+        let all = find_matches(&st, &schema, &mapped, &MatcherConfig::default(), None);
+        let exhaustive_time = t1.elapsed();
+
+        // No neighborhood pruning.
+        let cfg = MatcherConfig { neighborhood_pruning: false, ..Default::default() };
+        let t2 = Instant::now();
+        let (_noprune, _) = top_k(&st, &schema, &mapped, &cfg, 10);
+        let noprune_time = t2.elapsed();
+
+        rows.push(vec![
+            q.split_whitespace().take(5).collect::<Vec<_>>().join(" ") + "…",
+            format!("{:.3}", ta_time.as_secs_f64() * 1e3),
+            format!("{:.3}", exhaustive_time.as_secs_f64() * 1e3),
+            format!("{:.3}", noprune_time.as_secs_f64() * 1e3),
+            format!("{} / {}", ta_matches.len(), all.len()),
+            format!("{:?}", stats.early_terminated),
+        ]);
+    }
+    print_table(
+        "Ablations — TA top-k vs exhaustive, pruning on/off (ms)",
+        &["question", "TA+prune", "exhaustive", "no pruning", "topk/all matches", "early stop"],
+        &rows,
+    );
+
+    // Fabricated high-ambiguity case: TA must terminate early.
+    let mut b = gqa_rdf::StoreBuilder::new();
+    for i in 0..200 {
+        b.add_iri(&format!("a{i}"), "spouse", &format!("b{i}"));
+    }
+    let store = b.build();
+    let schema = Schema::new(&store);
+    let spouse = store.expect_iri("spouse");
+    let cands: Vec<_> = (0..200)
+        .map(|i| gqa_core::mapping::VertexCandidate {
+            id: store.expect_iri(&format!("b{i}")),
+            confidence: 1.0 / (i as f64 + 1.0),
+            is_class: false,
+        })
+        .collect();
+    let q = gqa_core::mapping::MappedQuery {
+        sqg: {
+            let mut g = gqa_core::sqg::SemanticQueryGraph::default();
+            g.vertices.push(gqa_core::sqg::SqgVertex { node: 0, text: "who".into(), is_wh: true, is_target: true, is_proper: false });
+            g.vertices.push(gqa_core::sqg::SqgVertex { node: 1, text: "b".into(), is_wh: false, is_target: false, is_proper: true });
+            g.edges.push(gqa_core::sqg::SqgEdge { from: 0, to: 1, phrase: Some((0, "be married to".into())) });
+            g
+        },
+        vertices: vec![
+            gqa_core::mapping::VertexBinding::Variable { classes: vec![] },
+            gqa_core::mapping::VertexBinding::Candidates(cands),
+        ],
+        edges: vec![gqa_core::mapping::EdgeCandidates {
+            list: vec![(gqa_rdf::PathPattern::single(spouse), 1.0)],
+            wildcard: None,
+        }],
+    };
+    let (ms, stats) = top_k(&store, &schema, &q, &MatcherConfig::default(), 5);
+    println!(
+        "\n200-candidate ambiguity stress: top-5 found after {} rounds ({} probes), early-terminated: {} ({} matches)",
+        stats.rounds, stats.probes, stats.early_terminated, ms.len()
+    );
+}

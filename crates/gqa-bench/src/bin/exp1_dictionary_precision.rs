@@ -1,0 +1,156 @@
+#![allow(clippy::needless_range_loop)] // bucket index IS the path length
+//! Exp 1 / Table 6 — precision of the mined paraphrase dictionary.
+//!
+//! The paper samples 1000 relation phrases per dataset, shows human judges
+//! the top-3 mined predicates/paths and grades each 2 (correct, highly
+//! relevant) / 1 (correct, less relevant) / 0 (irrelevant); P@3 ≈ 50 % at
+//! path length 1, dropping as length grows.
+//!
+//! Here the judge is the generator: every synthetic phrase is planted on a
+//! known true pattern, so grading is mechanical — 2 when a mined pattern
+//! equals the planted truth, 1 when it shares the truth's boundary
+//! predicate (a near-miss a human judge would call "correct but less
+//! relevant"), 0 otherwise. The same sweep is reported per path length, and
+//! a raw-frequency ranking (no idf) is included as the ablation the tf-idf
+//! design decision is measured against.
+//!
+//! Also prints the Table-6-style sample of the curated dictionary.
+
+use gqa_bench::print_table;
+use gqa_datagen::patty::{synthetic_phrase_dataset, SyntheticPhraseConfig};
+use gqa_datagen::scale::{scale_graph, ScaleConfig};
+use gqa_paraphrase::miner::{mine, MinerConfig};
+use gqa_paraphrase::tfidf::{document_frequency, PathSetSummary};
+use gqa_rdf::paths::{simple_paths, PathConfig, PathPattern};
+use gqa_rdf::Store;
+
+fn grade(mined: &PathPattern, truth: &PathPattern) -> u32 {
+    if mined == truth || *mined == truth.reversed() {
+        return 2;
+    }
+    let (mf, ml) = (mined.0[0].pred, mined.0[mined.len() - 1].pred);
+    let (tf, tl) = (truth.0[0].pred, truth.0[truth.len() - 1].pred);
+    if mf == tf || ml == tl || mf == tl || ml == tf {
+        1
+    } else {
+        0
+    }
+}
+
+fn main() {
+    // A mid-size random graph: big enough for paths, small enough to mine
+    // 200 phrases quickly.
+    let store = scale_graph(&ScaleConfig { entities: 3_000, predicates: 40, classes: 10, avg_degree: 4.0, seed: 11 });
+    let syn = synthetic_phrase_dataset(
+        &store,
+        &SyntheticPhraseConfig { phrases: 200, pairs_per_phrase: 8, noise_fraction: 0.33, max_truth_len: 3, seed: 5 },
+    );
+    println!("synthetic dataset: {} phrases, truth lengths 1..=3", syn.dataset.len());
+    println!("resolvable support fraction: {:.2}", syn.dataset.resolvable_fraction(&store));
+
+    let dict = mine(&store, &syn.dataset, &MinerConfig { theta: 4, top_k: 3, ..Default::default() });
+
+    // P@3 bucketed by the *mined* path's length (the paper's axis: "the
+    // precision (P@3) is about 50% when the path length is 1 … while
+    // increasing of path length, the precision goes down greatly").
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); 5]; // index = mined length
+    let mut top1_hits = 0usize;
+    let mut phrases = 0usize;
+    for (entry, truth) in syn.dataset.entries.iter().zip(&syn.truth) {
+        let Some(maps) = dict.lookup(&entry.text) else { continue };
+        phrases += 1;
+        for m in maps.iter().take(3) {
+            let len = m.path.len().min(4);
+            buckets[len].push(grade(&m.path, truth));
+        }
+        if maps.first().map(|m| grade(&m.path, truth) == 2).unwrap_or(false) {
+            top1_hits += 1;
+        }
+    }
+    let mut rows = Vec::new();
+    for len in 1..=4usize {
+        let graded = &buckets[len];
+        if graded.is_empty() {
+            continue;
+        }
+        let p = graded.iter().filter(|&&g| g > 0).count() as f64 / graded.len() as f64;
+        let strict = graded.iter().filter(|&&g| g == 2).count() as f64 / graded.len() as f64;
+        rows.push(vec![len.to_string(), graded.len().to_string(), format!("{p:.2}"), format!("{strict:.2}")]);
+    }
+    print_table(
+        "Exp 1 — P@3 by mined path length (tf-idf ranking)",
+        &["mined path length", "#mappings", "P@3 (grade>0)", "P@3 (grade=2)"],
+        &rows,
+    );
+    println!("top-1 exact over all {phrases} phrases: {:.2}", top1_hits as f64 / phrases.max(1) as f64);
+    println!("(paper: ~50% at length 1, dropping as length grows)");
+
+    // Ablation: raw frequency (tf only, no idf) ranking.
+    let raw = mine_raw_frequency(&store, &syn.dataset);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); 5];
+    let mut raw_top1 = 0usize;
+    for ((_, truth), maps) in syn.dataset.entries.iter().zip(&syn.truth).zip(&raw) {
+        for m in maps.iter().take(3) {
+            buckets[m.len().min(4)].push(grade(m, truth));
+        }
+        if maps.first().map(|m| grade(m, truth) == 2).unwrap_or(false) {
+            raw_top1 += 1;
+        }
+    }
+    let mut rows = Vec::new();
+    for len in 1..=4usize {
+        let graded = &buckets[len];
+        if graded.is_empty() {
+            continue;
+        }
+        let p = graded.iter().filter(|&&g| g > 0).count() as f64 / graded.len() as f64;
+        rows.push(vec![len.to_string(), format!("{p:.2}")]);
+    }
+    print_table("Ablation — raw-frequency ranking (no idf)", &["mined path length", "P@3 (grade>0)"], &rows);
+    println!("raw-frequency top-1 exact: {:.2} (tf-idf must beat this)", raw_top1 as f64 / phrases.max(1) as f64);
+
+    // Table-6-style sample over the curated mini graph.
+    let mini = gqa_bench::store();
+    let mini_dict = gqa_bench::dict(&mini);
+    let mut sample_rows = Vec::new();
+    for phrase in ["be married to", "play in", "uncle of", "mayor of", "come from", "largest city in", "be buried in"] {
+        if let Some(maps) = mini_dict.lookup(phrase) {
+            for m in maps.iter().take(2) {
+                sample_rows.push(vec![
+                    format!("{phrase:?}"),
+                    m.path.display(&mini).to_string(),
+                    format!("{:.2}", m.confidence),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "Table 6 — sample of the mined paraphrase dictionary (mini-DBpedia)",
+        &["Relation Phrase", "Predicate / Predicate Path", "Confidence"],
+        &sample_rows,
+    );
+}
+
+/// The no-idf ablation: rank patterns of each phrase by tf alone.
+fn mine_raw_frequency(store: &Store, dataset: &gqa_paraphrase::PhraseDataset) -> Vec<Vec<PathPattern>> {
+    let cfg = PathConfig::default().skip_schema_predicates(store);
+    let mut out = Vec::new();
+    let mut summaries = Vec::new();
+    for entry in &dataset.entries {
+        let mut summary = PathSetSummary::default();
+        for (a, b) in &entry.support {
+            let (Some(va), Some(vb)) = (store.iri(a), store.iri(b)) else { continue };
+            let paths = simple_paths(store, va, vb, &cfg);
+            summary.record_pair(paths.iter().map(|p| p.pattern()));
+        }
+        summaries.push(summary);
+    }
+    let _ = document_frequency(summaries.iter());
+    for summary in &summaries {
+        let mut scored: Vec<(u32, PathPattern)> =
+            summary.tf.iter().map(|(p, &tf)| (tf, p.clone())).collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.len().cmp(&b.1.len())).then_with(|| a.1.cmp(&b.1)));
+        out.push(scored.into_iter().take(3).map(|(_, p)| p).collect());
+    }
+    out
+}

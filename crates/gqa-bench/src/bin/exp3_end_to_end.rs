@@ -1,0 +1,112 @@
+//! Exp 3 / Table 8 — end-to-end QALD-style evaluation.
+//!
+//! Runs all 99 benchmark questions through our graph-driven system, the
+//! DEANNA-style baseline, and the keyword baseline; prints the Table-8 row
+//! format (`Processed | Right | Partially | Recall | Precision | F-1`).
+//! The published QALD-3 campaign rows for the systems we cannot re-run
+//! (squall2sparql, CASIA, …) are appended as reference values.
+
+use gqa_baselines::KeywordBaseline;
+use gqa_bench::{deanna, ganswer, print_table, score, store, QScore, SystemOutput, TableRow};
+use gqa_datagen::qald::benchmark;
+
+fn main() {
+    let st = store();
+    let ours = ganswer(&st);
+    let base = deanna(&st);
+    let keyword = KeywordBaseline::new(&st);
+    let questions = benchmark();
+
+    let mut ours_scores: Vec<QScore> = Vec::new();
+    let mut deanna_scores: Vec<QScore> = Vec::new();
+    let mut keyword_scores: Vec<QScore> = Vec::new();
+    let mut per_question: Vec<Vec<String>> = Vec::new();
+
+    for q in &questions {
+        let r = ours.answer(q.text);
+        let ours_out = SystemOutput::from_response(&r);
+        let d = base.answer(q.text);
+        let deanna_out = SystemOutput { answers: d.answers.clone(), boolean: d.boolean, count: None };
+        let k = SystemOutput::from_texts(keyword.answer(q.text));
+
+        let so = score(q, &ours_out);
+        let sd = score(q, &deanna_out);
+        let sk = score(q, &k);
+        ours_scores.push(so);
+        deanna_scores.push(sd);
+        keyword_scores.push(sk);
+        per_question.push(vec![
+            format!("Q{}", q.id),
+            format!("{}", q.category),
+            verdict(&so),
+            verdict(&sd),
+            verdict(&sk),
+        ]);
+    }
+
+    print_table(
+        "Per-question verdicts (ours / DEANNA / keyword)",
+        &["id", "category", "ours", "DEANNA", "keyword"],
+        &per_question,
+    );
+
+    let rows: Vec<Vec<String>> = [
+        ("Our Method", TableRow::aggregate(&ours_scores)),
+        ("DEANNA (reimpl.)", TableRow::aggregate(&deanna_scores)),
+        ("Keyword", TableRow::aggregate(&keyword_scores)),
+    ]
+    .iter()
+    .map(|(name, row)| {
+        vec![
+            (*name).to_owned(),
+            row.processed.to_string(),
+            row.right.to_string(),
+            row.partial.to_string(),
+            format!("{:.2}", row.recall),
+            format!("{:.2}", row.precision),
+            format!("{:.2}", row.f1()),
+        ]
+    })
+    .collect();
+    print_table(
+        "Table 8 — Evaluating QALD-3-style testing questions",
+        &["System", "Processed", "Right", "Partially", "Recall", "Precision", "F-1"],
+        &rows,
+    );
+
+    // Published QALD-3 rows (paper Table 8) — reference values, not re-run.
+    let reference = [
+        ("Our Method (paper)", 76, 32, 11, 0.40, 0.40, 0.40),
+        ("squall2sparql*", 96, 77, 13, 0.85, 0.89, 0.87),
+        ("CASIA", 52, 29, 8, 0.36, 0.35, 0.36),
+        ("Scalewelis", 70, 1, 38, 0.33, 0.33, 0.33),
+        ("RTV", 55, 30, 4, 0.34, 0.32, 0.33),
+        ("Intui2", 99, 28, 4, 0.32, 0.32, 0.32),
+        ("SWIP", 21, 14, 2, 0.15, 0.16, 0.16),
+        ("DEANNA (paper)", 27, 21, 0, 0.21, 0.21, 0.21),
+    ];
+    let ref_rows: Vec<Vec<String>> = reference
+        .iter()
+        .map(|(n, p, r, pa, re, pr, f1)| {
+            vec![(*n).to_owned(), p.to_string(), r.to_string(), pa.to_string(),
+                 format!("{re:.2}"), format!("{pr:.2}"), format!("{f1:.2}")]
+        })
+        .collect();
+    print_table(
+        "Reference: published QALD-3 campaign results (paper Table 8; * takes controlled English, not NL)",
+        &["System", "Processed", "Right", "Partially", "Recall", "Precision", "F-1"],
+        &ref_rows,
+    );
+}
+
+fn verdict(s: &QScore) -> String {
+    if s.right {
+        "right".into()
+    } else if s.partial {
+        "partial".into()
+    } else if s.processed {
+        "wrong".into()
+    } else {
+        "-".into()
+    }
+}

@@ -1,0 +1,56 @@
+//! Exp 4 / Table 9 — ablation of the §4.1.2 heuristic argument rules.
+//!
+//! Two configurations are compared on the full benchmark: all four rules
+//! on (default) vs all off. Reported, as in Table 9: how many questions
+//! get both arguments of every detected relation (proxy: at least one
+//! complete semantic relation extracted where the dictionary matched), and
+//! how many questions are answered exactly right end to end.
+
+use gqa_bench::{print_table, score, store, SystemOutput};
+use gqa_core::arguments::ArgumentRules;
+use gqa_core::pipeline::{GAnswer, GAnswerConfig};
+use gqa_datagen::patty::mini_dict;
+use gqa_datagen::qald::benchmark;
+
+fn run(rules: ArgumentRules) -> (usize, usize) {
+    let st = store();
+    let sys = GAnswer::new(&st, mini_dict(&st), GAnswerConfig { rules, ..Default::default() });
+    let questions = benchmark();
+    let mut with_args = 0usize;
+    let mut right = 0usize;
+    for q in &questions {
+        if let Some(u) = sys.understand(q.text) {
+            if !u.relations.is_empty() {
+                with_args += 1;
+            }
+        }
+        let r = sys.answer(q.text);
+        if score(q, &SystemOutput::from_response(&r)).right {
+            right += 1;
+        }
+    }
+    (with_args, right)
+}
+
+fn main() {
+    let (args_off, right_off) = run(ArgumentRules::none());
+    let (args_on, right_on) = run(ArgumentRules::all());
+
+    print_table(
+        "Table 9 — evaluating the heuristic rules",
+        &["metric", "without the four rules", "using the four rules"],
+        &[
+            vec![
+                "questions with complete arguments".into(),
+                args_off.to_string(),
+                args_on.to_string(),
+            ],
+            vec!["questions answered correctly".into(), right_off.to_string(), right_on.to_string()],
+        ],
+    );
+    println!(
+        "\npaper Table 9: arguments 32 → 48, correct answers 21 → 32 (rules must strictly help)"
+    );
+    assert!(args_on > args_off, "rules should recover more arguments");
+    assert!(right_on > right_off, "rules should answer more questions");
+}

@@ -1,0 +1,126 @@
+//! Figure 6 — online running time, our method vs DEANNA.
+//!
+//! For every question both systems answer (the paper tests "all questions
+//! that can be answered by both DEANNA and our method"), prints the
+//! question-understanding time and the total time of each system plus the
+//! speedup factor. The paper's claims to reproduce: DEANNA's understanding
+//! stage dominates (joint disambiguation with on-the-fly coherence), ours
+//! stays small, and the total speedup lands in the 2–68× band.
+//!
+//! Run on the **ambiguity-augmented** store (every mentioned entity gains
+//! label-colliding decoys): the paper's DBpedia setting gives every mention
+//! many candidates, which is precisely what makes eager joint
+//! disambiguation expensive — the plain mini graph is too unambiguous to
+//! show the asymmetry.
+
+use gqa_bench::{print_table, score, SystemOutput};
+use gqa_baselines::{Deanna, DeannaConfig};
+use gqa_core::pipeline::{GAnswer, GAnswerConfig};
+use gqa_datagen::minidbp::ambiguous_dbpedia;
+use gqa_datagen::patty::mini_dict;
+use gqa_datagen::qald::benchmark;
+
+fn main() {
+    let st = ambiguous_dbpedia(7, 42);
+    let ours = GAnswer::new(&st, mini_dict(&st), GAnswerConfig::default());
+    let base = Deanna::new(&st, mini_dict(&st), DeannaConfig { max_candidates: 8, ..Default::default() });
+
+    let mut rows = Vec::new();
+    let mut speedups: Vec<f64> = Vec::new();
+    for q in &benchmark() {
+        let r = ours.answer(q.text);
+        let d = base.answer(q.text);
+        let ours_right = score(q, &SystemOutput::from_response(&r)).right;
+        let deanna_out = SystemOutput { answers: d.answers.clone(), boolean: d.boolean, count: None };
+        let deanna_right = score(q, &deanna_out).right;
+        if !(ours_right && deanna_right) {
+            continue;
+        }
+        // Warm timings: best of 3.
+        let (mut ou, mut ot, mut du, mut dt) = (f64::MAX, f64::MAX, f64::MAX, f64::MAX);
+        for _ in 0..3 {
+            let r = ours.answer(q.text);
+            ou = ou.min(r.understanding_time.as_secs_f64());
+            ot = ot.min(r.total_time().as_secs_f64());
+            let d = base.answer(q.text);
+            du = du.min(d.understanding_time.as_secs_f64());
+            dt = dt.min(d.total_time().as_secs_f64());
+        }
+        let speedup = dt / ot.max(1e-9);
+        speedups.push(speedup);
+        rows.push(vec![
+            format!("Q{}", q.id),
+            format!("{:.3}", ou * 1e3),
+            format!("{:.3}", ot * 1e3),
+            format!("{:.3}", du * 1e3),
+            format!("{:.3}", dt * 1e3),
+            format!("{:.1}x", speedup),
+            format!("{}", d.coherence_probes),
+        ]);
+    }
+    print_table(
+        "Figure 6 — online running time (ms): ours vs DEANNA, questions both answer",
+        &["ID", "ours understand", "ours total", "DEANNA understand", "DEANNA total", "speedup", "DEANNA probes"],
+        &rows,
+    );
+    if !speedups.is_empty() {
+        speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "\nspeedup: min {:.1}x, median {:.1}x, max {:.1}x over {} questions (paper: total response 2–68x faster)",
+            speedups[0],
+            speedups[speedups.len() / 2],
+            speedups[speedups.len() - 1],
+            speedups.len()
+        );
+    }
+
+    ambiguity_sweep();
+}
+
+/// The origin of Figure 6's gap: cost vs per-mention ambiguity. DEANNA's
+/// joint disambiguation explores the candidate product space (exponential
+/// in the number of ambiguous phrases, candidate-count driven), while the
+/// TA-style lazy search prunes candidates with index probes and terminates
+/// on the score bound.
+fn ambiguity_sweep() {
+    let question = "Who was married to an actor that played in Philadelphia?";
+    let mut rows = Vec::new();
+    for decoys in [0usize, 2, 4, 8, 16, 24] {
+        let st = ambiguous_dbpedia(decoys, 42);
+        let cap = decoys + 4;
+        let ours = GAnswer::new(
+            &st,
+            mini_dict(&st),
+            GAnswerConfig { max_link_candidates: cap, ..Default::default() },
+        );
+        let base = Deanna::new(
+            &st,
+            mini_dict(&st),
+            DeannaConfig { max_candidates: cap, ..Default::default() },
+        );
+        let (mut ot, mut dt) = (f64::MAX, f64::MAX);
+        let (mut probes, mut assignments, mut ta_probes) = (0usize, 0usize, 0usize);
+        for _ in 0..3 {
+            let r = ours.answer(question);
+            ot = ot.min(r.total_time().as_secs_f64());
+            ta_probes = r.ta_stats.probes;
+            let d = base.answer(question);
+            dt = dt.min(d.total_time().as_secs_f64());
+            probes = d.coherence_probes;
+            assignments = d.assignments_explored;
+        }
+        rows.push(vec![
+            decoys.to_string(),
+            format!("{:.3}", ot * 1e3),
+            format!("{:.3}", dt * 1e3),
+            format!("{:.1}x", dt / ot.max(1e-12)),
+            ta_probes.to_string(),
+            format!("{probes} / {assignments}"),
+        ]);
+    }
+    print_table(
+        "Figure 6 origin — cost vs mention ambiguity (running example)",
+        &["decoys/mention", "ours total (ms)", "DEANNA total (ms)", "speedup", "our TA probes", "DEANNA probes/assignments"],
+        &rows,
+    );
+}

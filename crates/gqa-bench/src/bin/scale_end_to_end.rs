@@ -1,0 +1,65 @@
+//! End-to-end Q/A scaling: the full pipeline (parse → extract → link →
+//! match) over synthetic graphs of growing size, with machine-computed
+//! gold answers. Extends Table 11 / Figure 6 beyond the curated graph:
+//! the paper's response times (250–2565 ms on 60 M triples) correspond to
+//! this sweep's trend line.
+
+use gqa_bench::print_table;
+use gqa_core::pipeline::{GAnswer, GAnswerConfig};
+use gqa_datagen::scaleqa::{scale_qa, ScaleQaConfig};
+use gqa_paraphrase::miner::{mine, MinerConfig};
+use std::time::Instant;
+
+fn main() {
+    let mut rows = Vec::new();
+    for &entities in &[2_000usize, 10_000, 50_000, 150_000] {
+        let cfg = ScaleQaConfig {
+            entities,
+            edges_per_predicate: entities / 2,
+            noise_predicates: 15,
+            noise_edges: entities / 4,
+            questions: 40,
+            two_hop_fraction: 0.25,
+            seed: 17,
+        };
+        let qa = scale_qa(&cfg);
+
+        let t_mine = Instant::now();
+        let dict = mine(&qa.store, &qa.phrases, &MinerConfig { theta: 2, ..Default::default() });
+        let mine_time = t_mine.elapsed();
+
+        let sys = GAnswer::new(&qa.store, dict, GAnswerConfig::default());
+        let mut right = 0usize;
+        let mut partial = 0usize;
+        let mut total_time = 0.0f64;
+        let mut worst = 0.0f64;
+        for q in &qa.questions {
+            let t0 = Instant::now();
+            let r = sys.answer(&q.text);
+            let dt = t0.elapsed().as_secs_f64();
+            total_time += dt;
+            worst = worst.max(dt);
+            let got: Vec<&str> = r.texts();
+            let inter = got.iter().filter(|g| q.gold.iter().any(|x| x == *g)).count();
+            if inter == q.gold.len() && inter == got.len() {
+                right += 1;
+            } else if inter > 0 {
+                partial += 1;
+            }
+        }
+        rows.push(vec![
+            entities.to_string(),
+            qa.store.len().to_string(),
+            format!("{right}/{}", qa.questions.len()),
+            partial.to_string(),
+            format!("{:.3}", 1e3 * total_time / qa.questions.len() as f64),
+            format!("{:.3}", 1e3 * worst),
+            format!("{:.2}", mine_time.as_secs_f64()),
+        ]);
+    }
+    print_table(
+        "End-to-end Q/A at scale (40 template questions per size)",
+        &["entities", "triples", "right", "partial", "mean ms/question", "worst ms", "mine s (θ=2)"],
+        &rows,
+    );
+}

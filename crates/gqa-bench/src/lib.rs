@@ -1,0 +1,287 @@
+//! # gqa-bench — experiment harnesses
+//!
+//! Shared machinery for the binaries that regenerate every table and figure
+//! of the paper's §6 (see DESIGN.md's per-experiment index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `exp1_dictionary_precision` | Exp 1 / Table 6 (P@3 of the mined dictionary) |
+//! | `exp2_offline_time` | Tables 4, 5, 7 (dataset stats + offline mining time) |
+//! | `exp3_end_to_end` | Exp 3 / Table 8 (QALD-style end-to-end evaluation) |
+//! | `exp4_heuristic_rules` | Exp 4 / Table 9 (argument-rule ablation) |
+//! | `exp5_failure_analysis` | Exp 5 / Table 10 (failure taxonomy) |
+//! | `table11_response_times` | Table 11 (per-question response time) |
+//! | `fig6_online_time` | Figure 6 (gAnswer vs DEANNA, per-question time) |
+//! | `complexity_scaling` | Tables 3/12 (empirical stage complexity + ablations) |
+//!
+//! This library holds the common setup (store + dictionary + systems) and
+//! the QALD-3 scoring rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gqa_baselines::{Deanna, DeannaConfig};
+use gqa_core::pipeline::{GAnswer, GAnswerConfig, Response};
+use gqa_datagen::minidbp::mini_dbpedia;
+use gqa_datagen::patty::mini_dict;
+use gqa_datagen::qald::{BenchQuestion, Gold};
+use gqa_paraphrase::ParaphraseDict;
+use gqa_rdf::{Store, Term};
+
+/// Build the standard evaluation store.
+pub fn store() -> Store {
+    mini_dbpedia()
+}
+
+/// Build the standard dictionary for a store.
+pub fn dict(store: &Store) -> ParaphraseDict {
+    mini_dict(store)
+}
+
+/// The gAnswer system under the paper's default configuration.
+pub fn ganswer(store: &Store) -> GAnswer<'_> {
+    GAnswer::new(store, mini_dict(store), GAnswerConfig::default())
+}
+
+/// The DEANNA baseline sharing the same substrates.
+pub fn deanna(store: &Store) -> Deanna<'_> {
+    Deanna::new(store, mini_dict(store), DeannaConfig::default())
+}
+
+/// Per-question evaluation outcome, QALD-3 style.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QScore {
+    /// The system produced *some* output.
+    pub processed: bool,
+    /// Output exactly equals the gold set.
+    pub right: bool,
+    /// Output overlaps the gold set without equalling it.
+    pub partial: bool,
+    /// Precision |A∩G|/|A| (0 when A is empty).
+    pub precision: f64,
+    /// Recall |A∩G|/|G| (0 when G is unattainable and A nonempty).
+    pub recall: f64,
+}
+
+impl QScore {
+    /// F1 of this question.
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+/// A system's answer in comparable form.
+#[derive(Clone, Debug, Default)]
+pub struct SystemOutput {
+    /// Answer texts (entity labels / literal lexical forms).
+    pub answers: Vec<String>,
+    /// Boolean verdict, when produced.
+    pub boolean: Option<bool>,
+    /// Count, when produced.
+    pub count: Option<usize>,
+}
+
+impl SystemOutput {
+    /// From the gAnswer response.
+    pub fn from_response(r: &Response) -> Self {
+        SystemOutput {
+            answers: r.answers.iter().map(|a| a.text.clone()).collect(),
+            boolean: r.boolean,
+            count: r.count,
+        }
+    }
+
+    /// From a bare answer list.
+    pub fn from_texts(answers: Vec<String>) -> Self {
+        SystemOutput { answers, boolean: None, count: None }
+    }
+
+    /// Did the system output anything at all?
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty() && self.boolean.is_none() && self.count.is_none()
+    }
+}
+
+/// Gold answers rendered to comparable label text.
+pub fn gold_labels(gold: &Gold) -> Vec<String> {
+    match gold {
+        Gold::Resources(rs) => rs.iter().map(|iri| Term::iri(*iri).label().into_owned()).collect(),
+        Gold::Literals(ls) => ls.iter().map(|s| (*s).to_owned()).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Score one system output against one question's gold (QALD-3 rules).
+pub fn score(question: &BenchQuestion, out: &SystemOutput) -> QScore {
+    let mut s = QScore { processed: !out.is_empty(), ..Default::default() };
+    match &question.gold {
+        Gold::Boolean(b) => match out.boolean {
+            Some(x) => {
+                s.processed = true;
+                s.right = x == *b;
+                s.precision = if s.right { 1.0 } else { 0.0 };
+                s.recall = s.precision;
+            }
+            None => {
+                // Answer lists cannot satisfy a boolean question.
+                s.right = false;
+            }
+        },
+        Gold::Count(n) => if let Some(c) = out.count {
+            s.processed = true;
+            s.right = c == *n;
+            s.precision = if s.right { 1.0 } else { 0.0 };
+            s.recall = s.precision;
+        },
+        Gold::OutOfScope => {
+            // Not representable: any produced answer is wrong; empty output
+            // still counts as a failure (the information was asked for).
+            s.right = false;
+            s.precision = 0.0;
+            s.recall = 0.0;
+        }
+        gold @ (Gold::Resources(_) | Gold::Literals(_)) => {
+            let g = gold_labels(gold);
+            let inter = out.answers.iter().filter(|a| g.contains(a)).count();
+            if !out.answers.is_empty() {
+                s.precision = inter as f64 / out.answers.len() as f64;
+            }
+            if !g.is_empty() {
+                s.recall = inter as f64 / g.len() as f64;
+            }
+            s.right = inter == g.len() && inter == out.answers.len() && !g.is_empty();
+            s.partial = inter > 0 && !s.right;
+        }
+    }
+    s
+}
+
+/// Aggregate scores, Table-8 style.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TableRow {
+    /// Questions with any output.
+    pub processed: usize,
+    /// Exactly right.
+    pub right: usize,
+    /// Partially right.
+    pub partial: usize,
+    /// Macro-averaged recall over all questions.
+    pub recall: f64,
+    /// Macro-averaged precision over all questions.
+    pub precision: f64,
+}
+
+impl TableRow {
+    /// Accumulate per-question scores (macro average over `total`).
+    pub fn aggregate(scores: &[QScore]) -> Self {
+        let total = scores.len().max(1) as f64;
+        TableRow {
+            processed: scores.iter().filter(|s| s.processed).count(),
+            right: scores.iter().filter(|s| s.right).count(),
+            partial: scores.iter().filter(|s| s.partial).count(),
+            recall: scores.iter().map(|s| s.recall).sum::<f64>() / total,
+            precision: scores.iter().map(|s| s.precision).sum::<f64>() / total,
+        }
+    }
+
+    /// Macro F1.
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+/// Print a Markdown-ish table header + rows (all harness binaries share the
+/// visual format).
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    println!("{}", header.join(" | "));
+    println!("{}", header.iter().map(|h| "-".repeat(h.len())).collect::<Vec<_>>().join(" | "));
+    for r in rows {
+        println!("{}", r.join(" | "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_datagen::qald::Category;
+
+    fn q(gold: Gold) -> BenchQuestion {
+        BenchQuestion { id: 0, text: "", gold, category: Category::Normal }
+    }
+
+    #[test]
+    fn exact_match_is_right() {
+        let question = q(Gold::Resources(vec!["dbr:Ottawa"]));
+        let s = score(&question, &SystemOutput::from_texts(vec!["Ottawa".into()]));
+        assert!(s.right && !s.partial);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn overlap_is_partial() {
+        let question = q(Gold::Resources(vec!["dbr:A", "dbr:B"]));
+        let s = score(&question, &SystemOutput::from_texts(vec!["A".into(), "C".into()]));
+        assert!(!s.right && s.partial);
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+        assert!((s.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boolean_scoring() {
+        let question = q(Gold::Boolean(true));
+        let yes = SystemOutput { boolean: Some(true), ..Default::default() };
+        let no = SystemOutput { boolean: Some(false), ..Default::default() };
+        assert!(score(&question, &yes).right);
+        assert!(!score(&question, &no).right);
+        assert!(score(&question, &no).processed);
+    }
+
+    #[test]
+    fn count_scoring() {
+        let question = q(Gold::Count(3));
+        let ok = SystemOutput { count: Some(3), ..Default::default() };
+        let bad = SystemOutput { count: Some(2), ..Default::default() };
+        assert!(score(&question, &ok).right);
+        assert!(!score(&question, &bad).right);
+    }
+
+    #[test]
+    fn out_of_scope_never_scores() {
+        let question = q(Gold::OutOfScope);
+        let s = score(&question, &SystemOutput::from_texts(vec!["junk".into()]));
+        assert!(!s.right);
+        assert_eq!(s.precision, 0.0);
+    }
+
+    #[test]
+    fn aggregate_row() {
+        let scores = vec![
+            QScore { processed: true, right: true, partial: false, precision: 1.0, recall: 1.0 },
+            QScore { processed: true, right: false, partial: true, precision: 0.5, recall: 0.5 },
+            QScore::default(),
+        ];
+        let row = TableRow::aggregate(&scores);
+        assert_eq!(row.processed, 2);
+        assert_eq!(row.right, 1);
+        assert_eq!(row.partial, 1);
+        assert!((row.precision - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn setup_builds() {
+        let st = store();
+        let g = ganswer(&st);
+        assert!(g.dict().len() > 20);
+    }
+}

@@ -1,0 +1,225 @@
+//! Aggregation extension (the paper's future work; Table 10 lists
+//! aggregation as 35 % of its failures).
+//!
+//! Two operators:
+//!
+//! * **Count** ("How many …"): count the distinct target bindings of the
+//!   top-k matches — equivalent to `SELECT COUNT(?t)`;
+//! * **Superlative** ("youngest", "largest", …): order the target bindings
+//!   by a superlative-specific predicate and keep the extremum —
+//!   equivalent to `ORDER BY DESC(?v) OFFSET 0 LIMIT 1` (the SPARQL shape
+//!   §6 Exp 5 quotes).
+//!
+//! Off by default in the pipeline so Table 10 reproduces; the ablation
+//! experiment switches it on.
+
+use crate::matcher::Match;
+use gqa_rdf::{Store, TermId};
+
+/// Ordering direction for a superlative.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Extremum {
+    /// Keep the largest value.
+    Max,
+    /// Keep the smallest value.
+    Min,
+}
+
+/// The ordering key of a superlative adjective: predicate IRI + direction.
+///
+/// `youngest` = latest birth date; `largest` = greatest population; etc.
+/// This is the local analogue of the lexical resources a production system
+/// would learn or curate.
+pub fn superlative_key(adjective_lemma: &str) -> Option<(&'static str, Extremum)> {
+    Some(match adjective_lemma {
+        "youngest" => ("dbo:birthDate", Extremum::Max),
+        "oldest" => ("dbo:birthDate", Extremum::Min),
+        "largest" | "biggest" | "most populous" => ("dbo:population", Extremum::Max),
+        "smallest" | "least populous" => ("dbo:population", Extremum::Min),
+        "highest" | "tallest" => ("dbo:elevation", Extremum::Max),
+        "longest" => ("dbo:length", Extremum::Max),
+        "first" => ("dbo:birthDate", Extremum::Min),
+        "last" => ("dbo:birthDate", Extremum::Max),
+        _ => return None,
+    })
+}
+
+/// Keep the matches whose binding at `vertex` is a numeric literal
+/// satisfying the comparison — the FILTER operator Exp 5 says aggregation
+/// questions need ("Which cities have more than N inhabitants?"). Fully
+/// data-driven: no noun→predicate mapping is consulted; a match survives
+/// exactly when the measured variable bound a satisfying number.
+pub fn comparison(
+    store: &Store,
+    matches: &[Match],
+    vertex: usize,
+    greater: bool,
+    value: f64,
+) -> Vec<Match> {
+    matches
+        .iter()
+        .filter(|m| {
+            let Some(&id) = m.bindings.get(vertex) else { return false };
+            let Some(v) = store.term(id).numeric_value() else { return false };
+            if greater {
+                v > value
+            } else {
+                v < value
+            }
+        })
+        .cloned()
+        .collect()
+}
+
+/// Count the distinct target bindings.
+pub fn count(matches: &[Match], target: usize) -> usize {
+    let mut ids: Vec<TermId> = matches.iter().filter_map(|m| m.bindings.get(target).copied()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.len()
+}
+
+/// Keep only the matches whose target binding attains the extremum of the
+/// superlative's key predicate. Bindings lacking the predicate are ignored;
+/// returns `None` when no binding carries it (the question stays
+/// unanswered, like the paper's systems).
+pub fn superlative(
+    store: &Store,
+    matches: &[Match],
+    target: usize,
+    adjective_lemma: &str,
+) -> Option<Vec<Match>> {
+    let (pred_iri, dir) = superlative_key(adjective_lemma)?;
+    let pred = store.iri(pred_iri)?;
+
+    // Key per distinct binding: prefer numeric comparison, fall back to
+    // lexicographic (ISO dates compare correctly as strings).
+    let key_of = |id: TermId| -> Option<(Option<f64>, String)> {
+        let obj = store.objects(id, pred).next()?;
+        let term = store.term(obj);
+        Some((term.numeric_value(), term.as_literal().unwrap_or_default().to_owned()))
+    };
+
+    let mut keyed: Vec<(&Match, (Option<f64>, String))> = matches
+        .iter()
+        .filter_map(|m| {
+            let id = *m.bindings.get(target)?;
+            key_of(id).map(|k| (m, k))
+        })
+        .collect();
+    if keyed.is_empty() {
+        return None;
+    }
+    let cmp = |a: &(Option<f64>, String), b: &(Option<f64>, String)| match (a.0, b.0) {
+        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+        _ => a.1.cmp(&b.1),
+    };
+    keyed.sort_by(|x, y| cmp(&x.1, &y.1));
+    let best = match dir {
+        Extremum::Min => keyed.first().map(|(_, k)| k.clone()),
+        Extremum::Max => keyed.last().map(|(_, k)| k.clone()),
+    }?;
+    Some(
+        keyed
+            .into_iter()
+            .filter(|(_, k)| cmp(k, &best) == std::cmp::Ordering::Equal)
+            .map(|(m, _)| m.clone())
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_rdf::{StoreBuilder, Term};
+
+    fn m(id: TermId, score: f64) -> Match {
+        Match { bindings: vec![id], vertex_conf: vec![1.0], edge_used: vec![], score }
+    }
+
+    fn players() -> (gqa_rdf::Store, Vec<Match>) {
+        let mut b = StoreBuilder::new();
+        b.add_obj("dbr:Rooney", "dbo:birthDate", Term::typed_lit("1985-10-24", "xsd:date"));
+        b.add_obj("dbr:Sterling", "dbo:birthDate", Term::typed_lit("1994-12-08", "xsd:date"));
+        b.add_obj("dbr:Lampard", "dbo:birthDate", Term::typed_lit("1978-06-20", "xsd:date"));
+        let store = b.build();
+        let ms = vec![
+            m(store.expect_iri("dbr:Rooney"), -0.1),
+            m(store.expect_iri("dbr:Sterling"), -0.2),
+            m(store.expect_iri("dbr:Lampard"), -0.3),
+        ];
+        (store, ms)
+    }
+
+    #[test]
+    fn youngest_picks_latest_birth_date() {
+        let (store, ms) = players();
+        let kept = superlative(&store, &ms, 0, "youngest").unwrap();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].bindings[0], store.expect_iri("dbr:Sterling"));
+    }
+
+    #[test]
+    fn oldest_picks_earliest_birth_date() {
+        let (store, ms) = players();
+        let kept = superlative(&store, &ms, 0, "oldest").unwrap();
+        assert_eq!(kept[0].bindings[0], store.expect_iri("dbr:Lampard"));
+    }
+
+    #[test]
+    fn numeric_superlative() {
+        let mut b = StoreBuilder::new();
+        b.add_obj("dbr:Sydney", "dbo:population", Term::int_lit(5_300_000));
+        b.add_obj("dbr:Melbourne", "dbo:population", Term::int_lit(5_000_000));
+        let store = b.build();
+        let ms = vec![m(store.expect_iri("dbr:Sydney"), 0.0), m(store.expect_iri("dbr:Melbourne"), 0.0)];
+        let largest = superlative(&store, &ms, 0, "largest").unwrap();
+        assert_eq!(largest[0].bindings[0], store.expect_iri("dbr:Sydney"));
+        let smallest = superlative(&store, &ms, 0, "smallest").unwrap();
+        assert_eq!(smallest[0].bindings[0], store.expect_iri("dbr:Melbourne"));
+    }
+
+    #[test]
+    fn comparison_filters_numeric_bindings() {
+        let mut b = StoreBuilder::new();
+        b.add_obj("dbr:Berlin", "dbo:population", Term::int_lit(3_500_000));
+        b.add_obj("dbr:Munich", "dbo:population", Term::int_lit(1_500_000));
+        b.add_iri("dbr:Berlin", "dbo:country", "dbr:Germany");
+        let store = b.build();
+        let pop_b = store.dict().lookup(&Term::int_lit(3_500_000)).unwrap();
+        let pop_m = store.dict().lookup(&Term::int_lit(1_500_000)).unwrap();
+        let germany = store.expect_iri("dbr:Germany");
+        let mk = |city: &str, q| Match {
+            bindings: vec![store.expect_iri(city), q],
+            vertex_conf: vec![1.0, 1.0],
+            edge_used: vec![],
+            score: 0.0,
+        };
+        let ms = vec![
+            mk("dbr:Berlin", pop_b),
+            mk("dbr:Munich", pop_m),
+            mk("dbr:Berlin", germany), // non-numeric binding never satisfies
+        ];
+        let over = comparison(&store, &ms, 1, true, 2_000_000.0);
+        assert_eq!(over.len(), 1);
+        assert_eq!(over[0].bindings[0], store.expect_iri("dbr:Berlin"));
+        let under = comparison(&store, &ms, 1, false, 2_000_000.0);
+        assert_eq!(under.len(), 1);
+        assert_eq!(under[0].bindings[0], store.expect_iri("dbr:Munich"));
+    }
+
+    #[test]
+    fn count_distinct_targets() {
+        let (store, mut ms) = players();
+        ms.push(m(store.expect_iri("dbr:Rooney"), -0.9)); // duplicate binding
+        assert_eq!(count(&ms, 0), 3);
+        assert_eq!(count(&[], 0), 0);
+    }
+
+    #[test]
+    fn missing_key_predicate_returns_none() {
+        let (store, ms) = players();
+        assert!(superlative(&store, &ms, 0, "longest").is_none(), "no dbo:length in store");
+        assert!(superlative(&store, &ms, 0, "gronkiest").is_none(), "unknown adjective");
+    }
+}

@@ -1,0 +1,83 @@
+//! Reading answers off subgraph matches.
+//!
+//! Each match of `Q^S` implies one answer: the binding of the target
+//! (wh) vertex. Matches arrive score-ordered; answers are deduplicated
+//! keeping the best-scored occurrence first.
+
+use crate::matcher::Match;
+use gqa_rdf::{Store, Term, TermId};
+
+/// One answer to a question.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Answer {
+    /// The answering vertex of the RDF graph.
+    pub id: TermId,
+    /// The term itself.
+    pub term: Term,
+    /// Human-readable rendering (IRI label or literal text).
+    pub text: String,
+    /// Score of the best match producing this answer (Definition 6).
+    pub score: f64,
+}
+
+/// Extract the distinct answers for `target` (a vertex index of `Q^S`) from
+/// score-ordered matches.
+pub fn answers_from_matches(store: &Store, matches: &[Match], target: usize) -> Vec<Answer> {
+    let mut out: Vec<Answer> = Vec::new();
+    for m in matches {
+        let Some(&id) = m.bindings.get(target) else { continue };
+        if out.iter().any(|a| a.id == id) {
+            continue;
+        }
+        let term = store.term(id).clone();
+        let text = term.label().into_owned();
+        out.push(Answer { id, term, text, score: m.score });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_rdf::StoreBuilder;
+
+    #[test]
+    fn answers_dedup_and_keep_order() {
+        let mut b = StoreBuilder::new();
+        b.add_iri("dbr:A", "p", "dbr:B");
+        b.add_iri("dbr:C", "p", "dbr:B");
+        let store = b.build();
+        let a = store.expect_iri("dbr:A");
+        let c = store.expect_iri("dbr:C");
+        let matches = vec![
+            Match { bindings: vec![a], vertex_conf: vec![1.0], edge_used: vec![], score: -0.1 },
+            Match { bindings: vec![c], vertex_conf: vec![1.0], edge_used: vec![], score: -0.2 },
+            Match { bindings: vec![a], vertex_conf: vec![1.0], edge_used: vec![], score: -0.3 },
+        ];
+        let ans = answers_from_matches(&store, &matches, 0);
+        assert_eq!(ans.len(), 2);
+        assert_eq!(ans[0].id, a);
+        assert_eq!(ans[0].text, "A");
+        assert!((ans[0].score - -0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn literal_answers_render_lexical_form() {
+        let mut b = StoreBuilder::new();
+        b.add_obj("dbr:X", "height", Term::dec_lit(1.98));
+        let store = b.build();
+        let lit = store.dict().lookup(&Term::dec_lit(1.98)).unwrap();
+        let matches =
+            vec![Match { bindings: vec![lit], vertex_conf: vec![1.0], edge_used: vec![], score: 0.0 }];
+        let ans = answers_from_matches(&store, &matches, 0);
+        assert_eq!(ans[0].text, "1.98");
+    }
+
+    #[test]
+    fn missing_target_yields_nothing() {
+        let store = StoreBuilder::new().build();
+        let matches =
+            vec![Match { bindings: vec![], vertex_conf: vec![], edge_used: vec![], score: 0.0 }];
+        assert!(answers_from_matches(&store, &matches, 3).is_empty());
+    }
+}

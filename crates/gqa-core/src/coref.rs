@@ -1,0 +1,111 @@
+//! Coreference resolution for relativizer arguments (§2, §4.1.3).
+//!
+//! In *"an actor **that** played in Philadelphia"* the arguments "actor"
+//! and "that" refer to the same thing, so the two semantic relations share
+//! an endpoint in `Q^S`. The cases the question workload needs are
+//! relativizers (`that`/`who`/`which` heading a relative clause): they
+//! resolve to the noun the clause modifies.
+
+use crate::semrel::{argument_text, Argument, SemanticRelation};
+use gqa_nlp::tree::DepTree;
+use gqa_nlp::DepRel;
+
+/// Resolve one argument node: a relativizer resolves to the noun modified
+/// by its clause; anything else resolves to itself.
+pub fn resolve_node(tree: &DepTree, node: usize) -> usize {
+    let is_relativizer = matches!(tree.token(node).lower.as_str(), "that" | "who" | "whom" | "which")
+        && matches!(tree.rels[node], DepRel::Nsubj | DepRel::Nsubjpass | DepRel::Dobj);
+    if !is_relativizer {
+        return node;
+    }
+    // node → clause verb → (rcmod) → modified noun.
+    let Some(verb) = tree.parent(node) else { return node };
+    // The clause verb may itself be a conjunct of the rcmod verb.
+    let mut v = verb;
+    for _ in 0..tree.len() {
+        match tree.rels[v] {
+            DepRel::Rcmod => return tree.parent(v).unwrap_or(node),
+            DepRel::Conj => match tree.parent(v) {
+                Some(p) => v = p,
+                None => return node,
+            },
+            _ => return node,
+        }
+    }
+    node
+}
+
+/// Resolve both arguments of every relation, rewriting texts accordingly.
+pub fn resolve(tree: &DepTree, relations: &mut [SemanticRelation]) {
+    for rel in relations {
+        for arg in [&mut rel.arg1, &mut rel.arg2] {
+            let resolved = resolve_node(tree, arg.node);
+            if resolved != arg.node {
+                *arg = Argument { node: resolved, text: argument_text(tree, resolved) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arguments::{find_arguments, ArgumentRules};
+    use crate::embedding::find_embeddings;
+    use gqa_nlp::parser::DependencyParser;
+    use gqa_paraphrase::dict::{ParaMapping, ParaphraseDict};
+    use gqa_rdf::{PathPattern, TermId};
+
+    fn dict_with(phrases: &[&str]) -> ParaphraseDict {
+        let mut d = ParaphraseDict::new();
+        for (i, p) in phrases.iter().enumerate() {
+            d.insert(
+                (*p).to_owned(),
+                vec![ParaMapping { path: PathPattern::single(TermId(i as u32)), tfidf: 1.0, confidence: 1.0 }],
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn relativizer_resolves_to_modified_noun() {
+        let tree = DependencyParser::new()
+            .parse("Who was married to an actor that played in Philadelphia?")
+            .unwrap();
+        let dict = dict_with(&["be married to", "play in"]);
+        let mut rels: Vec<_> = find_embeddings(&tree, &dict)
+            .iter()
+            .filter_map(|e| find_arguments(&tree, e, ArgumentRules::all()))
+            .collect();
+        resolve(&tree, &mut rels);
+        let play = rels.iter().find(|r| r.phrase == "play in").unwrap();
+        assert_eq!(play.arg1.text, "actor", "『that』 must corefer with 『actor』");
+        let married = rels.iter().find(|r| r.phrase == "be married to").unwrap();
+        // Now the two relations share the actor node.
+        assert_eq!(married.arg2.node, play.arg1.node);
+    }
+
+    #[test]
+    fn coordinated_relative_clause_resolves_through_conj() {
+        let tree = DependencyParser::new()
+            .parse("Give me all people that were born in Vienna and died in Berlin.")
+            .unwrap();
+        let dict = dict_with(&["be born in", "die in"]);
+        let mut rels: Vec<_> = find_embeddings(&tree, &dict)
+            .iter()
+            .filter_map(|e| find_arguments(&tree, e, ArgumentRules::all()))
+            .collect();
+        resolve(&tree, &mut rels);
+        for r in &rels {
+            assert_eq!(r.arg1.text, "person", "{r:?}");
+        }
+        assert_eq!(rels[0].arg1.node, rels[1].arg1.node);
+    }
+
+    #[test]
+    fn non_relativizers_are_untouched() {
+        let tree = DependencyParser::new().parse("Who developed Minecraft?").unwrap();
+        // "who" is nsubj of the root verb, not of an rcmod verb.
+        assert_eq!(resolve_node(&tree, 0), 0);
+    }
+}

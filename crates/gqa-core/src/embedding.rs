@@ -1,0 +1,251 @@
+//! Finding relation-phrase embeddings in the dependency tree
+//! (Definition 5, Algorithm 2).
+//!
+//! A phrase `rel` *occurs* in tree `Y` if a connected subtree `y` exists
+//! whose every node carries one word of `rel` and which covers all of
+//! `rel`'s words; maximal such subtrees are the *embeddings*. The search
+//! uses the dictionary's word→phrase inverted index (built offline), probes
+//! each node as a potential embedding root and walks only through matching
+//! descendants — `O(|Y|²)` overall, as Theorem 2 states.
+//!
+//! A phrase word matches a node if it equals the node's **lemma or its
+//! lowercased surface form** — so `"be married to"` covers *"was married
+//! to"* and `"star in"` covers *"starring in"*.
+
+use gqa_nlp::lexicon;
+use gqa_nlp::tree::DepTree;
+use gqa_paraphrase::dict::ParaphraseDict;
+
+/// One embedding: a phrase and the nodes of its subtree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Embedding {
+    /// Dictionary phrase id.
+    pub phrase_id: usize,
+    /// Phrase text.
+    pub phrase: String,
+    /// Root of the embedding subtree.
+    pub root: usize,
+    /// All nodes of the embedding, sorted.
+    pub nodes: Vec<usize>,
+}
+
+/// Does `word` of a phrase match tree node `n`?
+fn word_matches(tree: &DepTree, n: usize, word: &str) -> bool {
+    let t = tree.token(n);
+    t.lemma == word || t.lower == word
+}
+
+/// All candidate phrase ids whose words include node `n`'s lemma or
+/// surface form (Algorithm 2 steps 1–2).
+fn phrases_at(dict: &ParaphraseDict, tree: &DepTree, n: usize) -> Vec<usize> {
+    let t = tree.token(n);
+    let mut out: Vec<usize> = dict.phrases_with_word(&t.lemma).to_vec();
+    if t.lower != t.lemma {
+        out.extend_from_slice(dict.phrases_with_word(&t.lower));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Find all maximal relation-phrase embeddings in `tree` (Algorithm 2).
+pub fn find_embeddings(tree: &DepTree, dict: &ParaphraseDict) -> Vec<Embedding> {
+    let n = tree.len();
+    let mut found: Vec<Embedding> = Vec::new();
+
+    for root in 0..n {
+        for phrase_id in phrases_at(dict, tree, root) {
+            let words = dict.phrase_words(phrase_id);
+            // The root must match some word — a *content* word when the
+            // phrase has one. Light words (prepositions, auxiliaries) recur
+            // in a sentence; rooting an embedding at one lets an unrelated
+            // "of"/"in" capture the phrase ("successor **of** the father of
+            // X" must not anchor "father of" at the first "of").
+            let content: Vec<&String> = words.iter().filter(|w| !lexicon::is_light_word(w)).collect();
+            let root_ok = if content.is_empty() {
+                words.iter().any(|w| word_matches(tree, root, w))
+            } else {
+                content.iter().any(|w| word_matches(tree, root, w))
+            };
+            if !root_ok {
+                continue;
+            }
+            // Maximality: if the parent matches a *content* word of this
+            // phrase, the embedding rooted here is not maximal — the walk
+            // from the parent will cover it. (Light-word parents don't
+            // count: they may be a different surface occurrence.)
+            if let Some(p) = tree.parent(root) {
+                let parent_matches = if content.is_empty() {
+                    words.iter().any(|w| word_matches(tree, p, w))
+                } else {
+                    content.iter().any(|w| word_matches(tree, p, w))
+                };
+                if parent_matches {
+                    continue;
+                }
+            }
+            if let Some(nodes) = cover(tree, root, words) {
+                found.push(Embedding {
+                    phrase_id,
+                    phrase: dict.phrase_text(phrase_id).to_owned(),
+                    root,
+                    nodes,
+                });
+            }
+        }
+    }
+
+    // Longest-match preference: drop an embedding whose node set is a
+    // strict subset of another embedding's (e.g. "produce" inside
+    // "be produced in"); on equal node sets keep both (genuinely ambiguous
+    // phrases).
+    let mut keep = vec![true; found.len()];
+    for i in 0..found.len() {
+        for j in 0..found.len() {
+            if i == j || !keep[i] {
+                continue;
+            }
+            let (a, b) = (&found[i], &found[j]);
+            if a.nodes.len() < b.nodes.len() && a.nodes.iter().all(|x| b.nodes.contains(x)) {
+                keep[i] = false;
+            }
+        }
+    }
+    found
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(e, k)| k.then_some(e))
+        .collect()
+}
+
+/// Try to cover all `words` with a connected subtree rooted at `root`
+/// walking only through word-matching nodes (the Probe of Algorithm 2).
+/// Returns the covering node set on success.
+fn cover(tree: &DepTree, root: usize, words: &[String]) -> Option<Vec<usize>> {
+    let mut remaining: Vec<&str> = words.iter().map(String::as_str).collect();
+    let mut nodes = Vec::with_capacity(words.len());
+    let mut stack = vec![root];
+    while let Some(x) = stack.pop() {
+        // Consume one matching word for this node (nodes that match no
+        // remaining word are not part of the subtree — Def 5 cond 1 says
+        // each embedding node contains one word of rel).
+        let Some(pos) = remaining.iter().position(|w| word_matches(tree, x, w)) else {
+            continue;
+        };
+        remaining.swap_remove(pos);
+        nodes.push(x);
+        if remaining.is_empty() {
+            break;
+        }
+        for c in tree.children(x) {
+            // Only descend into children that can still consume a word.
+            if remaining.iter().any(|w| word_matches(tree, c, w)) {
+                stack.push(c);
+            }
+        }
+    }
+    if remaining.is_empty() {
+        nodes.sort_unstable();
+        Some(nodes)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_nlp::parser::DependencyParser;
+    use gqa_paraphrase::dict::{ParaMapping, ParaphraseDict};
+    use gqa_rdf::{PathPattern, TermId};
+
+    fn dict_with(phrases: &[&str]) -> ParaphraseDict {
+        let mut d = ParaphraseDict::new();
+        for (i, p) in phrases.iter().enumerate() {
+            d.insert(
+                (*p).to_owned(),
+                vec![ParaMapping { path: PathPattern::single(TermId(i as u32)), tfidf: 1.0, confidence: 1.0 }],
+            );
+        }
+        d
+    }
+
+    fn parse(s: &str) -> gqa_nlp::DepTree {
+        DependencyParser::new().parse(s).unwrap()
+    }
+
+    #[test]
+    fn running_example_finds_both_phrases() {
+        // Figure 5: "be married to" and "play in".
+        let tree = parse("Who was married to an actor that played in Philadelphia?");
+        let dict = dict_with(&["be married to", "play in"]);
+        let embs = find_embeddings(&tree, &dict);
+        let phrases: Vec<&str> = embs.iter().map(|e| e.phrase.as_str()).collect();
+        assert!(phrases.contains(&"be married to"), "{phrases:?}");
+        assert!(phrases.contains(&"play in"), "{phrases:?}");
+        // "be married to" embedding covers was+married+to.
+        let m = embs.iter().find(|e| e.phrase == "be married to").unwrap();
+        assert_eq!(m.nodes.len(), 3);
+        let married = tree.tokens.iter().position(|t| t.lower == "married").unwrap();
+        assert_eq!(m.root, married);
+    }
+
+    #[test]
+    fn long_distance_fronting_is_still_found() {
+        // §4.1: "In which movies did Antonio Banderas star?" — "star in" is
+        // not a textual subsequence but its embedding exists in the tree.
+        let tree = parse("In which movies did Antonio Banderas star?");
+        let dict = dict_with(&["star in"]);
+        let embs = find_embeddings(&tree, &dict);
+        assert_eq!(embs.len(), 1, "{embs:?}");
+        assert_eq!(embs[0].nodes.len(), 2);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let tree = parse("Give me all cars that are produced in Germany.");
+        let dict = dict_with(&["produce", "be produced in"]);
+        let embs = find_embeddings(&tree, &dict);
+        assert_eq!(embs.len(), 1, "{embs:?}");
+        assert_eq!(embs[0].phrase, "be produced in");
+    }
+
+    #[test]
+    fn lemma_and_surface_both_match() {
+        let tree = parse("Who founded Intel?");
+        let dict = dict_with(&["found"]);
+        let embs = find_embeddings(&tree, &dict);
+        assert_eq!(embs.len(), 1);
+    }
+
+    #[test]
+    fn disconnected_words_do_not_embed() {
+        // "play" and "in" exist but in disconnected positions.
+        let tree = parse("Which plays are in Berlin?");
+        // "plays" (noun) is nsubj; "in" attaches to the copula/root — they
+        // may or may not be adjacent in the tree; the stricter test: a
+        // phrase whose words simply don't all occur.
+        let dict = dict_with(&["play with"]);
+        let embs = find_embeddings(&tree, &dict);
+        assert!(embs.is_empty(), "{embs:?}");
+    }
+
+    #[test]
+    fn noun_phrase_relation_phrases_embed() {
+        let tree = parse("What is the time zone of Salt Lake City?");
+        let dict = dict_with(&["time zone of"]);
+        let embs = find_embeddings(&tree, &dict);
+        assert_eq!(embs.len(), 1, "{embs:?}");
+        assert_eq!(embs[0].nodes.len(), 3);
+        let zone = tree.tokens.iter().position(|t| t.lower == "zone").unwrap();
+        assert_eq!(embs[0].root, zone);
+    }
+
+    #[test]
+    fn multiple_distinct_embeddings_of_same_phrase() {
+        let tree = parse("Give me all people that were born in Vienna and died in Berlin.");
+        let dict = dict_with(&["be born in", "die in"]);
+        let embs = find_embeddings(&tree, &dict);
+        assert_eq!(embs.len(), 2, "{embs:?}");
+    }
+}

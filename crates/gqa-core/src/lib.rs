@@ -1,0 +1,48 @@
+//! # gqa-core — graph data-driven RDF question answering
+//!
+//! The paper's primary contribution (Zou et al., SIGMOD 2014). Instead of
+//! disambiguating the question up front and generating SPARQL, the pipeline
+//!
+//! 1. extracts **semantic relations** `⟨rel, arg1, arg2⟩` from the
+//!    question's dependency tree by finding relation-phrase *embeddings*
+//!    (Definition 5, Algorithm 2 — [`embedding`]) and their arguments via
+//!    subject-/object-like relations plus heuristic Rules 1–4 (§4.1.2 —
+//!    [`arguments`]);
+//! 2. resolves relativizer coreference ([`coref`]) and assembles the
+//!    **semantic query graph** `Q^S` (Definition 2 — [`sqg`]);
+//! 3. maps vertices to candidate entities/classes and edges to candidate
+//!    predicates/predicate paths, *keeping every ambiguous mapping alive*
+//!    (§4.2.1 — [`mapping`]);
+//! 4. finds the **top-k subgraph matches** of `Q^S` over the RDF graph with
+//!    a TA-style early-terminating search over the ranked candidate lists
+//!    (Definition 3/6, Algorithm 3 — [`matcher`], [`topk`]);
+//! 5. reads answers (and, equivalently, top-k SPARQL queries) off the
+//!    matches ([`answer`], [`sparql_gen`]).
+//!
+//! Ambiguity is resolved **during** matching: a candidate mapping is
+//! correct exactly when some subgraph match uses it; if no match uses it,
+//! the disambiguation cost was never paid.
+//!
+//! [`pipeline::GAnswer`] ties everything together; [`aggregates`]
+//! implements the aggregation extension the paper leaves as future work
+//! (off by default to reproduce Table 10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregates;
+pub mod answer;
+pub mod arguments;
+pub mod coref;
+pub mod embedding;
+pub mod mapping;
+pub mod matcher;
+pub mod pipeline;
+pub mod semrel;
+pub mod sparql_gen;
+pub mod sqg;
+pub mod topk;
+pub mod validate;
+
+pub use pipeline::{GAnswer, GAnswerConfig, Response};
+pub use sqg::SemanticQueryGraph;

@@ -1,0 +1,400 @@
+//! Phrase mapping (§4.2.1): vertices of `Q^S` to candidate entity/class
+//! lists `C_v`, edges to candidate predicate/path lists `C_e` — keeping all
+//! ambiguous mappings alive.
+
+use crate::sqg::SemanticQueryGraph;
+use gqa_linker::Linker;
+use gqa_paraphrase::dict::ParaphraseDict;
+use gqa_rdf::{PathPattern, Store, TermId};
+use rustc_hash::FxHashMap;
+
+/// One vertex candidate with confidence `δ(arg, u)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VertexCandidate {
+    /// Entity, class, or literal vertex.
+    pub id: TermId,
+    /// Confidence.
+    pub confidence: f64,
+    /// Class candidates bind to the class's *instances* (Def. 3 cond. 2).
+    pub is_class: bool,
+}
+
+/// How a vertex of `Q^S` maps into the RDF graph.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VertexBinding {
+    /// A free variable (wh-words match "all entities and classes"; the
+    /// target noun and unlinkable common nouns behave the same), optionally
+    /// constrained to classes.
+    Variable {
+        /// Ranked class constraints; a binding must have one of these
+        /// types. Empty means unconstrained.
+        classes: Vec<(TermId, f64)>,
+    },
+    /// A ranked candidate list (entities / classes / literals).
+    Candidates(Vec<VertexCandidate>),
+}
+
+impl VertexBinding {
+    /// Is this a variable binding?
+    pub fn is_variable(&self) -> bool {
+        matches!(self, VertexBinding::Variable { .. })
+    }
+}
+
+/// Candidate predicates / predicate paths of one edge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeCandidates {
+    /// Ranked `(pattern, confidence)` pairs; empty iff `wildcard`.
+    pub list: Vec<(PathPattern, f64)>,
+    /// Implicit edges match any single predicate at this confidence.
+    pub wildcard: Option<f64>,
+}
+
+/// A fully mapped query, ready for subgraph matching.
+#[derive(Clone, Debug)]
+pub struct MappedQuery {
+    /// The underlying semantic query graph.
+    pub sqg: SemanticQueryGraph,
+    /// Per-vertex bindings, aligned with `sqg.vertices`.
+    pub vertices: Vec<VertexBinding>,
+    /// Per-edge candidates, aligned with `sqg.edges`.
+    pub edges: Vec<EdgeCandidates>,
+}
+
+/// Why mapping failed (feeds the Table-10 failure analysis).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MappingError {
+    /// A proper-noun mention has no candidates (paper: entity linking
+    /// failure, e.g. "MI6").
+    UnlinkableMention {
+        /// Vertex index.
+        vertex: usize,
+        /// The mention text.
+        text: String,
+    },
+    /// A relation phrase lost all its dictionary mappings.
+    UnknownRelation {
+        /// Edge index.
+        edge: usize,
+        /// The phrase text.
+        phrase: String,
+    },
+}
+
+/// Index of literal vertices by normalized text, so constants like
+/// `"Scarface"` can be linked (the store-side analogue of linking against
+/// DBpedia literals).
+#[derive(Clone, Debug, Default)]
+pub struct LiteralIndex {
+    by_norm: FxHashMap<String, Vec<TermId>>,
+}
+
+impl LiteralIndex {
+    /// Scan the store's dictionary once.
+    pub fn new(store: &Store) -> Self {
+        let mut by_norm: FxHashMap<String, Vec<TermId>> = FxHashMap::default();
+        for (id, term) in store.dict().iter() {
+            if let Some(text) = term.as_literal() {
+                let norm = gqa_linker::normalize::normalize(text);
+                if !norm.is_empty() {
+                    by_norm.entry(norm).or_default().push(id);
+                }
+            }
+        }
+        LiteralIndex { by_norm }
+    }
+
+    /// Literal ids whose normalized text equals the mention's.
+    pub fn lookup(&self, mention: &str) -> &[TermId] {
+        self.by_norm
+            .get(&gqa_linker::normalize::normalize(mention))
+            .map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Mapping options.
+#[derive(Clone, Debug)]
+pub struct MappingOptions {
+    /// Confidence assigned to implicit wildcard edges.
+    pub wildcard_confidence: f64,
+    /// Cap on candidates per edge.
+    pub max_edge_candidates: usize,
+    /// Tree nodes whose vertices must survive mapping even when unlinkable
+    /// and implicit-only (e.g. the measured noun of a comparison filter).
+    pub protected_nodes: Vec<usize>,
+}
+
+impl Default for MappingOptions {
+    fn default() -> Self {
+        MappingOptions { wildcard_confidence: 0.3, max_edge_candidates: 8, protected_nodes: Vec::new() }
+    }
+}
+
+/// Map every vertex and edge (§4.2.1). Implicit edges whose non-target
+/// endpoint cannot be linked are dropped (with their private vertex) rather
+/// than failing the query.
+pub fn map_query(
+    sqg: &SemanticQueryGraph,
+    linker: &Linker,
+    literals: &LiteralIndex,
+    dict: &ParaphraseDict,
+    opts: &MappingOptions,
+) -> Result<MappedQuery, MappingError> {
+    let mut sqg = sqg.clone();
+
+    // --- vertices --------------------------------------------------------
+    let mut vertices: Vec<VertexBinding> = Vec::with_capacity(sqg.vertices.len());
+    let mut droppable: Vec<bool> = vec![false; sqg.vertices.len()];
+    for (i, v) in sqg.vertices.iter().enumerate() {
+        if v.is_wh {
+            vertices.push(VertexBinding::Variable { classes: Vec::new() });
+            continue;
+        }
+        if v.is_target {
+            // The answer variable: class-constrained when the noun names a
+            // class ("cars" → dbo:Automobile).
+            let classes = linker
+                .link_classes(&v.text)
+                .into_iter()
+                .map(|c| (c.id, c.confidence))
+                .collect();
+            vertices.push(VertexBinding::Variable { classes });
+            continue;
+        }
+        let mut cands: Vec<VertexCandidate> = linker
+            .link(&v.text)
+            .into_iter()
+            .map(|c| VertexCandidate { id: c.id, confidence: c.confidence, is_class: c.is_class })
+            .collect();
+        for &lit in literals.lookup(&v.text) {
+            if !cands.iter().any(|c| c.id == lit) {
+                cands.push(VertexCandidate { id: lit, confidence: 1.0, is_class: false });
+            }
+        }
+        cands.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal));
+        if cands.is_empty() {
+            if v.is_proper {
+                // A named mention the linker cannot resolve: the paper's
+                // entity-linking failure class (Table 10, e.g. "MI6").
+                return Err(MappingError::UnlinkableMention { vertex: i, text: v.text.clone() });
+            }
+            let classes: Vec<(TermId, f64)> =
+                linker.link_classes(&v.text).into_iter().map(|c| (c.id, c.confidence)).collect();
+            // A contentless modifier that only an implicit edge dragged in
+            // ("the *former* Dutch queen …") is dropped rather than turned
+            // into an unconstrained wildcard neighbor.
+            let only_implicit =
+                sqg.incident(i).count() > 0 && sqg.incident(i).all(|(_, e)| e.phrase.is_none());
+            let protected = opts.protected_nodes.contains(&v.node);
+            if only_implicit && classes.is_empty() && !v.is_target && !protected {
+                droppable[i] = true;
+                vertices.push(VertexBinding::Variable { classes: Vec::new() });
+                continue;
+            }
+            // Unlinkable common noun ("creator") → free variable with any
+            // class constraints the linker can offer.
+            vertices.push(VertexBinding::Variable { classes });
+            continue;
+        }
+        vertices.push(VertexBinding::Candidates(cands));
+    }
+
+    // Drop implicit-only unlinkable proper vertices and their edges.
+    if droppable.iter().any(|&d| d) {
+        let mut keep_edges = Vec::new();
+        for e in &sqg.edges {
+            if !droppable[e.from] && !droppable[e.to] {
+                keep_edges.push(e.clone());
+            }
+        }
+        sqg.edges = keep_edges;
+        // Renumber vertices.
+        let mut remap: Vec<Option<usize>> = Vec::with_capacity(sqg.vertices.len());
+        let mut new_vertices = Vec::new();
+        let mut new_bindings = Vec::new();
+        for (i, v) in sqg.vertices.iter().enumerate() {
+            if droppable[i] {
+                remap.push(None);
+            } else {
+                remap.push(Some(new_vertices.len()));
+                new_vertices.push(v.clone());
+                new_bindings.push(vertices[i].clone());
+            }
+        }
+        for e in &mut sqg.edges {
+            e.from = remap[e.from].expect("kept edge endpoint");
+            e.to = remap[e.to].expect("kept edge endpoint");
+        }
+        sqg.vertices = new_vertices;
+        vertices = new_bindings;
+    }
+
+    // --- edges -----------------------------------------------------------
+    let mut edges: Vec<EdgeCandidates> = Vec::with_capacity(sqg.edges.len());
+    for (ei, e) in sqg.edges.iter().enumerate() {
+        match &e.phrase {
+            None => edges.push(EdgeCandidates { list: Vec::new(), wildcard: Some(opts.wildcard_confidence) }),
+            Some((_, phrase)) => {
+                let Some(maps) = dict.lookup(phrase) else {
+                    return Err(MappingError::UnknownRelation { edge: ei, phrase: phrase.clone() });
+                };
+                let mut list: Vec<(PathPattern, f64)> = maps
+                    .iter()
+                    .take(opts.max_edge_candidates)
+                    .map(|m| (m.path.clone(), m.confidence.max(1e-6)))
+                    .collect();
+                list.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                edges.push(EdgeCandidates { list, wildcard: None });
+            }
+        }
+    }
+
+    Ok(MappedQuery { sqg, vertices, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sqg::{SqgEdge, SqgVertex};
+    use gqa_paraphrase::dict::ParaMapping;
+    use gqa_rdf::schema::Schema;
+    use gqa_rdf::StoreBuilder;
+
+    fn store() -> Store {
+        let mut b = StoreBuilder::new();
+        b.add_iri("dbr:Philadelphia", "rdf:type", "dbo:City");
+        b.add_iri("dbr:Philadelphia_(film)", "rdf:type", "dbo:Film");
+        b.add_iri("dbr:Al_Capone", "rdf:type", "dbo:Person");
+        b.add_obj("dbr:Al_Capone", "dbo:alias", gqa_rdf::Term::lit("Scarface"));
+        b.add_obj("dbo:Film", "rdfs:label", gqa_rdf::Term::lit("film"));
+        b.build()
+    }
+
+    fn vertex(text: &str, is_wh: bool, is_target: bool, is_proper: bool) -> SqgVertex {
+        SqgVertex { node: 0, text: text.into(), is_wh, is_target, is_proper }
+    }
+
+    fn dict_one(phrase: &str, store: &Store) -> ParaphraseDict {
+        let mut d = ParaphraseDict::new();
+        let p = store.expect_iri("rdf:type");
+        d.insert(phrase.into(), vec![ParaMapping { path: PathPattern::single(p), tfidf: 1.0, confidence: 1.0 }]);
+        d
+    }
+
+    #[test]
+    fn wh_vertex_becomes_unconstrained_variable() {
+        let s = store();
+        let schema = Schema::new(&s);
+        let linker = Linker::new(&s, &schema);
+        let lits = LiteralIndex::new(&s);
+        let mut g = SemanticQueryGraph::default();
+        g.vertices.push(vertex("who", true, true, false));
+        let m = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default()).unwrap();
+        assert_eq!(m.vertices[0], VertexBinding::Variable { classes: vec![] });
+    }
+
+    #[test]
+    fn ambiguous_mention_keeps_all_candidates() {
+        let s = store();
+        let schema = Schema::new(&s);
+        let linker = Linker::new(&s, &schema);
+        let lits = LiteralIndex::new(&s);
+        let mut g = SemanticQueryGraph::default();
+        g.vertices.push(vertex("philadelphia", false, false, true));
+        let m = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default()).unwrap();
+        match &m.vertices[0] {
+            VertexBinding::Candidates(c) => assert!(c.len() >= 2, "{c:?}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn literal_mentions_link_through_the_literal_index() {
+        let s = store();
+        let schema = Schema::new(&s);
+        let linker = Linker::new(&s, &schema);
+        let lits = LiteralIndex::new(&s);
+        let mut g = SemanticQueryGraph::default();
+        g.vertices.push(vertex("scarface", false, false, true));
+        let m = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default()).unwrap();
+        match &m.vertices[0] {
+            VertexBinding::Candidates(c) => {
+                assert!(c.iter().any(|x| s.term(x.id).is_literal()), "{c:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlinkable_proper_mention_fails() {
+        let s = store();
+        let schema = Schema::new(&s);
+        let linker = Linker::new(&s, &schema);
+        let lits = LiteralIndex::new(&s);
+        let mut g = SemanticQueryGraph::default();
+        g.vertices.push(vertex("mi6", false, false, true));
+        let err = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default()).unwrap_err();
+        assert!(matches!(err, MappingError::UnlinkableMention { .. }));
+    }
+
+    #[test]
+    fn unlinkable_common_noun_becomes_variable() {
+        let s = store();
+        let schema = Schema::new(&s);
+        let linker = Linker::new(&s, &schema);
+        let lits = LiteralIndex::new(&s);
+        let mut g = SemanticQueryGraph::default();
+        g.vertices.push(vertex("creator", false, false, false));
+        let m = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default()).unwrap();
+        assert!(m.vertices[0].is_variable());
+    }
+
+    #[test]
+    fn implicit_only_unlinkable_modifier_is_dropped() {
+        let s = store();
+        let schema = Schema::new(&s);
+        let linker = Linker::new(&s, &schema);
+        let lits = LiteralIndex::new(&s);
+        let mut g = SemanticQueryGraph::default();
+        g.vertices.push(vertex("film", false, true, false));
+        g.vertices.push(vertex("former", false, false, false));
+        g.edges.push(SqgEdge { from: 0, to: 1, phrase: None });
+        let m = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default()).unwrap();
+        assert_eq!(m.sqg.vertices.len(), 1, "{:?}", m.sqg);
+        assert!(m.sqg.edges.is_empty());
+    }
+
+    #[test]
+    fn implicit_only_unlinkable_proper_vertex_still_fails() {
+        let s = store();
+        let schema = Schema::new(&s);
+        let linker = Linker::new(&s, &schema);
+        let lits = LiteralIndex::new(&s);
+        let mut g = SemanticQueryGraph::default();
+        g.vertices.push(vertex("film", false, true, false));
+        g.vertices.push(vertex("zanzibar floof", false, false, true));
+        g.edges.push(SqgEdge { from: 0, to: 1, phrase: None });
+        let err = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default()).unwrap_err();
+        assert!(matches!(err, MappingError::UnlinkableMention { .. }));
+    }
+
+    #[test]
+    fn edges_map_through_the_dictionary() {
+        let s = store();
+        let schema = Schema::new(&s);
+        let linker = Linker::new(&s, &schema);
+        let lits = LiteralIndex::new(&s);
+        let dict = dict_one("be married to", &s);
+        let mut g = SemanticQueryGraph::default();
+        g.vertices.push(vertex("who", true, true, false));
+        g.vertices.push(vertex("philadelphia", false, false, true));
+        g.edges.push(SqgEdge { from: 0, to: 1, phrase: Some((0, "be married to".into())) });
+        let m = map_query(&g, &linker, &lits, &dict, &MappingOptions::default()).unwrap();
+        assert_eq!(m.edges[0].list.len(), 1);
+        assert!(m.edges[0].wildcard.is_none());
+        // Unknown phrase errors out.
+        g.edges[0].phrase = Some((0, "eat with".into()));
+        let err = map_query(&g, &linker, &lits, &dict, &MappingOptions::default()).unwrap_err();
+        assert!(matches!(err, MappingError::UnknownRelation { .. }));
+    }
+}

@@ -1,0 +1,663 @@
+//! Subgraph matching of `Q^S` over the RDF graph (Definition 3) with
+//! match scoring (Definition 6) and neighborhood pruning (§4.2.2).
+//!
+//! The search is a candidate-ordered backtracking (VF2-style exploration,
+//! as Algorithm 3's step 9 prescribes): vertices with explicit candidate
+//! lists are bound first, free variables are *derived* by walking candidate
+//! predicates/paths from already-bound neighbors. Per Definition 3
+//! condition 3, an edge is satisfied by a candidate predicate in **either
+//! orientation**; predicate paths are tried both as mined and reversed.
+
+use crate::mapping::{EdgeCandidates, MappedQuery, VertexBinding};
+use gqa_rdf::paths::{connects, instantiate_from, PathPattern};
+use gqa_rdf::schema::Schema;
+use gqa_rdf::{Store, TermId, Triple};
+use rustc_hash::FxHashSet;
+
+/// One subgraph match of `Q^S`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Match {
+    /// Binding per `Q^S` vertex.
+    pub bindings: Vec<TermId>,
+    /// Confidence per vertex (`δ(arg_i, u_i)`, 1.0 for free variables).
+    pub vertex_conf: Vec<f64>,
+    /// The satisfying pattern and confidence per edge.
+    pub edge_used: Vec<(PathPattern, f64)>,
+    /// The Definition-6 score: `Σ log δ(arg, u) + Σ log δ(rel, P)`.
+    pub score: f64,
+}
+
+/// Matcher limits and toggles.
+#[derive(Clone, Copy, Debug)]
+pub struct MatcherConfig {
+    /// Stop after this many matches.
+    pub max_matches: usize,
+    /// Apply neighborhood-based candidate pruning (§4.2.2).
+    pub neighborhood_pruning: bool,
+    /// Cap on instances enumerated per class candidate.
+    pub max_class_instances: usize,
+    /// Cap on bindings derived per variable expansion.
+    pub max_expansions: usize,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig {
+            max_matches: 10_000,
+            neighborhood_pruning: true,
+            max_class_instances: 50_000,
+            max_expansions: 100_000,
+        }
+    }
+}
+
+/// Find every match (up to `cfg.max_matches`), optionally restricting one
+/// vertex to a single candidate (the TA cursor hook).
+pub fn find_matches(
+    store: &Store,
+    schema: &Schema,
+    q: &MappedQuery,
+    cfg: &MatcherConfig,
+    restriction: Option<(usize, crate::mapping::VertexCandidate)>,
+) -> Vec<Match> {
+    let n = q.sqg.vertices.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let pruned;
+    let q = if cfg.neighborhood_pruning {
+        pruned = prune(store, q);
+        &pruned
+    } else {
+        q
+    };
+
+    let mut state = State {
+        store,
+        schema,
+        q,
+        cfg,
+        bound: vec![None; n],
+        out: Vec::new(),
+        seen: FxHashSet::default(),
+        restriction,
+    };
+    state.search();
+    let mut out = state.out;
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+struct State<'a> {
+    store: &'a Store,
+    schema: &'a Schema,
+    q: &'a MappedQuery,
+    cfg: &'a MatcherConfig,
+    bound: Vec<Option<(TermId, f64)>>,
+    out: Vec<Match>,
+    seen: FxHashSet<Vec<TermId>>,
+    restriction: Option<(usize, crate::mapping::VertexCandidate)>,
+}
+
+impl State<'_> {
+    fn search(&mut self) {
+        if self.out.len() >= self.cfg.max_matches {
+            return;
+        }
+        let Some(v) = self.next_vertex() else {
+            self.emit();
+            return;
+        };
+        let candidates = self.candidate_bindings(v);
+        for (id, conf) in candidates {
+            if self.out.len() >= self.cfg.max_matches {
+                return;
+            }
+            if !self.edges_ok(v, id) {
+                continue;
+            }
+            self.bound[v] = Some((id, conf));
+            self.search();
+            self.bound[v] = None;
+        }
+    }
+
+    /// Vertex selection: (1) a Candidates vertex adjacent to a bound one,
+    /// (2) any Candidates vertex, (3) a variable adjacent to a bound one,
+    /// (4) a class-constrained variable, (5) any variable.
+    fn next_vertex(&self) -> Option<usize> {
+        let n = self.q.sqg.vertices.len();
+        let unbound: Vec<usize> = (0..n).filter(|&i| self.bound[i].is_none()).collect();
+        if unbound.is_empty() {
+            return None;
+        }
+        let adjacent_bound = |i: usize| {
+            self.q
+                .sqg
+                .incident(i)
+                .any(|(_, e)| self.bound[if e.from == i { e.to } else { e.from }].is_some())
+        };
+        let list_len = |i: usize| match &self.q.vertices[i] {
+            VertexBinding::Candidates(c) => c.len(),
+            VertexBinding::Variable { .. } => usize::MAX,
+        };
+        // (1)/(2)
+        let fixed: Option<usize> = unbound
+            .iter()
+            .copied()
+            .filter(|&i| !self.q.vertices[i].is_variable())
+            .min_by_key(|&i| (!adjacent_bound(i) as usize, list_len(i)));
+        if let Some(i) = fixed {
+            // Prefer an adjacent one if the chosen is disconnected but an
+            // adjacent variable exists? Keep simple: fixed first.
+            if adjacent_bound(i) || !unbound.iter().any(|&j| self.q.vertices[j].is_variable() && adjacent_bound(j)) {
+                return Some(i);
+            }
+        }
+        // (3)
+        if let Some(i) = unbound.iter().copied().find(|&i| self.q.vertices[i].is_variable() && adjacent_bound(i)) {
+            return Some(i);
+        }
+        if let Some(i) = fixed {
+            return Some(i);
+        }
+        // (4)
+        if let Some(i) = unbound.iter().copied().find(|&i| {
+            matches!(&self.q.vertices[i], VertexBinding::Variable { classes } if !classes.is_empty())
+        }) {
+            return Some(i);
+        }
+        // (5) — unconstrained, disconnected variable: unenumerable; picking
+        // it yields no candidates and the query fails, which is correct.
+        unbound.first().copied()
+    }
+
+    fn candidate_bindings(&self, v: usize) -> Vec<(TermId, f64)> {
+        if let Some((rv, cand)) = &self.restriction {
+            if *rv == v {
+                return self.expand_candidate(cand.id, cand.confidence, cand.is_class);
+            }
+        }
+        match &self.q.vertices[v] {
+            VertexBinding::Candidates(list) => {
+                let mut out = Vec::new();
+                for c in list {
+                    out.extend(self.expand_candidate(c.id, c.confidence, c.is_class));
+                    if out.len() >= self.cfg.max_expansions {
+                        break;
+                    }
+                }
+                out
+            }
+            VertexBinding::Variable { classes } => {
+                // Derive from a bound neighbor if possible.
+                let gen_edge = self.q.sqg.incident(v).find(|(_, e)| {
+                    self.bound[if e.from == v { e.to } else { e.from }].is_some()
+                });
+                let mut cands: Vec<(TermId, f64)> = match gen_edge {
+                    Some((ei, e)) => {
+                        let u = self.bound[if e.from == v { e.to } else { e.from }]
+                            .expect("neighbor bound")
+                            .0;
+                        self.derive_via_edge(u, &self.q.edges[ei])
+                    }
+                    None => {
+                        // No bound neighbor: enumerate class instances.
+                        let mut out = Vec::new();
+                        for &(c, _) in classes {
+                            for &inst in self.schema.instances_of(c).iter().take(self.cfg.max_class_instances) {
+                                out.push((inst, 1.0));
+                            }
+                        }
+                        out
+                    }
+                };
+                // Class constraints (Def. 3 cond. 2).
+                if !classes.is_empty() {
+                    cands.retain(|(id, _)| classes.iter().any(|&(c, _)| self.schema.has_type(*id, c)));
+                    // Vertex confidence: the best matching class constraint.
+                    for (id, conf) in &mut cands {
+                        *conf = classes
+                            .iter()
+                            .filter(|&&(c, _)| self.schema.has_type(*id, c))
+                            .map(|&(_, cc)| cc)
+                            .fold(0.0, f64::max);
+                    }
+                }
+                cands.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                cands.dedup_by_key(|(id, _)| *id);
+                cands.truncate(self.cfg.max_expansions);
+                cands
+            }
+        }
+    }
+
+    /// A Candidates-list entry: entities/literals bind directly; classes
+    /// bind to their instances (Definition 3 condition 2).
+    fn expand_candidate(&self, id: TermId, conf: f64, is_class: bool) -> Vec<(TermId, f64)> {
+        if is_class {
+            self.schema
+                .instances_of(id)
+                .iter()
+                .take(self.cfg.max_class_instances)
+                .map(|&inst| (inst, conf))
+                .collect()
+        } else {
+            vec![(id, conf)]
+        }
+    }
+
+    /// Bindings reachable from `u` through any candidate pattern of an
+    /// edge, in either orientation; literals are valid endpoints of
+    /// single-step patterns.
+    fn derive_via_edge(&self, u: TermId, e: &EdgeCandidates) -> Vec<(TermId, f64)> {
+        let mut out: Vec<(TermId, f64)> = Vec::new();
+        let push = |id: TermId, out: &mut Vec<(TermId, f64)>| {
+            if !out.iter().any(|(x, _)| *x == id) {
+                out.push((id, 1.0));
+            }
+        };
+        if let Some(_wc) = e.wildcard {
+            for t in self.store.out_edges(u) {
+                push(t.o, &mut out);
+            }
+            for t in self.store.in_edges(u) {
+                push(t.s, &mut out);
+            }
+            return out;
+        }
+        for (pattern, _conf) in &e.list {
+            if let Some(p) = pattern.as_single_predicate() {
+                for o in self.store.objects(u, p) {
+                    push(o, &mut out);
+                }
+                for s in self.store.subjects(p, u) {
+                    push(s, &mut out);
+                }
+            } else if pattern.len() == 1 {
+                // Single backward step.
+                let p = pattern.0[0].pred;
+                for o in self.store.objects(u, p) {
+                    push(o, &mut out);
+                }
+                for s in self.store.subjects(p, u) {
+                    push(s, &mut out);
+                }
+            } else {
+                if self.store.term(u).is_iri() {
+                    for inst in instantiate_from(self.store, u, pattern, self.cfg.max_expansions) {
+                        push(*inst.vertices.last().expect("nonempty"), &mut out);
+                    }
+                    for inst in instantiate_from(self.store, u, &pattern.reversed(), self.cfg.max_expansions) {
+                        push(*inst.vertices.last().expect("nonempty"), &mut out);
+                    }
+                }
+            }
+            if out.len() >= self.cfg.max_expansions {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Do all edges between `v` (bound to `id`) and already-bound vertices
+    /// hold?
+    fn edges_ok(&self, v: usize, id: TermId) -> bool {
+        for (ei, e) in self.q.sqg.incident(v) {
+            let other = if e.from == v { e.to } else { e.from };
+            let Some((u, _)) = self.bound[other] else { continue };
+            if self.satisfy_edge(ei, id, u).is_none() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Best `(pattern, confidence)` satisfying edge `ei` between `a` and
+    /// `b` (either orientation), if any.
+    fn satisfy_edge(&self, ei: usize, a: TermId, b: TermId) -> Option<(PathPattern, f64)> {
+        let e = &self.q.edges[ei];
+        if let Some(wc) = e.wildcard {
+            // Any single predicate either way.
+            let hit = self
+                .store
+                .out_edges(a)
+                .iter()
+                .find(|t| t.o == b)
+                .or_else(|| self.store.out_edges(b).iter().find(|t| t.o == a));
+            return hit.map(|t| (PathPattern::single(t.p), wc));
+        }
+        for (pattern, conf) in &e.list {
+            if pattern.len() == 1 {
+                let p = pattern.0[0].pred;
+                if self.store.contains(Triple::new(a, p, b)) || self.store.contains(Triple::new(b, p, a)) {
+                    return Some((pattern.clone(), *conf));
+                }
+            } else {
+                if !self.store.term(a).is_iri() || !self.store.term(b).is_iri() {
+                    continue;
+                }
+                if connects(self.store, a, b, pattern).is_some()
+                    || connects(self.store, a, b, &pattern.reversed()).is_some()
+                {
+                    return Some((pattern.clone(), *conf));
+                }
+            }
+        }
+        None
+    }
+
+    /// All vertices bound: verify & score (Definition 6).
+    fn emit(&mut self) {
+        let bindings: Vec<TermId> = self.bound.iter().map(|b| b.expect("all bound").0).collect();
+        if self.seen.contains(&bindings) {
+            return;
+        }
+        let vertex_conf: Vec<f64> = self.bound.iter().map(|b| b.expect("bound").1.max(1e-9)).collect();
+        let mut edge_used = Vec::with_capacity(self.q.sqg.edges.len());
+        for (ei, e) in self.q.sqg.edges.iter().enumerate() {
+            let a = bindings[e.from];
+            let b = bindings[e.to];
+            match self.satisfy_edge(ei, a, b) {
+                Some(hit) => edge_used.push(hit),
+                None => return, // unsatisfied edge: not a match
+            }
+        }
+        let score: f64 = vertex_conf.iter().map(|c| c.ln()).sum::<f64>()
+            + edge_used.iter().map(|(_, c)| c.max(1e-9).ln()).sum::<f64>();
+        self.seen.insert(bindings.clone());
+        self.out.push(Match { bindings, vertex_conf, edge_used, score });
+    }
+}
+
+/// Neighborhood-based pruning (§4.2.2): drop an entity candidate that
+/// cannot satisfy the first step of any candidate pattern of some incident
+/// edge. Classes and wildcards are left alone.
+pub fn prune(store: &Store, q: &MappedQuery) -> MappedQuery {
+    let mut out = q.clone();
+    for (vi, vb) in out.vertices.iter_mut().enumerate() {
+        let VertexBinding::Candidates(list) = vb else { continue };
+        list.retain(|c| {
+            if c.is_class {
+                return true;
+            }
+            q.sqg.incident(vi).all(|(ei, _)| {
+                let e = &q.edges[ei];
+                if e.wildcard.is_some() {
+                    return store.degree(c.id) > 0 || store.term(c.id).is_literal();
+                }
+                e.list.iter().any(|(pattern, _)| {
+                    let first = pattern.0[0].pred;
+                    let last = pattern.0[pattern.len() - 1].pred;
+                    has_incident_pred(store, c.id, first) || has_incident_pred(store, c.id, last)
+                })
+            })
+        });
+    }
+    out
+}
+
+fn has_incident_pred(store: &Store, v: TermId, p: TermId) -> bool {
+    if store.term(v).is_iri() && !store.out_edges_with(v, p).is_empty() {
+        return true;
+    }
+    store.in_edges_with(v, p).next().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{EdgeCandidates, MappedQuery, VertexBinding, VertexCandidate};
+    use crate::sqg::{SemanticQueryGraph, SqgEdge, SqgVertex};
+    use gqa_rdf::{StoreBuilder, Term};
+
+    /// The Figure-1 graph: who—spouse—actor—starring—Philadelphia with
+    /// decoys.
+    fn running_store() -> Store {
+        let mut b = StoreBuilder::new();
+        b.add_iri("dbr:Melanie_Griffith", "dbo:spouse", "dbr:Antonio_Banderas");
+        b.add_iri("dbr:Antonio_Banderas", "rdf:type", "dbo:Actor");
+        b.add_iri("dbr:Tom_Hanks", "rdf:type", "dbo:Actor");
+        b.add_iri("dbr:Philadelphia_(film)", "dbo:starring", "dbr:Antonio_Banderas");
+        b.add_iri("dbr:Philadelphia_(film)", "dbo:starring", "dbr:Tom_Hanks");
+        b.add_iri("dbr:Philadelphia_(film)", "dbo:director", "dbr:Jonathan_Demme");
+        b.add_iri("dbr:Philadelphia", "dbo:country", "dbr:United_States");
+        b.add_iri("dbr:Allen_Iverson", "dbo:playForTeam", "dbr:Philadelphia_76ers");
+        b.add_obj("dbr:Antonio_Banderas", "dbo:height", Term::dec_lit(1.74));
+        b.build()
+    }
+
+    fn v(text: &str, is_wh: bool) -> SqgVertex {
+        SqgVertex { node: 0, text: text.into(), is_wh, is_target: is_wh, is_proper: false }
+    }
+
+    /// Hand-built mapped query for the running example with full ambiguity.
+    fn running_query(store: &Store) -> MappedQuery {
+        let spouse = store.expect_iri("dbo:spouse");
+        let starring = store.expect_iri("dbo:starring");
+        let play_for = store.expect_iri("dbo:playForTeam");
+        let director = store.expect_iri("dbo:director");
+        let actor_class = store.expect_iri("dbo:Actor");
+        let mut sqg = SemanticQueryGraph::default();
+        sqg.vertices.push(v("who", true));
+        sqg.vertices.push(v("actor", false));
+        sqg.vertices.push(v("philadelphia", false));
+        sqg.edges.push(SqgEdge { from: 0, to: 1, phrase: Some((0, "be married to".into())) });
+        sqg.edges.push(SqgEdge { from: 1, to: 2, phrase: Some((1, "play in".into())) });
+        MappedQuery {
+            sqg,
+            vertices: vec![
+                VertexBinding::Variable { classes: vec![] },
+                VertexBinding::Candidates(vec![VertexCandidate {
+                    id: actor_class,
+                    confidence: 1.0,
+                    is_class: true,
+                }]),
+                VertexBinding::Candidates(vec![
+                    VertexCandidate { id: store.expect_iri("dbr:Philadelphia"), confidence: 1.0, is_class: false },
+                    VertexCandidate { id: store.expect_iri("dbr:Philadelphia_(film)"), confidence: 1.0, is_class: false },
+                    VertexCandidate { id: store.expect_iri("dbr:Philadelphia_76ers"), confidence: 0.5, is_class: false },
+                ]),
+            ],
+            edges: vec![
+                EdgeCandidates { list: vec![(PathPattern::single(spouse), 1.0)], wildcard: None },
+                EdgeCandidates {
+                    list: vec![
+                        (PathPattern::single(starring), 0.9),
+                        (PathPattern::single(play_for), 0.5),
+                        (PathPattern::single(director), 0.45),
+                    ],
+                    wildcard: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn running_example_disambiguates_to_the_film() {
+        let store = running_store();
+        let schema = Schema::new(&store);
+        let q = running_query(&store);
+        let matches = find_matches(&store, &schema, &q, &MatcherConfig::default(), None);
+        assert_eq!(matches.len(), 1, "{matches:?}");
+        let m = &matches[0];
+        assert_eq!(m.bindings[0], store.expect_iri("dbr:Melanie_Griffith"));
+        assert_eq!(m.bindings[1], store.expect_iri("dbr:Antonio_Banderas"));
+        assert_eq!(m.bindings[2], store.expect_iri("dbr:Philadelphia_(film)"), "city & team are false alarms");
+        assert_eq!(m.edge_used[1].0.as_single_predicate(), Some(store.expect_iri("dbo:starring")));
+    }
+
+    #[test]
+    fn either_edge_orientation_satisfies() {
+        // spouse is stored Melanie→Antonio; query the other way round.
+        let store = running_store();
+        let schema = Schema::new(&store);
+        let spouse = store.expect_iri("dbo:spouse");
+        let mut sqg = SemanticQueryGraph::default();
+        sqg.vertices.push(v("who", true));
+        sqg.vertices.push(v("melanie", false));
+        sqg.edges.push(SqgEdge { from: 1, to: 0, phrase: Some((0, "be married to".into())) });
+        let q = MappedQuery {
+            sqg,
+            vertices: vec![
+                VertexBinding::Variable { classes: vec![] },
+                VertexBinding::Candidates(vec![VertexCandidate {
+                    id: store.expect_iri("dbr:Melanie_Griffith"),
+                    confidence: 1.0,
+                    is_class: false,
+                }]),
+            ],
+            edges: vec![EdgeCandidates { list: vec![(PathPattern::single(spouse), 1.0)], wildcard: None }],
+        };
+        let matches = find_matches(&store, &schema, &q, &MatcherConfig::default(), None);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].bindings[0], store.expect_iri("dbr:Antonio_Banderas"));
+    }
+
+    #[test]
+    fn wildcard_edges_accept_any_predicate_and_literals() {
+        let store = running_store();
+        let schema = Schema::new(&store);
+        let mut sqg = SemanticQueryGraph::default();
+        sqg.vertices.push(v("what", true));
+        sqg.vertices.push(v("antonio", false));
+        sqg.edges.push(SqgEdge { from: 1, to: 0, phrase: None });
+        let q = MappedQuery {
+            sqg,
+            vertices: vec![
+                VertexBinding::Variable { classes: vec![] },
+                VertexBinding::Candidates(vec![VertexCandidate {
+                    id: store.expect_iri("dbr:Antonio_Banderas"),
+                    confidence: 1.0,
+                    is_class: false,
+                }]),
+            ],
+            edges: vec![EdgeCandidates { list: vec![], wildcard: Some(0.3) }],
+        };
+        let matches = find_matches(&store, &schema, &q, &MatcherConfig::default(), None);
+        // Neighbors: Melanie (spouse, incoming), Actor (type), the film
+        // (starring, incoming), and the height literal.
+        assert!(matches.len() >= 4, "{matches:?}");
+        assert!(matches
+            .iter()
+            .any(|m| store.term(m.bindings[0]).is_literal()), "literal neighbor must be reachable");
+    }
+
+    #[test]
+    fn class_constrained_variable_filters_bindings() {
+        let store = running_store();
+        let schema = Schema::new(&store);
+        let starring = store.expect_iri("dbo:starring");
+        let mut sqg = SemanticQueryGraph::default();
+        sqg.vertices.push(v("actors", true));
+        sqg.vertices.push(v("philadelphia film", false));
+        sqg.edges.push(SqgEdge { from: 0, to: 1, phrase: Some((0, "play in".into())) });
+        let q = MappedQuery {
+            sqg,
+            vertices: vec![
+                VertexBinding::Variable {
+                    classes: vec![(store.expect_iri("dbo:Actor"), 1.0)],
+                },
+                VertexBinding::Candidates(vec![VertexCandidate {
+                    id: store.expect_iri("dbr:Philadelphia_(film)"),
+                    confidence: 1.0,
+                    is_class: false,
+                }]),
+            ],
+            edges: vec![EdgeCandidates { list: vec![(PathPattern::single(starring), 0.9)], wildcard: None }],
+        };
+        let matches = find_matches(&store, &schema, &q, &MatcherConfig::default(), None);
+        assert_eq!(matches.len(), 2, "{matches:?}");
+        let ids: Vec<_> = matches.iter().map(|m| m.bindings[0]).collect();
+        assert!(ids.contains(&store.expect_iri("dbr:Antonio_Banderas")));
+        assert!(ids.contains(&store.expect_iri("dbr:Tom_Hanks")));
+        assert!(!ids.contains(&store.expect_iri("dbr:Jonathan_Demme")), "Demme is not an actor");
+    }
+
+    #[test]
+    fn scores_order_matches_by_confidence_product() {
+        let store = running_store();
+        let schema = Schema::new(&store);
+        let q = running_query(&store);
+        let matches = find_matches(&store, &schema, &q, &MatcherConfig::default(), None);
+        for m in &matches {
+            let recomputed: f64 = m.vertex_conf.iter().map(|c| c.ln()).sum::<f64>()
+                + m.edge_used.iter().map(|(_, c)| c.ln()).sum::<f64>();
+            assert!((m.score - recomputed).abs() < 1e-9);
+            assert!(m.score <= 0.0, "log-probabilities are non-positive");
+        }
+    }
+
+    #[test]
+    fn neighborhood_pruning_removes_impossible_candidates() {
+        // Paper example: u5 (dbr:Philadelphia the city) has no starring /
+        // playForTeam / director edge, so pruning removes it from C_v3.
+        let store = running_store();
+        let q = running_query(&store);
+        let pruned = prune(&store, &q);
+        match &pruned.vertices[2] {
+            VertexBinding::Candidates(c) => {
+                assert_eq!(c.len(), 2, "{c:?}");
+                assert!(!c.iter().any(|x| x.id == store.expect_iri("dbr:Philadelphia")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn restriction_pins_a_vertex_to_one_candidate() {
+        let store = running_store();
+        let schema = Schema::new(&store);
+        let q = running_query(&store);
+        let bad = crate::mapping::VertexCandidate {
+            id: store.expect_iri("dbr:Philadelphia_76ers"),
+            confidence: 0.5,
+            is_class: false,
+        };
+        let matches = find_matches(&store, &schema, &q, &MatcherConfig::default(), Some((2, bad)));
+        assert!(matches.is_empty(), "no match goes through the 76ers");
+    }
+
+    #[test]
+    fn path_pattern_edges_match_multi_hop() {
+        let mut b = StoreBuilder::new();
+        b.add_iri("gp", "hasChild", "uncle");
+        b.add_iri("gp", "hasChild", "parent");
+        b.add_iri("parent", "hasChild", "nephew");
+        let store = b.build();
+        let schema = Schema::new(&store);
+        let child = store.expect_iri("hasChild");
+        let uncle_path = PathPattern(Box::new([
+            gqa_rdf::PathStep { pred: child, dir: gqa_rdf::Dir::Backward },
+            gqa_rdf::PathStep { pred: child, dir: gqa_rdf::Dir::Forward },
+            gqa_rdf::PathStep { pred: child, dir: gqa_rdf::Dir::Forward },
+        ]));
+        let mut sqg = SemanticQueryGraph::default();
+        sqg.vertices.push(v("who", true));
+        sqg.vertices.push(v("nephew", false));
+        sqg.edges.push(SqgEdge { from: 0, to: 1, phrase: Some((0, "uncle of".into())) });
+        let q = MappedQuery {
+            sqg,
+            vertices: vec![
+                VertexBinding::Variable { classes: vec![] },
+                VertexBinding::Candidates(vec![VertexCandidate {
+                    id: store.expect_iri("nephew"),
+                    confidence: 1.0,
+                    is_class: false,
+                }]),
+            ],
+            edges: vec![EdgeCandidates { list: vec![(uncle_path, 0.8)], wildcard: None }],
+        };
+        let matches = find_matches(&store, &schema, &q, &MatcherConfig::default(), None);
+        assert_eq!(matches.len(), 1, "{matches:?}");
+        assert_eq!(matches[0].bindings[0], store.expect_iri("uncle"));
+    }
+
+    #[test]
+    fn empty_query_has_no_matches() {
+        let store = running_store();
+        let schema = Schema::new(&store);
+        let q = MappedQuery { sqg: SemanticQueryGraph::default(), vertices: vec![], edges: vec![] };
+        assert!(find_matches(&store, &schema, &q, &MatcherConfig::default(), None).is_empty());
+    }
+}

@@ -1,0 +1,493 @@
+//! The end-to-end pipeline: question in, answers out.
+//!
+//! Mirrors the paper's two online stages (§2.2): **question understanding**
+//! (dependency parse → relation extraction → `Q^S`) and **query
+//! evaluation** (phrase mapping → top-k subgraph matching → answers /
+//! SPARQL). Both stages are timed separately because Figure 6 plots them
+//! separately.
+
+use crate::answer::{answers_from_matches, Answer};
+use crate::arguments::{find_arguments, ArgumentRules};
+use crate::coref;
+use crate::embedding::find_embeddings;
+use crate::mapping::{map_query, LiteralIndex, MappedQuery, MappingError, MappingOptions};
+use crate::matcher::{Match, MatcherConfig};
+use crate::semrel::SemanticRelation;
+use crate::sparql_gen::sparql_of_matches;
+use crate::sqg::{self, SemanticQueryGraph, SqgOptions};
+use crate::topk::{top_k, TaStats};
+use crate::aggregates;
+use gqa_linker::Linker;
+use gqa_nlp::question::{Aggregation, AnswerShape, QuestionAnalysis};
+use gqa_nlp::{DependencyParser, DepTree};
+use gqa_paraphrase::dict::ParaphraseDict;
+use gqa_rdf::schema::Schema;
+use gqa_rdf::Store;
+use std::time::{Duration, Instant};
+
+/// Pipeline configuration. Defaults reproduce the paper's setup
+/// (k = 10, all argument rules on, aggregation extension off).
+#[derive(Clone, Debug)]
+pub struct GAnswerConfig {
+    /// Number of top matches to keep (paper: k = 10).
+    pub top_k: usize,
+    /// The §4.1.2 heuristic rules (Exp 4 ablation).
+    pub rules: ArgumentRules,
+    /// Implicit wildcard edges in `Q^S` construction.
+    pub implicit_edges: bool,
+    /// Neighborhood pruning (§4.2.2 ablation).
+    pub neighborhood_pruning: bool,
+    /// Answer aggregation questions (future-work extension; off = paper).
+    pub enable_aggregates: bool,
+    /// Phrase-mapping options.
+    pub mapping: MappingOptions,
+    /// Matcher limits.
+    pub matcher: MatcherConfig,
+    /// Cap on linker candidates per mention (DBpedia Lookup returns a
+    /// bounded list too).
+    pub max_link_candidates: usize,
+}
+
+impl Default for GAnswerConfig {
+    fn default() -> Self {
+        GAnswerConfig {
+            top_k: 10,
+            rules: ArgumentRules::all(),
+            implicit_edges: true,
+            neighborhood_pruning: true,
+            enable_aggregates: false,
+            mapping: MappingOptions::default(),
+            matcher: MatcherConfig::default(),
+            max_link_candidates: 8,
+        }
+    }
+}
+
+/// Why a question could not be answered — the Table-10 taxonomy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Failure {
+    /// The question produced no parsable tokens.
+    Parse,
+    /// A mention could not be linked to the graph (Table 10 reason 1).
+    EntityLinking(String),
+    /// No semantic relation could be extracted or mapped (reason 2).
+    RelationExtraction(String),
+    /// Aggregation needed but the extension is disabled (reason 3).
+    Aggregation,
+    /// Everything mapped but no subgraph match exists ("others").
+    NoMatch,
+}
+
+/// The result of answering one question.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Ranked distinct answers (empty for boolean questions).
+    pub answers: Vec<Answer>,
+    /// Boolean verdict for yes/no questions.
+    pub boolean: Option<bool>,
+    /// Count for "how many" questions (aggregates extension).
+    pub count: Option<usize>,
+    /// The top-k matches.
+    pub matches: Vec<Match>,
+    /// The semantic query graph, when understanding succeeded.
+    pub sqg: Option<SemanticQueryGraph>,
+    /// The extracted semantic relations.
+    pub relations: Vec<SemanticRelation>,
+    /// Top-k SPARQL queries generated from the matches.
+    pub sparql: Vec<String>,
+    /// Failure reason, if unanswered.
+    pub failure: Option<Failure>,
+    /// Question-understanding wall time (Figure 6's first series).
+    pub understanding_time: Duration,
+    /// Query-evaluation wall time.
+    pub evaluation_time: Duration,
+    /// Top-k search instrumentation.
+    pub ta_stats: TaStats,
+}
+
+impl Response {
+    fn failed(failure: Failure, understanding_time: Duration, evaluation_time: Duration) -> Self {
+        Response {
+            answers: Vec::new(),
+            boolean: None,
+            count: None,
+            matches: Vec::new(),
+            sqg: None,
+            relations: Vec::new(),
+            sparql: Vec::new(),
+            failure: Some(failure),
+            understanding_time,
+            evaluation_time,
+            ta_stats: TaStats::default(),
+        }
+    }
+
+    /// Total response time (both stages).
+    pub fn total_time(&self) -> Duration {
+        self.understanding_time + self.evaluation_time
+    }
+
+    /// Convenience: answer texts.
+    pub fn texts(&self) -> Vec<&str> {
+        self.answers.iter().map(|a| a.text.as_str()).collect()
+    }
+}
+
+/// Result of the question-understanding stage alone (exposed for the
+/// Figure-6 / complexity benchmarks).
+#[derive(Clone, Debug)]
+pub struct Understanding {
+    /// The dependency tree.
+    pub tree: DepTree,
+    /// Question-level analysis.
+    pub analysis: QuestionAnalysis,
+    /// Extracted, coreference-resolved semantic relations.
+    pub relations: Vec<SemanticRelation>,
+    /// The semantic query graph.
+    pub sqg: SemanticQueryGraph,
+}
+
+/// The graph data-driven RDF Q/A system.
+pub struct GAnswer<'s> {
+    store: &'s Store,
+    schema: Schema,
+    linker: Linker,
+    literals: LiteralIndex,
+    dict: ParaphraseDict,
+    parser: DependencyParser,
+    /// Configuration (public for ablation experiments).
+    pub config: GAnswerConfig,
+}
+
+impl<'s> GAnswer<'s> {
+    /// Build the system over a store with a mined paraphrase dictionary.
+    pub fn new(store: &'s Store, dict: ParaphraseDict, config: GAnswerConfig) -> Self {
+        let schema = Schema::new(store);
+        let mut linker = Linker::new(store, &schema);
+        linker.set_max_candidates(config.max_link_candidates);
+        let literals = LiteralIndex::new(store);
+        GAnswer { store, schema, linker, literals, dict, parser: DependencyParser::new(), config }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Store {
+        self.store
+    }
+
+    /// The schema view.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The paraphrase dictionary.
+    pub fn dict(&self) -> &ParaphraseDict {
+        &self.dict
+    }
+
+    /// Stage 1 — question understanding (§4.1): dependency parse, relation
+    /// extraction, coreference, `Q^S` construction.
+    pub fn understand(&self, question: &str) -> Option<Understanding> {
+        let tree = self.parser.parse(question)?;
+        let analysis = QuestionAnalysis::of(&tree);
+        let embeddings = find_embeddings(&tree, &self.dict);
+        let mut relations: Vec<SemanticRelation> = embeddings
+            .iter()
+            .filter_map(|e| find_arguments(&tree, e, self.config.rules))
+            .collect();
+        coref::resolve(&tree, &mut relations);
+        let sqg = sqg::build(
+            &tree,
+            &relations,
+            &analysis,
+            SqgOptions { implicit_edges: self.config.implicit_edges },
+        );
+        Some(Understanding { tree, analysis, relations, sqg })
+    }
+
+    /// Stage 2 — phrase mapping (§4.2.1).
+    pub fn map(&self, sqg: &SemanticQueryGraph) -> Result<MappedQuery, MappingError> {
+        map_query(sqg, &self.linker, &self.literals, &self.dict, &self.config.mapping)
+    }
+
+    /// Phrase mapping with extra nodes protected from the implicit-edge
+    /// drop (used by the comparison extension, whose measured noun is
+    /// deliberately unlinkable).
+    pub fn map_protecting(
+        &self,
+        sqg: &SemanticQueryGraph,
+        protected_nodes: &[usize],
+    ) -> Result<MappedQuery, MappingError> {
+        let mut opts = self.config.mapping.clone();
+        opts.protected_nodes.extend_from_slice(protected_nodes);
+        map_query(sqg, &self.linker, &self.literals, &self.dict, &opts)
+    }
+
+    /// Stage 2 — top-k evaluation (§4.2.2).
+    pub fn evaluate(&self, mapped: &MappedQuery) -> (Vec<Match>, TaStats) {
+        let mcfg = MatcherConfig {
+            neighborhood_pruning: self.config.neighborhood_pruning,
+            ..self.config.matcher
+        };
+        top_k(self.store, &self.schema, mapped, &mcfg, self.config.top_k)
+    }
+
+    /// Answer a natural-language question end to end.
+    pub fn answer(&self, question: &str) -> Response {
+        let t0 = Instant::now();
+        let Some(u) = self.understand(question) else {
+            return Response::failed(Failure::Parse, t0.elapsed(), Duration::ZERO);
+        };
+
+        // Aggregation gate (paper behaviour: these fail; extension: handled
+        // after matching). A superlative *inside* a relation-phrase
+        // embedding is not an aggregation operator — "the largest city in
+        // Australia" maps to ⟨largestCity⟩ directly.
+        let aggregation = match u.analysis.aggregation {
+            Some(Aggregation::Superlative(node))
+                if u.relations.iter().any(|r| r.embedding.contains(&node)) =>
+            {
+                None
+            }
+            other => other,
+        };
+        if aggregation.is_some() && !self.config.enable_aggregates {
+            return Response::failed(Failure::Aggregation, t0.elapsed(), Duration::ZERO);
+        }
+        let understanding_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let protected: Vec<usize> = match aggregation {
+            Some(Aggregation::Comparison { node, .. }) if self.config.enable_aggregates => vec![node],
+            _ => Vec::new(),
+        };
+        let mapped = match self.map_protecting(&u.sqg, &protected) {
+            Ok(m) => m,
+            Err(MappingError::UnlinkableMention { text, .. }) => {
+                return Response::failed(Failure::EntityLinking(text), understanding_time, t1.elapsed());
+            }
+            Err(MappingError::UnknownRelation { phrase, .. }) => {
+                return Response::failed(Failure::RelationExtraction(phrase), understanding_time, t1.elapsed());
+            }
+        };
+        let (mut matches, ta_stats) = self.evaluate(&mapped);
+
+        // Aggregates extension.
+        let mut count_result = None;
+        if self.config.enable_aggregates {
+            let target = mapped.sqg.target().unwrap_or(0);
+            match aggregation {
+                Some(Aggregation::Count) => {
+                    count_result = Some(aggregates::count(&matches, target));
+                }
+                Some(Aggregation::Superlative(node)) => {
+                    // Periphrastic superlatives carry the gradable adjective
+                    // in the next token ("the *most populous* city").
+                    let adj = match u.tree.token(node).lower.as_str() {
+                        m @ ("most" | "least") if node + 1 < u.tree.len() => {
+                            format!("{m} {}", u.tree.token(node + 1).lemma)
+                        }
+                        other => other.to_owned(),
+                    };
+                    match aggregates::superlative(self.store, &matches, target, &adj) {
+                        Some(kept) => matches = kept,
+                        None => {
+                            return Response::failed(
+                                Failure::Aggregation,
+                                understanding_time,
+                                t1.elapsed(),
+                            )
+                        }
+                    }
+                }
+                Some(Aggregation::Comparison { node, greater, value }) => {
+                    // The measured noun must be a vertex of Q^S (the
+                    // possessive-have rule makes it one).
+                    match mapped.sqg.vertices.iter().position(|v| v.node == node) {
+                        Some(vertex) => {
+                            matches = aggregates::comparison(self.store, &matches, vertex, greater, value);
+                        }
+                        None => {
+                            return Response::failed(
+                                Failure::Aggregation,
+                                understanding_time,
+                                t1.elapsed(),
+                            )
+                        }
+                    }
+                }
+                None => {}
+            }
+        }
+
+        let target = mapped.sqg.target().unwrap_or(0);
+        let is_boolean = u.analysis.shape == AnswerShape::Boolean;
+        if matches.is_empty() && !is_boolean && count_result.is_none() {
+            let mut r = Response::failed(Failure::NoMatch, understanding_time, t1.elapsed());
+            r.sqg = Some(u.sqg);
+            r.relations = u.relations;
+            r.ta_stats = ta_stats;
+            return r;
+        }
+
+        // Answers come from the best-scoring match group (ties included):
+        // lower-ranked matches use weaker candidate mappings and exist for
+        // the top-k SPARQL output, not the answer set.
+        let answers = if is_boolean {
+            Vec::new()
+        } else {
+            let best = matches.first().map(|m| m.score).unwrap_or(f64::NEG_INFINITY);
+            let tied: Vec<Match> =
+                matches.iter().filter(|m| m.score >= best - 1e-9).cloned().collect();
+            answers_from_matches(self.store, &tied, target)
+        };
+        let sparql = sparql_of_matches(self.store, &mapped, &matches, target);
+        Response {
+            answers,
+            boolean: is_boolean.then_some(!matches.is_empty()),
+            count: count_result,
+            matches,
+            sqg: Some(mapped.sqg.clone()),
+            relations: u.relations,
+            sparql,
+            failure: None,
+            understanding_time,
+            evaluation_time: t1.elapsed(),
+            ta_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_datagen::patty::{curated_literal_mappings, mini_phrase_dataset};
+    use gqa_datagen::minidbp::mini_dbpedia;
+    use gqa_paraphrase::dict::ParaMapping;
+    use gqa_paraphrase::miner::{mine, MinerConfig};
+    use gqa_rdf::PathPattern;
+
+    fn system(store: &Store) -> GAnswer<'_> {
+        let mut dict = mine(store, &mini_phrase_dataset(), &MinerConfig::default());
+        for (phrase, pred) in curated_literal_mappings() {
+            if let Some(p) = store.iri(pred) {
+                dict.insert(
+                    phrase.to_owned(),
+                    vec![ParaMapping { path: PathPattern::single(p), tfidf: 1.0, confidence: 1.0 }],
+                );
+            }
+        }
+        GAnswer::new(store, dict, GAnswerConfig::default())
+    }
+
+    #[test]
+    fn running_example_end_to_end() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let r = sys.answer("Who was married to an actor that played in Philadelphia?");
+        assert!(r.failure.is_none(), "{:?}", r.failure);
+        assert_eq!(r.texts(), vec!["Melanie Griffith"], "{:?}", r.answers);
+        assert!(!r.sparql.is_empty());
+    }
+
+    #[test]
+    fn copular_question() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let r = sys.answer("Who is the mayor of Berlin?");
+        assert_eq!(r.texts(), vec!["Klaus Wowereit"], "{:?}", r.failure);
+    }
+
+    #[test]
+    fn boolean_question_true_and_false() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let yes = sys.answer("Is Michelle Obama the wife of Barack Obama?");
+        assert_eq!(yes.boolean, Some(true), "{:?}", yes.failure);
+        let no = sys.answer("Is Melanie Griffith the wife of Barack Obama?");
+        assert_eq!(no.boolean, Some(false), "{:?}", no.failure);
+    }
+
+    #[test]
+    fn predicate_path_question() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let r = sys.answer("Who is the uncle of John F. Kennedy, Jr.?");
+        assert!(r.failure.is_none(), "{:?}", r.failure);
+        let mut texts = r.texts();
+        texts.sort_unstable();
+        assert_eq!(texts, vec!["Robert F. Kennedy", "Ted Kennedy"], "{:?}", r.answers);
+    }
+
+    #[test]
+    fn literal_valued_question() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let r = sys.answer("How tall is Michael Jordan?");
+        assert_eq!(r.texts(), vec!["1.98"], "{:?}", r.failure);
+    }
+
+    #[test]
+    fn entity_linking_failure_is_reported() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let r = sys.answer("In which UK city are the headquarters of the MI6?");
+        assert!(
+            matches!(r.failure, Some(Failure::EntityLinking(_)) | Some(Failure::NoMatch)),
+            "{:?}",
+            r.failure
+        );
+        assert!(r.answers.is_empty());
+    }
+
+    #[test]
+    fn aggregation_fails_without_extension_and_works_with_it() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let r = sys.answer("Who is the youngest player in the Premier League?");
+        assert_eq!(r.failure, Some(Failure::Aggregation));
+
+        let mut sys2 = system(&store);
+        sys2.config.enable_aggregates = true;
+        let r2 = sys2.answer("Who is the youngest player in the Premier League?");
+        assert!(r2.failure.is_none(), "{:?}", r2.failure);
+        assert_eq!(r2.texts(), vec!["Raheem Sterling"], "{:?}", r2.answers);
+    }
+
+    #[test]
+    fn count_questions_with_extension() {
+        let store = mini_dbpedia();
+        let mut_dict_sys = {
+            let mut s = system(&store);
+            s.config.enable_aggregates = true;
+            s
+        };
+        let r = mut_dict_sys.answer("How many companies are in Munich?");
+        assert_eq!(r.count, Some(3), "{:?}", r.failure);
+    }
+
+    #[test]
+    fn imperative_with_class_constraint() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let r = sys.answer("Give me all cars that are produced in Germany.");
+        let mut texts = r.texts();
+        texts.sort_unstable();
+        assert_eq!(texts, vec!["BMW 3 Series", "Volkswagen Golf"], "{:?}", r.failure);
+    }
+
+    #[test]
+    fn implicit_edge_question() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let r = sys.answer("Give me all companies in Munich.");
+        assert_eq!(r.answers.len(), 3, "{:?} {:?}", r.failure, r.answers);
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let r = sys.answer("Who is the mayor of Berlin?");
+        assert!(r.total_time() >= r.understanding_time);
+    }
+}

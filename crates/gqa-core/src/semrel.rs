@@ -1,0 +1,89 @@
+//! Semantic relations (Definition 1): `⟨rel, arg1, arg2⟩`.
+
+use gqa_nlp::tree::DepTree;
+
+/// An argument of a semantic relation: a dependency-tree node plus its
+/// rendered mention text (the lemmatized noun phrase headed there).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Argument {
+    /// The head node in the dependency tree.
+    pub node: usize,
+    /// The mention text used for entity linking (lemmas of the NP tokens).
+    pub text: String,
+}
+
+/// One extracted semantic relation (Definition 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SemanticRelation {
+    /// The relation phrase text as it appears in the paraphrase dictionary.
+    pub phrase: String,
+    /// Dictionary phrase id.
+    pub phrase_id: usize,
+    /// Nodes of the phrase's embedding subtree in `Y` (Definition 5).
+    pub embedding: Vec<usize>,
+    /// First argument.
+    pub arg1: Argument,
+    /// Second argument.
+    pub arg2: Argument,
+}
+
+/// Render the mention text for an argument node: the lemmas of the noun
+/// phrase headed at `node` (wh-words render as their lower form).
+pub fn argument_text(tree: &DepTree, node: usize) -> String {
+    if tree.pos(node).is_wh() {
+        return tree.token(node).lower.clone();
+    }
+    // NP-internal subtree in sentence order, lemmatized.
+    let mut nodes: Vec<usize> = vec![node];
+    let mut stack = vec![node];
+    while let Some(x) = stack.pop() {
+        for c in tree.children(x) {
+            let superlative = tree.pos(c) == gqa_nlp::Pos::Jjs;
+            if !superlative
+                && matches!(
+                    tree.rels[c],
+                    gqa_nlp::DepRel::Nn | gqa_nlp::DepRel::Amod | gqa_nlp::DepRel::Num
+                )
+            {
+                nodes.push(c);
+                stack.push(c);
+            }
+        }
+    }
+    nodes.sort_unstable();
+    let words: Vec<&str> = nodes.iter().map(|&n| tree.token(n).lemma.as_str()).collect();
+    words.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_nlp::parser::DependencyParser;
+
+    #[test]
+    fn argument_text_lemmatizes_noun_phrases() {
+        let t = DependencyParser::new().parse("Give me all cars that are produced in Germany.").unwrap();
+        let cars = t.tokens.iter().position(|x| x.lower == "cars").unwrap();
+        assert_eq!(argument_text(&t, cars), "car");
+        let germany = t.tokens.iter().position(|x| x.lower == "germany").unwrap();
+        assert_eq!(argument_text(&t, germany), "germany");
+    }
+
+    #[test]
+    fn argument_text_keeps_multiword_names() {
+        let t = DependencyParser::new().parse("Who was the father of Queen Elizabeth II?").unwrap();
+        let head = t.tokens.iter().position(|x| x.text == "II").map(|_| ()).and_then(|_| {
+            // The NP head is the last noun of the span.
+            t.tokens.iter().rposition(|x| x.text == "II" || x.text == "Elizabeth")
+        });
+        let head = head.unwrap();
+        let text = argument_text(&t, head);
+        assert!(text.contains("elizabeth"), "{text}");
+    }
+
+    #[test]
+    fn wh_argument_is_its_own_text() {
+        let t = DependencyParser::new().parse("Who developed Minecraft?").unwrap();
+        assert_eq!(argument_text(&t, 0), "who");
+    }
+}

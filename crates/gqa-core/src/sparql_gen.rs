@@ -1,0 +1,237 @@
+//! Generating SPARQL from top-k matches (Algorithm 3's deliverable:
+//! "Generating Top-k SPARQL Queries").
+//!
+//! Every match fully binds `Q^S`, so its SPARQL is determined: variable
+//! vertices stay variables, fixed vertices become the matched constants,
+//! and each edge expands to the triple chain of the predicate path that
+//! satisfied it (intermediate path vertices become fresh variables). The
+//! resulting queries are executable on `gqa-sparql` and return exactly the
+//! match's answer — the tests verify this round trip.
+
+use crate::mapping::{MappedQuery, VertexBinding};
+use crate::matcher::Match;
+use gqa_rdf::paths::{connects, Dir};
+use gqa_rdf::{Store, TermId};
+use gqa_sparql::ast::{Query, QueryForm, TermAst, TriplePatternAst};
+
+/// Generate the SPARQL query of one match. `target` is the projected
+/// vertex; when the target vertex is not a variable (boolean questions)
+/// an ASK query is emitted.
+pub fn sparql_of_match(store: &Store, q: &MappedQuery, m: &Match, target: usize) -> Query {
+    let var_name = |vi: usize| format!("v{vi}");
+    let node_ast = |vi: usize| -> TermAst {
+        if q.vertices[vi].is_variable() {
+            TermAst::Var(var_name(vi))
+        } else {
+            term_ast(store, m.bindings[vi])
+        }
+    };
+
+    let mut patterns: Vec<TriplePatternAst> = Vec::new();
+    let mut fresh = 0usize;
+    for (ei, e) in q.sqg.edges.iter().enumerate() {
+        let (pattern, _) = &m.edge_used[ei];
+        let a = m.bindings[e.from];
+        let b = m.bindings[e.to];
+        // Find a concrete witness path from `a` to `b`; the pattern may
+        // apply as mined or reversed (the matcher accepts either), and the
+        // witness's per-step directions pin each triple's orientation.
+        let witness = connects(store, a, b, pattern)
+            .or_else(|| connects(store, a, b, &pattern.reversed()))
+            .or_else(|| {
+                // Single-step edges with a literal endpoint: synthesize the
+                // witness directly (literals cannot seed `connects`).
+                if pattern.len() == 1 {
+                    let p = pattern.0[0].pred;
+                    let dir = if store.contains(gqa_rdf::Triple::new(a, p, b)) {
+                        Dir::Forward
+                    } else if store.contains(gqa_rdf::Triple::new(b, p, a)) {
+                        Dir::Backward
+                    } else {
+                        return None;
+                    };
+                    return Some(gqa_rdf::paths::SimplePath {
+                        vertices: vec![a, b],
+                        steps: vec![gqa_rdf::PathStep { pred: p, dir }],
+                    });
+                }
+                None
+            });
+        let Some(w) = witness else { continue };
+        // Endpoint vertex asts; interior nodes become fresh variables.
+        let len = w.vertices.len();
+        let ast_of = |k: usize, fresh: &mut usize| -> TermAst {
+            if k == 0 {
+                node_ast(e.from)
+            } else if k == len - 1 {
+                node_ast(e.to)
+            } else {
+                *fresh += 1;
+                TermAst::Var(format!("m{ei}_{fresh}"))
+            }
+        };
+        let mut prev = ast_of(0, &mut fresh);
+        for (k, step) in w.steps.iter().enumerate() {
+            let next = ast_of(k + 1, &mut fresh);
+            let pred = TermAst::Iri(store.term(step.pred).as_iri().unwrap_or("?").to_owned());
+            let (s, o) = match step.dir {
+                Dir::Forward => (prev.clone(), next.clone()),
+                Dir::Backward => (next.clone(), prev.clone()),
+            };
+            patterns.push(TriplePatternAst { s, p: pred, o });
+            prev = next;
+        }
+    }
+
+    let form = if q.vertices.get(target).is_some_and(VertexBinding::is_variable) {
+        QueryForm::Select { vars: vec![var_name(target)], distinct: true }
+    } else {
+        QueryForm::Ask
+    };
+    Query { form, patterns, union_groups: Vec::new(), filters: Vec::new(), order_by: None, limit: None, offset: 0 }
+}
+
+/// The SPARQL queries of the top-k matches, deduplicated.
+pub fn sparql_of_matches(store: &Store, q: &MappedQuery, matches: &[Match], target: usize) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for m in matches {
+        let s = sparql_of_match(store, q, m, target).to_string();
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+fn term_ast(store: &Store, id: TermId) -> TermAst {
+    match store.term(id) {
+        gqa_rdf::Term::Iri(s) => TermAst::Iri(s.to_string()),
+        lit => TermAst::Literal(lit.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{EdgeCandidates, VertexCandidate};
+    use crate::matcher::{find_matches, MatcherConfig};
+    use crate::sqg::{SemanticQueryGraph, SqgEdge, SqgVertex};
+    use gqa_rdf::schema::Schema;
+    use gqa_rdf::{PathPattern, StoreBuilder};
+
+    fn v(text: &str, is_wh: bool) -> SqgVertex {
+        SqgVertex { node: 0, text: text.into(), is_wh, is_target: is_wh, is_proper: false }
+    }
+
+    #[test]
+    fn generated_sparql_reproduces_the_answer() {
+        let mut b = StoreBuilder::new();
+        b.add_iri("dbr:Melanie_Griffith", "dbo:spouse", "dbr:Antonio_Banderas");
+        b.add_iri("dbr:Antonio_Banderas", "rdf:type", "dbo:Actor");
+        b.add_iri("dbr:Philadelphia_(film)", "dbo:starring", "dbr:Antonio_Banderas");
+        let store = b.build();
+        let schema = Schema::new(&store);
+        let spouse = store.expect_iri("dbo:spouse");
+        let starring = store.expect_iri("dbo:starring");
+
+        let mut sqg = SemanticQueryGraph::default();
+        sqg.vertices.push(v("who", true));
+        sqg.vertices.push(v("actor", false));
+        sqg.vertices.push(v("philadelphia", false));
+        sqg.edges.push(SqgEdge { from: 0, to: 1, phrase: Some((0, "be married to".into())) });
+        sqg.edges.push(SqgEdge { from: 1, to: 2, phrase: Some((1, "play in".into())) });
+        let q = MappedQuery {
+            sqg,
+            vertices: vec![
+                VertexBinding::Variable { classes: vec![] },
+                VertexBinding::Candidates(vec![VertexCandidate {
+                    id: store.expect_iri("dbo:Actor"),
+                    confidence: 1.0,
+                    is_class: true,
+                }]),
+                VertexBinding::Candidates(vec![VertexCandidate {
+                    id: store.expect_iri("dbr:Philadelphia_(film)"),
+                    confidence: 1.0,
+                    is_class: false,
+                }]),
+            ],
+            edges: vec![
+                EdgeCandidates { list: vec![(PathPattern::single(spouse), 1.0)], wildcard: None },
+                EdgeCandidates { list: vec![(PathPattern::single(starring), 0.9)], wildcard: None },
+            ],
+        };
+        let matches = find_matches(&store, &schema, &q, &MatcherConfig::default(), None);
+        assert_eq!(matches.len(), 1);
+        let sparqls = sparql_of_matches(&store, &q, &matches, 0);
+        assert_eq!(sparqls.len(), 1);
+        // Round trip through the SPARQL engine.
+        let rs = gqa_sparql::run(&store, &sparqls[0]).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], store.expect_iri("dbr:Melanie_Griffith"));
+    }
+
+    #[test]
+    fn path_edges_expand_to_triple_chains() {
+        let mut b = StoreBuilder::new();
+        b.add_iri("gp", "hasChild", "uncle");
+        b.add_iri("gp", "hasChild", "parent");
+        b.add_iri("parent", "hasChild", "nephew");
+        let store = b.build();
+        let schema = Schema::new(&store);
+        let child = store.expect_iri("hasChild");
+        let uncle_path = PathPattern(Box::new([
+            gqa_rdf::PathStep { pred: child, dir: Dir::Backward },
+            gqa_rdf::PathStep { pred: child, dir: Dir::Forward },
+            gqa_rdf::PathStep { pred: child, dir: Dir::Forward },
+        ]));
+        let mut sqg = SemanticQueryGraph::default();
+        sqg.vertices.push(v("who", true));
+        sqg.vertices.push(v("nephew", false));
+        sqg.edges.push(SqgEdge { from: 0, to: 1, phrase: Some((0, "uncle of".into())) });
+        let q = MappedQuery {
+            sqg,
+            vertices: vec![
+                VertexBinding::Variable { classes: vec![] },
+                VertexBinding::Candidates(vec![VertexCandidate {
+                    id: store.expect_iri("nephew"),
+                    confidence: 1.0,
+                    is_class: false,
+                }]),
+            ],
+            edges: vec![EdgeCandidates { list: vec![(uncle_path, 0.8)], wildcard: None }],
+        };
+        let matches = find_matches(&store, &schema, &q, &MatcherConfig::default(), None);
+        let sparqls = sparql_of_matches(&store, &q, &matches, 0);
+        assert_eq!(sparqls.len(), 1);
+        let text = &sparqls[0];
+        assert_eq!(text.matches("<hasChild>").count(), 3, "{text}");
+        let rs = gqa_sparql::run(&store, text).unwrap();
+        assert_eq!(rs.rows[0][0], store.expect_iri("uncle"));
+    }
+
+    #[test]
+    fn boolean_query_is_ask() {
+        let mut b = StoreBuilder::new();
+        b.add_iri("dbr:Barack", "dbo:spouse", "dbr:Michelle");
+        let store = b.build();
+        let schema = Schema::new(&store);
+        let spouse = store.expect_iri("dbo:spouse");
+        let mut sqg = SemanticQueryGraph::default();
+        sqg.vertices.push(SqgVertex { node: 0, text: "michelle".into(), is_wh: false, is_target: true, is_proper: true });
+        sqg.vertices.push(v("barack", false));
+        sqg.edges.push(SqgEdge { from: 0, to: 1, phrase: Some((0, "wife of".into())) });
+        let q = MappedQuery {
+            sqg,
+            vertices: vec![
+                VertexBinding::Candidates(vec![VertexCandidate { id: store.expect_iri("dbr:Michelle"), confidence: 1.0, is_class: false }]),
+                VertexBinding::Candidates(vec![VertexCandidate { id: store.expect_iri("dbr:Barack"), confidence: 1.0, is_class: false }]),
+            ],
+            edges: vec![EdgeCandidates { list: vec![(PathPattern::single(spouse), 1.0)], wildcard: None }],
+        };
+        let matches = find_matches(&store, &schema, &q, &MatcherConfig::default(), None);
+        assert_eq!(matches.len(), 1);
+        let sparql = sparql_of_match(&store, &q, &matches[0], 0).to_string();
+        assert!(sparql.starts_with("ASK"), "{sparql}");
+        assert_eq!(gqa_sparql::run(&store, &sparql).unwrap().boolean, Some(true));
+    }
+}

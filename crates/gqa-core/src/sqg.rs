@@ -1,0 +1,420 @@
+//! The semantic query graph `Q^S` (Definition 2).
+//!
+//! Vertices carry argument phrases, edges carry relation phrases; two
+//! relations sharing an argument (directly or through coreference) share
+//! the endpoint. Beyond the paper's letter, two pragmatic additions that
+//! its evaluation implies:
+//!
+//! * a **target-only fallback** — questions without any extractable
+//!   relation ("Give me all Argentine films.") still yield a one-vertex
+//!   graph for the answer variable;
+//! * **implicit edges** — a vertex's leftover prepositional or adjectival
+//!   modifiers that link to entities become unlabeled edges matched by any
+//!   predicate ("companies *in Munich*", "books *by Kerouac*", "*Argentine*
+//!   films"). They carry a fixed low confidence so labeled edges dominate
+//!   scores.
+
+use crate::semrel::{argument_text, SemanticRelation};
+use gqa_nlp::question::QuestionAnalysis;
+use gqa_nlp::tree::DepTree;
+use gqa_nlp::{DepRel, Pos};
+use std::fmt;
+
+/// A vertex of `Q^S`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SqgVertex {
+    /// Head node in the dependency tree.
+    pub node: usize,
+    /// Argument mention text (lemmatized NP).
+    pub text: String,
+    /// Is the argument a wh-word?
+    pub is_wh: bool,
+    /// Is this the answer variable?
+    pub is_target: bool,
+    /// Does the mention contain a proper noun? (drives the
+    /// unlinkable-mention failure policy)
+    pub is_proper: bool,
+}
+
+/// An edge of `Q^S`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SqgEdge {
+    /// Index of the first endpoint (the relation's arg1).
+    pub from: usize,
+    /// Index of the second endpoint (arg2).
+    pub to: usize,
+    /// The relation phrase `(dictionary id, text)`; `None` for an implicit
+    /// (wildcard) edge.
+    pub phrase: Option<(usize, String)>,
+}
+
+/// The semantic query graph.
+#[derive(Clone, Debug, Default)]
+pub struct SemanticQueryGraph {
+    /// Vertices.
+    pub vertices: Vec<SqgVertex>,
+    /// Edges.
+    pub edges: Vec<SqgEdge>,
+}
+
+impl SemanticQueryGraph {
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Index of the target vertex, if any.
+    pub fn target(&self) -> Option<usize> {
+        self.vertices.iter().position(|v| v.is_target)
+    }
+
+    /// Edges incident to vertex `i`.
+    pub fn incident(&self, i: usize) -> impl Iterator<Item = (usize, &SqgEdge)> {
+        self.edges.iter().enumerate().filter(move |(_, e)| e.from == i || e.to == i)
+    }
+
+    /// Is the graph connected? (On an empty graph: true.)
+    pub fn is_connected(&self) -> bool {
+        if self.vertices.len() <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.vertices.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for (_, e) in self.incident(v) {
+                let o = if e.from == v { e.to } else { e.from };
+                if !seen[o] {
+                    seen[o] = true;
+                    stack.push(o);
+                }
+            }
+        }
+        seen.into_iter().all(|x| x)
+    }
+}
+
+impl fmt::Display for SemanticQueryGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, v) in self.vertices.iter().enumerate() {
+            writeln!(
+                f,
+                "v{i}: {:?}{}{}",
+                v.text,
+                if v.is_wh { " [wh]" } else { "" },
+                if v.is_target { " [target]" } else { "" }
+            )?;
+        }
+        for e in &self.edges {
+            match &e.phrase {
+                Some((_, p)) => writeln!(f, "v{} --{:?}-- v{}", e.from, p, e.to)?,
+                None => writeln!(f, "v{} --*-- v{}", e.from, e.to)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Options for graph construction.
+#[derive(Clone, Copy, Debug)]
+pub struct SqgOptions {
+    /// Add implicit wildcard edges from leftover modifiers.
+    pub implicit_edges: bool,
+}
+
+impl Default for SqgOptions {
+    fn default() -> Self {
+        SqgOptions { implicit_edges: true }
+    }
+}
+
+/// Build `Q^S` from coreference-resolved semantic relations.
+pub fn build(
+    tree: &DepTree,
+    relations: &[SemanticRelation],
+    analysis: &QuestionAnalysis,
+    opts: SqgOptions,
+) -> SemanticQueryGraph {
+    let mut g = SemanticQueryGraph::default();
+
+    let vertex_of = |g: &mut SemanticQueryGraph, node: usize, text: &str| -> usize {
+        if let Some(i) = g.vertices.iter().position(|v| v.node == node) {
+            return i;
+        }
+        let is_wh = tree.pos(node).is_wh() && tree.token(node).lower != "that";
+        let span_has_proper = {
+            let mut has = tree.pos(node) == Pos::Nnp;
+            let mut stack = vec![node];
+            while let Some(x) = stack.pop() {
+                for c in tree.children(x) {
+                    if matches!(tree.rels[c], DepRel::Nn | DepRel::Amod | DepRel::Num) {
+                        has |= tree.pos(c) == Pos::Nnp;
+                        stack.push(c);
+                    }
+                }
+            }
+            has
+        };
+        g.vertices.push(SqgVertex {
+            node,
+            text: text.to_owned(),
+            is_wh,
+            is_target: false,
+            is_proper: span_has_proper,
+        });
+        g.vertices.len() - 1
+    };
+
+    // Edges from relations (deduplicated).
+    for r in relations {
+        let a = vertex_of(&mut g, r.arg1.node, &r.arg1.text);
+        let b = vertex_of(&mut g, r.arg2.node, &r.arg2.text);
+        if a == b {
+            continue;
+        }
+        let edge = SqgEdge { from: a, to: b, phrase: Some((r.phrase_id, r.phrase.clone())) };
+        if !g.edges.contains(&edge) {
+            g.edges.push(edge);
+        }
+    }
+
+    // Target: an existing vertex at the analysis target node, the wh
+    // vertex, or (fallback) a fresh vertex for the target node.
+    let covered_nodes: Vec<usize> = relations.iter().flat_map(|r| r.embedding.iter().copied()).collect();
+    let mut target_node = resolve_target_node(tree, analysis.target);
+    // Copular identity: a wh subject of a *nominal* root that no relation
+    // phrase covers corefers with that nominal ("Who is the youngest
+    // player …?" — the variable is "player"). Only applies when the wh
+    // node itself carries no relation edge.
+    if tree.pos(target_node).is_wh()
+        && tree.rels[target_node] == DepRel::Nsubj
+        && !g.vertices.iter().any(|v| v.node == target_node)
+    {
+        if let Some(parent) = tree.parent(target_node) {
+            if tree.pos(parent).is_noun() && !covered_nodes.contains(&parent) {
+                target_node = parent;
+            }
+        }
+    }
+    // Boolean questions have no answer variable: every vertex is a
+    // constant and the verdict is "does any match exist".
+    if analysis.shape != gqa_nlp::question::AnswerShape::Boolean {
+        let ti = g.vertices.iter().position(|v| v.node == target_node).or_else(|| {
+            g.vertices.iter().position(|v| v.is_wh)
+        });
+        match ti {
+            Some(i) => g.vertices[i].is_target = true,
+            None => {
+                let text = argument_text(tree, target_node);
+                let i = vertex_of(&mut g, target_node, &text);
+                g.vertices[i].is_target = true;
+            }
+        }
+    }
+
+    // Implicit wildcard edges from leftover modifiers of every vertex.
+    if opts.implicit_edges {
+        let covered = &covered_nodes;
+        for vi in 0..g.vertices.len() {
+            let node = g.vertices[vi].node;
+            // prep → pobj modifiers of the vertex itself…
+            let mut prep_sources = vec![node];
+            // …and of the clause head the vertex is subject of ("companies
+            // *are in Munich*", "launch pads *are operated by NASA*").
+            if matches!(tree.rels[node], DepRel::Nsubj | DepRel::Nsubjpass) {
+                if let Some(parent) = tree.parent(node) {
+                    if !covered.contains(&parent) {
+                        prep_sources.push(parent);
+                    }
+                }
+            }
+            let preps: Vec<usize> = prep_sources
+                .iter()
+                .flat_map(|&src| tree.children_via(src, DepRel::Prep))
+                .filter(|c| !covered.contains(c))
+                .collect();
+            for p in preps {
+                if let Some(obj) = tree.children_via(p, DepRel::Pobj).next() {
+                    add_implicit(&mut g, tree, vi, obj);
+                }
+            }
+            // Adjectival modifiers that might denote entities ("Argentine").
+            let amods: Vec<usize> = tree
+                .children_via(node, DepRel::Amod)
+                .filter(|&c| !covered.contains(&c) && tree.pos(c) == Pos::Jj)
+                .collect();
+            for a in amods {
+                add_implicit(&mut g, tree, vi, a);
+            }
+        }
+        // Possessive have: "How many children does X have?" — the object
+        // relates to the subject through *some* predicate. A comparative
+        // quantifier object ("more than 2000000 inhabitants") resolves to
+        // the measured noun behind its "than"-phrase.
+        if tree.lemma(tree.root) == "have" && !covered.contains(&tree.root) {
+            let resolve_quantity = |o: usize| -> usize {
+                if tree.pos(o).is_noun() {
+                    return o;
+                }
+                tree.children_via(o, DepRel::Prep)
+                    .flat_map(|p| tree.children_via(p, DepRel::Pobj))
+                    .find(|&q| tree.pos(q).is_noun())
+                    .unwrap_or(o)
+            };
+            let subj = tree.children_via(tree.root, DepRel::Nsubj).next();
+            let obj = tree.children_via(tree.root, DepRel::Dobj).next().map(resolve_quantity);
+            if let (Some(s), Some(o)) = (subj, obj) {
+                if let Some(ov) = g.vertices.iter().position(|v| v.node == o) {
+                    add_implicit(&mut g, tree, ov, s);
+                } else if let Some(sv) = g.vertices.iter().position(|v| v.node == s) {
+                    add_implicit(&mut g, tree, sv, o);
+                }
+            }
+        }
+    }
+
+    g
+}
+
+/// The analysis target may be a wh-determiner inside an NP or a relation
+/// word; normalize to the NP head where applicable.
+fn resolve_target_node(tree: &DepTree, target: usize) -> usize {
+    if tree.rels[target] == DepRel::Det {
+        return tree.parent(target).unwrap_or(target);
+    }
+    target
+}
+
+fn add_implicit(g: &mut SemanticQueryGraph, tree: &DepTree, from: usize, other_node: usize) {
+    // Existing vertex or a new one.
+    let to = match g.vertices.iter().position(|v| v.node == other_node) {
+        Some(i) => i,
+        None => {
+            let text = argument_text(tree, other_node);
+            g.vertices.push(SqgVertex {
+                node: other_node,
+                text,
+                is_wh: false,
+                is_target: false,
+                is_proper: tree.pos(other_node) == Pos::Nnp,
+            });
+            g.vertices.len() - 1
+        }
+    };
+    if to == from {
+        return;
+    }
+    // Skip if any edge already connects the pair.
+    let dup = g
+        .edges
+        .iter()
+        .any(|e| (e.from == from && e.to == to) || (e.from == to && e.to == from));
+    if !dup {
+        g.edges.push(SqgEdge { from, to, phrase: None });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arguments::{find_arguments, ArgumentRules};
+    use crate::coref;
+    use crate::embedding::find_embeddings;
+    use gqa_nlp::parser::DependencyParser;
+    use gqa_paraphrase::dict::{ParaMapping, ParaphraseDict};
+    use gqa_rdf::{PathPattern, TermId};
+
+    fn dict_with(phrases: &[&str]) -> ParaphraseDict {
+        let mut d = ParaphraseDict::new();
+        for (i, p) in phrases.iter().enumerate() {
+            d.insert(
+                (*p).to_owned(),
+                vec![ParaMapping { path: PathPattern::single(TermId(i as u32)), tfidf: 1.0, confidence: 1.0 }],
+            );
+        }
+        d
+    }
+
+    fn build_sqg(question: &str, phrases: &[&str]) -> SemanticQueryGraph {
+        let tree = DependencyParser::new().parse(question).unwrap();
+        let dict = dict_with(phrases);
+        let mut rels: Vec<_> = find_embeddings(&tree, &dict)
+            .iter()
+            .filter_map(|e| find_arguments(&tree, e, ArgumentRules::all()))
+            .collect();
+        coref::resolve(&tree, &mut rels);
+        let analysis = QuestionAnalysis::of(&tree);
+        build(&tree, &rels, &analysis, SqgOptions::default())
+    }
+
+    #[test]
+    fn running_example_is_a_path_of_three_vertices() {
+        // Figure 2(c): who — actor — Philadelphia.
+        let g = build_sqg(
+            "Who was married to an actor that played in Philadelphia?",
+            &["be married to", "play in"],
+        );
+        assert_eq!(g.len(), 3, "{g}");
+        assert_eq!(g.edges.len(), 2, "{g}");
+        assert!(g.is_connected(), "{g}");
+        let who = g.vertices.iter().position(|v| v.text == "who").unwrap();
+        assert!(g.vertices[who].is_target);
+        assert!(g.vertices[who].is_wh);
+        let actor = g.vertices.iter().position(|v| v.text == "actor").unwrap();
+        assert_eq!(g.incident(actor).count(), 2, "actor joins both relations");
+    }
+
+    #[test]
+    fn target_only_fallback_with_implicit_amod_edge() {
+        let g = build_sqg("Give me all Argentine films.", &[]);
+        assert_eq!(g.len(), 2, "{g}");
+        assert_eq!(g.edges.len(), 1);
+        assert!(g.edges[0].phrase.is_none(), "implicit edge");
+        let films = g.target().unwrap();
+        assert_eq!(g.vertices[films].text, "argentine film");
+    }
+
+    #[test]
+    fn implicit_prep_edge_for_bare_np_questions() {
+        let g = build_sqg("Give me all companies in Munich.", &[]);
+        assert_eq!(g.len(), 2, "{g}");
+        assert!(g.edges[0].phrase.is_none());
+        let munich = g.vertices.iter().find(|v| v.text == "munich").unwrap();
+        assert!(munich.is_proper);
+    }
+
+    #[test]
+    fn leftover_np_prep_adds_edge_alongside_relations() {
+        let g = build_sqg(
+            "Which books by Kerouac were published by Viking Press?",
+            &["be published by"],
+        );
+        // books —publish— Viking Press, books —*— Kerouac.
+        assert_eq!(g.len(), 3, "{g}");
+        assert_eq!(g.edges.len(), 2, "{g}");
+        assert_eq!(g.edges.iter().filter(|e| e.phrase.is_none()).count(), 1, "{g}");
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn boolean_question_has_no_wh_target() {
+        let g = build_sqg("Is Michelle Obama the wife of Barack Obama?", &["wife of"]);
+        assert_eq!(g.edges.len(), 1, "{g}");
+        // Both endpoints are proper mentions; no answer variable exists.
+        assert!(g.vertices.iter().all(|v| !v.is_wh));
+        assert!(g.target().is_none(), "{g}");
+    }
+
+    #[test]
+    fn display_renders() {
+        let g = build_sqg("Who is the mayor of Berlin?", &["mayor of"]);
+        let s = g.to_string();
+        assert!(s.contains("mayor of"), "{s}");
+        assert!(s.contains("[target]"), "{s}");
+    }
+}

@@ -1,0 +1,256 @@
+//! The TA-style top-k search (Algorithm 3).
+//!
+//! Candidate lists are sorted by descending confidence; one cursor per list
+//! advances in lock-step rounds. In round *d* the matcher is re-run with
+//! each cursor's vertex pinned to its *d*-th candidate (Algorithm 3 step 9:
+//! "perform an exploration based subgraph isomorphism algorithm from cursor
+//! c_j"), new matches update the running top-k threshold θ, and the
+//! Equation-3 upper bound over the current cursor entries decides early
+//! termination: once θ ≥ Upbound, no undiscovered match can displace the
+//! top-k.
+
+use crate::mapping::{MappedQuery, VertexBinding};
+use crate::matcher::{find_matches, prune, Match, MatcherConfig};
+use gqa_rdf::schema::Schema;
+use gqa_rdf::Store;
+use rustc_hash::FxHashSet;
+
+/// Instrumentation of one top-k run (ablation benches read this).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TaStats {
+    /// Cursor rounds executed.
+    pub rounds: usize,
+    /// Matcher invocations.
+    pub probes: usize,
+    /// Whether the threshold test fired before the lists were exhausted.
+    pub early_terminated: bool,
+}
+
+/// Find the top-k matches by score (Definition 6).
+pub fn top_k(
+    store: &Store,
+    schema: &Schema,
+    q: &MappedQuery,
+    matcher_cfg: &MatcherConfig,
+    k: usize,
+) -> (Vec<Match>, TaStats) {
+    let mut stats = TaStats::default();
+
+    // Neighborhood pruning runs ONCE, up front (§4.2.2): pruned candidates
+    // disappear from the cursor lists entirely, so the TA rounds never
+    // probe them. The per-probe matcher runs with pruning off.
+    let pruned_storage;
+    let q = if matcher_cfg.neighborhood_pruning {
+        pruned_storage = prune(store, q);
+        &pruned_storage
+    } else {
+        q
+    };
+    let matcher_cfg = &MatcherConfig { neighborhood_pruning: false, ..*matcher_cfg };
+
+    // Vertices that own a sorted candidate list (cursors live there).
+    let cursor_vertices: Vec<usize> = q
+        .vertices
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| match v {
+            VertexBinding::Candidates(c) if !c.is_empty() => Some(i),
+            _ => None,
+        })
+        .collect();
+
+    // Pure-variable queries: a single unrestricted run.
+    if cursor_vertices.is_empty() {
+        stats.probes = 1;
+        let mut ms = find_matches(store, schema, q, matcher_cfg, None);
+        dedup_scores_truncate(&mut ms, k);
+        return (ms, stats);
+    }
+
+    let list_len = |i: usize| match &q.vertices[i] {
+        VertexBinding::Candidates(c) => c.len(),
+        VertexBinding::Variable { .. } => 0,
+    };
+    let max_depth = cursor_vertices.iter().map(|&i| list_len(i)).max().unwrap_or(0);
+
+    let mut best: Vec<Match> = Vec::new();
+    let mut seen: FxHashSet<Vec<gqa_rdf::TermId>> = FxHashSet::default();
+
+    for d in 0..max_depth {
+        stats.rounds += 1;
+        for &vi in &cursor_vertices {
+            let VertexBinding::Candidates(list) = &q.vertices[vi] else { unreachable!() };
+            let Some(cand) = list.get(d) else { continue };
+            stats.probes += 1;
+            let found = find_matches(store, schema, q, matcher_cfg, Some((vi, *cand)));
+            for m in found {
+                if seen.insert(m.bindings.clone()) {
+                    best.push(m);
+                }
+            }
+        }
+        best.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Threshold θ: the k-th best score so far (−∞ until k found).
+        let theta = if best.len() >= k { best[k - 1].score } else { f64::NEG_INFINITY };
+
+        // Equation 3: bound for any match not yet guaranteed discovered —
+        // every cursor list contributes the confidence at the *next*
+        // position, free variables contribute 1, and every edge its best
+        // candidate (edge lists are consulted in best-first order inside
+        // the matcher, so their cursor equivalently stays at the head).
+        let mut upbound = 0.0f64;
+        for (i, v) in q.vertices.iter().enumerate() {
+            if let VertexBinding::Candidates(list) = v {
+                let next = list.get(d + 1).or_else(|| list.last());
+                if let Some(c) = next {
+                    upbound += c.confidence.max(1e-9).ln();
+                }
+                let _ = i;
+            }
+        }
+        for e in &q.edges {
+            let best_conf = e
+                .wildcard
+                .or_else(|| e.list.first().map(|(_, c)| *c))
+                .unwrap_or(1.0);
+            upbound += best_conf.max(1e-9).ln();
+        }
+
+        let exhausted = d + 1 >= max_depth;
+        // Strict comparison: undiscovered matches *tying* the k-th score
+        // must still be collected (footnote 4 returns all equal-score
+        // matches), so we only stop when they cannot even tie.
+        if theta > upbound && !exhausted {
+            stats.early_terminated = true;
+            break;
+        }
+    }
+
+    dedup_scores_truncate(&mut best, k);
+    (best, stats)
+}
+
+/// Keep the top-k by score. Matches sharing the k-th score are all kept
+/// (the paper's footnote 4: equal-score matches count once).
+fn dedup_scores_truncate(ms: &mut Vec<Match>, k: usize) {
+    ms.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    if ms.len() > k {
+        let kth = ms[k - 1].score;
+        let cut = ms.iter().position(|m| m.score < kth - 1e-12).unwrap_or(ms.len());
+        ms.truncate(cut.max(k));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{EdgeCandidates, VertexCandidate};
+    use crate::sqg::{SemanticQueryGraph, SqgEdge, SqgVertex};
+    use gqa_rdf::{PathPattern, StoreBuilder};
+
+    fn v(text: &str, is_wh: bool) -> SqgVertex {
+        SqgVertex { node: 0, text: text.into(), is_wh, is_target: is_wh, is_proper: false }
+    }
+
+    /// A store with many spouse pairs so top-k has something to rank.
+    fn store_with_pairs(n: usize) -> gqa_rdf::Store {
+        let mut b = StoreBuilder::new();
+        for i in 0..n {
+            b.add_iri(&format!("a{i}"), "spouse", &format!("b{i}"));
+        }
+        b.build()
+    }
+
+    fn query(store: &gqa_rdf::Store, n: usize) -> MappedQuery {
+        let spouse = store.expect_iri("spouse");
+        let mut sqg = SemanticQueryGraph::default();
+        sqg.vertices.push(v("who", true));
+        sqg.vertices.push(v("b", false));
+        sqg.edges.push(SqgEdge { from: 0, to: 1, phrase: Some((0, "be married to".into())) });
+        let cands: Vec<VertexCandidate> = (0..n)
+            .map(|i| VertexCandidate {
+                id: store.expect_iri(&format!("b{i}")),
+                confidence: 1.0 / (i as f64 + 1.0),
+                is_class: false,
+            })
+            .collect();
+        MappedQuery {
+            sqg,
+            vertices: vec![VertexBinding::Variable { classes: vec![] }, VertexBinding::Candidates(cands)],
+            edges: vec![EdgeCandidates { list: vec![(PathPattern::single(spouse), 1.0)], wildcard: None }],
+        }
+    }
+
+    #[test]
+    fn top_k_returns_highest_scores_and_terminates_early() {
+        let store = store_with_pairs(20);
+        let schema = gqa_rdf::schema::Schema::new(&store);
+        let q = query(&store, 20);
+        let (ms, stats) = top_k(&store, &schema, &q, &MatcherConfig::default(), 3);
+        assert_eq!(ms.len(), 3);
+        // Best three candidates are b0, b1, b2 by confidence.
+        for (i, m) in ms.iter().enumerate() {
+            assert_eq!(m.bindings[1], store.expect_iri(&format!("b{i}")));
+        }
+        assert!(stats.early_terminated, "{stats:?}");
+        assert!(stats.rounds < 20, "{stats:?}");
+    }
+
+    #[test]
+    fn top_k_equals_exhaustive_prefix() {
+        let store = store_with_pairs(10);
+        let schema = gqa_rdf::schema::Schema::new(&store);
+        let q = query(&store, 10);
+        let (ta, _) = top_k(&store, &schema, &q, &MatcherConfig::default(), 5);
+        let mut all = find_matches(&store, &schema, &q, &MatcherConfig::default(), None);
+        all.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        assert_eq!(ta.len(), 5);
+        for (a, b) in ta.iter().zip(all.iter()) {
+            assert!((a.score - b.score).abs() < 1e-12);
+            assert_eq!(a.bindings, b.bindings);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_matches_returns_everything() {
+        let store = store_with_pairs(4);
+        let schema = gqa_rdf::schema::Schema::new(&store);
+        let q = query(&store, 4);
+        let (ms, _) = top_k(&store, &schema, &q, &MatcherConfig::default(), 10);
+        assert_eq!(ms.len(), 4);
+    }
+
+    #[test]
+    fn equal_scores_at_the_cut_are_all_kept() {
+        let store = store_with_pairs(5);
+        let schema = gqa_rdf::schema::Schema::new(&store);
+        let mut q = query(&store, 5);
+        // Give every candidate the same confidence: all scores tie.
+        if let VertexBinding::Candidates(c) = &mut q.vertices[1] {
+            for x in c.iter_mut() {
+                x.confidence = 0.7;
+            }
+        }
+        let (ms, _) = top_k(&store, &schema, &q, &MatcherConfig::default(), 2);
+        assert_eq!(ms.len(), 5, "footnote 4: ties at the k-th score all count");
+    }
+
+    #[test]
+    fn variable_only_query_single_probe() {
+        let mut b = StoreBuilder::new();
+        b.add_iri("x", "rdf:type", "C");
+        let store = b.build();
+        let schema = gqa_rdf::schema::Schema::new(&store);
+        let mut sqg = SemanticQueryGraph::default();
+        sqg.vertices.push(v("things", true));
+        let q = MappedQuery {
+            sqg,
+            vertices: vec![VertexBinding::Variable { classes: vec![(store.expect_iri("C"), 1.0)] }],
+            edges: vec![],
+        };
+        let (ms, stats) = top_k(&store, &schema, &q, &MatcherConfig::default(), 10);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(stats.probes, 1);
+    }
+}

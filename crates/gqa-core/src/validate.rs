@@ -1,0 +1,209 @@
+//! Independent Definition-3 compliance checking.
+//!
+//! The matcher is search-optimized; this module re-states the paper's match
+//! conditions declaratively and checks a produced [`Match`] against them.
+//! Tests and property suites use it as the oracle the matcher must agree
+//! with:
+//!
+//! 1. a vertex mapped to an entity candidate binds that entity
+//!    (condition 1);
+//! 2. a vertex mapped to a class candidate binds an *instance* of the class
+//!    (condition 2, `⟨u_i rdf:type c_i⟩`);
+//! 3. every edge is realized by a candidate predicate/path between the two
+//!    bindings in some orientation (condition 3);
+//! 4. the score equals `Σ log δ(arg,u) + Σ log δ(rel,P)` (Definition 6).
+
+use crate::mapping::{MappedQuery, VertexBinding};
+use crate::matcher::Match;
+use gqa_rdf::paths::connects;
+use gqa_rdf::schema::Schema;
+use gqa_rdf::{Store, Triple};
+
+/// A violated match condition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// Binding vector length differs from the query's vertex count.
+    Arity {
+        /// Bindings present.
+        got: usize,
+        /// Vertices expected.
+        expected: usize,
+    },
+    /// A vertex bound a value outside its candidate list (condition 1/2).
+    VertexOutsideCandidates {
+        /// Offending vertex.
+        vertex: usize,
+    },
+    /// A class-constrained variable bound a non-instance (condition 2).
+    ClassConstraint {
+        /// Offending vertex.
+        vertex: usize,
+    },
+    /// An edge has no realizing candidate pattern (condition 3).
+    EdgeUnrealized {
+        /// Offending edge.
+        edge: usize,
+    },
+    /// The recorded score disagrees with Definition 6.
+    Score {
+        /// Score recorded on the match.
+        recorded: f64,
+        /// Score recomputed from the parts.
+        recomputed: f64,
+    },
+}
+
+/// Check one match against Definition 3 + Definition 6. Returns every
+/// violation found (empty = valid).
+pub fn validate(store: &Store, schema: &Schema, q: &MappedQuery, m: &Match) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let n = q.sqg.vertices.len();
+    if m.bindings.len() != n {
+        out.push(Violation::Arity { got: m.bindings.len(), expected: n });
+        return out;
+    }
+
+    // Conditions 1 & 2 per vertex.
+    for (vi, binding) in q.vertices.iter().enumerate() {
+        let u = m.bindings[vi];
+        match binding {
+            VertexBinding::Variable { classes } => {
+                if !classes.is_empty() && !classes.iter().any(|&(c, _)| schema.has_type(u, c)) {
+                    out.push(Violation::ClassConstraint { vertex: vi });
+                }
+            }
+            VertexBinding::Candidates(cands) => {
+                let ok = cands.iter().any(|c| {
+                    if c.is_class {
+                        schema.has_type(u, c.id)
+                    } else {
+                        c.id == u
+                    }
+                });
+                if !ok {
+                    out.push(Violation::VertexOutsideCandidates { vertex: vi });
+                }
+            }
+        }
+    }
+
+    // Condition 3 per edge.
+    for (ei, e) in q.sqg.edges.iter().enumerate() {
+        let (a, b) = (m.bindings[e.from], m.bindings[e.to]);
+        let cand = &q.edges[ei];
+        let realized = if cand.wildcard.is_some() {
+            store.out_edges(a).iter().any(|t| t.o == b) || store.out_edges(b).iter().any(|t| t.o == a)
+        } else {
+            cand.list.iter().any(|(pattern, _)| {
+                if pattern.len() == 1 {
+                    let p = pattern.0[0].pred;
+                    store.contains(Triple::new(a, p, b)) || store.contains(Triple::new(b, p, a))
+                } else {
+                    store.term(a).is_iri()
+                        && store.term(b).is_iri()
+                        && (connects(store, a, b, pattern).is_some()
+                            || connects(store, a, b, &pattern.reversed()).is_some())
+                }
+            })
+        };
+        if !realized {
+            out.push(Violation::EdgeUnrealized { edge: ei });
+        }
+    }
+
+    // Definition 6 score.
+    let recomputed: f64 = m.vertex_conf.iter().map(|c| c.max(1e-9).ln()).sum::<f64>()
+        + m.edge_used.iter().map(|(_, c)| c.max(1e-9).ln()).sum::<f64>();
+    if (recomputed - m.score).abs() > 1e-6 {
+        out.push(Violation::Score { recorded: m.score, recomputed });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{EdgeCandidates, VertexCandidate};
+    use crate::matcher::{find_matches, MatcherConfig};
+    use crate::sqg::{SemanticQueryGraph, SqgEdge, SqgVertex};
+    use gqa_rdf::{PathPattern, StoreBuilder, TermId};
+
+    fn setup() -> (Store, Schema, MappedQuery) {
+        let mut b = StoreBuilder::new();
+        b.add_iri("dbr:A", "dbo:spouse", "dbr:B");
+        b.add_iri("dbr:B", "rdf:type", "dbo:Actor");
+        b.add_iri("dbr:C", "rdf:type", "dbo:Actor");
+        let store = b.build();
+        let schema = Schema::new(&store);
+        let spouse = store.expect_iri("dbo:spouse");
+        let mut sqg = SemanticQueryGraph::default();
+        sqg.vertices.push(SqgVertex { node: 0, text: "who".into(), is_wh: true, is_target: true, is_proper: false });
+        sqg.vertices.push(SqgVertex { node: 1, text: "actor".into(), is_wh: false, is_target: false, is_proper: false });
+        sqg.edges.push(SqgEdge { from: 0, to: 1, phrase: Some((0, "be married to".into())) });
+        let q = MappedQuery {
+            sqg,
+            vertices: vec![
+                VertexBinding::Variable { classes: vec![] },
+                VertexBinding::Candidates(vec![VertexCandidate {
+                    id: store.expect_iri("dbo:Actor"),
+                    confidence: 1.0,
+                    is_class: true,
+                }]),
+            ],
+            edges: vec![EdgeCandidates { list: vec![(PathPattern::single(spouse), 1.0)], wildcard: None }],
+        };
+        (store, schema, q)
+    }
+
+    #[test]
+    fn matcher_output_always_validates() {
+        let (store, schema, q) = setup();
+        let matches = find_matches(&store, &schema, &q, &MatcherConfig::default(), None);
+        assert!(!matches.is_empty());
+        for m in &matches {
+            assert!(validate(&store, &schema, &q, m).is_empty(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn detects_every_violation_kind() {
+        let (store, schema, q) = setup();
+        let good = find_matches(&store, &schema, &q, &MatcherConfig::default(), None).remove(0);
+
+        let mut arity = good.clone();
+        arity.bindings.pop();
+        assert!(matches!(validate(&store, &schema, &q, &arity)[0], Violation::Arity { .. }));
+
+        let mut wrong_class = good.clone();
+        wrong_class.bindings[1] = store.expect_iri("dbr:A"); // not an Actor
+        let v = validate(&store, &schema, &q, &wrong_class);
+        assert!(v.iter().any(|x| matches!(x, Violation::VertexOutsideCandidates { .. })), "{v:?}");
+
+        let mut broken_edge = good.clone();
+        broken_edge.bindings[0] = store.expect_iri("dbr:C"); // C not married to B
+        let v = validate(&store, &schema, &q, &broken_edge);
+        assert!(v.iter().any(|x| matches!(x, Violation::EdgeUnrealized { .. })), "{v:?}");
+
+        let mut bad_score = good.clone();
+        bad_score.score += 1.0;
+        let v = validate(&store, &schema, &q, &bad_score);
+        assert!(v.iter().any(|x| matches!(x, Violation::Score { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn class_constrained_variable_violation() {
+        let (store, schema, mut q) = setup();
+        q.vertices[0] = VertexBinding::Variable { classes: vec![(store.expect_iri("dbo:Actor"), 1.0)] };
+        let m = Match {
+            bindings: vec![store.expect_iri("dbr:A"), store.expect_iri("dbr:B")],
+            vertex_conf: vec![1.0, 1.0],
+            edge_used: vec![(PathPattern::single(store.expect_iri("dbo:spouse")), 1.0)],
+            score: 0.0,
+        };
+        // dbr:A is not an Actor → class-constraint violation.
+        let v = validate(&store, &schema, &q, &m);
+        assert!(v.iter().any(|x| matches!(x, Violation::ClassConstraint { vertex: 0 })), "{v:?}");
+        let _ = TermId(0);
+    }
+}

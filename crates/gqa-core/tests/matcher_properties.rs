@@ -1,0 +1,238 @@
+//! Property tests for the subgraph matcher: on random graphs and random
+//! mapped queries, (a) every produced match passes the independent
+//! Definition-3 validator, (b) the matcher finds exactly the matches a
+//! brute-force assignment enumerator finds, and (c) the TA top-k agrees
+//! with the exhaustive search's prefix.
+
+use gqa_core::mapping::{EdgeCandidates, MappedQuery, VertexBinding, VertexCandidate};
+use gqa_core::matcher::{find_matches, MatcherConfig};
+use gqa_core::sqg::{SemanticQueryGraph, SqgEdge, SqgVertex};
+use gqa_core::topk::top_k;
+use gqa_core::validate::validate;
+use gqa_rdf::schema::Schema;
+use gqa_rdf::{PathPattern, Store, StoreBuilder, TermId, Triple};
+use proptest::prelude::*;
+
+fn build_store(edges: &[(u8, u8, u8)]) -> Store {
+    let mut b = StoreBuilder::new();
+    // Ensure all vertices/predicates exist even with few edges (the query
+    // generator references them by number unconditionally).
+    for v in 0..8u8 {
+        b.add_iri(&format!("v{v}"), "rdf:type", "C");
+    }
+    for p in 0..3u8 {
+        b.add_iri("anchor_a", &format!("p{p}"), "anchor_b");
+    }
+    for &(s, p, o) in edges {
+        b.add_iri(&format!("v{s}"), &format!("p{p}"), &format!("v{o}"));
+    }
+    b.build()
+}
+
+/// A random 2- or 3-vertex query: one variable target plus fixed vertices
+/// with small candidate lists and single-predicate or wildcard edges.
+#[derive(Clone, Debug)]
+struct RandomQuery {
+    n: usize,
+    // per fixed vertex (index ≥ 1): candidate vertex numbers
+    cands: Vec<Vec<u8>>,
+    // per edge i (connecting i → i+1): Some(pred) or None for wildcard
+    edge_preds: Vec<Option<u8>>,
+}
+
+fn arb_query() -> impl Strategy<Value = RandomQuery> {
+    (2usize..=3)
+        .prop_flat_map(|n| {
+            (
+                prop::collection::vec(prop::collection::vec(0u8..8, 1..3), n - 1),
+                prop::collection::vec(prop::option::of(0u8..3), n - 1),
+            )
+                .prop_map(move |(cands, edge_preds)| RandomQuery { n, cands, edge_preds })
+        })
+}
+
+fn to_mapped(store: &Store, rq: &RandomQuery) -> MappedQuery {
+    let mut sqg = SemanticQueryGraph::default();
+    for i in 0..rq.n {
+        sqg.vertices.push(SqgVertex {
+            node: i,
+            text: format!("t{i}"),
+            is_wh: i == 0,
+            is_target: i == 0,
+            is_proper: false,
+        });
+    }
+    let mut vertices: Vec<VertexBinding> = vec![VertexBinding::Variable { classes: vec![] }];
+    for c in &rq.cands {
+        let list = c
+            .iter()
+            .map(|&v| VertexCandidate {
+                id: store.expect_iri(&format!("v{v}")),
+                confidence: 1.0 / (1.0 + *c.first().unwrap() as f64),
+                is_class: false,
+            })
+            .collect();
+        vertices.push(VertexBinding::Candidates(list));
+    }
+    let mut edges = Vec::new();
+    for (i, ep) in rq.edge_preds.iter().enumerate() {
+        sqg.edges.push(SqgEdge { from: i, to: i + 1, phrase: ep.map(|p| (p as usize, format!("p{p}"))) });
+        edges.push(match ep {
+            Some(p) => EdgeCandidates {
+                list: vec![(PathPattern::single(store.expect_iri(&format!("p{p}"))), 0.9)],
+                wildcard: None,
+            },
+            None => EdgeCandidates { list: vec![], wildcard: Some(0.3) },
+        });
+    }
+    MappedQuery { sqg, vertices, edges }
+}
+
+/// Brute force: try every assignment of every vertex to every store term.
+fn brute_force(store: &Store, schema: &Schema, q: &MappedQuery) -> Vec<Vec<TermId>> {
+    let universe: Vec<TermId> = store.dict().iter().map(|(id, _)| id).collect();
+    let n = q.sqg.vertices.len();
+    let mut out = Vec::new();
+    let mut assignment = vec![TermId(0); n];
+    fn rec(
+        store: &Store,
+        schema: &Schema,
+        q: &MappedQuery,
+        universe: &[TermId],
+        depth: usize,
+        assignment: &mut Vec<TermId>,
+        out: &mut Vec<Vec<TermId>>,
+    ) {
+        if depth == assignment.len() {
+            // Full Definition-3 check via the validator (score ignored).
+            let m = gqa_core::matcher::Match {
+                bindings: assignment.clone(),
+                vertex_conf: vec![1.0; assignment.len()],
+                edge_used: vec![],
+                score: 0.0,
+            };
+            let violations = validate(store, schema, q, &m);
+            let ok = violations.iter().all(|v| {
+                matches!(v, gqa_core::validate::Violation::Score { .. })
+            });
+            if ok {
+                out.push(assignment.clone());
+            }
+            return;
+        }
+        for &id in universe {
+            assignment[depth] = id;
+            rec(store, schema, q, universe, depth + 1, assignment, out);
+        }
+    }
+    rec(store, schema, q, &universe, 0, &mut assignment, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Matcher results = brute-force results (as binding sets), and every
+    /// matcher result passes the validator fully.
+    #[test]
+    fn matcher_equals_brute_force(
+        store_edges in prop::collection::vec((0u8..8, 0u8..3, 0u8..8), 0..16),
+        rq in arb_query(),
+    ) {
+        let store = build_store(&store_edges);
+        let schema = Schema::new(&store);
+        let q = to_mapped(&store, &rq);
+        let cfg = MatcherConfig::default();
+        let found = find_matches(&store, &schema, &q, &cfg, None);
+        for m in &found {
+            prop_assert!(validate(&store, &schema, &q, m).is_empty(), "{m:?}");
+        }
+        let mut found_bindings: Vec<Vec<TermId>> = found.iter().map(|m| m.bindings.clone()).collect();
+        found_bindings.sort();
+        found_bindings.dedup();
+        let expected = brute_force(&store, &schema, &q);
+        prop_assert_eq!(found_bindings, expected);
+    }
+
+    /// Pruning never changes the match set, only the work.
+    #[test]
+    fn pruning_is_answer_preserving(
+        store_edges in prop::collection::vec((0u8..8, 0u8..3, 0u8..8), 0..16),
+        rq in arb_query(),
+    ) {
+        let store = build_store(&store_edges);
+        let schema = Schema::new(&store);
+        let q = to_mapped(&store, &rq);
+        let with = find_matches(&store, &schema, &q, &MatcherConfig::default(), None);
+        let without = find_matches(
+            &store,
+            &schema,
+            &q,
+            &MatcherConfig { neighborhood_pruning: false, ..Default::default() },
+            None,
+        );
+        let set = |ms: &[gqa_core::matcher::Match]| {
+            let mut v: Vec<Vec<TermId>> = ms.iter().map(|m| m.bindings.clone()).collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(set(&with), set(&without));
+    }
+
+    /// TA top-k scores form a prefix of the exhaustive score ranking.
+    #[test]
+    fn topk_scores_prefix_exhaustive(
+        store_edges in prop::collection::vec((0u8..8, 0u8..3, 0u8..8), 0..16),
+        rq in arb_query(),
+        k in 1usize..5,
+    ) {
+        let store = build_store(&store_edges);
+        let schema = Schema::new(&store);
+        let q = to_mapped(&store, &rq);
+        let (ta, _) = top_k(&store, &schema, &q, &MatcherConfig::default(), k);
+        let mut all = find_matches(&store, &schema, &q, &MatcherConfig::default(), None);
+        all.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        for (t, a) in ta.iter().zip(all.iter()) {
+            prop_assert!((t.score - a.score).abs() < 1e-9);
+        }
+        // Tie semantics: ta may exceed k only on equal scores at the cut.
+        if ta.len() > k {
+            let kth = ta[k - 1].score;
+            prop_assert!(ta[k..].iter().all(|m| (m.score - kth).abs() < 1e-9));
+        }
+    }
+
+    /// The max_matches cap truncates without panicking; everything kept is
+    /// still valid.
+    #[test]
+    fn max_matches_cap(
+        store_edges in prop::collection::vec((0u8..8, 0u8..3, 0u8..8), 4..16),
+        rq in arb_query(),
+    ) {
+        let store = build_store(&store_edges);
+        let schema = Schema::new(&store);
+        let q = to_mapped(&store, &rq);
+        let cfg = MatcherConfig { max_matches: 2, ..Default::default() };
+        let found = find_matches(&store, &schema, &q, &cfg, None);
+        prop_assert!(found.len() <= 2);
+        for m in &found {
+            prop_assert!(validate(&store, &schema, &q, m).is_empty());
+        }
+    }
+
+    /// Triple sanity for the fixture builder itself.
+    #[test]
+    fn store_contains_what_it_was_given(store_edges in prop::collection::vec((0u8..8, 0u8..3, 0u8..8), 1..10)) {
+        let store = build_store(&store_edges);
+        for &(s, p, o) in &store_edges {
+            let t = Triple::new(
+                store.expect_iri(&format!("v{s}")),
+                store.expect_iri(&format!("p{p}")),
+                store.expect_iri(&format!("v{o}")),
+            );
+            prop_assert!(store.contains(t));
+        }
+    }
+}

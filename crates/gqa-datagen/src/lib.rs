@@ -1,0 +1,38 @@
+//! # gqa-datagen — synthetic data substrates (paper §6.1)
+//!
+//! The paper evaluates on DBpedia (5.2 M entities), the Patty relation-
+//! phrase datasets and the QALD-3 benchmark — none of which are available
+//! offline. This crate builds their local stand-ins (see DESIGN.md §2 for
+//! the substitution argument):
+//!
+//! * [`minidbp`] — a curated, deterministic mini-DBpedia knowledge graph
+//!   covering every entity/predicate the benchmark questions touch,
+//!   including the deliberate ambiguities the paper leans on (three
+//!   "Philadelphia" vertices, class-vs-entity "actor", …);
+//! * [`patty`] — relation-phrase datasets with supporting entity pairs: a
+//!   curated set aligned with the mini graph, and a parametric random
+//!   generator (for the Table 5 / Table 7 scale experiments) that plants
+//!   true predicate-path paraphrases plus `hasGender`-style noise;
+//! * [`scale`] — a parametric random RDF graph generator (Zipfian predicate
+//!   use, typed entities, labels) for offline-mining and matching scaling
+//!   runs;
+//! * [`qald`] — a QALD-3-like benchmark of 99 natural-language questions
+//!   with gold answers over the mini graph, stratified into the failure
+//!   categories of the paper's Table 10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod minidbp;
+pub mod miniyago;
+pub mod patty;
+pub mod qald;
+pub mod scale;
+pub mod scaleqa;
+
+pub use minidbp::mini_dbpedia;
+pub use miniyago::mini_yago;
+pub use patty::{mini_phrase_dataset, synthetic_phrase_dataset, SyntheticPhraseConfig};
+pub use qald::{benchmark, BenchQuestion, Category, Gold};
+pub use scale::{scale_graph, ScaleConfig};
+pub use scaleqa::{scale_qa, ScaleQa, ScaleQaConfig};

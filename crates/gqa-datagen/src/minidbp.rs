@@ -1,0 +1,476 @@
+//! The curated mini-DBpedia knowledge graph.
+//!
+//! Deterministic, hand-authored facts covering:
+//!
+//! * the paper's running example (Figure 1) with its three-way
+//!   "Philadelphia" ambiguity and the class-vs-entity "actor" ambiguity;
+//! * every entity/predicate needed by the Table-11 questions;
+//! * the Figure-4 "uncle of" predicate-path family (Kennedy clan) plus the
+//!   `hasGender` noise hub tf-idf must suppress;
+//! * deliberately *missing* aliases (MI6) and aggregation-only facts, so
+//!   the Table-10 failure categories reproduce.
+
+use gqa_rdf::{Store, StoreBuilder, Term};
+
+/// IRI-object facts `(subject, predicate, object)`.
+const FACTS: &[(&str, &str, &str)] = &[
+    // ---- running example (Figure 1) -----------------------------------
+    ("dbr:Melanie_Griffith", "dbo:spouse", "dbr:Antonio_Banderas"),
+    ("dbr:Antonio_Banderas", "rdf:type", "dbo:Actor"),
+    ("dbr:Melanie_Griffith", "rdf:type", "dbo:Actor"),
+    ("dbr:Philadelphia_(film)", "rdf:type", "dbo:Film"),
+    ("dbr:Philadelphia_(film)", "dbo:starring", "dbr:Antonio_Banderas"),
+    ("dbr:Philadelphia_(film)", "dbo:starring", "dbr:Tom_Hanks"),
+    ("dbr:Philadelphia_(film)", "dbo:director", "dbr:Jonathan_Demme"),
+    ("dbr:Tom_Hanks", "rdf:type", "dbo:Actor"),
+    ("dbr:Jonathan_Demme", "rdf:type", "dbo:Person"),
+    ("dbr:Philadelphia", "rdf:type", "dbo:City"),
+    ("dbr:Philadelphia", "dbo:country", "dbr:United_States"),
+    ("dbr:Philadelphia_76ers", "rdf:type", "dbo:BasketballTeam"),
+    ("dbr:Allen_Iverson", "dbo:playForTeam", "dbr:Philadelphia_76ers"),
+    ("dbr:Allen_Iverson", "rdf:type", "dbo:BasketballPlayer"),
+    ("dbr:An_Actor_Prepares", "rdf:type", "dbo:Book"),
+    ("dbr:An_Actor_Prepares", "dbo:author", "dbr:Konstantin_Stanislavski"),
+    // class hierarchy
+    ("dbo:Actor", "rdfs:subClassOf", "dbo:Person"),
+    ("dbo:BasketballPlayer", "rdfs:subClassOf", "dbo:Athlete"),
+    ("dbo:Athlete", "rdfs:subClassOf", "dbo:Person"),
+    ("dbo:SoccerPlayer", "rdfs:subClassOf", "dbo:Athlete"),
+    ("dbo:City", "rdfs:subClassOf", "dbo:Place"),
+    ("dbo:Country", "rdfs:subClassOf", "dbo:Place"),
+    ("dbo:Film", "rdfs:subClassOf", "dbo:Work"),
+    ("dbo:Book", "rdfs:subClassOf", "dbo:Work"),
+    ("dbo:Comic", "rdfs:subClassOf", "dbo:Work"),
+    ("dbo:Band", "rdfs:subClassOf", "dbo:Organisation"),
+    ("dbo:Company", "rdfs:subClassOf", "dbo:Organisation"),
+    // ---- Kennedy clan: "uncle of" needs a length-3 path (Figure 4) ----
+    ("dbr:Joseph_P._Kennedy_Sr.", "dbo:hasChild", "dbr:Ted_Kennedy"),
+    ("dbr:Joseph_P._Kennedy_Sr.", "dbo:hasChild", "dbr:John_F._Kennedy"),
+    ("dbr:Joseph_P._Kennedy_Sr.", "dbo:hasChild", "dbr:Robert_F._Kennedy"),
+    ("dbr:John_F._Kennedy", "dbo:hasChild", "dbr:John_F._Kennedy,_Jr."),
+    ("dbr:John_F._Kennedy", "dbo:hasChild", "dbr:Caroline_Kennedy"),
+    ("dbr:John_F._Kennedy", "dbo:successor", "dbr:Lyndon_B._Johnson"),
+    ("dbr:John_F._Kennedy", "rdf:type", "dbo:Person"),
+    ("dbr:Ted_Kennedy", "rdf:type", "dbo:Person"),
+    ("dbr:Lyndon_B._Johnson", "rdf:type", "dbo:Person"),
+    ("dbr:Peter_Corr", "dbo:hasChild", "dbr:Sharon_Corr"),
+    ("dbr:Gerry_Corr", "dbo:hasChild", "dbr:Peter_Corr"),
+    ("dbr:Gerry_Corr", "dbo:hasChild", "dbr:Brigid_Corr"),
+    ("dbr:Brigid_Corr", "dbo:hasChild", "dbr:Jim_Corr"),
+    // gender noise hub
+    ("dbr:Ted_Kennedy", "dbo:hasGender", "dbr:Male"),
+    ("dbr:John_F._Kennedy", "dbo:hasGender", "dbr:Male"),
+    ("dbr:John_F._Kennedy,_Jr.", "dbo:hasGender", "dbr:Male"),
+    ("dbr:Robert_F._Kennedy", "dbo:hasGender", "dbr:Male"),
+    ("dbr:Joseph_P._Kennedy_Sr.", "dbo:hasGender", "dbr:Male"),
+    ("dbr:Peter_Corr", "dbo:hasGender", "dbr:Male"),
+    ("dbr:Jim_Corr", "dbo:hasGender", "dbr:Male"),
+    ("dbr:Gerry_Corr", "dbo:hasGender", "dbr:Male"),
+    ("dbr:Caroline_Kennedy", "dbo:hasGender", "dbr:Female"),
+    ("dbr:Sharon_Corr", "dbo:hasGender", "dbr:Female"),
+    ("dbr:Melanie_Griffith", "dbo:hasGender", "dbr:Female"),
+    ("dbr:Antonio_Banderas", "dbo:hasGender", "dbr:Male"),
+    // ---- geography ------------------------------------------------------
+    ("dbr:Berlin", "rdf:type", "dbo:City"),
+    ("dbr:Berlin", "dbo:leaderName", "dbr:Klaus_Wowereit"),
+    ("dbr:Berlin", "dbo:country", "dbr:Germany"),
+    ("dbr:Germany", "rdf:type", "dbo:Country"),
+    ("dbr:Germany", "dbo:capital", "dbr:Berlin"),
+    ("dbr:Germany", "dbo:largestCity", "dbr:Berlin"),
+    ("dbr:Klaus_Wowereit", "rdf:type", "dbo:Person"),
+    ("dbr:Canada", "rdf:type", "dbo:Country"),
+    ("dbr:Canada", "dbo:capital", "dbr:Ottawa"),
+    ("dbr:Ottawa", "rdf:type", "dbo:City"),
+    ("dbr:Ottawa", "dbo:country", "dbr:Canada"),
+    ("dbr:Vienna", "rdf:type", "dbo:City"),
+    ("dbr:Vienna", "dbo:country", "dbr:Austria"),
+    ("dbr:Austria", "rdf:type", "dbo:Country"),
+    ("dbr:United_States", "rdf:type", "dbo:Country"),
+    ("dbr:Australia", "rdf:type", "dbo:Country"),
+    ("dbr:Australia", "dbo:largestCity", "dbr:Sydney"),
+    ("dbr:Sydney", "rdf:type", "dbo:City"),
+    ("dbr:Sydney", "dbo:country", "dbr:Australia"),
+    ("dbr:Melbourne", "rdf:type", "dbo:City"),
+    ("dbr:Melbourne", "dbo:country", "dbr:Australia"),
+    ("dbr:Wyoming", "rdf:type", "dbo:AdministrativeRegion"),
+    ("dbr:Wyoming", "dbo:governor", "dbr:Matt_Mead"),
+    ("dbr:Matt_Mead", "rdf:type", "dbo:Person"),
+    ("dbr:Alaska", "rdf:type", "dbo:AdministrativeRegion"),
+    ("dbr:Alaska", "dbo:governor", "dbr:Sean_Parnell"),
+    ("dbr:Sean_Parnell", "rdf:type", "dbo:Person"),
+    ("dbo:AdministrativeRegion", "rdfs:subClassOf", "dbo:Place"),
+    ("dbr:Salt_Lake_City", "rdf:type", "dbo:City"),
+    ("dbr:Salt_Lake_City", "dbo:timeZone", "dbr:Mountain_Time_Zone"),
+    ("dbr:San_Francisco", "rdf:type", "dbo:City"),
+    ("dbr:San_Francisco", "dbo:country", "dbr:United_States"),
+    ("dbr:Delft", "rdf:type", "dbo:City"),
+    ("dbr:Delft", "dbo:country", "dbr:Netherlands"),
+    ("dbr:Netherlands", "rdf:type", "dbo:Country"),
+    ("dbr:Brno", "rdf:type", "dbo:City"),
+    // rivers
+    ("dbr:Weser", "rdf:type", "dbo:River"),
+    ("dbr:Weser", "dbo:city", "dbr:Bremen"),
+    ("dbr:Weser", "dbo:city", "dbr:Minden"),
+    ("dbr:Bremen", "rdf:type", "dbo:City"),
+    ("dbr:Minden", "rdf:type", "dbo:City"),
+    ("dbr:Rhine", "rdf:type", "dbo:River"),
+    ("dbr:Rhine", "dbo:country", "dbr:Germany"),
+    ("dbr:Rhine", "dbo:country", "dbr:France"),
+    ("dbr:Rhine", "dbo:country", "dbr:Switzerland"),
+    ("dbr:Rhine", "dbo:country", "dbr:Netherlands"),
+    ("dbr:France", "rdf:type", "dbo:Country"),
+    ("dbr:Switzerland", "rdf:type", "dbo:Country"),
+    ("dbr:Fulda_(river)", "dbo:inflow", "dbr:Weser"),
+    ("dbo:River", "rdfs:subClassOf", "dbo:Place"),
+    ("dbr:Mount_Everest", "rdf:type", "dbo:Mountain"),
+    ("dbo:Mountain", "rdfs:subClassOf", "dbo:Place"),
+    // ---- politics & royalty --------------------------------------------
+    ("dbr:Queen_Elizabeth_II", "dbo:father", "dbr:George_VI"),
+    ("dbr:George_VI", "dbo:successor", "dbr:Queen_Elizabeth_II"),
+    ("dbr:Queen_Elizabeth_II", "rdf:type", "dbo:Royalty"),
+    ("dbr:George_VI", "rdf:type", "dbo:Royalty"),
+    ("dbo:Royalty", "rdfs:subClassOf", "dbo:Person"),
+    ("dbr:Juliana_of_the_Netherlands", "rdf:type", "dbo:Royalty"),
+    ("dbr:Juliana_of_the_Netherlands", "dbo:restingPlace", "dbr:Delft"),
+    ("dbr:Juliana_of_the_Netherlands", "dbo:country", "dbr:Netherlands"),
+    ("dbr:Margaret_Thatcher", "dbo:hasChild", "dbr:Mark_Thatcher"),
+    ("dbr:Margaret_Thatcher", "dbo:hasChild", "dbr:Carol_Thatcher"),
+    ("dbr:Margaret_Thatcher", "rdf:type", "dbo:Person"),
+    ("dbr:Mark_Thatcher", "rdf:type", "dbo:Person"),
+    ("dbr:Carol_Thatcher", "rdf:type", "dbo:Person"),
+    ("dbr:Barack_Obama", "dbo:spouse", "dbr:Michelle_Obama"),
+    ("dbr:Barack_Obama", "rdf:type", "dbo:Person"),
+    ("dbr:Michelle_Obama", "rdf:type", "dbo:Person"),
+    // ---- music, media, companies ---------------------------------------
+    ("dbr:The_Prodigy", "rdf:type", "dbo:Band"),
+    ("dbr:The_Prodigy", "dbo:bandMember", "dbr:Keith_Flint"),
+    ("dbr:The_Prodigy", "dbo:bandMember", "dbr:Liam_Howlett"),
+    ("dbr:The_Prodigy", "dbo:bandMember", "dbr:Maxim_Reality"),
+    ("dbr:Keith_Flint", "rdf:type", "dbo:Person"),
+    ("dbr:Liam_Howlett", "rdf:type", "dbo:Person"),
+    ("dbr:Maxim_Reality", "rdf:type", "dbo:Person"),
+    ("dbr:Amanda_Palmer", "dbo:spouse", "dbr:Neil_Gaiman"),
+    ("dbr:Amanda_Palmer", "rdf:type", "dbo:Person"),
+    ("dbr:Neil_Gaiman", "rdf:type", "dbo:Person"),
+    ("dbr:The_Godfather", "rdf:type", "dbo:Film"),
+    ("dbr:The_Godfather", "dbo:director", "dbr:Francis_Ford_Coppola"),
+    ("dbr:Apocalypse_Now", "rdf:type", "dbo:Film"),
+    ("dbr:Apocalypse_Now", "dbo:director", "dbr:Francis_Ford_Coppola"),
+    ("dbr:Francis_Ford_Coppola", "rdf:type", "dbo:Person"),
+    ("dbr:Minecraft", "rdf:type", "dbo:VideoGame"),
+    ("dbr:Minecraft", "dbo:developer", "dbr:Mojang"),
+    ("dbr:Mojang", "rdf:type", "dbo:Company"),
+    ("dbr:Intel", "rdf:type", "dbo:Company"),
+    ("dbr:Intel", "dbo:foundedBy", "dbr:Gordon_Moore"),
+    ("dbr:Intel", "dbo:foundedBy", "dbr:Robert_Noyce"),
+    ("dbr:Gordon_Moore", "rdf:type", "dbo:Person"),
+    ("dbr:Robert_Noyce", "rdf:type", "dbo:Person"),
+    ("dbr:BMW", "rdf:type", "dbo:Company"),
+    ("dbr:BMW", "dbo:locationCity", "dbr:Munich"),
+    ("dbr:Siemens", "rdf:type", "dbo:Company"),
+    ("dbr:Siemens", "dbo:locationCity", "dbr:Munich"),
+    ("dbr:Allianz", "rdf:type", "dbo:Company"),
+    ("dbr:Allianz", "dbo:locationCity", "dbr:Munich"),
+    ("dbr:Munich", "rdf:type", "dbo:City"),
+    ("dbr:Munich", "dbo:country", "dbr:Germany"),
+    ("dbr:Orangina", "rdf:type", "dbo:Beverage"),
+    ("dbr:Orangina", "dbo:manufacturer", "dbr:Suntory"),
+    ("dbr:Suntory", "rdf:type", "dbo:Company"),
+    // cars
+    ("dbr:Volkswagen_Golf", "rdf:type", "dbo:Automobile"),
+    ("dbr:Volkswagen_Golf", "dbo:assembly", "dbr:Germany"),
+    ("dbr:BMW_3_Series", "rdf:type", "dbo:Automobile"),
+    ("dbr:BMW_3_Series", "dbo:assembly", "dbr:Germany"),
+    ("dbr:Ford_Focus", "rdf:type", "dbo:Automobile"),
+    ("dbr:Ford_Focus", "dbo:assembly", "dbr:United_States"),
+    // books
+    ("dbr:On_the_Road", "rdf:type", "dbo:Book"),
+    ("dbr:On_the_Road", "dbo:author", "dbr:Jack_Kerouac"),
+    ("dbr:On_the_Road", "dbo:publisher", "dbr:Viking_Press"),
+    ("dbr:The_Dharma_Bums", "rdf:type", "dbo:Book"),
+    ("dbr:The_Dharma_Bums", "dbo:author", "dbr:Jack_Kerouac"),
+    ("dbr:The_Dharma_Bums", "dbo:publisher", "dbr:Viking_Press"),
+    ("dbr:Big_Sur_(novel)", "rdf:type", "dbo:Book"),
+    ("dbr:Big_Sur_(novel)", "dbo:author", "dbr:Jack_Kerouac"),
+    ("dbr:Big_Sur_(novel)", "dbo:publisher", "dbr:Farrar_Straus_Giroux"),
+    ("dbr:Jack_Kerouac", "rdf:type", "dbo:Person"),
+    // comics
+    ("dbr:Captain_America", "rdf:type", "dbo:Comic"),
+    ("dbr:Captain_America", "dbo:creator", "dbr:Joe_Simon"),
+    ("dbr:Captain_America", "dbo:creator", "dbr:Jack_Kirby"),
+    ("dbr:Joe_Simon", "rdf:type", "dbo:Person"),
+    ("dbr:Jack_Kirby", "rdf:type", "dbo:Person"),
+    ("dbr:Miffy", "rdf:type", "dbo:Comic"),
+    ("dbr:Miffy", "dbo:creator", "dbr:Dick_Bruna"),
+    ("dbr:Dick_Bruna", "rdf:type", "dbo:Person"),
+    ("dbr:Dick_Bruna", "dbo:birthPlace", "dbr:Utrecht"),
+    ("dbr:Utrecht", "rdf:type", "dbo:City"),
+    ("dbr:Utrecht", "dbo:country", "dbr:Netherlands"),
+    // Argentine films
+    ("dbr:The_Secret_in_Their_Eyes", "rdf:type", "dbo:Film"),
+    ("dbr:The_Secret_in_Their_Eyes", "dbo:country", "dbr:Argentina"),
+    ("dbr:Nine_Queens", "rdf:type", "dbo:Film"),
+    ("dbr:Nine_Queens", "dbo:country", "dbr:Argentina"),
+    ("dbr:Argentina", "rdf:type", "dbo:Country"),
+    // people born in Vienna who died in Berlin (Q19)
+    ("dbr:Max_Reinhardt", "rdf:type", "dbo:Person"),
+    ("dbr:Max_Reinhardt", "dbo:birthPlace", "dbr:Vienna"),
+    ("dbr:Max_Reinhardt", "dbo:deathPlace", "dbr:Berlin"),
+    ("dbr:Paul_Hoerbiger", "rdf:type", "dbo:Person"),
+    ("dbr:Paul_Hoerbiger", "dbo:birthPlace", "dbr:Budapest"),
+    ("dbr:Paul_Hoerbiger", "dbo:deathPlace", "dbr:Vienna"),
+    ("dbr:Budapest", "rdf:type", "dbo:City"),
+    // Michael Jackson / Jordan
+    ("dbr:Michael_Jackson", "rdf:type", "dbo:Person"),
+    ("dbr:Michael_Jordan", "rdf:type", "dbo:BasketballPlayer"),
+    ("dbr:Michael_Jordan", "dbo:playForTeam", "dbr:Chicago_Bulls"),
+    ("dbr:Chicago_Bulls", "rdf:type", "dbo:BasketballTeam"),
+    // Al Capone / Scarface (nickname is a literal; see LITERAL_FACTS)
+    ("dbr:Al_Capone", "rdf:type", "dbo:Person"),
+    // Angela Merkel
+    ("dbr:Angela_Merkel", "rdf:type", "dbo:Person"),
+    // MI6: present but WITHOUT the "MI6" alias → entity-linking failure
+    // class, mirroring the paper's Q48 failure.
+    ("dbr:Secret_Intelligence_Service", "rdf:type", "dbo:GovernmentAgency"),
+    ("dbr:Secret_Intelligence_Service", "dbo:headquarter", "dbr:London"),
+    ("dbr:London", "rdf:type", "dbo:City"),
+    // NASA launch pads (Q64, relation-extraction failure class).
+    ("dbr:Kennedy_Space_Center_LC-39A", "rdf:type", "dbo:LaunchPad"),
+    ("dbr:Kennedy_Space_Center_LC-39A", "dbo:operator", "dbr:NASA"),
+    ("dbr:Cape_Canaveral_SLC-40", "rdf:type", "dbo:LaunchPad"),
+    ("dbr:Cape_Canaveral_SLC-40", "dbo:operator", "dbr:SpaceX"),
+    ("dbr:NASA", "rdf:type", "dbo:GovernmentAgency"),
+    ("dbr:SpaceX", "rdf:type", "dbo:Company"),
+    // Premier League players (Q13, aggregation class).
+    ("dbr:Wayne_Rooney", "rdf:type", "dbo:SoccerPlayer"),
+    ("dbr:Wayne_Rooney", "dbo:league", "dbr:Premier_League"),
+    ("dbr:Raheem_Sterling", "rdf:type", "dbo:SoccerPlayer"),
+    ("dbr:Raheem_Sterling", "dbo:league", "dbr:Premier_League"),
+    ("dbr:Frank_Lampard", "rdf:type", "dbo:SoccerPlayer"),
+    ("dbr:Frank_Lampard", "dbo:league", "dbr:Premier_League"),
+    ("dbr:Premier_League", "rdf:type", "dbo:SportsLeague"),
+    // Brno sister cities (Q37, "other" failure class: predicate exists but
+    // no paraphrase mapping is mined for "sister cities").
+    ("dbr:Brno", "dbo:twinCity", "dbr:Leipzig"),
+    ("dbr:Brno", "dbo:twinCity", "dbr:Vienna"),
+    ("dbr:Leipzig", "rdf:type", "dbo:City"),
+];
+
+/// Literal-object facts `(subject, predicate, literal)`.
+fn literal_facts(b: &mut StoreBuilder) {
+    let lits: &[(&str, &str, Term)] = &[
+        ("dbr:Michael_Jordan", "dbo:height", Term::dec_lit(1.98)),
+        ("dbr:Mount_Everest", "dbo:elevation", Term::dec_lit(8848.0)),
+        ("dbr:Angela_Merkel", "dbo:birthName", Term::lit("Angela Dorothea Kasner")),
+        ("dbr:Michael_Jackson", "dbo:deathDate", Term::typed_lit("2009-06-25", "xsd:date")),
+        ("dbr:Michael_Jackson", "dbo:birthDate", Term::typed_lit("1958-08-29", "xsd:date")),
+        ("dbr:Al_Capone", "dbo:alias", Term::lit("Scarface")),
+        ("dbr:San_Francisco", "dbo:nickname", Term::lit("The Golden City")),
+        ("dbr:San_Francisco", "dbo:nickname", Term::lit("Fog City")),
+        ("dbr:Berlin", "dbo:population", Term::int_lit(3_500_000)),
+        ("dbr:Sydney", "dbo:population", Term::int_lit(5_300_000)),
+        ("dbr:Melbourne", "dbo:population", Term::int_lit(5_000_000)),
+        ("dbr:Philadelphia", "dbo:population", Term::int_lit(1_600_000)),
+        ("dbr:Munich", "dbo:population", Term::int_lit(1_500_000)),
+        ("dbr:Wayne_Rooney", "dbo:birthDate", Term::typed_lit("1985-10-24", "xsd:date")),
+        ("dbr:Raheem_Sterling", "dbo:birthDate", Term::typed_lit("1994-12-08", "xsd:date")),
+        ("dbr:Frank_Lampard", "dbo:birthDate", Term::typed_lit("1978-06-20", "xsd:date")),
+        ("dbr:Queen_Elizabeth_II", "dbo:birthDate", Term::typed_lit("1926-04-21", "xsd:date")),
+    ];
+    for (s, p, o) in lits {
+        b.add_obj(s, p, o.clone());
+    }
+}
+
+/// Extra `rdfs:label` aliases: class labels for common nouns, adjectival
+/// demonyms (modelling DBpedia redirects), and multi-word names.
+fn label_facts(b: &mut StoreBuilder) {
+    let labels: &[(&str, &str)] = &[
+        ("dbo:Actor", "actor"),
+        ("dbo:Film", "film"),
+        ("dbo:Film", "movie"),
+        ("dbo:City", "city"),
+        ("dbo:Country", "country"),
+        ("dbo:Company", "company"),
+        ("dbo:Automobile", "car"),
+        ("dbo:Book", "book"),
+        ("dbo:Person", "person"),
+        ("dbo:Person", "people"),
+        ("dbo:Band", "band"),
+        ("dbo:River", "river"),
+        ("dbo:Mountain", "mountain"),
+        ("dbo:Comic", "comic"),
+        ("dbo:BasketballTeam", "team"),
+        ("dbo:Athlete", "player"),
+        ("dbo:AdministrativeRegion", "state"),
+        ("dbo:AdministrativeRegion", "US state"),
+        ("dbo:LaunchPad", "launch pad"),
+        ("dbo:Royalty", "queen"),
+        ("dbr:Argentina", "Argentine"),
+        ("dbr:Germany", "German"),
+        ("dbr:Netherlands", "Dutch"),
+        ("dbr:Queen_Elizabeth_II", "Queen Elizabeth II"),
+        ("dbr:Queen_Elizabeth_II", "Elizabeth II"),
+        ("dbr:Juliana_of_the_Netherlands", "Juliana"),
+        ("dbr:Juliana_of_the_Netherlands", "queen Juliana"),
+        ("dbr:The_Prodigy", "Prodigy"),
+        ("dbr:Maxim_Reality", "Maxim"),
+        ("dbr:The_Secret_in_Their_Eyes", "The Secret in Their Eyes"),
+        ("dbr:Nine_Queens", "Nine Queens"),
+        ("dbr:Mount_Everest", "Mount Everest"),
+        ("dbr:Mount_Everest", "the Mount Everest"),
+        ("dbr:Premier_League", "Premier League"),
+        ("dbr:NASA", "NASA"),
+        ("dbr:Weser", "Weser"),
+        ("dbr:Rhine", "Rhine"),
+        ("dbr:Big_Sur_(novel)", "Big Sur"),
+        ("dbr:Kennedy_Space_Center_LC-39A", "Kennedy Space Center LC 39A"),
+        ("dbr:Cape_Canaveral_SLC-40", "Cape Canaveral SLC 40"),
+        // NOTE: deliberately no "MI6" label on
+        // dbr:Secret_Intelligence_Service (paper Q48 fails on linking).
+    ];
+    for (s, l) in labels {
+        b.add_obj(s, "rdfs:label", Term::lit(*l));
+    }
+}
+
+/// Build the mini-DBpedia store.
+pub fn mini_dbpedia() -> Store {
+    let mut b = StoreBuilder::new();
+    for (s, p, o) in FACTS {
+        b.add_iri(s, p, o);
+    }
+    literal_facts(&mut b);
+    label_facts(&mut b);
+    b.build()
+}
+
+/// The mini graph augmented with **label-colliding decoy entities**,
+/// restoring the mention ambiguity the paper's comparison depends on: on
+/// DBpedia every mention links to many candidates ("Philadelphia" → city,
+/// film, team, …), which is what makes eager joint disambiguation
+/// expensive and lazy match-time disambiguation pay off (Figure 6).
+///
+/// Every entity mentioned in the benchmark gains `decoys` clones carrying
+/// the *same* `rdfs:label` (so the linker returns them all at equal
+/// confidence) but connected only through decoy predicates — so no decoy
+/// can ever satisfy a true relation, and gold answers are unchanged.
+pub fn ambiguous_dbpedia(decoys: usize, seed: u64) -> Store {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = StoreBuilder::new();
+    for (s, p, o) in FACTS {
+        b.add_iri(s, p, o);
+    }
+    literal_facts(&mut b);
+    label_facts(&mut b);
+
+    // Entities questions mention by name.
+    let mentioned: &[&str] = &[
+        "dbr:Berlin", "dbr:Germany", "dbr:Canada", "dbr:Philadelphia", "dbr:Antonio_Banderas",
+        "dbr:John_F._Kennedy", "dbr:John_F._Kennedy,_Jr.", "dbr:Wyoming", "dbr:Alaska",
+        "dbr:Queen_Elizabeth_II", "dbr:The_Prodigy", "dbr:Minecraft", "dbr:Intel",
+        "dbr:Amanda_Palmer", "dbr:Weser", "dbr:Rhine", "dbr:San_Francisco",
+        "dbr:Salt_Lake_City", "dbr:Barack_Obama", "dbr:Michelle_Obama", "dbr:Michael_Jackson",
+        "dbr:Michael_Jordan", "dbr:Margaret_Thatcher", "dbr:Jack_Kerouac", "dbr:Viking_Press",
+        "dbr:Captain_America", "dbr:Australia", "dbr:Miffy", "dbr:Orangina", "dbr:Munich",
+        "dbr:Vienna", "dbr:Francis_Ford_Coppola", "dbr:Angela_Merkel", "dbr:Mount_Everest",
+        "dbr:Chicago_Bulls", "dbr:Max_Reinhardt", "dbr:Juliana_of_the_Netherlands",
+    ];
+    let mut decoy_ids: Vec<String> = Vec::new();
+    for (ei, iri) in mentioned.iter().enumerate() {
+        let label = Term::iri(*iri).label().into_owned();
+        for d in 0..decoys {
+            let decoy = format!("dbx:Decoy_{ei}_{d}");
+            b.add_obj(&decoy, "rdfs:label", Term::lit(label.clone()));
+            b.add_iri(&decoy, "rdf:type", "dbo:DecoyThing");
+            decoy_ids.push(decoy);
+        }
+    }
+    // Random decoy-predicate edges among decoys: coherence probes and
+    // pruning scans have real work to do, but no true relation traverses
+    // these.
+    for i in 0..decoy_ids.len() {
+        for _ in 0..3 {
+            let j = rng.gen_range(0..decoy_ids.len());
+            if i != j {
+                let p = format!("dbx:decoyRel{}", rng.gen_range(0..8));
+                b.add_iri(&decoy_ids[i], &p, &decoy_ids[j]);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_rdf::schema::Schema;
+    use gqa_rdf::stats::StoreStats;
+
+    #[test]
+    fn builds_and_has_expected_shape() {
+        let s = mini_dbpedia();
+        assert!(s.len() > 200, "mini graph should be a few hundred triples, got {}", s.len());
+        let st = StoreStats::collect(&s);
+        assert!(st.entities > 80, "{st:?}");
+        assert!(st.predicates > 25, "{st:?}");
+        assert!(st.classes > 15, "{st:?}");
+    }
+
+    #[test]
+    fn running_example_subgraph_is_present() {
+        let s = mini_dbpedia();
+        let mg = s.expect_iri("dbr:Melanie_Griffith");
+        let ab = s.expect_iri("dbr:Antonio_Banderas");
+        let spouse = s.expect_iri("dbo:spouse");
+        assert!(s.contains(gqa_rdf::Triple::new(mg, spouse, ab)));
+        // Three Philadelphia vertices.
+        for iri in ["dbr:Philadelphia", "dbr:Philadelphia_(film)", "dbr:Philadelphia_76ers"] {
+            assert!(s.iri(iri).is_some(), "{iri}");
+        }
+    }
+
+    #[test]
+    fn class_structure_is_classified() {
+        let s = mini_dbpedia();
+        let schema = Schema::new(&s);
+        assert!(schema.is_class(s.expect_iri("dbo:Actor")));
+        assert!(schema.has_type(s.expect_iri("dbr:Antonio_Banderas"), s.expect_iri("dbo:Person")));
+        assert!(!schema.is_class(s.expect_iri("dbr:Berlin")));
+    }
+
+    #[test]
+    fn determinism() {
+        let a = gqa_rdf::ntriples::serialize(&mini_dbpedia());
+        let b = gqa_rdf::ntriples::serialize(&mini_dbpedia());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ambiguous_variant_collides_labels_without_breaking_gold() {
+        let s = ambiguous_dbpedia(5, 1);
+        let schema = gqa_rdf::schema::Schema::new(&s);
+        let linker = gqa_linker::Linker::new(&s, &schema);
+        let cands = linker.link("Berlin");
+        assert!(cands.len() >= 6, "real Berlin plus 5 decoys: {cands:?}");
+        // Decoys never carry true predicates.
+        let leader = s.expect_iri("dbo:leaderName");
+        let real = s.expect_iri("dbr:Berlin");
+        for c in &cands {
+            if c.id != real {
+                assert!(s.out_edges_with(c.id, leader).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn uncle_path_exists_for_ted_kennedy() {
+        let s = mini_dbpedia();
+        let ted = s.expect_iri("dbr:Ted_Kennedy");
+        let jr = s.expect_iri("dbr:John_F._Kennedy,_Jr.");
+        let paths = gqa_rdf::paths::simple_paths(&s, ted, jr, &gqa_rdf::paths::PathConfig::with_max_len(3));
+        assert!(!paths.is_empty());
+    }
+}

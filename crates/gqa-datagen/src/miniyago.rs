@@ -1,0 +1,186 @@
+//! A second curated knowledge graph with Yago2-style vocabulary.
+//!
+//! §6 of the paper: *"We also evaluate our method in other RDF
+//! repositories, such as Yago2."* This module provides the stand-in: a
+//! graph whose predicate vocabulary follows Yago's camel-cased verb style
+//! (`yago:isMarriedTo`, `yago:actedIn`, `yago:wasBornIn`, …) — disjoint
+//! from the DBpedia-flavored mini graph — plus an aligned phrase dataset
+//! and a small benchmark. Nothing in the pipeline is DBpedia-specific;
+//! the integration tests run the same code over both graphs.
+
+use gqa_paraphrase::support::{PhraseDataset, PhraseEntry};
+use gqa_rdf::{Store, StoreBuilder, Term};
+
+const FACTS: &[(&str, &str, &str)] = &[
+    // people & films
+    ("yago:Marlon_Brando", "yago:actedIn", "yago:The_Godfather_(film)"),
+    ("yago:Al_Pacino", "yago:actedIn", "yago:The_Godfather_(film)"),
+    ("yago:Al_Pacino", "yago:actedIn", "yago:Scarface_(film)"),
+    ("yago:Marlon_Brando", "rdf:type", "yago:Actor"),
+    ("yago:Al_Pacino", "rdf:type", "yago:Actor"),
+    ("yago:The_Godfather_(film)", "rdf:type", "yago:Movie"),
+    ("yago:Scarface_(film)", "rdf:type", "yago:Movie"),
+    ("yago:Movie", "rdfs:subClassOf", "yago:CreativeWork"),
+    ("yago:Actor", "rdfs:subClassOf", "yago:Person"),
+    // marriages
+    ("yago:Humphrey_Bogart", "yago:isMarriedTo", "yago:Lauren_Bacall"),
+    ("yago:Humphrey_Bogart", "rdf:type", "yago:Actor"),
+    ("yago:Lauren_Bacall", "rdf:type", "yago:Actor"),
+    ("yago:Humphrey_Bogart", "yago:actedIn", "yago:Casablanca_(film)"),
+    ("yago:Casablanca_(film)", "rdf:type", "yago:Movie"),
+    // places
+    ("yago:Albert_Einstein", "yago:wasBornIn", "yago:Ulm"),
+    ("yago:Albert_Einstein", "yago:diedIn", "yago:Princeton"),
+    ("yago:Albert_Einstein", "rdf:type", "yago:Physicist"),
+    ("yago:Physicist", "rdfs:subClassOf", "yago:Person"),
+    ("yago:Ulm", "rdf:type", "yago:City"),
+    ("yago:Princeton", "rdf:type", "yago:City"),
+    ("yago:Ulm", "yago:isLocatedIn", "yago:Germany"),
+    ("yago:Princeton", "yago:isLocatedIn", "yago:United_States"),
+    ("yago:Germany", "rdf:type", "yago:Country"),
+    ("yago:United_States", "rdf:type", "yago:Country"),
+    ("yago:Germany", "yago:hasCapital", "yago:Berlin"),
+    ("yago:Berlin", "rdf:type", "yago:City"),
+    // family (path questions)
+    ("yago:Niels_Bohr", "yago:hasChild", "yago:Aage_Bohr"),
+    ("yago:Niels_Bohr", "yago:hasChild", "yago:Hans_Bohr"),
+    ("yago:Christian_Bohr", "yago:hasChild", "yago:Niels_Bohr"),
+    ("yago:Christian_Bohr", "yago:hasChild", "yago:Jenny_Bohr"),
+    ("yago:Niels_Bohr", "rdf:type", "yago:Physicist"),
+    ("yago:Aage_Bohr", "rdf:type", "yago:Physicist"),
+    // creations
+    ("yago:J._R._R._Tolkien", "yago:created", "yago:The_Hobbit"),
+    ("yago:J._R._R._Tolkien", "yago:created", "yago:The_Lord_of_the_Rings"),
+    ("yago:The_Hobbit", "rdf:type", "yago:Book"),
+    ("yago:The_Lord_of_the_Rings", "rdf:type", "yago:Book"),
+    ("yago:Book", "rdfs:subClassOf", "yago:CreativeWork"),
+];
+
+fn labels(b: &mut StoreBuilder) {
+    let ls: &[(&str, &str)] = &[
+        ("yago:Actor", "actor"),
+        ("yago:Movie", "movie"),
+        ("yago:Movie", "film"),
+        ("yago:City", "city"),
+        ("yago:Country", "country"),
+        ("yago:Book", "book"),
+        ("yago:Physicist", "physicist"),
+        ("yago:Person", "person"),
+        ("yago:The_Godfather_(film)", "The Godfather"),
+        ("yago:Scarface_(film)", "Scarface"),
+        ("yago:Casablanca_(film)", "Casablanca"),
+        ("yago:J._R._R._Tolkien", "Tolkien"),
+    ];
+    for (s, l) in ls {
+        b.add_obj(s, "rdfs:label", Term::lit(*l));
+    }
+}
+
+/// Build the mini-Yago store.
+pub fn mini_yago() -> Store {
+    let mut b = StoreBuilder::new();
+    for (s, p, o) in FACTS {
+        b.add_iri(s, p, o);
+    }
+    labels(&mut b);
+    b.build()
+}
+
+/// The aligned relation-phrase dataset (same phrases, Yago predicates —
+/// demonstrating the dictionary is mined per-repository, §3).
+pub fn yago_phrase_dataset() -> PhraseDataset {
+    let sp = |a: &str, b: &str| (a.to_owned(), b.to_owned());
+    PhraseDataset::new(vec![
+        PhraseEntry::new(
+            "be married to",
+            vec![sp("yago:Humphrey_Bogart", "yago:Lauren_Bacall")],
+        ),
+        PhraseEntry::new(
+            "play in",
+            vec![
+                sp("yago:Marlon_Brando", "yago:The_Godfather_(film)"),
+                sp("yago:Al_Pacino", "yago:Scarface_(film)"),
+            ],
+        ),
+        PhraseEntry::new(
+            "be born in",
+            vec![sp("yago:Albert_Einstein", "yago:Ulm")],
+        ),
+        PhraseEntry::new("die in", vec![sp("yago:Albert_Einstein", "yago:Princeton")]),
+        PhraseEntry::new("capital of", vec![sp("yago:Berlin", "yago:Germany")]),
+        PhraseEntry::new(
+            "write",
+            vec![sp("yago:J._R._R._Tolkien", "yago:The_Hobbit"), sp("yago:J._R._R._Tolkien", "yago:The_Lord_of_the_Rings")],
+        ),
+        PhraseEntry::new(
+            "brother of",
+            vec![sp("yago:Niels_Bohr", "yago:Jenny_Bohr")],
+        ),
+        PhraseEntry::new(
+            "be located in",
+            vec![sp("yago:Ulm", "yago:Germany"), sp("yago:Princeton", "yago:United_States")],
+        ),
+    ])
+}
+
+/// A small benchmark over the Yago graph: `(question, gold labels)`.
+pub fn yago_benchmark() -> Vec<(&'static str, Vec<&'static str>)> {
+    vec![
+        ("Who was married to an actor that played in Casablanca?", vec!["Lauren Bacall"]),
+        ("Who is married to Humphrey Bogart?", vec!["Lauren Bacall"]),
+        ("In which city was Albert Einstein born?", vec!["Ulm"]),
+        ("Where did Albert Einstein die?", vec!["Princeton"]),
+        ("What is the capital of Germany?", vec!["Berlin"]),
+        ("Which books were written by Tolkien?", vec!["The Hobbit", "The Lord of the Rings"]),
+        ("Who is the brother of Jenny Bohr?", vec!["Niels Bohr"]),
+        ("Which movies star Al Pacino?", vec!["The Godfather", "Scarface"]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_rdf::schema::Schema;
+
+    #[test]
+    fn builds_with_disjoint_vocabulary() {
+        let y = mini_yago();
+        let d = crate::minidbp::mini_dbpedia();
+        // No shared predicate except the RDF/RDFS built-ins.
+        let dy: Vec<String> = y
+            .predicates()
+            .iter()
+            .filter_map(|&p| y.term(p).as_iri().map(str::to_owned))
+            .filter(|p| p.starts_with("yago:"))
+            .collect();
+        assert!(!dy.is_empty());
+        for p in &dy {
+            assert!(d.iri(p).is_none(), "{p} leaked into mini-DBpedia");
+        }
+    }
+
+    #[test]
+    fn schema_classifies_yago_classes() {
+        let y = mini_yago();
+        let s = Schema::new(&y);
+        assert!(s.is_class(y.expect_iri("yago:Actor")));
+        assert!(s.has_type(y.expect_iri("yago:Al_Pacino"), y.expect_iri("yago:Person")));
+    }
+
+    #[test]
+    fn phrase_dataset_resolves() {
+        let y = mini_yago();
+        assert!(yago_phrase_dataset().resolvable_fraction(&y) > 0.99);
+    }
+
+    #[test]
+    fn benchmark_golds_exist() {
+        let y = mini_yago();
+        for (q, gold) in yago_benchmark() {
+            for g in gold {
+                let found = y.vertices().iter().any(|&v| y.term(v).label() == g);
+                assert!(found, "{q}: gold {g} missing");
+            }
+        }
+    }
+}

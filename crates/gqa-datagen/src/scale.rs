@@ -1,0 +1,160 @@
+//! Parametric random RDF graph generator for scaling experiments.
+//!
+//! Produces typed entities and edges whose predicate usage follows a
+//! Zipf-like distribution (a few hub predicates like `rdf:type` and
+//! `hasGender` dominate real knowledge graphs). Deterministic per seed.
+
+use gqa_rdf::paths::{Dir, PathPattern};
+use gqa_rdf::{Store, StoreBuilder, TermId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleConfig {
+    /// Number of entity vertices.
+    pub entities: usize,
+    /// Number of distinct (non-`rdf:type`) predicates.
+    pub predicates: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Average out-degree per entity (excluding the typing edge).
+    pub avg_degree: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig { entities: 10_000, predicates: 50, classes: 20, avg_degree: 6.0, seed: 42 }
+    }
+}
+
+/// Generate a random store.
+pub fn scale_graph(cfg: &ScaleConfig) -> Store {
+    assert!(cfg.entities >= 2 && cfg.predicates >= 1 && cfg.classes >= 1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = StoreBuilder::new();
+
+    // Pre-intern names.
+    let entity_name = |i: usize| format!("e:E{i}");
+    let pred_name = |i: usize| format!("p:P{i}");
+    let class_name = |i: usize| format!("c:C{i}");
+
+    // Typing edges.
+    for i in 0..cfg.entities {
+        let c = rng.gen_range(0..cfg.classes);
+        b.add_iri(&entity_name(i), "rdf:type", &class_name(c));
+    }
+
+    // Zipf-ish predicate sampling: predicate k has weight 1/(k+1).
+    let weights: Vec<f64> = (0..cfg.predicates).map(|k| 1.0 / (k as f64 + 1.0)).collect();
+    let total_w: f64 = weights.iter().sum();
+    let sample_pred = |rng: &mut StdRng| -> usize {
+        let mut x = rng.gen::<f64>() * total_w;
+        for (k, w) in weights.iter().enumerate() {
+            if x < *w {
+                return k;
+            }
+            x -= w;
+        }
+        cfg.predicates - 1
+    };
+
+    let edges = (cfg.entities as f64 * cfg.avg_degree) as usize;
+    for _ in 0..edges {
+        let s = rng.gen_range(0..cfg.entities);
+        let mut o = rng.gen_range(0..cfg.entities);
+        if o == s {
+            o = (o + 1) % cfg.entities;
+        }
+        let p = sample_pred(&mut rng);
+        b.add_iri(&entity_name(s), &pred_name(p), &entity_name(o));
+    }
+
+    b.build()
+}
+
+/// Sample up to `want` concrete endpoint pairs realizing `pattern` in
+/// `store`, starting from random vertices. Used by the synthetic
+/// phrase-dataset generator.
+pub fn instantiable_pairs(
+    store: &Store,
+    pattern: &PathPattern,
+    want: usize,
+    rng: &mut StdRng,
+) -> Vec<(TermId, TermId)> {
+    let vertices = store.vertices();
+    let mut out: Vec<(TermId, TermId)> = Vec::new();
+    let mut attempts = 0usize;
+    while out.len() < want && attempts < want * 50 && !vertices.is_empty() {
+        attempts += 1;
+        let start = vertices[rng.gen_range(0..vertices.len())];
+        if !store.term(start).is_iri() {
+            continue;
+        }
+        let inst = gqa_rdf::paths::instantiate_from(store, start, pattern, 4);
+        if let Some(p) = inst.first() {
+            let end = *p.vertices.last().expect("nonempty");
+            if !out.contains(&(start, end)) {
+                out.push((start, end));
+            }
+        }
+    }
+    out
+}
+
+/// One forward step helper for tests.
+pub fn forward(pred: TermId) -> PathPattern {
+    PathPattern(Box::new([gqa_rdf::PathStep { pred, dir: Dir::Forward }]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_rdf::stats::StoreStats;
+
+    #[test]
+    fn generates_requested_scale() {
+        let cfg = ScaleConfig { entities: 500, predicates: 10, classes: 5, avg_degree: 4.0, seed: 3 };
+        let s = scale_graph(&cfg);
+        let st = StoreStats::collect(&s);
+        assert!(st.entities >= 490 && st.entities <= 500, "{st:?}");
+        // type edges + random edges (some dups removed)
+        assert!(st.triples > 2000, "{st:?}");
+        assert!(st.predicates <= 11);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ScaleConfig { entities: 100, predicates: 5, classes: 3, avg_degree: 3.0, seed: 9 };
+        let a = gqa_rdf::ntriples::serialize(&scale_graph(&cfg));
+        let b = gqa_rdf::ntriples::serialize(&scale_graph(&cfg));
+        assert_eq!(a, b);
+        let c = gqa_rdf::ntriples::serialize(&scale_graph(&ScaleConfig { seed: 10, ..cfg }));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_predicates_are_skewed() {
+        let cfg = ScaleConfig { entities: 2000, predicates: 20, classes: 5, avg_degree: 5.0, seed: 4 };
+        let s = scale_graph(&cfg);
+        let p0 = s.iri("p:P0").map(|p| s.with_predicate(p).count()).unwrap_or(0);
+        let p19 = s.iri("p:P19").map(|p| s.with_predicate(p).count()).unwrap_or(0);
+        assert!(p0 > p19 * 3, "P0 ({p0}) should dwarf P19 ({p19})");
+    }
+
+    #[test]
+    fn instantiable_pairs_realize_the_pattern() {
+        let cfg = ScaleConfig { entities: 300, predicates: 6, classes: 3, avg_degree: 4.0, seed: 5 };
+        let s = scale_graph(&cfg);
+        let p0 = s.expect_iri("p:P0");
+        let pat = forward(p0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let pairs = instantiable_pairs(&s, &pat, 5, &mut rng);
+        assert!(!pairs.is_empty());
+        for (a, b) in pairs {
+            assert!(gqa_rdf::paths::connects(&s, a, b, &pat).is_some());
+        }
+    }
+}

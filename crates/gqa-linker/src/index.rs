@@ -1,0 +1,267 @@
+//! The label index and the linker proper.
+
+use crate::normalize::{normalize, normalize_keep_paren, token_jaccard, tokens};
+use gqa_rdf::schema::Schema;
+use gqa_rdf::term::vocab;
+use gqa_rdf::{Store, TermId};
+use rustc_hash::FxHashMap;
+
+/// One linking candidate with its confidence `δ(arg, u)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Candidate {
+    /// The linked vertex (entity or class).
+    pub id: TermId,
+    /// Confidence probability in `(0, 1]`.
+    pub confidence: f64,
+    /// Whether the vertex is a class (paper Def. 3 distinguishes the two).
+    pub is_class: bool,
+}
+
+/// Entity/class linker over one store. Construction scans every vertex's
+/// `rdfs:label`s and IRI fragment; lookups are hash probes plus a bounded
+/// token-overlap scan.
+///
+/// ```
+/// use gqa_linker::Linker;
+/// use gqa_rdf::{schema::Schema, StoreBuilder};
+///
+/// let mut b = StoreBuilder::new();
+/// b.add_iri("dbr:Philadelphia", "rdf:type", "dbo:City");
+/// b.add_iri("dbr:Philadelphia_(film)", "rdf:type", "dbo:Film");
+/// let store = b.build();
+/// let schema = Schema::new(&store);
+///
+/// let linker = Linker::new(&store, &schema);
+/// let candidates = linker.link("Philadelphia");
+/// assert_eq!(candidates.len(), 2, "both readings stay alive");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linker {
+    /// normalized alias → vertex ids.
+    by_alias: FxHashMap<String, Vec<TermId>>,
+    /// alias token → (alias, ids) for partial matches.
+    by_token: FxHashMap<String, Vec<(String, TermId)>>,
+    /// vertex degree, used as a popularity tiebreak (DBpedia Lookup ranks
+    /// by refCount; degree is the local analogue).
+    degree: FxHashMap<TermId, usize>,
+    /// class vertices.
+    class_ids: Vec<TermId>,
+    max_candidates: usize,
+}
+
+impl Linker {
+    /// Build the index. `schema` must come from the same store.
+    pub fn new(store: &Store, schema: &Schema) -> Self {
+        let mut by_alias: FxHashMap<String, Vec<TermId>> = FxHashMap::default();
+        let mut by_token: FxHashMap<String, Vec<(String, TermId)>> = FxHashMap::default();
+        let mut degree: FxHashMap<TermId, usize> = FxHashMap::default();
+        let label_pred = store.iri(vocab::RDFS_LABEL);
+
+        let mut add_alias = |alias: String, id: TermId| {
+            if alias.is_empty() {
+                return;
+            }
+            for tok in tokens(&alias) {
+                let entry = by_token.entry(tok.to_owned()).or_default();
+                if !entry.iter().any(|(a, i)| a == &alias && *i == id) {
+                    entry.push((alias.clone(), id));
+                }
+            }
+            let entry = by_alias.entry(alias).or_default();
+            if !entry.contains(&id) {
+                entry.push(id);
+            }
+        };
+
+        for v in store.vertices() {
+            let term = store.term(v);
+            if !term.is_iri() {
+                continue;
+            }
+            degree.insert(v, store.degree(v));
+            // IRI-fragment aliases.
+            let frag = term.label();
+            add_alias(normalize(&frag), v);
+            let with_paren = term.as_iri().map(normalize_keep_paren).unwrap_or_default();
+            add_alias(keep_fragment(&with_paren, term.as_iri().unwrap_or("")), v);
+            // rdfs:label aliases.
+            if let Some(lp) = label_pred {
+                for t in store.out_edges_with(v, lp) {
+                    if let Some(text) = store.term(t.o).as_literal() {
+                        add_alias(normalize(text), v);
+                    }
+                }
+            }
+        }
+
+        let mut class_ids: Vec<TermId> = schema.classes().collect();
+        class_ids.sort_unstable();
+
+        Linker { by_alias, by_token, degree, class_ids, max_candidates: 8 }
+    }
+
+    /// Link a mention. Returns candidates ranked by descending confidence
+    /// (ties broken by vertex degree). Entities and classes both appear;
+    /// `is_class` distinguishes them.
+    pub fn link(&self, mention: &str) -> Vec<Candidate> {
+        let q = normalize(mention);
+        if q.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<(f64, usize, TermId)> = Vec::new();
+        let push = |conf: f64, id: TermId, out: &mut Vec<(f64, usize, TermId)>| {
+            if let Some(existing) = out.iter_mut().find(|(_, _, i)| *i == id) {
+                if conf > existing.0 {
+                    existing.0 = conf;
+                }
+                return;
+            }
+            out.push((conf, self.degree.get(&id).copied().unwrap_or(0), id));
+        };
+
+        // Exact alias hits: confidence 1.0.
+        if let Some(ids) = self.by_alias.get(&q) {
+            for &id in ids {
+                push(1.0, id, &mut out);
+            }
+        }
+        // Partial hits sharing any token: token-Jaccard confidence.
+        for tok in tokens(&q) {
+            if let Some(cands) = self.by_token.get(tok) {
+                for (alias, id) in cands {
+                    let sim = token_jaccard(&q, alias);
+                    if sim > 0.3 && sim < 1.0 {
+                        push(sim, *id, &mut out);
+                    }
+                }
+            }
+        }
+
+        out.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.1.cmp(&a.1))
+                .then_with(|| a.2.cmp(&b.2))
+        });
+        out.truncate(self.max_candidates);
+        out.into_iter()
+            .map(|(conf, _, id)| Candidate {
+                id,
+                confidence: conf,
+                is_class: self.class_ids.binary_search(&id).is_ok(),
+            })
+            .collect()
+    }
+
+    /// Link a mention, keeping only class candidates (used for type
+    /// arguments like "actor").
+    pub fn link_classes(&self, mention: &str) -> Vec<Candidate> {
+        self.link(mention).into_iter().filter(|c| c.is_class).collect()
+    }
+
+    /// All class vertices (for wh-arguments, which "can match all entities
+    /// and classes").
+    pub fn classes(&self) -> &[TermId] {
+        &self.class_ids
+    }
+
+    /// Change the per-mention candidate cap (default 8).
+    pub fn set_max_candidates(&mut self, k: usize) {
+        self.max_candidates = k.max(1);
+    }
+}
+
+/// For the keep-paren alias we want the *fragment* with its disambiguator,
+/// not the whole IRI: `dbr:Philadelphia_(film)` → `philadelphia film`.
+fn keep_fragment(normalized_full: &str, iri: &str) -> String {
+    // The normalized full IRI includes the namespace prefix (e.g. "dbr");
+    // recompute from the fragment alone.
+    let frag = iri.rsplit(['/', '#', ':']).next().unwrap_or(iri);
+    let _ = normalized_full;
+    normalize_keep_paren(frag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_rdf::{StoreBuilder, Term};
+
+    fn sample() -> (Store, Schema) {
+        let mut b = StoreBuilder::new();
+        b.add_iri("dbr:Philadelphia", "rdf:type", "dbo:City");
+        b.add_iri("dbr:Philadelphia_(film)", "rdf:type", "dbo:Film");
+        b.add_iri("dbr:Philadelphia_76ers", "rdf:type", "dbo:BasketballTeam");
+        b.add_iri("dbr:Philadelphia", "dbo:country", "dbr:United_States");
+        b.add_iri("dbr:Philadelphia", "dbo:leaderName", "dbr:Jim_Kenney");
+        b.add_obj("dbo:Actor", "rdfs:label", Term::lit("actor"));
+        b.add_iri("dbr:Antonio_Banderas", "rdf:type", "dbo:Actor");
+        b.add_obj("dbr:An_Actor_Prepares", "rdfs:label", Term::lit("An Actor Prepares"));
+        b.add_iri("dbr:An_Actor_Prepares", "rdf:type", "dbo:Book");
+        let store = b.build();
+        let schema = Schema::new(&store);
+        (store, schema)
+    }
+
+    #[test]
+    fn ambiguous_mention_returns_all_three_philadelphias() {
+        let (store, schema) = sample();
+        let linker = Linker::new(&store, &schema);
+        let cands = linker.link("Philadelphia");
+        let ids: Vec<_> = cands.iter().map(|c| c.id).collect();
+        for iri in ["dbr:Philadelphia", "dbr:Philadelphia_(film)", "dbr:Philadelphia_76ers"] {
+            assert!(ids.contains(&store.expect_iri(iri)), "{iri} missing from {cands:?}");
+        }
+        // The city (highest degree) ranks first among the exact matches.
+        assert_eq!(cands[0].id, store.expect_iri("dbr:Philadelphia"));
+        assert!(cands[0].confidence >= cands.last().unwrap().confidence);
+    }
+
+    #[test]
+    fn film_resolves_exactly_via_paren_alias() {
+        let (store, schema) = sample();
+        let linker = Linker::new(&store, &schema);
+        let cands = linker.link("Philadelphia film");
+        assert_eq!(cands[0].id, store.expect_iri("dbr:Philadelphia_(film)"));
+        assert!((cands[0].confidence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_and_entity_for_actor() {
+        // Paper §2.2: "actor" maps to class ⟨Actor⟩ and entity
+        // ⟨An_Actor_Prepares⟩.
+        let (store, schema) = sample();
+        let linker = Linker::new(&store, &schema);
+        let cands = linker.link("actor");
+        let class = cands.iter().find(|c| c.id == store.expect_iri("dbo:Actor")).expect("class candidate");
+        assert!(class.is_class);
+        assert!(cands.iter().any(|c| c.id == store.expect_iri("dbr:An_Actor_Prepares") && !c.is_class));
+        let only_classes = linker.link_classes("actor");
+        assert!(only_classes.iter().all(|c| c.is_class));
+        assert!(!only_classes.is_empty());
+    }
+
+    #[test]
+    fn multiword_exact_match() {
+        let (store, schema) = sample();
+        let linker = Linker::new(&store, &schema);
+        let cands = linker.link("Antonio Banderas");
+        assert_eq!(cands[0].id, store.expect_iri("dbr:Antonio_Banderas"));
+        assert!((cands[0].confidence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_mention_yields_nothing() {
+        let (store, schema) = sample();
+        let linker = Linker::new(&store, &schema);
+        assert!(linker.link("Zanzibar Floof").is_empty());
+        assert!(linker.link("").is_empty());
+    }
+
+    #[test]
+    fn candidate_cap_is_respected() {
+        let (store, schema) = sample();
+        let mut linker = Linker::new(&store, &schema);
+        linker.set_max_candidates(1);
+        assert_eq!(linker.link("Philadelphia").len(), 1);
+    }
+}

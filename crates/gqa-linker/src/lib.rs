@@ -1,0 +1,19 @@
+//! # gqa-linker — entity and class linking (paper §4.2.1)
+//!
+//! Maps an argument phrase `arg` of the semantic query graph to a ranked
+//! candidate list `C_v` of entities and classes with confidence
+//! probabilities `δ(arg, u)`. The paper delegates this to the DBpedia
+//! Lookup web service; this crate is the local stand-in, built over the
+//! store's `rdfs:label` literals and IRI fragments.
+//!
+//! Deliberate **ambiguity is preserved**: "Philadelphia" links to the city,
+//! the film and the basketball team; disambiguation happens later, during
+//! subgraph matching (the paper's core idea).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod normalize;
+
+pub use index::{Candidate, Linker};

@@ -1,0 +1,99 @@
+//! Text normalization shared by index construction and lookup.
+
+/// Normalize a label or mention for matching: lowercase, underscores and
+/// punctuation to spaces, parenthesized disambiguators dropped, whitespace
+/// collapsed.
+///
+/// `"Philadelphia_(film)"` → `"philadelphia"`,
+/// `"Salt Lake City"` → `"salt lake city"`,
+/// `"John F. Kennedy"` → `"john f kennedy"`.
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_paren = 0usize;
+    let mut last_space = true;
+    for c in s.chars() {
+        match c {
+            '(' => in_paren += 1,
+            ')' => in_paren = in_paren.saturating_sub(1),
+            _ if in_paren > 0 => {}
+            c if c.is_alphanumeric() => {
+                for l in c.to_lowercase() {
+                    out.push(l);
+                }
+                last_space = false;
+            }
+            _ => {
+                if !last_space {
+                    out.push(' ');
+                    last_space = true;
+                }
+            }
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// The normalized form *keeping* the parenthetical (used as a secondary
+/// alias so "philadelphia film" also resolves).
+pub fn normalize_keep_paren(s: &str) -> String {
+    let no_paren: String = s.chars().map(|c| if c == '(' || c == ')' { ' ' } else { c }).collect();
+    normalize(&no_paren)
+}
+
+/// Token list of a normalized string.
+pub fn tokens(normalized: &str) -> Vec<&str> {
+    normalized.split(' ').filter(|t| !t.is_empty()).collect()
+}
+
+/// Token-overlap similarity between two normalized strings: |∩| / |∪|
+/// (Jaccard over token multiset-as-set).
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let mut inter = 0usize;
+    for t in &ta {
+        if tb.contains(t) {
+            inter += 1;
+        }
+    }
+    let union = ta.len() + tb.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_iri_fragments() {
+        assert_eq!(normalize("Philadelphia_(film)"), "philadelphia");
+        assert_eq!(normalize("Salt_Lake_City"), "salt lake city");
+        assert_eq!(normalize("John_F._Kennedy"), "john f kennedy");
+        assert_eq!(normalize("Philadelphia_76ers"), "philadelphia 76ers");
+    }
+
+    #[test]
+    fn keep_paren_variant() {
+        assert_eq!(normalize_keep_paren("Philadelphia_(film)"), "philadelphia film");
+    }
+
+    #[test]
+    fn tokens_and_jaccard() {
+        assert_eq!(tokens("salt lake city"), vec!["salt", "lake", "city"]);
+        assert!((token_jaccard("philadelphia", "philadelphia 76ers") - 0.5).abs() < 1e-12);
+        assert!((token_jaccard("a b", "a b") - 1.0).abs() < 1e-12);
+        assert_eq!(token_jaccard("", "x"), 0.0);
+    }
+
+    #[test]
+    fn collapses_whitespace_and_case() {
+        assert_eq!(normalize("  The   MAYOR  "), "the mayor");
+        assert_eq!(normalize("U.S."), "u s");
+    }
+}

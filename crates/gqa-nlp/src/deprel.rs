@@ -1,0 +1,152 @@
+//! Stanford typed dependency labels.
+//!
+//! §4.1.2 of the paper partitions the grammatical relations around a relation
+//! phrase's embedding into *subject-like* (`subj, nsubj, nsubjpass, csubj,
+//! csubjpass, xsubj, poss`) and *object-like* (`obj, pobj, dobj, iobj`)
+//! relations; these drive argument identification.
+
+use std::fmt;
+
+/// A typed dependency label (Stanford dependencies subset).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum DepRel {
+    /// Nominal subject.
+    Nsubj,
+    /// Passive nominal subject.
+    Nsubjpass,
+    /// Clausal subject.
+    Csubj,
+    /// Passive clausal subject.
+    Csubjpass,
+    /// Controlled subject.
+    Xsubj,
+    /// Possession modifier (`Obama 's wife`: poss(wife, Obama)).
+    Poss,
+    /// Direct object.
+    Dobj,
+    /// Indirect object.
+    Iobj,
+    /// Object of a preposition.
+    Pobj,
+    /// Prepositional modifier.
+    Prep,
+    /// Determiner.
+    Det,
+    /// Adjectival modifier.
+    Amod,
+    /// Noun compound modifier.
+    Nn,
+    /// Auxiliary.
+    Aux,
+    /// Passive auxiliary.
+    Auxpass,
+    /// Copula.
+    Cop,
+    /// Relative-clause modifier.
+    Rcmod,
+    /// Adverbial modifier.
+    Advmod,
+    /// Coordinating conjunction.
+    Cc,
+    /// Conjunct.
+    Conj,
+    /// Numeric modifier.
+    Num,
+    /// Attributive complement of a copula in a wh-question.
+    Attr,
+    /// Possessive-marker attachment (`'s`).
+    Possessive,
+    /// Unclassified dependency.
+    Dep,
+    /// The root pseudo-relation.
+    Root,
+}
+
+impl DepRel {
+    /// The paper's *subject-like* set (§4.1.2 item 1).
+    pub fn is_subject_like(self) -> bool {
+        matches!(
+            self,
+            DepRel::Nsubj | DepRel::Nsubjpass | DepRel::Csubj | DepRel::Csubjpass | DepRel::Xsubj | DepRel::Poss
+        )
+    }
+
+    /// The paper's *object-like* set (§4.1.2 item 2).
+    pub fn is_object_like(self) -> bool {
+        matches!(self, DepRel::Dobj | DepRel::Iobj | DepRel::Pobj | DepRel::Attr)
+    }
+
+    /// Label text as printed by the Stanford tools.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DepRel::Nsubj => "nsubj",
+            DepRel::Nsubjpass => "nsubjpass",
+            DepRel::Csubj => "csubj",
+            DepRel::Csubjpass => "csubjpass",
+            DepRel::Xsubj => "xsubj",
+            DepRel::Poss => "poss",
+            DepRel::Dobj => "dobj",
+            DepRel::Iobj => "iobj",
+            DepRel::Pobj => "pobj",
+            DepRel::Prep => "prep",
+            DepRel::Det => "det",
+            DepRel::Amod => "amod",
+            DepRel::Nn => "nn",
+            DepRel::Aux => "aux",
+            DepRel::Auxpass => "auxpass",
+            DepRel::Cop => "cop",
+            DepRel::Rcmod => "rcmod",
+            DepRel::Advmod => "advmod",
+            DepRel::Cc => "cc",
+            DepRel::Conj => "conj",
+            DepRel::Num => "num",
+            DepRel::Attr => "attr",
+            DepRel::Possessive => "possessive",
+            DepRel::Dep => "dep",
+            DepRel::Root => "root",
+        }
+    }
+}
+
+impl fmt::Display for DepRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subject_like_matches_the_paper_list() {
+        let yes = [DepRel::Nsubj, DepRel::Nsubjpass, DepRel::Csubj, DepRel::Csubjpass, DepRel::Xsubj, DepRel::Poss];
+        for r in yes {
+            assert!(r.is_subject_like(), "{r}");
+            assert!(!r.is_object_like(), "{r}");
+        }
+    }
+
+    #[test]
+    fn object_like_matches_the_paper_list() {
+        let yes = [DepRel::Dobj, DepRel::Iobj, DepRel::Pobj];
+        for r in yes {
+            assert!(r.is_object_like(), "{r}");
+            assert!(!r.is_subject_like(), "{r}");
+        }
+    }
+
+    #[test]
+    fn neutral_relations() {
+        for r in [DepRel::Det, DepRel::Prep, DepRel::Aux, DepRel::Rcmod, DepRel::Root] {
+            assert!(!r.is_subject_like() && !r.is_object_like(), "{r}");
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DepRel::Nsubjpass.to_string(), "nsubjpass");
+        assert_eq!(DepRel::Pobj.to_string(), "pobj");
+    }
+}

@@ -1,0 +1,46 @@
+//! # gqa-nlp — question-analysis substrate
+//!
+//! The paper runs the Stanford Parser over the input question `N` to obtain a
+//! typed dependency tree `Y` (§4.1). Dependency parsers are scarce as Rust
+//! crates, so this crate builds the substrate from scratch:
+//!
+//! * [`token`] — tokenizer,
+//! * [`lexicon`] — closed-class word lists, irregular-verb table and a
+//!   suffix-rule lemmatizer,
+//! * [`pos`] — Penn-Treebank-style part-of-speech tagging (lexicon + suffix
+//!   heuristics),
+//! * [`deprel`] — the Stanford typed dependency labels used by the paper
+//!   (`nsubj`, `nsubjpass`, `dobj`, `pobj`, …) with the *subject-like* /
+//!   *object-like* groupings of §4.1.2,
+//! * [`tree`] — the dependency-tree data structure consumed by the relation
+//!   extractor,
+//! * [`parser`] — a deterministic rule-cascade dependency parser covering
+//!   the English question grammar of the QALD workload (wh-questions,
+//!   imperatives, passives, copulas, relative clauses and preposition
+//!   fronting/stranding),
+//! * [`question`] — question-level analysis: target (answer) node, expected
+//!   answer shape, aggregation markers.
+//!
+//! The parser is *not* a general-purpose English parser; it is a substrate
+//! faithful on the question grammar the pipeline consumes, and it produces
+//! identical trees for paraphrases such as *"In which movies did Antonio
+//! Banderas star?"* vs *"Which movies did Antonio Banderas star in?"* — the
+//! property the paper relies on (§4.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deprel;
+pub mod lexicon;
+pub mod parser;
+pub mod pos;
+pub mod question;
+pub mod token;
+pub mod tree;
+
+pub use deprel::DepRel;
+pub use parser::DependencyParser;
+pub use pos::Pos;
+pub use question::{AnswerShape, QuestionAnalysis};
+pub use token::Token;
+pub use tree::DepTree;

@@ -1,0 +1,971 @@
+//! A deterministic rule-cascade dependency parser for English questions.
+//!
+//! The paper's pipeline runs the Stanford Parser over `N` (§4.1); this module
+//! is the from-scratch substrate standing in for it. It parses the question
+//! grammar of the QALD workload:
+//!
+//! * wh-questions with do-support (*"Which movies did Antonio Banderas star
+//!   in?"*), including preposition **fronting** and **stranding** — both
+//!   produce the same tree shape, the property the paper relies on;
+//! * passives (*"Who was married to an actor …?"*);
+//! * copular questions (*"Who is the mayor of Berlin?"*, *"How tall is
+//!   Michael Jordan?"*);
+//! * imperatives (*"Give me all movies directed by Francis Ford Coppola."*);
+//! * relative clauses, both full (*"an actor that played in Philadelphia"*)
+//!   and reduced (*"launch pads operated by NASA"*);
+//! * verb coordination (*"born in Vienna and died in Berlin"*);
+//! * possessives (*"Barack Obama's wife"*).
+//!
+//! The cascade: NP chunking → possessive linking → relativizer detection →
+//! verb grouping → clause assembly (root, auxiliaries, subjects, copulas) →
+//! PP attachment → object attachment → coordination → leftovers.
+
+use crate::deprel::DepRel;
+use crate::lexicon;
+use crate::pos::Pos;
+use crate::token::{analyze, Token};
+use crate::tree::DepTree;
+
+/// The question dependency parser. Stateless; construct once and reuse.
+///
+/// ```
+/// use gqa_nlp::{DependencyParser, DepRel};
+///
+/// let tree = DependencyParser::new()
+///     .parse("Who is the mayor of Berlin?")
+///     .unwrap();
+/// let mayor = tree.tokens.iter().position(|t| t.lower == "mayor").unwrap();
+/// assert_eq!(tree.root, mayor);
+/// assert_eq!(tree.rels[0], DepRel::Nsubj); // who ← nsubj ← mayor
+/// ```
+#[derive(Default, Debug, Clone, Copy)]
+pub struct DependencyParser;
+
+impl DependencyParser {
+    /// Create a parser.
+    pub fn new() -> Self {
+        DependencyParser
+    }
+
+    /// Parse a question into a dependency tree. Returns `None` for input
+    /// with no parsable tokens.
+    pub fn parse(&self, text: &str) -> Option<DepTree> {
+        let tokens = analyze(text);
+        if tokens.is_empty() {
+            return None;
+        }
+        Some(parse_tokens(tokens))
+    }
+}
+
+/// An NP span `[start, end]` (inclusive) with its head index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Span {
+    start: usize,
+    end: usize,
+    head: usize,
+}
+
+struct State {
+    tokens: Vec<Token>,
+    heads: Vec<Option<usize>>,
+    rels: Vec<DepRel>,
+}
+
+impl State {
+    fn attach(&mut self, child: usize, head: usize, rel: DepRel) {
+        debug_assert_ne!(child, head, "self-attachment of {child}");
+        if self.heads[child].is_none() && child != head {
+            self.heads[child] = Some(head);
+            self.rels[child] = rel;
+        }
+    }
+
+    fn attached(&self, i: usize) -> bool {
+        self.heads[i].is_some()
+    }
+
+    fn pos(&self, i: usize) -> Pos {
+        self.tokens[i].pos
+    }
+
+    fn lower(&self, i: usize) -> &str {
+        &self.tokens[i].lower
+    }
+}
+
+fn parse_tokens(tokens: Vec<Token>) -> DepTree {
+    let n = tokens.len();
+    let mut st = State { tokens, heads: vec![None; n], rels: vec![DepRel::Dep; n] };
+
+    // ---- 1. NP chunking -------------------------------------------------
+    let spans = chunk_noun_phrases(&mut st);
+
+    // ---- 2. possessives: NP1 's NP2 → poss(h2, h1) ----------------------
+    link_possessives(&mut st, &spans);
+
+    // ---- 3. relativizers -------------------------------------------------
+    // A standalone wh span directly following an NP span is a relativizer.
+    let relativizers = find_relativizers(&st, &spans);
+
+    // ---- 4. verb groups --------------------------------------------------
+    let groups = find_verb_groups(&st);
+
+    // ---- 5. clause assembly ---------------------------------------------
+    let root = assemble_clauses(&mut st, &spans, &relativizers, &groups);
+
+    // ---- 6. PP attachment ------------------------------------------------
+    attach_prepositions(&mut st, &spans, root);
+
+    // ---- 7. leftover NPs as objects, leftovers as dep --------------------
+    attach_leftovers(&mut st, &spans, root);
+
+    st.heads[root] = None;
+    st.rels[root] = DepRel::Root;
+    let tree = DepTree { tokens: st.tokens, heads: st.heads, rels: st.rels, root };
+    debug_assert!(tree.is_well_formed(), "parser produced a malformed tree:\n{tree}");
+    tree
+}
+
+/// Find maximal NP runs and attach their internal structure.
+fn chunk_noun_phrases(st: &mut State) -> Vec<Span> {
+    let n = st.tokens.len();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let p = st.pos(i);
+        let starts_np = matches!(p, Pos::Dt | Pos::PrpDollar) || p.is_np_internal() || is_wh_determiner_before_noun(st, i);
+        if !starts_np {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i;
+        while j + 1 < n {
+            let q = st.pos(j + 1);
+            if q.is_np_internal() {
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        // Head: last noun in the run; otherwise last token.
+        let head = (start..=j).rev().find(|&k| st.pos(k).is_noun()).unwrap_or(j);
+        for k in start..=j {
+            if k == head {
+                continue;
+            }
+            let rel = match st.pos(k) {
+                Pos::Dt | Pos::Wdt => DepRel::Det,
+                Pos::PrpDollar => DepRel::Poss,
+                Pos::Jj | Pos::Jjr | Pos::Jjs => DepRel::Amod,
+                Pos::Cd => DepRel::Num,
+                _ if k < head => DepRel::Nn,
+                _ => DepRel::Dep,
+            };
+            st.attach(k, head, rel);
+        }
+        spans.push(Span { start, end: j, head });
+        i = j + 1;
+    }
+    spans
+}
+
+/// `which`/`what` directly before a noun acts as a determiner of that noun.
+fn is_wh_determiner_before_noun(st: &State, i: usize) -> bool {
+    matches!(st.pos(i), Pos::Wdt | Pos::Wp)
+        && st.lower(i) != "that"
+        && i + 1 < st.tokens.len()
+        && (st.pos(i + 1).is_np_internal() || st.pos(i + 1) == Pos::Dt)
+}
+
+fn link_possessives(st: &mut State, spans: &[Span]) {
+    for w in spans.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        // NP1 's NP2 — the 's sits between the spans.
+        if b.start == a.end + 2 && st.pos(a.end + 1) == Pos::Pos {
+            st.attach(a.head, b.head, DepRel::Poss);
+            st.attach(a.end + 1, a.head, DepRel::Possessive);
+        }
+    }
+}
+
+/// Positions of relativizer tokens (standalone `that`/`who`/`which` after an
+/// NP).
+fn find_relativizers(st: &State, spans: &[Span]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, _) in st.tokens.iter().enumerate() {
+        if st.attached(i) || !matches!(st.pos(i), Pos::Wp | Pos::Wdt) {
+            continue;
+        }
+        // Not sentence-initial, directly after an NP span end.
+        if i == 0 {
+            continue;
+        }
+        if spans.iter().any(|s| s.end + 1 == i) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// A maximal run of verb/modal tokens.
+#[derive(Clone, Copy, Debug)]
+struct VerbGroup {
+    start: usize,
+    end: usize,
+    /// Index of the lexical head: the last non-auxiliary verb, or the last
+    /// verb if the group is all auxiliaries.
+    main: usize,
+}
+
+fn find_verb_groups(st: &State) -> Vec<VerbGroup> {
+    let n = st.tokens.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        if st.attached(i) || !(st.pos(i).is_verb() || st.pos(i) == Pos::Md) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i;
+        while j + 1 < n && !st.attached(j + 1) && (st.pos(j + 1).is_verb() || st.pos(j + 1) == Pos::Md) {
+            j += 1;
+        }
+        // Lexical head: last token that is not a pure auxiliary form, else
+        // the last token.
+        let main = (start..=j)
+            .rev()
+            .find(|&k| {
+                !(lexicon::is_be(st.lower(k))
+                    || lexicon::is_do(st.lower(k))
+                    || lexicon::is_have(st.lower(k))
+                    || st.pos(k) == Pos::Md)
+            })
+            .unwrap_or(j);
+        out.push(VerbGroup { start, end: j, main });
+        i = j + 1;
+    }
+    out
+}
+
+/// Which clause does position `p` belong to? Clause starts are the
+/// relativizer positions; the main clause starts at 0.
+fn clause_of(relativizers: &[usize], p: usize) -> usize {
+    let mut c = 0;
+    for (k, &r) in relativizers.iter().enumerate() {
+        if p >= r {
+            c = k + 1;
+        }
+    }
+    c
+}
+
+/// Assemble verb groups into clauses: pick the root, attach auxiliaries,
+/// subjects, copulas, relative clauses and coordination. Returns the root.
+fn assemble_clauses(
+    st: &mut State,
+    spans: &[Span],
+    relativizers: &[usize],
+    groups: &[VerbGroup],
+) -> usize {
+    let n = st.tokens.len();
+    let nclauses = relativizers.len() + 1;
+
+    // Group indices per clause.
+    let mut per_clause: Vec<Vec<usize>> = vec![Vec::new(); nclauses];
+    for (gi, g) in groups.iter().enumerate() {
+        per_clause[clause_of(relativizers, g.start)].push(gi);
+    }
+
+    // ---- main clause -----------------------------------------------------
+    let main_clause_root = build_main_clause(st, spans, groups, &per_clause[0], relativizers);
+
+    // ---- relative clauses -------------------------------------------------
+    for (k, &r) in relativizers.iter().enumerate() {
+        let clause_groups = &per_clause[k + 1];
+        // The noun the clause modifies: head of the span ending right
+        // before the relativizer.
+        let modified = spans.iter().find(|s| s.end + 1 == r).map(|s| s.head);
+        if let Some(&g0) = clause_groups.first() {
+            let verb = resolve_group(st, groups, clause_groups, g0);
+            if let Some(noun) = modified {
+                st.attach(verb, noun, DepRel::Rcmod);
+            } else {
+                st.attach(verb, main_clause_root, DepRel::Dep);
+            }
+            // Relativizer is the subject of the clause verb (object
+            // relativizers are rare in the workload).
+            let passive = is_passive_group(st, groups, clause_groups, g0);
+            st.attach(r, verb, if passive { DepRel::Nsubjpass } else { DepRel::Nsubj });
+            // Coordination inside the clause: remaining groups conj to verb.
+            coordinate_groups(st, groups, clause_groups, verb);
+        } else if let Some(noun) = modified {
+            // Relativizer with no verb (elliptical); attach as dep.
+            st.attach(r, noun, DepRel::Dep);
+        }
+    }
+
+    // Reduced relative clauses: an unattached VBN group following an NP,
+    // when it is not the main verb ("launch pads operated by NASA").
+    for g in groups {
+        if st.attached(g.main) || g.main == main_clause_root {
+            continue;
+        }
+        // A participle group after an NP is a reduced relative clause. VBD
+        // tags count as participles when followed by an agentive "by"
+        // ("movies *directed by* Coppola" — the lexicon cannot distinguish
+        // VBD/VBN without context).
+        let participial = st.pos(g.main) == Pos::Vbn
+            || (st.pos(g.main) == Pos::Vbd
+                && g.end + 1 < st.tokens.len()
+                && st.lower(g.end + 1) == "by");
+        if participial {
+            if let Some(s) = spans.iter().rev().find(|s| s.end < g.start) {
+                st.attach(g.main, s.head, DepRel::Rcmod);
+                attach_group_auxiliaries(st, g, g.main);
+                continue;
+            }
+        }
+        // Any other stray verb group: conj or dep to the root.
+        if prev_is_conjunction(st, g.start) {
+            attach_coordination(st, main_clause_root, g, groups);
+        } else {
+            st.attach(g.main, main_clause_root, DepRel::Dep);
+            attach_group_auxiliaries(st, g, g.main);
+        }
+    }
+
+    // Attach any unattached relativizer-like wh word (safety net).
+    for i in 0..n {
+        if !st.attached(i) && st.pos(i).is_wh() && i != main_clause_root {
+            // Leave for leftovers; handled there relative to root.
+        }
+    }
+
+    main_clause_root
+}
+
+/// Is `and`/`or` the token right before `pos` (skipping commas — already
+/// dropped by the tokenizer)?
+fn prev_is_conjunction(st: &State, pos: usize) -> bool {
+    pos > 0 && st.pos(pos - 1) == Pos::Cc
+}
+
+fn attach_coordination(st: &mut State, head_verb: usize, g: &VerbGroup, _groups: &[VerbGroup]) {
+    st.attach(g.main, head_verb, DepRel::Conj);
+    if g.start > 0 && st.pos(g.start - 1) == Pos::Cc {
+        st.attach(g.start - 1, head_verb, DepRel::Cc);
+    }
+    attach_group_auxiliaries(st, g, g.main);
+}
+
+/// Attach auxiliaries within a single verb group to its lexical head.
+fn attach_group_auxiliaries(st: &mut State, g: &VerbGroup, head: usize) {
+    for k in g.start..=g.end {
+        if k == head || st.attached(k) {
+            continue;
+        }
+        let rel = if lexicon::is_be(st.lower(k)) && st.pos(head) == Pos::Vbn {
+            DepRel::Auxpass
+        } else {
+            DepRel::Aux
+        };
+        st.attach(k, head, rel);
+    }
+}
+
+/// Resolve the clause's verb-group list into a single lexical head verb,
+/// attaching auxiliaries (handles split do-support: `[did] … [star]`).
+fn resolve_group(st: &mut State, groups: &[VerbGroup], clause_groups: &[usize], first: usize) -> usize {
+    let g0 = groups[first];
+    let g0_is_aux_only = (g0.start..=g0.end).all(|k| {
+        lexicon::is_be(st.lower(k)) || lexicon::is_do(st.lower(k)) || lexicon::is_have(st.lower(k)) || st.pos(k) == Pos::Md
+    });
+    if g0_is_aux_only {
+        // Find the next group in the clause: its head is the lexical verb.
+        if let Some(&gi) = clause_groups.iter().find(|&&gi| groups[gi].start > g0.end) {
+            let g1 = groups[gi];
+            let head = g1.main;
+            // The split auxiliary attaches to the later lexical verb.
+            let rel = if (lexicon::is_be(st.lower(g0.main))) && st.pos(head) == Pos::Vbn {
+                DepRel::Auxpass
+            } else {
+                DepRel::Aux
+            };
+            for k in g0.start..=g0.end {
+                st.attach(k, head, rel);
+            }
+            attach_group_auxiliaries(st, &g1, head);
+            return head;
+        }
+    }
+    attach_group_auxiliaries(st, &g0, g0.main);
+    g0.main
+}
+
+/// Is the clause's resolved verb a passive participle with a *be* auxiliary?
+fn is_passive_group(st: &State, groups: &[VerbGroup], clause_groups: &[usize], first: usize) -> bool {
+    let g0 = groups[first];
+    let head = clause_groups
+        .iter()
+        .map(|&gi| groups[gi])
+        .find(|g| g.start >= g0.start)
+        .map_or(g0.main, |g| g.main);
+    // Find the lexical head among the clause groups.
+    let lexical = clause_groups
+        .iter()
+        .map(|&gi| groups[gi].main)
+        .rev()
+        .find(|&m| st.pos(m) == Pos::Vbn)
+        .unwrap_or(head);
+    st.pos(lexical) == Pos::Vbn
+        && clause_groups.iter().flat_map(|&gi| groups[gi].start..=groups[gi].end).any(|k| lexicon::is_be(st.lower(k)))
+}
+
+/// Build the main clause; returns its root node.
+fn build_main_clause(
+    st: &mut State,
+    spans: &[Span],
+    groups: &[VerbGroup],
+    clause_groups: &[usize],
+    relativizers: &[usize],
+) -> usize {
+    let n = st.tokens.len();
+    fn main_span(st: &State, spans: &[Span], relativizers: &[usize], from: usize) -> Option<Span> {
+        spans
+            .iter()
+            .copied()
+            .find(|s| s.start >= from && clause_of(relativizers, s.start) == 0 && !st.attached(s.head))
+    }
+
+    // No verb at all: root is the first NP head (or token 0).
+    if clause_groups.is_empty() {
+        return spans.first().map_or(0, |s| s.head);
+    }
+
+    let g0 = groups[clause_groups[0]];
+
+    // ---- imperative: sentence-initial base verb ("Give me …", "List …").
+    if g0.start == 0 && matches!(st.pos(g0.main), Pos::Vb | Pos::Vbp) {
+        let root = g0.main;
+        attach_group_auxiliaries(st, &g0, root);
+        // "me" as indirect object.
+        if g0.end + 1 < n && st.lower(g0.end + 1) == "me" {
+            st.attach(g0.end + 1, root, DepRel::Iobj);
+        }
+        // First following NP: direct object.
+        if let Some(s) = main_span(st, spans, relativizers, g0.end + 1) {
+            // Skip NPs already inside a PP (handled later): the NP directly
+            // after the verb (or after "me") is the object.
+            let obj_start_ok = s.start == g0.end + 1
+                || (g0.end + 1 < n && st.lower(g0.end + 1) == "me" && s.start == g0.end + 2);
+            if obj_start_ok {
+                st.attach(s.head, root, DepRel::Dobj);
+            }
+        }
+        coordinate_groups(st, groups, clause_groups, root);
+        return root;
+    }
+
+    // ---- copular clause: the only verb material is *be*.
+    let all_be = clause_groups
+        .iter()
+        .flat_map(|&gi| groups[gi].start..=groups[gi].end)
+        .all(|k| lexicon::is_be(st.lower(k)));
+    if all_be {
+        let be = g0.main;
+        return build_copular_clause(st, spans, relativizers, be);
+    }
+
+    // ---- verbal clause ----------------------------------------------------
+    let root = resolve_group(st, groups, clause_groups, clause_groups[0]);
+    let passive = is_passive_group(st, groups, clause_groups, clause_groups[0]);
+    let subj_rel = if passive { DepRel::Nsubjpass } else { DepRel::Nsubj };
+
+    // Subject: for "wh + verb…" the wh word; for "wh… aux NP verb" the NP
+    // between auxiliary and verb; otherwise the NP before the first verb.
+    let first_verb_tok = g0.start;
+    let wh0 = (0..first_verb_tok).find(|&i| st.pos(i).is_wh() && !st.attached(i));
+    let fronted_wh_span = spans
+        .iter()
+        .copied()
+        .find(|s| s.end < first_verb_tok && (st.pos(s.start).is_wh() || (s.start > 0 && st.pos(s.start - 1).is_wh())));
+
+    // NP strictly between the split auxiliary and the lexical verb → that is
+    // the subject ("did *Antonio Banderas* star").
+    let subj_between = spans
+        .iter()
+        .copied()
+        .find(|s| s.start > g0.end && s.end < root && !st.attached(s.head));
+
+    if let Some(s) = subj_between {
+        st.attach(s.head, root, subj_rel);
+        // A fronted wh-NP then becomes object material; PP attachment or
+        // object attachment below picks it up.
+    } else if let Some(s) = spans.iter().copied().find(|s| s.end < first_verb_tok && !st.attached(s.head)) {
+        // Plain declarative-order subject NP ("Sean Parnell is …" handled in
+        // copular branch; here: "the Weser flows …").
+        st.attach(s.head, root, subj_rel);
+    } else if let Some(w) = wh0 {
+        st.attach(w, root, if st.pos(w) == Pos::Wrb { DepRel::Advmod } else { subj_rel });
+    }
+    let _ = fronted_wh_span;
+
+    coordinate_groups(st, groups, clause_groups, root);
+    root
+}
+
+/// Attach remaining clause verb groups to `root` as conj/cc.
+fn coordinate_groups(st: &mut State, groups: &[VerbGroup], clause_groups: &[usize], root: usize) {
+    for &gi in clause_groups {
+        let g = groups[gi];
+        if g.main == root || st.attached(g.main) {
+            continue;
+        }
+        if prev_is_conjunction(st, g.start) {
+            attach_coordination(st, root, &g, groups);
+        }
+    }
+}
+
+/// Copular clauses. Conventions (consistent within this system):
+/// the predicate (nominal or adjectival) is the root; `cop` links the *be*
+/// form to it; the subject gets `nsubj`.
+fn build_copular_clause(st: &mut State, spans: &[Span], relativizers: &[usize], be: usize) -> usize {
+    let n = st.tokens.len();
+    let in_main = |p: usize| clause_of(relativizers, p) == 0;
+
+    // "How tall is X?" — predicate adjective before the copula.
+    if be >= 1 && st.pos(be - 1).is_adjective() && !st.attached(be - 1) {
+        let pred = be - 1;
+        st.attach(be, pred, DepRel::Cop);
+        if pred >= 1 && st.pos(pred - 1) == Pos::Wrb {
+            st.attach(pred - 1, pred, DepRel::Advmod);
+        }
+        if let Some(s) = spans.iter().find(|s| s.start > be && in_main(s.start)) {
+            st.attach(s.head, pred, DepRel::Nsubj);
+        }
+        return pred;
+    }
+
+    // Yes/no: copula is token 0 ("Is Michelle Obama the wife of …?").
+    if be == 0 {
+        let subj = spans.iter().find(|s| s.start >= 1 && in_main(s.start)).copied();
+        let pred = spans
+            .iter()
+            .copied()
+            .find(|s| subj.is_some_and(|sub| s.start > sub.end) && in_main(s.start));
+        match (subj, pred) {
+            (Some(sub), Some(pr)) => {
+                st.attach(be, pr.head, DepRel::Cop);
+                st.attach(sub.head, pr.head, DepRel::Nsubj);
+                return pr.head;
+            }
+            (Some(sub), None) => {
+                st.attach(be, sub.head, DepRel::Cop);
+                return sub.head;
+            }
+            _ => return be,
+        }
+    }
+
+    // wh + be + NP ("Who is the mayor of Berlin?", "What is the capital…"),
+    // or NP + be + NP ("Sean Parnell is the governor of …").
+    let subj_wh = (0..be).find(|&i| st.pos(i).is_wh() && !st.attached(i) && st.lower(i) != "how");
+    let subj_np = spans.iter().copied().find(|s| s.end < be && !st.attached(s.head));
+    // A span directly preceded by a preposition is a pobj, not the
+    // predicate nominal ("are *in Munich*").
+    let pred_np = spans.iter().copied().find(|s| {
+        s.start > be
+            && in_main(s.start)
+            && !st.attached(s.head)
+            && !(s.start > 0 && matches!(st.pos(s.start - 1), Pos::In | Pos::To))
+    });
+
+    match (subj_wh, subj_np, pred_np) {
+        // "Who is the mayor of Berlin?" — wh subject, nominal predicate.
+        (Some(w), None, Some(pr)) => {
+            st.attach(be, pr.head, DepRel::Cop);
+            st.attach(w, pr.head, if st.pos(w) == Pos::Wrb { DepRel::Advmod } else { DepRel::Nsubj });
+            pr.head
+        }
+        // "Sean Parnell is the governor of which state?" — NP subject.
+        (_, Some(sub), Some(pr)) => {
+            st.attach(be, pr.head, DepRel::Cop);
+            st.attach(sub.head, pr.head, DepRel::Nsubj);
+            pr.head
+        }
+        // Predicate NP with no subject material ("Are there lakes?" and
+        // other degenerate inputs): root on the predicate nominal.
+        (None, None, Some(pr)) => {
+            st.attach(be, pr.head, DepRel::Cop);
+            pr.head
+        }
+        // "Which cities are in Germany?" — wh-NP subject, PP predicate:
+        // root stays on the copula, subject attaches there.
+        (w, sub, None) => {
+            let subject = sub.map(|s| s.head).or(w);
+            if let Some(s) = subject {
+                // Root must not dangle: keep `be` as root.
+                st.attach(s, be, DepRel::Nsubj);
+            }
+            let _ = n;
+            be
+        }
+    }
+}
+
+/// Attach prepositions: `prep` to the nearest preceding noun head (when the
+/// preposition directly follows that NP) or otherwise to the nearest
+/// preceding verb / the root; `pobj` to the following NP head. Handles
+/// fronting ("In which movies did … star") and stranding ("… star in?") so
+/// that both yield `prep(star, in) + pobj(in, movies)`.
+fn attach_prepositions(st: &mut State, spans: &[Span], root: usize) {
+    let n = st.tokens.len();
+    for i in 0..n {
+        if st.attached(i) || !matches!(st.pos(i), Pos::In | Pos::To) {
+            continue;
+        }
+        // pobj: head of the NP starting right after the preposition, or a
+        // standalone wh word.
+        let pobj = spans
+            .iter()
+            .find(|s| s.start == i + 1)
+            .map(|s| s.head)
+            .or_else(|| (i + 1 < n && st.pos(i + 1).is_wh()).then_some(i + 1))
+            .or_else(|| (i + 1 < n && st.pos(i + 1) == Pos::Prp).then_some(i + 1));
+
+        // Governor: the token right before the preposition if it is a noun
+        // head or verb; otherwise the nearest preceding verb; otherwise the
+        // root (covers sentence-initial fronted PPs).
+        let governor = if i == 0 {
+            Some(root)
+        } else if st.pos(i - 1).is_noun() || st.pos(i - 1).is_verb() || st.pos(i - 1).is_adjective() {
+            // Attach to the *head* of the NP if the preceding token is
+            // inside one.
+            Some(
+                spans
+                    .iter()
+                    .find(|s| s.start < i && i - 1 <= s.end)
+                    .map_or(i - 1, |s| s.head),
+            )
+        } else {
+            (0..i).rev().find(|&k| st.pos(k).is_verb()).or(Some(root))
+        };
+
+        let Some(gov) = governor else { continue };
+        // A copula or auxiliary is never a content governor; climb to its
+        // lexical head ("are in Munich" → the clause root).
+        let gov = if matches!(st.rels[gov], DepRel::Cop | DepRel::Aux | DepRel::Auxpass) {
+            st.heads[gov].unwrap_or(root)
+        } else {
+            gov
+        };
+        let gov = resolve_to_attached_head(st, gov, root);
+        if gov == i {
+            continue;
+        }
+        st.attach(i, gov, DepRel::Prep);
+
+        match pobj {
+            Some(obj) if !st.attached(obj) && obj != i => {
+                st.attach(obj, i, DepRel::Pobj);
+            }
+            _ => {
+                // Stranded preposition: take the fronted unattached wh-NP.
+                if let Some(s) = spans.iter().find(|s| s.end < i && !st.attached(s.head)) {
+                    st.attach(s.head, i, DepRel::Pobj);
+                } else if let Some(w) = (0..i).find(|&k| st.pos(k).is_wh() && !st.attached(k)) {
+                    st.attach(w, i, DepRel::Pobj);
+                }
+            }
+        }
+    }
+}
+
+/// Walk up from `x` until an attached node (or the root) is found — used so
+/// a preposition never attaches below an unattached token.
+fn resolve_to_attached_head(st: &State, x: usize, root: usize) -> usize {
+    if x == root || st.attached(x) {
+        x
+    } else {
+        root
+    }
+}
+
+/// Attach every remaining NP (as dobj of the nearest preceding verb, attr of
+/// a copular root, or dep of the root) and every remaining token.
+fn attach_leftovers(st: &mut State, spans: &[Span], root: usize) {
+    let n = st.tokens.len();
+    // NP heads first.
+    for s in spans {
+        if st.attached(s.head) || s.head == root {
+            continue;
+        }
+        // Nearest preceding verb in the same sentence.
+        let gov = (0..s.start)
+            .rev()
+            .find(|&k| st.pos(k).is_verb() && (st.attached(k) || k == root))
+            .or_else(|| (st.pos(root).is_verb()).then_some(root));
+        match gov {
+            Some(v) => {
+                let v = if st.pos(v).is_verb() && st.rels[v] == DepRel::Cop {
+                    st.heads[v].unwrap_or(root)
+                } else if st.attached(v) && !matches!(st.rels[v], DepRel::Root) && !is_clause_head(st, v) {
+                    // aux attaches below its lexical verb; climb once.
+                    st.heads[v].unwrap_or(v)
+                } else {
+                    v
+                };
+                if v != s.head {
+                    st.attach(s.head, v, DepRel::Dobj);
+                }
+            }
+            None => st.attach(s.head, root, DepRel::Dep),
+        }
+    }
+    // Everything else.
+    for i in 0..n {
+        if !st.attached(i) && i != root {
+            let rel = match st.pos(i) {
+                Pos::Rb | Pos::Wrb => DepRel::Advmod,
+                Pos::Cc => DepRel::Cc,
+                _ => DepRel::Dep,
+            };
+            st.attach(i, root, rel);
+        }
+    }
+}
+
+/// Is `v` the head of clause-level structure (has subject/object children or
+/// is a rcmod/conj)?
+fn is_clause_head(st: &State, v: usize) -> bool {
+    matches!(st.rels[v], DepRel::Rcmod | DepRel::Conj) || st.pos(v).is_verb() && st.heads[v].is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> DepTree {
+        DependencyParser::new().parse(text).expect("parse")
+    }
+
+    /// Index of the first token whose lowercased text is `w`.
+    fn idx(t: &DepTree, w: &str) -> usize {
+        t.tokens
+            .iter()
+            .position(|tok| tok.lower == w)
+            .unwrap_or_else(|| panic!("token {w:?} not in {:?}", t.tokens.iter().map(|x| &x.text).collect::<Vec<_>>()))
+    }
+
+    fn rel_of(t: &DepTree, w: &str) -> (Option<usize>, DepRel) {
+        let i = idx(t, w);
+        (t.heads[i], t.rels[i])
+    }
+
+    #[test]
+    fn running_example_passive_with_relative_clause() {
+        // The paper's running example (Figure 5).
+        let t = parse("Who was married to an actor that played in Philadelphia?");
+        assert!(t.is_well_formed());
+        let married = idx(&t, "married");
+        assert_eq!(t.root, married);
+        assert_eq!(rel_of(&t, "who"), (Some(married), DepRel::Nsubjpass));
+        assert_eq!(rel_of(&t, "was"), (Some(married), DepRel::Auxpass));
+        let to = idx(&t, "to");
+        assert_eq!(rel_of(&t, "to"), (Some(married), DepRel::Prep));
+        let actor = idx(&t, "actor");
+        assert_eq!(t.heads[actor], Some(to));
+        assert_eq!(t.rels[actor], DepRel::Pobj);
+        let played = idx(&t, "played");
+        assert_eq!(t.heads[played], Some(actor));
+        assert_eq!(t.rels[played], DepRel::Rcmod);
+        assert_eq!(rel_of(&t, "that"), (Some(played), DepRel::Nsubj));
+        let in_ = idx(&t, "in");
+        assert_eq!(t.heads[in_], Some(played));
+        assert_eq!(rel_of(&t, "philadelphia"), (Some(in_), DepRel::Pobj));
+    }
+
+    #[test]
+    fn fronting_and_stranding_produce_the_same_shape() {
+        // §4.1: both orders must yield the same dependency structure.
+        let a = parse("In which movies did Antonio Banderas star?");
+        let b = parse("Which movies did Antonio Banderas star in?");
+        for t in [&a, &b] {
+            let star = idx(t, "star");
+            assert_eq!(t.root, star, "{t}");
+            let in_ = idx(t, "in");
+            assert_eq!(t.heads[in_], Some(star), "{t}");
+            assert_eq!(t.rels[in_], DepRel::Prep, "{t}");
+            let movies = idx(t, "movies");
+            assert_eq!(t.heads[movies], Some(in_), "{t}");
+            assert_eq!(t.rels[movies], DepRel::Pobj, "{t}");
+            let banderas = idx(t, "banderas");
+            assert_eq!(t.heads[banderas], Some(star), "{t}");
+            assert_eq!(t.rels[banderas], DepRel::Nsubj, "{t}");
+            assert_eq!(rel_of(t, "did"), (Some(star), DepRel::Aux), "{t}");
+            assert_eq!(rel_of(t, "antonio"), (Some(banderas), DepRel::Nn), "{t}");
+        }
+    }
+
+    #[test]
+    fn copular_question() {
+        let t = parse("Who is the mayor of Berlin?");
+        let mayor = idx(&t, "mayor");
+        assert_eq!(t.root, mayor);
+        assert_eq!(rel_of(&t, "who"), (Some(mayor), DepRel::Nsubj));
+        assert_eq!(rel_of(&t, "is"), (Some(mayor), DepRel::Cop));
+        assert_eq!(rel_of(&t, "the"), (Some(mayor), DepRel::Det));
+        let of = idx(&t, "of");
+        assert_eq!(t.heads[of], Some(mayor));
+        assert_eq!(rel_of(&t, "berlin"), (Some(of), DepRel::Pobj));
+    }
+
+    #[test]
+    fn adjectival_copular_question() {
+        let t = parse("How tall is Michael Jordan?");
+        let tall = idx(&t, "tall");
+        assert_eq!(t.root, tall);
+        assert_eq!(rel_of(&t, "how"), (Some(tall), DepRel::Advmod));
+        assert_eq!(rel_of(&t, "is"), (Some(tall), DepRel::Cop));
+        assert_eq!(rel_of(&t, "jordan"), (Some(tall), DepRel::Nsubj));
+    }
+
+    #[test]
+    fn imperative_with_participial_modifier() {
+        let t = parse("Give me all movies directed by Francis Ford Coppola.");
+        let give = idx(&t, "give");
+        assert_eq!(t.root, give);
+        assert_eq!(rel_of(&t, "me"), (Some(give), DepRel::Iobj));
+        let movies = idx(&t, "movies");
+        assert_eq!(t.heads[movies], Some(give));
+        assert_eq!(t.rels[movies], DepRel::Dobj);
+        let directed = idx(&t, "directed");
+        assert_eq!(t.heads[directed], Some(movies));
+        assert_eq!(t.rels[directed], DepRel::Rcmod);
+        let by = idx(&t, "by");
+        assert_eq!(t.heads[by], Some(directed));
+        assert_eq!(rel_of(&t, "coppola"), (Some(by), DepRel::Pobj));
+    }
+
+    #[test]
+    fn yes_no_question() {
+        let t = parse("Is Michelle Obama the wife of Barack Obama?");
+        let wife = idx(&t, "wife");
+        assert_eq!(t.root, wife);
+        assert_eq!(rel_of(&t, "is"), (Some(wife), DepRel::Cop));
+        let michelle_head = idx(&t, "obama"); // first Obama
+        assert_eq!(t.heads[michelle_head], Some(wife));
+        assert_eq!(t.rels[michelle_head], DepRel::Nsubj);
+    }
+
+    #[test]
+    fn simple_wh_subject_question() {
+        let t = parse("Who developed Minecraft?");
+        let dev = idx(&t, "developed");
+        assert_eq!(t.root, dev);
+        assert_eq!(rel_of(&t, "who"), (Some(dev), DepRel::Nsubj));
+        assert_eq!(rel_of(&t, "minecraft"), (Some(dev), DepRel::Dobj));
+    }
+
+    #[test]
+    fn coordination_shares_the_clause() {
+        let t = parse("Give me all people that were born in Vienna and died in Berlin.");
+        let born = idx(&t, "born");
+        let died = idx(&t, "died");
+        assert_eq!(t.rels[born], DepRel::Rcmod);
+        assert_eq!(t.heads[died], Some(born));
+        assert_eq!(t.rels[died], DepRel::Conj);
+        assert_eq!(rel_of(&t, "that"), (Some(born), DepRel::Nsubjpass));
+        let in1 = t.tokens.iter().position(|x| x.lower == "in").unwrap();
+        assert_eq!(t.heads[in1], Some(born));
+        // second "in" attaches to "died"
+        let in2 = t.tokens.iter().rposition(|x| x.lower == "in").unwrap();
+        assert_eq!(t.heads[in2], Some(died));
+    }
+
+    #[test]
+    fn possessive() {
+        let t = parse("Who is Barack Obama's wife?");
+        let wife = idx(&t, "wife");
+        assert_eq!(t.root, wife);
+        let obama = idx(&t, "obama");
+        assert_eq!(t.heads[obama], Some(wife));
+        assert_eq!(t.rels[obama], DepRel::Poss);
+    }
+
+    #[test]
+    fn when_question() {
+        let t = parse("When did Michael Jackson die?");
+        let die = idx(&t, "die");
+        assert_eq!(t.root, die);
+        assert_eq!(rel_of(&t, "when"), (Some(die), DepRel::Advmod));
+        assert_eq!(rel_of(&t, "jackson"), (Some(die), DepRel::Nsubj));
+        assert_eq!(rel_of(&t, "did"), (Some(die), DepRel::Aux));
+    }
+
+    #[test]
+    fn flow_through_question() {
+        let t = parse("Which cities does the Weser flow through?");
+        let flow = idx(&t, "flow");
+        assert_eq!(t.root, flow);
+        assert_eq!(rel_of(&t, "weser"), (Some(flow), DepRel::Nsubj));
+        let through = idx(&t, "through");
+        assert_eq!(t.heads[through], Some(flow));
+        assert_eq!(rel_of(&t, "cities"), (Some(through), DepRel::Pobj));
+    }
+
+    #[test]
+    fn np_only_input_is_rooted_at_the_np_head() {
+        let t = parse("the capital of Canada");
+        let capital = idx(&t, "capital");
+        assert_eq!(t.root, capital);
+        assert!(t.is_well_formed());
+    }
+
+    #[test]
+    fn every_workload_question_parses_well_formed() {
+        // A smoke sweep over Table 11-style questions.
+        let questions = [
+            "Who was the successor of John F. Kennedy?",
+            "Who is the mayor of Berlin?",
+            "Give me all members of Prodigy.",
+            "Give me all cars that are produced in Germany.",
+            "How tall is Michael Jordan?",
+            "What is the capital of Canada?",
+            "Who is the governor of Wyoming?",
+            "Who was the father of Queen Elizabeth II?",
+            "Sean Parnell is the governor of which U.S. state?",
+            "What is the birth name of Angela Merkel?",
+            "Who developed Minecraft?",
+            "Give me all companies in Munich.",
+            "Who founded Intel?",
+            "Who is the husband of Amanda Palmer?",
+            "Which cities does the Weser flow through?",
+            "Which countries are connected by the Rhine?",
+            "What are the nicknames of San Francisco?",
+            "What is the time zone of Salt Lake City?",
+            "Give me all Argentine films.",
+            "Is Michelle Obama the wife of Barack Obama?",
+            "When did Michael Jackson die?",
+            "List the children of Margaret Thatcher.",
+            "Who was called Scarface?",
+            "Which books by Kerouac were published by Viking Press?",
+            "How high is the Mount Everest?",
+            "Who created the comic Captain America?",
+            "What is the largest city in Australia?",
+            "In which city was the former Dutch queen Juliana buried?",
+            "Which country does the creator of Miffy come from?",
+            "Who produces Orangina?",
+            "Who is the youngest player in the Premier League?",
+            "Give me all launch pads operated by NASA.",
+        ];
+        for q in questions {
+            let t = parse(q);
+            assert!(t.is_well_formed(), "malformed tree for {q:?}:\n{t}");
+        }
+    }
+}

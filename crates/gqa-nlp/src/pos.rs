@@ -1,0 +1,234 @@
+//! Penn-Treebank-style part-of-speech tags and the tagger.
+
+use crate::lexicon;
+
+/// The POS tag set used by the parser (a pragmatic Penn Treebank subset).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum Pos {
+    /// Common noun, singular (`actor`).
+    Nn,
+    /// Common noun, plural (`movies`).
+    Nns,
+    /// Proper noun (`Berlin`, `Antonio`).
+    Nnp,
+    /// Base-form verb (`star`, `give`).
+    Vb,
+    /// Past-tense verb (`played`, `was`).
+    Vbd,
+    /// 3rd-person-singular present verb (`plays`, `is`).
+    Vbz,
+    /// Non-3rd present verb (`play`, `are`).
+    Vbp,
+    /// Past participle (`married`, `born`).
+    Vbn,
+    /// Gerund (`starring`).
+    Vbg,
+    /// Modal (`can`, `will`).
+    Md,
+    /// Preposition / subordinating conjunction (`in`, `of`, `by`).
+    In,
+    /// `to` as infinitive marker or preposition.
+    To,
+    /// Determiner (`the`, `a`, `all`).
+    Dt,
+    /// Wh-determiner (`which`, `what` before a noun).
+    Wdt,
+    /// Wh-pronoun (`who`, `what`, `whom`).
+    Wp,
+    /// Wh-adverb (`when`, `where`, `how`).
+    Wrb,
+    /// Adjective (`tall`, `Argentine`).
+    Jj,
+    /// Comparative adjective (`taller`).
+    Jjr,
+    /// Superlative adjective (`tallest`, `youngest`).
+    Jjs,
+    /// Adverb (`also`).
+    Rb,
+    /// Personal pronoun (`me`, `it`).
+    Prp,
+    /// Possessive pronoun (`his`).
+    PrpDollar,
+    /// Cardinal number.
+    Cd,
+    /// Coordinating conjunction (`and`, `or`).
+    Cc,
+    /// Possessive marker `'s`.
+    Pos,
+    /// Punctuation.
+    Punct,
+    /// Anything unrecognized.
+    Fw,
+}
+
+impl Pos {
+    /// Any verbal tag.
+    pub fn is_verb(self) -> bool {
+        matches!(self, Pos::Vb | Pos::Vbd | Pos::Vbz | Pos::Vbp | Pos::Vbn | Pos::Vbg)
+    }
+
+    /// Any nominal tag.
+    pub fn is_noun(self) -> bool {
+        matches!(self, Pos::Nn | Pos::Nns | Pos::Nnp)
+    }
+
+    /// Any wh tag.
+    pub fn is_wh(self) -> bool {
+        matches!(self, Pos::Wp | Pos::Wdt | Pos::Wrb)
+    }
+
+    /// Any adjectival tag.
+    pub fn is_adjective(self) -> bool {
+        matches!(self, Pos::Jj | Pos::Jjr | Pos::Jjs)
+    }
+
+    /// Words a noun phrase may contain before its head.
+    pub fn is_np_internal(self) -> bool {
+        self.is_noun() || self.is_adjective() || matches!(self, Pos::Cd)
+    }
+
+    /// The Penn tag text (`"NNS"`, `"VBD"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Pos::Nn => "NN",
+            Pos::Nns => "NNS",
+            Pos::Nnp => "NNP",
+            Pos::Vb => "VB",
+            Pos::Vbd => "VBD",
+            Pos::Vbz => "VBZ",
+            Pos::Vbp => "VBP",
+            Pos::Vbn => "VBN",
+            Pos::Vbg => "VBG",
+            Pos::Md => "MD",
+            Pos::In => "IN",
+            Pos::To => "TO",
+            Pos::Dt => "DT",
+            Pos::Wdt => "WDT",
+            Pos::Wp => "WP",
+            Pos::Wrb => "WRB",
+            Pos::Jj => "JJ",
+            Pos::Jjr => "JJR",
+            Pos::Jjs => "JJS",
+            Pos::Rb => "RB",
+            Pos::Prp => "PRP",
+            Pos::PrpDollar => "PRP$",
+            Pos::Cd => "CD",
+            Pos::Cc => "CC",
+            Pos::Pos => "POS",
+            Pos::Punct => ".",
+            Pos::Fw => "FW",
+        }
+    }
+}
+
+/// Tag one lowercased word, with its raw (case-preserving) form and position
+/// context.
+///
+/// Priority: closed-class lexicon → open-class lexicon → capitalization →
+/// suffix heuristics.
+pub fn tag_word(raw: &str, lower: &str, is_first: bool, prev_is_dt_or_jj: bool) -> Pos {
+    if raw.chars().all(|c| !c.is_alphanumeric()) {
+        return Pos::Punct;
+    }
+    if raw.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return Pos::Cd;
+    }
+    if let Some(p) = lexicon::closed_class(lower) {
+        return p;
+    }
+    if let Some(p) = lexicon::open_class(lower) {
+        return p;
+    }
+    // Capitalized mid-sentence (or in a known NP context) → proper noun.
+    let capitalized = raw.chars().next().is_some_and(|c| c.is_uppercase());
+    if capitalized && !is_first {
+        return Pos::Nnp;
+    }
+    // Suffix heuristics.
+    if lower.ends_with("ing") && lower.len() > 4 {
+        return Pos::Vbg;
+    }
+    if lower.ends_with("ed") && lower.len() > 3 {
+        return Pos::Vbn; // the parser distinguishes VBD/VBN from context
+    }
+    if lower.ends_with("est") && lower.len() > 4 {
+        return Pos::Jjs;
+    }
+    if lower.ends_with("ous") || lower.ends_with("ful") || lower.ends_with("ive") || lower.ends_with("al") {
+        return Pos::Jj;
+    }
+    if lower.ends_with('s') && !lower.ends_with("ss") && lower.len() > 2 {
+        return Pos::Nns;
+    }
+    if capitalized {
+        // Sentence-initial capitalized unknown: noun unless a DT/JJ follows…
+        // we cannot look ahead here, so default to NNP (questions rarely
+        // start with an unknown common noun).
+        return Pos::Nnp;
+    }
+    if prev_is_dt_or_jj {
+        return Pos::Nn;
+    }
+    Pos::Nn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_class_words() {
+        assert_eq!(tag_word("who", "who", true, false), Pos::Wp);
+        assert_eq!(tag_word("which", "which", false, false), Pos::Wdt);
+        assert_eq!(tag_word("in", "in", false, false), Pos::In);
+        assert_eq!(tag_word("the", "the", false, false), Pos::Dt);
+        assert_eq!(tag_word("and", "and", false, false), Pos::Cc);
+        assert_eq!(tag_word("to", "to", false, false), Pos::To);
+        assert_eq!(tag_word("me", "me", false, false), Pos::Prp);
+    }
+
+    #[test]
+    fn verb_forms() {
+        assert_eq!(tag_word("was", "was", false, false), Pos::Vbd);
+        assert_eq!(tag_word("is", "is", false, false), Pos::Vbz);
+        assert_eq!(tag_word("married", "married", false, false), Pos::Vbn);
+        assert_eq!(tag_word("played", "played", false, false), Pos::Vbd);
+        assert_eq!(tag_word("starring", "starring", false, false), Pos::Vbg);
+        assert_eq!(tag_word("give", "give", true, false), Pos::Vb);
+    }
+
+    #[test]
+    fn nouns_and_names() {
+        assert_eq!(tag_word("actor", "actor", false, false), Pos::Nn);
+        assert_eq!(tag_word("movies", "movies", false, false), Pos::Nns);
+        assert_eq!(tag_word("Banderas", "banderas", false, false), Pos::Nnp);
+        assert_eq!(tag_word("Philadelphia", "philadelphia", false, false), Pos::Nnp);
+    }
+
+    #[test]
+    fn numbers_and_punct() {
+        assert_eq!(tag_word("1984", "1984", false, false), Pos::Cd);
+        assert_eq!(tag_word("?", "?", false, false), Pos::Punct);
+    }
+
+    #[test]
+    fn suffix_fallbacks() {
+        assert_eq!(tag_word("flibbering", "flibbering", false, false), Pos::Vbg);
+        assert_eq!(tag_word("glorped", "glorped", false, false), Pos::Vbn);
+        assert_eq!(tag_word("zorbest", "zorbest", false, false), Pos::Jjs);
+        assert_eq!(tag_word("blops", "blops", false, false), Pos::Nns);
+        assert_eq!(tag_word("blop", "blop", false, false), Pos::Nn);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Pos::Vbd.is_verb());
+        assert!(!Pos::Nn.is_verb());
+        assert!(Pos::Nns.is_noun());
+        assert!(Pos::Wp.is_wh());
+        assert!(Pos::Jjs.is_adjective());
+        assert!(Pos::Cd.is_np_internal());
+        assert_eq!(Pos::PrpDollar.as_str(), "PRP$");
+    }
+}

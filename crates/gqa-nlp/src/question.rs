@@ -1,0 +1,224 @@
+//! Question-level analysis: which node is the answer variable, what shape
+//! the answer takes, and whether the question needs aggregation.
+//!
+//! The paper's system selects answers from the binding of the wh-vertex in
+//! the matched subgraph; aggregation questions (Table 10) are a failure
+//! class it leaves to future work — we detect them here and (optionally,
+//! see `gqa-core::aggregates`) answer them.
+
+use crate::deprel::DepRel;
+use crate::pos::Pos;
+use crate::tree::DepTree;
+
+/// What kind of value the question expects.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AnswerShape {
+    /// A set of resources ("Give me all …", "Which …").
+    List,
+    /// A person ("Who …").
+    Person,
+    /// A place ("Where …", "In which city …").
+    Place,
+    /// A date ("When …").
+    Date,
+    /// A number obtained by counting ("How many …").
+    Count,
+    /// A literal value ("How tall …", "What is the population …").
+    Literal,
+    /// Yes/no ("Is Michelle Obama the wife of …").
+    Boolean,
+    /// Anything else.
+    Other,
+}
+
+/// An aggregation marker found in the question.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Aggregation {
+    /// Superlative ("youngest", "largest"): order by some predicate and
+    /// take the extremum. Carries the superlative's node index.
+    Superlative(usize),
+    /// "How many": count the matches.
+    Count,
+    /// Numeric comparison ("more than 2000000 inhabitants"): filter by the
+    /// quantity bound at `node` (the measured noun's tree index).
+    Comparison {
+        /// Index of the quantity noun ("inhabitants").
+        node: usize,
+        /// True for more/over/greater, false for less/fewer/under.
+        greater: bool,
+        /// The threshold.
+        value: f64,
+    },
+}
+
+/// Result of analyzing one parsed question.
+#[derive(Clone, Debug)]
+pub struct QuestionAnalysis {
+    /// The node whose binding answers the question (wh word, wh-determined
+    /// noun, or the object of an imperative).
+    pub target: usize,
+    /// Expected answer shape.
+    pub shape: AnswerShape,
+    /// Aggregation, if the question needs one.
+    pub aggregation: Option<Aggregation>,
+}
+
+impl QuestionAnalysis {
+    /// Analyze a dependency tree.
+    pub fn of(tree: &DepTree) -> QuestionAnalysis {
+        let n = tree.len();
+        let lower0 = tree.tokens.first().map(|t| t.lower.as_str()).unwrap_or("");
+
+        // "how many X" → count over X.
+        let how_many = (0..n.saturating_sub(1))
+            .find(|&i| tree.tokens[i].lower == "how" && tree.tokens[i + 1].lower == "many");
+        if let Some(i) = how_many {
+            // Target: the noun the "many" modifies, or the next noun.
+            let target = (i + 2..n).find(|&j| tree.pos(j).is_noun()).unwrap_or(tree.root);
+            return QuestionAnalysis { target, shape: AnswerShape::Count, aggregation: Some(Aggregation::Count) };
+        }
+
+        // Numeric comparison: "more|less (than) <number> <noun>".
+        let comparison = (0..n).find_map(|i| {
+            let w = tree.tokens[i].lower.as_str();
+            let greater = matches!(w, "more" | "over" | "greater" | "above");
+            let less = matches!(w, "less" | "fewer" | "under" | "below");
+            if !greater && !less {
+                return None;
+            }
+            // Optional "than", then a number, then the measured noun.
+            let mut j = i + 1;
+            if j < n && tree.tokens[j].lower == "than" {
+                j += 1;
+            }
+            let value = tree.tokens.get(j).and_then(|t| t.lower.parse::<f64>().ok())?;
+            let node = (j + 1..n).find(|&k| tree.pos(k).is_noun())?;
+            Some(Aggregation::Comparison { node, greater, value })
+        });
+
+        // Superlative anywhere → aggregation marker (answered only when the
+        // aggregates extension is enabled, mirroring Table 10).
+        let superlative =
+            comparison.or_else(|| (0..n).find(|&i| tree.pos(i) == Pos::Jjs).map(Aggregation::Superlative));
+
+        // Boolean: the sentence starts with a copula or do-auxiliary.
+        if matches!(lower0, "is" | "are" | "was" | "were" | "does" | "do" | "did") {
+            let target = tree.root;
+            return QuestionAnalysis { target, shape: AnswerShape::Boolean, aggregation: superlative };
+        }
+
+        // wh-questions.
+        if let Some(w) = (0..n).find(|&i| tree.pos(i).is_wh() && tree.tokens[i].lower != "that") {
+            let lower = tree.tokens[w].lower.as_str();
+            // which/what + noun: the determined noun is the variable.
+            let target = if tree.rels[w] == DepRel::Det {
+                tree.parent(w).unwrap_or(w)
+            } else {
+                w
+            };
+            let shape = match lower {
+                "who" | "whom" | "whose" => AnswerShape::Person,
+                "where" => AnswerShape::Place,
+                "when" => AnswerShape::Date,
+                "how" => AnswerShape::Literal, // "how tall/high"
+                _ => AnswerShape::List,
+            };
+            return QuestionAnalysis { target, shape, aggregation: superlative };
+        }
+
+        // Imperatives: target = dobj of the root verb.
+        if tree.pos(tree.root).is_verb() {
+            if let Some(obj) = tree.children_via(tree.root, DepRel::Dobj).next() {
+                return QuestionAnalysis { target: obj, shape: AnswerShape::List, aggregation: superlative };
+            }
+        }
+
+        QuestionAnalysis { target: tree.root, shape: AnswerShape::Other, aggregation: superlative }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::DependencyParser;
+
+    fn analyze(q: &str) -> (DepTree, QuestionAnalysis) {
+        let t = DependencyParser::new().parse(q).unwrap();
+        let a = QuestionAnalysis::of(&t);
+        (t, a)
+    }
+
+    #[test]
+    fn who_question_targets_wh() {
+        let (t, a) = analyze("Who is the mayor of Berlin?");
+        assert_eq!(t.tokens[a.target].lower, "who");
+        assert_eq!(a.shape, AnswerShape::Person);
+        assert!(a.aggregation.is_none());
+    }
+
+    #[test]
+    fn which_noun_targets_the_noun() {
+        let (t, a) = analyze("Which cities does the Weser flow through?");
+        assert_eq!(t.tokens[a.target].lower, "cities");
+        assert_eq!(a.shape, AnswerShape::List);
+    }
+
+    #[test]
+    fn imperative_targets_dobj() {
+        let (t, a) = analyze("Give me all members of Prodigy.");
+        assert_eq!(t.tokens[a.target].lower, "members");
+        assert_eq!(a.shape, AnswerShape::List);
+    }
+
+    #[test]
+    fn boolean_detection() {
+        let (_, a) = analyze("Is Michelle Obama the wife of Barack Obama?");
+        assert_eq!(a.shape, AnswerShape::Boolean);
+    }
+
+    #[test]
+    fn when_question_is_date() {
+        let (t, a) = analyze("When did Michael Jackson die?");
+        assert_eq!(a.shape, AnswerShape::Date);
+        assert_eq!(t.tokens[a.target].lower, "when");
+    }
+
+    #[test]
+    fn how_tall_is_literal() {
+        let (_, a) = analyze("How tall is Michael Jordan?");
+        assert_eq!(a.shape, AnswerShape::Literal);
+    }
+
+    #[test]
+    fn how_many_is_count_aggregation() {
+        let (t, a) = analyze("How many companies are in Munich?");
+        assert_eq!(a.shape, AnswerShape::Count);
+        assert_eq!(a.aggregation, Some(Aggregation::Count));
+        assert_eq!(t.tokens[a.target].lower, "companies");
+    }
+
+    #[test]
+    fn comparison_is_flagged() {
+        let (t, a) = analyze("Which cities have more than 2000000 inhabitants?");
+        match a.aggregation {
+            Some(Aggregation::Comparison { node, greater, value }) => {
+                assert!(greater);
+                assert_eq!(value, 2_000_000.0);
+                assert_eq!(t.tokens[node].lower, "inhabitants");
+            }
+            other => panic!("expected comparison, got {other:?}"),
+        }
+        assert_eq!(t.tokens[a.target].lower, "cities");
+        let (_, b) = analyze("Which cities have fewer than 2000000 inhabitants?");
+        assert!(matches!(b.aggregation, Some(Aggregation::Comparison { greater: false, .. })));
+    }
+
+    #[test]
+    fn superlative_is_flagged() {
+        let (t, a) = analyze("Who is the youngest player in the Premier League?");
+        match a.aggregation {
+            Some(Aggregation::Superlative(i)) => assert_eq!(t.tokens[i].lower, "youngest"),
+            other => panic!("expected superlative, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Tokenization.
+
+use crate::lexicon;
+use crate::pos::{self, Pos};
+
+/// One token of the question, with its surface form, lowercased form,
+/// lemma and POS tag.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// Original surface text.
+    pub text: String,
+    /// Lowercased surface text.
+    pub lower: String,
+    /// Lemma (lowercased base form).
+    pub lemma: String,
+    /// Part-of-speech tag.
+    pub pos: Pos,
+}
+
+/// Split question text into word tokens.
+///
+/// Rules: split on whitespace; detach sentence-final and clause punctuation
+/// (`? . , !`); keep internal hyphens, periods in abbreviations (`U.S.`),
+/// digits and apostrophes (`'s` is detached as its own token).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in text.split_whitespace() {
+        let mut word = raw;
+        // Strip leading punctuation.
+        while let Some(c) = word.chars().next() {
+            if matches!(c, '"' | '(' | '\'' | '“') {
+                word = &word[c.len_utf8()..];
+            } else {
+                break;
+            }
+        }
+        // Detach trailing punctuation (repeatedly).
+        let mut trailing = Vec::new();
+        while let Some(c) = word.chars().last() {
+            let is_abbrev_dot = c == '.' && word.len() > 1 && word[..word.len() - 1].contains('.');
+            if matches!(c, ')' | '"' | '”' | '\'') {
+                // Closing quotes/brackets are dropped entirely.
+                word = &word[..word.len() - c.len_utf8()];
+            } else if matches!(c, '?' | '!' | ',' | ';' | ':') || (c == '.' && !is_abbrev_dot) {
+                trailing.push(c.to_string());
+                word = &word[..word.len() - c.len_utf8()];
+            } else {
+                break;
+            }
+        }
+        if !word.is_empty() {
+            // Detach possessive 's.
+            if let Some(stem) = word.strip_suffix("'s").or_else(|| word.strip_suffix("’s")) {
+                if !stem.is_empty() {
+                    out.push(stem.to_owned());
+                    out.push("'s".to_owned());
+                } else {
+                    out.push(word.to_owned());
+                }
+            } else {
+                out.push(word.to_owned());
+            }
+        }
+        out.extend(trailing.into_iter().rev());
+    }
+    out
+}
+
+/// Tokenize and tag a question, dropping punctuation tokens.
+pub fn analyze(text: &str) -> Vec<Token> {
+    let words = tokenize(text);
+    let mut out = Vec::with_capacity(words.len());
+    for (i, w) in words.iter().enumerate() {
+        let lower = w.to_lowercase();
+        let prev_is_dt_or_jj = out
+            .last()
+            .is_some_and(|t: &Token| matches!(t.pos, Pos::Dt | Pos::Jj | Pos::Jjr | Pos::Jjs));
+        let tag = pos::tag_word(w, &lower, i == 0, prev_is_dt_or_jj);
+        if tag == Pos::Punct {
+            continue;
+        }
+        let lemma = lexicon::lemmatize(&lower, tag);
+        out.push(Token { text: w.clone(), lower, lemma, pos: tag });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_final_question_mark() {
+        assert_eq!(tokenize("Who is it?"), vec!["Who", "is", "it", "?"]);
+    }
+
+    #[test]
+    fn detaches_possessive() {
+        assert_eq!(tokenize("Obama's wife"), vec!["Obama", "'s", "wife"]);
+    }
+
+    #[test]
+    fn keeps_abbreviations() {
+        assert_eq!(tokenize("a U.S. state?"), vec!["a", "U.S.", "state", "?"]);
+    }
+
+    #[test]
+    fn strips_quotes_and_commas() {
+        assert_eq!(tokenize("born in Vienna, and died"), vec!["born", "in", "Vienna", ",", "and", "died"]);
+        assert_eq!(tokenize("called \"Scarface\"?"), vec!["called", "Scarface", "?"]);
+    }
+
+    #[test]
+    fn analyze_drops_punctuation_and_lemmatizes() {
+        let toks = analyze("Who was married to an actor?");
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["Who", "was", "married", "to", "an", "actor"]);
+        assert_eq!(toks[1].lemma, "be");
+        assert_eq!(toks[2].lemma, "marry");
+        assert_eq!(toks[2].pos, Pos::Vbn);
+    }
+
+    #[test]
+    fn analyze_tags_proper_nouns_mid_sentence() {
+        let toks = analyze("did Antonio Banderas star in Philadelphia?");
+        assert_eq!(toks[1].pos, Pos::Nnp);
+        assert_eq!(toks[2].pos, Pos::Nnp);
+        assert_eq!(toks[5].pos, Pos::Nnp);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(analyze("  ").is_empty());
+    }
+}

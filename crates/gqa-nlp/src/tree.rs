@@ -1,0 +1,209 @@
+//! The dependency tree `Y` (paper §4.1): words as nodes, grammatical
+//! relations as edge labels.
+
+use crate::deprel::DepRel;
+use crate::pos::Pos;
+use crate::token::Token;
+use std::fmt;
+
+/// A dependency tree over the tokens of one question.
+///
+/// `heads[i]` is the parent of node `i` (`None` exactly for the root), and
+/// `rels[i]` labels the edge `heads[i] → i`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DepTree {
+    /// The tokens, in sentence order.
+    pub tokens: Vec<Token>,
+    /// Parent of each node; `None` for the root.
+    pub heads: Vec<Option<usize>>,
+    /// Label of the incoming edge of each node (`Root` for the root).
+    pub rels: Vec<DepRel>,
+    /// Index of the root node.
+    pub root: usize,
+}
+
+impl DepTree {
+    /// Number of nodes (`|Y|`).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Children of node `i`, in sentence order.
+    pub fn children(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.heads
+            .iter()
+            .enumerate()
+            .filter(move |&(_, h)| *h == Some(i))
+            .map(|(j, _)| j)
+    }
+
+    /// Children of `i` reached via relation `rel`.
+    pub fn children_via(&self, i: usize, rel: DepRel) -> impl Iterator<Item = usize> + '_ {
+        self.children(i).filter(move |&j| self.rels[j] == rel)
+    }
+
+    /// The parent of `i`, if any.
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.heads[i]
+    }
+
+    /// All nodes of the subtree rooted at `i`, in sentence order.
+    pub fn subtree(&self, i: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![i];
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            stack.extend(self.children(x));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Token of node `i`.
+    pub fn token(&self, i: usize) -> &Token {
+        &self.tokens[i]
+    }
+
+    /// Lemma of node `i`.
+    pub fn lemma(&self, i: usize) -> &str {
+        &self.tokens[i].lemma
+    }
+
+    /// POS of node `i`.
+    pub fn pos(&self, i: usize) -> Pos {
+        self.tokens[i].pos
+    }
+
+    /// Is this tree a well-formed rooted tree (single root, acyclic, all
+    /// nodes reachable)? Used by tests and debug assertions.
+    pub fn is_well_formed(&self) -> bool {
+        if self.tokens.is_empty() {
+            return false;
+        }
+        if self.heads.len() != self.tokens.len() || self.rels.len() != self.tokens.len() {
+            return false;
+        }
+        let roots = self.heads.iter().filter(|h| h.is_none()).count();
+        if roots != 1 || self.heads[self.root].is_some() || self.rels[self.root] != DepRel::Root {
+            return false;
+        }
+        // Every node must reach the root without cycling.
+        for mut i in 0..self.len() {
+            let mut hops = 0;
+            while let Some(h) = self.heads[i] {
+                i = h;
+                hops += 1;
+                if hops > self.len() {
+                    return false;
+                }
+            }
+            if i != self.root {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The full noun phrase headed at `i`: the subtree restricted to
+    /// NP-internal edges (det/amod/nn/num/poss/possessive), in sentence
+    /// order, rendered as text.
+    pub fn noun_phrase_text(&self, i: usize) -> String {
+        let mut nodes: Vec<usize> = vec![i];
+        let mut stack = vec![i];
+        while let Some(x) = stack.pop() {
+            for c in self.children(x) {
+                if matches!(self.rels[c], DepRel::Nn | DepRel::Amod | DepRel::Num) {
+                    nodes.push(c);
+                    stack.push(c);
+                }
+            }
+        }
+        nodes.sort_unstable();
+        let words: Vec<&str> = nodes.iter().map(|&n| self.tokens[n].text.as_str()).collect();
+        words.join(" ")
+    }
+}
+
+impl fmt::Display for DepTree {
+    /// CoNLL-ish rendering: `idx word POS head rel` per line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.tokens.iter().enumerate() {
+            writeln!(
+                f,
+                "{}\t{}\t{}\t{}\t{}",
+                i,
+                t.text,
+                t.pos.as_str(),
+                self.heads[i].map_or(-1i64, |h| h as i64),
+                self.rels[i]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::analyze;
+
+    /// Hand-built tree for "the tall actor" rooted at "actor".
+    fn np_tree() -> DepTree {
+        let tokens = analyze("the tall actor");
+        DepTree {
+            tokens,
+            heads: vec![Some(2), Some(2), None],
+            rels: vec![DepRel::Det, DepRel::Amod, DepRel::Root],
+            root: 2,
+        }
+    }
+
+    #[test]
+    fn children_and_parent() {
+        let t = np_tree();
+        assert_eq!(t.children(2).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(t.parent(0), Some(2));
+        assert_eq!(t.parent(2), None);
+        assert_eq!(t.children_via(2, DepRel::Det).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn subtree_is_sorted_and_complete() {
+        let t = np_tree();
+        assert_eq!(t.subtree(2), vec![0, 1, 2]);
+        assert_eq!(t.subtree(0), vec![0]);
+    }
+
+    #[test]
+    fn well_formedness() {
+        let t = np_tree();
+        assert!(t.is_well_formed());
+        let mut cyclic = t.clone();
+        cyclic.heads[2] = Some(0); // cycle, no root
+        cyclic.heads[0] = Some(2);
+        assert!(!cyclic.is_well_formed());
+        let mut two_roots = t.clone();
+        two_roots.heads[1] = None;
+        assert!(!two_roots.is_well_formed());
+    }
+
+    #[test]
+    fn noun_phrase_text_excludes_determiner() {
+        let t = np_tree();
+        assert_eq!(t.noun_phrase_text(2), "tall actor");
+    }
+
+    #[test]
+    fn display_renders_every_token() {
+        let t = np_tree();
+        let s = t.to_string();
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("actor"));
+        assert!(s.contains("amod"));
+    }
+}

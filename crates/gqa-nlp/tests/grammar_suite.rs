@@ -1,0 +1,163 @@
+//! Grammar-level integration tests for the question parser: paraphrase
+//! invariance (the property §4.1 of the paper relies on), a broad
+//! well-formedness sweep, and robustness against arbitrary input.
+
+use gqa_nlp::parser::DependencyParser;
+use gqa_nlp::question::QuestionAnalysis;
+use gqa_nlp::tree::DepTree;
+use gqa_nlp::DepRel;
+use proptest::prelude::*;
+
+fn parse(q: &str) -> DepTree {
+    DependencyParser::new().parse(q).unwrap_or_else(|| panic!("no parse for {q:?}"))
+}
+
+/// The unlabeled tree shape over lowercased tokens: (child_word,
+/// head_word, relation) triples, order-insensitive. Two questions with the
+/// same shape are indistinguishable to the downstream relation extractor.
+fn shape(t: &DepTree) -> Vec<(String, String, DepRel)> {
+    let mut out: Vec<(String, String, DepRel)> = (0..t.len())
+        .filter_map(|i| {
+            t.heads[i].map(|h| (t.tokens[i].lower.clone(), t.tokens[h].lower.clone(), t.rels[i]))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn preposition_fronting_vs_stranding_is_shape_invariant() {
+    // The paper's §4.1 motivating pair.
+    let a = parse("In which movies did Antonio Banderas star?");
+    let b = parse("Which movies did Antonio Banderas star in?");
+    assert_eq!(shape(&a), shape(&b), "\n{a}\nvs\n{b}");
+}
+
+#[test]
+fn auxiliary_variants_share_the_relation_skeleton() {
+    // "did ... star" vs "starred": the (star, subj) and (in, pobj) edges
+    // must survive, auxiliaries aside.
+    let a = parse("Which movies did Antonio Banderas star in?");
+    let b = parse("Antonio Banderas starred in which movies?");
+    let keep = |t: &DepTree| {
+        let mut s: Vec<(String, DepRel)> = (0..t.len())
+            .filter_map(|i| {
+                t.heads[i].and_then(|_| match t.rels[i] {
+                    DepRel::Nsubj | DepRel::Nsubjpass | DepRel::Pobj => {
+                        Some((t.tokens[i].lower.clone(), t.rels[i]))
+                    }
+                    _ => None,
+                })
+            })
+            .collect();
+        s.sort();
+        s
+    };
+    assert_eq!(keep(&a), keep(&b), "\n{a}\nvs\n{b}");
+}
+
+#[test]
+fn copula_order_variants_target_the_same_entity() {
+    let a = parse("Who is the mayor of Berlin?");
+    let b = parse("The mayor of Berlin is who?");
+    // Both must hang "of" off "mayor" and "berlin" off "of".
+    for t in [&a, &b] {
+        let of = t.tokens.iter().position(|x| x.lower == "of").unwrap();
+        let mayor = t.tokens.iter().position(|x| x.lower == "mayor").unwrap();
+        let berlin = t.tokens.iter().position(|x| x.lower == "berlin").unwrap();
+        assert_eq!(t.heads[of], Some(mayor), "{t}");
+        assert_eq!(t.heads[berlin], Some(of), "{t}");
+    }
+}
+
+#[test]
+fn qald_question_sweep_parses_well_formed_with_sane_targets() {
+    // Every benchmark-flavored phrasing must produce a rooted tree and a
+    // plausible target.
+    let cases: &[(&str, &str)] = &[
+        ("Who was the successor of John F. Kennedy?", "who"),
+        ("Which cities does the Weser flow through?", "cities"),
+        ("Give me all members of Prodigy.", "members"),
+        ("How many companies are in Munich?", "companies"),
+        ("Is Michelle Obama the wife of Barack Obama?", ""),
+        ("When did Michael Jackson die?", "when"),
+        ("What is the time zone of Salt Lake City?", "what"),
+        ("In which city was the former Dutch queen Juliana buried?", "city"),
+        ("Sean Parnell is the governor of which U.S. state?", "state"),
+        ("Which books by Kerouac were published by Viking Press?", "books"),
+        ("Give me all launch pads operated by NASA.", "pads"),
+        ("Which country does the creator of Miffy come from?", "country"),
+        ("How high is the Mount Everest?", ""),
+        ("List the children of Margaret Thatcher.", "children"),
+    ];
+    for (q, want_target) in cases {
+        let t = parse(q);
+        assert!(t.is_well_formed(), "{q}\n{t}");
+        if !want_target.is_empty() {
+            let a = QuestionAnalysis::of(&t);
+            assert_eq!(&t.tokens[a.target].lower, want_target, "{q}\n{t}");
+        }
+    }
+}
+
+#[test]
+fn relative_clause_attachment_is_stable_across_relativizers() {
+    for rel in ["that", "who"] {
+        let q = format!("Who was married to an actor {rel} played in Philadelphia?");
+        let t = parse(&q);
+        let actor = t.tokens.iter().position(|x| x.lower == "actor").unwrap();
+        let played = t.tokens.iter().position(|x| x.lower == "played").unwrap();
+        assert_eq!(t.heads[played], Some(actor), "{q}\n{t}");
+        assert_eq!(t.rels[played], DepRel::Rcmod, "{q}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any whitespace-separated word soup parses (or cleanly refuses) and
+    /// the result is always a well-formed tree.
+    #[test]
+    fn arbitrary_token_soup_never_breaks_wellformedness(
+        words in prop::collection::vec("[A-Za-z]{1,10}", 1..12),
+        punct in prop::sample::select(vec!["", "?", ".", "!"]),
+    ) {
+        let q = format!("{}{}", words.join(" "), punct);
+        if let Some(t) = DependencyParser::new().parse(&q) {
+            prop_assert!(t.is_well_formed(), "{q}\n{t}");
+            // Question analysis never panics either.
+            let _ = QuestionAnalysis::of(&t);
+        }
+    }
+
+    /// Unicode garbage never panics.
+    #[test]
+    fn unicode_garbage_never_panics(q in "\\PC{0,60}") {
+        if let Some(t) = DependencyParser::new().parse(&q) {
+            prop_assert!(t.is_well_formed());
+        }
+    }
+
+    /// Wh-questions from a template grammar always carry a wh target.
+    #[test]
+    fn templated_wh_questions_have_wh_or_noun_targets(
+        wh in prop::sample::select(vec!["Who", "What", "Which city", "Which films"]),
+        vp in prop::sample::select(vec![
+            "is the capital of Germany",
+            "was married to Antonio Banderas",
+            "did Francis Ford Coppola direct",
+            "flows through Bremen",
+        ]),
+    ) {
+        let q = format!("{wh} {vp}?");
+        let t = parse(&q);
+        prop_assert!(t.is_well_formed(), "{q}\n{t}");
+        let a = QuestionAnalysis::of(&t);
+        let tok = &t.tokens[a.target];
+        prop_assert!(
+            tok.pos.is_wh() || tok.pos.is_noun(),
+            "{q}: target {:?}",
+            tok.text
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! The paraphrase dictionary `D` (paper Figure 3) and its word-level
+//! inverted index (built offline for Algorithm 2).
+
+use gqa_rdf::paths::{Dir, PathPattern, PathStep};
+use gqa_rdf::Store;
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// One mapping `rel ↦ L` with its scores.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParaMapping {
+    /// The predicate path pattern.
+    pub path: PathPattern,
+    /// Raw tf-idf score (Definition 4).
+    pub tfidf: f64,
+    /// Confidence probability `δ(rel, L)` — per-phrase max-normalized
+    /// tf-idf, as displayed in Table 6.
+    pub confidence: f64,
+}
+
+/// The paraphrase dictionary: relation phrase → ranked candidate predicate
+/// paths, plus the word → phrase inverted index.
+#[derive(Clone, Debug, Default)]
+pub struct ParaphraseDict {
+    /// Phrase texts, in insertion order (index = phrase id).
+    phrases: Vec<String>,
+    /// Phrase words per phrase id (split of the phrase text).
+    words: Vec<Vec<String>>,
+    /// Phrase id → mappings, ranked by descending confidence.
+    mappings: Vec<Vec<ParaMapping>>,
+    /// Phrase text → phrase id.
+    by_text: FxHashMap<String, usize>,
+    /// Word → phrase ids containing it (the Algorithm-2 inverted index).
+    inverted: FxHashMap<String, Vec<usize>>,
+}
+
+impl ParaphraseDict {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) the mappings of a phrase.
+    pub fn insert(&mut self, phrase: String, mut mappings: Vec<ParaMapping>) {
+        mappings.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal));
+        if let Some(&id) = self.by_text.get(&phrase) {
+            self.mappings[id] = mappings;
+            return;
+        }
+        let id = self.phrases.len();
+        let ws: Vec<String> = phrase.split_whitespace().map(str::to_owned).collect();
+        for w in &ws {
+            let entry = self.inverted.entry(w.clone()).or_default();
+            if entry.last() != Some(&id) {
+                entry.push(id);
+            }
+        }
+        self.by_text.insert(phrase.clone(), id);
+        self.phrases.push(phrase);
+        self.words.push(ws);
+        self.mappings.push(mappings);
+    }
+
+    /// Mappings of a phrase by text, if present and nonempty.
+    pub fn lookup(&self, phrase: &str) -> Option<&[ParaMapping]> {
+        let &id = self.by_text.get(phrase)?;
+        let m = self.mappings[id].as_slice();
+        (!m.is_empty()).then_some(m)
+    }
+
+    /// Phrase ids whose phrase contains `word` (Algorithm 2, steps 1–2).
+    pub fn phrases_with_word(&self, word: &str) -> &[usize] {
+        self.inverted.get(word).map_or(&[], Vec::as_slice)
+    }
+
+    /// The words of phrase `id`.
+    pub fn phrase_words(&self, id: usize) -> &[String] {
+        &self.words[id]
+    }
+
+    /// The text of phrase `id`.
+    pub fn phrase_text(&self, id: usize) -> &str {
+        &self.phrases[id]
+    }
+
+    /// Mappings of phrase `id`.
+    pub fn mappings_of(&self, id: usize) -> &[ParaMapping] {
+        &self.mappings[id]
+    }
+
+    /// Number of phrases with at least one mapping.
+    pub fn len(&self) -> usize {
+        self.mappings.iter().filter(|m| !m.is_empty()).count()
+    }
+
+    /// Whether no phrase has mappings.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate `(phrase, mappings)` in insertion order (nonempty only).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[ParaMapping])> {
+        self.phrases
+            .iter()
+            .zip(&self.mappings)
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(p, m)| (p.as_str(), m.as_slice()))
+    }
+
+    /// Consume into `(phrase, mappings)` pairs.
+    pub fn into_entries(self) -> impl Iterator<Item = (String, Vec<ParaMapping>)> {
+        self.phrases.into_iter().zip(self.mappings)
+    }
+
+    /// Keep only the mappings satisfying `pred`; phrases left without
+    /// mappings disappear from lookups.
+    pub fn retain_mappings(&mut self, pred: impl Fn(&ParaMapping) -> bool) {
+        for m in &mut self.mappings {
+            m.retain(&pred);
+        }
+    }
+
+    /// Serialize to a plain-text format: one line per mapping,
+    /// `phrase <TAB> confidence <TAB> tfidf <TAB> step step …` where a step
+    /// is `>predIRI` (forward) or `<predIRI` (backward).
+    pub fn to_text(&self, store: &Store) -> String {
+        let mut out = String::new();
+        for (phrase, maps) in self.iter() {
+            for m in maps {
+                out.push_str(phrase);
+                out.push('\t');
+                out.push_str(&format!("{:.6}\t{:.6}\t", m.confidence, m.tfidf));
+                for (i, s) in m.path.0.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    out.push(match s.dir {
+                        Dir::Forward => '>',
+                        Dir::Backward => '<',
+                    });
+                    out.push_str(store.term(s.pred).as_iri().unwrap_or("?"));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Parse the [`Self::to_text`] format against a store. Mappings whose
+    /// predicates are unknown to the store are skipped.
+    pub fn from_text(text: &str, store: &Store) -> Result<Self, String> {
+        let mut dict = ParaphraseDict::new();
+        let mut pending: FxHashMap<String, Vec<ParaMapping>> = FxHashMap::default();
+        let mut order: Vec<String> = Vec::new();
+        for (lno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (Some(phrase), Some(conf), Some(tfidf), Some(steps)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!("line {}: expected 4 tab-separated fields", lno + 1));
+            };
+            let confidence: f64 =
+                conf.parse().map_err(|e| format!("line {}: bad confidence: {e}", lno + 1))?;
+            let tfidf: f64 = tfidf.parse().map_err(|e| format!("line {}: bad tfidf: {e}", lno + 1))?;
+            let mut path = Vec::new();
+            let mut ok = true;
+            for s in steps.split(' ') {
+                let (dir, iri) = match s.split_at(1) {
+                    (">", rest) => (Dir::Forward, rest),
+                    ("<", rest) => (Dir::Backward, rest),
+                    _ => return Err(format!("line {}: bad step {s:?}", lno + 1)),
+                };
+                match store.iri(iri) {
+                    Some(id) => path.push(PathStep { pred: id, dir }),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            if !pending.contains_key(phrase) {
+                order.push(phrase.to_owned());
+            }
+            pending
+                .entry(phrase.to_owned())
+                .or_default()
+                .push(ParaMapping { path: PathPattern(path.into_boxed_slice()), tfidf, confidence });
+        }
+        for phrase in order {
+            let maps = pending.remove(&phrase).unwrap_or_default();
+            dict.insert(phrase, maps);
+        }
+        Ok(dict)
+    }
+}
+
+impl fmt::Display for ParaphraseDict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ParaphraseDict({} phrases)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_rdf::{StoreBuilder, TermId};
+
+    fn mapping(pred: TermId, conf: f64) -> ParaMapping {
+        ParaMapping { path: PathPattern::single(pred), tfidf: conf * 10.0, confidence: conf }
+    }
+
+    #[test]
+    fn insert_lookup_and_inverted_index() {
+        let mut d = ParaphraseDict::new();
+        d.insert("be married to".into(), vec![mapping(TermId(0), 1.0)]);
+        d.insert("play in".into(), vec![mapping(TermId(1), 0.9), mapping(TermId(2), 0.5)]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.lookup("play in").unwrap().len(), 2);
+        assert!(d.lookup("unknown").is_none());
+        assert_eq!(d.phrases_with_word("married"), &[0]);
+        assert_eq!(d.phrases_with_word("in"), &[1]);
+        assert_eq!(d.phrase_words(0), &["be", "married", "to"]);
+    }
+
+    #[test]
+    fn mappings_are_sorted_by_confidence() {
+        let mut d = ParaphraseDict::new();
+        d.insert("p".into(), vec![mapping(TermId(1), 0.2), mapping(TermId(2), 0.9)]);
+        let m = d.lookup("p").unwrap();
+        assert!(m[0].confidence >= m[1].confidence);
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut d = ParaphraseDict::new();
+        d.insert("p q".into(), vec![mapping(TermId(1), 1.0)]);
+        d.insert("p q".into(), vec![mapping(TermId(2), 0.7), mapping(TermId(3), 0.6)]);
+        assert_eq!(d.lookup("p q").unwrap().len(), 2);
+        // Inverted index does not duplicate.
+        assert_eq!(d.phrases_with_word("p"), &[0]);
+    }
+
+    #[test]
+    fn retain_hides_empty_phrases() {
+        let mut d = ParaphraseDict::new();
+        d.insert("a".into(), vec![mapping(TermId(1), 1.0)]);
+        d.retain_mappings(|m| m.path.as_single_predicate() != Some(TermId(1)));
+        assert!(d.lookup("a").is_none());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut b = StoreBuilder::new();
+        b.add_iri("x", "dbo:spouse", "y");
+        b.add_iri("x", "dbo:hasChild", "y");
+        let store = b.build();
+        let spouse = store.expect_iri("dbo:spouse");
+        let child = store.expect_iri("dbo:hasChild");
+
+        let mut d = ParaphraseDict::new();
+        d.insert("be married to".into(), vec![mapping(spouse, 1.0)]);
+        d.insert(
+            "uncle of".into(),
+            vec![ParaMapping {
+                path: PathPattern(Box::new([
+                    PathStep { pred: child, dir: Dir::Backward },
+                    PathStep { pred: child, dir: Dir::Forward },
+                ])),
+                tfidf: 4.2,
+                confidence: 0.8,
+            }],
+        );
+        let text = d.to_text(&store);
+        let back = ParaphraseDict::from_text(&text, &store).unwrap();
+        assert_eq!(back.len(), 2);
+        let m = back.lookup("uncle of").unwrap();
+        assert_eq!(m[0].path.len(), 2);
+        assert_eq!(m[0].path.0[0].dir, Dir::Backward);
+        assert!((m[0].confidence - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_text_skips_unknown_predicates() {
+        let store = StoreBuilder::new().build();
+        let text = "be married to\t1.000000\t3.000000\t>dbo:spouse\n";
+        let d = ParaphraseDict::from_text(text, &store).unwrap();
+        assert!(d.lookup("be married to").is_none());
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_lines() {
+        let store = StoreBuilder::new().build();
+        assert!(ParaphraseDict::from_text("only two\tfields\n", &store).is_err());
+        assert!(ParaphraseDict::from_text("p\tx\t1.0\t>a\n", &store).is_err());
+        assert!(ParaphraseDict::from_text("p\t1.0\t1.0\t?bad\n", &store).is_err());
+    }
+}

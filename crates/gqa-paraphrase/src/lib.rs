@@ -1,0 +1,33 @@
+//! # gqa-paraphrase — the offline paraphrase dictionary (paper §3)
+//!
+//! The offline phase mines the semantic equivalence between **relation
+//! phrases** (as found by Patty/ReVerb-style extractors — here supplied by
+//! `gqa-datagen`) and **predicates or predicate paths** in the RDF graph:
+//!
+//! 1. each relation phrase `rel` comes with a support set of entity pairs
+//!    ([`support::PhraseDataset`]);
+//! 2. for every supporting pair present in the graph, all simple paths up to
+//!    length θ are enumerated, direction-blind (`gqa_rdf::paths`);
+//! 3. a path pattern frequent in `PS(rel)` *but rare across other phrases'
+//!    path sets* is a good paraphrase — scored with tf-idf (Definition 4,
+//!    [`tfidf`]);
+//! 4. the top-k patterns per phrase, with normalized confidence
+//!    probabilities `δ(rel, L)` (Equation 1), form the paraphrase dictionary
+//!    [`dict::ParaphraseDict`] (the paper's `D`, Figure 3).
+//!
+//! The dictionary also carries the word → phrase **inverted index** consumed
+//! by the online embedding finder (Algorithm 2), and supports the
+//! maintenance operations sketched in §3 (re-mining for new predicates,
+//! dropping mappings of removed predicates).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dict;
+pub mod miner;
+pub mod support;
+pub mod tfidf;
+
+pub use dict::{ParaMapping, ParaphraseDict};
+pub use miner::{mine, MinerConfig};
+pub use support::{PhraseDataset, PhraseEntry};

@@ -1,0 +1,415 @@
+//! Algorithm 1: mining top-k predicate paths per relation phrase.
+
+use crate::dict::{ParaMapping, ParaphraseDict};
+use crate::support::PhraseDataset;
+use crate::tfidf::{document_frequency, tf_idf, PathSetSummary};
+use gqa_rdf::paths::{simple_paths, PathConfig};
+use gqa_rdf::Store;
+
+/// Configuration of the offline miner.
+#[derive(Clone, Debug)]
+pub struct MinerConfig {
+    /// Path-length threshold θ (paper default 4; Table 7 also reports θ=2).
+    pub theta: usize,
+    /// Keep the top-k patterns per phrase (paper: top-k with k small; the
+    /// precision experiment looks at P@3).
+    pub top_k: usize,
+    /// Safety valve for hub vertices (max paths per support pair).
+    pub max_paths_per_pair: usize,
+    /// Worker threads for the path-enumeration phase (1 = serial). Phrases
+    /// are independent, so results are identical at any thread count.
+    pub threads: usize,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        MinerConfig { theta: 4, top_k: 3, max_paths_per_pair: 20_000, threads: 1 }
+    }
+}
+
+impl MinerConfig {
+    /// A config with the given θ.
+    pub fn with_theta(theta: usize) -> Self {
+        MinerConfig { theta, ..Default::default() }
+    }
+}
+
+/// Run Algorithm 1 over a store and phrase dataset, producing the
+/// paraphrase dictionary `D`.
+///
+/// ```
+/// use gqa_paraphrase::{mine, MinerConfig, PhraseDataset, PhraseEntry};
+/// use gqa_rdf::StoreBuilder;
+///
+/// let mut b = StoreBuilder::new();
+/// b.add_iri("dbr:Melanie", "dbo:spouse", "dbr:Antonio");
+/// b.add_iri("dbr:Film", "dbo:starring", "dbr:Antonio");
+/// b.add_iri("dbr:Amanda", "dbo:friend", "dbr:Neil");
+/// let store = b.build();
+///
+/// let dataset = PhraseDataset::new(vec![
+///     PhraseEntry::new("be married to", vec![("dbr:Melanie".into(), "dbr:Antonio".into())]),
+///     PhraseEntry::new("play in", vec![("dbr:Antonio".into(), "dbr:Film".into())]),
+///     PhraseEntry::new("know", vec![("dbr:Amanda".into(), "dbr:Neil".into())]),
+/// ]);
+/// let dict = mine(&store, &dataset, &MinerConfig::default());
+/// let spouse = store.expect_iri("dbo:spouse");
+/// let top = &dict.lookup("be married to").unwrap()[0];
+/// assert_eq!(top.path.as_single_predicate(), Some(spouse));
+/// ```
+///
+/// Steps 1–4 of the algorithm enumerate `Path(v, v′)` per supporting pair
+/// (bidirectional BFS, direction-blind, length ≤ θ) and union them into
+/// `PS(rel)`; steps 5–8 score every pattern with tf-idf and keep the top-k
+/// per phrase. Confidence probabilities are the per-phrase max-normalized
+/// tf-idf values (Equation 1, normalized as in Table 6).
+pub fn mine(store: &Store, dataset: &PhraseDataset, cfg: &MinerConfig) -> ParaphraseDict {
+    mine_with_corpus_size(store, dataset, cfg, dataset.entries.len())
+}
+
+/// [`mine`] with an explicit corpus size `|T|` for the idf term — used by
+/// incremental maintenance, where only the affected phrases are re-mined
+/// but idf must still reflect the full dictionary.
+pub fn mine_with_corpus_size(
+    store: &Store,
+    dataset: &PhraseDataset,
+    cfg: &MinerConfig,
+    corpus_size: usize,
+) -> ParaphraseDict {
+    let path_cfg = PathConfig { max_len: cfg.theta, max_paths: cfg.max_paths_per_pair, ..Default::default() }
+        .skip_schema_predicates(store);
+
+    // Phase 1: per-phrase path-set summaries.
+    let summaries = summarize(store, dataset, &path_cfg, cfg.threads);
+
+    // Phase 2: document frequencies across phrases.
+    let df = document_frequency(summaries.iter());
+    let total = corpus_size.max(dataset.entries.len());
+
+    // Phase 3: score and keep top-k per phrase.
+    let mut dict = ParaphraseDict::default();
+    for (entry, summary) in dataset.entries.iter().zip(&summaries) {
+        let mut scored: Vec<(f64, gqa_rdf::PathPattern)> = summary
+            .tf
+            .iter()
+            .map(|(pattern, &tf)| {
+                let d = df.get(pattern).copied().unwrap_or(0) as usize;
+                (tf_idf(tf, total, d), pattern.clone())
+            })
+            .filter(|(score, _)| *score > 0.0)
+            .collect();
+        // Ties break toward shorter paths (the paper observes precision
+        // falls with path length), then lexicographically for determinism.
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.len().cmp(&b.1.len()))
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        scored.truncate(cfg.top_k);
+        if scored.is_empty() {
+            continue;
+        }
+        let max = scored[0].0;
+        // Confidence = max-normalized tf-idf, discounted per extra hop: the
+        // paper's Exp 1 finds precision drops with path length, so equal
+        // tf-idf scores must not make a 3-hop paraphrase as trusted as a
+        // direct predicate.
+        const LENGTH_DECAY: f64 = 0.9;
+        let mappings: Vec<ParaMapping> = scored
+            .into_iter()
+            .map(|(score, path)| {
+                let decay = LENGTH_DECAY.powi(path.len() as i32 - 1);
+                ParaMapping { path, tfidf: score, confidence: (score / max) * decay }
+            })
+            .collect();
+        dict.insert(entry.text.clone(), mappings);
+    }
+    dict
+}
+
+/// Phase 1 of Algorithm 1, optionally parallel: enumerate the path sets of
+/// every phrase's support pairs. Phrases are embarrassingly parallel; the
+/// per-phrase output order is preserved, so the result is deterministic.
+fn summarize(
+    store: &Store,
+    dataset: &PhraseDataset,
+    path_cfg: &PathConfig,
+    threads: usize,
+) -> Vec<PathSetSummary> {
+    let summarize_one = |entry: &crate::support::PhraseEntry| {
+        let mut summary = PathSetSummary::default();
+        for (a, b) in &entry.support {
+            let (Some(va), Some(vb)) = (store.iri(a), store.iri(b)) else {
+                continue; // pair does not occur in the RDF graph
+            };
+            let paths = simple_paths(store, va, vb, path_cfg);
+            summary.record_pair(paths.iter().map(|p| p.pattern()));
+        }
+        summary
+    };
+    if threads <= 1 || dataset.entries.len() < 2 {
+        return dataset.entries.iter().map(summarize_one).collect();
+    }
+    let threads = threads.min(dataset.entries.len());
+    let chunk = dataset.entries.len().div_ceil(threads);
+    let mut out: Vec<Vec<PathSetSummary>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = dataset
+            .entries
+            .chunks(chunk)
+            .map(|entries| scope.spawn(move |_| entries.iter().map(summarize_one).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("miner worker panicked"));
+        }
+    })
+    .expect("miner scope");
+    out.into_iter().flatten().collect()
+}
+
+/// Maintenance (§3): re-mine only the phrases whose support pairs touch a
+/// set of *new* predicates, merging the result into an existing dictionary.
+/// Existing entries for unaffected phrases are kept as-is. The caller
+/// supplies the updated store (containing the new predicates).
+pub fn remine_for_new_predicates(
+    dict: &mut ParaphraseDict,
+    store: &Store,
+    dataset: &PhraseDataset,
+    new_predicates: &[&str],
+    cfg: &MinerConfig,
+) {
+    // Affected phrases: any whose support pair is connected through one of
+    // the new predicates. Cheap over-approximation: any phrase with at
+    // least one resolvable pair adjacent to a new predicate edge.
+    let new_ids: Vec<_> = new_predicates.iter().filter_map(|p| store.iri(p)).collect();
+    if new_ids.is_empty() {
+        return;
+    }
+    let touches_new = |iri: &str| -> bool {
+        let Some(v) = store.iri(iri) else { return false };
+        store.out_edges(v).iter().any(|t| new_ids.contains(&t.p))
+            || store.in_edges(v).any(|t| new_ids.contains(&t.p))
+    };
+    let affected: Vec<usize> = dataset
+        .entries
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.support.iter().any(|(a, b)| touches_new(a) || touches_new(b)))
+        .map(|(i, _)| i)
+        .collect();
+    if affected.is_empty() {
+        return;
+    }
+    let sub = PhraseDataset::new(affected.iter().map(|&i| dataset.entries[i].clone()).collect());
+    // Document frequencies are approximated within the affected subset, but
+    // the corpus size |T| stays that of the full dictionary so idf keeps its
+    // scale.
+    let fresh = mine_with_corpus_size(store, &sub, cfg, dataset.entries.len());
+    for (phrase, mappings) in fresh.into_entries() {
+        dict.insert(phrase, mappings);
+    }
+}
+
+/// Maintenance (§3): delete all mappings that use any of the removed
+/// predicates.
+pub fn drop_removed_predicates(dict: &mut ParaphraseDict, removed: &[gqa_rdf::TermId]) {
+    dict.retain_mappings(|m| m.path.0.iter().all(|s| !removed.contains(&s.pred)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support::PhraseEntry;
+    use gqa_rdf::{Dir, PathPattern, PathStep, StoreBuilder};
+
+    /// A family graph where "uncle of" requires a length-3 path and a
+    /// `hasGender` noise hub exists (Figure 4).
+    fn family_store() -> Store {
+        let mut b = StoreBuilder::new();
+        // Two uncle instances.
+        b.add_iri("Joseph_Sr", "hasChild", "Ted");
+        b.add_iri("Joseph_Sr", "hasChild", "JFK");
+        b.add_iri("JFK", "hasChild", "JFK_jr");
+        b.add_iri("Gerry", "hasChild", "Peter");
+        b.add_iri("Gerry", "hasChild", "Bernie");
+        b.add_iri("Bernie", "hasChild", "Jim");
+        // Spouses for "be married to".
+        b.add_iri("Melanie", "spouse", "Antonio");
+        b.add_iri("Jackie", "spouse", "JFK");
+        // Gender noise on everyone.
+        for p in ["Ted", "JFK", "JFK_jr", "Peter", "Jim", "Antonio", "Joseph_Sr", "Gerry", "Bernie"] {
+            b.add_iri(p, "hasGender", "male");
+        }
+        for p in ["Melanie", "Jackie"] {
+            b.add_iri(p, "hasGender", "female");
+        }
+        b.build()
+    }
+
+    fn family_dataset() -> PhraseDataset {
+        PhraseDataset::new(vec![
+            PhraseEntry::new(
+                "uncle of",
+                vec![("Ted".into(), "JFK_jr".into()), ("Peter".into(), "Jim".into())],
+            ),
+            PhraseEntry::new(
+                "be married to",
+                vec![("Melanie".into(), "Antonio".into()), ("Jackie".into(), "JFK".into())],
+            ),
+            // A third phrase to make gender paths globally frequent.
+            PhraseEntry::new(
+                "brother of",
+                vec![("Ted".into(), "JFK".into()), ("Peter".into(), "Bernie".into())],
+            ),
+        ])
+    }
+
+    #[test]
+    fn uncle_mines_the_length_3_path() {
+        let store = family_store();
+        let dict = mine(&store, &family_dataset(), &MinerConfig::default());
+        let child = store.expect_iri("hasChild");
+        let uncle = PathPattern(Box::new([
+            PathStep { pred: child, dir: Dir::Backward },
+            PathStep { pred: child, dir: Dir::Forward },
+            PathStep { pred: child, dir: Dir::Forward },
+        ]));
+        let maps = dict.lookup("uncle of").expect("uncle of mined");
+        assert_eq!(maps[0].path, uncle, "top mapping should be the uncle path: {maps:?}");
+        // Max-normalized, then length-discounted (0.9 per extra hop).
+        assert!((maps[0].confidence - 0.9f64.powi(2)).abs() < 1e-12, "{maps:?}");
+    }
+
+    #[test]
+    fn married_mines_the_spouse_predicate() {
+        let store = family_store();
+        let dict = mine(&store, &family_dataset(), &MinerConfig::default());
+        let spouse = PathPattern::single(store.expect_iri("spouse"));
+        let maps = dict.lookup("be married to").unwrap();
+        assert_eq!(maps[0].path, spouse);
+    }
+
+    #[test]
+    fn gender_noise_is_ranked_below_true_paths() {
+        let store = family_store();
+        let dict = mine(&store, &family_dataset(), &MinerConfig { top_k: 10, ..Default::default() });
+        let gender = store.expect_iri("hasGender");
+        let noise = PathPattern(Box::new([
+            PathStep { pred: gender, dir: Dir::Forward },
+            PathStep { pred: gender, dir: Dir::Backward },
+        ]));
+        let maps = dict.lookup("uncle of").unwrap();
+        let noise_rank = maps.iter().position(|m| m.path == noise);
+        // tf-idf must not put the gender hub first.
+        assert_ne!(noise_rank, Some(0), "{maps:?}");
+    }
+
+    #[test]
+    fn theta_limits_path_length() {
+        let store = family_store();
+        let dict = mine(&store, &family_dataset(), &MinerConfig::with_theta(2));
+        // With θ=2 the uncle path (length 3) cannot be mined.
+        if let Some(maps) = dict.lookup("uncle of") {
+            assert!(maps.iter().all(|m| m.path.len() <= 2), "{maps:?}");
+        }
+    }
+
+    #[test]
+    fn unresolvable_pairs_are_skipped() {
+        let store = family_store();
+        let ds = PhraseDataset::new(vec![PhraseEntry::new(
+            "teleport to",
+            vec![("NotInGraph".into(), "AlsoMissing".into())],
+        )]);
+        let dict = mine(&store, &ds, &MinerConfig::default());
+        assert!(dict.lookup("teleport to").is_none());
+    }
+
+    #[test]
+    fn drop_removed_predicates_filters_mappings() {
+        let store = family_store();
+        let mut dict = mine(&store, &family_dataset(), &MinerConfig::default());
+        let spouse = store.expect_iri("spouse");
+        drop_removed_predicates(&mut dict, &[spouse]);
+        assert!(dict.lookup("be married to").is_none(), "all spouse mappings must vanish");
+        assert!(dict.lookup("uncle of").is_some(), "unrelated mappings survive");
+    }
+
+    #[test]
+    fn remine_merges_affected_phrases_only() {
+        // Start from a store lacking `spouse`, then re-mine with it present.
+        let mut b = StoreBuilder::new();
+        b.add_iri("Joseph_Sr", "hasChild", "Ted");
+        b.add_iri("Joseph_Sr", "hasChild", "JFK");
+        b.add_iri("JFK", "hasChild", "JFK_jr");
+        b.add_iri("Gerry", "hasChild", "Peter");
+        b.add_iri("Gerry", "hasChild", "Bernie");
+        b.add_iri("Bernie", "hasChild", "Jim");
+        let old_store = b.build();
+        let ds = family_dataset();
+        let mut dict = mine(&old_store, &ds, &MinerConfig::default());
+        assert!(dict.lookup("be married to").is_none());
+
+        let new_store = family_store();
+        remine_for_new_predicates(&mut dict, &new_store, &ds, &["spouse"], &MinerConfig::default());
+        assert!(dict.lookup("be married to").is_some());
+        assert!(dict.lookup("uncle of").is_some());
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::support::PhraseEntry;
+    use gqa_rdf::StoreBuilder;
+
+    #[test]
+    fn parallel_mining_equals_serial() {
+        let mut b = StoreBuilder::new();
+        for i in 0..40 {
+            b.add_iri(&format!("a{i}"), "p", &format!("b{i}"));
+            b.add_iri(&format!("b{i}"), "q", &format!("c{i}"));
+        }
+        let store = b.build();
+        let dataset = PhraseDataset::new(
+            (0..40)
+                .map(|i| {
+                    PhraseEntry::new(
+                        format!("rel{i} of"),
+                        vec![(format!("a{i}"), format!("c{i}"))],
+                    )
+                })
+                .collect(),
+        );
+        let serial = mine(&store, &dataset, &MinerConfig { threads: 1, ..Default::default() });
+        let parallel = mine(&store, &dataset, &MinerConfig { threads: 4, ..Default::default() });
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.len(), b.1.len());
+            for (x, y) in a.1.iter().zip(b.1.iter()) {
+                assert_eq!(x.path, y.path);
+                assert!((x.confidence - y.confidence).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_beyond_phrases_is_safe() {
+        let mut b = StoreBuilder::new();
+        b.add_iri("a", "p", "b");
+        b.add_iri("c", "q", "d");
+        b.add_iri("e", "r", "f");
+        let store = b.build();
+        // Three phrases so idf stays positive: Definition 4's
+        // idf = ln(|T|/(df+1)) zeroes out for |T| ≤ 2 with df = 1.
+        let dataset = PhraseDataset::new(vec![
+            PhraseEntry::new("p of", vec![("a".into(), "b".into())]),
+            PhraseEntry::new("q of", vec![("c".into(), "d".into())]),
+            PhraseEntry::new("r of", vec![("e".into(), "f".into())]),
+        ]);
+        let d = mine(&store, &dataset, &MinerConfig { threads: 16, ..Default::default() });
+        assert_eq!(d.len(), 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Relation phrases and their supporting entity pairs (the paper's
+//! dictionary `T`, Table 2).
+//!
+//! A relation phrase is stored in lemma form (`"be married to"`), matching
+//! the lemmas the dependency layer produces; supporting entity pairs are IRI
+//! texts resolved against a store at mining time. The paper reports that
+//! ~67 % of Patty's support pairs occur in DBpedia — pairs that do not
+//! resolve are counted but skipped.
+
+use std::fmt;
+
+/// One relation phrase with its support set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhraseEntry {
+    /// The phrase text in lemma form, single-space separated.
+    pub text: String,
+    /// The phrase's words (split of `text`).
+    pub words: Vec<String>,
+    /// Supporting `(subject-ish, object-ish)` entity IRI pairs.
+    pub support: Vec<(String, String)>,
+}
+
+impl PhraseEntry {
+    /// Build an entry from phrase text and support pairs.
+    pub fn new(text: impl Into<String>, support: Vec<(String, String)>) -> Self {
+        let text = text.into();
+        let words = text.split_whitespace().map(str::to_owned).collect();
+        PhraseEntry { text, words, support }
+    }
+}
+
+/// A whole relation-phrase dataset (the paper's `T`; cf. Table 5).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhraseDataset {
+    /// The entries, in stable order.
+    pub entries: Vec<PhraseEntry>,
+}
+
+/// Statistics over a phrase dataset (the rows of Table 5).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// "Number of Textual Patterns".
+    pub phrases: usize,
+    /// "Number of Entity Pairs".
+    pub entity_pairs: usize,
+    /// "Average Entity Pair Number For Each Pattern".
+    pub avg_pairs_per_phrase: f64,
+}
+
+impl PhraseDataset {
+    /// Dataset from entries.
+    pub fn new(entries: Vec<PhraseEntry>) -> Self {
+        PhraseDataset { entries }
+    }
+
+    /// Number of phrases (`|T|`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Table-5-style statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let pairs: usize = self.entries.iter().map(|e| e.support.len()).sum();
+        DatasetStats {
+            phrases: self.entries.len(),
+            entity_pairs: pairs,
+            avg_pairs_per_phrase: if self.entries.is_empty() {
+                0.0
+            } else {
+                pairs as f64 / self.entries.len() as f64
+            },
+        }
+    }
+
+    /// Fraction of support pairs whose *both* endpoints resolve in `store`
+    /// (the paper's "more than 67 % of entity pairs … occur in DBpedia").
+    pub fn resolvable_fraction(&self, store: &gqa_rdf::Store) -> f64 {
+        let mut total = 0usize;
+        let mut ok = 0usize;
+        for e in &self.entries {
+            for (a, b) in &e.support {
+                total += 1;
+                if store.iri(a).is_some() && store.iri(b).is_some() {
+                    ok += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            ok as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Number of Textual Patterns  {}", self.phrases)?;
+        writeln!(f, "Number of Entity Pairs      {}", self.entity_pairs)?;
+        write!(f, "Average Entity Pairs/Pattern {:.1}", self.avg_pairs_per_phrase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_rdf::StoreBuilder;
+
+    #[test]
+    fn entry_splits_words() {
+        let e = PhraseEntry::new("be married to", vec![]);
+        assert_eq!(e.words, vec!["be", "married", "to"]);
+    }
+
+    #[test]
+    fn stats() {
+        let d = PhraseDataset::new(vec![
+            PhraseEntry::new("play in", vec![("a".into(), "b".into()), ("c".into(), "d".into())]),
+            PhraseEntry::new("uncle of", vec![("e".into(), "f".into())]),
+        ]);
+        let s = d.stats();
+        assert_eq!(s.phrases, 2);
+        assert_eq!(s.entity_pairs, 3);
+        assert!((s.avg_pairs_per_phrase - 1.5).abs() < 1e-12);
+        assert!(d.stats().to_string().contains("Textual Patterns"));
+    }
+
+    #[test]
+    fn empty_dataset_stats() {
+        let d = PhraseDataset::default();
+        assert!(d.is_empty());
+        assert_eq!(d.stats().avg_pairs_per_phrase, 0.0);
+    }
+
+    #[test]
+    fn resolvable_fraction_counts_pairs_in_store() {
+        let mut b = StoreBuilder::new();
+        b.add_iri("a", "p", "b");
+        let store = b.build();
+        let d = PhraseDataset::new(vec![PhraseEntry::new(
+            "p of",
+            vec![("a".into(), "b".into()), ("a".into(), "missing".into())],
+        )]);
+        assert!((d.resolvable_fraction(&store) - 0.5).abs() < 1e-12);
+    }
+}

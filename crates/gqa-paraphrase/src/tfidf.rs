@@ -1,0 +1,116 @@
+//! tf-idf scoring of predicate paths (Definition 4).
+//!
+//! Each relation phrase's path multiset `PS(rel)` is a *virtual document*;
+//! the path patterns are *virtual words*; the corpus is the collection of
+//! all `PS(rel_i)`. A pattern frequent within one phrase's path sets but
+//! rare across phrases scores high; globally common noise like
+//! `→hasGender·←hasGender` (Figure 4) scores low.
+
+use gqa_rdf::PathPattern;
+use rustc_hash::FxHashMap;
+
+/// Per-phrase pattern frequencies: for each pattern `L`, the number of
+/// support pairs whose path set contains `L` — this is
+/// `tf(L, PS(rel)) = |{Path(v,v′) : L ∈ Path(v,v′)}|`.
+#[derive(Clone, Debug, Default)]
+pub struct PathSetSummary {
+    /// Pattern → number of support-pair path sets containing it.
+    pub tf: FxHashMap<PathPattern, u32>,
+    /// Number of support pairs that resolved and were searched.
+    pub pairs_searched: usize,
+}
+
+impl PathSetSummary {
+    /// Record the patterns of one support pair's path set (deduplicated —
+    /// a pattern counts once per pair even if several concrete paths
+    /// realize it).
+    pub fn record_pair(&mut self, patterns: impl IntoIterator<Item = PathPattern>) {
+        self.pairs_searched += 1;
+        let mut seen: Vec<PathPattern> = patterns.into_iter().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        for p in seen {
+            *self.tf.entry(p).or_insert(0) += 1;
+        }
+    }
+}
+
+/// `idf(L, T) = log(|T| / (|{rel ∈ T : L ∈ PS(rel)}| + 1))` (Definition 4).
+pub fn idf(total_phrases: usize, phrases_containing: usize) -> f64 {
+    (total_phrases as f64 / (phrases_containing as f64 + 1.0)).ln()
+}
+
+/// `tf-idf(L, PS(rel), T) = tf × idf` (Definition 4).
+pub fn tf_idf(tf: u32, total_phrases: usize, phrases_containing: usize) -> f64 {
+    tf as f64 * idf(total_phrases, phrases_containing)
+}
+
+/// Document frequency per pattern across all phrase summaries.
+pub fn document_frequency<'a>(
+    summaries: impl IntoIterator<Item = &'a PathSetSummary>,
+) -> FxHashMap<PathPattern, u32> {
+    let mut df: FxHashMap<PathPattern, u32> = FxHashMap::default();
+    for s in summaries {
+        for pattern in s.tf.keys() {
+            *df.entry(pattern.clone()).or_insert(0) += 1;
+        }
+    }
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_rdf::{Dir, PathStep, TermId};
+
+    fn pat(p: u32) -> PathPattern {
+        PathPattern(Box::new([PathStep { pred: TermId(p), dir: Dir::Forward }]))
+    }
+
+    #[test]
+    fn tf_counts_pairs_not_paths() {
+        let mut s = PathSetSummary::default();
+        // One pair whose path set realizes pattern 1 twice: tf must be 1.
+        s.record_pair(vec![pat(1), pat(1), pat(2)]);
+        s.record_pair(vec![pat(1)]);
+        assert_eq!(s.tf[&pat(1)], 2);
+        assert_eq!(s.tf[&pat(2)], 1);
+        assert_eq!(s.pairs_searched, 2);
+    }
+
+    #[test]
+    fn idf_penalizes_common_patterns() {
+        // Pattern in 1 of 100 phrases vs in 99 of 100.
+        assert!(idf(100, 1) > idf(100, 99));
+        assert!(idf(100, 99) < 0.01_f64.max(0.1)); // ln(100/100) = 0
+    }
+
+    #[test]
+    fn idf_matches_definition() {
+        assert!((idf(10, 4) - (10f64 / 5f64).ln()).abs() < 1e-12);
+        assert!((tf_idf(3, 10, 4) - 3.0 * (2f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn df_across_summaries() {
+        let mut a = PathSetSummary::default();
+        a.record_pair(vec![pat(1), pat(2)]);
+        let mut b = PathSetSummary::default();
+        b.record_pair(vec![pat(1)]);
+        let df = document_frequency([&a, &b]);
+        assert_eq!(df[&pat(1)], 2);
+        assert_eq!(df[&pat(2)], 1);
+    }
+
+    #[test]
+    fn noise_pattern_scores_below_specific_pattern() {
+        // The Figure-4 scenario: `gender` appears in every phrase's path
+        // sets; `uncle` only in one. With equal tf, tf-idf must rank the
+        // specific pattern higher.
+        let phrases = 50;
+        let specific = tf_idf(5, phrases, 1);
+        let noise = tf_idf(5, phrases, 50);
+        assert!(specific > noise);
+        assert!(noise <= 0.0 + 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! The term dictionary: a bidirectional map between [`Term`]s and dense
+//! [`TermId`]s.
+//!
+//! Interning keeps every triple at 12 bytes and makes equality checks and
+//! index lookups integer comparisons — the standard dictionary-encoding
+//! technique of RDF engines.
+
+use crate::ids::TermId;
+use crate::term::Term;
+use rustc_hash::FxHashMap;
+
+/// A grow-only term interner.
+#[derive(Default, Debug, Clone)]
+pub struct Dict {
+    terms: Vec<Term>,
+    by_term: FxHashMap<Term, TermId>,
+}
+
+impl Dict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `term`, returning its id (existing or fresh).
+    pub fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.by_term.get(&term) {
+            return id;
+        }
+        let id = TermId::from_index(self.terms.len());
+        self.terms.push(term.clone());
+        self.by_term.insert(term, id);
+        id
+    }
+
+    /// Intern an IRI given as text.
+    pub fn intern_iri(&mut self, iri: &str) -> TermId {
+        // Fast path: avoid allocating if already present.
+        if let Some(id) = self.lookup_iri(iri) {
+            return id;
+        }
+        self.intern(Term::iri(iri))
+    }
+
+    /// Look up the id of a term without interning.
+    pub fn lookup(&self, term: &Term) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// Look up the id of an IRI by text without interning.
+    pub fn lookup_iri(&self, iri: &str) -> Option<TermId> {
+        // `Term::Iri` hashing is over the string; build a cheap probe term.
+        // A Box<str> allocation is unavoidable with std HashMap keys of this
+        // shape, but lookups are rare outside bulk load.
+        self.by_term.get(&Term::iri(iri)).copied()
+    }
+
+    /// Resolve an id back to its term. Panics on a foreign id.
+    #[inline]
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Resolve an id if it belongs to this dictionary.
+    pub fn get(&self, id: TermId) -> Option<&Term> {
+        self.terms.get(id.index())
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate over `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId::from_index(i), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dict::new();
+        let a = d.intern(Term::iri("dbr:Berlin"));
+        let b = d.intern(Term::iri("dbr:Berlin"));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let mut d = Dict::new();
+        let a = d.intern(Term::iri("dbr:Berlin"));
+        let b = d.intern(Term::lit("Berlin"));
+        assert_ne!(a, b, "an IRI and a literal with equal text are different terms");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut d = Dict::new();
+        assert!(d.lookup_iri("dbr:Berlin").is_none());
+        assert_eq!(d.len(), 0);
+        let id = d.intern_iri("dbr:Berlin");
+        assert_eq!(d.lookup_iri("dbr:Berlin"), Some(id));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_term() {
+        let mut d = Dict::new();
+        let t = Term::typed_lit("3", "xsd:integer");
+        let id = d.intern(t.clone());
+        assert_eq!(d.term(id), &t);
+        assert_eq!(d.get(id), Some(&t));
+        assert_eq!(d.get(TermId(99)), None);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut d = Dict::new();
+        let a = d.intern_iri("a");
+        let b = d.intern_iri("b");
+        let got: Vec<_> = d.iter().map(|(id, _)| id).collect();
+        assert_eq!(got, vec![a, b]);
+    }
+}

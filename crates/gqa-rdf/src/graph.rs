@@ -1,0 +1,98 @@
+//! Direction-blind graph view over a [`Store`].
+//!
+//! The offline miner (paper §3) explores the RDF graph *ignoring edge
+//! directions*: "we ignore edge directions (in RDF graph) in a BFS process".
+//! This module provides the undirected neighbor iterator that both the path
+//! enumerator and the subgraph matcher use, restricted to IRI↔IRI edges
+//! (literals are leaves, never interior path vertices).
+
+use crate::ids::TermId;
+use crate::paths::Dir;
+use crate::store::Store;
+
+/// One undirected step: predicate label, the vertex on the other side, and
+/// the direction the underlying triple points in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Neighbor {
+    /// Predicate of the traversed triple.
+    pub pred: TermId,
+    /// The vertex reached.
+    pub other: TermId,
+    /// `Forward` if the triple is `(v, pred, other)`, `Backward` if it is
+    /// `(other, pred, v)`.
+    pub dir: Dir,
+}
+
+/// Iterate the undirected neighborhood of `v`, skipping literal objects.
+pub fn neighbors<'a>(store: &'a Store, v: TermId) -> impl Iterator<Item = Neighbor> + 'a {
+    let fwd = store
+        .out_edges(v)
+        .iter()
+        .filter(|t| store.term(t.o).is_iri())
+        .map(|t| Neighbor { pred: t.p, other: t.o, dir: Dir::Forward });
+    let bwd = store
+        .in_edges(v)
+        .map(|t| Neighbor { pred: t.p, other: t.s, dir: Dir::Backward });
+    fwd.chain(bwd)
+}
+
+/// Undirected degree of `v` counting only IRI↔IRI edges.
+pub fn iri_degree(store: &Store, v: TermId) -> usize {
+    neighbors(store, v).count()
+}
+
+/// Is there an edge between `a` and `b` (either direction) with predicate
+/// `p`? Returns the direction of the first such edge found.
+pub fn edge_between(store: &Store, a: TermId, p: TermId, b: TermId) -> Option<Dir> {
+    if store.contains(crate::triple::Triple::new(a, p, b)) {
+        Some(Dir::Forward)
+    } else if store.contains(crate::triple::Triple::new(b, p, a)) {
+        Some(Dir::Backward)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreBuilder;
+    use crate::term::Term;
+
+    fn sample() -> Store {
+        let mut b = StoreBuilder::new();
+        b.add_iri("a", "p", "b");
+        b.add_iri("c", "q", "a");
+        b.add_obj("a", "label", Term::lit("A"));
+        b.build()
+    }
+
+    #[test]
+    fn neighbors_combine_directions_and_skip_literals() {
+        let s = sample();
+        let a = s.expect_iri("a");
+        let ns: Vec<_> = neighbors(&s, a).collect();
+        assert_eq!(ns.len(), 2, "literal neighbor must be skipped");
+        assert!(ns.contains(&Neighbor { pred: s.expect_iri("p"), other: s.expect_iri("b"), dir: Dir::Forward }));
+        assert!(ns.contains(&Neighbor { pred: s.expect_iri("q"), other: s.expect_iri("c"), dir: Dir::Backward }));
+    }
+
+    #[test]
+    fn iri_degree_counts_both_directions() {
+        let s = sample();
+        assert_eq!(iri_degree(&s, s.expect_iri("a")), 2);
+        assert_eq!(iri_degree(&s, s.expect_iri("b")), 1);
+    }
+
+    #[test]
+    fn edge_between_reports_direction() {
+        let s = sample();
+        let (a, b, c) = (s.expect_iri("a"), s.expect_iri("b"), s.expect_iri("c"));
+        let p = s.expect_iri("p");
+        let q = s.expect_iri("q");
+        assert_eq!(edge_between(&s, a, p, b), Some(Dir::Forward));
+        assert_eq!(edge_between(&s, b, p, a), Some(Dir::Backward));
+        assert_eq!(edge_between(&s, a, q, c), Some(Dir::Backward));
+        assert_eq!(edge_between(&s, a, q, b), None);
+    }
+}

@@ -1,0 +1,71 @@
+//! Interned identifiers for RDF terms.
+//!
+//! Every [`crate::term::Term`] in a store is assigned a dense `u32` id by the
+//! dictionary. Dense ids keep triples at 12 bytes and let indexes be plain
+//! sorted vectors of integers.
+
+use std::fmt;
+
+/// A dense identifier for an interned RDF term.
+///
+/// Ids are only meaningful relative to the [`crate::dict::Dict`] that issued
+/// them; comparing ids from different stores is a logic error (but not UB —
+/// everything here is safe code).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a vector index. Panics if `i` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        TermId(u32::try_from(i).expect("more than u32::MAX terms"))
+    }
+}
+
+impl fmt::Debug for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = TermId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, TermId(42));
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(TermId(1) < TermId(2));
+        assert_eq!(TermId(7), TermId(7));
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        assert_eq!(format!("{:?}", TermId(5)), "t5");
+        assert_eq!(format!("{}", TermId(5)), "t5");
+    }
+
+    #[test]
+    #[should_panic(expected = "more than u32::MAX terms")]
+    fn from_index_overflow_panics() {
+        let _ = TermId::from_index(u32::MAX as usize + 1);
+    }
+}

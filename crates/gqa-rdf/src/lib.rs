@@ -1,0 +1,40 @@
+//! # gqa-rdf — in-memory RDF substrate
+//!
+//! The storage layer every other crate builds on. An RDF dataset is a set of
+//! `⟨subject, predicate, object⟩` triples; we view it as a directed,
+//! edge-labelled graph whose vertices are subjects/objects and whose edge
+//! labels are predicates (§1 of the paper).
+//!
+//! Provided here:
+//!
+//! * [`term::Term`] / [`ids::TermId`] — RDF terms and interned ids,
+//! * [`dict::Dict`] — the string dictionary (term ↔ id),
+//! * [`store::Store`] / [`store::StoreBuilder`] — an immutable triple store
+//!   with SPO/POS/OSP sorted indexes and CSR adjacency for graph traversal,
+//! * [`ntriples`] — N-Triples parsing and serialization,
+//! * [`schema`] — entity-vs-class classification per the paper's rule
+//!   (a vertex with an incoming `rdf:type`/`rdfs:subClassOf` edge is a class),
+//! * [`paths`] — direction-blind simple-path enumeration between two
+//!   vertices with a length bound θ (the offline miner's workhorse, §3),
+//! * [`stats`] — dataset statistics as reported in the paper's Table 4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dict;
+pub mod graph;
+pub mod ids;
+pub mod ntriples;
+pub mod paths;
+pub mod schema;
+pub mod stats;
+pub mod store;
+pub mod term;
+pub mod triple;
+
+pub use dict::Dict;
+pub use ids::TermId;
+pub use paths::{Dir, PathPattern, PathStep};
+pub use store::{Store, StoreBuilder};
+pub use term::Term;
+pub use triple::Triple;

@@ -1,0 +1,582 @@
+//! Simple-path enumeration between two vertices, ignoring edge direction.
+//!
+//! This is the workhorse of the offline paraphrase miner (paper §3): for each
+//! supporting entity pair `(v, v′)` of a relation phrase, find **all simple
+//! paths** between `v` and `v′` no longer than a threshold θ, keeping the
+//! predicate labels and the direction of every traversed triple. The paper
+//! uses a bidirectional BFS; we implement that, plus a plain DFS used as a
+//! reference implementation in the property tests.
+//!
+//! A path's *pattern* — the sequence of `(predicate, direction)` steps with
+//! the intermediate vertices erased — is what tf-idf is computed over
+//! (Definition 4): e.g. "uncle of" ↦ `←hasChild · →hasChild · →hasChild`.
+
+use crate::graph::neighbors;
+use crate::ids::TermId;
+use crate::store::Store;
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// Traversal direction of one step relative to the underlying triple.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Dir {
+    /// The step follows a triple `(here, pred, there)`.
+    Forward,
+    /// The step follows a triple `(there, pred, here)` against its direction.
+    Backward,
+}
+
+impl Dir {
+    /// The opposite direction.
+    #[inline]
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::Forward => Dir::Backward,
+            Dir::Backward => Dir::Forward,
+        }
+    }
+}
+
+/// One labelled, directed step of a path pattern.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PathStep {
+    /// Predicate label.
+    pub pred: TermId,
+    /// Orientation of the underlying triple relative to travel direction.
+    pub dir: Dir,
+}
+
+/// A predicate path pattern: the label sequence of a simple path, read from
+/// its first endpoint to its last. A single predicate is the length-1 case.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PathPattern(pub Box<[PathStep]>);
+
+impl PathPattern {
+    /// A length-1 pattern: one forward predicate edge.
+    pub fn single(pred: TermId) -> Self {
+        PathPattern(Box::new([PathStep { pred, dir: Dir::Forward }]))
+    }
+
+    /// Number of edges in the pattern.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the (unused) empty pattern.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The same pattern read from the other endpoint.
+    pub fn reversed(&self) -> PathPattern {
+        PathPattern(
+            self.0
+                .iter()
+                .rev()
+                .map(|s| PathStep { pred: s.pred, dir: s.dir.flip() })
+                .collect(),
+        )
+    }
+
+    /// If the pattern is a single forward predicate, return it.
+    pub fn as_single_predicate(&self) -> Option<TermId> {
+        match &*self.0 {
+            [PathStep { pred, dir: Dir::Forward }] => Some(*pred),
+            _ => None,
+        }
+    }
+
+    /// Render with the store's dictionary, e.g. `→dbo:starring` or
+    /// `←dbo:hasChild·→dbo:hasChild·→dbo:hasChild`.
+    pub fn display<'a>(&'a self, store: &'a Store) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a PathPattern, &'a Store);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                for (i, s) in self.0 .0.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "·")?;
+                    }
+                    let arrow = match s.dir {
+                        Dir::Forward => "→",
+                        Dir::Backward => "←",
+                    };
+                    let label = self
+                        .1
+                        .dict()
+                        .get(s.pred)
+                        .and_then(|t| t.as_iri())
+                        .unwrap_or("?");
+                    write!(f, "{arrow}{label}")?;
+                }
+                Ok(())
+            }
+        }
+        D(self, store)
+    }
+}
+
+/// A concrete simple path: `vertices.len() == steps.len() + 1`, starting at
+/// `vertices[0]` and ending at `vertices.last()`, visiting no vertex twice.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SimplePath {
+    /// Visited vertices, endpoints included.
+    pub vertices: Vec<TermId>,
+    /// Labelled steps between consecutive vertices.
+    pub steps: Vec<PathStep>,
+}
+
+impl SimplePath {
+    /// The path's label pattern.
+    pub fn pattern(&self) -> PathPattern {
+        PathPattern(self.steps.iter().copied().collect())
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True only for the degenerate single-vertex path.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Limits for path enumeration. Defaults match the paper: θ = 4.
+#[derive(Clone, Debug)]
+pub struct PathConfig {
+    /// Maximum number of edges per path (paper's θ; default 4).
+    pub max_len: usize,
+    /// Stop after this many paths have been found (safety valve on hubs).
+    pub max_paths: usize,
+    /// Cap on partial paths held per BFS side (safety valve on hubs).
+    pub max_partials: usize,
+    /// Predicates never traversed (schema edges like `rdf:type` — a path
+    /// through a class vertex carries no relation semantics and such hubs
+    /// connect almost everything to almost everything).
+    pub skip_predicates: Vec<TermId>,
+}
+
+impl Default for PathConfig {
+    fn default() -> Self {
+        PathConfig { max_len: 4, max_paths: 100_000, max_partials: 500_000, skip_predicates: Vec::new() }
+    }
+}
+
+impl PathConfig {
+    /// A config with the given θ and default safety limits.
+    pub fn with_max_len(max_len: usize) -> Self {
+        PathConfig { max_len, ..Default::default() }
+    }
+
+    /// Block the store's schema predicates (`rdf:type`, `rdfs:subClassOf`,
+    /// `rdfs:label`) from traversal.
+    pub fn skip_schema_predicates(mut self, store: &Store) -> Self {
+        for iri in [crate::term::vocab::RDF_TYPE, crate::term::vocab::RDFS_SUBCLASS_OF, crate::term::vocab::RDFS_LABEL] {
+            if let Some(id) = store.iri(iri) {
+                self.skip_predicates.push(id);
+            }
+        }
+        self
+    }
+
+    fn allows(&self, pred: TermId) -> bool {
+        !self.skip_predicates.contains(&pred)
+    }
+}
+
+/// Enumerate all simple paths between `a` and `b` (direction-blind) with at
+/// most `cfg.max_len` edges, via **bidirectional BFS** (the paper's method):
+/// partial simple paths are grown from both endpoints to half depth and
+/// joined on their meeting vertex.
+///
+/// ```
+/// use gqa_rdf::paths::{simple_paths, PathConfig};
+/// use gqa_rdf::StoreBuilder;
+///
+/// let mut b = StoreBuilder::new();
+/// b.add_iri("grandpa", "hasChild", "uncle");
+/// b.add_iri("grandpa", "hasChild", "parent");
+/// b.add_iri("parent", "hasChild", "nephew");
+/// let store = b.build();
+///
+/// let paths = simple_paths(
+///     &store,
+///     store.expect_iri("uncle"),
+///     store.expect_iri("nephew"),
+///     &PathConfig::with_max_len(3),
+/// );
+/// assert_eq!(paths.len(), 1); // ←hasChild · →hasChild · →hasChild
+/// assert_eq!(paths[0].len(), 3);
+/// ```
+pub fn simple_paths(store: &Store, a: TermId, b: TermId, cfg: &PathConfig) -> Vec<SimplePath> {
+    if a == b || cfg.max_len == 0 {
+        return Vec::new();
+    }
+    let half_a = cfg.max_len.div_ceil(2);
+    let half_b = cfg.max_len / 2;
+
+    let from_a = grow_partials(store, a, half_a, cfg);
+    let from_b = grow_partials(store, b, half_b, cfg);
+
+    // Group the b-side partials by their end vertex for the join.
+    let mut by_end: FxHashMap<TermId, Vec<&SimplePath>> = FxHashMap::default();
+    for p in &from_b {
+        by_end.entry(*p.vertices.last().expect("nonempty")).or_default().push(p);
+    }
+
+    let mut out = Vec::new();
+    'outer: for pa in &from_a {
+        let m = *pa.vertices.last().expect("nonempty");
+        let Some(pbs) = by_end.get(&m) else { continue };
+        for pb in pbs {
+            let total = pa.len() + pb.len();
+            if total == 0 || total > cfg.max_len {
+                continue;
+            }
+            // Simplicity across the join: vertex sets intersect only at m.
+            if !disjoint_except_meeting(pa, pb, m) {
+                continue;
+            }
+            // Assemble a → … → m → … → b.
+            let mut vertices = pa.vertices.clone();
+            let mut steps = pa.steps.clone();
+            for (i, step) in pb.steps.iter().enumerate().rev() {
+                // pb runs b → … → m; reverse it to run m → … → b.
+                steps.push(PathStep { pred: step.pred, dir: step.dir.flip() });
+                vertices.push(pb.vertices[i]);
+            }
+            debug_assert_eq!(vertices.len(), steps.len() + 1);
+            out.push(SimplePath { vertices, steps });
+            if out.len() >= cfg.max_paths {
+                break 'outer;
+            }
+        }
+    }
+    // Deterministic output order regardless of hash-map iteration.
+    out.sort_unstable_by(|x, y| x.vertices.cmp(&y.vertices).then_with(|| x.steps.cmp(&y.steps)));
+    out.dedup();
+    out
+}
+
+/// Reference implementation: exhaustive DFS. Exponential; used by tests to
+/// validate the bidirectional join and by callers that want certainty on
+/// tiny graphs.
+pub fn simple_paths_dfs(store: &Store, a: TermId, b: TermId, cfg: &PathConfig) -> Vec<SimplePath> {
+    let mut out = Vec::new();
+    if a == b || cfg.max_len == 0 {
+        return out;
+    }
+    let mut vertices = vec![a];
+    let mut steps = Vec::new();
+    dfs(store, a, b, cfg, &mut vertices, &mut steps, &mut out);
+    out.sort_unstable_by(|x, y| x.vertices.cmp(&y.vertices).then_with(|| x.steps.cmp(&y.steps)));
+    out
+}
+
+fn dfs(
+    store: &Store,
+    here: TermId,
+    target: TermId,
+    cfg: &PathConfig,
+    vertices: &mut Vec<TermId>,
+    steps: &mut Vec<PathStep>,
+    out: &mut Vec<SimplePath>,
+) {
+    if out.len() >= cfg.max_paths || steps.len() >= cfg.max_len {
+        return;
+    }
+    for n in neighbors(store, here) {
+        if !cfg.allows(n.pred) {
+            continue;
+        }
+        if n.other == target {
+            steps.push(PathStep { pred: n.pred, dir: n.dir });
+            let mut vs = vertices.clone();
+            vs.push(target);
+            out.push(SimplePath { vertices: vs, steps: steps.clone() });
+            steps.pop();
+            continue;
+        }
+        if vertices.contains(&n.other) {
+            continue;
+        }
+        vertices.push(n.other);
+        steps.push(PathStep { pred: n.pred, dir: n.dir });
+        dfs(store, n.other, target, cfg, vertices, steps, out);
+        steps.pop();
+        vertices.pop();
+    }
+}
+
+/// All simple partial paths from `start` with at most `depth` edges
+/// (including the empty path).
+fn grow_partials(store: &Store, start: TermId, depth: usize, cfg: &PathConfig) -> Vec<SimplePath> {
+    let max_partials = cfg.max_partials;
+    let mut all = vec![SimplePath { vertices: vec![start], steps: Vec::new() }];
+    let mut frontier = 0usize;
+    for _ in 0..depth {
+        let end = all.len();
+        for i in frontier..end {
+            let here = *all[i].vertices.last().expect("nonempty");
+            // Clone the prefix lazily per neighbor.
+            let base_v = all[i].vertices.clone();
+            let base_s = all[i].steps.clone();
+            for n in neighbors(store, here) {
+                if base_v.contains(&n.other) || !cfg.allows(n.pred) {
+                    continue;
+                }
+                let mut vertices = base_v.clone();
+                vertices.push(n.other);
+                let mut steps = base_s.clone();
+                steps.push(PathStep { pred: n.pred, dir: n.dir });
+                all.push(SimplePath { vertices, steps });
+                if all.len() >= max_partials {
+                    return all;
+                }
+            }
+        }
+        frontier = end;
+    }
+    all
+}
+
+fn disjoint_except_meeting(pa: &SimplePath, pb: &SimplePath, m: TermId) -> bool {
+    // Both vertex lists are short (≤ θ/2 + 1); quadratic scan beats hashing.
+    for &v in &pa.vertices {
+        if v == m {
+            continue;
+        }
+        if pb.vertices.contains(&v) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Instantiate a pattern starting at `start`: every simple path realizing
+/// `pattern` in the store. Used by the subgraph matcher for predicate-path
+/// edges.
+pub fn instantiate_from(
+    store: &Store,
+    start: TermId,
+    pattern: &PathPattern,
+    max_results: usize,
+) -> Vec<SimplePath> {
+    let mut out = Vec::new();
+    let mut vertices = vec![start];
+    instantiate_rec(store, pattern, 0, &mut vertices, &mut Vec::new(), max_results, &mut out);
+    out
+}
+
+fn instantiate_rec(
+    store: &Store,
+    pattern: &PathPattern,
+    depth: usize,
+    vertices: &mut Vec<TermId>,
+    steps: &mut Vec<PathStep>,
+    max_results: usize,
+    out: &mut Vec<SimplePath>,
+) {
+    if out.len() >= max_results {
+        return;
+    }
+    if depth == pattern.len() {
+        out.push(SimplePath { vertices: vertices.clone(), steps: steps.clone() });
+        return;
+    }
+    let want = pattern.0[depth];
+    let here = *vertices.last().expect("nonempty");
+    // Follow only edges matching the wanted (pred, dir).
+    match want.dir {
+        Dir::Forward => {
+            for t in store.out_edges_with(here, want.pred) {
+                if !store.term(t.o).is_iri() || vertices.contains(&t.o) {
+                    continue;
+                }
+                vertices.push(t.o);
+                steps.push(want);
+                instantiate_rec(store, pattern, depth + 1, vertices, steps, max_results, out);
+                steps.pop();
+                vertices.pop();
+            }
+        }
+        Dir::Backward => {
+            let incoming: Vec<_> = store.in_edges_with(here, want.pred).collect();
+            for t in incoming {
+                if vertices.contains(&t.s) {
+                    continue;
+                }
+                vertices.push(t.s);
+                steps.push(want);
+                instantiate_rec(store, pattern, depth + 1, vertices, steps, max_results, out);
+                steps.pop();
+                vertices.pop();
+            }
+        }
+    }
+}
+
+/// Does `pattern` connect `a` to `b` via some simple path? Returns the first
+/// witness found.
+pub fn connects(store: &Store, a: TermId, b: TermId, pattern: &PathPattern) -> Option<SimplePath> {
+    instantiate_from(store, a, pattern, 10_000)
+        .into_iter()
+        .find(|p| *p.vertices.last().expect("nonempty") == b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreBuilder;
+
+    /// The "uncle of" example of Figure 4: Ted —hasChild→? No: the paper's
+    /// path is Ted ←hasChild— JosephSr —hasChild→ JFK —hasChild→ JFKjr,
+    /// i.e. pattern ←hasChild·→hasChild·→hasChild from Ted to JFKjr.
+    fn kennedy() -> Store {
+        let mut b = StoreBuilder::new();
+        b.add_iri("Joseph_Sr", "hasChild", "Ted");
+        b.add_iri("Joseph_Sr", "hasChild", "JFK");
+        b.add_iri("JFK", "hasChild", "JFK_jr");
+        b.add_iri("Ted", "hasGender", "male");
+        b.add_iri("JFK_jr", "hasGender", "male");
+        b.build()
+    }
+
+    #[test]
+    fn uncle_path_found() {
+        let s = kennedy();
+        let ted = s.expect_iri("Ted");
+        let jr = s.expect_iri("JFK_jr");
+        let paths = simple_paths(&s, ted, jr, &PathConfig::with_max_len(4));
+        assert!(!paths.is_empty());
+        let child = s.expect_iri("hasChild");
+        let uncle = PathPattern(Box::new([
+            PathStep { pred: child, dir: Dir::Backward },
+            PathStep { pred: child, dir: Dir::Forward },
+            PathStep { pred: child, dir: Dir::Forward },
+        ]));
+        assert!(paths.iter().any(|p| p.pattern() == uncle), "expected the uncle path, got {paths:?}");
+        // The hasGender/hasGender noise path also exists (Ted→male←JFK_jr).
+        let gender = s.expect_iri("hasGender");
+        let noise = PathPattern(Box::new([
+            PathStep { pred: gender, dir: Dir::Forward },
+            PathStep { pred: gender, dir: Dir::Backward },
+        ]));
+        assert!(paths.iter().any(|p| p.pattern() == noise));
+    }
+
+    #[test]
+    fn dfs_and_bidirectional_agree() {
+        let s = kennedy();
+        let ted = s.expect_iri("Ted");
+        let jr = s.expect_iri("JFK_jr");
+        for theta in 1..=4 {
+            let cfg = PathConfig::with_max_len(theta);
+            let a = simple_paths(&s, ted, jr, &cfg);
+            let b = simple_paths_dfs(&s, ted, jr, &cfg);
+            assert_eq!(a, b, "θ = {theta}");
+        }
+    }
+
+    #[test]
+    fn length_bound_is_respected() {
+        let s = kennedy();
+        let ted = s.expect_iri("Ted");
+        let jr = s.expect_iri("JFK_jr");
+        let paths = simple_paths(&s, ted, jr, &PathConfig::with_max_len(2));
+        assert!(paths.iter().all(|p| p.len() <= 2));
+        assert!(!paths.is_empty(), "the gender-gender path has length 2");
+        let none = simple_paths(&s, ted, jr, &PathConfig::with_max_len(1));
+        assert!(none.is_empty(), "Ted and JFK_jr are not adjacent");
+    }
+
+    #[test]
+    fn same_vertex_yields_no_paths() {
+        let s = kennedy();
+        let ted = s.expect_iri("Ted");
+        assert!(simple_paths(&s, ted, ted, &PathConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn paths_are_simple() {
+        let s = kennedy();
+        let ted = s.expect_iri("Ted");
+        let jr = s.expect_iri("JFK_jr");
+        for p in simple_paths(&s, ted, jr, &PathConfig::with_max_len(4)) {
+            let mut vs = p.vertices.clone();
+            vs.sort_unstable();
+            vs.dedup();
+            assert_eq!(vs.len(), p.vertices.len(), "repeated vertex in {p:?}");
+            assert_eq!(p.vertices.len(), p.steps.len() + 1);
+            assert_eq!(p.vertices[0], ted);
+            assert_eq!(*p.vertices.last().unwrap(), jr);
+        }
+    }
+
+    #[test]
+    fn pattern_reversal_is_involutive() {
+        let s = kennedy();
+        let child = s.expect_iri("hasChild");
+        let gender = s.expect_iri("hasGender");
+        let pat = PathPattern(Box::new([
+            PathStep { pred: child, dir: Dir::Backward },
+            PathStep { pred: gender, dir: Dir::Forward },
+        ]));
+        assert_eq!(pat.reversed().reversed(), pat);
+        assert_ne!(pat.reversed(), pat);
+        // A same-predicate ⟨←p, →p⟩ pattern is a palindrome under reversal.
+        let palindrome = PathPattern(Box::new([
+            PathStep { pred: child, dir: Dir::Backward },
+            PathStep { pred: child, dir: Dir::Forward },
+        ]));
+        assert_eq!(palindrome.reversed(), palindrome);
+    }
+
+    #[test]
+    fn single_predicate_accessors() {
+        let pat = PathPattern::single(TermId(7));
+        assert_eq!(pat.as_single_predicate(), Some(TermId(7)));
+        assert_eq!(pat.len(), 1);
+        assert_eq!(pat.reversed().as_single_predicate(), None);
+    }
+
+    #[test]
+    fn instantiate_and_connects() {
+        let s = kennedy();
+        let child = s.expect_iri("hasChild");
+        let ted = s.expect_iri("Ted");
+        let jr = s.expect_iri("JFK_jr");
+        let uncle = PathPattern(Box::new([
+            PathStep { pred: child, dir: Dir::Backward },
+            PathStep { pred: child, dir: Dir::Forward },
+            PathStep { pred: child, dir: Dir::Forward },
+        ]));
+        let inst = instantiate_from(&s, ted, &uncle, 100);
+        assert_eq!(inst.len(), 1);
+        assert_eq!(*inst[0].vertices.last().unwrap(), jr);
+        assert!(connects(&s, ted, jr, &uncle).is_some());
+        assert!(connects(&s, jr, ted, &uncle).is_none(), "pattern is directional");
+        assert!(connects(&s, jr, ted, &uncle.reversed()).is_some());
+    }
+
+    #[test]
+    fn max_paths_limit() {
+        let s = kennedy();
+        let ted = s.expect_iri("Ted");
+        let jr = s.expect_iri("JFK_jr");
+        let cfg = PathConfig { max_len: 4, max_paths: 1, ..Default::default() };
+        assert_eq!(simple_paths(&s, ted, jr, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn display_pattern() {
+        let s = kennedy();
+        let child = s.expect_iri("hasChild");
+        let pat = PathPattern(Box::new([
+            PathStep { pred: child, dir: Dir::Backward },
+            PathStep { pred: child, dir: Dir::Forward },
+        ]));
+        assert_eq!(pat.display(&s).to_string(), "←hasChild·→hasChild");
+    }
+}

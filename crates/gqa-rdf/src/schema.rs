@@ -1,0 +1,207 @@
+//! Entity-vs-class classification and type lookup.
+//!
+//! Paper §2.2: *"If a vertex has an incoming adjacent edge with predicate
+//! ⟨rdf:type⟩ or ⟨rdf:subclass⟩, it is a class vertex; otherwise, it is an
+//! entity vertex."* The subgraph matcher needs this to decide whether a
+//! candidate vertex of `Q^S` maps to an entity directly (Def. 3 cond. 1) or
+//! constrains the entity's type (Def. 3 cond. 2).
+
+use crate::ids::TermId;
+use crate::store::Store;
+use crate::term::vocab;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Precomputed schema facts over one store.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    classes: FxHashSet<TermId>,
+    /// entity → its classes, including superclasses (transitive closure over
+    /// `rdfs:subClassOf`).
+    types: FxHashMap<TermId, Vec<TermId>>,
+    /// class → its direct and transitive instances.
+    instances: FxHashMap<TermId, Vec<TermId>>,
+    rdf_type: Option<TermId>,
+}
+
+impl Schema {
+    /// Scan the store and precompute class membership.
+    pub fn new(store: &Store) -> Self {
+        let rdf_type = store.iri(vocab::RDF_TYPE);
+        let subclass = store.iri(vocab::RDFS_SUBCLASS_OF);
+
+        let mut classes: FxHashSet<TermId> = FxHashSet::default();
+        let mut direct_super: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+        if let Some(ty) = rdf_type {
+            for t in store.with_predicate(ty) {
+                classes.insert(t.o);
+            }
+        }
+        if let Some(sc) = subclass {
+            for t in store.with_predicate(sc) {
+                classes.insert(t.s);
+                classes.insert(t.o);
+                direct_super.entry(t.s).or_default().push(t.o);
+            }
+        }
+
+        // Transitive superclass closure per class (graphs are tiny; a
+        // memoized DFS would be overkill here but classes are few anyway).
+        let mut all_supers: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+        for &c in &classes {
+            let mut seen: FxHashSet<TermId> = FxHashSet::default();
+            let mut stack = vec![c];
+            while let Some(x) = stack.pop() {
+                if let Some(sups) = direct_super.get(&x) {
+                    for &sup in sups {
+                        if seen.insert(sup) {
+                            stack.push(sup);
+                        }
+                    }
+                }
+            }
+            let mut v: Vec<TermId> = seen.into_iter().collect();
+            v.sort_unstable();
+            all_supers.insert(c, v);
+        }
+
+        let mut types: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+        let mut instances: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+        if let Some(ty) = rdf_type {
+            for t in store.with_predicate(ty) {
+                let entry = types.entry(t.s).or_default();
+                entry.push(t.o);
+                instances.entry(t.o).or_default().push(t.s);
+                if let Some(sups) = all_supers.get(&t.o) {
+                    for &sup in sups {
+                        entry.push(sup);
+                        instances.entry(sup).or_default().push(t.s);
+                    }
+                }
+            }
+        }
+        for v in types.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        for v in instances.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        Schema { classes, types, instances, rdf_type }
+    }
+
+    /// Is `id` a class vertex?
+    #[inline]
+    pub fn is_class(&self, id: TermId) -> bool {
+        self.classes.contains(&id)
+    }
+
+    /// Is `id` an entity vertex (an IRI vertex that is not a class)?
+    pub fn is_entity(&self, store: &Store, id: TermId) -> bool {
+        store.term(id).is_iri() && !self.is_class(id)
+    }
+
+    /// The classes of an entity, superclasses included.
+    pub fn types_of(&self, entity: TermId) -> &[TermId] {
+        self.types.get(&entity).map_or(&[], Vec::as_slice)
+    }
+
+    /// Does `entity` have type `class` (directly or via subclassing)?
+    pub fn has_type(&self, entity: TermId, class: TermId) -> bool {
+        self.types_of(entity).binary_search(&class).is_ok()
+    }
+
+    /// All (transitive) instances of a class.
+    pub fn instances_of(&self, class: TermId) -> &[TermId] {
+        self.instances.get(&class).map_or(&[], Vec::as_slice)
+    }
+
+    /// All class ids.
+    pub fn classes(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.classes.iter().copied()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The interned id of `rdf:type`, if the store has any typing triples.
+    pub fn rdf_type(&self) -> Option<TermId> {
+        self.rdf_type
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreBuilder;
+
+    fn sample() -> Store {
+        let mut b = StoreBuilder::new();
+        b.add_iri("dbr:Antonio_Banderas", "rdf:type", "dbo:Actor");
+        b.add_iri("dbo:Actor", "rdfs:subClassOf", "dbo:Person");
+        b.add_iri("dbo:Person", "rdfs:subClassOf", "owl:Thing");
+        b.add_iri("dbr:Berlin", "rdf:type", "dbo:City");
+        b.add_iri("dbr:Melanie_Griffith", "dbo:spouse", "dbr:Antonio_Banderas");
+        b.build()
+    }
+
+    #[test]
+    fn classes_detected_from_type_and_subclass() {
+        let s = sample();
+        let schema = Schema::new(&s);
+        for c in ["dbo:Actor", "dbo:Person", "owl:Thing", "dbo:City"] {
+            assert!(schema.is_class(s.expect_iri(c)), "{c} should be a class");
+        }
+        assert!(!schema.is_class(s.expect_iri("dbr:Antonio_Banderas")));
+        assert!(!schema.is_class(s.expect_iri("dbr:Melanie_Griffith")));
+        assert_eq!(schema.num_classes(), 4);
+    }
+
+    #[test]
+    fn entity_detection() {
+        let s = sample();
+        let schema = Schema::new(&s);
+        assert!(schema.is_entity(&s, s.expect_iri("dbr:Berlin")));
+        assert!(!schema.is_entity(&s, s.expect_iri("dbo:Actor")));
+    }
+
+    #[test]
+    fn types_include_superclasses() {
+        let s = sample();
+        let schema = Schema::new(&s);
+        let ab = s.expect_iri("dbr:Antonio_Banderas");
+        let tys = schema.types_of(ab);
+        assert!(tys.contains(&s.expect_iri("dbo:Actor")));
+        assert!(tys.contains(&s.expect_iri("dbo:Person")));
+        assert!(tys.contains(&s.expect_iri("owl:Thing")));
+        assert!(schema.has_type(ab, s.expect_iri("dbo:Person")));
+        assert!(!schema.has_type(ab, s.expect_iri("dbo:City")));
+    }
+
+    #[test]
+    fn instances_include_subclass_members() {
+        let s = sample();
+        let schema = Schema::new(&s);
+        let person = s.expect_iri("dbo:Person");
+        assert_eq!(schema.instances_of(person), &[s.expect_iri("dbr:Antonio_Banderas")]);
+        assert!(schema.instances_of(s.expect_iri("dbo:City")).contains(&s.expect_iri("dbr:Berlin")));
+    }
+
+    #[test]
+    fn untyped_entity_has_no_types() {
+        let s = sample();
+        let schema = Schema::new(&s);
+        assert!(schema.types_of(s.expect_iri("dbr:Melanie_Griffith")).is_empty());
+    }
+
+    #[test]
+    fn schema_of_empty_store() {
+        let s = StoreBuilder::new().build();
+        let schema = Schema::new(&s);
+        assert_eq!(schema.num_classes(), 0);
+        assert!(schema.rdf_type().is_none());
+    }
+}

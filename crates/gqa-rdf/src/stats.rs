@@ -1,0 +1,109 @@
+//! Dataset statistics, mirroring the paper's Table 4
+//! (number of entities / triples / predicates / size).
+
+use crate::schema::Schema;
+use crate::store::Store;
+use std::fmt;
+use std::mem;
+
+/// Summary statistics of one store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// IRI vertices that are not classes ("Number of Entities").
+    pub entities: usize,
+    /// Class vertices.
+    pub classes: usize,
+    /// Distinct triples ("Number of Triples").
+    pub triples: usize,
+    /// Distinct predicates ("Number of Predicates").
+    pub predicates: usize,
+    /// Literal vertices.
+    pub literals: usize,
+    /// Estimated resident size in bytes (dictionary strings + triples +
+    /// index permutations).
+    pub bytes: usize,
+}
+
+impl StoreStats {
+    /// Compute statistics for `store`.
+    pub fn collect(store: &Store) -> Self {
+        let schema = Schema::new(store);
+        let mut entities = 0usize;
+        let mut classes = 0usize;
+        let mut literals = 0usize;
+        for v in store.vertices() {
+            let t = store.term(v);
+            if t.is_literal() {
+                literals += 1;
+            } else if schema.is_class(v) {
+                classes += 1;
+            } else {
+                entities += 1;
+            }
+        }
+        let dict_bytes: usize = store
+            .dict()
+            .iter()
+            .map(|(_, t)| match t {
+                crate::term::Term::Iri(s) => s.len(),
+                crate::term::Term::Literal { lexical, datatype } => {
+                    lexical.len() + datatype.as_ref().map_or(0, |d| d.len())
+                }
+                crate::term::Term::Blank(b) => b.len(),
+            })
+            .sum();
+        let bytes = dict_bytes
+            + store.len() * mem::size_of::<crate::triple::Triple>()
+            + store.len() * 2 * mem::size_of::<u32>();
+        StoreStats {
+            entities,
+            classes,
+            triples: store.len(),
+            predicates: store.predicates().len(),
+            literals,
+            bytes,
+        }
+    }
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Number of Entities    {}", self.entities)?;
+        writeln!(f, "Number of Classes     {}", self.classes)?;
+        writeln!(f, "Number of Triples     {}", self.triples)?;
+        writeln!(f, "Number of Predicates  {}", self.predicates)?;
+        write!(f, "Size of RDF Graph     {:.2} MB", self.bytes as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreBuilder;
+    use crate::term::Term;
+
+    #[test]
+    fn counts_are_consistent() {
+        let mut b = StoreBuilder::new();
+        b.add_iri("dbr:A", "rdf:type", "dbo:Actor");
+        b.add_iri("dbr:B", "dbo:spouse", "dbr:A");
+        b.add_obj("dbr:A", "rdfs:label", Term::lit("A"));
+        let s = b.build();
+        let st = StoreStats::collect(&s);
+        assert_eq!(st.triples, 3);
+        assert_eq!(st.entities, 2); // A and B
+        assert_eq!(st.classes, 1); // Actor
+        assert_eq!(st.literals, 1);
+        assert_eq!(st.predicates, 3);
+        assert!(st.bytes > 0);
+    }
+
+    #[test]
+    fn display_mentions_every_row() {
+        let s = StoreBuilder::new().build();
+        let text = StoreStats::collect(&s).to_string();
+        for key in ["Entities", "Triples", "Predicates", "Size"] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+}

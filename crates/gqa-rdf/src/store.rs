@@ -1,0 +1,431 @@
+//! The triple store: an immutable, fully indexed set of triples.
+//!
+//! Built once via [`StoreBuilder`], then read concurrently. Three access
+//! paths are maintained, in the style of dictionary-encoded RDF engines:
+//!
+//! * the triple vector itself, sorted by **(s, p, o)** — subject scans are
+//!   contiguous slices;
+//! * a **(p, o, s)**-sorted permutation — predicate and predicate+object
+//!   scans;
+//! * an **(o, s, p)**-sorted permutation — object (incoming-edge) scans.
+//!
+//! All scans are binary-search ranges; no hashing on the hot path.
+
+use crate::dict::Dict;
+use crate::ids::TermId;
+use crate::term::Term;
+use crate::triple::{Triple, TriplePattern};
+
+/// Accumulates terms and triples, then freezes into a [`Store`].
+///
+/// ```
+/// use gqa_rdf::{StoreBuilder, Term};
+///
+/// let mut b = StoreBuilder::new();
+/// b.add_iri("dbr:Berlin", "dbo:country", "dbr:Germany");
+/// b.add_obj("dbr:Berlin", "dbo:population", Term::int_lit(3_500_000));
+/// let store = b.build();
+///
+/// let berlin = store.expect_iri("dbr:Berlin");
+/// assert_eq!(store.out_edges(berlin).len(), 2);
+/// ```
+#[derive(Default, Debug)]
+pub struct StoreBuilder {
+    dict: Dict,
+    triples: Vec<Triple>,
+}
+
+impl StoreBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mutable access to the dictionary (for pre-interning).
+    pub fn dict_mut(&mut self) -> &mut Dict {
+        &mut self.dict
+    }
+
+    /// Intern three terms and record the triple.
+    pub fn add(&mut self, s: Term, p: Term, o: Term) -> Triple {
+        let t = Triple::new(self.dict.intern(s), self.dict.intern(p), self.dict.intern(o));
+        self.triples.push(t);
+        t
+    }
+
+    /// Record a triple of three IRIs given as text.
+    pub fn add_iri(&mut self, s: &str, p: &str, o: &str) -> Triple {
+        let t = Triple::new(
+            self.dict.intern_iri(s),
+            self.dict.intern_iri(p),
+            self.dict.intern_iri(o),
+        );
+        self.triples.push(t);
+        t
+    }
+
+    /// Record a triple whose object is an arbitrary term (e.g. a literal).
+    pub fn add_obj(&mut self, s: &str, p: &str, o: Term) -> Triple {
+        let t = Triple::new(self.dict.intern_iri(s), self.dict.intern_iri(p), self.dict.intern(o));
+        self.triples.push(t);
+        t
+    }
+
+    /// Record an already-encoded triple (ids must come from this builder's
+    /// dictionary).
+    pub fn add_encoded(&mut self, t: Triple) {
+        self.triples.push(t);
+    }
+
+    /// Copy every triple of an existing store into this builder (terms are
+    /// re-interned, so the source store may use a different dictionary).
+    pub fn extend_from(&mut self, store: &Store) {
+        for t in store.triples() {
+            self.add(store.term(t.s).clone(), store.term(t.p).clone(), store.term(t.o).clone());
+        }
+    }
+
+    /// Number of triples recorded so far (before dedup).
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether no triples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Sort, deduplicate and index everything into an immutable [`Store`].
+    pub fn build(self) -> Store {
+        let StoreBuilder { dict, mut triples } = self;
+        triples.sort_unstable();
+        triples.dedup();
+
+        let n = triples.len();
+        let mut pos: Vec<u32> = (0..n as u32).collect();
+        pos.sort_unstable_by_key(|&i| {
+            let t = triples[i as usize];
+            (t.p, t.o, t.s)
+        });
+        let mut osp: Vec<u32> = (0..n as u32).collect();
+        osp.sort_unstable_by_key(|&i| {
+            let t = triples[i as usize];
+            (t.o, t.s, t.p)
+        });
+
+        Store { dict, triples, pos, osp }
+    }
+}
+
+/// An immutable, indexed triple store. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dict: Dict,
+    /// Sorted by (s, p, o), deduplicated.
+    triples: Vec<Triple>,
+    /// Permutation of `triples` sorted by (p, o, s).
+    pos: Vec<u32>,
+    /// Permutation of `triples` sorted by (o, s, p).
+    osp: Vec<u32>,
+}
+
+impl Store {
+    /// The term dictionary.
+    #[inline]
+    pub fn dict(&self) -> &Dict {
+        &self.dict
+    }
+
+    /// Resolve an id to its term.
+    #[inline]
+    pub fn term(&self, id: TermId) -> &Term {
+        self.dict.term(id)
+    }
+
+    /// Total number of (distinct) triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// All triples, sorted by (s, p, o).
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Does the store contain this exact triple?
+    pub fn contains(&self, t: Triple) -> bool {
+        self.triples.binary_search(&t).is_ok()
+    }
+
+    /// All triples with subject `s`, as a contiguous slice.
+    pub fn out_edges(&self, s: TermId) -> &[Triple] {
+        let lo = self.triples.partition_point(|t| t.s < s);
+        let hi = self.triples.partition_point(|t| t.s <= s);
+        &self.triples[lo..hi]
+    }
+
+    /// All triples with subject `s` and predicate `p`.
+    pub fn out_edges_with(&self, s: TermId, p: TermId) -> &[Triple] {
+        let lo = self.triples.partition_point(|t| (t.s, t.p) < (s, p));
+        let hi = self.triples.partition_point(|t| (t.s, t.p) <= (s, p));
+        &self.triples[lo..hi]
+    }
+
+    /// All triples with object `o`.
+    pub fn in_edges(&self, o: TermId) -> impl Iterator<Item = Triple> + '_ {
+        let lo = self.osp.partition_point(|&i| self.triples[i as usize].o < o);
+        let hi = self.osp.partition_point(|&i| self.triples[i as usize].o <= o);
+        self.osp[lo..hi].iter().map(move |&i| self.triples[i as usize])
+    }
+
+    /// All triples with object `o` and predicate `p`.
+    pub fn in_edges_with(&self, o: TermId, p: TermId) -> impl Iterator<Item = Triple> + '_ {
+        self.in_edges(o).filter(move |t| t.p == p)
+    }
+
+    /// All triples with predicate `p`.
+    pub fn with_predicate(&self, p: TermId) -> impl Iterator<Item = Triple> + '_ {
+        let lo = self.pos.partition_point(|&i| self.triples[i as usize].p < p);
+        let hi = self.pos.partition_point(|&i| self.triples[i as usize].p <= p);
+        self.pos[lo..hi].iter().map(move |&i| self.triples[i as usize])
+    }
+
+    /// All triples with predicate `p` and object `o`.
+    pub fn with_predicate_object(&self, p: TermId, o: TermId) -> impl Iterator<Item = Triple> + '_ {
+        let key = (p, o);
+        let lo = self.pos.partition_point(|&i| {
+            let t = self.triples[i as usize];
+            (t.p, t.o) < key
+        });
+        let hi = self.pos.partition_point(|&i| {
+            let t = self.triples[i as usize];
+            (t.p, t.o) <= key
+        });
+        self.pos[lo..hi].iter().map(move |&i| self.triples[i as usize])
+    }
+
+    /// Objects of `(s, p, ?)`.
+    pub fn objects(&self, s: TermId, p: TermId) -> impl Iterator<Item = TermId> + '_ {
+        self.out_edges_with(s, p).iter().map(|t| t.o)
+    }
+
+    /// Subjects of `(?, p, o)`.
+    pub fn subjects(&self, p: TermId, o: TermId) -> impl Iterator<Item = TermId> + '_ {
+        self.with_predicate_object(p, o).map(|t| t.s)
+    }
+
+    /// Every triple satisfying `pat`, using the best available index.
+    pub fn matching<'a>(&'a self, pat: TriplePattern) -> Box<dyn Iterator<Item = Triple> + 'a> {
+        match (pat.s, pat.p, pat.o) {
+            (Some(s), Some(p), Some(o)) => {
+                let t = Triple::new(s, p, o);
+                if self.contains(t) {
+                    Box::new(std::iter::once(t))
+                } else {
+                    Box::new(std::iter::empty())
+                }
+            }
+            (Some(s), Some(p), None) => Box::new(self.out_edges_with(s, p).iter().copied()),
+            (Some(s), None, Some(o)) => {
+                Box::new(self.out_edges(s).iter().copied().filter(move |t| t.o == o))
+            }
+            (Some(s), None, None) => Box::new(self.out_edges(s).iter().copied()),
+            (None, Some(p), Some(o)) => Box::new(self.with_predicate_object(p, o)),
+            (None, Some(p), None) => Box::new(self.with_predicate(p)),
+            (None, None, Some(o)) => Box::new(self.in_edges(o)),
+            (None, None, None) => Box::new(self.triples.iter().copied()),
+        }
+    }
+
+    /// Distinct predicate ids, in ascending order.
+    pub fn predicates(&self) -> Vec<TermId> {
+        let mut out = Vec::new();
+        let mut last = None;
+        for &i in &self.pos {
+            let p = self.triples[i as usize].p;
+            if last != Some(p) {
+                out.push(p);
+                last = Some(p);
+            }
+        }
+        out
+    }
+
+    /// Distinct vertex ids: every id occurring as subject or object.
+    pub fn vertices(&self) -> Vec<TermId> {
+        let mut v: Vec<TermId> = Vec::with_capacity(self.triples.len());
+        for t in &self.triples {
+            v.push(t.s);
+            v.push(t.o);
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Degree of a vertex counting both directions.
+    pub fn degree(&self, v: TermId) -> usize {
+        self.out_edges(v).len() + self.in_edges(v).count()
+    }
+
+    /// Convenience: id of an IRI if present.
+    pub fn iri(&self, iri: &str) -> Option<TermId> {
+        self.dict.lookup_iri(iri)
+    }
+
+    /// Convenience: id of an IRI, panicking with the IRI text if absent.
+    /// Intended for tests and curated-dataset code.
+    pub fn expect_iri(&self, iri: &str) -> TermId {
+        self.iri(iri).unwrap_or_else(|| panic!("IRI not in store: {iri}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Store {
+        let mut b = StoreBuilder::new();
+        b.add_iri("dbr:Melanie_Griffith", "dbo:spouse", "dbr:Antonio_Banderas");
+        b.add_iri("dbr:Antonio_Banderas", "rdf:type", "dbo:Actor");
+        b.add_iri("dbr:Philadelphia_(film)", "dbo:starring", "dbr:Antonio_Banderas");
+        b.add_obj("dbr:Antonio_Banderas", "rdfs:label", Term::lit("Antonio Banderas"));
+        // duplicate on purpose: must be deduplicated
+        b.add_iri("dbr:Antonio_Banderas", "rdf:type", "dbo:Actor");
+        b.build()
+    }
+
+    #[test]
+    fn dedup_on_build() {
+        let s = sample();
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn out_edges_are_contiguous_and_complete() {
+        let s = sample();
+        let ab = s.expect_iri("dbr:Antonio_Banderas");
+        let out = s.out_edges(ab);
+        assert_eq!(out.len(), 2); // rdf:type + rdfs:label
+        assert!(out.iter().all(|t| t.s == ab));
+    }
+
+    #[test]
+    fn in_edges_cover_both_predicates() {
+        let s = sample();
+        let ab = s.expect_iri("dbr:Antonio_Banderas");
+        let inc: Vec<_> = s.in_edges(ab).collect();
+        assert_eq!(inc.len(), 2); // spouse + starring
+        assert!(inc.iter().all(|t| t.o == ab));
+    }
+
+    #[test]
+    fn contains_and_matching_fully_bound() {
+        let s = sample();
+        let t = Triple::new(
+            s.expect_iri("dbr:Melanie_Griffith"),
+            s.expect_iri("dbo:spouse"),
+            s.expect_iri("dbr:Antonio_Banderas"),
+        );
+        assert!(s.contains(t));
+        assert_eq!(s.matching(TriplePattern { s: Some(t.s), p: Some(t.p), o: Some(t.o) }).count(), 1);
+        let absent = Triple::new(t.s, t.p, t.s);
+        assert!(!s.contains(absent));
+    }
+
+    #[test]
+    fn predicate_scan() {
+        let s = sample();
+        let ty = s.expect_iri("rdf:type");
+        let v: Vec<_> = s.with_predicate(ty).collect();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].o, s.expect_iri("dbo:Actor"));
+    }
+
+    #[test]
+    fn predicate_object_scan() {
+        let s = sample();
+        let ty = s.expect_iri("rdf:type");
+        let actor = s.expect_iri("dbo:Actor");
+        let subs: Vec<_> = s.subjects(ty, actor).collect();
+        assert_eq!(subs, vec![s.expect_iri("dbr:Antonio_Banderas")]);
+    }
+
+    #[test]
+    fn objects_scan() {
+        let s = sample();
+        let mg = s.expect_iri("dbr:Melanie_Griffith");
+        let sp = s.expect_iri("dbo:spouse");
+        let objs: Vec<_> = s.objects(mg, sp).collect();
+        assert_eq!(objs, vec![s.expect_iri("dbr:Antonio_Banderas")]);
+    }
+
+    #[test]
+    fn matching_uses_every_index_shape() {
+        let s = sample();
+        let ab = s.expect_iri("dbr:Antonio_Banderas");
+        let total = s.len();
+        assert_eq!(s.matching(TriplePattern::any()).count(), total);
+        assert_eq!(s.matching(TriplePattern { s: Some(ab), ..Default::default() }).count(), 2);
+        assert_eq!(s.matching(TriplePattern { o: Some(ab), ..Default::default() }).count(), 2);
+        let label = s.expect_iri("rdfs:label");
+        assert_eq!(s.matching(TriplePattern { p: Some(label), ..Default::default() }).count(), 1);
+        assert_eq!(
+            s.matching(TriplePattern { s: Some(ab), o: Some(s.expect_iri("dbo:Actor")), ..Default::default() })
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn vertices_and_degree() {
+        let s = sample();
+        let verts = s.vertices();
+        // Subjects/objects only; the predicate IRIs are not vertices.
+        assert!(verts.contains(&s.expect_iri("dbr:Melanie_Griffith")));
+        assert!(!verts.contains(&s.expect_iri("dbo:spouse")));
+        let ab = s.expect_iri("dbr:Antonio_Banderas");
+        assert_eq!(s.degree(ab), 4);
+    }
+
+    #[test]
+    fn predicates_distinct_sorted() {
+        let s = sample();
+        let preds = s.predicates();
+        assert_eq!(preds.len(), 4); // spouse, type, starring, label
+        let mut sorted = preds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(preds, sorted);
+    }
+
+    #[test]
+    fn extend_from_copies_all_triples() {
+        let a = sample();
+        let mut b = StoreBuilder::new();
+        b.add_iri("extra:s", "extra:p", "extra:o");
+        b.extend_from(&a);
+        let merged = b.build();
+        assert_eq!(merged.len(), a.len() + 1);
+        for t in a.triples() {
+            let s = merged.dict().lookup(a.term(t.s)).unwrap();
+            let p = merged.dict().lookup(a.term(t.p)).unwrap();
+            let o = merged.dict().lookup(a.term(t.o)).unwrap();
+            assert!(merged.contains(Triple::new(s, p, o)));
+        }
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = StoreBuilder::new().build();
+        assert!(s.is_empty());
+        assert!(s.vertices().is_empty());
+        assert!(s.predicates().is_empty());
+        assert_eq!(s.matching(TriplePattern::any()).count(), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! RDF terms: IRIs, literals and blank nodes.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// An RDF term.
+///
+/// IRIs may be written either in full (`http://dbpedia.org/resource/Berlin`)
+/// or — throughout this repository's curated datasets — as compact CURIEs
+/// (`dbr:Berlin`, `dbo:spouse`, `rdf:type`). The store treats the IRI text as
+/// opaque; only byte equality matters.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Term {
+    /// A named resource (entity, class or predicate).
+    Iri(Box<str>),
+    /// A literal value with an optional datatype CURIE (`xsd:integer`, …).
+    Literal {
+        /// The lexical form.
+        lexical: Box<str>,
+        /// Datatype IRI/CURIE; `None` means a plain string literal.
+        datatype: Option<Box<str>>,
+    },
+    /// A blank node with a local label.
+    Blank(Box<str>),
+}
+
+impl Term {
+    /// Convenience constructor for an IRI term.
+    pub fn iri(s: impl Into<Box<str>>) -> Self {
+        Term::Iri(s.into())
+    }
+
+    /// Convenience constructor for a plain string literal.
+    pub fn lit(s: impl Into<Box<str>>) -> Self {
+        Term::Literal { lexical: s.into(), datatype: None }
+    }
+
+    /// Convenience constructor for a typed literal.
+    pub fn typed_lit(s: impl Into<Box<str>>, dt: impl Into<Box<str>>) -> Self {
+        Term::Literal { lexical: s.into(), datatype: Some(dt.into()) }
+    }
+
+    /// Convenience constructor for an integer literal (`xsd:integer`).
+    pub fn int_lit(v: i64) -> Self {
+        Term::typed_lit(v.to_string(), "xsd:integer")
+    }
+
+    /// Convenience constructor for a decimal literal (`xsd:decimal`).
+    pub fn dec_lit(v: f64) -> Self {
+        Term::typed_lit(format!("{v}"), "xsd:decimal")
+    }
+
+    /// Is this term an IRI?
+    #[inline]
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// Is this term a literal?
+    #[inline]
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal { .. })
+    }
+
+    /// The IRI text if this is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The lexical form if this is a literal.
+    pub fn as_literal(&self) -> Option<&str> {
+        match self {
+            Term::Literal { lexical, .. } => Some(lexical),
+            _ => None,
+        }
+    }
+
+    /// Parse the literal as a number, if possible (integers and decimals).
+    pub fn numeric_value(&self) -> Option<f64> {
+        match self {
+            Term::Literal { lexical, .. } => lexical.parse::<f64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// A human-readable label: for IRIs, the fragment after the last
+    /// `:`/`/`/`#` with underscores replaced by spaces; for literals, the
+    /// lexical form.
+    pub fn label(&self) -> Cow<'_, str> {
+        match self {
+            Term::Iri(s) => {
+                let frag = s.rsplit(['/', '#', ':']).next().unwrap_or(s);
+                if frag.contains('_') {
+                    Cow::Owned(frag.replace('_', " "))
+                } else {
+                    Cow::Borrowed(frag)
+                }
+            }
+            Term::Literal { lexical, .. } => Cow::Borrowed(lexical),
+            Term::Blank(b) => Cow::Borrowed(b),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(s) => write!(f, "<{s}>"),
+            Term::Literal { lexical, datatype: None } => write!(f, "\"{lexical}\""),
+            Term::Literal { lexical, datatype: Some(dt) } => {
+                write!(f, "\"{lexical}\"^^<{dt}>")
+            }
+            Term::Blank(b) => write!(f, "_:{b}"),
+        }
+    }
+}
+
+/// Well-known CURIEs used by the schema layer and the curated datasets.
+pub mod vocab {
+    /// `rdf:type` — instance-of edges. A vertex with an incoming `rdf:type`
+    /// edge is a class vertex (paper §2.2).
+    pub const RDF_TYPE: &str = "rdf:type";
+    /// `rdfs:subClassOf` — class hierarchy edges.
+    pub const RDFS_SUBCLASS_OF: &str = "rdfs:subClassOf";
+    /// `rdfs:label` — human-readable labels used by the entity linker.
+    pub const RDFS_LABEL: &str = "rdfs:label";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        let e = Term::iri("dbr:Berlin");
+        assert!(e.is_iri());
+        assert!(!e.is_literal());
+        assert_eq!(e.as_iri(), Some("dbr:Berlin"));
+
+        let l = Term::lit("Berlin");
+        assert!(l.is_literal());
+        assert_eq!(l.as_literal(), Some("Berlin"));
+        assert_eq!(l.as_iri(), None);
+    }
+
+    #[test]
+    fn numeric_values() {
+        assert_eq!(Term::int_lit(198).numeric_value(), Some(198.0));
+        assert_eq!(Term::dec_lit(1.98).numeric_value(), Some(1.98));
+        assert_eq!(Term::lit("not a number").numeric_value(), None);
+        assert_eq!(Term::iri("dbr:Berlin").numeric_value(), None);
+    }
+
+    #[test]
+    fn labels_strip_namespace_and_underscores() {
+        assert_eq!(Term::iri("dbr:Antonio_Banderas").label(), "Antonio Banderas");
+        assert_eq!(Term::iri("http://example.org/res/Berlin").label(), "Berlin");
+        assert_eq!(Term::lit("Philadelphia").label(), "Philadelphia");
+    }
+
+    #[test]
+    fn display_is_ntriples_like() {
+        assert_eq!(Term::iri("dbr:Berlin").to_string(), "<dbr:Berlin>");
+        assert_eq!(Term::lit("x").to_string(), "\"x\"");
+        assert_eq!(Term::int_lit(3).to_string(), "\"3\"^^<xsd:integer>");
+        assert_eq!(Term::Blank("b0".into()).to_string(), "_:b0");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![Term::lit("b"), Term::iri("a"), Term::lit("a")];
+        v.sort();
+        // Just checking sort doesn't panic and dedup works.
+        v.dedup();
+        assert_eq!(v.len(), 3);
+    }
+}

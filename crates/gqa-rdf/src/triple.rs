@@ -1,0 +1,86 @@
+//! The triple type and triple patterns.
+
+use crate::ids::TermId;
+
+/// A dictionary-encoded RDF triple.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Triple {
+    /// Subject id (always an IRI or blank node).
+    pub s: TermId,
+    /// Predicate id (always an IRI).
+    pub p: TermId,
+    /// Object id (IRI, blank node or literal).
+    pub o: TermId,
+}
+
+impl Triple {
+    /// Construct a triple.
+    #[inline]
+    pub fn new(s: TermId, p: TermId, o: TermId) -> Self {
+        Triple { s, p, o }
+    }
+}
+
+/// A triple pattern: each position either bound to a term or a wildcard.
+///
+/// Used by the store's `matching` scan and by the SPARQL evaluator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TriplePattern {
+    /// Subject constraint.
+    pub s: Option<TermId>,
+    /// Predicate constraint.
+    pub p: Option<TermId>,
+    /// Object constraint.
+    pub o: Option<TermId>,
+}
+
+impl TriplePattern {
+    /// A pattern matching every triple.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Does `t` satisfy every bound position?
+    #[inline]
+    pub fn matches(&self, t: &Triple) -> bool {
+        self.s.is_none_or(|s| s == t.s)
+            && self.p.is_none_or(|p| p == t.p)
+            && self.o.is_none_or(|o| o == t.o)
+    }
+
+    /// Number of bound positions (0–3); used to pick the best index.
+    pub fn bound_count(&self) -> usize {
+        usize::from(self.s.is_some()) + usize::from(self.p.is_some()) + usize::from(self.o.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(TermId(s), TermId(p), TermId(o))
+    }
+
+    #[test]
+    fn pattern_any_matches_everything() {
+        assert!(TriplePattern::any().matches(&t(1, 2, 3)));
+        assert_eq!(TriplePattern::any().bound_count(), 0);
+    }
+
+    #[test]
+    fn pattern_bound_positions() {
+        let p = TriplePattern { s: Some(TermId(1)), p: None, o: Some(TermId(3)) };
+        assert!(p.matches(&t(1, 9, 3)));
+        assert!(!p.matches(&t(1, 9, 4)));
+        assert!(!p.matches(&t(2, 9, 3)));
+        assert_eq!(p.bound_count(), 2);
+    }
+
+    #[test]
+    fn triple_ordering_is_spo_lexicographic() {
+        let mut v = vec![t(2, 1, 1), t(1, 2, 1), t(1, 1, 2), t(1, 1, 1)];
+        v.sort();
+        assert_eq!(v, vec![t(1, 1, 1), t(1, 1, 2), t(1, 2, 1), t(2, 1, 1)]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the RDF substrate.
+
+use gqa_rdf::paths::{simple_paths, simple_paths_dfs, PathConfig};
+use gqa_rdf::store::StoreBuilder;
+use gqa_rdf::triple::TriplePattern;
+use gqa_rdf::{ntriples, Term, TermId};
+use proptest::prelude::*;
+
+/// A random small multigraph: edges (s, p, o) over `n` vertices and `k`
+/// predicates.
+fn arb_graph() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    prop::collection::vec((0u8..8, 0u8..3, 0u8..8), 0..40)
+}
+
+fn build(edges: &[(u8, u8, u8)]) -> gqa_rdf::Store {
+    let mut b = StoreBuilder::new();
+    for &(s, p, o) in edges {
+        b.add_iri(&format!("v{s}"), &format!("p{p}"), &format!("v{o}"));
+    }
+    b.build()
+}
+
+proptest! {
+    /// The bidirectional-BFS path enumerator agrees with the exhaustive DFS
+    /// reference for every θ in 1..=4.
+    #[test]
+    fn bidirectional_bfs_matches_dfs(edges in arb_graph(), a in 0u8..8, b in 0u8..8, theta in 1usize..=4) {
+        let store = build(&edges);
+        let (Some(va), Some(vb)) = (store.iri(&format!("v{a}")), store.iri(&format!("v{b}"))) else {
+            return Ok(());
+        };
+        let cfg = PathConfig::with_max_len(theta);
+        let fast = simple_paths(&store, va, vb, &cfg);
+        let slow = simple_paths_dfs(&store, va, vb, &cfg);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Every enumerated path is simple, within the bound, and correctly
+    /// anchored; and every step corresponds to a real triple.
+    #[test]
+    fn paths_are_valid_walks(edges in arb_graph(), a in 0u8..8, b in 0u8..8) {
+        let store = build(&edges);
+        let (Some(va), Some(vb)) = (store.iri(&format!("v{a}")), store.iri(&format!("v{b}"))) else {
+            return Ok(());
+        };
+        for p in simple_paths(&store, va, vb, &PathConfig::with_max_len(3)) {
+            prop_assert!(p.len() <= 3);
+            prop_assert_eq!(p.vertices[0], va);
+            prop_assert_eq!(*p.vertices.last().unwrap(), vb);
+            let mut sorted = p.vertices.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), p.vertices.len());
+            for (i, step) in p.steps.iter().enumerate() {
+                let (x, y) = (p.vertices[i], p.vertices[i + 1]);
+                let exists = match step.dir {
+                    gqa_rdf::Dir::Forward => store.contains(gqa_rdf::Triple::new(x, step.pred, y)),
+                    gqa_rdf::Dir::Backward => store.contains(gqa_rdf::Triple::new(y, step.pred, x)),
+                };
+                prop_assert!(exists, "step {i} of {p:?} is not a store triple");
+            }
+        }
+    }
+
+    /// `matching` with any pattern equals a brute-force filter over all
+    /// triples.
+    #[test]
+    fn matching_equals_linear_scan(
+        edges in arb_graph(),
+        sb in prop::option::of(0u8..8),
+        pb in prop::option::of(0u8..3),
+        ob in prop::option::of(0u8..8),
+    ) {
+        let store = build(&edges);
+        let lookup = |name: String| store.iri(&name);
+        let pat = TriplePattern {
+            s: sb.and_then(|v| lookup(format!("v{v}"))),
+            p: pb.and_then(|v| lookup(format!("p{v}"))),
+            o: ob.and_then(|v| lookup(format!("v{v}"))),
+        };
+        let mut fast: Vec<_> = store.matching(pat).collect();
+        fast.sort_unstable();
+        let mut slow: Vec<_> = store.triples().iter().copied().filter(|t| pat.matches(t)).collect();
+        slow.sort_unstable();
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// N-Triples serialization round-trips every store built from random
+    /// edges plus random literals.
+    #[test]
+    fn ntriples_roundtrip(edges in arb_graph(), lits in prop::collection::vec("[a-z \\\\\"\n\t]{0,12}", 0..6)) {
+        let mut b = StoreBuilder::new();
+        for &(s, p, o) in &edges {
+            b.add_iri(&format!("v{s}"), &format!("p{p}"), &format!("v{o}"));
+        }
+        for (i, l) in lits.iter().enumerate() {
+            b.add_obj(&format!("v{}", i % 8), "rdfs:label", Term::lit(l.as_str()));
+        }
+        let store = b.build();
+        let text = ntriples::serialize(&store);
+        let round = ntriples::parse(&text).unwrap();
+        prop_assert_eq!(store.len(), round.len());
+        // Triple order follows dictionary ids, which differ between the two
+        // stores; compare the *set* of serialized statements.
+        let canon = |s: &str| { let mut v: Vec<_> = s.lines().map(str::to_owned).collect(); v.sort(); v };
+        prop_assert_eq!(canon(&text), canon(&ntriples::serialize(&round)));
+    }
+
+    /// Dictionary interning: ids round-trip and stay dense.
+    #[test]
+    fn dict_ids_are_dense(names in prop::collection::vec("[a-z]{1,6}", 1..30)) {
+        let mut d = gqa_rdf::Dict::new();
+        let mut max = 0u32;
+        for n in &names {
+            let id = d.intern_iri(n);
+            max = max.max(id.0);
+            prop_assert_eq!(d.term(id).as_iri(), Some(n.as_str()));
+        }
+        prop_assert_eq!(max as usize + 1, d.len());
+        prop_assert!(d.len() <= names.len());
+    }
+
+    /// Degree equals the number of incident triples counted from both sides.
+    #[test]
+    fn degree_consistency(edges in arb_graph(), v in 0u8..8) {
+        let store = build(&edges);
+        let Some(id) = store.iri(&format!("v{v}")) else { return Ok(()); };
+        let manual = store
+            .triples()
+            .iter()
+            .filter(|t| t.s == id)
+            .count()
+            + store.triples().iter().filter(|t| t.o == id).count();
+        prop_assert_eq!(store.degree(id), manual);
+    }
+}
+
+#[test]
+fn termid_is_small() {
+    assert_eq!(std::mem::size_of::<TermId>(), 4);
+    assert_eq!(std::mem::size_of::<gqa_rdf::Triple>(), 12);
+}
+
+proptest! {
+    /// The N-Triples parser never panics, whatever the input; on success
+    /// the parsed store re-serializes.
+    #[test]
+    fn ntriples_parser_never_panics(input in "\\PC{0,200}") {
+        if let Ok(store) = gqa_rdf::ntriples::parse(&input) {
+            let _ = gqa_rdf::ntriples::serialize(&store);
+        }
+    }
+
+    /// The SPARQL-ish cursor machinery embedded in ntriples survives
+    /// line-noise with '<', '"' and '\\' characters specifically.
+    #[test]
+    fn ntriples_parser_survives_quote_noise(input in "[<>\"\\\\ a-z.^@_:-]{0,120}") {
+        let _ = gqa_rdf::ntriples::parse(&input);
+    }
+}

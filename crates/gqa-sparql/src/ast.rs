@@ -1,0 +1,225 @@
+//! The query AST.
+
+use gqa_rdf::Term;
+use std::fmt;
+
+/// A node of a triple pattern: variable, IRI, or literal.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TermAst {
+    /// `?name`.
+    Var(String),
+    /// `<iri>`.
+    Iri(String),
+    /// A literal with optional datatype.
+    Literal(Term),
+}
+
+impl TermAst {
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            TermAst::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TermAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermAst::Var(v) => write!(f, "?{v}"),
+            TermAst::Iri(i) => write!(f, "<{i}>"),
+            TermAst::Literal(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// One triple pattern of the WHERE clause.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TriplePatternAst {
+    /// Subject.
+    pub s: TermAst,
+    /// Predicate.
+    pub p: TermAst,
+    /// Object.
+    pub o: TermAst,
+}
+
+impl fmt::Display for TriplePatternAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.s, self.p, self.o)
+    }
+}
+
+/// Comparison operator of a FILTER.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// `FILTER(?x OP value)` — numeric comparison against a constant, or
+/// equality against any term.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Filter {
+    /// The compared variable.
+    pub var: String,
+    /// The operator.
+    pub op: CmpOp,
+    /// The right-hand constant.
+    pub value: TermAst,
+}
+
+/// Result form of the query.
+#[derive(Clone, PartialEq, Debug)]
+pub enum QueryForm {
+    /// `SELECT [DISTINCT] ?a ?b …`.
+    Select {
+        /// Projected variables.
+        vars: Vec<String>,
+        /// DISTINCT flag.
+        distinct: bool,
+    },
+    /// `SELECT COUNT(?x)`.
+    Count(String),
+    /// `ASK`.
+    Ask,
+}
+
+/// Sort order of ORDER BY.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Order {
+    /// Ascending.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A parsed query.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Query {
+    /// The result form.
+    pub form: QueryForm,
+    /// Basic graph pattern (required part).
+    pub patterns: Vec<TriplePatternAst>,
+    /// `{…} UNION {…}` alternatives: a solution must satisfy `patterns`
+    /// plus at least one group. Empty = no union clause.
+    pub union_groups: Vec<Vec<TriplePatternAst>>,
+    /// Filters.
+    pub filters: Vec<Filter>,
+    /// `ORDER BY [DESC](?v)`.
+    pub order_by: Option<(String, Order)>,
+    /// `LIMIT n`.
+    pub limit: Option<usize>,
+    /// `OFFSET n`.
+    pub offset: usize,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.form {
+            QueryForm::Select { vars, distinct } => {
+                write!(f, "SELECT ")?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                for v in vars {
+                    write!(f, "?{v} ")?;
+                }
+            }
+            QueryForm::Count(v) => write!(f, "SELECT COUNT(?{v}) ")?,
+            QueryForm::Ask => write!(f, "ASK ")?,
+        }
+        write!(f, "WHERE {{ ")?;
+        for p in &self.patterns {
+            write!(f, "{p} . ")?;
+        }
+        for (i, g) in self.union_groups.iter().enumerate() {
+            if i > 0 {
+                write!(f, "UNION ")?;
+            }
+            write!(f, "{{ ")?;
+            for p in g {
+                write!(f, "{p} . ")?;
+            }
+            write!(f, "}} ")?;
+        }
+        for fl in &self.filters {
+            let op = match fl.op {
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "!=",
+            };
+            write!(f, "FILTER(?{} {} {}) . ", fl.var, op, fl.value)?;
+        }
+        write!(f, "}}")?;
+        if let Some((v, o)) = &self.order_by {
+            match o {
+                Order::Asc => write!(f, " ORDER BY ?{v}")?,
+                Order::Desc => write!(f, " ORDER BY DESC(?{v})")?,
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if self.offset > 0 {
+            write!(f, " OFFSET {}", self.offset)?;
+        }
+        Ok(())
+    }
+}
+
+impl Query {
+    /// A plain SELECT query over a BGP.
+    pub fn select(vars: Vec<String>, patterns: Vec<TriplePatternAst>) -> Self {
+        Query {
+            form: QueryForm::Select { vars, distinct: true },
+            patterns,
+            union_groups: Vec::new(),
+            filters: Vec::new(),
+            order_by: None,
+            limit: None,
+            offset: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let q = Query {
+            form: QueryForm::Select { vars: vec!["x".into()], distinct: true },
+            patterns: vec![TriplePatternAst {
+                s: TermAst::Var("x".into()),
+                p: TermAst::Iri("dbo:spouse".into()),
+                o: TermAst::Iri("dbr:Antonio_Banderas".into()),
+            }],
+            union_groups: vec![],
+            filters: vec![],
+            order_by: Some(("x".into(), Order::Desc)),
+            limit: Some(1),
+            offset: 0,
+        };
+        let s = q.to_string();
+        assert!(s.contains("SELECT DISTINCT ?x"), "{s}");
+        assert!(s.contains("<dbo:spouse>"), "{s}");
+        assert!(s.contains("ORDER BY DESC(?x) LIMIT 1"), "{s}");
+    }
+
+    #[test]
+    fn term_ast_accessors() {
+        assert_eq!(TermAst::Var("a".into()).as_var(), Some("a"));
+        assert_eq!(TermAst::Iri("x".into()).as_var(), None);
+    }
+}

@@ -1,0 +1,575 @@
+//! Backtracking BGP evaluation.
+//!
+//! Join strategy: at every step pick the not-yet-evaluated pattern with the
+//! most bound positions (greedy most-selective-first), scan it through the
+//! store's best index, extend the binding, recurse. Answering SPARQL is
+//! subgraph matching and NP-hard in general (the paper cites gStore \[33\]);
+//! greedy ordering plus index scans is entirely adequate at this scale.
+
+use crate::ast::{CmpOp, Order, Query, QueryForm, TermAst, TriplePatternAst};
+use gqa_rdf::triple::TriplePattern;
+use gqa_rdf::{Store, Term, TermId};
+use rustc_hash::FxHashMap;
+
+/// Result of evaluating a query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultSet {
+    /// Projected variable names (empty for ASK).
+    pub vars: Vec<String>,
+    /// Rows of bindings, aligned with `vars`.
+    pub rows: Vec<Vec<TermId>>,
+    /// ASK result, if the query was an ASK.
+    pub boolean: Option<bool>,
+    /// COUNT result, if the query was a COUNT.
+    pub count: Option<usize>,
+}
+
+impl ResultSet {
+    /// Render rows as term strings (for display and tests).
+    pub fn render(&self, store: &Store) -> Vec<Vec<String>> {
+        self.rows
+            .iter()
+            .map(|row| row.iter().map(|&id| store.term(id).to_string()).collect())
+            .collect()
+    }
+}
+
+/// Pre-resolved pattern node.
+#[derive(Clone, Copy, Debug)]
+enum Node {
+    Var(usize),
+    Const(TermId),
+}
+
+/// Evaluate a query over a store.
+pub fn evaluate(store: &Store, query: &Query) -> ResultSet {
+    // Intern variables.
+    let mut var_names: Vec<String> = Vec::new();
+    let mut var_ids: FxHashMap<String, usize> = FxHashMap::default();
+    let var_of = |name: &str, var_names: &mut Vec<String>, var_ids: &mut FxHashMap<String, usize>| -> usize {
+        if let Some(&i) = var_ids.get(name) {
+            return i;
+        }
+        let i = var_names.len();
+        var_names.push(name.to_owned());
+        var_ids.insert(name.to_owned(), i);
+        i
+    };
+
+    // Resolve constants; an unresolvable constant empties whatever pattern
+    // group it belongs to (tracked per group through this flag).
+    let resolvable = std::cell::Cell::new(true);
+    let mut resolve = |t: &TermAst, var_names: &mut Vec<String>, var_ids: &mut FxHashMap<String, usize>| -> Node {
+        match t {
+            TermAst::Var(v) => Node::Var(var_of(v, var_names, var_ids)),
+            TermAst::Iri(i) => match store.iri(i) {
+                Some(id) => Node::Const(id),
+                None => {
+                    resolvable.set(false);
+                    Node::Const(TermId(u32::MAX))
+                }
+            },
+            TermAst::Literal(l) => match store.dict().lookup(l) {
+                Some(id) => Node::Const(id),
+                None => {
+                    resolvable.set(false);
+                    Node::Const(TermId(u32::MAX))
+                }
+            },
+        }
+    };
+    #[allow(clippy::type_complexity)] // local one-off resolver plumbing
+    let resolve_all = |pats: &[TriplePatternAst],
+                       var_names: &mut Vec<String>,
+                       var_ids: &mut FxHashMap<String, usize>,
+                       resolve: &mut dyn FnMut(&TermAst, &mut Vec<String>, &mut FxHashMap<String, usize>) -> Node|
+     -> Vec<[Node; 3]> {
+        pats.iter()
+            .map(|TriplePatternAst { s, p, o }| {
+                [resolve(s, var_names, var_ids), resolve(p, var_names, var_ids), resolve(o, var_names, var_ids)]
+            })
+            .collect()
+    };
+    let patterns: Vec<[Node; 3]> = resolve_all(&query.patterns, &mut var_names, &mut var_ids, &mut resolve);
+    // UNION branches: base patterns + one group each. Resolve every branch
+    // up front so variables are interned consistently (a branch with an
+    // unresolvable constant contributes nothing, like an empty BGP).
+    let branch_patterns: Vec<(Vec<[Node; 3]>, bool)> = query
+        .union_groups
+        .iter()
+        .map(|g| {
+            resolvable.set(true);
+            let pats = resolve_all(g, &mut var_names, &mut var_ids, &mut resolve);
+            (pats, resolvable.get())
+        })
+        .collect();
+    // Register filter/order/projection variables too.
+    for f in &query.filters {
+        var_of(&f.var, &mut var_names, &mut var_ids);
+    }
+    if let Some((v, _)) = &query.order_by {
+        var_of(v, &mut var_names, &mut var_ids);
+    }
+    let projected: Vec<usize> = match &query.form {
+        QueryForm::Select { vars, .. } => {
+            vars.iter().map(|v| var_of(v, &mut var_names, &mut var_ids)).collect()
+        }
+        QueryForm::Count(v) => vec![var_of(v, &mut var_names, &mut var_ids)],
+        QueryForm::Ask => Vec::new(),
+    };
+
+    let nvars = var_names.len();
+    // Base-pattern resolvability: check the base set independently of the
+    // union branches (resolve() already flagged failures as they occurred;
+    // a failure inside a branch only disables that branch).
+    let base_ok = query.patterns.iter().all(|pat| {
+        [&pat.s, &pat.p, &pat.o].into_iter().all(|t| match t {
+            TermAst::Var(_) => true,
+            TermAst::Iri(i) => store.iri(i).is_some(),
+            TermAst::Literal(l) => store.dict().lookup(l).is_some(),
+        })
+    });
+    let mut solutions: Vec<Vec<Option<TermId>>> = Vec::new();
+    let ask_only = matches!(query.form, QueryForm::Ask) && query.union_groups.is_empty();
+    if base_ok {
+        if branch_patterns.is_empty() {
+            let mut binding = vec![None; nvars];
+            let mut used = vec![false; patterns.len()];
+            join(store, &patterns, &mut used, &mut binding, &mut solutions, ask_only);
+        } else {
+            for (branch, ok) in &branch_patterns {
+                if !ok {
+                    continue;
+                }
+                let mut combined = patterns.clone();
+                combined.extend(branch.iter().cloned());
+                let mut binding = vec![None; nvars];
+                let mut used = vec![false; combined.len()];
+                join(store, &combined, &mut used, &mut binding, &mut solutions, false);
+            }
+            solutions.sort();
+            solutions.dedup();
+        }
+    }
+
+
+    // Filters.
+    let filters: Vec<(usize, CmpOp, FilterVal)> = query
+        .filters
+        .iter()
+        .map(|f| {
+            let var = var_ids[&f.var];
+            let val = match &f.value {
+                TermAst::Literal(t) => match t.numeric_value() {
+                    Some(n) => FilterVal::Num(n),
+                    None => FilterVal::Term(store.dict().lookup(t)),
+                },
+                TermAst::Iri(i) => FilterVal::Term(store.iri(i)),
+                TermAst::Var(v) => FilterVal::Var(var_ids[v]),
+            };
+            (var, f.op, val)
+        })
+        .collect();
+    solutions.retain(|row| filters.iter().all(|f| filter_ok(store, row, f)));
+
+    // ORDER BY.
+    if let Some((v, order)) = &query.order_by {
+        let vi = var_ids[v];
+        solutions.sort_by(|a, b| {
+            let ka = sort_key(store, a[vi]);
+            let kb = sort_key(store, b[vi]);
+            let cmp = ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal);
+            match order {
+                Order::Asc => cmp,
+                Order::Desc => cmp.reverse(),
+            }
+        });
+    }
+
+    // Project, dedup, slice.
+    match &query.form {
+        QueryForm::Ask => ResultSet {
+            vars: Vec::new(),
+            rows: Vec::new(),
+            boolean: Some(!solutions.is_empty()),
+            count: None,
+        },
+        QueryForm::Count(vname) => {
+            let vi = var_ids[vname];
+            let mut vals: Vec<TermId> = solutions.iter().filter_map(|r| r[vi]).collect();
+            vals.sort_unstable();
+            vals.dedup();
+            ResultSet { vars: vec![vname.clone()], rows: Vec::new(), boolean: None, count: Some(vals.len()) }
+        }
+        QueryForm::Select { vars, distinct } => {
+            let mut rows: Vec<Vec<TermId>> = solutions
+                .iter()
+                .filter_map(|r| projected.iter().map(|&vi| r[vi]).collect::<Option<Vec<_>>>())
+                .collect();
+            if *distinct {
+                // Stable dedup to respect ORDER BY.
+                let mut seen = rustc_hash::FxHashSet::default();
+                rows.retain(|r| seen.insert(r.clone()));
+            }
+            let start = query.offset.min(rows.len());
+            let end = query.limit.map_or(rows.len(), |l| (start + l).min(rows.len()));
+            let rows = rows[start..end].to_vec();
+            ResultSet { vars: vars.clone(), rows, boolean: None, count: None }
+        }
+    }
+}
+
+enum FilterVal {
+    Num(f64),
+    Term(Option<TermId>),
+    Var(usize),
+}
+
+fn filter_ok(store: &Store, row: &[Option<TermId>], (var, op, val): &(usize, CmpOp, FilterVal)) -> bool {
+    let Some(lhs) = row[*var] else { return false };
+    match val {
+        FilterVal::Num(n) => {
+            let Some(l) = store.term(lhs).numeric_value() else { return false };
+            cmp_f64(l, *n, *op)
+        }
+        FilterVal::Term(Some(rhs)) => match op {
+            CmpOp::Eq => lhs == *rhs,
+            CmpOp::Ne => lhs != *rhs,
+            _ => {
+                let (Some(l), Some(r)) =
+                    (store.term(lhs).numeric_value(), store.term(*rhs).numeric_value())
+                else {
+                    return false;
+                };
+                cmp_f64(l, r, *op)
+            }
+        },
+        FilterVal::Term(None) => matches!(op, CmpOp::Ne),
+        FilterVal::Var(v) => {
+            let Some(rhs) = row[*v] else { return false };
+            match op {
+                CmpOp::Eq => lhs == rhs,
+                CmpOp::Ne => lhs != rhs,
+                _ => {
+                    let (Some(l), Some(r)) =
+                        (store.term(lhs).numeric_value(), store.term(rhs).numeric_value())
+                    else {
+                        return false;
+                    };
+                    cmp_f64(l, r, *op)
+                }
+            }
+        }
+    }
+}
+
+fn cmp_f64(l: f64, r: f64, op: CmpOp) -> bool {
+    match op {
+        CmpOp::Lt => l < r,
+        CmpOp::Le => l <= r,
+        CmpOp::Gt => l > r,
+        CmpOp::Ge => l >= r,
+        CmpOp::Eq => l == r,
+        CmpOp::Ne => l != r,
+    }
+}
+
+/// Sort key: numeric value when the term parses as a number (numbers sort
+/// before non-numbers), else the term's text.
+fn sort_key(store: &Store, id: Option<TermId>) -> (u8, f64, String) {
+    match id {
+        None => (2, 0.0, String::new()),
+        Some(id) => {
+            let t = store.term(id);
+            match t.numeric_value() {
+                Some(n) => (0, n, String::new()),
+                None => (1, 0.0, t.to_string()),
+            }
+        }
+    }
+}
+
+fn join(
+    store: &Store,
+    patterns: &[[Node; 3]],
+    used: &mut [bool],
+    binding: &mut Vec<Option<TermId>>,
+    out: &mut Vec<Vec<Option<TermId>>>,
+    ask_only: bool,
+) {
+    if ask_only && !out.is_empty() {
+        return;
+    }
+    // Pick the unused pattern with the most bound positions.
+    let next = (0..patterns.len())
+        .filter(|&i| !used[i])
+        .max_by_key(|&i| patterns[i].iter().filter(|n| is_bound(n, binding)).count());
+    let Some(pi) = next else {
+        out.push(binding.clone());
+        return;
+    };
+    used[pi] = true;
+    let [s, p, o] = patterns[pi];
+    let pat = TriplePattern {
+        s: bound_id(&s, binding),
+        p: bound_id(&p, binding),
+        o: bound_id(&o, binding),
+    };
+    let triples: Vec<_> = store.matching(pat).collect();
+    for t in triples {
+        let mut touched: Vec<usize> = Vec::with_capacity(3);
+        if try_bind(&s, t.s, binding, &mut touched)
+            && try_bind(&p, t.p, binding, &mut touched)
+            && try_bind(&o, t.o, binding, &mut touched)
+        {
+            join(store, patterns, used, binding, out, ask_only);
+        }
+        for v in touched {
+            binding[v] = None;
+        }
+        if ask_only && !out.is_empty() {
+            break;
+        }
+    }
+    used[pi] = false;
+}
+
+fn is_bound(n: &Node, binding: &[Option<TermId>]) -> bool {
+    match n {
+        Node::Const(_) => true,
+        Node::Var(v) => binding[*v].is_some(),
+    }
+}
+
+fn bound_id(n: &Node, binding: &[Option<TermId>]) -> Option<TermId> {
+    match n {
+        Node::Const(c) => Some(*c),
+        Node::Var(v) => binding[*v],
+    }
+}
+
+fn try_bind(n: &Node, val: TermId, binding: &mut [Option<TermId>], touched: &mut Vec<usize>) -> bool {
+    match n {
+        Node::Const(c) => *c == val,
+        Node::Var(v) => match binding[*v] {
+            Some(b) => b == val,
+            None => {
+                binding[*v] = Some(val);
+                touched.push(*v);
+                true
+            }
+        },
+    }
+}
+
+/// Convenience: parse and evaluate in one call.
+///
+/// ```
+/// use gqa_rdf::StoreBuilder;
+///
+/// let mut b = StoreBuilder::new();
+/// b.add_iri("dbr:Melanie", "dbo:spouse", "dbr:Antonio");
+/// let store = b.build();
+///
+/// let rs = gqa_sparql::run(&store, "SELECT ?w WHERE { ?w <dbo:spouse> <dbr:Antonio> }").unwrap();
+/// assert_eq!(rs.rows.len(), 1);
+/// ```
+pub fn run(store: &Store, sparql: &str) -> Result<ResultSet, String> {
+    let q = crate::parser::parse_query(sparql)?;
+    Ok(evaluate(store, &q))
+}
+
+/// Convenience: evaluate and render the single projected column as terms.
+pub fn run_column(store: &Store, sparql: &str) -> Result<Vec<Term>, String> {
+    let rs = run(store, sparql)?;
+    Ok(rs.rows.iter().filter_map(|r| r.first().map(|&id| store.term(id).clone())).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_rdf::StoreBuilder;
+
+    fn movie_store() -> Store {
+        let mut b = StoreBuilder::new();
+        b.add_iri("dbr:Melanie_Griffith", "dbo:spouse", "dbr:Antonio_Banderas");
+        b.add_iri("dbr:Antonio_Banderas", "rdf:type", "dbo:Actor");
+        b.add_iri("dbr:Philadelphia_(film)", "dbo:starring", "dbr:Antonio_Banderas");
+        b.add_iri("dbr:Tom_Hanks", "rdf:type", "dbo:Actor");
+        b.add_iri("dbr:Philadelphia_(film)", "dbo:starring", "dbr:Tom_Hanks");
+        b.add_obj("dbr:Antonio_Banderas", "dbo:height", Term::dec_lit(1.74));
+        b.add_obj("dbr:Tom_Hanks", "dbo:height", Term::dec_lit(1.83));
+        b.build()
+    }
+
+    #[test]
+    fn running_example_query() {
+        // The paper's Figure 1(b) SPARQL.
+        let s = movie_store();
+        let res = run(
+            &s,
+            "SELECT ?who WHERE { ?who <dbo:spouse> ?p . ?p <rdf:type> <dbo:Actor> . \
+             <dbr:Philadelphia_(film)> <dbo:starring> ?p . }",
+        )
+        .unwrap();
+        assert_eq!(res.rows.len(), 1);
+        assert_eq!(res.rows[0][0], s.expect_iri("dbr:Melanie_Griffith"));
+    }
+
+    #[test]
+    fn ask_true_and_false() {
+        let s = movie_store();
+        assert_eq!(
+            run(&s, "ASK WHERE { <dbr:Melanie_Griffith> <dbo:spouse> <dbr:Antonio_Banderas> }")
+                .unwrap()
+                .boolean,
+            Some(true)
+        );
+        assert_eq!(
+            run(&s, "ASK WHERE { <dbr:Tom_Hanks> <dbo:spouse> <dbr:Antonio_Banderas> }")
+                .unwrap()
+                .boolean,
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn count_distinct_values() {
+        let s = movie_store();
+        let res = run(&s, "SELECT COUNT(?a) WHERE { ?a <rdf:type> <dbo:Actor> }").unwrap();
+        assert_eq!(res.count, Some(2));
+    }
+
+    #[test]
+    fn order_by_desc_limit_is_superlative() {
+        let s = movie_store();
+        let res = run(
+            &s,
+            "SELECT ?a WHERE { ?a <dbo:height> ?h } ORDER BY DESC(?h) LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(res.rows.len(), 1);
+        assert_eq!(res.rows[0][0], s.expect_iri("dbr:Tom_Hanks"));
+    }
+
+    #[test]
+    fn filter_numeric() {
+        let s = movie_store();
+        let res = run(
+            &s,
+            "SELECT ?a WHERE { ?a <dbo:height> ?h . FILTER(?h > 1.80) }",
+        )
+        .unwrap();
+        assert_eq!(res.rows.len(), 1);
+        assert_eq!(res.rows[0][0], s.expect_iri("dbr:Tom_Hanks"));
+    }
+
+    #[test]
+    fn unknown_iri_gives_empty_not_error() {
+        let s = movie_store();
+        let res = run(&s, "SELECT ?x WHERE { ?x <dbo:nothing> <dbr:Nobody> }").unwrap();
+        assert!(res.rows.is_empty());
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let s = movie_store();
+        // ?f starring ?a joined over two actors projects the same film twice
+        // without DISTINCT.
+        let res = run(&s, "SELECT DISTINCT ?f WHERE { ?f <dbo:starring> ?a }").unwrap();
+        assert_eq!(res.rows.len(), 1);
+    }
+
+    #[test]
+    fn offset_slices() {
+        let s = movie_store();
+        let all = run(&s, "SELECT ?a WHERE { ?a <rdf:type> <dbo:Actor> } ORDER BY ?a").unwrap();
+        let tail =
+            run(&s, "SELECT ?a WHERE { ?a <rdf:type> <dbo:Actor> } ORDER BY ?a OFFSET 1").unwrap();
+        assert_eq!(all.rows.len(), 2);
+        assert_eq!(tail.rows.len(), 1);
+        assert_eq!(tail.rows[0], all.rows[1]);
+    }
+
+    #[test]
+    fn shared_variable_joins_constrain() {
+        let s = movie_store();
+        // Who is married to someone starring in Philadelphia?
+        let res = run(
+            &s,
+            "SELECT ?w WHERE { ?w <dbo:spouse> ?a . ?f <dbo:starring> ?a }",
+        )
+        .unwrap();
+        assert_eq!(res.rows.len(), 1);
+    }
+
+    #[test]
+    fn union_merges_branch_solutions() {
+        let s = movie_store();
+        // Spouse-of-Antonio OR starring-in-Philadelphia.
+        let res = run(
+            &s,
+            "SELECT DISTINCT ?x WHERE { { ?x <dbo:spouse> <dbr:Antonio_Banderas> } UNION \
+             { <dbr:Philadelphia_(film)> <dbo:starring> ?x } }",
+        )
+        .unwrap();
+        let mut got: Vec<_> = res.rows.iter().map(|r| r[0]).collect();
+        got.sort_unstable();
+        let mut want = vec![
+            s.expect_iri("dbr:Melanie_Griffith"),
+            s.expect_iri("dbr:Antonio_Banderas"),
+            s.expect_iri("dbr:Tom_Hanks"),
+        ];
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn union_respects_shared_base_patterns() {
+        let s = movie_store();
+        // Base: ?x is an actor; branches pick the relation.
+        let res = run(
+            &s,
+            "SELECT DISTINCT ?x WHERE { ?x <rdf:type> <dbo:Actor> . \
+             { ?w <dbo:spouse> ?x } UNION { ?f <dbo:starring> ?x } }",
+        )
+        .unwrap();
+        assert_eq!(res.rows.len(), 2, "{:?}", res.render(&s));
+    }
+
+    #[test]
+    fn union_branch_with_unknown_iri_contributes_nothing() {
+        let s = movie_store();
+        let res = run(
+            &s,
+            "SELECT ?x WHERE { { ?x <dbo:spouse> <dbr:Antonio_Banderas> } UNION \
+             { ?x <dbo:nothing> <dbr:Nobody> } }",
+        )
+        .unwrap();
+        assert_eq!(res.rows.len(), 1);
+    }
+
+    #[test]
+    fn union_display_parses_back() {
+        let src = "SELECT DISTINCT ?x WHERE { { ?x <a> <b> . } UNION { ?x <c> <d> . } }";
+        let q = crate::parser::parse_query(src).unwrap();
+        assert_eq!(q.union_groups.len(), 2);
+        let q2 = crate::parser::parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn render_produces_strings() {
+        let s = movie_store();
+        let res = run(&s, "SELECT ?w WHERE { ?w <dbo:spouse> ?a }").unwrap();
+        let rendered = res.render(&s);
+        assert_eq!(rendered[0][0], "<dbr:Melanie_Griffith>");
+    }
+
+    #[test]
+    fn run_column_helper() {
+        let s = movie_store();
+        let col = run_column(&s, "SELECT ?w WHERE { ?w <dbo:spouse> ?a }").unwrap();
+        assert_eq!(col, vec![Term::iri("dbr:Melanie_Griffith")]);
+    }
+}

@@ -1,0 +1,25 @@
+//! # gqa-sparql — a SPARQL-subset engine over `gqa-rdf`
+//!
+//! RDF Q/A systems ultimately stand on SPARQL evaluation: the DEANNA-style
+//! baseline translates questions into SPARQL and runs them, and our own
+//! pipeline emits the top-k matches *as* SPARQL queries (Algorithm 3's
+//! output). This crate provides the substrate: an AST ([`ast`]), a
+//! recursive-descent parser ([`parser`]), and a backtracking BGP evaluator
+//! ([`eval`]) with DISTINCT / ORDER BY / LIMIT / OFFSET / FILTER / UNION /
+//! ASK / COUNT — enough to run every query the pipelines generate,
+//! including the aggregation extension ("ORDER BY DESC(?x) OFFSET 0 LIMIT
+//! 1", §6 Exp 5) and the DEANNA baseline's orientation-UNION queries.
+//!
+//! Deliberately *not* implemented: OPTIONAL, property paths, federation —
+//! nothing in the reproduced experiments needs them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+
+pub use ast::{Query, QueryForm, TermAst, TriplePatternAst};
+pub use eval::{evaluate, run, run_column, ResultSet};
+pub use parser::parse_query;

@@ -1,0 +1,488 @@
+//! Recursive-descent parser for the SPARQL subset.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query   := (select | count | ask) where modifiers
+//! select  := "SELECT" "DISTINCT"? var+
+//! count   := "SELECT" "COUNT" "(" var ")"
+//! ask     := "ASK"
+//! where   := "WHERE" "{" (triple ".")* (filter ".")* "}"
+//! triple  := term term term
+//! term    := var | "<" iri ">" | literal
+//! filter  := "FILTER" "(" var op (number | term) ")"
+//! modifiers := ("ORDER" "BY" ("DESC(" var ")" | "ASC(" var ")" | var))?
+//!              ("LIMIT" int)? ("OFFSET" int)?
+//! ```
+
+use crate::ast::{CmpOp, Filter, Order, Query, QueryForm, TermAst, TriplePatternAst};
+use gqa_rdf::Term;
+
+/// Parse a query; errors carry a human-readable message.
+pub fn parse_query(input: &str) -> Result<Query, String> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(format!("trailing tokens starting at {:?}", p.tokens[p.pos]));
+    }
+    Ok(q)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),   // keywords / bare words
+    Var(String),    // ?x
+    Iri(String),    // <...>
+    Lit(Term),      // "..." with optional ^^<dt>
+    Punct(char),    // { } ( ) .
+    Num(f64),
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, String> {
+    let mut out = Vec::new();
+    let b: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '?' | '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err("empty variable name".into());
+                }
+                out.push(Tok::Var(b[start..j].iter().collect()));
+                i = j;
+            }
+            '<' => {
+                // Could be IRI or comparison: IRI iff a '>' comes before
+                // whitespace.
+                let mut j = i + 1;
+                let mut iri = String::new();
+                let mut closed = false;
+                while j < b.len() {
+                    if b[j] == '>' {
+                        closed = true;
+                        break;
+                    }
+                    if b[j].is_whitespace() {
+                        break;
+                    }
+                    iri.push(b[j]);
+                    j += 1;
+                }
+                if closed && !iri.is_empty() {
+                    out.push(Tok::Iri(iri));
+                    i = j + 1;
+                } else if i + 1 < b.len() && b[i + 1] == '=' {
+                    out.push(Tok::Word("<=".into()));
+                    i += 2;
+                } else {
+                    out.push(Tok::Word("<".into()));
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut j = i + 1;
+                let mut s = String::new();
+                let mut ok = false;
+                while j < b.len() {
+                    match b[j] {
+                        '"' => {
+                            ok = true;
+                            break;
+                        }
+                        '\\' if j + 1 < b.len() => {
+                            s.push(match b[j + 1] {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                            j += 2;
+                        }
+                        other => {
+                            s.push(other);
+                            j += 1;
+                        }
+                    }
+                }
+                if !ok {
+                    return Err("unterminated string literal".into());
+                }
+                i = j + 1;
+                // Optional ^^<dt>.
+                if i + 1 < b.len() && b[i] == '^' && b[i + 1] == '^' {
+                    i += 2;
+                    if i < b.len() && b[i] == '<' {
+                        let mut k = i + 1;
+                        let mut dt = String::new();
+                        while k < b.len() && b[k] != '>' {
+                            dt.push(b[k]);
+                            k += 1;
+                        }
+                        if k == b.len() {
+                            return Err("unterminated datatype IRI".into());
+                        }
+                        i = k + 1;
+                        out.push(Tok::Lit(Term::typed_lit(s, dt)));
+                        continue;
+                    }
+                    return Err("expected <datatype> after ^^".into());
+                }
+                out.push(Tok::Lit(Term::lit(s)));
+            }
+            '{' | '}' | '(' | ')' | '.' => {
+                out.push(Tok::Punct(c));
+                i += 1;
+            }
+            '>' => {
+                if i + 1 < b.len() && b[i + 1] == '=' {
+                    out.push(Tok::Word(">=".into()));
+                    i += 2;
+                } else {
+                    out.push(Tok::Word(">".into()));
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Tok::Word("=".into()));
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < b.len() && b[i + 1] == '=' {
+                    out.push(Tok::Word("!=".into()));
+                    i += 2;
+                } else {
+                    return Err("unexpected '!'".into());
+                }
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut j = i;
+                let mut s = String::new();
+                if c == '-' {
+                    s.push('-');
+                    j += 1;
+                }
+                while j < b.len() && (b[j].is_ascii_digit() || b[j] == '.') {
+                    // A '.' followed by non-digit is a statement terminator.
+                    if b[j] == '.' && !(j + 1 < b.len() && b[j + 1].is_ascii_digit()) {
+                        break;
+                    }
+                    s.push(b[j]);
+                    j += 1;
+                }
+                let v: f64 = s.parse().map_err(|e| format!("bad number {s:?}: {e}"))?;
+                out.push(Tok::Num(v));
+                i = j;
+            }
+            c if c.is_alphabetic() => {
+                let mut j = i;
+                let mut s = String::new();
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    s.push(b[j]);
+                    j += 1;
+                }
+                out.push(Tok::Word(s));
+                i = j;
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Word(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), String> {
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => Err(format!("expected {c:?}, got {other:?}")),
+        }
+    }
+
+    fn expect_var(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(Tok::Var(v)) => Ok(v),
+            other => Err(format!("expected variable, got {other:?}")),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, String> {
+        let form = if self.keyword("ASK") {
+            QueryForm::Ask
+        } else if self.keyword("SELECT") {
+            if self.keyword("COUNT") {
+                self.expect_punct('(')?;
+                let v = self.expect_var()?;
+                self.expect_punct(')')?;
+                QueryForm::Count(v)
+            } else {
+                let distinct = self.keyword("DISTINCT");
+                let mut vars = Vec::new();
+                while let Some(Tok::Var(_)) = self.peek() {
+                    vars.push(self.expect_var()?);
+                }
+                if vars.is_empty() {
+                    return Err("SELECT needs at least one variable".into());
+                }
+                QueryForm::Select { vars, distinct }
+            }
+        } else {
+            return Err(format!("expected SELECT or ASK, got {:?}", self.peek()));
+        };
+
+        if !self.keyword("WHERE") {
+            return Err("expected WHERE".into());
+        }
+        self.expect_punct('{')?;
+        let mut patterns = Vec::new();
+        let mut union_groups: Vec<Vec<TriplePatternAst>> = Vec::new();
+        let mut filters = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Punct('}')) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Tok::Punct('{')) => {
+                    // `{ g1 } UNION { g2 } [UNION { g3 } …]`
+                    union_groups.push(self.group()?);
+                    while self.keyword("UNION") {
+                        union_groups.push(self.group()?);
+                    }
+                    if matches!(self.peek(), Some(Tok::Punct('.'))) {
+                        self.pos += 1;
+                    }
+                }
+                Some(Tok::Word(w)) if w.eq_ignore_ascii_case("FILTER") => {
+                    self.pos += 1;
+                    filters.push(self.filter()?);
+                    // Optional '.' after the filter.
+                    if matches!(self.peek(), Some(Tok::Punct('.'))) {
+                        self.pos += 1;
+                    }
+                }
+                Some(_) => {
+                    let s = self.term()?;
+                    let p = self.term()?;
+                    let o = self.term()?;
+                    patterns.push(TriplePatternAst { s, p, o });
+                    if matches!(self.peek(), Some(Tok::Punct('.'))) {
+                        self.pos += 1;
+                    }
+                }
+                None => return Err("unterminated WHERE block".into()),
+            }
+        }
+
+        let mut order_by = None;
+        if self.keyword("ORDER") {
+            if !self.keyword("BY") {
+                return Err("expected BY after ORDER".into());
+            }
+            if self.keyword("DESC") {
+                self.expect_punct('(')?;
+                let v = self.expect_var()?;
+                self.expect_punct(')')?;
+                order_by = Some((v, Order::Desc));
+            } else if self.keyword("ASC") {
+                self.expect_punct('(')?;
+                let v = self.expect_var()?;
+                self.expect_punct(')')?;
+                order_by = Some((v, Order::Asc));
+            } else {
+                order_by = Some((self.expect_var()?, Order::Asc));
+            }
+        }
+        let mut limit = None;
+        if self.keyword("LIMIT") {
+            match self.next() {
+                Some(Tok::Num(v)) if v >= 0.0 => limit = Some(v as usize),
+                other => return Err(format!("expected LIMIT count, got {other:?}")),
+            }
+        }
+        let mut offset = 0;
+        if self.keyword("OFFSET") {
+            match self.next() {
+                Some(Tok::Num(v)) if v >= 0.0 => offset = v as usize,
+                other => return Err(format!("expected OFFSET count, got {other:?}")),
+            }
+        }
+
+        Ok(Query { form, patterns, union_groups, filters, order_by, limit, offset })
+    }
+
+    /// A braced triple-pattern group (one UNION branch).
+    fn group(&mut self) -> Result<Vec<TriplePatternAst>, String> {
+        self.expect_punct('{')?;
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Punct('}')) => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(_) => {
+                    let s = self.term()?;
+                    let p = self.term()?;
+                    let o = self.term()?;
+                    out.push(TriplePatternAst { s, p, o });
+                    if matches!(self.peek(), Some(Tok::Punct('.'))) {
+                        self.pos += 1;
+                    }
+                }
+                None => return Err("unterminated group".into()),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<TermAst, String> {
+        match self.next() {
+            Some(Tok::Var(v)) => Ok(TermAst::Var(v)),
+            Some(Tok::Iri(i)) => Ok(TermAst::Iri(i)),
+            Some(Tok::Lit(l)) => Ok(TermAst::Literal(l)),
+            Some(Tok::Num(v)) => Ok(TermAst::Literal(Term::typed_lit(fmt_num(v), "xsd:decimal"))),
+            other => Err(format!("expected term, got {other:?}")),
+        }
+    }
+
+    fn filter(&mut self) -> Result<Filter, String> {
+        self.expect_punct('(')?;
+        let var = self.expect_var()?;
+        let op = match self.next() {
+            Some(Tok::Word(w)) => match w.as_str() {
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                "=" => CmpOp::Eq,
+                "!=" => CmpOp::Ne,
+                other => return Err(format!("unknown operator {other:?}")),
+            },
+            other => return Err(format!("expected operator, got {other:?}")),
+        };
+        let value = self.term()?;
+        self.expect_punct(')')?;
+        Ok(Filter { var, op, value })
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_select() {
+        let q = parse_query(
+            "SELECT DISTINCT ?who WHERE { ?who <dbo:spouse> ?a . ?a <rdf:type> <dbo:Actor> . }",
+        )
+        .unwrap();
+        match &q.form {
+            QueryForm::Select { vars, distinct } => {
+                assert_eq!(vars, &["who"]);
+                assert!(distinct);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.patterns.len(), 2);
+        assert_eq!(q.patterns[0].p, TermAst::Iri("dbo:spouse".into()));
+    }
+
+    #[test]
+    fn parses_ask() {
+        let q = parse_query("ASK WHERE { <a> <b> <c> }").unwrap();
+        assert_eq!(q.form, QueryForm::Ask);
+        assert_eq!(q.patterns.len(), 1);
+    }
+
+    #[test]
+    fn parses_count() {
+        let q = parse_query("SELECT COUNT(?x) WHERE { ?x <rdf:type> <dbo:City> }").unwrap();
+        assert_eq!(q.form, QueryForm::Count("x".into()));
+    }
+
+    #[test]
+    fn parses_order_limit_offset() {
+        let q = parse_query(
+            "SELECT ?x WHERE { ?x <dbo:height> ?h } ORDER BY DESC(?h) LIMIT 1 OFFSET 0",
+        )
+        .unwrap();
+        assert_eq!(q.order_by, Some(("h".into(), Order::Desc)));
+        assert_eq!(q.limit, Some(1));
+        assert_eq!(q.offset, 0);
+    }
+
+    #[test]
+    fn parses_filters_and_literals() {
+        let q = parse_query(
+            "SELECT ?x WHERE { ?x <dbo:population> ?p . FILTER(?p > 1000000) . ?x <rdfs:label> \"Berlin\" }",
+        )
+        .unwrap();
+        assert_eq!(q.filters.len(), 1);
+        assert_eq!(q.filters[0].op, CmpOp::Gt);
+        assert!(matches!(&q.patterns[1].o, TermAst::Literal(t) if t.as_literal() == Some("Berlin")));
+    }
+
+    #[test]
+    fn parses_typed_literal() {
+        let q = parse_query("ASK WHERE { <a> <b> \"3\"^^<xsd:integer> }").unwrap();
+        assert!(matches!(&q.patterns[0].o, TermAst::Literal(t) if t.numeric_value() == Some(3.0)));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_query("SELECT WHERE { }").is_err());
+        assert!(parse_query("SELECT ?x { ?x <a> <b> }").is_err()); // missing WHERE
+        assert!(parse_query("SELECT ?x WHERE { ?x <a> }").is_err());
+        assert!(parse_query("FROB ?x WHERE { }").is_err());
+        assert!(parse_query("SELECT ?x WHERE { ?x <a> <b> } LIMIT x").is_err());
+        assert!(parse_query("SELECT ?x WHERE { ?x <a> \"open }").is_err());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let src = "SELECT DISTINCT ?x WHERE { ?x <dbo:spouse> <dbr:A> . } ORDER BY DESC(?x) LIMIT 3";
+        let q = parse_query(src).unwrap();
+        let q2 = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests: the indexed backtracking evaluator must agree with a
+//! naive cross-product reference evaluator on random stores and queries.
+
+use gqa_rdf::{Store, StoreBuilder, TermId};
+use gqa_sparql::ast::{Order, Query, QueryForm, TermAst, TriplePatternAst};
+use gqa_sparql::evaluate;
+use proptest::prelude::*;
+use rustc_hash::FxHashMap;
+
+fn build(edges: &[(u8, u8, u8)]) -> Store {
+    let mut b = StoreBuilder::new();
+    for &(s, p, o) in edges {
+        b.add_iri(&format!("v{s}"), &format!("p{p}"), &format!("v{o}"));
+    }
+    b.build()
+}
+
+/// Exhaustive reference: enumerate all assignments of all variables to all
+/// terms, filter by pattern satisfaction.
+fn reference_select(store: &Store, q: &Query) -> Vec<Vec<TermId>> {
+    let QueryForm::Select { vars, distinct } = &q.form else { panic!("select only") };
+    // Collect variables.
+    let mut all_vars: Vec<String> = Vec::new();
+    let add = |t: &TermAst, vs: &mut Vec<String>| {
+        if let TermAst::Var(v) = t {
+            if !vs.contains(v) {
+                vs.push(v.clone());
+            }
+        }
+    };
+    for p in &q.patterns {
+        add(&p.s, &mut all_vars);
+        add(&p.p, &mut all_vars);
+        add(&p.o, &mut all_vars);
+    }
+    // Only pattern variables are enumerable; projecting a variable that
+    // occurs in no pattern yields no rows (matching the engine, which
+    // drops solutions with unbound projections).
+    let universe: Vec<TermId> = store.dict().iter().map(|(id, _)| id).collect();
+
+    let mut rows: Vec<Vec<TermId>> = Vec::new();
+    let mut assignment: FxHashMap<String, TermId> = FxHashMap::default();
+    enumerate(store, q, &all_vars, 0, &universe, &mut assignment, &mut rows, vars);
+    if *distinct {
+        rows.sort();
+        rows.dedup();
+    }
+    rows
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    store: &Store,
+    q: &Query,
+    all_vars: &[String],
+    depth: usize,
+    universe: &[TermId],
+    assignment: &mut FxHashMap<String, TermId>,
+    rows: &mut Vec<Vec<TermId>>,
+    projected: &[String],
+) {
+    if depth == all_vars.len() {
+        let ok = q.patterns.iter().all(|p| {
+            let term_of = |t: &TermAst| -> Option<TermId> {
+                match t {
+                    TermAst::Var(v) => assignment.get(v).copied(),
+                    TermAst::Iri(i) => store.iri(i),
+                    TermAst::Literal(l) => store.dict().lookup(l),
+                }
+            };
+            match (term_of(&p.s), term_of(&p.p), term_of(&p.o)) {
+                (Some(s), Some(pp), Some(o)) => store.contains(gqa_rdf::Triple::new(s, pp, o)),
+                _ => false,
+            }
+        });
+        if ok {
+            if let Some(row) =
+                projected.iter().map(|v| assignment.get(v).copied()).collect::<Option<Vec<_>>>()
+            {
+                rows.push(row);
+            }
+        }
+        return;
+    }
+    for &id in universe {
+        assignment.insert(all_vars[depth].clone(), id);
+        enumerate(store, q, all_vars, depth + 1, universe, assignment, rows, projected);
+    }
+    assignment.remove(&all_vars[depth]);
+}
+
+/// Random triple pattern over a tiny vocabulary of vars/IRIs.
+fn arb_term() -> impl Strategy<Value = TermAst> {
+    prop_oneof![
+        (0u8..3).prop_map(|v| TermAst::Var(format!("x{v}"))),
+        (0u8..6).prop_map(|v| TermAst::Iri(format!("v{v}"))),
+        (0u8..3).prop_map(|p| TermAst::Iri(format!("p{p}"))),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (prop::collection::vec((arb_term(), (0u8..3), arb_term()), 1..4)).prop_map(|pats| Query {
+        form: QueryForm::Select { vars: vec!["x0".into()], distinct: true },
+        patterns: pats
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, p, o))| TriplePatternAst {
+                // The projected variable is guaranteed to occur (SPARQL
+                // engines differ on unbound projections; ours drops them).
+                s: if i == 0 { TermAst::Var("x0".into()) } else { s },
+                p: TermAst::Iri(format!("p{p}")),
+                o,
+            })
+            .collect::<Vec<_>>(),
+        union_groups: vec![],
+        filters: vec![],
+        order_by: Some(("x0".into(), Order::Asc)),
+        limit: None,
+        offset: 0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn evaluator_agrees_with_reference(
+        edges in prop::collection::vec((0u8..6, 0u8..3, 0u8..6), 0..14),
+        query in arb_query(),
+    ) {
+        let store = build(&edges);
+        let fast = evaluate(&store, &query);
+        let mut fast_rows = fast.rows.clone();
+        fast_rows.sort();
+        let mut slow = reference_select(&store, &query);
+        slow.sort();
+        prop_assert_eq!(fast_rows, slow, "query: {}", query);
+    }
+
+    #[test]
+    fn ask_matches_select_nonemptiness(
+        edges in prop::collection::vec((0u8..6, 0u8..3, 0u8..6), 0..14),
+        query in arb_query(),
+    ) {
+        let store = build(&edges);
+        let select = evaluate(&store, &query);
+        let ask = evaluate(&store, &Query { form: QueryForm::Ask, ..query.clone() });
+        prop_assert_eq!(ask.boolean, Some(!select.rows.is_empty()));
+    }
+
+    #[test]
+    fn limit_offset_slice_the_ordered_rows(
+        edges in prop::collection::vec((0u8..6, 0u8..3, 0u8..6), 0..14),
+        query in arb_query(),
+        limit in 0usize..4,
+        offset in 0usize..3,
+    ) {
+        let store = build(&edges);
+        let full = evaluate(&store, &query);
+        let sliced = evaluate(&store, &Query { limit: Some(limit), offset, ..query.clone() });
+        let expected: Vec<_> = full.rows.iter().skip(offset).take(limit).cloned().collect();
+        prop_assert_eq!(sliced.rows, expected);
+    }
+
+    #[test]
+    fn count_equals_distinct_row_count(
+        edges in prop::collection::vec((0u8..6, 0u8..3, 0u8..6), 0..14),
+        query in arb_query(),
+    ) {
+        let store = build(&edges);
+        let select = evaluate(&store, &query);
+        let count = evaluate(&store, &Query { form: QueryForm::Count("x0".into()), ..query.clone() });
+        let mut distinct: Vec<_> = select.rows.iter().map(|r| r[0]).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(count.count, Some(distinct.len()));
+    }
+}

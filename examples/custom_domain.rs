@@ -1,0 +1,107 @@
+//! Build a Q/A system over your *own* domain from scratch: a music
+//! knowledge base authored as N-Triples text, a hand-listed relation-phrase
+//! dataset, mining, and questions — the full user-facing workflow on data
+//! the library has never seen.
+//!
+//! ```text
+//! cargo run --release --example custom_domain
+//! ```
+
+use ganswer::paraphrase::miner::{mine, MinerConfig};
+use ganswer::paraphrase::{PhraseDataset, PhraseEntry};
+use ganswer::prelude::*;
+
+const MUSIC_KB: &str = r#"
+<mb:The_Beatles> <rdf:type> <mo:Band> .
+<mb:The_Beatles> <mo:member> <mb:John_Lennon> .
+<mb:The_Beatles> <mo:member> <mb:Paul_McCartney> .
+<mb:The_Beatles> <mo:member> <mb:George_Harrison> .
+<mb:The_Beatles> <mo:member> <mb:Ringo_Starr> .
+<mb:John_Lennon> <rdf:type> <mo:Musician> .
+<mb:Paul_McCartney> <rdf:type> <mo:Musician> .
+<mb:George_Harrison> <rdf:type> <mo:Musician> .
+<mb:Ringo_Starr> <rdf:type> <mo:Musician> .
+<mb:Abbey_Road> <rdf:type> <mo:Album> .
+<mb:Abbey_Road> <mo:recordedBy> <mb:The_Beatles> .
+<mb:Let_It_Be> <rdf:type> <mo:Album> .
+<mb:Let_It_Be> <mo:recordedBy> <mb:The_Beatles> .
+<mb:Imagine> <rdf:type> <mo:Album> .
+<mb:Imagine> <mo:recordedBy> <mb:John_Lennon> .
+<mb:John_Lennon> <mo:spouse> <mb:Yoko_Ono> .
+<mb:Yoko_Ono> <rdf:type> <mo:Musician> .
+<mb:Nirvana> <rdf:type> <mo:Band> .
+<mb:Nirvana> <mo:member> <mb:Kurt_Cobain> .
+<mb:Nirvana> <mo:member> <mb:Dave_Grohl> .
+<mb:Kurt_Cobain> <rdf:type> <mo:Musician> .
+<mb:Dave_Grohl> <rdf:type> <mo:Musician> .
+<mb:Nevermind> <rdf:type> <mo:Album> .
+<mb:Nevermind> <mo:recordedBy> <mb:Nirvana> .
+<mb:Foo_Fighters> <rdf:type> <mo:Band> .
+<mb:Foo_Fighters> <mo:member> <mb:Dave_Grohl> .
+<mo:Band> <rdfs:label> "band" .
+<mo:Album> <rdfs:label> "album" .
+<mo:Musician> <rdfs:label> "musician" .
+"#;
+
+fn main() {
+    // 1. Parse the hand-authored knowledge base.
+    let store = ganswer::rdf::ntriples::parse(MUSIC_KB).expect("valid N-Triples");
+    println!("{}\n", ganswer::rdf::stats::StoreStats::collect(&store));
+
+    // 2. List relation phrases with a few supporting pairs each (in a
+    //    production setting these come from a Patty/ReVerb-style corpus).
+    let phrases = PhraseDataset::new(vec![
+        PhraseEntry::new(
+            "member of",
+            vec![
+                ("mb:John_Lennon".into(), "mb:The_Beatles".into()),
+                ("mb:Kurt_Cobain".into(), "mb:Nirvana".into()),
+            ],
+        ),
+        PhraseEntry::new(
+            "record",
+            vec![
+                ("mb:The_Beatles".into(), "mb:Abbey_Road".into()),
+                ("mb:Nirvana".into(), "mb:Nevermind".into()),
+            ],
+        ),
+        PhraseEntry::new("be married to", vec![("mb:John_Lennon".into(), "mb:Yoko_Ono".into())]),
+        // A "bandmate of" phrase only realizable as a 2-hop path:
+        // musician ←member— band —member→ musician.
+        PhraseEntry::new(
+            "bandmate of",
+            vec![
+                ("mb:John_Lennon".into(), "mb:Ringo_Starr".into()),
+                ("mb:Paul_McCartney".into(), "mb:George_Harrison".into()),
+            ],
+        ),
+    ]);
+
+    // 3. Mine and inspect the dictionary.
+    let dict = mine(&store, &phrases, &MinerConfig::default());
+    println!("mined dictionary:");
+    for (phrase, maps) in dict.iter() {
+        for m in maps.iter().take(1) {
+            println!("  {:16} → {}  (conf {:.2})", format!("{phrase:?}"), m.path.display(&store), m.confidence);
+        }
+    }
+
+    // 4. Ask.
+    let system = GAnswer::new(&store, dict, GAnswerConfig::default());
+    for q in [
+        "Give me all members of Nirvana.",
+        "Which albums were recorded by The Beatles?",
+        "Who is married to John Lennon?",
+        "Who is the bandmate of Ringo Starr?",
+        "Give me all albums.",
+    ] {
+        let r = system.answer(q);
+        println!("\nQ: {q}");
+        if let Some(f) = &r.failure {
+            println!("   no answer ({f:?})");
+        }
+        for a in &r.answers {
+            println!("   {}", a.text);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Use the pipeline as a natural-language → SPARQL translator: the top-k
+//! subgraph matches each determine one executable SPARQL query (Algorithm
+//! 3's title: "Generating Top-k SPARQL Queries"), which this example runs
+//! back through the bundled SPARQL engine to verify.
+//!
+//! ```text
+//! cargo run --release --example nl2sparql
+//! ```
+
+use ganswer::prelude::*;
+
+fn main() {
+    let store = ganswer::datagen::mini_dbpedia();
+    let system = GAnswer::new(&store, ganswer::mini_dict(&store), GAnswerConfig::default());
+
+    let questions = [
+        "Who is the mayor of Berlin?",
+        "Which books by Kerouac were published by Viking Press?",
+        "Who is the uncle of John F. Kennedy, Jr.?",
+        "Is Michelle Obama the wife of Barack Obama?",
+    ];
+
+    for q in questions {
+        println!("Q: {q}");
+        let response = system.answer(q);
+        for sparql in response.sparql.iter().take(2) {
+            println!("  SPARQL: {sparql}");
+            // Round trip: the generated query is executable and returns the
+            // same answers.
+            let rs = ganswer::sparql::run(&store, sparql).expect("generated SPARQL parses");
+            if let Some(b) = rs.boolean {
+                println!("    → {b}");
+            }
+            for row in rs.rows.iter().take(5) {
+                println!("    → {}", store.term(row[0]));
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,88 @@
+//! The offline phase end to end: mine a paraphrase dictionary from relation
+//! phrases + supporting entity pairs (Algorithm 1), serialize it, and
+//! exercise the maintenance operations of §3 (incremental re-mining for new
+//! predicates, dropping removed predicates).
+//!
+//! ```text
+//! cargo run --release --example offline_mining
+//! ```
+
+use ganswer::paraphrase::miner::{drop_removed_predicates, mine, remine_for_new_predicates, MinerConfig};
+use ganswer::paraphrase::ParaphraseDict;
+use ganswer::rdf::StoreBuilder;
+
+fn main() {
+    // A small family graph: "uncle of" needs a length-3 predicate path and
+    // a hasGender noise hub exists (the paper's Figure 4).
+    let mut b = StoreBuilder::new();
+    for (s, p, o) in [
+        ("Joseph_Sr", "hasChild", "Ted"),
+        ("Joseph_Sr", "hasChild", "JFK"),
+        ("JFK", "hasChild", "JFK_jr"),
+        ("JFK", "hasChild", "Caroline"),
+        ("Melanie", "spouse", "Antonio"),
+        ("Jackie", "spouse", "JFK"),
+    ] {
+        b.add_iri(s, p, o);
+    }
+    for p in ["Ted", "JFK", "JFK_jr", "Joseph_Sr", "Antonio"] {
+        b.add_iri(p, "hasGender", "male");
+    }
+    for p in ["Melanie", "Jackie", "Caroline"] {
+        b.add_iri(p, "hasGender", "female");
+    }
+    let store = b.build();
+
+    // Relation phrases with supporting pairs (the paper's Table 2).
+    let dataset = ganswer::paraphrase::PhraseDataset::new(vec![
+        ganswer::paraphrase::PhraseEntry::new(
+            "uncle of",
+            vec![("Ted".into(), "JFK_jr".into()), ("Ted".into(), "Caroline".into())],
+        ),
+        ganswer::paraphrase::PhraseEntry::new(
+            "be married to",
+            vec![("Melanie".into(), "Antonio".into()), ("Jackie".into(), "JFK".into())],
+        ),
+        ganswer::paraphrase::PhraseEntry::new(
+            "know",
+            vec![("Ted".into(), "Antonio".into()), ("Joseph_Sr".into(), "Antonio".into())],
+        ),
+    ]);
+
+    // Algorithm 1.
+    let dict = mine(&store, &dataset, &MinerConfig::default());
+    println!("mined dictionary (Figure 3 format):");
+    for (phrase, maps) in dict.iter() {
+        for m in maps {
+            println!("  {:22} {:48} conf {:.2}  tf-idf {:.2}", format!("{phrase:?}"), m.path.display(&store).to_string(), m.confidence, m.tfidf);
+        }
+    }
+
+    // Serialization round trip.
+    let text = dict.to_text(&store);
+    let reloaded = ParaphraseDict::from_text(&text, &store).expect("parse dictionary");
+    println!("\nserialized {} bytes; reloaded {} phrases", text.len(), reloaded.len());
+
+    // Maintenance: a new predicate arrives → re-mine only affected phrases.
+    let mut b = StoreBuilder::new();
+    b.extend_from(&store);
+    b.add_iri("Ted", "knows", "Antonio");
+    b.add_iri("Joseph_Sr", "knows", "Antonio");
+    let updated = b.build();
+    let mut dict2 = ParaphraseDict::from_text(&text, &updated).expect("reload on updated store");
+    remine_for_new_predicates(&mut dict2, &updated, &dataset, &["knows"], &MinerConfig::default());
+    println!("\nafter adding ⟨knows⟩ and re-mining, \"know\" maps to:");
+    if let Some(maps) = dict2.lookup("know") {
+        for m in maps.iter().take(2) {
+            println!("  {} conf {:.2}", m.path.display(&updated), m.confidence);
+        }
+    }
+
+    // Maintenance: a predicate is removed → drop its mappings.
+    let spouse = updated.expect_iri("spouse");
+    drop_removed_predicates(&mut dict2, &[spouse]);
+    println!(
+        "\nafter removing ⟨spouse⟩: \"be married to\" resolves? {}",
+        dict2.lookup("be married to").is_some()
+    );
+}

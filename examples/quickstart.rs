@@ -1,0 +1,39 @@
+//! Quickstart: build the system and ask a question.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ganswer::prelude::*;
+
+fn main() {
+    // 1. A knowledge graph. Any `Store` works — load your own N-Triples via
+    //    `ganswer::rdf::ntriples::parse` — here we use the bundled
+    //    mini-DBpedia.
+    let store = ganswer::datagen::mini_dbpedia();
+
+    // 2. The offline phase: mine the paraphrase dictionary (relation
+    //    phrase → predicate / predicate path, scored by tf-idf).
+    let dict = ganswer::mini_dict(&store);
+
+    // 3. The online system.
+    let system = GAnswer::new(&store, dict, GAnswerConfig::default());
+
+    // 4. Ask.
+    let question = "Who was married to an actor that played in Philadelphia?";
+    let response = system.answer(question);
+
+    println!("Q: {question}");
+    for a in &response.answers {
+        println!("A: {}   (score {:.3})", a.text, a.score);
+    }
+    println!("\nSemantic query graph:\n{}", response.sqg.as_ref().expect("answered"));
+    println!("Generated SPARQL:");
+    for q in &response.sparql {
+        println!("  {q}");
+    }
+    println!(
+        "\nunderstanding: {:?}, evaluation: {:?}",
+        response.understanding_time, response.evaluation_time
+    );
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper's evaluation into results/.
+# See DESIGN.md §5 for the experiment ↔ binary index and EXPERIMENTS.md for
+# the recorded paper-vs-measured comparison.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+bins=(
+  exp1_dictionary_precision
+  exp2_offline_time
+  exp3_end_to_end
+  exp4_heuristic_rules
+  exp5_failure_analysis
+  table11_response_times
+  fig6_online_time
+  complexity_scaling
+  ablations
+  scale_end_to_end
+)
+for b in "${bins[@]}"; do
+  echo "== $b =="
+  cargo run --release -p gqa-bench --bin "$b" | tee "results/$b.txt"
+done
+cargo bench -p gqa-bench | tee results/criterion.txt
+echo "All experiment outputs written to results/."

@@ -1,0 +1,186 @@
+//! `ganswer` — interactive natural-language question answering over RDF.
+//!
+//! ```text
+//! # demo mode: bundled mini-DBpedia + mined dictionary
+//! cargo run --release --bin ganswer
+//!
+//! # your own data
+//! cargo run --release --bin ganswer -- --data my.nt --dict my_dict.tsv
+//! ```
+//!
+//! REPL commands: a bare line is a question; `:sqg` / `:sparql` / `:matches`
+//! toggle extra output; `:aggregates` toggles the aggregation extension;
+//! `:quit` exits.
+
+use ganswer::core::pipeline::{GAnswer, GAnswerConfig};
+use ganswer::paraphrase::ParaphraseDict;
+use ganswer::rdf::Store;
+use std::io::{BufRead, Write};
+
+struct Options {
+    data: Option<String>,
+    dict: Option<String>,
+    top_k: usize,
+    questions: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { data: None, dict: None, top_k: 10, questions: Vec::new() };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--data" => opts.data = Some(args.next().ok_or("--data needs a file")?),
+            "--dict" => opts.dict = Some(args.next().ok_or("--dict needs a file")?),
+            "--top-k" => {
+                opts.top_k = args
+                    .next()
+                    .ok_or("--top-k needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --top-k: {e}"))?;
+            }
+            "--question" | "-q" => opts.questions.push(args.next().ok_or("-q needs a question")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: ganswer [--data FILE.nt] [--dict FILE.tsv] [--top-k N] [-q QUESTION]..."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn load(opts: &Options) -> Result<(Store, ParaphraseDict), String> {
+    let store = match &opts.data {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            ganswer::rdf::ntriples::parse(&text).map_err(|e| e.to_string())?
+        }
+        None => ganswer::datagen::mini_dbpedia(),
+    };
+    let dict = match &opts.dict {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            ParaphraseDict::from_text(&text, &store)?
+        }
+        None => {
+            if opts.data.is_some() {
+                return Err("--data without --dict: mine a dictionary first (see the \
+                            offline_mining example) and pass it with --dict"
+                    .into());
+            }
+            ganswer::mini_dict(&store)
+        }
+    };
+    Ok((store, dict))
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (store, dict) = match load(&opts) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let stats = ganswer::rdf::stats::StoreStats::collect(&store);
+    let mut config = GAnswerConfig { top_k: opts.top_k, ..Default::default() };
+
+    let mut show_sqg = false;
+    let mut show_sparql = false;
+    let mut show_matches = false;
+
+    let run = |system: &GAnswer<'_>, q: &str, show_sqg: bool, show_sparql: bool, show_matches: bool| {
+        let r = system.answer(q);
+        match (&r.failure, r.boolean, r.count) {
+            (Some(f), _, _) => println!("  no answer ({f:?})"),
+            (None, Some(b), _) => println!("  {}", if b { "yes" } else { "no" }),
+            (None, None, Some(c)) => println!("  {c}"),
+            (None, None, None) => {
+                for a in &r.answers {
+                    println!("  {}", a.text);
+                }
+            }
+        }
+        if show_sqg {
+            if let Some(g) = &r.sqg {
+                println!("--- semantic query graph ---\n{g}");
+            }
+        }
+        if show_sparql {
+            for s in &r.sparql {
+                println!("--- sparql --- {s}");
+            }
+        }
+        if show_matches {
+            for m in r.matches.iter().take(5) {
+                let b: Vec<String> =
+                    m.bindings.iter().map(|&x| system.store().term(x).to_string()).collect();
+                println!("--- match ({:+.3}) --- {}", m.score, b.join(" · "));
+            }
+        }
+        println!(
+            "  [{} total: understand {:?}, evaluate {:?}]",
+            q.len(),
+            r.understanding_time,
+            r.evaluation_time
+        );
+    };
+
+    // One-shot mode.
+    if !opts.questions.is_empty() {
+        let system = GAnswer::new(&store, dict, config.clone());
+        for q in &opts.questions {
+            println!("Q: {q}");
+            run(&system, q, false, true, false);
+        }
+        return;
+    }
+
+    // REPL.
+    println!(
+        "ganswer — {} entities, {} triples, {} predicates. Ask a question (\":quit\" to exit).",
+        stats.entities, stats.triples, stats.predicates
+    );
+    let stdin = std::io::stdin();
+    let mut system = GAnswer::new(&store, dict.clone(), config.clone());
+    loop {
+        print!("? ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            ":quit" | ":q" | ":exit" => break,
+            ":sqg" => {
+                show_sqg = !show_sqg;
+                println!("  sqg output: {show_sqg}");
+            }
+            ":sparql" => {
+                show_sparql = !show_sparql;
+                println!("  sparql output: {show_sparql}");
+            }
+            ":matches" => {
+                show_matches = !show_matches;
+                println!("  match output: {show_matches}");
+            }
+            ":aggregates" => {
+                config.enable_aggregates = !config.enable_aggregates;
+                system = GAnswer::new(&store, dict.clone(), config.clone());
+                println!("  aggregation extension: {}", config.enable_aggregates);
+            }
+            q => run(&system, q, show_sqg, show_sparql, show_matches),
+        }
+    }
+}

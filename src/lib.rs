@@ -1,0 +1,56 @@
+//! # ganswer — graph data-driven natural-language question answering over RDF
+//!
+//! A from-scratch Rust reproduction of Zou et al., *"Natural Language Question
+//! Answering over RDF — A Graph Data Driven Approach"* (SIGMOD 2014), the
+//! system later released as **gAnswer**.
+//!
+//! Instead of disambiguating a question up front and emitting SPARQL (the
+//! DEANNA / template-system approach), this system:
+//!
+//! 1. parses the question into a dependency tree ([`nlp`]),
+//! 2. extracts *semantic relations* and builds a **semantic query graph**
+//!    `Q^S` whose vertices/edges keep *all* candidate entity/predicate
+//!    mappings alive ([`core`]),
+//! 3. resolves the ambiguity lazily while searching for top-k subgraph
+//!    matches of `Q^S` over the RDF graph ([`core::topk`]).
+//!
+//! The facade below re-exports each subsystem under a stable name. See the
+//! crate-level docs of each for details, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ganswer::prelude::*;
+//!
+//! // A curated mini knowledge graph, a mined paraphrase dictionary, and
+//! // the QA pipeline on top of both.
+//! let store = ganswer::datagen::mini_dbpedia();
+//! let dict = ganswer::mini_dict(&store);
+//! let system = GAnswer::new(&store, dict, GAnswerConfig::default());
+//!
+//! let response = system.answer("Who is the mayor of Berlin?");
+//! assert_eq!(response.texts(), vec!["Klaus Wowereit"]);
+//! ```
+
+pub use gqa_baselines as baselines;
+pub use gqa_core as core;
+pub use gqa_datagen as datagen;
+pub use gqa_linker as linker;
+pub use gqa_nlp as nlp;
+pub use gqa_paraphrase as paraphrase;
+pub use gqa_rdf as rdf;
+pub use gqa_sparql as sparql;
+
+pub use gqa_datagen::patty::mini_dict;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use crate::mini_dict;
+    pub use gqa_core::pipeline::{GAnswer, GAnswerConfig, Response};
+    pub use gqa_core::sqg::SemanticQueryGraph;
+    pub use gqa_nlp::parser::DependencyParser;
+    pub use gqa_paraphrase::dict::ParaphraseDict;
+    pub use gqa_rdf::store::Store;
+    pub use gqa_rdf::term::Term;
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration: consistency between independently implemented
+//! subsystems (matcher ↔ SPARQL engine, dictionary serialization ↔ answers,
+//! N-Triples round trip ↔ answers).
+
+use ganswer::core::pipeline::{GAnswer, GAnswerConfig};
+use ganswer::paraphrase::ParaphraseDict;
+
+const QUESTIONS: &[&str] = &[
+    "Who was married to an actor that played in Philadelphia?",
+    "Who is the mayor of Berlin?",
+    "Who is the uncle of John F. Kennedy, Jr.?",
+    "Give me all movies directed by Francis Ford Coppola.",
+    "Which countries are connected by the Rhine?",
+    "What is the birth name of Angela Merkel?",
+];
+
+#[test]
+fn generated_sparql_agrees_with_the_matcher() {
+    // The top match's SPARQL, executed through the (independent) SPARQL
+    // engine, must contain the matcher's answers.
+    let store = ganswer::datagen::mini_dbpedia();
+    let sys = GAnswer::new(&store, ganswer::mini_dict(&store), GAnswerConfig::default());
+    for q in QUESTIONS {
+        let r = sys.answer(q);
+        assert!(r.failure.is_none(), "{q}: {:?}", r.failure);
+        let sparql = r.sparql.first().expect("at least one query");
+        let rs = ganswer::sparql::run(&store, sparql).unwrap_or_else(|e| panic!("{q}: {e}\n{sparql}"));
+        let sparql_answers: Vec<String> = rs
+            .rows
+            .iter()
+            .map(|row| store.term(row[0]).label().into_owned())
+            .collect();
+        for a in &r.answers {
+            // Every best-tier matcher answer appears among the SPARQL rows
+            // of some generated query.
+            let anywhere = r.sparql.iter().any(|sq| {
+                ganswer::sparql::run(&store, sq)
+                    .map(|rs| rs.rows.iter().any(|row| store.term(row[0]).label() == a.text.as_str()))
+                    .unwrap_or(false)
+            });
+            assert!(anywhere, "{q}: answer {a:?} missing from all generated SPARQL ({sparql_answers:?})");
+        }
+    }
+}
+
+#[test]
+fn dictionary_serialization_preserves_answers() {
+    let store = ganswer::datagen::mini_dbpedia();
+    let dict = ganswer::mini_dict(&store);
+    let text = dict.to_text(&store);
+    let reloaded = ParaphraseDict::from_text(&text, &store).expect("reload");
+    let sys1 = GAnswer::new(&store, dict, GAnswerConfig::default());
+    let sys2 = GAnswer::new(&store, reloaded, GAnswerConfig::default());
+    for q in QUESTIONS {
+        assert_eq!(sys1.answer(q).texts(), sys2.answer(q).texts(), "{q}");
+    }
+}
+
+#[test]
+fn ntriples_roundtrip_preserves_answers() {
+    let store = ganswer::datagen::mini_dbpedia();
+    let text = ganswer::rdf::ntriples::serialize(&store);
+    let reparsed = ganswer::rdf::ntriples::parse(&text).expect("reparse");
+    let sys1 = GAnswer::new(&store, ganswer::mini_dict(&store), GAnswerConfig::default());
+    let sys2 = GAnswer::new(&reparsed, ganswer::mini_dict(&reparsed), GAnswerConfig::default());
+    for q in QUESTIONS {
+        let mut a = sys1.answer(q).texts().into_iter().map(str::to_owned).collect::<Vec<_>>();
+        let mut b = sys2.answer(q).texts().into_iter().map(str::to_owned).collect::<Vec<_>>();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{q}");
+    }
+}
+
+#[test]
+fn ambiguous_store_answers_match_plain_store() {
+    // Decoys must never change gold answers (they share labels but carry
+    // only decoy predicates).
+    let plain = ganswer::datagen::mini_dbpedia();
+    let noisy = ganswer::datagen::minidbp::ambiguous_dbpedia(6, 7);
+    let sys1 = GAnswer::new(&plain, ganswer::mini_dict(&plain), GAnswerConfig::default());
+    let sys2 = GAnswer::new(&noisy, ganswer::mini_dict(&noisy), GAnswerConfig::default());
+    for q in QUESTIONS {
+        let mut a = sys1.answer(q).texts().into_iter().map(str::to_owned).collect::<Vec<_>>();
+        let mut b = sys2.answer(q).texts().into_iter().map(str::to_owned).collect::<Vec<_>>();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{q}");
+    }
+}
+
+#[test]
+fn deanna_and_ganswer_agree_on_unambiguous_questions() {
+    let store = ganswer::datagen::mini_dbpedia();
+    let ours = GAnswer::new(&store, ganswer::mini_dict(&store), GAnswerConfig::default());
+    let theirs = ganswer::baselines::Deanna::new(
+        &store,
+        ganswer::mini_dict(&store),
+        ganswer::baselines::DeannaConfig::default(),
+    );
+    for q in ["Who is the mayor of Berlin?", "Who founded Intel?", "What is the capital of Canada?"] {
+        let mut a = ours.answer(q).texts().into_iter().map(str::to_owned).collect::<Vec<_>>();
+        let mut b = theirs.answer(q).answers;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{q}");
+    }
+}

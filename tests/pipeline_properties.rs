@@ -1,0 +1,97 @@
+//! Property-based tests over the whole pipeline.
+
+use ganswer::core::matcher::{find_matches, MatcherConfig};
+use ganswer::core::pipeline::{GAnswer, GAnswerConfig};
+use ganswer::core::topk::top_k;
+use ganswer::nlp::DependencyParser;
+use ganswer::rdf::schema::Schema;
+use proptest::prelude::*;
+
+/// Template-generated questions: every instantiation must parse into a
+/// well-formed dependency tree and never panic anywhere in the pipeline.
+fn arb_question() -> impl Strategy<Value = String> {
+    let wh = prop::sample::select(vec!["Who", "What", "Which cities", "Which films"]);
+    let verb = prop::sample::select(vec![
+        "is the mayor of",
+        "was married to",
+        "directed",
+        "founded",
+        "is the capital of",
+        "flows through",
+    ]);
+    let ent = prop::sample::select(vec![
+        "Berlin",
+        "Antonio Banderas",
+        "Intel",
+        "Canada",
+        "the Weser",
+        "Philadelphia",
+        "Zanzibar Floof", // unlinkable on purpose
+    ]);
+    (wh, verb, ent).prop_map(|(w, v, e)| format!("{w} {v} {e}?"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn templated_questions_never_panic(q in arb_question()) {
+        let store = ganswer::datagen::mini_dbpedia();
+        let sys = GAnswer::new(&store, ganswer::mini_dict(&store), GAnswerConfig::default());
+        let tree = DependencyParser::new().parse(&q);
+        if let Some(t) = &tree {
+            prop_assert!(t.is_well_formed(), "{q}\n{t}");
+        }
+        let r = sys.answer(&q);
+        // Scores are log-probabilities: non-positive, sorted descending.
+        for w in r.matches.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for m in &r.matches {
+            prop_assert!(m.score <= 1e-9, "{q}: positive score {m:?}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics(q in "[ -~]{0,80}") {
+        let store = ganswer::datagen::mini_dbpedia();
+        let sys = GAnswer::new(&store, ganswer::mini_dict(&store), GAnswerConfig::default());
+        let _ = sys.answer(&q);
+    }
+
+    /// TA top-k equals the score-sorted prefix of exhaustive matching on
+    /// whatever mapped query the pipeline produces.
+    #[test]
+    fn topk_is_a_prefix_of_exhaustive(idx in 0usize..6) {
+        let questions = [
+            "Who was married to an actor that played in Philadelphia?",
+            "Who is the mayor of Berlin?",
+            "Who is the uncle of John F. Kennedy, Jr.?",
+            "Give me all movies directed by Francis Ford Coppola.",
+            "Which countries are connected by the Rhine?",
+            "Who founded Intel?",
+        ];
+        let store = ganswer::datagen::mini_dbpedia();
+        let sys = GAnswer::new(&store, ganswer::mini_dict(&store), GAnswerConfig::default());
+        let Some(u) = sys.understand(questions[idx]) else { return Ok(()); };
+        let Ok(mapped) = sys.map(&u.sqg) else { return Ok(()); };
+        let schema = Schema::new(&store);
+        let (ta, _) = top_k(&store, &schema, &mapped, &MatcherConfig::default(), 5);
+        let mut all = find_matches(&store, &schema, &mapped, &MatcherConfig::default(), None);
+        all.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        prop_assert!(ta.len() <= all.len());
+        for (t, a) in ta.iter().zip(all.iter()) {
+            prop_assert!((t.score - a.score).abs() < 1e-9, "score mismatch: {} vs {}", t.score, a.score);
+        }
+    }
+
+    /// Fewer decoys never change the answer set (monotone robustness of the
+    /// lazy disambiguation).
+    #[test]
+    fn decoy_count_does_not_change_answers(decoys in 0usize..6) {
+        let store = ganswer::datagen::minidbp::ambiguous_dbpedia(decoys, 99);
+        let sys = GAnswer::new(&store, ganswer::mini_dict(&store), GAnswerConfig::default());
+        let r = sys.answer("Who is the mayor of Berlin?");
+        prop_assert_eq!(r.texts(), vec!["Klaus Wowereit"]);
+    }
+}
