@@ -22,7 +22,9 @@
 //!   question simply fails, with no lazy fallback.
 
 use gqa_core::arguments::ArgumentRules;
-use gqa_core::mapping::{map_query, LiteralIndex, MappedQuery, MappingError, MappingOptions, VertexBinding};
+use gqa_core::mapping::{
+    map_query, LiteralIndex, MappedQuery, MappingError, MappingOptions, VertexBinding,
+};
 use gqa_core::sqg::{self, SqgOptions};
 use gqa_core::{coref, embedding};
 use gqa_linker::Linker;
@@ -144,9 +146,16 @@ impl<'s> Deanna<'s> {
         if relations.is_empty() {
             return DeannaResponse::empty(t0.elapsed());
         }
-        let mut mapped = match map_query(&graph, &self.linker, &self.literals, &self.dict, &MappingOptions::default()) {
+        let mut mapped = match map_query(
+            &graph,
+            &self.linker,
+            &self.literals,
+            &self.dict,
+            &MappingOptions::default(),
+        ) {
             Ok(m) => m,
-            Err(MappingError::UnlinkableMention { .. }) | Err(MappingError::UnknownRelation { .. }) => {
+            Err(MappingError::UnlinkableMention { .. })
+            | Err(MappingError::UnknownRelation { .. }) => {
                 return DeannaResponse::empty(t0.elapsed());
             }
         };
@@ -298,17 +307,38 @@ impl<'s> Deanna<'s> {
                 // Pairwise coherence with all previously chosen units.
                 let mut coherence = 0.0;
                 for d in 0..depth {
-                    coherence += coh_w * this.coherence(q, &units[d], choice[d], &units[depth], c, probes);
+                    coherence +=
+                        coh_w * this.coherence(q, &units[d], choice[d], &units[depth], c, probes);
                 }
                 explore(
-                    this, q, units, unary_max, coh_w, depth + 1, choice,
-                    score_so_far + unary + coherence, best_score, best_choice, probes, explored,
+                    this,
+                    q,
+                    units,
+                    unary_max,
+                    coh_w,
+                    depth + 1,
+                    choice,
+                    score_so_far + unary + coherence,
+                    best_score,
+                    best_choice,
+                    probes,
+                    explored,
                 );
             }
         }
         explore(
-            self, q, &units, &unary_max, coh_w, 0, &mut choice, 0.0, &mut best_score,
-            &mut best_choice, probes, explored,
+            self,
+            q,
+            &units,
+            &unary_max,
+            coh_w,
+            0,
+            &mut choice,
+            0.0,
+            &mut best_score,
+            &mut best_choice,
+            probes,
+            explored,
         );
 
         let picked = best_choice?;
@@ -328,7 +358,15 @@ impl<'s> Deanna<'s> {
     /// out). Entity–predicate: 1 if the entity touches the predicate;
     /// entity–entity: 1 if adjacent; predicate–predicate: 1 if they share a
     /// subject somewhere.
-    fn coherence(&self, _q: &MappedQuery, a: &Unit, ca: usize, b: &Unit, cb: usize, probes: &mut usize) -> f64 {
+    fn coherence(
+        &self,
+        _q: &MappedQuery,
+        a: &Unit,
+        ca: usize,
+        b: &Unit,
+        cb: usize,
+        probes: &mut usize,
+    ) -> f64 {
         *probes += 1;
         match (a, b) {
             (Unit::Vertex { cands: va, .. }, Unit::Vertex { cands: vb, .. }) => {
@@ -463,7 +501,8 @@ impl<'s> Deanna<'s> {
                     } else {
                         TermAst::Var(format!("i{ei}_{k}_{bits}"))
                     };
-                    let pred = TermAst::Iri(self.store.term(step.pred).as_iri().unwrap_or("?").to_owned());
+                    let pred =
+                        TermAst::Iri(self.store.term(step.pred).as_iri().unwrap_or("?").to_owned());
                     let (s, o) = match step.dir {
                         Dir::Forward => (prev.clone(), next.clone()),
                         Dir::Backward => (next.clone(), prev.clone()),
@@ -494,14 +533,24 @@ impl<'s> Deanna<'s> {
             Some(t) => QueryForm::Select { vars: vec![format!("v{t}")], distinct: true },
             None => QueryForm::Ask,
         };
-        let union_groups = if union_groups.len() > 1 { union_groups } else {
+        let union_groups = if union_groups.len() > 1 {
+            union_groups
+        } else {
             // A single orientation needs no UNION wrapper.
             for g in union_groups {
                 patterns.extend(g);
             }
             Vec::new()
         };
-        vec![Query { form, patterns, union_groups, filters: Vec::new(), order_by: None, limit: None, offset: 0 }]
+        vec![Query {
+            form,
+            patterns,
+            union_groups,
+            filters: Vec::new(),
+            order_by: None,
+            limit: None,
+            offset: 0,
+        }]
     }
 }
 

@@ -51,11 +51,10 @@ impl<'s> KeywordBaseline<'s> {
         }
 
         // Best-confidence entity across mentions.
-        let best = mentions
-            .iter()
-            .flat_map(|m| self.linker.link(m))
-            .filter(|c| !c.is_class)
-            .max_by(|a, b| a.confidence.partial_cmp(&b.confidence).unwrap_or(std::cmp::Ordering::Equal));
+        let best =
+            mentions.iter().flat_map(|m| self.linker.link(m)).filter(|c| !c.is_class).max_by(
+                |a, b| a.confidence.partial_cmp(&b.confidence).unwrap_or(std::cmp::Ordering::Equal),
+            );
         let Some(best) = best else { return Vec::new() };
 
         let mut out: Vec<String> = Vec::new();

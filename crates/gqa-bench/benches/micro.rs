@@ -51,7 +51,9 @@ fn bench_matching(c: &mut Criterion) {
     let mapped = sys.map(&u.sqg).expect("mapping");
     let schema = Schema::new(&store);
     c.bench_function("match/topk_running_example_ambiguous", |b| {
-        b.iter(|| top_k(&store, &schema, std::hint::black_box(&mapped), &MatcherConfig::default(), 10))
+        b.iter(|| {
+            top_k(&store, &schema, std::hint::black_box(&mapped), &MatcherConfig::default(), 10)
+        })
     });
     let no_prune = MatcherConfig { neighborhood_pruning: false, ..Default::default() };
     c.bench_function("match/topk_no_pruning", |b| {
@@ -78,7 +80,13 @@ fn bench_mining(c: &mut Criterion) {
 }
 
 fn bench_sparql(c: &mut Criterion) {
-    let store = scale_graph(&ScaleConfig { entities: 20_000, predicates: 40, classes: 12, avg_degree: 4.0, seed: 9 });
+    let store = scale_graph(&ScaleConfig {
+        entities: 20_000,
+        predicates: 40,
+        classes: 12,
+        avg_degree: 4.0,
+        seed: 9,
+    });
     let query = "SELECT DISTINCT ?x WHERE { ?x <p:P0> ?y . ?y <p:P1> ?z . } LIMIT 50";
     c.bench_function("sparql/two_hop_join_20k_entities", |b| {
         b.iter(|| gqa_sparql::run(&store, std::hint::black_box(query)).unwrap())

@@ -42,11 +42,7 @@ fn main() {
 
     let configs: Vec<(&str, GAnswerConfig, ParaphraseDict)> = vec![
         ("full system (paper defaults)", GAnswerConfig::default(), mini_dict(&st)),
-        (
-            "single predicates only (no paths)",
-            GAnswerConfig::default(),
-            single_predicate_dict(&st),
-        ),
+        ("single predicates only (no paths)", GAnswerConfig::default(), single_predicate_dict(&st)),
         (
             "no implicit edges",
             GAnswerConfig { implicit_edges: false, ..Default::default() },

@@ -57,7 +57,12 @@ fn question_length_sweep() {
     }
     print_table(
         "Tables 3/12 — question understanding time vs question length (ms)",
-        &["|Y| (tokens)", "ours understand", "DEANNA understand (joint ILP)", "DEANNA coherence probes"],
+        &[
+            "|Y| (tokens)",
+            "ours understand",
+            "DEANNA understand (joint ILP)",
+            "DEANNA coherence probes",
+        ],
         &rows,
     );
 }
@@ -66,7 +71,13 @@ fn question_length_sweep() {
 fn graph_size_sweep() {
     let mut rows = Vec::new();
     for &entities in &[2_000usize, 10_000, 50_000, 200_000] {
-        let store = scale_graph(&ScaleConfig { entities, predicates: 40, classes: 12, avg_degree: 4.0, seed: 3 });
+        let store = scale_graph(&ScaleConfig {
+            entities,
+            predicates: 40,
+            classes: 12,
+            avg_degree: 4.0,
+            seed: 3,
+        });
         let schema = Schema::new(&store);
         // Planted 2-edge star query over the most frequent predicates.
         let p0 = store.expect_iri("p:P0");
@@ -77,7 +88,8 @@ fn graph_size_sweep() {
             .with_predicate(p0)
             .map(|t| t.s)
             .find(|&s| {
-                !store.out_edges_with(s, p1).is_empty() || store.in_edges_with(s, p1).next().is_some()
+                !store.out_edges_with(s, p1).is_empty()
+                    || store.in_edges_with(s, p1).next().is_some()
             })
             .expect("anchor with P0 and P1 edges");
         let q = gqa_core::mapping::MappedQuery {
@@ -92,17 +104,27 @@ fn graph_size_sweep() {
                         is_proper: false,
                     });
                 }
-                g.edges.push(gqa_core::sqg::SqgEdge { from: 0, to: 1, phrase: Some((0, "p0".into())) });
-                g.edges.push(gqa_core::sqg::SqgEdge { from: 1, to: 2, phrase: Some((1, "p1".into())) });
+                g.edges.push(gqa_core::sqg::SqgEdge {
+                    from: 0,
+                    to: 1,
+                    phrase: Some((0, "p0".into())),
+                });
+                g.edges.push(gqa_core::sqg::SqgEdge {
+                    from: 1,
+                    to: 2,
+                    phrase: Some((1, "p1".into())),
+                });
                 g
             },
             vertices: vec![
                 gqa_core::mapping::VertexBinding::Variable { classes: vec![] },
-                gqa_core::mapping::VertexBinding::Candidates(vec![gqa_core::mapping::VertexCandidate {
-                    id: anchor,
-                    confidence: 1.0,
-                    is_class: false,
-                }]),
+                gqa_core::mapping::VertexBinding::Candidates(vec![
+                    gqa_core::mapping::VertexCandidate {
+                        id: anchor,
+                        confidence: 1.0,
+                        is_class: false,
+                    },
+                ]),
                 gqa_core::mapping::VertexBinding::Variable { classes: vec![] },
             ],
             edges: vec![
@@ -202,9 +224,25 @@ fn matcher_ablations() {
     let q = gqa_core::mapping::MappedQuery {
         sqg: {
             let mut g = gqa_core::sqg::SemanticQueryGraph::default();
-            g.vertices.push(gqa_core::sqg::SqgVertex { node: 0, text: "who".into(), is_wh: true, is_target: true, is_proper: false });
-            g.vertices.push(gqa_core::sqg::SqgVertex { node: 1, text: "b".into(), is_wh: false, is_target: false, is_proper: true });
-            g.edges.push(gqa_core::sqg::SqgEdge { from: 0, to: 1, phrase: Some((0, "be married to".into())) });
+            g.vertices.push(gqa_core::sqg::SqgVertex {
+                node: 0,
+                text: "who".into(),
+                is_wh: true,
+                is_target: true,
+                is_proper: false,
+            });
+            g.vertices.push(gqa_core::sqg::SqgVertex {
+                node: 1,
+                text: "b".into(),
+                is_wh: false,
+                is_target: false,
+                is_proper: true,
+            });
+            g.edges.push(gqa_core::sqg::SqgEdge {
+                from: 0,
+                to: 1,
+                phrase: Some((0, "be married to".into())),
+            });
             g
         },
         vertices: vec![

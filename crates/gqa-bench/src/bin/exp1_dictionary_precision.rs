@@ -40,15 +40,28 @@ fn grade(mined: &PathPattern, truth: &PathPattern) -> u32 {
 fn main() {
     // A mid-size random graph: big enough for paths, small enough to mine
     // 200 phrases quickly.
-    let store = scale_graph(&ScaleConfig { entities: 3_000, predicates: 40, classes: 10, avg_degree: 4.0, seed: 11 });
+    let store = scale_graph(&ScaleConfig {
+        entities: 3_000,
+        predicates: 40,
+        classes: 10,
+        avg_degree: 4.0,
+        seed: 11,
+    });
     let syn = synthetic_phrase_dataset(
         &store,
-        &SyntheticPhraseConfig { phrases: 200, pairs_per_phrase: 8, noise_fraction: 0.33, max_truth_len: 3, seed: 5 },
+        &SyntheticPhraseConfig {
+            phrases: 200,
+            pairs_per_phrase: 8,
+            noise_fraction: 0.33,
+            max_truth_len: 3,
+            seed: 5,
+        },
     );
     println!("synthetic dataset: {} phrases, truth lengths 1..=3", syn.dataset.len());
     println!("resolvable support fraction: {:.2}", syn.dataset.resolvable_fraction(&store));
 
-    let dict = mine(&store, &syn.dataset, &MinerConfig { theta: 4, top_k: 3, ..Default::default() });
+    let dict =
+        mine(&store, &syn.dataset, &MinerConfig { theta: 4, top_k: 3, ..Default::default() });
 
     // P@3 bucketed by the *mined* path's length (the paper's axis: "the
     // precision (P@3) is about 50% when the path length is 1 … while
@@ -75,14 +88,22 @@ fn main() {
         }
         let p = graded.iter().filter(|&&g| g > 0).count() as f64 / graded.len() as f64;
         let strict = graded.iter().filter(|&&g| g == 2).count() as f64 / graded.len() as f64;
-        rows.push(vec![len.to_string(), graded.len().to_string(), format!("{p:.2}"), format!("{strict:.2}")]);
+        rows.push(vec![
+            len.to_string(),
+            graded.len().to_string(),
+            format!("{p:.2}"),
+            format!("{strict:.2}"),
+        ]);
     }
     print_table(
         "Exp 1 — P@3 by mined path length (tf-idf ranking)",
         &["mined path length", "#mappings", "P@3 (grade>0)", "P@3 (grade=2)"],
         &rows,
     );
-    println!("top-1 exact over all {phrases} phrases: {:.2}", top1_hits as f64 / phrases.max(1) as f64);
+    println!(
+        "top-1 exact over all {phrases} phrases: {:.2}",
+        top1_hits as f64 / phrases.max(1) as f64
+    );
     println!("(paper: ~50% at length 1, dropping as length grows)");
 
     // Ablation: raw frequency (tf only, no idf) ranking.
@@ -106,14 +127,29 @@ fn main() {
         let p = graded.iter().filter(|&&g| g > 0).count() as f64 / graded.len() as f64;
         rows.push(vec![len.to_string(), format!("{p:.2}")]);
     }
-    print_table("Ablation — raw-frequency ranking (no idf)", &["mined path length", "P@3 (grade>0)"], &rows);
-    println!("raw-frequency top-1 exact: {:.2} (tf-idf must beat this)", raw_top1 as f64 / phrases.max(1) as f64);
+    print_table(
+        "Ablation — raw-frequency ranking (no idf)",
+        &["mined path length", "P@3 (grade>0)"],
+        &rows,
+    );
+    println!(
+        "raw-frequency top-1 exact: {:.2} (tf-idf must beat this)",
+        raw_top1 as f64 / phrases.max(1) as f64
+    );
 
     // Table-6-style sample over the curated mini graph.
     let mini = gqa_bench::store();
     let mini_dict = gqa_bench::dict(&mini);
     let mut sample_rows = Vec::new();
-    for phrase in ["be married to", "play in", "uncle of", "mayor of", "come from", "largest city in", "be buried in"] {
+    for phrase in [
+        "be married to",
+        "play in",
+        "uncle of",
+        "mayor of",
+        "come from",
+        "largest city in",
+        "be buried in",
+    ] {
         if let Some(maps) = mini_dict.lookup(phrase) {
             for m in maps.iter().take(2) {
                 sample_rows.push(vec![
@@ -132,7 +168,10 @@ fn main() {
 }
 
 /// The no-idf ablation: rank patterns of each phrase by tf alone.
-fn mine_raw_frequency(store: &Store, dataset: &gqa_paraphrase::PhraseDataset) -> Vec<Vec<PathPattern>> {
+fn mine_raw_frequency(
+    store: &Store,
+    dataset: &gqa_paraphrase::PhraseDataset,
+) -> Vec<Vec<PathPattern>> {
     let cfg = PathConfig::default().skip_schema_predicates(store);
     let mut out = Vec::new();
     let mut summaries = Vec::new();
@@ -149,7 +188,9 @@ fn mine_raw_frequency(store: &Store, dataset: &gqa_paraphrase::PhraseDataset) ->
     for summary in &summaries {
         let mut scored: Vec<(u32, PathPattern)> =
             summary.tf.iter().map(|(p, &tf)| (tf, p.clone())).collect();
-        scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.len().cmp(&b.1.len())).then_with(|| a.1.cmp(&b.1)));
+        scored.sort_by(|a, b| {
+            b.0.cmp(&a.0).then_with(|| a.1.len().cmp(&b.1.len())).then_with(|| a.1.cmp(&b.1))
+        });
         out.push(scored.into_iter().take(3).map(|(_, p)| p).collect());
     }
     out

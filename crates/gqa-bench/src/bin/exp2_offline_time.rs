@@ -36,11 +36,23 @@ fn main() {
     // Two phrase datasets: "wn-like" (smaller) and "fb-like" (larger).
     let wn = synthetic_phrase_dataset(
         &store,
-        &SyntheticPhraseConfig { phrases: 350, pairs_per_phrase: 11, noise_fraction: 0.33, max_truth_len: 3, seed: 1 },
+        &SyntheticPhraseConfig {
+            phrases: 350,
+            pairs_per_phrase: 11,
+            noise_fraction: 0.33,
+            max_truth_len: 3,
+            seed: 1,
+        },
     );
     let fb = synthetic_phrase_dataset(
         &store,
-        &SyntheticPhraseConfig { phrases: 1600, pairs_per_phrase: 9, noise_fraction: 0.33, max_truth_len: 3, seed: 2 },
+        &SyntheticPhraseConfig {
+            phrases: 1600,
+            pairs_per_phrase: 9,
+            noise_fraction: 0.33,
+            max_truth_len: 3,
+            seed: 2,
+        },
     );
     let mut rows = Vec::new();
     for (name, ds) in [("wn-like", &wn.dataset), ("fb-like", &fb.dataset)] {
@@ -67,7 +79,8 @@ fn main() {
         let mut cols = vec![name.to_owned()];
         for (theta, threads) in [(2usize, 1usize), (4, 1), (4, 4)] {
             let t0 = Instant::now();
-            let dict = mine(&store, ds, &MinerConfig { theta, top_k: 3, threads, ..Default::default() });
+            let dict =
+                mine(&store, ds, &MinerConfig { theta, top_k: 3, threads, ..Default::default() });
             let dt = t0.elapsed();
             cols.push(format!("{:.2}s ({} phrases)", dt.as_secs_f64(), dict.len()));
         }

@@ -7,12 +7,15 @@
 //! (squall2sparql, CASIA, …) are appended as reference values.
 
 use gqa_baselines::KeywordBaseline;
-use gqa_bench::{deanna, ganswer, print_table, score, store, QScore, SystemOutput, TableRow};
+use gqa_bench::{
+    deanna, emit_metrics, ganswer_instrumented, print_table, score, store, QScore, SystemOutput,
+    TableRow,
+};
 use gqa_datagen::qald::benchmark;
 
 fn main() {
     let st = store();
-    let ours = ganswer(&st);
+    let ours = ganswer_instrumented(&st);
     let base = deanna(&st);
     let keyword = KeywordBaseline::new(&st);
     let questions = benchmark();
@@ -26,7 +29,8 @@ fn main() {
         let r = ours.answer(q.text);
         let ours_out = SystemOutput::from_response(&r);
         let d = base.answer(q.text);
-        let deanna_out = SystemOutput { answers: d.answers.clone(), boolean: d.boolean, count: None };
+        let deanna_out =
+            SystemOutput { answers: d.answers.clone(), boolean: d.boolean, count: None };
         let k = SystemOutput::from_texts(keyword.answer(q.text));
 
         let so = score(q, &ours_out);
@@ -88,8 +92,15 @@ fn main() {
     let ref_rows: Vec<Vec<String>> = reference
         .iter()
         .map(|(n, p, r, pa, re, pr, f1)| {
-            vec![(*n).to_owned(), p.to_string(), r.to_string(), pa.to_string(),
-                 format!("{re:.2}"), format!("{pr:.2}"), format!("{f1:.2}")]
+            vec![
+                (*n).to_owned(),
+                p.to_string(),
+                r.to_string(),
+                pa.to_string(),
+                format!("{re:.2}"),
+                format!("{pr:.2}"),
+                format!("{f1:.2}"),
+            ]
         })
         .collect();
     print_table(
@@ -97,6 +108,8 @@ fn main() {
         &["System", "Processed", "Right", "Partially", "Recall", "Precision", "F-1"],
         &ref_rows,
     );
+
+    emit_metrics(&ours);
 }
 
 fn verdict(s: &QScore) -> String {

@@ -45,7 +45,11 @@ fn main() {
                 args_off.to_string(),
                 args_on.to_string(),
             ],
-            vec!["questions answered correctly".into(), right_off.to_string(), right_on.to_string()],
+            vec![
+                "questions answered correctly".into(),
+                right_off.to_string(),
+                right_on.to_string(),
+            ],
         ],
     );
     println!(

@@ -14,7 +14,9 @@ use gqa_datagen::qald::benchmark;
 fn failure_bucket(f: &Option<Failure>) -> &'static str {
     match f {
         Some(Failure::EntityLinking(_)) => "Entity Linking Failure",
-        Some(Failure::RelationExtraction(_)) | Some(Failure::NoMatch) => "Relation Extraction Failure",
+        Some(Failure::RelationExtraction(_)) | Some(Failure::NoMatch) => {
+            "Relation Extraction Failure"
+        }
         Some(Failure::Aggregation) => "Aggregation Query",
         Some(Failure::Parse) => "Others",
         None => "Others", // produced wrong/partial output
@@ -61,11 +63,19 @@ fn main() {
             ]
         })
         .collect();
-    print_table("Table 10 — failure analysis (our method, default config)", &["Reason", "#(Ratio)", "Sample"], &rows);
+    print_table(
+        "Table 10 — failure analysis (our method, default config)",
+        &["Reason", "#(Ratio)", "Sample"],
+        &rows,
+    );
     println!("\npaper Table 10: entity linking 17 (27%), relation extraction 14 (22%), aggregation 22 (35%), others 10 (16%)");
 
     // Extension: aggregation enabled.
-    let sys2 = GAnswer::new(&st, mini_dict(&st), GAnswerConfig { enable_aggregates: true, ..Default::default() });
+    let sys2 = GAnswer::new(
+        &st,
+        mini_dict(&st),
+        GAnswerConfig { enable_aggregates: true, ..Default::default() },
+    );
     let mut agg_right = 0usize;
     let mut agg_total = 0usize;
     for q in &questions {

@@ -13,17 +13,19 @@
 //! disambiguation expensive — the plain mini graph is too unambiguous to
 //! show the asymmetry.
 
-use gqa_bench::{print_table, score, SystemOutput};
 use gqa_baselines::{Deanna, DeannaConfig};
+use gqa_bench::{emit_metrics, print_table, score, SystemOutput};
 use gqa_core::pipeline::{GAnswer, GAnswerConfig};
 use gqa_datagen::minidbp::ambiguous_dbpedia;
 use gqa_datagen::patty::mini_dict;
 use gqa_datagen::qald::benchmark;
+use gqa_obs::Obs;
 
 fn main() {
     let st = ambiguous_dbpedia(7, 42);
-    let ours = GAnswer::new(&st, mini_dict(&st), GAnswerConfig::default());
-    let base = Deanna::new(&st, mini_dict(&st), DeannaConfig { max_candidates: 8, ..Default::default() });
+    let ours = GAnswer::with_obs(&st, mini_dict(&st), GAnswerConfig::default(), Obs::new());
+    let base =
+        Deanna::new(&st, mini_dict(&st), DeannaConfig { max_candidates: 8, ..Default::default() });
 
     let mut rows = Vec::new();
     let mut speedups: Vec<f64> = Vec::new();
@@ -31,7 +33,8 @@ fn main() {
         let r = ours.answer(q.text);
         let d = base.answer(q.text);
         let ours_right = score(q, &SystemOutput::from_response(&r)).right;
-        let deanna_out = SystemOutput { answers: d.answers.clone(), boolean: d.boolean, count: None };
+        let deanna_out =
+            SystemOutput { answers: d.answers.clone(), boolean: d.boolean, count: None };
         let deanna_right = score(q, &deanna_out).right;
         if !(ours_right && deanna_right) {
             continue;
@@ -60,7 +63,15 @@ fn main() {
     }
     print_table(
         "Figure 6 — online running time (ms): ours vs DEANNA, questions both answer",
-        &["ID", "ours understand", "ours total", "DEANNA understand", "DEANNA total", "speedup", "DEANNA probes"],
+        &[
+            "ID",
+            "ours understand",
+            "ours total",
+            "DEANNA understand",
+            "DEANNA total",
+            "speedup",
+            "DEANNA probes",
+        ],
         &rows,
     );
     if !speedups.is_empty() {
@@ -73,6 +84,8 @@ fn main() {
             speedups.len()
         );
     }
+
+    emit_metrics(&ours);
 
     ambiguity_sweep();
 }
@@ -120,7 +133,14 @@ fn ambiguity_sweep() {
     }
     print_table(
         "Figure 6 origin — cost vs mention ambiguity (running example)",
-        &["decoys/mention", "ours total (ms)", "DEANNA total (ms)", "speedup", "our TA probes", "DEANNA probes/assignments"],
+        &[
+            "decoys/mention",
+            "ours total (ms)",
+            "DEANNA total (ms)",
+            "speedup",
+            "our TA probes",
+            "DEANNA probes/assignments",
+        ],
         &rows,
     );
 }

@@ -59,7 +59,15 @@ fn main() {
     }
     print_table(
         "End-to-end Q/A at scale (40 template questions per size)",
-        &["entities", "triples", "right", "partial", "mean ms/question", "worst ms", "mine s (θ=2)"],
+        &[
+            "entities",
+            "triples",
+            "right",
+            "partial",
+            "mean ms/question",
+            "worst ms",
+            "mine s (θ=2)",
+        ],
         &rows,
     );
 }

@@ -15,10 +15,7 @@ fn main() {
             continue;
         }
         // Warm timing: best of three runs.
-        let best = (0..3)
-            .map(|_| sys.answer(q.text).total_time())
-            .min()
-            .unwrap_or_default();
+        let best = (0..3).map(|_| sys.answer(q.text).total_time()).min().unwrap_or_default();
         times.push(best);
         rows.push(vec![
             format!("Q{}", q.id),

@@ -25,6 +25,7 @@ use gqa_core::pipeline::{GAnswer, GAnswerConfig, Response};
 use gqa_datagen::minidbp::mini_dbpedia;
 use gqa_datagen::patty::mini_dict;
 use gqa_datagen::qald::{BenchQuestion, Gold};
+use gqa_obs::{Obs, DURATION_BUCKETS};
 use gqa_paraphrase::ParaphraseDict;
 use gqa_rdf::{Store, Term};
 
@@ -41,6 +42,72 @@ pub fn dict(store: &Store) -> ParaphraseDict {
 /// The gAnswer system under the paper's default configuration.
 pub fn ganswer(store: &Store) -> GAnswer<'_> {
     GAnswer::new(store, mini_dict(store), GAnswerConfig::default())
+}
+
+/// Like [`ganswer`], but with metrics collection enabled so the binary can
+/// report per-stage timings at the end (see [`emit_metrics`]).
+pub fn ganswer_instrumented(store: &Store) -> GAnswer<'_> {
+    GAnswer::with_obs(store, mini_dict(store), GAnswerConfig::default(), Obs::new())
+}
+
+/// Print a per-stage metrics summary for an instrumented system and, when
+/// `--metrics FILE` (or `GQA_METRICS=FILE`) is given, write the full
+/// Prometheus exposition to FILE. A no-op for uninstrumented systems.
+pub fn emit_metrics(system: &GAnswer<'_>) {
+    system.publish_metrics();
+    let obs = system.obs();
+    let Some(registry) = obs.registry() else { return };
+    println!("\nper-stage metrics:");
+    for stage in ["understand", "map", "topk"] {
+        let h = registry.histogram(
+            "gqa_pipeline_stage_duration_seconds",
+            &[("stage", stage)],
+            DURATION_BUCKETS,
+        );
+        let n = h.count();
+        let mean_ms = if n > 0 { h.sum() * 1e3 / n as f64 } else { 0.0 };
+        println!("  {stage:<10} n={n:<4} total={:.4}s mean={mean_ms:.4}ms", h.sum());
+    }
+    let c = |name: &str, labels: &[(&str, &str)]| registry.counter(name, labels).get();
+    println!(
+        "  questions={} topk probes={} rounds={} early-terminations={}",
+        c("gqa_pipeline_questions_total", &[]),
+        c("gqa_topk_probes_total", &[]),
+        c("gqa_topk_rounds_total", &[]),
+        c("gqa_topk_early_terminations_total", &[]),
+    );
+    println!(
+        "  rdf lookups spo/pos/osp={}/{}/{} bfs-expansions={} linker calls={} (hit {} / miss {})",
+        c("gqa_rdf_index_lookups_total", &[("index", "spo")]),
+        c("gqa_rdf_index_lookups_total", &[("index", "pos")]),
+        c("gqa_rdf_index_lookups_total", &[("index", "osp")]),
+        c("gqa_rdf_bfs_expansions_total", &[]),
+        c("gqa_linker_link_calls_total", &[]),
+        c("gqa_linker_link_hits_total", &[]),
+        c("gqa_linker_link_misses_total", &[]),
+    );
+    if let Some(path) = metrics_file() {
+        match std::fs::write(&path, obs.prometheus()) {
+            Ok(()) => println!("  exposition written to {path}"),
+            Err(e) => eprintln!("error: cannot write {path}: {e}"),
+        }
+    }
+}
+
+/// The `--metrics FILE` argument or `GQA_METRICS` environment variable.
+fn metrics_file() -> Option<String> {
+    if let Ok(p) = std::env::var("GQA_METRICS") {
+        if !p.is_empty() {
+            return Some(p);
+        }
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--metrics" {
+            return args.next();
+        }
+    }
+    None
 }
 
 /// The DEANNA baseline sharing the same substrates.
@@ -131,12 +198,14 @@ pub fn score(question: &BenchQuestion, out: &SystemOutput) -> QScore {
                 s.right = false;
             }
         },
-        Gold::Count(n) => if let Some(c) = out.count {
-            s.processed = true;
-            s.right = c == *n;
-            s.precision = if s.right { 1.0 } else { 0.0 };
-            s.recall = s.precision;
-        },
+        Gold::Count(n) => {
+            if let Some(c) = out.count {
+                s.processed = true;
+                s.right = c == *n;
+                s.precision = if s.right { 1.0 } else { 0.0 };
+                s.recall = s.precision;
+            }
+        }
         Gold::OutOfScope => {
             // Not representable: any produced answer is wrong; empty output
             // still counts as a failure (the information was asked for).

@@ -73,7 +73,8 @@ pub fn comparison(
 
 /// Count the distinct target bindings.
 pub fn count(matches: &[Match], target: usize) -> usize {
-    let mut ids: Vec<TermId> = matches.iter().filter_map(|m| m.bindings.get(target).copied()).collect();
+    let mut ids: Vec<TermId> =
+        matches.iter().filter_map(|m| m.bindings.get(target).copied()).collect();
     ids.sort_unstable();
     ids.dedup();
     ids.len()
@@ -172,7 +173,8 @@ mod tests {
         b.add_obj("dbr:Sydney", "dbo:population", Term::int_lit(5_300_000));
         b.add_obj("dbr:Melbourne", "dbo:population", Term::int_lit(5_000_000));
         let store = b.build();
-        let ms = vec![m(store.expect_iri("dbr:Sydney"), 0.0), m(store.expect_iri("dbr:Melbourne"), 0.0)];
+        let ms =
+            vec![m(store.expect_iri("dbr:Sydney"), 0.0), m(store.expect_iri("dbr:Melbourne"), 0.0)];
         let largest = superlative(&store, &ms, 0, "largest").unwrap();
         assert_eq!(largest[0].bindings[0], store.expect_iri("dbr:Sydney"));
         let smallest = superlative(&store, &ms, 0, "smallest").unwrap();

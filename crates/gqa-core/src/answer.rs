@@ -67,8 +67,12 @@ mod tests {
         b.add_obj("dbr:X", "height", Term::dec_lit(1.98));
         let store = b.build();
         let lit = store.dict().lookup(&Term::dec_lit(1.98)).unwrap();
-        let matches =
-            vec![Match { bindings: vec![lit], vertex_conf: vec![1.0], edge_used: vec![], score: 0.0 }];
+        let matches = vec![Match {
+            bindings: vec![lit],
+            vertex_conf: vec![1.0],
+            edge_used: vec![],
+            score: 0.0,
+        }];
         let ans = answers_from_matches(&store, &matches, 0);
         assert_eq!(ans[0].text, "1.98");
     }

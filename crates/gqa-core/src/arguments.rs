@@ -146,7 +146,12 @@ fn scan_children(tree: &DepTree, nodes: &[usize], root: usize) -> (Option<usize>
 
 /// Rule 4 proper: nearest wh-word not already used; else the first noun
 /// phrase head outside the embedding.
-fn rule4_fallback(tree: &DepTree, nodes: &[usize], root: usize, taken: Option<usize>) -> Option<usize> {
+fn rule4_fallback(
+    tree: &DepTree,
+    nodes: &[usize],
+    root: usize,
+    taken: Option<usize>,
+) -> Option<usize> {
     let candidate_ok = |i: usize| !nodes.contains(&i) && Some(i) != taken;
     let wh = (0..tree.len())
         .filter(|&i| tree.pos(i).is_wh() && tree.token(i).lower != "that" && candidate_ok(i))
@@ -176,7 +181,11 @@ mod tests {
         for (i, p) in phrases.iter().enumerate() {
             d.insert(
                 (*p).to_owned(),
-                vec![ParaMapping { path: PathPattern::single(TermId(i as u32)), tfidf: 1.0, confidence: 1.0 }],
+                vec![ParaMapping {
+                    path: PathPattern::single(TermId(i as u32)),
+                    tfidf: 1.0,
+                    confidence: 1.0,
+                }],
             );
         }
         d
@@ -216,7 +225,8 @@ mod tests {
         assert_eq!(rels[0].arg1.text, "member");
         assert_eq!(rels[0].arg2.text, "prodigy");
         // Without rule 2 (and 3/4) the relation is discarded.
-        let none = extract("Give me all members of Prodigy.", &["member of"], ArgumentRules::none());
+        let none =
+            extract("Give me all members of Prodigy.", &["member of"], ArgumentRules::none());
         assert!(none.is_empty(), "{none:?}");
     }
 

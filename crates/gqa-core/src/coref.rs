@@ -13,8 +13,9 @@ use gqa_nlp::DepRel;
 /// Resolve one argument node: a relativizer resolves to the noun modified
 /// by its clause; anything else resolves to itself.
 pub fn resolve_node(tree: &DepTree, node: usize) -> usize {
-    let is_relativizer = matches!(tree.token(node).lower.as_str(), "that" | "who" | "whom" | "which")
-        && matches!(tree.rels[node], DepRel::Nsubj | DepRel::Nsubjpass | DepRel::Dobj);
+    let is_relativizer =
+        matches!(tree.token(node).lower.as_str(), "that" | "who" | "whom" | "which")
+            && matches!(tree.rels[node], DepRel::Nsubj | DepRel::Nsubjpass | DepRel::Dobj);
     if !is_relativizer {
         return node;
     }
@@ -61,7 +62,11 @@ mod tests {
         for (i, p) in phrases.iter().enumerate() {
             d.insert(
                 (*p).to_owned(),
-                vec![ParaMapping { path: PathPattern::single(TermId(i as u32)), tfidf: 1.0, confidence: 1.0 }],
+                vec![ParaMapping {
+                    path: PathPattern::single(TermId(i as u32)),
+                    tfidf: 1.0,
+                    confidence: 1.0,
+                }],
             );
         }
         d

@@ -61,7 +61,8 @@ pub fn find_embeddings(tree: &DepTree, dict: &ParaphraseDict) -> Vec<Embedding> 
             // in a sentence; rooting an embedding at one lets an unrelated
             // "of"/"in" capture the phrase ("successor **of** the father of
             // X" must not anchor "father of" at the first "of").
-            let content: Vec<&String> = words.iter().filter(|w| !lexicon::is_light_word(w)).collect();
+            let content: Vec<&String> =
+                words.iter().filter(|w| !lexicon::is_light_word(w)).collect();
             let root_ok = if content.is_empty() {
                 words.iter().any(|w| word_matches(tree, root, w))
             } else {
@@ -111,11 +112,7 @@ pub fn find_embeddings(tree: &DepTree, dict: &ParaphraseDict) -> Vec<Embedding> 
             }
         }
     }
-    found
-        .into_iter()
-        .zip(keep)
-        .filter_map(|(e, k)| k.then_some(e))
-        .collect()
+    found.into_iter().zip(keep).filter_map(|(e, k)| k.then_some(e)).collect()
 }
 
 /// Try to cover all `words` with a connected subtree rooted at `root`
@@ -164,7 +161,11 @@ mod tests {
         for (i, p) in phrases.iter().enumerate() {
             d.insert(
                 (*p).to_owned(),
-                vec![ParaMapping { path: PathPattern::single(TermId(i as u32)), tfidf: 1.0, confidence: 1.0 }],
+                vec![ParaMapping {
+                    path: PathPattern::single(TermId(i as u32)),
+                    tfidf: 1.0,
+                    confidence: 1.0,
+                }],
             );
         }
         d

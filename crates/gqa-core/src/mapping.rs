@@ -4,6 +4,7 @@
 
 use crate::sqg::SemanticQueryGraph;
 use gqa_linker::Linker;
+use gqa_obs::{LinkTrace, PhraseCandidates, QueryTrace};
 use gqa_paraphrase::dict::ParaphraseDict;
 use gqa_rdf::{PathPattern, Store, TermId};
 use rustc_hash::FxHashMap;
@@ -106,9 +107,7 @@ impl LiteralIndex {
 
     /// Literal ids whose normalized text equals the mention's.
     pub fn lookup(&self, mention: &str) -> &[TermId] {
-        self.by_norm
-            .get(&gqa_linker::normalize::normalize(mention))
-            .map_or(&[], Vec::as_slice)
+        self.by_norm.get(&gqa_linker::normalize::normalize(mention)).map_or(&[], Vec::as_slice)
     }
 }
 
@@ -126,8 +125,24 @@ pub struct MappingOptions {
 
 impl Default for MappingOptions {
     fn default() -> Self {
-        MappingOptions { wildcard_confidence: 0.3, max_edge_candidates: 8, protected_nodes: Vec::new() }
+        MappingOptions {
+            wildcard_confidence: 0.3,
+            max_edge_candidates: 8,
+            protected_nodes: Vec::new(),
+        }
     }
+}
+
+/// Where a traced mapping writes its decisions. The label closures live on
+/// the caller's side, where the store is available — the trace itself stays
+/// plain strings.
+pub struct TraceSink<'a> {
+    /// The trace under construction.
+    pub trace: &'a mut QueryTrace,
+    /// Renders a term id for the trace (e.g. via `Store::term`).
+    pub term_label: &'a dyn Fn(TermId) -> String,
+    /// Renders a predicate path for the trace.
+    pub path_label: &'a dyn Fn(&PathPattern) -> String,
 }
 
 /// Map every vertex and edge (§4.2.1). Implicit edges whose non-target
@@ -139,6 +154,19 @@ pub fn map_query(
     literals: &LiteralIndex,
     dict: &ParaphraseDict,
     opts: &MappingOptions,
+) -> Result<MappedQuery, MappingError> {
+    map_query_traced(sqg, linker, literals, dict, opts, None)
+}
+
+/// [`map_query`], optionally recording per-phrase candidate lists and
+/// entity-linking keep/drop decisions into an EXPLAIN trace.
+pub fn map_query_traced(
+    sqg: &SemanticQueryGraph,
+    linker: &Linker,
+    literals: &LiteralIndex,
+    dict: &ParaphraseDict,
+    opts: &MappingOptions,
+    mut sink: Option<TraceSink<'_>>,
 ) -> Result<MappedQuery, MappingError> {
     let mut sqg = sqg.clone();
 
@@ -153,16 +181,25 @@ pub fn map_query(
         if v.is_target {
             // The answer variable: class-constrained when the noun names a
             // class ("cars" → dbo:Automobile).
-            let classes = linker
-                .link_classes(&v.text)
-                .into_iter()
-                .map(|c| (c.id, c.confidence))
-                .collect();
+            let classes =
+                linker.link_classes(&v.text).into_iter().map(|c| (c.id, c.confidence)).collect();
             vertices.push(VertexBinding::Variable { classes });
             continue;
         }
-        let mut cands: Vec<VertexCandidate> = linker
-            .link(&v.text)
+        let linked = linker.link_detailed(&v.text);
+        if let Some(s) = &mut sink {
+            s.trace.linking.push(LinkTrace {
+                mention: v.text.clone(),
+                kept: linked
+                    .candidates
+                    .iter()
+                    .map(|c| ((s.term_label)(c.id), c.confidence))
+                    .collect(),
+                dropped: linked.dropped,
+            });
+        }
+        let mut cands: Vec<VertexCandidate> = linked
+            .candidates
             .into_iter()
             .map(|c| VertexCandidate { id: c.id, confidence: c.confidence, is_class: c.is_class })
             .collect();
@@ -171,7 +208,15 @@ pub fn map_query(
                 cands.push(VertexCandidate { id: lit, confidence: 1.0, is_class: false });
             }
         }
-        cands.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal));
+        cands.sort_by(|a, b| {
+            b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        if let Some(s) = &mut sink {
+            s.trace.vertex_candidates.push(PhraseCandidates {
+                text: v.text.clone(),
+                candidates: cands.iter().map(|c| ((s.term_label)(c.id), c.confidence)).collect(),
+            });
+        }
         if cands.is_empty() {
             if v.is_proper {
                 // A named mention the linker cannot resolve: the paper's
@@ -233,7 +278,18 @@ pub fn map_query(
     let mut edges: Vec<EdgeCandidates> = Vec::with_capacity(sqg.edges.len());
     for (ei, e) in sqg.edges.iter().enumerate() {
         match &e.phrase {
-            None => edges.push(EdgeCandidates { list: Vec::new(), wildcard: Some(opts.wildcard_confidence) }),
+            None => {
+                edges.push(EdgeCandidates {
+                    list: Vec::new(),
+                    wildcard: Some(opts.wildcard_confidence),
+                });
+                if let Some(s) = &mut sink {
+                    s.trace.edge_candidates.push(PhraseCandidates {
+                        text: "?".to_string(),
+                        candidates: vec![("(any predicate)".to_string(), opts.wildcard_confidence)],
+                    });
+                }
+            }
             Some((_, phrase)) => {
                 let Some(maps) = dict.lookup(phrase) else {
                     return Err(MappingError::UnknownRelation { edge: ei, phrase: phrase.clone() });
@@ -244,6 +300,12 @@ pub fn map_query(
                     .map(|m| (m.path.clone(), m.confidence.max(1e-6)))
                     .collect();
                 list.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                if let Some(s) = &mut sink {
+                    s.trace.edge_candidates.push(PhraseCandidates {
+                        text: phrase.clone(),
+                        candidates: list.iter().map(|(p, c)| ((s.path_label)(p), *c)).collect(),
+                    });
+                }
                 edges.push(EdgeCandidates { list, wildcard: None });
             }
         }
@@ -277,7 +339,10 @@ mod tests {
     fn dict_one(phrase: &str, store: &Store) -> ParaphraseDict {
         let mut d = ParaphraseDict::new();
         let p = store.expect_iri("rdf:type");
-        d.insert(phrase.into(), vec![ParaMapping { path: PathPattern::single(p), tfidf: 1.0, confidence: 1.0 }]);
+        d.insert(
+            phrase.into(),
+            vec![ParaMapping { path: PathPattern::single(p), tfidf: 1.0, confidence: 1.0 }],
+        );
         d
     }
 
@@ -289,7 +354,8 @@ mod tests {
         let lits = LiteralIndex::new(&s);
         let mut g = SemanticQueryGraph::default();
         g.vertices.push(vertex("who", true, true, false));
-        let m = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default()).unwrap();
+        let m = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default())
+            .unwrap();
         assert_eq!(m.vertices[0], VertexBinding::Variable { classes: vec![] });
     }
 
@@ -301,7 +367,8 @@ mod tests {
         let lits = LiteralIndex::new(&s);
         let mut g = SemanticQueryGraph::default();
         g.vertices.push(vertex("philadelphia", false, false, true));
-        let m = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default()).unwrap();
+        let m = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default())
+            .unwrap();
         match &m.vertices[0] {
             VertexBinding::Candidates(c) => assert!(c.len() >= 2, "{c:?}"),
             other => panic!("{other:?}"),
@@ -316,7 +383,8 @@ mod tests {
         let lits = LiteralIndex::new(&s);
         let mut g = SemanticQueryGraph::default();
         g.vertices.push(vertex("scarface", false, false, true));
-        let m = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default()).unwrap();
+        let m = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default())
+            .unwrap();
         match &m.vertices[0] {
             VertexBinding::Candidates(c) => {
                 assert!(c.iter().any(|x| s.term(x.id).is_literal()), "{c:?}");
@@ -333,7 +401,8 @@ mod tests {
         let lits = LiteralIndex::new(&s);
         let mut g = SemanticQueryGraph::default();
         g.vertices.push(vertex("mi6", false, false, true));
-        let err = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default()).unwrap_err();
+        let err = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default())
+            .unwrap_err();
         assert!(matches!(err, MappingError::UnlinkableMention { .. }));
     }
 
@@ -345,7 +414,8 @@ mod tests {
         let lits = LiteralIndex::new(&s);
         let mut g = SemanticQueryGraph::default();
         g.vertices.push(vertex("creator", false, false, false));
-        let m = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default()).unwrap();
+        let m = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default())
+            .unwrap();
         assert!(m.vertices[0].is_variable());
     }
 
@@ -359,7 +429,8 @@ mod tests {
         g.vertices.push(vertex("film", false, true, false));
         g.vertices.push(vertex("former", false, false, false));
         g.edges.push(SqgEdge { from: 0, to: 1, phrase: None });
-        let m = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default()).unwrap();
+        let m = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default())
+            .unwrap();
         assert_eq!(m.sqg.vertices.len(), 1, "{:?}", m.sqg);
         assert!(m.sqg.edges.is_empty());
     }
@@ -374,7 +445,8 @@ mod tests {
         g.vertices.push(vertex("film", false, true, false));
         g.vertices.push(vertex("zanzibar floof", false, false, true));
         g.edges.push(SqgEdge { from: 0, to: 1, phrase: None });
-        let err = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default()).unwrap_err();
+        let err = map_query(&g, &linker, &lits, &ParaphraseDict::new(), &MappingOptions::default())
+            .unwrap_err();
         assert!(matches!(err, MappingError::UnlinkableMention { .. }));
     }
 

@@ -150,12 +150,16 @@ impl State<'_> {
         if let Some(i) = fixed {
             // Prefer an adjacent one if the chosen is disconnected but an
             // adjacent variable exists? Keep simple: fixed first.
-            if adjacent_bound(i) || !unbound.iter().any(|&j| self.q.vertices[j].is_variable() && adjacent_bound(j)) {
+            if adjacent_bound(i)
+                || !unbound.iter().any(|&j| self.q.vertices[j].is_variable() && adjacent_bound(j))
+            {
                 return Some(i);
             }
         }
         // (3)
-        if let Some(i) = unbound.iter().copied().find(|&i| self.q.vertices[i].is_variable() && adjacent_bound(i)) {
+        if let Some(i) =
+            unbound.iter().copied().find(|&i| self.q.vertices[i].is_variable() && adjacent_bound(i))
+        {
             return Some(i);
         }
         if let Some(i) = fixed {
@@ -191,9 +195,10 @@ impl State<'_> {
             }
             VertexBinding::Variable { classes } => {
                 // Derive from a bound neighbor if possible.
-                let gen_edge = self.q.sqg.incident(v).find(|(_, e)| {
-                    self.bound[if e.from == v { e.to } else { e.from }].is_some()
-                });
+                let gen_edge =
+                    self.q.sqg.incident(v).find(|(_, e)| {
+                        self.bound[if e.from == v { e.to } else { e.from }].is_some()
+                    });
                 let mut cands: Vec<(TermId, f64)> = match gen_edge {
                     Some((ei, e)) => {
                         let u = self.bound[if e.from == v { e.to } else { e.from }]
@@ -205,7 +210,12 @@ impl State<'_> {
                         // No bound neighbor: enumerate class instances.
                         let mut out = Vec::new();
                         for &(c, _) in classes {
-                            for &inst in self.schema.instances_of(c).iter().take(self.cfg.max_class_instances) {
+                            for &inst in self
+                                .schema
+                                .instances_of(c)
+                                .iter()
+                                .take(self.cfg.max_class_instances)
+                            {
                                 out.push((inst, 1.0));
                             }
                         }
@@ -214,7 +224,9 @@ impl State<'_> {
                 };
                 // Class constraints (Def. 3 cond. 2).
                 if !classes.is_empty() {
-                    cands.retain(|(id, _)| classes.iter().any(|&(c, _)| self.schema.has_type(*id, c)));
+                    cands.retain(|(id, _)| {
+                        classes.iter().any(|&(c, _)| self.schema.has_type(*id, c))
+                    });
                     // Vertex confidence: the best matching class constraint.
                     for (id, conf) in &mut cands {
                         *conf = classes
@@ -288,7 +300,12 @@ impl State<'_> {
                     for inst in instantiate_from(self.store, u, pattern, self.cfg.max_expansions) {
                         push(*inst.vertices.last().expect("nonempty"), &mut out);
                     }
-                    for inst in instantiate_from(self.store, u, &pattern.reversed(), self.cfg.max_expansions) {
+                    for inst in instantiate_from(
+                        self.store,
+                        u,
+                        &pattern.reversed(),
+                        self.cfg.max_expansions,
+                    ) {
                         push(*inst.vertices.last().expect("nonempty"), &mut out);
                     }
                 }
@@ -330,7 +347,9 @@ impl State<'_> {
         for (pattern, conf) in &e.list {
             if pattern.len() == 1 {
                 let p = pattern.0[0].pred;
-                if self.store.contains(Triple::new(a, p, b)) || self.store.contains(Triple::new(b, p, a)) {
+                if self.store.contains(Triple::new(a, p, b))
+                    || self.store.contains(Triple::new(b, p, a))
+                {
                     return Some((pattern.clone(), *conf));
                 }
             } else {
@@ -353,7 +372,8 @@ impl State<'_> {
         if self.seen.contains(&bindings) {
             return;
         }
-        let vertex_conf: Vec<f64> = self.bound.iter().map(|b| b.expect("bound").1.max(1e-9)).collect();
+        let vertex_conf: Vec<f64> =
+            self.bound.iter().map(|b| b.expect("bound").1.max(1e-9)).collect();
         let mut edge_used = Vec::with_capacity(self.q.sqg.edges.len());
         for (ei, e) in self.q.sqg.edges.iter().enumerate() {
             let a = bindings[e.from];
@@ -454,9 +474,21 @@ mod tests {
                     is_class: true,
                 }]),
                 VertexBinding::Candidates(vec![
-                    VertexCandidate { id: store.expect_iri("dbr:Philadelphia"), confidence: 1.0, is_class: false },
-                    VertexCandidate { id: store.expect_iri("dbr:Philadelphia_(film)"), confidence: 1.0, is_class: false },
-                    VertexCandidate { id: store.expect_iri("dbr:Philadelphia_76ers"), confidence: 0.5, is_class: false },
+                    VertexCandidate {
+                        id: store.expect_iri("dbr:Philadelphia"),
+                        confidence: 1.0,
+                        is_class: false,
+                    },
+                    VertexCandidate {
+                        id: store.expect_iri("dbr:Philadelphia_(film)"),
+                        confidence: 1.0,
+                        is_class: false,
+                    },
+                    VertexCandidate {
+                        id: store.expect_iri("dbr:Philadelphia_76ers"),
+                        confidence: 0.5,
+                        is_class: false,
+                    },
                 ]),
             ],
             edges: vec![
@@ -483,7 +515,11 @@ mod tests {
         let m = &matches[0];
         assert_eq!(m.bindings[0], store.expect_iri("dbr:Melanie_Griffith"));
         assert_eq!(m.bindings[1], store.expect_iri("dbr:Antonio_Banderas"));
-        assert_eq!(m.bindings[2], store.expect_iri("dbr:Philadelphia_(film)"), "city & team are false alarms");
+        assert_eq!(
+            m.bindings[2],
+            store.expect_iri("dbr:Philadelphia_(film)"),
+            "city & team are false alarms"
+        );
         assert_eq!(m.edge_used[1].0.as_single_predicate(), Some(store.expect_iri("dbo:starring")));
     }
 
@@ -507,7 +543,10 @@ mod tests {
                     is_class: false,
                 }]),
             ],
-            edges: vec![EdgeCandidates { list: vec![(PathPattern::single(spouse), 1.0)], wildcard: None }],
+            edges: vec![EdgeCandidates {
+                list: vec![(PathPattern::single(spouse), 1.0)],
+                wildcard: None,
+            }],
         };
         let matches = find_matches(&store, &schema, &q, &MatcherConfig::default(), None);
         assert_eq!(matches.len(), 1);
@@ -538,9 +577,10 @@ mod tests {
         // Neighbors: Melanie (spouse, incoming), Actor (type), the film
         // (starring, incoming), and the height literal.
         assert!(matches.len() >= 4, "{matches:?}");
-        assert!(matches
-            .iter()
-            .any(|m| store.term(m.bindings[0]).is_literal()), "literal neighbor must be reachable");
+        assert!(
+            matches.iter().any(|m| store.term(m.bindings[0]).is_literal()),
+            "literal neighbor must be reachable"
+        );
     }
 
     #[test]
@@ -555,16 +595,17 @@ mod tests {
         let q = MappedQuery {
             sqg,
             vertices: vec![
-                VertexBinding::Variable {
-                    classes: vec![(store.expect_iri("dbo:Actor"), 1.0)],
-                },
+                VertexBinding::Variable { classes: vec![(store.expect_iri("dbo:Actor"), 1.0)] },
                 VertexBinding::Candidates(vec![VertexCandidate {
                     id: store.expect_iri("dbr:Philadelphia_(film)"),
                     confidence: 1.0,
                     is_class: false,
                 }]),
             ],
-            edges: vec![EdgeCandidates { list: vec![(PathPattern::single(starring), 0.9)], wildcard: None }],
+            edges: vec![EdgeCandidates {
+                list: vec![(PathPattern::single(starring), 0.9)],
+                wildcard: None,
+            }],
         };
         let matches = find_matches(&store, &schema, &q, &MatcherConfig::default(), None);
         assert_eq!(matches.len(), 2, "{matches:?}");

@@ -6,20 +6,23 @@
 //! SPARQL). Both stages are timed separately because Figure 6 plots them
 //! separately.
 
+use crate::aggregates;
 use crate::answer::{answers_from_matches, Answer};
 use crate::arguments::{find_arguments, ArgumentRules};
 use crate::coref;
 use crate::embedding::find_embeddings;
-use crate::mapping::{map_query, LiteralIndex, MappedQuery, MappingError, MappingOptions};
+use crate::mapping::{
+    map_query, map_query_traced, LiteralIndex, MappedQuery, MappingError, MappingOptions, TraceSink,
+};
 use crate::matcher::{Match, MatcherConfig};
 use crate::semrel::SemanticRelation;
 use crate::sparql_gen::sparql_of_matches;
 use crate::sqg::{self, SemanticQueryGraph, SqgOptions};
-use crate::topk::{top_k, TaStats};
-use crate::aggregates;
+use crate::topk::{top_k_traced, TaStats};
 use gqa_linker::Linker;
 use gqa_nlp::question::{Aggregation, AnswerShape, QuestionAnalysis};
-use gqa_nlp::{DependencyParser, DepTree};
+use gqa_nlp::{DepTree, DependencyParser};
+use gqa_obs::{Obs, ParseTrace, QueryTrace, RelationTrace, DURATION_BUCKETS};
 use gqa_paraphrase::dict::ParaphraseDict;
 use gqa_rdf::schema::Schema;
 use gqa_rdf::Store;
@@ -78,6 +81,36 @@ pub enum Failure {
     NoMatch,
 }
 
+impl Failure {
+    /// Stable taxonomy bucket, used as the `reason` label of
+    /// `gqa_pipeline_failures_total` and in EXPLAIN output.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            Failure::Parse => "parse",
+            Failure::EntityLinking(_) => "entity_linking",
+            Failure::RelationExtraction(_) => "relation_extraction",
+            Failure::Aggregation => "aggregation",
+            Failure::NoMatch => "no_match",
+        }
+    }
+
+    /// All taxonomy buckets (for pre-registering metric series).
+    pub const REASONS: [&'static str; 5] =
+        ["parse", "entity_linking", "relation_extraction", "aggregation", "no_match"];
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::EntityLinking(text) => write!(f, "entity_linking ({text:?})"),
+            Failure::RelationExtraction(phrase) => {
+                write!(f, "relation_extraction ({phrase:?})")
+            }
+            other => f.write_str(other.reason()),
+        }
+    }
+}
+
 /// The result of answering one question.
 #[derive(Clone, Debug)]
 pub struct Response {
@@ -103,6 +136,8 @@ pub struct Response {
     pub evaluation_time: Duration,
     /// Top-k search instrumentation.
     pub ta_stats: TaStats,
+    /// Full decision trace, when answered via [`GAnswer::answer_traced`].
+    pub trace: Option<Box<QueryTrace>>,
 }
 
 impl Response {
@@ -119,6 +154,7 @@ impl Response {
             understanding_time,
             evaluation_time,
             ta_stats: TaStats::default(),
+            trace: None,
         }
     }
 
@@ -155,18 +191,90 @@ pub struct GAnswer<'s> {
     literals: LiteralIndex,
     dict: ParaphraseDict,
     parser: DependencyParser,
+    obs: Obs,
     /// Configuration (public for ablation experiments).
     pub config: GAnswerConfig,
 }
 
 impl<'s> GAnswer<'s> {
     /// Build the system over a store with a mined paraphrase dictionary.
+    /// Observability is off (every probe is a no-op); see
+    /// [`GAnswer::with_obs`].
     pub fn new(store: &'s Store, dict: ParaphraseDict, config: GAnswerConfig) -> Self {
+        Self::with_obs(store, dict, config, Obs::disabled())
+    }
+
+    /// Like [`GAnswer::new`] but with an observability handle. When `obs`
+    /// is enabled this also turns on the store's and linker's own counters
+    /// and pre-registers the headline series so an exposition is never
+    /// missing them.
+    pub fn with_obs(
+        store: &'s Store,
+        dict: ParaphraseDict,
+        config: GAnswerConfig,
+        obs: Obs,
+    ) -> Self {
         let schema = Schema::new(store);
         let mut linker = Linker::new(store, &schema);
         linker.set_max_candidates(config.max_link_candidates);
         let literals = LiteralIndex::new(store);
-        GAnswer { store, schema, linker, literals, dict, parser: DependencyParser::new(), config }
+        if obs.is_enabled() {
+            store.metrics().enable();
+            linker.metrics().enable();
+            obs.counter("gqa_pipeline_questions_total", &[]);
+            for reason in Failure::REASONS {
+                obs.counter("gqa_pipeline_failures_total", &[("reason", reason)]);
+            }
+            for stage in ["understand", "map", "topk"] {
+                obs.histogram(
+                    "gqa_pipeline_stage_duration_seconds",
+                    &[("stage", stage)],
+                    DURATION_BUCKETS,
+                );
+            }
+            obs.counter("gqa_topk_probes_total", &[]);
+            obs.counter("gqa_topk_rounds_total", &[]);
+            obs.counter("gqa_topk_pruned_candidates_total", &[]);
+            obs.counter("gqa_topk_early_terminations_total", &[]);
+            for index in ["spo", "pos", "osp"] {
+                obs.counter("gqa_rdf_index_lookups_total", &[("index", index)]);
+            }
+            obs.counter("gqa_rdf_bfs_expansions_total", &[]);
+        }
+        GAnswer {
+            store,
+            schema,
+            linker,
+            literals,
+            dict,
+            parser: DependencyParser::new(),
+            obs,
+            config,
+        }
+    }
+
+    /// The observability handle (disabled unless built via
+    /// [`GAnswer::with_obs`]).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Copy the store's and linker's own counters into the obs registry as
+    /// absolute values. Call before exposition; a no-op when obs is
+    /// disabled.
+    pub fn publish_metrics(&self) {
+        let Some(registry) = self.obs.registry() else { return };
+        let s = self.store.metrics().snapshot();
+        registry.set_counter("gqa_rdf_index_lookups_total", &[("index", "spo")], s.spo_lookups);
+        registry.set_counter("gqa_rdf_index_lookups_total", &[("index", "pos")], s.pos_lookups);
+        registry.set_counter("gqa_rdf_index_lookups_total", &[("index", "osp")], s.osp_lookups);
+        registry.set_counter("gqa_rdf_bfs_expansions_total", &[], s.bfs_expansions);
+        let l = self.linker.metrics().snapshot();
+        registry.set_counter("gqa_linker_link_calls_total", &[], l.link_calls);
+        registry.set_counter("gqa_linker_link_hits_total", &[], l.hits);
+        registry.set_counter("gqa_linker_link_misses_total", &[], l.misses);
+        registry.set_counter("gqa_linker_candidates_kept_total", &[], l.candidates_kept);
+        registry.set_counter("gqa_linker_candidates_dropped_total", &[], l.candidates_dropped);
     }
 
     /// The underlying store.
@@ -190,10 +298,8 @@ impl<'s> GAnswer<'s> {
         let tree = self.parser.parse(question)?;
         let analysis = QuestionAnalysis::of(&tree);
         let embeddings = find_embeddings(&tree, &self.dict);
-        let mut relations: Vec<SemanticRelation> = embeddings
-            .iter()
-            .filter_map(|e| find_arguments(&tree, e, self.config.rules))
-            .collect();
+        let mut relations: Vec<SemanticRelation> =
+            embeddings.iter().filter_map(|e| find_arguments(&tree, e, self.config.rules)).collect();
         coref::resolve(&tree, &mut relations);
         let sqg = sqg::build(
             &tree,
@@ -224,19 +330,86 @@ impl<'s> GAnswer<'s> {
 
     /// Stage 2 — top-k evaluation (§4.2.2).
     pub fn evaluate(&self, mapped: &MappedQuery) -> (Vec<Match>, TaStats) {
+        self.evaluate_traced(mapped, None)
+    }
+
+    fn evaluate_traced(
+        &self,
+        mapped: &MappedQuery,
+        trace: Option<&mut QueryTrace>,
+    ) -> (Vec<Match>, TaStats) {
         let mcfg = MatcherConfig {
             neighborhood_pruning: self.config.neighborhood_pruning,
             ..self.config.matcher
         };
-        top_k(self.store, &self.schema, mapped, &mcfg, self.config.top_k)
+        top_k_traced(self.store, &self.schema, mapped, &mcfg, self.config.top_k, trace)
+    }
+
+    /// Record a failure: bump its taxonomy counter, label the trace.
+    fn fail(
+        &self,
+        failure: Failure,
+        understanding_time: Duration,
+        evaluation_time: Duration,
+        trace: Option<&mut QueryTrace>,
+    ) -> Response {
+        self.obs.counter("gqa_pipeline_failures_total", &[("reason", failure.reason())]).inc();
+        if let Some(t) = trace {
+            t.failure = Some(failure.to_string());
+        }
+        Response::failed(failure, understanding_time, evaluation_time)
+    }
+
+    fn observe_stage(&self, stage: &str, elapsed: Duration) {
+        self.obs
+            .histogram("gqa_pipeline_stage_duration_seconds", &[("stage", stage)], DURATION_BUCKETS)
+            .observe(elapsed.as_secs_f64());
     }
 
     /// Answer a natural-language question end to end.
     pub fn answer(&self, question: &str) -> Response {
+        self.answer_impl(question, None)
+    }
+
+    /// [`GAnswer::answer`], additionally recording a full [`QueryTrace`]
+    /// into the response (the `:explain` REPL view). Tracing is independent
+    /// of the obs handle: it works on a plain [`GAnswer::new`] system too.
+    pub fn answer_traced(&self, question: &str) -> Response {
+        let mut trace = QueryTrace::new(question);
+        let mut r = self.answer_impl(question, Some(&mut trace));
+        r.trace = Some(Box::new(trace));
+        r
+    }
+
+    fn answer_impl(&self, question: &str, mut trace: Option<&mut QueryTrace>) -> Response {
+        let _span = self.obs.span("pipeline.answer");
+        self.obs.counter("gqa_pipeline_questions_total", &[]).inc();
+
         let t0 = Instant::now();
-        let Some(u) = self.understand(question) else {
-            return Response::failed(Failure::Parse, t0.elapsed(), Duration::ZERO);
+        let u = {
+            let _s = self.obs.span("pipeline.understand");
+            self.understand(question)
         };
+        let Some(u) = u else {
+            self.observe_stage("understand", t0.elapsed());
+            return self.fail(Failure::Parse, t0.elapsed(), Duration::ZERO, trace.as_deref_mut());
+        };
+        if let Some(t) = trace.as_deref_mut() {
+            t.parse = Some(ParseTrace {
+                tokens: u.tree.tokens.iter().map(|tok| tok.text.clone()).collect(),
+                shape: format!("{:?}", u.analysis.shape),
+                target: Some(u.tree.token(u.analysis.target).text.clone()),
+            });
+            t.relations = u
+                .relations
+                .iter()
+                .map(|r| RelationTrace {
+                    phrase: r.phrase.clone(),
+                    arg1: r.arg1.text.clone(),
+                    arg2: r.arg2.text.clone(),
+                })
+                .collect();
+        }
 
         // Aggregation gate (paper behaviour: these fail; extension: handled
         // after matching). A superlative *inside* a relation-phrase
@@ -251,25 +424,72 @@ impl<'s> GAnswer<'s> {
             other => other,
         };
         if aggregation.is_some() && !self.config.enable_aggregates {
-            return Response::failed(Failure::Aggregation, t0.elapsed(), Duration::ZERO);
+            self.observe_stage("understand", t0.elapsed());
+            return self.fail(
+                Failure::Aggregation,
+                t0.elapsed(),
+                Duration::ZERO,
+                trace.as_deref_mut(),
+            );
         }
         let understanding_time = t0.elapsed();
+        self.observe_stage("understand", understanding_time);
 
         let t1 = Instant::now();
         let protected: Vec<usize> = match aggregation {
-            Some(Aggregation::Comparison { node, .. }) if self.config.enable_aggregates => vec![node],
+            Some(Aggregation::Comparison { node, .. }) if self.config.enable_aggregates => {
+                vec![node]
+            }
             _ => Vec::new(),
         };
-        let mapped = match self.map_protecting(&u.sqg, &protected) {
+        let mut opts = self.config.mapping.clone();
+        opts.protected_nodes.extend_from_slice(&protected);
+        let mapping_result = {
+            let _s = self.obs.span("pipeline.map");
+            let term_label = |id| self.store.term(id).to_string();
+            let path_label = |p: &gqa_rdf::PathPattern| p.display(self.store).to_string();
+            let sink = trace.as_deref_mut().map(|t| TraceSink {
+                trace: t,
+                term_label: &term_label,
+                path_label: &path_label,
+            });
+            map_query_traced(&u.sqg, &self.linker, &self.literals, &self.dict, &opts, sink)
+        };
+        self.observe_stage("map", t1.elapsed());
+        let mapped = match mapping_result {
             Ok(m) => m,
             Err(MappingError::UnlinkableMention { text, .. }) => {
-                return Response::failed(Failure::EntityLinking(text), understanding_time, t1.elapsed());
+                return self.fail(
+                    Failure::EntityLinking(text),
+                    understanding_time,
+                    t1.elapsed(),
+                    trace.as_deref_mut(),
+                );
             }
             Err(MappingError::UnknownRelation { phrase, .. }) => {
-                return Response::failed(Failure::RelationExtraction(phrase), understanding_time, t1.elapsed());
+                return self.fail(
+                    Failure::RelationExtraction(phrase),
+                    understanding_time,
+                    t1.elapsed(),
+                    trace.as_deref_mut(),
+                );
             }
         };
-        let (mut matches, ta_stats) = self.evaluate(&mapped);
+
+        let t2 = Instant::now();
+        let (mut matches, ta_stats) = {
+            let _s = self.obs.span("pipeline.topk");
+            self.evaluate_traced(&mapped, trace.as_deref_mut())
+        };
+        self.observe_stage("topk", t2.elapsed());
+        self.obs.counter("gqa_topk_probes_total", &[]).add(ta_stats.probes as u64);
+        self.obs.counter("gqa_topk_rounds_total", &[]).add(ta_stats.rounds as u64);
+        self.obs
+            .counter("gqa_topk_pruned_candidates_total", &[])
+            .add(ta_stats.pruned_candidates as u64);
+        if ta_stats.early_terminated {
+            self.obs.counter("gqa_topk_early_terminations_total", &[]).inc();
+        }
 
         // Aggregates extension.
         let mut count_result = None;
@@ -291,10 +511,11 @@ impl<'s> GAnswer<'s> {
                     match aggregates::superlative(self.store, &matches, target, &adj) {
                         Some(kept) => matches = kept,
                         None => {
-                            return Response::failed(
+                            return self.fail(
                                 Failure::Aggregation,
                                 understanding_time,
                                 t1.elapsed(),
+                                trace.as_deref_mut(),
                             )
                         }
                     }
@@ -304,13 +525,16 @@ impl<'s> GAnswer<'s> {
                     // possessive-have rule makes it one).
                     match mapped.sqg.vertices.iter().position(|v| v.node == node) {
                         Some(vertex) => {
-                            matches = aggregates::comparison(self.store, &matches, vertex, greater, value);
+                            matches = aggregates::comparison(
+                                self.store, &matches, vertex, greater, value,
+                            );
                         }
                         None => {
-                            return Response::failed(
+                            return self.fail(
                                 Failure::Aggregation,
                                 understanding_time,
                                 t1.elapsed(),
+                                trace.as_deref_mut(),
                             )
                         }
                     }
@@ -322,7 +546,7 @@ impl<'s> GAnswer<'s> {
         let target = mapped.sqg.target().unwrap_or(0);
         let is_boolean = u.analysis.shape == AnswerShape::Boolean;
         if matches.is_empty() && !is_boolean && count_result.is_none() {
-            let mut r = Response::failed(Failure::NoMatch, understanding_time, t1.elapsed());
+            let mut r = self.fail(Failure::NoMatch, understanding_time, t1.elapsed(), trace);
             r.sqg = Some(u.sqg);
             r.relations = u.relations;
             r.ta_stats = ta_stats;
@@ -353,6 +577,7 @@ impl<'s> GAnswer<'s> {
             understanding_time,
             evaluation_time: t1.elapsed(),
             ta_stats,
+            trace: None,
         }
     }
 }
@@ -360,13 +585,17 @@ impl<'s> GAnswer<'s> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gqa_datagen::patty::{curated_literal_mappings, mini_phrase_dataset};
     use gqa_datagen::minidbp::mini_dbpedia;
+    use gqa_datagen::patty::{curated_literal_mappings, mini_phrase_dataset};
     use gqa_paraphrase::dict::ParaMapping;
     use gqa_paraphrase::miner::{mine, MinerConfig};
     use gqa_rdf::PathPattern;
 
     fn system(store: &Store) -> GAnswer<'_> {
+        system_with_obs(store, Obs::disabled())
+    }
+
+    fn system_with_obs(store: &Store, obs: Obs) -> GAnswer<'_> {
         let mut dict = mine(store, &mini_phrase_dataset(), &MinerConfig::default());
         for (phrase, pred) in curated_literal_mappings() {
             if let Some(p) = store.iri(pred) {
@@ -376,7 +605,7 @@ mod tests {
                 );
             }
         }
-        GAnswer::new(store, dict, GAnswerConfig::default())
+        GAnswer::with_obs(store, dict, GAnswerConfig::default(), obs)
     }
 
     #[test]
@@ -489,5 +718,64 @@ mod tests {
         let sys = system(&store);
         let r = sys.answer("Who is the mayor of Berlin?");
         assert!(r.total_time() >= r.understanding_time);
+    }
+
+    #[test]
+    fn traced_answer_carries_a_full_explain_report() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let r = sys.answer_traced("Who is the mayor of Berlin?");
+        assert!(r.failure.is_none(), "{:?}", r.failure);
+        let trace = r.trace.expect("trace populated");
+        let parse = trace.parse.as_ref().expect("parse recorded");
+        assert!(parse.tokens.iter().any(|t| t == "Berlin"), "{:?}", parse.tokens);
+        assert!(!trace.relations.is_empty());
+        assert!(!trace.vertex_candidates.is_empty());
+        assert!(!trace.ta.is_empty(), "TA rounds recorded");
+        let report = trace.render();
+        for needle in ["EXPLAIN", "theta=", "upbound="] {
+            assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+        }
+    }
+
+    #[test]
+    fn traced_failure_is_labelled() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let r = sys.answer_traced("Who is the youngest player in the Premier League?");
+        assert_eq!(r.failure, Some(Failure::Aggregation));
+        let trace = r.trace.expect("trace populated");
+        assert_eq!(trace.failure.as_deref(), Some("aggregation"));
+    }
+
+    #[test]
+    fn obs_exposition_contains_the_headline_series() {
+        let store = mini_dbpedia();
+        let sys = system_with_obs(&store, Obs::new());
+        let ok = sys.answer("Who is the mayor of Berlin?");
+        assert!(ok.failure.is_none(), "{:?}", ok.failure);
+        let fail = sys.answer("Who is the youngest player in the Premier League?");
+        assert_eq!(fail.failure, Some(Failure::Aggregation));
+        sys.publish_metrics();
+        let text = sys.obs().prometheus();
+        for needle in [
+            "gqa_pipeline_questions_total 2",
+            "gqa_pipeline_failures_total{reason=\"aggregation\"} 1",
+            "gqa_pipeline_failures_total{reason=\"no_match\"} 0",
+            "gqa_pipeline_stage_duration_seconds_count{stage=\"understand\"}",
+            "gqa_pipeline_stage_duration_seconds_count{stage=\"map\"}",
+            "gqa_pipeline_stage_duration_seconds_count{stage=\"topk\"}",
+            "gqa_topk_probes_total",
+            "gqa_rdf_index_lookups_total{index=\"spo\"}",
+            "gqa_linker_link_calls_total",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in exposition:\n{text}");
+        }
+        // The store actually counted lookups (metrics were enabled).
+        assert!(store.metrics().snapshot().spo_lookups > 0);
+        // Spans were recorded with dotted stage names.
+        let spans = sys.obs().span_records();
+        assert!(spans.iter().any(|s| s.name == "pipeline.answer"));
+        assert!(spans.iter().any(|s| s.name == "pipeline.topk"));
     }
 }

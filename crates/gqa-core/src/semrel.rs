@@ -62,7 +62,9 @@ mod tests {
 
     #[test]
     fn argument_text_lemmatizes_noun_phrases() {
-        let t = DependencyParser::new().parse("Give me all cars that are produced in Germany.").unwrap();
+        let t = DependencyParser::new()
+            .parse("Give me all cars that are produced in Germany.")
+            .unwrap();
         let cars = t.tokens.iter().position(|x| x.lower == "cars").unwrap();
         assert_eq!(argument_text(&t, cars), "car");
         let germany = t.tokens.iter().position(|x| x.lower == "germany").unwrap();

@@ -88,11 +88,24 @@ pub fn sparql_of_match(store: &Store, q: &MappedQuery, m: &Match, target: usize)
     } else {
         QueryForm::Ask
     };
-    Query { form, patterns, union_groups: Vec::new(), filters: Vec::new(), order_by: None, limit: None, offset: 0 }
+    Query {
+        form,
+        patterns,
+        union_groups: Vec::new(),
+        filters: Vec::new(),
+        order_by: None,
+        limit: None,
+        offset: 0,
+    }
 }
 
 /// The SPARQL queries of the top-k matches, deduplicated.
-pub fn sparql_of_matches(store: &Store, q: &MappedQuery, matches: &[Match], target: usize) -> Vec<String> {
+pub fn sparql_of_matches(
+    store: &Store,
+    q: &MappedQuery,
+    matches: &[Match],
+    target: usize,
+) -> Vec<String> {
     let mut out: Vec<String> = Vec::new();
     for m in matches {
         let s = sparql_of_match(store, q, m, target).to_string();
@@ -217,16 +230,33 @@ mod tests {
         let schema = Schema::new(&store);
         let spouse = store.expect_iri("dbo:spouse");
         let mut sqg = SemanticQueryGraph::default();
-        sqg.vertices.push(SqgVertex { node: 0, text: "michelle".into(), is_wh: false, is_target: true, is_proper: true });
+        sqg.vertices.push(SqgVertex {
+            node: 0,
+            text: "michelle".into(),
+            is_wh: false,
+            is_target: true,
+            is_proper: true,
+        });
         sqg.vertices.push(v("barack", false));
         sqg.edges.push(SqgEdge { from: 0, to: 1, phrase: Some((0, "wife of".into())) });
         let q = MappedQuery {
             sqg,
             vertices: vec![
-                VertexBinding::Candidates(vec![VertexCandidate { id: store.expect_iri("dbr:Michelle"), confidence: 1.0, is_class: false }]),
-                VertexBinding::Candidates(vec![VertexCandidate { id: store.expect_iri("dbr:Barack"), confidence: 1.0, is_class: false }]),
+                VertexBinding::Candidates(vec![VertexCandidate {
+                    id: store.expect_iri("dbr:Michelle"),
+                    confidence: 1.0,
+                    is_class: false,
+                }]),
+                VertexBinding::Candidates(vec![VertexCandidate {
+                    id: store.expect_iri("dbr:Barack"),
+                    confidence: 1.0,
+                    is_class: false,
+                }]),
             ],
-            edges: vec![EdgeCandidates { list: vec![(PathPattern::single(spouse), 1.0)], wildcard: None }],
+            edges: vec![EdgeCandidates {
+                list: vec![(PathPattern::single(spouse), 1.0)],
+                wildcard: None,
+            }],
         };
         let matches = find_matches(&store, &schema, &q, &MatcherConfig::default(), None);
         assert_eq!(matches.len(), 1);

@@ -185,7 +185,8 @@ pub fn build(
 
     // Target: an existing vertex at the analysis target node, the wh
     // vertex, or (fallback) a fresh vertex for the target node.
-    let covered_nodes: Vec<usize> = relations.iter().flat_map(|r| r.embedding.iter().copied()).collect();
+    let covered_nodes: Vec<usize> =
+        relations.iter().flat_map(|r| r.embedding.iter().copied()).collect();
     let mut target_node = resolve_target_node(tree, analysis.target);
     // Copular identity: a wh subject of a *nominal* root that no relation
     // phrase covers corefers with that nominal ("Who is the youngest
@@ -204,9 +205,11 @@ pub fn build(
     // Boolean questions have no answer variable: every vertex is a
     // constant and the verdict is "does any match exist".
     if analysis.shape != gqa_nlp::question::AnswerShape::Boolean {
-        let ti = g.vertices.iter().position(|v| v.node == target_node).or_else(|| {
-            g.vertices.iter().position(|v| v.is_wh)
-        });
+        let ti = g
+            .vertices
+            .iter()
+            .position(|v| v.node == target_node)
+            .or_else(|| g.vertices.iter().position(|v| v.is_wh));
         match ti {
             Some(i) => g.vertices[i].is_target = true,
             None => {
@@ -310,10 +313,8 @@ fn add_implicit(g: &mut SemanticQueryGraph, tree: &DepTree, from: usize, other_n
         return;
     }
     // Skip if any edge already connects the pair.
-    let dup = g
-        .edges
-        .iter()
-        .any(|e| (e.from == from && e.to == to) || (e.from == to && e.to == from));
+    let dup =
+        g.edges.iter().any(|e| (e.from == from && e.to == to) || (e.from == to && e.to == from));
     if !dup {
         g.edges.push(SqgEdge { from, to, phrase: None });
     }
@@ -334,7 +335,11 @@ mod tests {
         for (i, p) in phrases.iter().enumerate() {
             d.insert(
                 (*p).to_owned(),
-                vec![ParaMapping { path: PathPattern::single(TermId(i as u32)), tfidf: 1.0, confidence: 1.0 }],
+                vec![ParaMapping {
+                    path: PathPattern::single(TermId(i as u32)),
+                    tfidf: 1.0,
+                    confidence: 1.0,
+                }],
             );
         }
         d

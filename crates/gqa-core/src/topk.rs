@@ -11,12 +11,14 @@
 
 use crate::mapping::{MappedQuery, VertexBinding};
 use crate::matcher::{find_matches, prune, Match, MatcherConfig};
+use gqa_obs::{CursorTrace, ProbeTrace, PruneTrace, QueryTrace, TaRoundTrace};
 use gqa_rdf::schema::Schema;
 use gqa_rdf::Store;
 use rustc_hash::FxHashSet;
 
-/// Instrumentation of one top-k run (ablation benches read this).
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+/// Instrumentation of one top-k run (ablation benches and the EXPLAIN
+/// renderer read this).
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TaStats {
     /// Cursor rounds executed.
     pub rounds: usize,
@@ -24,6 +26,12 @@ pub struct TaStats {
     pub probes: usize,
     /// Whether the threshold test fired before the lists were exhausted.
     pub early_terminated: bool,
+    /// Candidates removed by neighborhood pruning before any round ran.
+    pub pruned_candidates: usize,
+    /// θ after each round (−∞ until k matches exist).
+    pub threshold_history: Vec<f64>,
+    /// The Equation-3 upper bound after each round.
+    pub upbound_history: Vec<f64>,
 }
 
 /// Find the top-k matches by score (Definition 6).
@@ -34,6 +42,19 @@ pub fn top_k(
     matcher_cfg: &MatcherConfig,
     k: usize,
 ) -> (Vec<Match>, TaStats) {
+    top_k_traced(store, schema, q, matcher_cfg, k, None)
+}
+
+/// [`top_k`], optionally recording every pruning decision and TA round into
+/// an EXPLAIN trace.
+pub fn top_k_traced(
+    store: &Store,
+    schema: &Schema,
+    q: &MappedQuery,
+    matcher_cfg: &MatcherConfig,
+    k: usize,
+    mut trace: Option<&mut QueryTrace>,
+) -> (Vec<Match>, TaStats) {
     let mut stats = TaStats::default();
 
     // Neighborhood pruning runs ONCE, up front (§4.2.2): pruned candidates
@@ -42,6 +63,7 @@ pub fn top_k(
     let pruned_storage;
     let q = if matcher_cfg.neighborhood_pruning {
         pruned_storage = prune(store, q);
+        record_pruning(store, q, &pruned_storage, &mut stats, trace.as_deref_mut());
         &pruned_storage
     } else {
         q
@@ -78,15 +100,42 @@ pub fn top_k(
 
     for d in 0..max_depth {
         stats.rounds += 1;
+        let mut round_trace = trace.is_some().then(|| TaRoundTrace {
+            round: d + 1,
+            cursors: cursor_vertices
+                .iter()
+                .map(|&vi| {
+                    let VertexBinding::Candidates(list) = &q.vertices[vi] else { unreachable!() };
+                    CursorTrace {
+                        vertex: q.sqg.vertices[vi].text.clone(),
+                        depth: d,
+                        candidate: list.get(d).map(|c| store.term(c.id).to_string()),
+                        confidence: list.get(d).map(|c| c.confidence),
+                    }
+                })
+                .collect(),
+            ..TaRoundTrace::default()
+        });
         for &vi in &cursor_vertices {
             let VertexBinding::Candidates(list) = &q.vertices[vi] else { unreachable!() };
             let Some(cand) = list.get(d) else { continue };
             stats.probes += 1;
             let found = find_matches(store, schema, q, matcher_cfg, Some((vi, *cand)));
+            let found_count = found.len();
+            let mut new_count = 0usize;
             for m in found {
                 if seen.insert(m.bindings.clone()) {
                     best.push(m);
+                    new_count += 1;
                 }
+            }
+            if let Some(rt) = &mut round_trace {
+                rt.probes.push(ProbeTrace {
+                    vertex: q.sqg.vertices[vi].text.clone(),
+                    candidate: store.term(cand.id).to_string(),
+                    matches: found_count,
+                    new_matches: new_count,
+                });
             }
         }
         best.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
@@ -110,25 +159,73 @@ pub fn top_k(
             }
         }
         for e in &q.edges {
-            let best_conf = e
-                .wildcard
-                .or_else(|| e.list.first().map(|(_, c)| *c))
-                .unwrap_or(1.0);
+            let best_conf = e.wildcard.or_else(|| e.list.first().map(|(_, c)| *c)).unwrap_or(1.0);
             upbound += best_conf.max(1e-9).ln();
         }
+
+        stats.threshold_history.push(theta);
+        stats.upbound_history.push(upbound);
 
         let exhausted = d + 1 >= max_depth;
         // Strict comparison: undiscovered matches *tying* the k-th score
         // must still be collected (footnote 4 returns all equal-score
         // matches), so we only stop when they cannot even tie.
-        if theta > upbound && !exhausted {
+        let stop = theta > upbound && !exhausted;
+        if stop {
             stats.early_terminated = true;
+        }
+        if let (Some(t), Some(mut rt)) = (trace.as_deref_mut(), round_trace.take()) {
+            rt.theta = theta;
+            rt.upbound = upbound;
+            rt.early_terminated = stop;
+            t.ta.push(rt);
+        }
+        if stop {
             break;
         }
     }
 
     dedup_scores_truncate(&mut best, k);
     (best, stats)
+}
+
+/// Diff a query against its pruned form: count eliminated candidates into
+/// `stats` and, when tracing, record per-vertex eliminations.
+fn record_pruning(
+    store: &Store,
+    before: &MappedQuery,
+    after: &MappedQuery,
+    stats: &mut TaStats,
+    trace: Option<&mut QueryTrace>,
+) {
+    let lists = |q: &MappedQuery, i: usize| match &q.vertices[i] {
+        VertexBinding::Candidates(c) => c.clone(),
+        VertexBinding::Variable { .. } => Vec::new(),
+    };
+    let mut prunes = Vec::new();
+    for i in 0..before.vertices.len().min(after.vertices.len()) {
+        let (b, a) = (lists(before, i), lists(after, i));
+        if b.len() == a.len() {
+            continue;
+        }
+        stats.pruned_candidates += b.len() - a.len();
+        if trace.is_some() {
+            let kept: FxHashSet<gqa_rdf::TermId> = a.iter().map(|c| c.id).collect();
+            prunes.push(PruneTrace {
+                vertex: before.sqg.vertices[i].text.clone(),
+                before: b.len(),
+                after: a.len(),
+                eliminated: b
+                    .iter()
+                    .filter(|c| !kept.contains(&c.id))
+                    .map(|c| store.term(c.id).to_string())
+                    .collect(),
+            });
+        }
+    }
+    if let Some(t) = trace {
+        t.pruning.extend(prunes);
+    }
 }
 
 /// Keep the top-k by score. Matches sharing the k-th score are all kept
@@ -177,8 +274,14 @@ mod tests {
             .collect();
         MappedQuery {
             sqg,
-            vertices: vec![VertexBinding::Variable { classes: vec![] }, VertexBinding::Candidates(cands)],
-            edges: vec![EdgeCandidates { list: vec![(PathPattern::single(spouse), 1.0)], wildcard: None }],
+            vertices: vec![
+                VertexBinding::Variable { classes: vec![] },
+                VertexBinding::Candidates(cands),
+            ],
+            edges: vec![EdgeCandidates {
+                list: vec![(PathPattern::single(spouse), 1.0)],
+                wildcard: None,
+            }],
         }
     }
 
@@ -234,6 +337,53 @@ mod tests {
         }
         let (ms, _) = top_k(&store, &schema, &q, &MatcherConfig::default(), 2);
         assert_eq!(ms.len(), 5, "footnote 4: ties at the k-th score all count");
+    }
+
+    #[test]
+    fn early_termination_implies_theta_at_least_upbound() {
+        let store = store_with_pairs(20);
+        let schema = gqa_rdf::schema::Schema::new(&store);
+        let q = query(&store, 20);
+        let (_, stats) = top_k(&store, &schema, &q, &MatcherConfig::default(), 3);
+        assert!(stats.early_terminated);
+        assert_eq!(stats.threshold_history.len(), stats.rounds);
+        assert_eq!(stats.upbound_history.len(), stats.rounds);
+        let theta = *stats.threshold_history.last().unwrap();
+        let upbound = *stats.upbound_history.last().unwrap();
+        assert!(
+            theta >= upbound,
+            "early termination requires final θ ({theta}) ≥ Upbound ({upbound})"
+        );
+        // θ never decreases across rounds: the top-k only improves.
+        for w in stats.threshold_history.windows(2) {
+            assert!(w[1] >= w[0], "θ regressed: {:?}", stats.threshold_history);
+        }
+    }
+
+    #[test]
+    fn trace_records_rounds_and_cursors() {
+        let store = store_with_pairs(8);
+        let schema = gqa_rdf::schema::Schema::new(&store);
+        let q = query(&store, 8);
+        let mut trace = QueryTrace::new("who is married to b?");
+        let (_, stats) =
+            top_k_traced(&store, &schema, &q, &MatcherConfig::default(), 2, Some(&mut trace));
+        assert_eq!(trace.ta.len(), stats.rounds);
+        let first = &trace.ta[0];
+        assert_eq!(first.round, 1);
+        assert_eq!(first.cursors.len(), 1, "one cursor list in this query");
+        assert_eq!(first.cursors[0].vertex, "b");
+        assert!(first.cursors[0].candidate.as_deref().unwrap().contains("b0"));
+        assert_eq!(first.probes.len(), 1);
+        assert_eq!(first.probes[0].matches, 1);
+        let last = trace.ta.last().unwrap();
+        assert_eq!(last.early_terminated, stats.early_terminated);
+        assert!((last.theta - *stats.threshold_history.last().unwrap()).abs() < 1e-12);
+        // The rendered EXPLAIN mentions the round-by-round bookkeeping.
+        let rendered = trace.render();
+        assert!(rendered.contains("top-k (TA) rounds:"), "{rendered}");
+        assert!(rendered.contains("theta="), "{rendered}");
+        assert!(rendered.contains("upbound="), "{rendered}");
     }
 
     #[test]

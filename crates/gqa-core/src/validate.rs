@@ -73,13 +73,16 @@ pub fn validate(store: &Store, schema: &Schema, q: &MappedQuery, m: &Match) -> V
                 }
             }
             VertexBinding::Candidates(cands) => {
-                let ok = cands.iter().any(|c| {
-                    if c.is_class {
-                        schema.has_type(u, c.id)
-                    } else {
-                        c.id == u
-                    }
-                });
+                let ok =
+                    cands.iter().any(
+                        |c| {
+                            if c.is_class {
+                                schema.has_type(u, c.id)
+                            } else {
+                                c.id == u
+                            }
+                        },
+                    );
                 if !ok {
                     out.push(Violation::VertexOutsideCandidates { vertex: vi });
                 }
@@ -92,7 +95,8 @@ pub fn validate(store: &Store, schema: &Schema, q: &MappedQuery, m: &Match) -> V
         let (a, b) = (m.bindings[e.from], m.bindings[e.to]);
         let cand = &q.edges[ei];
         let realized = if cand.wildcard.is_some() {
-            store.out_edges(a).iter().any(|t| t.o == b) || store.out_edges(b).iter().any(|t| t.o == a)
+            store.out_edges(a).iter().any(|t| t.o == b)
+                || store.out_edges(b).iter().any(|t| t.o == a)
         } else {
             cand.list.iter().any(|(pattern, _)| {
                 if pattern.len() == 1 {
@@ -138,8 +142,20 @@ mod tests {
         let schema = Schema::new(&store);
         let spouse = store.expect_iri("dbo:spouse");
         let mut sqg = SemanticQueryGraph::default();
-        sqg.vertices.push(SqgVertex { node: 0, text: "who".into(), is_wh: true, is_target: true, is_proper: false });
-        sqg.vertices.push(SqgVertex { node: 1, text: "actor".into(), is_wh: false, is_target: false, is_proper: false });
+        sqg.vertices.push(SqgVertex {
+            node: 0,
+            text: "who".into(),
+            is_wh: true,
+            is_target: true,
+            is_proper: false,
+        });
+        sqg.vertices.push(SqgVertex {
+            node: 1,
+            text: "actor".into(),
+            is_wh: false,
+            is_target: false,
+            is_proper: false,
+        });
         sqg.edges.push(SqgEdge { from: 0, to: 1, phrase: Some((0, "be married to".into())) });
         let q = MappedQuery {
             sqg,
@@ -151,7 +167,10 @@ mod tests {
                     is_class: true,
                 }]),
             ],
-            edges: vec![EdgeCandidates { list: vec![(PathPattern::single(spouse), 1.0)], wildcard: None }],
+            edges: vec![EdgeCandidates {
+                list: vec![(PathPattern::single(spouse), 1.0)],
+                wildcard: None,
+            }],
         };
         (store, schema, q)
     }
@@ -194,7 +213,8 @@ mod tests {
     #[test]
     fn class_constrained_variable_violation() {
         let (store, schema, mut q) = setup();
-        q.vertices[0] = VertexBinding::Variable { classes: vec![(store.expect_iri("dbo:Actor"), 1.0)] };
+        q.vertices[0] =
+            VertexBinding::Variable { classes: vec![(store.expect_iri("dbo:Actor"), 1.0)] };
         let m = Match {
             bindings: vec![store.expect_iri("dbr:A"), store.expect_iri("dbr:B")],
             vertex_conf: vec![1.0, 1.0],

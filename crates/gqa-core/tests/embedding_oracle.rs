@@ -15,7 +15,11 @@ fn dict_with(phrases: &[String]) -> ParaphraseDict {
     for (i, p) in phrases.iter().enumerate() {
         d.insert(
             p.clone(),
-            vec![ParaMapping { path: PathPattern::single(TermId(i as u32)), tfidf: 1.0, confidence: 1.0 }],
+            vec![ParaMapping {
+                path: PathPattern::single(TermId(i as u32)),
+                tfidf: 1.0,
+                confidence: 1.0,
+            }],
         );
     }
     d
@@ -89,7 +93,13 @@ fn connected(tree: &DepTree, nodes: &[usize]) -> bool {
 
 /// Is there a perfect matching nodes ↔ words? (k ≤ 3, brute force.)
 fn perfect_cover(tree: &DepTree, nodes: &[usize], words: &[&str]) -> bool {
-    fn rec(tree: &DepTree, nodes: &[usize], words: &[&str], used: &mut Vec<bool>, wi: usize) -> bool {
+    fn rec(
+        tree: &DepTree,
+        nodes: &[usize],
+        words: &[&str],
+        used: &mut Vec<bool>,
+        wi: usize,
+    ) -> bool {
         if wi == words.len() {
             return true;
         }
@@ -132,18 +142,21 @@ fn arb_case() -> impl Strategy<Value = (String, Vec<String>)> {
             "successor of",
             "father of",
             "be published by",
-            "capital of",   // sometimes absent → negative cases
+            "capital of", // sometimes absent → negative cases
             "uncle of",
             "zone of",
         ]),
         1..5,
     );
-    (questions.prop_map(str::to_owned), phrases.prop_map(|v| {
-        let mut v: Vec<String> = v.into_iter().map(str::to_owned).collect();
-        v.sort();
-        v.dedup();
-        v
-    }))
+    (
+        questions.prop_map(str::to_owned),
+        phrases.prop_map(|v| {
+            let mut v: Vec<String> = v.into_iter().map(str::to_owned).collect();
+            v.sort();
+            v.dedup();
+            v
+        }),
+    )
 }
 
 proptest! {
@@ -180,10 +193,16 @@ fn finder_is_complete_on_the_anchored_suite() {
     // Completeness spot-checks: phrases whose content word is present must
     // be found (the strict-anchoring rule never loses these).
     let cases = [
-        ("Who was married to an actor that played in Philadelphia?", vec!["be married to", "play in"]),
+        (
+            "Who was married to an actor that played in Philadelphia?",
+            vec!["be married to", "play in"],
+        ),
         ("In which movies did Antonio Banderas star?", vec!["star in"]),
         ("What is the time zone of Salt Lake City?", vec!["time zone of"]),
-        ("Who is the successor of the father of Queen Elizabeth II?", vec!["successor of", "father of"]),
+        (
+            "Who is the successor of the father of Queen Elizabeth II?",
+            vec!["successor of", "father of"],
+        ),
     ];
     for (q, expect) in cases {
         let tree = DependencyParser::new().parse(q).unwrap();

@@ -41,14 +41,13 @@ struct RandomQuery {
 }
 
 fn arb_query() -> impl Strategy<Value = RandomQuery> {
-    (2usize..=3)
-        .prop_flat_map(|n| {
-            (
-                prop::collection::vec(prop::collection::vec(0u8..8, 1..3), n - 1),
-                prop::collection::vec(prop::option::of(0u8..3), n - 1),
-            )
-                .prop_map(move |(cands, edge_preds)| RandomQuery { n, cands, edge_preds })
-        })
+    (2usize..=3).prop_flat_map(|n| {
+        (
+            prop::collection::vec(prop::collection::vec(0u8..8, 1..3), n - 1),
+            prop::collection::vec(prop::option::of(0u8..3), n - 1),
+        )
+            .prop_map(move |(cands, edge_preds)| RandomQuery { n, cands, edge_preds })
+    })
 }
 
 fn to_mapped(store: &Store, rq: &RandomQuery) -> MappedQuery {
@@ -76,7 +75,11 @@ fn to_mapped(store: &Store, rq: &RandomQuery) -> MappedQuery {
     }
     let mut edges = Vec::new();
     for (i, ep) in rq.edge_preds.iter().enumerate() {
-        sqg.edges.push(SqgEdge { from: i, to: i + 1, phrase: ep.map(|p| (p as usize, format!("p{p}"))) });
+        sqg.edges.push(SqgEdge {
+            from: i,
+            to: i + 1,
+            phrase: ep.map(|p| (p as usize, format!("p{p}"))),
+        });
         edges.push(match ep {
             Some(p) => EdgeCandidates {
                 list: vec![(PathPattern::single(store.expect_iri(&format!("p{p}"))), 0.9)],
@@ -112,9 +115,8 @@ fn brute_force(store: &Store, schema: &Schema, q: &MappedQuery) -> Vec<Vec<TermI
                 score: 0.0,
             };
             let violations = validate(store, schema, q, &m);
-            let ok = violations.iter().all(|v| {
-                matches!(v, gqa_core::validate::Violation::Score { .. })
-            });
+            let ok =
+                violations.iter().all(|v| matches!(v, gqa_core::validate::Violation::Score { .. }));
             if ok {
                 out.push(assignment.clone());
             }

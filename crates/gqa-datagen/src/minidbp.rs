@@ -368,15 +368,43 @@ pub fn ambiguous_dbpedia(decoys: usize, seed: u64) -> Store {
 
     // Entities questions mention by name.
     let mentioned: &[&str] = &[
-        "dbr:Berlin", "dbr:Germany", "dbr:Canada", "dbr:Philadelphia", "dbr:Antonio_Banderas",
-        "dbr:John_F._Kennedy", "dbr:John_F._Kennedy,_Jr.", "dbr:Wyoming", "dbr:Alaska",
-        "dbr:Queen_Elizabeth_II", "dbr:The_Prodigy", "dbr:Minecraft", "dbr:Intel",
-        "dbr:Amanda_Palmer", "dbr:Weser", "dbr:Rhine", "dbr:San_Francisco",
-        "dbr:Salt_Lake_City", "dbr:Barack_Obama", "dbr:Michelle_Obama", "dbr:Michael_Jackson",
-        "dbr:Michael_Jordan", "dbr:Margaret_Thatcher", "dbr:Jack_Kerouac", "dbr:Viking_Press",
-        "dbr:Captain_America", "dbr:Australia", "dbr:Miffy", "dbr:Orangina", "dbr:Munich",
-        "dbr:Vienna", "dbr:Francis_Ford_Coppola", "dbr:Angela_Merkel", "dbr:Mount_Everest",
-        "dbr:Chicago_Bulls", "dbr:Max_Reinhardt", "dbr:Juliana_of_the_Netherlands",
+        "dbr:Berlin",
+        "dbr:Germany",
+        "dbr:Canada",
+        "dbr:Philadelphia",
+        "dbr:Antonio_Banderas",
+        "dbr:John_F._Kennedy",
+        "dbr:John_F._Kennedy,_Jr.",
+        "dbr:Wyoming",
+        "dbr:Alaska",
+        "dbr:Queen_Elizabeth_II",
+        "dbr:The_Prodigy",
+        "dbr:Minecraft",
+        "dbr:Intel",
+        "dbr:Amanda_Palmer",
+        "dbr:Weser",
+        "dbr:Rhine",
+        "dbr:San_Francisco",
+        "dbr:Salt_Lake_City",
+        "dbr:Barack_Obama",
+        "dbr:Michelle_Obama",
+        "dbr:Michael_Jackson",
+        "dbr:Michael_Jordan",
+        "dbr:Margaret_Thatcher",
+        "dbr:Jack_Kerouac",
+        "dbr:Viking_Press",
+        "dbr:Captain_America",
+        "dbr:Australia",
+        "dbr:Miffy",
+        "dbr:Orangina",
+        "dbr:Munich",
+        "dbr:Vienna",
+        "dbr:Francis_Ford_Coppola",
+        "dbr:Angela_Merkel",
+        "dbr:Mount_Everest",
+        "dbr:Chicago_Bulls",
+        "dbr:Max_Reinhardt",
+        "dbr:Juliana_of_the_Netherlands",
     ];
     let mut decoy_ids: Vec<String> = Vec::new();
     for (ei, iri) in mentioned.iter().enumerate() {
@@ -470,7 +498,8 @@ mod tests {
         let s = mini_dbpedia();
         let ted = s.expect_iri("dbr:Ted_Kennedy");
         let jr = s.expect_iri("dbr:John_F._Kennedy,_Jr.");
-        let paths = gqa_rdf::paths::simple_paths(&s, ted, jr, &gqa_rdf::paths::PathConfig::with_max_len(3));
+        let paths =
+            gqa_rdf::paths::simple_paths(&s, ted, jr, &gqa_rdf::paths::PathConfig::with_max_len(3));
         assert!(!paths.is_empty());
     }
 }

@@ -91,10 +91,7 @@ pub fn mini_yago() -> Store {
 pub fn yago_phrase_dataset() -> PhraseDataset {
     let sp = |a: &str, b: &str| (a.to_owned(), b.to_owned());
     PhraseDataset::new(vec![
-        PhraseEntry::new(
-            "be married to",
-            vec![sp("yago:Humphrey_Bogart", "yago:Lauren_Bacall")],
-        ),
+        PhraseEntry::new("be married to", vec![sp("yago:Humphrey_Bogart", "yago:Lauren_Bacall")]),
         PhraseEntry::new(
             "play in",
             vec![
@@ -102,20 +99,17 @@ pub fn yago_phrase_dataset() -> PhraseDataset {
                 sp("yago:Al_Pacino", "yago:Scarface_(film)"),
             ],
         ),
-        PhraseEntry::new(
-            "be born in",
-            vec![sp("yago:Albert_Einstein", "yago:Ulm")],
-        ),
+        PhraseEntry::new("be born in", vec![sp("yago:Albert_Einstein", "yago:Ulm")]),
         PhraseEntry::new("die in", vec![sp("yago:Albert_Einstein", "yago:Princeton")]),
         PhraseEntry::new("capital of", vec![sp("yago:Berlin", "yago:Germany")]),
         PhraseEntry::new(
             "write",
-            vec![sp("yago:J._R._R._Tolkien", "yago:The_Hobbit"), sp("yago:J._R._R._Tolkien", "yago:The_Lord_of_the_Rings")],
+            vec![
+                sp("yago:J._R._R._Tolkien", "yago:The_Hobbit"),
+                sp("yago:J._R._R._Tolkien", "yago:The_Lord_of_the_Rings"),
+            ],
         ),
-        PhraseEntry::new(
-            "brother of",
-            vec![sp("yago:Niels_Bohr", "yago:Jenny_Bohr")],
-        ),
+        PhraseEntry::new("brother of", vec![sp("yago:Niels_Bohr", "yago:Jenny_Bohr")]),
         PhraseEntry::new(
             "be located in",
             vec![sp("yago:Ulm", "yago:Germany"), sp("yago:Princeton", "yago:United_States")],

@@ -45,11 +45,17 @@ pub fn mini_phrase_dataset() -> PhraseDataset {
         ),
         PhraseEntry::new(
             "wife of",
-            vec![sp("dbr:Michelle_Obama", "dbr:Barack_Obama"), sp("dbr:Melanie_Griffith", "dbr:Antonio_Banderas")],
+            vec![
+                sp("dbr:Michelle_Obama", "dbr:Barack_Obama"),
+                sp("dbr:Melanie_Griffith", "dbr:Antonio_Banderas"),
+            ],
         ),
         PhraseEntry::new(
             "husband of",
-            vec![sp("dbr:Neil_Gaiman", "dbr:Amanda_Palmer"), sp("dbr:Antonio_Banderas", "dbr:Melanie_Griffith")],
+            vec![
+                sp("dbr:Neil_Gaiman", "dbr:Amanda_Palmer"),
+                sp("dbr:Antonio_Banderas", "dbr:Melanie_Griffith"),
+            ],
         ),
         PhraseEntry::new(
             "play in",
@@ -62,7 +68,10 @@ pub fn mini_phrase_dataset() -> PhraseDataset {
         ),
         PhraseEntry::new(
             "star in",
-            vec![sp("dbr:Antonio_Banderas", "dbr:Philadelphia_(film)"), sp("dbr:Tom_Hanks", "dbr:Philadelphia_(film)")],
+            vec![
+                sp("dbr:Antonio_Banderas", "dbr:Philadelphia_(film)"),
+                sp("dbr:Tom_Hanks", "dbr:Philadelphia_(film)"),
+            ],
         ),
         PhraseEntry::new(
             "uncle of",
@@ -75,7 +84,10 @@ pub fn mini_phrase_dataset() -> PhraseDataset {
         ),
         PhraseEntry::new(
             "mayor of",
-            vec![sp("dbr:Klaus_Wowereit", "dbr:Berlin"), sp("dbr:Unknown_Mayor", "dbr:Unknown_Town")],
+            vec![
+                sp("dbr:Klaus_Wowereit", "dbr:Berlin"),
+                sp("dbr:Unknown_Mayor", "dbr:Unknown_Town"),
+            ],
         ),
         PhraseEntry::new(
             "capital of",
@@ -101,16 +113,26 @@ pub fn mini_phrase_dataset() -> PhraseDataset {
         ),
         PhraseEntry::new(
             "direct",
-            vec![sp("dbr:Francis_Ford_Coppola", "dbr:The_Godfather"), sp("dbr:Francis_Ford_Coppola", "dbr:Apocalypse_Now")],
+            vec![
+                sp("dbr:Francis_Ford_Coppola", "dbr:The_Godfather"),
+                sp("dbr:Francis_Ford_Coppola", "dbr:Apocalypse_Now"),
+            ],
         ),
         PhraseEntry::new(
             "be directed by",
-            vec![sp("dbr:The_Godfather", "dbr:Francis_Ford_Coppola"), sp("dbr:Apocalypse_Now", "dbr:Francis_Ford_Coppola")],
+            vec![
+                sp("dbr:The_Godfather", "dbr:Francis_Ford_Coppola"),
+                sp("dbr:Apocalypse_Now", "dbr:Francis_Ford_Coppola"),
+            ],
         ),
         PhraseEntry::new("develop", vec![sp("dbr:Mojang", "dbr:Minecraft")]),
         PhraseEntry::new(
             "be born in",
-            vec![sp("dbr:Max_Reinhardt", "dbr:Vienna"), sp("dbr:Paul_Hoerbiger", "dbr:Budapest"), sp("dbr:Dick_Bruna", "dbr:Utrecht")],
+            vec![
+                sp("dbr:Max_Reinhardt", "dbr:Vienna"),
+                sp("dbr:Paul_Hoerbiger", "dbr:Budapest"),
+                sp("dbr:Dick_Bruna", "dbr:Utrecht"),
+            ],
         ),
         PhraseEntry::new(
             "die in",
@@ -122,7 +144,11 @@ pub fn mini_phrase_dataset() -> PhraseDataset {
         ),
         PhraseEntry::new(
             "be connected by",
-            vec![sp("dbr:Germany", "dbr:Rhine"), sp("dbr:France", "dbr:Rhine"), sp("dbr:Switzerland", "dbr:Rhine")],
+            vec![
+                sp("dbr:Germany", "dbr:Rhine"),
+                sp("dbr:France", "dbr:Rhine"),
+                sp("dbr:Switzerland", "dbr:Rhine"),
+            ],
         ),
         PhraseEntry::new(
             "found",
@@ -130,7 +156,11 @@ pub fn mini_phrase_dataset() -> PhraseDataset {
         ),
         PhraseEntry::new(
             "create",
-            vec![sp("dbr:Joe_Simon", "dbr:Captain_America"), sp("dbr:Jack_Kirby", "dbr:Captain_America"), sp("dbr:Dick_Bruna", "dbr:Miffy")],
+            vec![
+                sp("dbr:Joe_Simon", "dbr:Captain_America"),
+                sp("dbr:Jack_Kirby", "dbr:Captain_America"),
+                sp("dbr:Dick_Bruna", "dbr:Miffy"),
+            ],
         ),
         PhraseEntry::new(
             "creator of",
@@ -149,17 +179,20 @@ pub fn mini_phrase_dataset() -> PhraseDataset {
                 sp("dbr:Caroline_Kennedy", "dbr:John_F._Kennedy"),
             ],
         ),
-        PhraseEntry::new(
-            "produce",
-            vec![sp("dbr:Suntory", "dbr:Orangina")],
-        ),
+        PhraseEntry::new("produce", vec![sp("dbr:Suntory", "dbr:Orangina")]),
         PhraseEntry::new(
             "be published by",
-            vec![sp("dbr:On_the_Road", "dbr:Viking_Press"), sp("dbr:The_Dharma_Bums", "dbr:Viking_Press")],
+            vec![
+                sp("dbr:On_the_Road", "dbr:Viking_Press"),
+                sp("dbr:The_Dharma_Bums", "dbr:Viking_Press"),
+            ],
         ),
         PhraseEntry::new(
             "write",
-            vec![sp("dbr:Jack_Kerouac", "dbr:On_the_Road"), sp("dbr:Jack_Kerouac", "dbr:Big_Sur_(novel)")],
+            vec![
+                sp("dbr:Jack_Kerouac", "dbr:On_the_Road"),
+                sp("dbr:Jack_Kerouac", "dbr:Big_Sur_(novel)"),
+            ],
         ),
         PhraseEntry::new(
             "largest city in",
@@ -182,15 +215,24 @@ pub fn mini_phrase_dataset() -> PhraseDataset {
         // idf denominator mass that pushes hasGender-style patterns down.
         PhraseEntry::new(
             "know",
-            vec![sp("dbr:Ted_Kennedy", "dbr:Jim_Corr"), sp("dbr:Peter_Corr", "dbr:Robert_F._Kennedy")],
+            vec![
+                sp("dbr:Ted_Kennedy", "dbr:Jim_Corr"),
+                sp("dbr:Peter_Corr", "dbr:Robert_F._Kennedy"),
+            ],
         ),
         PhraseEntry::new(
             "meet",
-            vec![sp("dbr:Antonio_Banderas", "dbr:Jim_Corr"), sp("dbr:Ted_Kennedy", "dbr:Peter_Corr")],
+            vec![
+                sp("dbr:Antonio_Banderas", "dbr:Jim_Corr"),
+                sp("dbr:Ted_Kennedy", "dbr:Peter_Corr"),
+            ],
         ),
         PhraseEntry::new(
             "be amused by",
-            vec![sp("dbr:Caroline_Kennedy", "dbr:Sharon_Corr"), sp("dbr:Melanie_Griffith", "dbr:Caroline_Kennedy")],
+            vec![
+                sp("dbr:Caroline_Kennedy", "dbr:Sharon_Corr"),
+                sp("dbr:Melanie_Griffith", "dbr:Caroline_Kennedy"),
+            ],
         ),
     ];
     PhraseDataset::new(entries)
@@ -222,8 +264,11 @@ pub fn curated_literal_mappings() -> Vec<(&'static str, &'static str)> {
 /// Algorithm 1 over [`mini_phrase_dataset`] plus the curated literal-valued
 /// mappings (which entity-pair mining cannot produce).
 pub fn mini_dict(store: &Store) -> gqa_paraphrase::ParaphraseDict {
-    let mut dict =
-        gqa_paraphrase::mine(store, &mini_phrase_dataset(), &gqa_paraphrase::MinerConfig::default());
+    let mut dict = gqa_paraphrase::mine(
+        store,
+        &mini_phrase_dataset(),
+        &gqa_paraphrase::MinerConfig::default(),
+    );
     for (phrase, pred) in curated_literal_mappings() {
         if let Some(p) = store.iri(pred) {
             dict.insert(
@@ -256,7 +301,13 @@ pub struct SyntheticPhraseConfig {
 
 impl Default for SyntheticPhraseConfig {
     fn default() -> Self {
-        SyntheticPhraseConfig { phrases: 200, pairs_per_phrase: 10, noise_fraction: 0.33, max_truth_len: 3, seed: 7 }
+        SyntheticPhraseConfig {
+            phrases: 200,
+            pairs_per_phrase: 10,
+            noise_fraction: 0.33,
+            max_truth_len: 3,
+            seed: 7,
+        }
     }
 }
 
@@ -272,7 +323,10 @@ pub struct SyntheticPhraseDataset {
 /// Generate a synthetic phrase dataset over `store`: phrase *i* is planted
 /// on a random predicate path of length 1..=`max_truth_len`, and its
 /// support pairs are endpoints of concrete instances of that path.
-pub fn synthetic_phrase_dataset(store: &Store, cfg: &SyntheticPhraseConfig) -> SyntheticPhraseDataset {
+pub fn synthetic_phrase_dataset(
+    store: &Store,
+    cfg: &SyntheticPhraseConfig,
+) -> SyntheticPhraseDataset {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let preds = store.predicates();
     assert!(!preds.is_empty(), "store has no predicates");
@@ -309,7 +363,10 @@ pub fn synthetic_phrase_dataset(store: &Store, cfg: &SyntheticPhraseConfig) -> S
         // Replace a fraction with unresolvable noise.
         let noise = ((support.len() as f64) * cfg.noise_fraction).round() as usize;
         for k in 0..noise.min(support.len().saturating_sub(2)) {
-            support.push((format!("dbr:Noise_{produced}_{k}_a"), format!("dbr:Noise_{produced}_{k}_b")));
+            support.push((
+                format!("dbr:Noise_{produced}_{k}_a"),
+                format!("dbr:Noise_{produced}_{k}_b"),
+            ));
         }
         entries.push(PhraseEntry::new(format!("relate{produced} of"), support));
         truth.push(pattern);
@@ -330,7 +387,10 @@ mod tests {
         let store = mini_dbpedia();
         let ds = mini_phrase_dataset();
         let frac = ds.resolvable_fraction(&store);
-        assert!(frac > 0.6 && frac < 1.0, "resolvable fraction {frac} should mimic the paper's ~67%");
+        assert!(
+            frac > 0.6 && frac < 1.0,
+            "resolvable fraction {frac} should mimic the paper's ~67%"
+        );
         assert!(ds.len() >= 30);
     }
 
@@ -344,11 +404,21 @@ mod tests {
 
     #[test]
     fn synthetic_dataset_has_planted_truth() {
-        let store = scale_graph(&ScaleConfig { entities: 300, predicates: 12, classes: 5, avg_degree: 4.0, seed: 1 });
+        let store = scale_graph(&ScaleConfig {
+            entities: 300,
+            predicates: 12,
+            classes: 5,
+            avg_degree: 4.0,
+            seed: 1,
+        });
         let cfg = SyntheticPhraseConfig { phrases: 20, pairs_per_phrase: 6, ..Default::default() };
         let syn = synthetic_phrase_dataset(&store, &cfg);
         assert_eq!(syn.dataset.len(), syn.truth.len());
-        assert!(syn.dataset.len() >= 10, "generator should realize most phrases, got {}", syn.dataset.len());
+        assert!(
+            syn.dataset.len() >= 10,
+            "generator should realize most phrases, got {}",
+            syn.dataset.len()
+        );
         // Every support pair that resolves is a genuine endpoint pair of the
         // planted pattern.
         for (entry, pattern) in syn.dataset.entries.iter().zip(&syn.truth) {
@@ -364,7 +434,13 @@ mod tests {
 
     #[test]
     fn synthetic_determinism() {
-        let store = scale_graph(&ScaleConfig { entities: 200, predicates: 8, classes: 4, avg_degree: 3.0, seed: 2 });
+        let store = scale_graph(&ScaleConfig {
+            entities: 200,
+            predicates: 8,
+            classes: 4,
+            avg_degree: 3.0,
+            seed: 2,
+        });
         let cfg = SyntheticPhraseConfig { phrases: 10, ..Default::default() };
         let a = synthetic_phrase_dataset(&store, &cfg);
         let b = synthetic_phrase_dataset(&store, &cfg);

@@ -79,69 +79,234 @@ pub fn benchmark() -> Vec<BenchQuestion> {
     use Gold::*;
     let mut qs = vec![
         // ---- Normal: the paper's Table-11 set -----------------------------
-        q(1, "Who was married to an actor that played in Philadelphia?", Resources(vec!["dbr:Melanie_Griffith"]), Normal),
-        q(2, "Who was the successor of John F. Kennedy?", Resources(vec!["dbr:Lyndon_B._Johnson"]), Normal),
+        q(
+            1,
+            "Who was married to an actor that played in Philadelphia?",
+            Resources(vec!["dbr:Melanie_Griffith"]),
+            Normal,
+        ),
+        q(
+            2,
+            "Who was the successor of John F. Kennedy?",
+            Resources(vec!["dbr:Lyndon_B._Johnson"]),
+            Normal,
+        ),
         q(3, "Who is the mayor of Berlin?", Resources(vec!["dbr:Klaus_Wowereit"]), Normal),
-        q(4, "Who is the uncle of John F. Kennedy, Jr.?", Resources(vec!["dbr:Ted_Kennedy", "dbr:Robert_F._Kennedy"]), Normal),
-        q(8, "Which books were written by Jack Kerouac?", Resources(vec!["dbr:On_the_Road", "dbr:The_Dharma_Bums", "dbr:Big_Sur_(novel)"]), Normal),
-        q(10, "Which players play for the Chicago Bulls?", Resources(vec!["dbr:Michael_Jordan"]), Normal),
-        q(14, "Give me all members of Prodigy.", Resources(vec!["dbr:Keith_Flint", "dbr:Liam_Howlett", "dbr:Maxim_Reality"]), Normal),
-        q(17, "Give me all cars that are produced in Germany.", Resources(vec!["dbr:Volkswagen_Golf", "dbr:BMW_3_Series"]), Normal),
-        q(19, "Give me all people that were born in Vienna and died in Berlin.", Resources(vec!["dbr:Max_Reinhardt"]), Normal),
+        q(
+            4,
+            "Who is the uncle of John F. Kennedy, Jr.?",
+            Resources(vec!["dbr:Ted_Kennedy", "dbr:Robert_F._Kennedy"]),
+            Normal,
+        ),
+        q(
+            8,
+            "Which books were written by Jack Kerouac?",
+            Resources(vec!["dbr:On_the_Road", "dbr:The_Dharma_Bums", "dbr:Big_Sur_(novel)"]),
+            Normal,
+        ),
+        q(
+            10,
+            "Which players play for the Chicago Bulls?",
+            Resources(vec!["dbr:Michael_Jordan"]),
+            Normal,
+        ),
+        q(
+            14,
+            "Give me all members of Prodigy.",
+            Resources(vec!["dbr:Keith_Flint", "dbr:Liam_Howlett", "dbr:Maxim_Reality"]),
+            Normal,
+        ),
+        q(
+            17,
+            "Give me all cars that are produced in Germany.",
+            Resources(vec!["dbr:Volkswagen_Golf", "dbr:BMW_3_Series"]),
+            Normal,
+        ),
+        q(
+            19,
+            "Give me all people that were born in Vienna and died in Berlin.",
+            Resources(vec!["dbr:Max_Reinhardt"]),
+            Normal,
+        ),
         q(20, "How tall is Michael Jordan?", Literals(vec!["1.98"]), Normal),
         q(21, "What is the capital of Canada?", Resources(vec!["dbr:Ottawa"]), Normal),
         q(22, "Who is the governor of Wyoming?", Resources(vec!["dbr:Matt_Mead"]), Normal),
-        q(24, "Who was the father of Queen Elizabeth II?", Resources(vec!["dbr:George_VI"]), Normal),
-        q(27, "Sean Parnell is the governor of which U.S. state?", Resources(vec!["dbr:Alaska"]), Normal),
-        q(28, "Give me all movies directed by Francis Ford Coppola.", Resources(vec!["dbr:The_Godfather", "dbr:Apocalypse_Now"]), Normal),
-        q(30, "What is the birth name of Angela Merkel?", Literals(vec!["Angela Dorothea Kasner"]), Normal),
+        q(
+            24,
+            "Who was the father of Queen Elizabeth II?",
+            Resources(vec!["dbr:George_VI"]),
+            Normal,
+        ),
+        q(
+            27,
+            "Sean Parnell is the governor of which U.S. state?",
+            Resources(vec!["dbr:Alaska"]),
+            Normal,
+        ),
+        q(
+            28,
+            "Give me all movies directed by Francis Ford Coppola.",
+            Resources(vec!["dbr:The_Godfather", "dbr:Apocalypse_Now"]),
+            Normal,
+        ),
+        q(
+            30,
+            "What is the birth name of Angela Merkel?",
+            Literals(vec!["Angela Dorothea Kasner"]),
+            Normal,
+        ),
         q(35, "Who developed Minecraft?", Resources(vec!["dbr:Mojang"]), Normal),
-        q(39, "Give me all companies in Munich.", Resources(vec!["dbr:BMW", "dbr:Siemens", "dbr:Allianz"]), Normal),
-        q(41, "Who founded Intel?", Resources(vec!["dbr:Gordon_Moore", "dbr:Robert_Noyce"]), Normal),
+        q(
+            39,
+            "Give me all companies in Munich.",
+            Resources(vec!["dbr:BMW", "dbr:Siemens", "dbr:Allianz"]),
+            Normal,
+        ),
+        q(
+            41,
+            "Who founded Intel?",
+            Resources(vec!["dbr:Gordon_Moore", "dbr:Robert_Noyce"]),
+            Normal,
+        ),
         q(42, "Who is the husband of Amanda Palmer?", Resources(vec!["dbr:Neil_Gaiman"]), Normal),
-        q(44, "Which cities does the Weser flow through?", Resources(vec!["dbr:Bremen", "dbr:Minden"]), Normal),
-        q(45, "Which countries are connected by the Rhine?", Resources(vec!["dbr:Germany", "dbr:France", "dbr:Switzerland", "dbr:Netherlands"]), Normal),
-        q(54, "What are the nicknames of San Francisco?", Literals(vec!["The Golden City", "Fog City"]), Normal),
-        q(58, "What is the time zone of Salt Lake City?", Resources(vec!["dbr:Mountain_Time_Zone"]), Normal),
-        q(63, "Give me all Argentine films.", Resources(vec!["dbr:The_Secret_in_Their_Eyes", "dbr:Nine_Queens"]), Normal),
+        q(
+            44,
+            "Which cities does the Weser flow through?",
+            Resources(vec!["dbr:Bremen", "dbr:Minden"]),
+            Normal,
+        ),
+        q(
+            45,
+            "Which countries are connected by the Rhine?",
+            Resources(vec!["dbr:Germany", "dbr:France", "dbr:Switzerland", "dbr:Netherlands"]),
+            Normal,
+        ),
+        q(
+            54,
+            "What are the nicknames of San Francisco?",
+            Literals(vec!["The Golden City", "Fog City"]),
+            Normal,
+        ),
+        q(
+            58,
+            "What is the time zone of Salt Lake City?",
+            Resources(vec!["dbr:Mountain_Time_Zone"]),
+            Normal,
+        ),
+        q(
+            63,
+            "Give me all Argentine films.",
+            Resources(vec!["dbr:The_Secret_in_Their_Eyes", "dbr:Nine_Queens"]),
+            Normal,
+        ),
         q(70, "Is Michelle Obama the wife of Barack Obama?", Boolean(true), Normal),
         q(74, "When did Michael Jackson die?", Literals(vec!["2009-06-25"]), Normal),
-        q(76, "List the children of Margaret Thatcher.", Resources(vec!["dbr:Mark_Thatcher", "dbr:Carol_Thatcher"]), Normal),
+        q(
+            76,
+            "List the children of Margaret Thatcher.",
+            Resources(vec!["dbr:Mark_Thatcher", "dbr:Carol_Thatcher"]),
+            Normal,
+        ),
         q(77, "Who was called Scarface?", Resources(vec!["dbr:Al_Capone"]), Normal),
-        q(81, "Which books by Kerouac were published by Viking Press?", Resources(vec!["dbr:On_the_Road", "dbr:The_Dharma_Bums"]), Normal),
+        q(
+            81,
+            "Which books by Kerouac were published by Viking Press?",
+            Resources(vec!["dbr:On_the_Road", "dbr:The_Dharma_Bums"]),
+            Normal,
+        ),
         q(83, "How high is the Mount Everest?", Literals(vec!["8848"]), Normal),
-        q(84, "Who created the comic Captain America?", Resources(vec!["dbr:Joe_Simon", "dbr:Jack_Kirby"]), Normal),
+        q(
+            84,
+            "Who created the comic Captain America?",
+            Resources(vec!["dbr:Joe_Simon", "dbr:Jack_Kirby"]),
+            Normal,
+        ),
         q(86, "What is the largest city in Australia?", Resources(vec!["dbr:Sydney"]), Normal),
-        q(89, "In which city was the former Dutch queen Juliana buried?", Resources(vec!["dbr:Delft"]), Normal),
-        q(98, "Which country does the creator of Miffy come from?", Resources(vec!["dbr:Netherlands"]), Normal),
+        q(
+            89,
+            "In which city was the former Dutch queen Juliana buried?",
+            Resources(vec!["dbr:Delft"]),
+            Normal,
+        ),
+        q(
+            98,
+            "Which country does the creator of Miffy come from?",
+            Resources(vec!["dbr:Netherlands"]),
+            Normal,
+        ),
         q(100, "Who produces Orangina?", Resources(vec!["dbr:Suntory"]), Normal),
         // ---- Aggregation (paper: 35% of failures) -------------------------
-        q(13, "Who is the youngest player in the Premier League?", Resources(vec!["dbr:Raheem_Sterling"]), Aggregation),
+        q(
+            13,
+            "Who is the youngest player in the Premier League?",
+            Resources(vec!["dbr:Raheem_Sterling"]),
+            Aggregation,
+        ),
         q(101, "How many companies are in Munich?", Count(3), Aggregation),
         q(102, "How many countries are connected by the Rhine?", Count(4), Aggregation),
         q(103, "How many books did Jack Kerouac write?", Count(3), Aggregation),
         q(104, "How many films did Francis Ford Coppola direct?", Count(2), Aggregation),
         q(105, "How many members does the Prodigy have?", Count(3), Aggregation),
-        q(106, "Which city in Germany has the largest population?", Resources(vec!["dbr:Berlin"]), Aggregation),
-        q(107, "Who is the oldest player in the Premier League?", Resources(vec!["dbr:Frank_Lampard"]), Aggregation),
+        q(
+            106,
+            "Which city in Germany has the largest population?",
+            Resources(vec!["dbr:Berlin"]),
+            Aggregation,
+        ),
+        q(
+            107,
+            "Who is the oldest player in the Premier League?",
+            Resources(vec!["dbr:Frank_Lampard"]),
+            Aggregation,
+        ),
         q(108, "How many cities does the Weser flow through?", Count(2), Aggregation),
         q(109, "How many children does Margaret Thatcher have?", Count(2), Aggregation),
-        q(110, "What is the most populous city in Australia?", Resources(vec!["dbr:Sydney"]), Aggregation),
+        q(
+            110,
+            "What is the most populous city in Australia?",
+            Resources(vec!["dbr:Sydney"]),
+            Aggregation,
+        ),
         q(111, "How many Argentine films are there?", Count(2), Aggregation),
         q(112, "How many launch pads are operated by NASA?", Count(1), Aggregation),
         q(113, "How many cars are produced in Germany?", Count(2), Aggregation),
-        q(114, "Which Australian city has the smallest population?", Resources(vec!["dbr:Melbourne"]), Aggregation),
+        q(
+            114,
+            "Which Australian city has the smallest population?",
+            Resources(vec!["dbr:Melbourne"]),
+            Aggregation,
+        ),
         q(115, "How many founders does Intel have?", Count(2), Aggregation),
         q(116, "How many creators does Captain America have?", Count(2), Aggregation),
-        q(117, "Who was born first, Wayne Rooney or Frank Lampard?", Resources(vec!["dbr:Frank_Lampard"]), Aggregation),
+        q(
+            117,
+            "Who was born first, Wayne Rooney or Frank Lampard?",
+            Resources(vec!["dbr:Frank_Lampard"]),
+            Aggregation,
+        ),
         q(118, "How many people were born in Vienna?", Count(1), Aggregation),
         q(119, "How many nicknames does San Francisco have?", Count(2), Aggregation),
-        q(120, "Which Premier League player was born last?", Resources(vec!["dbr:Raheem_Sterling"]), Aggregation),
+        q(
+            120,
+            "Which Premier League player was born last?",
+            Resources(vec!["dbr:Raheem_Sterling"]),
+            Aggregation,
+        ),
         q(121, "How many twin cities does Brno have?", Count(2), Aggregation),
         // ---- Entity-linking-hard (27% of failures) ------------------------
-        q(48, "In which UK city are the headquarters of the MI6?", Resources(vec!["dbr:London"]), EntityLinkingHard),
+        q(
+            48,
+            "In which UK city are the headquarters of the MI6?",
+            Resources(vec!["dbr:London"]),
+            EntityLinkingHard,
+        ),
         q(130, "Who is the mayor of the Big Apple?", OutOfScope, EntityLinkingHard),
-        q(131, "What is the capital of Deutschland?", Resources(vec!["dbr:Berlin"]), EntityLinkingHard),
+        q(
+            131,
+            "What is the capital of Deutschland?",
+            Resources(vec!["dbr:Berlin"]),
+            EntityLinkingHard,
+        ),
         q(132, "Who wrote Les Miserables?", OutOfScope, EntityLinkingHard),
         q(133, "Who developed Half-Life?", OutOfScope, EntityLinkingHard),
         q(134, "How tall is MJ?", Literals(vec!["1.98"]), EntityLinkingHard),
@@ -157,22 +322,52 @@ pub fn benchmark() -> Vec<BenchQuestion> {
         q(144, "Who produces Coca-Cola?", OutOfScope, EntityLinkingHard),
         q(145, "Who founded Wal-Mart?", OutOfScope, EntityLinkingHard),
         // ---- Relation-extraction-hard (22% of failures) -------------------
-        q(64, "Give me all launch pads operated by NASA.", Resources(vec!["dbr:Kennedy_Space_Center_LC-39A"]), RelationExtractionHard),
-        q(150, "Which river does the Fulda flow into?", Resources(vec!["dbr:Weser"]), RelationExtractionHard),
+        q(
+            64,
+            "Give me all launch pads operated by NASA.",
+            Resources(vec!["dbr:Kennedy_Space_Center_LC-39A"]),
+            RelationExtractionHard,
+        ),
+        q(
+            150,
+            "Which river does the Fulda flow into?",
+            Resources(vec!["dbr:Weser"]),
+            RelationExtractionHard,
+        ),
         q(151, "Which astronauts walked on the Moon?", OutOfScope, RelationExtractionHard),
         q(152, "Which countries border Germany?", OutOfScope, RelationExtractionHard),
         q(153, "What did Bruce Carver die from?", OutOfScope, RelationExtractionHard),
-        q(154, "Which software has been developed by organizations founded in California?", OutOfScope, RelationExtractionHard),
+        q(
+            154,
+            "Which software has been developed by organizations founded in California?",
+            OutOfScope,
+            RelationExtractionHard,
+        ),
         q(155, "Give me all people that know each other.", OutOfScope, RelationExtractionHard),
-        q(156, "Which companies work in the aerospace industry?", OutOfScope, RelationExtractionHard),
+        q(
+            156,
+            "Which companies work in the aerospace industry?",
+            OutOfScope,
+            RelationExtractionHard,
+        ),
         q(157, "Who owns Aldi?", OutOfScope, RelationExtractionHard),
-        q(158, "Which telecommunications organizations are located in Belgium?", OutOfScope, RelationExtractionHard),
+        q(
+            158,
+            "Which telecommunications organizations are located in Belgium?",
+            OutOfScope,
+            RelationExtractionHard,
+        ),
         q(159, "Give me all school types.", OutOfScope, RelationExtractionHard),
         q(160, "Which organizations were founded in 1950?", OutOfScope, RelationExtractionHard),
         q(161, "Who was influenced by Socrates?", OutOfScope, RelationExtractionHard),
         q(162, "What sports do Premier League players play?", OutOfScope, RelationExtractionHard),
         // ---- Other (16% of failures) --------------------------------------
-        q(37, "Give me all sister cities of Brno.", Resources(vec!["dbr:Leipzig", "dbr:Vienna"]), Other),
+        q(
+            37,
+            "Give me all sister cities of Brno.",
+            Resources(vec!["dbr:Leipzig", "dbr:Vienna"]),
+            Other,
+        ),
         q(170, "What is a battle?", OutOfScope, Other),
         q(171, "Show me everything about Australia.", OutOfScope, Other),
         q(172, "What does ICRO stand for?", OutOfScope, Other),
@@ -214,7 +409,11 @@ mod tests {
         assert_eq!(count(Category::Normal), 36);
         assert_eq!(count(Category::Aggregation), 22, "paper: 22 aggregation failures");
         assert_eq!(count(Category::EntityLinkingHard), 17, "paper: 17 entity-linking failures");
-        assert_eq!(count(Category::RelationExtractionHard), 14, "paper: 14 relation-extraction failures");
+        assert_eq!(
+            count(Category::RelationExtractionHard),
+            14,
+            "paper: 14 relation-extraction failures"
+        );
         assert_eq!(count(Category::Other), 4 + 6, "paper: 10 'others'");
     }
 
@@ -224,7 +423,11 @@ mod tests {
         for q in benchmark() {
             if let Gold::Resources(rs) = &q.gold {
                 for r in rs {
-                    assert!(store.iri(r).is_some(), "Q{}: gold {r} missing from the mini graph", q.id);
+                    assert!(
+                        store.iri(r).is_some(),
+                        "Q{}: gold {r} missing from the mini graph",
+                        q.id
+                    );
                 }
             }
         }
@@ -236,10 +439,7 @@ mod tests {
         for q in benchmark() {
             if let Gold::Literals(ls) = &q.gold {
                 for l in ls {
-                    let found = store
-                        .dict()
-                        .iter()
-                        .any(|(_, t)| t.as_literal() == Some(l));
+                    let found = store.dict().iter().any(|(_, t)| t.as_literal() == Some(l));
                     assert!(found, "Q{}: gold literal {l:?} missing from the mini graph", q.id);
                 }
             }
@@ -248,6 +448,8 @@ mod tests {
 
     #[test]
     fn by_category_filters() {
-        assert!(by_category(Category::Aggregation).iter().all(|q| q.category == Category::Aggregation));
+        assert!(by_category(Category::Aggregation)
+            .iter()
+            .all(|q| q.category == Category::Aggregation));
     }
 }

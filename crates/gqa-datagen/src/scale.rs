@@ -116,7 +116,8 @@ mod tests {
 
     #[test]
     fn generates_requested_scale() {
-        let cfg = ScaleConfig { entities: 500, predicates: 10, classes: 5, avg_degree: 4.0, seed: 3 };
+        let cfg =
+            ScaleConfig { entities: 500, predicates: 10, classes: 5, avg_degree: 4.0, seed: 3 };
         let s = scale_graph(&cfg);
         let st = StoreStats::collect(&s);
         assert!(st.entities >= 490 && st.entities <= 500, "{st:?}");
@@ -127,7 +128,8 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = ScaleConfig { entities: 100, predicates: 5, classes: 3, avg_degree: 3.0, seed: 9 };
+        let cfg =
+            ScaleConfig { entities: 100, predicates: 5, classes: 3, avg_degree: 3.0, seed: 9 };
         let a = gqa_rdf::ntriples::serialize(&scale_graph(&cfg));
         let b = gqa_rdf::ntriples::serialize(&scale_graph(&cfg));
         assert_eq!(a, b);
@@ -137,7 +139,8 @@ mod tests {
 
     #[test]
     fn zipf_predicates_are_skewed() {
-        let cfg = ScaleConfig { entities: 2000, predicates: 20, classes: 5, avg_degree: 5.0, seed: 4 };
+        let cfg =
+            ScaleConfig { entities: 2000, predicates: 20, classes: 5, avg_degree: 5.0, seed: 4 };
         let s = scale_graph(&cfg);
         let p0 = s.iri("p:P0").map(|p| s.with_predicate(p).count()).unwrap_or(0);
         let p19 = s.iri("p:P19").map(|p| s.with_predicate(p).count()).unwrap_or(0);
@@ -146,7 +149,8 @@ mod tests {
 
     #[test]
     fn instantiable_pairs_realize_the_pattern() {
-        let cfg = ScaleConfig { entities: 300, predicates: 6, classes: 3, avg_degree: 4.0, seed: 5 };
+        let cfg =
+            ScaleConfig { entities: 300, predicates: 6, classes: 3, avg_degree: 4.0, seed: 5 };
         let s = scale_graph(&cfg);
         let p0 = s.expect_iri("p:P0");
         let pat = forward(p0);

@@ -156,20 +156,17 @@ pub fn scale_qa(cfg: &ScaleQaConfig) -> ScaleQa {
             let birth = store.expect_iri("dbo:birthPlace");
             // Pick a birthPlace edge whose subject has a spouse edge.
             let bp_edges: Vec<_> = store.with_predicate(birth).take(2_000).collect();
-            let Some(be) = bp_edges
-                .iter()
-                .find(|e| !store.out_edges_with(e.s, spouse).is_empty()
-                    || store.in_edges_with(e.s, spouse).next().is_some())
-            else {
+            let Some(be) = bp_edges.iter().find(|e| {
+                !store.out_edges_with(e.s, spouse).is_empty()
+                    || store.in_edges_with(e.s, spouse).next().is_some()
+            }) else {
                 continue;
             };
             let place = be.o;
             // Gold: every x spouse-adjacent to some y birth-adjacent to place.
             let mut gold: Vec<String> = Vec::new();
-            let ys: Vec<TermId> = store
-                .subjects(birth, place)
-                .chain(store.objects(place, birth))
-                .collect();
+            let ys: Vec<TermId> =
+                store.subjects(birth, place).chain(store.objects(place, birth)).collect();
             for y in ys {
                 for x in store.objects(y, spouse).chain(store.subjects(spouse, y)) {
                     let label = store.term(x).label().into_owned();

@@ -1,10 +1,12 @@
 //! The label index and the linker proper.
 
+use crate::metrics::LinkerMetrics;
 use crate::normalize::{normalize, normalize_keep_paren, token_jaccard, tokens};
 use gqa_rdf::schema::Schema;
 use gqa_rdf::term::vocab;
 use gqa_rdf::{Store, TermId};
 use rustc_hash::FxHashMap;
+use std::sync::Arc;
 
 /// One linking candidate with its confidence `δ(arg, u)`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -47,6 +49,18 @@ pub struct Linker {
     /// class vertices.
     class_ids: Vec<TermId>,
     max_candidates: usize,
+    /// Hit/miss counters, shared across clones; disabled by default.
+    metrics: Arc<LinkerMetrics>,
+}
+
+/// Outcome of one [`Linker::link_detailed`] call: the candidates that
+/// survived the per-mention cap, plus how many were dropped by it.
+#[derive(Clone, Debug, Default)]
+pub struct LinkResult {
+    /// Candidates kept, ranked by descending confidence.
+    pub candidates: Vec<Candidate>,
+    /// Candidates discarded past the `max_candidates` cut.
+    pub dropped: usize,
 }
 
 impl Linker {
@@ -97,16 +111,36 @@ impl Linker {
         let mut class_ids: Vec<TermId> = schema.classes().collect();
         class_ids.sort_unstable();
 
-        Linker { by_alias, by_token, degree, class_ids, max_candidates: 8 }
+        Linker {
+            by_alias,
+            by_token,
+            degree,
+            class_ids,
+            max_candidates: 8,
+            metrics: Arc::new(LinkerMetrics::default()),
+        }
+    }
+
+    /// Instrumentation counters for this linker (shared across clones).
+    /// Disabled by default; see [`LinkerMetrics::enable`].
+    pub fn metrics(&self) -> &LinkerMetrics {
+        &self.metrics
     }
 
     /// Link a mention. Returns candidates ranked by descending confidence
     /// (ties broken by vertex degree). Entities and classes both appear;
     /// `is_class` distinguishes them.
     pub fn link(&self, mention: &str) -> Vec<Candidate> {
+        self.link_detailed(mention).candidates
+    }
+
+    /// Like [`Linker::link`], but also reports how many candidates the
+    /// per-mention cap discarded (for EXPLAIN traces).
+    pub fn link_detailed(&self, mention: &str) -> LinkResult {
         let q = normalize(mention);
         if q.is_empty() {
-            return Vec::new();
+            self.metrics.record_link(0, 0);
+            return LinkResult::default();
         }
         let mut out: Vec<(f64, usize, TermId)> = Vec::new();
         let push = |conf: f64, id: TermId, out: &mut Vec<(f64, usize, TermId)>| {
@@ -143,14 +177,18 @@ impl Linker {
                 .then_with(|| b.1.cmp(&a.1))
                 .then_with(|| a.2.cmp(&b.2))
         });
+        let dropped = out.len().saturating_sub(self.max_candidates);
         out.truncate(self.max_candidates);
-        out.into_iter()
+        let candidates: Vec<Candidate> = out
+            .into_iter()
             .map(|(conf, _, id)| Candidate {
                 id,
                 confidence: conf,
                 is_class: self.class_ids.binary_search(&id).is_ok(),
             })
-            .collect()
+            .collect();
+        self.metrics.record_link(candidates.len(), dropped);
+        LinkResult { candidates, dropped }
     }
 
     /// Link a mention, keeping only class candidates (used for type
@@ -232,9 +270,12 @@ mod tests {
         let (store, schema) = sample();
         let linker = Linker::new(&store, &schema);
         let cands = linker.link("actor");
-        let class = cands.iter().find(|c| c.id == store.expect_iri("dbo:Actor")).expect("class candidate");
+        let class =
+            cands.iter().find(|c| c.id == store.expect_iri("dbo:Actor")).expect("class candidate");
         assert!(class.is_class);
-        assert!(cands.iter().any(|c| c.id == store.expect_iri("dbr:An_Actor_Prepares") && !c.is_class));
+        assert!(cands
+            .iter()
+            .any(|c| c.id == store.expect_iri("dbr:An_Actor_Prepares") && !c.is_class));
         let only_classes = linker.link_classes("actor");
         assert!(only_classes.iter().all(|c| c.is_class));
         assert!(!only_classes.is_empty());

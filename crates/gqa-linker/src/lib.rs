@@ -14,6 +14,8 @@
 #![warn(missing_docs)]
 
 pub mod index;
+pub mod metrics;
 pub mod normalize;
 
-pub use index::{Candidate, Linker};
+pub use index::{Candidate, LinkResult, Linker};
+pub use metrics::{LinkerMetrics, LinkerMetricsSnapshot};

@@ -1,0 +1,97 @@
+//! Linker instrumentation counters.
+//!
+//! Mirrors `gqa_rdf::metrics`: counting is off by default (one relaxed load
+//! per probe site), shared across clones of the [`Linker`](crate::Linker),
+//! read out via [`LinkerMetrics::snapshot`] for publishing into an external
+//! registry — this crate has no obs dependency.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+
+/// Shared, gate-protected counters for one linker (and its clones).
+#[derive(Debug, Default)]
+pub struct LinkerMetrics {
+    enabled: AtomicBool,
+    link_calls: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    candidates_kept: AtomicU64,
+    candidates_dropped: AtomicU64,
+}
+
+/// A point-in-time copy of every counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkerMetricsSnapshot {
+    /// Total `link` invocations.
+    pub link_calls: u64,
+    /// Invocations returning at least one candidate.
+    pub hits: u64,
+    /// Invocations returning no candidate.
+    pub misses: u64,
+    /// Candidates returned (post-cap) across all invocations.
+    pub candidates_kept: u64,
+    /// Candidates discarded by the `max_candidates` cap.
+    pub candidates_dropped: u64,
+}
+
+impl LinkerMetrics {
+    /// Turn counting on (idempotent).
+    pub fn enable(&self) {
+        self.enabled.store(true, Relaxed);
+    }
+
+    /// Whether counting is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    /// Copy all counters.
+    pub fn snapshot(&self) -> LinkerMetricsSnapshot {
+        LinkerMetricsSnapshot {
+            link_calls: self.link_calls.load(Relaxed),
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            candidates_kept: self.candidates_kept.load(Relaxed),
+            candidates_dropped: self.candidates_dropped.load(Relaxed),
+        }
+    }
+
+    pub(crate) fn record_link(&self, kept: usize, dropped: usize) {
+        if !self.enabled.load(Relaxed) {
+            return;
+        }
+        self.link_calls.fetch_add(1, Relaxed);
+        if kept > 0 {
+            self.hits.fetch_add(1, Relaxed);
+        } else {
+            self.misses.fetch_add(1, Relaxed);
+        }
+        self.candidates_kept.fetch_add(kept as u64, Relaxed);
+        self.candidates_dropped.fetch_add(dropped as u64, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        let m = LinkerMetrics::default();
+        m.record_link(3, 1);
+        assert_eq!(m.snapshot(), LinkerMetricsSnapshot::default());
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let m = LinkerMetrics::default();
+        m.enable();
+        m.record_link(3, 2);
+        m.record_link(0, 0);
+        let s = m.snapshot();
+        assert_eq!(s.link_calls, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.candidates_kept, 3);
+        assert_eq!(s.candidates_dropped, 2);
+    }
+}

@@ -68,7 +68,12 @@ impl DepRel {
     pub fn is_subject_like(self) -> bool {
         matches!(
             self,
-            DepRel::Nsubj | DepRel::Nsubjpass | DepRel::Csubj | DepRel::Csubjpass | DepRel::Xsubj | DepRel::Poss
+            DepRel::Nsubj
+                | DepRel::Nsubjpass
+                | DepRel::Csubj
+                | DepRel::Csubjpass
+                | DepRel::Xsubj
+                | DepRel::Poss
         )
     }
 
@@ -121,7 +126,14 @@ mod tests {
 
     #[test]
     fn subject_like_matches_the_paper_list() {
-        let yes = [DepRel::Nsubj, DepRel::Nsubjpass, DepRel::Csubj, DepRel::Csubjpass, DepRel::Xsubj, DepRel::Poss];
+        let yes = [
+            DepRel::Nsubj,
+            DepRel::Nsubjpass,
+            DepRel::Csubj,
+            DepRel::Csubjpass,
+            DepRel::Xsubj,
+            DepRel::Poss,
+        ];
         for r in yes {
             assert!(r.is_subject_like(), "{r}");
             assert!(!r.is_object_like(), "{r}");

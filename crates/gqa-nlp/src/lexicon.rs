@@ -9,16 +9,16 @@ use crate::pos::Pos;
 /// Tag for closed-class words; `None` if the word is open-class.
 pub fn closed_class(lower: &str) -> Option<Pos> {
     Some(match lower {
-        "the" | "a" | "an" | "all" | "every" | "each" | "some" | "any" | "no" | "both"
-        | "this" | "these" | "those" => Pos::Dt,
+        "the" | "a" | "an" | "all" | "every" | "each" | "some" | "any" | "no" | "both" | "this"
+        | "these" | "those" => Pos::Dt,
         // "that" is tagged as a wh-determiner: in the question workload it is
         // almost always a relativizer ("an actor that played in …").
         "which" | "that" | "whatever" | "whichever" => Pos::Wdt,
         "who" | "whom" | "what" | "whose" => Pos::Wp,
         "when" | "where" | "why" | "how" => Pos::Wrb,
         "in" | "of" | "on" | "by" | "at" | "from" | "with" | "for" | "through" | "about"
-        | "into" | "after" | "before" | "between" | "during" | "as" | "near" | "under"
-        | "over" | "behind" | "without" | "than" => Pos::In,
+        | "into" | "after" | "before" | "between" | "during" | "as" | "near" | "under" | "over"
+        | "behind" | "without" | "than" => Pos::In,
         "to" => Pos::To,
         "and" | "or" | "but" | "nor" => Pos::Cc,
         "is" | "has" | "does" => Pos::Vbz,
@@ -27,7 +27,9 @@ pub fn closed_class(lower: &str) -> Option<Pos> {
         "be" => Pos::Vb,
         "been" => Pos::Vbn,
         "being" => Pos::Vbg,
-        "will" | "would" | "can" | "could" | "shall" | "should" | "may" | "might" | "must" => Pos::Md,
+        "will" | "would" | "can" | "could" | "shall" | "should" | "may" | "might" | "must" => {
+            Pos::Md
+        }
         "i" | "you" | "he" | "she" | "it" | "we" | "they" | "me" | "him" | "her" | "us"
         | "them" => Pos::Prp,
         "my" | "your" | "his" | "its" | "our" | "their" => Pos::PrpDollar,
@@ -48,35 +50,35 @@ pub fn open_class(lower: &str) -> Option<Pos> {
     Some(match lower {
         // Base verbs.
         "play" | "star" | "act" | "appear" | "marry" | "die" | "bear" | "direct" | "produce"
-        | "develop" | "found" | "create" | "write" | "publish" | "flow" | "connect"
-        | "operate" | "live" | "locate" | "own" | "win" | "give" | "list" | "show" | "name"
-        | "tell" | "call" | "come" | "lead" | "govern" | "border" | "cross" | "run"
-        | "make" | "succeed" | "head" | "release" => Pos::Vb,
+        | "develop" | "found" | "create" | "write" | "publish" | "flow" | "connect" | "operate"
+        | "live" | "locate" | "own" | "win" | "give" | "list" | "show" | "name" | "tell"
+        | "call" | "come" | "lead" | "govern" | "border" | "cross" | "run" | "make" | "succeed"
+        | "head" | "release" => Pos::Vb,
         // Present 3sg.
         "plays" | "stars" | "flows" | "produces" | "owns" | "lives" | "borders" | "leads"
         | "crosses" | "connects" | "comes" | "operates" | "heads" => Pos::Vbz,
         // Past forms (VBD; the parser re-reads VBD/VBN from context).
         "played" | "starred" | "died" | "directed" | "produced" | "developed" | "founded"
-        | "created" | "wrote" | "won" | "led" | "governed" | "came" | "succeeded"
-        | "released" => Pos::Vbd,
+        | "created" | "wrote" | "won" | "led" | "governed" | "came" | "succeeded" | "released" => {
+            Pos::Vbd
+        }
         // Participles.
-        "married" | "born" | "written" | "located" | "called" | "made" | "operated"
-        | "buried" | "headquartered" | "published" | "owned" | "named" | "fed" => Pos::Vbn,
+        "married" | "born" | "written" | "located" | "called" | "made" | "operated" | "buried"
+        | "headquartered" | "published" | "owned" | "named" | "fed" => Pos::Vbn,
         "starring" | "flowing" | "living" => Pos::Vbg,
         // Common nouns of the workload.
         "actor" | "actress" | "film" | "movie" | "city" | "country" | "state" | "capital"
-        | "mayor" | "governor" | "wife" | "husband" | "spouse" | "father" | "mother"
-        | "child" | "daughter" | "son" | "member" | "company" | "car" | "book" | "river"
-        | "mountain" | "player" | "team" | "president" | "successor" | "creator"
-        | "height" | "population" | "timezone" | "nickname" | "uncle" | "aunt" | "band"
-        | "author" | "director" | "producer" | "founder" | "developer" | "comic"
-        | "launch" | "pad" | "headquarters" | "queen" | "king" | "person" | "people"
-        | "place" | "area" | "zone" | "time" | "birth" | "sister" | "brother"
-        | "leader" | "language" | "currency" | "anthem" | "lake" => Pos::Nn,
-        "actors" | "films" | "movies" | "cities" | "countries" | "states" | "cars"
-        | "books" | "rivers" | "members" | "companies" | "players" | "children"
-        | "nicknames" | "pads" | "teams" | "languages" | "daughters" | "sons"
-        | "wives" | "husbands" | "bands" | "authors" | "lakes" | "mountains" => Pos::Nns,
+        | "mayor" | "governor" | "wife" | "husband" | "spouse" | "father" | "mother" | "child"
+        | "daughter" | "son" | "member" | "company" | "car" | "book" | "river" | "mountain"
+        | "player" | "team" | "president" | "successor" | "creator" | "height" | "population"
+        | "timezone" | "nickname" | "uncle" | "aunt" | "band" | "author" | "director"
+        | "producer" | "founder" | "developer" | "comic" | "launch" | "pad" | "headquarters"
+        | "queen" | "king" | "person" | "people" | "place" | "area" | "zone" | "time" | "birth"
+        | "sister" | "brother" | "leader" | "language" | "currency" | "anthem" | "lake" => Pos::Nn,
+        "actors" | "films" | "movies" | "cities" | "countries" | "states" | "cars" | "books"
+        | "rivers" | "members" | "companies" | "players" | "children" | "nicknames" | "pads"
+        | "teams" | "languages" | "daughters" | "sons" | "wives" | "husbands" | "bands"
+        | "authors" | "lakes" | "mountains" => Pos::Nns,
         // Adjectives of the workload.
         "tall" | "high" | "big" | "large" | "small" | "long" | "old" | "young" | "former"
         | "dutch" | "argentine" | "german" | "american" | "british" | "french" => Pos::Jj,

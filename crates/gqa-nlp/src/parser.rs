@@ -134,7 +134,9 @@ fn chunk_noun_phrases(st: &mut State) -> Vec<Span> {
     let mut i = 0;
     while i < n {
         let p = st.pos(i);
-        let starts_np = matches!(p, Pos::Dt | Pos::PrpDollar) || p.is_np_internal() || is_wh_determiner_before_noun(st, i);
+        let starts_np = matches!(p, Pos::Dt | Pos::PrpDollar)
+            || p.is_np_internal()
+            || is_wh_determiner_before_noun(st, i);
         if !starts_np {
             i += 1;
             continue;
@@ -230,7 +232,10 @@ fn find_verb_groups(st: &State) -> Vec<VerbGroup> {
         }
         let start = i;
         let mut j = i;
-        while j + 1 < n && !st.attached(j + 1) && (st.pos(j + 1).is_verb() || st.pos(j + 1) == Pos::Md) {
+        while j + 1 < n
+            && !st.attached(j + 1)
+            && (st.pos(j + 1).is_verb() || st.pos(j + 1) == Pos::Md)
+        {
             j += 1;
         }
         // Lexical head: last token that is not a pure auxiliary form, else
@@ -378,10 +383,18 @@ fn attach_group_auxiliaries(st: &mut State, g: &VerbGroup, head: usize) {
 
 /// Resolve the clause's verb-group list into a single lexical head verb,
 /// attaching auxiliaries (handles split do-support: `[did] … [star]`).
-fn resolve_group(st: &mut State, groups: &[VerbGroup], clause_groups: &[usize], first: usize) -> usize {
+fn resolve_group(
+    st: &mut State,
+    groups: &[VerbGroup],
+    clause_groups: &[usize],
+    first: usize,
+) -> usize {
     let g0 = groups[first];
     let g0_is_aux_only = (g0.start..=g0.end).all(|k| {
-        lexicon::is_be(st.lower(k)) || lexicon::is_do(st.lower(k)) || lexicon::is_have(st.lower(k)) || st.pos(k) == Pos::Md
+        lexicon::is_be(st.lower(k))
+            || lexicon::is_do(st.lower(k))
+            || lexicon::is_have(st.lower(k))
+            || st.pos(k) == Pos::Md
     });
     if g0_is_aux_only {
         // Find the next group in the clause: its head is the lexical verb.
@@ -406,7 +419,12 @@ fn resolve_group(st: &mut State, groups: &[VerbGroup], clause_groups: &[usize], 
 }
 
 /// Is the clause's resolved verb a passive participle with a *be* auxiliary?
-fn is_passive_group(st: &State, groups: &[VerbGroup], clause_groups: &[usize], first: usize) -> bool {
+fn is_passive_group(
+    st: &State,
+    groups: &[VerbGroup],
+    clause_groups: &[usize],
+    first: usize,
+) -> bool {
     let g0 = groups[first];
     let head = clause_groups
         .iter()
@@ -421,7 +439,10 @@ fn is_passive_group(st: &State, groups: &[VerbGroup], clause_groups: &[usize], f
         .find(|&m| st.pos(m) == Pos::Vbn)
         .unwrap_or(head);
     st.pos(lexical) == Pos::Vbn
-        && clause_groups.iter().flat_map(|&gi| groups[gi].start..=groups[gi].end).any(|k| lexicon::is_be(st.lower(k)))
+        && clause_groups
+            .iter()
+            .flat_map(|&gi| groups[gi].start..=groups[gi].end)
+            .any(|k| lexicon::is_be(st.lower(k)))
 }
 
 /// Build the main clause; returns its root node.
@@ -434,10 +455,9 @@ fn build_main_clause(
 ) -> usize {
     let n = st.tokens.len();
     fn main_span(st: &State, spans: &[Span], relativizers: &[usize], from: usize) -> Option<Span> {
-        spans
-            .iter()
-            .copied()
-            .find(|s| s.start >= from && clause_of(relativizers, s.start) == 0 && !st.attached(s.head))
+        spans.iter().copied().find(|s| {
+            s.start >= from && clause_of(relativizers, s.start) == 0 && !st.attached(s.head)
+        })
     }
 
     // No verb at all: root is the first NP head (or token 0).
@@ -488,23 +508,23 @@ fn build_main_clause(
     // between auxiliary and verb; otherwise the NP before the first verb.
     let first_verb_tok = g0.start;
     let wh0 = (0..first_verb_tok).find(|&i| st.pos(i).is_wh() && !st.attached(i));
-    let fronted_wh_span = spans
-        .iter()
-        .copied()
-        .find(|s| s.end < first_verb_tok && (st.pos(s.start).is_wh() || (s.start > 0 && st.pos(s.start - 1).is_wh())));
+    let fronted_wh_span = spans.iter().copied().find(|s| {
+        s.end < first_verb_tok
+            && (st.pos(s.start).is_wh() || (s.start > 0 && st.pos(s.start - 1).is_wh()))
+    });
 
     // NP strictly between the split auxiliary and the lexical verb → that is
     // the subject ("did *Antonio Banderas* star").
-    let subj_between = spans
-        .iter()
-        .copied()
-        .find(|s| s.start > g0.end && s.end < root && !st.attached(s.head));
+    let subj_between =
+        spans.iter().copied().find(|s| s.start > g0.end && s.end < root && !st.attached(s.head));
 
     if let Some(s) = subj_between {
         st.attach(s.head, root, subj_rel);
         // A fronted wh-NP then becomes object material; PP attachment or
         // object attachment below picks it up.
-    } else if let Some(s) = spans.iter().copied().find(|s| s.end < first_verb_tok && !st.attached(s.head)) {
+    } else if let Some(s) =
+        spans.iter().copied().find(|s| s.end < first_verb_tok && !st.attached(s.head))
+    {
         // Plain declarative-order subject NP ("Sean Parnell is …" handled in
         // copular branch; here: "the Weser flows …").
         st.attach(s.head, root, subj_rel);
@@ -533,7 +553,12 @@ fn coordinate_groups(st: &mut State, groups: &[VerbGroup], clause_groups: &[usiz
 /// Copular clauses. Conventions (consistent within this system):
 /// the predicate (nominal or adjectival) is the root; `cop` links the *be*
 /// form to it; the subject gets `nsubj`.
-fn build_copular_clause(st: &mut State, spans: &[Span], relativizers: &[usize], be: usize) -> usize {
+fn build_copular_clause(
+    st: &mut State,
+    spans: &[Span],
+    relativizers: &[usize],
+    be: usize,
+) -> usize {
     let n = st.tokens.len();
     let in_main = |p: usize| clause_of(relativizers, p) == 0;
 
@@ -588,7 +613,11 @@ fn build_copular_clause(st: &mut State, spans: &[Span], relativizers: &[usize], 
         // "Who is the mayor of Berlin?" — wh subject, nominal predicate.
         (Some(w), None, Some(pr)) => {
             st.attach(be, pr.head, DepRel::Cop);
-            st.attach(w, pr.head, if st.pos(w) == Pos::Wrb { DepRel::Advmod } else { DepRel::Nsubj });
+            st.attach(
+                w,
+                pr.head,
+                if st.pos(w) == Pos::Wrb { DepRel::Advmod } else { DepRel::Nsubj },
+            );
             pr.head
         }
         // "Sean Parnell is the governor of which state?" — NP subject.
@@ -642,15 +671,11 @@ fn attach_prepositions(st: &mut State, spans: &[Span], root: usize) {
         // root (covers sentence-initial fronted PPs).
         let governor = if i == 0 {
             Some(root)
-        } else if st.pos(i - 1).is_noun() || st.pos(i - 1).is_verb() || st.pos(i - 1).is_adjective() {
+        } else if st.pos(i - 1).is_noun() || st.pos(i - 1).is_verb() || st.pos(i - 1).is_adjective()
+        {
             // Attach to the *head* of the NP if the preceding token is
             // inside one.
-            Some(
-                spans
-                    .iter()
-                    .find(|s| s.start < i && i - 1 <= s.end)
-                    .map_or(i - 1, |s| s.head),
-            )
+            Some(spans.iter().find(|s| s.start < i && i - 1 <= s.end).map_or(i - 1, |s| s.head))
         } else {
             (0..i).rev().find(|&k| st.pos(k).is_verb()).or(Some(root))
         };
@@ -713,7 +738,10 @@ fn attach_leftovers(st: &mut State, spans: &[Span], root: usize) {
             Some(v) => {
                 let v = if st.pos(v).is_verb() && st.rels[v] == DepRel::Cop {
                     st.heads[v].unwrap_or(root)
-                } else if st.attached(v) && !matches!(st.rels[v], DepRel::Root) && !is_clause_head(st, v) {
+                } else if st.attached(v)
+                    && !matches!(st.rels[v], DepRel::Root)
+                    && !is_clause_head(st, v)
+                {
                     // aux attaches below its lexical verb; climb once.
                     st.heads[v].unwrap_or(v)
                 } else {
@@ -742,7 +770,8 @@ fn attach_leftovers(st: &mut State, spans: &[Span], root: usize) {
 /// Is `v` the head of clause-level structure (has subject/object children or
 /// is a rcmod/conj)?
 fn is_clause_head(st: &State, v: usize) -> bool {
-    matches!(st.rels[v], DepRel::Rcmod | DepRel::Conj) || st.pos(v).is_verb() && st.heads[v].is_none()
+    matches!(st.rels[v], DepRel::Rcmod | DepRel::Conj)
+        || st.pos(v).is_verb() && st.heads[v].is_none()
 }
 
 #[cfg(test)]
@@ -755,10 +784,9 @@ mod tests {
 
     /// Index of the first token whose lowercased text is `w`.
     fn idx(t: &DepTree, w: &str) -> usize {
-        t.tokens
-            .iter()
-            .position(|tok| tok.lower == w)
-            .unwrap_or_else(|| panic!("token {w:?} not in {:?}", t.tokens.iter().map(|x| &x.text).collect::<Vec<_>>()))
+        t.tokens.iter().position(|tok| tok.lower == w).unwrap_or_else(|| {
+            panic!("token {w:?} not in {:?}", t.tokens.iter().map(|x| &x.text).collect::<Vec<_>>())
+        })
     }
 
     fn rel_of(t: &DepTree, w: &str) -> (Option<usize>, DepRel) {

@@ -155,7 +155,11 @@ pub fn tag_word(raw: &str, lower: &str, is_first: bool, prev_is_dt_or_jj: bool) 
     if lower.ends_with("est") && lower.len() > 4 {
         return Pos::Jjs;
     }
-    if lower.ends_with("ous") || lower.ends_with("ful") || lower.ends_with("ive") || lower.ends_with("al") {
+    if lower.ends_with("ous")
+        || lower.ends_with("ful")
+        || lower.ends_with("ive")
+        || lower.ends_with("al")
+    {
         return Pos::Jj;
     }
     if lower.ends_with('s') && !lower.ends_with("ss") && lower.len() > 2 {

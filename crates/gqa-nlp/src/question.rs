@@ -75,7 +75,11 @@ impl QuestionAnalysis {
         if let Some(i) = how_many {
             // Target: the noun the "many" modifies, or the next noun.
             let target = (i + 2..n).find(|&j| tree.pos(j).is_noun()).unwrap_or(tree.root);
-            return QuestionAnalysis { target, shape: AnswerShape::Count, aggregation: Some(Aggregation::Count) };
+            return QuestionAnalysis {
+                target,
+                shape: AnswerShape::Count,
+                aggregation: Some(Aggregation::Count),
+            };
         }
 
         // Numeric comparison: "more|less (than) <number> <noun>".
@@ -98,24 +102,24 @@ impl QuestionAnalysis {
 
         // Superlative anywhere → aggregation marker (answered only when the
         // aggregates extension is enabled, mirroring Table 10).
-        let superlative =
-            comparison.or_else(|| (0..n).find(|&i| tree.pos(i) == Pos::Jjs).map(Aggregation::Superlative));
+        let superlative = comparison
+            .or_else(|| (0..n).find(|&i| tree.pos(i) == Pos::Jjs).map(Aggregation::Superlative));
 
         // Boolean: the sentence starts with a copula or do-auxiliary.
         if matches!(lower0, "is" | "are" | "was" | "were" | "does" | "do" | "did") {
             let target = tree.root;
-            return QuestionAnalysis { target, shape: AnswerShape::Boolean, aggregation: superlative };
+            return QuestionAnalysis {
+                target,
+                shape: AnswerShape::Boolean,
+                aggregation: superlative,
+            };
         }
 
         // wh-questions.
         if let Some(w) = (0..n).find(|&i| tree.pos(i).is_wh() && tree.tokens[i].lower != "that") {
             let lower = tree.tokens[w].lower.as_str();
             // which/what + noun: the determined noun is the variable.
-            let target = if tree.rels[w] == DepRel::Det {
-                tree.parent(w).unwrap_or(w)
-            } else {
-                w
-            };
+            let target = if tree.rels[w] == DepRel::Det { tree.parent(w).unwrap_or(w) } else { w };
             let shape = match lower {
                 "who" | "whom" | "whose" => AnswerShape::Person,
                 "where" => AnswerShape::Place,
@@ -129,7 +133,11 @@ impl QuestionAnalysis {
         // Imperatives: target = dobj of the root verb.
         if tree.pos(tree.root).is_verb() {
             if let Some(obj) = tree.children_via(tree.root, DepRel::Dobj).next() {
-                return QuestionAnalysis { target: obj, shape: AnswerShape::List, aggregation: superlative };
+                return QuestionAnalysis {
+                    target: obj,
+                    shape: AnswerShape::List,
+                    aggregation: superlative,
+                };
             }
         }
 

@@ -106,7 +106,10 @@ mod tests {
 
     #[test]
     fn strips_quotes_and_commas() {
-        assert_eq!(tokenize("born in Vienna, and died"), vec!["born", "in", "Vienna", ",", "and", "died"]);
+        assert_eq!(
+            tokenize("born in Vienna, and died"),
+            vec!["born", "in", "Vienna", ",", "and", "died"]
+        );
         assert_eq!(tokenize("called \"Scarface\"?"), vec!["called", "Scarface", "?"]);
     }
 

@@ -35,11 +35,7 @@ impl DepTree {
 
     /// Children of node `i`, in sentence order.
     pub fn children(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
-        self.heads
-            .iter()
-            .enumerate()
-            .filter(move |&(_, h)| *h == Some(i))
-            .map(|(j, _)| j)
+        self.heads.iter().enumerate().filter(move |&(_, h)| *h == Some(i)).map(|(j, _)| j)
     }
 
     /// Children of `i` reached via relation `rel`.

@@ -1,0 +1,150 @@
+//! Zero-dependency observability for the gqa workspace.
+//!
+//! Three pieces, all cheap by default:
+//!
+//! * **Spans** ([`span`]) — RAII wall-clock timers with parent/child
+//!   nesting, named `stage.substage`.
+//! * **Metrics** ([`metrics`]) — a thread-safe registry of counters and
+//!   fixed-bucket histograms named `gqa_<crate>_<what>_<unit>`, with
+//!   Prometheus text and JSON exposition.
+//! * **Traces** ([`trace`]) — a per-question [`QueryTrace`] recording every
+//!   pipeline decision, rendered by the `:explain` REPL command.
+//!
+//! The entry point is [`Obs`]: `Obs::new()` collects everything,
+//! `Obs::disabled()` (the default) makes every handle a no-op — disabled
+//! counters and spans cost one `Option` check, so instrumentation can stay
+//! unconditionally in place on hot paths.
+
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use metrics::{Counter, CounterHandle, Histogram, HistogramHandle, Registry, DURATION_BUCKETS};
+pub use span::{SpanCollector, SpanGuard, SpanRecord};
+pub use trace::{
+    CursorTrace, LinkTrace, ParseTrace, PhraseCandidates, ProbeTrace, PruneTrace, QueryTrace,
+    RelationTrace, TaRoundTrace,
+};
+
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct ObsInner {
+    registry: Registry,
+    spans: Arc<SpanCollector>,
+}
+
+/// The observability handle threaded through the pipeline. Cloning is a
+/// pointer copy; every clone shares one registry and span collector. A
+/// disabled handle makes all derived handles no-ops.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// An enabled handle with a fresh registry and span collector.
+    pub fn new() -> Self {
+        Obs { inner: Some(Arc::new(ObsInner::default())) }
+    }
+
+    /// A handle that records nothing (same as `Obs::default()`).
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A counter handle for the named series (no-op when disabled).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> CounterHandle {
+        CounterHandle(self.inner.as_ref().map(|i| i.registry.counter(name, labels)))
+    }
+
+    /// A histogram handle for the named series (no-op when disabled).
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> HistogramHandle {
+        HistogramHandle(self.inner.as_ref().map(|i| i.registry.histogram(name, labels, bounds)))
+    }
+
+    /// Open a span; recorded when the guard drops (no-op when disabled).
+    pub fn span(&self, name: &str) -> SpanGuard {
+        match &self.inner {
+            Some(i) => i.spans.start(name),
+            None => SpanGuard::noop(),
+        }
+    }
+
+    /// The underlying registry, if enabled (for snapshot publishing).
+    pub fn registry(&self) -> Option<&Registry> {
+        self.inner.as_deref().map(|i| &i.registry)
+    }
+
+    /// Prometheus text exposition of all metrics (empty when disabled).
+    pub fn prometheus(&self) -> String {
+        self.registry().map(Registry::prometheus).unwrap_or_default()
+    }
+
+    /// JSON dump of all metrics (empty object when disabled).
+    pub fn json(&self) -> String {
+        self.registry().map(Registry::json).unwrap_or_else(|| "{\"metrics\":[]}".to_string())
+    }
+
+    /// Indented timing report of completed spans (empty when disabled).
+    pub fn span_report(&self) -> String {
+        self.inner.as_ref().map(|i| i.spans.report()).unwrap_or_default()
+    }
+
+    /// Snapshot of completed span records (empty when disabled).
+    pub fn span_records(&self) -> Vec<SpanRecord> {
+        self.inner.as_ref().map(|i| i.spans.records()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_noops() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        let c = obs.counter("gqa_test_total", &[]);
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let h = obs.histogram("gqa_test_seconds", &[], DURATION_BUCKETS);
+        h.observe(0.5);
+        drop(obs.span("test.noop"));
+        assert!(obs.prometheus().is_empty());
+        assert_eq!(obs.json(), "{\"metrics\":[]}");
+        assert!(obs.span_report().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let obs = Obs::new();
+        let a = obs.counter("gqa_test_total", &[("kind", "x")]);
+        let b = obs.counter("gqa_test_total", &[("kind", "x")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        // Different labels are a different series.
+        let c = obs.counter("gqa_test_total", &[("kind", "y")]);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn clone_shares_registry() {
+        let obs = Obs::new();
+        let clone = obs.clone();
+        clone.counter("gqa_shared_total", &[]).inc();
+        assert_eq!(obs.counter("gqa_shared_total", &[]).get(), 1);
+    }
+}

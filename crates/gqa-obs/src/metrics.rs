@@ -1,0 +1,337 @@
+//! The metrics registry: named counters and fixed-bucket histograms.
+//!
+//! Registration takes a lock; updates are lock-free relaxed atomics, so a
+//! handle can be cached once and bumped from any thread on a hot path.
+//! Exposition renders the whole registry as Prometheus text or JSON.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Histogram bucket bounds for pipeline-stage durations, in seconds
+/// (10 µs … 10 s, decades).
+pub const DURATION_BUCKETS: &[f64] = &[1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Relaxed);
+    }
+
+    /// Overwrite with an absolute value (for publishing snapshots of
+    /// component-local counters).
+    pub fn set(&self, n: u64) {
+        self.value.store(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// A counter handle that is a no-op when observability is disabled.
+#[derive(Clone, Debug, Default)]
+pub struct CounterHandle(pub(crate) Option<Arc<Counter>>);
+
+impl CounterHandle {
+    /// A handle that ignores all updates.
+    pub fn noop() -> Self {
+        CounterHandle(None)
+    }
+
+    /// Add one (no-op when disabled).
+    #[inline]
+    pub fn inc(&self) {
+        if let Some(c) = &self.0 {
+            c.inc();
+        }
+    }
+
+    /// Add `n` (no-op when disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.add(n);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.get())
+    }
+}
+
+/// A fixed-bucket histogram. Bucket counts are stored per-bucket
+/// (non-cumulative) and cumulated at exposition time; the sum is an f64
+/// maintained with a CAS loop over its bit pattern.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[f64]>,
+    /// One slot per bound plus the overflow (+Inf) slot.
+    buckets: Box<[AtomicU64]>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing: {bounds:?}"
+        );
+        Histogram {
+            bounds: bounds.into(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        // First bucket whose upper bound admits v (Prometheus `le`
+        // semantics: bucket i counts v ≤ bounds[i]).
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.buckets[i].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        let mut old = self.sum_bits.load(Relaxed);
+        loop {
+            let new = (f64::from_bits(old) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(old, new, Relaxed, Relaxed) {
+                Ok(_) => break,
+                Err(cur) => old = cur,
+            }
+        }
+    }
+
+    /// Record a duration in seconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Relaxed))
+    }
+
+    /// Cumulative counts per bound, plus the +Inf count last.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b.load(Relaxed);
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+/// A histogram handle that is a no-op when observability is disabled.
+#[derive(Clone, Debug, Default)]
+pub struct HistogramHandle(pub(crate) Option<Arc<Histogram>>);
+
+impl HistogramHandle {
+    /// A handle that ignores all updates.
+    pub fn noop() -> Self {
+        HistogramHandle(None)
+    }
+
+    /// Record one observation (no-op when disabled).
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if let Some(h) = &self.0 {
+            h.observe(v);
+        }
+    }
+
+    /// Record a duration in seconds (no-op when disabled).
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        if let Some(h) = &self.0 {
+            h.observe_duration(d);
+        }
+    }
+}
+
+/// `name` plus sorted label pairs: the identity of one metric series.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        SeriesKey { name: name.to_string(), labels }
+    }
+
+    fn render_labels(&self) -> String {
+        if self.labels.is_empty() {
+            return String::new();
+        }
+        let inner: Vec<String> =
+            self.labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+        format!("{{{}}}", inner.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `le` bound / float value the way Prometheus expects.
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Thread-safe registry of named metric series.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<SeriesKey, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<SeriesKey, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or register a counter series. Naming convention:
+    /// `gqa_<crate>_<what>_<unit>` with `_total` for counters.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = SeriesKey::new(name, labels);
+        self.counters.lock().entry(key).or_insert_with(|| Arc::new(Counter::default())).clone()
+    }
+
+    /// Overwrite a counter series with an absolute value (snapshot
+    /// publishing from component-local counters).
+    pub fn set_counter(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.counter(name, labels).set(value);
+    }
+
+    /// Get or register a histogram series. If the series already exists its
+    /// original bounds are kept.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64]) -> Arc<Histogram> {
+        let key = SeriesKey::new(name, labels);
+        self.histograms
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Arc::new(Histogram::new(bounds)))
+            .clone()
+    }
+
+    /// Prometheus text exposition of every registered series.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let counters = self.counters.lock();
+        let mut last_name = "";
+        for (key, c) in counters.iter() {
+            if key.name != last_name {
+                out.push_str(&format!("# TYPE {} counter\n", key.name));
+                last_name = &key.name;
+            }
+            out.push_str(&format!("{}{} {}\n", key.name, key.render_labels(), c.get()));
+        }
+        drop(counters);
+        let histograms = self.histograms.lock();
+        let mut last_name = "";
+        for (key, h) in histograms.iter() {
+            if key.name != last_name {
+                out.push_str(&format!("# TYPE {} histogram\n", key.name));
+                last_name = &key.name;
+            }
+            for (bound, count) in h.cumulative_buckets() {
+                let mut labels = key.labels.clone();
+                labels.push(("le".to_string(), fmt_f64(bound)));
+                let inner: Vec<String> =
+                    labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+                out.push_str(&format!("{}_bucket{{{}}} {}\n", key.name, inner.join(","), count));
+            }
+            out.push_str(&format!("{}_sum{} {}\n", key.name, key.render_labels(), h.sum()));
+            out.push_str(&format!("{}_count{} {}\n", key.name, key.render_labels(), h.count()));
+        }
+        out
+    }
+
+    /// JSON dump of every registered series.
+    pub fn json(&self) -> String {
+        let labels_json = |labels: &[(String, String)]| {
+            let inner: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        };
+        let mut parts = Vec::new();
+        for (key, c) in self.counters.lock().iter() {
+            parts.push(format!(
+                "{{\"name\":\"{}\",\"labels\":{},\"type\":\"counter\",\"value\":{}}}",
+                escape_json(&key.name),
+                labels_json(&key.labels),
+                c.get()
+            ));
+        }
+        for (key, h) in self.histograms.lock().iter() {
+            let buckets: Vec<String> = h
+                .cumulative_buckets()
+                .iter()
+                .map(|(b, n)| format!("{{\"le\":\"{}\",\"count\":{n}}}", fmt_f64(*b)))
+                .collect();
+            parts.push(format!(
+                "{{\"name\":\"{}\",\"labels\":{},\"type\":\"histogram\",\"buckets\":[{}],\"sum\":{},\"count\":{}}}",
+                escape_json(&key.name),
+                labels_json(&key.labels),
+                buckets.join(","),
+                h.sum(),
+                h.count()
+            ));
+        }
+        format!("{{\"metrics\":[{}]}}", parts.join(","))
+    }
+}

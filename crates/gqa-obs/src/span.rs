@@ -1,0 +1,158 @@
+//! Lightweight hierarchical spans.
+//!
+//! A span is an RAII guard: creation records the start, drop records the
+//! duration. Parent/child relationships are tracked with a thread-local
+//! stack, so nested guards on one thread form a tree without any explicit
+//! plumbing. Completed spans land in a shared collector that can render an
+//! indented timing report.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of currently open span ids on this thread.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One completed span.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Unique id within the collector.
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Span name, by convention `stage.substage` (e.g. `pipeline.topk`).
+    pub name: String,
+    /// Start offset from the collector's epoch, in microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// Shared sink for completed spans.
+#[derive(Debug)]
+pub struct SpanCollector {
+    epoch: Instant,
+    next_id: AtomicU64,
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+impl Default for SpanCollector {
+    fn default() -> Self {
+        SpanCollector {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            records: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl SpanCollector {
+    /// Open a span; finished (and recorded) when the guard drops.
+    pub fn start(self: &Arc<Self>, name: &str) -> SpanGuard {
+        let id = self.next_id.fetch_add(1, Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            s.push(id);
+            parent
+        });
+        SpanGuard {
+            collector: Some(self.clone()),
+            id,
+            parent,
+            name: name.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Snapshot of all completed spans, in completion order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Render completed spans as an indented tree, children under parents,
+    /// siblings in start order.
+    pub fn report(&self) -> String {
+        let mut records = self.records();
+        records.sort_by_key(|r| r.start_us);
+        let mut out = String::new();
+        // Roots are spans whose parent is absent from the record set (the
+        // parent may still be open).
+        let known: std::collections::HashSet<u64> = records.iter().map(|r| r.id).collect();
+        let roots: Vec<&SpanRecord> =
+            records.iter().filter(|r| r.parent.is_none_or(|p| !known.contains(&p))).collect();
+        for root in roots {
+            render(root, &records, 0, &mut out);
+        }
+        fn render(r: &SpanRecord, all: &[SpanRecord], depth: usize, out: &mut String) {
+            out.push_str(&format!(
+                "{}{} {:.3}ms\n",
+                "  ".repeat(depth),
+                r.name,
+                r.dur_us as f64 / 1000.0
+            ));
+            for child in all.iter().filter(|c| c.parent == Some(r.id)) {
+                render(child, all, depth + 1, out);
+            }
+        }
+        out
+    }
+
+    fn finish(&self, guard: &SpanGuard) {
+        let start_us = guard.start.duration_since(self.epoch).as_micros() as u64;
+        let dur_us = guard.start.elapsed().as_micros() as u64;
+        self.records.lock().push(SpanRecord {
+            id: guard.id,
+            parent: guard.parent,
+            name: guard.name.clone(),
+            start_us,
+            dur_us,
+        });
+    }
+}
+
+/// RAII guard for one open span; a disabled guard (`SpanGuard::noop`)
+/// records nothing.
+#[derive(Debug)]
+pub struct SpanGuard {
+    collector: Option<Arc<SpanCollector>>,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing on drop.
+    pub fn noop() -> Self {
+        SpanGuard {
+            collector: None,
+            id: 0,
+            parent: None,
+            name: String::new(),
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(collector) = self.collector.take() {
+            SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                if s.last() == Some(&self.id) {
+                    s.pop();
+                } else {
+                    // Out-of-order drop (guards moved across scopes): remove
+                    // wherever it is to keep the stack consistent.
+                    s.retain(|&x| x != self.id);
+                }
+            });
+            collector.finish(self);
+        }
+    }
+}

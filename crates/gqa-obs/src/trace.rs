@@ -1,0 +1,254 @@
+//! Per-question EXPLAIN traces.
+//!
+//! A [`QueryTrace`] is a passive record of every decision the pipeline made
+//! for one question: how the dependency parse was read, which relations were
+//! extracted, which candidates each phrase mapped to (and with what
+//! confidence), what entity linking kept and dropped, what neighborhood
+//! pruning eliminated, and every round of the top-k (TA) join with its
+//! threshold/upper-bound bookkeeping. All ids are pre-resolved to label
+//! strings by the recording side, so this crate needs no knowledge of the
+//! RDF dictionary.
+
+/// How the dependency parse was interpreted.
+#[derive(Clone, Debug, Default)]
+pub struct ParseTrace {
+    /// The tokenised question.
+    pub tokens: Vec<String>,
+    /// Question shape (wh-word / imperative / yes-no / count …).
+    pub shape: String,
+    /// The token chosen as the query target, if any.
+    pub target: Option<String>,
+}
+
+/// One extracted relation (paper §3.2).
+#[derive(Clone, Debug, Default)]
+pub struct RelationTrace {
+    /// The relation phrase text.
+    pub phrase: String,
+    /// First argument text.
+    pub arg1: String,
+    /// Second argument text.
+    pub arg2: String,
+}
+
+/// Candidate list for one phrase (vertex mention or edge relation phrase).
+#[derive(Clone, Debug, Default)]
+pub struct PhraseCandidates {
+    /// The phrase text (for edges, `?` marks an implicit edge).
+    pub text: String,
+    /// `(label, confidence)` per candidate, in ranked order.
+    pub candidates: Vec<(String, f64)>,
+}
+
+/// What entity linking kept vs. dropped for one mention.
+#[derive(Clone, Debug, Default)]
+pub struct LinkTrace {
+    /// The mention text.
+    pub mention: String,
+    /// Candidates kept (label, confidence), ranked.
+    pub kept: Vec<(String, f64)>,
+    /// Number of candidates dropped past the `max_candidates` cut.
+    pub dropped: usize,
+}
+
+/// Effect of neighborhood pruning (paper §4.2.2) on one vertex.
+#[derive(Clone, Debug, Default)]
+pub struct PruneTrace {
+    /// The vertex's phrase text.
+    pub vertex: String,
+    /// Candidate count before pruning.
+    pub before: usize,
+    /// Candidate count after pruning.
+    pub after: usize,
+    /// Labels of eliminated candidates.
+    pub eliminated: Vec<String>,
+}
+
+/// Cursor position for one vertex in a TA round.
+#[derive(Clone, Debug, Default)]
+pub struct CursorTrace {
+    /// The vertex's phrase text.
+    pub vertex: String,
+    /// Sorted-list depth of the cursor this round.
+    pub depth: usize,
+    /// The candidate at the cursor, if the list is that deep.
+    pub candidate: Option<String>,
+    /// That candidate's confidence.
+    pub confidence: Option<f64>,
+}
+
+/// One probe (random access) in a TA round.
+#[derive(Clone, Debug, Default)]
+pub struct ProbeTrace {
+    /// The vertex probed.
+    pub vertex: String,
+    /// The candidate fixed for the probe.
+    pub candidate: String,
+    /// Subgraph matches found by this probe.
+    pub matches: usize,
+    /// How many of those were new (not seen from earlier probes).
+    pub new_matches: usize,
+}
+
+/// One round of the TA-style top-k join (paper Equation 3).
+#[derive(Clone, Debug, Default)]
+pub struct TaRoundTrace {
+    /// Round number, starting at 1.
+    pub round: usize,
+    /// Cursor positions entering the round.
+    pub cursors: Vec<CursorTrace>,
+    /// Probes issued this round.
+    pub probes: Vec<ProbeTrace>,
+    /// θ: the k-th best score after the round (−∞ until k matches exist).
+    pub theta: f64,
+    /// Upbound: the best score any unseen match could still reach.
+    pub upbound: f64,
+    /// Whether the algorithm terminated early after this round.
+    pub early_terminated: bool,
+}
+
+/// The full decision record for one question.
+#[derive(Clone, Debug, Default)]
+pub struct QueryTrace {
+    /// The question text.
+    pub question: String,
+    /// Dependency-parse interpretation (absent if parsing failed).
+    pub parse: Option<ParseTrace>,
+    /// Extracted relations.
+    pub relations: Vec<RelationTrace>,
+    /// Per-vertex candidate lists after mapping.
+    pub vertex_candidates: Vec<PhraseCandidates>,
+    /// Per-edge candidate lists after mapping.
+    pub edge_candidates: Vec<PhraseCandidates>,
+    /// Entity-linking kept/dropped per mention.
+    pub linking: Vec<LinkTrace>,
+    /// Neighborhood-pruning eliminations.
+    pub pruning: Vec<PruneTrace>,
+    /// TA rounds, in order.
+    pub ta: Vec<TaRoundTrace>,
+    /// Failure-taxonomy bucket if the question failed (paper Table 10).
+    pub failure: Option<String>,
+    /// Free-form notes from any stage.
+    pub notes: Vec<String>,
+}
+
+impl QueryTrace {
+    /// A fresh trace for `question`.
+    pub fn new(question: impl Into<String>) -> Self {
+        QueryTrace { question: question.into(), ..QueryTrace::default() }
+    }
+
+    /// Render the trace as a human-readable EXPLAIN report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let fmt_score = |v: f64| {
+            if v == f64::NEG_INFINITY {
+                "-inf".to_string()
+            } else {
+                format!("{v:.4}")
+            }
+        };
+        out.push_str(&format!("EXPLAIN {}\n", self.question));
+        if let Some(p) = &self.parse {
+            out.push_str(&format!("  parse: shape={}", p.shape));
+            if let Some(t) = &p.target {
+                out.push_str(&format!(" target={t:?}"));
+            }
+            out.push_str(&format!("\n    tokens: {}\n", p.tokens.join(" ")));
+        } else {
+            out.push_str("  parse: (failed)\n");
+        }
+        if !self.relations.is_empty() {
+            out.push_str("  relations:\n");
+            for r in &self.relations {
+                out.push_str(&format!("    {:?} ({:?}, {:?})\n", r.phrase, r.arg1, r.arg2));
+            }
+        }
+        if !self.linking.is_empty() {
+            out.push_str("  entity linking:\n");
+            for l in &self.linking {
+                out.push_str(&format!("    {:?}: {} kept", l.mention, l.kept.len()));
+                if l.dropped > 0 {
+                    out.push_str(&format!(", {} dropped", l.dropped));
+                }
+                out.push('\n');
+                for (label, conf) in &l.kept {
+                    out.push_str(&format!("      {label}  conf={conf:.3}\n"));
+                }
+            }
+        }
+        if !self.vertex_candidates.is_empty() {
+            out.push_str("  vertex candidates:\n");
+            for v in &self.vertex_candidates {
+                render_candidates(&mut out, v);
+            }
+        }
+        if !self.edge_candidates.is_empty() {
+            out.push_str("  edge candidates:\n");
+            for e in &self.edge_candidates {
+                render_candidates(&mut out, e);
+            }
+        }
+        if !self.pruning.is_empty() {
+            out.push_str("  neighborhood pruning:\n");
+            for p in &self.pruning {
+                out.push_str(&format!(
+                    "    {:?}: {} -> {} candidates",
+                    p.vertex, p.before, p.after
+                ));
+                if !p.eliminated.is_empty() {
+                    out.push_str(&format!("  (eliminated: {})", p.eliminated.join(", ")));
+                }
+                out.push('\n');
+            }
+        }
+        if !self.ta.is_empty() {
+            out.push_str("  top-k (TA) rounds:\n");
+            for r in &self.ta {
+                out.push_str(&format!(
+                    "    round {}: theta={} upbound={}{}\n",
+                    r.round,
+                    fmt_score(r.theta),
+                    fmt_score(r.upbound),
+                    if r.early_terminated { "  [early termination]" } else { "" }
+                ));
+                for c in &r.cursors {
+                    out.push_str(&format!(
+                        "      cursor {:?} depth={} -> {}\n",
+                        c.vertex,
+                        c.depth,
+                        match (&c.candidate, c.confidence) {
+                            (Some(cand), Some(conf)) => format!("{cand} conf={conf:.3}"),
+                            (Some(cand), None) => cand.clone(),
+                            _ => "(exhausted)".to_string(),
+                        }
+                    ));
+                }
+                for p in &r.probes {
+                    out.push_str(&format!(
+                        "      probe {:?}={} -> {} matches ({} new)\n",
+                        p.vertex, p.candidate, p.matches, p.new_matches
+                    ));
+                }
+            }
+        }
+        if let Some(f) = &self.failure {
+            out.push_str(&format!("  failure: {f}\n"));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        fn render_candidates(out: &mut String, pc: &PhraseCandidates) {
+            out.push_str(&format!("    {:?}:", pc.text));
+            if pc.candidates.is_empty() {
+                out.push_str(" (none)\n");
+                return;
+            }
+            out.push('\n');
+            for (label, conf) in &pc.candidates {
+                out.push_str(&format!("      {label}  conf={conf:.3}\n"));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,146 @@
+//! Integration tests: histogram bucket semantics, concurrent counters,
+//! span nesting, and Prometheus exposition against a golden file.
+
+use gqa_obs::{Obs, DURATION_BUCKETS};
+
+#[test]
+fn histogram_bucket_boundaries() {
+    let obs = Obs::new();
+    let reg = obs.registry().unwrap();
+    let h = reg.histogram("gqa_test_duration_seconds", &[], &[0.1, 1.0, 10.0]);
+
+    // One observation per region, including exact boundary hits: Prometheus
+    // buckets are `le` (less-than-or-equal), so 0.1 belongs in the first
+    // bucket and 10.0 in the last finite one.
+    h.observe(0.05); // <= 0.1
+    h.observe(0.1); // <= 0.1 (boundary)
+    h.observe(0.5); // <= 1.0
+    h.observe(1.0); // <= 1.0 (boundary)
+    h.observe(10.0); // <= 10.0 (boundary)
+    h.observe(99.0); // +Inf only
+
+    let buckets = h.cumulative_buckets();
+    assert_eq!(buckets.len(), 4);
+    assert_eq!(buckets[0], (0.1, 2));
+    assert_eq!(buckets[1], (1.0, 4));
+    assert_eq!(buckets[2], (10.0, 5));
+    assert_eq!(buckets[3].1, 6, "+Inf bucket must count everything");
+    assert!(buckets[3].0.is_infinite());
+    assert_eq!(h.count(), 6);
+    let expected_sum = 0.05 + 0.1 + 0.5 + 1.0 + 10.0 + 99.0;
+    assert!((h.sum() - expected_sum).abs() < 1e-9);
+}
+
+#[test]
+fn default_duration_buckets_are_increasing() {
+    assert!(DURATION_BUCKETS.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn concurrent_counters_from_eight_threads() {
+    let obs = Obs::new();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let handle = obs.counter("gqa_test_concurrent_total", &[]);
+            let hist = obs.histogram("gqa_test_concurrent_seconds", &[], &[0.5]);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    handle.inc();
+                    hist.observe(if i % 2 == 0 { 0.1 } else { 0.9 });
+                }
+            });
+        }
+    });
+    assert_eq!(obs.counter("gqa_test_concurrent_total", &[]).get(), THREADS as u64 * PER_THREAD);
+    let reg = obs.registry().unwrap();
+    let h = reg.histogram("gqa_test_concurrent_seconds", &[], &[0.5]);
+    assert_eq!(h.count(), THREADS as u64 * PER_THREAD);
+    let buckets = h.cumulative_buckets();
+    assert_eq!(buckets[0].1, THREADS as u64 * PER_THREAD / 2);
+    assert_eq!(buckets[1].1, THREADS as u64 * PER_THREAD);
+    let expected_sum = THREADS as f64 * (PER_THREAD as f64 / 2.0) * (0.1 + 0.9);
+    assert!(
+        (h.sum() - expected_sum).abs() < 1e-6,
+        "sum {} vs expected {expected_sum}: no lost updates under contention",
+        h.sum()
+    );
+}
+
+#[test]
+fn span_nesting_and_ordering() {
+    let obs = Obs::new();
+    {
+        let _outer = obs.span("pipeline.answer");
+        {
+            let _inner1 = obs.span("pipeline.understand");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        {
+            let _inner2 = obs.span("pipeline.topk");
+        }
+    }
+    let report = obs.span_report();
+    let lines: Vec<&str> = report.lines().collect();
+    assert_eq!(lines.len(), 3, "three spans recorded:\n{report}");
+    assert!(lines[0].starts_with("pipeline.answer "), "{report}");
+    assert!(lines[1].starts_with("  pipeline.understand "), "children indented:\n{report}");
+    assert!(lines[2].starts_with("  pipeline.topk "), "siblings in start order:\n{report}");
+
+    // The parent's duration covers its children.
+    let records = obs.span_records();
+    let outer = records.iter().find(|r| r.name == "pipeline.answer").unwrap();
+    let inner = records.iter().find(|r| r.name == "pipeline.understand").unwrap();
+    assert!(outer.dur_us >= inner.dur_us);
+    assert_eq!(inner.parent, Some(outer.id));
+}
+
+#[test]
+fn prometheus_golden_exposition() {
+    let obs = Obs::new();
+    obs.counter("gqa_pipeline_questions_total", &[]).add(3);
+    obs.counter("gqa_pipeline_failures_total", &[("reason", "no_match")]).inc();
+    obs.counter("gqa_pipeline_failures_total", &[("reason", "parse")]).add(2);
+    let reg = obs.registry().unwrap();
+    let h =
+        reg.histogram("gqa_pipeline_stage_duration_seconds", &[("stage", "topk")], &[0.001, 0.01]);
+    h.observe(0.0005);
+    h.observe(0.005);
+    h.observe(0.5);
+
+    let got = obs.prometheus();
+    let want = "\
+# TYPE gqa_pipeline_failures_total counter
+gqa_pipeline_failures_total{reason=\"no_match\"} 1
+gqa_pipeline_failures_total{reason=\"parse\"} 2
+# TYPE gqa_pipeline_questions_total counter
+gqa_pipeline_questions_total 3
+# TYPE gqa_pipeline_stage_duration_seconds histogram
+gqa_pipeline_stage_duration_seconds_bucket{stage=\"topk\",le=\"0.001\"} 1
+gqa_pipeline_stage_duration_seconds_bucket{stage=\"topk\",le=\"0.01\"} 2
+gqa_pipeline_stage_duration_seconds_bucket{stage=\"topk\",le=\"+Inf\"} 3
+gqa_pipeline_stage_duration_seconds_sum{stage=\"topk\"} 0.5055
+gqa_pipeline_stage_duration_seconds_count{stage=\"topk\"} 3
+";
+    assert_eq!(got, want, "Prometheus exposition drifted from golden output");
+}
+
+#[test]
+fn json_exposition_is_well_formed() {
+    let obs = Obs::new();
+    obs.counter("gqa_test_total", &[("k", "va\"lue")]).inc();
+    let json = obs.json();
+    assert!(json.starts_with("{\"metrics\":["));
+    assert!(json.contains("\"va\\\"lue\""), "label values JSON-escaped: {json}");
+    assert!(json.ends_with("]}"));
+}
+
+#[test]
+fn set_counter_publishes_absolute_snapshots() {
+    let obs = Obs::new();
+    let reg = obs.registry().unwrap();
+    reg.set_counter("gqa_rdf_index_lookups_total", &[("index", "spo")], 42);
+    reg.set_counter("gqa_rdf_index_lookups_total", &[("index", "spo")], 45);
+    assert_eq!(obs.counter("gqa_rdf_index_lookups_total", &[("index", "spo")]).get(), 45);
+}

@@ -42,7 +42,9 @@ impl ParaphraseDict {
 
     /// Insert (or replace) the mappings of a phrase.
     pub fn insert(&mut self, phrase: String, mut mappings: Vec<ParaMapping>) {
-        mappings.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal));
+        mappings.sort_by(|a, b| {
+            b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal)
+        });
         if let Some(&id) = self.by_text.get(&phrase) {
             self.mappings[id] = mappings;
             return;
@@ -164,7 +166,8 @@ impl ParaphraseDict {
             };
             let confidence: f64 =
                 conf.parse().map_err(|e| format!("line {}: bad confidence: {e}", lno + 1))?;
-            let tfidf: f64 = tfidf.parse().map_err(|e| format!("line {}: bad tfidf: {e}", lno + 1))?;
+            let tfidf: f64 =
+                tfidf.parse().map_err(|e| format!("line {}: bad tfidf: {e}", lno + 1))?;
             let mut path = Vec::new();
             let mut ok = true;
             for s in steps.split(' ') {
@@ -187,10 +190,11 @@ impl ParaphraseDict {
             if !pending.contains_key(phrase) {
                 order.push(phrase.to_owned());
             }
-            pending
-                .entry(phrase.to_owned())
-                .or_default()
-                .push(ParaMapping { path: PathPattern(path.into_boxed_slice()), tfidf, confidence });
+            pending.entry(phrase.to_owned()).or_default().push(ParaMapping {
+                path: PathPattern(path.into_boxed_slice()),
+                tfidf,
+                confidence,
+            });
         }
         for phrase in order {
             let maps = pending.remove(&phrase).unwrap_or_default();

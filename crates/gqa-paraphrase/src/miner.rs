@@ -76,8 +76,9 @@ pub fn mine_with_corpus_size(
     cfg: &MinerConfig,
     corpus_size: usize,
 ) -> ParaphraseDict {
-    let path_cfg = PathConfig { max_len: cfg.theta, max_paths: cfg.max_paths_per_pair, ..Default::default() }
-        .skip_schema_predicates(store);
+    let path_cfg =
+        PathConfig { max_len: cfg.theta, max_paths: cfg.max_paths_per_pair, ..Default::default() }
+            .skip_schema_predicates(store);
 
     // Phase 1: per-phrase path-set summaries.
     let summaries = summarize(store, dataset, &path_cfg, cfg.threads);
@@ -158,7 +159,9 @@ fn summarize(
         let handles: Vec<_> = dataset
             .entries
             .chunks(chunk)
-            .map(|entries| scope.spawn(move |_| entries.iter().map(summarize_one).collect::<Vec<_>>()))
+            .map(|entries| {
+                scope.spawn(move |_| entries.iter().map(summarize_one).collect::<Vec<_>>())
+            })
             .collect();
         for h in handles {
             out.push(h.join().expect("miner worker panicked"));
@@ -238,7 +241,8 @@ mod tests {
         b.add_iri("Melanie", "spouse", "Antonio");
         b.add_iri("Jackie", "spouse", "JFK");
         // Gender noise on everyone.
-        for p in ["Ted", "JFK", "JFK_jr", "Peter", "Jim", "Antonio", "Joseph_Sr", "Gerry", "Bernie"] {
+        for p in ["Ted", "JFK", "JFK_jr", "Peter", "Jim", "Antonio", "Joseph_Sr", "Gerry", "Bernie"]
+        {
             b.add_iri(p, "hasGender", "male");
         }
         for p in ["Melanie", "Jackie"] {
@@ -293,7 +297,8 @@ mod tests {
     #[test]
     fn gender_noise_is_ranked_below_true_paths() {
         let store = family_store();
-        let dict = mine(&store, &family_dataset(), &MinerConfig { top_k: 10, ..Default::default() });
+        let dict =
+            mine(&store, &family_dataset(), &MinerConfig { top_k: 10, ..Default::default() });
         let gender = store.expect_iri("hasGender");
         let noise = PathPattern(Box::new([
             PathStep { pred: gender, dir: Dir::Forward },
@@ -375,10 +380,7 @@ mod parallel_tests {
         let dataset = PhraseDataset::new(
             (0..40)
                 .map(|i| {
-                    PhraseEntry::new(
-                        format!("rel{i} of"),
-                        vec![(format!("a{i}"), format!("c{i}"))],
-                    )
+                    PhraseEntry::new(format!("rel{i} of"), vec![(format!("a{i}"), format!("c{i}"))])
                 })
                 .collect(),
         );

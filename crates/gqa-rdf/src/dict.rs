@@ -78,10 +78,7 @@ impl Dict {
 
     /// Iterate over `(id, term)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
-        self.terms
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (TermId::from_index(i), t))
+        self.terms.iter().enumerate().map(|(i, t)| (TermId::from_index(i), t))
     }
 }
 

@@ -25,14 +25,12 @@ pub struct Neighbor {
 
 /// Iterate the undirected neighborhood of `v`, skipping literal objects.
 pub fn neighbors<'a>(store: &'a Store, v: TermId) -> impl Iterator<Item = Neighbor> + 'a {
-    let fwd = store
-        .out_edges(v)
-        .iter()
-        .filter(|t| store.term(t.o).is_iri())
-        .map(|t| Neighbor { pred: t.p, other: t.o, dir: Dir::Forward });
-    let bwd = store
-        .in_edges(v)
-        .map(|t| Neighbor { pred: t.p, other: t.s, dir: Dir::Backward });
+    let fwd = store.out_edges(v).iter().filter(|t| store.term(t.o).is_iri()).map(|t| Neighbor {
+        pred: t.p,
+        other: t.o,
+        dir: Dir::Forward,
+    });
+    let bwd = store.in_edges(v).map(|t| Neighbor { pred: t.p, other: t.s, dir: Dir::Backward });
     fwd.chain(bwd)
 }
 
@@ -73,8 +71,16 @@ mod tests {
         let a = s.expect_iri("a");
         let ns: Vec<_> = neighbors(&s, a).collect();
         assert_eq!(ns.len(), 2, "literal neighbor must be skipped");
-        assert!(ns.contains(&Neighbor { pred: s.expect_iri("p"), other: s.expect_iri("b"), dir: Dir::Forward }));
-        assert!(ns.contains(&Neighbor { pred: s.expect_iri("q"), other: s.expect_iri("c"), dir: Dir::Backward }));
+        assert!(ns.contains(&Neighbor {
+            pred: s.expect_iri("p"),
+            other: s.expect_iri("b"),
+            dir: Dir::Forward
+        }));
+        assert!(ns.contains(&Neighbor {
+            pred: s.expect_iri("q"),
+            other: s.expect_iri("c"),
+            dir: Dir::Backward
+        }));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 pub mod dict;
 pub mod graph;
 pub mod ids;
+pub mod metrics;
 pub mod ntriples;
 pub mod paths;
 pub mod schema;
@@ -34,6 +35,7 @@ pub mod triple;
 
 pub use dict::Dict;
 pub use ids::TermId;
+pub use metrics::{StoreMetrics, StoreMetricsSnapshot};
 pub use paths::{Dir, PathPattern, PathStep};
 pub use store::{Store, StoreBuilder};
 pub use term::Term;

@@ -1,0 +1,116 @@
+//! Store-level instrumentation counters.
+//!
+//! Every [`Store`](crate::Store) carries an [`StoreMetrics`] (shared across
+//! clones) counting index lookups per access path and BFS expansions in the
+//! path miner. Counting is **off by default**: each probe site does one
+//! relaxed load of the `enabled` flag — a read of a shared, read-mostly
+//! cacheline — so the disabled cost is negligible and there is no write
+//! contention. Call [`StoreMetrics::enable`] to start counting, then
+//! [`StoreMetrics::snapshot`] to read the totals (e.g. for publishing into
+//! a `gqa-obs` registry; this crate deliberately has no obs dependency).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+
+/// Shared, gate-protected counters for one store (and its clones).
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    enabled: AtomicBool,
+    spo_lookups: AtomicU64,
+    pos_lookups: AtomicU64,
+    osp_lookups: AtomicU64,
+    bfs_expansions: AtomicU64,
+}
+
+/// A point-in-time copy of every counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreMetricsSnapshot {
+    /// Lookups served by the (s, p, o)-sorted index.
+    pub spo_lookups: u64,
+    /// Lookups served by the (p, o, s)-sorted permutation.
+    pub pos_lookups: u64,
+    /// Lookups served by the (o, s, p)-sorted permutation.
+    pub osp_lookups: u64,
+    /// Vertex expansions performed by BFS/DFS path enumeration.
+    pub bfs_expansions: u64,
+}
+
+impl StoreMetrics {
+    /// Turn counting on (idempotent).
+    pub fn enable(&self) {
+        self.enabled.store(true, Relaxed);
+    }
+
+    /// Whether counting is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    /// Copy all counters.
+    pub fn snapshot(&self) -> StoreMetricsSnapshot {
+        StoreMetricsSnapshot {
+            spo_lookups: self.spo_lookups.load(Relaxed),
+            pos_lookups: self.pos_lookups.load(Relaxed),
+            osp_lookups: self.osp_lookups.load(Relaxed),
+            bfs_expansions: self.bfs_expansions.load(Relaxed),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn spo(&self) {
+        if self.enabled.load(Relaxed) {
+            self.spo_lookups.fetch_add(1, Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn pos(&self) {
+        if self.enabled.load(Relaxed) {
+            self.pos_lookups.fetch_add(1, Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn osp(&self) {
+        if self.enabled.load(Relaxed) {
+            self.osp_lookups.fetch_add(1, Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bfs_expansion(&self) {
+        if self.enabled.load(Relaxed) {
+            self.bfs_expansions.fetch_add(1, Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        let m = StoreMetrics::default();
+        m.spo();
+        m.pos();
+        m.osp();
+        m.bfs_expansion();
+        assert_eq!(m.snapshot(), StoreMetricsSnapshot::default());
+    }
+
+    #[test]
+    fn counts_when_enabled() {
+        let m = StoreMetrics::default();
+        m.enable();
+        m.spo();
+        m.spo();
+        m.pos();
+        m.osp();
+        m.bfs_expansion();
+        let s = m.snapshot();
+        assert_eq!(s.spo_lookups, 2);
+        assert_eq!(s.pos_lookups, 1);
+        assert_eq!(s.osp_lookups, 1);
+        assert_eq!(s.bfs_expansions, 1);
+    }
+}

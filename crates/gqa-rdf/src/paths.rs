@@ -70,11 +70,7 @@ impl PathPattern {
     /// The same pattern read from the other endpoint.
     pub fn reversed(&self) -> PathPattern {
         PathPattern(
-            self.0
-                .iter()
-                .rev()
-                .map(|s| PathStep { pred: s.pred, dir: s.dir.flip() })
-                .collect(),
+            self.0.iter().rev().map(|s| PathStep { pred: s.pred, dir: s.dir.flip() }).collect(),
         )
     }
 
@@ -100,12 +96,7 @@ impl PathPattern {
                         Dir::Forward => "→",
                         Dir::Backward => "←",
                     };
-                    let label = self
-                        .1
-                        .dict()
-                        .get(s.pred)
-                        .and_then(|t| t.as_iri())
-                        .unwrap_or("?");
+                    let label = self.1.dict().get(s.pred).and_then(|t| t.as_iri()).unwrap_or("?");
                     write!(f, "{arrow}{label}")?;
                 }
                 Ok(())
@@ -159,7 +150,12 @@ pub struct PathConfig {
 
 impl Default for PathConfig {
     fn default() -> Self {
-        PathConfig { max_len: 4, max_paths: 100_000, max_partials: 500_000, skip_predicates: Vec::new() }
+        PathConfig {
+            max_len: 4,
+            max_paths: 100_000,
+            max_partials: 500_000,
+            skip_predicates: Vec::new(),
+        }
     }
 }
 
@@ -172,7 +168,11 @@ impl PathConfig {
     /// Block the store's schema predicates (`rdf:type`, `rdfs:subClassOf`,
     /// `rdfs:label`) from traversal.
     pub fn skip_schema_predicates(mut self, store: &Store) -> Self {
-        for iri in [crate::term::vocab::RDF_TYPE, crate::term::vocab::RDFS_SUBCLASS_OF, crate::term::vocab::RDFS_LABEL] {
+        for iri in [
+            crate::term::vocab::RDF_TYPE,
+            crate::term::vocab::RDFS_SUBCLASS_OF,
+            crate::term::vocab::RDFS_LABEL,
+        ] {
             if let Some(id) = store.iri(iri) {
                 self.skip_predicates.push(id);
             }
@@ -286,6 +286,7 @@ fn dfs(
     if out.len() >= cfg.max_paths || steps.len() >= cfg.max_len {
         return;
     }
+    store.metrics().bfs_expansion();
     for n in neighbors(store, here) {
         if !cfg.allows(n.pred) {
             continue;
@@ -318,6 +319,7 @@ fn grow_partials(store: &Store, start: TermId, depth: usize, cfg: &PathConfig) -
     for _ in 0..depth {
         let end = all.len();
         for i in frontier..end {
+            store.metrics().bfs_expansion();
             let here = *all[i].vertices.last().expect("nonempty");
             // Clone the prefix lazily per neighbor.
             let base_v = all[i].vertices.clone();
@@ -385,6 +387,7 @@ fn instantiate_rec(
         out.push(SimplePath { vertices: vertices.clone(), steps: steps.clone() });
         return;
     }
+    store.metrics().bfs_expansion();
     let want = pattern.0[depth];
     let here = *vertices.last().expect("nonempty");
     // Follow only edges matching the wanted (pred, dir).
@@ -456,7 +459,10 @@ mod tests {
             PathStep { pred: child, dir: Dir::Forward },
             PathStep { pred: child, dir: Dir::Forward },
         ]));
-        assert!(paths.iter().any(|p| p.pattern() == uncle), "expected the uncle path, got {paths:?}");
+        assert!(
+            paths.iter().any(|p| p.pattern() == uncle),
+            "expected the uncle path, got {paths:?}"
+        );
         // The hasGender/hasGender noise path also exists (Ted→male←JFK_jr).
         let gender = s.expect_iri("hasGender");
         let noise = PathPattern(Box::new([

@@ -187,7 +187,9 @@ mod tests {
         let schema = Schema::new(&s);
         let person = s.expect_iri("dbo:Person");
         assert_eq!(schema.instances_of(person), &[s.expect_iri("dbr:Antonio_Banderas")]);
-        assert!(schema.instances_of(s.expect_iri("dbo:City")).contains(&s.expect_iri("dbr:Berlin")));
+        assert!(schema
+            .instances_of(s.expect_iri("dbo:City"))
+            .contains(&s.expect_iri("dbr:Berlin")));
     }
 
     #[test]

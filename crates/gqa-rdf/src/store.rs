@@ -11,8 +11,11 @@
 //!
 //! All scans are binary-search ranges; no hashing on the hot path.
 
+use std::sync::Arc;
+
 use crate::dict::Dict;
 use crate::ids::TermId;
+use crate::metrics::StoreMetrics;
 use crate::term::Term;
 use crate::triple::{Triple, TriplePattern};
 
@@ -55,11 +58,8 @@ impl StoreBuilder {
 
     /// Record a triple of three IRIs given as text.
     pub fn add_iri(&mut self, s: &str, p: &str, o: &str) -> Triple {
-        let t = Triple::new(
-            self.dict.intern_iri(s),
-            self.dict.intern_iri(p),
-            self.dict.intern_iri(o),
-        );
+        let t =
+            Triple::new(self.dict.intern_iri(s), self.dict.intern_iri(p), self.dict.intern_iri(o));
         self.triples.push(t);
         t
     }
@@ -113,7 +113,7 @@ impl StoreBuilder {
             (t.o, t.s, t.p)
         });
 
-        Store { dict, triples, pos, osp }
+        Store { dict, triples, pos, osp, metrics: Arc::new(StoreMetrics::default()) }
     }
 }
 
@@ -127,6 +127,8 @@ pub struct Store {
     pos: Vec<u32>,
     /// Permutation of `triples` sorted by (o, s, p).
     osp: Vec<u32>,
+    /// Index-lookup counters, shared by all clones of this store.
+    metrics: Arc<StoreMetrics>,
 }
 
 impl Store {
@@ -134,6 +136,13 @@ impl Store {
     #[inline]
     pub fn dict(&self) -> &Dict {
         &self.dict
+    }
+
+    /// Instrumentation counters for this store (shared across clones).
+    /// Disabled by default; see [`StoreMetrics::enable`].
+    #[inline]
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
     }
 
     /// Resolve an id to its term.
@@ -159,11 +168,13 @@ impl Store {
 
     /// Does the store contain this exact triple?
     pub fn contains(&self, t: Triple) -> bool {
+        self.metrics.spo();
         self.triples.binary_search(&t).is_ok()
     }
 
     /// All triples with subject `s`, as a contiguous slice.
     pub fn out_edges(&self, s: TermId) -> &[Triple] {
+        self.metrics.spo();
         let lo = self.triples.partition_point(|t| t.s < s);
         let hi = self.triples.partition_point(|t| t.s <= s);
         &self.triples[lo..hi]
@@ -171,6 +182,7 @@ impl Store {
 
     /// All triples with subject `s` and predicate `p`.
     pub fn out_edges_with(&self, s: TermId, p: TermId) -> &[Triple] {
+        self.metrics.spo();
         let lo = self.triples.partition_point(|t| (t.s, t.p) < (s, p));
         let hi = self.triples.partition_point(|t| (t.s, t.p) <= (s, p));
         &self.triples[lo..hi]
@@ -178,6 +190,7 @@ impl Store {
 
     /// All triples with object `o`.
     pub fn in_edges(&self, o: TermId) -> impl Iterator<Item = Triple> + '_ {
+        self.metrics.osp();
         let lo = self.osp.partition_point(|&i| self.triples[i as usize].o < o);
         let hi = self.osp.partition_point(|&i| self.triples[i as usize].o <= o);
         self.osp[lo..hi].iter().map(move |&i| self.triples[i as usize])
@@ -190,6 +203,7 @@ impl Store {
 
     /// All triples with predicate `p`.
     pub fn with_predicate(&self, p: TermId) -> impl Iterator<Item = Triple> + '_ {
+        self.metrics.pos();
         let lo = self.pos.partition_point(|&i| self.triples[i as usize].p < p);
         let hi = self.pos.partition_point(|&i| self.triples[i as usize].p <= p);
         self.pos[lo..hi].iter().map(move |&i| self.triples[i as usize])
@@ -197,6 +211,7 @@ impl Store {
 
     /// All triples with predicate `p` and object `o`.
     pub fn with_predicate_object(&self, p: TermId, o: TermId) -> impl Iterator<Item = Triple> + '_ {
+        self.metrics.pos();
         let key = (p, o);
         let lo = self.pos.partition_point(|&i| {
             let t = self.triples[i as usize];
@@ -333,7 +348,10 @@ mod tests {
             s.expect_iri("dbr:Antonio_Banderas"),
         );
         assert!(s.contains(t));
-        assert_eq!(s.matching(TriplePattern { s: Some(t.s), p: Some(t.p), o: Some(t.o) }).count(), 1);
+        assert_eq!(
+            s.matching(TriplePattern { s: Some(t.s), p: Some(t.p), o: Some(t.o) }).count(),
+            1
+        );
         let absent = Triple::new(t.s, t.p, t.s);
         assert!(!s.contains(absent));
     }
@@ -376,8 +394,12 @@ mod tests {
         let label = s.expect_iri("rdfs:label");
         assert_eq!(s.matching(TriplePattern { p: Some(label), ..Default::default() }).count(), 1);
         assert_eq!(
-            s.matching(TriplePattern { s: Some(ab), o: Some(s.expect_iri("dbo:Actor")), ..Default::default() })
-                .count(),
+            s.matching(TriplePattern {
+                s: Some(ab),
+                o: Some(s.expect_iri("dbo:Actor")),
+                ..Default::default()
+            })
+            .count(),
             1
         );
     }

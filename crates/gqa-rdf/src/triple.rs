@@ -50,7 +50,9 @@ impl TriplePattern {
 
     /// Number of bound positions (0–3); used to pick the best index.
     pub fn bound_count(&self) -> usize {
-        usize::from(self.s.is_some()) + usize::from(self.p.is_some()) + usize::from(self.o.is_some())
+        usize::from(self.s.is_some())
+            + usize::from(self.p.is_some())
+            + usize::from(self.o.is_some())
     }
 }
 

@@ -46,7 +46,10 @@ pub fn evaluate(store: &Store, query: &Query) -> ResultSet {
     // Intern variables.
     let mut var_names: Vec<String> = Vec::new();
     let mut var_ids: FxHashMap<String, usize> = FxHashMap::default();
-    let var_of = |name: &str, var_names: &mut Vec<String>, var_ids: &mut FxHashMap<String, usize>| -> usize {
+    let var_of = |name: &str,
+                  var_names: &mut Vec<String>,
+                  var_ids: &mut FxHashMap<String, usize>|
+     -> usize {
         if let Some(&i) = var_ids.get(name) {
             return i;
         }
@@ -59,7 +62,10 @@ pub fn evaluate(store: &Store, query: &Query) -> ResultSet {
     // Resolve constants; an unresolvable constant empties whatever pattern
     // group it belongs to (tracked per group through this flag).
     let resolvable = std::cell::Cell::new(true);
-    let mut resolve = |t: &TermAst, var_names: &mut Vec<String>, var_ids: &mut FxHashMap<String, usize>| -> Node {
+    let mut resolve = |t: &TermAst,
+                       var_names: &mut Vec<String>,
+                       var_ids: &mut FxHashMap<String, usize>|
+     -> Node {
         match t {
             TermAst::Var(v) => Node::Var(var_of(v, var_names, var_ids)),
             TermAst::Iri(i) => match store.iri(i) {
@@ -82,15 +88,24 @@ pub fn evaluate(store: &Store, query: &Query) -> ResultSet {
     let resolve_all = |pats: &[TriplePatternAst],
                        var_names: &mut Vec<String>,
                        var_ids: &mut FxHashMap<String, usize>,
-                       resolve: &mut dyn FnMut(&TermAst, &mut Vec<String>, &mut FxHashMap<String, usize>) -> Node|
+                       resolve: &mut dyn FnMut(
+        &TermAst,
+        &mut Vec<String>,
+        &mut FxHashMap<String, usize>,
+    ) -> Node|
      -> Vec<[Node; 3]> {
         pats.iter()
             .map(|TriplePatternAst { s, p, o }| {
-                [resolve(s, var_names, var_ids), resolve(p, var_names, var_ids), resolve(o, var_names, var_ids)]
+                [
+                    resolve(s, var_names, var_ids),
+                    resolve(p, var_names, var_ids),
+                    resolve(o, var_names, var_ids),
+                ]
             })
             .collect()
     };
-    let patterns: Vec<[Node; 3]> = resolve_all(&query.patterns, &mut var_names, &mut var_ids, &mut resolve);
+    let patterns: Vec<[Node; 3]> =
+        resolve_all(&query.patterns, &mut var_names, &mut var_ids, &mut resolve);
     // UNION branches: base patterns + one group each. Resolve every branch
     // up front so variables are interned consistently (a branch with an
     // unresolvable constant contributes nothing, like an empty BGP).
@@ -152,7 +167,6 @@ pub fn evaluate(store: &Store, query: &Query) -> ResultSet {
         }
     }
 
-
     // Filters.
     let filters: Vec<(usize, CmpOp, FilterVal)> = query
         .filters
@@ -199,7 +213,12 @@ pub fn evaluate(store: &Store, query: &Query) -> ResultSet {
             let mut vals: Vec<TermId> = solutions.iter().filter_map(|r| r[vi]).collect();
             vals.sort_unstable();
             vals.dedup();
-            ResultSet { vars: vec![vname.clone()], rows: Vec::new(), boolean: None, count: Some(vals.len()) }
+            ResultSet {
+                vars: vec![vname.clone()],
+                rows: Vec::new(),
+                boolean: None,
+                count: Some(vals.len()),
+            }
         }
         QueryForm::Select { vars, distinct } => {
             let mut rows: Vec<Vec<TermId>> = solutions
@@ -225,7 +244,11 @@ enum FilterVal {
     Var(usize),
 }
 
-fn filter_ok(store: &Store, row: &[Option<TermId>], (var, op, val): &(usize, CmpOp, FilterVal)) -> bool {
+fn filter_ok(
+    store: &Store,
+    row: &[Option<TermId>],
+    (var, op, val): &(usize, CmpOp, FilterVal),
+) -> bool {
     let Some(lhs) = row[*var] else { return false };
     match val {
         FilterVal::Num(n) => {
@@ -348,7 +371,12 @@ fn bound_id(n: &Node, binding: &[Option<TermId>]) -> Option<TermId> {
     }
 }
 
-fn try_bind(n: &Node, val: TermId, binding: &mut [Option<TermId>], touched: &mut Vec<usize>) -> bool {
+fn try_bind(
+    n: &Node,
+    val: TermId,
+    binding: &mut [Option<TermId>],
+    touched: &mut Vec<usize>,
+) -> bool {
     match n {
         Node::Const(c) => *c == val,
         Node::Var(v) => match binding[*v] {
@@ -443,11 +471,8 @@ mod tests {
     #[test]
     fn order_by_desc_limit_is_superlative() {
         let s = movie_store();
-        let res = run(
-            &s,
-            "SELECT ?a WHERE { ?a <dbo:height> ?h } ORDER BY DESC(?h) LIMIT 1",
-        )
-        .unwrap();
+        let res =
+            run(&s, "SELECT ?a WHERE { ?a <dbo:height> ?h } ORDER BY DESC(?h) LIMIT 1").unwrap();
         assert_eq!(res.rows.len(), 1);
         assert_eq!(res.rows[0][0], s.expect_iri("dbr:Tom_Hanks"));
     }
@@ -455,11 +480,7 @@ mod tests {
     #[test]
     fn filter_numeric() {
         let s = movie_store();
-        let res = run(
-            &s,
-            "SELECT ?a WHERE { ?a <dbo:height> ?h . FILTER(?h > 1.80) }",
-        )
-        .unwrap();
+        let res = run(&s, "SELECT ?a WHERE { ?a <dbo:height> ?h . FILTER(?h > 1.80) }").unwrap();
         assert_eq!(res.rows.len(), 1);
         assert_eq!(res.rows[0][0], s.expect_iri("dbr:Tom_Hanks"));
     }
@@ -495,11 +516,7 @@ mod tests {
     fn shared_variable_joins_constrain() {
         let s = movie_store();
         // Who is married to someone starring in Philadelphia?
-        let res = run(
-            &s,
-            "SELECT ?w WHERE { ?w <dbo:spouse> ?a . ?f <dbo:starring> ?a }",
-        )
-        .unwrap();
+        let res = run(&s, "SELECT ?w WHERE { ?w <dbo:spouse> ?a . ?f <dbo:starring> ?a }").unwrap();
         assert_eq!(res.rows.len(), 1);
     }
 

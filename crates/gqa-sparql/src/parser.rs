@@ -31,11 +31,11 @@ pub fn parse_query(input: &str) -> Result<Query, String> {
 
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
-    Word(String),   // keywords / bare words
-    Var(String),    // ?x
-    Iri(String),    // <...>
-    Lit(Term),      // "..." with optional ^^<dt>
-    Punct(char),    // { } ( ) .
+    Word(String), // keywords / bare words
+    Var(String),  // ?x
+    Iri(String),  // <...>
+    Lit(Term),    // "..." with optional ^^<dt>
+    Punct(char),  // { } ( ) .
     Num(f64),
 }
 
@@ -459,7 +459,9 @@ mod tests {
         .unwrap();
         assert_eq!(q.filters.len(), 1);
         assert_eq!(q.filters[0].op, CmpOp::Gt);
-        assert!(matches!(&q.patterns[1].o, TermAst::Literal(t) if t.as_literal() == Some("Berlin")));
+        assert!(
+            matches!(&q.patterns[1].o, TermAst::Literal(t) if t.as_literal() == Some("Berlin"))
+        );
     }
 
     #[test]
@@ -480,7 +482,8 @@ mod tests {
 
     #[test]
     fn display_parse_roundtrip() {
-        let src = "SELECT DISTINCT ?x WHERE { ?x <dbo:spouse> <dbr:A> . } ORDER BY DESC(?x) LIMIT 3";
+        let src =
+            "SELECT DISTINCT ?x WHERE { ?x <dbo:spouse> <dbr:A> . } ORDER BY DESC(?x) LIMIT 3";
         let q = parse_query(src).unwrap();
         let q2 = parse_query(&q.to_string()).unwrap();
         assert_eq!(q, q2);

@@ -82,7 +82,12 @@ fn main() {
     println!("mined dictionary:");
     for (phrase, maps) in dict.iter() {
         for m in maps.iter().take(1) {
-            println!("  {:16} → {}  (conf {:.2})", format!("{phrase:?}"), m.path.display(&store), m.confidence);
+            println!(
+                "  {:16} → {}  (conf {:.2})",
+                format!("{phrase:?}"),
+                m.path.display(&store),
+                m.confidence
+            );
         }
     }
 

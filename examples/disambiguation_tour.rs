@@ -22,7 +22,7 @@ fn main() {
     println!("entity linking keeps every candidate alive:");
     for c in linker.link("Philadelphia") {
         println!(
-        "  {} (confidence {:.2}{})",
+            "  {} (confidence {:.2}{})",
             store.term(c.id),
             c.confidence,
             if c.is_class { ", class" } else { "" }

@@ -7,7 +7,9 @@
 //! cargo run --release --example offline_mining
 //! ```
 
-use ganswer::paraphrase::miner::{drop_removed_predicates, mine, remine_for_new_predicates, MinerConfig};
+use ganswer::paraphrase::miner::{
+    drop_removed_predicates, mine, remine_for_new_predicates, MinerConfig,
+};
 use ganswer::paraphrase::ParaphraseDict;
 use ganswer::rdf::StoreBuilder;
 
@@ -54,7 +56,13 @@ fn main() {
     println!("mined dictionary (Figure 3 format):");
     for (phrase, maps) in dict.iter() {
         for m in maps {
-            println!("  {:22} {:48} conf {:.2}  tf-idf {:.2}", format!("{phrase:?}"), m.path.display(&store).to_string(), m.confidence, m.tfidf);
+            println!(
+                "  {:22} {:48} conf {:.2}  tf-idf {:.2}",
+                format!("{phrase:?}"),
+                m.path.display(&store).to_string(),
+                m.confidence,
+                m.tfidf
+            );
         }
     }
 

@@ -9,10 +9,12 @@
 //! ```
 //!
 //! REPL commands: a bare line is a question; `:sqg` / `:sparql` / `:matches`
-//! toggle extra output; `:aggregates` toggles the aggregation extension;
-//! `:quit` exits.
+//! toggle extra output; `:explain` toggles a per-question EXPLAIN trace
+//! (parse, candidates, pruning, TA rounds with θ/Upbound); `:aggregates`
+//! toggles the aggregation extension; `:quit` exits.
 
 use ganswer::core::pipeline::{GAnswer, GAnswerConfig};
+use ganswer::obs::Obs;
 use ganswer::paraphrase::ParaphraseDict;
 use ganswer::rdf::Store;
 use std::io::{BufRead, Write};
@@ -22,10 +24,19 @@ struct Options {
     dict: Option<String>,
     top_k: usize,
     questions: Vec<String>,
+    metrics: Option<String>,
+    explain: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut opts = Options { data: None, dict: None, top_k: 10, questions: Vec::new() };
+    let mut opts = Options {
+        data: None,
+        dict: None,
+        top_k: 10,
+        questions: Vec::new(),
+        metrics: None,
+        explain: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -39,9 +50,17 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("bad --top-k: {e}"))?;
             }
             "--question" | "-q" => opts.questions.push(args.next().ok_or("-q needs a question")?),
+            "--metrics" => opts.metrics = Some(args.next().ok_or("--metrics needs a file")?),
+            "--explain" => opts.explain = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: ganswer [--data FILE.nt] [--dict FILE.tsv] [--top-k N] [-q QUESTION]..."
+                    "usage: ganswer [--data FILE.nt] [--dict FILE.tsv] [--top-k N] \
+                     [--metrics FILE.prom] [--explain] [-q QUESTION]...\n\n\
+                     --metrics FILE.prom  collect pipeline/store/linker metrics and write\n\
+                     \x20                    them to FILE in Prometheus text format on exit\n\
+                     --explain            print a per-question EXPLAIN trace (parse,\n\
+                     \x20                    candidates, pruning, TA rounds with theta/Upbound)\n\n\
+                     REPL commands: :sqg :sparql :matches :explain :aggregates :quit"
                 );
                 std::process::exit(0);
             }
@@ -49,6 +68,15 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// Publish component counters and write the Prometheus exposition.
+fn write_metrics(system: &GAnswer<'_>, path: &str) {
+    system.publish_metrics();
+    match std::fs::write(path, system.obs().prometheus()) {
+        Ok(()) => eprintln!("metrics written to {path}"),
+        Err(e) => eprintln!("error: cannot write {path}: {e}"),
+    }
 }
 
 fn load(opts: &Options) -> Result<(Store, ParaphraseDict), String> {
@@ -93,13 +121,23 @@ fn main() {
     };
     let stats = ganswer::rdf::stats::StoreStats::collect(&store);
     let mut config = GAnswerConfig { top_k: opts.top_k, ..Default::default() };
+    let obs = if opts.metrics.is_some() { Obs::new() } else { Obs::disabled() };
 
     let mut show_sqg = false;
     let mut show_sparql = false;
     let mut show_matches = false;
+    let mut explain = opts.explain;
 
-    let run = |system: &GAnswer<'_>, q: &str, show_sqg: bool, show_sparql: bool, show_matches: bool| {
-        let r = system.answer(q);
+    let run = |system: &GAnswer<'_>,
+               q: &str,
+               show_sqg: bool,
+               show_sparql: bool,
+               show_matches: bool,
+               explain: bool| {
+        let r = if explain { system.answer_traced(q) } else { system.answer(q) };
+        if let Some(t) = &r.trace {
+            println!("{}", t.render());
+        }
         match (&r.failure, r.boolean, r.count) {
             (Some(f), _, _) => println!("  no answer ({f:?})"),
             (None, Some(b), _) => println!("  {}", if b { "yes" } else { "no" }),
@@ -137,10 +175,13 @@ fn main() {
 
     // One-shot mode.
     if !opts.questions.is_empty() {
-        let system = GAnswer::new(&store, dict, config.clone());
+        let system = GAnswer::with_obs(&store, dict, config.clone(), obs.clone());
         for q in &opts.questions {
             println!("Q: {q}");
-            run(&system, q, false, true, false);
+            run(&system, q, false, true, false, explain);
+        }
+        if let Some(path) = &opts.metrics {
+            write_metrics(&system, path);
         }
         return;
     }
@@ -151,7 +192,7 @@ fn main() {
         stats.entities, stats.triples, stats.predicates
     );
     let stdin = std::io::stdin();
-    let mut system = GAnswer::new(&store, dict.clone(), config.clone());
+    let mut system = GAnswer::with_obs(&store, dict.clone(), config.clone(), obs.clone());
     loop {
         print!("? ");
         let _ = std::io::stdout().flush();
@@ -175,12 +216,19 @@ fn main() {
                 show_matches = !show_matches;
                 println!("  match output: {show_matches}");
             }
+            ":explain" => {
+                explain = !explain;
+                println!("  explain output: {explain}");
+            }
             ":aggregates" => {
                 config.enable_aggregates = !config.enable_aggregates;
-                system = GAnswer::new(&store, dict.clone(), config.clone());
+                system = GAnswer::with_obs(&store, dict.clone(), config.clone(), obs.clone());
                 println!("  aggregation extension: {}", config.enable_aggregates);
             }
-            q => run(&system, q, show_sqg, show_sparql, show_matches),
+            q => run(&system, q, show_sqg, show_sparql, show_matches, explain),
         }
+    }
+    if let Some(path) = &opts.metrics {
+        write_metrics(&system, path);
     }
 }

@@ -38,6 +38,7 @@ pub use gqa_core as core;
 pub use gqa_datagen as datagen;
 pub use gqa_linker as linker;
 pub use gqa_nlp as nlp;
+pub use gqa_obs as obs;
 pub use gqa_paraphrase as paraphrase;
 pub use gqa_rdf as rdf;
 pub use gqa_sparql as sparql;
@@ -50,6 +51,7 @@ pub mod prelude {
     pub use gqa_core::pipeline::{GAnswer, GAnswerConfig, Response};
     pub use gqa_core::sqg::SemanticQueryGraph;
     pub use gqa_nlp::parser::DependencyParser;
+    pub use gqa_obs::Obs;
     pub use gqa_paraphrase::dict::ParaphraseDict;
     pub use gqa_rdf::store::Store;
     pub use gqa_rdf::term::Term;

@@ -24,21 +24,24 @@ fn generated_sparql_agrees_with_the_matcher() {
         let r = sys.answer(q);
         assert!(r.failure.is_none(), "{q}: {:?}", r.failure);
         let sparql = r.sparql.first().expect("at least one query");
-        let rs = ganswer::sparql::run(&store, sparql).unwrap_or_else(|e| panic!("{q}: {e}\n{sparql}"));
-        let sparql_answers: Vec<String> = rs
-            .rows
-            .iter()
-            .map(|row| store.term(row[0]).label().into_owned())
-            .collect();
+        let rs =
+            ganswer::sparql::run(&store, sparql).unwrap_or_else(|e| panic!("{q}: {e}\n{sparql}"));
+        let sparql_answers: Vec<String> =
+            rs.rows.iter().map(|row| store.term(row[0]).label().into_owned()).collect();
         for a in &r.answers {
             // Every best-tier matcher answer appears among the SPARQL rows
             // of some generated query.
             let anywhere = r.sparql.iter().any(|sq| {
                 ganswer::sparql::run(&store, sq)
-                    .map(|rs| rs.rows.iter().any(|row| store.term(row[0]).label() == a.text.as_str()))
+                    .map(|rs| {
+                        rs.rows.iter().any(|row| store.term(row[0]).label() == a.text.as_str())
+                    })
                     .unwrap_or(false)
             });
-            assert!(anywhere, "{q}: answer {a:?} missing from all generated SPARQL ({sparql_answers:?})");
+            assert!(
+                anywhere,
+                "{q}: answer {a:?} missing from all generated SPARQL ({sparql_answers:?})"
+            );
         }
     }
 }
@@ -98,7 +101,8 @@ fn deanna_and_ganswer_agree_on_unambiguous_questions() {
         ganswer::mini_dict(&store),
         ganswer::baselines::DeannaConfig::default(),
     );
-    for q in ["Who is the mayor of Berlin?", "Who founded Intel?", "What is the capital of Canada?"] {
+    for q in ["Who is the mayor of Berlin?", "Who founded Intel?", "What is the capital of Canada?"]
+    {
         let mut a = ours.answer(q).texts().into_iter().map(str::to_owned).collect::<Vec<_>>();
         let mut b = theirs.answer(q).answers;
         a.sort();

@@ -71,7 +71,8 @@ fn aggregation_extension_recovers_at_least_half() {
     let store = mini_dbpedia();
     let mut sys = system(&store);
     sys.config.enable_aggregates = true;
-    let agg: Vec<_> = benchmark().into_iter().filter(|q| q.category == Category::Aggregation).collect();
+    let agg: Vec<_> =
+        benchmark().into_iter().filter(|q| q.category == Category::Aggregation).collect();
     let right = agg.iter().filter(|q| is_right(&store, &sys, q)).count();
     assert!(
         right * 2 >= agg.len(),
@@ -90,7 +91,8 @@ fn entity_linking_hard_questions_fail_for_the_right_reason() {
     for q in &questions {
         let r = sys.answer(q.text);
         // No EL-hard question may be silently answered exactly right.
-        let silently_right = r.failure.is_none() && !r.answers.is_empty() && is_right(&store, &sys, q);
+        let silently_right =
+            r.failure.is_none() && !r.answers.is_empty() && is_right(&store, &sys, q);
         assert!(!silently_right, "Q{} unexpectedly right", q.id);
         if matches!(r.failure, Some(Failure::EntityLinking(_))) {
             el_failures += 1;

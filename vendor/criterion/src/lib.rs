@@ -1,0 +1,178 @@
+#![allow(clippy::all)] // vendored shim: keep diff-to-upstream minimal, not lint-clean
+
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Implements `Criterion::bench_function`, `Bencher::{iter, iter_batched,
+//! iter_with_large_drop}`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros over a simple wall-clock harness: a warm-up
+//! phase sizes the batch, then measurement samples report mean / median /
+//! min per iteration. No statistical regression analysis, no HTML reports —
+//! stdout only, one line per benchmark.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hints (accepted for API compatibility; the harness always
+/// times per-iteration with setup excluded).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The measurement driver handed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.target_iters {
+            let t = Instant::now();
+            let out = routine();
+            self.samples.push(t.elapsed());
+            drop(black_box(out));
+        }
+    }
+
+    /// Time `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.target_iters {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            self.samples.push(t.elapsed());
+            drop(black_box(out));
+        }
+    }
+
+    /// Like [`Bencher::iter`], dropping the output outside the timing.
+    pub fn iter_with_large_drop<O, F: FnMut() -> O>(&mut self, routine: F) {
+        self.iter(routine);
+    }
+}
+
+/// Benchmark registry and runner (stand-in for criterion's `Criterion`).
+pub struct Criterion {
+    /// Wall-clock budget per benchmark's measurement phase.
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(600),
+            warm_up_time: Duration::from_millis(150),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure the measurement budget (builder style, like criterion).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Configure the warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark and print a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Warm-up: run with a growing iteration count until the warm-up
+        // budget is used, to estimate per-iteration cost.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let mut b = Bencher { samples: Vec::new(), target_iters: iters };
+            let t = Instant::now();
+            f(&mut b);
+            let elapsed = t.elapsed();
+            if b.samples.is_empty() {
+                break Duration::from_nanos(1); // closure never called iter
+            }
+            if elapsed >= self.warm_up_time || iters >= 1 << 20 {
+                break elapsed / iters.max(1) as u32;
+            }
+            iters = iters.saturating_mul(4);
+        };
+        let target = (self.measurement_time.as_nanos() / per_iter.as_nanos().max(1)) as u64;
+        let target_iters = target.clamp(10, 1_000_000);
+
+        let mut b = Bencher { samples: Vec::with_capacity(target_iters as usize), target_iters };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("bench {name:<44} (no measurements)");
+            return self;
+        }
+        b.samples.sort_unstable();
+        let n = b.samples.len();
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / n as u32;
+        let median = b.samples[n / 2];
+        let min = b.samples[0];
+        println!(
+            "bench {name:<44} {n:>8} iters  mean {mean:>12?}  median {median:>12?}  min {min:>12?}"
+        );
+        self
+    }
+}
+
+/// Expands to a function running the given benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Expands to `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,93 @@
+#![allow(clippy::all)] // vendored shim: keep diff-to-upstream minimal, not lint-clean
+
+//! Offline stand-in for `crossbeam`, providing only the scoped-thread API
+//! this workspace uses, implemented over `std::thread::scope`.
+//!
+//! Supported surface:
+//!
+//! ```
+//! let result = crossbeam::scope(|scope| {
+//!     let h = scope.spawn(|_| 40 + 2);
+//!     h.join().unwrap()
+//! })
+//! .unwrap();
+//! assert_eq!(result, 42);
+//! ```
+//!
+//! Limitation: the `&Scope` argument handed to a spawned closure is a dummy
+//! — nested `spawn` from *inside* a worker thread is not supported (the
+//! workspace never does this; workers receive `|_|`).
+
+use std::marker::PhantomData;
+
+/// Scoped-thread module, mirroring `crossbeam::thread`.
+pub mod thread {
+    use super::*;
+
+    /// Result type of [`scope`] and of joining a scoped thread.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope for spawning borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        pub(crate) inner: Option<&'scope std::thread::Scope<'scope, 'env>>,
+        pub(crate) _marker: PhantomData<&'env ()>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish, returning its result (or the
+        /// panic payload).
+        pub fn join(self) -> Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives a dummy
+        /// `&Scope` (nested spawning is unsupported in this shim).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'_, '_>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let s = self
+                .inner
+                .expect("vendored crossbeam shim: spawn from inside a worker is unsupported");
+            ScopedJoinHandle(s.spawn(move || {
+                let dummy = Scope { inner: None, _marker: PhantomData };
+                f(&dummy)
+            }))
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the caller.
+    /// All spawned threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let wrapper = Scope { inner: Some(s), _marker: PhantomData };
+            f(&wrapper)
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1usize, 2, 3, 4];
+        let total: usize = crate::scope(|scope| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| scope.spawn(move |_| c.iter().sum::<usize>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

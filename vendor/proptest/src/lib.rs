@@ -1,0 +1,209 @@
+#![allow(clippy::all)] // vendored shim: keep diff-to-upstream minimal, not lint-clean
+
+//! Offline stand-in for `proptest` 1.x.
+//!
+//! Implements the subset of proptest this workspace's test suites use:
+//!
+//! * the [`proptest!`] macro with optional `#![proptest_config(...)]`,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`prop_oneof!`] unions,
+//! * the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map` /
+//!   `prop_filter` / `boxed`,
+//! * integer range strategies, tuple strategies, `prop::collection::vec`,
+//!   `prop::option::of`, `prop::sample::select`,
+//! * regex-subset string strategies (`"[a-z]{1,6}"`, `"\\PC{0,200}"`, …).
+//!
+//! Differences from real proptest: **no shrinking** (a failing case reports
+//! the raw generated input) and no persistence of failure seeds. Generation
+//! is deterministic per test name, so failures reproduce across runs.
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Strategy combinator namespace, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// `Option` strategies.
+    pub mod option {
+        pub use crate::strategy::option_of as of;
+    }
+    /// Sampling strategies.
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// The common import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Mirrors proptest's macro:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u8..8, v in prop::collection::vec(0u32..10, 0..5)) {
+///         prop_assert!(v.len() < 5 || x < 8);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Internal: expands each `fn name(args in strategies) { body }` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let strategy = ($($strat,)+);
+                $crate::test_runner::run_proptest(
+                    &config,
+                    &strategy,
+                    |($($arg,)+)| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+            }
+        )*
+    };
+}
+
+/// Assert inside a proptest body, failing the case (not panicking) so the
+/// runner can report the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Union of same-valued strategies: pick one branch uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 0u8..8, (a, b) in (0usize..3, 1usize..=4)) {
+            prop_assert!(x < 8);
+            prop_assert!(a < 3 && (1..=4).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_option(
+            v in prop::collection::vec((0u8..4, 0u8..4), 0..10),
+            o in prop::option::of(0u8..2),
+        ) {
+            prop_assert!(v.len() < 10);
+            if let Some(x) = o { prop_assert!(x < 2); }
+        }
+
+        #[test]
+        fn strings_match_their_class(s in "[a-z]{1,6}") {
+            prop_assert!(!s.is_empty() && s.len() <= 6);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+
+        #[test]
+        fn select_and_map(
+            w in prop::sample::select(vec!["a", "b", "c"]),
+            n in (0u8..3).prop_map(|x| x as usize + 10),
+        ) {
+            prop_assert!(["a", "b", "c"].contains(&w));
+            prop_assert!((10..13).contains(&n));
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in (1usize..4).prop_flat_map(|n| {
+            crate::strategy::vec(0usize..10, n..n + 1).prop_map(move |v| (n, v))
+        })) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+
+        #[test]
+        fn oneof_unions(x in prop_oneof![(0u8..1).prop_map(|_| 1u32), (0u8..1).prop_map(|_| 2u32)]) {
+            prop_assert!(x == 1 || x == 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failures_report_input() {
+        crate::test_runner::run_proptest(
+            &ProptestConfig::with_cases(10),
+            &(0u8..8,),
+            |(x,)| {
+                prop_assert!(x < 3, "assertion failed for {x}");
+                Ok(())
+            },
+            "tests::failures_report_input",
+        );
+    }
+}

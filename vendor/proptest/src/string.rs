@@ -1,0 +1,253 @@
+//! Regex-subset string generation.
+//!
+//! Supports the patterns the workspace's tests use: a sequence of atoms,
+//! each an escaped class (`\PC`, `\n`, …), a character class (`[a-z0-9_-]`,
+//! ranges, escapes, leading `^` negation), or a literal character, followed
+//! by an optional `{m,n}` / `{n}` repetition. Unsupported syntax panics
+//! with the offending pattern, so silent misgeneration is impossible.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A set of candidate chars (char classes, escapes, literals).
+    Class(Vec<char>),
+    /// Any printable char (`\PC`): ASCII printable plus a unicode sample.
+    AnyPrintable,
+}
+
+/// Characters sampled for `\PC` beyond printable ASCII — enough to exercise
+/// multi-byte UTF-8 handling without full category tables.
+const UNICODE_SAMPLE: &[char] =
+    &['é', 'ß', 'λ', 'Ж', '中', '日', '한', '🙂', '𝛼', 'Ω', '→', '…', '\u{00a0}'];
+
+fn printable_ascii() -> impl Iterator<Item = char> {
+    (0x20u8..0x7f).map(|b| b as char)
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for (atom, lo, hi) in &atoms {
+        let span = (hi - lo) as u64 + 1;
+        let n = lo + rng.below(span) as usize;
+        for _ in 0..n {
+            out.push(sample(atom, rng));
+        }
+    }
+    out
+}
+
+fn sample(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Class(chars) => chars[rng.below(chars.len() as u64) as usize],
+        Atom::AnyPrintable => {
+            // Mostly ASCII with a unicode sprinkle, mirroring proptest's
+            // bias toward simple characters.
+            if rng.below(8) == 0 {
+                UNICODE_SAMPLE[rng.below(UNICODE_SAMPLE.len() as u64) as usize]
+            } else {
+                let ascii: Vec<char> = printable_ascii().collect();
+                ascii[rng.below(ascii.len() as u64) as usize]
+            }
+        }
+    }
+}
+
+/// Parse into (atom, min-reps, max-reps) triples.
+fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(pattern, &chars, i + 1);
+                i = next;
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).unwrap_or_else(|| unsupported(pattern, "trailing backslash"));
+                i += 1;
+                match c {
+                    'P' | 'p' => {
+                        // `\PC` / `\pC`: treat as "printable" (the tests
+                        // only use the C category complement).
+                        let cat = *chars
+                            .get(i)
+                            .unwrap_or_else(|| unsupported(pattern, "\\P needs a category"));
+                        if cat != 'C' {
+                            unsupported::<()>(pattern, "only \\PC is supported");
+                        }
+                        i += 1;
+                        Atom::AnyPrintable
+                    }
+                    other => Atom::Class(vec![unescape(other)]),
+                }
+            }
+            '{' | '}' | '*' | '+' | '?' | '|' | '(' | ')' => {
+                unsupported::<()>(pattern, "quantifier/group syntax outside the supported subset");
+                unreachable!()
+            }
+            lit => {
+                i += 1;
+                Atom::Class(vec![lit])
+            }
+        };
+        // Optional repetition.
+        let (lo, hi) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| unsupported(pattern, "unterminated {"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.parse().unwrap_or_else(|_| unsupported(pattern, "bad {m,n}")),
+                    b.parse().unwrap_or_else(|_| unsupported(pattern, "bad {m,n}")),
+                ),
+                None => {
+                    let n = body.parse().unwrap_or_else(|_| unsupported(pattern, "bad {n}"));
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(lo <= hi, "bad repetition in pattern {pattern:?}");
+        out.push((atom, lo, hi));
+    }
+    out
+}
+
+/// Parse a `[...]` class starting after the `[`; returns (set, next index).
+fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut negated = false;
+    if chars.get(i) == Some(&'^') {
+        negated = true;
+        i += 1;
+    }
+    let mut set: Vec<char> = Vec::new();
+    let mut first = true;
+    while i < chars.len() && (chars[i] != ']' || first) {
+        first = false;
+        let c = if chars[i] == '\\' {
+            i += 1;
+            let e = *chars
+                .get(i)
+                .unwrap_or_else(|| unsupported(pattern, "trailing backslash in class"));
+            i += 1;
+            unescape(e)
+        } else {
+            let c = chars[i];
+            i += 1;
+            c
+        };
+        // Range `a-z` (a `-` not at the end and not after an escape-start).
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).map_or(false, |&n| n != ']') {
+            let hi = chars[i + 1];
+            i += 2;
+            let (lo, hi) = (c as u32, hi as u32);
+            assert!(lo <= hi, "bad class range in {pattern:?}");
+            for code in lo..=hi {
+                if let Some(ch) = char::from_u32(code) {
+                    set.push(ch);
+                }
+            }
+        } else {
+            set.push(c);
+        }
+    }
+    if chars.get(i) != Some(&']') {
+        unsupported::<()>(pattern, "unterminated [class]");
+    }
+    i += 1;
+    if negated {
+        let excluded = set;
+        set = printable_ascii().filter(|c| !excluded.contains(c)).collect();
+    }
+    set.dedup();
+    assert!(!set.is_empty(), "empty character class in {pattern:?}");
+    (set, i)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn unsupported<T>(pattern: &str, what: &str) -> T {
+    panic!("vendored proptest shim: unsupported regex {pattern:?} ({what})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::seeded_from("string-tests")
+    }
+
+    #[test]
+    fn classes_and_reps() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z]{1,6}", &mut r);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_inside_classes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[<>\"\\\\ a-z.^@_:-]{0,120}", &mut r);
+            assert!(s.len() <= 120);
+            assert!(
+                s.chars().all(|c| "<>\"\\ .^@_:-".contains(c) || c.is_ascii_lowercase()),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_from_pattern("[ -~]{0,80}", &mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_any() {
+        let mut r = rng();
+        let mut saw_unicode = false;
+        for _ in 0..300 {
+            let s = generate_from_pattern("\\PC{0,200}", &mut r);
+            assert!(s.chars().count() <= 200);
+            saw_unicode |= s.chars().any(|c| !c.is_ascii());
+        }
+        assert!(saw_unicode, "\\PC should exercise non-ASCII");
+    }
+
+    #[test]
+    fn control_chars_in_class_literal() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_from_pattern("[a-z \\\\\"\n\t]{0,12}", &mut r);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || " \\\"\n\t".contains(c)), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Test execution: config, RNG, and the case-running loop.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::strategy::Strategy;
+
+/// Runner configuration. Only `cases` is honoured; other real-proptest
+/// fields are absent.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case asserted something false.
+    Fail(String),
+    /// The case asked to be discarded (counted, not failed).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (discarded) case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result of one test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic RNG driving generation (xoshiro-style via splitmix64
+/// stream; seeded from the test name so failures reproduce across runs).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a string (e.g. the test's full path).
+    pub fn seeded_from(name: &str) -> Self {
+        // FNV-1a over the name, then a splitmix64 scramble.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "TestRng::below(0)");
+        // Lemire multiply-shift with rejection for exact uniformity.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Kept for prelude compatibility (`use ...::TestRunner`); the shim drives
+/// everything through [`run_proptest`], but a manual runner can also
+/// generate values directly.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with deterministic seeding from `name`.
+    pub fn new_seeded(name: &str) -> Self {
+        TestRunner { rng: TestRng::seeded_from(name) }
+    }
+
+    /// Generate one value from `strategy`.
+    pub fn generate<S: Strategy>(&mut self, strategy: &S) -> S::Value {
+        strategy.generate(&mut self.rng)
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        TestRunner::new_seeded("proptest::default_runner")
+    }
+}
+
+/// Generate `config.cases` inputs from `strategy` and run `test` on each.
+/// Panics (failing the enclosing `#[test]`) on the first case whose result
+/// is `Fail` or whose body panics, printing the generated input first.
+pub fn run_proptest<S, F>(config: &ProptestConfig, strategy: &S, test: F, name: &str)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let mut rng = TestRng::seeded_from(name);
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    while case < config.cases {
+        let value = strategy.generate(&mut rng);
+        let shown = format!("{value:?}");
+        match catch_unwind(AssertUnwindSafe(|| test(value))) {
+            Ok(Ok(())) => case += 1,
+            Ok(Err(TestCaseError::Reject(why))) => {
+                rejects += 1;
+                if rejects > 10 * config.cases.max(1) {
+                    panic!("proptest {name}: too many rejected cases ({rejects}), last: {why}");
+                }
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("proptest {name} failed at case {case} with input {shown}: {msg}");
+            }
+            Err(payload) => {
+                eprintln!("proptest {name} panicked at case {case} with input {shown}");
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::seeded_from("x");
+        let mut b = TestRng::seeded_from("x");
+        let mut c = TestRng::seeded_from("y");
+        let (sa, sb, sc): (Vec<_>, Vec<_>, Vec<_>) = (
+            (0..8).map(|_| a.next_u64()).collect(),
+            (0..8).map(|_| b.next_u64()).collect(),
+            (0..8).map(|_| c.next_u64()).collect(),
+        );
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut r = TestRng::seeded_from("bounds");
+        for bound in [1u64, 2, 3, 7, 100, u64::MAX] {
+            for _ in 0..100 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = TestRng::seeded_from("floats");
+        for _ in 0..1000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

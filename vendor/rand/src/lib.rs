@@ -1,0 +1,228 @@
+#![allow(clippy::all)] // vendored shim: keep diff-to-upstream minimal, not lint-clean
+
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Provides deterministic, seedable RNGs with the API subset the workspace
+//! uses: `StdRng::seed_from_u64`, `Rng::{gen, gen_range, gen_bool}`.
+//! The core generator is xoshiro256++ seeded through SplitMix64 — high
+//! quality for simulation workloads, not cryptographic.
+//!
+//! Streams differ from the real rand crate's ChaCha-based `StdRng`, so
+//! datasets generated under a fixed seed differ in *content* (not in
+//! statistical shape) from those the real crate would produce.
+
+/// Core trait for generators: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Build from OS entropy. The shim derives entropy from the system
+    /// clock and address-space layout — fine for benchmarks, not security.
+    fn from_entropy() -> Self {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0xdead_beef);
+        let aslr = &t as *const _ as u64;
+        Self::seed_from_u64(t ^ aslr.rotate_left(32))
+    }
+}
+
+/// Values producible uniformly from raw bits (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Sample one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is < 2^-64
+                // per draw, far below anything the workloads can observe.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (self.start as u128 + hi as u128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64 + 1;
+                let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (lo as u128 + v as u128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing randomness trait (subset of rand's `Rng`).
+pub trait Rng: RngCore {
+    /// Sample a value of `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ core shared by [`rngs::StdRng`] and [`rngs::SmallRng`].
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        Xoshiro256 { s }
+    }
+}
+
+/// Named RNG types mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::Xoshiro256 as StdRng;
+    pub use super::Xoshiro256 as SmallRng;
+}
+
+/// Convenience thread-local-free generator, `rand::thread_rng` analogue.
+pub fn thread_rng() -> rngs::StdRng {
+    rngs::StdRng::from_entropy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..1000 {
+            let x: usize = a.gen_range(0..7);
+            assert!(x < 7);
+            let y: usize = a.gen_range(3..=5);
+            assert!((3..=5).contains(&y));
+            let f: f64 = a.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = rngs::StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn ranges_cover_endpoints() {
+        let mut r = rngs::StdRng::seed_from_u64(9);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..3)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

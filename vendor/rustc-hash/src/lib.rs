@@ -1,0 +1,105 @@
+#![allow(clippy::all)] // vendored shim: keep diff-to-upstream minimal, not lint-clean
+
+//! Offline stand-in for the `rustc-hash` crate.
+//!
+//! Implements the Fx hash function (the multiply-rotate hash used by the
+//! Rust compiler) and the usual `FxHashMap` / `FxHashSet` aliases. The
+//! algorithm matches the published one, so hash quality and performance
+//! characteristics are the same as the real crate's.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher: a fast, non-cryptographic multiply-rotate hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<String, usize> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let h = |x: &str| {
+            let mut h = FxHasher::default();
+            h.write(x.as_bytes());
+            h.finish()
+        };
+        assert_eq!(h("hello"), h("hello"));
+        assert_ne!(h("hello"), h("world"));
+    }
+}
