@@ -6,10 +6,11 @@
 //! are machine- and scale-dependent; the paper's *shape* — superlinear
 //! growth in θ, roughly linear growth in dataset size — is what must hold.
 
-use gqa_bench::print_table;
+use gqa_bench::{median, percentile, print_table, threads_arg, write_bench_artifact};
 use gqa_datagen::patty::{synthetic_phrase_dataset, SyntheticPhraseConfig};
 use gqa_datagen::scale::{scale_graph, ScaleConfig};
-use gqa_paraphrase::miner::{mine, MinerConfig};
+use gqa_paraphrase::miner::{mine, mine_with_cache, MinerConfig};
+use gqa_rdf::cache::PathCache;
 use gqa_rdf::stats::StoreStats;
 use std::time::Instant;
 
@@ -96,4 +97,68 @@ fn main() {
 (host has {} CPU(s); the 4-thread column only helps on multi-core machines)",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     );
+
+    // The path-enumeration cache: same mining, memoized BFS. Timed over
+    // several repetitions for the BENCH_offline.json artifact.
+    let threads = threads_arg().unwrap_or(4).max(1);
+    const REPS: usize = 3;
+    let mut dataset_entries = Vec::new();
+    let mut rows = Vec::new();
+    for (name, ds) in [("wn-like", &wn.dataset), ("fb-like", &fb.dataset)] {
+        let cfg = MinerConfig { theta: 4, top_k: 3, threads, ..Default::default() };
+        let mut uncached = Vec::new();
+        let mut cached = Vec::new();
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let plain = mine(&store, ds, &cfg);
+            uncached.push(t0.elapsed().as_secs_f64());
+            let t1 = Instant::now();
+            let cache = PathCache::new(cfg.path_config(&store));
+            let memo = mine_with_cache(&store, ds, &cfg, ds.entries.len(), &cache);
+            cached.push(t1.elapsed().as_secs_f64());
+            assert_eq!(plain.len(), memo.len(), "cache changed mining results");
+        }
+        // Hit rate of one representative cached run (stats are monotonic,
+        // so a fresh cache gives the per-run rate).
+        let cache = PathCache::new(cfg.path_config(&store));
+        mine_with_cache(&store, ds, &cfg, ds.entries.len(), &cache);
+        let stats = cache.stats();
+        rows.push(vec![
+            name.to_owned(),
+            format!("{:.2}s", median(&uncached)),
+            format!("{:.2}s", median(&cached)),
+            format!("{:.1}%", stats.hit_rate() * 100.0),
+            format!(
+                "{:.1}%",
+                stats.frontier_hits as f64
+                    / (stats.frontier_hits + stats.frontier_misses).max(1) as f64
+                    * 100.0
+            ),
+        ]);
+        dataset_entries.push(format!(
+            "{{\"dataset\": \"{name}\", \"theta\": 4, \"reps\": {REPS}, \"uncached\": \
+             {{\"median_s\": {:.6}, \"p95_s\": {:.6}}}, \"cached\": {{\"median_s\": {:.6}, \
+             \"p95_s\": {:.6}}}, \"pair_hit_rate\": {:.6}, \"frontier_hit_rate\": {:.6}}}",
+            median(&uncached),
+            percentile(&uncached, 95.0),
+            median(&cached),
+            percentile(&cached, 95.0),
+            stats.hit_rate(),
+            stats.frontier_hits as f64
+                / (stats.frontier_hits + stats.frontier_misses).max(1) as f64
+        ));
+    }
+    print_table(
+        "Offline mining with the path-enumeration cache (θ = 4)",
+        &["dataset", "uncached median", "cached median", "pair hit rate", "frontier hit rate"],
+        &rows,
+    );
+
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = format!(
+        "{{\n  \"benchmark\": \"exp2_offline_time\",\n  \"host_threads\": {host},\n  \
+         \"threads\": {threads},\n  \"datasets\": [\n    {}\n  ]\n}}\n",
+        dataset_entries.join(",\n    ")
+    );
+    write_bench_artifact("BENCH_offline.json", &json);
 }

@@ -14,12 +14,18 @@
 //! show the asymmetry.
 
 use gqa_baselines::{Deanna, DeannaConfig};
-use gqa_bench::{emit_metrics, print_table, score, SystemOutput};
-use gqa_core::pipeline::{GAnswer, GAnswerConfig};
+use gqa_bench::{
+    emit_metrics, median, percentile, print_table, score, threads_arg, write_bench_artifact,
+    SystemOutput,
+};
+use gqa_core::concurrency::Concurrency;
+use gqa_core::pipeline::{GAnswer, GAnswerConfig, Response};
 use gqa_datagen::minidbp::ambiguous_dbpedia;
 use gqa_datagen::patty::mini_dict;
 use gqa_datagen::qald::benchmark;
 use gqa_obs::Obs;
+use gqa_rdf::Store;
+use std::time::Instant;
 
 fn main() {
     let st = ambiguous_dbpedia(7, 42);
@@ -88,6 +94,146 @@ fn main() {
     emit_metrics(&ours);
 
     ambiguity_sweep();
+
+    thread_scaling(&st);
+}
+
+/// Canonical, order-independent rendering of one response; the smoke test
+/// diffs these lines across `--threads` settings.
+fn canonical_answer(r: &Response) -> String {
+    if let Some(f) = &r.failure {
+        return format!("no_answer({})", f.reason());
+    }
+    if let Some(b) = r.boolean {
+        return format!("bool({b})");
+    }
+    if let Some(c) = r.count {
+        return format!("count({c})");
+    }
+    let mut texts = r.texts();
+    texts.sort_unstable();
+    texts.join(" | ")
+}
+
+/// One `{"median_ms": …, "p95_ms": …, "n": …}` JSON fragment.
+fn stage_json(samples: &[f64]) -> String {
+    format!(
+        "{{\"median_ms\": {:.6}, \"p95_ms\": {:.6}, \"n\": {}}}",
+        median(samples) * 1e3,
+        percentile(samples, 95.0) * 1e3,
+        samples.len()
+    )
+}
+
+/// The parallel-online-answering measurement: identical answers at every
+/// thread count, per-stage medians at `--threads 1` vs the parallel
+/// setting, and batch (`answer_all`) throughput — persisted as
+/// `BENCH_online.json` at the repo root so the perf trajectory is tracked
+/// across PRs.
+fn thread_scaling(st: &Store) {
+    let par_threads = threads_arg().unwrap_or(4).max(1);
+    let questions = benchmark();
+    let texts: Vec<&str> = questions.iter().map(|q| q.text).collect();
+    let system_with = |threads: usize| {
+        GAnswer::new(
+            st,
+            mini_dict(st),
+            GAnswerConfig { concurrency: Concurrency::with_threads(threads), ..Default::default() },
+        )
+    };
+
+    // Result identity first: every question, serial vs parallel.
+    let serial_sys = system_with(1);
+    let par_sys = system_with(par_threads);
+    let serial: Vec<Response> = texts.iter().map(|t| serial_sys.answer(t)).collect();
+    let parallel: Vec<Response> = texts.iter().map(|t| par_sys.answer(t)).collect();
+    let answers_identical = serial.iter().zip(&parallel).all(|(s, p)| {
+        canonical_answer(s) == canonical_answer(p)
+            && s.matches.len() == p.matches.len()
+            && s.matches
+                .iter()
+                .zip(&p.matches)
+                .all(|(a, b)| a.bindings == b.bindings && (a.score - b.score).abs() < 1e-12)
+            && s.ta_stats.rounds == p.ta_stats.rounds
+            && s.ta_stats.early_terminated == p.ta_stats.early_terminated
+    });
+    println!("\n== thread scaling — {} questions, threads 1 vs {par_threads} ==", questions.len());
+    println!(
+        "answers identical across thread counts: {answers_identical} (matches, scores, TA rounds)"
+    );
+    // One line per question, stable across thread counts (the CI smoke diff).
+    for (q, r) in questions.iter().zip(&parallel) {
+        println!("ANSWER Q{}: {}", q.id, canonical_answer(r));
+    }
+
+    // Timed runs: per-stage samples over 3 warm repetitions per question.
+    const REPS: usize = 3;
+    let timed = |sys: &GAnswer<'_>| {
+        let (mut und, mut eva, mut tot) = (Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..REPS {
+            for t in &texts {
+                let r = sys.answer(t);
+                und.push(r.understanding_time.as_secs_f64());
+                eva.push(r.evaluation_time.as_secs_f64());
+                tot.push(r.total_time().as_secs_f64());
+            }
+        }
+        (und, eva, tot)
+    };
+    let mut run_entries = Vec::new();
+    let mut medians = Vec::new();
+    for threads in [1, par_threads] {
+        let sys = system_with(threads);
+        let (und, eva, tot) = timed(&sys);
+        medians.push(median(&tot));
+        println!(
+            "threads={threads}: total median {:.3} ms, p95 {:.3} ms (evaluate median {:.3} ms)",
+            median(&tot) * 1e3,
+            percentile(&tot, 95.0) * 1e3,
+            median(&eva) * 1e3,
+        );
+        run_entries.push(format!(
+            "{{\"threads\": {threads}, \"questions\": {}, \"reps\": {REPS}, \"stages\": \
+             {{\"understand\": {}, \"evaluate\": {}, \"total\": {}}}}}",
+            texts.len(),
+            stage_json(&und),
+            stage_json(&eva),
+            stage_json(&tot)
+        ));
+    }
+    if let [serial_med, par_med] = medians[..] {
+        println!(
+            "speedup at --threads {par_threads}: {:.2}x over --threads 1",
+            serial_med / par_med.max(1e-12)
+        );
+    }
+
+    // Batch throughput: answer_all fans questions over the budget.
+    let t0 = Instant::now();
+    let batch = par_sys.answer_all(&texts);
+    let batch_secs = t0.elapsed().as_secs_f64();
+    let batch_identical =
+        batch.iter().zip(&serial).all(|(b, s)| canonical_answer(b) == canonical_answer(s));
+    println!(
+        "batch answer_all({} questions, threads={par_threads}): {:.3} ms total, {:.1} q/s, \
+         answers identical: {batch_identical}",
+        texts.len(),
+        batch_secs * 1e3,
+        texts.len() as f64 / batch_secs.max(1e-12)
+    );
+
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = format!(
+        "{{\n  \"benchmark\": \"fig6_online_time\",\n  \"host_threads\": {host},\n  \
+         \"answers_identical\": {},\n  \"runs\": [\n    {}\n  ],\n  \"batch\": \
+         {{\"threads\": {par_threads}, \"questions\": {}, \"seconds\": {batch_secs:.6}, \
+         \"throughput_qps\": {:.3}, \"answers_identical\": {batch_identical}}}\n}}\n",
+        answers_identical && batch_identical,
+        run_entries.join(",\n    "),
+        texts.len(),
+        texts.len() as f64 / batch_secs.max(1e-12)
+    );
+    write_bench_artifact("BENCH_online.json", &json);
 }
 
 /// The origin of Figure 6's gap: cost vs per-mention ambiguity. DEANNA's

@@ -115,6 +115,52 @@ pub fn deanna(store: &Store) -> Deanna<'_> {
     Deanna::new(store, mini_dict(store), DeannaConfig::default())
 }
 
+/// The `--threads N` argument, if present (benchmark binaries share the
+/// CLI's flag name; `GQA_THREADS` still applies when absent).
+pub fn threads_arg() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) of unsorted samples; 0 for
+/// an empty slice. Used for the median/p95 lines of the `BENCH_*.json`
+/// artifacts.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Median (50th nearest-rank percentile) of unsorted samples.
+pub fn median(samples: &[f64]) -> f64 {
+    percentile(samples, 50.0)
+}
+
+/// Where benchmark artifacts like `BENCH_online.json` live: the repository
+/// root (two levels above this crate), so the perf trajectory is tracked
+/// in one predictable place across PRs.
+pub fn bench_artifact_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(name)
+}
+
+/// Write a benchmark artifact at the repo root, echoing the path.
+pub fn write_bench_artifact(name: &str, json: &str) {
+    let path = bench_artifact_path(name);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nbenchmark artifact written to {}", path.display()),
+        Err(e) => eprintln!("error: cannot write {}: {e}", path.display()),
+    }
+}
+
 /// Per-question evaluation outcome, QALD-3 style.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct QScore {
@@ -352,5 +398,24 @@ mod tests {
         let st = store();
         let g = ganswer(&st);
         assert!(g.dict().len() > 20);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(median(&xs), 3.0);
+        assert_eq!(percentile(&xs, 95.0), 5.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+        // Even count: nearest-rank median is the lower middle.
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn bench_artifacts_land_at_the_repo_root() {
+        let p = bench_artifact_path("BENCH_online.json");
+        let root = p.parent().unwrap();
+        assert!(root.join("Cargo.toml").exists(), "{} is not the repo root", root.display());
     }
 }

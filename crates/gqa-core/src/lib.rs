@@ -33,6 +33,7 @@
 pub mod aggregates;
 pub mod answer;
 pub mod arguments;
+pub mod concurrency;
 pub mod coref;
 pub mod embedding;
 pub mod mapping;
@@ -44,5 +45,6 @@ pub mod sqg;
 pub mod topk;
 pub mod validate;
 
+pub use concurrency::Concurrency;
 pub use pipeline::{GAnswer, GAnswerConfig, Response};
 pub use sqg::SemanticQueryGraph;

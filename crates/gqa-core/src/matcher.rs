@@ -8,11 +8,11 @@
 //! condition 3, an edge is satisfied by a candidate predicate in **either
 //! orientation**; predicate paths are tried both as mined and reversed.
 
-use crate::mapping::{EdgeCandidates, MappedQuery, VertexBinding};
+use crate::mapping::{EdgeCandidates, MappedQuery, VertexBinding, VertexCandidate};
 use gqa_rdf::paths::{connects, instantiate_from, PathPattern};
 use gqa_rdf::schema::Schema;
 use gqa_rdf::{Store, TermId, Triple};
-use rustc_hash::FxHashSet;
+use rustc_hash::{FxHashMap, FxHashSet};
 
 /// One subgraph match of `Q^S`.
 #[derive(Clone, Debug, PartialEq)]
@@ -397,24 +397,91 @@ pub fn prune(store: &Store, q: &MappedQuery) -> MappedQuery {
     let mut out = q.clone();
     for (vi, vb) in out.vertices.iter_mut().enumerate() {
         let VertexBinding::Candidates(list) = vb else { continue };
-        list.retain(|c| {
-            if c.is_class {
-                return true;
-            }
-            q.sqg.incident(vi).all(|(ei, _)| {
-                let e = &q.edges[ei];
-                if e.wildcard.is_some() {
-                    return store.degree(c.id) > 0 || store.term(c.id).is_literal();
-                }
-                e.list.iter().any(|(pattern, _)| {
-                    let first = pattern.0[0].pred;
-                    let last = pattern.0[pattern.len() - 1].pred;
-                    has_incident_pred(store, c.id, first) || has_incident_pred(store, c.id, last)
+        list.retain(|c| keep_candidate(store, q, vi, c));
+    }
+    out
+}
+
+/// [`prune`] with the per-candidate checks sharded over `threads` scoped
+/// workers. Each candidate's verdict is independent of every other
+/// candidate, so the kept set — and hence the returned query — is
+/// identical to [`prune`] at any thread count. `threads <= 1` *is*
+/// [`prune`].
+pub fn prune_sharded(store: &Store, q: &MappedQuery, threads: usize) -> MappedQuery {
+    // Flatten every (vertex, candidate) pair into one job list so a single
+    // long candidate list still spreads across all workers.
+    let jobs: Vec<(usize, usize)> = q
+        .vertices
+        .iter()
+        .enumerate()
+        .filter_map(|(vi, vb)| match vb {
+            VertexBinding::Candidates(list) => Some((vi, list.len())),
+            VertexBinding::Variable { .. } => None,
+        })
+        .flat_map(|(vi, n)| (0..n).map(move |ci| (vi, ci)))
+        .collect();
+    let workers = threads.max(1).min(jobs.len().max(1));
+    if workers <= 1 {
+        return prune(store, q);
+    }
+
+    let candidate = |vi: usize, ci: usize| match &q.vertices[vi] {
+        VertexBinding::Candidates(list) => &list[ci],
+        VertexBinding::Variable { .. } => unreachable!("jobs only index candidate lists"),
+    };
+    let chunk = jobs.len().div_ceil(workers);
+    let mut keep: Vec<bool> = Vec::with_capacity(jobs.len());
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .chunks(chunk)
+            .map(|js| {
+                scope.spawn(move |_| {
+                    js.iter()
+                        .map(|&(vi, ci)| keep_candidate(store, q, vi, candidate(vi, ci)))
+                        .collect::<Vec<bool>>()
                 })
             })
+            .collect();
+        for h in handles {
+            keep.extend(h.join().expect("prune worker panicked"));
+        }
+    })
+    .expect("prune scope");
+
+    let verdicts: FxHashMap<(usize, usize), bool> = jobs.into_iter().zip(keep).collect();
+    let mut out = q.clone();
+    for (vi, vb) in out.vertices.iter_mut().enumerate() {
+        let VertexBinding::Candidates(list) = vb else { continue };
+        let mut ci = 0usize;
+        list.retain(|_| {
+            let k = verdicts[&(vi, ci)];
+            ci += 1;
+            k
         });
     }
     out
+}
+
+/// The §4.2.2 neighborhood test for one entity candidate `c` of vertex
+/// `vi`: every incident edge must have *some* candidate pattern whose
+/// first or last predicate step touches `c`. Classes and wildcard-adjacent
+/// vertices are kept liberally. Pure given immutable inputs — the sharded
+/// pruner calls it from worker threads.
+fn keep_candidate(store: &Store, q: &MappedQuery, vi: usize, c: &VertexCandidate) -> bool {
+    if c.is_class {
+        return true;
+    }
+    q.sqg.incident(vi).all(|(ei, _)| {
+        let e = &q.edges[ei];
+        if e.wildcard.is_some() {
+            return store.degree(c.id) > 0 || store.term(c.id).is_literal();
+        }
+        e.list.iter().any(|(pattern, _)| {
+            let first = pattern.0[0].pred;
+            let last = pattern.0[pattern.len() - 1].pred;
+            has_incident_pred(store, c.id, first) || has_incident_pred(store, c.id, last)
+        })
+    })
 }
 
 fn has_incident_pred(store: &Store, v: TermId, p: TermId) -> bool {

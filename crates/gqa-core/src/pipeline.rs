@@ -9,6 +9,7 @@
 use crate::aggregates;
 use crate::answer::{answers_from_matches, Answer};
 use crate::arguments::{find_arguments, ArgumentRules};
+use crate::concurrency::Concurrency;
 use crate::coref;
 use crate::embedding::find_embeddings;
 use crate::mapping::{
@@ -18,7 +19,7 @@ use crate::matcher::{Match, MatcherConfig};
 use crate::semrel::SemanticRelation;
 use crate::sparql_gen::sparql_of_matches;
 use crate::sqg::{self, SemanticQueryGraph, SqgOptions};
-use crate::topk::{top_k_traced, TaStats};
+use crate::topk::{top_k_with, TaStats};
 use gqa_linker::Linker;
 use gqa_nlp::question::{Aggregation, AnswerShape, QuestionAnalysis};
 use gqa_nlp::{DepTree, DependencyParser};
@@ -49,6 +50,10 @@ pub struct GAnswerConfig {
     /// Cap on linker candidates per mention (DBpedia Lookup returns a
     /// bounded list too).
     pub max_link_candidates: usize,
+    /// Thread budget for the online path: TA probe fan-out, sharded
+    /// pruning, and [`GAnswer::answer_all`]. Default resolves `GQA_THREADS`
+    /// then available parallelism; `threads = 1` is the exact serial path.
+    pub concurrency: Concurrency,
 }
 
 impl Default for GAnswerConfig {
@@ -62,6 +67,7 @@ impl Default for GAnswerConfig {
             mapping: MappingOptions::default(),
             matcher: MatcherConfig::default(),
             max_link_candidates: 8,
+            concurrency: Concurrency::default(),
         }
     }
 }
@@ -233,6 +239,12 @@ impl<'s> GAnswer<'s> {
                 );
             }
             obs.counter("gqa_topk_probes_total", &[]);
+            obs.counter("gqa_core_ta_parallel_probes_total", &[]);
+            obs.histogram(
+                "gqa_core_ta_probe_duration_seconds",
+                &[("round", "1")],
+                DURATION_BUCKETS,
+            );
             obs.counter("gqa_topk_rounds_total", &[]);
             obs.counter("gqa_topk_pruned_candidates_total", &[]);
             obs.counter("gqa_topk_early_terminations_total", &[]);
@@ -328,21 +340,32 @@ impl<'s> GAnswer<'s> {
         map_query(sqg, &self.linker, &self.literals, &self.dict, &opts)
     }
 
-    /// Stage 2 — top-k evaluation (§4.2.2).
+    /// Stage 2 — top-k evaluation (§4.2.2), using the configured thread
+    /// budget.
     pub fn evaluate(&self, mapped: &MappedQuery) -> (Vec<Match>, TaStats) {
-        self.evaluate_traced(mapped, None)
+        self.evaluate_traced(mapped, None, &self.config.concurrency)
     }
 
     fn evaluate_traced(
         &self,
         mapped: &MappedQuery,
         trace: Option<&mut QueryTrace>,
+        conc: &Concurrency,
     ) -> (Vec<Match>, TaStats) {
         let mcfg = MatcherConfig {
             neighborhood_pruning: self.config.neighborhood_pruning,
             ..self.config.matcher
         };
-        top_k_traced(self.store, &self.schema, mapped, &mcfg, self.config.top_k, trace)
+        top_k_with(
+            self.store,
+            &self.schema,
+            mapped,
+            &mcfg,
+            self.config.top_k,
+            conc,
+            &self.obs,
+            trace,
+        )
     }
 
     /// Record a failure: bump its taxonomy counter, label the trace.
@@ -368,7 +391,7 @@ impl<'s> GAnswer<'s> {
 
     /// Answer a natural-language question end to end.
     pub fn answer(&self, question: &str) -> Response {
-        self.answer_impl(question, None)
+        self.answer_impl(question, None, &self.config.concurrency)
     }
 
     /// [`GAnswer::answer`], additionally recording a full [`QueryTrace`]
@@ -376,12 +399,49 @@ impl<'s> GAnswer<'s> {
     /// of the obs handle: it works on a plain [`GAnswer::new`] system too.
     pub fn answer_traced(&self, question: &str) -> Response {
         let mut trace = QueryTrace::new(question);
-        let mut r = self.answer_impl(question, Some(&mut trace));
+        let mut r = self.answer_impl(question, Some(&mut trace), &self.config.concurrency);
         r.trace = Some(Box::new(trace));
         r
     }
 
-    fn answer_impl(&self, question: &str, mut trace: Option<&mut QueryTrace>) -> Response {
+    /// Answer a batch of independent questions, fanning the *questions*
+    /// out over the configured thread budget (the throughput path for
+    /// heavy traffic). Inside a batch worker the per-question TA runs
+    /// serially — question-level parallelism already saturates the budget,
+    /// and nesting would oversubscribe it. Responses come back in question
+    /// order and are identical to calling [`GAnswer::answer`] in a loop.
+    pub fn answer_all(&self, questions: &[&str]) -> Vec<Response> {
+        let workers = self.config.concurrency.workers_for(questions.len());
+        if workers <= 1 {
+            return questions.iter().map(|q| self.answer(q)).collect();
+        }
+        let chunk = questions.len().div_ceil(workers);
+        let mut out = Vec::with_capacity(questions.len());
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = questions
+                .chunks(chunk)
+                .map(|qs| {
+                    scope.spawn(move |_| {
+                        qs.iter()
+                            .map(|q| self.answer_impl(q, None, &Concurrency::serial()))
+                            .collect::<Vec<Response>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("answer_all worker panicked"));
+            }
+        })
+        .expect("answer_all scope");
+        out
+    }
+
+    fn answer_impl(
+        &self,
+        question: &str,
+        mut trace: Option<&mut QueryTrace>,
+        conc: &Concurrency,
+    ) -> Response {
         let _span = self.obs.span("pipeline.answer");
         self.obs.counter("gqa_pipeline_questions_total", &[]).inc();
 
@@ -479,7 +539,7 @@ impl<'s> GAnswer<'s> {
         let t2 = Instant::now();
         let (mut matches, ta_stats) = {
             let _s = self.obs.span("pipeline.topk");
-            self.evaluate_traced(&mapped, trace.as_deref_mut())
+            self.evaluate_traced(&mapped, trace.as_deref_mut(), conc)
         };
         self.observe_stage("topk", t2.elapsed());
         self.obs.counter("gqa_topk_probes_total", &[]).add(ta_stats.probes as u64);
@@ -710,6 +770,57 @@ mod tests {
         let sys = system(&store);
         let r = sys.answer("Give me all companies in Munich.");
         assert_eq!(r.answers.len(), 3, "{:?} {:?}", r.failure, r.answers);
+    }
+
+    #[test]
+    fn answer_all_matches_sequential_answers() {
+        let store = mini_dbpedia();
+        let mut sys = system(&store);
+        sys.config.concurrency = Concurrency::with_threads(4);
+        let questions = [
+            "Who is the mayor of Berlin?",
+            "Who was married to an actor that played in Philadelphia?",
+            "Is Michelle Obama the wife of Barack Obama?",
+            "Who is the uncle of John F. Kennedy, Jr.?",
+            "How tall is Michael Jordan?",
+            "Give me all cars that are produced in Germany.",
+        ];
+        let batch = sys.answer_all(&questions);
+        assert_eq!(batch.len(), questions.len());
+        for (q, r) in questions.iter().zip(&batch) {
+            let solo = sys.answer(q);
+            assert_eq!(r.texts(), solo.texts(), "{q}");
+            assert_eq!(r.boolean, solo.boolean, "{q}");
+            assert_eq!(r.failure, solo.failure, "{q}");
+            assert_eq!(r.matches.len(), solo.matches.len(), "{q}");
+            for (a, b) in r.matches.iter().zip(&solo.matches) {
+                assert_eq!(a.bindings, b.bindings, "{q}");
+                assert!((a.score - b.score).abs() < 1e-12, "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_answer_equals_serial_answer() {
+        let store = mini_dbpedia();
+        let questions = [
+            "Who is the mayor of Berlin?",
+            "Who was married to an actor that played in Philadelphia?",
+            "Who is the uncle of John F. Kennedy, Jr.?",
+        ];
+        let mut serial_sys = system(&store);
+        serial_sys.config.concurrency = Concurrency::serial();
+        let mut par_sys = system(&store);
+        par_sys.config.concurrency = Concurrency::with_threads(4);
+        for q in questions {
+            let s = serial_sys.answer(q);
+            let p = par_sys.answer(q);
+            assert_eq!(s.texts(), p.texts(), "{q}");
+            assert_eq!(s.ta_stats.rounds, p.ta_stats.rounds, "{q}");
+            assert_eq!(s.ta_stats.probes, p.ta_stats.probes, "{q}");
+            assert_eq!(s.ta_stats.early_terminated, p.ta_stats.early_terminated, "{q}");
+            assert_eq!(s.ta_stats.threshold_history, p.ta_stats.threshold_history, "{q}");
+        }
     }
 
     #[test]

@@ -9,12 +9,14 @@
 //! termination: once θ ≥ Upbound, no undiscovered match can displace the
 //! top-k.
 
-use crate::mapping::{MappedQuery, VertexBinding};
-use crate::matcher::{find_matches, prune, Match, MatcherConfig};
-use gqa_obs::{CursorTrace, ProbeTrace, PruneTrace, QueryTrace, TaRoundTrace};
+use crate::concurrency::Concurrency;
+use crate::mapping::{MappedQuery, VertexBinding, VertexCandidate};
+use crate::matcher::{find_matches, prune_sharded, Match, MatcherConfig};
+use gqa_obs::{CursorTrace, Obs, ProbeTrace, PruneTrace, QueryTrace, TaRoundTrace};
 use gqa_rdf::schema::Schema;
 use gqa_rdf::Store;
 use rustc_hash::FxHashSet;
+use std::time::Instant;
 
 /// Instrumentation of one top-k run (ablation benches and the EXPLAIN
 /// renderer read this).
@@ -28,13 +30,18 @@ pub struct TaStats {
     pub early_terminated: bool,
     /// Candidates removed by neighborhood pruning before any round ran.
     pub pruned_candidates: usize,
+    /// Probes executed on parallel workers (0 on the serial path; excluded
+    /// from parallel-vs-serial equivalence checks, everything else in this
+    /// struct must be identical at any thread count).
+    pub parallel_probes: usize,
     /// θ after each round (−∞ until k matches exist).
     pub threshold_history: Vec<f64>,
     /// The Equation-3 upper bound after each round.
     pub upbound_history: Vec<f64>,
 }
 
-/// Find the top-k matches by score (Definition 6).
+/// Find the top-k matches by score (Definition 6). Strictly serial; the
+/// pipeline passes its configured thread budget via [`top_k_with`].
 pub fn top_k(
     store: &Store,
     schema: &Schema,
@@ -46,13 +53,38 @@ pub fn top_k(
 }
 
 /// [`top_k`], optionally recording every pruning decision and TA round into
-/// an EXPLAIN trace.
+/// an EXPLAIN trace. Strictly serial.
 pub fn top_k_traced(
     store: &Store,
     schema: &Schema,
     q: &MappedQuery,
     matcher_cfg: &MatcherConfig,
     k: usize,
+    trace: Option<&mut QueryTrace>,
+) -> (Vec<Match>, TaStats) {
+    top_k_with(store, schema, q, matcher_cfg, k, &Concurrency::serial(), &Obs::disabled(), trace)
+}
+
+/// [`top_k_traced`] with an explicit thread budget and metrics sink.
+///
+/// With `conc.threads > 1` each TA round's cursor probes fan out over
+/// `crossbeam::scope` workers (probes within a round are independent given
+/// the immutable `&Store`/`&Schema`), and the up-front neighborhood pruning
+/// shards its candidate lists the same way. Probe results are merged back
+/// **in cursor order** and ranked by the same stable sort as the serial
+/// path, so matches, scores, θ/Upbound histories, round counts, and early
+/// termination are bit-identical at any thread count; only
+/// [`TaStats::parallel_probes`] differs. `conc.threads == 1` takes the
+/// exact serial code path.
+#[allow(clippy::too_many_arguments)]
+pub fn top_k_with(
+    store: &Store,
+    schema: &Schema,
+    q: &MappedQuery,
+    matcher_cfg: &MatcherConfig,
+    k: usize,
+    conc: &Concurrency,
+    obs: &Obs,
     mut trace: Option<&mut QueryTrace>,
 ) -> (Vec<Match>, TaStats) {
     let mut stats = TaStats::default();
@@ -62,7 +94,7 @@ pub fn top_k_traced(
     // probe them. The per-probe matcher runs with pruning off.
     let pruned_storage;
     let q = if matcher_cfg.neighborhood_pruning {
-        pruned_storage = prune(store, q);
+        pruned_storage = prune_sharded(store, q, conc.threads);
         record_pruning(store, q, &pruned_storage, &mut stats, trace.as_deref_mut());
         &pruned_storage
     } else {
@@ -98,6 +130,8 @@ pub fn top_k_traced(
     let mut best: Vec<Match> = Vec::new();
     let mut seen: FxHashSet<Vec<gqa_rdf::TermId>> = FxHashSet::default();
 
+    let parallel_probe_count = obs.counter("gqa_core_ta_parallel_probes_total", &[]);
+
     for d in 0..max_depth {
         stats.rounds += 1;
         let mut round_trace = trace.is_some().then(|| TaRoundTrace {
@@ -116,11 +150,49 @@ pub fn top_k_traced(
                 .collect(),
             ..TaRoundTrace::default()
         });
-        for &vi in &cursor_vertices {
-            let VertexBinding::Candidates(list) = &q.vertices[vi] else { unreachable!() };
-            let Some(cand) = list.get(d) else { continue };
-            stats.probes += 1;
-            let found = find_matches(store, schema, q, matcher_cfg, Some((vi, *cand)));
+        // This round's probe jobs: each cursor's d-th candidate, in cursor
+        // order. Probes never observe `best`/`seen`, so running them
+        // serially-interleaved with merging (the old code) or all-ahead
+        // (the parallel path) yields the same matches; merging strictly in
+        // job order keeps every downstream step identical.
+        let jobs: Vec<(usize, VertexCandidate)> = cursor_vertices
+            .iter()
+            .filter_map(|&vi| {
+                let VertexBinding::Candidates(list) = &q.vertices[vi] else { unreachable!() };
+                list.get(d).map(|c| (vi, *c))
+            })
+            .collect();
+        stats.probes += jobs.len();
+
+        let probe = |vi: usize, cand: VertexCandidate| {
+            let started = Instant::now();
+            let found = find_matches(store, schema, q, matcher_cfg, Some((vi, cand)));
+            (found, started.elapsed().as_secs_f64())
+        };
+        let workers = conc.workers_for(jobs.len());
+        let results: Vec<(Vec<Match>, f64)> = if workers <= 1 {
+            jobs.iter().map(|&(vi, cand)| probe(vi, cand)).collect()
+        } else {
+            stats.parallel_probes += jobs.len();
+            parallel_probe_count.add(jobs.len() as u64);
+            run_probes_parallel(&jobs, workers, &probe)
+        };
+
+        if obs.is_enabled() {
+            // One histogram series per round index; the tail collapses into
+            // "9+" to bound cardinality on adversarially long cursor lists.
+            let label = if d < 9 { format!("{}", d + 1) } else { "9+".to_string() };
+            let h = obs.histogram(
+                "gqa_core_ta_probe_duration_seconds",
+                &[("round", &label)],
+                gqa_obs::DURATION_BUCKETS,
+            );
+            for (_, secs) in &results {
+                h.observe(*secs);
+            }
+        }
+
+        for (&(vi, cand), (found, _)) in jobs.iter().zip(results) {
             let found_count = found.len();
             let mut new_count = 0usize;
             for m in found {
@@ -187,6 +259,37 @@ pub fn top_k_traced(
 
     dedup_scores_truncate(&mut best, k);
     (best, stats)
+}
+
+/// Fan one round's probe jobs over `workers` scoped threads in contiguous
+/// chunks, returning results in job order. The vendored `crossbeam::scope`
+/// supports exactly this single-level spawn (see `vendor/README.md`); the
+/// chunking keeps result order deterministic without any post-hoc sort.
+fn run_probes_parallel<F>(
+    jobs: &[(usize, VertexCandidate)],
+    workers: usize,
+    probe: &F,
+) -> Vec<(Vec<Match>, f64)>
+where
+    F: Fn(usize, VertexCandidate) -> (Vec<Match>, f64) + Sync,
+{
+    let chunk = jobs.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(jobs.len());
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .chunks(chunk)
+            .map(|js| {
+                scope.spawn(move |_| {
+                    js.iter().map(|&(vi, cand)| probe(vi, cand)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("TA probe worker panicked"));
+        }
+    })
+    .expect("TA probe scope");
+    out
 }
 
 /// Diff a query against its pruned form: count eliminated candidates into

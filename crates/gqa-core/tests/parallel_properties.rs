@@ -1,0 +1,178 @@
+//! Property tests for the parallel online path: on random mini-DBpedia
+//! stores and random queries, the multi-threaded TA search and the sharded
+//! neighborhood pruning must be *bit-identical* to their serial
+//! counterparts — same match sets, same scores, same round/termination
+//! bookkeeping. Thread count may only change wall-clock and
+//! `TaStats::parallel_probes`.
+
+use gqa_core::concurrency::Concurrency;
+use gqa_core::mapping::{EdgeCandidates, MappedQuery, VertexBinding, VertexCandidate};
+use gqa_core::matcher::{prune, prune_sharded, MatcherConfig};
+use gqa_core::sqg::{SemanticQueryGraph, SqgEdge, SqgVertex};
+use gqa_core::topk::{top_k, top_k_with};
+use gqa_obs::Obs;
+use gqa_rdf::schema::Schema;
+use gqa_rdf::{PathPattern, Store, StoreBuilder};
+use proptest::prelude::*;
+
+fn build_store(edges: &[(u8, u8, u8)]) -> Store {
+    let mut b = StoreBuilder::new();
+    for v in 0..8u8 {
+        b.add_iri(&format!("v{v}"), "rdf:type", "C");
+    }
+    for p in 0..3u8 {
+        b.add_iri("anchor_a", &format!("p{p}"), "anchor_b");
+    }
+    for &(s, p, o) in edges {
+        b.add_iri(&format!("v{s}"), &format!("p{p}"), &format!("v{o}"));
+    }
+    b.build()
+}
+
+/// A random 2- or 3-vertex query: one variable target plus fixed vertices
+/// with candidate lists (longer than matcher_properties' lists, so the TA
+/// runs more rounds and the parallel fan-out actually engages) and
+/// single-predicate or wildcard edges.
+#[derive(Clone, Debug)]
+struct RandomQuery {
+    n: usize,
+    cands: Vec<Vec<u8>>,
+    edge_preds: Vec<Option<u8>>,
+}
+
+fn arb_query() -> impl Strategy<Value = RandomQuery> {
+    (2usize..=3).prop_flat_map(|n| {
+        (
+            prop::collection::vec(prop::collection::vec(0u8..8, 1..5), n - 1),
+            prop::collection::vec(prop::option::of(0u8..3), n - 1),
+        )
+            .prop_map(move |(cands, edge_preds)| RandomQuery { n, cands, edge_preds })
+    })
+}
+
+fn to_mapped(store: &Store, rq: &RandomQuery) -> MappedQuery {
+    let mut sqg = SemanticQueryGraph::default();
+    for i in 0..rq.n {
+        sqg.vertices.push(SqgVertex {
+            node: i,
+            text: format!("t{i}"),
+            is_wh: i == 0,
+            is_target: i == 0,
+            is_proper: false,
+        });
+    }
+    let mut vertices: Vec<VertexBinding> = vec![VertexBinding::Variable { classes: vec![] }];
+    for c in &rq.cands {
+        let list = c
+            .iter()
+            .enumerate()
+            .map(|(rank, &v)| VertexCandidate {
+                id: store.expect_iri(&format!("v{v}")),
+                confidence: 1.0 / (1.0 + rank as f64),
+                is_class: false,
+            })
+            .collect();
+        vertices.push(VertexBinding::Candidates(list));
+    }
+    let mut edges = Vec::new();
+    for (i, ep) in rq.edge_preds.iter().enumerate() {
+        sqg.edges.push(SqgEdge {
+            from: i,
+            to: i + 1,
+            phrase: ep.map(|p| (p as usize, format!("p{p}"))),
+        });
+        edges.push(match ep {
+            Some(p) => EdgeCandidates {
+                list: vec![(PathPattern::single(store.expect_iri(&format!("p{p}"))), 0.9)],
+                wildcard: None,
+            },
+            None => EdgeCandidates { list: vec![], wildcard: Some(0.3) },
+        });
+    }
+    MappedQuery { sqg, vertices, edges }
+}
+
+fn candidate_lists(q: &MappedQuery) -> Vec<Vec<(gqa_rdf::TermId, bool)>> {
+    q.vertices
+        .iter()
+        .map(|v| match v {
+            VertexBinding::Candidates(c) => c.iter().map(|x| (x.id, x.is_class)).collect(),
+            VertexBinding::Variable { .. } => Vec::new(),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Parallel `top_k` at threads ∈ {2, 4} returns exactly the same match
+    /// set (bindings *and* order), scores, and TA bookkeeping (rounds,
+    /// probes, θ/Upbound histories, early termination) as threads = 1.
+    #[test]
+    fn parallel_topk_is_bit_identical_to_serial(
+        store_edges in prop::collection::vec((0u8..8, 0u8..3, 0u8..8), 0..24),
+        rq in arb_query(),
+        k in 1usize..5,
+    ) {
+        let store = build_store(&store_edges);
+        let schema = Schema::new(&store);
+        let q = to_mapped(&store, &rq);
+        let cfg = MatcherConfig::default();
+        let (serial, serial_stats) = top_k(&store, &schema, &q, &cfg, k);
+        for threads in [2usize, 4] {
+            let (par, par_stats) = top_k_with(
+                &store,
+                &schema,
+                &q,
+                &cfg,
+                k,
+                &Concurrency::with_threads(threads),
+                &Obs::disabled(),
+                None,
+            );
+            prop_assert_eq!(par.len(), serial.len(), "threads={}", threads);
+            for (a, b) in par.iter().zip(&serial) {
+                prop_assert_eq!(&a.bindings, &b.bindings, "threads={}", threads);
+                prop_assert!(a.score.to_bits() == b.score.to_bits(), "threads={threads}: {} vs {}", a.score, b.score);
+            }
+            prop_assert_eq!(par_stats.rounds, serial_stats.rounds, "threads={}", threads);
+            prop_assert_eq!(par_stats.probes, serial_stats.probes, "threads={}", threads);
+            prop_assert_eq!(
+                par_stats.early_terminated,
+                serial_stats.early_terminated,
+                "threads={}", threads
+            );
+            prop_assert_eq!(
+                par_stats.pruned_candidates,
+                serial_stats.pruned_candidates,
+                "threads={}", threads
+            );
+            prop_assert_eq!(
+                &par_stats.threshold_history,
+                &serial_stats.threshold_history,
+                "threads={}", threads
+            );
+            prop_assert_eq!(
+                &par_stats.upbound_history,
+                &serial_stats.upbound_history,
+                "threads={}", threads
+            );
+        }
+    }
+
+    /// Sharded pruning keeps exactly the candidates `prune` keeps, in the
+    /// same order.
+    #[test]
+    fn sharded_pruning_equals_serial_pruning(
+        store_edges in prop::collection::vec((0u8..8, 0u8..3, 0u8..8), 0..24),
+        rq in arb_query(),
+    ) {
+        let store = build_store(&store_edges);
+        let q = to_mapped(&store, &rq);
+        let reference = candidate_lists(&prune(&store, &q));
+        for threads in [1usize, 2, 4, 16] {
+            let sharded = candidate_lists(&prune_sharded(&store, &q, threads));
+            prop_assert_eq!(&sharded, &reference, "threads={}", threads);
+        }
+    }
+}

@@ -29,5 +29,5 @@ pub mod support;
 pub mod tfidf;
 
 pub use dict::{ParaMapping, ParaphraseDict};
-pub use miner::{mine, MinerConfig};
+pub use miner::{mine, mine_with_cache, MinerConfig};
 pub use support::{PhraseDataset, PhraseEntry};

@@ -3,7 +3,8 @@
 use crate::dict::{ParaMapping, ParaphraseDict};
 use crate::support::PhraseDataset;
 use crate::tfidf::{document_frequency, tf_idf, PathSetSummary};
-use gqa_rdf::paths::{simple_paths, PathConfig};
+use gqa_rdf::cache::PathCache;
+use gqa_rdf::paths::PathConfig;
 use gqa_rdf::Store;
 
 /// Configuration of the offline miner.
@@ -31,6 +32,14 @@ impl MinerConfig {
     /// A config with the given θ.
     pub fn with_theta(theta: usize) -> Self {
         MinerConfig { theta, ..Default::default() }
+    }
+
+    /// The path-enumeration limits this miner config implies (θ, per-pair
+    /// path cap, schema predicates skipped). A [`PathCache`] handed to
+    /// [`mine_with_cache`] must be built over exactly this config.
+    pub fn path_config(&self, store: &Store) -> PathConfig {
+        PathConfig { max_len: self.theta, max_paths: self.max_paths_per_pair, ..Default::default() }
+            .skip_schema_predicates(store)
     }
 }
 
@@ -76,12 +85,37 @@ pub fn mine_with_corpus_size(
     cfg: &MinerConfig,
     corpus_size: usize,
 ) -> ParaphraseDict {
-    let path_cfg =
-        PathConfig { max_len: cfg.theta, max_paths: cfg.max_paths_per_pair, ..Default::default() }
-            .skip_schema_predicates(store);
+    let cache = PathCache::new(cfg.path_config(store));
+    mine_with_cache(store, dataset, cfg, corpus_size, &cache)
+}
+
+/// [`mine_with_corpus_size`] over a caller-supplied [`PathCache`], so
+/// repeated supporting pairs (and pairs sharing an endpoint) skip
+/// re-running the bidirectional BFS. The cache is shared across the
+/// miner's worker threads and across calls — e.g. incremental re-mining
+/// reuses frontiers grown by the initial run. Results are identical to the
+/// uncached path; only the work changes.
+///
+/// Panics if the cache was built over a different [`PathConfig`] than
+/// [`MinerConfig::path_config`] implies — a mismatched θ or path cap would
+/// silently change mining results.
+pub fn mine_with_cache(
+    store: &Store,
+    dataset: &PhraseDataset,
+    cfg: &MinerConfig,
+    corpus_size: usize,
+    cache: &PathCache,
+) -> ParaphraseDict {
+    let path_cfg = cfg.path_config(store);
+    assert_eq!(cache.config().max_len, path_cfg.max_len, "PathCache θ differs from MinerConfig θ");
+    assert_eq!(
+        cache.config().max_paths,
+        path_cfg.max_paths,
+        "PathCache path cap differs from MinerConfig"
+    );
 
     // Phase 1: per-phrase path-set summaries.
-    let summaries = summarize(store, dataset, &path_cfg, cfg.threads);
+    let summaries = summarize(store, dataset, cache, cfg.threads);
 
     // Phase 2: document frequencies across phrases.
     let df = document_frequency(summaries.iter());
@@ -135,7 +169,7 @@ pub fn mine_with_corpus_size(
 fn summarize(
     store: &Store,
     dataset: &PhraseDataset,
-    path_cfg: &PathConfig,
+    cache: &PathCache,
     threads: usize,
 ) -> Vec<PathSetSummary> {
     let summarize_one = |entry: &crate::support::PhraseEntry| {
@@ -144,7 +178,7 @@ fn summarize(
             let (Some(va), Some(vb)) = (store.iri(a), store.iri(b)) else {
                 continue; // pair does not occur in the RDF graph
             };
-            let paths = simple_paths(store, va, vb, path_cfg);
+            let paths = cache.simple_paths(store, va, vb);
             summary.record_pair(paths.iter().map(|p| p.pattern()));
         }
         summary
@@ -228,7 +262,7 @@ mod tests {
 
     /// A family graph where "uncle of" requires a length-3 path and a
     /// `hasGender` noise hub exists (Figure 4).
-    fn family_store() -> Store {
+    pub(super) fn family_store() -> Store {
         let mut b = StoreBuilder::new();
         // Two uncle instances.
         b.add_iri("Joseph_Sr", "hasChild", "Ted");
@@ -251,7 +285,7 @@ mod tests {
         b.build()
     }
 
-    fn family_dataset() -> PhraseDataset {
+    pub(super) fn family_dataset() -> PhraseDataset {
         PhraseDataset::new(vec![
             PhraseEntry::new(
                 "uncle of",
@@ -395,6 +429,42 @@ mod parallel_tests {
                 assert!((x.confidence - y.confidence).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn shared_cache_mining_equals_uncached_and_records_hits() {
+        let store = super::tests::family_store();
+        let ds = super::tests::family_dataset();
+        let cfg = MinerConfig::default();
+        let reference = mine(&store, &ds, &cfg);
+        let cache = PathCache::new(cfg.path_config(&store));
+        // Mine twice over one cache: the second run is served entirely from
+        // memory yet must produce the identical dictionary.
+        let first = mine_with_cache(&store, &ds, &cfg, ds.entries.len(), &cache);
+        let stats_after_first = cache.stats();
+        let second = mine_with_cache(&store, &ds, &cfg, ds.entries.len(), &cache);
+        let stats_after_second = cache.stats();
+        for d in [&first, &second] {
+            assert_eq!(d.len(), reference.len());
+            for (a, b) in reference.iter().zip(d.iter()) {
+                assert_eq!(a.0, b.0);
+                for (x, y) in a.1.iter().zip(b.1.iter()) {
+                    assert_eq!(x.path, y.path);
+                    assert!((x.confidence - y.confidence).abs() < 1e-12);
+                }
+            }
+        }
+        assert_eq!(stats_after_second.misses, stats_after_first.misses, "second run all hits");
+        assert!(stats_after_second.hits > stats_after_first.hits);
+    }
+
+    #[test]
+    #[should_panic(expected = "PathCache θ differs")]
+    fn mismatched_cache_theta_is_rejected() {
+        let store = super::tests::family_store();
+        let ds = super::tests::family_dataset();
+        let cache = PathCache::new(MinerConfig::with_theta(2).path_config(&store));
+        mine_with_cache(&store, &ds, &MinerConfig::with_theta(4), ds.entries.len(), &cache);
     }
 
     #[test]

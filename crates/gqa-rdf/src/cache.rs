@@ -1,0 +1,344 @@
+//! Concurrent, bounded memoization for simple-path enumeration.
+//!
+//! The offline miner (paper §3, Algorithm 1) calls
+//! [`simple_paths`](crate::paths::simple_paths) once per supporting entity
+//! pair of every relation phrase. Real phrase datasets repeat pairs across
+//! phrases ("be married to" / "be the spouse of" share support), and
+//! distinct pairs frequently share an endpoint (hub entities appear in many
+//! pairs), so both the *pair → paths* result and the *per-source BFS
+//! frontier* are highly reusable.
+//!
+//! [`PathCache`] memoizes both layers behind sharded LRU maps guarded by
+//! `parking_lot::Mutex`, making it safe to share one cache across the
+//! miner's worker threads:
+//!
+//! * the **pair cache** is keyed by `(a, b, θ)` and stores the full
+//!   enumeration result;
+//! * the **frontier cache** is keyed by `(start, depth)` and stores the
+//!   partial simple paths grown from one endpoint, so even a *missed* pair
+//!   reuses half of its BFS when either endpoint was seen before.
+//!
+//! Results are byte-identical to uncached enumeration: the cache reuses the
+//! exact `grow_partials`/`join_partials` routines of
+//! [`crate::paths::simple_paths`], and values are immutable `Arc`s.
+//!
+//! A cache instance is constructed over one fixed [`PathConfig`] (θ, path
+//! caps, skipped predicates); keys do not encode the config beyond θ, so
+//! never share one instance across differently-configured enumerations.
+
+use crate::ids::TermId;
+use crate::paths::{grow_partials, join_partials, PathConfig, SimplePath};
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Capacity knobs for [`PathCache`]. Defaults suit the bundled phrase
+/// datasets (thousands of pairs, hundreds of distinct endpoints).
+#[derive(Clone, Copy, Debug)]
+pub struct PathCacheConfig {
+    /// Maximum cached `(a, b, θ)` enumeration results.
+    pub pair_capacity: usize,
+    /// Maximum cached `(start, depth)` BFS frontiers.
+    pub frontier_capacity: usize,
+    /// Lock shards per layer (bounded contention under the miner's
+    /// thread fan-out).
+    pub shards: usize,
+}
+
+impl Default for PathCacheConfig {
+    fn default() -> Self {
+        PathCacheConfig { pair_capacity: 8192, frontier_capacity: 4096, shards: 16 }
+    }
+}
+
+/// Hit/miss counts of one [`PathCache`] (monotonic since construction).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathCacheStats {
+    /// Pair-cache hits (whole enumeration skipped).
+    pub hits: u64,
+    /// Pair-cache misses (enumeration ran, possibly over cached frontiers).
+    pub misses: u64,
+    /// Frontier-cache hits (one BFS side skipped inside a pair miss).
+    pub frontier_hits: u64,
+    /// Frontier-cache misses.
+    pub frontier_misses: u64,
+}
+
+impl PathCacheStats {
+    /// Pair-level hit rate in `[0, 1]` (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One LRU shard: an access-stamped map. Eviction scans for the oldest
+/// stamp — shards stay small (capacity / shard count), so the scan is
+/// cheaper than maintaining an intrusive list under a mutex.
+struct LruShard<K> {
+    map: FxHashMap<K, (u64, Arc<Vec<SimplePath>>)>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Copy> LruShard<K> {
+    fn new(capacity: usize) -> Self {
+        LruShard { map: FxHashMap::default(), clock: 0, capacity: capacity.max(1) }
+    }
+
+    fn get(&mut self, key: &K) -> Option<Arc<Vec<SimplePath>>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|(stamp, v)| {
+            *stamp = clock;
+            v.clone()
+        })
+    }
+
+    fn insert(&mut self, key: K, value: Arc<Vec<SimplePath>>) {
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self.map.iter().min_by_key(|(_, (s, _))| *s).map(|(k, _)| *k) {
+                self.map.remove(&oldest);
+            }
+        }
+        self.clock += 1;
+        self.map.insert(key, (self.clock, value));
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// One mutex-guarded [`LruShard`] per shard index.
+type ShardedLru<K> = Box<[Mutex<LruShard<K>>]>;
+
+/// A thread-safe, bounded memo cache for [`crate::paths::simple_paths`].
+///
+/// ```
+/// use gqa_rdf::cache::PathCache;
+/// use gqa_rdf::paths::{simple_paths, PathConfig};
+/// use gqa_rdf::StoreBuilder;
+///
+/// let mut b = StoreBuilder::new();
+/// b.add_iri("grandpa", "hasChild", "uncle");
+/// b.add_iri("grandpa", "hasChild", "parent");
+/// b.add_iri("parent", "hasChild", "nephew");
+/// let store = b.build();
+/// let (u, n) = (store.expect_iri("uncle"), store.expect_iri("nephew"));
+///
+/// let cfg = PathConfig::with_max_len(3);
+/// let cache = PathCache::new(cfg.clone());
+/// let first = cache.simple_paths(&store, u, n);
+/// assert_eq!(*first, simple_paths(&store, u, n, &cfg));
+/// let again = cache.simple_paths(&store, u, n); // served from memory
+/// assert_eq!(first, again);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+pub struct PathCache {
+    path_cfg: PathConfig,
+    pairs: ShardedLru<(TermId, TermId, usize)>,
+    frontiers: ShardedLru<(TermId, usize)>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    frontier_hits: AtomicU64,
+    frontier_misses: AtomicU64,
+}
+
+impl PathCache {
+    /// A cache over `path_cfg` with default capacities.
+    pub fn new(path_cfg: PathConfig) -> Self {
+        Self::with_capacity(path_cfg, PathCacheConfig::default())
+    }
+
+    /// A cache over `path_cfg` with explicit capacity knobs.
+    pub fn with_capacity(path_cfg: PathConfig, cap: PathCacheConfig) -> Self {
+        let shards = cap.shards.max(1);
+        let per_pair_shard = cap.pair_capacity.div_ceil(shards);
+        let per_frontier_shard = cap.frontier_capacity.div_ceil(shards);
+        PathCache {
+            path_cfg,
+            pairs: (0..shards).map(|_| Mutex::new(LruShard::new(per_pair_shard))).collect(),
+            frontiers: (0..shards).map(|_| Mutex::new(LruShard::new(per_frontier_shard))).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            frontier_hits: AtomicU64::new(0),
+            frontier_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The enumeration config this cache was built over.
+    pub fn config(&self) -> &PathConfig {
+        &self.path_cfg
+    }
+
+    /// [`crate::paths::simple_paths`] with memoization; results are
+    /// identical to the uncached call with this cache's [`PathConfig`].
+    pub fn simple_paths(&self, store: &crate::Store, a: TermId, b: TermId) -> Arc<Vec<SimplePath>> {
+        let theta = self.path_cfg.max_len;
+        if a == b || theta == 0 {
+            return Arc::new(Vec::new());
+        }
+        let key = (a, b, theta);
+        if let Some(hit) = self.pairs[shard_of(&key, self.pairs.len())].lock().get(&key) {
+            self.hits.fetch_add(1, Relaxed);
+            return hit;
+        }
+        self.misses.fetch_add(1, Relaxed);
+        let from_a = self.frontier(store, a, theta.div_ceil(2));
+        let from_b = self.frontier(store, b, theta / 2);
+        let joined = Arc::new(join_partials(&from_a, &from_b, &self.path_cfg));
+        self.pairs[shard_of(&key, self.pairs.len())].lock().insert(key, joined.clone());
+        joined
+    }
+
+    /// The memoized BFS frontier from `start` (partial simple paths with at
+    /// most `depth` edges).
+    fn frontier(&self, store: &crate::Store, start: TermId, depth: usize) -> Arc<Vec<SimplePath>> {
+        let key = (start, depth);
+        if let Some(hit) = self.frontiers[shard_of(&key, self.frontiers.len())].lock().get(&key) {
+            self.frontier_hits.fetch_add(1, Relaxed);
+            return hit;
+        }
+        self.frontier_misses.fetch_add(1, Relaxed);
+        let grown = Arc::new(grow_partials(store, start, depth, &self.path_cfg));
+        self.frontiers[shard_of(&key, self.frontiers.len())].lock().insert(key, grown.clone());
+        grown
+    }
+
+    /// Hit/miss counts since construction.
+    pub fn stats(&self) -> PathCacheStats {
+        PathCacheStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            frontier_hits: self.frontier_hits.load(Relaxed),
+            frontier_misses: self.frontier_misses.load(Relaxed),
+        }
+    }
+
+    /// Total entries currently resident (pairs + frontiers).
+    pub fn len(&self) -> usize {
+        self.pairs.iter().map(|s| s.lock().len()).sum::<usize>()
+            + self.frontiers.iter().map(|s| s.lock().len()).sum::<usize>()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn shard_of<K: Hash>(key: &K, shards: usize) -> usize {
+    let mut h = rustc_hash::FxHasher::default();
+    key.hash(&mut h);
+    (h.finish() as usize) % shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::simple_paths;
+    use crate::store::StoreBuilder;
+
+    fn kennedy() -> crate::Store {
+        let mut b = StoreBuilder::new();
+        b.add_iri("Joseph_Sr", "hasChild", "Ted");
+        b.add_iri("Joseph_Sr", "hasChild", "JFK");
+        b.add_iri("JFK", "hasChild", "JFK_jr");
+        b.add_iri("Ted", "hasGender", "male");
+        b.add_iri("JFK_jr", "hasGender", "male");
+        b.build()
+    }
+
+    #[test]
+    fn cached_equals_uncached_and_counts_hits() {
+        let s = kennedy();
+        let ted = s.expect_iri("Ted");
+        let jr = s.expect_iri("JFK_jr");
+        for theta in 1..=4usize {
+            let cfg = PathConfig::with_max_len(theta);
+            let cache = PathCache::new(cfg.clone());
+            let reference = simple_paths(&s, ted, jr, &cfg);
+            assert_eq!(*cache.simple_paths(&s, ted, jr), reference, "θ = {theta}");
+            assert_eq!(*cache.simple_paths(&s, ted, jr), reference, "θ = {theta} (cached)");
+            let st = cache.stats();
+            assert_eq!((st.hits, st.misses), (1, 1), "θ = {theta}: {st:?}");
+        }
+    }
+
+    #[test]
+    fn frontier_reuse_across_pairs_sharing_an_endpoint() {
+        let s = kennedy();
+        let cache = PathCache::new(PathConfig::with_max_len(4));
+        let ted = s.expect_iri("Ted");
+        // Two different pairs from the same source: the (Ted, 2) frontier
+        // is grown once. With θ=4 both sides use depth 2, so the second
+        // pair also reuses its own target frontier when it repeats.
+        cache.simple_paths(&s, ted, s.expect_iri("JFK_jr"));
+        cache.simple_paths(&s, ted, s.expect_iri("JFK"));
+        let st = cache.stats();
+        assert_eq!(st.misses, 2);
+        assert!(st.frontier_hits >= 1, "{st:?}");
+    }
+
+    #[test]
+    fn same_vertex_short_circuits_without_touching_the_cache() {
+        let s = kennedy();
+        let cache = PathCache::new(PathConfig::with_max_len(4));
+        let ted = s.expect_iri("Ted");
+        assert!(cache.simple_paths(&s, ted, ted).is_empty());
+        assert_eq!(cache.stats(), PathCacheStats::default());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_bounded_with_lru_eviction() {
+        let mut b = StoreBuilder::new();
+        for i in 0..32 {
+            b.add_iri(&format!("x{i}"), "p", "hub");
+        }
+        let s = b.build();
+        let cache = PathCache::with_capacity(
+            PathConfig::with_max_len(2),
+            PathCacheConfig { pair_capacity: 4, frontier_capacity: 4, shards: 1 },
+        );
+        let hub = s.expect_iri("hub");
+        for i in 0..32 {
+            cache.simple_paths(&s, s.expect_iri(&format!("x{i}")), hub);
+        }
+        let pair_entries = cache.pairs.iter().map(|sh| sh.lock().len()).sum::<usize>();
+        let frontier_entries = cache.frontiers.iter().map(|sh| sh.lock().len()).sum::<usize>();
+        assert!(pair_entries <= 4, "pair shard overflowed: {pair_entries}");
+        assert!(frontier_entries <= 4, "frontier shard overflowed: {frontier_entries}");
+        // Eviction kept the most recent entry resident.
+        cache.simple_paths(&s, s.expect_iri("x31"), hub);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let s = kennedy();
+        let cache = PathCache::new(PathConfig::with_max_len(4));
+        let ted = s.expect_iri("Ted");
+        let jr = s.expect_iri("JFK_jr");
+        let reference = simple_paths(&s, ted, jr, cache.config());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        assert_eq!(*cache.simple_paths(&s, ted, jr), reference);
+                    }
+                });
+            }
+        });
+        let st = cache.stats();
+        assert_eq!(st.hits + st.misses, 32);
+        assert!(st.misses >= 1);
+    }
+}

@@ -16,11 +16,14 @@
 //!   (a vertex with an incoming `rdf:type`/`rdfs:subClassOf` edge is a class),
 //! * [`paths`] — direction-blind simple-path enumeration between two
 //!   vertices with a length bound θ (the offline miner's workhorse, §3),
+//! * [`cache`] — a thread-safe, bounded memo cache over that enumeration
+//!   (pair results + per-source BFS frontiers) for the offline miner,
 //! * [`stats`] — dataset statistics as reported in the paper's Table 4.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod dict;
 pub mod graph;
 pub mod ids;
@@ -33,6 +36,7 @@ pub mod store;
 pub mod term;
 pub mod triple;
 
+pub use cache::{PathCache, PathCacheConfig, PathCacheStats};
 pub use dict::Dict;
 pub use ids::TermId;
 pub use metrics::{StoreMetrics, StoreMetricsSnapshot};

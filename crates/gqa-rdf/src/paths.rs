@@ -218,15 +218,27 @@ pub fn simple_paths(store: &Store, a: TermId, b: TermId, cfg: &PathConfig) -> Ve
 
     let from_a = grow_partials(store, a, half_a, cfg);
     let from_b = grow_partials(store, b, half_b, cfg);
+    join_partials(&from_a, &from_b, cfg)
+}
 
+/// The join half of the bidirectional BFS: combine partial simple paths
+/// grown from the two endpoints (`from_b` runs *from* `b`, so its steps are
+/// reversed during assembly). Shared by [`simple_paths`] and the
+/// [`crate::cache::PathCache`] so cached and uncached enumeration produce
+/// byte-identical results.
+pub(crate) fn join_partials(
+    from_a: &[SimplePath],
+    from_b: &[SimplePath],
+    cfg: &PathConfig,
+) -> Vec<SimplePath> {
     // Group the b-side partials by their end vertex for the join.
     let mut by_end: FxHashMap<TermId, Vec<&SimplePath>> = FxHashMap::default();
-    for p in &from_b {
+    for p in from_b {
         by_end.entry(*p.vertices.last().expect("nonempty")).or_default().push(p);
     }
 
     let mut out = Vec::new();
-    'outer: for pa in &from_a {
+    'outer: for pa in from_a {
         let m = *pa.vertices.last().expect("nonempty");
         let Some(pbs) = by_end.get(&m) else { continue };
         for pb in pbs {
@@ -311,8 +323,14 @@ fn dfs(
 }
 
 /// All simple partial paths from `start` with at most `depth` edges
-/// (including the empty path).
-fn grow_partials(store: &Store, start: TermId, depth: usize, cfg: &PathConfig) -> Vec<SimplePath> {
+/// (including the empty path). `pub(crate)` so the frontier cache in
+/// [`crate::cache`] can grow (and memoize) exactly the same partials.
+pub(crate) fn grow_partials(
+    store: &Store,
+    start: TermId,
+    depth: usize,
+    cfg: &PathConfig,
+) -> Vec<SimplePath> {
     let max_partials = cfg.max_partials;
     let mut all = vec![SimplePath { vertices: vec![start], steps: Vec::new() }];
     let mut frontier = 0usize;

@@ -35,6 +35,26 @@ proptest! {
         prop_assert_eq!(fast, slow);
     }
 
+    /// The concurrent memo cache is transparent: `PathCache::simple_paths`
+    /// equals the uncached enumerator on every random graph and θ, and a
+    /// second identical call is served from the pair cache.
+    #[test]
+    fn cached_paths_equal_uncached(edges in arb_graph(), a in 0u8..8, b in 0u8..8, theta in 1usize..=4) {
+        let store = build(&edges);
+        let (Some(va), Some(vb)) = (store.iri(&format!("v{a}")), store.iri(&format!("v{b}"))) else {
+            return Ok(());
+        };
+        let cfg = PathConfig::with_max_len(theta);
+        let plain = simple_paths(&store, va, vb, &cfg);
+        let cache = gqa_rdf::PathCache::new(cfg);
+        prop_assert_eq!(&*cache.simple_paths(&store, va, vb), &plain);
+        let hits_before = cache.stats().hits;
+        prop_assert_eq!(&*cache.simple_paths(&store, va, vb), &plain);
+        if va != vb {
+            prop_assert_eq!(cache.stats().hits, hits_before + 1);
+        }
+    }
+
     /// Every enumerated path is simple, within the bound, and correctly
     /// anchored; and every step corresponds to a real triple.
     #[test]

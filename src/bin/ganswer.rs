@@ -26,6 +26,7 @@ struct Options {
     questions: Vec<String>,
     metrics: Option<String>,
     explain: bool,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -36,6 +37,7 @@ fn parse_args() -> Result<Options, String> {
         questions: Vec::new(),
         metrics: None,
         explain: false,
+        threads: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -50,12 +52,24 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("bad --top-k: {e}"))?;
             }
             "--question" | "-q" => opts.questions.push(args.next().ok_or("-q needs a question")?),
+            "--threads" => {
+                opts.threads = Some(
+                    args.next()
+                        .ok_or("--threads needs a number")?
+                        .parse()
+                        .map_err(|e| format!("bad --threads: {e}"))?,
+                );
+            }
             "--metrics" => opts.metrics = Some(args.next().ok_or("--metrics needs a file")?),
             "--explain" => opts.explain = true,
             "--help" | "-h" => {
                 println!(
                     "usage: ganswer [--data FILE.nt] [--dict FILE.tsv] [--top-k N] \
-                     [--metrics FILE.prom] [--explain] [-q QUESTION]...\n\n\
+                     [--threads N] [--metrics FILE.prom] [--explain] [-q QUESTION]...\n\n\
+                     --threads N          worker threads for the online path (TA probe\n\
+                     \x20                    fan-out and sharded pruning); 1 = strictly\n\
+                     \x20                    serial; default: $GQA_THREADS, else all cores.\n\
+                     \x20                    Results are identical at any thread count.\n\
                      --metrics FILE.prom  collect pipeline/store/linker metrics and write\n\
                      \x20                    them to FILE in Prometheus text format on exit\n\
                      --explain            print a per-question EXPLAIN trace (parse,\n\
@@ -120,7 +134,12 @@ fn main() {
         }
     };
     let stats = ganswer::rdf::stats::StoreStats::collect(&store);
-    let mut config = GAnswerConfig { top_k: opts.top_k, ..Default::default() };
+    // --threads beats GQA_THREADS beats available parallelism.
+    let concurrency = match opts.threads {
+        Some(n) => ganswer::core::concurrency::Concurrency::with_threads(n),
+        None => ganswer::core::concurrency::Concurrency::from_env(),
+    };
+    let mut config = GAnswerConfig { top_k: opts.top_k, concurrency, ..Default::default() };
     let obs = if opts.metrics.is_some() { Obs::new() } else { Obs::disabled() };
 
     let mut show_sqg = false;

@@ -47,7 +47,9 @@ pub mod prelude {
 
 /// Define property tests. Mirrors proptest's macro:
 ///
-/// ```ignore
+/// ```
+/// use proptest::prelude::*;
+///
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(64))]
 ///     #[test]

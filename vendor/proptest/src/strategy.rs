@@ -219,7 +219,7 @@ impl Strategy for &'static str {
 
 // --- collections ---------------------------------------------------------
 
-/// Element-count specification for [`vec`].
+/// Element-count specification for [`vec()`].
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     lo: usize,
@@ -250,7 +250,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
