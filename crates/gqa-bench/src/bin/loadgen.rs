@@ -1,0 +1,416 @@
+//! `loadgen` — closed-loop load harness for the gqa-server HTTP service.
+//!
+//! Drives `POST /answer` with a pool of client threads, each sending the
+//! next request only after reading the previous response (closed loop, so
+//! offered load tracks server capacity instead of running away). Two
+//! phases by default:
+//!
+//! * **steady** — a few clients, below capacity: measures baseline qps and
+//!   latency quantiles;
+//! * **overload** — many more clients than workers + queue slots: the
+//!   server must shed (503) rather than queue unboundedly, and the p95
+//!   latency of *accepted* requests must stay bounded by the request
+//!   deadline (the ISSUE acceptance criterion — deadlines start at accept
+//!   time, so queue wait cannot push served latency past `timeout_ms`).
+//!
+//! Afterward the harness scrapes `/metrics` and cross-checks the server's
+//! own counters against the client-observed tallies (request / shed /
+//! timeout agreement), then writes everything machine-readable to
+//! `BENCH_server.json` at the repo root.
+//!
+//! ```text
+//! # self-contained: boots an in-process server on a loopback port
+//! cargo run --release -p gqa-bench --bin loadgen
+//!
+//! # against an already-running `ganswer --serve ADDR`
+//! cargo run --release -p gqa-bench --bin loadgen -- --addr 127.0.0.1:7411
+//! ```
+
+use gqa_bench::{median, percentile, threads_arg, write_bench_artifact};
+use gqa_core::concurrency::Concurrency;
+use gqa_core::pipeline::{GAnswer, GAnswerConfig};
+use gqa_datagen::minidbp::mini_dbpedia;
+use gqa_datagen::patty::mini_dict;
+use gqa_obs::Obs;
+use gqa_server::{Server, ServerConfig};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct Opts {
+    addr: Option<String>,
+    clients: usize,
+    overload_clients: usize,
+    requests: u64,
+    overload_requests: u64,
+    timeout_ms: u64,
+    queue: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        addr: None,
+        clients: 2,
+        overload_clients: 12,
+        requests: 60,
+        overload_requests: 150,
+        timeout_ms: 2000,
+        queue: 4,
+        out: "BENCH_server.json".to_owned(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            args.next()
+                .ok_or(format!("{name} needs a value"))?
+                .parse()
+                .map_err(|e| format!("bad {name}: {e}"))
+        };
+        match a.as_str() {
+            "--addr" => opts.addr = Some(args.next().ok_or("--addr needs HOST:PORT")?),
+            "--clients" => opts.clients = num("--clients")? as usize,
+            "--overload-clients" => opts.overload_clients = num("--overload-clients")? as usize,
+            "--requests" => opts.requests = num("--requests")?,
+            "--overload-requests" => opts.overload_requests = num("--overload-requests")?,
+            "--timeout-ms" => opts.timeout_ms = num("--timeout-ms")?,
+            "--queue" => opts.queue = num("--queue")? as usize,
+            "--out" => opts.out = args.next().ok_or("--out needs a file name")?,
+            "--threads" => {
+                let _ = num("--threads")?; // consumed by threads_arg()
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--addr HOST:PORT] [--clients N] [--requests N]\n\
+                     \x20              [--overload-clients N] [--overload-requests N]\n\
+                     \x20              [--timeout-ms MS] [--queue N] [--threads N] [--out FILE]\n\n\
+                     Without --addr, boots an in-process gqa-server on a loopback port\n\
+                     (--threads sets its worker count, --queue its admission queue).\n\
+                     With --addr, drives an external server and skips the overload phase\n\
+                     unless its queue size is known to be small."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// One phase's client-side observations.
+#[derive(Default)]
+struct PhaseResult {
+    latencies_ms: Vec<f64>, // latency of 200s only (accepted + answered)
+    status_counts: BTreeMap<u16, u64>,
+    wall: Duration,
+    io_errors: u64,
+}
+
+fn send_answer_request(addr: SocketAddr, question: &str, timeout_ms: u64) -> Result<u16, String> {
+    let body = format!("{{\"question\": \"{question}\", \"k\": 3, \"timeout_ms\": {timeout_ms}}}");
+    let req = format!(
+        "POST /answer HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(60))).map_err(|e| e.to_string())?;
+    s.write_all(req.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&buf);
+    text.split(' ').nth(1).and_then(|w| w.parse().ok()).ok_or_else(|| "bad response".into())
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> Result<String, String> {
+    let req = format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n");
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
+    s.write_all(req.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&buf);
+    Ok(text.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default())
+}
+
+/// First sample of a Prometheus series in a text exposition, matched by
+/// exact `name{labels}` prefix.
+fn metric_value(exposition: &str, series: &str) -> f64 {
+    exposition
+        .lines()
+        .find_map(|l| l.strip_prefix(series)?.strip_prefix(' ')?.trim().parse().ok())
+        .unwrap_or(0.0)
+}
+
+/// Closed-loop phase: `clients` threads pull request slots from a shared
+/// budget of `total` requests; each waits for its response before sending
+/// the next.
+fn run_phase(addr: SocketAddr, clients: usize, total: u64, timeout_ms: u64) -> PhaseResult {
+    const QUESTIONS: [&str; 3] = [
+        "Who is the mayor of Berlin?",
+        "Is Michelle Obama the wife of Barack Obama?",
+        "Who was married to an actor that played in Philadelphia?",
+    ];
+    let budget = AtomicU64::new(total);
+    let merged = Mutex::new(PhaseResult::default());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients.max(1) {
+            scope.spawn(|| {
+                let mut local = PhaseResult::default();
+                loop {
+                    let slot = budget.fetch_sub(1, Ordering::Relaxed);
+                    if slot == 0 || slot > total {
+                        budget.store(0, Ordering::Relaxed);
+                        break;
+                    }
+                    let q = QUESTIONS[(slot % QUESTIONS.len() as u64) as usize];
+                    let t0 = Instant::now();
+                    match send_answer_request(addr, q, timeout_ms) {
+                        Ok(status) => {
+                            *local.status_counts.entry(status).or_insert(0) += 1;
+                            if status == 200 {
+                                local.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                            }
+                        }
+                        Err(_) => local.io_errors += 1,
+                    }
+                }
+                let mut m = merged.lock().unwrap();
+                m.latencies_ms.extend_from_slice(&local.latencies_ms);
+                for (k, v) in &local.status_counts {
+                    *m.status_counts.entry(*k).or_insert(0) += v;
+                }
+                m.io_errors += local.io_errors;
+            });
+        }
+    });
+    let mut result = merged.into_inner().unwrap();
+    result.wall = start.elapsed();
+    result
+}
+
+fn phase_json(name: &str, clients: usize, r: &PhaseResult, deadline_ms: u64) -> String {
+    let responses: u64 = r.status_counts.values().sum();
+    let qps = responses as f64 / r.wall.as_secs_f64().max(1e-9);
+    let statuses: Vec<String> =
+        r.status_counts.iter().map(|(s, n)| format!("\"{s}\": {n}")).collect();
+    let p95 = percentile(&r.latencies_ms, 95.0);
+    // Slack covers response write + client read on top of the deadline.
+    let bounded = r.latencies_ms.is_empty() || p95 <= deadline_ms as f64 + 250.0;
+    format!(
+        "    \"{name}\": {{\n\
+         \x20     \"clients\": {clients},\n\
+         \x20     \"responses\": {responses},\n\
+         \x20     \"io_errors\": {},\n\
+         \x20     \"wall_s\": {:.4},\n\
+         \x20     \"qps\": {qps:.2},\n\
+         \x20     \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {p95:.3}, \"p99\": {:.3}, \"n\": {}}},\n\
+         \x20     \"status_counts\": {{{}}},\n\
+         \x20     \"p95_within_deadline\": {bounded}\n\
+         \x20   }}",
+        r.io_errors,
+        r.wall.as_secs_f64(),
+        median(&r.latencies_ms),
+        percentile(&r.latencies_ms, 99.0),
+        r.latencies_ms.len(),
+        statuses.join(", "),
+    )
+}
+
+/// Everything measured while the server was up.
+struct Report {
+    addr: SocketAddr,
+    in_process: bool,
+    before: String,
+    after: String,
+    steady: PhaseResult,
+    overload: Option<PhaseResult>,
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // In-process server unless --addr points elsewhere.
+    if let Some(a) = opts.addr.clone() {
+        let addr: SocketAddr = a.parse().unwrap_or_else(|e| {
+            eprintln!("error: bad --addr {a:?}: {e}");
+            std::process::exit(2);
+        });
+        let report = drive(addr, false, &opts, host_threads);
+        finish(report, None, &opts, host_threads);
+    } else {
+        let store = mini_dbpedia();
+        let workers = threads_arg()
+            .or_else(|| std::env::var("GQA_THREADS").ok().and_then(|v| v.parse().ok()))
+            .unwrap_or(host_threads);
+        let system = GAnswer::with_obs(
+            &store,
+            mini_dict(&store),
+            GAnswerConfig { concurrency: Concurrency::serial(), ..Default::default() },
+            Obs::new(),
+        );
+        let server = Server::bind(
+            "127.0.0.1:0",
+            &system,
+            ServerConfig {
+                workers,
+                queue_capacity: opts.queue,
+                default_timeout_ms: opts.timeout_ms,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: bind: {e}");
+            std::process::exit(2);
+        });
+        let addr = server.local_addr().expect("local_addr");
+        let shutdown = server.shutdown_handle();
+        let (report, stats) = std::thread::scope(|scope| {
+            let run = scope.spawn(|| server.run());
+            let report = drive(addr, true, &opts, host_threads);
+            // The loadgen equivalent of SIGTERM: flip the flag, drain, join.
+            shutdown.store(true, Ordering::SeqCst);
+            (report, run.join().expect("server thread panicked"))
+        });
+        finish(report, Some(stats), &opts, host_threads);
+    }
+}
+
+/// Run the phases against a live server and collect metric snapshots.
+fn drive(addr: SocketAddr, in_process: bool, opts: &Opts, host_threads: usize) -> Report {
+    // Snapshot server counters before the run.
+    let before = http_get(addr, "/metrics").unwrap_or_else(|e| {
+        eprintln!("error: cannot scrape /metrics at {addr}: {e}");
+        std::process::exit(1);
+    });
+    let server_workers = metric_value(&before, "gqa_server_worker_threads") as u64;
+    let queue_capacity = metric_value(&before, "gqa_server_queue_capacity") as u64;
+
+    println!(
+        "loadgen: target {addr} ({}), server workers={server_workers}, queue={queue_capacity}, host threads={host_threads}",
+        if in_process { "in-process" } else { "external" },
+    );
+
+    // Phase 1: steady state.
+    println!(
+        "steady phase: {} clients x {} requests, timeout {} ms ...",
+        opts.clients, opts.requests, opts.timeout_ms
+    );
+    let steady = run_phase(addr, opts.clients, opts.requests, opts.timeout_ms);
+
+    // Phase 2: overload — only meaningful when we know the queue is small
+    // relative to the client count (always true in-process).
+    let overload = if in_process || opts.overload_clients > 0 {
+        println!(
+            "overload phase: {} clients x {} requests ...",
+            opts.overload_clients, opts.overload_requests
+        );
+        Some(run_phase(addr, opts.overload_clients, opts.overload_requests, opts.timeout_ms))
+    } else {
+        None
+    };
+
+    let after = http_get(addr, "/metrics").unwrap_or_default();
+    Report { addr, in_process, before, after, steady, overload }
+}
+
+/// Check metrics agreement, write the artifact, print the summary, and set
+/// the exit status (the CI smoke job depends on it).
+fn finish(
+    report: Report,
+    server_stats: Option<gqa_server::ServeStats>,
+    opts: &Opts,
+    host_threads: usize,
+) {
+    let Report { addr, in_process, before, after, steady, overload } = report;
+    let server_workers = metric_value(&before, "gqa_server_worker_threads") as u64;
+    let queue_capacity = metric_value(&before, "gqa_server_queue_capacity") as u64;
+
+    // Agreement between what the clients saw and the server's counters.
+    let delta = |series: &str| metric_value(&after, series) - metric_value(&before, series);
+    let answered_delta = delta("gqa_server_requests_total{endpoint=\"answer\"}");
+    let shed_delta = delta("gqa_server_shed_total");
+    let timeout_delta = delta("gqa_server_timeouts_total");
+
+    let count = |status: u16| -> u64 {
+        steady.status_counts.get(&status).copied().unwrap_or(0)
+            + overload.as_ref().and_then(|o| o.status_counts.get(&status).copied()).unwrap_or(0)
+    };
+    let client_answered = count(200) + count(400) + count(504);
+    let client_shed = count(503);
+    let client_timeouts = count(504);
+    let requests_agree = answered_delta as u64 == client_answered;
+    let shed_agree = shed_delta as u64 == client_shed;
+    let timeouts_agree = timeout_delta as u64 == client_timeouts;
+
+    // The in-process server's final drain stats, when we ran one.
+    let server_stats_json = if let Some(stats) = server_stats {
+        format!(
+            ",\n  \"server_stats\": {{\"accepted\": {}, \"served\": {}, \"shed\": {}, \"timeouts\": {}}}",
+            stats.accepted, stats.served, stats.shed, stats.timeouts
+        )
+    } else {
+        String::new()
+    };
+
+    let mut phases = vec![phase_json("steady", opts.clients, &steady, opts.timeout_ms)];
+    if let Some(o) = &overload {
+        phases.push(phase_json("overload", opts.overload_clients, o, opts.timeout_ms));
+    }
+
+    let json = format!(
+        "{{\n\
+         \x20 \"bench\": \"server\",\n\
+         \x20 \"host_threads\": {host_threads},\n\
+         \x20 \"server\": {{\"addr\": \"{addr}\", \"in_process\": {in_process}, \"worker_threads\": {server_workers}, \"queue_capacity\": {queue_capacity}, \"timeout_ms\": {}}},\n\
+         \x20 \"phases\": {{\n{}\n  }},\n\
+         \x20 \"metrics_agreement\": {{\n\
+         \x20   \"answer_requests\": {{\"client\": {client_answered}, \"server_delta\": {answered_delta:.0}, \"agree\": {requests_agree}}},\n\
+         \x20   \"shed\": {{\"client\": {client_shed}, \"server_delta\": {shed_delta:.0}, \"agree\": {shed_agree}}},\n\
+         \x20   \"timeouts\": {{\"client\": {client_timeouts}, \"server_delta\": {timeout_delta:.0}, \"agree\": {timeouts_agree}}}\n\
+         \x20 }}{server_stats_json}\n\
+         }}\n",
+        opts.timeout_ms,
+        phases.join(",\n"),
+    );
+    write_bench_artifact(&opts.out, &json);
+
+    // Human summary + exit status for the CI smoke job.
+    let shed_total = count(503);
+    println!(
+        "\nsteady:   qps {:.1}, p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms over {} ok",
+        steady.status_counts.values().sum::<u64>() as f64 / steady.wall.as_secs_f64(),
+        median(&steady.latencies_ms),
+        percentile(&steady.latencies_ms, 95.0),
+        percentile(&steady.latencies_ms, 99.0),
+        steady.latencies_ms.len()
+    );
+    if let Some(o) = &overload {
+        println!(
+            "overload: qps {:.1}, p95 {:.1} ms, {} ok / {} shed / {} timeout",
+            o.status_counts.values().sum::<u64>() as f64 / o.wall.as_secs_f64(),
+            percentile(&o.latencies_ms, 95.0),
+            o.status_counts.get(&200).copied().unwrap_or(0),
+            o.status_counts.get(&503).copied().unwrap_or(0),
+            o.status_counts.get(&504).copied().unwrap_or(0),
+        );
+    }
+    println!(
+        "metrics agreement: answer {requests_agree}, shed {shed_agree} ({shed_total} shed), timeouts {timeouts_agree}"
+    );
+    if !(requests_agree && shed_agree && timeouts_agree) {
+        eprintln!("error: client tallies and /metrics deltas disagree");
+        std::process::exit(1);
+    }
+}

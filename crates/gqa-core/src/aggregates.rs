@@ -91,7 +91,9 @@ pub fn superlative(
     adjective_lemma: &str,
 ) -> Option<Vec<Match>> {
     let (pred_iri, dir) = superlative_key(adjective_lemma)?;
-    let pred = store.iri(pred_iri)?;
+    // Fallible lookup: a store without the key predicate means the question
+    // stays unanswered, never a worker-thread panic.
+    let pred = store.try_iri(pred_iri).ok()?;
 
     // Key per distinct binding: prefer numeric comparison, fall back to
     // lexicographic (ISO dates compare correctly as strings).

@@ -117,6 +117,33 @@ impl std::fmt::Display for Failure {
     }
 }
 
+/// A cooperative per-request deadline expired. Raised by
+/// [`GAnswer::answer_with_deadline`] at the stage checkpoint that first
+/// observed the overrun; the stages themselves are never interrupted
+/// mid-flight, so a worker thread always stays in a clean state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadlineExceeded {
+    /// The checkpoint that detected the overrun (`"start"`,
+    /// `"understand"`, `"map"` or `"topk"`).
+    pub stage: &'static str,
+}
+
+impl std::fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline exceeded at stage checkpoint {:?}", self.stage)
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
+/// Check one stage boundary against an optional deadline.
+fn checkpoint(deadline: Option<Instant>, stage: &'static str) -> Result<(), DeadlineExceeded> {
+    match deadline {
+        Some(d) if Instant::now() > d => Err(DeadlineExceeded { stage }),
+        _ => Ok(()),
+    }
+}
+
 /// The result of answering one question.
 #[derive(Clone, Debug)]
 pub struct Response {
@@ -391,7 +418,7 @@ impl<'s> GAnswer<'s> {
 
     /// Answer a natural-language question end to end.
     pub fn answer(&self, question: &str) -> Response {
-        self.answer_impl(question, None, &self.config.concurrency)
+        self.answer_impl(question, None, &self.config.concurrency, None).expect("no deadline given")
     }
 
     /// [`GAnswer::answer`], additionally recording a full [`QueryTrace`]
@@ -399,9 +426,38 @@ impl<'s> GAnswer<'s> {
     /// of the obs handle: it works on a plain [`GAnswer::new`] system too.
     pub fn answer_traced(&self, question: &str) -> Response {
         let mut trace = QueryTrace::new(question);
-        let mut r = self.answer_impl(question, Some(&mut trace), &self.config.concurrency);
+        let mut r = self
+            .answer_impl(question, Some(&mut trace), &self.config.concurrency, None)
+            .expect("no deadline given");
         r.trace = Some(Box::new(trace));
         r
+    }
+
+    /// [`GAnswer::answer`] under a cooperative deadline, checked at stage
+    /// boundaries (entry, post-understand, post-map, post-topk). The stages
+    /// themselves run to completion — a checkpoint past the deadline
+    /// abandons the request with [`DeadlineExceeded`] instead of returning
+    /// a late response. This is the serving layer's 504 path.
+    pub fn answer_with_deadline(
+        &self,
+        question: &str,
+        deadline: Instant,
+    ) -> Result<Response, DeadlineExceeded> {
+        self.answer_impl(question, None, &self.config.concurrency, Some(deadline))
+    }
+
+    /// [`GAnswer::answer_with_deadline`] with an EXPLAIN trace attached on
+    /// success (the server's `explain: true` request option).
+    pub fn answer_traced_with_deadline(
+        &self,
+        question: &str,
+        deadline: Instant,
+    ) -> Result<Response, DeadlineExceeded> {
+        let mut trace = QueryTrace::new(question);
+        let mut r =
+            self.answer_impl(question, Some(&mut trace), &self.config.concurrency, Some(deadline))?;
+        r.trace = Some(Box::new(trace));
+        Ok(r)
     }
 
     /// Answer a batch of independent questions, fanning the *questions*
@@ -423,7 +479,10 @@ impl<'s> GAnswer<'s> {
                 .map(|qs| {
                     scope.spawn(move |_| {
                         qs.iter()
-                            .map(|q| self.answer_impl(q, None, &Concurrency::serial()))
+                            .map(|q| {
+                                self.answer_impl(q, None, &Concurrency::serial(), None)
+                                    .expect("no deadline given")
+                            })
                             .collect::<Vec<Response>>()
                     })
                 })
@@ -441,9 +500,11 @@ impl<'s> GAnswer<'s> {
         question: &str,
         mut trace: Option<&mut QueryTrace>,
         conc: &Concurrency,
-    ) -> Response {
+        deadline: Option<Instant>,
+    ) -> Result<Response, DeadlineExceeded> {
         let _span = self.obs.span("pipeline.answer");
         self.obs.counter("gqa_pipeline_questions_total", &[]).inc();
+        checkpoint(deadline, "start")?;
 
         let t0 = Instant::now();
         let u = {
@@ -452,7 +513,12 @@ impl<'s> GAnswer<'s> {
         };
         let Some(u) = u else {
             self.observe_stage("understand", t0.elapsed());
-            return self.fail(Failure::Parse, t0.elapsed(), Duration::ZERO, trace.as_deref_mut());
+            return Ok(self.fail(
+                Failure::Parse,
+                t0.elapsed(),
+                Duration::ZERO,
+                trace.as_deref_mut(),
+            ));
         };
         if let Some(t) = trace.as_deref_mut() {
             t.parse = Some(ParseTrace {
@@ -485,15 +551,16 @@ impl<'s> GAnswer<'s> {
         };
         if aggregation.is_some() && !self.config.enable_aggregates {
             self.observe_stage("understand", t0.elapsed());
-            return self.fail(
+            return Ok(self.fail(
                 Failure::Aggregation,
                 t0.elapsed(),
                 Duration::ZERO,
                 trace.as_deref_mut(),
-            );
+            ));
         }
         let understanding_time = t0.elapsed();
         self.observe_stage("understand", understanding_time);
+        checkpoint(deadline, "understand")?;
 
         let t1 = Instant::now();
         let protected: Vec<usize> = match aggregation {
@@ -519,22 +586,23 @@ impl<'s> GAnswer<'s> {
         let mapped = match mapping_result {
             Ok(m) => m,
             Err(MappingError::UnlinkableMention { text, .. }) => {
-                return self.fail(
+                return Ok(self.fail(
                     Failure::EntityLinking(text),
                     understanding_time,
                     t1.elapsed(),
                     trace.as_deref_mut(),
-                );
+                ));
             }
             Err(MappingError::UnknownRelation { phrase, .. }) => {
-                return self.fail(
+                return Ok(self.fail(
                     Failure::RelationExtraction(phrase),
                     understanding_time,
                     t1.elapsed(),
                     trace.as_deref_mut(),
-                );
+                ));
             }
         };
+        checkpoint(deadline, "map")?;
 
         let t2 = Instant::now();
         let (mut matches, ta_stats) = {
@@ -550,6 +618,7 @@ impl<'s> GAnswer<'s> {
         if ta_stats.early_terminated {
             self.obs.counter("gqa_topk_early_terminations_total", &[]).inc();
         }
+        checkpoint(deadline, "topk")?;
 
         // Aggregates extension.
         let mut count_result = None;
@@ -571,12 +640,12 @@ impl<'s> GAnswer<'s> {
                     match aggregates::superlative(self.store, &matches, target, &adj) {
                         Some(kept) => matches = kept,
                         None => {
-                            return self.fail(
+                            return Ok(self.fail(
                                 Failure::Aggregation,
                                 understanding_time,
                                 t1.elapsed(),
                                 trace.as_deref_mut(),
-                            )
+                            ))
                         }
                     }
                 }
@@ -590,12 +659,12 @@ impl<'s> GAnswer<'s> {
                             );
                         }
                         None => {
-                            return self.fail(
+                            return Ok(self.fail(
                                 Failure::Aggregation,
                                 understanding_time,
                                 t1.elapsed(),
                                 trace.as_deref_mut(),
-                            )
+                            ))
                         }
                     }
                 }
@@ -610,7 +679,7 @@ impl<'s> GAnswer<'s> {
             r.sqg = Some(u.sqg);
             r.relations = u.relations;
             r.ta_stats = ta_stats;
-            return r;
+            return Ok(r);
         }
 
         // Answers come from the best-scoring match group (ties included):
@@ -625,7 +694,7 @@ impl<'s> GAnswer<'s> {
             answers_from_matches(self.store, &tied, target)
         };
         let sparql = sparql_of_matches(self.store, &mapped, &matches, target);
-        Response {
+        Ok(Response {
             answers,
             boolean: is_boolean.then_some(!matches.is_empty()),
             count: count_result,
@@ -638,7 +707,7 @@ impl<'s> GAnswer<'s> {
             evaluation_time: t1.elapsed(),
             ta_stats,
             trace: None,
-        }
+        })
     }
 }
 
@@ -821,6 +890,37 @@ mod tests {
             assert_eq!(s.ta_stats.early_terminated, p.ta_stats.early_terminated, "{q}");
             assert_eq!(s.ta_stats.threshold_history, p.ta_stats.threshold_history, "{q}");
         }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_at_a_checkpoint() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let err = sys
+            .answer_with_deadline(
+                "Who is the mayor of Berlin?",
+                Instant::now() - Duration::from_millis(1),
+            )
+            .unwrap_err();
+        assert_eq!(err.stage, "start");
+        let err = sys
+            .answer_traced_with_deadline(
+                "Who is the mayor of Berlin?",
+                Instant::now() - Duration::from_millis(1),
+            )
+            .unwrap_err();
+        assert_eq!(err.stage, "start");
+    }
+
+    #[test]
+    fn generous_deadline_answers_identically() {
+        let store = mini_dbpedia();
+        let sys = system(&store);
+        let q = "Who is the mayor of Berlin?";
+        let plain = sys.answer(q);
+        let timed = sys.answer_with_deadline(q, Instant::now() + Duration::from_secs(60)).unwrap();
+        assert_eq!(timed.texts(), plain.texts());
+        assert_eq!(timed.failure, plain.failure);
     }
 
     #[test]

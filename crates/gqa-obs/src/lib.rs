@@ -19,7 +19,10 @@ pub mod metrics;
 pub mod span;
 pub mod trace;
 
-pub use metrics::{Counter, CounterHandle, Histogram, HistogramHandle, Registry, DURATION_BUCKETS};
+pub use metrics::{
+    Counter, CounterHandle, Gauge, GaugeHandle, Histogram, HistogramHandle, Registry,
+    DURATION_BUCKETS,
+};
 pub use span::{SpanCollector, SpanGuard, SpanRecord};
 pub use trace::{
     CursorTrace, LinkTrace, ParseTrace, PhraseCandidates, ProbeTrace, PruneTrace, QueryTrace,
@@ -61,6 +64,11 @@ impl Obs {
     /// A counter handle for the named series (no-op when disabled).
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> CounterHandle {
         CounterHandle(self.inner.as_ref().map(|i| i.registry.counter(name, labels)))
+    }
+
+    /// A gauge handle for the named series (no-op when disabled).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> GaugeHandle {
+        GaugeHandle(self.inner.as_ref().map(|i| i.registry.gauge(name, labels)))
     }
 
     /// A histogram handle for the named series (no-op when disabled).
@@ -138,6 +146,26 @@ mod tests {
         // Different labels are a different series.
         let c = obs.counter("gqa_test_total", &[("kind", "y")]);
         assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_expose_as_gauge_type() {
+        let obs = Obs::new();
+        let g = obs.gauge("gqa_test_depth", &[]);
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+        let text = obs.prometheus();
+        assert!(text.contains("# TYPE gqa_test_depth gauge"), "{text}");
+        assert!(text.contains("gqa_test_depth -3"), "{text}");
+        assert!(obs.json().contains("\"type\":\"gauge\""));
+        // Disabled handles are no-ops.
+        let off = Obs::disabled().gauge("gqa_test_depth", &[]);
+        off.inc();
+        assert_eq!(off.get(), 0);
     }
 
     #[test]

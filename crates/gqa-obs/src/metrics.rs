@@ -77,6 +77,82 @@ impl CounterHandle {
     }
 }
 
+/// A value that can go up and down (queue depth, in-flight requests).
+/// Stored as an `i64` bit pattern in an `AtomicU64`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n as u64, Relaxed);
+    }
+
+    /// Overwrite with an absolute value.
+    pub fn set(&self, n: i64) {
+        self.value.store(n as u64, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Relaxed) as i64
+    }
+}
+
+/// A gauge handle that is a no-op when observability is disabled.
+#[derive(Clone, Debug, Default)]
+pub struct GaugeHandle(pub(crate) Option<Arc<Gauge>>);
+
+impl GaugeHandle {
+    /// A handle that ignores all updates.
+    pub fn noop() -> Self {
+        GaugeHandle(None)
+    }
+
+    /// Add one (no-op when disabled).
+    #[inline]
+    pub fn inc(&self) {
+        if let Some(g) = &self.0 {
+            g.inc();
+        }
+    }
+
+    /// Subtract one (no-op when disabled).
+    #[inline]
+    pub fn dec(&self) {
+        if let Some(g) = &self.0 {
+            g.dec();
+        }
+    }
+
+    /// Overwrite with an absolute value (no-op when disabled).
+    pub fn set(&self, n: i64) {
+        if let Some(g) = &self.0 {
+            g.set(n);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.get())
+    }
+}
+
 /// A fixed-bucket histogram. Bucket counts are stored per-bucket
 /// (non-cumulative) and cumulated at exposition time; the sum is an f64
 /// maintained with a CAS loop over its bit pattern.
@@ -233,6 +309,7 @@ fn fmt_f64(v: f64) -> String {
 #[derive(Debug, Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<SeriesKey, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<SeriesKey, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<SeriesKey, Arc<Histogram>>>,
 }
 
@@ -253,6 +330,13 @@ impl Registry {
     /// publishing from component-local counters).
     pub fn set_counter(&self, name: &str, labels: &[(&str, &str)], value: u64) {
         self.counter(name, labels).set(value);
+    }
+
+    /// Get or register a gauge series. Naming convention:
+    /// `gqa_<crate>_<what>` (no `_total` suffix — gauges can go down).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = SeriesKey::new(name, labels);
+        self.gauges.lock().entry(key).or_insert_with(|| Arc::new(Gauge::default())).clone()
     }
 
     /// Get or register a histogram series. If the series already exists its
@@ -279,6 +363,16 @@ impl Registry {
             out.push_str(&format!("{}{} {}\n", key.name, key.render_labels(), c.get()));
         }
         drop(counters);
+        let gauges = self.gauges.lock();
+        let mut last_name = "";
+        for (key, g) in gauges.iter() {
+            if key.name != last_name {
+                out.push_str(&format!("# TYPE {} gauge\n", key.name));
+                last_name = &key.name;
+            }
+            out.push_str(&format!("{}{} {}\n", key.name, key.render_labels(), g.get()));
+        }
+        drop(gauges);
         let histograms = self.histograms.lock();
         let mut last_name = "";
         for (key, h) in histograms.iter() {
@@ -315,6 +409,14 @@ impl Registry {
                 escape_json(&key.name),
                 labels_json(&key.labels),
                 c.get()
+            ));
+        }
+        for (key, g) in self.gauges.lock().iter() {
+            parts.push(format!(
+                "{{\"name\":\"{}\",\"labels\":{},\"type\":\"gauge\",\"value\":{}}}",
+                escape_json(&key.name),
+                labels_json(&key.labels),
+                g.get()
             ));
         }
         for (key, h) in self.histograms.lock().iter() {

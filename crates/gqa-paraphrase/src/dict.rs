@@ -176,9 +176,9 @@ impl ParaphraseDict {
                     ("<", rest) => (Dir::Backward, rest),
                     _ => return Err(format!("line {}: bad step {s:?}", lno + 1)),
                 };
-                match store.iri(iri) {
-                    Some(id) => path.push(PathStep { pred: id, dir }),
-                    None => {
+                match store.try_iri(iri) {
+                    Ok(id) => path.push(PathStep { pred: id, dir }),
+                    Err(_) => {
                         ok = false;
                         break;
                     }

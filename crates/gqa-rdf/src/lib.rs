@@ -41,6 +41,6 @@ pub use dict::Dict;
 pub use ids::TermId;
 pub use metrics::{StoreMetrics, StoreMetricsSnapshot};
 pub use paths::{Dir, PathPattern, PathStep};
-pub use store::{Store, StoreBuilder};
+pub use store::{Store, StoreBuilder, UnknownIri};
 pub use term::Term;
 pub use triple::Triple;

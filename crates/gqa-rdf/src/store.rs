@@ -293,12 +293,33 @@ impl Store {
         self.dict.lookup_iri(iri)
     }
 
+    /// Id of an IRI, or a typed [`UnknownIri`] error carrying the IRI text.
+    /// This is the lookup request-handling code must use: a missing IRI
+    /// becomes an error value the caller maps to a client-facing failure
+    /// instead of a panic that would abort a worker thread.
+    pub fn try_iri(&self, iri: &str) -> Result<TermId, UnknownIri> {
+        self.iri(iri).ok_or_else(|| UnknownIri(iri.to_owned()))
+    }
+
     /// Convenience: id of an IRI, panicking with the IRI text if absent.
-    /// Intended for tests and curated-dataset code.
+    /// Intended for tests and curated-dataset code only — request-path code
+    /// uses [`Store::try_iri`].
     pub fn expect_iri(&self, iri: &str) -> TermId {
-        self.iri(iri).unwrap_or_else(|| panic!("IRI not in store: {iri}"))
+        self.try_iri(iri).unwrap_or_else(|e| panic!("{e}"))
     }
 }
+
+/// An IRI lookup failed: the text is not in the store's dictionary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownIri(pub String);
+
+impl std::fmt::Display for UnknownIri {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IRI not in store: {}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownIri {}
 
 #[cfg(test)]
 mod tests {
@@ -319,6 +340,15 @@ mod tests {
     fn dedup_on_build() {
         let s = sample();
         assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn try_iri_returns_a_typed_error_not_a_panic() {
+        let s = sample();
+        assert_eq!(s.try_iri("dbr:Antonio_Banderas"), Ok(s.expect_iri("dbr:Antonio_Banderas")));
+        let err = s.try_iri("dbr:No_Such_Entity").unwrap_err();
+        assert_eq!(err, UnknownIri("dbr:No_Such_Entity".to_owned()));
+        assert_eq!(err.to_string(), "IRI not in store: dbr:No_Such_Entity");
     }
 
     #[test]

@@ -1,0 +1,406 @@
+//! A hand-rolled HTTP/1.1 request parser and response writer.
+//!
+//! The crates-io mirror is unreachable in the build environment, so the
+//! server speaks HTTP the same way the rest of the workspace builds its
+//! substrates: from `std` up. The subset implemented is exactly what the
+//! serving layer needs — request line + headers + `Content-Length` bodies —
+//! with hard limits everywhere a client could feed us unbounded input.
+//!
+//! Robustness contract (enforced by the fuzz suite in
+//! `tests/http_parser.rs`): for **any** byte stream, [`read_request`]
+//! either yields a well-formed [`Request`], reports a clean EOF, or returns
+//! an [`HttpError`] that maps to a 4xx status. It never panics and never
+//! reads more than [`Limits`] allows.
+
+use std::io::{BufRead, ErrorKind, Write};
+
+/// Input-size limits for one request.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers (guards header floods).
+    pub max_head_bytes: usize,
+    /// Maximum `Content-Length` accepted (guards giant bodies).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_head_bytes: 16 * 1024, max_body_bytes: 64 * 1024 }
+    }
+}
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string (`/answer`).
+    pub path: String,
+    /// Raw query string, when present (without the `?`).
+    pub query: Option<String>,
+    /// Header pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed. Every variant maps to a response
+/// status via [`HttpError::status`]; I/O failures have no status (the
+/// connection is simply dropped).
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or `Content-Length` → 400.
+    BadRequest(&'static str),
+    /// Declared body larger than [`Limits::max_body_bytes`] → 413.
+    PayloadTooLarge,
+    /// Request line + headers exceed [`Limits::max_head_bytes`] → 431.
+    HeadersTooLarge,
+    /// The peer stopped sending mid-request (torn read at EOF) → 400.
+    UnexpectedEof,
+    /// Socket read timed out → 408.
+    Timeout,
+    /// Transport error: no response is possible.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The response status this error maps to (`None` for transport
+    /// errors, where writing a response is pointless).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::BadRequest(_) | HttpError::UnexpectedEof => Some(400),
+            HttpError::PayloadTooLarge => Some(413),
+            HttpError::HeadersTooLarge => Some(431),
+            HttpError::Timeout => Some(408),
+            HttpError::Io(_) => None,
+        }
+    }
+
+    /// Short human-readable reason (the response body).
+    pub fn reason(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(r) => r,
+            HttpError::PayloadTooLarge => "request body too large",
+            HttpError::HeadersTooLarge => "request head too large",
+            HttpError::UnexpectedEof => "connection closed mid-request",
+            HttpError::Timeout => "timed out reading request",
+            HttpError::Io(_) => "i/o error",
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => HttpError::Timeout,
+            ErrorKind::UnexpectedEof => HttpError::UnexpectedEof,
+            _ => HttpError::Io(e),
+        }
+    }
+}
+
+/// Result of [`read_request`]: a request, or a clean close (EOF before the
+/// first byte — the peer just went away, nothing to answer).
+#[derive(Debug)]
+pub enum ParseOutcome {
+    /// A complete request.
+    Request(Request),
+    /// EOF before any byte of a request arrived.
+    Closed,
+}
+
+/// Read one request from the stream. Handles torn reads transparently
+/// (`BufRead` keeps partial lines buffered across calls), so headers split
+/// across arbitrary TCP segment boundaries parse identically to a single
+/// write. Pipelined bytes after the body stay in the reader for the next
+/// call.
+pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<ParseOutcome, HttpError> {
+    // Request line. EOF right here is a clean close.
+    let mut line = Vec::new();
+    let mut head_bytes = read_line(r, &mut line, limits.max_head_bytes)?;
+    if line.is_empty() {
+        return Ok(ParseOutcome::Closed);
+    }
+    let text =
+        std::str::from_utf8(&line).map_err(|_| HttpError::BadRequest("non-utf8 request line"))?;
+    let mut parts = text.split(' ').filter(|s| !s.is_empty());
+    let method = parts.next().ok_or(HttpError::BadRequest("empty request line"))?;
+    let target = parts.next().ok_or(HttpError::BadRequest("missing request target"))?;
+    let version = parts.next().ok_or(HttpError::BadRequest("missing HTTP version"))?;
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequest("malformed request line"));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest("unsupported HTTP version"));
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) || method.len() > 16 {
+        return Err(HttpError::BadRequest("malformed method"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest("request target must be absolute path"));
+    }
+    let method = method.to_owned();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
+        None => (target.to_owned(), None),
+    };
+
+    // Headers, until the blank line.
+    let mut headers = Vec::new();
+    loop {
+        let budget =
+            limits.max_head_bytes.checked_sub(head_bytes).ok_or(HttpError::HeadersTooLarge)?;
+        line.clear();
+        let n = read_line(r, &mut line, budget).map_err(|e| match e {
+            // EOF inside the head is a torn request, not a clean close.
+            _ if line.is_empty() && matches!(e, HttpError::UnexpectedEof) => {
+                HttpError::UnexpectedEof
+            }
+            other => other,
+        })?;
+        head_bytes += n;
+        if n == 0 {
+            return Err(HttpError::UnexpectedEof);
+        }
+        if line.is_empty() {
+            break; // end of headers
+        }
+        if headers.len() >= 128 {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let text =
+            std::str::from_utf8(&line).map_err(|_| HttpError::BadRequest("non-utf8 header"))?;
+        let (name, value) =
+            text.split_once(':').ok_or(HttpError::BadRequest("header missing colon"))?;
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return Err(HttpError::BadRequest("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let request = Request { method, path, query, headers, body: Vec::new() };
+
+    // Body: Content-Length only (no chunked transfer in this subset).
+    if let Some(te) = request.header("transfer-encoding") {
+        if !te.eq_ignore_ascii_case("identity") {
+            return Err(HttpError::BadRequest("transfer-encoding not supported"));
+        }
+    }
+    let len = match request.header("content-length") {
+        None => 0usize,
+        Some(v) => {
+            let v = v.trim();
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(HttpError::BadRequest("malformed content-length"));
+            }
+            v.parse::<usize>().map_err(|_| HttpError::BadRequest("malformed content-length"))?
+        }
+    };
+    if len > limits.max_body_bytes {
+        return Err(HttpError::PayloadTooLarge);
+    }
+    let mut request = request;
+    if len > 0 {
+        request.body.resize(len, 0);
+        r.read_exact(&mut request.body)?;
+    }
+    Ok(ParseOutcome::Request(request))
+}
+
+/// Read one line into `out` (CRLF or bare LF, terminator stripped), at most
+/// `budget` bytes *including* the terminator. Returns the raw byte count
+/// consumed. EOF with no bytes leaves `out` empty and returns 0; EOF
+/// mid-line is [`HttpError::UnexpectedEof`].
+fn read_line<R: BufRead>(r: &mut R, out: &mut Vec<u8>, budget: usize) -> Result<usize, HttpError> {
+    out.clear();
+    let mut consumed = 0usize;
+    loop {
+        let available = match r.fill_buf() {
+            Ok(b) => b,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        };
+        if available.is_empty() {
+            if consumed == 0 {
+                return Ok(0);
+            }
+            return Err(HttpError::UnexpectedEof);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if consumed + i + 1 > budget {
+                    return Err(HttpError::HeadersTooLarge);
+                }
+                out.extend_from_slice(&available[..i]);
+                r.consume(i + 1);
+                consumed += i + 1;
+                if out.last() == Some(&b'\r') {
+                    out.pop();
+                }
+                return Ok(consumed);
+            }
+            None => {
+                let n = available.len();
+                if consumed + n > budget {
+                    return Err(HttpError::HeadersTooLarge);
+                }
+                out.extend_from_slice(available);
+                r.consume(n);
+                consumed += n;
+            }
+        }
+    }
+}
+
+/// Canonical reason phrase for the statuses this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write one response and flush. Always `Connection: close`: the server
+/// serves exactly one request per connection, which is what makes the
+/// bounded accept queue an accurate model of pending *requests* (see
+/// DESIGN.md §10 on the backpressure policy).
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nConnection: close\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        status,
+        reason_phrase(status),
+        content_type,
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<ParseOutcome, HttpError> {
+        read_request(&mut Cursor::new(bytes.to_vec()), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let out = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let ParseOutcome::Request(r) = out else { panic!("{out:?}") };
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let out = parse(b"POST /answer?k=3 HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        let ParseOutcome::Request(r) = out else { panic!("{out:?}") };
+        assert_eq!(r.path, "/answer");
+        assert_eq!(r.query.as_deref(), Some("k=3"));
+        assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_accepted() {
+        let out = parse(b"GET / HTTP/1.1\nHost: x\n\n").unwrap();
+        assert!(matches!(out, ParseOutcome::Request(_)));
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_a_clean_close() {
+        assert!(matches!(parse(b"").unwrap(), ParseOutcome::Closed));
+    }
+
+    #[test]
+    fn torn_request_is_an_error_not_a_hang() {
+        for cut in 1.."GET / HTTP/1.1\r\nHost: x\r\n\r\n".len() {
+            let bytes = &b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"[..cut];
+            match parse(bytes) {
+                Err(_) => {}
+                Ok(ParseOutcome::Closed) => {}
+                Ok(ParseOutcome::Request(_)) => panic!("cut {cut} parsed as complete"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let req = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1 << 30);
+        let err = parse(req.as_bytes()).unwrap_err();
+        assert_eq!(err.status(), Some(413));
+    }
+
+    #[test]
+    fn bad_content_length_is_400() {
+        for bad in ["nope", "-1", "1e3", "0x10", "9999999999999999999999999"] {
+            let req = format!("POST / HTTP/1.1\r\nContent-Length: {bad}\r\n\r\n");
+            let err = parse(req.as_bytes()).unwrap_err();
+            assert_eq!(err.status(), Some(400), "content-length {bad:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let req = format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "a".repeat(64 * 1024));
+        let err = parse(req.as_bytes()).unwrap_err();
+        assert_eq!(err.status(), Some(431));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_sequentially() {
+        let bytes =
+            b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c HTTP/1.1\r\n\r\n";
+        let mut cur = Cursor::new(bytes.to_vec());
+        let limits = Limits::default();
+        let mut paths = Vec::new();
+        while let ParseOutcome::Request(r) = read_request(&mut cur, &limits).unwrap() {
+            paths.push(r.path);
+        }
+        assert_eq!(paths, vec!["/a", "/b", "/c"]);
+    }
+
+    #[test]
+    fn response_writer_emits_well_formed_head() {
+        let mut out = Vec::new();
+        write_response(&mut out, 503, "text/plain", b"shed\n", &[("Retry-After", "1")]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.ends_with("\r\n\r\nshed\n"));
+    }
+}

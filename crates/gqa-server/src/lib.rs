@@ -1,0 +1,34 @@
+//! `gqa-server` — an HTTP question-answering service over the gAnswer
+//! pipeline.
+//!
+//! The workspace's online path (understand → map → top-k, paper §2.2) was
+//! only reachable through the REPL and the bench binaries; this crate puts
+//! it behind a network endpoint with the production behaviors a service
+//! needs and the paper's offline/online split implies:
+//!
+//! * `POST /answer` — `{"question": "...", "k": 5, "timeout_ms": 1000,
+//!   "explain": false}` → ranked answers, SPARQL, per-stage timings, and
+//!   optionally the EXPLAIN trace.
+//! * `GET /metrics` — the gqa-obs registry in Prometheus text format,
+//!   including the server's own series (`gqa_server_*`).
+//! * `GET /healthz` — liveness.
+//!
+//! Everything is built on `std` — the environment has no crates.io access,
+//! so the HTTP parser ([`http`]), JSON codec ([`json`]), bounded queue
+//! ([`queue`]), and signal hookup ([`signal`]) are small hand-rolled
+//! modules with the failure-mode tests to earn that.
+//!
+//! See DESIGN.md §10 for the admission-control and deadline policy, and
+//! `gqa-bench`'s `loadgen` binary for the closed-loop load harness that
+//! produces `BENCH_server.json`.
+
+#![deny(unsafe_code)] // signal.rs carves out the one libc call it needs
+
+pub mod http;
+pub mod json;
+pub mod queue;
+pub mod server;
+#[allow(unsafe_code)]
+pub mod signal;
+
+pub use server::{ServeStats, Server, ServerConfig};

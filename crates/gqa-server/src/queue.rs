@@ -1,0 +1,139 @@
+//! A bounded MPMC queue with explicit close semantics — the server's
+//! admission-control surface.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` (the vendored `parking_lot` shim
+//! has no condvar). The acceptor thread calls [`Bounded::try_push`], which
+//! **fails immediately** when the queue is full — that failure is the 503
+//! shed path, never a block. Worker threads call [`Bounded::pop`], which
+//! blocks until an item arrives or the queue is closed and drained, so
+//! graceful shutdown is: `close()`, then join the workers.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a [`Bounded::try_push`] was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// At capacity — caller should shed load (503).
+    Full,
+    /// Shutting down — caller should stop producing.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    nonempty: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            capacity: capacity.max(1),
+            nonempty: Condvar::new(),
+        }
+    }
+
+    /// Nonblocking push. `Err(Full)` is the shed signal.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err((item, PushError::Closed));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop. Returns `None` only when the queue is closed **and**
+    /// empty, so every admitted item is drained before workers exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.nonempty.wait(inner).unwrap();
+        }
+    }
+
+    /// Close the queue: future pushes fail, pops drain the backlog then
+    /// return `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Items currently queued (the `gqa_server_queue_depth` gauge).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The admission limit.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn push_full_close_semantics() {
+        let q = Bounded::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3).unwrap_err().1, PushError::Full);
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.try_push(4).unwrap_err().1, PushError::Closed);
+        // Backlog still drains after close.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let q = Bounded::<u32>::new(4);
+        let drained = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    while q.pop().is_some() {
+                        drained.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for i in 0..8 {
+                while q.try_push(i).is_err() {
+                    std::thread::yield_now();
+                }
+            }
+            q.close();
+        });
+        assert_eq!(drained.load(Ordering::Relaxed), 8);
+    }
+}

@@ -1,0 +1,520 @@
+//! The HTTP service: a fixed worker pool behind a bounded accept queue.
+//!
+//! ```text
+//!              ┌──────────┐  try_push   ┌─────────────┐   pop   ┌─────────┐
+//!  clients ──▶ │ acceptor │ ──────────▶ │ Bounded<Job>│ ──────▶ │ workers │
+//!              └──────────┘    full?    └─────────────┘         └─────────┘
+//!                   │ 503 + Retry-After                     parse → route →
+//!                   ▼                                       pipeline → write
+//! ```
+//!
+//! Three production behaviors fall out of this shape:
+//!
+//! * **Admission control.** The queue holds accepted-but-unserved
+//!   connections; one request per connection (every response is
+//!   `Connection: close`) makes queue length an exact count of pending
+//!   requests. When it is full the acceptor sheds with `503` and
+//!   `Retry-After` instead of letting latency grow without bound.
+//! * **Deadlines.** A request's deadline starts at **accept** time, so
+//!   time spent queued counts against it. A request that expires in the
+//!   queue is answered `504` without touching the pipeline; one that
+//!   expires mid-pipeline is abandoned at the next stage checkpoint
+//!   ([`gqa_core::pipeline::DeadlineExceeded`]). Accepted requests
+//!   therefore have latency structurally bounded by their deadline.
+//! * **Graceful shutdown.** Flipping the shutdown flag (SIGTERM/SIGINT or
+//!   [`Server::shutdown_handle`]) stops the acceptor, closes the queue,
+//!   and lets workers drain every already-admitted request before
+//!   [`Server::run`] returns — no accepted request is dropped.
+
+use crate::http::{read_request, write_response, Limits, ParseOutcome, Request};
+use crate::json::{self, obj, Json};
+use crate::queue::Bounded;
+use crate::signal;
+use gqa_core::pipeline::{GAnswer, Response};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Serving knobs. Defaults are sized for the demo dataset on a small box;
+/// `ganswer --serve` exposes the ones that matter for load tests.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing the pipeline (default: all cores, min 2).
+    pub workers: usize,
+    /// Bounded queue capacity — pending requests beyond the workers
+    /// (default 64). Full queue ⇒ 503.
+    pub queue_capacity: usize,
+    /// Deadline for requests that don't specify `timeout_ms` (default
+    /// 2000 ms).
+    pub default_timeout_ms: u64,
+    /// Upper bound on client-supplied `timeout_ms` (default 30 000 ms).
+    pub max_timeout_ms: u64,
+    /// Default answer-list truncation when the request has no `k`
+    /// (0 = pipeline's own top-k).
+    pub default_k: usize,
+    /// HTTP input limits (head/body size).
+    pub limits: Limits,
+    /// Socket read timeout while parsing a request (default 5000 ms) —
+    /// slow-loris connections get a 408, not a parked worker.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout for responses (default 5000 ms).
+    pub write_timeout_ms: u64,
+    /// Accept-loop poll interval while idle (default 10 ms).
+    pub accept_poll_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map_or(2, usize::from).max(2),
+            queue_capacity: 64,
+            default_timeout_ms: 2000,
+            max_timeout_ms: 30_000,
+            default_k: 0,
+            limits: Limits::default(),
+            read_timeout_ms: 5000,
+            write_timeout_ms: 5000,
+            accept_poll_ms: 10,
+        }
+    }
+}
+
+/// What [`Server::run`] did, for logs and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections admitted to the queue.
+    pub accepted: u64,
+    /// Responses written (any status), including sheds.
+    pub served: u64,
+    /// 503s written because the queue was full.
+    pub shed: u64,
+    /// 504s written because a deadline expired (in queue or in pipeline).
+    pub timeouts: u64,
+}
+
+struct Job {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+struct Counters {
+    accepted: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+/// The server. Borrows the pipeline — workers share one [`GAnswer`]
+/// immutably, which is the same aliasing model as
+/// [`GAnswer::answer_all`]'s batch fan-out.
+pub struct Server<'s> {
+    system: &'s GAnswer<'s>,
+    config: ServerConfig,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl<'s> Server<'s> {
+    /// Bind the listen socket and pre-register the server metric series
+    /// (when the system's obs handle is enabled), so a `/metrics` scrape
+    /// before any traffic still shows every series at zero.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        system: &'s GAnswer<'s>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let obs = system.obs();
+        if obs.is_enabled() {
+            for endpoint in ["answer", "metrics", "healthz", "other", "none"] {
+                obs.counter("gqa_server_requests_total", &[("endpoint", endpoint)]);
+            }
+            obs.counter("gqa_server_shed_total", &[]);
+            obs.counter("gqa_server_timeouts_total", &[]);
+            obs.gauge("gqa_server_inflight_requests", &[]);
+            obs.gauge("gqa_server_queue_depth", &[]);
+            obs.gauge("gqa_server_worker_threads", &[]).set(config.workers as i64);
+            obs.gauge("gqa_server_queue_capacity", &[]).set(config.queue_capacity as i64);
+            obs.histogram("gqa_server_request_duration_seconds", &[], gqa_obs::DURATION_BUCKETS);
+        }
+        Ok(Server { system, config, listener, shutdown: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag that stops the server when set (same effect as SIGTERM).
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Serve until the shutdown flag or a SIGINT/SIGTERM flips, then drain
+    /// the queue and return. Blocks the calling thread.
+    pub fn run(&self) -> ServeStats {
+        let queue = Bounded::new(self.config.queue_capacity);
+        let counters = Counters {
+            accepted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                scope.spawn(|| self.worker(&queue, &counters));
+            }
+            self.accept_loop(&queue, &counters);
+            queue.close();
+            // Scope exit joins the workers — the drain.
+        });
+        ServeStats {
+            accepted: counters.accepted.load(Ordering::Relaxed),
+            served: counters.served.load(Ordering::Relaxed),
+            shed: counters.shed.load(Ordering::Relaxed),
+            timeouts: counters.timeouts.load(Ordering::Relaxed),
+        }
+    }
+
+    fn accept_loop(&self, queue: &Bounded<Job>, counters: &Counters) {
+        let obs = self.system.obs();
+        let depth = obs.gauge("gqa_server_queue_depth", &[]);
+        let shed_total = obs.counter("gqa_server_shed_total", &[]);
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) || signal::triggered() {
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // The listener is nonblocking (the accept loop polls);
+                    // accepted sockets may inherit that. Workers rely on
+                    // blocking reads bounded by SO_RCVTIMEO instead.
+                    let _ = stream.set_nonblocking(false);
+                    let job = Job { stream, accepted: Instant::now() };
+                    match queue.try_push(job) {
+                        Ok(()) => {
+                            counters.accepted.fetch_add(1, Ordering::Relaxed);
+                            depth.set(queue.len() as i64);
+                        }
+                        Err((job, _full)) => {
+                            self.shed(job.stream, counters);
+                            shed_total.inc();
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(self.config.accept_poll_ms));
+                }
+                Err(_) => {
+                    // Transient accept failure (e.g. EMFILE): back off.
+                    std::thread::sleep(Duration::from_millis(self.config.accept_poll_ms));
+                }
+            }
+        }
+    }
+
+    /// Queue full: answer 503 directly from the acceptor so shedding stays
+    /// cheap and never waits on a worker.
+    fn shed(&self, mut stream: TcpStream, counters: &Counters) {
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(self.config.write_timeout_ms)));
+        let body =
+            obj(vec![("error", Json::Str("server overloaded, retry shortly".into()))]).to_string();
+        let ok = write_response(
+            &mut stream,
+            503,
+            "application/json",
+            body.as_bytes(),
+            &[("Retry-After", "1")],
+        )
+        .is_ok();
+        counters.shed.fetch_add(1, Ordering::Relaxed);
+        if ok {
+            counters.served.fetch_add(1, Ordering::Relaxed);
+        }
+        close_gracefully(stream);
+    }
+
+    fn worker(&self, queue: &Bounded<Job>, counters: &Counters) {
+        let obs = self.system.obs();
+        let inflight = obs.gauge("gqa_server_inflight_requests", &[]);
+        let depth = obs.gauge("gqa_server_queue_depth", &[]);
+        while let Some(job) = queue.pop() {
+            depth.set(queue.len() as i64);
+            inflight.inc();
+            self.handle(job, counters);
+            inflight.dec();
+        }
+    }
+
+    /// One connection: read a request, route it, write exactly one
+    /// response, close. Metrics are recorded *after* the response bytes are
+    /// written, so a `/metrics` exposition never counts itself.
+    fn handle(&self, job: Job, counters: &Counters) {
+        let obs = self.system.obs();
+        let Job { stream, accepted } = job;
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(self.config.read_timeout_ms)));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(self.config.write_timeout_ms)));
+        let mut reader = BufReader::new(stream);
+
+        let (endpoint, outcome) = match read_request(&mut reader, &self.config.limits) {
+            Ok(ParseOutcome::Closed) => return, // peer went away; nothing to do
+            Ok(ParseOutcome::Request(req)) => self.route(&req, accepted, counters),
+            Err(e) => match e.status() {
+                Some(status) => {
+                    let body = obj(vec![("error", Json::Str(e.reason().into()))]).to_string();
+                    (
+                        "none",
+                        Reply {
+                            status,
+                            content_type: "application/json",
+                            body: body.into_bytes(),
+                            extra: Vec::new(),
+                        },
+                    )
+                }
+                None => return, // transport error; no response possible
+            },
+        };
+
+        let mut stream = reader.into_inner();
+        let extra: Vec<(&str, &str)> =
+            outcome.extra.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        let written = write_response(
+            &mut stream,
+            outcome.status,
+            outcome.content_type,
+            &outcome.body,
+            &extra,
+        )
+        .is_ok();
+
+        // Bookkeeping after the response bytes are flushed (a /metrics
+        // exposition never counts itself) but before the FIN, so once a
+        // client sees EOF the counters already reflect its request.
+        if written {
+            counters.served.fetch_add(1, Ordering::Relaxed);
+        }
+        if outcome.status == 504 {
+            counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            obs.counter("gqa_server_timeouts_total", &[]).inc();
+        }
+        obs.counter("gqa_server_requests_total", &[("endpoint", endpoint)]).inc();
+        obs.histogram("gqa_server_request_duration_seconds", &[], gqa_obs::DURATION_BUCKETS)
+            .observe(accepted.elapsed().as_secs_f64());
+        close_gracefully(stream);
+    }
+
+    fn route(
+        &self,
+        req: &Request,
+        accepted: Instant,
+        counters: &Counters,
+    ) -> (&'static str, Reply) {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => ("healthz", Reply::text(200, "ok\n")),
+            ("GET", "/metrics") => ("metrics", self.metrics_reply()),
+            ("POST", "/answer") => ("answer", self.answer_reply(req, accepted, counters)),
+            (_, "/healthz") | (_, "/metrics") => ("other", Reply::method_not_allowed("GET")),
+            (_, "/answer") => ("other", Reply::method_not_allowed("POST")),
+            _ => (
+                "other",
+                Reply::json(404, obj(vec![("error", Json::Str("no such endpoint".into()))])),
+            ),
+        }
+    }
+
+    fn metrics_reply(&self) -> Reply {
+        let obs = self.system.obs();
+        if !obs.is_enabled() {
+            return Reply::text(200, "# metrics disabled (server started without obs)\n");
+        }
+        self.system.publish_metrics();
+        Reply {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: obs.prometheus().into_bytes(),
+            extra: Vec::new(),
+        }
+    }
+
+    fn answer_reply(&self, req: &Request, accepted: Instant, counters: &Counters) -> Reply {
+        // Parse and validate the JSON body.
+        let text = match std::str::from_utf8(&req.body) {
+            Ok(t) => t,
+            Err(_) => return Reply::bad_request("body is not valid UTF-8"),
+        };
+        let body = match json::parse(text) {
+            Ok(v) => v,
+            Err(e) => return Reply::bad_request(&format!("invalid JSON: {e}")),
+        };
+        let Some(question) = body.get("question").and_then(Json::as_str) else {
+            return Reply::bad_request("missing string field \"question\"");
+        };
+        if question.trim().is_empty() {
+            return Reply::bad_request("\"question\" must be non-empty");
+        }
+        let k = match body.get("k") {
+            None => self.config.default_k,
+            Some(v) => match v.as_uint() {
+                Some(n) if n >= 1 => n as usize,
+                _ => return Reply::bad_request("\"k\" must be a positive integer"),
+            },
+        };
+        let timeout_ms = match body.get("timeout_ms") {
+            None => self.config.default_timeout_ms,
+            Some(v) => match v.as_uint() {
+                Some(n) => n.min(self.config.max_timeout_ms),
+                None => return Reply::bad_request("\"timeout_ms\" must be a non-negative integer"),
+            },
+        };
+        let explain = match body.get("explain") {
+            None => false,
+            Some(v) => match v.as_bool() {
+                Some(b) => b,
+                None => return Reply::bad_request("\"explain\" must be a boolean"),
+            },
+        };
+
+        // The deadline is anchored at accept time: queueing already spent
+        // part of the budget. An over-budget request is refused here
+        // without running the pipeline at all.
+        let deadline = accepted + Duration::from_millis(timeout_ms);
+        let queue_wait = accepted.elapsed();
+        if Instant::now() > deadline {
+            let _ = counters; // counted by the caller via the 504 status
+            return Reply::timeout("queue", timeout_ms);
+        }
+
+        let result = if explain {
+            self.system.answer_traced_with_deadline(question, deadline)
+        } else {
+            self.system.answer_with_deadline(question, deadline)
+        };
+        match result {
+            Err(e) => Reply::timeout(e.stage, timeout_ms),
+            Ok(response) => Reply::json(200, render_response(question, &response, k, queue_wait)),
+        }
+    }
+}
+
+/// Lingering close. When a response is written before the request was read
+/// in full (a shed 503, a 413, a torn request), closing the socket with
+/// unread input pending makes the kernel send RST, which can destroy the
+/// response before the client reads it. So: half-close the write side,
+/// then discard input (briefly, bounded) until the peer's FIN, and only
+/// then drop the socket.
+fn close_gracefully(mut stream: TcpStream) {
+    use std::io::Read;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut scratch = [0u8; 4096];
+    let mut budget: usize = 64 * 1024;
+    loop {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break, // FIN, timeout, or reset: done either way
+            Ok(n) => match budget.checked_sub(n) {
+                Some(rest) => budget = rest,
+                None => break, // peer keeps streaming; give up on politeness
+            },
+        }
+    }
+}
+
+/// A response about to be written.
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+    extra: Vec<(&'static str, String)>,
+}
+
+impl Reply {
+    fn text(status: u16, body: &str) -> Reply {
+        Reply {
+            status,
+            content_type: "text/plain",
+            body: body.as_bytes().to_vec(),
+            extra: Vec::new(),
+        }
+    }
+
+    fn json(status: u16, value: Json) -> Reply {
+        Reply {
+            status,
+            content_type: "application/json",
+            body: value.to_string().into_bytes(),
+            extra: Vec::new(),
+        }
+    }
+
+    fn bad_request(reason: &str) -> Reply {
+        Reply::json(400, obj(vec![("error", Json::Str(reason.into()))]))
+    }
+
+    fn timeout(stage: &str, timeout_ms: u64) -> Reply {
+        Reply::json(
+            504,
+            obj(vec![
+                ("error", Json::Str("deadline exceeded".into())),
+                ("stage", Json::Str(stage.into())),
+                ("timeout_ms", Json::Num(timeout_ms as f64)),
+            ]),
+        )
+    }
+
+    fn method_not_allowed(allow: &'static str) -> Reply {
+        let mut r = Reply::json(405, obj(vec![("error", Json::Str("method not allowed".into()))]));
+        r.extra.push(("Allow", allow.to_owned()));
+        r
+    }
+}
+
+/// Serialize a pipeline [`Response`] to the `/answer` JSON schema.
+/// `k > 0` truncates the answer and SPARQL lists (per-request `k` cannot
+/// change the shared pipeline's `top_k`, so it is applied here).
+fn render_response(question: &str, r: &Response, k: usize, queue_wait: Duration) -> Json {
+    let take = if k == 0 { usize::MAX } else { k };
+    let answers: Vec<Json> = r
+        .answers
+        .iter()
+        .take(take)
+        .map(|a| {
+            let mut pairs =
+                vec![("text", Json::Str(a.text.clone())), ("score", Json::Num(a.score))];
+            if let Some(iri) = a.term.as_iri() {
+                pairs.push(("iri", Json::Str(iri.to_owned())));
+            }
+            obj(pairs)
+        })
+        .collect();
+    let sparql: Vec<Json> = r.sparql.iter().take(take).map(|s| Json::Str(s.clone())).collect();
+    let mut pairs = vec![
+        ("question", Json::Str(question.to_owned())),
+        ("answers", Json::Arr(answers)),
+        ("boolean", r.boolean.map_or(Json::Null, Json::Bool)),
+        ("count", r.count.map_or(Json::Null, |c| Json::Num(c as f64))),
+        ("sparql", Json::Arr(sparql)),
+        ("failure", r.failure.as_ref().map_or(Json::Null, |f| Json::Str(f.reason().to_owned()))),
+        (
+            "timings_ms",
+            obj(vec![
+                ("understanding", Json::Num(r.understanding_time.as_secs_f64() * 1e3)),
+                ("evaluation", Json::Num(r.evaluation_time.as_secs_f64() * 1e3)),
+                ("total", Json::Num(r.total_time().as_secs_f64() * 1e3)),
+                ("queue_wait", Json::Num(queue_wait.as_secs_f64() * 1e3)),
+            ]),
+        ),
+    ];
+    if let Some(trace) = &r.trace {
+        pairs.push(("explain", Json::Str(trace.render())));
+    }
+    obj(pairs)
+}

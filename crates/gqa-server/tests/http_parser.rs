@@ -1,0 +1,196 @@
+//! Fuzz/property tests for the hand-rolled HTTP parser.
+//!
+//! The contract under test (see `gqa_server::http`): for ANY byte stream,
+//! delivered in ANY fragmentation, `read_request` returns a well-formed
+//! request, a clean close, or an error that maps to a 4xx status. It never
+//! panics, never loops forever, and never reads beyond its limits.
+
+use gqa_server::http::{read_request, HttpError, Limits, ParseOutcome};
+use proptest::prelude::*;
+use std::io::{BufReader, Read};
+
+/// A reader that delivers its bytes in a fixed fragmentation pattern,
+/// simulating torn TCP reads: each `Read::read` call yields at most the
+/// next chunk size (cycling), regardless of the buffer offered.
+struct Torn {
+    data: Vec<u8>,
+    pos: usize,
+    chunks: Vec<usize>,
+    turn: usize,
+}
+
+impl Torn {
+    fn new(data: Vec<u8>, chunks: Vec<usize>) -> Self {
+        Torn { data, pos: 0, chunks, turn: 0 }
+    }
+}
+
+impl Read for Torn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let chunk = self.chunks.get(self.turn % self.chunks.len().max(1)).copied().unwrap_or(1);
+        self.turn += 1;
+        let n = chunk.max(1).min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Drive the parser over a byte stream with the given fragmentation and
+/// small internal buffer (so `fill_buf` sees the tearing), collecting
+/// outcomes until close/error. Returns (#requests, final error if any).
+fn drive(bytes: &[u8], chunks: Vec<usize>) -> (usize, Option<HttpError>) {
+    let limits = Limits::default();
+    let mut reader = BufReader::with_capacity(7, Torn::new(bytes.to_vec(), chunks));
+    let mut parsed = 0usize;
+    loop {
+        match read_request(&mut reader, &limits) {
+            Ok(ParseOutcome::Request(_)) => {
+                parsed += 1;
+                // An adversary pipelining forever must not wedge us; the
+                // server itself reads one request per connection.
+                if parsed > 10_000 {
+                    return (parsed, None);
+                }
+            }
+            Ok(ParseOutcome::Closed) => return (parsed, None),
+            Err(e) => return (parsed, Some(e)),
+        }
+    }
+}
+
+/// Errors surfaced to a client must map to a 4xx (transport errors are
+/// impossible over an in-memory reader).
+fn assert_taxonomy(err: &HttpError) {
+    let status = err.status().expect("in-memory parse error must map to a status");
+    assert!((400..500).contains(&status), "parser produced non-4xx status {status} for {err:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes, arbitrary fragmentation: never panic, never a
+    /// status outside 4xx.
+    #[test]
+    fn random_bytes_never_panic(
+        data in prop::collection::vec(0u8..=255, 0..300),
+        chunks in prop::collection::vec(1usize..9, 1..5),
+    ) {
+        let (_, err) = drive(&data, chunks);
+        if let Some(e) = err {
+            assert_taxonomy(&e);
+        }
+    }
+
+    /// A valid request parses identically under every fragmentation.
+    #[test]
+    fn torn_reads_are_transparent(chunks in prop::collection::vec(1usize..6, 1..6), k in 1usize..999) {
+        let body = format!("{{\"question\":\"q{k}\"}}");
+        let raw = format!(
+            "POST /answer HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let limits = Limits::default();
+        let mut reader = BufReader::with_capacity(3, Torn::new(raw.clone().into_bytes(), chunks));
+        let out = read_request(&mut reader, &limits).expect("valid request must parse");
+        let ParseOutcome::Request(req) = out else { panic!("unexpected close") };
+        prop_assert_eq!(req.method.as_str(), "POST");
+        prop_assert_eq!(req.path.as_str(), "/answer");
+        prop_assert_eq!(req.body, body.into_bytes());
+    }
+
+    /// Truncating a valid request at any byte yields a clean close (cut at
+    /// a request boundary) or a 4xx — never a bogus success, never a hang.
+    #[test]
+    fn every_prefix_fails_cleanly(cut in 0usize..71, chunks in prop::collection::vec(1usize..5, 1..4)) {
+        let raw = b"POST /answer HTTP/1.1\r\nHost: t\r\nContent-Length: 17\r\n\r\n{\"question\":\"x\"}!";
+        prop_assert_eq!(raw.len(), 71);
+        let (parsed, err) = drive(&raw[..cut], chunks);
+        if cut < raw.len() {
+            prop_assert_eq!(parsed, 0);
+            match err {
+                None => prop_assert_eq!(cut, 0, "only the empty prefix is a clean close"),
+                Some(e) => assert_taxonomy(&e),
+            }
+        }
+    }
+
+    /// Declared Content-Length beyond the limit is always 413, regardless
+    /// of how much body actually follows.
+    #[test]
+    fn oversized_declared_body_is_413(extra in 1u64..1_000_000, sent in 0usize..64) {
+        let limits = Limits::default();
+        let declared = limits.max_body_bytes as u64 + extra;
+        let raw = format!(
+            "POST /answer HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n{}",
+            "x".repeat(sent)
+        );
+        let (parsed, err) = drive(raw.as_bytes(), vec![5]);
+        prop_assert_eq!(parsed, 0);
+        prop_assert_eq!(err.expect("must be rejected").status(), Some(413));
+    }
+
+    /// Malformed Content-Length values are always 400.
+    #[test]
+    fn bad_content_length_is_400(
+        bad in prop::sample::select(vec![
+            "abc", "-5", "+5", "5x", "0x1f", "1 2", "999999999999999999999999999", "", " ",
+        ]),
+    ) {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {bad}\r\n\r\n");
+        let (parsed, err) = drive(raw.as_bytes(), vec![3]);
+        prop_assert_eq!(parsed, 0);
+        prop_assert_eq!(err.expect("must be rejected").status(), Some(400));
+    }
+
+    /// Valid requests followed by pipelined garbage: the valid prefix
+    /// parses, the garbage dies with a 4xx (or a clean close), and the
+    /// parser never spins.
+    #[test]
+    fn pipelined_garbage_after_valid_requests(
+        n in 0usize..4,
+        garbage in prop::collection::vec(0u8..=255, 0..120),
+        chunks in prop::collection::vec(1usize..7, 1..4),
+    ) {
+        let mut bytes = Vec::new();
+        for i in 0..n {
+            bytes.extend_from_slice(
+                format!("GET /healthz?i={i} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+            );
+        }
+        bytes.extend_from_slice(&garbage);
+        let (parsed, err) = drive(&bytes, chunks);
+        prop_assert!(parsed >= n, "lost a valid pipelined request: {parsed} < {n}");
+        if let Some(e) = err {
+            assert_taxonomy(&e);
+        }
+    }
+}
+
+#[test]
+fn header_flood_is_bounded() {
+    // An attacker streaming endless headers must hit the head limit, not
+    // grow memory without bound.
+    let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+    for i in 0..10_000 {
+        raw.extend_from_slice(format!("X-{i}: {}\r\n", "v".repeat(40)).as_bytes());
+    }
+    let (parsed, err) = drive(&raw, vec![11]);
+    assert_eq!(parsed, 0);
+    assert_eq!(err.expect("flood must be rejected").status(), Some(431));
+}
+
+#[test]
+fn many_small_headers_hit_the_count_limit() {
+    let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+    for i in 0..500 {
+        raw.extend_from_slice(format!("a{i}: 1\r\n").as_bytes());
+    }
+    raw.extend_from_slice(b"\r\n");
+    let (_, err) = drive(&raw, vec![13]);
+    assert_eq!(err.expect("too many headers must be rejected").status(), Some(431));
+}

@@ -27,6 +27,9 @@ struct Options {
     metrics: Option<String>,
     explain: bool,
     threads: Option<usize>,
+    serve: Option<String>,
+    queue: Option<usize>,
+    timeout_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -38,6 +41,9 @@ fn parse_args() -> Result<Options, String> {
         metrics: None,
         explain: false,
         threads: None,
+        serve: None,
+        queue: None,
+        timeout_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -62,18 +68,46 @@ fn parse_args() -> Result<Options, String> {
             }
             "--metrics" => opts.metrics = Some(args.next().ok_or("--metrics needs a file")?),
             "--explain" => opts.explain = true,
+            "--serve" => {
+                opts.serve = Some(args.next().ok_or("--serve needs ADDR (e.g. 127.0.0.1:8080)")?);
+            }
+            "--queue" => {
+                opts.queue = Some(
+                    args.next()
+                        .ok_or("--queue needs a number")?
+                        .parse()
+                        .map_err(|e| format!("bad --queue: {e}"))?,
+                );
+            }
+            "--timeout-ms" => {
+                opts.timeout_ms = Some(
+                    args.next()
+                        .ok_or("--timeout-ms needs a number")?
+                        .parse()
+                        .map_err(|e| format!("bad --timeout-ms: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: ganswer [--data FILE.nt] [--dict FILE.tsv] [--top-k N] \
-                     [--threads N] [--metrics FILE.prom] [--explain] [-q QUESTION]...\n\n\
+                     [--threads N] [--metrics FILE.prom] [--explain] [-q QUESTION]...\n\
+                     \x20      ganswer --serve ADDR [--queue N] [--timeout-ms MS] [...]\n\n\
                      --threads N          worker threads for the online path (TA probe\n\
                      \x20                    fan-out and sharded pruning); 1 = strictly\n\
                      \x20                    serial; default: $GQA_THREADS, else all cores.\n\
                      \x20                    Results are identical at any thread count.\n\
+                     \x20                    With --serve, also sizes the HTTP worker pool.\n\
                      --metrics FILE.prom  collect pipeline/store/linker metrics and write\n\
                      \x20                    them to FILE in Prometheus text format on exit\n\
                      --explain            print a per-question EXPLAIN trace (parse,\n\
-                     \x20                    candidates, pruning, TA rounds with theta/Upbound)\n\n\
+                     \x20                    candidates, pruning, TA rounds with theta/Upbound)\n\
+                     --serve ADDR         run the HTTP answering service on ADDR\n\
+                     \x20                    (POST /answer, GET /metrics, GET /healthz);\n\
+                     \x20                    SIGINT/SIGTERM drain in-flight requests and exit 0\n\
+                     --queue N            (--serve) bounded admission queue; a full queue\n\
+                     \x20                    sheds with 503 + Retry-After (default 64)\n\
+                     --timeout-ms MS      (--serve) default per-request deadline; requests\n\
+                     \x20                    past it get 504 (default 2000)\n\n\
                      REPL commands: :sqg :sparql :matches :explain :aggregates :quit"
                 );
                 std::process::exit(0);
@@ -140,6 +174,51 @@ fn main() {
         None => ganswer::core::concurrency::Concurrency::from_env(),
     };
     let mut config = GAnswerConfig { top_k: opts.top_k, concurrency, ..Default::default() };
+
+    // Serve mode: same startup path (load + config above), then hand the
+    // pipeline to the HTTP service instead of the REPL. Metrics are always
+    // on — /metrics is one of the endpoints.
+    if let Some(addr) = &opts.serve {
+        let system = GAnswer::with_obs(&store, dict, config, Obs::new());
+        let mut server_config = ganswer::server::ServerConfig::default();
+        if let Some(n) = opts.threads {
+            server_config.workers = n.max(1);
+        }
+        if let Some(n) = opts.queue {
+            server_config.queue_capacity = n.max(1);
+        }
+        if let Some(ms) = opts.timeout_ms {
+            server_config.default_timeout_ms = ms.max(1);
+        }
+        let server = match ganswer::server::Server::bind(addr.as_str(), &system, server_config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot bind {addr}: {e}");
+                std::process::exit(2);
+            }
+        };
+        ganswer::server::signal::install();
+        let local = server.local_addr().expect("bound listener has an address");
+        println!(
+            "ganswer serving on http://{local} — {} entities, {} triples; \
+             {} workers, queue {}, default deadline {} ms (SIGTERM to stop)",
+            stats.entities,
+            stats.triples,
+            server.config().workers,
+            server.config().queue_capacity,
+            server.config().default_timeout_ms
+        );
+        let served = server.run();
+        if let Some(path) = &opts.metrics {
+            write_metrics(&system, path);
+        }
+        println!(
+            "ganswer: drained — {} accepted, {} served, {} shed, {} timed out",
+            served.accepted, served.served, served.shed, served.timeouts
+        );
+        return;
+    }
+
     let obs = if opts.metrics.is_some() { Obs::new() } else { Obs::disabled() };
 
     let mut show_sqg = false;

@@ -41,6 +41,7 @@ pub use gqa_nlp as nlp;
 pub use gqa_obs as obs;
 pub use gqa_paraphrase as paraphrase;
 pub use gqa_rdf as rdf;
+pub use gqa_server as server;
 pub use gqa_sparql as sparql;
 
 pub use gqa_datagen::patty::mini_dict;
