@@ -31,8 +31,10 @@ use gqa_core::concurrency::Concurrency;
 use gqa_core::pipeline::{GAnswer, GAnswerConfig};
 use gqa_datagen::minidbp::mini_dbpedia;
 use gqa_datagen::patty::mini_dict;
+use gqa_fault::{Budget, FaultPlan};
 use gqa_obs::Obs;
-use gqa_server::{Server, ServerConfig};
+use gqa_rdf::Store;
+use gqa_server::{Server, ServerConfig, FAULT_SITE_WORKER};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -49,6 +51,7 @@ struct Opts {
     timeout_ms: u64,
     queue: usize,
     out: String,
+    chaos: Option<u64>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -61,6 +64,7 @@ fn parse_args() -> Result<Opts, String> {
         timeout_ms: 2000,
         queue: 4,
         out: "BENCH_server.json".to_owned(),
+        chaos: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -79,6 +83,7 @@ fn parse_args() -> Result<Opts, String> {
             "--timeout-ms" => opts.timeout_ms = num("--timeout-ms")?,
             "--queue" => opts.queue = num("--queue")? as usize,
             "--out" => opts.out = args.next().ok_or("--out needs a file name")?,
+            "--chaos" => opts.chaos = Some(num("--chaos")?),
             "--threads" => {
                 let _ = num("--threads")?; // consumed by threads_arg()
             }
@@ -86,11 +91,17 @@ fn parse_args() -> Result<Opts, String> {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--clients N] [--requests N]\n\
                      \x20              [--overload-clients N] [--overload-requests N]\n\
-                     \x20              [--timeout-ms MS] [--queue N] [--threads N] [--out FILE]\n\n\
+                     \x20              [--timeout-ms MS] [--queue N] [--threads N] [--out FILE]\n\
+                     \x20              [--chaos SEED]\n\n\
                      Without --addr, boots an in-process gqa-server on a loopback port\n\
                      (--threads sets its worker count, --queue its admission queue).\n\
                      With --addr, drives an external server and skips the overload phase\n\
-                     unless its queue size is known to be small."
+                     unless its queue size is known to be small.\n\n\
+                     --chaos SEED   after the main phases, boot a second in-process server\n\
+                     \x20              with seeded worker-panic injection and a tight search\n\
+                     \x20              budget, drive it, and cross-check client-observed 500s\n\
+                     \x20              and degraded answers against the fault plan's own\n\
+                     \x20              counters and /metrics (in-process only)."
                 );
                 std::process::exit(0);
             }
@@ -221,6 +232,171 @@ fn phase_json(name: &str, clients: usize, r: &PhaseResult, deadline_ms: u64) -> 
     )
 }
 
+/// What the chaos phase saw, client side and server side.
+struct ChaosOutcome {
+    seed: u64,
+    phase: PhaseResult,
+    /// 200s whose body carried a `"degraded": {...}` object.
+    degraded_responses: u64,
+    /// Injections recorded by the fault plan itself.
+    injected: u64,
+    /// `gqa_server_worker_panics_total` after the phase.
+    panics_metric: u64,
+    /// `gqa_pipeline_degraded_total{budget="frontier"}` after the phase.
+    degraded_metric: u64,
+    stats: gqa_server::ServeStats,
+}
+
+impl ChaosOutcome {
+    /// Client tallies, fault-plan counters, and /metrics must all agree,
+    /// and the drain must not lose a single accepted request.
+    fn agree(&self) -> bool {
+        let client_500 = self.phase.status_counts.get(&500).copied().unwrap_or(0);
+        client_500 == self.injected
+            && client_500 == self.panics_metric
+            && self.degraded_responses == self.degraded_metric
+            && self.stats.served == self.stats.accepted
+            && self.phase.io_errors == 0
+    }
+}
+
+/// Boot a dedicated in-process server with seeded worker-panic injection
+/// and a tight frontier budget, drive it closed-loop, and reconcile every
+/// independent tally. The main phases stay fault-free — chaos gets its
+/// own server, registry, and fault plan.
+fn run_chaos(store: &Store, seed: u64, opts: &Opts) -> ChaosOutcome {
+    let plan = FaultPlan::parse(&format!("{FAULT_SITE_WORKER}:panic:0.05"), seed)
+        .expect("chaos fault spec");
+    let system = GAnswer::with_obs(
+        store,
+        mini_dict(store),
+        GAnswerConfig {
+            concurrency: Concurrency::serial(),
+            budget: Budget { max_frontier: 8, ..Budget::unlimited() },
+            ..Default::default()
+        },
+        Obs::new(),
+    );
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &system,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: opts.queue,
+            default_timeout_ms: opts.timeout_ms,
+            fault: plan.clone(),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: chaos bind: {e}");
+        std::process::exit(2);
+    });
+    let addr = server.local_addr().expect("local_addr");
+    let shutdown = server.shutdown_handle();
+    println!(
+        "chaos phase: seed {seed}, {} clients x {} requests, 5% worker panics, frontier budget 8 ...",
+        opts.clients, opts.requests
+    );
+    let (phase, degraded_responses, metrics, stats) = std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run());
+        let (phase, degraded) = run_chaos_phase(addr, opts.clients, opts.requests, opts.timeout_ms);
+        let metrics = http_get(addr, "/metrics").unwrap_or_default();
+        shutdown.store(true, Ordering::SeqCst);
+        (phase, degraded, metrics, run.join().expect("chaos server thread panicked"))
+    });
+    ChaosOutcome {
+        seed,
+        phase,
+        degraded_responses,
+        injected: plan.fired(FAULT_SITE_WORKER),
+        panics_metric: metric_value(&metrics, "gqa_server_worker_panics_total") as u64,
+        degraded_metric: metric_value(&metrics, "gqa_pipeline_degraded_total{budget=\"frontier\"}")
+            as u64,
+        stats,
+    }
+}
+
+/// Closed-loop like [`run_phase`], but reads full response bodies to
+/// count degraded answers. Control endpoints are exempt from the
+/// `server.worker` site, so the post-phase /metrics scrape is reliable
+/// and the fault plan's fired counter covers exactly the `/answer`
+/// traffic the clients tallied.
+fn run_chaos_phase(
+    addr: SocketAddr,
+    clients: usize,
+    total: u64,
+    timeout_ms: u64,
+) -> (PhaseResult, u64) {
+    const QUESTIONS: [&str; 3] = [
+        "Who is the mayor of Berlin?",
+        "Is Michelle Obama the wife of Barack Obama?",
+        "Who was married to an actor that played in Philadelphia?",
+    ];
+    let budget = AtomicU64::new(total);
+    let degraded = AtomicU64::new(0);
+    let merged = Mutex::new(PhaseResult::default());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients.max(1) {
+            scope.spawn(|| {
+                let mut local = PhaseResult::default();
+                loop {
+                    let slot = budget.fetch_sub(1, Ordering::Relaxed);
+                    if slot == 0 || slot > total {
+                        budget.store(0, Ordering::Relaxed);
+                        break;
+                    }
+                    let q = QUESTIONS[(slot % QUESTIONS.len() as u64) as usize];
+                    let t0 = Instant::now();
+                    match send_answer_full(addr, q, timeout_ms) {
+                        Ok((status, body)) => {
+                            *local.status_counts.entry(status).or_insert(0) += 1;
+                            if status == 200 {
+                                local.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                                if body.contains("\"degraded\":{") {
+                                    degraded.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Err(_) => local.io_errors += 1,
+                    }
+                }
+                let mut m = merged.lock().unwrap();
+                m.latencies_ms.extend_from_slice(&local.latencies_ms);
+                for (k, v) in &local.status_counts {
+                    *m.status_counts.entry(*k).or_insert(0) += v;
+                }
+                m.io_errors += local.io_errors;
+            });
+        }
+    });
+    let mut result = merged.into_inner().unwrap();
+    result.wall = start.elapsed();
+    (result, degraded.into_inner())
+}
+
+fn send_answer_full(
+    addr: SocketAddr,
+    question: &str,
+    timeout_ms: u64,
+) -> Result<(u16, String), String> {
+    let body = format!("{{\"question\": \"{question}\", \"k\": 3, \"timeout_ms\": {timeout_ms}}}");
+    let req = format!(
+        "POST /answer HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(60))).map_err(|e| e.to_string())?;
+    s.write_all(req.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&buf);
+    let status: u16 = text.split(' ').nth(1).and_then(|w| w.parse().ok()).ok_or("bad response")?;
+    Ok((status, text.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default()))
+}
+
 /// Everything measured while the server was up.
 struct Report {
     addr: SocketAddr,
@@ -243,12 +419,16 @@ fn main() {
 
     // In-process server unless --addr points elsewhere.
     if let Some(a) = opts.addr.clone() {
+        if opts.chaos.is_some() {
+            eprintln!("error: --chaos needs the in-process server (drop --addr)");
+            std::process::exit(2);
+        }
         let addr: SocketAddr = a.parse().unwrap_or_else(|e| {
             eprintln!("error: bad --addr {a:?}: {e}");
             std::process::exit(2);
         });
         let report = drive(addr, false, &opts, host_threads);
-        finish(report, None, &opts, host_threads);
+        finish(report, None, &opts, host_threads, None);
     } else {
         let store = mini_dbpedia();
         let workers = threads_arg()
@@ -283,7 +463,8 @@ fn main() {
             shutdown.store(true, Ordering::SeqCst);
             (report, run.join().expect("server thread panicked"))
         });
-        finish(report, Some(stats), &opts, host_threads);
+        let chaos = opts.chaos.map(|seed| run_chaos(&store, seed, &opts));
+        finish(report, Some(stats), &opts, host_threads, chaos);
     }
 }
 
@@ -332,6 +513,7 @@ fn finish(
     server_stats: Option<gqa_server::ServeStats>,
     opts: &Opts,
     host_threads: usize,
+    chaos: Option<ChaosOutcome>,
 ) {
     let Report { addr, in_process, before, after, steady, overload } = report;
     let server_workers = metric_value(&before, "gqa_server_worker_threads") as u64;
@@ -369,6 +551,39 @@ fn finish(
         phases.push(phase_json("overload", opts.overload_clients, o, opts.timeout_ms));
     }
 
+    let chaos_json = if let Some(c) = &chaos {
+        let client_500 = c.phase.status_counts.get(&500).copied().unwrap_or(0);
+        let statuses: Vec<String> =
+            c.phase.status_counts.iter().map(|(s, n)| format!("\"{s}\": {n}")).collect();
+        format!(
+            ",\n  \"chaos\": {{\n\
+             \x20   \"seed\": {},\n\
+             \x20   \"plan\": \"{FAULT_SITE_WORKER}:panic:0.05\",\n\
+             \x20   \"status_counts\": {{{}}},\n\
+             \x20   \"io_errors\": {},\n\
+             \x20   \"injected_panics\": {},\n\
+             \x20   \"client_500s\": {client_500},\n\
+             \x20   \"worker_panics_metric\": {},\n\
+             \x20   \"degraded_responses\": {},\n\
+             \x20   \"degraded_metric\": {},\n\
+             \x20   \"server_stats\": {{\"accepted\": {}, \"served\": {}}},\n\
+             \x20   \"agree\": {}\n\
+             \x20 }}",
+            c.seed,
+            statuses.join(", "),
+            c.phase.io_errors,
+            c.injected,
+            c.panics_metric,
+            c.degraded_responses,
+            c.degraded_metric,
+            c.stats.accepted,
+            c.stats.served,
+            c.agree(),
+        )
+    } else {
+        String::new()
+    };
+
     let json = format!(
         "{{\n\
          \x20 \"bench\": \"server\",\n\
@@ -379,7 +594,7 @@ fn finish(
          \x20   \"answer_requests\": {{\"client\": {client_answered}, \"server_delta\": {answered_delta:.0}, \"agree\": {requests_agree}}},\n\
          \x20   \"shed\": {{\"client\": {client_shed}, \"server_delta\": {shed_delta:.0}, \"agree\": {shed_agree}}},\n\
          \x20   \"timeouts\": {{\"client\": {client_timeouts}, \"server_delta\": {timeout_delta:.0}, \"agree\": {timeouts_agree}}}\n\
-         \x20 }}{server_stats_json}\n\
+         \x20 }}{server_stats_json}{chaos_json}\n\
          }}\n",
         opts.timeout_ms,
         phases.join(",\n"),
@@ -409,7 +624,23 @@ fn finish(
     println!(
         "metrics agreement: answer {requests_agree}, shed {shed_agree} ({shed_total} shed), timeouts {timeouts_agree}"
     );
-    if !(requests_agree && shed_agree && timeouts_agree) {
+    if let Some(c) = &chaos {
+        let client_500 = c.phase.status_counts.get(&500).copied().unwrap_or(0);
+        println!(
+            "chaos:    seed {}, {} injected panics -> {client_500} client 500s \
+             (metric {}), {} degraded (metric {}), drain {}/{} — agree: {}",
+            c.seed,
+            c.injected,
+            c.panics_metric,
+            c.degraded_responses,
+            c.degraded_metric,
+            c.stats.served,
+            c.stats.accepted,
+            c.agree(),
+        );
+    }
+    let chaos_agree = chaos.as_ref().is_none_or(ChaosOutcome::agree);
+    if !(requests_agree && shed_agree && timeouts_agree && chaos_agree) {
         eprintln!("error: client tallies and /metrics deltas disagree");
         std::process::exit(1);
     }

@@ -3,6 +3,7 @@
 //! ambiguous mappings alive.
 
 use crate::sqg::SemanticQueryGraph;
+use gqa_fault::Exec;
 use gqa_linker::Linker;
 use gqa_obs::{LinkTrace, PhraseCandidates, QueryTrace};
 use gqa_paraphrase::dict::ParaphraseDict;
@@ -166,7 +167,22 @@ pub fn map_query_traced(
     literals: &LiteralIndex,
     dict: &ParaphraseDict,
     opts: &MappingOptions,
+    sink: Option<TraceSink<'_>>,
+) -> Result<MappedQuery, MappingError> {
+    map_query_traced_with(sqg, linker, literals, dict, opts, sink, &Exec::none())
+}
+
+/// [`map_query_traced`] under an execution context: the per-phrase
+/// candidate budget truncates each ranked vertex/edge candidate list
+/// (keeping the highest-confidence prefix) and records the trip.
+pub fn map_query_traced_with(
+    sqg: &SemanticQueryGraph,
+    linker: &Linker,
+    literals: &LiteralIndex,
+    dict: &ParaphraseDict,
+    opts: &MappingOptions,
     mut sink: Option<TraceSink<'_>>,
+    exec: &Exec,
 ) -> Result<MappedQuery, MappingError> {
     let mut sqg = sqg.clone();
 
@@ -211,6 +227,8 @@ pub fn map_query_traced(
         cands.sort_by(|a, b| {
             b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal)
         });
+        // Per-phrase candidate budget: keep the best-ranked prefix.
+        cands.truncate(exec.cap_candidates(cands.len()));
         if let Some(s) = &mut sink {
             s.trace.vertex_candidates.push(PhraseCandidates {
                 text: v.text.clone(),
@@ -300,6 +318,7 @@ pub fn map_query_traced(
                     .map(|m| (m.path.clone(), m.confidence.max(1e-6)))
                     .collect();
                 list.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                list.truncate(exec.cap_candidates(list.len()));
                 if let Some(s) = &mut sink {
                     s.trace.edge_candidates.push(PhraseCandidates {
                         text: phrase.clone(),

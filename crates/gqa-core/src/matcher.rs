@@ -9,7 +9,8 @@
 //! orientation**; predicate paths are tried both as mined and reversed.
 
 use crate::mapping::{EdgeCandidates, MappedQuery, VertexBinding, VertexCandidate};
-use gqa_rdf::paths::{connects, instantiate_from, PathPattern};
+use gqa_fault::Exec;
+use gqa_rdf::paths::{connects_with, instantiate_from_with, PathPattern};
 use gqa_rdf::schema::Schema;
 use gqa_rdf::{Store, TermId, Triple};
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -60,6 +61,21 @@ pub fn find_matches(
     cfg: &MatcherConfig,
     restriction: Option<(usize, crate::mapping::VertexCandidate)>,
 ) -> Vec<Match> {
+    find_matches_with(store, schema, q, cfg, restriction, &Exec::none())
+}
+
+/// [`find_matches`] under an execution context: the backtracking search
+/// checks the frontier budget and deadline at every candidate tried and
+/// charges approximate bytes per emitted match, so exhaustion truncates
+/// the search to a partial (but valid) match set instead of unwinding.
+pub fn find_matches_with(
+    store: &Store,
+    schema: &Schema,
+    q: &MappedQuery,
+    cfg: &MatcherConfig,
+    restriction: Option<(usize, crate::mapping::VertexCandidate)>,
+    exec: &Exec,
+) -> Vec<Match> {
     let n = q.sqg.vertices.len();
     if n == 0 {
         return Vec::new();
@@ -81,6 +97,7 @@ pub fn find_matches(
         out: Vec::new(),
         seen: FxHashSet::default(),
         restriction,
+        exec,
     };
     state.search();
     let mut out = state.out;
@@ -97,11 +114,12 @@ struct State<'a> {
     out: Vec<Match>,
     seen: FxHashSet<Vec<TermId>>,
     restriction: Option<(usize, crate::mapping::VertexCandidate)>,
+    exec: &'a Exec,
 }
 
 impl State<'_> {
     fn search(&mut self) {
-        if self.out.len() >= self.cfg.max_matches {
+        if self.out.len() >= self.cfg.max_matches || self.exec.should_stop() {
             return;
         }
         let Some(v) = self.next_vertex() else {
@@ -111,6 +129,10 @@ impl State<'_> {
         let candidates = self.candidate_bindings(v);
         for (id, conf) in candidates {
             if self.out.len() >= self.cfg.max_matches {
+                return;
+            }
+            // Each candidate tried is one unit of search frontier.
+            if !self.exec.charge_frontier(1) {
                 return;
             }
             if !self.edges_ok(v, id) {
@@ -297,14 +319,21 @@ impl State<'_> {
                 }
             } else {
                 if self.store.term(u).is_iri() {
-                    for inst in instantiate_from(self.store, u, pattern, self.cfg.max_expansions) {
+                    for inst in instantiate_from_with(
+                        self.store,
+                        u,
+                        pattern,
+                        self.cfg.max_expansions,
+                        self.exec,
+                    ) {
                         push(*inst.vertices.last().expect("nonempty"), &mut out);
                     }
-                    for inst in instantiate_from(
+                    for inst in instantiate_from_with(
                         self.store,
                         u,
                         &pattern.reversed(),
                         self.cfg.max_expansions,
+                        self.exec,
                     ) {
                         push(*inst.vertices.last().expect("nonempty"), &mut out);
                     }
@@ -356,8 +385,8 @@ impl State<'_> {
                 if !self.store.term(a).is_iri() || !self.store.term(b).is_iri() {
                     continue;
                 }
-                if connects(self.store, a, b, pattern).is_some()
-                    || connects(self.store, a, b, &pattern.reversed()).is_some()
+                if connects_with(self.store, a, b, pattern, self.exec).is_some()
+                    || connects_with(self.store, a, b, &pattern.reversed(), self.exec).is_some()
                 {
                     return Some((pattern.clone(), *conf));
                 }
@@ -385,6 +414,12 @@ impl State<'_> {
         }
         let score: f64 = vertex_conf.iter().map(|c| c.ln()).sum::<f64>()
             + edge_used.iter().map(|(_, c)| c.max(1e-9).ln()).sum::<f64>();
+        // Approximate bytes this match materializes: ids + confidences +
+        // one pattern step per edge, plus struct overhead.
+        let approx_bytes = bindings.len() * 16 + edge_used.len() * 48 + 64;
+        if !self.exec.charge_bytes(approx_bytes) {
+            return;
+        }
         self.seen.insert(bindings.clone());
         self.out.push(Match { bindings, vertex_conf, edge_used, score });
     }

@@ -13,13 +13,15 @@ use crate::concurrency::Concurrency;
 use crate::coref;
 use crate::embedding::find_embeddings;
 use crate::mapping::{
-    map_query, map_query_traced, LiteralIndex, MappedQuery, MappingError, MappingOptions, TraceSink,
+    map_query, map_query_traced_with, LiteralIndex, MappedQuery, MappingError, MappingOptions,
+    TraceSink,
 };
 use crate::matcher::{Match, MatcherConfig};
 use crate::semrel::SemanticRelation;
 use crate::sparql_gen::sparql_of_matches;
 use crate::sqg::{self, SemanticQueryGraph, SqgOptions};
 use crate::topk::{top_k_with, TaStats};
+use gqa_fault::{Budget, BudgetKind, Exec, FaultPlan};
 use gqa_linker::Linker;
 use gqa_nlp::question::{Aggregation, AnswerShape, QuestionAnalysis};
 use gqa_nlp::{DepTree, DependencyParser};
@@ -54,6 +56,15 @@ pub struct GAnswerConfig {
     /// pruning, and [`GAnswer::answer_all`]. Default resolves `GQA_THREADS`
     /// then available parallelism; `threads = 1` is the exact serial path.
     pub concurrency: Concurrency,
+    /// Deterministic fault-injection plan (inert by default). Faults fire
+    /// at named sites inside the linker, BFS, and TA probes; see the
+    /// `gqa-fault` crate.
+    pub fault: FaultPlan,
+    /// Per-question resource budgets (unlimited by default). Exhaustion
+    /// degrades the answer to the best partial top-k instead of running
+    /// unbounded; the tripped budget is reported in
+    /// [`Response::degraded`].
+    pub budget: Budget,
 }
 
 impl Default for GAnswerConfig {
@@ -68,6 +79,8 @@ impl Default for GAnswerConfig {
             matcher: MatcherConfig::default(),
             max_link_candidates: 8,
             concurrency: Concurrency::default(),
+            fault: FaultPlan::none(),
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -163,6 +176,10 @@ pub struct Response {
     pub sparql: Vec<String>,
     /// Failure reason, if unanswered.
     pub failure: Option<Failure>,
+    /// The budget that tripped, when the answer is a degraded partial
+    /// (best top-k found before the budget ran out). `None` means the
+    /// search ran to completion.
+    pub degraded: Option<BudgetKind>,
     /// Question-understanding wall time (Figure 6's first series).
     pub understanding_time: Duration,
     /// Query-evaluation wall time.
@@ -184,6 +201,7 @@ impl Response {
             relations: Vec::new(),
             sparql: Vec::new(),
             failure: Some(failure),
+            degraded: None,
             understanding_time,
             evaluation_time,
             ta_stats: TaStats::default(),
@@ -250,6 +268,7 @@ impl<'s> GAnswer<'s> {
         let schema = Schema::new(store);
         let mut linker = Linker::new(store, &schema);
         linker.set_max_candidates(config.max_link_candidates);
+        linker.set_fault_plan(config.fault.clone());
         let literals = LiteralIndex::new(store);
         if obs.is_enabled() {
             store.metrics().enable();
@@ -257,6 +276,9 @@ impl<'s> GAnswer<'s> {
             obs.counter("gqa_pipeline_questions_total", &[]);
             for reason in Failure::REASONS {
                 obs.counter("gqa_pipeline_failures_total", &[("reason", reason)]);
+            }
+            for kind in BudgetKind::ALL {
+                obs.counter("gqa_pipeline_degraded_total", &[("budget", kind.as_str())]);
             }
             for stage in ["understand", "map", "topk"] {
                 obs.histogram(
@@ -370,7 +392,7 @@ impl<'s> GAnswer<'s> {
     /// Stage 2 — top-k evaluation (§4.2.2), using the configured thread
     /// budget.
     pub fn evaluate(&self, mapped: &MappedQuery) -> (Vec<Match>, TaStats) {
-        self.evaluate_traced(mapped, None, &self.config.concurrency)
+        self.evaluate_traced(mapped, None, &self.config.concurrency, &Exec::none())
     }
 
     fn evaluate_traced(
@@ -378,6 +400,7 @@ impl<'s> GAnswer<'s> {
         mapped: &MappedQuery,
         trace: Option<&mut QueryTrace>,
         conc: &Concurrency,
+        exec: &Exec,
     ) -> (Vec<Match>, TaStats) {
         let mcfg = MatcherConfig {
             neighborhood_pruning: self.config.neighborhood_pruning,
@@ -392,6 +415,7 @@ impl<'s> GAnswer<'s> {
             conc,
             &self.obs,
             trace,
+            exec,
         )
     }
 
@@ -505,6 +529,10 @@ impl<'s> GAnswer<'s> {
         let _span = self.obs.span("pipeline.answer");
         self.obs.counter("gqa_pipeline_questions_total", &[]).inc();
         checkpoint(deadline, "start")?;
+        // Per-question execution context: budgets, deadline, and fault
+        // sites are all checked *inside* the stage loops, so an overrun
+        // cuts work mid-stage instead of only at the next checkpoint.
+        let exec = Exec::new(&self.config.fault, self.config.budget, deadline);
 
         let t0 = Instant::now();
         let u = {
@@ -580,7 +608,15 @@ impl<'s> GAnswer<'s> {
                 term_label: &term_label,
                 path_label: &path_label,
             });
-            map_query_traced(&u.sqg, &self.linker, &self.literals, &self.dict, &opts, sink)
+            map_query_traced_with(
+                &u.sqg,
+                &self.linker,
+                &self.literals,
+                &self.dict,
+                &opts,
+                sink,
+                &exec,
+            )
         };
         self.observe_stage("map", t1.elapsed());
         let mapped = match mapping_result {
@@ -607,7 +643,7 @@ impl<'s> GAnswer<'s> {
         let t2 = Instant::now();
         let (mut matches, ta_stats) = {
             let _s = self.obs.span("pipeline.topk");
-            self.evaluate_traced(&mapped, trace.as_deref_mut(), conc)
+            self.evaluate_traced(&mapped, trace.as_deref_mut(), conc, &exec)
         };
         self.observe_stage("topk", t2.elapsed());
         self.obs.counter("gqa_topk_probes_total", &[]).add(ta_stats.probes as u64);
@@ -617,6 +653,14 @@ impl<'s> GAnswer<'s> {
             .add(ta_stats.pruned_candidates as u64);
         if ta_stats.early_terminated {
             self.obs.counter("gqa_topk_early_terminations_total", &[]).inc();
+        }
+        // A tripped deadline surfaces as the 504 path via the stage
+        // checkpoint below (the in-loop trip only cut the remaining
+        // work short); any other tripped budget degrades the answer to
+        // whatever partial top-k was accumulated.
+        let degraded = exec.tripped().filter(|k| *k != BudgetKind::Deadline);
+        if let Some(kind) = degraded {
+            self.obs.counter("gqa_pipeline_degraded_total", &[("budget", kind.as_str())]).inc();
         }
         checkpoint(deadline, "topk")?;
 
@@ -679,6 +723,7 @@ impl<'s> GAnswer<'s> {
             r.sqg = Some(u.sqg);
             r.relations = u.relations;
             r.ta_stats = ta_stats;
+            r.degraded = degraded;
             return Ok(r);
         }
 
@@ -703,6 +748,7 @@ impl<'s> GAnswer<'s> {
             relations: u.relations,
             sparql,
             failure: None,
+            degraded,
             understanding_time,
             evaluation_time: t1.elapsed(),
             ta_stats,
@@ -725,6 +771,10 @@ mod tests {
     }
 
     fn system_with_obs(store: &Store, obs: Obs) -> GAnswer<'_> {
+        system_configured(store, GAnswerConfig::default(), obs)
+    }
+
+    fn system_configured(store: &Store, config: GAnswerConfig, obs: Obs) -> GAnswer<'_> {
         let mut dict = mine(store, &mini_phrase_dataset(), &MinerConfig::default());
         for (phrase, pred) in curated_literal_mappings() {
             if let Some(p) = store.iri(pred) {
@@ -734,7 +784,7 @@ mod tests {
                 );
             }
         }
-        GAnswer::with_obs(store, dict, GAnswerConfig::default(), obs)
+        GAnswer::with_obs(store, dict, config, obs)
     }
 
     #[test]
@@ -957,6 +1007,130 @@ mod tests {
         assert_eq!(r.failure, Some(Failure::Aggregation));
         let trace = r.trace.expect("trace populated");
         assert_eq!(trace.failure.as_deref(), Some("aggregation"));
+    }
+
+    /// A tight frontier budget on a multi-hop question trips mid-search
+    /// and degrades to a partial top-k: every match returned is one the
+    /// unbudgeted run also finds, the tripped budget is named in the
+    /// response, and the degradation is counted in metrics.
+    #[test]
+    fn tight_frontier_budget_degrades_to_partial_topk() {
+        let store = mini_dbpedia();
+        let q = "Who was married to an actor that played in Philadelphia?";
+        let full = system(&store).answer(q);
+        assert!(full.degraded.is_none());
+
+        let mut sys = system_with_obs(&store, Obs::new());
+        sys.config.budget.max_frontier = 8;
+        let r = sys.answer(q);
+        assert_eq!(r.degraded, Some(BudgetKind::Frontier), "failure: {:?}", r.failure);
+        assert!(r.matches.len() <= full.matches.len());
+        for m in &r.matches {
+            assert!(
+                full.matches
+                    .iter()
+                    .any(|f| f.bindings == m.bindings && f.score.to_bits() == m.score.to_bits()),
+                "degraded match not in unbudgeted result set: {m:?}"
+            );
+        }
+        let text = sys.obs().prometheus();
+        assert!(
+            text.contains("gqa_pipeline_degraded_total{budget=\"frontier\"} 1"),
+            "missing degraded counter in exposition:\n{text}"
+        );
+    }
+
+    /// A TA-round budget of one cuts the round loop after the first
+    /// round; the partial top-k still ranks whatever the first round
+    /// produced.
+    #[test]
+    fn ta_round_budget_caps_rounds() {
+        let store = mini_dbpedia();
+        let q = "Who was married to an actor that played in Philadelphia?";
+        let full = system(&store).answer(q);
+        assert!(full.ta_stats.rounds > 1, "question too easy for this test");
+
+        let mut sys = system(&store);
+        sys.config.budget.max_ta_rounds = 1;
+        let r = sys.answer(q);
+        assert!(r.ta_stats.rounds <= 1, "rounds: {}", r.ta_stats.rounds);
+        assert_eq!(r.degraded, Some(BudgetKind::TaRounds));
+    }
+
+    /// A candidate cap truncates per-phrase mapping lists without
+    /// stopping the search: the answer may weaken but the pipeline runs
+    /// to completion and names the tripped budget.
+    #[test]
+    fn candidate_budget_degrades_without_stopping() {
+        let store = mini_dbpedia();
+        let mut sys = system(&store);
+        sys.config.budget.max_candidates = 1;
+        let r = sys.answer("Who was married to an actor that played in Philadelphia?");
+        assert_eq!(r.degraded, Some(BudgetKind::Candidates), "failure: {:?}", r.failure);
+    }
+
+    /// Unlimited budgets and an empty fault plan answer byte-identically
+    /// to a system that never heard of either.
+    #[test]
+    fn inert_budget_and_plan_change_nothing() {
+        let store = mini_dbpedia();
+        let plain = system(&store);
+        let mut cfg = plain.config.clone();
+        cfg.fault = FaultPlan::parse("", 42).unwrap();
+        cfg.budget = Budget::unlimited();
+        let wired = GAnswer::new(&store, plain.dict().clone(), cfg);
+        for q in [
+            "Who is the mayor of Berlin?",
+            "Who was married to an actor that played in Philadelphia?",
+        ] {
+            let a = plain.answer(q);
+            let b = wired.answer(q);
+            assert_eq!(a.texts(), b.texts(), "{q}");
+            assert_eq!(a.matches.len(), b.matches.len(), "{q}");
+            for (x, y) in a.matches.iter().zip(&b.matches) {
+                assert_eq!(x.bindings, y.bindings, "{q}");
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "{q}");
+            }
+            assert_eq!(a.ta_stats.rounds, b.ta_stats.rounds, "{q}");
+        }
+    }
+
+    /// Injected latency inside TA probes must not stretch a deadlined
+    /// request to the full (un-deadlined) duration: the in-loop deadline
+    /// checks cut the stage mid-flight and the request 504s promptly.
+    #[test]
+    fn injected_probe_latency_still_honors_deadline_mid_stage() {
+        let store = mini_dbpedia();
+        let mut sys = system(&store);
+        sys.config.fault = FaultPlan::parse("ta.probe:latency:1.0:50", 1).unwrap();
+        let q = "Who was married to an actor that played in Philadelphia?";
+        let t = Instant::now();
+        let result = sys.answer_with_deadline(q, Instant::now() + Duration::from_millis(100));
+        let elapsed = t.elapsed();
+        assert!(result.is_err(), "expected a deadline overrun, got {result:?}");
+        // Far below the many-probes x 50 ms an uncut run would take.
+        assert!(elapsed < Duration::from_millis(1500), "took {elapsed:?}");
+    }
+
+    /// Injected linker failures surface as the entity-linking failure
+    /// bucket, never as a panic or a wrong answer.
+    #[test]
+    fn injected_linker_errors_fail_cleanly() {
+        let store = mini_dbpedia();
+        // The linker captures the plan at construction, so configure
+        // up front (post-hoc `config.fault` edits reach every other site).
+        let cfg = GAnswerConfig {
+            fault: FaultPlan::parse("linker.lookup:error:1.0", 3).unwrap(),
+            ..GAnswerConfig::default()
+        };
+        let sys = system_configured(&store, cfg, Obs::disabled());
+        let r = sys.answer("Who is the mayor of Berlin?");
+        assert!(
+            matches!(r.failure, Some(Failure::EntityLinking(_)) | Some(Failure::NoMatch)),
+            "{:?}",
+            r.failure
+        );
+        assert!(r.answers.is_empty());
     }
 
     #[test]

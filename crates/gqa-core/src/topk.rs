@@ -11,12 +11,18 @@
 
 use crate::concurrency::Concurrency;
 use crate::mapping::{MappedQuery, VertexBinding, VertexCandidate};
-use crate::matcher::{find_matches, prune_sharded, Match, MatcherConfig};
+use crate::matcher::{find_matches_with, prune_sharded, Match, MatcherConfig};
+use gqa_fault::Exec;
 use gqa_obs::{CursorTrace, Obs, ProbeTrace, PruneTrace, QueryTrace, TaRoundTrace};
 use gqa_rdf::schema::Schema;
 use gqa_rdf::Store;
 use rustc_hash::FxHashSet;
 use std::time::Instant;
+
+/// Fault-injection site name for one TA cursor probe. A `panic` rule here
+/// unwinds through the probe worker (exercising the server's worker
+/// isolation); an `error` rule makes the probe return no matches.
+pub const FAULT_SITE_PROBE: &str = "ta.probe";
 
 /// Instrumentation of one top-k run (ablation benches and the EXPLAIN
 /// renderer read this).
@@ -62,7 +68,17 @@ pub fn top_k_traced(
     k: usize,
     trace: Option<&mut QueryTrace>,
 ) -> (Vec<Match>, TaStats) {
-    top_k_with(store, schema, q, matcher_cfg, k, &Concurrency::serial(), &Obs::disabled(), trace)
+    top_k_with(
+        store,
+        schema,
+        q,
+        matcher_cfg,
+        k,
+        &Concurrency::serial(),
+        &Obs::disabled(),
+        trace,
+        &Exec::none(),
+    )
 }
 
 /// [`top_k_traced`] with an explicit thread budget and metrics sink.
@@ -76,6 +92,9 @@ pub fn top_k_traced(
 /// termination are bit-identical at any thread count; only
 /// [`TaStats::parallel_probes`] differs. `conc.threads == 1` takes the
 /// exact serial code path.
+/// Budget/deadline exhaustion (via `exec`) cuts the round loop off early:
+/// the best matches found so far still rank and truncate normally, so the
+/// caller gets a valid partial top-k plus [`Exec::tripped`] to report.
 #[allow(clippy::too_many_arguments)]
 pub fn top_k_with(
     store: &Store,
@@ -86,6 +105,7 @@ pub fn top_k_with(
     conc: &Concurrency,
     obs: &Obs,
     mut trace: Option<&mut QueryTrace>,
+    exec: &Exec,
 ) -> (Vec<Match>, TaStats) {
     let mut stats = TaStats::default();
 
@@ -116,7 +136,11 @@ pub fn top_k_with(
     // Pure-variable queries: a single unrestricted run.
     if cursor_vertices.is_empty() {
         stats.probes = 1;
-        let mut ms = find_matches(store, schema, q, matcher_cfg, None);
+        let mut ms = if exec.fire(FAULT_SITE_PROBE).is_ok() {
+            find_matches_with(store, schema, q, matcher_cfg, None, exec)
+        } else {
+            Vec::new()
+        };
         dedup_scores_truncate(&mut ms, k);
         return (ms, stats);
     }
@@ -133,6 +157,12 @@ pub fn top_k_with(
     let parallel_probe_count = obs.counter("gqa_core_ta_parallel_probes_total", &[]);
 
     for d in 0..max_depth {
+        // Cooperative budget/deadline check: a tripped round budget (or a
+        // trip charged inside the previous round's probes) cuts the TA
+        // loop off with the partial top-k accumulated in `best`.
+        if !exec.begin_round() {
+            break;
+        }
         stats.rounds += 1;
         let mut round_trace = trace.is_some().then(|| TaRoundTrace {
             round: d + 1,
@@ -166,7 +196,13 @@ pub fn top_k_with(
 
         let probe = |vi: usize, cand: VertexCandidate| {
             let started = Instant::now();
-            let found = find_matches(store, schema, q, matcher_cfg, Some((vi, cand)));
+            // An injected `error` at the probe site yields an empty probe;
+            // a `panic` unwinds through the worker to the caller.
+            let found = if exec.fire(FAULT_SITE_PROBE).is_ok() {
+                find_matches_with(store, schema, q, matcher_cfg, Some((vi, cand)), exec)
+            } else {
+                Vec::new()
+            };
             (found, started.elapsed().as_secs_f64())
         };
         let workers = conc.workers_for(jobs.len());
@@ -346,6 +382,7 @@ fn dedup_scores_truncate(ms: &mut Vec<Match>, k: usize) {
 mod tests {
     use super::*;
     use crate::mapping::{EdgeCandidates, VertexCandidate};
+    use crate::matcher::find_matches;
     use crate::sqg::{SemanticQueryGraph, SqgEdge, SqgVertex};
     use gqa_rdf::{PathPattern, StoreBuilder};
 

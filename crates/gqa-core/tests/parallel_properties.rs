@@ -129,6 +129,7 @@ proptest! {
                 &Concurrency::with_threads(threads),
                 &Obs::disabled(),
                 None,
+                &gqa_fault::Exec::none(),
             );
             prop_assert_eq!(par.len(), serial.len(), "threads={}", threads);
             for (a, b) in par.iter().zip(&serial) {

@@ -1,0 +1,794 @@
+//! Deterministic fault injection and cooperative resource budgets.
+//!
+//! Two small, zero-dependency primitives shared by every crate on the
+//! answering hot path:
+//!
+//! * [`FaultPlan`] — a seeded set of injection rules attached to *named
+//!   sites* (`rdf.bfs`, `linker.lookup`, `ta.probe`, `server.worker`).
+//!   Code on the hot path calls [`FaultPlan::fire`] (usually via
+//!   [`Exec::fire`]) at each site; with an empty plan this is a single
+//!   `Option` branch, with rules it deterministically injects a panic,
+//!   artificial latency, a spurious error, or allocation pressure.
+//!   Determinism is per *call index*, not per thread schedule: rule `i`
+//!   at site `s` fires on call `n` iff `hash(seed, s, i, n) < prob`, so
+//!   the number of injected faults over `N` calls is a pure function of
+//!   `(plan, N)` no matter how threads interleave.
+//!
+//! * [`Budget`] + [`Exec`] — per-question resource limits (BFS frontier
+//!   nodes, candidate mappings per phrase, TA rounds, approximate bytes)
+//!   plus a deadline, checked *cooperatively inside* the exploration
+//!   loops. Exhaustion does not unwind: loops observe
+//!   [`Exec::should_stop`] / a `false` return from a `charge_*` call,
+//!   stop expanding, and return whatever partial results they already
+//!   have. The pipeline inspects [`Exec::tripped`] afterwards and
+//!   reports a degraded (or deadline-expired) answer.
+//!
+//! Both types are `Option<Arc<_>>` under the hood: `Default`/`none()`
+//! cost nothing on the hot path, so the instrumentation is compiled in
+//! always and enabled per run.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Fault plans
+// ---------------------------------------------------------------------------
+
+/// What an injection rule does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `panic!` at the site (exercises worker isolation / `catch_unwind`).
+    Panic,
+    /// Sleep `param` milliseconds before returning (exercises deadlines).
+    Latency,
+    /// Return a [`FaultError`] from `fire` (exercises error taxonomy).
+    Error,
+    /// Allocate-and-touch `param` bytes, then free them (memory pressure).
+    Alloc,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "panic" => Some(FaultKind::Panic),
+            "latency" => Some(FaultKind::Latency),
+            "error" => Some(FaultKind::Error),
+            "alloc" => Some(FaultKind::Alloc),
+            _ => None,
+        }
+    }
+
+    fn default_param(self) -> u64 {
+        match self {
+            FaultKind::Latency => 10,    // ms
+            FaultKind::Alloc => 1 << 20, // bytes
+            FaultKind::Panic | FaultKind::Error => 0,
+        }
+    }
+}
+
+/// The spurious error injected by a `FaultKind::Error` rule.
+///
+/// Sites that can observe it degrade locally (an empty candidate list, an
+/// empty probe result); nothing on the hot path propagates it upward as a
+/// hard failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    /// The site the error was injected at.
+    pub site: String,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault: spurious error at site {:?}", self.site)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[derive(Debug)]
+struct Rule {
+    site: String,
+    kind: FaultKind,
+    prob: f64,
+    param: u64,
+    calls: AtomicU64,
+    fired: AtomicU64,
+}
+
+#[derive(Debug)]
+struct PlanInner {
+    seed: u64,
+    rules: Vec<Rule>,
+}
+
+/// A seeded, deterministic set of fault-injection rules.
+///
+/// Cloning shares the underlying rules *and their counters*, so a plan
+/// handed to several components still reports one coherent
+/// [`fired`](FaultPlan::fired) tally.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan(Option<Arc<PlanInner>>);
+
+/// FNV-1a, for folding site names into the decision hash.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer — decorrelates the combined (seed, site, rule,
+/// call) word into 64 uniform bits.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic per-call firing decision.
+fn decide(seed: u64, site_hash: u64, rule_idx: usize, call: u64, prob: f64) -> bool {
+    if prob >= 1.0 {
+        return true;
+    }
+    if prob <= 0.0 {
+        return false;
+    }
+    let word = seed
+        ^ site_hash
+        ^ (rule_idx as u64).wrapping_mul(0x9e3779b97f4a7c15)
+        ^ call.wrapping_mul(0xd1b54a32d192ed03);
+    // 53 uniform mantissa bits -> [0, 1).
+    let unit = (splitmix64(word) >> 11) as f64 / (1u64 << 53) as f64;
+    unit < prob
+}
+
+impl FaultPlan {
+    /// The empty plan: every `fire` is a single branch and never injects.
+    pub fn none() -> FaultPlan {
+        FaultPlan(None)
+    }
+
+    /// `true` when the plan has at least one rule.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Parse a plan spec: rules separated by `;` or `,`, each
+    /// `site:kind[:prob[:param]]`.
+    ///
+    /// `kind` is one of `panic`, `latency`, `error`, `alloc`; `prob`
+    /// defaults to 1.0; `param` is milliseconds for `latency` (default
+    /// 10) and bytes for `alloc` (default 1 MiB). Examples:
+    ///
+    /// ```text
+    /// server.worker:panic:0.05
+    /// rdf.bfs:latency:0.5:20;linker.lookup:error:0.3
+    /// ```
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let mut rules = Vec::new();
+        for part in spec.split([';', ',']) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = part.split(':').collect();
+            if fields.len() < 2 || fields.len() > 4 {
+                return Err(format!("bad fault rule {part:?}: want site:kind[:prob[:param]]"));
+            }
+            let site = fields[0].trim();
+            if site.is_empty() {
+                return Err(format!("bad fault rule {part:?}: empty site"));
+            }
+            let kind = FaultKind::parse(fields[1].trim())
+                .ok_or_else(|| format!("bad fault kind {:?} in {part:?}", fields[1]))?;
+            let prob: f64 = match fields.get(2) {
+                Some(p) => p
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad probability {:?} in {part:?}: {e}", fields[2]))?,
+                None => 1.0,
+            };
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(format!("probability {prob} out of [0,1] in {part:?}"));
+            }
+            let param: u64 = match fields.get(3) {
+                Some(p) => p
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad parameter {:?} in {part:?}: {e}", fields[3]))?,
+                None => kind.default_param(),
+            };
+            rules.push(Rule {
+                site: site.to_owned(),
+                kind,
+                prob,
+                param,
+                calls: AtomicU64::new(0),
+                fired: AtomicU64::new(0),
+            });
+        }
+        if rules.is_empty() {
+            return Ok(FaultPlan::none());
+        }
+        Ok(FaultPlan(Some(Arc::new(PlanInner { seed, rules }))))
+    }
+
+    /// Build a plan from `GQA_FAULTS` (spec) and `GQA_FAULT_SEED`
+    /// (default 0). Empty/unset spec means the empty plan; a malformed
+    /// spec is an error so chaos runs fail loudly instead of running
+    /// clean.
+    pub fn from_env() -> Result<FaultPlan, String> {
+        let spec = match std::env::var("GQA_FAULTS") {
+            Ok(s) if !s.trim().is_empty() => s,
+            _ => return Ok(FaultPlan::none()),
+        };
+        let seed = match std::env::var("GQA_FAULT_SEED") {
+            Ok(s) => s.trim().parse().map_err(|e| format!("bad GQA_FAULT_SEED {s:?}: {e}"))?,
+            Err(_) => 0,
+        };
+        FaultPlan::parse(&spec, seed)
+    }
+
+    /// Pass through the named site: injects panics / latency / allocation
+    /// pressure inline and returns `Err` for `error` rules.
+    #[inline]
+    pub fn fire(&self, site: &str) -> Result<(), FaultError> {
+        match &self.0 {
+            None => Ok(()),
+            Some(inner) => inner.fire(site),
+        }
+    }
+
+    /// Total number of times rules at `site` have fired.
+    pub fn fired(&self, site: &str) -> u64 {
+        self.0.as_ref().map_or(0, |p| {
+            p.rules.iter().filter(|r| r.site == site).map(|r| r.fired.load(Ordering::Relaxed)).sum()
+        })
+    }
+
+    /// Total number of times any rule has fired.
+    pub fn fired_total(&self) -> u64 {
+        self.0.as_ref().map_or(0, |p| p.rules.iter().map(|r| r.fired.load(Ordering::Relaxed)).sum())
+    }
+
+    /// Total number of `fire` passes through rules at `site` (fired or
+    /// not).
+    pub fn calls(&self, site: &str) -> u64 {
+        self.0.as_ref().map_or(0, |p| {
+            p.rules.iter().filter(|r| r.site == site).map(|r| r.calls.load(Ordering::Relaxed)).sum()
+        })
+    }
+}
+
+impl PlanInner {
+    fn fire(&self, site: &str) -> Result<(), FaultError> {
+        for (idx, rule) in self.rules.iter().enumerate() {
+            if rule.site != site {
+                continue;
+            }
+            let call = rule.calls.fetch_add(1, Ordering::Relaxed);
+            if !decide(self.seed, fnv1a(site), idx, call, rule.prob) {
+                continue;
+            }
+            rule.fired.fetch_add(1, Ordering::Relaxed);
+            match rule.kind {
+                FaultKind::Panic => {
+                    panic!("injected fault: panic at site {site:?} (call {call})")
+                }
+                FaultKind::Latency => std::thread::sleep(Duration::from_millis(rule.param)),
+                FaultKind::Alloc => {
+                    // Touch a byte per page so the allocation is really
+                    // committed, then drop it.
+                    let mut buf = vec![0u8; rule.param as usize];
+                    let mut i = 0;
+                    while i < buf.len() {
+                        buf[i] = 1;
+                        i += 4096;
+                    }
+                    std::hint::black_box(&buf);
+                }
+                FaultKind::Error => return Err(FaultError { site: site.to_owned() }),
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Budgets
+// ---------------------------------------------------------------------------
+
+/// Per-question resource limits. The default is unlimited everywhere, in
+/// which case carrying a `Budget` costs nothing (see [`Exec::new`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Max nodes pushed onto any BFS/backtracking frontier, summed over
+    /// the whole question.
+    pub max_frontier: usize,
+    /// Max candidate mappings kept per phrase during query mapping.
+    pub max_candidates: usize,
+    /// Max TA rounds during top-k matching.
+    pub max_ta_rounds: usize,
+    /// Approximate bytes of match/result state materialized.
+    pub max_bytes: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            max_frontier: usize::MAX,
+            max_candidates: usize::MAX,
+            max_ta_rounds: usize::MAX,
+            max_bytes: usize::MAX,
+        }
+    }
+}
+
+impl Budget {
+    /// The default: no limit on anything.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// `true` when every limit is `usize::MAX`.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Budget::default()
+    }
+}
+
+/// Which budget tripped first for a question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    Frontier,
+    Candidates,
+    TaRounds,
+    Bytes,
+    Deadline,
+}
+
+impl BudgetKind {
+    /// Stable label, used in HTTP responses and metric label values.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BudgetKind::Frontier => "frontier",
+            BudgetKind::Candidates => "candidates",
+            BudgetKind::TaRounds => "ta_rounds",
+            BudgetKind::Bytes => "bytes",
+            BudgetKind::Deadline => "deadline",
+        }
+    }
+
+    /// Every kind, for metric pre-registration.
+    pub const ALL: [BudgetKind; 5] = [
+        BudgetKind::Frontier,
+        BudgetKind::Candidates,
+        BudgetKind::TaRounds,
+        BudgetKind::Bytes,
+        BudgetKind::Deadline,
+    ];
+
+    fn from_u8(v: u8) -> Option<BudgetKind> {
+        match v {
+            1 => Some(BudgetKind::Frontier),
+            2 => Some(BudgetKind::Candidates),
+            3 => Some(BudgetKind::TaRounds),
+            4 => Some(BudgetKind::Bytes),
+            5 => Some(BudgetKind::Deadline),
+            _ => None,
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            BudgetKind::Frontier => 1,
+            BudgetKind::Candidates => 2,
+            BudgetKind::TaRounds => 3,
+            BudgetKind::Bytes => 4,
+            BudgetKind::Deadline => 5,
+        }
+    }
+}
+
+/// How often `charge_*` calls re-read the clock for the deadline check.
+const DEADLINE_STRIDE: usize = 64;
+
+#[derive(Debug)]
+struct ExecInner {
+    plan: FaultPlan,
+    limits: Budget,
+    deadline: Option<Instant>,
+    frontier: AtomicUsize,
+    bytes: AtomicUsize,
+    rounds: AtomicUsize,
+    ticks: AtomicUsize,
+    tripped: AtomicU8,
+}
+
+/// Per-question execution context: the fault plan, the budget counters,
+/// and the deadline, shared by every loop that works on one question.
+///
+/// `Exec::none()` (and `Exec::new` with nothing configured) is a `None`
+/// handle: every check is a single branch, preserving the pre-budget
+/// fast path bit for bit.
+#[derive(Debug, Clone, Default)]
+pub struct Exec(Option<Arc<ExecInner>>);
+
+impl Exec {
+    /// The inert context: nothing to inject, nothing to limit.
+    pub fn none() -> Exec {
+        Exec(None)
+    }
+
+    /// Build a context for one question. Returns the inert handle when
+    /// the plan is empty, the budget unlimited, and there is no
+    /// deadline — so unconfigured runs skip all accounting.
+    pub fn new(plan: &FaultPlan, limits: Budget, deadline: Option<Instant>) -> Exec {
+        if !plan.is_active() && limits.is_unlimited() && deadline.is_none() {
+            return Exec(None);
+        }
+        Exec(Some(Arc::new(ExecInner {
+            plan: plan.clone(),
+            limits,
+            deadline,
+            frontier: AtomicUsize::new(0),
+            bytes: AtomicUsize::new(0),
+            rounds: AtomicUsize::new(0),
+            ticks: AtomicUsize::new(0),
+            tripped: AtomicU8::new(0),
+        })))
+    }
+
+    /// `true` when this is the inert handle.
+    pub fn is_none(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Fault-injection pass-through for the named site.
+    #[inline]
+    pub fn fire(&self, site: &str) -> Result<(), FaultError> {
+        match &self.0 {
+            None => Ok(()),
+            Some(inner) => inner.plan.fire(site),
+        }
+    }
+
+    /// Account `n` frontier nodes. Returns `false` when the caller
+    /// should stop exploring (this or an earlier check tripped).
+    #[inline]
+    pub fn charge_frontier(&self, n: usize) -> bool {
+        let Some(inner) = &self.0 else { return true };
+        inner.charge(&inner.frontier, n, inner.limits.max_frontier, BudgetKind::Frontier)
+    }
+
+    /// Account `n` approximate bytes of materialized results.
+    #[inline]
+    pub fn charge_bytes(&self, n: usize) -> bool {
+        let Some(inner) = &self.0 else { return true };
+        inner.charge(&inner.bytes, n, inner.limits.max_bytes, BudgetKind::Bytes)
+    }
+
+    /// Account the start of one TA round. Returns `false` when the round
+    /// budget is exhausted and the TA loop should cut off.
+    #[inline]
+    pub fn begin_round(&self) -> bool {
+        let Some(inner) = &self.0 else { return true };
+        inner.charge(&inner.rounds, 1, inner.limits.max_ta_rounds, BudgetKind::TaRounds)
+    }
+
+    /// Cap a candidate list length to the per-phrase budget, recording a
+    /// trip when it actually truncates. (Truncation degrades the answer
+    /// but does not stop the pipeline, so this does not set the stop
+    /// flag other loops observe.)
+    #[inline]
+    pub fn cap_candidates(&self, len: usize) -> usize {
+        let Some(inner) = &self.0 else { return len };
+        let cap = inner.limits.max_candidates;
+        if len > cap {
+            inner.trip(BudgetKind::Candidates);
+            cap
+        } else {
+            len
+        }
+    }
+
+    /// Cheap cooperative check for loop heads: `true` once any budget or
+    /// the deadline has tripped. Also advances the strided deadline
+    /// probe, so pure read loops stay deadline-aware without charging.
+    #[inline]
+    pub fn should_stop(&self) -> bool {
+        let Some(inner) = &self.0 else { return false };
+        if inner.stopped() {
+            return true;
+        }
+        !inner.check_deadline()
+    }
+
+    /// The first budget that tripped, if any.
+    pub fn tripped(&self) -> Option<BudgetKind> {
+        self.0.as_ref().and_then(|i| BudgetKind::from_u8(i.tripped.load(Ordering::Relaxed)))
+    }
+
+    /// Frontier nodes charged so far.
+    pub fn frontier_used(&self) -> usize {
+        self.0.as_ref().map_or(0, |i| i.frontier.load(Ordering::Relaxed))
+    }
+
+    /// Approximate bytes charged so far.
+    pub fn bytes_used(&self) -> usize {
+        self.0.as_ref().map_or(0, |i| i.bytes.load(Ordering::Relaxed))
+    }
+
+    /// TA rounds charged so far.
+    pub fn rounds_used(&self) -> usize {
+        self.0.as_ref().map_or(0, |i| i.rounds.load(Ordering::Relaxed))
+    }
+}
+
+impl ExecInner {
+    fn stopped(&self) -> bool {
+        // Candidate truncation degrades without stopping other loops.
+        matches!(
+            BudgetKind::from_u8(self.tripped.load(Ordering::Relaxed)),
+            Some(k) if k != BudgetKind::Candidates
+        )
+    }
+
+    fn trip(&self, kind: BudgetKind) {
+        // Keep the first trip; later ones are consequences of it.
+        let _ =
+            self.tripped.compare_exchange(0, kind.to_u8(), Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    fn charge(&self, counter: &AtomicUsize, n: usize, limit: usize, kind: BudgetKind) -> bool {
+        if self.stopped() {
+            return false;
+        }
+        if limit != usize::MAX {
+            let total = counter.fetch_add(n, Ordering::Relaxed).saturating_add(n);
+            if total > limit {
+                self.trip(kind);
+                return false;
+            }
+        }
+        self.check_deadline()
+    }
+
+    /// Re-reads the clock every `DEADLINE_STRIDE` calls; returns `false`
+    /// once the deadline has passed.
+    fn check_deadline(&self) -> bool {
+        let Some(d) = self.deadline else { return true };
+        if !self.ticks.fetch_add(1, Ordering::Relaxed).is_multiple_of(DEADLINE_STRIDE) {
+            return true;
+        }
+        if Instant::now() > d {
+            self.trip(BudgetKind::Deadline);
+            false
+        } else {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_injects() {
+        let plan = FaultPlan::none();
+        for _ in 0..1000 {
+            plan.fire("rdf.bfs").unwrap();
+        }
+        assert_eq!(plan.fired_total(), 0);
+        assert!(!plan.is_active());
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let plan = FaultPlan::parse("server.worker:panic:0.05; rdf.bfs:latency:0.5:20", 7).unwrap();
+        assert!(plan.is_active());
+        let plan2 = FaultPlan::parse("linker.lookup:error:0.3,ta.probe:alloc", 7).unwrap();
+        assert!(plan2.is_active());
+        assert!(FaultPlan::parse("", 7).unwrap().0.is_none());
+        assert!(FaultPlan::parse("  ;  ", 7).unwrap().0.is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in ["nocolon", "x:frob", "x:panic:2.0", "x:panic:-0.1", "x:panic:nan:1:2", ":panic"]
+        {
+            assert!(FaultPlan::parse(bad, 0).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn error_rules_return_err_and_count() {
+        let plan = FaultPlan::parse("linker.lookup:error:1.0", 0).unwrap();
+        assert!(plan.fire("linker.lookup").is_err());
+        assert!(plan.fire("other.site").is_ok());
+        assert_eq!(plan.fired("linker.lookup"), 1);
+        assert_eq!(plan.calls("linker.lookup"), 1);
+        assert_eq!(plan.fired("other.site"), 0);
+    }
+
+    #[test]
+    fn firing_counts_are_deterministic_in_the_seed() {
+        let count = |seed: u64| {
+            let plan = FaultPlan::parse("ta.probe:error:0.25", seed).unwrap();
+            (0..400).filter(|_| plan.fire("ta.probe").is_err()).count() as u64
+        };
+        let a = count(42);
+        assert_eq!(a, count(42), "same seed, same firing pattern");
+        assert_eq!(a, {
+            let plan = FaultPlan::parse("ta.probe:error:0.25", 42).unwrap();
+            (0..400).filter(|_| plan.fire("ta.probe").is_err()).count() as u64
+        });
+        // ~25% of 400, loosely.
+        assert!((50..=150).contains(&a), "fired {a} of 400 at p=0.25");
+        assert_ne!(count(42), count(43), "different seeds decorrelate");
+    }
+
+    #[test]
+    fn firing_count_is_schedule_independent() {
+        // Same total number of calls split across threads fires the same
+        // number of faults as a serial run, because decisions key on the
+        // per-rule call index.
+        let serial = FaultPlan::parse("ta.probe:error:0.3", 9).unwrap();
+        for _ in 0..300 {
+            let _ = serial.fire("ta.probe");
+        }
+        let threaded = FaultPlan::parse("ta.probe:error:0.3", 9).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let plan = threaded.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let _ = plan.fire("ta.probe");
+                    }
+                });
+            }
+        });
+        assert_eq!(serial.fired("ta.probe"), threaded.fired("ta.probe"));
+        assert_eq!(threaded.calls("ta.probe"), 300);
+    }
+
+    #[test]
+    fn panic_rules_panic_with_a_recognizable_payload() {
+        let plan = FaultPlan::parse("server.worker:panic", 0).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = plan.fire("server.worker");
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("injected fault"), "payload was {msg:?}");
+        assert_eq!(plan.fired("server.worker"), 1);
+    }
+
+    #[test]
+    fn latency_rules_sleep() {
+        let plan = FaultPlan::parse("rdf.bfs:latency:1.0:30", 0).unwrap();
+        let t0 = Instant::now();
+        plan.fire("rdf.bfs").unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn alloc_rules_allocate_and_return() {
+        let plan = FaultPlan::parse("ta.probe:alloc:1.0:65536", 0).unwrap();
+        plan.fire("ta.probe").unwrap();
+        assert_eq!(plan.fired("ta.probe"), 1);
+    }
+
+    #[test]
+    fn inert_exec_charges_nothing() {
+        let exec = Exec::new(&FaultPlan::none(), Budget::default(), None);
+        assert!(exec.is_none());
+        assert!(exec.charge_frontier(1 << 40));
+        assert!(exec.charge_bytes(1 << 40));
+        assert!(exec.begin_round());
+        assert!(!exec.should_stop());
+        assert_eq!(exec.tripped(), None);
+        assert_eq!(exec.cap_candidates(1000), 1000);
+    }
+
+    #[test]
+    fn frontier_budget_trips_once_and_sticks() {
+        let budget = Budget { max_frontier: 100, ..Budget::default() };
+        let exec = Exec::new(&FaultPlan::none(), budget, None);
+        assert!(!exec.is_none());
+        let mut stopped_at = None;
+        for i in 0..100 {
+            if !exec.charge_frontier(10) {
+                stopped_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(stopped_at, Some(10), "101st..110th node overflows the 100 limit");
+        assert_eq!(exec.tripped(), Some(BudgetKind::Frontier));
+        assert!(exec.should_stop());
+        // Later charges of any kind observe the trip.
+        assert!(!exec.charge_bytes(1));
+        assert!(!exec.begin_round());
+    }
+
+    #[test]
+    fn round_budget_trips() {
+        let budget = Budget { max_ta_rounds: 3, ..Budget::default() };
+        let exec = Exec::new(&FaultPlan::none(), budget, None);
+        assert!(exec.begin_round());
+        assert!(exec.begin_round());
+        assert!(exec.begin_round());
+        assert!(!exec.begin_round());
+        assert_eq!(exec.tripped(), Some(BudgetKind::TaRounds));
+    }
+
+    #[test]
+    fn candidate_cap_truncates_without_stopping() {
+        let budget = Budget { max_candidates: 5, ..Budget::default() };
+        let exec = Exec::new(&FaultPlan::none(), budget, None);
+        assert_eq!(exec.cap_candidates(3), 3);
+        assert_eq!(exec.tripped(), None);
+        assert_eq!(exec.cap_candidates(9), 5);
+        assert_eq!(exec.tripped(), Some(BudgetKind::Candidates));
+        // Truncation alone must not halt the rest of the pipeline.
+        assert!(!exec.should_stop());
+        assert!(exec.charge_frontier(1));
+    }
+
+    #[test]
+    fn deadline_trips_inside_charge_loops() {
+        let deadline = Instant::now() - Duration::from_millis(1);
+        let exec = Exec::new(&FaultPlan::none(), Budget::default(), Some(deadline));
+        assert!(!exec.is_none());
+        let mut stopped = false;
+        for _ in 0..(DEADLINE_STRIDE * 2 + 2) {
+            if !exec.charge_frontier(1) {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped, "expired deadline must stop a charge loop within a stride");
+        assert_eq!(exec.tripped(), Some(BudgetKind::Deadline));
+    }
+
+    #[test]
+    fn should_stop_alone_observes_the_deadline() {
+        let deadline = Instant::now() - Duration::from_millis(1);
+        let exec = Exec::new(&FaultPlan::none(), Budget::default(), Some(deadline));
+        let hit = (0..(DEADLINE_STRIDE * 2 + 2)).any(|_| exec.should_stop());
+        assert!(hit);
+        assert_eq!(exec.tripped(), Some(BudgetKind::Deadline));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let deadline = Instant::now() + Duration::from_secs(3600);
+        let exec = Exec::new(&FaultPlan::none(), Budget::default(), Some(deadline));
+        for _ in 0..500 {
+            assert!(exec.charge_frontier(1));
+        }
+        assert_eq!(exec.tripped(), None);
+    }
+
+    #[test]
+    fn exec_clones_share_counters() {
+        let budget = Budget { max_frontier: 10, ..Budget::default() };
+        let exec = Exec::new(&FaultPlan::none(), budget, None);
+        let clone = exec.clone();
+        assert!(exec.charge_frontier(8));
+        assert!(!clone.charge_frontier(8));
+        assert_eq!(exec.tripped(), Some(BudgetKind::Frontier));
+    }
+
+    #[test]
+    fn budget_kind_labels_are_stable() {
+        let labels: Vec<&str> = BudgetKind::ALL.iter().map(|k| k.as_str()).collect();
+        assert_eq!(labels, ["frontier", "candidates", "ta_rounds", "bytes", "deadline"]);
+    }
+}

@@ -2,11 +2,18 @@
 
 use crate::metrics::LinkerMetrics;
 use crate::normalize::{normalize, normalize_keep_paren, token_jaccard, tokens};
+use gqa_fault::FaultPlan;
 use gqa_rdf::schema::Schema;
 use gqa_rdf::term::vocab;
 use gqa_rdf::{Store, TermId};
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
+
+/// Fault-injection site name for candidate lookup. An `error` rule here
+/// makes [`Linker::link_detailed`] return an empty candidate list (the
+/// lookup "service" failed), which downstream surfaces as an
+/// entity-linking failure rather than a crash.
+pub const FAULT_SITE_LOOKUP: &str = "linker.lookup";
 
 /// One linking candidate with its confidence `δ(arg, u)`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -51,6 +58,8 @@ pub struct Linker {
     max_candidates: usize,
     /// Hit/miss counters, shared across clones; disabled by default.
     metrics: Arc<LinkerMetrics>,
+    /// Fault-injection plan; empty (inert) unless a chaos run installs one.
+    fault: FaultPlan,
 }
 
 /// Outcome of one [`Linker::link_detailed`] call: the candidates that
@@ -118,7 +127,13 @@ impl Linker {
             class_ids,
             max_candidates: 8,
             metrics: Arc::new(LinkerMetrics::default()),
+            fault: FaultPlan::none(),
         }
+    }
+
+    /// Install a fault-injection plan (see [`FAULT_SITE_LOOKUP`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan;
     }
 
     /// Instrumentation counters for this linker (shared across clones).
@@ -137,6 +152,13 @@ impl Linker {
     /// Like [`Linker::link`], but also reports how many candidates the
     /// per-mention cap discarded (for EXPLAIN traces).
     pub fn link_detailed(&self, mention: &str) -> LinkResult {
+        if self.fault.fire(FAULT_SITE_LOOKUP).is_err() {
+            // Injected lookup failure: behave like a mention no index
+            // covers, so the pipeline degrades along its normal
+            // entity-linking failure path.
+            self.metrics.record_link(0, 0);
+            return LinkResult::default();
+        }
         let q = normalize(mention);
         if q.is_empty() {
             self.metrics.record_link(0, 0);
@@ -296,6 +318,18 @@ mod tests {
         let linker = Linker::new(&store, &schema);
         assert!(linker.link("Zanzibar Floof").is_empty());
         assert!(linker.link("").is_empty());
+    }
+
+    #[test]
+    fn injected_lookup_errors_turn_into_empty_results() {
+        let (store, schema) = sample();
+        let mut linker = Linker::new(&store, &schema);
+        linker.set_fault_plan(FaultPlan::parse("linker.lookup:error:1.0", 0).unwrap());
+        assert!(linker.link("Philadelphia").is_empty());
+        assert_eq!(linker.fault.fired(FAULT_SITE_LOOKUP), 1);
+        // Removing the plan restores normal lookups.
+        linker.set_fault_plan(FaultPlan::none());
+        assert!(!linker.link("Philadelphia").is_empty());
     }
 
     #[test]

@@ -207,7 +207,8 @@ impl PathCache {
             return hit;
         }
         self.frontier_misses.fetch_add(1, Relaxed);
-        let grown = Arc::new(grow_partials(store, start, depth, &self.path_cfg));
+        let grown =
+            Arc::new(grow_partials(store, start, depth, &self.path_cfg, &gqa_fault::Exec::none()));
         self.frontiers[shard_of(&key, self.frontiers.len())].lock().insert(key, grown.clone());
         grown
     }

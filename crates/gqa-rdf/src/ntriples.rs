@@ -32,39 +32,89 @@ pub fn parse(input: &str) -> Result<Store, NtError> {
     Ok(b.build())
 }
 
-/// Parse an N-Triples document into an existing builder.
+/// Parse an N-Triples document into an existing builder, aborting on the
+/// first malformed line (strict mode).
 pub fn parse_into(input: &str, builder: &mut StoreBuilder) -> Result<(), NtError> {
     // Tolerate a UTF-8 BOM (editors and exports commonly prepend one).
     let input = input.strip_prefix('\u{feff}').unwrap_or(input);
     for (i, raw) in input.lines().enumerate() {
-        let line_no = i + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut cur = Cursor { s: line, pos: 0, line: line_no };
-        let s = cur.parse_term()?;
-        cur.skip_ws();
-        let p = cur.parse_term()?;
-        cur.skip_ws();
-        let o = cur.parse_term()?;
-        cur.skip_ws();
-        if !cur.eat('.') {
-            return Err(cur.err("expected terminating '.'"));
-        }
-        cur.skip_ws();
-        if !cur.at_end() {
-            return Err(cur.err("trailing content after '.'"));
-        }
-        if !s.is_iri() && !matches!(s, Term::Blank(_)) {
-            return Err(cur.err("subject must be an IRI or blank node"));
-        }
-        if !p.is_iri() {
-            return Err(cur.err("predicate must be an IRI"));
-        }
-        builder.add(s, p, o);
+        parse_statement(raw, i + 1, builder)?;
     }
     Ok(())
+}
+
+/// Outcome of a lenient parse: how much loaded, how much was skipped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParseStats {
+    /// Statements successfully added to the builder.
+    pub triples: usize,
+    /// Malformed lines skipped.
+    pub skipped: usize,
+    /// The first few parse errors (bounded so a corrupt gigabyte dump
+    /// cannot balloon memory), for logging.
+    pub errors: Vec<NtError>,
+}
+
+/// How many individual [`NtError`]s a lenient parse keeps for logging.
+pub const MAX_RECORDED_ERRORS: usize = 20;
+
+/// Parse an N-Triples document into a fresh store, skipping (and counting)
+/// malformed lines instead of aborting: the recovery mode used by the CLI
+/// loader unless `--strict` is given.
+pub fn parse_lenient(input: &str) -> (Store, ParseStats) {
+    let mut b = StoreBuilder::new();
+    let stats = parse_lenient_into(input, &mut b);
+    (b.build(), stats)
+}
+
+/// Lenient parse into an existing builder; see [`parse_lenient`].
+pub fn parse_lenient_into(input: &str, builder: &mut StoreBuilder) -> ParseStats {
+    let input = input.strip_prefix('\u{feff}').unwrap_or(input);
+    let mut stats = ParseStats::default();
+    for (i, raw) in input.lines().enumerate() {
+        match parse_statement(raw, i + 1, builder) {
+            Ok(true) => stats.triples += 1,
+            Ok(false) => {}
+            Err(e) => {
+                stats.skipped += 1;
+                if stats.errors.len() < MAX_RECORDED_ERRORS {
+                    stats.errors.push(e);
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Parse one line; `Ok(true)` when a statement was added, `Ok(false)` for
+/// blank/comment lines.
+fn parse_statement(raw: &str, line_no: usize, builder: &mut StoreBuilder) -> Result<bool, NtError> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(false);
+    }
+    let mut cur = Cursor { s: line, pos: 0, line: line_no };
+    let s = cur.parse_term()?;
+    cur.skip_ws();
+    let p = cur.parse_term()?;
+    cur.skip_ws();
+    let o = cur.parse_term()?;
+    cur.skip_ws();
+    if !cur.eat('.') {
+        return Err(cur.err("expected terminating '.'"));
+    }
+    cur.skip_ws();
+    if !cur.at_end() {
+        return Err(cur.err("trailing content after '.'"));
+    }
+    if !s.is_iri() && !matches!(s, Term::Blank(_)) {
+        return Err(cur.err("subject must be an IRI or blank node"));
+    }
+    if !p.is_iri() {
+        return Err(cur.err("predicate must be an IRI"));
+    }
+    builder.add(s, p, o);
+    Ok(true)
 }
 
 struct Cursor<'a> {
@@ -292,6 +342,46 @@ mod tests {
     fn tolerates_bom_and_crlf() {
         let s = parse("\u{feff}<a> <b> <c> .\r\n<d> <e> <f> .\r\n").unwrap();
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn lenient_parse_skips_and_counts_bad_lines() {
+        let src = "<a> <b> <c> .\n\
+                   broken line\n\
+                   # comment\n\
+                   \"lit\" <b> <c> .\n\
+                   <d> <e> \"ok\" .\n\
+                   <f> <g> <h>\n";
+        let (store, stats) = parse_lenient(src);
+        assert_eq!(store.len(), 2);
+        assert_eq!(stats.triples, 2);
+        assert_eq!(stats.skipped, 3);
+        assert_eq!(stats.errors.len(), 3);
+        assert_eq!(stats.errors[0].line, 2);
+        assert_eq!(stats.errors[1].line, 4);
+        assert_eq!(stats.errors[2].line, 6);
+        // Strict mode still aborts at the first of those lines.
+        assert_eq!(parse(src).unwrap_err().line, 2);
+    }
+
+    #[test]
+    fn lenient_parse_bounds_recorded_errors() {
+        let mut src = String::new();
+        for _ in 0..(MAX_RECORDED_ERRORS + 15) {
+            src.push_str("garbage\n");
+        }
+        let (store, stats) = parse_lenient(&src);
+        assert_eq!(store.len(), 0);
+        assert_eq!(stats.skipped, MAX_RECORDED_ERRORS + 15);
+        assert_eq!(stats.errors.len(), MAX_RECORDED_ERRORS);
+    }
+
+    #[test]
+    fn lenient_parse_of_clean_input_matches_strict() {
+        let src = "\u{feff}<a> <b> <c> .\r\n<d> <e> <f> .\r\n";
+        let (store, stats) = parse_lenient(src);
+        assert_eq!(stats, ParseStats { triples: 2, skipped: 0, errors: vec![] });
+        assert_eq!(serialize(&store), serialize(&parse(src).unwrap()));
     }
 
     #[test]

@@ -14,8 +14,14 @@
 use crate::graph::neighbors;
 use crate::ids::TermId;
 use crate::store::Store;
+use gqa_fault::Exec;
 use rustc_hash::FxHashMap;
 use std::fmt;
+
+/// Fault-injection site name for the BFS/path-enumeration entry points.
+/// A `latency` rule here slows exploration down mid-stage; an `error` rule
+/// makes the enumerator return what it has found so far (possibly nothing).
+pub const FAULT_SITE_BFS: &str = "rdf.bfs";
 
 /// Traversal direction of one step relative to the underlying triple.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -210,14 +216,27 @@ impl PathConfig {
 /// assert_eq!(paths[0].len(), 3);
 /// ```
 pub fn simple_paths(store: &Store, a: TermId, b: TermId, cfg: &PathConfig) -> Vec<SimplePath> {
+    simple_paths_with(store, a, b, cfg, &Exec::none())
+}
+
+/// [`simple_paths`] under an execution context: budget/deadline exhaustion
+/// truncates the enumeration (partial results, no unwinding), and the
+/// [`FAULT_SITE_BFS`] injection site fires once per BFS side.
+pub fn simple_paths_with(
+    store: &Store,
+    a: TermId,
+    b: TermId,
+    cfg: &PathConfig,
+    exec: &Exec,
+) -> Vec<SimplePath> {
     if a == b || cfg.max_len == 0 {
         return Vec::new();
     }
     let half_a = cfg.max_len.div_ceil(2);
     let half_b = cfg.max_len / 2;
 
-    let from_a = grow_partials(store, a, half_a, cfg);
-    let from_b = grow_partials(store, b, half_b, cfg);
+    let from_a = grow_partials(store, a, half_a, cfg, exec);
+    let from_b = grow_partials(store, b, half_b, cfg, exec);
     join_partials(&from_a, &from_b, cfg)
 }
 
@@ -330,13 +349,22 @@ pub(crate) fn grow_partials(
     start: TermId,
     depth: usize,
     cfg: &PathConfig,
+    exec: &Exec,
 ) -> Vec<SimplePath> {
     let max_partials = cfg.max_partials;
     let mut all = vec![SimplePath { vertices: vec![start], steps: Vec::new() }];
+    if exec.fire(FAULT_SITE_BFS).is_err() {
+        return all;
+    }
     let mut frontier = 0usize;
     for _ in 0..depth {
         let end = all.len();
         for i in frontier..end {
+            // Cooperative budget/deadline check: one frontier node per
+            // expansion; on exhaustion hand back the partials found so far.
+            if !exec.charge_frontier(1) {
+                return all;
+            }
             store.metrics().bfs_expansion();
             let here = *all[i].vertices.last().expect("nonempty");
             // Clone the prefix lazily per neighbor.
@@ -383,12 +411,29 @@ pub fn instantiate_from(
     pattern: &PathPattern,
     max_results: usize,
 ) -> Vec<SimplePath> {
+    instantiate_from_with(store, start, pattern, max_results, &Exec::none())
+}
+
+/// [`instantiate_from`] under an execution context: this is the online
+/// matcher's path-walking hot loop, so the frontier budget and deadline are
+/// checked at every recursion step and [`FAULT_SITE_BFS`] fires at entry.
+pub fn instantiate_from_with(
+    store: &Store,
+    start: TermId,
+    pattern: &PathPattern,
+    max_results: usize,
+    exec: &Exec,
+) -> Vec<SimplePath> {
     let mut out = Vec::new();
+    if exec.fire(FAULT_SITE_BFS).is_err() {
+        return out;
+    }
     let mut vertices = vec![start];
-    instantiate_rec(store, pattern, 0, &mut vertices, &mut Vec::new(), max_results, &mut out);
+    instantiate_rec(store, pattern, 0, &mut vertices, &mut Vec::new(), max_results, exec, &mut out);
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn instantiate_rec(
     store: &Store,
     pattern: &PathPattern,
@@ -396,9 +441,10 @@ fn instantiate_rec(
     vertices: &mut Vec<TermId>,
     steps: &mut Vec<PathStep>,
     max_results: usize,
+    exec: &Exec,
     out: &mut Vec<SimplePath>,
 ) {
-    if out.len() >= max_results {
+    if out.len() >= max_results || !exec.charge_frontier(1) {
         return;
     }
     if depth == pattern.len() {
@@ -417,7 +463,7 @@ fn instantiate_rec(
                 }
                 vertices.push(t.o);
                 steps.push(want);
-                instantiate_rec(store, pattern, depth + 1, vertices, steps, max_results, out);
+                instantiate_rec(store, pattern, depth + 1, vertices, steps, max_results, exec, out);
                 steps.pop();
                 vertices.pop();
             }
@@ -430,7 +476,7 @@ fn instantiate_rec(
                 }
                 vertices.push(t.s);
                 steps.push(want);
-                instantiate_rec(store, pattern, depth + 1, vertices, steps, max_results, out);
+                instantiate_rec(store, pattern, depth + 1, vertices, steps, max_results, exec, out);
                 steps.pop();
                 vertices.pop();
             }
@@ -441,7 +487,18 @@ fn instantiate_rec(
 /// Does `pattern` connect `a` to `b` via some simple path? Returns the first
 /// witness found.
 pub fn connects(store: &Store, a: TermId, b: TermId, pattern: &PathPattern) -> Option<SimplePath> {
-    instantiate_from(store, a, pattern, 10_000)
+    connects_with(store, a, b, pattern, &Exec::none())
+}
+
+/// [`connects`] under an execution context (see [`instantiate_from_with`]).
+pub fn connects_with(
+    store: &Store,
+    a: TermId,
+    b: TermId,
+    pattern: &PathPattern,
+    exec: &Exec,
+) -> Option<SimplePath> {
+    instantiate_from_with(store, a, pattern, 10_000, exec)
         .into_iter()
         .find(|p| *p.vertices.last().expect("nonempty") == b)
 }

@@ -31,8 +31,10 @@ use crate::json::{self, obj, Json};
 use crate::queue::Bounded;
 use crate::signal;
 use gqa_core::pipeline::{GAnswer, Response};
+use gqa_fault::FaultPlan;
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -63,7 +65,18 @@ pub struct ServerConfig {
     pub write_timeout_ms: u64,
     /// Accept-loop poll interval while idle (default 10 ms).
     pub accept_poll_ms: u64,
+    /// Deterministic fault-injection plan for the worker pool (inert by
+    /// default). A rule at [`FAULT_SITE_WORKER`] exercises the panic
+    /// isolation: the request gets a 500, the worker survives.
+    pub fault: FaultPlan,
 }
+
+/// Fault-injection site fired by a worker for each parsed `/answer`
+/// request, inside the panic boundary (`server.worker` in a `GQA_FAULTS`
+/// spec). Control endpoints (`/metrics`, `/healthz`) are exempt so a
+/// chaos harness can always reconcile its tallies against a clean
+/// scrape.
+pub const FAULT_SITE_WORKER: &str = "server.worker";
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -77,6 +90,7 @@ impl Default for ServerConfig {
             read_timeout_ms: 5000,
             write_timeout_ms: 5000,
             accept_poll_ms: 10,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -134,6 +148,7 @@ impl<'s> Server<'s> {
             }
             obs.counter("gqa_server_shed_total", &[]);
             obs.counter("gqa_server_timeouts_total", &[]);
+            obs.counter("gqa_server_worker_panics_total", &[]);
             obs.gauge("gqa_server_inflight_requests", &[]);
             obs.gauge("gqa_server_queue_depth", &[]);
             obs.gauge("gqa_server_worker_threads", &[]).set(config.workers as i64);
@@ -266,7 +281,7 @@ impl<'s> Server<'s> {
 
         let (endpoint, outcome) = match read_request(&mut reader, &self.config.limits) {
             Ok(ParseOutcome::Closed) => return, // peer went away; nothing to do
-            Ok(ParseOutcome::Request(req)) => self.route(&req, accepted, counters),
+            Ok(ParseOutcome::Request(req)) => self.route_isolated(&req, accepted, counters),
             Err(e) => match e.status() {
                 Some(status) => {
                     let body = obj(vec![("error", Json::Str(e.reason().into()))]).to_string();
@@ -310,6 +325,55 @@ impl<'s> Server<'s> {
         obs.histogram("gqa_server_request_duration_seconds", &[], gqa_obs::DURATION_BUCKETS)
             .observe(accepted.elapsed().as_secs_f64());
         close_gracefully(stream);
+    }
+
+    /// [`Server::route`] behind a panic boundary. The worker thread owns
+    /// nothing mutable across the call (the pipeline is shared immutably,
+    /// counters are atomics), so a panicking request leaves no broken
+    /// state behind: it gets a 500 and the worker moves on to the next
+    /// job. The boundary also hosts the [`FAULT_SITE_WORKER`] injection
+    /// site, which is how the chaos harness proves the isolation works.
+    fn route_isolated(
+        &self,
+        req: &Request,
+        accepted: Instant,
+        counters: &Counters,
+    ) -> (&'static str, Reply) {
+        let routed = catch_unwind(AssertUnwindSafe(|| {
+            let fire = if req.path == "/answer" {
+                self.config.fault.fire(FAULT_SITE_WORKER)
+            } else {
+                Ok(())
+            };
+            fire.map(|()| self.route(req, accepted, counters))
+        }));
+        // On a fault or panic `route` never ran, so recover the endpoint
+        // label from the request line for accurate per-endpoint counts.
+        let endpoint = match req.path.as_str() {
+            "/answer" => "answer",
+            "/metrics" => "metrics",
+            "/healthz" => "healthz",
+            _ => "other",
+        };
+        match routed {
+            Ok(Ok(r)) => r,
+            Ok(Err(fault)) => {
+                (endpoint, Reply::json(500, obj(vec![("error", Json::Str(fault.to_string()))])))
+            }
+            Err(_) => {
+                self.system.obs().counter("gqa_server_worker_panics_total", &[]).inc();
+                (
+                    endpoint,
+                    Reply::json(
+                        500,
+                        obj(vec![(
+                            "error",
+                            Json::Str("internal error: request handler panicked".into()),
+                        )]),
+                    ),
+                )
+            }
+        }
     }
 
     fn route(
@@ -503,6 +567,11 @@ fn render_response(question: &str, r: &Response, k: usize, queue_wait: Duration)
         ("count", r.count.map_or(Json::Null, |c| Json::Num(c as f64))),
         ("sparql", Json::Arr(sparql)),
         ("failure", r.failure.as_ref().map_or(Json::Null, |f| Json::Str(f.reason().to_owned()))),
+        (
+            "degraded",
+            r.degraded
+                .map_or(Json::Null, |b| obj(vec![("budget", Json::Str(b.as_str().to_owned()))])),
+        ),
         (
             "timings_ms",
             obj(vec![

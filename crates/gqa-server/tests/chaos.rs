@@ -1,0 +1,194 @@
+//! Chaos tests: deterministic fault injection against a live server.
+//!
+//! The contract under test is **fault isolation**: an injected worker
+//! panic costs exactly one request (a 500), never a worker thread, never
+//! the server, and never another client's response. Determinism comes
+//! from the seeded `FaultPlan` — the number of injections over N calls
+//! is a pure function of (seed, site, call index), so the client-side
+//! 500 tally, the plan's own fired counter, and the server's
+//! `gqa_server_worker_panics_total` series must all agree exactly.
+
+use gqa_core::concurrency::Concurrency;
+use gqa_core::pipeline::{GAnswer, GAnswerConfig};
+use gqa_datagen::minidbp::mini_dbpedia;
+use gqa_datagen::patty::mini_dict;
+use gqa_fault::{Budget, FaultPlan};
+use gqa_obs::Obs;
+use gqa_rdf::Store;
+use gqa_server::{Server, ServerConfig, FAULT_SITE_WORKER};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+type Reply = Result<(u16, String), String>;
+
+fn system(store: &Store, config: GAnswerConfig) -> GAnswer<'_> {
+    GAnswer::with_obs(store, mini_dict(store), config, Obs::new())
+}
+
+fn send_raw(addr: SocketAddr, bytes: &[u8]) -> Reply {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
+    s.write_all(bytes).map_err(|e| format!("write: {e}"))?;
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| format!("unparseable response: {text:?}"))?;
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    Ok((status, body))
+}
+
+fn post_answer(addr: SocketAddr, json: &str) -> Reply {
+    let req = format!(
+        "POST /answer HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+        json.len(),
+        json
+    );
+    send_raw(addr, req.as_bytes())
+}
+
+/// Silence the expected "injected fault" panic messages so the test log
+/// stays readable; anything else still reports through the default hook.
+fn quiet_injected_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected =
+            info.payload().downcast_ref::<String>().is_some_and(|m| m.contains("injected fault"));
+        if !injected {
+            default(info);
+        }
+    }));
+}
+
+/// 5% seeded worker panics under concurrent load: exactly the faulted
+/// requests see 500s, every worker survives to the drain, and the three
+/// independent tallies (clients, plan, metrics) agree.
+#[test]
+fn injected_worker_panics_cost_exactly_one_request_each() {
+    quiet_injected_panics();
+    let store = mini_dbpedia();
+    let sys = system(
+        &store,
+        GAnswerConfig { concurrency: Concurrency::serial(), ..GAnswerConfig::default() },
+    );
+    let plan = FaultPlan::parse(&format!("{FAULT_SITE_WORKER}:panic:0.05"), 1).expect("spec");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &sys,
+        ServerConfig {
+            workers: 3,
+            queue_capacity: 64,
+            default_timeout_ms: 20_000,
+            fault: plan.clone(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 25;
+    let (outcomes, stats) = std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run());
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(move || {
+                    (0..PER_CLIENT)
+                        .map(|_| {
+                            post_answer(addr, r#"{"question": "Who is the mayor of Berlin?"}"#)
+                        })
+                        .collect::<Vec<Reply>>()
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        shutdown.store(true, Ordering::SeqCst);
+        let stats = run.join().expect("server thread panicked");
+        (outcomes, stats)
+    });
+
+    let mut ok = 0u64;
+    let mut faulted = 0u64;
+    for outcome in outcomes {
+        for result in outcome.expect("client thread panicked") {
+            let (status, body) = result.expect("client i/o failed");
+            match status {
+                200 => {
+                    assert!(body.contains("Klaus Wowereit"), "{body}");
+                    ok += 1;
+                }
+                500 => {
+                    assert!(body.contains("panicked"), "{body}");
+                    faulted += 1;
+                }
+                other => panic!("unexpected status {other}: {body}"),
+            }
+        }
+    }
+
+    // Every request got exactly one response, through panics and all.
+    assert_eq!(ok + faulted, (CLIENTS * PER_CLIENT) as u64);
+    assert!(faulted > 0, "seed 1 fires within 100 calls at p=0.05");
+    // The three tallies agree: client 500s == injections == metric.
+    assert_eq!(faulted, plan.fired(FAULT_SITE_WORKER), "client 500s vs plan fired");
+    sys.publish_metrics();
+    let metrics = sys.obs().prometheus();
+    assert!(
+        metrics.contains(&format!("gqa_server_worker_panics_total {faulted}")),
+        "metrics disagree with {faulted} client 500s:\n{metrics}"
+    );
+    // No worker died: the full drain happened and nothing was dropped.
+    assert_eq!(stats.accepted, (CLIENTS * PER_CLIENT) as u64, "{stats:?}");
+    assert_eq!(stats.served, stats.accepted, "{stats:?}");
+}
+
+/// A tight frontier budget surfaces over HTTP: 200 with a
+/// `"degraded": {"budget": "frontier"}` object, and the degradation is
+/// visible on /metrics.
+#[test]
+fn budget_degradation_surfaces_in_response_and_metrics() {
+    let store = mini_dbpedia();
+    let sys = system(
+        &store,
+        GAnswerConfig {
+            concurrency: Concurrency::serial(),
+            budget: Budget { max_frontier: 8, ..Budget::unlimited() },
+            ..GAnswerConfig::default()
+        },
+    );
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &sys,
+        ServerConfig { workers: 2, default_timeout_ms: 20_000, ..ServerConfig::default() },
+    )
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+
+    let (reply, metrics_reply) = std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run());
+        let reply = post_answer(
+            addr,
+            r#"{"question": "Who was married to an actor that played in Philadelphia?"}"#,
+        );
+        let metrics_reply = send_raw(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        shutdown.store(true, Ordering::SeqCst);
+        run.join().expect("server thread panicked");
+        (reply, metrics_reply)
+    });
+
+    let (status, body) = reply.expect("client i/o failed");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"degraded\""), "{body}");
+    assert!(body.contains("\"frontier\""), "{body}");
+
+    let (mstatus, metrics) = metrics_reply.expect("metrics i/o failed");
+    assert_eq!(mstatus, 200);
+    assert!(metrics.contains("gqa_pipeline_degraded_total{budget=\"frontier\"} 1"), "{metrics}");
+}

@@ -30,6 +30,9 @@ struct Options {
     serve: Option<String>,
     queue: Option<usize>,
     timeout_ms: Option<u64>,
+    strict: bool,
+    faults: Option<String>,
+    fault_seed: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -44,6 +47,9 @@ fn parse_args() -> Result<Options, String> {
         serve: None,
         queue: None,
         timeout_ms: None,
+        strict: false,
+        faults: None,
+        fault_seed: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -87,6 +93,15 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("bad --timeout-ms: {e}"))?,
                 );
             }
+            "--strict" => opts.strict = true,
+            "--faults" => opts.faults = Some(args.next().ok_or("--faults needs a spec")?),
+            "--fault-seed" => {
+                opts.fault_seed = args
+                    .next()
+                    .ok_or("--fault-seed needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-seed: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: ganswer [--data FILE.nt] [--dict FILE.tsv] [--top-k N] \
@@ -107,7 +122,14 @@ fn parse_args() -> Result<Options, String> {
                      --queue N            (--serve) bounded admission queue; a full queue\n\
                      \x20                    sheds with 503 + Retry-After (default 64)\n\
                      --timeout-ms MS      (--serve) default per-request deadline; requests\n\
-                     \x20                    past it get 504 (default 2000)\n\n\
+                     \x20                    past it get 504 (default 2000)\n\
+                     --strict             abort loading on the first malformed N-Triples\n\
+                     \x20                    line (default: skip, count, and continue)\n\
+                     --faults SPEC        deterministic fault injection, e.g.\n\
+                     \x20                    \"server.worker:panic:0.05;rdf.bfs:latency:0.5:20\"\n\
+                     \x20                    (also read from $GQA_FAULTS when the flag is absent)\n\
+                     --fault-seed N       seed for the fault-injection RNG (default 0,\n\
+                     \x20                    or $GQA_FAULT_SEED with $GQA_FAULTS)\n\n\
                      REPL commands: :sqg :sparql :matches :explain :aggregates :quit"
                 );
                 std::process::exit(0);
@@ -127,11 +149,31 @@ fn write_metrics(system: &GAnswer<'_>, path: &str) {
     }
 }
 
-fn load(opts: &Options) -> Result<(Store, ParaphraseDict), String> {
+/// Load data and dictionary. The third value is the number of malformed
+/// N-Triples lines skipped by the default lenient parse (always 0 with
+/// `--strict`, which aborts instead), published as
+/// `gqa_rdf_parse_errors_total`.
+fn load(opts: &Options) -> Result<(Store, ParaphraseDict, u64), String> {
+    let mut parse_errors = 0u64;
     let store = match &opts.data {
         Some(path) => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            ganswer::rdf::ntriples::parse(&text).map_err(|e| e.to_string())?
+            if opts.strict {
+                ganswer::rdf::ntriples::parse(&text).map_err(|e| e.to_string())?
+            } else {
+                let (store, stats) = ganswer::rdf::ntriples::parse_lenient(&text);
+                parse_errors = stats.skipped as u64;
+                if stats.skipped > 0 {
+                    eprintln!(
+                        "warning: {path}: skipped {} malformed line(s), kept {} triples \
+                         (first error: {}); use --strict to abort instead",
+                        stats.skipped,
+                        stats.triples,
+                        stats.errors.first().map_or_else(String::new, |e| e.to_string()),
+                    );
+                }
+                store
+            }
         }
         None => ganswer::datagen::mini_dbpedia(),
     };
@@ -149,7 +191,7 @@ fn load(opts: &Options) -> Result<(Store, ParaphraseDict), String> {
             ganswer::mini_dict(&store)
         }
     };
-    Ok((store, dict))
+    Ok((store, dict, parse_errors))
 }
 
 fn main() {
@@ -160,27 +202,43 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let (store, dict) = match load(&opts) {
+    let (store, dict, parse_errors) = match load(&opts) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
     };
+    // --faults beats $GQA_FAULTS; an empty/absent spec is an inert plan.
+    let fault = match &opts.faults {
+        Some(spec) => ganswer::fault::FaultPlan::parse(spec, opts.fault_seed),
+        None => ganswer::fault::FaultPlan::from_env(),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("error: bad fault spec: {e}");
+        std::process::exit(2);
+    });
     let stats = ganswer::rdf::stats::StoreStats::collect(&store);
     // --threads beats GQA_THREADS beats available parallelism.
     let concurrency = match opts.threads {
         Some(n) => ganswer::core::concurrency::Concurrency::with_threads(n),
         None => ganswer::core::concurrency::Concurrency::from_env(),
     };
-    let mut config = GAnswerConfig { top_k: opts.top_k, concurrency, ..Default::default() };
+    let mut config = GAnswerConfig {
+        top_k: opts.top_k,
+        concurrency,
+        fault: fault.clone(),
+        ..Default::default()
+    };
 
     // Serve mode: same startup path (load + config above), then hand the
     // pipeline to the HTTP service instead of the REPL. Metrics are always
     // on — /metrics is one of the endpoints.
     if let Some(addr) = &opts.serve {
         let system = GAnswer::with_obs(&store, dict, config, Obs::new());
-        let mut server_config = ganswer::server::ServerConfig::default();
+        system.obs().counter("gqa_rdf_parse_errors_total", &[]).add(parse_errors);
+        let mut server_config =
+            ganswer::server::ServerConfig { fault: fault.clone(), ..Default::default() };
         if let Some(n) = opts.threads {
             server_config.workers = n.max(1);
         }
@@ -220,6 +278,7 @@ fn main() {
     }
 
     let obs = if opts.metrics.is_some() { Obs::new() } else { Obs::disabled() };
+    obs.counter("gqa_rdf_parse_errors_total", &[]).add(parse_errors);
 
     let mut show_sqg = false;
     let mut show_sparql = false;

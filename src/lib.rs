@@ -36,6 +36,7 @@
 pub use gqa_baselines as baselines;
 pub use gqa_core as core;
 pub use gqa_datagen as datagen;
+pub use gqa_fault as fault;
 pub use gqa_linker as linker;
 pub use gqa_nlp as nlp;
 pub use gqa_obs as obs;

@@ -1,0 +1,95 @@
+//! Robustness properties: no input and no budget may panic the pipeline,
+//! and budgeted (degraded) answers are always drawn from the unbudgeted
+//! result set.
+
+use ganswer::core::concurrency::Concurrency;
+use ganswer::core::pipeline::{GAnswer, GAnswerConfig};
+use ganswer::fault::Budget;
+use proptest::prelude::*;
+
+fn system(store: &ganswer::rdf::Store, config: GAnswerConfig) -> GAnswer<'_> {
+    GAnswer::new(store, ganswer::mini_dict(store), config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary UTF-8 (any printable code points, not just ASCII) never
+    /// panics the pipeline — serial and with TA probe fan-out at 4
+    /// threads, which exercises the panic-propagation path through the
+    /// scoped worker pool.
+    #[test]
+    fn arbitrary_utf8_never_panics(q in "\\PC{0,60}") {
+        let store = ganswer::datagen::mini_dbpedia();
+        let serial = system(&store, GAnswerConfig {
+            concurrency: Concurrency::serial(),
+            ..GAnswerConfig::default()
+        });
+        let parallel = system(&store, GAnswerConfig {
+            concurrency: Concurrency::with_threads(4),
+            ..GAnswerConfig::default()
+        });
+        let a = serial.answer(&q);
+        let b = parallel.answer(&q);
+        prop_assert_eq!(a.texts(), b.texts(), "{:?}", q);
+        prop_assert_eq!(a.failure, b.failure, "{:?}", q);
+    }
+
+    /// Arbitrary UTF-8 under arbitrary tight budgets never panics either:
+    /// budget exhaustion must degrade, not crash.
+    #[test]
+    fn tight_budgets_never_panic(
+        q in "\\PC{0,60}",
+        frontier in 1usize..64,
+        candidates in 1usize..4,
+        rounds in 1usize..3,
+    ) {
+        let store = ganswer::datagen::mini_dbpedia();
+        let sys = system(&store, GAnswerConfig {
+            budget: Budget {
+                max_frontier: frontier,
+                max_candidates: candidates,
+                max_ta_rounds: rounds,
+                max_bytes: 1 << 16,
+            },
+            ..GAnswerConfig::default()
+        });
+        let _ = sys.answer(&q);
+    }
+
+    /// Every match a budgeted run returns is bit-identical to a match the
+    /// unbudgeted run finds: degradation only ever *drops* work, it never
+    /// invents or corrupts results.
+    #[test]
+    fn degraded_matches_are_a_subset_of_unbudgeted_matches(
+        idx in 0usize..4,
+        frontier in 4usize..200,
+    ) {
+        let questions = [
+            "Who was married to an actor that played in Philadelphia?",
+            "Who is the mayor of Berlin?",
+            "Who is the uncle of John F. Kennedy, Jr.?",
+            "Give me all cars that are produced in Germany.",
+        ];
+        let store = ganswer::datagen::mini_dbpedia();
+        // Unbudgeted, with a large k so the budgeted top-k cannot contain
+        // a (correct) match the unbudgeted run truncated away.
+        let full_sys = system(&store, GAnswerConfig {
+            top_k: 1000,
+            ..GAnswerConfig::default()
+        });
+        let full = full_sys.answer(questions[idx]);
+        let tight = system(&store, GAnswerConfig {
+            budget: Budget { max_frontier: frontier, ..Budget::unlimited() },
+            ..GAnswerConfig::default()
+        });
+        let r = tight.answer(questions[idx]);
+        for m in &r.matches {
+            prop_assert!(
+                full.matches.iter().any(|f| f.bindings == m.bindings
+                    && f.score.to_bits() == m.score.to_bits()),
+                "budget {} invented match {:?}", frontier, m
+            );
+        }
+    }
+}
