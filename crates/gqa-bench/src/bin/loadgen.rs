@@ -52,6 +52,7 @@ struct Opts {
     queue: usize,
     out: String,
     chaos: Option<u64>,
+    cache: usize,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -65,6 +66,7 @@ fn parse_args() -> Result<Opts, String> {
         queue: 4,
         out: "BENCH_server.json".to_owned(),
         chaos: None,
+        cache: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -84,6 +86,7 @@ fn parse_args() -> Result<Opts, String> {
             "--queue" => opts.queue = num("--queue")? as usize,
             "--out" => opts.out = args.next().ok_or("--out needs a file name")?,
             "--chaos" => opts.chaos = Some(num("--chaos")?),
+            "--cache" => opts.cache = num("--cache")? as usize,
             "--threads" => {
                 let _ = num("--threads")?; // consumed by threads_arg()
             }
@@ -92,7 +95,7 @@ fn parse_args() -> Result<Opts, String> {
                     "usage: loadgen [--addr HOST:PORT] [--clients N] [--requests N]\n\
                      \x20              [--overload-clients N] [--overload-requests N]\n\
                      \x20              [--timeout-ms MS] [--queue N] [--threads N] [--out FILE]\n\
-                     \x20              [--chaos SEED]\n\n\
+                     \x20              [--chaos SEED] [--cache N]\n\n\
                      Without --addr, boots an in-process gqa-server on a loopback port\n\
                      (--threads sets its worker count, --queue its admission queue).\n\
                      With --addr, drives an external server and skips the overload phase\n\
@@ -101,7 +104,13 @@ fn parse_args() -> Result<Opts, String> {
                      \x20              with seeded worker-panic injection and a tight search\n\
                      \x20              budget, drive it, and cross-check client-observed 500s\n\
                      \x20              and degraded answers against the fault plan's own\n\
-                     \x20              counters and /metrics (in-process only)."
+                     \x20              counters and /metrics (in-process only)\n\
+                     --cache N      after the main phases, boot an in-process server with an\n\
+                     \x20              answer cache of N responses and drive a Zipf-skewed\n\
+                     \x20              repeated-question phase; records hit rate and p50/p95\n\
+                     \x20              deltas vs the (uncached) steady phase. With --chaos,\n\
+                     \x20              the chaos server also gets the cache, proving an armed\n\
+                     \x20              fault plan bypasses it (in-process only)."
                 );
                 std::process::exit(0);
             }
@@ -121,9 +130,12 @@ struct PhaseResult {
 }
 
 fn send_answer_request(addr: SocketAddr, question: &str, timeout_ms: u64) -> Result<u16, String> {
+    // One request per connection by design (the closed loop measures full
+    // connection cost); `Connection: close` keeps the keep-alive server
+    // closing after the response so read_to_end terminates promptly.
     let body = format!("{{\"question\": \"{question}\", \"k\": 3, \"timeout_ms\": {timeout_ms}}}");
     let req = format!(
-        "POST /answer HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{}",
+        "POST /answer HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
         body.len(),
         body
     );
@@ -137,7 +149,7 @@ fn send_answer_request(addr: SocketAddr, question: &str, timeout_ms: u64) -> Res
 }
 
 fn http_get(addr: SocketAddr, path: &str) -> Result<String, String> {
-    let req = format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n");
+    let req = format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n");
     let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
     s.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
     s.write_all(req.as_bytes()).map_err(|e| format!("write: {e}"))?;
@@ -244,6 +256,13 @@ struct ChaosOutcome {
     panics_metric: u64,
     /// `gqa_pipeline_degraded_total{budget="frontier"}` after the phase.
     degraded_metric: u64,
+    /// Answer-cache capacity the chaos server was configured with
+    /// (`--cache`; 0 = none).
+    cache_capacity: usize,
+    /// `gqa_server_cache_hits_total` after the phase — must stay 0: an
+    /// armed fault plan (and the finite budget) bypasses the cache, so a
+    /// memoized answer can never absorb an injection.
+    cache_hits: u64,
     stats: gqa_server::ServeStats,
 }
 
@@ -257,6 +276,7 @@ impl ChaosOutcome {
             && self.degraded_responses == self.degraded_metric
             && self.stats.served == self.stats.accepted
             && self.phase.io_errors == 0
+            && self.cache_hits == 0
     }
 }
 
@@ -284,6 +304,7 @@ fn run_chaos(store: &Store, seed: u64, opts: &Opts) -> ChaosOutcome {
             workers: 2,
             queue_capacity: opts.queue,
             default_timeout_ms: opts.timeout_ms,
+            cache_capacity: opts.cache,
             fault: plan.clone(),
             ..ServerConfig::default()
         },
@@ -313,6 +334,8 @@ fn run_chaos(store: &Store, seed: u64, opts: &Opts) -> ChaosOutcome {
         panics_metric: metric_value(&metrics, "gqa_server_worker_panics_total") as u64,
         degraded_metric: metric_value(&metrics, "gqa_pipeline_degraded_total{budget=\"frontier\"}")
             as u64,
+        cache_capacity: opts.cache,
+        cache_hits: metric_value(&metrics, "gqa_server_cache_hits_total") as u64,
         stats,
     }
 }
@@ -383,7 +406,7 @@ fn send_answer_full(
 ) -> Result<(u16, String), String> {
     let body = format!("{{\"question\": \"{question}\", \"k\": 3, \"timeout_ms\": {timeout_ms}}}");
     let req = format!(
-        "POST /answer HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{}",
+        "POST /answer HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
         body.len(),
         body
     );
@@ -395,6 +418,159 @@ fn send_answer_full(
     let text = String::from_utf8_lossy(&buf);
     let status: u16 = text.split(' ').nth(1).and_then(|w| w.parse().ok()).ok_or("bad response")?;
     Ok((status, text.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default()))
+}
+
+/// What the cache phase saw: client latencies plus the server's own
+/// cache counters (scraped from a fresh registry, so absolutes are
+/// per-phase).
+struct CacheOutcome {
+    capacity: usize,
+    phase: PhaseResult,
+    hits: u64,
+    misses: u64,
+    stale: u64,
+}
+
+impl CacheOutcome {
+    fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.stale;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The ISSUE acceptance bar: a Zipf-skewed repeated-question workload
+    /// must hit ≥ 90% of the time.
+    fn hit_rate_ok(&self) -> bool {
+        self.hit_rate() >= 0.9
+    }
+}
+
+/// splitmix64 — deterministic per-thread question selection without any
+/// RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Boot a dedicated in-process server with an answer cache of `capacity`
+/// responses (the main phases stay cacheless, so the steady baseline is a
+/// true cold-pipeline measurement) and drive a Zipf-skewed repeated-
+/// question workload against it.
+fn run_cache(store: &Store, capacity: usize, opts: &Opts) -> CacheOutcome {
+    let system = GAnswer::with_obs(
+        store,
+        mini_dict(store),
+        GAnswerConfig { concurrency: Concurrency::serial(), ..Default::default() },
+        Obs::new(),
+    );
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &system,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: opts.queue,
+            default_timeout_ms: opts.timeout_ms,
+            cache_capacity: capacity,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: cache bind: {e}");
+        std::process::exit(2);
+    });
+    let addr = server.local_addr().expect("local_addr");
+    let shutdown = server.shutdown_handle();
+    let requests = opts.requests.max(60);
+    println!(
+        "cache phase: {} clients x {requests} requests, Zipf-skewed repeats, cache {capacity} ...",
+        opts.clients
+    );
+    let (phase, metrics) = std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run());
+        let phase = run_zipf_phase(addr, opts.clients, requests, opts.timeout_ms);
+        let metrics = http_get(addr, "/metrics").unwrap_or_default();
+        shutdown.store(true, Ordering::SeqCst);
+        run.join().expect("cache server thread panicked");
+        (phase, metrics)
+    });
+    CacheOutcome {
+        capacity,
+        phase,
+        hits: metric_value(&metrics, "gqa_server_cache_hits_total") as u64,
+        misses: metric_value(&metrics, "gqa_server_cache_misses_total") as u64,
+        stale: metric_value(&metrics, "gqa_server_cache_stale_total") as u64,
+    }
+}
+
+/// Closed-loop like [`run_phase`], but question selection is Zipf-skewed
+/// over the three canonical questions (rank r drawn with weight 1/r) and
+/// each send picks one of five case/whitespace/punctuation spellings —
+/// all of which normalize to the same cache key, which is exactly the
+/// production pattern an answer cache exists for.
+fn run_zipf_phase(addr: SocketAddr, clients: usize, total: u64, timeout_ms: u64) -> PhaseResult {
+    const QUESTIONS: [&str; 3] = [
+        "Who is the mayor of Berlin?",
+        "Is Michelle Obama the wife of Barack Obama?",
+        "Who was married to an actor that played in Philadelphia?",
+    ];
+    // Zipf s=1 over 3 ranks: cumulative weights of 1, 1/2, 1/3.
+    const CUM: [f64; 3] = [6.0 / 11.0, 9.0 / 11.0, 1.0];
+    fn spelling(q: &str, which: u64) -> String {
+        match which % 5 {
+            0 => q.to_owned(),
+            1 => q.to_uppercase(),
+            2 => q.to_lowercase(),
+            3 => format!("  {q}  "),
+            _ => q.replace('?', "???"),
+        }
+    }
+    let budget = AtomicU64::new(total);
+    let merged = Mutex::new(PhaseResult::default());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients.max(1) {
+            let (budget, merged) = (&budget, &merged);
+            scope.spawn(move || {
+                let mut rng = 0x5EED_0000 + client as u64;
+                let mut local = PhaseResult::default();
+                loop {
+                    let slot = budget.fetch_sub(1, Ordering::Relaxed);
+                    if slot == 0 || slot > total {
+                        budget.store(0, Ordering::Relaxed);
+                        break;
+                    }
+                    let u = (splitmix64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
+                    let rank = CUM.iter().position(|c| u < *c).unwrap_or(2);
+                    let q = spelling(QUESTIONS[rank], splitmix64(&mut rng));
+                    let t0 = Instant::now();
+                    match send_answer_request(addr, &q, timeout_ms) {
+                        Ok(status) => {
+                            *local.status_counts.entry(status).or_insert(0) += 1;
+                            if status == 200 {
+                                local.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                            }
+                        }
+                        Err(_) => local.io_errors += 1,
+                    }
+                }
+                let mut m = merged.lock().unwrap();
+                m.latencies_ms.extend_from_slice(&local.latencies_ms);
+                for (k, v) in &local.status_counts {
+                    *m.status_counts.entry(*k).or_insert(0) += v;
+                }
+                m.io_errors += local.io_errors;
+            });
+        }
+    });
+    let mut result = merged.into_inner().unwrap();
+    result.wall = start.elapsed();
+    result
 }
 
 /// Everything measured while the server was up.
@@ -423,12 +599,16 @@ fn main() {
             eprintln!("error: --chaos needs the in-process server (drop --addr)");
             std::process::exit(2);
         }
+        if opts.cache > 0 {
+            eprintln!("error: --cache needs the in-process server (drop --addr)");
+            std::process::exit(2);
+        }
         let addr: SocketAddr = a.parse().unwrap_or_else(|e| {
             eprintln!("error: bad --addr {a:?}: {e}");
             std::process::exit(2);
         });
         let report = drive(addr, false, &opts, host_threads);
-        finish(report, None, &opts, host_threads, None);
+        finish(report, None, &opts, host_threads, None, None);
     } else {
         let store = mini_dbpedia();
         let workers = threads_arg()
@@ -463,8 +643,9 @@ fn main() {
             shutdown.store(true, Ordering::SeqCst);
             (report, run.join().expect("server thread panicked"))
         });
+        let cache = (opts.cache > 0).then(|| run_cache(&store, opts.cache, &opts));
         let chaos = opts.chaos.map(|seed| run_chaos(&store, seed, &opts));
-        finish(report, Some(stats), &opts, host_threads, chaos);
+        finish(report, Some(stats), &opts, host_threads, chaos, cache);
     }
 }
 
@@ -514,6 +695,7 @@ fn finish(
     opts: &Opts,
     host_threads: usize,
     chaos: Option<ChaosOutcome>,
+    cache: Option<CacheOutcome>,
 ) {
     let Report { addr, in_process, before, after, steady, overload } = report;
     let server_workers = metric_value(&before, "gqa_server_worker_threads") as u64;
@@ -551,6 +733,42 @@ fn finish(
         phases.push(phase_json("overload", opts.overload_clients, o, opts.timeout_ms));
     }
 
+    let cache_json = if let Some(c) = &cache {
+        let statuses: Vec<String> =
+            c.phase.status_counts.iter().map(|(s, n)| format!("\"{s}\": {n}")).collect();
+        let p50 = median(&c.phase.latencies_ms);
+        let p95 = percentile(&c.phase.latencies_ms, 95.0);
+        format!(
+            ",\n  \"cache\": {{\n\
+             \x20   \"enabled\": true,\n\
+             \x20   \"capacity\": {},\n\
+             \x20   \"status_counts\": {{{}}},\n\
+             \x20   \"io_errors\": {},\n\
+             \x20   \"hits\": {},\n\
+             \x20   \"misses\": {},\n\
+             \x20   \"stale\": {},\n\
+             \x20   \"hit_rate\": {:.4},\n\
+             \x20   \"hit_rate_ok\": {},\n\
+             \x20   \"latency_ms\": {{\"p50\": {p50:.3}, \"p95\": {p95:.3}, \"n\": {}}},\n\
+             \x20   \"p50_delta_vs_steady_ms\": {:.3},\n\
+             \x20   \"p95_delta_vs_steady_ms\": {:.3}\n\
+             \x20 }}",
+            c.capacity,
+            statuses.join(", "),
+            c.phase.io_errors,
+            c.hits,
+            c.misses,
+            c.stale,
+            c.hit_rate(),
+            c.hit_rate_ok(),
+            c.phase.latencies_ms.len(),
+            p50 - median(&steady.latencies_ms),
+            p95 - percentile(&steady.latencies_ms, 95.0),
+        )
+    } else {
+        ",\n  \"cache\": {\"enabled\": false}".to_owned()
+    };
+
     let chaos_json = if let Some(c) = &chaos {
         let client_500 = c.phase.status_counts.get(&500).copied().unwrap_or(0);
         let statuses: Vec<String> =
@@ -566,6 +784,8 @@ fn finish(
              \x20   \"worker_panics_metric\": {},\n\
              \x20   \"degraded_responses\": {},\n\
              \x20   \"degraded_metric\": {},\n\
+             \x20   \"cache_capacity\": {},\n\
+             \x20   \"cache_hits\": {},\n\
              \x20   \"server_stats\": {{\"accepted\": {}, \"served\": {}}},\n\
              \x20   \"agree\": {}\n\
              \x20 }}",
@@ -576,6 +796,8 @@ fn finish(
             c.panics_metric,
             c.degraded_responses,
             c.degraded_metric,
+            c.cache_capacity,
+            c.cache_hits,
             c.stats.accepted,
             c.stats.served,
             c.agree(),
@@ -594,7 +816,7 @@ fn finish(
          \x20   \"answer_requests\": {{\"client\": {client_answered}, \"server_delta\": {answered_delta:.0}, \"agree\": {requests_agree}}},\n\
          \x20   \"shed\": {{\"client\": {client_shed}, \"server_delta\": {shed_delta:.0}, \"agree\": {shed_agree}}},\n\
          \x20   \"timeouts\": {{\"client\": {client_timeouts}, \"server_delta\": {timeout_delta:.0}, \"agree\": {timeouts_agree}}}\n\
-         \x20 }}{server_stats_json}{chaos_json}\n\
+         \x20 }}{server_stats_json}{cache_json}{chaos_json}\n\
          }}\n",
         opts.timeout_ms,
         phases.join(",\n"),
@@ -624,6 +846,20 @@ fn finish(
     println!(
         "metrics agreement: answer {requests_agree}, shed {shed_agree} ({shed_total} shed), timeouts {timeouts_agree}"
     );
+    if let Some(c) = &cache {
+        println!(
+            "cache:    capacity {}, {} hits / {} misses / {} stale (rate {:.1}%), \
+             p50 {:.1} ms vs steady {:.1} ms — hit rate ok: {}",
+            c.capacity,
+            c.hits,
+            c.misses,
+            c.stale,
+            c.hit_rate() * 100.0,
+            median(&c.phase.latencies_ms),
+            median(&steady.latencies_ms),
+            c.hit_rate_ok(),
+        );
+    }
     if let Some(c) = &chaos {
         let client_500 = c.phase.status_counts.get(&500).copied().unwrap_or(0);
         println!(
@@ -640,8 +876,9 @@ fn finish(
         );
     }
     let chaos_agree = chaos.as_ref().is_none_or(ChaosOutcome::agree);
-    if !(requests_agree && shed_agree && timeouts_agree && chaos_agree) {
-        eprintln!("error: client tallies and /metrics deltas disagree");
+    let cache_ok = cache.as_ref().is_none_or(|c| c.hit_rate_ok() && c.phase.io_errors == 0);
+    if !(requests_agree && shed_agree && timeouts_agree && chaos_agree && cache_ok) {
+        eprintln!("error: client tallies and /metrics deltas disagree (or cache hit rate < 90%)");
         std::process::exit(1);
     }
 }

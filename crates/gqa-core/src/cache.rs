@@ -1,0 +1,369 @@
+//! A bounded, epoch-aware memo cache for full pipeline [`Response`]s.
+//!
+//! Real QA traffic is heavily skewed — the same questions repeat — so the
+//! biggest serving win after parallelism is not running the pipeline at
+//! all. [`AnswerCache`] memoizes complete [`Response`] values behind a
+//! sharded LRU (the same shape as `gqa_rdf::PathCache`), keyed by
+//! [`CacheKey`]:
+//!
+//! * the **normalized question** ([`normalize_question`] — the linker's
+//!   own case/whitespace/punctuation folding, so `"Who is the mayor of
+//!   Berlin?"` and `"who is the MAYOR of berlin"` share an entry),
+//! * the **requested k** (how many answers the caller wants; a different
+//!   k can change the rendered payload),
+//! * a **config fingerprint** ([`config_fingerprint`]) over every
+//!   [`GAnswerConfig`] field that affects *what* the pipeline answers —
+//!   so two servers with different rule ablations never share entries —
+//!   while deliberately excluding fields that only affect *how fast*
+//!   (thread count) or *whether faults fire* (fault plan, budget; the
+//!   serving layer bypasses the cache entirely when those are armed).
+//!
+//! Every entry is additionally stamped with the **store epoch**
+//! (`gqa_rdf::Snapshot`) it was computed against. A lookup under a newer
+//! epoch treats the entry as *stale*: it is dropped on sight and counted
+//! separately from plain misses, which is what lets a store reload
+//! invalidate the whole cache for free — no sweep, no pause.
+//!
+//! The cache refuses to store degraded or trace-carrying responses:
+//! degraded answers are partial by definition (a retry under a healthier
+//! budget should get a fresh run), and EXPLAIN traces are debugging
+//! artifacts whose cost/size profile doesn't belong in a hot cache.
+
+use crate::pipeline::{GAnswerConfig, Response};
+use parking_lot::Mutex;
+use rustc_hash::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Canonicalize a question for cache keying: lowercase, punctuation
+/// folded to spaces, whitespace collapsed. Delegates to the linker's
+/// [`gqa_linker::normalize::normalize_keep_paren`] (the variant that
+/// keeps parenthetical text — `"Houston (Texas)"` and `"Houston"` must
+/// NOT share a key).
+pub fn normalize_question(question: &str) -> String {
+    gqa_linker::normalize::normalize_keep_paren(question)
+}
+
+/// A stable fingerprint of the answer-relevant parts of a
+/// [`GAnswerConfig`]. Covers `top_k`, the argument rules, implicit
+/// edges, pruning, aggregates, mapping and matcher options, and the
+/// linker candidate cap; excludes concurrency (answers are bit-identical
+/// at any thread count — the PR-2 invariant), and the fault plan and
+/// budget (when those are armed the serving layer must bypass the cache
+/// anyway, so keying on them would only mask a bypass bug).
+pub fn config_fingerprint(config: &GAnswerConfig) -> u64 {
+    let semantic = format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        config.top_k,
+        config.rules,
+        config.implicit_edges,
+        config.neighborhood_pruning,
+        config.enable_aggregates,
+        config.mapping,
+        config.matcher,
+        config.max_link_candidates,
+    );
+    let mut h = FxHasher::default();
+    semantic.hash(&mut h);
+    h.finish()
+}
+
+/// Sentinel for "the request asked for every answer" (no `k` truncation).
+pub const K_ALL: u64 = u64::MAX;
+
+/// The identity of one cacheable answer computation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`normalize_question`] output.
+    pub question: String,
+    /// Requested answer count ([`K_ALL`] when untruncated).
+    pub k: u64,
+    /// [`config_fingerprint`] of the answering system.
+    pub fingerprint: u64,
+}
+
+impl CacheKey {
+    /// Build a key from the raw question text.
+    pub fn new(question: &str, k: Option<usize>, fingerprint: u64) -> Self {
+        CacheKey {
+            question: normalize_question(question),
+            k: k.map(|n| n as u64).unwrap_or(K_ALL),
+            fingerprint,
+        }
+    }
+}
+
+/// Outcome of one [`AnswerCache::lookup`].
+#[derive(Clone, Debug)]
+pub enum Lookup {
+    /// A live entry computed under the requested epoch.
+    Hit(Arc<Response>),
+    /// No entry for this key.
+    Miss,
+    /// An entry existed but was computed under an older epoch; it has
+    /// been evicted. (Also a miss for serving purposes.)
+    Stale,
+}
+
+/// Monotonic counters of one [`AnswerCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnswerCacheStats {
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Lookups that found an entry from an older store epoch.
+    pub stale: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+}
+
+impl AnswerCacheStats {
+    /// Hit rate in `[0, 1]` over hits + misses + stale (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.stale;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One LRU shard: an access-stamped map, eviction scans for the oldest
+/// stamp (shards stay small, so the scan beats an intrusive list under a
+/// mutex — same trade as `gqa_rdf::PathCache`).
+struct Shard {
+    map: FxHashMap<CacheKey, Entry>,
+    clock: u64,
+    capacity: usize,
+}
+
+struct Entry {
+    stamp: u64,
+    epoch: u64,
+    response: Arc<Response>,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard { map: FxHashMap::default(), clock: 0, capacity: capacity.max(1) }
+    }
+}
+
+/// The sharded, epoch-aware answer cache. See the module docs for the
+/// key and invalidation story.
+pub struct AnswerCache {
+    shards: Box<[Mutex<Shard>]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale: AtomicU64,
+    evictions: AtomicU64,
+}
+
+const SHARDS: usize = 8;
+
+impl AnswerCache {
+    /// A cache holding at most `capacity` responses (min 1; shard
+    /// capacities round up, so the effective bound can exceed `capacity`
+    /// by at most `SHARDS - 1`).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let per_shard = capacity.max(1).div_ceil(SHARDS);
+        AnswerCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up `key` as of store `epoch`. An entry computed under a
+    /// different epoch is dropped and reported [`Lookup::Stale`].
+    pub fn lookup(&self, key: &CacheKey, epoch: u64) -> Lookup {
+        let mut shard = self.shard(key).lock();
+        shard.clock += 1;
+        let clock = shard.clock;
+        match shard.map.get_mut(key) {
+            Some(entry) if entry.epoch == epoch => {
+                entry.stamp = clock;
+                let response = entry.response.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Relaxed);
+                Lookup::Hit(response)
+            }
+            Some(_) => {
+                shard.map.remove(key);
+                drop(shard);
+                self.stale.fetch_add(1, Relaxed);
+                Lookup::Stale
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Relaxed);
+                Lookup::Miss
+            }
+        }
+    }
+
+    /// Store a response computed under `epoch`. Returns `true` if the
+    /// entry was admitted. Degraded or trace-carrying responses are
+    /// refused (see the module docs); the caller is expected to have
+    /// already skipped faulted/budgeted runs entirely.
+    pub fn insert(&self, key: CacheKey, epoch: u64, response: Arc<Response>) -> bool {
+        if response.degraded.is_some() || response.trace.is_some() {
+            return false;
+        }
+        let mut shard = self.shard(&key).lock();
+        if shard.map.len() >= shard.capacity && !shard.map.contains_key(&key) {
+            if let Some(oldest) =
+                shard.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Relaxed);
+            }
+        }
+        shard.clock += 1;
+        let stamp = shard.clock;
+        shard.map.insert(key, Entry { stamp, epoch, response });
+        true
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> AnswerCacheStats {
+        AnswerCacheStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            stale: self.stale.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+        }
+    }
+
+    /// Total live entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank_response() -> Response {
+        Response {
+            answers: Vec::new(),
+            boolean: None,
+            count: None,
+            matches: Vec::new(),
+            sqg: None,
+            relations: Vec::new(),
+            sparql: Vec::new(),
+            failure: None,
+            degraded: None,
+            understanding_time: std::time::Duration::ZERO,
+            evaluation_time: std::time::Duration::ZERO,
+            ta_stats: Default::default(),
+            trace: None,
+        }
+    }
+
+    fn key(q: &str) -> CacheKey {
+        CacheKey::new(q, Some(3), 42)
+    }
+
+    #[test]
+    fn normalization_folds_case_whitespace_and_punctuation() {
+        let canonical = normalize_question("Who is the mayor of Berlin?");
+        for variant in [
+            "who is the MAYOR of berlin",
+            "  Who   is the mayor of Berlin???  ",
+            "Who is the mayor of Berlin",
+        ] {
+            assert_eq!(normalize_question(variant), canonical, "{variant:?}");
+        }
+        // Parenthetical content is kept: these must NOT collide.
+        assert_ne!(
+            normalize_question("Which city is Houston (Texas)?"),
+            normalize_question("Which city is Houston?"),
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_semantic_config_only() {
+        let base = GAnswerConfig::default();
+        let same = config_fingerprint(&base);
+        assert_eq!(config_fingerprint(&GAnswerConfig::default()), same);
+
+        let semantic = GAnswerConfig { top_k: base.top_k + 1, ..GAnswerConfig::default() };
+        assert_ne!(config_fingerprint(&semantic), same, "top_k is answer-relevant");
+
+        let speed = GAnswerConfig {
+            concurrency: crate::concurrency::Concurrency::with_threads(4),
+            ..GAnswerConfig::default()
+        };
+        assert_eq!(config_fingerprint(&speed), same, "thread count never changes answers");
+    }
+
+    #[test]
+    fn hit_miss_and_epoch_staleness() {
+        let cache = AnswerCache::with_capacity(16);
+        let k = key("Who is the mayor of Berlin?");
+        assert!(matches!(cache.lookup(&k, 1), Lookup::Miss));
+        assert!(cache.insert(k.clone(), 1, Arc::new(blank_response())));
+        assert!(matches!(cache.lookup(&k, 1), Lookup::Hit(_)));
+        // A reload (epoch bump) makes the entry stale exactly once...
+        assert!(matches!(cache.lookup(&k, 2), Lookup::Stale));
+        // ...after which it is simply gone.
+        assert!(matches!(cache.lookup(&k, 2), Lookup::Miss));
+        assert_eq!(cache.stats(), AnswerCacheStats { hits: 1, misses: 2, stale: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn keys_distinguish_k_and_fingerprint() {
+        let cache = AnswerCache::with_capacity(16);
+        let k3 = CacheKey::new("who?", Some(3), 1);
+        let k5 = CacheKey::new("who?", Some(5), 1);
+        let all = CacheKey::new("who?", None, 1);
+        let other_cfg = CacheKey::new("who?", Some(3), 2);
+        cache.insert(k3.clone(), 1, Arc::new(blank_response()));
+        assert!(matches!(cache.lookup(&k3, 1), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup(&k5, 1), Lookup::Miss));
+        assert!(matches!(cache.lookup(&all, 1), Lookup::Miss));
+        assert!(matches!(cache.lookup(&other_cfg, 1), Lookup::Miss));
+    }
+
+    #[test]
+    fn degraded_and_traced_responses_are_refused() {
+        let cache = AnswerCache::with_capacity(16);
+        let mut degraded = blank_response();
+        degraded.degraded = Some(gqa_fault::BudgetKind::Frontier);
+        assert!(!cache.insert(key("a"), 1, Arc::new(degraded)));
+        let mut traced = blank_response();
+        traced.trace = Some(Box::new(gqa_obs::QueryTrace::new("a")));
+        assert!(!cache.insert(key("b"), 1, Arc::new(traced)));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_the_least_recently_used() {
+        // Single-entry shards: every insert into an occupied shard evicts.
+        let cache = AnswerCache::with_capacity(1);
+        for i in 0..32 {
+            cache.insert(key(&format!("q{i}")), 1, Arc::new(blank_response()));
+        }
+        assert!(cache.stats().evictions > 0);
+        assert!(cache.len() <= SHARDS, "bounded by one entry per shard");
+    }
+}

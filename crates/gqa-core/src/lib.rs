@@ -33,6 +33,7 @@
 pub mod aggregates;
 pub mod answer;
 pub mod arguments;
+pub mod cache;
 pub mod concurrency;
 pub mod coref;
 pub mod embedding;
@@ -45,6 +46,7 @@ pub mod sqg;
 pub mod topk;
 pub mod validate;
 
+pub use cache::{AnswerCache, AnswerCacheStats, CacheKey, Lookup};
 pub use concurrency::Concurrency;
 pub use pipeline::{GAnswer, GAnswerConfig, Response};
 pub use sqg::SemanticQueryGraph;

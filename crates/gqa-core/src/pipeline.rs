@@ -29,6 +29,8 @@ use gqa_obs::{Obs, ParseTrace, QueryTrace, RelationTrace, DURATION_BUCKETS};
 use gqa_paraphrase::dict::ParaphraseDict;
 use gqa_rdf::schema::Schema;
 use gqa_rdf::Store;
+use std::ops::Deref;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Pipeline configuration. Defaults reproduce the paper's setup
@@ -234,9 +236,29 @@ pub struct Understanding {
     pub sqg: SemanticQueryGraph,
 }
 
+/// How a [`GAnswer`] holds its store: borrowed (the historical embedding
+/// API — the caller keeps ownership) or shared (`Arc`, so the serving
+/// layer can build `GAnswer<'static>` values and atomically swap them
+/// behind a [`gqa_rdf::Snapshot`] without a lifetime tying each one to a
+/// stack frame). Everything downstream sees `&Store` either way.
+enum StoreRef<'s> {
+    Borrowed(&'s Store),
+    Shared(Arc<Store>),
+}
+
+impl Deref for StoreRef<'_> {
+    type Target = Store;
+    fn deref(&self) -> &Store {
+        match self {
+            StoreRef::Borrowed(s) => s,
+            StoreRef::Shared(s) => s,
+        }
+    }
+}
+
 /// The graph data-driven RDF Q/A system.
 pub struct GAnswer<'s> {
-    store: &'s Store,
+    store: StoreRef<'s>,
     schema: Schema,
     linker: Linker,
     literals: LiteralIndex,
@@ -265,11 +287,29 @@ impl<'s> GAnswer<'s> {
         config: GAnswerConfig,
         obs: Obs,
     ) -> Self {
-        let schema = Schema::new(store);
-        let mut linker = Linker::new(store, &schema);
+        Self::build(StoreRef::Borrowed(store), dict, config, obs)
+    }
+
+    /// Like [`GAnswer::with_obs`] but taking shared ownership of the
+    /// store. The result is `'static`, which is what lets the serving
+    /// layer park whole systems behind an epoch snapshot
+    /// ([`gqa_rdf::Snapshot`]) and atomically swap them on reload while
+    /// in-flight requests keep using the one they loaded.
+    pub fn shared(
+        store: Arc<Store>,
+        dict: ParaphraseDict,
+        config: GAnswerConfig,
+        obs: Obs,
+    ) -> GAnswer<'static> {
+        GAnswer::build(StoreRef::Shared(store), dict, config, obs)
+    }
+
+    fn build(store: StoreRef<'s>, dict: ParaphraseDict, config: GAnswerConfig, obs: Obs) -> Self {
+        let schema = Schema::new(&store);
+        let mut linker = Linker::new(&store, &schema);
         linker.set_max_candidates(config.max_link_candidates);
         linker.set_fault_plan(config.fault.clone());
-        let literals = LiteralIndex::new(store);
+        let literals = LiteralIndex::new(&store);
         if obs.is_enabled() {
             store.metrics().enable();
             linker.metrics().enable();
@@ -340,7 +380,7 @@ impl<'s> GAnswer<'s> {
 
     /// The underlying store.
     pub fn store(&self) -> &Store {
-        self.store
+        &self.store
     }
 
     /// The schema view.
@@ -407,7 +447,7 @@ impl<'s> GAnswer<'s> {
             ..self.config.matcher
         };
         top_k_with(
-            self.store,
+            self.store(),
             &self.schema,
             mapped,
             &mcfg,
@@ -602,7 +642,7 @@ impl<'s> GAnswer<'s> {
         let mapping_result = {
             let _s = self.obs.span("pipeline.map");
             let term_label = |id| self.store.term(id).to_string();
-            let path_label = |p: &gqa_rdf::PathPattern| p.display(self.store).to_string();
+            let path_label = |p: &gqa_rdf::PathPattern| p.display(self.store()).to_string();
             let sink = trace.as_deref_mut().map(|t| TraceSink {
                 trace: t,
                 term_label: &term_label,
@@ -681,7 +721,7 @@ impl<'s> GAnswer<'s> {
                         }
                         other => other.to_owned(),
                     };
-                    match aggregates::superlative(self.store, &matches, target, &adj) {
+                    match aggregates::superlative(self.store(), &matches, target, &adj) {
                         Some(kept) => matches = kept,
                         None => {
                             return Ok(self.fail(
@@ -699,7 +739,11 @@ impl<'s> GAnswer<'s> {
                     match mapped.sqg.vertices.iter().position(|v| v.node == node) {
                         Some(vertex) => {
                             matches = aggregates::comparison(
-                                self.store, &matches, vertex, greater, value,
+                                self.store(),
+                                &matches,
+                                vertex,
+                                greater,
+                                value,
                             );
                         }
                         None => {
@@ -736,9 +780,9 @@ impl<'s> GAnswer<'s> {
             let best = matches.first().map(|m| m.score).unwrap_or(f64::NEG_INFINITY);
             let tied: Vec<Match> =
                 matches.iter().filter(|m| m.score >= best - 1e-9).cloned().collect();
-            answers_from_matches(self.store, &tied, target)
+            answers_from_matches(self.store(), &tied, target)
         };
-        let sparql = sparql_of_matches(self.store, &mapped, &matches, target);
+        let sparql = sparql_of_matches(self.store(), &mapped, &matches, target);
         Ok(Response {
             answers,
             boolean: is_boolean.then_some(!matches.is_empty()),

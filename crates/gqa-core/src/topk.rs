@@ -109,6 +109,12 @@ pub fn top_k_with(
 ) -> (Vec<Match>, TaStats) {
     let mut stats = TaStats::default();
 
+    // k == 0 asks for no answers: return the empty top-k without probing
+    // (and without `dedup_scores_truncate` ever indexing `ms[k - 1]`).
+    if k == 0 {
+        return (Vec::new(), stats);
+    }
+
     // Neighborhood pruning runs ONCE, up front (§4.2.2): pruned candidates
     // disappear from the cursor lists entirely, so the TA rounds never
     // probe them. The per-probe matcher runs with pruning off.
@@ -246,7 +252,7 @@ pub fn top_k_with(
                 });
             }
         }
-        best.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        sort_scores_desc(&mut best);
 
         // Threshold θ: the k-th best score so far (−∞ until k found).
         let theta = if best.len() >= k { best[k - 1].score } else { f64::NEG_INFINITY };
@@ -367,10 +373,29 @@ fn record_pruning(
     }
 }
 
+/// Rank matches by descending score under `f64::total_cmp`. The total
+/// order is what makes the ranking deterministic when a score is NaN (a
+/// zero-support tf-idf edge case can produce one): `partial_cmp(..)
+/// .unwrap_or(Equal)` is not a valid comparator in the presence of NaN,
+/// so the sort's output (and hence the PR-2 parallel == serial
+/// bit-identity) would depend on the comparison schedule. Under
+/// `total_cmp`, NaN sorts as the largest magnitude of its sign (so +NaN
+/// ranks first in descending order) and NaN-free inputs order exactly as
+/// they did under `partial_cmp`; the sort is stable, so ties keep the
+/// deterministic job-order merge produced upstream.
+fn sort_scores_desc(ms: &mut [Match]) {
+    ms.sort_by(|a, b| b.score.total_cmp(&a.score));
+}
+
 /// Keep the top-k by score. Matches sharing the k-th score are all kept
 /// (the paper's footnote 4: equal-score matches count once).
 fn dedup_scores_truncate(ms: &mut Vec<Match>, k: usize) {
-    ms.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    if k == 0 {
+        // `ms[k - 1]` below would underflow; "top zero" is simply empty.
+        ms.clear();
+        return;
+    }
+    sort_scores_desc(ms);
     if ms.len() > k {
         let kth = ms[k - 1].score;
         let cut = ms.iter().position(|m| m.score < kth - 1e-12).unwrap_or(ms.len());
@@ -524,6 +549,111 @@ mod tests {
         assert!(rendered.contains("top-k (TA) rounds:"), "{rendered}");
         assert!(rendered.contains("theta="), "{rendered}");
         assert!(rendered.contains("upbound="), "{rendered}");
+    }
+
+    #[test]
+    fn k_zero_returns_empty_without_panicking() {
+        let store = store_with_pairs(5);
+        let schema = gqa_rdf::schema::Schema::new(&store);
+        let q = query(&store, 5);
+        let (ms, stats) = top_k(&store, &schema, &q, &MatcherConfig::default(), 0);
+        assert!(ms.is_empty(), "top-0 is the empty list, not a panic");
+        assert_eq!(stats.rounds, 0, "no probing needed for k = 0: {stats:?}");
+
+        // The truncation helper is the historical panic site (`ms[k - 1]`
+        // with k == 0): exercise it directly with matches present.
+        let mut ms = vec![dummy_match(1.0), dummy_match(f64::NAN)];
+        dedup_scores_truncate(&mut ms, 0);
+        assert!(ms.is_empty());
+    }
+
+    fn dummy_match(score: f64) -> Match {
+        Match { bindings: Vec::new(), vertex_conf: Vec::new(), edge_used: Vec::new(), score }
+    }
+
+    mod nan_determinism {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_score() -> impl Strategy<Value = f64> {
+            // The vendored proptest has no weighted prop_oneof; repeating
+            // the finite range biases toward ordinary scores while still
+            // hitting NaN/±∞ often.
+            prop_oneof![
+                -100.0f64..100.0,
+                -100.0f64..100.0,
+                -100.0f64..100.0,
+                -100.0f64..100.0,
+                Just(f64::NAN),
+                Just(-f64::NAN),
+                Just(f64::INFINITY),
+                Just(f64::NEG_INFINITY),
+            ]
+        }
+
+        /// Merge a round's probe results chunked over `workers` threads the
+        /// way `run_probes_parallel` does: contiguous chunks, concatenated
+        /// back in job order. The merge is order-preserving by construction,
+        /// so any thread count feeds `sort_scores_desc` the same sequence.
+        fn merge_in_job_order(scores: &[f64], workers: usize) -> Vec<Match> {
+            let chunk = scores.len().div_ceil(workers.max(1)).max(1);
+            let mut out = Vec::with_capacity(scores.len());
+            for js in scores.chunks(chunk) {
+                out.extend(js.iter().map(|&s| dummy_match(s)));
+            }
+            out
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// The ranking sort is deterministic under NaN: the 1-thread and
+            /// 4-thread merge orders feed the same input, and `total_cmp`
+            /// (a total order, unlike the old `partial_cmp(..)
+            /// .unwrap_or(Equal)`) makes the output a pure function of that
+            /// input — bit-identical score sequences, NaN or not. On
+            /// NaN-free input the order must also agree with `partial_cmp`
+            /// descending, i.e. the fix cannot perturb existing rankings.
+            #[test]
+            fn sort_is_bit_identical_across_thread_merges(
+                scores in prop::collection::vec(arb_score(), 0..48),
+                k in 0usize..8,
+            ) {
+                let mut serial = merge_in_job_order(&scores, 1);
+                let mut parallel = merge_in_job_order(&scores, 4);
+                sort_scores_desc(&mut serial);
+                sort_scores_desc(&mut parallel);
+                let bits = |ms: &[Match]| -> Vec<u64> {
+                    ms.iter().map(|m| m.score.to_bits()).collect()
+                };
+                prop_assert_eq!(bits(&serial), bits(&parallel));
+
+                // Sorting is idempotent (a valid total order never reorders
+                // an already-sorted slice).
+                let once = bits(&serial);
+                sort_scores_desc(&mut serial);
+                prop_assert_eq!(bits(&serial), once);
+
+                // NaN-free inputs rank exactly as under `partial_cmp`.
+                if scores.iter().all(|s| !s.is_nan()) {
+                    let mut old = merge_in_job_order(&scores, 1);
+                    old.sort_by(|a, b| {
+                        b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    prop_assert_eq!(bits(&old), bits(&parallel));
+                }
+
+                // Truncation is equally deterministic, k == 0 included.
+                let mut a = merge_in_job_order(&scores, 1);
+                let mut b = merge_in_job_order(&scores, 4);
+                dedup_scores_truncate(&mut a, k);
+                dedup_scores_truncate(&mut b, k);
+                prop_assert_eq!(bits(&a), bits(&b));
+                if k == 0 {
+                    prop_assert!(a.is_empty());
+                }
+            }
+        }
     }
 
     #[test]

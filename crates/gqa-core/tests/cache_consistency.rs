@@ -1,0 +1,106 @@
+//! Cache-consistency property: a [`gqa_core::AnswerCache`] hit must be
+//! byte-identical to a cold pipeline run for the same normalized question
+//! and store epoch. The cache never transforms a response — it only
+//! remembers one — so this reduces to (a) the pipeline being
+//! deterministic for a fixed question and config (already pinned by the
+//! PR-2 parallel==serial suite) and (b) the cache returning exactly the
+//! `Arc` it was given, for exactly the key/epoch it was given.
+
+use gqa_core::cache::{config_fingerprint, normalize_question};
+use gqa_core::pipeline::{GAnswer, GAnswerConfig, Response};
+use gqa_core::{AnswerCache, CacheKey, Lookup};
+use gqa_datagen::minidbp::mini_dbpedia;
+use gqa_datagen::patty::mini_dict;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Questions with distinct outcomes against mini-DBpedia: a plain
+/// entity answer, a multi-hop answer, a boolean, and a guaranteed miss.
+const QUESTIONS: &[&str] = &[
+    "Who is the mayor of Berlin?",
+    "Who was married to an actor that played in Philadelphia?",
+    "Is Berlin the capital of Germany?",
+    "Who is the mayor of Atlantis?",
+];
+
+/// Case/whitespace/punctuation variants that must share a cache key with
+/// their canonical form (the serving layer folds them via
+/// [`normalize_question`]).
+fn variant(question: &str, which: usize) -> String {
+    match which {
+        0 => question.to_uppercase(),
+        1 => format!("  {}  ", question.to_lowercase()),
+        2 => question.replace('?', "???"),
+        _ => question.replace(' ', "  "),
+    }
+}
+
+/// Everything in a [`Response`] except wall-clock timings and the trace:
+/// the deterministic payload a cache hit must reproduce bit-for-bit.
+/// `f64` Debug-formats as the shortest round-trip representation, so
+/// equal strings mean equal bits for every score.
+fn semantic_image(r: &Response) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        r.answers,
+        r.boolean,
+        r.count,
+        r.matches,
+        r.sqg,
+        r.relations,
+        r.sparql,
+        r.failure,
+        r.degraded,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cache_hits_are_byte_identical_to_cold_runs(
+        qi in 0usize..4,
+        variant_id in 0usize..4,
+        k in prop::option::of(0usize..6),
+        epoch in 1u64..4,
+    ) {
+        let store = mini_dbpedia();
+        let sys = GAnswer::new(&store, mini_dict(&store), GAnswerConfig::default());
+        let question = QUESTIONS[qi];
+        let fingerprint = config_fingerprint(&sys.config);
+
+        // Cold run → cache → hit.
+        let cold = Arc::new(sys.answer(question));
+        let cache = AnswerCache::with_capacity(8);
+        let key = CacheKey::new(question, k, fingerprint);
+        prop_assert!(cache.insert(key.clone(), epoch, cold.clone()));
+        let Lookup::Hit(cached) = cache.lookup(&key, epoch) else {
+            return Err(TestCaseError::fail("expected a hit"));
+        };
+
+        // The hit is the stored response verbatim...
+        prop_assert!(Arc::ptr_eq(&cached, &cold));
+        // ...and a *second* cold run of the same question produces the
+        // same semantic payload, so serving the cached value is
+        // indistinguishable from re-running the pipeline.
+        let rerun = sys.answer(question);
+        prop_assert_eq!(semantic_image(&cached), semantic_image(&rerun));
+
+        // Normalized variants address the same entry.
+        let vkey = CacheKey::new(&variant(question, variant_id), k, fingerprint);
+        prop_assert_eq!(&vkey, &key);
+        prop_assert!(matches!(cache.lookup(&vkey, epoch), Lookup::Hit(_)));
+
+        // A different epoch must NOT serve the entry (reload safety).
+        let other_epoch = epoch + 1;
+        prop_assert!(matches!(cache.lookup(&key, other_epoch), Lookup::Stale));
+    }
+}
+
+#[test]
+fn normalization_is_idempotent_over_the_question_pool() {
+    for q in QUESTIONS {
+        let once = normalize_question(q);
+        assert_eq!(normalize_question(&once), once, "{q:?}");
+    }
+}

@@ -18,6 +18,8 @@
 //!   vertices with a length bound θ (the offline miner's workhorse, §3),
 //! * [`cache`] — a thread-safe, bounded memo cache over that enumeration
 //!   (pair results + per-source BFS frontiers) for the offline miner,
+//! * [`snapshot`] — epoch-stamped, atomically swappable handles so the
+//!   serving layer can reload a store without pausing in-flight readers,
 //! * [`stats`] — dataset statistics as reported in the paper's Table 4.
 
 #![forbid(unsafe_code)]
@@ -31,6 +33,7 @@ pub mod metrics;
 pub mod ntriples;
 pub mod paths;
 pub mod schema;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod term;
@@ -41,6 +44,7 @@ pub use dict::Dict;
 pub use ids::TermId;
 pub use metrics::{StoreMetrics, StoreMetricsSnapshot};
 pub use paths::{Dir, PathPattern, PathStep};
+pub use snapshot::{Snapshot, Stamped};
 pub use store::{Store, StoreBuilder, UnknownIri};
 pub use term::Term;
 pub use triple::Triple;

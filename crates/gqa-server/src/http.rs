@@ -42,12 +42,33 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Minor HTTP version (`1` for `HTTP/1.1`): decides the keep-alive
+    /// default per RFC 9112 §9.3.
+    pub version_minor: u8,
 }
 
 impl Request {
     /// First value of a header, by lower-case name.
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client is willing to reuse this connection:
+    /// `HTTP/1.1` defaults to keep-alive unless `Connection: close`;
+    /// `HTTP/1.0` requires an explicit `Connection: keep-alive`. The
+    /// `Connection` header is treated as a comma-separated token list.
+    pub fn wants_keep_alive(&self) -> bool {
+        let token = |t: &str| {
+            self.header("connection")
+                .is_some_and(|v| v.split(',').any(|part| part.trim().eq_ignore_ascii_case(t)))
+        };
+        if token("close") {
+            false
+        } else if self.version_minor >= 1 {
+            true
+        } else {
+            token("keep-alive")
+        }
     }
 }
 
@@ -137,9 +158,11 @@ pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<ParseOutco
     if parts.next().is_some() {
         return Err(HttpError::BadRequest("malformed request line"));
     }
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::BadRequest("unsupported HTTP version"));
-    }
+    let version_minor = version
+        .strip_prefix("HTTP/1.")
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_digit()))
+        .and_then(|m| m.parse::<u8>().ok())
+        .ok_or(HttpError::BadRequest("unsupported HTTP version"))?;
     if !method.bytes().all(|b| b.is_ascii_uppercase()) || method.len() > 16 {
         return Err(HttpError::BadRequest("malformed method"));
     }
@@ -185,13 +208,20 @@ pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<ParseOutco
         headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
     }
 
-    let request = Request { method, path, query, headers, body: Vec::new() };
+    let request = Request { method, path, query, headers, body: Vec::new(), version_minor };
 
     // Body: Content-Length only (no chunked transfer in this subset).
     if let Some(te) = request.header("transfer-encoding") {
         if !te.eq_ignore_ascii_case("identity") {
             return Err(HttpError::BadRequest("transfer-encoding not supported"));
         }
+    }
+    // Duplicate Content-Length headers are rejected outright — even when
+    // the copies agree. Silently taking the first occurrence would let a
+    // smuggled second value desynchronize request framing on a reused
+    // (keep-alive) connection (RFC 9112 §6.3 requires 400 here).
+    if request.headers.iter().filter(|(n, _)| n == "content-length").count() > 1 {
+        return Err(HttpError::BadRequest("duplicate content-length"));
     }
     let len = match request.header("content-length") {
         None => 0usize,
@@ -270,16 +300,16 @@ pub fn reason_phrase(status: u16) -> &'static str {
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
 
-/// Write one response and flush. Always `Connection: close`: the server
-/// serves exactly one request per connection, which is what makes the
-/// bounded accept queue an accurate model of pending *requests* (see
-/// DESIGN.md §10 on the backpressure policy).
+/// Write one response and flush, with `Connection: close` (the historical
+/// one-request-per-connection behavior; error paths and shedding still
+/// use it). See [`write_response_conn`] for the keep-alive variant.
 pub fn write_response<W: Write>(
     w: &mut W,
     status: u16,
@@ -287,10 +317,29 @@ pub fn write_response<W: Write>(
     body: &[u8],
     extra_headers: &[(&str, &str)],
 ) -> std::io::Result<()> {
+    write_response_conn(w, status, content_type, body, extra_headers, false)
+}
+
+/// Write one response and flush. `keep_alive` selects the `Connection`
+/// header: `close` tells the peer this is the last response on the
+/// socket, `keep-alive` invites another request (the server enforces its
+/// own per-connection request cap and idle timeout — see DESIGN.md §12
+/// on the connection lifecycle, and §10 for why the bounded accept queue
+/// then models pending *connections*).
+pub fn write_response_conn<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nConnection: close\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {} {}\r\nConnection: {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         status,
         reason_phrase(status),
+        connection,
         content_type,
         body.len()
     );
@@ -391,6 +440,54 @@ mod tests {
             paths.push(r.path);
         }
         assert_eq!(paths, vec!["/a", "/b", "/c"]);
+    }
+
+    #[test]
+    fn duplicate_content_length_is_400_even_when_agreeing() {
+        for (a, b) in [("4", "4"), ("4", "5"), ("0", "4")] {
+            let req = format!(
+                "POST / HTTP/1.1\r\nContent-Length: {a}\r\nContent-Length: {b}\r\n\r\nabcd"
+            );
+            let err = parse(req.as_bytes()).unwrap_err();
+            assert_eq!(err.status(), Some(400), "content-length {a}/{b}");
+            assert_eq!(err.reason(), "duplicate content-length");
+        }
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_the_http_version() {
+        let wants = |req: &[u8]| {
+            let ParseOutcome::Request(r) = parse(req).unwrap() else { panic!() };
+            r.wants_keep_alive()
+        };
+        // HTTP/1.1: keep-alive unless told otherwise.
+        assert!(wants(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+        assert!(!wants(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!wants(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n"));
+        assert!(!wants(b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n"));
+        // HTTP/1.0: close unless opted in.
+        assert!(!wants(b"GET / HTTP/1.0\r\nHost: x\r\n\r\n"));
+        assert!(wants(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"));
+    }
+
+    #[test]
+    fn malformed_http_versions_are_400() {
+        for v in ["HTTP/1.", "HTTP/1.x", "HTTP/2.0", "HTTP/1.999"] {
+            let req = format!("GET / {v}\r\n\r\n");
+            let err = parse(req.as_bytes()).unwrap_err();
+            assert_eq!(err.status(), Some(400), "{v}");
+        }
+    }
+
+    #[test]
+    fn response_writer_keep_alive_variant_sets_the_connection_header() {
+        let mut out = Vec::new();
+        write_response_conn(&mut out, 200, "text/plain", b"ok", &[], true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        let mut out = Vec::new();
+        write_response_conn(&mut out, 200, "text/plain", b"ok", &[], false).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("Connection: close\r\n"));
     }
 
     #[test]

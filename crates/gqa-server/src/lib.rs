@@ -31,4 +31,4 @@ pub mod server;
 #[allow(unsafe_code)]
 pub mod signal;
 
-pub use server::{ServeStats, Server, ServerConfig, FAULT_SITE_WORKER};
+pub use server::{Engine, ServeStats, Server, ServerConfig, FAULT_SITE_WORKER};

@@ -11,10 +11,12 @@
 //! Three production behaviors fall out of this shape:
 //!
 //! * **Admission control.** The queue holds accepted-but-unserved
-//!   connections; one request per connection (every response is
-//!   `Connection: close`) makes queue length an exact count of pending
-//!   requests. When it is full the acceptor sheds with `503` and
-//!   `Retry-After` instead of letting latency grow without bound.
+//!   connections. When it is full the acceptor sheds with `503` and
+//!   `Retry-After` instead of letting latency grow without bound. With
+//!   keep-alive (this PR) a queue slot admits a *connection* that may
+//!   carry up to [`ServerConfig::keep_alive_requests`] requests; clients
+//!   that send `Connection: close` get the historical
+//!   one-request-per-connection behavior unchanged.
 //! * **Deadlines.** A request's deadline starts at **accept** time, so
 //!   time spent queued counts against it. A request that expires in the
 //!   queue is answered `504` without touching the pipeline; one that
@@ -26,12 +28,17 @@
 //!   and lets workers drain every already-admitted request before
 //!   [`Server::run`] returns — no accepted request is dropped.
 
-use crate::http::{read_request, write_response, Limits, ParseOutcome, Request};
+use crate::http::{
+    read_request, write_response, write_response_conn, HttpError, Limits, ParseOutcome, Request,
+};
 use crate::json::{self, obj, Json};
 use crate::queue::Bounded;
 use crate::signal;
+use gqa_core::cache::{config_fingerprint, AnswerCache, CacheKey, Lookup};
 use gqa_core::pipeline::{GAnswer, Response};
 use gqa_fault::FaultPlan;
+use gqa_obs::Obs;
+use gqa_rdf::snapshot::{Snapshot, Stamped};
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -65,6 +72,17 @@ pub struct ServerConfig {
     pub write_timeout_ms: u64,
     /// Accept-loop poll interval while idle (default 10 ms).
     pub accept_poll_ms: u64,
+    /// Maximum requests served on one keep-alive connection before the
+    /// server closes it (default 100; 1 reproduces the historical
+    /// one-request-per-connection behavior).
+    pub keep_alive_requests: usize,
+    /// Idle timeout between requests on a keep-alive connection (default
+    /// 2000 ms). Expiry closes the connection silently — unlike the
+    /// first-request read timeout, it is not a client error.
+    pub keep_alive_idle_ms: u64,
+    /// Answer-cache capacity in responses (default 0 = caching off). See
+    /// [`gqa_core::cache::AnswerCache`] for the key and bypass rules.
+    pub cache_capacity: usize,
     /// Deterministic fault-injection plan for the worker pool (inert by
     /// default). A rule at [`FAULT_SITE_WORKER`] exercises the panic
     /// isolation: the request gets a 500, the worker survives.
@@ -90,6 +108,9 @@ impl Default for ServerConfig {
             read_timeout_ms: 5000,
             write_timeout_ms: 5000,
             accept_poll_ms: 10,
+            keep_alive_requests: 100,
+            keep_alive_idle_ms: 2000,
+            cache_capacity: 0,
             fault: FaultPlan::none(),
         }
     }
@@ -120,11 +141,100 @@ struct Counters {
     timeouts: AtomicU64,
 }
 
-/// The server. Borrows the pipeline — workers share one [`GAnswer`]
-/// immutably, which is the same aliasing model as
-/// [`GAnswer::answer_all`]'s batch fan-out.
+/// A reloadable answering engine: an epoch-stamped snapshot of a
+/// `'static` [`GAnswer`] (see [`GAnswer::shared`]) plus the recipe to
+/// rebuild it from its data sources. `POST /admin/reload` and SIGHUP call
+/// [`Engine::reload`]: the rebuild runs *outside* any lock, the swap is
+/// atomic, and in-flight requests keep the snapshot they loaded — the
+/// epoch bump is what invalidates answer-cache entries computed against
+/// the old store (each entry is stamped; see
+/// [`gqa_core::cache::AnswerCache`]).
+pub struct Engine {
+    snapshot: Snapshot<GAnswer<'static>>,
+    rebuild: Box<dyn Fn() -> Result<GAnswer<'static>, String> + Send + Sync>,
+}
+
+impl Engine {
+    /// An engine serving `initial` (epoch 1), reloading via `rebuild`.
+    /// For metric continuity the rebuild closure should construct the new
+    /// system over the *same* [`Obs`] handle as `initial`.
+    pub fn new(
+        initial: GAnswer<'static>,
+        rebuild: impl Fn() -> Result<GAnswer<'static>, String> + Send + Sync + 'static,
+    ) -> Self {
+        Engine { snapshot: Snapshot::new(initial), rebuild: Box::new(rebuild) }
+    }
+
+    /// The currently published system, pinned for the caller's lifetime.
+    pub fn load(&self) -> Arc<Stamped<GAnswer<'static>>> {
+        self.snapshot.load()
+    }
+
+    /// The current store epoch (starts at 1, +1 per successful reload).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Rebuild and atomically publish a fresh system; returns the new
+    /// epoch. On error the current snapshot stays published untouched.
+    pub fn reload(&self) -> Result<u64, String> {
+        let fresh = (self.rebuild)()?;
+        Ok(self.snapshot.swap(fresh))
+    }
+}
+
+/// Where requests get their [`GAnswer`] from: a borrowed system (the
+/// historical embedding API) or a reloadable [`Engine`].
+enum Backend<'s> {
+    Fixed(&'s GAnswer<'s>),
+    Reloadable(Arc<Engine>),
+}
+
+impl Backend<'_> {
+    /// Pin the system for one request: every read the request performs
+    /// sees the same store snapshot, even across a concurrent reload.
+    fn guard(&self) -> SystemGuard<'_> {
+        match self {
+            Backend::Fixed(s) => SystemGuard::Fixed(s),
+            Backend::Reloadable(e) => SystemGuard::Loaded(e.load()),
+        }
+    }
+}
+
+/// One request's pinned view of the answering system.
+enum SystemGuard<'s> {
+    Fixed(&'s GAnswer<'s>),
+    Loaded(Arc<Stamped<GAnswer<'static>>>),
+}
+
+impl SystemGuard<'_> {
+    fn system(&self) -> &GAnswer<'_> {
+        // `GAnswer<'s>` is covariant in `'s` (it holds the store by
+        // `&'s`/`Arc`), so both arms shorten to the guard borrow.
+        match self {
+            SystemGuard::Fixed(s) => s,
+            SystemGuard::Loaded(stamped) => &stamped.value,
+        }
+    }
+
+    /// The store epoch this request computes against (a fixed backend
+    /// never reloads, so it is permanently epoch 1).
+    fn epoch(&self) -> u64 {
+        match self {
+            SystemGuard::Fixed(_) => 1,
+            SystemGuard::Loaded(stamped) => stamped.epoch,
+        }
+    }
+}
+
+/// The server. Workers share one [`GAnswer`] immutably (the same
+/// aliasing model as [`GAnswer::answer_all`]'s batch fan-out), either
+/// borrowed ([`Server::bind`]) or behind a reloadable [`Engine`]
+/// ([`Server::bind_reloadable`]).
 pub struct Server<'s> {
-    system: &'s GAnswer<'s>,
+    backend: Backend<'s>,
+    obs: Obs,
+    cache: Option<AnswerCache>,
     config: ServerConfig,
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
@@ -139,11 +249,32 @@ impl<'s> Server<'s> {
         system: &'s GAnswer<'s>,
         config: ServerConfig,
     ) -> std::io::Result<Self> {
+        let obs = system.obs().clone();
+        Self::bind_backend(addr, Backend::Fixed(system), obs, config)
+    }
+
+    /// [`Server::bind`] over a reloadable [`Engine`]: `POST /admin/reload`
+    /// and SIGHUP swap in a freshly rebuilt system without dropping
+    /// in-flight requests. The returned server borrows nothing.
+    pub fn bind_reloadable(
+        addr: impl ToSocketAddrs,
+        engine: Arc<Engine>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server<'static>> {
+        let obs = engine.load().value.obs().clone();
+        Server::bind_backend(addr, Backend::Reloadable(engine), obs, config)
+    }
+
+    fn bind_backend(
+        addr: impl ToSocketAddrs,
+        backend: Backend<'s>,
+        obs: Obs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server<'s>> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
-        let obs = system.obs();
         if obs.is_enabled() {
-            for endpoint in ["answer", "metrics", "healthz", "other", "none"] {
+            for endpoint in ["answer", "metrics", "healthz", "admin", "other", "none"] {
                 obs.counter("gqa_server_requests_total", &[("endpoint", endpoint)]);
             }
             obs.counter("gqa_server_shed_total", &[]);
@@ -154,8 +285,28 @@ impl<'s> Server<'s> {
             obs.gauge("gqa_server_worker_threads", &[]).set(config.workers as i64);
             obs.gauge("gqa_server_queue_capacity", &[]).set(config.queue_capacity as i64);
             obs.histogram("gqa_server_request_duration_seconds", &[], gqa_obs::DURATION_BUCKETS);
+            if config.cache_capacity > 0 {
+                obs.counter("gqa_server_cache_hits_total", &[]);
+                obs.counter("gqa_server_cache_misses_total", &[]);
+                obs.counter("gqa_server_cache_stale_total", &[]);
+                obs.counter("gqa_server_cache_evictions_total", &[]);
+                obs.histogram(
+                    "gqa_server_cache_hit_duration_seconds",
+                    &[],
+                    gqa_obs::DURATION_BUCKETS,
+                );
+            }
         }
-        Ok(Server { system, config, listener, shutdown: Arc::new(AtomicBool::new(false)) })
+        let cache =
+            (config.cache_capacity > 0).then(|| AnswerCache::with_capacity(config.cache_capacity));
+        Ok(Server {
+            backend,
+            obs,
+            cache,
+            config,
+            listener,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
     }
 
     /// The bound address (useful with port 0).
@@ -200,12 +351,24 @@ impl<'s> Server<'s> {
     }
 
     fn accept_loop(&self, queue: &Bounded<Job>, counters: &Counters) {
-        let obs = self.system.obs();
+        let obs = &self.obs;
         let depth = obs.gauge("gqa_server_queue_depth", &[]);
         let shed_total = obs.counter("gqa_server_shed_total", &[]);
         loop {
             if self.shutdown.load(Ordering::SeqCst) || signal::triggered() {
                 return;
+            }
+            // SIGHUP: swap in a freshly rebuilt system (reloadable
+            // backends only; a fixed backend swallows the signal). The
+            // rebuild runs on the acceptor thread — workers keep serving
+            // from the old snapshot until the swap.
+            if signal::take_reload() {
+                if let Backend::Reloadable(engine) = &self.backend {
+                    match engine.reload() {
+                        Ok(epoch) => eprintln!("[gqa-server] SIGHUP reload: epoch {epoch}"),
+                        Err(e) => eprintln!("[gqa-server] SIGHUP reload failed: {e}"),
+                    }
+                }
             }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
@@ -258,7 +421,7 @@ impl<'s> Server<'s> {
     }
 
     fn worker(&self, queue: &Bounded<Job>, counters: &Counters) {
-        let obs = self.system.obs();
+        let obs = &self.obs;
         let inflight = obs.gauge("gqa_server_inflight_requests", &[]);
         let depth = obs.gauge("gqa_server_queue_depth", &[]);
         while let Some(job) = queue.pop() {
@@ -269,62 +432,96 @@ impl<'s> Server<'s> {
         }
     }
 
-    /// One connection: read a request, route it, write exactly one
-    /// response, close. Metrics are recorded *after* the response bytes are
-    /// written, so a `/metrics` exposition never counts itself.
+    /// One connection: serve requests until the client is done, an error
+    /// forces a close, or the keep-alive policy (request cap, idle
+    /// timeout, shutdown) ends the session. Metrics are recorded per
+    /// *response*, *after* its bytes are flushed, so a `/metrics`
+    /// exposition never counts itself; [`ServeStats::served`] therefore
+    /// counts responses while [`ServeStats::accepted`] counts
+    /// connections (equal only for `Connection: close` clients).
+    ///
+    /// Deadlines and the duration histogram anchor at **accept** time for
+    /// the first request (queue wait counts against it) and at the
+    /// previous response's flush for subsequent requests on the same
+    /// connection (those never waited in the accept queue).
     fn handle(&self, job: Job, counters: &Counters) {
-        let obs = self.system.obs();
+        let obs = &self.obs;
         let Job { stream, accepted } = job;
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(self.config.read_timeout_ms)));
         let _ = stream.set_write_timeout(Some(Duration::from_millis(self.config.write_timeout_ms)));
         let mut reader = BufReader::new(stream);
+        let mut anchor = accepted;
+        let mut served_on_conn: usize = 0;
 
-        let (endpoint, outcome) = match read_request(&mut reader, &self.config.limits) {
-            Ok(ParseOutcome::Closed) => return, // peer went away; nothing to do
-            Ok(ParseOutcome::Request(req)) => self.route_isolated(&req, accepted, counters),
-            Err(e) => match e.status() {
-                Some(status) => {
-                    let body = obj(vec![("error", Json::Str(e.reason().into()))]).to_string();
-                    (
-                        "none",
-                        Reply {
+        loop {
+            let first = served_on_conn == 0;
+            let read_ms =
+                if first { self.config.read_timeout_ms } else { self.config.keep_alive_idle_ms };
+            let _ = reader.get_ref().set_read_timeout(Some(Duration::from_millis(read_ms)));
+
+            let (endpoint, outcome, keep) = match read_request(&mut reader, &self.config.limits) {
+                Ok(ParseOutcome::Closed) if first => return, // peer went away; nothing to do
+                Ok(ParseOutcome::Closed) => break,           // clean end of a keep-alive session
+                Ok(ParseOutcome::Request(req)) => {
+                    let routed = self.route_isolated(&req, anchor, counters);
+                    let keep = req.wants_keep_alive()
+                        && served_on_conn + 1 < self.config.keep_alive_requests.max(1)
+                        && !self.shutdown.load(Ordering::SeqCst)
+                        && !signal::triggered();
+                    (routed.0, routed.1, keep)
+                }
+                // Idle expiry between keep-alive requests is not a client
+                // error: close silently, no 408 (contrast the first
+                // request, where a stalled line is a slow-loris).
+                Err(HttpError::Timeout) if !first => break,
+                Err(e) => match e.status() {
+                    Some(status) => {
+                        let body = obj(vec![("error", Json::Str(e.reason().into()))]).to_string();
+                        let reply = Reply {
                             status,
                             content_type: "application/json",
                             body: body.into_bytes(),
                             extra: Vec::new(),
-                        },
-                    )
-                }
-                None => return, // transport error; no response possible
-            },
-        };
+                        };
+                        // Parse errors always close: framing is suspect.
+                        ("none", reply, false)
+                    }
+                    None => return, // transport error; no response possible
+                },
+            };
 
-        let mut stream = reader.into_inner();
-        let extra: Vec<(&str, &str)> =
-            outcome.extra.iter().map(|(k, v)| (*k, v.as_str())).collect();
-        let written = write_response(
-            &mut stream,
-            outcome.status,
-            outcome.content_type,
-            &outcome.body,
-            &extra,
-        )
-        .is_ok();
+            let extra: Vec<(&str, &str)> =
+                outcome.extra.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            let written = write_response_conn(
+                reader.get_mut(),
+                outcome.status,
+                outcome.content_type,
+                &outcome.body,
+                &extra,
+                keep,
+            )
+            .is_ok();
 
-        // Bookkeeping after the response bytes are flushed (a /metrics
-        // exposition never counts itself) but before the FIN, so once a
-        // client sees EOF the counters already reflect its request.
-        if written {
-            counters.served.fetch_add(1, Ordering::Relaxed);
+            // Bookkeeping after the response bytes are flushed (a /metrics
+            // exposition never counts itself) but before the FIN, so once a
+            // client sees EOF the counters already reflect its request.
+            if written {
+                counters.served.fetch_add(1, Ordering::Relaxed);
+            }
+            if outcome.status == 504 {
+                counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                obs.counter("gqa_server_timeouts_total", &[]).inc();
+            }
+            obs.counter("gqa_server_requests_total", &[("endpoint", endpoint)]).inc();
+            obs.histogram("gqa_server_request_duration_seconds", &[], gqa_obs::DURATION_BUCKETS)
+                .observe(anchor.elapsed().as_secs_f64());
+
+            served_on_conn += 1;
+            anchor = Instant::now();
+            if !(written && keep) {
+                break;
+            }
         }
-        if outcome.status == 504 {
-            counters.timeouts.fetch_add(1, Ordering::Relaxed);
-            obs.counter("gqa_server_timeouts_total", &[]).inc();
-        }
-        obs.counter("gqa_server_requests_total", &[("endpoint", endpoint)]).inc();
-        obs.histogram("gqa_server_request_duration_seconds", &[], gqa_obs::DURATION_BUCKETS)
-            .observe(accepted.elapsed().as_secs_f64());
-        close_gracefully(stream);
+        close_gracefully(reader.into_inner());
     }
 
     /// [`Server::route`] behind a panic boundary. The worker thread owns
@@ -345,7 +542,12 @@ impl<'s> Server<'s> {
             } else {
                 Ok(())
             };
-            fire.map(|()| self.route(req, accepted, counters))
+            fire.map(|()| {
+                // Pin the store snapshot for the whole request: a reload
+                // concurrent with this request cannot change what it reads.
+                let guard = self.backend.guard();
+                self.route(req, &guard, accepted, counters)
+            })
         }));
         // On a fault or panic `route` never ran, so recover the endpoint
         // label from the request line for accurate per-endpoint counts.
@@ -353,6 +555,7 @@ impl<'s> Server<'s> {
             "/answer" => "answer",
             "/metrics" => "metrics",
             "/healthz" => "healthz",
+            "/admin/reload" => "admin",
             _ => "other",
         };
         match routed {
@@ -361,7 +564,7 @@ impl<'s> Server<'s> {
                 (endpoint, Reply::json(500, obj(vec![("error", Json::Str(fault.to_string()))])))
             }
             Err(_) => {
-                self.system.obs().counter("gqa_server_worker_panics_total", &[]).inc();
+                self.obs.counter("gqa_server_worker_panics_total", &[]).inc();
                 (
                     endpoint,
                     Reply::json(
@@ -379,15 +582,17 @@ impl<'s> Server<'s> {
     fn route(
         &self,
         req: &Request,
+        guard: &SystemGuard<'_>,
         accepted: Instant,
         counters: &Counters,
     ) -> (&'static str, Reply) {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => ("healthz", Reply::text(200, "ok\n")),
-            ("GET", "/metrics") => ("metrics", self.metrics_reply()),
-            ("POST", "/answer") => ("answer", self.answer_reply(req, accepted, counters)),
+            ("GET", "/metrics") => ("metrics", self.metrics_reply(guard)),
+            ("POST", "/answer") => ("answer", self.answer_reply(req, guard, accepted, counters)),
+            ("POST", "/admin/reload") => ("admin", self.reload_reply()),
             (_, "/healthz") | (_, "/metrics") => ("other", Reply::method_not_allowed("GET")),
-            (_, "/answer") => ("other", Reply::method_not_allowed("POST")),
+            (_, "/answer") | (_, "/admin/reload") => ("other", Reply::method_not_allowed("POST")),
             _ => (
                 "other",
                 Reply::json(404, obj(vec![("error", Json::Str("no such endpoint".into()))])),
@@ -395,12 +600,45 @@ impl<'s> Server<'s> {
         }
     }
 
-    fn metrics_reply(&self) -> Reply {
-        let obs = self.system.obs();
+    /// `POST /admin/reload`: rebuild the store and atomically publish it
+    /// (reloadable backends only — a [`Server::bind`] server has no
+    /// rebuild recipe and answers 501). Runs on the worker serving the
+    /// request; other workers keep answering from the old snapshot until
+    /// the swap, and the epoch bump quietly invalidates the answer cache.
+    fn reload_reply(&self) -> Reply {
+        match &self.backend {
+            Backend::Fixed(_) => Reply::json(
+                501,
+                obj(vec![(
+                    "error",
+                    Json::Str("server was started without a reloadable engine".into()),
+                )]),
+            ),
+            Backend::Reloadable(engine) => match engine.reload() {
+                Ok(epoch) => Reply::json(200, obj(vec![("epoch", Json::Num(epoch as f64))])),
+                Err(e) => {
+                    Reply::json(500, obj(vec![("error", Json::Str(format!("reload failed: {e}")))]))
+                }
+            },
+        }
+    }
+
+    fn metrics_reply(&self, guard: &SystemGuard<'_>) -> Reply {
+        let obs = &self.obs;
         if !obs.is_enabled() {
             return Reply::text(200, "# metrics disabled (server started without obs)\n");
         }
-        self.system.publish_metrics();
+        guard.system().publish_metrics();
+        // The answer cache keeps its own atomics (single source of truth,
+        // shared with `AnswerCache::stats`); publish them absolutely at
+        // scrape time like the pipeline's component-local counters.
+        if let (Some(cache), Some(registry)) = (&self.cache, obs.registry()) {
+            let stats = cache.stats();
+            registry.set_counter("gqa_server_cache_hits_total", &[], stats.hits);
+            registry.set_counter("gqa_server_cache_misses_total", &[], stats.misses);
+            registry.set_counter("gqa_server_cache_stale_total", &[], stats.stale);
+            registry.set_counter("gqa_server_cache_evictions_total", &[], stats.evictions);
+        }
         Reply {
             status: 200,
             content_type: "text/plain; version=0.0.4",
@@ -409,7 +647,13 @@ impl<'s> Server<'s> {
         }
     }
 
-    fn answer_reply(&self, req: &Request, accepted: Instant, counters: &Counters) -> Reply {
+    fn answer_reply(
+        &self,
+        req: &Request,
+        guard: &SystemGuard<'_>,
+        accepted: Instant,
+        counters: &Counters,
+    ) -> Reply {
         // Parse and validate the JSON body.
         let text = match std::str::from_utf8(&req.body) {
             Ok(t) => t,
@@ -425,11 +669,16 @@ impl<'s> Server<'s> {
         if question.trim().is_empty() {
             return Reply::bad_request("\"question\" must be non-empty");
         }
-        let k = match body.get("k") {
-            None => self.config.default_k,
+        // `k` accepts 0 (a valid "give me the empty prefix" request that
+        // answers 200 with empty lists — it used to 400). Absent `k`
+        // falls back to the configured default, where 0 means "no
+        // truncation"; that sentinel never collides with an explicit 0
+        // because the explicit form stays `Some(0)`.
+        let k: Option<usize> = match body.get("k") {
+            None => (self.config.default_k > 0).then_some(self.config.default_k),
             Some(v) => match v.as_uint() {
-                Some(n) if n >= 1 => n as usize,
-                _ => return Reply::bad_request("\"k\" must be a positive integer"),
+                Some(n) => Some(n as usize),
+                None => return Reply::bad_request("\"k\" must be a non-negative integer"),
             },
         };
         let timeout_ms = match body.get("timeout_ms") {
@@ -457,14 +706,61 @@ impl<'s> Server<'s> {
             return Reply::timeout("queue", timeout_ms);
         }
 
+        let system = guard.system();
+
+        // Cache bypass: traced runs carry per-request state, and any armed
+        // fault plan or finite budget makes responses intentionally
+        // nondeterministic — serving a memoized answer would mask the very
+        // behavior chaos tests exist to observe. Bypassed requests emit no
+        // `X-Cache` header at all, keeping them byte-identical to a
+        // cacheless server.
+        let bypass = explain
+            || self.config.fault.is_active()
+            || system.config.fault.is_active()
+            || !system.config.budget.is_unlimited();
+        let cached_key = match (&self.cache, bypass) {
+            (Some(cache), false) => {
+                let key = CacheKey::new(question, k, config_fingerprint(&system.config));
+                match cache.lookup(&key, guard.epoch()) {
+                    Lookup::Hit(response) => {
+                        self.obs
+                            .histogram(
+                                "gqa_server_cache_hit_duration_seconds",
+                                &[],
+                                gqa_obs::DURATION_BUCKETS,
+                            )
+                            .observe(accepted.elapsed().as_secs_f64());
+                        let mut reply =
+                            Reply::json(200, render_response(question, &response, k, queue_wait));
+                        reply.extra.push(("X-Cache", "hit".to_owned()));
+                        return reply;
+                    }
+                    // A stale entry was already dropped by the lookup;
+                    // recompute against the pinned snapshot and re-insert
+                    // under the current epoch like any miss.
+                    Lookup::Miss | Lookup::Stale => Some((cache, key)),
+                }
+            }
+            _ => None,
+        };
+
         let result = if explain {
-            self.system.answer_traced_with_deadline(question, deadline)
+            system.answer_traced_with_deadline(question, deadline)
         } else {
-            self.system.answer_with_deadline(question, deadline)
+            system.answer_with_deadline(question, deadline)
         };
         match result {
             Err(e) => Reply::timeout(e.stage, timeout_ms),
-            Ok(response) => Reply::json(200, render_response(question, &response, k, queue_wait)),
+            Ok(response) => {
+                let response = Arc::new(response);
+                let mut reply =
+                    Reply::json(200, render_response(question, &response, k, queue_wait));
+                if let Some((cache, key)) = cached_key {
+                    cache.insert(key, guard.epoch(), Arc::clone(&response));
+                    reply.extra.push(("X-Cache", "miss".to_owned()));
+                }
+                reply
+            }
         }
     }
 }
@@ -542,10 +838,11 @@ impl Reply {
 }
 
 /// Serialize a pipeline [`Response`] to the `/answer` JSON schema.
-/// `k > 0` truncates the answer and SPARQL lists (per-request `k` cannot
-/// change the shared pipeline's `top_k`, so it is applied here).
-fn render_response(question: &str, r: &Response, k: usize, queue_wait: Duration) -> Json {
-    let take = if k == 0 { usize::MAX } else { k };
+/// `Some(k)` truncates the answer and SPARQL lists — including `Some(0)`,
+/// the empty prefix — while `None` renders everything (per-request `k`
+/// cannot change the shared pipeline's `top_k`, so it is applied here).
+fn render_response(question: &str, r: &Response, k: Option<usize>, queue_wait: Duration) -> Json {
+    let take = k.unwrap_or(usize::MAX);
     let answers: Vec<Json> = r
         .answers
         .iter()

@@ -1,30 +1,55 @@
-//! SIGINT/SIGTERM → a global "please shut down" flag.
+//! SIGINT/SIGTERM → a global "please shut down" flag, SIGHUP → a global
+//! "please reload" flag.
 //!
 //! There is no signal crate to lean on, so this registers handlers through
 //! the raw libc `signal(2)` symbol (already linked into every Rust binary
-//! on unix). The handler body is a single atomic store — trivially
+//! on unix). The handler bodies are single atomic stores — trivially
 //! async-signal-safe. The server's accept loop polls [`triggered`] between
-//! accepts and begins its graceful drain when it flips.
+//! accepts and begins its graceful drain when it flips; it polls
+//! [`take_reload`] the same way and, when serving a reloadable engine,
+//! swaps in a freshly loaded store (the same action as `POST
+//! /admin/reload`).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static TRIGGERED: AtomicBool = AtomicBool::new(false);
+static RELOAD: AtomicBool = AtomicBool::new(false);
 
 /// Whether a shutdown signal has been received (or [`trigger`] called).
 pub fn triggered() -> bool {
     TRIGGERED.load(Ordering::SeqCst)
 }
 
-/// Set the flag programmatically (tests, and the REPL's quit path).
+/// Set the shutdown flag programmatically (tests, and the REPL's quit
+/// path).
 pub fn trigger() {
     TRIGGERED.store(true, Ordering::SeqCst);
 }
 
+/// Whether a SIGHUP (or [`request_reload`]) is pending, without consuming
+/// it.
+pub fn reload_requested() -> bool {
+    RELOAD.load(Ordering::SeqCst)
+}
+
+/// Consume a pending reload request: returns `true` at most once per
+/// SIGHUP/[`request_reload`], so exactly one poller acts on each.
+pub fn take_reload() -> bool {
+    RELOAD.swap(false, Ordering::SeqCst)
+}
+
+/// Set the reload flag programmatically (tests, and platforms without
+/// SIGHUP).
+pub fn request_reload() {
+    RELOAD.store(true, Ordering::SeqCst);
+}
+
 #[cfg(unix)]
 mod imp {
-    use super::TRIGGERED;
+    use super::{RELOAD, TRIGGERED};
     use std::sync::atomic::Ordering;
 
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
 
@@ -36,13 +61,18 @@ mod imp {
         TRIGGERED.store(true, Ordering::SeqCst);
     }
 
-    /// Install handlers for SIGINT and SIGTERM.
+    extern "C" fn on_reload(_signum: i32) {
+        RELOAD.store(true, Ordering::SeqCst);
+    }
+
+    /// Install handlers for SIGINT/SIGTERM (shutdown) and SIGHUP (reload).
     pub fn install() {
-        // SAFETY: `signal` is the POSIX libc function; the handler only
-        // performs an atomic store, which is async-signal-safe.
+        // SAFETY: `signal` is the POSIX libc function; the handlers only
+        // perform an atomic store, which is async-signal-safe.
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
+            signal(SIGHUP, on_reload);
         }
     }
 }
@@ -50,7 +80,8 @@ mod imp {
 #[cfg(not(unix))]
 mod imp {
     /// No signal handling off unix; shutdown still works via
-    /// [`super::trigger`] and the server's shutdown flag.
+    /// [`super::trigger`] and the server's shutdown flag, reload via
+    /// [`super::request_reload`] and `POST /admin/reload`.
     pub fn install() {}
 }
 
@@ -63,5 +94,15 @@ mod tests {
         assert!(!super::triggered() || super::triggered()); // no panic either way
         super::trigger();
         assert!(super::triggered());
+    }
+
+    #[test]
+    fn reload_requests_are_consumed_exactly_once() {
+        assert!(!super::take_reload(), "no request pending initially");
+        super::request_reload();
+        assert!(super::reload_requested());
+        assert!(super::take_reload());
+        assert!(!super::take_reload(), "consumed");
+        assert!(!super::reload_requested());
     }
 }

@@ -45,7 +45,7 @@ fn send_raw(addr: SocketAddr, bytes: &[u8]) -> Reply {
 
 fn post_answer(addr: SocketAddr, json: &str) -> Reply {
     let req = format!(
-        "POST /answer HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+        "POST /answer HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
         json.len(),
         json
     );
@@ -177,7 +177,8 @@ fn budget_degradation_surfaces_in_response_and_metrics() {
             addr,
             r#"{"question": "Who was married to an actor that played in Philadelphia?"}"#,
         );
-        let metrics_reply = send_raw(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        let metrics_reply =
+            send_raw(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
         shutdown.store(true, Ordering::SeqCst);
         run.join().expect("server thread panicked");
         (reply, metrics_reply)
@@ -191,4 +192,76 @@ fn budget_degradation_surfaces_in_response_and_metrics() {
     let (mstatus, metrics) = metrics_reply.expect("metrics i/o failed");
     assert_eq!(mstatus, 200);
     assert!(metrics.contains("gqa_pipeline_degraded_total{budget=\"frontier\"} 1"), "{metrics}");
+}
+
+/// An armed fault plan disarms the answer cache: with `--cache`-style
+/// capacity configured AND worker panics injected, every request still
+/// reaches the injection site (the plan's fired count matches the client
+/// 500 tally over *all* requests) and the cache records zero hits — a
+/// memoized answer never masks a fault that chaos runs exist to observe.
+#[test]
+fn armed_fault_plan_bypasses_the_answer_cache() {
+    quiet_injected_panics();
+    let store = mini_dbpedia();
+    let sys = system(
+        &store,
+        GAnswerConfig { concurrency: Concurrency::serial(), ..GAnswerConfig::default() },
+    );
+    let plan = FaultPlan::parse(&format!("{FAULT_SITE_WORKER}:panic:0.1"), 7).expect("spec");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &sys,
+        ServerConfig {
+            workers: 2,
+            default_timeout_ms: 20_000,
+            cache_capacity: 256,
+            fault: plan.clone(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+
+    // The same question 40 times: prime cache-hit territory, if the cache
+    // were consulted.
+    const REQUESTS: usize = 40;
+    let (replies, metrics_reply) = std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run());
+        let replies: Vec<Reply> = (0..REQUESTS)
+            .map(|_| post_answer(addr, r#"{"question": "Who is the mayor of Berlin?"}"#))
+            .collect();
+        let metrics_reply =
+            send_raw(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+        shutdown.store(true, Ordering::SeqCst);
+        run.join().expect("server thread panicked");
+        (replies, metrics_reply)
+    });
+
+    let mut ok = 0u64;
+    let mut faulted = 0u64;
+    for reply in replies {
+        let (status, body) = reply.expect("client i/o failed");
+        match status {
+            200 => {
+                assert!(body.contains("Klaus Wowereit"), "{body}");
+                ok += 1;
+            }
+            500 => {
+                assert!(body.contains("panicked"), "{body}");
+                faulted += 1;
+            }
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+    assert_eq!(ok + faulted, REQUESTS as u64);
+    assert!(faulted > 0, "seed 7 fires within 40 calls at p=0.1");
+    // Every request reached the injection site — nothing was absorbed by
+    // a cache hit upstream of it.
+    assert_eq!(faulted, plan.fired(FAULT_SITE_WORKER));
+
+    let (mstatus, metrics) = metrics_reply.expect("metrics i/o failed");
+    assert_eq!(mstatus, 200);
+    assert!(metrics.contains("gqa_server_cache_hits_total 0"), "{metrics}");
+    assert!(metrics.contains("gqa_server_cache_misses_total 0"), "{metrics}");
 }

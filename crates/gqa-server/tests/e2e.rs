@@ -21,10 +21,11 @@ use gqa_datagen::minidbp::mini_dbpedia;
 use gqa_datagen::patty::mini_dict;
 use gqa_obs::Obs;
 use gqa_rdf::Store;
-use gqa_server::{ServeStats, Server, ServerConfig};
-use std::io::{Read, Write};
+use gqa_server::{Engine, ServeStats, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// (status, body) on success; never panics inside a client thread.
@@ -41,9 +42,11 @@ fn system(store: &Store) -> GAnswer<'_> {
     GAnswer::with_obs(store, dict, config, Obs::new())
 }
 
-/// Send raw bytes, read to EOF (the server always closes), return
-/// (status, body). Never panics — errors come back as `Err` strings so a
-/// failure inside a thread scope cannot deadlock the test.
+/// Send raw bytes, read to EOF, return (status, body). Callers send
+/// `Connection: close` so the server still closes after one response
+/// (keep-alive is exercised by its own test below). Never panics — errors
+/// come back as `Err` strings so a failure inside a thread scope cannot
+/// deadlock the test.
 fn send_raw(addr: SocketAddr, bytes: &[u8]) -> Reply {
     let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
     s.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
@@ -62,11 +65,80 @@ fn send_raw(addr: SocketAddr, bytes: &[u8]) -> Reply {
 
 fn post_answer(addr: SocketAddr, json: &str) -> Reply {
     let req = format!(
-        "POST /answer HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+        "POST /answer HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
         json.len(),
         json
     );
     send_raw(addr, req.as_bytes())
+}
+
+/// Like [`send_raw`] but returns (status, full response text including
+/// headers) — for tests that assert on `X-Cache`/`Connection` headers.
+fn send_raw_full(addr: SocketAddr, bytes: &[u8]) -> Result<(u16, String), String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
+    s.write_all(bytes).map_err(|e| format!("write: {e}"))?;
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| format!("unparseable response: {text:?}"))?;
+    Ok((status, text))
+}
+
+fn post_answer_full(addr: SocketAddr, json: &str) -> Result<(u16, String), String> {
+    let req = format!(
+        "POST /answer HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+        json.len(),
+        json
+    );
+    send_raw_full(addr, req.as_bytes())
+}
+
+/// Read exactly one framed HTTP response off a keep-alive connection:
+/// head up to the blank line, then `Content-Length` bytes of body.
+fn read_one_response(reader: &mut impl BufRead) -> Result<(u16, String, String), String> {
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| format!("read head: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-head".into());
+        }
+        let done = line == "\r\n";
+        head.push_str(&line);
+        if done {
+            break;
+        }
+        if head.len() > 64 * 1024 {
+            return Err("oversized head".into());
+        }
+    }
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| format!("unparseable head: {head:?}"))?;
+    let len: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length").then(|| value.trim().parse().ok())?
+        })
+        .ok_or_else(|| format!("no content-length in {head:?}"))?;
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).map_err(|e| format!("read body: {e}"))?;
+    Ok((status, head, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// The deterministic prefix of an `/answer` body: everything before the
+/// wall-clock `timings_ms` object (answers, boolean, count, sparql,
+/// failure, degraded — in the serializer's fixed key order).
+fn semantic_prefix(body: &str) -> &str {
+    body.split("\"timings_ms\"").next().unwrap()
 }
 
 /// Run `clients` concurrently against a served `Server`, always shut the
@@ -126,9 +198,15 @@ fn taxonomy_no_deadlock_and_clean_drain_under_concurrent_mixed_load() {
                             r#"{"question": "Who is the mayor of Berlin?", "timeout_ms": 0}"#,
                         ),
                         // Unknown path → 404.
-                        4 => send_raw(addr, b"GET /nope HTTP/1.1\r\nHost: t\r\n\r\n"),
+                        4 => send_raw(
+                            addr,
+                            b"GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+                        ),
                         // Wrong method on a real path → 405.
-                        _ => send_raw(addr, b"GET /answer HTTP/1.1\r\nHost: t\r\n\r\n"),
+                        _ => send_raw(
+                            addr,
+                            b"GET /answer HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+                        ),
                     })
                     .collect()
             }) as Client<Vec<Reply>>
@@ -172,7 +250,7 @@ fn metrics_and_healthz_agree_with_traffic() {
     // EXPLAIN), then a metrics scrape that must reflect all of it.
     let client = Box::new(|addr: SocketAddr| {
         let mut log = Vec::new();
-        log.push(send_raw(addr, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"));
+        log.push(send_raw(addr, b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"));
         for _ in 0..3 {
             log.push(post_answer(addr, r#"{"question": "Who is the mayor of Berlin?"}"#));
         }
@@ -180,7 +258,7 @@ fn metrics_and_healthz_agree_with_traffic() {
             addr,
             r#"{"question": "Who is the mayor of Berlin?", "explain": true}"#,
         ));
-        log.push(send_raw(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n"));
+        log.push(send_raw(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"));
         log
     }) as Client<Vec<Reply>>;
 
@@ -250,7 +328,8 @@ fn overload_sheds_503_with_retry_after() {
             std::thread::sleep(Duration::from_millis(250));
         }
 
-        let shed = send_raw(addr, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")?;
+        let shed =
+            send_raw(addr, b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")?;
 
         // The parked connections eventually get 408s (slow-loris defense),
         // demonstrating the worker was never wedged.
@@ -317,4 +396,245 @@ fn shutdown_drains_queued_requests() {
         assert_eq!(status, 200, "accepted request was dropped during drain: {body}");
     }
     assert_eq!(stats.served, stats.accepted, "drain lost responses: {stats:?}");
+}
+
+#[test]
+fn k_zero_is_a_valid_request_answered_with_empty_lists() {
+    let store = mini_dbpedia();
+    let sys = system(&store);
+    let server =
+        Server::bind("127.0.0.1:0", &sys, ServerConfig { workers: 1, ..ServerConfig::default() })
+            .expect("bind");
+
+    let client = Box::new(|addr: SocketAddr| {
+        vec![
+            // k: 0 is a legal "empty prefix" request (it used to 400 and,
+            // before the guard in topk, could panic the pipeline on k-1).
+            post_answer(addr, r#"{"question": "Who is the mayor of Berlin?", "k": 0}"#),
+            // Non-integers and negatives are still rejected.
+            post_answer(addr, r#"{"question": "Who is the mayor of Berlin?", "k": -1}"#),
+            post_answer(addr, r#"{"question": "Who is the mayor of Berlin?", "k": 1.5}"#),
+        ]
+    }) as Client<Vec<Reply>>;
+
+    let (outcomes, stats) = serve_and_drive(&server, vec![client]);
+    let log: Vec<(u16, String)> = outcomes
+        .into_iter()
+        .next()
+        .unwrap()
+        .expect("client thread panicked")
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .expect("client i/o failed");
+
+    let (status, body) = &log[0];
+    assert_eq!(*status, 200, "{body}");
+    assert!(body.contains("\"answers\":[]"), "{body}");
+    assert!(body.contains("\"sparql\":[]"), "{body}");
+    assert!(body.contains("\"timings_ms\""), "the pipeline still ran: {body}");
+    for (status, body) in &log[1..] {
+        assert_eq!(*status, 400, "{body}");
+        assert!(body.contains("non-negative integer"), "{body}");
+    }
+    assert_eq!(stats.served, 3);
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_on_one_connection() {
+    let store = mini_dbpedia();
+    let sys = system(&store);
+    let server =
+        Server::bind("127.0.0.1:0", &sys, ServerConfig { workers: 1, ..ServerConfig::default() })
+            .expect("bind");
+
+    type Outcome = Result<Vec<(u16, String, String)>, String>;
+    let client = Box::new(|addr: SocketAddr| -> Outcome {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stream.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream);
+        let body = r#"{"question": "Who is the mayor of Berlin?"}"#;
+        let keep = format!(
+            "POST /answer HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let close = format!(
+            "POST /answer HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let mut log = Vec::new();
+        // Two requests with no Connection header: HTTP/1.1 defaults to
+        // keep-alive, so both ride the same connection...
+        for _ in 0..2 {
+            reader.get_mut().write_all(keep.as_bytes()).map_err(|e| format!("write: {e}"))?;
+            log.push(read_one_response(&mut reader)?);
+        }
+        // ...and an explicit close ends the session: response says close,
+        // then EOF.
+        reader.get_mut().write_all(close.as_bytes()).map_err(|e| format!("write: {e}"))?;
+        log.push(read_one_response(&mut reader)?);
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).map_err(|e| format!("read eof: {e}"))?;
+        if !rest.is_empty() {
+            return Err(format!("bytes after close: {rest:?}"));
+        }
+        Ok(log)
+    }) as Client<Outcome>;
+
+    let (outcomes, stats) = serve_and_drive(&server, vec![client]);
+    let log = outcomes
+        .into_iter()
+        .next()
+        .unwrap()
+        .expect("client thread panicked")
+        .expect("client i/o failed");
+
+    for (status, _, body) in &log {
+        assert_eq!(*status, 200, "{body}");
+        assert!(body.contains("Klaus Wowereit"), "{body}");
+    }
+    assert!(log[0].1.contains("Connection: keep-alive"), "{}", log[0].1);
+    assert!(log[1].1.contains("Connection: keep-alive"), "{}", log[1].1);
+    assert!(log[2].1.contains("Connection: close"), "{}", log[2].1);
+    // One connection admitted, three responses served: the queue slot was
+    // reused by the keep-alive loop, not re-admitted per request.
+    assert_eq!(stats.accepted, 1, "{stats:?}");
+    assert_eq!(stats.served, 3, "{stats:?}");
+}
+
+#[test]
+fn answer_cache_hits_are_flagged_and_byte_identical() {
+    let store = mini_dbpedia();
+    let sys = system(&store);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &sys,
+        ServerConfig { workers: 1, cache_capacity: 64, ..ServerConfig::default() },
+    )
+    .expect("bind");
+
+    type Outcome = Result<Vec<(u16, String)>, String>;
+    let q = r#"{"question": "Who is the mayor of Berlin?", "k": 3}"#;
+    let variant = r#"{"question": "  WHO IS THE MAYOR OF BERLIN???  ", "k": 3}"#;
+    let traced = r#"{"question": "Who is the mayor of Berlin?", "k": 3, "explain": true}"#;
+    let client = Box::new(move |addr: SocketAddr| -> Outcome {
+        Ok(vec![
+            post_answer_full(addr, q)?,       // cold → miss
+            post_answer_full(addr, q)?,       // same key → hit
+            post_answer_full(addr, variant)?, // normalized variant → hit
+            post_answer_full(addr, traced)?,  // explain → bypass, no header
+            send_raw_full(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")?,
+        ])
+    }) as Client<Outcome>;
+
+    let (outcomes, _stats) = serve_and_drive(&server, vec![client]);
+    let log = outcomes
+        .into_iter()
+        .next()
+        .unwrap()
+        .expect("client thread panicked")
+        .expect("client i/o failed");
+
+    let body_of = |text: &str| text.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap();
+    for (status, text) in &log[..4] {
+        assert_eq!(*status, 200, "{text}");
+    }
+    assert!(log[0].1.contains("X-Cache: miss"), "{}", log[0].1);
+    assert!(log[1].1.contains("X-Cache: hit"), "{}", log[1].1);
+    assert!(log[2].1.contains("X-Cache: hit"), "{}", log[2].1);
+    assert!(!log[3].1.contains("X-Cache"), "bypassed request leaked a header: {}", log[3].1);
+
+    // The hit's payload is byte-identical to the cold run's, wall-clock
+    // timings aside.
+    let cold = body_of(&log[0].1);
+    let hit = body_of(&log[1].1);
+    assert_eq!(semantic_prefix(&cold), semantic_prefix(&hit));
+    assert!(cold.contains("Klaus Wowereit"), "{cold}");
+
+    // The scrape agrees: 2 hits, 1 miss (bypassed requests touch nothing).
+    let metrics = body_of(&log[4].1);
+    assert!(metrics.contains("gqa_server_cache_hits_total 2"), "{metrics}");
+    assert!(metrics.contains("gqa_server_cache_misses_total 1"), "{metrics}");
+    assert!(metrics.contains("gqa_server_cache_stale_total 0"), "{metrics}");
+}
+
+#[test]
+fn admin_reload_bumps_epoch_and_invalidates_cached_answers() {
+    let obs = Obs::new();
+    let build = {
+        let obs = obs.clone();
+        move || {
+            let store = Arc::new(mini_dbpedia());
+            let dict = mini_dict(&store);
+            let config =
+                GAnswerConfig { concurrency: Concurrency::serial(), ..GAnswerConfig::default() };
+            Ok(GAnswer::shared(store, dict, config, obs.clone()))
+        }
+    };
+    let engine = Arc::new(Engine::new(build().unwrap(), build));
+    let server = Server::bind_reloadable(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServerConfig { workers: 1, cache_capacity: 16, ..ServerConfig::default() },
+    )
+    .expect("bind");
+
+    type Outcome = Result<Vec<(u16, String)>, String>;
+    let q = r#"{"question": "Who is the mayor of Berlin?"}"#;
+    let client = Box::new(move |addr: SocketAddr| -> Outcome {
+        let reload =
+            b"POST /admin/reload HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: 0\r\n\r\n";
+        Ok(vec![
+            post_answer_full(addr, q)?, // cold → miss
+            post_answer_full(addr, q)?, // → hit
+            send_raw_full(addr, reload)?,
+            post_answer_full(addr, q)?, // old entry is stale → recompute
+            post_answer_full(addr, q)?, // → hit again, under the new epoch
+            send_raw_full(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")?,
+        ])
+    }) as Client<Outcome>;
+
+    let (outcomes, _stats) = serve_and_drive(&server, vec![client]);
+    let log = outcomes
+        .into_iter()
+        .next()
+        .unwrap()
+        .expect("client thread panicked")
+        .expect("client i/o failed");
+
+    assert!(log[0].1.contains("X-Cache: miss"), "{}", log[0].1);
+    assert!(log[1].1.contains("X-Cache: hit"), "{}", log[1].1);
+    let (reload_status, reload_text) = &log[2];
+    assert_eq!(*reload_status, 200, "{reload_text}");
+    assert!(reload_text.contains("{\"epoch\":2}"), "{reload_text}");
+    assert!(log[3].1.contains("X-Cache: miss"), "stale entry served: {}", log[3].1);
+    assert!(log[4].1.contains("X-Cache: hit"), "{}", log[4].1);
+    assert_eq!(engine.epoch(), 2);
+
+    let metrics = log[5].1.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap();
+    assert!(metrics.contains("gqa_server_cache_stale_total 1"), "{metrics}");
+    assert!(metrics.contains("gqa_server_requests_total{endpoint=\"admin\"} 1"), "{metrics}");
+}
+
+#[test]
+fn reload_without_an_engine_is_501() {
+    let store = mini_dbpedia();
+    let sys = system(&store);
+    let server =
+        Server::bind("127.0.0.1:0", &sys, ServerConfig { workers: 1, ..ServerConfig::default() })
+            .expect("bind");
+
+    let client = Box::new(|addr: SocketAddr| {
+        send_raw(
+            addr,
+            b"POST /admin/reload HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: 0\r\n\r\n",
+        )
+    }) as Client<Reply>;
+
+    let (outcomes, _stats) = serve_and_drive(&server, vec![client]);
+    let (status, body) =
+        outcomes.into_iter().next().unwrap().expect("client thread panicked").expect("client i/o");
+    assert_eq!(status, 501, "{body}");
+    assert!(body.contains("reloadable"), "{body}");
 }

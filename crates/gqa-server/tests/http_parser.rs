@@ -147,6 +147,25 @@ proptest! {
         prop_assert_eq!(err.expect("must be rejected").status(), Some(400));
     }
 
+    /// Repeated Content-Length headers are always 400, whether the copies
+    /// agree or not: two frames' worth of ambiguity about where the body
+    /// ends is a request-smuggling vector, so the parser refuses rather
+    /// than picking one (RFC 9112 §6.3).
+    #[test]
+    fn duplicate_content_length_is_400(
+        first in 0usize..32,
+        second in 0usize..32,
+        chunks in prop::collection::vec(1usize..6, 1..4),
+    ) {
+        let body = "z".repeat(first.max(second));
+        let raw = format!(
+            "POST /answer HTTP/1.1\r\nHost: t\r\nContent-Length: {first}\r\nContent-Length: {second}\r\n\r\n{body}",
+        );
+        let (parsed, err) = drive(raw.as_bytes(), chunks);
+        prop_assert_eq!(parsed, 0, "a duplicate-CL request must never parse");
+        prop_assert_eq!(err.expect("must be rejected").status(), Some(400));
+    }
+
     /// Valid requests followed by pipelined garbage: the valid prefix
     /// parses, the garbage dies with a 4xx (or a clean close), and the
     /// parser never spins.

@@ -18,7 +18,9 @@ use ganswer::obs::Obs;
 use ganswer::paraphrase::ParaphraseDict;
 use ganswer::rdf::Store;
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
+#[derive(Clone)]
 struct Options {
     data: Option<String>,
     dict: Option<String>,
@@ -33,6 +35,8 @@ struct Options {
     strict: bool,
     faults: Option<String>,
     fault_seed: u64,
+    /// `--cache N` / `--no-cache` (`Some(0)`); `None` = serve default.
+    cache: Option<usize>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -50,6 +54,7 @@ fn parse_args() -> Result<Options, String> {
         strict: false,
         faults: None,
         fault_seed: 0,
+        cache: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -94,6 +99,15 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--strict" => opts.strict = true,
+            "--cache" => {
+                opts.cache = Some(
+                    args.next()
+                        .ok_or("--cache needs a number of responses")?
+                        .parse()
+                        .map_err(|e| format!("bad --cache: {e}"))?,
+                );
+            }
+            "--no-cache" => opts.cache = Some(0),
             "--faults" => opts.faults = Some(args.next().ok_or("--faults needs a spec")?),
             "--fault-seed" => {
                 opts.fault_seed = args
@@ -117,12 +131,17 @@ fn parse_args() -> Result<Options, String> {
                      --explain            print a per-question EXPLAIN trace (parse,\n\
                      \x20                    candidates, pruning, TA rounds with theta/Upbound)\n\
                      --serve ADDR         run the HTTP answering service on ADDR\n\
-                     \x20                    (POST /answer, GET /metrics, GET /healthz);\n\
-                     \x20                    SIGINT/SIGTERM drain in-flight requests and exit 0\n\
+                     \x20                    (POST /answer, GET /metrics, GET /healthz,\n\
+                     \x20                    POST /admin/reload to re-read --data/--dict);\n\
+                     \x20                    SIGHUP also reloads; SIGINT/SIGTERM drain\n\
+                     \x20                    in-flight requests and exit 0\n\
                      --queue N            (--serve) bounded admission queue; a full queue\n\
                      \x20                    sheds with 503 + Retry-After (default 64)\n\
                      --timeout-ms MS      (--serve) default per-request deadline; requests\n\
                      \x20                    past it get 504 (default 2000)\n\
+                     --cache N            (--serve) answer cache capacity in responses\n\
+                     \x20                    (default 1024); reloads invalidate stale entries\n\
+                     --no-cache           (--serve) disable the answer cache\n\
                      --strict             abort loading on the first malformed N-Triples\n\
                      \x20                    line (default: skip, count, and continue)\n\
                      --faults SPEC        deterministic fault injection, e.g.\n\
@@ -233,12 +252,32 @@ fn main() {
 
     // Serve mode: same startup path (load + config above), then hand the
     // pipeline to the HTTP service instead of the REPL. Metrics are always
-    // on — /metrics is one of the endpoints.
+    // on — /metrics is one of the endpoints. The store sits behind a
+    // reloadable engine: `POST /admin/reload` or SIGHUP re-reads
+    // --data/--dict and atomically swaps the snapshot (the rebuild reuses
+    // this Obs so metric series survive reloads, and the epoch bump
+    // invalidates stale answer-cache entries).
     if let Some(addr) = &opts.serve {
-        let system = GAnswer::with_obs(&store, dict, config, Obs::new());
-        system.obs().counter("gqa_rdf_parse_errors_total", &[]).add(parse_errors);
-        let mut server_config =
-            ganswer::server::ServerConfig { fault: fault.clone(), ..Default::default() };
+        let obs = Obs::new();
+        let rebuild = {
+            let opts = opts.clone();
+            let config = config.clone();
+            let obs = obs.clone();
+            move || -> Result<GAnswer<'static>, String> {
+                let (store, dict, parse_errors) = load(&opts)?;
+                let system = GAnswer::shared(Arc::new(store), dict, config.clone(), obs.clone());
+                system.obs().counter("gqa_rdf_parse_errors_total", &[]).add(parse_errors);
+                Ok(system)
+            }
+        };
+        let initial = GAnswer::shared(Arc::new(store), dict, config.clone(), obs.clone());
+        initial.obs().counter("gqa_rdf_parse_errors_total", &[]).add(parse_errors);
+        let engine = Arc::new(ganswer::server::Engine::new(initial, rebuild));
+        let mut server_config = ganswer::server::ServerConfig {
+            cache_capacity: opts.cache.unwrap_or(1024),
+            fault: fault.clone(),
+            ..Default::default()
+        };
         if let Some(n) = opts.threads {
             server_config.workers = n.max(1);
         }
@@ -248,7 +287,11 @@ fn main() {
         if let Some(ms) = opts.timeout_ms {
             server_config.default_timeout_ms = ms.max(1);
         }
-        let server = match ganswer::server::Server::bind(addr.as_str(), &system, server_config) {
+        let server = match ganswer::server::Server::bind_reloadable(
+            addr.as_str(),
+            Arc::clone(&engine),
+            server_config,
+        ) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("error: cannot bind {addr}: {e}");
@@ -259,16 +302,22 @@ fn main() {
         let local = server.local_addr().expect("bound listener has an address");
         println!(
             "ganswer serving on http://{local} — {} entities, {} triples; \
-             {} workers, queue {}, default deadline {} ms (SIGTERM to stop)",
+             {} workers, queue {}, default deadline {} ms, answer cache {} \
+             (SIGTERM to stop, SIGHUP or POST /admin/reload to reload)",
             stats.entities,
             stats.triples,
             server.config().workers,
             server.config().queue_capacity,
-            server.config().default_timeout_ms
+            server.config().default_timeout_ms,
+            if server.config().cache_capacity > 0 {
+                format!("{} responses", server.config().cache_capacity)
+            } else {
+                "off".to_owned()
+            },
         );
         let served = server.run();
         if let Some(path) = &opts.metrics {
-            write_metrics(&system, path);
+            write_metrics(&engine.load().value, path);
         }
         println!(
             "ganswer: drained — {} accepted, {} served, {} shed, {} timed out",
