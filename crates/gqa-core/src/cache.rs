@@ -22,7 +22,10 @@
 //! (`gqa_rdf::Snapshot`) it was computed against. A lookup under a newer
 //! epoch treats the entry as *stale*: it is dropped on sight and counted
 //! separately from plain misses, which is what lets a store reload
-//! invalidate the whole cache for free — no sweep, no pause.
+//! invalidate the whole cache for free — no sweep, no pause. The reverse
+//! direction is shielded too: a request that was pinned to a pre-reload
+//! snapshot and finishes *after* the reload can neither evict nor
+//! overwrite entries the new generation has already computed.
 //!
 //! The cache refuses to store degraded or trace-carrying responses:
 //! degraded answers are partial by definition (a retry under a healthier
@@ -185,8 +188,12 @@ impl AnswerCache {
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
-    /// Look up `key` as of store `epoch`. An entry computed under a
-    /// different epoch is dropped and reported [`Lookup::Stale`].
+    /// Look up `key` as of store `epoch`. An entry computed under an
+    /// *older* epoch is dropped and reported [`Lookup::Stale`]. An entry
+    /// from a *newer* epoch (the caller is an in-flight request still
+    /// pinned to a pre-reload snapshot) is left untouched and reported
+    /// as a plain miss — a retiring request must never evict data the
+    /// current generation just computed.
     pub fn lookup(&self, key: &CacheKey, epoch: u64) -> Lookup {
         let mut shard = self.shard(key).lock();
         shard.clock += 1;
@@ -199,13 +206,13 @@ impl AnswerCache {
                 self.hits.fetch_add(1, Relaxed);
                 Lookup::Hit(response)
             }
-            Some(_) => {
+            Some(entry) if entry.epoch < epoch => {
                 shard.map.remove(key);
                 drop(shard);
                 self.stale.fetch_add(1, Relaxed);
                 Lookup::Stale
             }
-            None => {
+            Some(_) | None => {
                 drop(shard);
                 self.misses.fetch_add(1, Relaxed);
                 Lookup::Miss
@@ -216,12 +223,18 @@ impl AnswerCache {
     /// Store a response computed under `epoch`. Returns `true` if the
     /// entry was admitted. Degraded or trace-carrying responses are
     /// refused (see the module docs); the caller is expected to have
-    /// already skipped faulted/budgeted runs entirely.
+    /// already skipped faulted/budgeted runs entirely. An insert is also
+    /// refused when the key already holds an entry from a *newer* epoch:
+    /// a request that outlived a reload must not replace fresh data with
+    /// its retired snapshot's answer.
     pub fn insert(&self, key: CacheKey, epoch: u64, response: Arc<Response>) -> bool {
         if response.degraded.is_some() || response.trace.is_some() {
             return false;
         }
         let mut shard = self.shard(&key).lock();
+        if shard.map.get(&key).is_some_and(|existing| existing.epoch > epoch) {
+            return false;
+        }
         if shard.map.len() >= shard.capacity && !shard.map.contains_key(&key) {
             if let Some(oldest) =
                 shard.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k.clone())
@@ -328,6 +341,24 @@ mod tests {
         // ...after which it is simply gone.
         assert!(matches!(cache.lookup(&k, 2), Lookup::Miss));
         assert_eq!(cache.stats(), AnswerCacheStats { hits: 1, misses: 2, stale: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn old_epoch_requests_cannot_evict_or_overwrite_fresh_entries() {
+        let cache = AnswerCache::with_capacity(16);
+        let k = key("Who is the mayor of Berlin?");
+        // A post-reload request populated the entry under epoch 2...
+        assert!(cache.insert(k.clone(), 2, Arc::new(blank_response())));
+        // ...then an in-flight request still pinned to epoch 1 looks it
+        // up: a plain miss, and the fresh entry survives.
+        assert!(matches!(cache.lookup(&k, 1), Lookup::Miss));
+        assert!(matches!(cache.lookup(&k, 2), Lookup::Hit(_)));
+        // Its insert is refused too — fresh data is never displaced by a
+        // retired snapshot's answer.
+        assert!(!cache.insert(k.clone(), 1, Arc::new(blank_response())));
+        assert!(matches!(cache.lookup(&k, 2), Lookup::Hit(_)));
+        let stats = cache.stats();
+        assert_eq!((stats.stale, stats.misses), (0, 1), "{stats:?}");
     }
 
     #[test]

@@ -23,13 +23,16 @@
 //!   expires mid-pipeline is abandoned at the next stage checkpoint
 //!   ([`gqa_core::pipeline::DeadlineExceeded`]). Accepted requests
 //!   therefore have latency structurally bounded by their deadline.
+//!   Subsequent requests on a keep-alive connection never sat in the
+//!   queue, so they anchor at their **first byte** instead — client
+//!   think-time between requests is not charged against anyone.
 //! * **Graceful shutdown.** Flipping the shutdown flag (SIGTERM/SIGINT or
 //!   [`Server::shutdown_handle`]) stops the acceptor, closes the queue,
 //!   and lets workers drain every already-admitted request before
 //!   [`Server::run`] returns — no accepted request is dropped.
 
 use crate::http::{
-    read_request, write_response, write_response_conn, HttpError, Limits, ParseOutcome, Request,
+    read_request, write_response, write_response_conn, Limits, ParseOutcome, Request,
 };
 use crate::json::{self, obj, Json};
 use crate::queue::Bounded;
@@ -78,7 +81,9 @@ pub struct ServerConfig {
     pub keep_alive_requests: usize,
     /// Idle timeout between requests on a keep-alive connection (default
     /// 2000 ms). Expiry closes the connection silently — unlike the
-    /// first-request read timeout, it is not a client error.
+    /// first-request read timeout, it is not a client error. The wait is
+    /// cut short whenever admitted connections are queued unserved or a
+    /// shutdown is draining, so idle sessions never starve the pool.
     pub keep_alive_idle_ms: u64,
     /// Answer-cache capacity in responses (default 0 = caching off). See
     /// [`gqa_core::cache::AnswerCache`] for the key and bypass rules.
@@ -132,6 +137,23 @@ pub struct ServeStats {
 struct Job {
     stream: TcpStream,
     accepted: Instant,
+}
+
+/// Poll slice for [`Server::idle_wait`]: the longest a worker parked on
+/// an idle keep-alive connection can stay unaware of queue pressure or
+/// shutdown. Small enough that yielding feels immediate, large enough
+/// that an idle connection costs ~20 syscalls/s, not a spin.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// How [`Server::idle_wait`] ended.
+enum IdleWait {
+    /// The next request's first byte arrived.
+    Data,
+    /// The peer closed (or the transport failed) between requests.
+    Closed,
+    /// The idle window expired — or the worker is needed elsewhere
+    /// (queued connections waiting, shutdown draining).
+    Expired,
 }
 
 struct Counters {
@@ -197,6 +219,16 @@ impl Backend<'_> {
         match self {
             Backend::Fixed(s) => SystemGuard::Fixed(s),
             Backend::Reloadable(e) => SystemGuard::Loaded(e.load()),
+        }
+    }
+
+    /// The epoch of the *currently published* snapshot — which may be
+    /// newer than a request's pinned [`SystemGuard::epoch`] if a reload
+    /// landed while the request was running.
+    fn current_epoch(&self) -> u64 {
+        match self {
+            Backend::Fixed(_) => 1,
+            Backend::Reloadable(e) => e.epoch(),
         }
     }
 }
@@ -427,8 +459,48 @@ impl<'s> Server<'s> {
         while let Some(job) = queue.pop() {
             depth.set(queue.len() as i64);
             inflight.inc();
-            self.handle(job, counters);
+            self.handle(job, queue, counters);
             inflight.dec();
+        }
+    }
+
+    /// Park between keep-alive requests until the next request's first
+    /// byte, the idle window expires, or the session should end early.
+    ///
+    /// The wait polls in [`IDLE_POLL`] slices rather than one blocking
+    /// read for the whole window, so a worker holding an idle connection
+    /// is never deaf to the rest of the server: whenever admitted
+    /// connections are queued with nobody to serve them — or shutdown is
+    /// draining — the idle session is ended at the next slice and the
+    /// worker goes back to the queue. Slow-but-live clients therefore
+    /// cannot pin the whole pool while the accept queue starves.
+    fn idle_wait(&self, reader: &mut BufReader<TcpStream>, queue: &Bounded<Job>) -> IdleWait {
+        use std::io::BufRead;
+        let start = Instant::now();
+        let idle = Duration::from_millis(self.config.keep_alive_idle_ms.max(1));
+        loop {
+            let Some(budget) = idle.checked_sub(start.elapsed()).filter(|b| !b.is_zero()) else {
+                return IdleWait::Expired;
+            };
+            let _ = reader.get_ref().set_read_timeout(Some(budget.min(IDLE_POLL)));
+            match reader.fill_buf() {
+                Ok([]) => return IdleWait::Closed, // clean FIN between requests
+                Ok(_) => return IdleWait::Data,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if !queue.is_empty()
+                        || self.shutdown.load(Ordering::SeqCst)
+                        || signal::triggered()
+                    {
+                        return IdleWait::Expired;
+                    }
+                }
+                Err(_) => return IdleWait::Closed, // transport error; nothing to answer
+            }
         }
     }
 
@@ -442,9 +514,13 @@ impl<'s> Server<'s> {
     ///
     /// Deadlines and the duration histogram anchor at **accept** time for
     /// the first request (queue wait counts against it) and at the
-    /// previous response's flush for subsequent requests on the same
-    /// connection (those never waited in the accept queue).
-    fn handle(&self, job: Job, counters: &Counters) {
+    /// **first byte** of each subsequent request on the same connection —
+    /// client think-time between keep-alive requests is the client's to
+    /// spend and is never charged against the next request's budget.
+    /// The wait for that first byte ([`Server::idle_wait`]) polls in
+    /// short slices so a parked worker notices queue pressure and
+    /// shutdown instead of sitting out the full idle window.
+    fn handle(&self, job: Job, queue: &Bounded<Job>, counters: &Counters) {
         let obs = &self.obs;
         let Job { stream, accepted } = job;
         let _ = stream.set_write_timeout(Some(Duration::from_millis(self.config.write_timeout_ms)));
@@ -454,9 +530,22 @@ impl<'s> Server<'s> {
 
         loop {
             let first = served_on_conn == 0;
-            let read_ms =
-                if first { self.config.read_timeout_ms } else { self.config.keep_alive_idle_ms };
-            let _ = reader.get_ref().set_read_timeout(Some(Duration::from_millis(read_ms)));
+            if !first {
+                // Between keep-alive requests: wait for the next request's
+                // first byte, yielding the worker early under pressure.
+                // Idle expiry (either kind) is not a client error — close
+                // silently, no 408.
+                match self.idle_wait(&mut reader, queue) {
+                    IdleWait::Data => anchor = Instant::now(),
+                    IdleWait::Closed | IdleWait::Expired => break,
+                }
+            }
+            // With data in hand (or a fresh connection), a stalled request
+            // line is a slow-loris: the full read timeout applies and
+            // expiry earns a 408 on first and subsequent requests alike.
+            let _ = reader
+                .get_ref()
+                .set_read_timeout(Some(Duration::from_millis(self.config.read_timeout_ms.max(1))));
 
             let (endpoint, outcome, keep) = match read_request(&mut reader, &self.config.limits) {
                 Ok(ParseOutcome::Closed) if first => return, // peer went away; nothing to do
@@ -469,10 +558,6 @@ impl<'s> Server<'s> {
                         && !signal::triggered();
                     (routed.0, routed.1, keep)
                 }
-                // Idle expiry between keep-alive requests is not a client
-                // error: close silently, no 408 (contrast the first
-                // request, where a stalled line is a slow-loris).
-                Err(HttpError::Timeout) if !first => break,
                 Err(e) => match e.status() {
                     Some(status) => {
                         let body = obj(vec![("error", Json::Str(e.reason().into()))]).to_string();
@@ -516,7 +601,6 @@ impl<'s> Server<'s> {
                 .observe(anchor.elapsed().as_secs_f64());
 
             served_on_conn += 1;
-            anchor = Instant::now();
             if !(written && keep) {
                 break;
             }
@@ -756,7 +840,13 @@ impl<'s> Server<'s> {
                 let mut reply =
                     Reply::json(200, render_response(question, &response, k, queue_wait));
                 if let Some((cache, key)) = cached_key {
-                    cache.insert(key, guard.epoch(), Arc::clone(&response));
+                    // Insert only if no reload landed mid-request: an
+                    // entry stamped with a retired epoch would be
+                    // immediately stale, and (worse) could displace a
+                    // fresh post-reload entry for the same key.
+                    if guard.epoch() == self.backend.current_epoch() {
+                        cache.insert(key, guard.epoch(), Arc::clone(&response));
+                    }
                     reply.extra.push(("X-Cache", "miss".to_owned()));
                 }
                 reply

@@ -1,5 +1,6 @@
-//! SIGINT/SIGTERM → a global "please shut down" flag, SIGHUP → a global
-//! "please reload" flag.
+//! SIGINT/SIGTERM → a global "please shut down" flag ([`install`]), and —
+//! opt-in, for reloadable servers only — SIGHUP → a global "please
+//! reload" flag ([`install_reload`]).
 //!
 //! There is no signal crate to lean on, so this registers handlers through
 //! the raw libc `signal(2)` symbol (already linked into every Rust binary
@@ -9,6 +10,13 @@
 //! [`take_reload`] the same way and, when serving a reloadable engine,
 //! swaps in a freshly loaded store (the same action as `POST
 //! /admin/reload`).
+//!
+//! The two installs are deliberately separate: a binary serving a fixed
+//! (non-reloadable) backend that called one combined install would
+//! silently swallow SIGHUP — a surprise for deployments that use SIGHUP
+//! to stop a process. [`install`] therefore leaves SIGHUP at its default
+//! (terminate); only call [`install_reload`] when something actually
+//! polls [`take_reload`] and can act on it.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -65,13 +73,22 @@ mod imp {
         RELOAD.store(true, Ordering::SeqCst);
     }
 
-    /// Install handlers for SIGINT/SIGTERM (shutdown) and SIGHUP (reload).
+    /// Install handlers for SIGINT/SIGTERM (shutdown). SIGHUP keeps its
+    /// default (terminate) unless [`install_reload`] is also called.
     pub fn install() {
         // SAFETY: `signal` is the POSIX libc function; the handlers only
         // perform an atomic store, which is async-signal-safe.
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
+        }
+    }
+
+    /// Install the SIGHUP → reload handler. Only for binaries serving a
+    /// reloadable engine — see the module docs for why this is opt-in.
+    pub fn install_reload() {
+        // SAFETY: as in `install`.
+        unsafe {
             signal(SIGHUP, on_reload);
         }
     }
@@ -83,9 +100,12 @@ mod imp {
     /// [`super::trigger`] and the server's shutdown flag, reload via
     /// [`super::request_reload`] and `POST /admin/reload`.
     pub fn install() {}
+
+    /// No-op off unix (see [`install`]).
+    pub fn install_reload() {}
 }
 
-pub use imp::install;
+pub use imp::{install, install_reload};
 
 #[cfg(test)]
 mod tests {

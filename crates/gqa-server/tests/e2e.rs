@@ -504,6 +504,129 @@ fn keep_alive_serves_multiple_requests_on_one_connection() {
 }
 
 #[test]
+fn keep_alive_think_time_is_not_charged_against_the_next_deadline() {
+    let store = mini_dbpedia();
+    let sys = system(&store);
+    // Deadline far below the client's pause: under a previous-flush
+    // anchor the second request would arrive already expired and be
+    // refused 504 before the pipeline ran.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &sys,
+        ServerConfig {
+            workers: 1,
+            default_timeout_ms: 250,
+            keep_alive_idle_ms: 30_000,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    type Outcome = Result<Vec<(u16, String, String)>, String>;
+    let client = Box::new(|addr: SocketAddr| -> Outcome {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stream.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream);
+        let body = r#"{"question": "Who is the mayor of Berlin?"}"#;
+        let req = format!(
+            "POST /answer HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let mut log = Vec::new();
+        reader.get_mut().write_all(req.as_bytes()).map_err(|e| format!("write: {e}"))?;
+        log.push(read_one_response(&mut reader)?);
+        // Think time well past the deadline, well inside the idle window.
+        std::thread::sleep(Duration::from_millis(600));
+        reader.get_mut().write_all(req.as_bytes()).map_err(|e| format!("write: {e}"))?;
+        log.push(read_one_response(&mut reader)?);
+        Ok(log)
+    }) as Client<Outcome>;
+
+    let (outcomes, stats) = serve_and_drive(&server, vec![client]);
+    let log = outcomes
+        .into_iter()
+        .next()
+        .unwrap()
+        .expect("client thread panicked")
+        .expect("client i/o failed");
+
+    for (status, _, body) in &log {
+        assert_eq!(*status, 200, "think-time was charged against the deadline: {body}");
+        assert!(body.contains("Klaus Wowereit"), "{body}");
+    }
+    assert_eq!(stats.timeouts, 0, "{stats:?}");
+}
+
+#[test]
+fn idle_keep_alive_connection_yields_its_worker_under_queue_pressure() {
+    let store = mini_dbpedia();
+    let sys = system(&store);
+    // One worker, long idle window: if the worker parked on the idle
+    // connection were deaf to the accept queue, the second connection
+    // below would wait the full 30 s and its 10 s read would fail.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &sys,
+        ServerConfig { workers: 1, keep_alive_idle_ms: 30_000, ..ServerConfig::default() },
+    )
+    .expect("bind");
+
+    type Outcome = Result<((u16, String, String), u16, Vec<u8>), String>;
+    let client = Box::new(|addr: SocketAddr| -> Outcome {
+        // Connection A: one keep-alive request, then idle — pinning the
+        // only worker in its between-requests wait.
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect A: {e}"))?;
+        stream.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
+        let mut a = BufReader::new(stream);
+        let body = r#"{"question": "Who is the mayor of Berlin?"}"#;
+        let keep = format!(
+            "POST /answer HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        a.get_mut().write_all(keep.as_bytes()).map_err(|e| format!("write A: {e}"))?;
+        let first = read_one_response(&mut a)?;
+
+        // Connection B: queued behind idle A; must be served promptly.
+        let mut b = TcpStream::connect(addr).map_err(|e| format!("connect B: {e}"))?;
+        b.set_read_timeout(Some(Duration::from_secs(10))).map_err(|e| e.to_string())?;
+        let close = format!(
+            "POST /answer HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        b.write_all(close.as_bytes()).map_err(|e| format!("write B: {e}"))?;
+        let mut buf = Vec::new();
+        b.read_to_end(&mut buf).map_err(|e| format!("read B (worker still pinned?): {e}"))?;
+        let text = String::from_utf8_lossy(&buf).into_owned();
+        let status: u16 = text
+            .split(' ')
+            .nth(1)
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(|| format!("unparseable B response: {text:?}"))?;
+
+        // A was closed silently (EOF, no error bytes) to free the worker.
+        let mut rest = Vec::new();
+        a.read_to_end(&mut rest).map_err(|e| format!("read A eof: {e}"))?;
+        Ok((first, status, rest))
+    }) as Client<Outcome>;
+
+    let (outcomes, stats) = serve_and_drive(&server, vec![client]);
+    let (first, b_status, rest) = outcomes
+        .into_iter()
+        .next()
+        .unwrap()
+        .expect("client thread panicked")
+        .expect("client i/o failed");
+
+    assert_eq!(first.0, 200, "{}", first.2);
+    assert_eq!(b_status, 200, "queued connection starved behind an idle keep-alive session");
+    assert!(rest.is_empty(), "idle close should be silent, got: {rest:?}");
+    assert_eq!(stats.accepted, 2, "{stats:?}");
+}
+
+#[test]
 fn answer_cache_hits_are_flagged_and_byte_identical() {
     let store = mini_dbpedia();
     let sys = system(&store);

@@ -299,6 +299,9 @@ fn main() {
             }
         };
         ganswer::server::signal::install();
+        // SIGHUP-as-reload is opt-in: this serve path always runs a
+        // reloadable engine, so it is safe to claim the signal here.
+        ganswer::server::signal::install_reload();
         let local = server.local_addr().expect("bound listener has an address");
         println!(
             "ganswer serving on http://{local} — {} entities, {} triples; \
