@@ -125,17 +125,66 @@ fn parse_args() -> Result<Opts, String> {
 struct PhaseResult {
     latencies_ms: Vec<f64>, // latency of 200s only (accepted + answered)
     status_counts: BTreeMap<u16, u64>,
+    /// One echoed request id per observed status (last seen), proving the
+    /// ids in BENCH_server.json are live handles into the server's
+    /// access log and `/debug/requests` views.
+    sample_ids: BTreeMap<u16, String>,
+    /// Responses whose `X-Request-Id` was absent or didn't echo the
+    /// client-chosen id. Must end the run at zero.
+    missing_ids: u64,
     wall: Duration,
     io_errors: u64,
 }
 
-fn send_answer_request(addr: SocketAddr, question: &str, timeout_ms: u64) -> Result<u16, String> {
+impl PhaseResult {
+    fn note_echo(&mut self, status: u16, sent: &str, echoed: Option<String>) {
+        match echoed {
+            // 503 sheds answer straight from the acceptor with a
+            // server-generated id (shedding never parses the request);
+            // every other response must echo the client's id exactly.
+            Some(id) if status == 503 || id == sent => {
+                self.sample_ids.insert(status, id);
+            }
+            _ => self.missing_ids += 1,
+        }
+    }
+
+    fn merge_into(self, m: &mut PhaseResult) {
+        m.latencies_ms.extend_from_slice(&self.latencies_ms);
+        for (k, v) in &self.status_counts {
+            *m.status_counts.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in self.sample_ids {
+            m.sample_ids.insert(k, v);
+        }
+        m.missing_ids += self.missing_ids;
+        m.io_errors += self.io_errors;
+    }
+}
+
+/// First value of a response header, by case-insensitive name.
+fn header_value(response: &str, name: &str) -> Option<String> {
+    let head = response.split("\r\n\r\n").next()?;
+    head.lines().skip(1).find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        k.trim().eq_ignore_ascii_case(name).then(|| v.trim().to_owned())
+    })
+}
+
+fn send_answer_request(
+    addr: SocketAddr,
+    question: &str,
+    timeout_ms: u64,
+    request_id: &str,
+) -> Result<(u16, Option<String>), String> {
     // One request per connection by design (the closed loop measures full
     // connection cost); `Connection: close` keeps the keep-alive server
     // closing after the response so read_to_end terminates promptly.
+    // Every request carries a client-chosen X-Request-Id the server must
+    // echo — the returned value is the echo (None if the header is gone).
     let body = format!("{{\"question\": \"{question}\", \"k\": 3, \"timeout_ms\": {timeout_ms}}}");
     let req = format!(
-        "POST /answer HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+        "POST /answer HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\nX-Request-Id: {request_id}\r\nContent-Length: {}\r\n\r\n{}",
         body.len(),
         body
     );
@@ -145,7 +194,8 @@ fn send_answer_request(addr: SocketAddr, question: &str, timeout_ms: u64) -> Res
     let mut buf = Vec::new();
     s.read_to_end(&mut buf).map_err(|e| format!("read: {e}"))?;
     let text = String::from_utf8_lossy(&buf);
-    text.split(' ').nth(1).and_then(|w| w.parse().ok()).ok_or_else(|| "bad response".into())
+    let status: u16 = text.split(' ').nth(1).and_then(|w| w.parse().ok()).ok_or("bad response")?;
+    Ok((status, header_value(&text, "x-request-id")))
 }
 
 fn http_get(addr: SocketAddr, path: &str) -> Result<String, String> {
@@ -170,8 +220,14 @@ fn metric_value(exposition: &str, series: &str) -> f64 {
 
 /// Closed-loop phase: `clients` threads pull request slots from a shared
 /// budget of `total` requests; each waits for its response before sending
-/// the next.
-fn run_phase(addr: SocketAddr, clients: usize, total: u64, timeout_ms: u64) -> PhaseResult {
+/// the next. `tag` makes the client-chosen request ids unique per phase.
+fn run_phase(
+    addr: SocketAddr,
+    clients: usize,
+    total: u64,
+    timeout_ms: u64,
+    tag: &str,
+) -> PhaseResult {
     const QUESTIONS: [&str; 3] = [
         "Who is the mayor of Berlin?",
         "Is Michelle Obama the wife of Barack Obama?",
@@ -191,10 +247,12 @@ fn run_phase(addr: SocketAddr, clients: usize, total: u64, timeout_ms: u64) -> P
                         break;
                     }
                     let q = QUESTIONS[(slot % QUESTIONS.len() as u64) as usize];
+                    let rid = format!("lg-{tag}-{slot}");
                     let t0 = Instant::now();
-                    match send_answer_request(addr, q, timeout_ms) {
-                        Ok(status) => {
+                    match send_answer_request(addr, q, timeout_ms, &rid) {
+                        Ok((status, echoed)) => {
                             *local.status_counts.entry(status).or_insert(0) += 1;
+                            local.note_echo(status, &rid, echoed);
                             if status == 200 {
                                 local.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
                             }
@@ -202,12 +260,7 @@ fn run_phase(addr: SocketAddr, clients: usize, total: u64, timeout_ms: u64) -> P
                         Err(_) => local.io_errors += 1,
                     }
                 }
-                let mut m = merged.lock().unwrap();
-                m.latencies_ms.extend_from_slice(&local.latencies_ms);
-                for (k, v) in &local.status_counts {
-                    *m.status_counts.entry(*k).or_insert(0) += v;
-                }
-                m.io_errors += local.io_errors;
+                local.merge_into(&mut merged.lock().unwrap());
             });
         }
     });
@@ -221,7 +274,10 @@ fn phase_json(name: &str, clients: usize, r: &PhaseResult, deadline_ms: u64) -> 
     let qps = responses as f64 / r.wall.as_secs_f64().max(1e-9);
     let statuses: Vec<String> =
         r.status_counts.iter().map(|(s, n)| format!("\"{s}\": {n}")).collect();
+    let samples: Vec<String> =
+        r.sample_ids.iter().map(|(s, id)| format!("\"{s}\": \"{id}\"")).collect();
     let p95 = percentile(&r.latencies_ms, 95.0);
+    let max = r.latencies_ms.iter().copied().fold(0.0f64, f64::max);
     // Slack covers response write + client read on top of the deadline.
     let bounded = r.latencies_ms.is_empty() || p95 <= deadline_ms as f64 + 250.0;
     format!(
@@ -231,16 +287,21 @@ fn phase_json(name: &str, clients: usize, r: &PhaseResult, deadline_ms: u64) -> 
          \x20     \"io_errors\": {},\n\
          \x20     \"wall_s\": {:.4},\n\
          \x20     \"qps\": {qps:.2},\n\
-         \x20     \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {p95:.3}, \"p99\": {:.3}, \"n\": {}}},\n\
+         \x20     \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {p95:.3}, \"p99\": {:.3}, \"p999\": {:.3}, \"max\": {max:.3}, \"n\": {}}},\n\
          \x20     \"status_counts\": {{{}}},\n\
+         \x20     \"sample_request_ids\": {{{}}},\n\
+         \x20     \"request_id_missing\": {},\n\
          \x20     \"p95_within_deadline\": {bounded}\n\
          \x20   }}",
         r.io_errors,
         r.wall.as_secs_f64(),
         median(&r.latencies_ms),
         percentile(&r.latencies_ms, 99.0),
+        percentile(&r.latencies_ms, 99.9),
         r.latencies_ms.len(),
         statuses.join(", "),
+        samples.join(", "),
+        r.missing_ids,
     )
 }
 
@@ -371,10 +432,12 @@ fn run_chaos_phase(
                         break;
                     }
                     let q = QUESTIONS[(slot % QUESTIONS.len() as u64) as usize];
+                    let rid = format!("lg-chaos-{slot}");
                     let t0 = Instant::now();
-                    match send_answer_full(addr, q, timeout_ms) {
-                        Ok((status, body)) => {
+                    match send_answer_full(addr, q, timeout_ms, &rid) {
+                        Ok((status, body, echoed)) => {
                             *local.status_counts.entry(status).or_insert(0) += 1;
+                            local.note_echo(status, &rid, echoed);
                             if status == 200 {
                                 local.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
                                 if body.contains("\"degraded\":{") {
@@ -385,12 +448,7 @@ fn run_chaos_phase(
                         Err(_) => local.io_errors += 1,
                     }
                 }
-                let mut m = merged.lock().unwrap();
-                m.latencies_ms.extend_from_slice(&local.latencies_ms);
-                for (k, v) in &local.status_counts {
-                    *m.status_counts.entry(*k).or_insert(0) += v;
-                }
-                m.io_errors += local.io_errors;
+                local.merge_into(&mut merged.lock().unwrap());
             });
         }
     });
@@ -403,10 +461,11 @@ fn send_answer_full(
     addr: SocketAddr,
     question: &str,
     timeout_ms: u64,
-) -> Result<(u16, String), String> {
+    request_id: &str,
+) -> Result<(u16, String, Option<String>), String> {
     let body = format!("{{\"question\": \"{question}\", \"k\": 3, \"timeout_ms\": {timeout_ms}}}");
     let req = format!(
-        "POST /answer HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+        "POST /answer HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\nX-Request-Id: {request_id}\r\nContent-Length: {}\r\n\r\n{}",
         body.len(),
         body
     );
@@ -417,7 +476,11 @@ fn send_answer_full(
     s.read_to_end(&mut buf).map_err(|e| format!("read: {e}"))?;
     let text = String::from_utf8_lossy(&buf);
     let status: u16 = text.split(' ').nth(1).and_then(|w| w.parse().ok()).ok_or("bad response")?;
-    Ok((status, text.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default()))
+    Ok((
+        status,
+        text.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default(),
+        header_value(&text, "x-request-id"),
+    ))
 }
 
 /// What the cache phase saw: client latencies plus the server's own
@@ -548,10 +611,12 @@ fn run_zipf_phase(addr: SocketAddr, clients: usize, total: u64, timeout_ms: u64)
                     let u = (splitmix64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
                     let rank = CUM.iter().position(|c| u < *c).unwrap_or(2);
                     let q = spelling(QUESTIONS[rank], splitmix64(&mut rng));
+                    let rid = format!("lg-zipf-{slot}");
                     let t0 = Instant::now();
-                    match send_answer_request(addr, &q, timeout_ms) {
-                        Ok(status) => {
+                    match send_answer_request(addr, &q, timeout_ms, &rid) {
+                        Ok((status, echoed)) => {
                             *local.status_counts.entry(status).or_insert(0) += 1;
+                            local.note_echo(status, &rid, echoed);
                             if status == 200 {
                                 local.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
                             }
@@ -559,12 +624,7 @@ fn run_zipf_phase(addr: SocketAddr, clients: usize, total: u64, timeout_ms: u64)
                         Err(_) => local.io_errors += 1,
                     }
                 }
-                let mut m = merged.lock().unwrap();
-                m.latencies_ms.extend_from_slice(&local.latencies_ms);
-                for (k, v) in &local.status_counts {
-                    *m.status_counts.entry(*k).or_insert(0) += v;
-                }
-                m.io_errors += local.io_errors;
+                local.merge_into(&mut merged.lock().unwrap());
             });
         }
     });
@@ -669,7 +729,7 @@ fn drive(addr: SocketAddr, in_process: bool, opts: &Opts, host_threads: usize) -
         "steady phase: {} clients x {} requests, timeout {} ms ...",
         opts.clients, opts.requests, opts.timeout_ms
     );
-    let steady = run_phase(addr, opts.clients, opts.requests, opts.timeout_ms);
+    let steady = run_phase(addr, opts.clients, opts.requests, opts.timeout_ms, "steady");
 
     // Phase 2: overload — only meaningful when we know the queue is small
     // relative to the client count (always true in-process).
@@ -678,7 +738,13 @@ fn drive(addr: SocketAddr, in_process: bool, opts: &Opts, host_threads: usize) -
             "overload phase: {} clients x {} requests ...",
             opts.overload_clients, opts.overload_requests
         );
-        Some(run_phase(addr, opts.overload_clients, opts.overload_requests, opts.timeout_ms))
+        Some(run_phase(
+            addr,
+            opts.overload_clients,
+            opts.overload_requests,
+            opts.timeout_ms,
+            "over",
+        ))
     } else {
         None
     };
@@ -877,8 +943,27 @@ fn finish(
     }
     let chaos_agree = chaos.as_ref().is_none_or(ChaosOutcome::agree);
     let cache_ok = cache.as_ref().is_none_or(|c| c.hit_rate_ok() && c.phase.io_errors == 0);
-    if !(requests_agree && shed_agree && timeouts_agree && chaos_agree && cache_ok) {
-        eprintln!("error: client tallies and /metrics deltas disagree (or cache hit rate < 90%)");
+    // Every response across every phase must have echoed the client's
+    // X-Request-Id — a single missing or mangled echo fails the run.
+    let ids_missing = steady.missing_ids
+        + overload.as_ref().map_or(0, |o| o.missing_ids)
+        + cache.as_ref().map_or(0, |c| c.phase.missing_ids)
+        + chaos.as_ref().map_or(0, |c| c.phase.missing_ids);
+    println!(
+        "request ids: {}",
+        if ids_missing == 0 {
+            "every response echoed X-Request-Id".to_owned()
+        } else {
+            format!("{ids_missing} responses missing X-Request-Id")
+        }
+    );
+    if !(requests_agree && shed_agree && timeouts_agree && chaos_agree && cache_ok)
+        || ids_missing > 0
+    {
+        eprintln!(
+            "error: client tallies and /metrics deltas disagree, a response lost its \
+             X-Request-Id, or the cache hit rate fell below 90%"
+        );
         std::process::exit(1);
     }
 }

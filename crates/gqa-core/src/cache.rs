@@ -287,6 +287,9 @@ mod tests {
             degraded: None,
             understanding_time: std::time::Duration::ZERO,
             evaluation_time: std::time::Duration::ZERO,
+            map_time: std::time::Duration::ZERO,
+            topk_time: std::time::Duration::ZERO,
+            faults_fired: 0,
             ta_stats: Default::default(),
             trace: None,
         }

@@ -186,6 +186,14 @@ pub struct Response {
     pub understanding_time: Duration,
     /// Query-evaluation wall time.
     pub evaluation_time: Duration,
+    /// Query-mapping (candidate generation) wall time — the first slice
+    /// of `evaluation_time`, split out for per-stage request tracing.
+    pub map_time: Duration,
+    /// Top-k matching wall time — the second slice of `evaluation_time`.
+    pub topk_time: Duration,
+    /// Fault injections that fired while answering this question (from
+    /// [`gqa_fault::Exec::faults_fired`]); always 0 without a fault plan.
+    pub faults_fired: u64,
     /// Top-k search instrumentation.
     pub ta_stats: TaStats,
     /// Full decision trace, when answered via [`GAnswer::answer_traced`].
@@ -206,6 +214,9 @@ impl Response {
             degraded: None,
             understanding_time,
             evaluation_time,
+            map_time: Duration::ZERO,
+            topk_time: Duration::ZERO,
+            faults_fired: 0,
             ta_stats: TaStats::default(),
             trace: None,
         }
@@ -562,7 +573,7 @@ impl<'s> GAnswer<'s> {
     fn answer_impl(
         &self,
         question: &str,
-        mut trace: Option<&mut QueryTrace>,
+        trace: Option<&mut QueryTrace>,
         conc: &Concurrency,
         deadline: Option<Instant>,
     ) -> Result<Response, DeadlineExceeded> {
@@ -573,7 +584,19 @@ impl<'s> GAnswer<'s> {
         // sites are all checked *inside* the stage loops, so an overrun
         // cuts work mid-stage instead of only at the next checkpoint.
         let exec = Exec::new(&self.config.fault, self.config.budget, deadline);
+        let mut r = self.answer_stages(question, trace, conc, deadline, &exec)?;
+        r.faults_fired = exec.faults_fired();
+        Ok(r)
+    }
 
+    fn answer_stages(
+        &self,
+        question: &str,
+        mut trace: Option<&mut QueryTrace>,
+        conc: &Concurrency,
+        deadline: Option<Instant>,
+        exec: &Exec,
+    ) -> Result<Response, DeadlineExceeded> {
         let t0 = Instant::now();
         let u = {
             let _s = self.obs.span("pipeline.understand");
@@ -655,27 +678,32 @@ impl<'s> GAnswer<'s> {
                 &self.dict,
                 &opts,
                 sink,
-                &exec,
+                exec,
             )
         };
-        self.observe_stage("map", t1.elapsed());
+        let map_time = t1.elapsed();
+        self.observe_stage("map", map_time);
         let mapped = match mapping_result {
             Ok(m) => m,
             Err(MappingError::UnlinkableMention { text, .. }) => {
-                return Ok(self.fail(
+                let mut r = self.fail(
                     Failure::EntityLinking(text),
                     understanding_time,
-                    t1.elapsed(),
+                    map_time,
                     trace.as_deref_mut(),
-                ));
+                );
+                r.map_time = map_time;
+                return Ok(r);
             }
             Err(MappingError::UnknownRelation { phrase, .. }) => {
-                return Ok(self.fail(
+                let mut r = self.fail(
                     Failure::RelationExtraction(phrase),
                     understanding_time,
-                    t1.elapsed(),
+                    map_time,
                     trace.as_deref_mut(),
-                ));
+                );
+                r.map_time = map_time;
+                return Ok(r);
             }
         };
         checkpoint(deadline, "map")?;
@@ -683,9 +711,10 @@ impl<'s> GAnswer<'s> {
         let t2 = Instant::now();
         let (mut matches, ta_stats) = {
             let _s = self.obs.span("pipeline.topk");
-            self.evaluate_traced(&mapped, trace.as_deref_mut(), conc, &exec)
+            self.evaluate_traced(&mapped, trace.as_deref_mut(), conc, exec)
         };
-        self.observe_stage("topk", t2.elapsed());
+        let topk_time = t2.elapsed();
+        self.observe_stage("topk", topk_time);
         self.obs.counter("gqa_topk_probes_total", &[]).add(ta_stats.probes as u64);
         self.obs.counter("gqa_topk_rounds_total", &[]).add(ta_stats.rounds as u64);
         self.obs
@@ -724,12 +753,15 @@ impl<'s> GAnswer<'s> {
                     match aggregates::superlative(self.store(), &matches, target, &adj) {
                         Some(kept) => matches = kept,
                         None => {
-                            return Ok(self.fail(
+                            let mut r = self.fail(
                                 Failure::Aggregation,
                                 understanding_time,
                                 t1.elapsed(),
                                 trace.as_deref_mut(),
-                            ))
+                            );
+                            r.map_time = map_time;
+                            r.topk_time = topk_time;
+                            return Ok(r);
                         }
                     }
                 }
@@ -747,12 +779,15 @@ impl<'s> GAnswer<'s> {
                             );
                         }
                         None => {
-                            return Ok(self.fail(
+                            let mut r = self.fail(
                                 Failure::Aggregation,
                                 understanding_time,
                                 t1.elapsed(),
                                 trace.as_deref_mut(),
-                            ))
+                            );
+                            r.map_time = map_time;
+                            r.topk_time = topk_time;
+                            return Ok(r);
                         }
                     }
                 }
@@ -768,6 +803,8 @@ impl<'s> GAnswer<'s> {
             r.relations = u.relations;
             r.ta_stats = ta_stats;
             r.degraded = degraded;
+            r.map_time = map_time;
+            r.topk_time = topk_time;
             return Ok(r);
         }
 
@@ -795,6 +832,9 @@ impl<'s> GAnswer<'s> {
             degraded,
             understanding_time,
             evaluation_time: t1.elapsed(),
+            map_time,
+            topk_time,
+            faults_fired: 0,
             ta_stats,
             trace: None,
         })

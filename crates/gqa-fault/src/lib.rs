@@ -239,9 +239,20 @@ impl FaultPlan {
     /// pressure inline and returns `Err` for `error` rules.
     #[inline]
     pub fn fire(&self, site: &str) -> Result<(), FaultError> {
+        self.fire_counted(site).1
+    }
+
+    /// [`FaultPlan::fire`], additionally reporting how many rules fired on
+    /// *this* call — the per-request attribution the flight recorder and
+    /// access log use (the cumulative [`FaultPlan::fired`] tally cannot be
+    /// attributed to one request under concurrency). A `panic` rule
+    /// unwinds before the count is returned; callers see that request as a
+    /// 500 instead.
+    #[inline]
+    pub fn fire_counted(&self, site: &str) -> (u64, Result<(), FaultError>) {
         match &self.0 {
-            None => Ok(()),
-            Some(inner) => inner.fire(site),
+            None => (0, Ok(())),
+            Some(inner) => inner.fire_counted(site),
         }
     }
 
@@ -267,7 +278,8 @@ impl FaultPlan {
 }
 
 impl PlanInner {
-    fn fire(&self, site: &str) -> Result<(), FaultError> {
+    fn fire_counted(&self, site: &str) -> (u64, Result<(), FaultError>) {
+        let mut fired = 0u64;
         for (idx, rule) in self.rules.iter().enumerate() {
             if rule.site != site {
                 continue;
@@ -277,6 +289,7 @@ impl PlanInner {
                 continue;
             }
             rule.fired.fetch_add(1, Ordering::Relaxed);
+            fired += 1;
             match rule.kind {
                 FaultKind::Panic => {
                     panic!("injected fault: panic at site {site:?} (call {call})")
@@ -293,10 +306,10 @@ impl PlanInner {
                     }
                     std::hint::black_box(&buf);
                 }
-                FaultKind::Error => return Err(FaultError { site: site.to_owned() }),
+                FaultKind::Error => return (fired, Err(FaultError { site: site.to_owned() })),
             }
         }
-        Ok(())
+        (fired, Ok(()))
     }
 }
 
@@ -408,6 +421,7 @@ struct ExecInner {
     rounds: AtomicUsize,
     ticks: AtomicUsize,
     tripped: AtomicU8,
+    fires: AtomicU64,
 }
 
 /// Per-question execution context: the fault plan, the budget counters,
@@ -441,6 +455,7 @@ impl Exec {
             rounds: AtomicUsize::new(0),
             ticks: AtomicUsize::new(0),
             tripped: AtomicU8::new(0),
+            fires: AtomicU64::new(0),
         })))
     }
 
@@ -449,13 +464,28 @@ impl Exec {
         self.0.is_none()
     }
 
-    /// Fault-injection pass-through for the named site.
+    /// Fault-injection pass-through for the named site, accumulating the
+    /// per-question fired count for [`Exec::faults_fired`].
     #[inline]
     pub fn fire(&self, site: &str) -> Result<(), FaultError> {
         match &self.0 {
             None => Ok(()),
-            Some(inner) => inner.plan.fire(site),
+            Some(inner) => {
+                let (n, out) = inner.plan.fire_counted(site);
+                if n > 0 {
+                    inner.fires.fetch_add(n, Ordering::Relaxed);
+                }
+                out
+            }
         }
+    }
+
+    /// Number of fault injections that fired within *this* question's
+    /// context — the request-scoped view the response and flight recorder
+    /// report (a `panic` injection unwinds before being counted here; the
+    /// request surfaces as a 500 instead).
+    pub fn faults_fired(&self) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.fires.load(Ordering::Relaxed))
     }
 
     /// Account `n` frontier nodes. Returns `false` when the caller
@@ -686,6 +716,36 @@ mod tests {
     }
 
     #[test]
+    fn fire_counted_reports_per_call_fires() {
+        let plan = FaultPlan::parse("linker.lookup:error:1.0", 0).unwrap();
+        let (n, out) = plan.fire_counted("linker.lookup");
+        assert_eq!(n, 1);
+        assert!(out.is_err());
+        let (n, out) = plan.fire_counted("other.site");
+        assert_eq!(n, 0);
+        assert!(out.is_ok());
+        // Two always-fire latency rules at the same site both count.
+        let plan = FaultPlan::parse("a:latency:1.0:0;a:latency:1.0:0", 0).unwrap();
+        assert_eq!(plan.fire_counted("a").0, 2);
+    }
+
+    #[test]
+    fn exec_accumulates_faults_fired_per_question() {
+        let plan = FaultPlan::parse("ta.probe:error:1.0", 0).unwrap();
+        let exec = Exec::new(&plan, Budget::default(), None);
+        assert_eq!(exec.faults_fired(), 0);
+        let _ = exec.fire("ta.probe");
+        let _ = exec.fire("ta.probe");
+        let _ = exec.fire("rdf.bfs");
+        assert_eq!(exec.faults_fired(), 2);
+        // A fresh exec over the same (shared) plan starts from zero even
+        // though the plan's cumulative tally keeps growing.
+        let exec2 = Exec::new(&plan, Budget::default(), None);
+        assert_eq!(exec2.faults_fired(), 0);
+        assert_eq!(plan.fired("ta.probe"), 2);
+    }
+
+    #[test]
     fn inert_exec_charges_nothing() {
         let exec = Exec::new(&FaultPlan::none(), Budget::default(), None);
         assert!(exec.is_none());
@@ -695,6 +755,7 @@ mod tests {
         assert!(!exec.should_stop());
         assert_eq!(exec.tripped(), None);
         assert_eq!(exec.cap_candidates(1000), 1000);
+        assert_eq!(exec.faults_fired(), 0);
     }
 
     #[test]

@@ -9,20 +9,27 @@
 //!   Prometheus text and JSON exposition.
 //! * **Traces** ([`trace`]) — a per-question [`QueryTrace`] recording every
 //!   pipeline decision, rendered by the `:explain` REPL command.
+//! * **Request tracing** ([`recorder`], [`access_log`]) — request ids, a
+//!   tail-sampling flight recorder of completed [`RequestTrace`] records,
+//!   and a never-blocking structured access log for the serving layer.
 //!
 //! The entry point is [`Obs`]: `Obs::new()` collects everything,
 //! `Obs::disabled()` (the default) makes every handle a no-op — disabled
 //! counters and spans cost one `Option` check, so instrumentation can stay
 //! unconditionally in place on hot paths.
 
+pub mod access_log;
 pub mod metrics;
+pub mod recorder;
 pub mod span;
 pub mod trace;
 
+pub use access_log::AccessLog;
 pub use metrics::{
     Counter, CounterHandle, Gauge, GaugeHandle, Histogram, HistogramHandle, Registry,
     DURATION_BUCKETS,
 };
+pub use recorder::{unix_ms_now, valid_request_id, Recorder, RequestIdGen, RequestTrace};
 pub use span::{SpanCollector, SpanGuard, SpanRecord};
 pub use trace::{
     CursorTrace, LinkTrace, ParseTrace, PhraseCandidates, ProbeTrace, PruneTrace, QueryTrace,

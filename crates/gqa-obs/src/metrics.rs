@@ -153,6 +153,21 @@ impl GaugeHandle {
     }
 }
 
+/// A recent (value, request id) pair attached to a histogram — the
+/// Prometheus exemplar linking an aggregate series back to one concrete
+/// request in the flight recorder.
+#[derive(Clone, Debug)]
+struct Exemplar {
+    value: f64,
+    id: String,
+    at_count: u64,
+}
+
+/// Replace a smaller exemplar anyway once this many observations have
+/// passed since it was stored, so a one-off ancient spike does not pin
+/// the slot forever.
+const EXEMPLAR_STALE_AFTER: u64 = 1024;
+
 /// A fixed-bucket histogram. Bucket counts are stored per-bucket
 /// (non-cumulative) and cumulated at exposition time; the sum is an f64
 /// maintained with a CAS loop over its bit pattern.
@@ -163,6 +178,7 @@ pub struct Histogram {
     buckets: Box<[AtomicU64]>,
     sum_bits: AtomicU64,
     count: AtomicU64,
+    exemplar: Mutex<Option<Exemplar>>,
 }
 
 impl Histogram {
@@ -176,6 +192,7 @@ impl Histogram {
             buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             sum_bits: AtomicU64::new(0.0f64.to_bits()),
             count: AtomicU64::new(0),
+            exemplar: Mutex::new(None),
         }
     }
 
@@ -199,6 +216,31 @@ impl Histogram {
     /// Record a duration in seconds.
     pub fn observe_duration(&self, d: Duration) {
         self.observe(d.as_secs_f64());
+    }
+
+    /// Record one observation and offer `id` as the exemplar request id.
+    /// The slot keeps a bucket-max policy — a new observation replaces
+    /// the stored exemplar when it is at least as large, or when the
+    /// stored one has gone stale (`EXEMPLAR_STALE_AFTER` = 1024 observations
+    /// old). Uses `try_lock`, so a contended slot skips the update rather
+    /// than blocking the hot path.
+    pub fn observe_exemplar(&self, v: f64, id: &str) {
+        self.observe(v);
+        let count = self.count();
+        if let Some(mut slot) = self.exemplar.try_lock() {
+            let replace = match &*slot {
+                None => true,
+                Some(e) => v >= e.value || count.saturating_sub(e.at_count) > EXEMPLAR_STALE_AFTER,
+            };
+            if replace {
+                *slot = Some(Exemplar { value: v, id: id.to_string(), at_count: count });
+            }
+        }
+    }
+
+    /// The current exemplar, as `(value, request_id)`.
+    pub fn exemplar(&self) -> Option<(f64, String)> {
+        self.exemplar.lock().as_ref().map(|e| (e.value, e.id.clone()))
     }
 
     /// Total number of observations.
@@ -247,6 +289,15 @@ impl HistogramHandle {
     pub fn observe_duration(&self, d: Duration) {
         if let Some(h) = &self.0 {
             h.observe_duration(d);
+        }
+    }
+
+    /// Record one observation with an exemplar request id (no-op when
+    /// disabled).
+    #[inline]
+    pub fn observe_exemplar(&self, v: f64, id: &str) {
+        if let Some(h) = &self.0 {
+            h.observe_exemplar(v, id);
         }
     }
 }
@@ -380,12 +431,21 @@ impl Registry {
                 out.push_str(&format!("# TYPE {} histogram\n", key.name));
                 last_name = &key.name;
             }
+            // Exemplar (OpenMetrics syntax): appended to the first bucket
+            // line whose `le` bound admits the exemplar value, linking the
+            // series to one concrete request id in the flight recorder.
+            let mut exemplar = h.exemplar();
             for (bound, count) in h.cumulative_buckets() {
                 let mut labels = key.labels.clone();
                 labels.push(("le".to_string(), fmt_f64(bound)));
                 let inner: Vec<String> =
                     labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
-                out.push_str(&format!("{}_bucket{{{}}} {}\n", key.name, inner.join(","), count));
+                out.push_str(&format!("{}_bucket{{{}}} {}", key.name, inner.join(","), count));
+                if exemplar.as_ref().is_some_and(|(v, _)| *v <= bound) {
+                    let (v, id) = exemplar.take().expect("checked above");
+                    out.push_str(&format!(" # {{request_id=\"{}\"}} {}", escape_label(&id), v));
+                }
+                out.push('\n');
             }
             out.push_str(&format!("{}_sum{} {}\n", key.name, key.render_labels(), h.sum()));
             out.push_str(&format!("{}_count{} {}\n", key.name, key.render_labels(), h.count()));

@@ -1,0 +1,568 @@
+//! Per-request tracing: request ids and the tail-sampling flight recorder.
+//!
+//! Aggregate metrics (the [`crate::metrics`] registry) can say *that* p99
+//! regressed; the flight recorder says *which* request, by keeping a
+//! fixed-capacity in-memory ring of completed [`RequestTrace`] records
+//! behind the `/debug/requests` endpoints. Retention is **tail-sampled**:
+//! interesting requests (non-2xx status, a degraded/budget cause, a
+//! pipeline failure, a fired fault injection, or latency above a rolling
+//! p95 estimate) are *pinned*, while healthy fast requests are sampled
+//! 1-in-N once their half of the ring has filled. Pinned and sampled
+//! records live in separate rings, so a flood of healthy traffic can
+//! never evict the errors — the property the recorder proptest checks.
+//!
+//! The write path is designed for the serving hot path: a ring push is
+//! one relaxed `fetch_add` to claim a slot plus one uncontended per-slot
+//! mutex for the pointer swap; the rolling p95 is a small fixed-bucket
+//! latency sketch on relaxed atomics. Nothing blocks and memory is
+//! bounded by construction (`capacity` × `Arc<RequestTrace>`).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// splitmix64 finalizer: decorrelates the (seed, counter) word into 64
+/// uniform bits for request-id generation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Milliseconds since the Unix epoch, for access-log timestamps.
+pub fn unix_ms_now() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_millis() as u64)
+}
+
+/// Generates request ids: 16 lowercase hex chars from a seeded
+/// per-process counter + mixer. Unique within a process by construction
+/// (the counter), random-enough across processes (the seed folds in the
+/// clock and pid). Not cryptographic — these are correlation handles,
+/// not capabilities.
+#[derive(Debug)]
+pub struct RequestIdGen {
+    seed: u64,
+    counter: AtomicU64,
+}
+
+impl RequestIdGen {
+    /// A generator seeded from the clock and process id.
+    pub fn new() -> Self {
+        let nanos = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_nanos() as u64);
+        RequestIdGen::with_seed(nanos ^ (u64::from(std::process::id()) << 32))
+    }
+
+    /// A generator with a fixed seed (deterministic ids, for tests).
+    pub fn with_seed(seed: u64) -> Self {
+        RequestIdGen { seed: splitmix64(seed), counter: AtomicU64::new(0) }
+    }
+
+    /// The next id: 16 lowercase hex chars.
+    pub fn next_id(&self) -> String {
+        let n = self.counter.fetch_add(1, Relaxed);
+        format!("{:016x}", splitmix64(self.seed.wrapping_add(n)))
+    }
+}
+
+impl Default for RequestIdGen {
+    fn default() -> Self {
+        RequestIdGen::new()
+    }
+}
+
+/// Whether a client-supplied `X-Request-Id` value is acceptable to echo
+/// and index: non-empty, at most 64 bytes, and limited to a charset that
+/// is safe inside headers, JSON log lines, and Prometheus exemplar
+/// labels without escaping surprises.
+pub fn valid_request_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b':'))
+}
+
+/// Everything recorded about one completed HTTP request. Built by the
+/// server after the response is written, then rendered as an access-log
+/// line and retained (maybe) by the [`Recorder`].
+#[derive(Clone, Debug, Default)]
+pub struct RequestTrace {
+    /// The request id (generated or client-supplied).
+    pub id: String,
+    /// Endpoint label (`answer`, `metrics`, `healthz`, `admin`, `debug`,
+    /// `other`, `none`).
+    pub route: String,
+    /// HTTP status written to the client.
+    pub status: u16,
+    /// Response body bytes.
+    pub bytes: u64,
+    /// Time from accept to worker pickup (first request on a
+    /// connection; 0 for keep-alive successors).
+    pub queue_wait_ms: f64,
+    /// Accept/first-byte to response-written wall time.
+    pub total_ms: f64,
+    /// Per-pipeline-stage wall times, in pipeline order
+    /// (`understand`/`map`/`topk` for computed answers; empty for cache
+    /// hits and non-answer routes).
+    pub stages: Vec<(String, f64)>,
+    /// Answer-cache outcome (`hit`/`miss`), when the cache was consulted.
+    pub cache: Option<String>,
+    /// Snapshot epoch that served the request.
+    pub epoch: u64,
+    /// Budget that degraded the answer, if any (`frontier`, …).
+    pub degraded: Option<String>,
+    /// Pipeline failure reason, if unanswered.
+    pub failure: Option<String>,
+    /// Fault injections that fired while serving this request.
+    pub faults_fired: u64,
+    /// Index of the worker thread that served the request.
+    pub worker: usize,
+    /// Zero-based sequence number of the request on its keep-alive
+    /// connection.
+    pub conn_seq: u64,
+    /// Wall-clock completion time (ms since the Unix epoch).
+    pub unix_ms: u64,
+    /// Rendered EXPLAIN trace, when the request asked for one.
+    pub explain: Option<String>,
+    /// Set by the recorder: retained because interesting/slow rather
+    /// than sampled.
+    pub pinned: bool,
+    /// Set by the recorder: global record sequence number (newest-first
+    /// ordering key for `/debug/requests`).
+    pub seq: u64,
+}
+
+fn escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt_str(v: &Option<String>) -> String {
+    match v {
+        Some(s) => format!("\"{}\"", escape(s)),
+        None => "null".to_string(),
+    }
+}
+
+impl RequestTrace {
+    /// Whether this request is unconditionally retained by the
+    /// recorder's tail sampler (independent of the latency criterion):
+    /// an error status, a degraded/budget cause, a pipeline failure, or
+    /// a fired fault injection.
+    pub fn interesting(&self) -> bool {
+        self.status >= 400
+            || self.degraded.is_some()
+            || self.failure.is_some()
+            || self.faults_fired > 0
+    }
+
+    fn stages_json(&self) -> String {
+        let inner: Vec<String> = self
+            .stages
+            .iter()
+            .map(|(name, ms)| format!("\"{}\":{:.3}", escape(name), ms))
+            .collect();
+        format!("{{{}}}", inner.join(","))
+    }
+
+    /// One structured access-log line (compact JSON, no trailing
+    /// newline, never includes the EXPLAIN payload).
+    pub fn access_log_line(&self) -> String {
+        format!(
+            "{{\"ts_ms\":{},\"request_id\":\"{}\",\"route\":\"{}\",\"status\":{},\"bytes\":{},\
+             \"queue_wait_ms\":{:.3},\"total_ms\":{:.3},\"stages\":{},\"cache\":{},\"epoch\":{},\
+             \"degraded\":{},\"failure\":{},\"faults_fired\":{},\"worker\":{},\"conn_seq\":{}}}",
+            self.unix_ms,
+            escape(&self.id),
+            escape(&self.route),
+            self.status,
+            self.bytes,
+            self.queue_wait_ms,
+            self.total_ms,
+            self.stages_json(),
+            opt_str(&self.cache),
+            self.epoch,
+            opt_str(&self.degraded),
+            opt_str(&self.failure),
+            self.faults_fired,
+            self.worker,
+            self.conn_seq,
+        )
+    }
+
+    /// JSON object for the `/debug/requests` endpoints. The full per-id
+    /// view (`include_explain`) additionally carries the rendered
+    /// EXPLAIN trace when one was captured.
+    pub fn to_json(&self, include_explain: bool) -> String {
+        let mut out = self.access_log_line();
+        debug_assert!(out.ends_with('}'));
+        out.pop();
+        out.push_str(&format!(",\"pinned\":{},\"seq\":{}", self.pinned, self.seq));
+        if include_explain {
+            out.push_str(&format!(",\"explain\":{}", opt_str(&self.explain)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One fixed-capacity ring: slot claim is a relaxed `fetch_add`, the
+/// pointer swap a per-slot mutex that is only ever contended when two
+/// writers race a full lap apart.
+#[derive(Debug)]
+struct Ring {
+    slots: Box<[Mutex<Option<Arc<RequestTrace>>>]>,
+    head: AtomicUsize,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Ring {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, t: Arc<RequestTrace>) {
+        let i = self.head.fetch_add(1, Relaxed) % self.slots.len();
+        *self.slots[i].lock() = Some(t);
+    }
+
+    /// Total pushes so far (not the live count, which is `min(pushes,
+    /// capacity)`).
+    fn pushes(&self) -> usize {
+        self.head.load(Relaxed)
+    }
+
+    fn collect(&self, out: &mut Vec<Arc<RequestTrace>>) {
+        for slot in self.slots.iter() {
+            if let Some(t) = slot.lock().as_ref() {
+                out.push(Arc::clone(t));
+            }
+        }
+    }
+}
+
+/// Latency bucket bounds for the rolling p95 estimate, in milliseconds.
+const LAT_BOUNDS_MS: &[f64] =
+    &[0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0];
+
+/// Observations before the latency sketch decays (all counts halved), so
+/// the p95 tracks the recent regime instead of all of history.
+const LAT_DECAY_WINDOW: u64 = 4096;
+
+/// Observations required before the p95 estimate is trusted; below this
+/// the latency pin criterion is disabled (everything early is retained
+/// by the fill-first sampling rule anyway).
+const LAT_MIN_SAMPLES: u64 = 64;
+
+/// A small fixed-bucket latency sketch: relaxed atomics, halved every
+/// [`LAT_DECAY_WINDOW`] observations. The decay store races with
+/// concurrent increments and may drop a handful of counts — acceptable
+/// for a retention heuristic, not a metric.
+#[derive(Debug)]
+struct LatencySketch {
+    buckets: Box<[AtomicU64]>,
+    total: AtomicU64,
+}
+
+impl LatencySketch {
+    fn new() -> Self {
+        LatencySketch {
+            buckets: (0..=LAT_BOUNDS_MS.len()).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, ms: f64) {
+        let i = LAT_BOUNDS_MS.partition_point(|&b| b < ms);
+        self.buckets[i].fetch_add(1, Relaxed);
+        if self.total.fetch_add(1, Relaxed) + 1 >= LAT_DECAY_WINDOW {
+            let mut sum = 0;
+            for b in self.buckets.iter() {
+                let half = b.load(Relaxed) / 2;
+                b.store(half, Relaxed);
+                sum += half;
+            }
+            self.total.store(sum, Relaxed);
+        }
+    }
+
+    /// Upper-bound estimate of the rolling p95, in ms. `INFINITY` until
+    /// enough samples have accumulated.
+    fn p95_ms(&self) -> f64 {
+        let total = self.total.load(Relaxed);
+        if total < LAT_MIN_SAMPLES {
+            return f64::INFINITY;
+        }
+        let target = total - total / 20; // 95th percentile rank
+        let mut acc = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b.load(Relaxed);
+            if acc >= target {
+                return LAT_BOUNDS_MS.get(i).copied().unwrap_or(f64::INFINITY);
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// Healthy requests sampled 1-in-this once the sampled ring has filled.
+const DEFAULT_SAMPLE_EVERY: u64 = 8;
+
+/// The flight recorder: bounded, lock-free-on-the-claim, tail-sampling
+/// retention of completed request traces. See the module docs for the
+/// design.
+#[derive(Debug)]
+pub struct Recorder {
+    pinned: Ring,
+    sampled: Ring,
+    sample_every: u64,
+    healthy_seen: AtomicU64,
+    latency: LatencySketch,
+    seq: AtomicU64,
+    capacity: usize,
+}
+
+impl Recorder {
+    /// A recorder retaining at most `capacity` records, split evenly
+    /// between the pinned and sampled rings (minimum 1 slot each).
+    pub fn new(capacity: usize) -> Self {
+        Recorder::with_sampling(capacity, DEFAULT_SAMPLE_EVERY)
+    }
+
+    /// [`Recorder::new`] with an explicit healthy-request sampling rate.
+    pub fn with_sampling(capacity: usize, sample_every: u64) -> Self {
+        let capacity = capacity.max(2);
+        let pinned_cap = capacity.div_ceil(2);
+        Recorder {
+            pinned: Ring::new(pinned_cap),
+            sampled: Ring::new(capacity - pinned_cap),
+            sample_every: sample_every.max(1),
+            healthy_seen: AtomicU64::new(0),
+            latency: LatencySketch::new(),
+            seq: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Maximum records retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records retained right now.
+    pub fn len(&self) -> usize {
+        self.pinned.pushes().min(self.pinned.slots.len())
+            + self.sampled.pushes().min(self.sampled.slots.len())
+    }
+
+    /// Whether nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Offer one completed request to the tail sampler. Interesting
+    /// requests ([`RequestTrace::interesting`]) and requests slower than
+    /// the rolling p95 are pinned; healthy fast ones fill the sampled
+    /// ring, then are sampled 1-in-N.
+    pub fn record(&self, mut t: RequestTrace) {
+        t.seq = self.seq.fetch_add(1, Relaxed);
+        let p95 = self.latency.p95_ms();
+        self.latency.observe(t.total_ms);
+        if t.interesting() || t.total_ms > p95 {
+            t.pinned = true;
+            self.pinned.push(Arc::new(t));
+            return;
+        }
+        let n = self.healthy_seen.fetch_add(1, Relaxed);
+        if self.sampled.pushes() < self.sampled.slots.len() || n.is_multiple_of(self.sample_every) {
+            self.sampled.push(Arc::new(t));
+        }
+    }
+
+    /// All retained records, newest first.
+    pub fn snapshot(&self) -> Vec<Arc<RequestTrace>> {
+        let mut out = Vec::with_capacity(self.capacity);
+        self.pinned.collect(&mut out);
+        self.sampled.collect(&mut out);
+        out.sort_by_key(|t| std::cmp::Reverse(t.seq));
+        out
+    }
+
+    /// The newest retained record with this request id, if any.
+    pub fn find(&self, id: &str) -> Option<Arc<RequestTrace>> {
+        self.snapshot().into_iter().find(|t| t.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: &str, status: u16, ms: f64) -> RequestTrace {
+        RequestTrace {
+            id: id.to_string(),
+            route: "answer".to_string(),
+            status,
+            total_ms: ms,
+            ..RequestTrace::default()
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_hex_and_deterministic_in_the_seed() {
+        let gen = RequestIdGen::with_seed(7);
+        let a = gen.next_id();
+        let b = gen.next_id();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.bytes().all(|c| c.is_ascii_hexdigit()));
+        let gen2 = RequestIdGen::with_seed(7);
+        assert_eq!(gen2.next_id(), a, "same seed, same sequence");
+        assert_ne!(RequestIdGen::with_seed(8).next_id(), a);
+    }
+
+    #[test]
+    fn client_id_validation() {
+        assert!(valid_request_id("ci-trace-0001"));
+        assert!(valid_request_id("a"));
+        assert!(valid_request_id("A_b.c:d-9"));
+        assert!(!valid_request_id(""));
+        assert!(!valid_request_id(&"x".repeat(65)));
+        assert!(!valid_request_id("has space"));
+        assert!(!valid_request_id("quote\"me"));
+        assert!(!valid_request_id("new\nline"));
+    }
+
+    #[test]
+    fn access_log_line_is_one_json_object() {
+        let mut t = trace("abc123", 200, 4.5);
+        t.queue_wait_ms = 0.25;
+        t.stages = vec![("understand".into(), 1.0), ("map".into(), 1.5), ("topk".into(), 2.0)];
+        t.cache = Some("miss".into());
+        t.epoch = 3;
+        t.worker = 2;
+        t.conn_seq = 1;
+        t.unix_ms = 1700000000000;
+        let line = t.access_log_line();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(!line.contains('\n'));
+        for needle in [
+            "\"request_id\":\"abc123\"",
+            "\"route\":\"answer\"",
+            "\"status\":200",
+            "\"queue_wait_ms\":0.250",
+            "\"stages\":{\"understand\":1.000,\"map\":1.500,\"topk\":2.000}",
+            "\"cache\":\"miss\"",
+            "\"epoch\":3",
+            "\"degraded\":null",
+            "\"worker\":2",
+            "\"conn_seq\":1",
+            "\"ts_ms\":1700000000000",
+        ] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+    }
+
+    #[test]
+    fn to_json_gates_the_explain_payload() {
+        let mut t = trace("abc", 200, 1.0);
+        t.explain = Some("BIG EXPLAIN".into());
+        assert!(!t.to_json(false).contains("explain"));
+        assert!(t.to_json(true).contains("\"explain\":\"BIG EXPLAIN\""));
+        assert!(t.to_json(true).contains("\"pinned\":false"));
+    }
+
+    #[test]
+    fn interesting_criteria() {
+        assert!(!trace("a", 200, 1.0).interesting());
+        assert!(trace("a", 500, 1.0).interesting());
+        assert!(trace("a", 404, 1.0).interesting());
+        let mut t = trace("a", 200, 1.0);
+        t.degraded = Some("frontier".into());
+        assert!(t.interesting());
+        let mut t = trace("a", 200, 1.0);
+        t.failure = Some("no_match".into());
+        assert!(t.interesting());
+        let mut t = trace("a", 200, 1.0);
+        t.faults_fired = 1;
+        assert!(t.interesting());
+    }
+
+    #[test]
+    fn errors_survive_a_flood_of_healthy_traffic() {
+        let rec = Recorder::new(16);
+        for i in 0..4 {
+            rec.record(trace(&format!("err-{i}"), 500, 1.0));
+        }
+        for i in 0..10_000 {
+            rec.record(trace(&format!("ok-{i}"), 200, 1.0));
+        }
+        assert!(rec.len() <= rec.capacity());
+        for i in 0..4 {
+            let t = rec.find(&format!("err-{i}")).expect("pinned record evicted");
+            assert!(t.pinned);
+        }
+    }
+
+    #[test]
+    fn early_healthy_requests_are_all_retained() {
+        // Fill-first: with a fresh recorder the first healthy requests
+        // land in the sampled ring regardless of the 1-in-N rate, so a
+        // server's very first request is always inspectable.
+        let rec = Recorder::new(64);
+        for i in 0..8 {
+            rec.record(trace(&format!("ok-{i}"), 200, 1.0));
+        }
+        for i in 0..8 {
+            assert!(rec.find(&format!("ok-{i}")).is_some(), "ok-{i} missing");
+        }
+    }
+
+    #[test]
+    fn snapshot_is_newest_first_and_bounded() {
+        let rec = Recorder::new(8);
+        for i in 0..100 {
+            rec.record(trace(&format!("r-{i}"), if i % 2 == 0 { 200 } else { 503 }, 1.0));
+        }
+        let snap = rec.snapshot();
+        assert!(snap.len() <= 8);
+        assert!(snap.windows(2).all(|w| w[0].seq > w[1].seq), "not newest-first");
+    }
+
+    #[test]
+    fn slow_requests_get_pinned_once_the_sketch_warms_up() {
+        let rec = Recorder::new(32);
+        for i in 0..LAT_MIN_SAMPLES {
+            rec.record(trace(&format!("warm-{i}"), 200, 1.0));
+        }
+        rec.record(trace("slow", 200, 400.0));
+        let t = rec.find("slow").expect("slow request dropped");
+        assert!(t.pinned, "latency outlier must be pinned");
+    }
+
+    #[test]
+    fn p95_sketch_decays() {
+        let s = LatencySketch::new();
+        for _ in 0..100 {
+            s.observe(1.0);
+        }
+        assert!(s.p95_ms() <= 1.0);
+        for _ in 0..5000 {
+            s.observe(300.0);
+        }
+        assert!(s.p95_ms() >= 100.0, "p95 stuck at {}", s.p95_ms());
+    }
+}

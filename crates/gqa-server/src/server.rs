@@ -40,7 +40,9 @@ use crate::signal;
 use gqa_core::cache::{config_fingerprint, AnswerCache, CacheKey, Lookup};
 use gqa_core::pipeline::{GAnswer, Response};
 use gqa_fault::FaultPlan;
-use gqa_obs::Obs;
+use gqa_obs::{
+    unix_ms_now, valid_request_id, AccessLog, Obs, Recorder, RequestIdGen, RequestTrace,
+};
 use gqa_rdf::snapshot::{Snapshot, Stamped};
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -88,6 +90,10 @@ pub struct ServerConfig {
     /// Answer-cache capacity in responses (default 0 = caching off). See
     /// [`gqa_core::cache::AnswerCache`] for the key and bypass rules.
     pub cache_capacity: usize,
+    /// Flight-recorder capacity in retained request traces (default 256;
+    /// 0 disables the recorder and the `/debug/requests` endpoints). See
+    /// [`gqa_obs::Recorder`] for the tail-sampling retention policy.
+    pub flight_recorder: usize,
     /// Deterministic fault-injection plan for the worker pool (inert by
     /// default). A rule at [`FAULT_SITE_WORKER`] exercises the panic
     /// isolation: the request gets a 500, the worker survives.
@@ -116,6 +122,7 @@ impl Default for ServerConfig {
             keep_alive_requests: 100,
             keep_alive_idle_ms: 2000,
             cache_capacity: 0,
+            flight_recorder: 256,
             fault: FaultPlan::none(),
         }
     }
@@ -267,9 +274,37 @@ pub struct Server<'s> {
     backend: Backend<'s>,
     obs: Obs,
     cache: Option<AnswerCache>,
+    recorder: Option<Recorder>,
+    access_log: Option<AccessLog>,
+    ids: RequestIdGen,
     config: ServerConfig,
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
+}
+
+/// Per-request observability context threaded through routing: each
+/// handler fills in what it knows, and [`Server::handle`] consumes the
+/// lot into a [`RequestTrace`] after the response bytes are written.
+#[derive(Debug, Default)]
+struct RequestInfo {
+    /// Request id: generated, or echoed from a valid client
+    /// `X-Request-Id` header.
+    id: String,
+    /// Per-stage wall times in ms (`understand`/`map`/`topk`; empty for
+    /// cache hits and non-answer routes).
+    stages: Vec<(String, f64)>,
+    /// Answer-cache outcome (`hit`/`miss`), when the cache was consulted.
+    cache: Option<String>,
+    /// Store epoch pinned for the request.
+    epoch: u64,
+    /// Budget that degraded the answer, if any.
+    degraded: Option<String>,
+    /// Pipeline failure (or timeout stage), if unanswered.
+    failure: Option<String>,
+    /// Fault injections fired while serving the request.
+    faults_fired: u64,
+    /// Rendered EXPLAIN trace, when the request asked for one.
+    explain: Option<String>,
 }
 
 impl<'s> Server<'s> {
@@ -306,7 +341,7 @@ impl<'s> Server<'s> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         if obs.is_enabled() {
-            for endpoint in ["answer", "metrics", "healthz", "admin", "other", "none"] {
+            for endpoint in ["answer", "metrics", "healthz", "admin", "debug", "other", "none"] {
                 obs.counter("gqa_server_requests_total", &[("endpoint", endpoint)]);
             }
             obs.counter("gqa_server_shed_total", &[]);
@@ -331,14 +366,33 @@ impl<'s> Server<'s> {
         }
         let cache =
             (config.cache_capacity > 0).then(|| AnswerCache::with_capacity(config.cache_capacity));
+        let recorder = (config.flight_recorder > 0).then(|| Recorder::new(config.flight_recorder));
         Ok(Server {
             backend,
             obs,
             cache,
+            recorder,
+            access_log: None,
+            ids: RequestIdGen::new(),
             config,
             listener,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// Attach a structured access log: one JSON line per response, queued
+    /// to a dedicated writer thread off the hot path. Pre-registers the
+    /// dropped-lines counter so scrapes show it from zero.
+    pub fn set_access_log(&mut self, log: AccessLog) {
+        if self.obs.is_enabled() {
+            self.obs.counter("gqa_server_access_log_dropped_total", &[]);
+        }
+        self.access_log = Some(log);
+    }
+
+    /// The flight recorder, when enabled (`flight_recorder > 0`).
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
     }
 
     /// The bound address (useful with port 0).
@@ -367,13 +421,20 @@ impl<'s> Server<'s> {
             timeouts: AtomicU64::new(0),
         };
         std::thread::scope(|scope| {
-            for _ in 0..self.config.workers.max(1) {
-                scope.spawn(|| self.worker(&queue, &counters));
+            for w in 0..self.config.workers.max(1) {
+                let (queue, counters) = (&queue, &counters);
+                scope.spawn(move || self.worker(w, queue, counters));
             }
             self.accept_loop(&queue, &counters);
             queue.close();
             // Scope exit joins the workers — the drain.
         });
+        // The workers are done: push the retained access-log backlog to
+        // disk before returning, so a SIGTERM'd server exits with every
+        // served request's line durably written.
+        if let Some(log) = &self.access_log {
+            log.flush();
+        }
         ServeStats {
             accepted: counters.accepted.load(Ordering::Relaxed),
             served: counters.served.load(Ordering::Relaxed),
@@ -432,9 +493,13 @@ impl<'s> Server<'s> {
     }
 
     /// Queue full: answer 503 directly from the acceptor so shedding stays
-    /// cheap and never waits on a worker.
+    /// cheap and never waits on a worker. The response still carries an
+    /// `X-Request-Id` — server-generated, since honoring a client id would
+    /// mean parsing the request — and the shed is recorded like any other
+    /// failure so overload storms show up in `/debug/requests?degraded=1`.
     fn shed(&self, mut stream: TcpStream, counters: &Counters) {
         let _ = stream.set_write_timeout(Some(Duration::from_millis(self.config.write_timeout_ms)));
+        let id = self.ids.next_id();
         let body =
             obj(vec![("error", Json::Str("server overloaded, retry shortly".into()))]).to_string();
         let ok = write_response(
@@ -442,24 +507,41 @@ impl<'s> Server<'s> {
             503,
             "application/json",
             body.as_bytes(),
-            &[("Retry-After", "1")],
+            &[("Retry-After", "1"), ("X-Request-Id", &id)],
         )
         .is_ok();
         counters.shed.fetch_add(1, Ordering::Relaxed);
         if ok {
             counters.served.fetch_add(1, Ordering::Relaxed);
         }
+        if self.access_log.is_some() || self.recorder.is_some() {
+            let trace = RequestTrace {
+                id,
+                route: "shed".to_string(),
+                status: 503,
+                bytes: body.len() as u64,
+                failure: Some("shed:queue_full".to_string()),
+                unix_ms: unix_ms_now(),
+                ..RequestTrace::default()
+            };
+            if let Some(log) = &self.access_log {
+                log.log(trace.access_log_line());
+            }
+            if let Some(recorder) = &self.recorder {
+                recorder.record(trace);
+            }
+        }
         close_gracefully(stream);
     }
 
-    fn worker(&self, queue: &Bounded<Job>, counters: &Counters) {
+    fn worker(&self, worker: usize, queue: &Bounded<Job>, counters: &Counters) {
         let obs = &self.obs;
         let inflight = obs.gauge("gqa_server_inflight_requests", &[]);
         let depth = obs.gauge("gqa_server_queue_depth", &[]);
         while let Some(job) = queue.pop() {
             depth.set(queue.len() as i64);
             inflight.inc();
-            self.handle(job, queue, counters);
+            self.handle(worker, job, queue, counters);
             inflight.dec();
         }
     }
@@ -520,13 +602,16 @@ impl<'s> Server<'s> {
     /// The wait for that first byte ([`Server::idle_wait`]) polls in
     /// short slices so a parked worker notices queue pressure and
     /// shutdown instead of sitting out the full idle window.
-    fn handle(&self, job: Job, queue: &Bounded<Job>, counters: &Counters) {
+    fn handle(&self, worker: usize, job: Job, queue: &Bounded<Job>, counters: &Counters) {
         let obs = &self.obs;
         let Job { stream, accepted } = job;
         let _ = stream.set_write_timeout(Some(Duration::from_millis(self.config.write_timeout_ms)));
         let mut reader = BufReader::new(stream);
         let mut anchor = accepted;
         let mut served_on_conn: usize = 0;
+        // Accept → worker pickup: only the connection's first request
+        // ever sat in the queue, so only it is charged this wait.
+        let queue_wait = accepted.elapsed();
 
         loop {
             let first = served_on_conn == 0;
@@ -547,11 +632,19 @@ impl<'s> Server<'s> {
                 .get_ref()
                 .set_read_timeout(Some(Duration::from_millis(self.config.read_timeout_ms.max(1))));
 
-            let (endpoint, outcome, keep) = match read_request(&mut reader, &self.config.limits) {
+            // Every response carries a request id: generated up front,
+            // overridden by a well-formed client `X-Request-Id` so callers
+            // can correlate their own ids through logs and debug views.
+            let mut info = RequestInfo { id: self.ids.next_id(), ..RequestInfo::default() };
+            let (endpoint, mut outcome, keep) = match read_request(&mut reader, &self.config.limits)
+            {
                 Ok(ParseOutcome::Closed) if first => return, // peer went away; nothing to do
                 Ok(ParseOutcome::Closed) => break,           // clean end of a keep-alive session
                 Ok(ParseOutcome::Request(req)) => {
-                    let routed = self.route_isolated(&req, anchor, counters);
+                    if let Some(id) = req.header("x-request-id").filter(|v| valid_request_id(v)) {
+                        info.id = id.to_owned();
+                    }
+                    let routed = self.route_isolated(&req, anchor, counters, &mut info);
                     let keep = req.wants_keep_alive()
                         && served_on_conn + 1 < self.config.keep_alive_requests.max(1)
                         && !self.shutdown.load(Ordering::SeqCst)
@@ -573,6 +666,7 @@ impl<'s> Server<'s> {
                     None => return, // transport error; no response possible
                 },
             };
+            outcome.extra.push(("X-Request-Id", info.id.clone()));
 
             let extra: Vec<(&str, &str)> =
                 outcome.extra.iter().map(|(k, v)| (*k, v.as_str())).collect();
@@ -597,8 +691,42 @@ impl<'s> Server<'s> {
                 obs.counter("gqa_server_timeouts_total", &[]).inc();
             }
             obs.counter("gqa_server_requests_total", &[("endpoint", endpoint)]).inc();
+            let total = anchor.elapsed();
             obs.histogram("gqa_server_request_duration_seconds", &[], gqa_obs::DURATION_BUCKETS)
-                .observe(anchor.elapsed().as_secs_f64());
+                .observe_exemplar(total.as_secs_f64(), &info.id);
+
+            // One RequestTrace per response, built after the bytes are
+            // flushed: rendered as the access-log line (a non-blocking
+            // try_send) and offered to the flight recorder's tail
+            // sampler. Neither path can stall this worker.
+            if self.access_log.is_some() || self.recorder.is_some() {
+                let trace = RequestTrace {
+                    id: info.id,
+                    route: endpoint.to_string(),
+                    status: outcome.status,
+                    bytes: outcome.body.len() as u64,
+                    queue_wait_ms: if first { queue_wait.as_secs_f64() * 1e3 } else { 0.0 },
+                    total_ms: total.as_secs_f64() * 1e3,
+                    stages: info.stages,
+                    cache: info.cache,
+                    epoch: info.epoch,
+                    degraded: info.degraded,
+                    failure: info.failure,
+                    faults_fired: info.faults_fired,
+                    worker,
+                    conn_seq: served_on_conn as u64,
+                    unix_ms: unix_ms_now(),
+                    explain: info.explain,
+                    pinned: false,
+                    seq: 0,
+                };
+                if let Some(log) = &self.access_log {
+                    log.log(trace.access_log_line());
+                }
+                if let Some(recorder) = &self.recorder {
+                    recorder.record(trace);
+                }
+            }
 
             served_on_conn += 1;
             if !(written && keep) {
@@ -619,10 +747,13 @@ impl<'s> Server<'s> {
         req: &Request,
         accepted: Instant,
         counters: &Counters,
+        info: &mut RequestInfo,
     ) -> (&'static str, Reply) {
         let routed = catch_unwind(AssertUnwindSafe(|| {
             let fire = if req.path == "/answer" {
-                self.config.fault.fire(FAULT_SITE_WORKER)
+                let (fired, outcome) = self.config.fault.fire_counted(FAULT_SITE_WORKER);
+                info.faults_fired += fired;
+                outcome
             } else {
                 Ok(())
             };
@@ -630,7 +761,8 @@ impl<'s> Server<'s> {
                 // Pin the store snapshot for the whole request: a reload
                 // concurrent with this request cannot change what it reads.
                 let guard = self.backend.guard();
-                self.route(req, &guard, accepted, counters)
+                info.epoch = guard.epoch();
+                self.route(req, &guard, accepted, counters, info)
             })
         }));
         // On a fault or panic `route` never ran, so recover the endpoint
@@ -640,14 +772,20 @@ impl<'s> Server<'s> {
             "/metrics" => "metrics",
             "/healthz" => "healthz",
             "/admin/reload" => "admin",
+            p if p == "/debug/requests" || p.starts_with("/debug/requests/") => "debug",
             _ => "other",
         };
         match routed {
             Ok(Ok(r)) => r,
             Ok(Err(fault)) => {
+                info.failure = Some(fault.to_string());
                 (endpoint, Reply::json(500, obj(vec![("error", Json::Str(fault.to_string()))])))
             }
             Err(_) => {
+                // An injected panic unwinds out of `fire_counted` before the
+                // fired count could be added to `info`, so the trace marks
+                // the failure here — `?degraded=1` must surface panics.
+                info.failure = Some("panic".to_string());
                 self.obs.counter("gqa_server_worker_panics_total", &[]).inc();
                 (
                     endpoint,
@@ -669,13 +807,26 @@ impl<'s> Server<'s> {
         guard: &SystemGuard<'_>,
         accepted: Instant,
         counters: &Counters,
+        info: &mut RequestInfo,
     ) -> (&'static str, Reply) {
+        if let Some(id) = req.path.strip_prefix("/debug/requests/") {
+            return if req.method == "GET" {
+                ("debug", self.debug_request_reply(id))
+            } else {
+                ("other", Reply::method_not_allowed("GET"))
+            };
+        }
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => ("healthz", Reply::text(200, "ok\n")),
-            ("GET", "/metrics") => ("metrics", self.metrics_reply(guard)),
-            ("POST", "/answer") => ("answer", self.answer_reply(req, guard, accepted, counters)),
+            ("GET", "/metrics") => ("metrics", self.metrics_reply(guard, req)),
+            ("GET", "/debug/requests") => ("debug", self.debug_requests_reply(req)),
+            ("POST", "/answer") => {
+                ("answer", self.answer_reply(req, guard, accepted, counters, info))
+            }
             ("POST", "/admin/reload") => ("admin", self.reload_reply()),
-            (_, "/healthz") | (_, "/metrics") => ("other", Reply::method_not_allowed("GET")),
+            (_, "/healthz") | (_, "/metrics") | (_, "/debug/requests") => {
+                ("other", Reply::method_not_allowed("GET"))
+            }
             (_, "/answer") | (_, "/admin/reload") => ("other", Reply::method_not_allowed("POST")),
             _ => (
                 "other",
@@ -707,21 +858,45 @@ impl<'s> Server<'s> {
         }
     }
 
-    fn metrics_reply(&self, guard: &SystemGuard<'_>) -> Reply {
+    /// `GET /metrics`: Prometheus text by default, the registry's JSON
+    /// dump with `?format=json`.
+    fn metrics_reply(&self, guard: &SystemGuard<'_>, req: &Request) -> Reply {
         let obs = &self.obs;
+        let json_format = matches!(query_param(req.query.as_deref(), "format"), Some("json"));
         if !obs.is_enabled() {
+            if json_format {
+                return Reply {
+                    status: 200,
+                    content_type: "application/json",
+                    body: obs.json().into_bytes(),
+                    extra: Vec::new(),
+                };
+            }
             return Reply::text(200, "# metrics disabled (server started without obs)\n");
         }
         guard.system().publish_metrics();
         // The answer cache keeps its own atomics (single source of truth,
         // shared with `AnswerCache::stats`); publish them absolutely at
         // scrape time like the pipeline's component-local counters.
-        if let (Some(cache), Some(registry)) = (&self.cache, obs.registry()) {
-            let stats = cache.stats();
-            registry.set_counter("gqa_server_cache_hits_total", &[], stats.hits);
-            registry.set_counter("gqa_server_cache_misses_total", &[], stats.misses);
-            registry.set_counter("gqa_server_cache_stale_total", &[], stats.stale);
-            registry.set_counter("gqa_server_cache_evictions_total", &[], stats.evictions);
+        if let Some(registry) = obs.registry() {
+            if let Some(cache) = &self.cache {
+                let stats = cache.stats();
+                registry.set_counter("gqa_server_cache_hits_total", &[], stats.hits);
+                registry.set_counter("gqa_server_cache_misses_total", &[], stats.misses);
+                registry.set_counter("gqa_server_cache_stale_total", &[], stats.stale);
+                registry.set_counter("gqa_server_cache_evictions_total", &[], stats.evictions);
+            }
+            if let Some(log) = &self.access_log {
+                registry.set_counter("gqa_server_access_log_dropped_total", &[], log.dropped());
+            }
+        }
+        if json_format {
+            return Reply {
+                status: 200,
+                content_type: "application/json",
+                body: obs.json().into_bytes(),
+                extra: Vec::new(),
+            };
         }
         Reply {
             status: 200,
@@ -731,12 +906,94 @@ impl<'s> Server<'s> {
         }
     }
 
+    /// `GET /debug/requests`: the flight recorder's retained traces,
+    /// newest first, without EXPLAIN payloads. Filters compose:
+    /// `status=<code>`, `min_ms=<float>`, `degraded=1` (a degraded/budget
+    /// cause, a typed failure, or a fired fault injection), `limit=<n>`
+    /// (default 100).
+    fn debug_requests_reply(&self, req: &Request) -> Reply {
+        let Some(recorder) = &self.recorder else {
+            return Reply::json(
+                404,
+                obj(vec![(
+                    "error",
+                    Json::Str("flight recorder disabled (flight_recorder = 0)".into()),
+                )]),
+            );
+        };
+        let q = req.query.as_deref();
+        let status = match query_param(q, "status").map(str::parse::<u16>) {
+            None => None,
+            Some(Ok(s)) => Some(s),
+            Some(Err(_)) => return Reply::bad_request("\"status\" must be an integer"),
+        };
+        let min_ms = match query_param(q, "min_ms").map(str::parse::<f64>) {
+            None => None,
+            Some(Ok(v)) => Some(v),
+            Some(Err(_)) => return Reply::bad_request("\"min_ms\" must be a number"),
+        };
+        let degraded_only = matches!(query_param(q, "degraded"), Some("1" | "true"));
+        let limit = match query_param(q, "limit").map(str::parse::<usize>) {
+            None => 100,
+            Some(Ok(n)) => n,
+            Some(Err(_)) => return Reply::bad_request("\"limit\" must be a non-negative integer"),
+        };
+        let records: Vec<String> = recorder
+            .snapshot()
+            .iter()
+            .filter(|t| status.is_none_or(|s| t.status == s))
+            .filter(|t| min_ms.is_none_or(|m| t.total_ms >= m))
+            .filter(|t| {
+                !degraded_only || t.degraded.is_some() || t.failure.is_some() || t.faults_fired > 0
+            })
+            .take(limit)
+            .map(|t| t.to_json(false))
+            .collect();
+        let body = format!("{{\"count\":{},\"requests\":[{}]}}", records.len(), records.join(","));
+        Reply {
+            status: 200,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// `GET /debug/requests/<id>`: the full retained trace for one
+    /// request id, including the EXPLAIN payload when one was captured.
+    fn debug_request_reply(&self, id: &str) -> Reply {
+        let Some(recorder) = &self.recorder else {
+            return Reply::json(
+                404,
+                obj(vec![(
+                    "error",
+                    Json::Str("flight recorder disabled (flight_recorder = 0)".into()),
+                )]),
+            );
+        };
+        match recorder.find(id) {
+            Some(t) => Reply {
+                status: 200,
+                content_type: "application/json",
+                body: t.to_json(true).into_bytes(),
+                extra: Vec::new(),
+            },
+            None => Reply::json(
+                404,
+                obj(vec![(
+                    "error",
+                    Json::Str("request id not retained by the flight recorder".into()),
+                )]),
+            ),
+        }
+    }
+
     fn answer_reply(
         &self,
         req: &Request,
         guard: &SystemGuard<'_>,
         accepted: Instant,
         counters: &Counters,
+        info: &mut RequestInfo,
     ) -> Reply {
         // Parse and validate the JSON body.
         let text = match std::str::from_utf8(&req.body) {
@@ -787,6 +1044,7 @@ impl<'s> Server<'s> {
         let queue_wait = accepted.elapsed();
         if Instant::now() > deadline {
             let _ = counters; // counted by the caller via the 504 status
+            info.failure = Some("timeout:queue".to_string());
             return Reply::timeout("queue", timeout_ms);
         }
 
@@ -813,7 +1071,10 @@ impl<'s> Server<'s> {
                                 &[],
                                 gqa_obs::DURATION_BUCKETS,
                             )
-                            .observe(accepted.elapsed().as_secs_f64());
+                            .observe_exemplar(accepted.elapsed().as_secs_f64(), &info.id);
+                        info.cache = Some("hit".to_string());
+                        info.degraded = response.degraded.map(|b| b.as_str().to_owned());
+                        info.failure = response.failure.as_ref().map(|f| f.reason().to_owned());
                         let mut reply =
                             Reply::json(200, render_response(question, &response, k, queue_wait));
                         reply.extra.push(("X-Cache", "hit".to_owned()));
@@ -834,9 +1095,23 @@ impl<'s> Server<'s> {
             system.answer_with_deadline(question, deadline)
         };
         match result {
-            Err(e) => Reply::timeout(e.stage, timeout_ms),
+            Err(e) => {
+                info.failure = Some(format!("timeout:{}", e.stage));
+                Reply::timeout(e.stage, timeout_ms)
+            }
             Ok(response) => {
                 let response = Arc::new(response);
+                info.stages = vec![
+                    ("understand".to_string(), response.understanding_time.as_secs_f64() * 1e3),
+                    ("map".to_string(), response.map_time.as_secs_f64() * 1e3),
+                    ("topk".to_string(), response.topk_time.as_secs_f64() * 1e3),
+                ];
+                info.degraded = response.degraded.map(|b| b.as_str().to_owned());
+                info.failure = response.failure.as_ref().map(|f| f.reason().to_owned());
+                info.faults_fired += response.faults_fired;
+                if let Some(trace) = &response.trace {
+                    info.explain = Some(trace.render());
+                }
                 let mut reply =
                     Reply::json(200, render_response(question, &response, k, queue_wait));
                 if let Some((cache, key)) = cached_key {
@@ -847,12 +1122,23 @@ impl<'s> Server<'s> {
                     if guard.epoch() == self.backend.current_epoch() {
                         cache.insert(key, guard.epoch(), Arc::clone(&response));
                     }
+                    info.cache = Some("miss".to_string());
                     reply.extra.push(("X-Cache", "miss".to_owned()));
                 }
                 reply
             }
         }
     }
+}
+
+/// First value of a query-string parameter (`k=v` pairs joined by `&`; a
+/// bare `k` reads as the empty value). No percent-decoding — every
+/// metrics/debug parameter is a plain token.
+fn query_param<'q>(query: Option<&'q str>, name: &str) -> Option<&'q str> {
+    query?.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == name).then_some(v)
+    })
 }
 
 /// Lingering close. When a response is written before the request was read

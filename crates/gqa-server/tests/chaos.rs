@@ -146,6 +146,20 @@ fn injected_worker_panics_cost_exactly_one_request_each() {
     // No worker died: the full drain happened and nothing was dropped.
     assert_eq!(stats.accepted, (CLIENTS * PER_CLIENT) as u64, "{stats:?}");
     assert_eq!(stats.served, stats.accepted, "{stats:?}");
+    // Tail sampling pinned every faulted request: the flight recorder's
+    // degraded view retains exactly the injected 500s (the default
+    // 256-slot ring reserves 128 pinned slots, far above ~5 faults).
+    let recorder = server.recorder().expect("recorder is on by default");
+    let retained_faults = recorder
+        .snapshot()
+        .iter()
+        .filter(|t| t.failure.is_some())
+        .inspect(|t| {
+            assert!(t.pinned, "faulted trace {} retained unpinned", t.id);
+            assert_eq!(t.status, 500, "{t:?}");
+        })
+        .count() as u64;
+    assert_eq!(retained_faults, faulted, "flight recorder lost faulted traces");
 }
 
 /// A tight frontier budget surfaces over HTTP: 200 with a

@@ -19,7 +19,7 @@ use gqa_core::concurrency::Concurrency;
 use gqa_core::pipeline::{GAnswer, GAnswerConfig};
 use gqa_datagen::minidbp::mini_dbpedia;
 use gqa_datagen::patty::mini_dict;
-use gqa_obs::Obs;
+use gqa_obs::{AccessLog, Obs};
 use gqa_rdf::Store;
 use gqa_server::{Engine, ServeStats, Server, ServerConfig};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -760,4 +760,179 @@ fn reload_without_an_engine_is_501() {
         outcomes.into_iter().next().unwrap().expect("client thread panicked").expect("client i/o");
     assert_eq!(status, 501, "{body}");
     assert!(body.contains("reloadable"), "{body}");
+}
+
+/// Like [`post_answer_full`] but with a client-chosen `X-Request-Id`.
+fn post_answer_with_id(addr: SocketAddr, json: &str, id: &str) -> Result<(u16, String), String> {
+    let req = format!(
+        "POST /answer HTTP/1.1\r\nHost: t\r\nConnection: close\r\nX-Request-Id: {id}\r\n\
+         Content-Length: {}\r\n\r\n{}",
+        json.len(),
+        json
+    );
+    send_raw_full(addr, req.as_bytes())
+}
+
+/// First numeric value after `"key":` in a flat JSON string.
+fn json_num(body: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let start = body.find(&pat).unwrap_or_else(|| panic!("no {key} in {body}")) + pat.len();
+    let rest = &body[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].parse().unwrap_or_else(|e| panic!("bad {key} ({e}) in {body}"))
+}
+
+/// Sum of the per-stage millisecond values in a trace's `"stages":{...}`.
+fn stage_sum(body: &str) -> f64 {
+    let start = body.find("\"stages\":{").expect("stages object") + "\"stages\":{".len();
+    let inner = &body[start..start + body[start..].find('}').expect("closing brace")];
+    inner
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|pair| pair.split_once(':').expect("name:ms pair").1.parse::<f64>().expect("stage ms"))
+        .sum()
+}
+
+/// The tentpole's end-to-end linkage contract: ONE client-chosen request id
+/// shows up in the response header, the structured access log (flushed on
+/// shutdown), the flight recorder's debug views, and a `/metrics` exemplar.
+///
+/// The exemplar assertion is deterministic, not racy: the answer request is
+/// the first observation the duration histogram ever sees (exemplar slots
+/// prefer the max, and an empty histogram admits anything), and a scrape's
+/// *own* observation lands only after its exposition was rendered.
+#[test]
+fn request_id_links_header_access_log_debug_views_and_exemplar() {
+    let store = mini_dbpedia();
+    let sys = system(&store);
+    let log_path =
+        std::env::temp_dir().join(format!("gqa-e2e-access-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let mut server =
+        Server::bind("127.0.0.1:0", &sys, ServerConfig { workers: 1, ..ServerConfig::default() })
+            .expect("bind");
+    server.set_access_log(AccessLog::to_file(&log_path).expect("open access log"));
+
+    const ID: &str = "e2e-trace-0001";
+    type Outcome = Result<Vec<(u16, String)>, String>;
+    let client = Box::new(move |addr: SocketAddr| -> Outcome {
+        let q = r#"{"question": "Who is the mayor of Berlin?", "explain": true}"#;
+        let view =
+            format!("GET /debug/requests/{ID} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+        Ok(vec![
+            post_answer_with_id(addr, q, ID)?,
+            send_raw_full(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")?,
+            send_raw_full(addr, view.as_bytes())?,
+            send_raw_full(
+                addr,
+                b"GET /debug/requests?status=200&min_ms=0 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+            )?,
+            send_raw_full(
+                addr,
+                b"GET /debug/requests?degraded=1 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+            )?,
+        ])
+    }) as Client<Outcome>;
+
+    let (outcomes, _stats) = serve_and_drive(&server, vec![client]);
+    let log = outcomes
+        .into_iter()
+        .next()
+        .unwrap()
+        .expect("client thread panicked")
+        .expect("client i/o failed");
+    for (status, text) in &log {
+        assert_eq!(*status, 200, "{text}");
+    }
+
+    // 1. The response echoed the client-chosen id back as a header.
+    assert!(log[0].1.contains(&format!("X-Request-Id: {ID}")), "{}", log[0].1);
+
+    // 2. The duration histogram carries the id as an exemplar.
+    let metrics = log[1].1.split_once("\r\n\r\n").unwrap().1;
+    assert!(metrics.contains(&format!("# {{request_id=\"{ID}\"}}")), "no exemplar in {metrics}");
+
+    // 3. The per-id debug view holds the full trace: per-stage timings that
+    //    sum to no more than the total, and the EXPLAIN payload.
+    let view = log[2].1.split_once("\r\n\r\n").unwrap().1;
+    assert!(view.contains(&format!("\"request_id\":\"{ID}\"")), "{view}");
+    assert!(view.contains("\"explain\":\""), "{view}");
+    assert!(view.contains("\"cache\":null"), "cache disabled by default: {view}");
+    let (total, stages) = (json_num(view, "total_ms"), stage_sum(view));
+    assert!(stages > 0.0 && stages <= total, "stage sum {stages} vs total {total}: {view}");
+
+    // 4. The list view filters admit the request and gate the explain
+    //    payload (list views stay cheap).
+    let list = log[3].1.split_once("\r\n\r\n").unwrap().1;
+    assert!(list.contains(&format!("\"request_id\":\"{ID}\"")), "{list}");
+    assert!(!list.contains("\"explain\""), "list view must not carry explain: {list}");
+
+    // 5. Nothing degraded, nothing fault-injected: the degraded filter is empty.
+    let degraded = log[4].1.split_once("\r\n\r\n").unwrap().1;
+    assert!(degraded.contains("\"count\":0"), "{degraded}");
+
+    // 6. Shutdown flushed the access log; the line links the same id to the
+    //    route and status the client saw.
+    let text = std::fs::read_to_string(&log_path).expect("access log file");
+    let line = text
+        .lines()
+        .find(|l| l.contains(&format!("\"request_id\":\"{ID}\"")))
+        .unwrap_or_else(|| panic!("id not in access log: {text}"));
+    assert!(line.contains("\"route\":\"answer\""), "{line}");
+    assert!(line.contains("\"status\":200"), "{line}");
+    let _ = std::fs::remove_file(&log_path);
+}
+
+/// `/metrics?format=json` speaks JSON; with the recorder sized to zero the
+/// debug endpoints answer 404 instead of serving stale or empty state.
+#[test]
+fn metrics_json_format_and_disabled_recorder_404s() {
+    let store = mini_dbpedia();
+    let sys = system(&store);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &sys,
+        ServerConfig { workers: 1, flight_recorder: 0, ..ServerConfig::default() },
+    )
+    .expect("bind");
+
+    type Outcome = Result<Vec<(u16, String)>, String>;
+    let client = Box::new(|addr: SocketAddr| -> Outcome {
+        Ok(vec![
+            send_raw_full(
+                addr,
+                b"GET /metrics?format=json HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+            )?,
+            send_raw_full(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")?,
+            send_raw_full(
+                addr,
+                b"GET /debug/requests HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+            )?,
+            send_raw_full(
+                addr,
+                b"GET /debug/requests/deadbeef HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+            )?,
+        ])
+    }) as Client<Outcome>;
+
+    let (outcomes, _stats) = serve_and_drive(&server, vec![client]);
+    let log = outcomes
+        .into_iter()
+        .next()
+        .unwrap()
+        .expect("client thread panicked")
+        .expect("client i/o failed");
+
+    let (status, text) = &log[0];
+    assert_eq!(*status, 200, "{text}");
+    assert!(text.contains("Content-Type: application/json"), "{text}");
+    let body = text.split_once("\r\n\r\n").unwrap().1;
+    assert!(body.trim_start().starts_with('{') && body.contains("\"metrics\""), "{body}");
+
+    // The default exposition is unchanged: Prometheus text format.
+    assert!(log[1].1.contains("text/plain"), "{}", log[1].1);
+
+    assert_eq!(log[2].0, 404, "{}", log[2].1);
+    assert!(log[2].1.contains("disabled"), "{}", log[2].1);
+    assert_eq!(log[3].0, 404, "{}", log[3].1);
 }

@@ -37,6 +37,8 @@ struct Options {
     fault_seed: u64,
     /// `--cache N` / `--no-cache` (`Some(0)`); `None` = serve default.
     cache: Option<usize>,
+    access_log: Option<String>,
+    flight_recorder: Option<usize>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -55,6 +57,8 @@ fn parse_args() -> Result<Options, String> {
         faults: None,
         fault_seed: 0,
         cache: None,
+        access_log: None,
+        flight_recorder: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -108,6 +112,17 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--no-cache" => opts.cache = Some(0),
+            "--access-log" => {
+                opts.access_log = Some(args.next().ok_or("--access-log needs a file")?);
+            }
+            "--flight-recorder" => {
+                opts.flight_recorder = Some(
+                    args.next()
+                        .ok_or("--flight-recorder needs a capacity")?
+                        .parse()
+                        .map_err(|e| format!("bad --flight-recorder: {e}"))?,
+                );
+            }
             "--faults" => opts.faults = Some(args.next().ok_or("--faults needs a spec")?),
             "--fault-seed" => {
                 opts.fault_seed = args
@@ -142,6 +157,12 @@ fn parse_args() -> Result<Options, String> {
                      --cache N            (--serve) answer cache capacity in responses\n\
                      \x20                    (default 1024); reloads invalidate stale entries\n\
                      --no-cache           (--serve) disable the answer cache\n\
+                     --access-log FILE    (--serve) append one JSON line per request to\n\
+                     \x20                    FILE, written off the hot path; flushed on\n\
+                     \x20                    graceful shutdown\n\
+                     --flight-recorder N  (--serve) retain up to N request traces for\n\
+                     \x20                    GET /debug/requests[/<id>] with tail sampling\n\
+                     \x20                    (default 256; 0 disables)\n\
                      --strict             abort loading on the first malformed N-Triples\n\
                      \x20                    line (default: skip, count, and continue)\n\
                      --faults SPEC        deterministic fault injection, e.g.\n\
@@ -287,7 +308,10 @@ fn main() {
         if let Some(ms) = opts.timeout_ms {
             server_config.default_timeout_ms = ms.max(1);
         }
-        let server = match ganswer::server::Server::bind_reloadable(
+        if let Some(n) = opts.flight_recorder {
+            server_config.flight_recorder = n;
+        }
+        let mut server = match ganswer::server::Server::bind_reloadable(
             addr.as_str(),
             Arc::clone(&engine),
             server_config,
@@ -298,6 +322,15 @@ fn main() {
                 std::process::exit(2);
             }
         };
+        if let Some(path) = &opts.access_log {
+            match ganswer::obs::AccessLog::to_file(std::path::Path::new(path)) {
+                Ok(log) => server.set_access_log(log),
+                Err(e) => {
+                    eprintln!("error: cannot open access log {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         ganswer::server::signal::install();
         // SIGHUP-as-reload is opt-in: this serve path always runs a
         // reloadable engine, so it is safe to claim the signal here.
@@ -305,7 +338,8 @@ fn main() {
         let local = server.local_addr().expect("bound listener has an address");
         println!(
             "ganswer serving on http://{local} — {} entities, {} triples; \
-             {} workers, queue {}, default deadline {} ms, answer cache {} \
+             {} workers, queue {}, default deadline {} ms, answer cache {}, \
+             flight recorder {} \
              (SIGTERM to stop, SIGHUP or POST /admin/reload to reload)",
             stats.entities,
             stats.triples,
@@ -314,6 +348,11 @@ fn main() {
             server.config().default_timeout_ms,
             if server.config().cache_capacity > 0 {
                 format!("{} responses", server.config().cache_capacity)
+            } else {
+                "off".to_owned()
+            },
+            if server.config().flight_recorder > 0 {
+                format!("{} traces", server.config().flight_recorder)
             } else {
                 "off".to_owned()
             },
