@@ -1,0 +1,353 @@
+//! Million-to-ten-million-triple store benchmarks: build time, CSR vs.
+//! reference-layout resident bytes per triple, binary snapshot write/load
+//! vs. N-Triples re-parse, BFS throughput, and end-to-end answer latency
+//! against store size. Writes `BENCH_scale.json`.
+//!
+//! ```text
+//! cargo run --release -p gqa-bench --bin scale_store
+//! cargo run --release -p gqa-bench --bin scale_store -- --sizes 1000000 --answer-entities 30000
+//! ```
+//!
+//! Exits nonzero if the snapshot round-trip or a sampled CSR-vs-reference
+//! equivalence check ever disagrees — this binary is also the CI
+//! `scale-smoke` gate.
+
+use gqa_bench::{percentile, print_table, write_bench_artifact};
+use gqa_core::pipeline::{GAnswer, GAnswerConfig};
+use gqa_datagen::scale::{scale_graph, ScaleConfig};
+use gqa_datagen::scaleqa::{scale_qa, ScaleQaConfig};
+use gqa_paraphrase::miner::{mine, MinerConfig};
+use gqa_rdf::csr::reference::RefIndexes;
+use gqa_rdf::{graph, read_snapshot, write_snapshot, Store, Triple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+struct Args {
+    /// Triple-count targets for the store benchmark.
+    sizes: Vec<usize>,
+    /// Entity counts for the answer-latency sweep (0 = skip).
+    answer_entities: Vec<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut sizes = vec![100_000usize, 1_000_000, 10_000_000];
+    let mut answer_entities = vec![2_000usize, 10_000, 50_000];
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let list = |s: Option<String>, what: &str| -> Vec<usize> {
+            s.unwrap_or_else(|| panic!("{what} needs a comma-separated list"))
+                .split(',')
+                .filter(|x| !x.is_empty())
+                .map(|x| x.parse().unwrap_or_else(|e| panic!("bad {what}: {e}")))
+                .collect()
+        };
+        match a.as_str() {
+            "--sizes" => sizes = list(args.next(), "--sizes"),
+            "--answer-entities" => answer_entities = list(args.next(), "--answer-entities"),
+            "--no-answers" => answer_entities.clear(),
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}\n\
+                     usage: scale_store [--sizes N,N,...] [--answer-entities N,N,...] [--no-answers]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    Args { sizes, answer_entities }
+}
+
+/// Sampled equivalence of the live CSR store against the reference
+/// permutation layout: out/in/predicate scans for `samples` seeded vertices
+/// must be bit-identical.
+fn csr_matches_reference(store: &Store, rf: &RefIndexes, samples: usize, seed: u64) -> bool {
+    let ts = store.triples();
+    if ts.is_empty() {
+        return true;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..samples {
+        let t = ts[rng.gen_range(0..ts.len())];
+        for v in [t.s, t.o, t.p] {
+            if store.out_edges(v) != rf.out_edges(ts, v) {
+                return false;
+            }
+            let ins: Vec<Triple> = store.in_edges(v).collect();
+            if ins != rf.in_edges(ts, v) {
+                return false;
+            }
+        }
+        let got: Vec<Triple> = store.in_edges_with(t.o, t.p).collect();
+        if got != rf.in_edges_with(ts, t.o, t.p) {
+            return false;
+        }
+        let got: Vec<Triple> = store.with_predicate_object(t.p, t.o).collect();
+        if got != rf.with_predicate_object(ts, t.p, t.o) {
+            return false;
+        }
+        let got: Vec<Triple> = store.with_predicate(t.p).take(2_000).collect();
+        let want: Vec<Triple> = rf.with_predicate(ts, t.p).into_iter().take(2_000).collect();
+        if got != want {
+            return false;
+        }
+    }
+    true
+}
+
+/// Full undirected neighborhood sweeps from seeded start vertices:
+/// edges traversed per second through the public BFS surface.
+fn bfs_throughput(store: &Store, sweeps: usize, seed: u64) -> (u64, f64) {
+    let ts = store.triples();
+    if ts.is_empty() {
+        return (0, 0.0);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..sweeps {
+        let v = ts[rng.gen_range(0..ts.len())].s;
+        edges += graph::neighbors(store, v).count() as u64;
+        // One 2-hop frontier from the first neighbor keeps the sweep
+        // honest about in-edge decoding, not just out-slices.
+        if let Some(n) = graph::neighbors(store, v).next() {
+            edges += graph::neighbors(store, n.other).count() as u64;
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    (edges, if dt > 0.0 { edges as f64 / dt } else { 0.0 })
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut rows = Vec::new();
+    let mut size_blocks = Vec::new();
+    let mut all_ok = true;
+
+    for &target in &args.sizes {
+        // avg_degree 6 + 1 typing edge per entity ≈ 7 triples per entity.
+        let entities = (target / 7).max(2);
+        let cfg = ScaleConfig { entities, ..Default::default() };
+
+        let t0 = Instant::now();
+        let store = scale_graph(&cfg);
+        let build_s = t0.elapsed().as_secs_f64();
+        let n = store.len();
+        let terms = store.dict().len();
+        let sections = store.section_bytes();
+        let csr_index_bytes = sections.indexes.total();
+
+        let t0 = Instant::now();
+        let rf = RefIndexes::build(store.triples());
+        let ref_build_s = t0.elapsed().as_secs_f64();
+        let ref_index_bytes = rf.bytes();
+
+        let equal = csr_matches_reference(&store, &rf, 200, 7);
+        all_ok &= equal;
+
+        // Reload contest: re-parsing the N-Triples text is what a reload
+        // costs without snapshots. Both contenders run REPEATS times and
+        // report the minimum — single-shot wall clock on a shared box
+        // mixes in scheduler noise and one-off page-fault storms, and the
+        // repeated (allocator-warm) cost is what a reloading server pays.
+        const REPEATS: usize = 3;
+        let t0 = Instant::now();
+        let text = gqa_rdf::ntriples::serialize(&store);
+        let nt_write_s = t0.elapsed().as_secs_f64();
+        let nt_bytes = text.len();
+        let mut nt_parse_runs = Vec::new();
+        for r in 0..REPEATS {
+            let t0 = Instant::now();
+            let (reparsed, pstats) = gqa_rdf::ntriples::parse_lenient(&text);
+            nt_parse_runs.push(t0.elapsed().as_secs_f64());
+            if r == 0 {
+                all_ok &= pstats.skipped == 0 && reparsed.len() == n;
+            }
+        }
+        drop(text);
+        let nt_parse_s = nt_parse_runs.iter().copied().fold(f64::INFINITY, f64::min);
+
+        let t0 = Instant::now();
+        let snap = write_snapshot(&store);
+        let snap_write_s = t0.elapsed().as_secs_f64();
+        let mut load_runs = Vec::new();
+        let mut roundtrip = true;
+        for r in 0..REPEATS {
+            let t0 = Instant::now();
+            let loaded = match read_snapshot(&snap) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: snapshot failed to load at {target}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            load_runs.push(t0.elapsed().as_secs_f64());
+            if r == 0 {
+                roundtrip = loaded.triples() == store.triples()
+                    && loaded.dict().len() == store.dict().len()
+                    && csr_matches_reference(&loaded, &rf, 50, 11);
+                all_ok &= roundtrip;
+            }
+        }
+        let snap_load_s = load_runs.iter().copied().fold(f64::INFINITY, f64::min);
+
+        let (bfs_edges, bfs_eps) = bfs_throughput(&store, 500, 23);
+
+        let per = |b: usize| b as f64 / n.max(1) as f64;
+        let speedup = if snap_load_s > 0.0 { nt_parse_s / snap_load_s } else { f64::INFINITY };
+        rows.push(vec![
+            n.to_string(),
+            format!("{build_s:.2}"),
+            format!("{:.2}", per(csr_index_bytes)),
+            format!("{:.2}", per(ref_index_bytes)),
+            format!("{snap_load_s:.3}"),
+            format!("{nt_parse_s:.2}"),
+            format!("{speedup:.1}x"),
+            format!("{:.2}M/s", bfs_eps / 1e6),
+            (equal && roundtrip).to_string(),
+        ]);
+
+        size_blocks.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"target_triples\": {},\n",
+                "      \"triples\": {},\n",
+                "      \"terms\": {},\n",
+                "      \"build_s\": {},\n",
+                "      \"csr\": {{\"index_bytes\": {}, \"index_bytes_per_triple\": {}, ",
+                "\"total_bytes_per_triple\": {}}},\n",
+                "      \"reference\": {{\"index_bytes\": {}, \"index_bytes_per_triple\": {}, ",
+                "\"total_bytes_per_triple\": {}, \"build_index_s\": {}}},\n",
+                "      \"snapshot\": {{\"file_bytes\": {}, \"write_s\": {}, \"load_s\": {}, ",
+                "\"load_s_runs\": [{}], \"ntriples_bytes\": {}, \"ntriples_serialize_s\": {}, ",
+                "\"ntriples_parse_s\": {}, \"ntriples_parse_s_runs\": [{}], ",
+                "\"load_speedup\": {}}},\n",
+                "      \"bfs\": {{\"sweeps\": 500, \"edges_traversed\": {}, \"edges_per_s\": {}}},\n",
+                "      \"answers_identical\": {},\n",
+                "      \"roundtrip_identical\": {}\n",
+                "    }}"
+            ),
+            target,
+            n,
+            terms,
+            json_f(build_s),
+            csr_index_bytes,
+            json_f(per(csr_index_bytes)),
+            json_f(per(sections.triples + csr_index_bytes)),
+            ref_index_bytes,
+            json_f(per(ref_index_bytes)),
+            json_f(per(sections.triples + ref_index_bytes)),
+            json_f(ref_build_s),
+            snap.len(),
+            json_f(snap_write_s),
+            json_f(snap_load_s),
+            load_runs.iter().map(|&v| json_f(v)).collect::<Vec<_>>().join(", "),
+            nt_bytes,
+            json_f(nt_write_s),
+            json_f(nt_parse_s),
+            nt_parse_runs.iter().map(|&v| json_f(v)).collect::<Vec<_>>().join(", "),
+            json_f(speedup),
+            bfs_edges,
+            json_f(bfs_eps),
+            equal,
+            roundtrip,
+        ));
+    }
+
+    print_table(
+        "Store scale: CSR layout, snapshots, BFS",
+        &[
+            "triples",
+            "build s",
+            "csr B/t",
+            "ref B/t",
+            "snap load s",
+            "nt parse s",
+            "speedup",
+            "bfs",
+            "identical",
+        ],
+        &rows,
+    );
+
+    // End-to-end answer latency against store size (full pipeline over the
+    // QA-ready synthetic graphs; mining included in setup, not latency).
+    let mut answer_blocks = Vec::new();
+    let mut answer_rows = Vec::new();
+    for &entities in &args.answer_entities {
+        let cfg = ScaleQaConfig {
+            entities,
+            edges_per_predicate: entities / 2,
+            noise_predicates: 15,
+            noise_edges: entities / 4,
+            questions: 20,
+            two_hop_fraction: 0.25,
+            seed: 17,
+        };
+        let qa = scale_qa(&cfg);
+        let t0 = Instant::now();
+        let dict = mine(&qa.store, &qa.phrases, &MinerConfig { theta: 2, ..Default::default() });
+        let mine_s = t0.elapsed().as_secs_f64();
+        let sys = GAnswer::new(&qa.store, dict, GAnswerConfig::default());
+        let mut lat_ms: Vec<f64> = Vec::new();
+        let mut answered = 0usize;
+        for q in &qa.questions {
+            let t0 = Instant::now();
+            let r = sys.answer(&q.text);
+            lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            answered += usize::from(r.failure.is_none());
+        }
+        let mean = lat_ms.iter().sum::<f64>() / lat_ms.len().max(1) as f64;
+        let p95 = percentile(&lat_ms, 95.0);
+        answer_rows.push(vec![
+            entities.to_string(),
+            qa.store.len().to_string(),
+            format!("{answered}/{}", qa.questions.len()),
+            format!("{mean:.3}"),
+            format!("{p95:.3}"),
+            format!("{mine_s:.2}"),
+        ]);
+        answer_blocks.push(format!(
+            concat!(
+                "    {{\"entities\": {}, \"triples\": {}, \"questions\": {}, ",
+                "\"answered\": {}, \"mean_ms\": {}, \"p95_ms\": {}, \"mine_s\": {}}}"
+            ),
+            entities,
+            qa.store.len(),
+            qa.questions.len(),
+            answered,
+            json_f(mean),
+            json_f(p95),
+            json_f(mine_s),
+        ));
+    }
+    if !answer_rows.is_empty() {
+        print_table(
+            "End-to-end answer latency vs store size",
+            &["entities", "triples", "answered", "mean ms", "p95 ms", "mine s"],
+            &answer_rows,
+        );
+    }
+
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"host_threads\": {},\n  \"sizes\": [\n{}\n  ],\n  \"answer_latency\": [\n{}\n  ]\n}}\n",
+        host_threads,
+        size_blocks.join(",\n"),
+        answer_blocks.join(",\n"),
+    );
+    write_bench_artifact("BENCH_scale.json", &json);
+
+    if !all_ok {
+        eprintln!("error: CSR/reference or snapshot round-trip mismatch (see table)");
+        std::process::exit(1);
+    }
+}

@@ -381,6 +381,12 @@ impl<'s> GAnswer<'s> {
         registry.set_counter("gqa_rdf_index_lookups_total", &[("index", "pos")], s.pos_lookups);
         registry.set_counter("gqa_rdf_index_lookups_total", &[("index", "osp")], s.osp_lookups);
         registry.set_counter("gqa_rdf_bfs_expansions_total", &[], s.bfs_expansions);
+        let b = self.store.section_bytes();
+        registry.gauge("gqa_rdf_store_bytes", &[("section", "dict")]).set(b.dict as i64);
+        registry.gauge("gqa_rdf_store_bytes", &[("section", "triples")]).set(b.triples as i64);
+        registry
+            .gauge("gqa_rdf_store_bytes", &[("section", "indexes")])
+            .set(b.indexes.total() as i64);
         let l = self.linker.metrics().snapshot();
         registry.set_counter("gqa_linker_link_calls_total", &[], l.link_calls);
         registry.set_counter("gqa_linker_link_hits_total", &[], l.hits);
@@ -501,11 +507,26 @@ impl<'s> GAnswer<'s> {
     /// of the obs handle: it works on a plain [`GAnswer::new`] system too.
     pub fn answer_traced(&self, question: &str) -> Response {
         let mut trace = QueryTrace::new(question);
+        trace.notes.push(self.store_note());
         let mut r = self
             .answer_impl(question, Some(&mut trace), &self.config.concurrency, None)
             .expect("no deadline given");
         r.trace = Some(Box::new(trace));
         r
+    }
+
+    /// One-line store summary for EXPLAIN traces: triple count and
+    /// estimated resident bytes per section.
+    fn store_note(&self) -> String {
+        let b = self.store.section_bytes();
+        format!(
+            "store: {} triples; resident bytes dict={} triples={} indexes={} total={}",
+            self.store.len(),
+            b.dict,
+            b.triples,
+            b.indexes.total(),
+            b.total()
+        )
     }
 
     /// [`GAnswer::answer`] under a cooperative deadline, checked at stage
@@ -529,6 +550,7 @@ impl<'s> GAnswer<'s> {
         deadline: Instant,
     ) -> Result<Response, DeadlineExceeded> {
         let mut trace = QueryTrace::new(question);
+        trace.notes.push(self.store_note());
         let mut r =
             self.answer_impl(question, Some(&mut trace), &self.config.concurrency, Some(deadline))?;
         r.trace = Some(Box::new(trace));

@@ -5,7 +5,7 @@
 //! `hasGender` dominate real knowledge graphs). Deterministic per seed.
 
 use gqa_rdf::paths::{Dir, PathPattern};
-use gqa_rdf::{Store, StoreBuilder, TermId};
+use gqa_rdf::{Store, StoreBuilder, TermId, Triple};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,37 +31,50 @@ impl Default for ScaleConfig {
 }
 
 /// Generate a random store.
+///
+/// Streams at 10M+ triple scale: every IRI is interned exactly once up
+/// front, each edge is then a 12-byte [`gqa_rdf::Triple`] pushed into the
+/// builder — no per-edge string formatting or hashing, and no intermediate
+/// collection beyond the builder's own triple vector.
 pub fn scale_graph(cfg: &ScaleConfig) -> Store {
     assert!(cfg.entities >= 2 && cfg.predicates >= 1 && cfg.classes >= 1);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut b = StoreBuilder::new();
 
-    // Pre-intern names.
-    let entity_name = |i: usize| format!("e:E{i}");
-    let pred_name = |i: usize| format!("p:P{i}");
-    let class_name = |i: usize| format!("c:C{i}");
-
-    // Typing edges.
-    for i in 0..cfg.entities {
-        let c = rng.gen_range(0..cfg.classes);
-        b.add_iri(&entity_name(i), "rdf:type", &class_name(c));
-    }
-
-    // Zipf-ish predicate sampling: predicate k has weight 1/(k+1).
-    let weights: Vec<f64> = (0..cfg.predicates).map(|k| 1.0 / (k as f64 + 1.0)).collect();
-    let total_w: f64 = weights.iter().sum();
-    let sample_pred = |rng: &mut StdRng| -> usize {
-        let mut x = rng.gen::<f64>() * total_w;
-        for (k, w) in weights.iter().enumerate() {
-            if x < *w {
-                return k;
-            }
-            x -= w;
-        }
-        cfg.predicates - 1
-    };
+    // Pre-intern every name once; edges below are id-only.
+    let d = b.dict_mut();
+    let entity_ids: Vec<TermId> =
+        (0..cfg.entities).map(|i| d.intern_iri(&format!("e:E{i}"))).collect();
+    let pred_ids: Vec<TermId> =
+        (0..cfg.predicates).map(|i| d.intern_iri(&format!("p:P{i}"))).collect();
+    let class_ids: Vec<TermId> =
+        (0..cfg.classes).map(|i| d.intern_iri(&format!("c:C{i}"))).collect();
+    let rdf_type = d.intern_iri("rdf:type");
 
     let edges = (cfg.entities as f64 * cfg.avg_degree) as usize;
+    b.reserve(cfg.entities + edges);
+
+    // Typing edges.
+    for &e in &entity_ids {
+        let c = rng.gen_range(0..cfg.classes);
+        b.add_encoded(Triple::new(e, rdf_type, class_ids[c]));
+    }
+
+    // Zipf-ish predicate sampling: predicate k has weight 1/(k+1). A
+    // cumulative-weight table binary-searched per draw replaces the old
+    // O(predicates) subtraction scan — same distribution, O(log P) per edge.
+    let mut cum = Vec::with_capacity(cfg.predicates);
+    let mut running = 0.0f64;
+    for k in 0..cfg.predicates {
+        running += 1.0 / (k as f64 + 1.0);
+        cum.push(running);
+    }
+    let total_w = running;
+    let sample_pred = |rng: &mut StdRng| -> usize {
+        let x = rng.gen::<f64>() * total_w;
+        cum.partition_point(|&c| c <= x).min(cfg.predicates - 1)
+    };
+
     for _ in 0..edges {
         let s = rng.gen_range(0..cfg.entities);
         let mut o = rng.gen_range(0..cfg.entities);
@@ -69,7 +82,7 @@ pub fn scale_graph(cfg: &ScaleConfig) -> Store {
             o = (o + 1) % cfg.entities;
         }
         let p = sample_pred(&mut rng);
-        b.add_iri(&entity_name(s), &pred_name(p), &entity_name(o));
+        b.add_encoded(Triple::new(entity_ids[s], pred_ids[p], entity_ids[o]));
     }
 
     b.build()

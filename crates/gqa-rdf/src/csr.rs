@@ -1,0 +1,759 @@
+//! Compact CSR-style adjacency indexes over the sorted triple vector.
+//!
+//! The triple vector stays sorted by (s, p, o); everything else is derived:
+//!
+//! * **subject offsets** — one `u32` per term id, so `out_edges` is an O(1)
+//!   slice instead of two binary searches over 12-byte triples;
+//! * **in-edge postings** — per object id, the ascending triple indexes of
+//!   its incoming edges, delta-varint encoded. For a fixed object, triple
+//!   indexes ascend exactly in (s, p) order, so decoding reproduces the old
+//!   OSP permutation order bit for bit;
+//! * **predicate postings** — per predicate, its (o, s) pairs in (o, s)
+//!   order (the old POS permutation order), delta-varint encoded in blocks
+//!   of [`BLOCK`] entries. Each block starts with absolute values and the
+//!   per-block first-object directory supports seeking for
+//!   `with_predicate_object` without decoding the whole posting.
+//!
+//! Every iterator here yields triples in exactly the order the permutation
+//! arrays used to, so callers (BFS, path mining, SPARQL evaluation, dataset
+//! generators that `.take(n)` from a scan) see identical sequences.
+//!
+//! The [`mod@reference`] submodule keeps the old permutation layout as a test
+//! oracle and a bytes/triple baseline for the scale benchmark.
+
+use crate::ids::TermId;
+use crate::triple::Triple;
+use crate::varint;
+
+/// Entries per predicate-posting block. Each block begins with absolute
+/// (object, subject) values, so a seek costs at most one block of decoding.
+pub const BLOCK: usize = 64;
+
+/// Byte sizes of the CSR sections, for resident-memory accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrBytes {
+    /// The subject offset array (`term_count + 1` u32s).
+    pub spo_offsets: usize,
+    /// In-edge postings: offset array plus delta-varint data.
+    pub in_index: usize,
+    /// Predicate postings: ids, block directory and delta-varint data.
+    pub pred_index: usize,
+}
+
+impl CsrBytes {
+    /// Total bytes across all CSR sections.
+    pub fn total(&self) -> usize {
+        self.spo_offsets + self.in_index + self.pred_index
+    }
+}
+
+/// The compact adjacency indexes. Built once by [`CsrIndexes::build`],
+/// immutable afterwards. See the module docs for the layout.
+#[derive(Debug, Clone)]
+pub struct CsrIndexes {
+    /// `spo_offsets[v]..spo_offsets[v+1]` is the range of triples with
+    /// subject `v` in the (s, p, o)-sorted triple vector. Length
+    /// `term_count + 1`.
+    spo_offsets: Box<[u32]>,
+    /// Byte ranges into `in_data` per object id. Length `term_count + 1`.
+    in_offsets: Box<[u32]>,
+    /// Delta-varint ascending triple indexes, grouped by object.
+    in_data: Box<[u8]>,
+    /// Distinct predicate ids, ascending.
+    pred_ids: Box<[TermId]>,
+    /// `pred_blocks[i]..pred_blocks[i+1]` is the block range of predicate
+    /// `pred_ids[i]`. Length `pred_ids.len() + 1`.
+    pred_blocks: Box<[u32]>,
+    /// First object id of each block (seek directory). Length `n_blocks`.
+    block_first_o: Box<[u32]>,
+    /// Byte offset of each block in `pred_data`. Length `n_blocks + 1`.
+    block_bytes: Box<[u32]>,
+    /// Block-coded (object, subject) postings per predicate.
+    pred_data: Box<[u8]>,
+}
+
+/// Borrowed view of every CSR section, for snapshot serialization.
+pub(crate) struct CsrSectionsRef<'a> {
+    pub spo_offsets: &'a [u32],
+    pub in_offsets: &'a [u32],
+    pub in_data: &'a [u8],
+    pub pred_ids: &'a [TermId],
+    pub pred_blocks: &'a [u32],
+    pub block_first_o: &'a [u32],
+    pub block_bytes: &'a [u32],
+    pub pred_data: &'a [u8],
+}
+
+/// Owned CSR sections as decoded from a snapshot, before validation.
+pub(crate) struct CsrSections {
+    pub spo_offsets: Box<[u32]>,
+    pub in_offsets: Box<[u32]>,
+    pub in_data: Box<[u8]>,
+    pub pred_ids: Box<[TermId]>,
+    pub pred_blocks: Box<[u32]>,
+    pub block_first_o: Box<[u32]>,
+    pub block_bytes: Box<[u32]>,
+    pub pred_data: Box<[u8]>,
+}
+
+impl CsrIndexes {
+    /// Borrow every section for serialization.
+    pub(crate) fn sections(&self) -> CsrSectionsRef<'_> {
+        CsrSectionsRef {
+            spo_offsets: &self.spo_offsets,
+            in_offsets: &self.in_offsets,
+            in_data: &self.in_data,
+            pred_ids: &self.pred_ids,
+            pred_blocks: &self.pred_blocks,
+            block_first_o: &self.block_first_o,
+            block_bytes: &self.block_bytes,
+            pred_data: &self.pred_data,
+        }
+    }
+
+    /// Adopt snapshot-decoded sections after structural validation.
+    ///
+    /// Validation guarantees every access path is memory-safe and
+    /// terminating on these indexes: offset arrays are monotonic and
+    /// in-bounds, both varint posting streams decode exactly (no truncated
+    /// varint, strict ascent, ids and triple indexes in range, entry counts
+    /// equal to `triple_count`). It does NOT re-derive the postings from
+    /// the triples — matching the triple vector byte-for-byte is the
+    /// checksum's job, not this function's.
+    pub(crate) fn from_sections(
+        term_count: usize,
+        triple_count: usize,
+        s: CsrSections,
+    ) -> Result<CsrIndexes, String> {
+        let offsets_ok = |name: &str, v: &[u32], last: usize| -> Result<(), String> {
+            if v.len() != term_count + 1 {
+                return Err(format!("{name}: {} entries for {term_count} terms", v.len()));
+            }
+            if v[0] != 0 || v.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("{name} not monotonic from zero"));
+            }
+            if v[term_count] as usize != last {
+                return Err(format!("{name} end {} != section size {last}", v[term_count]));
+            }
+            Ok(())
+        };
+        offsets_ok("subject offsets", &s.spo_offsets, triple_count)?;
+        offsets_ok("in-edge offsets", &s.in_offsets, s.in_data.len())?;
+
+        // Decode-validate the in-edge postings: every object group must
+        // consume its byte range exactly and yield strictly ascending
+        // triple indexes below `triple_count`.
+        let mut total = 0usize;
+        for o in 0..term_count {
+            let bytes = &s.in_data[s.in_offsets[o] as usize..s.in_offsets[o + 1] as usize];
+            let mut pos = 0usize;
+            let mut prev = 0u32;
+            let mut first = true;
+            while pos < bytes.len() {
+                let delta = varint::read_u32(bytes, &mut pos)
+                    .ok_or_else(|| format!("truncated in-edge posting for object {o}"))?;
+                if !first && delta == 0 {
+                    return Err(format!("non-ascending in-edge posting for object {o}"));
+                }
+                prev = if first { delta } else { prev.checked_add(delta).ok_or("idx overflow")? };
+                first = false;
+                if prev as usize >= triple_count {
+                    return Err(format!("in-edge posting for object {o} outside triple vector"));
+                }
+                total += 1;
+            }
+        }
+        if total != triple_count {
+            return Err(format!("{total} in-edge postings for {triple_count} triples"));
+        }
+
+        // Predicate directory arrays.
+        if s.pred_ids.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("predicate ids not strictly ascending".into());
+        }
+        if s.pred_ids.last().is_some_and(|p| p.index() >= term_count) {
+            return Err("predicate id outside dictionary".into());
+        }
+        if s.pred_blocks.len() != s.pred_ids.len() + 1
+            || s.pred_blocks[0] != 0
+            || s.pred_blocks.windows(2).any(|w| w[0] >= w[1])
+            || *s.pred_blocks.last().expect("nonempty") as usize != s.block_first_o.len()
+        {
+            return Err("predicate block directory malformed".into());
+        }
+        if s.block_bytes.len() != s.block_first_o.len() + 1
+            || s.block_bytes[0] != 0
+            || s.block_bytes.windows(2).any(|w| w[0] >= w[1])
+            || *s.block_bytes.last().expect("nonempty") as usize != s.pred_data.len()
+        {
+            return Err("block byte directory malformed".into());
+        }
+
+        // Decode-validate the predicate postings block by block: exact byte
+        // consumption, block heads matching the seek directory, strictly
+        // ascending (o, s) within each predicate, ids in range, at most
+        // BLOCK entries per block.
+        let mut total = 0usize;
+        for pi in 0..s.pred_ids.len() {
+            let mut prev: Option<(u32, u32)> = None;
+            for b in s.pred_blocks[pi] as usize..s.pred_blocks[pi + 1] as usize {
+                let bytes = &s.pred_data[s.block_bytes[b] as usize..s.block_bytes[b + 1] as usize];
+                let mut pos = 0usize;
+                let mut entries = 0usize;
+                while pos < bytes.len() {
+                    let bad = || format!("truncated predicate posting in block {b}");
+                    let a = varint::read_u32(bytes, &mut pos).ok_or_else(bad)?;
+                    let second = varint::read_u32(bytes, &mut pos).ok_or_else(bad)?;
+                    let (o, sub) = match prev {
+                        None | Some(_) if entries == 0 => {
+                            if a != s.block_first_o[b] {
+                                return Err(format!("block {b} head disagrees with directory"));
+                            }
+                            (a, second)
+                        }
+                        Some((po, ps)) => {
+                            if a == 0 {
+                                (po, ps.checked_add(second).ok_or("id overflow")?)
+                            } else {
+                                (po.checked_add(a).ok_or("id overflow")?, second)
+                            }
+                        }
+                        None => unreachable!("entries > 0 implies prev set"),
+                    };
+                    if o as usize >= term_count || sub as usize >= term_count {
+                        return Err(format!(
+                            "predicate posting id outside dictionary in block {b}"
+                        ));
+                    }
+                    if let Some(p) = prev {
+                        if (o, sub) <= p {
+                            return Err(format!("non-ascending predicate posting in block {b}"));
+                        }
+                    }
+                    prev = Some((o, sub));
+                    entries += 1;
+                    total += 1;
+                }
+                if entries == 0 || entries > BLOCK {
+                    return Err(format!("block {b} holds {entries} entries (1..={BLOCK})"));
+                }
+            }
+        }
+        if total != triple_count {
+            return Err(format!("{total} predicate postings for {triple_count} triples"));
+        }
+
+        Ok(CsrIndexes {
+            spo_offsets: s.spo_offsets,
+            in_offsets: s.in_offsets,
+            in_data: s.in_data,
+            pred_ids: s.pred_ids,
+            pred_blocks: s.pred_blocks,
+            block_first_o: s.block_first_o,
+            block_bytes: s.block_bytes,
+            pred_data: s.pred_data,
+        })
+    }
+
+    /// Build all indexes in O(triples + terms) using counting sorts.
+    ///
+    /// `triples` must be sorted by (s, p, o) and deduplicated, with every id
+    /// below `term_count` (the [`crate::store::StoreBuilder`] and the
+    /// snapshot loader both guarantee this).
+    pub fn build(term_count: usize, triples: &[Triple]) -> CsrIndexes {
+        let n = triples.len();
+        assert!(n <= u32::MAX as usize, "more than u32::MAX triples");
+
+        // Subject offsets: one counting pass + prefix sum.
+        let mut spo_offsets = vec![0u32; term_count + 1];
+        for t in triples {
+            spo_offsets[t.s.index() + 1] += 1;
+        }
+        for i in 1..spo_offsets.len() {
+            spo_offsets[i] += spo_offsets[i - 1];
+        }
+
+        // Counting-sort triple indexes by object. Iterating the (s, p, o)-
+        // sorted vector and placing stably means each object group holds
+        // ascending triple indexes — which, for a fixed o, is exactly
+        // (s, p) order: the old OSP permutation.
+        let mut in_group = vec![0u32; term_count + 1];
+        for t in triples {
+            in_group[t.o.index() + 1] += 1;
+        }
+        for i in 1..in_group.len() {
+            in_group[i] += in_group[i - 1];
+        }
+        let mut osp = vec![0u32; n];
+        let mut cursor = in_group.clone();
+        for (i, t) in triples.iter().enumerate() {
+            let c = &mut cursor[t.o.index()];
+            osp[*c as usize] = i as u32;
+            *c += 1;
+        }
+        drop(cursor);
+
+        // Encode in-edge postings as first-absolute + gap varints.
+        let mut in_offsets = vec![0u32; term_count + 1];
+        let mut in_data = Vec::new();
+        for o in 0..term_count {
+            in_offsets[o] = csr_u32(in_data.len(), "in-edge postings");
+            let group = &osp[in_group[o] as usize..in_group[o + 1] as usize];
+            let mut prev = 0u32;
+            for (k, &ti) in group.iter().enumerate() {
+                let delta = if k == 0 { ti } else { ti - prev };
+                varint::write_u32(&mut in_data, delta);
+                prev = ti;
+            }
+        }
+        in_offsets[term_count] = csr_u32(in_data.len(), "in-edge postings");
+        drop(in_group);
+
+        // Stable counting-sort the OSP order by predicate: within each
+        // predicate the (o, s) order is preserved — the old POS permutation.
+        let mut pred_group = vec![0u32; term_count + 1];
+        for t in triples {
+            pred_group[t.p.index() + 1] += 1;
+        }
+        for i in 1..pred_group.len() {
+            pred_group[i] += pred_group[i - 1];
+        }
+        let mut pos = vec![0u32; n];
+        let mut cursor = pred_group.clone();
+        for &ti in &osp {
+            let c = &mut cursor[triples[ti as usize].p.index()];
+            pos[*c as usize] = ti;
+            *c += 1;
+        }
+        drop(cursor);
+        drop(osp);
+
+        // Block-encode predicate postings.
+        let mut pred_ids = Vec::new();
+        let mut pred_blocks = Vec::new();
+        let mut block_first_o = Vec::new();
+        let mut block_bytes = Vec::new();
+        let mut pred_data = Vec::new();
+        for p in 0..term_count {
+            let group = &pos[pred_group[p] as usize..pred_group[p + 1] as usize];
+            if group.is_empty() {
+                continue;
+            }
+            pred_ids.push(TermId::from_index(p));
+            pred_blocks.push(csr_u32(block_first_o.len(), "predicate blocks"));
+            for chunk in group.chunks(BLOCK) {
+                let first = triples[chunk[0] as usize];
+                block_first_o.push(first.o.0);
+                block_bytes.push(csr_u32(pred_data.len(), "predicate postings"));
+                varint::write_u32(&mut pred_data, first.o.0);
+                varint::write_u32(&mut pred_data, first.s.0);
+                let mut prev = first;
+                for &ti in &chunk[1..] {
+                    let t = triples[ti as usize];
+                    let delta_o = t.o.0 - prev.o.0;
+                    varint::write_u32(&mut pred_data, delta_o);
+                    if delta_o == 0 {
+                        // Same object: subjects ascend strictly within it.
+                        varint::write_u32(&mut pred_data, t.s.0 - prev.s.0);
+                    } else {
+                        varint::write_u32(&mut pred_data, t.s.0);
+                    }
+                    prev = t;
+                }
+            }
+        }
+        pred_blocks.push(csr_u32(block_first_o.len(), "predicate blocks"));
+        block_bytes.push(csr_u32(pred_data.len(), "predicate postings"));
+
+        CsrIndexes {
+            spo_offsets: spo_offsets.into_boxed_slice(),
+            in_offsets: in_offsets.into_boxed_slice(),
+            in_data: in_data.into_boxed_slice(),
+            pred_ids: pred_ids.into_boxed_slice(),
+            pred_blocks: pred_blocks.into_boxed_slice(),
+            block_first_o: block_first_o.into_boxed_slice(),
+            block_bytes: block_bytes.into_boxed_slice(),
+            pred_data: pred_data.into_boxed_slice(),
+        }
+    }
+
+    /// The range of triples with subject `s` in the sorted triple vector.
+    /// Empty for ids outside the dictionary.
+    #[inline]
+    pub fn out_range(&self, s: TermId) -> std::ops::Range<usize> {
+        let i = s.index();
+        if i + 1 >= self.spo_offsets.len() {
+            return 0..0;
+        }
+        self.spo_offsets[i] as usize..self.spo_offsets[i + 1] as usize
+    }
+
+    /// Ascending triple indexes of the edges into `o` (old OSP order).
+    /// Empty for ids outside the dictionary.
+    pub fn in_triples(&self, o: TermId) -> InEdgeIter<'_> {
+        let i = o.index();
+        let bytes = if i + 1 >= self.in_offsets.len() {
+            &[][..]
+        } else {
+            &self.in_data[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
+        };
+        InEdgeIter { bytes, pos: 0, prev: 0, first: true }
+    }
+
+    /// Distinct predicate ids, ascending.
+    #[inline]
+    pub fn predicate_ids(&self) -> &[TermId] {
+        &self.pred_ids
+    }
+
+    /// (object, subject) pairs of predicate `p` in (o, s) order (old POS
+    /// order). Empty if `p` never occurs as a predicate.
+    pub fn predicate_postings(&self, p: TermId) -> PostingIter<'_> {
+        match self.pred_ids.binary_search(&p) {
+            Ok(i) => self.postings_from_block(
+                self.pred_blocks[i] as usize,
+                self.pred_blocks[i + 1] as usize,
+            ),
+            Err(_) => self.postings_from_block(0, 0),
+        }
+    }
+
+    /// (object, subject) pairs of predicate `p` restricted to object `o`,
+    /// in ascending subject order. Seeks via the block directory, so the
+    /// cost is one block of decoding plus the matching entries.
+    pub fn predicate_object_postings(
+        &self,
+        p: TermId,
+        o: TermId,
+    ) -> impl Iterator<Item = u32> + '_ {
+        let (b0, b1) = match self.pred_ids.binary_search(&p) {
+            Ok(i) => (self.pred_blocks[i] as usize, self.pred_blocks[i + 1] as usize),
+            Err(_) => (0, 0),
+        };
+        // Last block whose first object precedes `o` — the o-group may begin
+        // mid-block, so starting at the first block with first_o >= o could
+        // skip its head.
+        let dir = &self.block_first_o[b0..b1];
+        let start = b0 + dir.partition_point(|&first| first < o.0);
+        let seek = if start > b0 { start - 1 } else { b0 };
+        self.postings_from_block(seek, b1)
+            .skip_while(move |&(po, _)| po < o.0)
+            .take_while(move |&(po, _)| po == o.0)
+            .map(|(_, s)| s)
+    }
+
+    fn postings_from_block(&self, block: usize, block_end: usize) -> PostingIter<'_> {
+        let (pos, end) = if block >= block_end {
+            (0, 0)
+        } else {
+            (self.block_bytes[block] as usize, self.block_bytes[block_end] as usize)
+        };
+        PostingIter {
+            data: &self.pred_data,
+            block_bytes: &self.block_bytes,
+            next_block: block,
+            block_end,
+            pos,
+            end,
+            prev_o: 0,
+            prev_s: 0,
+        }
+    }
+
+    /// Byte sizes per section, for [`crate::stats::StoreStats`] and the
+    /// scale benchmark.
+    pub fn bytes(&self) -> CsrBytes {
+        let u32s = |n: usize| n * std::mem::size_of::<u32>();
+        CsrBytes {
+            spo_offsets: u32s(self.spo_offsets.len()),
+            in_index: u32s(self.in_offsets.len()) + self.in_data.len(),
+            pred_index: u32s(self.pred_ids.len())
+                + u32s(self.pred_blocks.len())
+                + u32s(self.block_first_o.len())
+                + u32s(self.block_bytes.len())
+                + self.pred_data.len(),
+        }
+    }
+}
+
+fn csr_u32(v: usize, what: &str) -> u32 {
+    u32::try_from(v).unwrap_or_else(|_| panic!("{what} exceed 4 GiB; store too large for CSR"))
+}
+
+/// Decoder over one object's in-edge posting: yields ascending triple
+/// indexes into the (s, p, o)-sorted triple vector.
+#[derive(Debug, Clone)]
+pub struct InEdgeIter<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    prev: u32,
+    first: bool,
+}
+
+impl Iterator for InEdgeIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let delta = varint::read_u32(self.bytes, &mut self.pos)
+            .expect("corrupt in-edge posting: CSR build wrote truncated varint");
+        self.prev = if self.first { delta } else { self.prev + delta };
+        self.first = false;
+        Some(self.prev)
+    }
+}
+
+/// Decoder over a predicate posting: yields `(object, subject)` raw id
+/// pairs in (o, s) order, resetting to absolute values at block heads.
+#[derive(Debug, Clone)]
+pub struct PostingIter<'a> {
+    data: &'a [u8],
+    block_bytes: &'a [u32],
+    next_block: usize,
+    block_end: usize,
+    pos: usize,
+    end: usize,
+    prev_o: u32,
+    prev_s: u32,
+}
+
+impl Iterator for PostingIter<'_> {
+    type Item = (u32, u32);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, u32)> {
+        if self.pos >= self.end {
+            return None;
+        }
+        let corrupt =
+            || -> ! { panic!("corrupt predicate posting: CSR build wrote truncated varint") };
+        if self.next_block < self.block_end
+            && self.pos == self.block_bytes[self.next_block] as usize
+        {
+            // Block head: absolute (o, s).
+            self.next_block += 1;
+            self.prev_o = varint::read_u32(self.data, &mut self.pos).unwrap_or_else(|| corrupt());
+            self.prev_s = varint::read_u32(self.data, &mut self.pos).unwrap_or_else(|| corrupt());
+        } else {
+            let delta_o = varint::read_u32(self.data, &mut self.pos).unwrap_or_else(|| corrupt());
+            let second = varint::read_u32(self.data, &mut self.pos).unwrap_or_else(|| corrupt());
+            if delta_o == 0 {
+                self.prev_s += second;
+            } else {
+                self.prev_o += delta_o;
+                self.prev_s = second;
+            }
+        }
+        Some((self.prev_o, self.prev_s))
+    }
+}
+
+/// The pre-CSR permutation layout, kept as a proptest oracle and a
+/// bytes/triple baseline for the scale benchmark. Semantics match the
+/// original `Store` access paths exactly.
+pub mod reference {
+    use crate::ids::TermId;
+    use crate::triple::Triple;
+
+    /// POS and OSP permutation arrays over an (s, p, o)-sorted triple slice
+    /// — the layout `Store` used before the CSR indexes.
+    #[derive(Debug, Clone)]
+    pub struct RefIndexes {
+        /// Permutation sorted by (p, o, s).
+        pos: Vec<u32>,
+        /// Permutation sorted by (o, s, p).
+        osp: Vec<u32>,
+    }
+
+    impl RefIndexes {
+        /// Build both permutations by comparison sort, as the old
+        /// `StoreBuilder::build` did.
+        pub fn build(triples: &[Triple]) -> RefIndexes {
+            let n = triples.len();
+            let mut pos: Vec<u32> = (0..n as u32).collect();
+            pos.sort_unstable_by_key(|&i| {
+                let t = triples[i as usize];
+                (t.p, t.o, t.s)
+            });
+            let mut osp: Vec<u32> = (0..n as u32).collect();
+            osp.sort_unstable_by_key(|&i| {
+                let t = triples[i as usize];
+                (t.o, t.s, t.p)
+            });
+            RefIndexes { pos, osp }
+        }
+
+        /// Index bytes of this layout: two u32 permutations.
+        pub fn bytes(&self) -> usize {
+            (self.pos.len() + self.osp.len()) * std::mem::size_of::<u32>()
+        }
+
+        /// All triples with subject `s` (binary search over the triples).
+        pub fn out_edges<'a>(&self, triples: &'a [Triple], s: TermId) -> &'a [Triple] {
+            let lo = triples.partition_point(|t| t.s < s);
+            let hi = triples.partition_point(|t| t.s <= s);
+            &triples[lo..hi]
+        }
+
+        /// All triples with subject `s` and predicate `p`.
+        pub fn out_edges_with<'a>(
+            &self,
+            triples: &'a [Triple],
+            s: TermId,
+            p: TermId,
+        ) -> &'a [Triple] {
+            let lo = triples.partition_point(|t| (t.s, t.p) < (s, p));
+            let hi = triples.partition_point(|t| (t.s, t.p) <= (s, p));
+            &triples[lo..hi]
+        }
+
+        /// Exact-triple membership via binary search.
+        pub fn contains(&self, triples: &[Triple], t: Triple) -> bool {
+            triples.binary_search(&t).is_ok()
+        }
+
+        /// All triples with object `o`, in OSP order.
+        pub fn in_edges(&self, triples: &[Triple], o: TermId) -> Vec<Triple> {
+            let lo = self.osp.partition_point(|&i| triples[i as usize].o < o);
+            let hi = self.osp.partition_point(|&i| triples[i as usize].o <= o);
+            self.osp[lo..hi].iter().map(|&i| triples[i as usize]).collect()
+        }
+
+        /// All triples with object `o` and predicate `p` (OSP scan + filter,
+        /// as the old `in_edges_with` did).
+        pub fn in_edges_with(&self, triples: &[Triple], o: TermId, p: TermId) -> Vec<Triple> {
+            self.in_edges(triples, o).into_iter().filter(|t| t.p == p).collect()
+        }
+
+        /// All triples with predicate `p`, in POS order.
+        pub fn with_predicate(&self, triples: &[Triple], p: TermId) -> Vec<Triple> {
+            let lo = self.pos.partition_point(|&i| triples[i as usize].p < p);
+            let hi = self.pos.partition_point(|&i| triples[i as usize].p <= p);
+            self.pos[lo..hi].iter().map(|&i| triples[i as usize]).collect()
+        }
+
+        /// All triples with predicate `p` and object `o`.
+        pub fn with_predicate_object(
+            &self,
+            triples: &[Triple],
+            p: TermId,
+            o: TermId,
+        ) -> Vec<Triple> {
+            let key = (p, o);
+            let lo = self.pos.partition_point(|&i| {
+                let t = triples[i as usize];
+                (t.p, t.o) < key
+            });
+            let hi = self.pos.partition_point(|&i| {
+                let t = triples[i as usize];
+                (t.p, t.o) <= key
+            });
+            self.pos[lo..hi].iter().map(|&i| triples[i as usize]).collect()
+        }
+
+        /// Distinct predicate ids in ascending order (POS walk).
+        pub fn predicates(&self, triples: &[Triple]) -> Vec<TermId> {
+            let mut out = Vec::new();
+            let mut last = None;
+            for &i in &self.pos {
+                let p = triples[i as usize].p;
+                if last != Some(p) {
+                    out.push(p);
+                    last = Some(p);
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triples(edges: &[(u32, u32, u32)]) -> Vec<Triple> {
+        let mut v: Vec<Triple> =
+            edges.iter().map(|&(s, p, o)| Triple::new(TermId(s), TermId(p), TermId(o))).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    fn max_id(ts: &[Triple]) -> usize {
+        ts.iter().map(|t| t.s.0.max(t.p.0).max(t.o.0) as usize + 1).max().unwrap_or(0)
+    }
+
+    #[test]
+    fn matches_reference_on_a_small_graph() {
+        let ts =
+            triples(&[(0, 1, 2), (0, 1, 3), (0, 4, 2), (2, 1, 0), (3, 1, 2), (3, 4, 0), (5, 4, 5)]);
+        let n = max_id(&ts);
+        let csr = CsrIndexes::build(n, &ts);
+        let rf = reference::RefIndexes::build(&ts);
+        for id in 0..n as u32 + 2 {
+            let v = TermId(id);
+            assert_eq!(&ts[csr.out_range(v)], rf.out_edges(&ts, v), "out_edges({v})");
+            let got: Vec<Triple> = csr.in_triples(v).map(|i| ts[i as usize]).collect();
+            assert_eq!(got, rf.in_edges(&ts, v), "in_edges({v})");
+            let got: Vec<Triple> = csr
+                .predicate_postings(v)
+                .map(|(o, s)| Triple::new(TermId(s), v, TermId(o)))
+                .collect();
+            assert_eq!(got, rf.with_predicate(&ts, v), "with_predicate({v})");
+            for oid in 0..n as u32 + 2 {
+                let o = TermId(oid);
+                let got: Vec<Triple> = csr
+                    .predicate_object_postings(v, o)
+                    .map(|s| Triple::new(TermId(s), v, o))
+                    .collect();
+                assert_eq!(got, rf.with_predicate_object(&ts, v, o), "wpo({v},{o})");
+            }
+        }
+        assert_eq!(csr.predicate_ids(), rf.predicates(&ts).as_slice(), "distinct predicates");
+    }
+
+    #[test]
+    fn block_boundaries_seek_correctly() {
+        // One predicate, > 2 blocks, with an object group straddling a
+        // block boundary: entries (o=7) start in block 0 and continue into
+        // block 1.
+        let mut edges = Vec::new();
+        for s in 0..60 {
+            edges.push((s, 100, 7u32));
+        }
+        for s in 0..10 {
+            edges.push((s, 100, 8u32));
+        }
+        for s in 0..100 {
+            edges.push((s, 100, 9u32));
+        }
+        let ts = triples(&edges);
+        let n = max_id(&ts);
+        let csr = CsrIndexes::build(n, &ts);
+        let rf = reference::RefIndexes::build(&ts);
+        let p = TermId(100);
+        for oid in [6u32, 7, 8, 9, 10] {
+            let o = TermId(oid);
+            let got: Vec<u32> = csr.predicate_object_postings(p, o).collect();
+            let want: Vec<u32> =
+                rf.with_predicate_object(&ts, p, o).iter().map(|t| t.s.0).collect();
+            assert_eq!(got, want, "object {oid}");
+        }
+        let all: Vec<(u32, u32)> = csr.predicate_postings(p).collect();
+        assert_eq!(all.len(), ts.len());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = CsrIndexes::build(0, &[]);
+        assert_eq!(csr.out_range(TermId(0)), 0..0);
+        assert_eq!(csr.in_triples(TermId(0)).count(), 0);
+        assert_eq!(csr.predicate_postings(TermId(0)).count(), 0);
+        assert_eq!(csr.predicate_object_postings(TermId(0), TermId(1)).count(), 0);
+        assert!(csr.predicate_ids().is_empty());
+        assert!(csr.bytes().total() > 0, "offset arrays still occupy bytes");
+    }
+}

@@ -7,13 +7,109 @@
 
 use crate::ids::TermId;
 use crate::term::Term;
-use rustc_hash::FxHashMap;
+use rustc_hash::FxHasher;
+use std::hash::Hasher;
 
 /// A grow-only term interner.
+///
+/// The reverse direction (term → id) is an open-addressing hash index over
+/// the id-ordered `terms` vector rather than a `HashMap<Term, TermId>`:
+/// slots hold only `(hash, id)`, so no term string is ever stored twice and
+/// bulk rebuilds (snapshot load) do no per-term allocation.
 #[derive(Default, Debug, Clone)]
 pub struct Dict {
     terms: Vec<Term>,
-    by_term: FxHashMap<Term, TermId>,
+    index: TermIndex,
+}
+
+/// Linear-probing `(hash, id)` table; `EMPTY` ids mark free slots. Kept at
+/// load factor ≤ 1/2 (slot count is a power of two).
+#[derive(Default, Debug, Clone)]
+struct TermIndex {
+    hashes: Vec<u64>,
+    ids: Vec<u32>,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+/// SplitMix64 finalizer. FxHash alone diffuses the last input bytes poorly
+/// into the low bits, and the table masks with low bits — near-identical
+/// strings (`e:E1041`, `e:E1042`, …) would otherwise pile into probe
+/// chains.
+fn mix(h: u64) -> u64 {
+    let h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Hash of a full term: a tag byte, then each component string. Must stay
+/// in sync with [`iri_probe_hash`], which hashes an IRI candidate without
+/// constructing a `Term`.
+fn term_hash(t: &Term) -> u64 {
+    let mut h = FxHasher::default();
+    match t {
+        Term::Iri(s) => {
+            h.write_u8(0);
+            h.write(s.as_bytes());
+        }
+        Term::Literal { lexical, datatype: None } => {
+            h.write_u8(1);
+            h.write(lexical.as_bytes());
+        }
+        Term::Literal { lexical, datatype: Some(dt) } => {
+            h.write_u8(2);
+            h.write(lexical.as_bytes());
+            h.write(dt.as_bytes());
+        }
+        Term::Blank(b) => {
+            h.write_u8(3);
+            h.write(b.as_bytes());
+        }
+    }
+    mix(h.finish())
+}
+
+/// Same hash [`term_hash`] would produce for `Term::Iri(iri.into())`.
+fn iri_probe_hash(iri: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u8(0);
+    h.write(iri.as_bytes());
+    mix(h.finish())
+}
+
+impl TermIndex {
+    fn with_slots_for(n: usize) -> TermIndex {
+        let slots = (n * 2).next_power_of_two().max(8);
+        TermIndex { hashes: vec![0; slots], ids: vec![EMPTY; slots] }
+    }
+
+    /// Walk the probe chain for `hash`; return the id of the first slot
+    /// whose stored term satisfies `eq`, or the index of the empty slot
+    /// where the key would be inserted.
+    fn probe(&self, hash: u64, eq: impl Fn(u32) -> bool) -> Result<TermId, usize> {
+        let mask = self.ids.len() - 1;
+        let mut slot = hash as usize & mask;
+        loop {
+            let id = self.ids[slot];
+            if id == EMPTY {
+                return Err(slot);
+            }
+            if self.hashes[slot] == hash && eq(id) {
+                return Ok(TermId(id));
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    fn insert_at(&mut self, slot: usize, hash: u64, id: u32) {
+        self.hashes[slot] = hash;
+        self.ids[slot] = id;
+    }
+
+    /// Number of resident slots.
+    fn slots(&self) -> usize {
+        self.ids.len()
+    }
 }
 
 impl Dict {
@@ -22,20 +118,97 @@ impl Dict {
         Self::default()
     }
 
+    /// Borrow the reverse-index slot arrays for snapshot serialization.
+    pub(crate) fn index_parts(&self) -> (&[u64], &[u32]) {
+        (&self.index.hashes, &self.index.ids)
+    }
+
+    /// Adopt snapshot-decoded slot arrays after validating that they form a
+    /// working index over `terms`: power-of-two slot count at load factor
+    /// ≤ 1/2 (so probes terminate), every term seated exactly once, and
+    /// each occupied slot's stored hash equal to the hash of its term (so
+    /// lookups actually find what they probe for).
+    pub(crate) fn from_indexed_parts(
+        terms: Vec<Term>,
+        hashes: Vec<u64>,
+        ids: Vec<u32>,
+    ) -> Result<Dict, String> {
+        if hashes.len() != ids.len() {
+            return Err(format!("{} hash slots vs {} id slots", hashes.len(), ids.len()));
+        }
+        let slots = ids.len();
+        if terms.is_empty() {
+            if slots != 0 && (!slots.is_power_of_two() || ids.iter().any(|&id| id != EMPTY)) {
+                return Err("non-empty index for empty dictionary".into());
+            }
+            return Ok(Dict { terms, index: TermIndex { hashes, ids } });
+        }
+        if !slots.is_power_of_two() || slots < terms.len() * 2 {
+            return Err(format!("{slots} slots cannot index {} terms", terms.len()));
+        }
+        let mut seen = vec![false; terms.len()];
+        for (slot, &id) in ids.iter().enumerate() {
+            if id == EMPTY {
+                continue;
+            }
+            let i = id as usize;
+            if i >= terms.len() || std::mem::replace(&mut seen[i], true) {
+                return Err(format!("slot {slot} holds invalid or duplicate id {id}"));
+            }
+            if hashes[slot] != term_hash(&terms[i]) {
+                return Err(format!("slot {slot} hash disagrees with its term"));
+            }
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err("index does not cover every term".into());
+        }
+        Ok(Dict { terms, index: TermIndex { hashes, ids } })
+    }
+
+    /// Double the table and re-seat every id when interning would push the
+    /// load factor past 1/2.
+    fn maybe_grow(&mut self) {
+        if (self.terms.len() + 1) * 2 <= self.index.slots() {
+            return;
+        }
+        let mut grown = TermIndex::with_slots_for(self.terms.len() + 1);
+        for (i, term) in self.terms.iter().enumerate() {
+            let hash = term_hash(term);
+            match grown.probe(hash, |_| false) {
+                Ok(_) => unreachable!("probe with const-false eq never matches"),
+                Err(slot) => grown.insert_at(slot, hash, i as u32),
+            }
+        }
+        self.index = grown;
+    }
+
     /// Intern `term`, returning its id (existing or fresh).
     pub fn intern(&mut self, term: Term) -> TermId {
-        if let Some(&id) = self.by_term.get(&term) {
-            return id;
-        }
+        let hash = term_hash(&term);
+        let slot = if self.terms.is_empty() {
+            self.maybe_grow();
+            hash as usize & (self.index.slots() - 1)
+        } else {
+            match self.index.probe(hash, |id| self.terms[id as usize] == term) {
+                Ok(id) => return id,
+                Err(slot) if (self.terms.len() + 1) * 2 <= self.index.slots() => slot,
+                Err(_) => {
+                    self.maybe_grow();
+                    match self.index.probe(hash, |_| false) {
+                        Ok(_) => unreachable!("probe with const-false eq never matches"),
+                        Err(slot) => slot,
+                    }
+                }
+            }
+        };
         let id = TermId::from_index(self.terms.len());
-        self.terms.push(term.clone());
-        self.by_term.insert(term, id);
+        self.terms.push(term);
+        self.index.insert_at(slot, hash, id.0);
         id
     }
 
-    /// Intern an IRI given as text.
+    /// Intern an IRI given as text (no allocation when already present).
     pub fn intern_iri(&mut self, iri: &str) -> TermId {
-        // Fast path: avoid allocating if already present.
         if let Some(id) = self.lookup_iri(iri) {
             return id;
         }
@@ -44,15 +217,25 @@ impl Dict {
 
     /// Look up the id of a term without interning.
     pub fn lookup(&self, term: &Term) -> Option<TermId> {
-        self.by_term.get(term).copied()
+        if self.terms.is_empty() {
+            return None;
+        }
+        self.index.probe(term_hash(term), |id| &self.terms[id as usize] == term).ok()
     }
 
-    /// Look up the id of an IRI by text without interning.
+    /// Look up the id of an IRI by text without interning or allocating.
     pub fn lookup_iri(&self, iri: &str) -> Option<TermId> {
-        // `Term::Iri` hashing is over the string; build a cheap probe term.
-        // A Box<str> allocation is unavoidable with std HashMap keys of this
-        // shape, but lookups are rare outside bulk load.
-        self.by_term.get(&Term::iri(iri)).copied()
+        if self.terms.is_empty() {
+            return None;
+        }
+        let eq = |id: u32| matches!(&self.terms[id as usize], Term::Iri(s) if &**s == iri);
+        self.index.probe(iri_probe_hash(iri), eq).ok()
+    }
+
+    /// Resident bytes of the term → id hash index (the slot arrays; term
+    /// strings are stored only once, in the id → term vector).
+    pub fn index_bytes(&self) -> usize {
+        self.index.slots() * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>())
     }
 
     /// Resolve an id back to its term. Panics on a foreign id.

@@ -10,7 +10,8 @@
 //! * [`term::Term`] / [`ids::TermId`] — RDF terms and interned ids,
 //! * [`dict::Dict`] — the string dictionary (term ↔ id),
 //! * [`store::Store`] / [`store::StoreBuilder`] — an immutable triple store
-//!   with SPO/POS/OSP sorted indexes and CSR adjacency for graph traversal,
+//!   over an (s, p, o)-sorted vector plus the compact [`csr`] adjacency
+//!   indexes (subject offsets, delta-varint in-edge and predicate postings),
 //! * [`ntriples`] — N-Triples parsing and serialization,
 //! * [`schema`] — entity-vs-class classification per the paper's rule
 //!   (a vertex with an incoming `rdf:type`/`rdfs:subClassOf` edge is a class),
@@ -20,12 +21,15 @@
 //!   (pair results + per-source BFS frontiers) for the offline miner,
 //! * [`snapshot`] — epoch-stamped, atomically swappable handles so the
 //!   serving layer can reload a store without pausing in-flight readers,
+//! * [`snapfile`] — versioned, checksummed binary snapshots (dictionary +
+//!   triples) that load in one pass, feeding fast boot and `/admin/reload`,
 //! * [`stats`] — dataset statistics as reported in the paper's Table 4.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod csr;
 pub mod dict;
 pub mod graph;
 pub mod ids;
@@ -33,18 +37,22 @@ pub mod metrics;
 pub mod ntriples;
 pub mod paths;
 pub mod schema;
+pub mod snapfile;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod term;
 pub mod triple;
+pub mod varint;
 
 pub use cache::{PathCache, PathCacheConfig, PathCacheStats};
+pub use csr::{CsrBytes, CsrIndexes};
 pub use dict::Dict;
 pub use ids::TermId;
 pub use metrics::{StoreMetrics, StoreMetricsSnapshot};
 pub use paths::{Dir, PathPattern, PathStep};
+pub use snapfile::{is_snapshot, read_snapshot, write_snapshot, SnapshotError};
 pub use snapshot::{Snapshot, Stamped};
-pub use store::{Store, StoreBuilder, UnknownIri};
+pub use store::{Store, StoreBuilder, StoreSectionBytes, UnknownIri};
 pub use term::Term;
 pub use triple::Triple;

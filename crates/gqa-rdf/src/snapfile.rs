@@ -1,0 +1,476 @@
+//! Versioned, checksummed binary snapshots of a [`Store`].
+//!
+//! A snapshot carries every section of a store — the dictionary (terms and
+//! its reverse hash index), the (s, p, o)-sorted triple vector, and all CSR
+//! adjacency sections — so loading is one pass of bounds-checked memcpy-style
+//! decodes with **no re-hashing and no index rebuild**. Layout of version 1:
+//!
+//! ```text
+//! bytes 0..8    magic  b"GQASNP01"
+//! u32 LE        format version (1)
+//! u64 LE        term count
+//! u64 LE        triple count
+//! terms         tag u8 (0 iri | 1 literal | 2 typed literal | 3 blank),
+//!               then each string as varint length + UTF-8 bytes
+//! triples       delta stream (see below), ascending (s, p, o)
+//! dict index    u64 slot count, then slot hashes (u64 LE each), then
+//!               slot ids (u32 LE each; 0xffff_ffff marks an empty slot)
+//! csr           subject offsets ((terms+1) × u32 LE)
+//!               in-edge offsets ((terms+1) × u32 LE)
+//!               in-edge postings (u64 byte count + delta-varint bytes)
+//!               predicate ids (u64 count + count × u32 LE)
+//!               predicate block directory ((count+1) × u32 LE)
+//!               block head objects (u64 count + count × u32 LE)
+//!               block byte offsets ((count+1) × u32 LE)
+//!               predicate postings (u64 byte count + delta-varint bytes)
+//! u64 LE        FNV-1a 64 checksum of every preceding byte, folded in
+//!               8-byte little-endian words (trailing bytes one at a time)
+//! ```
+//!
+//! Triple deltas relative to the previous triple (`(0, 0, 0)` before the
+//! first): `Δs` varint; if `Δs > 0` then absolute `p` and `o`; else `Δp`
+//! varint; if `Δp > 0` then absolute `o`; else `Δo` varint. Sorted order
+//! makes every delta non-negative and small.
+//!
+//! Reading is hardened: the checksum is verified before parsing, every read
+//! is bounds-checked, decoded ids must be in-dictionary and triples strictly
+//! ascending, and the dictionary index and CSR sections are structurally
+//! validated (offset monotonicity, posting-stream decode, probe-table
+//! invariants) before a single access path may touch them. Corrupted or
+//! truncated bytes yield [`SnapshotError`], never a panic.
+
+use crate::csr::{CsrIndexes, CsrSections};
+use crate::dict::Dict;
+use crate::ids::TermId;
+use crate::store::Store;
+use crate::term::Term;
+use crate::triple::Triple;
+use crate::varint;
+
+/// Magic bytes opening every snapshot file (`GQASNP` + 2-digit format era).
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"GQASNP01";
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 8 + 4 + 8 + 8;
+const CHECKSUM_LEN: usize = 8;
+
+const TAG_IRI: u8 = 0;
+const TAG_LITERAL: u8 = 1;
+const TAG_TYPED_LITERAL: u8 = 2;
+const TAG_BLANK: u8 = 3;
+
+/// A snapshot failed to load: wrong magic, version, checksum, or malformed
+/// content. The message says which.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError(pub String);
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SnapshotError> {
+    Err(SnapshotError(msg.into()))
+}
+
+/// Does `bytes` begin with the snapshot magic? Used by loaders to pick
+/// between the binary and N-Triples paths.
+pub fn is_snapshot(bytes: &[u8]) -> bool {
+    bytes.len() >= SNAPSHOT_MAGIC.len() && bytes[..SNAPSHOT_MAGIC.len()] == SNAPSHOT_MAGIC
+}
+
+/// Serialize `store` into snapshot bytes (version [`SNAPSHOT_VERSION`]).
+pub fn write_snapshot(store: &Store) -> Vec<u8> {
+    let dict = store.dict();
+    let triples = store.triples();
+    // Rough pre-size: tags + short strings, deltas, and the index sections
+    // (two offset arrays plus both posting streams dominate).
+    let mut out = Vec::with_capacity(HEADER_LEN + dict.len() * 32 + triples.len() * 16);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(dict.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(triples.len() as u64).to_le_bytes());
+
+    let write_str = |out: &mut Vec<u8>, s: &str| {
+        varint::write_u64(out, s.len() as u64);
+        out.extend_from_slice(s.as_bytes());
+    };
+    for (_, term) in dict.iter() {
+        match term {
+            Term::Iri(s) => {
+                out.push(TAG_IRI);
+                write_str(&mut out, s);
+            }
+            Term::Literal { lexical, datatype: None } => {
+                out.push(TAG_LITERAL);
+                write_str(&mut out, lexical);
+            }
+            Term::Literal { lexical, datatype: Some(dt) } => {
+                out.push(TAG_TYPED_LITERAL);
+                write_str(&mut out, lexical);
+                write_str(&mut out, dt);
+            }
+            Term::Blank(b) => {
+                out.push(TAG_BLANK);
+                write_str(&mut out, b);
+            }
+        }
+    }
+
+    let mut prev = Triple::new(TermId(0), TermId(0), TermId(0));
+    for &t in triples {
+        let ds = t.s.0 - prev.s.0;
+        varint::write_u32(&mut out, ds);
+        if ds > 0 {
+            varint::write_u32(&mut out, t.p.0);
+            varint::write_u32(&mut out, t.o.0);
+        } else {
+            let dp = t.p.0 - prev.p.0;
+            varint::write_u32(&mut out, dp);
+            if dp > 0 {
+                varint::write_u32(&mut out, t.o.0);
+            } else {
+                varint::write_u32(&mut out, t.o.0 - prev.o.0);
+            }
+        }
+        prev = t;
+    }
+
+    let write_u32s = |out: &mut Vec<u8>, v: &[u32]| {
+        for &x in v {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    };
+    let (hashes, ids) = dict.index_parts();
+    out.extend_from_slice(&(hashes.len() as u64).to_le_bytes());
+    for &h in hashes {
+        out.extend_from_slice(&h.to_le_bytes());
+    }
+    write_u32s(&mut out, ids);
+
+    let csr = store.csr().sections();
+    write_u32s(&mut out, csr.spo_offsets);
+    write_u32s(&mut out, csr.in_offsets);
+    out.extend_from_slice(&(csr.in_data.len() as u64).to_le_bytes());
+    out.extend_from_slice(csr.in_data);
+    out.extend_from_slice(&(csr.pred_ids.len() as u64).to_le_bytes());
+    for &p in csr.pred_ids {
+        out.extend_from_slice(&p.0.to_le_bytes());
+    }
+    write_u32s(&mut out, csr.pred_blocks);
+    out.extend_from_slice(&(csr.block_first_o.len() as u64).to_le_bytes());
+    write_u32s(&mut out, csr.block_first_o);
+    write_u32s(&mut out, csr.block_bytes);
+    out.extend_from_slice(&(csr.pred_data.len() as u64).to_le_bytes());
+    out.extend_from_slice(csr.pred_data);
+
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Parse snapshot bytes back into a [`Store`] in one pass — the dictionary
+/// index and CSR sections are adopted from the file, not rebuilt.
+///
+/// Validates magic, version, checksum, UTF-8, id ranges, strict (s, p, o)
+/// ascent, and the structural invariants of every index section. Any
+/// corruption is an `Err`, never a panic.
+pub fn read_snapshot(bytes: &[u8]) -> Result<Store, SnapshotError> {
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+        return err(format!("file too short ({} bytes)", bytes.len()));
+    }
+    if !is_snapshot(bytes) {
+        return err("bad magic (not a snapshot file)");
+    }
+    let body_len = bytes.len() - CHECKSUM_LEN;
+    let stored = u64::from_le_bytes(bytes[body_len..].try_into().expect("8 checksum bytes"));
+    let actual = fnv1a64(&bytes[..body_len]);
+    if stored != actual {
+        return err(format!("checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"));
+    }
+
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 version bytes"));
+    if version != SNAPSHOT_VERSION {
+        return err(format!("unsupported version {version} (supported: {SNAPSHOT_VERSION})"));
+    }
+    let term_count = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let triple_count = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
+    // Every term costs at least 2 bytes, every triple at least 3: reject
+    // counts the remaining bytes cannot possibly hold before allocating.
+    let body = &bytes[..body_len];
+    let remaining = (body_len - HEADER_LEN) as u64;
+    if term_count > remaining / 2 || triple_count > remaining.min(u32::MAX as u64) {
+        return err(format!("implausible counts: {term_count} terms, {triple_count} triples"));
+    }
+    if term_count > u32::MAX as u64 {
+        return err("more than u32::MAX terms");
+    }
+
+    let mut pos = HEADER_LEN;
+    let read_str = |pos: &mut usize| -> Result<Box<str>, SnapshotError> {
+        let len = match varint::read_u64(body, pos) {
+            Some(l) => l,
+            None => return err("truncated string length"),
+        };
+        let end = match (*pos as u64).checked_add(len) {
+            Some(e) if e <= body.len() as u64 => e as usize,
+            _ => return err("string runs past end of file"),
+        };
+        let s = match std::str::from_utf8(&body[*pos..end]) {
+            Ok(s) => s,
+            Err(_) => return err("invalid UTF-8 in term"),
+        };
+        *pos = end;
+        Ok(s.into())
+    };
+    let mut terms = Vec::with_capacity(term_count as usize);
+    for i in 0..term_count {
+        let tag = match body.get(pos) {
+            Some(&t) => t,
+            None => return err(format!("truncated at term {i} of {term_count}")),
+        };
+        pos += 1;
+        let term = match tag {
+            TAG_IRI => Term::Iri(read_str(&mut pos)?),
+            TAG_LITERAL => Term::Literal { lexical: read_str(&mut pos)?, datatype: None },
+            TAG_TYPED_LITERAL => {
+                let lexical = read_str(&mut pos)?;
+                let datatype = read_str(&mut pos)?;
+                Term::Literal { lexical, datatype: Some(datatype) }
+            }
+            TAG_BLANK => Term::Blank(read_str(&mut pos)?),
+            other => return err(format!("unknown term tag {other} at term {i}")),
+        };
+        terms.push(term);
+    }
+
+    let mut triples = Vec::with_capacity(triple_count as usize);
+    let mut prev = Triple::new(TermId(0), TermId(0), TermId(0));
+    for i in 0..triple_count {
+        let mut next = |what: &str| match varint::read_u32(body, &mut pos) {
+            Some(v) => Ok(v),
+            None => err(format!("truncated {what} at triple {i} of {triple_count}")),
+        };
+        let ds = next("subject delta")?;
+        let overflow = || SnapshotError(format!("id overflow at triple {i}"));
+        let (s, p, o) = if ds > 0 {
+            let s = prev.s.0.checked_add(ds).ok_or_else(overflow)?;
+            (s, next("predicate")?, next("object")?)
+        } else {
+            let dp = next("predicate delta")?;
+            if dp > 0 {
+                let p = prev.p.0.checked_add(dp).ok_or_else(overflow)?;
+                (prev.s.0, p, next("object")?)
+            } else {
+                let dobj = next("object delta")?;
+                let o = prev.o.0.checked_add(dobj).ok_or_else(overflow)?;
+                (prev.s.0, prev.p.0, o)
+            }
+        };
+        let t = Triple::new(TermId(s), TermId(p), TermId(o));
+        if i > 0 && t <= prev {
+            return err(format!("triples not strictly ascending at triple {i}"));
+        }
+        let limit = term_count as u32;
+        if s >= limit || p >= limit || o >= limit {
+            return err(format!("triple {i} references id outside dictionary of {term_count}"));
+        }
+        triples.push(t);
+        prev = t;
+    }
+
+    // Fixed-width index sections. Every read helper bounds-checks against
+    // the body before allocating, so a lying length field errs cleanly.
+    let read_u64_le = |pos: &mut usize, what: &str| -> Result<u64, SnapshotError> {
+        match body.get(*pos..*pos + 8) {
+            Some(b) => {
+                *pos += 8;
+                Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+            }
+            None => err(format!("truncated {what}")),
+        }
+    };
+    let read_u64s = |pos: &mut usize, n: u64, what: &str| -> Result<Vec<u64>, SnapshotError> {
+        match n.checked_mul(8).and_then(|l| (*pos as u64).checked_add(l)) {
+            Some(end) if end <= body.len() as u64 => {
+                let v = body[*pos..end as usize]
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                    .collect();
+                *pos = end as usize;
+                Ok(v)
+            }
+            _ => err(format!("truncated {what}")),
+        }
+    };
+    let read_u32s = |pos: &mut usize, n: u64, what: &str| -> Result<Vec<u32>, SnapshotError> {
+        match n.checked_mul(4).and_then(|l| (*pos as u64).checked_add(l)) {
+            Some(end) if end <= body.len() as u64 => {
+                let v = body[*pos..end as usize]
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                    .collect();
+                *pos = end as usize;
+                Ok(v)
+            }
+            _ => err(format!("truncated {what}")),
+        }
+    };
+    let read_bytes = |pos: &mut usize, n: u64, what: &str| -> Result<Box<[u8]>, SnapshotError> {
+        match (*pos as u64).checked_add(n) {
+            Some(end) if end <= body.len() as u64 => {
+                let v: Box<[u8]> = body[*pos..end as usize].into();
+                *pos = end as usize;
+                Ok(v)
+            }
+            _ => err(format!("truncated {what}")),
+        }
+    };
+
+    let slot_count = read_u64_le(&mut pos, "dictionary index size")?;
+    let hashes = read_u64s(&mut pos, slot_count, "dictionary hash slots")?;
+    let ids = read_u32s(&mut pos, slot_count, "dictionary id slots")?;
+
+    let spo_offsets = read_u32s(&mut pos, term_count + 1, "subject offsets")?.into_boxed_slice();
+    let in_offsets = read_u32s(&mut pos, term_count + 1, "in-edge offsets")?.into_boxed_slice();
+    let in_len = read_u64_le(&mut pos, "in-edge posting size")?;
+    let in_data = read_bytes(&mut pos, in_len, "in-edge postings")?;
+    let pred_count = read_u64_le(&mut pos, "predicate count")?;
+    let pred_ids: Box<[TermId]> =
+        read_u32s(&mut pos, pred_count, "predicate ids")?.into_iter().map(TermId).collect();
+    let pred_blocks = read_u32s(&mut pos, pred_count + 1, "predicate blocks")?.into_boxed_slice();
+    let n_blocks = read_u64_le(&mut pos, "posting block count")?;
+    let block_first_o = read_u32s(&mut pos, n_blocks, "block head objects")?.into_boxed_slice();
+    let block_bytes = read_u32s(&mut pos, n_blocks + 1, "block byte offsets")?.into_boxed_slice();
+    let pred_len = read_u64_le(&mut pos, "predicate posting size")?;
+    let pred_data = read_bytes(&mut pos, pred_len, "predicate postings")?;
+
+    if pos != body.len() {
+        return err(format!("{} trailing bytes after index sections", body.len() - pos));
+    }
+
+    let dict = Dict::from_indexed_parts(terms, hashes, ids)
+        .map_err(|m| SnapshotError(format!("dictionary index: {m}")))?;
+    let sections = CsrSections {
+        spo_offsets,
+        in_offsets,
+        in_data,
+        pred_ids,
+        pred_blocks,
+        block_first_o,
+        block_bytes,
+        pred_data,
+    };
+    let csr = CsrIndexes::from_sections(term_count as usize, triple_count as usize, sections)
+        .map_err(|m| SnapshotError(format!("csr index: {m}")))?;
+    Ok(Store::from_snapshot_parts(dict, triples, csr))
+}
+
+/// FNV-1a 64-bit folded over 8-byte little-endian words (trailing bytes one
+/// at a time) — ~8x the throughput of the byte-at-a-time loop, which matters
+/// now that snapshots carry every index section. Each step xors then
+/// multiplies by an odd constant, both injective on u64, so any single
+/// flipped bit still changes the digest. Detects the corruption and
+/// truncation a snapshot can realistically suffer; this is not a
+/// cryptographic signature.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut words = bytes.chunks_exact(8);
+    for w in &mut words {
+        h ^= u64::from_le_bytes(w.try_into().expect("8-byte word"));
+        h = h.wrapping_mul(PRIME);
+    }
+    for &b in words.remainder() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreBuilder;
+
+    fn sample() -> Store {
+        let mut b = StoreBuilder::new();
+        b.add_iri("dbr:Berlin", "dbo:country", "dbr:Germany");
+        b.add_iri("dbr:Berlin", "rdf:type", "dbo:City");
+        b.add_obj("dbr:Berlin", "rdfs:label", Term::lit("Berlin"));
+        b.add_obj("dbr:Berlin", "dbo:population", Term::int_lit(3_500_000));
+        b.add(Term::Blank("b0".into()), Term::iri("ex:p"), Term::lit("x"));
+        b.build()
+    }
+
+    fn stores_equal(a: &Store, b: &Store) -> bool {
+        a.len() == b.len()
+            && a.dict().len() == b.dict().len()
+            && a.triples() == b.triples()
+            && a.dict().iter().zip(b.dict().iter()).all(|((_, x), (_, y))| x == y)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let s = sample();
+        let bytes = write_snapshot(&s);
+        assert!(is_snapshot(&bytes));
+        let loaded = read_snapshot(&bytes).expect("roundtrip");
+        assert!(stores_equal(&s, &loaded));
+        // Access paths work on the rebuilt CSR.
+        let berlin = loaded.expect_iri("dbr:Berlin");
+        assert_eq!(loaded.out_edges(berlin).len(), 4);
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let s = StoreBuilder::new().build();
+        let bytes = write_snapshot(&s);
+        let loaded = read_snapshot(&bytes).expect("roundtrip");
+        assert!(loaded.is_empty());
+        assert_eq!(loaded.dict().len(), 0);
+    }
+
+    #[test]
+    fn every_truncation_errs_cleanly() {
+        let bytes = write_snapshot(&sample());
+        for len in 0..bytes.len() {
+            assert!(read_snapshot(&bytes[..len]).is_err(), "truncation at {len} must fail");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_errs() {
+        let bytes = write_snapshot(&sample());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(read_snapshot(&bad).is_err(), "flip at byte {i} must fail");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_named_in_error() {
+        let bytes = write_snapshot(&sample());
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert!(!is_snapshot(&wrong));
+        // (checksum catches it first; a non-snapshot prefix of sufficient
+        // length reports the magic)
+        let garbage = vec![0u8; 64];
+        let e = read_snapshot(&garbage).unwrap_err();
+        assert!(e.to_string().contains("magic"), "{e}");
+    }
+
+    #[test]
+    fn not_a_snapshot_for_ntriples_text() {
+        let text = b"<a> <b> <c> .\n";
+        assert!(!is_snapshot(text));
+        assert!(read_snapshot(text).is_err());
+    }
+}

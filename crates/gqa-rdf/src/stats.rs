@@ -2,9 +2,8 @@
 //! (number of entities / triples / predicates / size).
 
 use crate::schema::Schema;
-use crate::store::Store;
+use crate::store::{Store, StoreSectionBytes};
 use std::fmt;
-use std::mem;
 
 /// Summary statistics of one store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,9 +18,10 @@ pub struct StoreStats {
     pub predicates: usize,
     /// Literal vertices.
     pub literals: usize,
-    /// Estimated resident size in bytes (dictionary strings + triples +
-    /// index permutations).
+    /// Estimated resident size in bytes (sum of `sections`).
     pub bytes: usize,
+    /// Per-section resident bytes: dictionary, triple vector, CSR indexes.
+    pub sections: StoreSectionBytes,
 }
 
 impl StoreStats {
@@ -41,27 +41,15 @@ impl StoreStats {
                 entities += 1;
             }
         }
-        let dict_bytes: usize = store
-            .dict()
-            .iter()
-            .map(|(_, t)| match t {
-                crate::term::Term::Iri(s) => s.len(),
-                crate::term::Term::Literal { lexical, datatype } => {
-                    lexical.len() + datatype.as_ref().map_or(0, |d| d.len())
-                }
-                crate::term::Term::Blank(b) => b.len(),
-            })
-            .sum();
-        let bytes = dict_bytes
-            + store.len() * mem::size_of::<crate::triple::Triple>()
-            + store.len() * 2 * mem::size_of::<u32>();
+        let sections = store.section_bytes();
         StoreStats {
             entities,
             classes,
             triples: store.len(),
             predicates: store.predicates().len(),
             literals,
-            bytes,
+            bytes: sections.total(),
+            sections,
         }
     }
 }
@@ -72,6 +60,13 @@ impl fmt::Display for StoreStats {
         writeln!(f, "Number of Classes     {}", self.classes)?;
         writeln!(f, "Number of Triples     {}", self.triples)?;
         writeln!(f, "Number of Predicates  {}", self.predicates)?;
+        writeln!(
+            f,
+            "Resident Bytes        dict={} triples={} indexes={}",
+            self.sections.dict,
+            self.sections.triples,
+            self.sections.indexes.total()
+        )?;
         write!(f, "Size of RDF Graph     {:.2} MB", self.bytes as f64 / 1e6)
     }
 }

@@ -1,18 +1,23 @@
 //! The triple store: an immutable, fully indexed set of triples.
 //!
-//! Built once via [`StoreBuilder`], then read concurrently. Three access
-//! paths are maintained, in the style of dictionary-encoded RDF engines:
+//! Built once via [`StoreBuilder`], then read concurrently. The triple
+//! vector is sorted by **(s, p, o)**; every other access path is served by
+//! the compact CSR indexes in [`crate::csr`]:
 //!
-//! * the triple vector itself, sorted by **(s, p, o)** — subject scans are
-//!   contiguous slices;
-//! * a **(p, o, s)**-sorted permutation — predicate and predicate+object
-//!   scans;
-//! * an **(o, s, p)**-sorted permutation — object (incoming-edge) scans.
+//! * subject scans are O(1) offset-array slices into the triple vector;
+//! * object (incoming-edge) scans decode a delta-varint posting per object,
+//!   reproducing the old **(o, s, p)** permutation order;
+//! * predicate and predicate+object scans decode block-coded per-predicate
+//!   postings in the old **(p, o, s)** order, with a block directory for
+//!   seeking straight to one object's group.
 //!
-//! All scans are binary-search ranges; no hashing on the hot path.
+//! Iteration orders are identical to the former permutation-array layout —
+//! callers that `.take(n)` from a scan see the same prefix. No hashing on
+//! the hot path.
 
 use std::sync::Arc;
 
+use crate::csr::{CsrBytes, CsrIndexes};
 use crate::dict::Dict;
 use crate::ids::TermId;
 use crate::metrics::StoreMetrics;
@@ -77,6 +82,11 @@ impl StoreBuilder {
         self.triples.push(t);
     }
 
+    /// Pre-allocate capacity for `n` further triples (bulk generators).
+    pub fn reserve(&mut self, n: usize) {
+        self.triples.reserve(n);
+    }
+
     /// Copy every triple of an existing store into this builder (terms are
     /// re-interned, so the source store may use a different dictionary).
     pub fn extend_from(&mut self, store: &Store) {
@@ -100,20 +110,7 @@ impl StoreBuilder {
         let StoreBuilder { dict, mut triples } = self;
         triples.sort_unstable();
         triples.dedup();
-
-        let n = triples.len();
-        let mut pos: Vec<u32> = (0..n as u32).collect();
-        pos.sort_unstable_by_key(|&i| {
-            let t = triples[i as usize];
-            (t.p, t.o, t.s)
-        });
-        let mut osp: Vec<u32> = (0..n as u32).collect();
-        osp.sort_unstable_by_key(|&i| {
-            let t = triples[i as usize];
-            (t.o, t.s, t.p)
-        });
-
-        Store { dict, triples, pos, osp, metrics: Arc::new(StoreMetrics::default()) }
+        Store::from_sorted_parts(dict, triples)
     }
 }
 
@@ -123,15 +120,55 @@ pub struct Store {
     dict: Dict,
     /// Sorted by (s, p, o), deduplicated.
     triples: Vec<Triple>,
-    /// Permutation of `triples` sorted by (p, o, s).
-    pos: Vec<u32>,
-    /// Permutation of `triples` sorted by (o, s, p).
-    osp: Vec<u32>,
+    /// Compact adjacency indexes (subject offsets, in-edge and predicate
+    /// postings) over `triples`.
+    csr: CsrIndexes,
     /// Index-lookup counters, shared by all clones of this store.
     metrics: Arc<StoreMetrics>,
 }
 
+/// Estimated resident bytes of one store, broken down by section. Exposed
+/// as `gqa_rdf_store_bytes{section=...}` gauges and in EXPLAIN output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSectionBytes {
+    /// Dictionary: term strings (stored once, in the id→term vector) plus
+    /// per-term struct overhead and the `(hash, id)` slots of the reverse
+    /// index.
+    pub dict: usize,
+    /// The (s, p, o)-sorted triple vector (12 bytes per triple).
+    pub triples: usize,
+    /// The CSR adjacency indexes, by section.
+    pub indexes: CsrBytes,
+}
+
+impl StoreSectionBytes {
+    /// Total estimated resident bytes.
+    pub fn total(&self) -> usize {
+        self.dict + self.triples + self.indexes.total()
+    }
+}
+
 impl Store {
+    /// Index a sorted, deduplicated triple vector whose ids all come from
+    /// `dict`. Callers (the builder and the snapshot loader) must uphold
+    /// both invariants.
+    pub(crate) fn from_sorted_parts(dict: Dict, triples: Vec<Triple>) -> Store {
+        let csr = CsrIndexes::build(dict.len(), &triples);
+        Store { dict, triples, csr, metrics: Arc::new(StoreMetrics::default()) }
+    }
+
+    /// Assemble a store from snapshot-loaded parts without rebuilding the
+    /// CSR indexes. The snapshot loader has already validated `csr`
+    /// structurally against `dict.len()` and `triples.len()`.
+    pub(crate) fn from_snapshot_parts(dict: Dict, triples: Vec<Triple>, csr: CsrIndexes) -> Store {
+        Store { dict, triples, csr, metrics: Arc::new(StoreMetrics::default()) }
+    }
+
+    /// The CSR adjacency indexes (for snapshot serialization).
+    pub(crate) fn csr(&self) -> &CsrIndexes {
+        &self.csr
+    }
+
     /// The term dictionary.
     #[inline]
     pub fn dict(&self) -> &Dict {
@@ -169,59 +206,51 @@ impl Store {
     /// Does the store contain this exact triple?
     pub fn contains(&self, t: Triple) -> bool {
         self.metrics.spo();
-        self.triples.binary_search(&t).is_ok()
+        self.triples[self.csr.out_range(t.s)].binary_search(&t).is_ok()
     }
 
-    /// All triples with subject `s`, as a contiguous slice.
+    /// All triples with subject `s`, as a contiguous slice (O(1) via the
+    /// subject offset array).
     pub fn out_edges(&self, s: TermId) -> &[Triple] {
         self.metrics.spo();
-        let lo = self.triples.partition_point(|t| t.s < s);
-        let hi = self.triples.partition_point(|t| t.s <= s);
-        &self.triples[lo..hi]
+        &self.triples[self.csr.out_range(s)]
     }
 
     /// All triples with subject `s` and predicate `p`.
     pub fn out_edges_with(&self, s: TermId, p: TermId) -> &[Triple] {
         self.metrics.spo();
-        let lo = self.triples.partition_point(|t| (t.s, t.p) < (s, p));
-        let hi = self.triples.partition_point(|t| (t.s, t.p) <= (s, p));
-        &self.triples[lo..hi]
+        let sub = &self.triples[self.csr.out_range(s)];
+        let lo = sub.partition_point(|t| t.p < p);
+        let hi = sub.partition_point(|t| t.p <= p);
+        &sub[lo..hi]
     }
 
-    /// All triples with object `o`.
+    /// All triples with object `o`, in (o, s, p) order.
     pub fn in_edges(&self, o: TermId) -> impl Iterator<Item = Triple> + '_ {
         self.metrics.osp();
-        let lo = self.osp.partition_point(|&i| self.triples[i as usize].o < o);
-        let hi = self.osp.partition_point(|&i| self.triples[i as usize].o <= o);
-        self.osp[lo..hi].iter().map(move |&i| self.triples[i as usize])
+        self.csr.in_triples(o).map(move |i| self.triples[i as usize])
     }
 
-    /// All triples with object `o` and predicate `p`.
+    /// All triples with object `o` and predicate `p`, in ascending subject
+    /// order. Served from the per-predicate postings with a block seek —
+    /// the cost is bounded by the match count, not by `degree(o)` as the
+    /// old filter-the-object-posting path was.
     pub fn in_edges_with(&self, o: TermId, p: TermId) -> impl Iterator<Item = Triple> + '_ {
-        self.in_edges(o).filter(move |t| t.p == p)
+        self.metrics.pos();
+        self.csr.predicate_object_postings(p, o).map(move |s| Triple::new(TermId(s), p, o))
     }
 
-    /// All triples with predicate `p`.
+    /// All triples with predicate `p`, in (p, o, s) order.
     pub fn with_predicate(&self, p: TermId) -> impl Iterator<Item = Triple> + '_ {
         self.metrics.pos();
-        let lo = self.pos.partition_point(|&i| self.triples[i as usize].p < p);
-        let hi = self.pos.partition_point(|&i| self.triples[i as usize].p <= p);
-        self.pos[lo..hi].iter().map(move |&i| self.triples[i as usize])
+        self.csr.predicate_postings(p).map(move |(o, s)| Triple::new(TermId(s), p, TermId(o)))
     }
 
-    /// All triples with predicate `p` and object `o`.
+    /// All triples with predicate `p` and object `o`, in ascending subject
+    /// order.
     pub fn with_predicate_object(&self, p: TermId, o: TermId) -> impl Iterator<Item = Triple> + '_ {
         self.metrics.pos();
-        let key = (p, o);
-        let lo = self.pos.partition_point(|&i| {
-            let t = self.triples[i as usize];
-            (t.p, t.o) < key
-        });
-        let hi = self.pos.partition_point(|&i| {
-            let t = self.triples[i as usize];
-            (t.p, t.o) <= key
-        });
-        self.pos[lo..hi].iter().map(move |&i| self.triples[i as usize])
+        self.csr.predicate_object_postings(p, o).map(move |s| Triple::new(TermId(s), p, o))
     }
 
     /// Objects of `(s, p, ?)`.
@@ -259,16 +288,32 @@ impl Store {
 
     /// Distinct predicate ids, in ascending order.
     pub fn predicates(&self) -> Vec<TermId> {
-        let mut out = Vec::new();
-        let mut last = None;
-        for &i in &self.pos {
-            let p = self.triples[i as usize].p;
-            if last != Some(p) {
-                out.push(p);
-                last = Some(p);
-            }
+        self.csr.predicate_ids().to_vec()
+    }
+
+    /// Estimated resident bytes per section (dictionary, triple vector,
+    /// CSR indexes).
+    pub fn section_bytes(&self) -> StoreSectionBytes {
+        let strings: usize = self
+            .dict
+            .iter()
+            .map(|(_, t)| match t {
+                Term::Iri(s) => s.len(),
+                Term::Literal { lexical, datatype } => {
+                    lexical.len() + datatype.as_ref().map_or(0, |d| d.len())
+                }
+                Term::Blank(b) => b.len(),
+            })
+            .sum();
+        let n_terms = self.dict.len();
+        // Strings are stored once (the id→term vector); the reverse index
+        // holds only (hash, id) slots.
+        let dict = strings + n_terms * std::mem::size_of::<Term>() + self.dict.index_bytes();
+        StoreSectionBytes {
+            dict,
+            triples: self.triples.len() * std::mem::size_of::<Triple>(),
+            indexes: self.csr.bytes(),
         }
-        out
     }
 
     /// Distinct vertex ids: every id occurring as subject or object.

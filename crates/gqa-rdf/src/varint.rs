@@ -1,0 +1,145 @@
+//! LEB128 variable-length integer coding for the CSR index sections and the
+//! binary snapshot format.
+//!
+//! Small values dominate both uses (delta-encoded ids and posting gaps), so
+//! most integers occupy a single byte. The decoder is hardened: it returns
+//! `None` on truncation and on encodings longer than the maximum width for
+//! the type, so corrupted input can never panic or loop.
+
+/// Append `v` to `buf` as an unsigned LEB128 varint (1–5 bytes).
+#[inline]
+pub fn write_u32(buf: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Append `v` to `buf` as an unsigned LEB128 varint (1–10 bytes).
+#[inline]
+pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decode a `u32` varint at `*pos`, advancing `*pos` past it.
+///
+/// Returns `None` if the buffer ends mid-varint or the encoding overflows 32
+/// bits; `*pos` is left unspecified on failure.
+#[inline]
+pub fn read_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let mut v: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        let low = (byte & 0x7f) as u32;
+        if shift >= 32 || (shift == 28 && low > 0x0f) {
+            return None; // overlong or overflowing encoding
+        }
+        v |= low << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Decode a `u64` varint at `*pos`, advancing `*pos` past it.
+///
+/// Returns `None` if the buffer ends mid-varint or the encoding overflows 64
+/// bits; `*pos` is left unspecified on failure.
+#[inline]
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        let low = (byte & 0x7f) as u64;
+        if shift >= 64 || (shift == 63 && low > 1) {
+            return None;
+        }
+        v |= low << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32_edges() {
+        let cases = [0u32, 1, 127, 128, 16383, 16384, 1 << 21, u32::MAX - 1, u32::MAX];
+        let mut buf = Vec::new();
+        for &v in &cases {
+            write_u32(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &cases {
+            assert_eq!(read_u32(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn roundtrip_u64_edges() {
+        let cases = [0u64, 127, 128, 1 << 35, u64::MAX - 1, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &cases {
+            write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &cases {
+            assert_eq!(read_u64(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 300);
+        let mut pos = 0;
+        assert_eq!(read_u32(&buf[..1], &mut pos), None);
+        let mut pos = buf.len();
+        assert_eq!(read_u32(&buf, &mut pos), None, "read past the end");
+    }
+
+    #[test]
+    fn overlong_encoding_is_none() {
+        // Six continuation bytes cannot encode a u32.
+        let buf = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x01];
+        let mut pos = 0;
+        assert_eq!(read_u32(&buf, &mut pos), None);
+        // 5-byte encoding whose top nibble overflows 32 bits.
+        let buf = [0xffu8, 0xff, 0xff, 0xff, 0x7f];
+        let mut pos = 0;
+        assert_eq!(read_u32(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        for v in 0u32..128 {
+            let mut buf = Vec::new();
+            write_u32(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based equivalence of the CSR store layout against the old
+//! permutation-array layout, plus snapshot round-trip and corruption
+//! hardening.
+//!
+//! The CSR indexes must be observably identical to the reference layout on
+//! every `Store` access path — same triples, same iteration order — because
+//! downstream code (dataset generators, BFS, TA probes) takes prefixes of
+//! these scans and any reordering would change answers.
+
+use gqa_rdf::csr::reference::RefIndexes;
+use gqa_rdf::store::StoreBuilder;
+use gqa_rdf::triple::TriplePattern;
+use gqa_rdf::{read_snapshot, write_snapshot, Store, Term, TermId, Triple};
+use proptest::prelude::*;
+
+/// Random edges over a small id space, plus literal/typed/blank objects so
+/// the dictionary exercises every term tag.
+fn arb_edges() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    prop::collection::vec((0u8..10, 0u8..4, 0u8..10), 0..60)
+}
+
+fn build(edges: &[(u8, u8, u8)]) -> Store {
+    let mut b = StoreBuilder::new();
+    for &(s, p, o) in edges {
+        match o % 5 {
+            // Mostly IRI objects (graph edges), some literals of each kind.
+            4 => b.add_obj(&format!("v{s}"), &format!("p{p}"), Term::lit(format!("lit{o}"))),
+            3 if s % 3 == 0 => {
+                b.add_obj(&format!("v{s}"), &format!("p{p}"), Term::int_lit(o as i64))
+            }
+            2 if s % 4 == 0 => b.add(
+                Term::Blank(format!("b{s}").into()),
+                Term::iri(format!("p{p}")),
+                Term::iri(format!("v{o}")),
+            ),
+            _ => b.add_iri(&format!("v{s}"), &format!("p{p}"), &format!("v{o}")),
+        };
+    }
+    b.build()
+}
+
+/// Every term id in the store, plus a couple of foreign ids past the
+/// dictionary (all paths must return empty, not panic).
+fn probe_ids(store: &Store) -> Vec<TermId> {
+    (0..store.dict().len() as u32 + 2).map(TermId).collect()
+}
+
+fn stores_equal(a: &Store, b: &Store) -> bool {
+    a.triples() == b.triples()
+        && a.dict().len() == b.dict().len()
+        && a.dict().iter().zip(b.dict().iter()).all(|((_, x), (_, y))| x == y)
+}
+
+proptest! {
+    /// Every access path over the CSR layout returns exactly what the old
+    /// permutation layout did, in the same order, for every id (including
+    /// ids with no edges and ids outside the dictionary).
+    #[test]
+    fn csr_equals_reference_on_every_access_path(edges in arb_edges()) {
+        let store = build(&edges);
+        let rf = RefIndexes::build(store.triples());
+        let ts = store.triples();
+        let ids = probe_ids(&store);
+
+        for &v in &ids {
+            prop_assert_eq!(store.out_edges(v), rf.out_edges(ts, v), "out_edges({})", v);
+            let got: Vec<Triple> = store.in_edges(v).collect();
+            prop_assert_eq!(got, rf.in_edges(ts, v), "in_edges({})", v);
+            let got: Vec<Triple> = store.with_predicate(v).collect();
+            prop_assert_eq!(got, rf.with_predicate(ts, v), "with_predicate({})", v);
+            for &w in &ids {
+                prop_assert_eq!(
+                    store.out_edges_with(v, w),
+                    rf.out_edges_with(ts, v, w),
+                    "out_edges_with({}, {})", v, w
+                );
+                let got: Vec<Triple> = store.in_edges_with(v, w).collect();
+                prop_assert_eq!(
+                    got,
+                    rf.in_edges_with(ts, v, w),
+                    "in_edges_with({}, {})", v, w
+                );
+                let got: Vec<Triple> = store.with_predicate_object(v, w).collect();
+                prop_assert_eq!(
+                    got,
+                    rf.with_predicate_object(ts, v, w),
+                    "with_predicate_object({}, {})", v, w
+                );
+            }
+        }
+        prop_assert_eq!(store.predicates(), rf.predicates(ts), "predicates()");
+    }
+
+    /// `contains` and every `matching` pattern shape agree with the
+    /// reference layout (and with each other on fully bound patterns).
+    #[test]
+    fn csr_matching_and_contains_equal_reference(
+        edges in arb_edges(),
+        s in 0u32..14,
+        p in 0u32..14,
+        o in 0u32..14,
+    ) {
+        let store = build(&edges);
+        let rf = RefIndexes::build(store.triples());
+        let ts = store.triples();
+        let (s, p, o) = (TermId(s), TermId(p), TermId(o));
+
+        prop_assert_eq!(
+            store.contains(Triple::new(s, p, o)),
+            rf.contains(ts, Triple::new(s, p, o))
+        );
+        // Each of the 8 pattern shapes, checked against a linear scan of the
+        // reference-sorted triples with the reference's ordering semantics.
+        for pat in [
+            TriplePattern { s: Some(s), p: Some(p), o: Some(o) },
+            TriplePattern { s: Some(s), p: Some(p), o: None },
+            TriplePattern { s: Some(s), p: None, o: Some(o) },
+            TriplePattern { s: Some(s), p: None, o: None },
+            TriplePattern { s: None, p: Some(p), o: Some(o) },
+            TriplePattern { s: None, p: Some(p), o: None },
+            TriplePattern { s: None, p: None, o: Some(o) },
+            TriplePattern { s: None, p: None, o: None },
+        ] {
+            let got: Vec<Triple> = store.matching(pat).collect();
+            let want: Vec<Triple> = match (pat.s, pat.p, pat.o) {
+                (Some(s), Some(p), Some(o)) => {
+                    let t = Triple::new(s, p, o);
+                    if rf.contains(ts, t) { vec![t] } else { vec![] }
+                }
+                (Some(s), Some(p), None) => rf.out_edges_with(ts, s, p).to_vec(),
+                (Some(s), None, Some(o)) => {
+                    rf.out_edges(ts, s).iter().copied().filter(|t| t.o == o).collect()
+                }
+                (Some(s), None, None) => rf.out_edges(ts, s).to_vec(),
+                (None, Some(p), Some(o)) => rf.with_predicate_object(ts, p, o),
+                (None, Some(p), None) => rf.with_predicate(ts, p),
+                (None, None, Some(o)) => rf.in_edges(ts, o),
+                (None, None, None) => ts.to_vec(),
+            };
+            prop_assert_eq!(got, want, "matching({:?})", pat);
+        }
+    }
+
+    /// A snapshot write→read round-trips to an equal store: same triples,
+    /// same dictionary, and working access paths on the rebuilt indexes.
+    #[test]
+    fn snapshot_roundtrips_to_equal_store(edges in arb_edges()) {
+        let store = build(&edges);
+        let bytes = write_snapshot(&store);
+        let loaded = read_snapshot(&bytes).expect("own snapshot must load");
+        prop_assert!(stores_equal(&store, &loaded));
+        for &v in &probe_ids(&store) {
+            prop_assert_eq!(store.out_edges(v), loaded.out_edges(v));
+            let a: Vec<Triple> = store.in_edges(v).collect();
+            let b: Vec<Triple> = loaded.in_edges(v).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Corrupting any single byte of a snapshot yields a clean error —
+    /// never a panic, never a silently wrong store.
+    #[test]
+    fn corrupted_snapshot_fails_cleanly(edges in arb_edges(), at in 0usize..1_000_000, flip in 1u8..=255) {
+        let store = build(&edges);
+        let mut bytes = write_snapshot(&store);
+        let i = at % bytes.len();
+        bytes[i] ^= flip;
+        prop_assert!(read_snapshot(&bytes).is_err(), "flip {:#04x} at byte {}", flip, i);
+    }
+
+    /// Truncating a snapshot at any length yields a clean error.
+    #[test]
+    fn truncated_snapshot_fails_cleanly(edges in arb_edges(), at in 0usize..1_000_000) {
+        let store = build(&edges);
+        let bytes = write_snapshot(&store);
+        let len = at % bytes.len();
+        prop_assert!(read_snapshot(&bytes[..len]).is_err(), "truncation at {}", len);
+    }
+
+    /// Arbitrary bytes never panic the loader (they may only error).
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255u8, 0..200)) {
+        let _ = read_snapshot(&bytes);
+    }
+}

@@ -33,6 +33,8 @@ struct Options {
     queue: Option<usize>,
     timeout_ms: Option<u64>,
     strict: bool,
+    mini_dict: bool,
+    snapshot: Option<String>,
     faults: Option<String>,
     fault_seed: u64,
     /// `--cache N` / `--no-cache` (`Some(0)`); `None` = serve default.
@@ -54,6 +56,8 @@ fn parse_args() -> Result<Options, String> {
         queue: None,
         timeout_ms: None,
         strict: false,
+        mini_dict: false,
+        snapshot: None,
         faults: None,
         fault_seed: 0,
         cache: None,
@@ -103,6 +107,10 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--strict" => opts.strict = true,
+            "--mini-dict" => opts.mini_dict = true,
+            "--snapshot" => {
+                opts.snapshot = Some(args.next().ok_or("--snapshot needs an output file")?);
+            }
             "--cache" => {
                 opts.cache = Some(
                     args.next()
@@ -165,6 +173,12 @@ fn parse_args() -> Result<Options, String> {
                      \x20                    (default 256; 0 disables)\n\
                      --strict             abort loading on the first malformed N-Triples\n\
                      \x20                    line (default: skip, count, and continue)\n\
+                     --mini-dict          use the built-in demo dictionary with --data\n\
+                     \x20                    (for snapshots of the bundled graph)\n\
+                     --snapshot OUT       load --data (or the bundled graph), write it as\n\
+                     \x20                    a checksummed binary snapshot to OUT, and exit;\n\
+                     \x20                    --data accepts snapshot files everywhere, so\n\
+                     \x20                    boot and /admin/reload skip the N-Triples parse\n\
                      --faults SPEC        deterministic fault injection, e.g.\n\
                      \x20                    \"server.worker:panic:0.05;rdf.bfs:latency:0.5:20\"\n\
                      \x20                    (also read from $GQA_FAULTS when the flag is absent)\n\
@@ -189,43 +203,60 @@ fn write_metrics(system: &GAnswer<'_>, path: &str) {
     }
 }
 
-/// Load data and dictionary. The third value is the number of malformed
-/// N-Triples lines skipped by the default lenient parse (always 0 with
-/// `--strict`, which aborts instead), published as
-/// `gqa_rdf_parse_errors_total`.
-fn load(opts: &Options) -> Result<(Store, ParaphraseDict, u64), String> {
+/// Load the triple store from `--data` or the bundled mini-DBpedia. A data
+/// file starting with the snapshot magic is loaded through the binary path
+/// (one checksummed pass, no N-Triples parse); anything else is treated as
+/// N-Triples text. The second value is the number of malformed N-Triples
+/// lines skipped by the default lenient parse (always 0 with `--strict` and
+/// for snapshots).
+fn load_store(opts: &Options) -> Result<(Store, u64), String> {
     let mut parse_errors = 0u64;
     let store = match &opts.data {
         Some(path) => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            if opts.strict {
-                ganswer::rdf::ntriples::parse(&text).map_err(|e| e.to_string())?
+            let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            if ganswer::rdf::is_snapshot(&bytes) {
+                ganswer::rdf::read_snapshot(&bytes).map_err(|e| format!("{path}: {e}"))?
             } else {
-                let (store, stats) = ganswer::rdf::ntriples::parse_lenient(&text);
-                parse_errors = stats.skipped as u64;
-                if stats.skipped > 0 {
-                    eprintln!(
-                        "warning: {path}: skipped {} malformed line(s), kept {} triples \
-                         (first error: {}); use --strict to abort instead",
-                        stats.skipped,
-                        stats.triples,
-                        stats.errors.first().map_or_else(String::new, |e| e.to_string()),
-                    );
+                let text = String::from_utf8(bytes)
+                    .map_err(|e| format!("{path}: not UTF-8 N-Triples text: {e}"))?;
+                if opts.strict {
+                    ganswer::rdf::ntriples::parse(&text).map_err(|e| e.to_string())?
+                } else {
+                    let (store, stats) = ganswer::rdf::ntriples::parse_lenient(&text);
+                    parse_errors = stats.skipped as u64;
+                    if stats.skipped > 0 {
+                        eprintln!(
+                            "warning: {path}: skipped {} malformed line(s), kept {} triples \
+                             (first error: {}); use --strict to abort instead",
+                            stats.skipped,
+                            stats.triples,
+                            stats.errors.first().map_or_else(String::new, |e| e.to_string()),
+                        );
+                    }
+                    store
                 }
-                store
             }
         }
         None => ganswer::datagen::mini_dbpedia(),
     };
+    Ok((store, parse_errors))
+}
+
+/// Load data and dictionary. The third value is the malformed-line count
+/// from [`load_store`], published as `gqa_rdf_parse_errors_total`.
+fn load(opts: &Options) -> Result<(Store, ParaphraseDict, u64), String> {
+    let (store, parse_errors) = load_store(opts)?;
     let dict = match &opts.dict {
         Some(path) => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             ParaphraseDict::from_text(&text, &store)?
         }
         None => {
-            if opts.data.is_some() {
+            if opts.data.is_some() && !opts.mini_dict {
                 return Err("--data without --dict: mine a dictionary first (see the \
-                            offline_mining example) and pass it with --dict"
+                            offline_mining example) and pass it with --dict, or pass \
+                            --mini-dict if the data is the bundled demo graph (e.g. a \
+                            --snapshot of it)"
                     .into());
             }
             ganswer::mini_dict(&store)
@@ -242,6 +273,36 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Snapshot mode: load the store (no paraphrase dictionary needed),
+    // serialize, write, exit. The output file is accepted by --data
+    // everywhere a .nt file is.
+    if let Some(out) = &opts.snapshot {
+        let t0 = std::time::Instant::now();
+        let (store, _) = match load_store(&opts) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let load_time = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let bytes = ganswer::rdf::write_snapshot(&store);
+        if let Err(e) = std::fs::write(out, &bytes) {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(2);
+        }
+        println!(
+            "snapshot written to {out}: {} triples, {} terms, {} bytes \
+             (source load {:.2?}, encode+write {:.2?})",
+            store.len(),
+            store.dict().len(),
+            bytes.len(),
+            load_time,
+            t1.elapsed(),
+        );
+        return;
+    }
     let (store, dict, parse_errors) = match load(&opts) {
         Ok(x) => x,
         Err(e) => {
