@@ -375,8 +375,8 @@ impl<'s> Deanna<'s> {
                 if class_a || class_b {
                     return 0.5; // classes cohere weakly with everything
                 }
-                let adjacent = self.store.out_edges(ua).iter().any(|t| t.o == ub)
-                    || self.store.out_edges(ub).iter().any(|t| t.o == ua);
+                let adjacent = self.store.out_edges(ua).any(|t| t.o == ub)
+                    || self.store.out_edges(ub).any(|t| t.o == ua);
                 if adjacent {
                     1.0
                 } else {
@@ -398,9 +398,9 @@ impl<'s> Deanna<'s> {
                 }
                 let first = pattern.0[0].pred;
                 let last = pattern.0[pattern.len() - 1].pred;
-                let touches = !self.store.out_edges_with(u, first).is_empty()
+                let touches = self.store.out_edges_with(u, first).next().is_some()
                     || self.store.in_edges_with(u, first).next().is_some()
-                    || !self.store.out_edges_with(u, last).is_empty()
+                    || self.store.out_edges_with(u, last).next().is_some()
                     || self.store.in_edges_with(u, last).next().is_some();
                 if touches {
                     1.0
@@ -416,7 +416,7 @@ impl<'s> Deanna<'s> {
                     .store
                     .with_predicate(pa)
                     .take(500)
-                    .any(|t| !self.store.out_edges_with(t.s, pb).is_empty());
+                    .any(|t| self.store.out_edges_with(t.s, pb).next().is_some());
                 if shares {
                     1.0
                 } else {

@@ -88,7 +88,7 @@ fn graph_size_sweep() {
             .with_predicate(p0)
             .map(|t| t.s)
             .find(|&s| {
-                !store.out_edges_with(s, p1).is_empty()
+                store.out_edges_with(s, p1).next().is_some()
                     || store.in_edges_with(s, p1).next().is_some()
             })
             .expect("anchor with P0 and P1 edges");

@@ -31,15 +31,17 @@ use gqa_core::concurrency::Concurrency;
 use gqa_core::pipeline::{GAnswer, GAnswerConfig};
 use gqa_datagen::minidbp::mini_dbpedia;
 use gqa_datagen::patty::mini_dict;
+use gqa_datagen::scaleqa::{scale_qa, ScaleQaConfig};
 use gqa_fault::{Budget, FaultPlan};
 use gqa_obs::Obs;
+use gqa_paraphrase::miner::{mine, MinerConfig};
 use gqa_rdf::Store;
-use gqa_server::{Server, ServerConfig, FAULT_SITE_WORKER};
+use gqa_server::{Engine, Registry, Server, ServerConfig, FAULT_SITE_WORKER};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 struct Opts {
@@ -53,6 +55,7 @@ struct Opts {
     out: String,
     chaos: Option<u64>,
     cache: usize,
+    tenants: bool,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -67,6 +70,7 @@ fn parse_args() -> Result<Opts, String> {
         out: "BENCH_server.json".to_owned(),
         chaos: None,
         cache: 0,
+        tenants: true,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -87,6 +91,7 @@ fn parse_args() -> Result<Opts, String> {
             "--out" => opts.out = args.next().ok_or("--out needs a file name")?,
             "--chaos" => opts.chaos = Some(num("--chaos")?),
             "--cache" => opts.cache = num("--cache")? as usize,
+            "--no-tenants" => opts.tenants = false,
             "--threads" => {
                 let _ = num("--threads")?; // consumed by threads_arg()
             }
@@ -110,7 +115,11 @@ fn parse_args() -> Result<Opts, String> {
                      \x20              repeated-question phase; records hit rate and p50/p95\n\
                      \x20              deltas vs the (uncached) steady phase. With --chaos,\n\
                      \x20              the chaos server also gets the cache, proving an armed\n\
-                     \x20              fault plan bypasses it (in-process only)."
+                     \x20              fault plan bypasses it (in-process only)\n\
+                     --no-tenants   skip the multi-tenant phase (on by default in-process):\n\
+                     \x20              two stores in one registry server, one churned by\n\
+                     \x20              reloads + upserts under load while the other's traffic\n\
+                     \x20              must see zero errors and reconciling per-store tallies"
                 );
                 std::process::exit(0);
             }
@@ -633,6 +642,371 @@ fn run_zipf_phase(addr: SocketAddr, clients: usize, total: u64, timeout_ms: u64)
     result
 }
 
+/// Like [`send_answer_request`] but routed at a named tenant via the
+/// body's optional `store` field (`None` = the default tenant).
+fn send_tenant_answer(
+    addr: SocketAddr,
+    question: &str,
+    timeout_ms: u64,
+    request_id: &str,
+    store: Option<&str>,
+) -> Result<(u16, Option<String>), String> {
+    let store_field = store.map(|s| format!(", \"store\": \"{s}\"")).unwrap_or_default();
+    let body = format!(
+        "{{\"question\": \"{question}\", \"k\": 3, \"timeout_ms\": {timeout_ms}{store_field}}}"
+    );
+    let req = format!(
+        "POST /answer HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\nX-Request-Id: {request_id}\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(60))).map_err(|e| e.to_string())?;
+    s.write_all(req.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&buf);
+    let status: u16 = text.split(' ').nth(1).and_then(|w| w.parse().ok()).ok_or("bad response")?;
+    Ok((status, header_value(&text, "x-request-id")))
+}
+
+fn http_post(addr: SocketAddr, path: &str, body: &str) -> Result<(u16, String), String> {
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(60))).map_err(|e| e.to_string())?;
+    s.write_all(req.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&buf);
+    let status: u16 = text.split(' ').nth(1).and_then(|w| w.parse().ok()).ok_or("bad response")?;
+    Ok((status, text.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default()))
+}
+
+/// Closed-loop like [`run_phase`], but every request targets one tenant
+/// (`store`) and rotates through that tenant's own question list.
+fn run_tenant_phase(
+    addr: SocketAddr,
+    clients: usize,
+    total: u64,
+    timeout_ms: u64,
+    tag: &str,
+    store: Option<&str>,
+    questions: &[String],
+) -> PhaseResult {
+    let budget = AtomicU64::new(total);
+    let merged = Mutex::new(PhaseResult::default());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients.max(1) {
+            scope.spawn(|| {
+                let mut local = PhaseResult::default();
+                loop {
+                    let slot = budget.fetch_sub(1, Ordering::Relaxed);
+                    if slot == 0 || slot > total {
+                        budget.store(0, Ordering::Relaxed);
+                        break;
+                    }
+                    let q = &questions[(slot % questions.len() as u64) as usize];
+                    let rid = format!("lg-{tag}-{slot}");
+                    let t0 = Instant::now();
+                    match send_tenant_answer(addr, q, timeout_ms, &rid, store) {
+                        Ok((status, echoed)) => {
+                            *local.status_counts.entry(status).or_insert(0) += 1;
+                            local.note_echo(status, &rid, echoed);
+                            if status == 200 {
+                                local.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                            }
+                        }
+                        Err(_) => local.io_errors += 1,
+                    }
+                }
+                local.merge_into(&mut merged.lock().unwrap());
+            });
+        }
+    });
+    let mut result = merged.into_inner().unwrap();
+    result.wall = start.elapsed();
+    result
+}
+
+/// An [`Engine`] whose upserts re-assemble the system around the mutated
+/// store without re-reading any source (same recipe the CLI server uses).
+fn upsertable_engine(
+    initial: GAnswer<'static>,
+    rebuild: impl Fn() -> Result<GAnswer<'static>, String> + Send + Sync + 'static,
+) -> Engine {
+    let dict = initial.dict().clone();
+    let config = initial.config.clone();
+    let obs = initial.obs().clone();
+    Engine::with_assemble(initial, rebuild, move |store| {
+        Ok(GAnswer::shared(Arc::new(store), dict.clone(), config.clone(), obs.clone()))
+    })
+}
+
+/// What the multi-tenant phase saw: per-tenant client tallies plus the
+/// registry's own per-store counters and epochs.
+struct TenantOutcome {
+    cache_capacity: usize,
+    scale_triples: usize,
+    default_phase: PhaseResult,
+    scale_phase: PhaseResult,
+    /// Δ(hits + misses + stale) of the tenant's labeled cache series over
+    /// the phase. Lookup outcomes are mutually exclusive, so this must
+    /// equal the tenant's client-observed 200 count exactly.
+    default_lookup_delta: u64,
+    scale_lookup_delta: u64,
+    default_epoch: u64,
+    scale_epoch: u64,
+    reload_ms: Vec<f64>,
+    upsert_ms: Vec<f64>,
+    mutation_errors: u64,
+    stats: gqa_server::ServeStats,
+}
+
+impl TenantOutcome {
+    fn count(phase: &PhaseResult, status: u16) -> u64 {
+        phase.status_counts.get(&status).copied().unwrap_or(0)
+    }
+
+    /// Every response on this tenant was a 200 and nothing failed at the
+    /// socket level — the ISSUE bar for traffic on the *un-mutated*
+    /// tenant while the other one is churned, applied to both.
+    fn clean(phase: &PhaseResult) -> bool {
+        let total: u64 = phase.status_counts.values().sum();
+        Self::count(phase, 200) == total && phase.io_errors == 0
+    }
+
+    fn default_reconciles(&self) -> bool {
+        Self::count(&self.default_phase, 200) == self.default_lookup_delta
+    }
+
+    fn scale_reconciles(&self) -> bool {
+        Self::count(&self.scale_phase, 200) == self.scale_lookup_delta
+    }
+
+    /// reload p50 / upsert p50 — the "incremental ingestion is much
+    /// cheaper than a snapshot reload" acceptance ratio.
+    fn upsert_speedup(&self) -> f64 {
+        let up = median(&self.upsert_ms);
+        if up <= 0.0 {
+            0.0
+        } else {
+            median(&self.reload_ms) / up
+        }
+    }
+
+    fn ok(&self) -> bool {
+        Self::clean(&self.default_phase)
+            && Self::clean(&self.scale_phase)
+            && self.default_reconciles()
+            && self.scale_reconciles()
+            && self.mutation_errors == 0
+            // Churning "scale" must not have touched the default tenant's
+            // epoch; every successful mutation must have bumped scale's.
+            && self.default_epoch == 1
+            && self.scale_epoch == 1 + (self.reload_ms.len() + self.upsert_ms.len()) as u64
+            // Measured ~4x at the 1M-triple point (upsert pays only index
+            // re-assembly; reload adds read + parse + mine + CSR build).
+            // Gate at 1.5x to absorb loaded-machine noise.
+            && self.upsert_speedup() > 1.5
+            && self.stats.served == self.stats.accepted
+    }
+}
+
+/// Boot a dedicated in-process *registry* server with two tenants — the
+/// curated mini graph as `default` and a synthetic multi-thousand-triple
+/// graph as `scale` — then drive both tenants concurrently while a
+/// mutator thread churns `scale` with full snapshot reloads and
+/// single-triple upserts over the admin API. Reconciles each tenant's
+/// client tallies against its own `store="<name>"` metric series and
+/// proves the churn never leaked into the default tenant.
+fn run_tenants(opts: &Opts) -> TenantOutcome {
+    const CACHE: usize = 256;
+    const MUTATION_ROUNDS: u64 = 12; // every 4th is a reload, rest upserts
+    let obs = Obs::new();
+    let config = || GAnswerConfig { concurrency: Concurrency::serial(), ..Default::default() };
+
+    let build_mini = {
+        let obs = obs.clone();
+        move || {
+            let store = mini_dbpedia();
+            let dict = mini_dict(&store);
+            Ok(GAnswer::shared(Arc::new(store), dict, config(), obs.clone()))
+        }
+    };
+    let mini_engine = upsertable_engine(build_mini().expect("mini build"), build_mini);
+
+    // The scale tenant reloads from a real N-Triples file on disk, so the
+    // reload latency below prices what a production snapshot reload costs:
+    // re-read + re-parse the source, re-mine the paraphrase dict, and
+    // re-assemble every index. The upsert path skips all but the last.
+    // ~1M triples: the ISSUE's acceptance point for "upsert « reload".
+    let scale_cfg = ScaleQaConfig {
+        entities: 50_000,
+        edges_per_predicate: 150_000,
+        noise_predicates: 10,
+        noise_edges: 15_000,
+        questions: 12,
+        two_hop_fraction: 0.0,
+        seed: 11,
+    };
+    let qa = scale_qa(&scale_cfg);
+    let scale_questions: Vec<String> = qa.questions.iter().map(|q| q.text.clone()).collect();
+    let scale_triples = qa.store.len();
+    let scale_path =
+        std::env::temp_dir().join(format!("gqa-loadgen-scale-{}.nt", std::process::id()));
+    std::fs::write(&scale_path, gqa_rdf::ntriples::serialize(&qa.store))
+        .expect("write scale tenant source");
+    let dict = mine(&qa.store, &qa.phrases, &MinerConfig { theta: 2, ..Default::default() });
+    let scale_initial = GAnswer::shared(Arc::new(qa.store), dict, config(), obs.clone());
+    let build_scale = {
+        let obs = obs.clone();
+        let phrases = qa.phrases.clone();
+        let path = scale_path.clone();
+        move || {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path:?}: {e}"))?;
+            let store = gqa_rdf::ntriples::parse(&text).map_err(|e| e.to_string())?;
+            let dict = mine(&store, &phrases, &MinerConfig { theta: 2, ..Default::default() });
+            Ok(GAnswer::shared(Arc::new(store), dict, config(), obs.clone()))
+        }
+    };
+    let scale_engine = upsertable_engine(scale_initial, build_scale);
+
+    let registry =
+        Registry::new("default", Arc::new(mini_engine), CACHE, obs.clone()).expect("registry");
+    registry.insert("scale", Arc::new(scale_engine)).expect("insert scale tenant");
+    let registry = Arc::new(registry);
+
+    // Generous deadline: this phase measures isolation and reconciliation,
+    // not shedding — a 504 on either tenant would fail the run.
+    let deadline_ms = opts.timeout_ms.max(10_000);
+    let server = Server::bind_registry(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        ServerConfig {
+            // Both tenants' client pools plus the mutator must fit without
+            // queueing: a mutation waiting behind a 10 ms answer would
+            // inflate reload *and* upsert latency by the same constant and
+            // wash out their ratio — the thing this phase measures.
+            workers: (opts.clients.max(1) * 2 + 1).clamp(3, 12),
+            queue_capacity: 16,
+            default_timeout_ms: deadline_ms,
+            cache_capacity: CACHE,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: tenant bind: {e}");
+        std::process::exit(2);
+    });
+    let addr = server.local_addr().expect("local_addr");
+    let shutdown = server.shutdown_handle();
+    let requests = opts.requests.max(40);
+    println!(
+        "multi-tenant phase: 2 stores (default={} triples, scale={scale_triples}), \
+         {} clients x {requests} requests per store, {MUTATION_ROUNDS} mutations on scale ...",
+        mini_dbpedia().len(),
+        opts.clients,
+    );
+
+    let mini_questions: Vec<String> = [
+        "Who is the mayor of Berlin?",
+        "Is Michelle Obama the wife of Barack Obama?",
+        "Who was married to an actor that played in Philadelphia?",
+    ]
+    .into_iter()
+    .map(str::to_owned)
+    .collect();
+
+    let mutate = || {
+        let (mut reloads, mut upserts, mut errors) = (Vec::new(), Vec::new(), 0u64);
+        for round in 0..MUTATION_ROUNDS {
+            let t0 = Instant::now();
+            let result = if round % 4 == 0 {
+                http_post(addr, "/admin/stores/reload", "{\"name\": \"scale\"}")
+            } else {
+                let delta = format!("<up:s{round}> <up:grew> <up:o{round}> .\n");
+                http_post(addr, "/admin/stores/scale/upsert", &delta)
+            };
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            match result {
+                Ok((200, _)) if round % 4 == 0 => reloads.push(ms),
+                Ok((200, _)) => upserts.push(ms),
+                _ => errors += 1,
+            }
+        }
+        (reloads, upserts, errors)
+    };
+
+    let (default_phase, scale_phase, (reload_ms, upsert_ms, mutation_errors), before, after, stats) =
+        std::thread::scope(|scope| {
+            let run = scope.spawn(|| server.run());
+            let before = http_get(addr, "/metrics").unwrap_or_default();
+            let d = scope.spawn(|| {
+                run_tenant_phase(
+                    addr,
+                    opts.clients,
+                    requests,
+                    deadline_ms,
+                    "mt-default",
+                    None,
+                    &mini_questions,
+                )
+            });
+            let s = scope.spawn(|| {
+                run_tenant_phase(
+                    addr,
+                    opts.clients,
+                    requests,
+                    deadline_ms,
+                    "mt-scale",
+                    Some("scale"),
+                    &scale_questions,
+                )
+            });
+            let m = scope.spawn(mutate);
+            let default_phase = d.join().expect("default tenant clients panicked");
+            let scale_phase = s.join().expect("scale tenant clients panicked");
+            let mutations = m.join().expect("mutator panicked");
+            let after = http_get(addr, "/metrics").unwrap_or_default();
+            shutdown.store(true, Ordering::SeqCst);
+            let stats = run.join().expect("tenant server thread panicked");
+            (default_phase, scale_phase, mutations, before, after, stats)
+        });
+
+    let _ = std::fs::remove_file(&scale_path);
+    let lookups = |exposition: &str, store: &str| -> f64 {
+        ["hits", "misses", "stale"]
+            .iter()
+            .map(|k| {
+                metric_value(
+                    exposition,
+                    &format!("gqa_server_cache_{k}_total{{store=\"{store}\"}}"),
+                )
+            })
+            .sum()
+    };
+    let epoch = |name: Option<&str>| registry.get(name).map(|t| t.engine().epoch()).unwrap_or(0);
+    TenantOutcome {
+        cache_capacity: CACHE,
+        scale_triples,
+        default_lookup_delta: (lookups(&after, "default") - lookups(&before, "default")) as u64,
+        scale_lookup_delta: (lookups(&after, "scale") - lookups(&before, "scale")) as u64,
+        default_epoch: epoch(None),
+        scale_epoch: epoch(Some("scale")),
+        default_phase,
+        scale_phase,
+        reload_ms,
+        upsert_ms,
+        mutation_errors,
+        stats,
+    }
+}
+
 /// Everything measured while the server was up.
 struct Report {
     addr: SocketAddr,
@@ -668,7 +1042,7 @@ fn main() {
             std::process::exit(2);
         });
         let report = drive(addr, false, &opts, host_threads);
-        finish(report, None, &opts, host_threads, None, None);
+        finish(report, None, &opts, host_threads, None, None, None);
     } else {
         let store = mini_dbpedia();
         let workers = threads_arg()
@@ -705,7 +1079,8 @@ fn main() {
         });
         let cache = (opts.cache > 0).then(|| run_cache(&store, opts.cache, &opts));
         let chaos = opts.chaos.map(|seed| run_chaos(&store, seed, &opts));
-        finish(report, Some(stats), &opts, host_threads, chaos, cache);
+        let tenants = opts.tenants.then(|| run_tenants(&opts));
+        finish(report, Some(stats), &opts, host_threads, chaos, cache, tenants);
     }
 }
 
@@ -762,6 +1137,7 @@ fn finish(
     host_threads: usize,
     chaos: Option<ChaosOutcome>,
     cache: Option<CacheOutcome>,
+    tenants: Option<TenantOutcome>,
 ) {
     let Report { addr, in_process, before, after, steady, overload } = report;
     let server_workers = metric_value(&before, "gqa_server_worker_threads") as u64;
@@ -835,6 +1211,67 @@ fn finish(
         ",\n  \"cache\": {\"enabled\": false}".to_owned()
     };
 
+    let tenants_json = if let Some(t) = &tenants {
+        let tenant_block = |phase: &PhaseResult,
+                            epoch: u64,
+                            lookup_delta: u64,
+                            reconciles: bool| {
+            let statuses: Vec<String> =
+                phase.status_counts.iter().map(|(s, n)| format!("\"{s}\": {n}")).collect();
+            format!(
+                "{{\"status_counts\": {{{}}}, \"io_errors\": {}, \
+                 \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"n\": {}}}, \
+                 \"epoch_after\": {epoch}, \
+                 \"cache_lookups\": {{\"client_200\": {}, \"server_delta\": {lookup_delta}, \"agree\": {reconciles}}}}}",
+                statuses.join(", "),
+                phase.io_errors,
+                median(&phase.latencies_ms),
+                percentile(&phase.latencies_ms, 95.0),
+                phase.latencies_ms.len(),
+                TenantOutcome::count(phase, 200),
+            )
+        };
+        format!(
+            ",\n  \"multi_tenant\": {{\n\
+             \x20   \"enabled\": true,\n\
+             \x20   \"cache_capacity\": {},\n\
+             \x20   \"scale_store_triples\": {},\n\
+             \x20   \"default\": {},\n\
+             \x20   \"scale\": {},\n\
+             \x20   \"mutations\": {{\"reloads\": {}, \"upserts\": {}, \"errors\": {}, \
+             \"reload_ms\": {{\"p50\": {:.3}, \"max\": {:.3}}}, \
+             \"upsert_ms\": {{\"p50\": {:.3}, \"max\": {:.3}}}, \
+             \"upsert_speedup_x\": {:.1}}},\n\
+             \x20   \"default_tenant_unaffected\": {},\n\
+             \x20   \"server_stats\": {{\"accepted\": {}, \"served\": {}}},\n\
+             \x20   \"ok\": {}\n\
+             \x20 }}",
+            t.cache_capacity,
+            t.scale_triples,
+            tenant_block(
+                &t.default_phase,
+                t.default_epoch,
+                t.default_lookup_delta,
+                t.default_reconciles()
+            ),
+            tenant_block(&t.scale_phase, t.scale_epoch, t.scale_lookup_delta, t.scale_reconciles()),
+            t.reload_ms.len(),
+            t.upsert_ms.len(),
+            t.mutation_errors,
+            median(&t.reload_ms),
+            t.reload_ms.iter().copied().fold(0.0f64, f64::max),
+            median(&t.upsert_ms),
+            t.upsert_ms.iter().copied().fold(0.0f64, f64::max),
+            t.upsert_speedup(),
+            TenantOutcome::clean(&t.default_phase) && t.default_epoch == 1,
+            t.stats.accepted,
+            t.stats.served,
+            t.ok(),
+        )
+    } else {
+        ",\n  \"multi_tenant\": {\"enabled\": false}".to_owned()
+    };
+
     let chaos_json = if let Some(c) = &chaos {
         let client_500 = c.phase.status_counts.get(&500).copied().unwrap_or(0);
         let statuses: Vec<String> =
@@ -882,7 +1319,7 @@ fn finish(
          \x20   \"answer_requests\": {{\"client\": {client_answered}, \"server_delta\": {answered_delta:.0}, \"agree\": {requests_agree}}},\n\
          \x20   \"shed\": {{\"client\": {client_shed}, \"server_delta\": {shed_delta:.0}, \"agree\": {shed_agree}}},\n\
          \x20   \"timeouts\": {{\"client\": {client_timeouts}, \"server_delta\": {timeout_delta:.0}, \"agree\": {timeouts_agree}}}\n\
-         \x20 }}{server_stats_json}{cache_json}{chaos_json}\n\
+         \x20 }}{server_stats_json}{cache_json}{tenants_json}{chaos_json}\n\
          }}\n",
         opts.timeout_ms,
         phases.join(",\n"),
@@ -926,6 +1363,25 @@ fn finish(
             c.hit_rate_ok(),
         );
     }
+    if let Some(t) = &tenants {
+        println!(
+            "tenants:  default {}/{} ok @ epoch {}, scale {}/{} ok @ epoch {} \
+             ({} reloads, {} upserts); upsert p50 {:.1} ms vs reload p50 {:.1} ms \
+             ({:.0}x) — ok: {}",
+            TenantOutcome::count(&t.default_phase, 200),
+            t.default_phase.status_counts.values().sum::<u64>(),
+            t.default_epoch,
+            TenantOutcome::count(&t.scale_phase, 200),
+            t.scale_phase.status_counts.values().sum::<u64>(),
+            t.scale_epoch,
+            t.reload_ms.len(),
+            t.upsert_ms.len(),
+            median(&t.upsert_ms),
+            median(&t.reload_ms),
+            t.upsert_speedup(),
+            t.ok(),
+        );
+    }
     if let Some(c) = &chaos {
         let client_500 = c.phase.status_counts.get(&500).copied().unwrap_or(0);
         println!(
@@ -943,12 +1399,14 @@ fn finish(
     }
     let chaos_agree = chaos.as_ref().is_none_or(ChaosOutcome::agree);
     let cache_ok = cache.as_ref().is_none_or(|c| c.hit_rate_ok() && c.phase.io_errors == 0);
+    let tenants_ok = tenants.as_ref().is_none_or(TenantOutcome::ok);
     // Every response across every phase must have echoed the client's
     // X-Request-Id — a single missing or mangled echo fails the run.
     let ids_missing = steady.missing_ids
         + overload.as_ref().map_or(0, |o| o.missing_ids)
         + cache.as_ref().map_or(0, |c| c.phase.missing_ids)
-        + chaos.as_ref().map_or(0, |c| c.phase.missing_ids);
+        + chaos.as_ref().map_or(0, |c| c.phase.missing_ids)
+        + tenants.as_ref().map_or(0, |t| t.default_phase.missing_ids + t.scale_phase.missing_ids);
     println!(
         "request ids: {}",
         if ids_missing == 0 {
@@ -957,12 +1415,13 @@ fn finish(
             format!("{ids_missing} responses missing X-Request-Id")
         }
     );
-    if !(requests_agree && shed_agree && timeouts_agree && chaos_agree && cache_ok)
+    if !(requests_agree && shed_agree && timeouts_agree && chaos_agree && cache_ok && tenants_ok)
         || ids_missing > 0
     {
         eprintln!(
             "error: client tallies and /metrics deltas disagree, a response lost its \
-             X-Request-Id, or the cache hit rate fell below 90%"
+             X-Request-Id, the cache hit rate fell below 90%, or the multi-tenant \
+             phase failed isolation/reconciliation"
         );
         std::process::exit(1);
     }

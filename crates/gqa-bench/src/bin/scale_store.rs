@@ -62,7 +62,7 @@ fn parse_args() -> Args {
 /// permutation layout: out/in/predicate scans for `samples` seeded vertices
 /// must be bit-identical.
 fn csr_matches_reference(store: &Store, rf: &RefIndexes, samples: usize, seed: u64) -> bool {
-    let ts = store.triples();
+    let ts: Vec<Triple> = store.triples().collect();
     if ts.is_empty() {
         return true;
     }
@@ -70,24 +70,25 @@ fn csr_matches_reference(store: &Store, rf: &RefIndexes, samples: usize, seed: u
     for _ in 0..samples {
         let t = ts[rng.gen_range(0..ts.len())];
         for v in [t.s, t.o, t.p] {
-            if store.out_edges(v) != rf.out_edges(ts, v) {
+            let outs: Vec<Triple> = store.out_edges(v).collect();
+            if outs != rf.out_edges(&ts, v) {
                 return false;
             }
             let ins: Vec<Triple> = store.in_edges(v).collect();
-            if ins != rf.in_edges(ts, v) {
+            if ins != rf.in_edges(&ts, v) {
                 return false;
             }
         }
         let got: Vec<Triple> = store.in_edges_with(t.o, t.p).collect();
-        if got != rf.in_edges_with(ts, t.o, t.p) {
+        if got != rf.in_edges_with(&ts, t.o, t.p) {
             return false;
         }
         let got: Vec<Triple> = store.with_predicate_object(t.p, t.o).collect();
-        if got != rf.with_predicate_object(ts, t.p, t.o) {
+        if got != rf.with_predicate_object(&ts, t.p, t.o) {
             return false;
         }
         let got: Vec<Triple> = store.with_predicate(t.p).take(2_000).collect();
-        let want: Vec<Triple> = rf.with_predicate(ts, t.p).into_iter().take(2_000).collect();
+        let want: Vec<Triple> = rf.with_predicate(&ts, t.p).into_iter().take(2_000).collect();
         if got != want {
             return false;
         }
@@ -98,7 +99,7 @@ fn csr_matches_reference(store: &Store, rf: &RefIndexes, samples: usize, seed: u
 /// Full undirected neighborhood sweeps from seeded start vertices:
 /// edges traversed per second through the public BFS surface.
 fn bfs_throughput(store: &Store, sweeps: usize, seed: u64) -> (u64, f64) {
-    let ts = store.triples();
+    let ts: Vec<Triple> = store.triples().collect();
     if ts.is_empty() {
         return (0, 0.0);
     }
@@ -145,8 +146,9 @@ fn main() {
         let sections = store.section_bytes();
         let csr_index_bytes = sections.indexes.total();
 
+        let all_triples: Vec<Triple> = store.triples().collect();
         let t0 = Instant::now();
-        let rf = RefIndexes::build(store.triples());
+        let rf = RefIndexes::build(&all_triples);
         let ref_build_s = t0.elapsed().as_secs_f64();
         let ref_index_bytes = rf.bytes();
 
@@ -191,7 +193,7 @@ fn main() {
             };
             load_runs.push(t0.elapsed().as_secs_f64());
             if r == 0 {
-                roundtrip = loaded.triples() == store.triples()
+                roundtrip = loaded.triples().eq(store.triples())
                     && loaded.dict().len() == store.dict().len()
                     && csr_matches_reference(&loaded, &rf, 50, 11);
                 all_ok &= roundtrip;

@@ -92,10 +92,11 @@ pub struct LiteralIndex {
 }
 
 impl LiteralIndex {
-    /// Scan the store's dictionary once.
+    /// Scan the store's terms once (overlay extras included, so literals
+    /// upserted after boot are linkable after a pipeline rebuild).
     pub fn new(store: &Store) -> Self {
         let mut by_norm: FxHashMap<String, Vec<TermId>> = FxHashMap::default();
-        for (id, term) in store.dict().iter() {
+        for (id, term) in store.terms() {
             if let Some(text) = term.as_literal() {
                 let norm = gqa_linker::normalize::normalize(text);
                 if !norm.is_empty() {

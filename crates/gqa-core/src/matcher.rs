@@ -368,9 +368,8 @@ impl State<'_> {
             let hit = self
                 .store
                 .out_edges(a)
-                .iter()
                 .find(|t| t.o == b)
-                .or_else(|| self.store.out_edges(b).iter().find(|t| t.o == a));
+                .or_else(|| self.store.out_edges(b).find(|t| t.o == a));
             return hit.map(|t| (PathPattern::single(t.p), wc));
         }
         for (pattern, conf) in &e.list {
@@ -520,7 +519,7 @@ fn keep_candidate(store: &Store, q: &MappedQuery, vi: usize, c: &VertexCandidate
 }
 
 fn has_incident_pred(store: &Store, v: TermId, p: TermId) -> bool {
-    if store.term(v).is_iri() && !store.out_edges_with(v, p).is_empty() {
+    if store.term(v).is_iri() && store.out_edges_with(v, p).next().is_some() {
         return true;
     }
     store.in_edges_with(v, p).next().is_some()

@@ -375,24 +375,37 @@ impl<'s> GAnswer<'s> {
     /// absolute values. Call before exposition; a no-op when obs is
     /// disabled.
     pub fn publish_metrics(&self) {
-        let Some(registry) = self.obs.registry() else { return };
+        self.publish_metrics_to(&self.obs);
+    }
+
+    /// Like [`GAnswer::publish_metrics`] but publishing through an
+    /// explicit handle. The multi-tenant serving layer passes each
+    /// tenant's scoped handle here so every store-level series carries
+    /// `store="<name>"` even when the system itself was assembled with
+    /// an unscoped one.
+    pub fn publish_metrics_to(&self, obs: &Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        // Everything goes through an `Obs` handle (not the registry
+        // directly) so a tenant-scoped handle stamps each series with
+        // its `store="<name>"` base label.
         let s = self.store.metrics().snapshot();
-        registry.set_counter("gqa_rdf_index_lookups_total", &[("index", "spo")], s.spo_lookups);
-        registry.set_counter("gqa_rdf_index_lookups_total", &[("index", "pos")], s.pos_lookups);
-        registry.set_counter("gqa_rdf_index_lookups_total", &[("index", "osp")], s.osp_lookups);
-        registry.set_counter("gqa_rdf_bfs_expansions_total", &[], s.bfs_expansions);
+        obs.set_counter("gqa_rdf_index_lookups_total", &[("index", "spo")], s.spo_lookups);
+        obs.set_counter("gqa_rdf_index_lookups_total", &[("index", "pos")], s.pos_lookups);
+        obs.set_counter("gqa_rdf_index_lookups_total", &[("index", "osp")], s.osp_lookups);
+        obs.set_counter("gqa_rdf_bfs_expansions_total", &[], s.bfs_expansions);
         let b = self.store.section_bytes();
-        registry.gauge("gqa_rdf_store_bytes", &[("section", "dict")]).set(b.dict as i64);
-        registry.gauge("gqa_rdf_store_bytes", &[("section", "triples")]).set(b.triples as i64);
-        registry
-            .gauge("gqa_rdf_store_bytes", &[("section", "indexes")])
-            .set(b.indexes.total() as i64);
+        obs.gauge("gqa_rdf_store_bytes", &[("section", "dict")]).set(b.dict as i64);
+        obs.gauge("gqa_rdf_store_bytes", &[("section", "triples")]).set(b.triples as i64);
+        obs.gauge("gqa_rdf_store_bytes", &[("section", "indexes")]).set(b.indexes.total() as i64);
+        obs.gauge("gqa_rdf_store_bytes", &[("section", "overlay")]).set(b.overlay as i64);
         let l = self.linker.metrics().snapshot();
-        registry.set_counter("gqa_linker_link_calls_total", &[], l.link_calls);
-        registry.set_counter("gqa_linker_link_hits_total", &[], l.hits);
-        registry.set_counter("gqa_linker_link_misses_total", &[], l.misses);
-        registry.set_counter("gqa_linker_candidates_kept_total", &[], l.candidates_kept);
-        registry.set_counter("gqa_linker_candidates_dropped_total", &[], l.candidates_dropped);
+        obs.set_counter("gqa_linker_link_calls_total", &[], l.link_calls);
+        obs.set_counter("gqa_linker_link_hits_total", &[], l.hits);
+        obs.set_counter("gqa_linker_link_misses_total", &[], l.misses);
+        obs.set_counter("gqa_linker_candidates_kept_total", &[], l.candidates_kept);
+        obs.set_counter("gqa_linker_candidates_dropped_total", &[], l.candidates_dropped);
     }
 
     /// The underlying store.
@@ -520,11 +533,12 @@ impl<'s> GAnswer<'s> {
     fn store_note(&self) -> String {
         let b = self.store.section_bytes();
         format!(
-            "store: {} triples; resident bytes dict={} triples={} indexes={} total={}",
+            "store: {} triples; resident bytes dict={} triples={} indexes={} overlay={} total={}",
             self.store.len(),
             b.dict,
             b.triples,
             b.indexes.total(),
+            b.overlay,
             b.total()
         )
     }

@@ -95,8 +95,7 @@ pub fn validate(store: &Store, schema: &Schema, q: &MappedQuery, m: &Match) -> V
         let (a, b) = (m.bindings[e.from], m.bindings[e.to]);
         let cand = &q.edges[ei];
         let realized = if cand.wildcard.is_some() {
-            store.out_edges(a).iter().any(|t| t.o == b)
-                || store.out_edges(b).iter().any(|t| t.o == a)
+            store.out_edges(a).any(|t| t.o == b) || store.out_edges(b).any(|t| t.o == a)
         } else {
             cand.list.iter().any(|(pattern, _)| {
                 if pattern.len() == 1 {

@@ -157,7 +157,7 @@ pub fn scale_qa(cfg: &ScaleQaConfig) -> ScaleQa {
             // Pick a birthPlace edge whose subject has a spouse edge.
             let bp_edges: Vec<_> = store.with_predicate(birth).take(2_000).collect();
             let Some(be) = bp_edges.iter().find(|e| {
-                !store.out_edges_with(e.s, spouse).is_empty()
+                store.out_edges_with(e.s, spouse).next().is_some()
                     || store.in_edges_with(e.s, spouse).next().is_some()
             }) else {
                 continue;
@@ -254,7 +254,6 @@ mod tests {
         let any_neighbor = qa
             .store
             .out_edges(id)
-            .iter()
             .map(|t| t.o)
             .chain(qa.store.in_edges(id).map(|t| t.s))
             .any(|n| q.gold.contains(&qa.store.term(n).label().into_owned()));

@@ -47,20 +47,28 @@ struct ObsInner {
 /// The observability handle threaded through the pipeline. Cloning is a
 /// pointer copy; every clone shares one registry and span collector. A
 /// disabled handle makes all derived handles no-ops.
+///
+/// A handle can carry **base labels** (see [`Obs::scoped`]): label pairs
+/// appended to every series created through it. The multi-tenant registry
+/// uses this to stamp each tenant's pipeline series with
+/// `store="<tenant>"` while all tenants share one registry and one
+/// `/metrics` exposition.
 #[derive(Clone, Debug, Default)]
 pub struct Obs {
     inner: Option<Arc<ObsInner>>,
+    /// Labels appended to every series this handle creates.
+    base: Arc<[(String, String)]>,
 }
 
 impl Obs {
     /// An enabled handle with a fresh registry and span collector.
     pub fn new() -> Self {
-        Obs { inner: Some(Arc::new(ObsInner::default())) }
+        Obs { inner: Some(Arc::new(ObsInner::default())), base: Arc::from([]) }
     }
 
     /// A handle that records nothing (same as `Obs::default()`).
     pub fn disabled() -> Self {
-        Obs { inner: None }
+        Obs::default()
     }
 
     /// Whether this handle records anything.
@@ -68,14 +76,58 @@ impl Obs {
         self.inner.is_some()
     }
 
+    /// A handle sharing this one's registry and spans whose series all
+    /// carry `key="value"` in addition to their own labels. Scoping the
+    /// same key again overrides the previous value; explicit labels passed
+    /// at the call site win over base labels of the same key (the registry
+    /// keeps the last pair after sorting — callers shouldn't rely on that
+    /// and should simply not collide).
+    pub fn scoped(&self, key: &str, value: &str) -> Obs {
+        let mut base: Vec<(String, String)> = self.base.to_vec();
+        base.retain(|(k, _)| k != key);
+        base.push((key.to_owned(), value.to_owned()));
+        Obs { inner: self.inner.clone(), base: base.into() }
+    }
+
+    /// This handle's base labels (empty unless [`Obs::scoped`]).
+    pub fn base_labels(&self) -> &[(String, String)] {
+        &self.base
+    }
+
+    /// `labels` merged after this handle's base labels.
+    fn merged<'a>(&'a self, labels: &[(&'a str, &'a str)]) -> Vec<(&'a str, &'a str)> {
+        let mut all: Vec<(&str, &str)> =
+            self.base.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        all.extend_from_slice(labels);
+        all
+    }
+
     /// A counter handle for the named series (no-op when disabled).
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> CounterHandle {
-        CounterHandle(self.inner.as_ref().map(|i| i.registry.counter(name, labels)))
+        CounterHandle(self.inner.as_ref().map(|i| {
+            if self.base.is_empty() {
+                i.registry.counter(name, labels)
+            } else {
+                i.registry.counter(name, &self.merged(labels))
+            }
+        }))
+    }
+
+    /// Set a counter to an absolute value (for copying externally tracked
+    /// counts into the registry at scrape time); no-op when disabled.
+    pub fn set_counter(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.counter(name, labels).set(value);
     }
 
     /// A gauge handle for the named series (no-op when disabled).
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> GaugeHandle {
-        GaugeHandle(self.inner.as_ref().map(|i| i.registry.gauge(name, labels)))
+        GaugeHandle(self.inner.as_ref().map(|i| {
+            if self.base.is_empty() {
+                i.registry.gauge(name, labels)
+            } else {
+                i.registry.gauge(name, &self.merged(labels))
+            }
+        }))
     }
 
     /// A histogram handle for the named series (no-op when disabled).
@@ -85,7 +137,13 @@ impl Obs {
         labels: &[(&str, &str)],
         bounds: &[f64],
     ) -> HistogramHandle {
-        HistogramHandle(self.inner.as_ref().map(|i| i.registry.histogram(name, labels, bounds)))
+        HistogramHandle(self.inner.as_ref().map(|i| {
+            if self.base.is_empty() {
+                i.registry.histogram(name, labels, bounds)
+            } else {
+                i.registry.histogram(name, &self.merged(labels), bounds)
+            }
+        }))
     }
 
     /// Open a span; recorded when the guard drops (no-op when disabled).

@@ -71,6 +71,14 @@ impl CounterHandle {
         }
     }
 
+    /// Set to an absolute value (no-op when disabled).
+    #[inline]
+    pub fn set(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.set(n);
+        }
+    }
+
     /// Current value (0 when disabled).
     pub fn get(&self) -> u64 {
         self.0.as_ref().map_or(0, |c| c.get())

@@ -225,7 +225,7 @@ pub fn remine_for_new_predicates(
     }
     let touches_new = |iri: &str| -> bool {
         let Some(v) = store.iri(iri) else { return false };
-        store.out_edges(v).iter().any(|t| new_ids.contains(&t.p))
+        store.out_edges(v).any(|t| new_ids.contains(&t.p))
             || store.in_edges(v).any(|t| new_ids.contains(&t.p))
     };
     let affected: Vec<usize> = dataset

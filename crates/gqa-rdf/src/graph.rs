@@ -25,7 +25,7 @@ pub struct Neighbor {
 
 /// Iterate the undirected neighborhood of `v`, skipping literal objects.
 pub fn neighbors<'a>(store: &'a Store, v: TermId) -> impl Iterator<Item = Neighbor> + 'a {
-    let fwd = store.out_edges(v).iter().filter(|t| store.term(t.o).is_iri()).map(|t| Neighbor {
+    let fwd = store.out_edges(v).filter(|t| store.term(t.o).is_iri()).map(|t| Neighbor {
         pred: t.p,
         other: t.o,
         dir: Dir::Forward,

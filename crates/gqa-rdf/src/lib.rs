@@ -12,6 +12,8 @@
 //! * [`store::Store`] / [`store::StoreBuilder`] — an immutable triple store
 //!   over an (s, p, o)-sorted vector plus the compact [`csr`] adjacency
 //!   indexes (subject offsets, delta-varint in-edge and predicate postings),
+//! * [`overlay`] — delta overlays: incremental triple upserts/deletes
+//!   merged into every scan without rebuilding the base indexes,
 //! * [`ntriples`] — N-Triples parsing and serialization,
 //! * [`schema`] — entity-vs-class classification per the paper's rule
 //!   (a vertex with an incoming `rdf:type`/`rdfs:subClassOf` edge is a class),
@@ -35,6 +37,7 @@ pub mod graph;
 pub mod ids;
 pub mod metrics;
 pub mod ntriples;
+pub mod overlay;
 pub mod paths;
 pub mod schema;
 pub mod snapfile;
@@ -50,6 +53,7 @@ pub use csr::{CsrBytes, CsrIndexes};
 pub use dict::Dict;
 pub use ids::TermId;
 pub use metrics::{StoreMetrics, StoreMetricsSnapshot};
+pub use overlay::{Delta, DeltaOp, DeltaStats, OverlayStats};
 pub use paths::{Dir, PathPattern, PathStep};
 pub use snapfile::{is_snapshot, read_snapshot, write_snapshot, SnapshotError};
 pub use snapshot::{Snapshot, Stamped};

@@ -89,9 +89,21 @@ pub fn parse_lenient_into(input: &str, builder: &mut StoreBuilder) -> ParseStats
 /// Parse one line; `Ok(true)` when a statement was added, `Ok(false)` for
 /// blank/comment lines.
 fn parse_statement(raw: &str, line_no: usize, builder: &mut StoreBuilder) -> Result<bool, NtError> {
+    match parse_terms(raw, line_no)? {
+        Some((s, p, o)) => {
+            builder.add(s, p, o);
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+/// Parse one statement line into its three terms; `Ok(None)` for
+/// blank/comment lines.
+fn parse_terms(raw: &str, line_no: usize) -> Result<Option<(Term, Term, Term)>, NtError> {
     let line = raw.trim();
     if line.is_empty() || line.starts_with('#') {
-        return Ok(false);
+        return Ok(None);
     }
     let mut cur = Cursor { s: line, pos: 0, line: line_no };
     let s = cur.parse_term()?;
@@ -113,8 +125,43 @@ fn parse_statement(raw: &str, line_no: usize, builder: &mut StoreBuilder) -> Res
     if !p.is_iri() {
         return Err(cur.err("predicate must be an IRI"));
     }
-    builder.add(s, p, o);
-    Ok(true)
+    Ok(Some((s, p, o)))
+}
+
+/// Parse a delta stream: N-Triples statements, each optionally prefixed
+/// with `-` to request deletion instead of upsert.
+///
+/// ```text
+/// <dbr:Berlin> <dbo:mayor> <dbr:Kai_Wegner> .
+/// - <dbr:Berlin> <dbo:mayor> <dbr:Michael_Mueller> .
+/// ```
+///
+/// Strict by design — the admin upsert endpoint applies a batch atomically,
+/// so one malformed line rejects the whole request with its line number
+/// rather than half-applying it.
+pub fn parse_delta(input: &str) -> Result<crate::overlay::Delta, NtError> {
+    let input = input.strip_prefix('\u{feff}').unwrap_or(input);
+    let mut delta = crate::overlay::Delta::new();
+    for (i, raw) in input.lines().enumerate() {
+        let line = raw.trim_start();
+        let (delete, stmt) = match line.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, line),
+        };
+        if let Some((s, p, o)) = parse_terms(stmt, i + 1)? {
+            if delete {
+                delta.delete(s, p, o);
+            } else {
+                delta.upsert(s, p, o);
+            }
+        } else if delete {
+            return Err(NtError {
+                line: i + 1,
+                message: "'-' must be followed by a statement".to_owned(),
+            });
+        }
+    }
+    Ok(delta)
 }
 
 struct Cursor<'a> {
@@ -293,14 +340,14 @@ mod tests {
         .unwrap();
         assert_eq!(s.len(), 3);
         let berlin = s.expect_iri("dbr:Berlin");
-        assert_eq!(s.out_edges(berlin).len(), 3);
+        assert_eq!(s.out_edges(berlin).count(), 3);
     }
 
     #[test]
     fn parse_blank_nodes_and_lang_tags() {
         let s = parse("_:b0 <rdfs:label> \"Haus\"@de .\n").unwrap();
         assert_eq!(s.len(), 1);
-        let t = s.triples()[0];
+        let t = s.triples().next().unwrap();
         assert_eq!(s.term(t.s), &Term::Blank("b0".into()));
         assert_eq!(s.term(t.o), &Term::lit("Haus"));
     }
@@ -308,7 +355,7 @@ mod tests {
     #[test]
     fn parse_escapes() {
         let s = parse("<a> <b> \"line\\nbreak \\\"quoted\\\" back\\\\slash\" .\n").unwrap();
-        let t = s.triples()[0];
+        let t = s.triples().next().unwrap();
         assert_eq!(s.term(t.o).as_literal(), Some("line\nbreak \"quoted\" back\\slash"));
     }
 
@@ -395,5 +442,41 @@ mod tests {
         // Same triple *contents* (ids may differ): compare serializations of
         // re-sorted stores.
         assert_eq!(serialize(&store), serialize(&round));
+    }
+
+    #[test]
+    fn parse_delta_mixes_upserts_and_deletes() {
+        let src = "# comment\n\
+                   <dbr:Berlin> <dbo:mayor> <dbr:Kai_Wegner> .\n\
+                   \n\
+                   - <dbr:Berlin> <dbo:mayor> <dbr:Michael_Mueller> .\n\
+                   -<dbr:Berlin> <dbo:oldFact> <dbr:Gone> .\n";
+        let delta = parse_delta(src).unwrap();
+        assert_eq!(delta.len(), 3);
+        assert!(matches!(delta.ops[0], crate::overlay::DeltaOp::Upsert(..)));
+        assert!(matches!(delta.ops[1], crate::overlay::DeltaOp::Delete(..)));
+        assert!(matches!(delta.ops[2], crate::overlay::DeltaOp::Delete(..)));
+    }
+
+    #[test]
+    fn parse_delta_rejects_malformed_lines_with_line_numbers() {
+        let err = parse_delta("<a> <b> <c> .\nbroken\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_delta("- \n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("'-' must be followed"));
+        // A delete of a literal subject is as malformed as an upsert of one.
+        assert!(parse_delta("- \"lit\" <b> <c> .\n").is_err());
+    }
+
+    #[test]
+    fn parse_delta_roundtrips_through_apply() {
+        let store = parse("<a> <b> <c> .\n<a> <b> <d> .\n").unwrap();
+        let delta = parse_delta("<a> <b> <e> .\n- <a> <b> <c> .\n").unwrap();
+        let (next, stats) = store.apply_delta(delta);
+        assert_eq!(stats.added, 1);
+        assert_eq!(stats.deleted, 1);
+        assert_eq!(next.len(), 2);
+        assert_eq!(serialize(&next), "<a> <b> <d> .\n<a> <b> <e> .\n");
     }
 }

@@ -1,0 +1,420 @@
+//! Delta overlays: incremental triple upserts/deletes over an immutable
+//! CSR base.
+//!
+//! A [`crate::Store`] is built once and indexed once; reloading it from
+//! scratch is the only way the serving layer used to track a changing
+//! graph. An [`Overlay`] is the incremental alternative: a small,
+//! immutable set of **added** triples (kept sorted in all three
+//! permutation orders) plus a sorted set of **deleted** base triples.
+//! Every store access path merges the base index scan with the matching
+//! add side and skips deleted base triples, so iteration order — the
+//! load-bearing invariant callers' `.take(n)` prefixes depend on — is
+//! bit-identical to a from-scratch rebuild of the merged triple set
+//! (property-tested across all 8 triple-pattern shapes in
+//! `tests/overlay_properties.rs`).
+//!
+//! New terms introduced by added triples live in the overlay's `extra`
+//! vector with ids continuing past the base dictionary, so **every base
+//! id stays valid across epochs** — linker indexes, paraphrase
+//! dictionaries and cached bindings built against the base never dangle.
+//! [`crate::Store::compact`] folds an overlay into a fresh CSR build with
+//! the same id assignment, which is what makes the bit-identity testable
+//! and lets a tenant compact in the background without invalidating
+//! id-typed state.
+//!
+//! Applying a delta is O(overlay + delta log delta): the base is never
+//! copied, re-sorted or re-indexed. The overlay grows with each
+//! [`crate::Store::apply_delta`] until the owner folds it down (see
+//! [`crate::Store::overlay_stats`] for the compaction signal).
+
+use crate::ids::TermId;
+use crate::term::Term;
+use crate::triple::Triple;
+use rustc_hash::FxHashMap;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A batch of triple-level changes to apply on top of a store. Operations
+/// are applied in order, so a delete followed by an add of the same triple
+/// leaves it present.
+#[derive(Clone, Debug, Default)]
+pub struct Delta {
+    /// Changes in stream order.
+    pub ops: Vec<DeltaOp>,
+}
+
+/// One upsert or delete.
+#[derive(Clone, Debug)]
+pub enum DeltaOp {
+    /// Ensure the triple is present (a no-op if it already is).
+    Upsert(Term, Term, Term),
+    /// Ensure the triple is absent (a no-op if it never was).
+    Delete(Term, Term, Term),
+}
+
+impl Delta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Delta::default()
+    }
+
+    /// Queue an upsert.
+    pub fn upsert(&mut self, s: Term, p: Term, o: Term) {
+        self.ops.push(DeltaOp::Upsert(s, p, o));
+    }
+
+    /// Queue a delete.
+    pub fn delete(&mut self, s: Term, p: Term, o: Term) {
+        self.ops.push(DeltaOp::Delete(s, p, o));
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// What applying a delta actually changed (no-op upserts of already
+/// present triples and deletes of absent triples are counted separately).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Triples that became present.
+    pub added: usize,
+    /// Triples that became absent.
+    pub deleted: usize,
+    /// Operations that changed nothing (upsert of a present triple,
+    /// delete of an absent one).
+    pub noops: usize,
+    /// Terms newly interned into the overlay.
+    pub new_terms: usize,
+}
+
+/// The immutable delta side of a store: added triples in all three
+/// permutation orders, deleted base triples, and extra dictionary terms.
+/// Shared by `Arc` between the epochs that include it.
+#[derive(Debug)]
+pub(crate) struct Overlay {
+    /// Terms not in the base dictionary; `extra[i]` has id
+    /// `base_terms + i`.
+    pub(crate) extra: Vec<Term>,
+    /// Reverse index over `extra` only (the base dictionary keeps its own).
+    pub(crate) extra_index: FxHashMap<Term, TermId>,
+    /// `base.dict.len()` at overlay creation — the id offset of `extra`.
+    pub(crate) base_terms: usize,
+    /// Added triples sorted by (s, p, o). Disjoint from the live base.
+    pub(crate) adds_spo: Vec<Triple>,
+    /// The same triples sorted by (o, s, p).
+    pub(crate) adds_osp: Vec<Triple>,
+    /// The same triples sorted by (p, o, s).
+    pub(crate) adds_pos: Vec<Triple>,
+    /// Deleted triples, all present in the base, sorted by (s, p, o).
+    pub(crate) dels: Vec<Triple>,
+}
+
+/// Summary of an overlay's size, for admin display and as the compaction
+/// signal (`adds + dels` vs. base triple count).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OverlayStats {
+    /// Added triples carried by the overlay.
+    pub adds: usize,
+    /// Deleted base triples carried by the overlay.
+    pub dels: usize,
+    /// Extra dictionary terms carried by the overlay.
+    pub extra_terms: usize,
+}
+
+impl Overlay {
+    /// Estimated resident bytes (triples in three orders, dels, extra
+    /// terms and their reverse index).
+    pub(crate) fn bytes(&self) -> usize {
+        let triple = std::mem::size_of::<Triple>();
+        let strings: usize = self
+            .extra
+            .iter()
+            .map(|t| match t {
+                Term::Iri(s) => s.len(),
+                Term::Literal { lexical, datatype } => {
+                    lexical.len() + datatype.as_ref().map_or(0, |d| d.len())
+                }
+                Term::Blank(b) => b.len(),
+            })
+            .sum();
+        (self.adds_spo.len() * 3 + self.dels.len()) * triple
+            + strings
+            + self.extra.len() * (std::mem::size_of::<Term>() * 2 + std::mem::size_of::<TermId>())
+    }
+
+    pub(crate) fn stats(&self) -> OverlayStats {
+        OverlayStats {
+            adds: self.adds_spo.len(),
+            dels: self.dels.len(),
+            extra_terms: self.extra.len(),
+        }
+    }
+}
+
+/// Permutation order of a merged scan. The key function must match the
+/// order the base index yields triples in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Order {
+    /// (s, p, o) — the triple vector / subject scans.
+    Spo,
+    /// (o, s, p) — in-edge scans.
+    Osp,
+    /// (p, o, s) — predicate scans.
+    Pos,
+}
+
+impl Order {
+    #[inline]
+    fn key(self, t: Triple) -> (u32, u32, u32) {
+        match self {
+            Order::Spo => (t.s.0, t.p.0, t.o.0),
+            Order::Osp => (t.o.0, t.s.0, t.p.0),
+            Order::Pos => (t.p.0, t.o.0, t.s.0),
+        }
+    }
+}
+
+/// Merge a base index scan with an overlay add-slice in a shared
+/// permutation order, skipping deleted base triples. The base and add
+/// sides are disjoint by construction ([`crate::Store::apply_delta`]
+/// drops upserts of live base triples), so ties cannot occur.
+#[derive(Clone, Debug)]
+pub(crate) struct MergeScan<'a, B: Iterator<Item = Triple>> {
+    base: std::iter::Peekable<B>,
+    adds: std::iter::Peekable<std::iter::Copied<std::slice::Iter<'a, Triple>>>,
+    /// Deleted triples sorted by (s, p, o) — membership is order-agnostic.
+    dels: &'a [Triple],
+    order: Order,
+}
+
+impl<'a, B: Iterator<Item = Triple>> MergeScan<'a, B> {
+    pub(crate) fn new(base: B, adds: &'a [Triple], dels: &'a [Triple], order: Order) -> Self {
+        MergeScan { base: base.peekable(), adds: adds.iter().copied().peekable(), dels, order }
+    }
+
+    #[inline]
+    fn deleted(&self, t: Triple) -> bool {
+        !self.dels.is_empty() && self.dels.binary_search(&t).is_ok()
+    }
+}
+
+impl<B: Iterator<Item = Triple>> Iterator for MergeScan<'_, B> {
+    type Item = Triple;
+
+    fn next(&mut self) -> Option<Triple> {
+        loop {
+            let take_base = match (self.base.peek(), self.adds.peek()) {
+                (None, None) => return None,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(&b), Some(&a)) => self.order.key(b) < self.order.key(a),
+            };
+            if take_base {
+                let t = self.base.next().expect("peeked");
+                if !self.deleted(t) {
+                    return Some(t);
+                }
+            } else {
+                return self.adds.next();
+            }
+        }
+    }
+}
+
+/// Sub-slice of `sorted` (in `order`) whose first key component equals
+/// `k0`.
+pub(crate) fn range1(sorted: &[Triple], order: Order, k0: u32) -> &[Triple] {
+    let lo = sorted.partition_point(|t| order.key(*t).0 < k0);
+    let hi = sorted.partition_point(|t| order.key(*t).0 <= k0);
+    &sorted[lo..hi]
+}
+
+/// Sub-slice of `sorted` (in `order`) whose first two key components equal
+/// `(k0, k1)`.
+pub(crate) fn range2(sorted: &[Triple], order: Order, k0: u32, k1: u32) -> &[Triple] {
+    let sub = range1(sorted, order, k0);
+    let lo = sub.partition_point(|t| order.key(*t).1 < k1);
+    let hi = sub.partition_point(|t| order.key(*t).1 <= k1);
+    &sub[lo..hi]
+}
+
+/// Outcome of resolving one delta term against base + overlay state.
+enum Resolved {
+    /// The term already has an id.
+    Known(TermId),
+    /// The term is nowhere; a delete of it cannot match anything.
+    Absent,
+}
+
+/// Mutable working state while applying one delta; frozen into an
+/// [`Overlay`] at the end.
+pub(crate) struct DeltaApply<'s> {
+    base_dict: &'s crate::dict::Dict,
+    base_contains: Box<dyn Fn(Triple) -> bool + 's>,
+    extra: Vec<Term>,
+    extra_index: FxHashMap<Term, TermId>,
+    adds: BTreeSet<Triple>,
+    dels: BTreeSet<Triple>,
+    stats: DeltaStats,
+}
+
+impl<'s> DeltaApply<'s> {
+    /// Start from the current overlay contents (cloned — overlays are
+    /// small) on top of `base_dict` / `base_contains`.
+    pub(crate) fn new(
+        base_dict: &'s crate::dict::Dict,
+        base_contains: Box<dyn Fn(Triple) -> bool + 's>,
+        current: Option<&Arc<Overlay>>,
+    ) -> Self {
+        let (extra, extra_index, adds, dels) = match current {
+            Some(ov) => (
+                ov.extra.clone(),
+                ov.extra_index.clone(),
+                ov.adds_spo.iter().copied().collect(),
+                ov.dels.iter().copied().collect(),
+            ),
+            None => (Vec::new(), FxHashMap::default(), BTreeSet::new(), BTreeSet::new()),
+        };
+        DeltaApply {
+            base_dict,
+            base_contains,
+            extra,
+            extra_index,
+            adds,
+            dels,
+            stats: DeltaStats::default(),
+        }
+    }
+
+    /// Id of `term` if it exists anywhere (base dictionary or overlay
+    /// extras), without interning.
+    fn lookup(&self, term: &Term) -> Resolved {
+        if let Some(id) = self.base_dict.lookup(term) {
+            return Resolved::Known(id);
+        }
+        match self.extra_index.get(term) {
+            Some(&id) => Resolved::Known(id),
+            None => Resolved::Absent,
+        }
+    }
+
+    /// Id of `term`, interning into the overlay extras when new.
+    fn intern(&mut self, term: Term) -> TermId {
+        match self.lookup(&term) {
+            Resolved::Known(id) => id,
+            Resolved::Absent => {
+                let id = TermId::from_index(self.base_dict.len() + self.extra.len());
+                self.extra.push(term.clone());
+                self.extra_index.insert(term, id);
+                self.stats.new_terms += 1;
+                id
+            }
+        }
+    }
+
+    /// Apply one operation, in stream order.
+    pub(crate) fn apply(&mut self, op: DeltaOp) {
+        match op {
+            DeltaOp::Upsert(s, p, o) => {
+                let t = Triple::new(self.intern(s), self.intern(p), self.intern(o));
+                if self.dels.remove(&t) {
+                    // Un-delete: the base copy is live again.
+                    self.stats.added += 1;
+                } else if (self.base_contains)(t) || !self.adds.insert(t) {
+                    self.stats.noops += 1;
+                } else {
+                    self.stats.added += 1;
+                }
+            }
+            DeltaOp::Delete(s, p, o) => {
+                // A delete never interns: unknown terms mean the triple
+                // cannot exist.
+                let (s, p, o) = match (self.lookup(&s), self.lookup(&p), self.lookup(&o)) {
+                    (Resolved::Known(s), Resolved::Known(p), Resolved::Known(o)) => (s, p, o),
+                    _ => {
+                        self.stats.noops += 1;
+                        return;
+                    }
+                };
+                let t = Triple::new(s, p, o);
+                if self.adds.remove(&t) || ((self.base_contains)(t) && self.dels.insert(t)) {
+                    self.stats.deleted += 1;
+                } else {
+                    self.stats.noops += 1;
+                }
+            }
+        }
+    }
+
+    /// Freeze into an immutable overlay (or `None` when nothing differs
+    /// from the base anymore).
+    pub(crate) fn finish(self) -> (Option<Overlay>, DeltaStats) {
+        let stats = self.stats;
+        if self.adds.is_empty() && self.dels.is_empty() && self.extra.is_empty() {
+            return (None, stats);
+        }
+        let adds_spo: Vec<Triple> = self.adds.into_iter().collect();
+        let mut adds_osp = adds_spo.clone();
+        adds_osp.sort_unstable_by_key(|t| Order::Osp.key(*t));
+        let mut adds_pos = adds_spo.clone();
+        adds_pos.sort_unstable_by_key(|t| Order::Pos.key(*t));
+        let overlay = Overlay {
+            extra: self.extra,
+            extra_index: self.extra_index,
+            base_terms: self.base_dict.len(),
+            adds_spo,
+            adds_osp,
+            adds_pos,
+            dels: self.dels.into_iter().collect(),
+        };
+        (Some(overlay), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(TermId(s), TermId(p), TermId(o))
+    }
+
+    #[test]
+    fn merge_scan_interleaves_and_skips_deleted() {
+        let base = vec![t(1, 1, 1), t(1, 2, 1), t(3, 1, 1)];
+        let adds = vec![t(1, 1, 2), t(2, 1, 1)];
+        let dels = vec![t(1, 2, 1)];
+        let merged: Vec<Triple> =
+            MergeScan::new(base.into_iter(), &adds, &dels, Order::Spo).collect();
+        assert_eq!(merged, vec![t(1, 1, 1), t(1, 1, 2), t(2, 1, 1), t(3, 1, 1)]);
+    }
+
+    #[test]
+    fn merge_scan_empty_sides() {
+        let base = vec![t(1, 1, 1)];
+        let merged: Vec<Triple> =
+            MergeScan::new(base.clone().into_iter(), &[], &[], Order::Spo).collect();
+        assert_eq!(merged, base);
+        let merged: Vec<Triple> =
+            MergeScan::new(std::iter::empty(), &base, &[], Order::Spo).collect();
+        assert_eq!(merged, base);
+        assert_eq!(MergeScan::new(std::iter::empty(), &[], &[], Order::Pos).count(), 0);
+    }
+
+    #[test]
+    fn range_helpers_cut_by_leading_keys() {
+        // Sorted in OSP order: key = (o, s, p).
+        let mut v = vec![t(1, 1, 1), t(2, 1, 1), t(1, 2, 2), t(3, 9, 2), t(1, 1, 3)];
+        v.sort_unstable_by_key(|t| Order::Osp.key(*t));
+        assert_eq!(range1(&v, Order::Osp, 2), &[t(1, 2, 2), t(3, 9, 2)]);
+        assert_eq!(range2(&v, Order::Osp, 2, 3), &[t(3, 9, 2)]);
+        assert!(range1(&v, Order::Osp, 9).is_empty());
+    }
+}

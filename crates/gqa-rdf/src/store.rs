@@ -1,8 +1,10 @@
-//! The triple store: an immutable, fully indexed set of triples.
+//! The triple store: an immutable, fully indexed base plus an optional
+//! delta overlay.
 //!
-//! Built once via [`StoreBuilder`], then read concurrently. The triple
-//! vector is sorted by **(s, p, o)**; every other access path is served by
-//! the compact CSR indexes in [`crate::csr`]:
+//! The **base** is built once via [`StoreBuilder`], then read
+//! concurrently. The triple vector is sorted by **(s, p, o)**; every
+//! other access path is served by the compact CSR indexes in
+//! [`crate::csr`]:
 //!
 //! * subject scans are O(1) offset-array slices into the triple vector;
 //! * object (incoming-edge) scans decode a delta-varint posting per object,
@@ -11,9 +13,16 @@
 //!   postings in the old **(p, o, s)** order, with a block directory for
 //!   seeking straight to one object's group.
 //!
-//! Iteration orders are identical to the former permutation-array layout —
-//! callers that `.take(n)` from a scan see the same prefix. No hashing on
-//! the hot path.
+//! An optional **overlay** ([`crate::overlay`]) carries incrementally
+//! upserted/deleted triples: every scan merges the base index with the
+//! overlay's sorted add side and skips deleted base triples, so iteration
+//! orders are identical to a from-scratch rebuild of the merged triple
+//! set — callers that `.take(n)` from a scan see the same prefix either
+//! way. [`Store::apply_delta`] publishes a new store value sharing the
+//! base by `Arc` (no re-sort, no re-index); [`Store::compact`] folds the
+//! overlay down into a fresh base with unchanged term ids.
+//!
+//! No hashing on the hot path.
 
 use std::sync::Arc;
 
@@ -21,8 +30,11 @@ use crate::csr::{CsrBytes, CsrIndexes};
 use crate::dict::Dict;
 use crate::ids::TermId;
 use crate::metrics::StoreMetrics;
+use crate::overlay::{range1, range2, Delta, DeltaApply, DeltaStats, MergeScan, Order, Overlay};
 use crate::term::Term;
 use crate::triple::{Triple, TriplePattern};
+
+pub use crate::overlay::OverlayStats;
 
 /// Accumulates terms and triples, then freezes into a [`Store`].
 ///
@@ -35,7 +47,7 @@ use crate::triple::{Triple, TriplePattern};
 /// let store = b.build();
 ///
 /// let berlin = store.expect_iri("dbr:Berlin");
-/// assert_eq!(store.out_edges(berlin).len(), 2);
+/// assert_eq!(store.out_edges(berlin).count(), 2);
 /// ```
 #[derive(Default, Debug)]
 pub struct StoreBuilder {
@@ -114,15 +126,31 @@ impl StoreBuilder {
     }
 }
 
-/// An immutable, indexed triple store. See the module docs.
-#[derive(Debug, Clone)]
-pub struct Store {
+/// The immutable, fully indexed base of a store — shared by `Arc` between
+/// every epoch layered over it.
+#[derive(Debug)]
+struct Base {
     dict: Dict,
     /// Sorted by (s, p, o), deduplicated.
     triples: Vec<Triple>,
     /// Compact adjacency indexes (subject offsets, in-edge and predicate
     /// postings) over `triples`.
     csr: CsrIndexes,
+}
+
+impl Base {
+    /// Does the **base** contain this exact triple (ignoring the overlay)?
+    fn contains(&self, t: Triple) -> bool {
+        self.triples[self.csr.out_range(t.s)].binary_search(&t).is_ok()
+    }
+}
+
+/// An immutable, indexed triple store: a shared base plus an optional
+/// delta overlay. Cloning is cheap (two `Arc` bumps). See the module docs.
+#[derive(Debug, Clone)]
+pub struct Store {
+    base: Arc<Base>,
+    overlay: Option<Arc<Overlay>>,
     /// Index-lookup counters, shared by all clones of this store.
     metrics: Arc<StoreMetrics>,
 }
@@ -139,14 +167,19 @@ pub struct StoreSectionBytes {
     pub triples: usize,
     /// The CSR adjacency indexes, by section.
     pub indexes: CsrBytes,
+    /// The delta overlay (added triples in three orders, deletions, extra
+    /// terms); 0 without an overlay.
+    pub overlay: usize,
 }
 
 impl StoreSectionBytes {
     /// Total estimated resident bytes.
     pub fn total(&self) -> usize {
-        self.dict + self.triples + self.indexes.total()
+        self.dict + self.triples + self.indexes.total() + self.overlay
     }
 }
+
+const NO_TRIPLES: &[Triple] = &[];
 
 impl Store {
     /// Index a sorted, deduplicated triple vector whose ids all come from
@@ -154,25 +187,113 @@ impl Store {
     /// both invariants.
     pub(crate) fn from_sorted_parts(dict: Dict, triples: Vec<Triple>) -> Store {
         let csr = CsrIndexes::build(dict.len(), &triples);
-        Store { dict, triples, csr, metrics: Arc::new(StoreMetrics::default()) }
+        Store {
+            base: Arc::new(Base { dict, triples, csr }),
+            overlay: None,
+            metrics: Arc::new(StoreMetrics::default()),
+        }
     }
 
     /// Assemble a store from snapshot-loaded parts without rebuilding the
     /// CSR indexes. The snapshot loader has already validated `csr`
     /// structurally against `dict.len()` and `triples.len()`.
     pub(crate) fn from_snapshot_parts(dict: Dict, triples: Vec<Triple>, csr: CsrIndexes) -> Store {
-        Store { dict, triples, csr, metrics: Arc::new(StoreMetrics::default()) }
+        Store {
+            base: Arc::new(Base { dict, triples, csr }),
+            overlay: None,
+            metrics: Arc::new(StoreMetrics::default()),
+        }
     }
 
-    /// The CSR adjacency indexes (for snapshot serialization).
+    /// The CSR adjacency indexes of the base (for snapshot serialization).
     pub(crate) fn csr(&self) -> &CsrIndexes {
-        &self.csr
+        &self.base.csr
     }
 
-    /// The term dictionary.
+    /// The base triple vector, sorted by (s, p, o), ignoring any overlay
+    /// (for snapshot serialization, which compacts first).
+    pub(crate) fn base_triples(&self) -> &[Triple] {
+        &self.base.triples
+    }
+
+    /// The base term dictionary. Under an overlay this does **not** cover
+    /// overlay-added terms — use [`Store::term`], [`Store::terms`],
+    /// [`Store::lookup_term`] and [`Store::iri`] for the full id space.
     #[inline]
     pub fn dict(&self) -> &Dict {
-        &self.dict
+        &self.base.dict
+    }
+
+    /// The overlay's added triples in the order matching `order`.
+    #[inline]
+    fn adds(&self, order: Order) -> &[Triple] {
+        match &self.overlay {
+            None => NO_TRIPLES,
+            Some(ov) => match order {
+                Order::Spo => &ov.adds_spo,
+                Order::Osp => &ov.adds_osp,
+                Order::Pos => &ov.adds_pos,
+            },
+        }
+    }
+
+    /// The overlay's deleted base triples, sorted by (s, p, o).
+    #[inline]
+    fn dels(&self) -> &[Triple] {
+        self.overlay.as_ref().map_or(NO_TRIPLES, |ov| &ov.dels)
+    }
+
+    /// Whether this store carries a delta overlay over its base.
+    pub fn has_overlay(&self) -> bool {
+        self.overlay.is_some()
+    }
+
+    /// Size of the delta overlay, when one is present. The serving layer
+    /// uses `adds + dels` relative to [`Store::len`] as its compaction
+    /// signal.
+    pub fn overlay_stats(&self) -> Option<OverlayStats> {
+        self.overlay.as_ref().map(|ov| ov.stats())
+    }
+
+    /// Apply a batch of upserts/deletes, returning a new store that layers
+    /// the merged overlay over the **same** base (shared by `Arc` — the
+    /// base is never copied, re-sorted or re-indexed) plus what actually
+    /// changed. The receiver is untouched; readers of it never observe the
+    /// delta. Term ids are stable: every id valid in `self` resolves to
+    /// the same term in the result.
+    pub fn apply_delta(&self, delta: Delta) -> (Store, DeltaStats) {
+        let base = &*self.base;
+        let mut apply = DeltaApply::new(
+            &base.dict,
+            Box::new(move |t: Triple| base.contains(t)),
+            self.overlay.as_ref(),
+        );
+        for op in delta.ops {
+            apply.apply(op);
+        }
+        let (overlay, stats) = apply.finish();
+        let store = Store {
+            base: Arc::clone(&self.base),
+            overlay: overlay.map(Arc::new),
+            metrics: Arc::clone(&self.metrics),
+        };
+        (store, stats)
+    }
+
+    /// Fold the overlay into a fresh, fully indexed base (a no-op clone
+    /// without one). Term ids are preserved: the new dictionary appends
+    /// the overlay's extra terms in id order, so iteration of the result
+    /// is bit-identical to iteration of `self`.
+    pub fn compact(&self) -> Store {
+        let Some(ov) = &self.overlay else { return self.clone() };
+        let mut dict = self.base.dict.clone();
+        for term in &ov.extra {
+            dict.intern(term.clone());
+        }
+        let triples: Vec<Triple> = self.triples().collect();
+        let mut compacted = Store::from_sorted_parts(dict, triples);
+        compacted.metrics = Arc::clone(&self.metrics);
+        compacted
     }
 
     /// Instrumentation counters for this store (shared across clones).
@@ -182,80 +303,155 @@ impl Store {
         &self.metrics
     }
 
-    /// Resolve an id to its term.
+    /// Resolve an id to its term (base or overlay).
     #[inline]
     pub fn term(&self, id: TermId) -> &Term {
-        self.dict.term(id)
+        if let Some(ov) = &self.overlay {
+            if id.index() >= ov.base_terms {
+                return &ov.extra[id.index() - ov.base_terms];
+            }
+        }
+        self.base.dict.term(id)
     }
 
-    /// Total number of (distinct) triples.
+    /// Total number of interned terms (base dictionary plus overlay
+    /// extras); term ids are `0..term_count()`.
+    pub fn term_count(&self) -> usize {
+        self.base.dict.len() + self.overlay.as_ref().map_or(0, |ov| ov.extra.len())
+    }
+
+    /// Iterate over every `(id, term)` pair in id order, overlay extras
+    /// included. Consumers building derived indexes (literal/linker
+    /// indexes) must use this instead of `dict().iter()`.
+    pub fn terms(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        let base_len = self.base.dict.len();
+        let extras = self.overlay.as_ref().map_or(&[][..], |ov| &ov.extra[..]);
+        self.base.dict.iter().chain(
+            extras.iter().enumerate().map(move |(i, t)| (TermId::from_index(base_len + i), t)),
+        )
+    }
+
+    /// Look up the id of a term without interning (base or overlay).
+    pub fn lookup_term(&self, term: &Term) -> Option<TermId> {
+        self.base
+            .dict
+            .lookup(term)
+            .or_else(|| self.overlay.as_ref().and_then(|ov| ov.extra_index.get(term).copied()))
+    }
+
+    /// Total number of (distinct) triples, overlay included.
     pub fn len(&self) -> usize {
-        self.triples.len()
+        self.base.triples.len() + self.adds(Order::Spo).len() - self.dels().len()
     }
 
     /// Whether the store holds no triples.
     pub fn is_empty(&self) -> bool {
-        self.triples.is_empty()
+        self.len() == 0
     }
 
-    /// All triples, sorted by (s, p, o).
-    pub fn triples(&self) -> &[Triple] {
-        &self.triples
+    /// All triples in (s, p, o) order, overlay merged in.
+    pub fn triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        MergeScan::new(
+            self.base.triples.iter().copied(),
+            self.adds(Order::Spo),
+            self.dels(),
+            Order::Spo,
+        )
     }
 
     /// Does the store contain this exact triple?
     pub fn contains(&self, t: Triple) -> bool {
         self.metrics.spo();
-        self.triples[self.csr.out_range(t.s)].binary_search(&t).is_ok()
+        if self.base.contains(t) {
+            return self.dels().binary_search(&t).is_err();
+        }
+        self.adds(Order::Spo).binary_search(&t).is_ok()
     }
 
-    /// All triples with subject `s`, as a contiguous slice (O(1) via the
-    /// subject offset array).
-    pub fn out_edges(&self, s: TermId) -> &[Triple] {
+    /// All triples with subject `s`, in (s, p, o) order.
+    pub fn out_edges(&self, s: TermId) -> impl Iterator<Item = Triple> + '_ {
         self.metrics.spo();
-        &self.triples[self.csr.out_range(s)]
+        MergeScan::new(
+            self.base.triples[self.base.csr.out_range(s)].iter().copied(),
+            range1(self.adds(Order::Spo), Order::Spo, s.0),
+            self.dels(),
+            Order::Spo,
+        )
     }
 
     /// All triples with subject `s` and predicate `p`.
-    pub fn out_edges_with(&self, s: TermId, p: TermId) -> &[Triple] {
+    pub fn out_edges_with(&self, s: TermId, p: TermId) -> impl Iterator<Item = Triple> + '_ {
         self.metrics.spo();
-        let sub = &self.triples[self.csr.out_range(s)];
+        let sub = &self.base.triples[self.base.csr.out_range(s)];
         let lo = sub.partition_point(|t| t.p < p);
         let hi = sub.partition_point(|t| t.p <= p);
-        &sub[lo..hi]
+        MergeScan::new(
+            sub[lo..hi].iter().copied(),
+            range2(self.adds(Order::Spo), Order::Spo, s.0, p.0),
+            self.dels(),
+            Order::Spo,
+        )
     }
 
     /// All triples with object `o`, in (o, s, p) order.
     pub fn in_edges(&self, o: TermId) -> impl Iterator<Item = Triple> + '_ {
         self.metrics.osp();
-        self.csr.in_triples(o).map(move |i| self.triples[i as usize])
+        MergeScan::new(
+            self.base.csr.in_triples(o).map(move |i| self.base.triples[i as usize]),
+            range1(self.adds(Order::Osp), Order::Osp, o.0),
+            self.dels(),
+            Order::Osp,
+        )
     }
 
     /// All triples with object `o` and predicate `p`, in ascending subject
     /// order. Served from the per-predicate postings with a block seek —
-    /// the cost is bounded by the match count, not by `degree(o)` as the
-    /// old filter-the-object-posting path was.
+    /// the cost is bounded by the match count, not by `degree(o)`.
     pub fn in_edges_with(&self, o: TermId, p: TermId) -> impl Iterator<Item = Triple> + '_ {
         self.metrics.pos();
-        self.csr.predicate_object_postings(p, o).map(move |s| Triple::new(TermId(s), p, o))
+        MergeScan::new(
+            self.base
+                .csr
+                .predicate_object_postings(p, o)
+                .map(move |s| Triple::new(TermId(s), p, o)),
+            range2(self.adds(Order::Pos), Order::Pos, p.0, o.0),
+            self.dels(),
+            Order::Pos,
+        )
     }
 
     /// All triples with predicate `p`, in (p, o, s) order.
     pub fn with_predicate(&self, p: TermId) -> impl Iterator<Item = Triple> + '_ {
         self.metrics.pos();
-        self.csr.predicate_postings(p).map(move |(o, s)| Triple::new(TermId(s), p, TermId(o)))
+        MergeScan::new(
+            self.base
+                .csr
+                .predicate_postings(p)
+                .map(move |(o, s)| Triple::new(TermId(s), p, TermId(o))),
+            range1(self.adds(Order::Pos), Order::Pos, p.0),
+            self.dels(),
+            Order::Pos,
+        )
     }
 
     /// All triples with predicate `p` and object `o`, in ascending subject
     /// order.
     pub fn with_predicate_object(&self, p: TermId, o: TermId) -> impl Iterator<Item = Triple> + '_ {
         self.metrics.pos();
-        self.csr.predicate_object_postings(p, o).map(move |s| Triple::new(TermId(s), p, o))
+        MergeScan::new(
+            self.base
+                .csr
+                .predicate_object_postings(p, o)
+                .map(move |s| Triple::new(TermId(s), p, o)),
+            range2(self.adds(Order::Pos), Order::Pos, p.0, o.0),
+            self.dels(),
+            Order::Pos,
+        )
     }
 
     /// Objects of `(s, p, ?)`.
     pub fn objects(&self, s: TermId, p: TermId) -> impl Iterator<Item = TermId> + '_ {
-        self.out_edges_with(s, p).iter().map(|t| t.o)
+        self.out_edges_with(s, p).map(|t| t.o)
     }
 
     /// Subjects of `(?, p, o)`.
@@ -274,27 +470,50 @@ impl Store {
                     Box::new(std::iter::empty())
                 }
             }
-            (Some(s), Some(p), None) => Box::new(self.out_edges_with(s, p).iter().copied()),
-            (Some(s), None, Some(o)) => {
-                Box::new(self.out_edges(s).iter().copied().filter(move |t| t.o == o))
-            }
-            (Some(s), None, None) => Box::new(self.out_edges(s).iter().copied()),
+            (Some(s), Some(p), None) => Box::new(self.out_edges_with(s, p)),
+            (Some(s), None, Some(o)) => Box::new(self.out_edges(s).filter(move |t| t.o == o)),
+            (Some(s), None, None) => Box::new(self.out_edges(s)),
             (None, Some(p), Some(o)) => Box::new(self.with_predicate_object(p, o)),
             (None, Some(p), None) => Box::new(self.with_predicate(p)),
             (None, None, Some(o)) => Box::new(self.in_edges(o)),
-            (None, None, None) => Box::new(self.triples.iter().copied()),
+            (None, None, None) => Box::new(self.triples()),
         }
     }
 
     /// Distinct predicate ids, in ascending order.
     pub fn predicates(&self) -> Vec<TermId> {
-        self.csr.predicate_ids().to_vec()
+        let mut preds = self.base.csr.predicate_ids().to_vec();
+        let Some(ov) = &self.overlay else { return preds };
+        if !ov.dels.is_empty() {
+            // A base predicate survives iff some base triple with it is
+            // still live. Count deletions per predicate (the deleted set is
+            // small) and compare with the base posting count.
+            let mut del_by_p: rustc_hash::FxHashMap<TermId, usize> =
+                rustc_hash::FxHashMap::default();
+            for t in &ov.dels {
+                *del_by_p.entry(t.p).or_default() += 1;
+            }
+            preds.retain(|&p| match del_by_p.get(&p) {
+                Some(&deleted) => self.base.csr.predicate_postings(p).count() > deleted,
+                None => true,
+            });
+        }
+        for t in &ov.adds_pos {
+            // adds_pos is sorted by (p, o, s): predicates appear grouped.
+            if preds.last() != Some(&t.p) && !preds.contains(&t.p) {
+                preds.push(t.p);
+            }
+        }
+        preds.sort_unstable();
+        preds.dedup();
+        preds
     }
 
     /// Estimated resident bytes per section (dictionary, triple vector,
-    /// CSR indexes).
+    /// CSR indexes, delta overlay).
     pub fn section_bytes(&self) -> StoreSectionBytes {
         let strings: usize = self
+            .base
             .dict
             .iter()
             .map(|(_, t)| match t {
@@ -305,21 +524,22 @@ impl Store {
                 Term::Blank(b) => b.len(),
             })
             .sum();
-        let n_terms = self.dict.len();
+        let n_terms = self.base.dict.len();
         // Strings are stored once (the id→term vector); the reverse index
         // holds only (hash, id) slots.
-        let dict = strings + n_terms * std::mem::size_of::<Term>() + self.dict.index_bytes();
+        let dict = strings + n_terms * std::mem::size_of::<Term>() + self.base.dict.index_bytes();
         StoreSectionBytes {
             dict,
-            triples: self.triples.len() * std::mem::size_of::<Triple>(),
-            indexes: self.csr.bytes(),
+            triples: self.base.triples.len() * std::mem::size_of::<Triple>(),
+            indexes: self.base.csr.bytes(),
+            overlay: self.overlay.as_ref().map_or(0, |ov| ov.bytes()),
         }
     }
 
     /// Distinct vertex ids: every id occurring as subject or object.
     pub fn vertices(&self) -> Vec<TermId> {
-        let mut v: Vec<TermId> = Vec::with_capacity(self.triples.len());
-        for t in &self.triples {
+        let mut v: Vec<TermId> = Vec::with_capacity(self.len());
+        for t in self.triples() {
             v.push(t.s);
             v.push(t.o);
         }
@@ -330,12 +550,14 @@ impl Store {
 
     /// Degree of a vertex counting both directions.
     pub fn degree(&self, v: TermId) -> usize {
-        self.out_edges(v).len() + self.in_edges(v).count()
+        self.out_edges(v).count() + self.in_edges(v).count()
     }
 
-    /// Convenience: id of an IRI if present.
+    /// Convenience: id of an IRI if present (base or overlay).
     pub fn iri(&self, iri: &str) -> Option<TermId> {
-        self.dict.lookup_iri(iri)
+        self.base.dict.lookup_iri(iri).or_else(|| {
+            self.overlay.as_ref().and_then(|ov| ov.extra_index.get(&Term::iri(iri)).copied())
+        })
     }
 
     /// Id of an IRI, or a typed [`UnknownIri`] error carrying the IRI text.
@@ -397,10 +619,10 @@ mod tests {
     }
 
     #[test]
-    fn out_edges_are_contiguous_and_complete() {
+    fn out_edges_are_sorted_and_complete() {
         let s = sample();
         let ab = s.expect_iri("dbr:Antonio_Banderas");
-        let out = s.out_edges(ab);
+        let out: Vec<_> = s.out_edges(ab).collect();
         assert_eq!(out.len(), 2); // rdf:type + rdfs:label
         assert!(out.iter().all(|t| t.s == ab));
     }
@@ -524,5 +746,130 @@ mod tests {
         assert!(s.vertices().is_empty());
         assert!(s.predicates().is_empty());
         assert_eq!(s.matching(TriplePattern::any()).count(), 0);
+    }
+
+    // ---- delta overlay ----
+
+    fn delta_upsert(ops: &[(&str, &str, &str)]) -> Delta {
+        let mut d = Delta::new();
+        for &(s, p, o) in ops {
+            d.upsert(Term::iri(s), Term::iri(p), Term::iri(o));
+        }
+        d
+    }
+
+    #[test]
+    fn apply_delta_adds_new_triples_and_terms() {
+        let s = sample();
+        let before = s.len();
+        let (s2, stats) =
+            s.apply_delta(delta_upsert(&[("dbr:New_Entity", "rdf:type", "dbo:Actor")]));
+        assert_eq!(stats.added, 1);
+        assert_eq!(stats.new_terms, 1);
+        assert!(s2.has_overlay());
+        assert_eq!(s2.len(), before + 1);
+        // The original store is untouched.
+        assert_eq!(s.len(), before);
+        assert!(s.iri("dbr:New_Entity").is_none());
+        // The new entity resolves through every term API.
+        let id = s2.expect_iri("dbr:New_Entity");
+        assert_eq!(s2.term(id), &Term::iri("dbr:New_Entity"));
+        assert_eq!(s2.lookup_term(&Term::iri("dbr:New_Entity")), Some(id));
+        assert!(s2.terms().any(|(tid, _)| tid == id));
+        assert_eq!(s2.term_count(), s.term_count() + 1);
+        // And the fact is visible through every scan shape.
+        let ty = s2.expect_iri("rdf:type");
+        let actor = s2.expect_iri("dbo:Actor");
+        assert!(s2.contains(Triple::new(id, ty, actor)));
+        assert_eq!(s2.out_edges(id).count(), 1);
+        assert!(s2.subjects(ty, actor).any(|x| x == id));
+    }
+
+    #[test]
+    fn apply_delta_upsert_of_present_triple_is_noop() {
+        let s = sample();
+        let (s2, stats) =
+            s.apply_delta(delta_upsert(&[("dbr:Antonio_Banderas", "rdf:type", "dbo:Actor")]));
+        assert_eq!(stats.added, 0);
+        assert_eq!(stats.noops, 1);
+        assert!(!s2.has_overlay());
+        assert_eq!(s2.len(), s.len());
+    }
+
+    #[test]
+    fn apply_delta_delete_and_undelete() {
+        let s = sample();
+        let mut d = Delta::new();
+        d.delete(
+            Term::iri("dbr:Melanie_Griffith"),
+            Term::iri("dbo:spouse"),
+            Term::iri("dbr:Antonio_Banderas"),
+        );
+        let (s2, stats) = s.apply_delta(d);
+        assert_eq!(stats.deleted, 1);
+        assert_eq!(s2.len(), s.len() - 1);
+        let mg = s2.expect_iri("dbr:Melanie_Griffith");
+        assert_eq!(s2.out_edges(mg).count(), 0);
+        let ab = s2.expect_iri("dbr:Antonio_Banderas");
+        assert_eq!(s2.in_edges(ab).count(), 1); // starring only
+                                                // dbo:spouse no longer has any live triple.
+        let spouse = s2.expect_iri("dbo:spouse");
+        assert!(!s2.predicates().contains(&spouse));
+        assert!(s.predicates().contains(&spouse), "receiver untouched");
+        // Upserting it back un-deletes (and drops the overlay entirely).
+        let (s3, stats) = s2.apply_delta(delta_upsert(&[(
+            "dbr:Melanie_Griffith",
+            "dbo:spouse",
+            "dbr:Antonio_Banderas",
+        )]));
+        assert_eq!(stats.added, 1);
+        assert!(!s3.has_overlay());
+        assert_eq!(s3.len(), s.len());
+    }
+
+    #[test]
+    fn apply_delta_delete_of_unknown_terms_is_noop() {
+        let s = sample();
+        let mut d = Delta::new();
+        d.delete(Term::iri("dbr:Nobody"), Term::iri("dbo:spouse"), Term::iri("dbr:Nobody_Else"));
+        let (s2, stats) = s.apply_delta(d);
+        assert_eq!(stats.noops, 1);
+        assert_eq!(stats.new_terms, 0, "deletes never intern");
+        assert!(!s2.has_overlay());
+    }
+
+    #[test]
+    fn deltas_stack_and_compact_preserves_ids_and_iteration() {
+        let s = sample();
+        let (s2, _) = s.apply_delta(delta_upsert(&[
+            ("dbr:A1", "dbo:spouse", "dbr:Antonio_Banderas"),
+            ("dbr:A1", "rdf:type", "dbo:Actor"),
+        ]));
+        let mut d = Delta::new();
+        d.delete(Term::iri("dbr:A1"), Term::iri("rdf:type"), Term::iri("dbo:Actor"));
+        d.upsert(Term::iri("dbr:A2"), Term::iri("dbo:spouse"), Term::iri("dbr:A1"));
+        let (s3, _) = s2.apply_delta(d);
+        assert_eq!(s3.overlay_stats().unwrap().adds, 2);
+        let compacted = s3.compact();
+        assert!(!compacted.has_overlay());
+        assert_eq!(compacted.len(), s3.len());
+        // Same ids, same iteration order, every scan shape.
+        assert_eq!(s3.triples().collect::<Vec<_>>(), compacted.triples().collect::<Vec<_>>());
+        for iri in ["dbr:A1", "dbr:A2", "dbr:Antonio_Banderas"] {
+            assert_eq!(s3.iri(iri), compacted.iri(iri), "{iri}");
+        }
+        let a1 = s3.expect_iri("dbr:A1");
+        assert_eq!(s3.in_edges(a1).collect::<Vec<_>>(), compacted.in_edges(a1).collect::<Vec<_>>());
+        assert_eq!(s3.predicates(), compacted.predicates());
+        assert_eq!(s3.vertices(), compacted.vertices());
+    }
+
+    #[test]
+    fn overlay_section_bytes_reported() {
+        let s = sample();
+        assert_eq!(s.section_bytes().overlay, 0);
+        let (s2, _) = s.apply_delta(delta_upsert(&[("dbr:X", "dbo:spouse", "dbr:Y")]));
+        assert!(s2.section_bytes().overlay > 0);
+        assert!(s2.section_bytes().total() > s.section_bytes().total());
     }
 }

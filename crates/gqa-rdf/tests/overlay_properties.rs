@@ -1,0 +1,185 @@
+//! Property-based equivalence of the delta-overlay store against a
+//! from-scratch rebuild.
+//!
+//! The multi-tenant upsert path serves answers straight off
+//! `base + overlay` ([`Store::apply_delta`]) without ever rebuilding the
+//! CSR, so the merged view must be observably identical to a compacted
+//! store on every access path — same triples, same iteration order —
+//! across all 8 triple-pattern shapes. Any divergence would make answers
+//! depend on *when* compaction happened, which the engine promises they
+//! never do.
+
+use gqa_rdf::overlay::Delta;
+use gqa_rdf::store::StoreBuilder;
+use gqa_rdf::triple::TriplePattern;
+use gqa_rdf::{Store, Term, TermId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// One randomized mutation: even first byte = upsert, odd = delete.
+/// Terms come from a small id space so deletes frequently hit existing
+/// triples and upserts frequently collide with base triples (no-ops) —
+/// the interesting overlay states.
+type Op = (u8, u8, u8, u8);
+
+fn arb_base() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    prop::collection::vec((0u8..10, 0u8..4, 0u8..12), 0..50)
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Vec<Op>>> {
+    // A few batches of ops: each batch is one `apply_delta` call, so the
+    // overlay is itself layered on earlier overlay state.
+    prop::collection::vec(prop::collection::vec((0u8..2, 0u8..12, 0u8..4, 0u8..14), 1..20), 1..4)
+}
+
+/// The same mixed term shapes the CSR equivalence test uses: mostly IRIs,
+/// some literals (plain and typed), so the overlay's extra-terms path is
+/// exercised alongside base-term reuse.
+fn term_s(s: u8) -> Term {
+    Term::iri(format!("v{s}"))
+}
+
+fn term_p(p: u8) -> Term {
+    Term::iri(format!("p{p}"))
+}
+
+fn term_o(o: u8) -> Term {
+    match o % 5 {
+        4 => Term::lit(format!("lit{o}")),
+        3 => Term::int_lit(o as i64),
+        _ => Term::iri(format!("v{o}")),
+    }
+}
+
+fn build_base(edges: &[(u8, u8, u8)]) -> Store {
+    let mut b = StoreBuilder::new();
+    for &(s, p, o) in edges {
+        b.add(term_s(s), term_p(p), term_o(o));
+    }
+    b.build()
+}
+
+fn delta_of(ops: &[Op]) -> Delta {
+    let mut d = Delta::new();
+    for &(flag, s, p, o) in ops {
+        if flag % 2 == 0 {
+            d.upsert(term_s(s), term_p(p), term_o(o));
+        } else {
+            d.delete(term_s(s), term_p(p), term_o(o));
+        }
+    }
+    d
+}
+
+/// The textual (id-independent) form of a triple, for comparing stores
+/// that may assign different term ids.
+fn text_triples(store: &Store) -> BTreeSet<(String, String, String)> {
+    store
+        .triples()
+        .map(|t| {
+            (store.term(t.s).to_string(), store.term(t.p).to_string(), store.term(t.o).to_string())
+        })
+        .collect()
+}
+
+/// Every term id either store knows, plus foreign ids past both
+/// dictionaries (all scan paths must return empty, not panic).
+fn probe_ids(a: &Store, b: &Store) -> Vec<TermId> {
+    let n = a.term_count().max(b.term_count()) as u32 + 2;
+    (0..n).map(TermId).collect()
+}
+
+/// Assert bit-identical scans across all 8 pattern shapes (s/p/o each
+/// bound or free) for every probe id combination that shapes the scan.
+fn assert_scans_identical(live: &Store, folded: &Store) {
+    let ids = probe_ids(live, folded);
+    let collect = |store: &Store, pat: TriplePattern| -> Vec<_> { store.matching(pat).collect() };
+    // (None, None, None) — the full scan — once, not per id.
+    assert_eq!(
+        collect(live, TriplePattern { s: None, p: None, o: None }),
+        collect(folded, TriplePattern { s: None, p: None, o: None }),
+        "full scan diverged"
+    );
+    for &x in &ids {
+        for shape in [
+            TriplePattern { s: Some(x), p: None, o: None },
+            TriplePattern { s: None, p: Some(x), o: None },
+            TriplePattern { s: None, p: None, o: Some(x) },
+        ] {
+            assert_eq!(collect(live, shape), collect(folded, shape), "{shape:?} diverged");
+        }
+        for &y in &ids {
+            for shape in [
+                TriplePattern { s: Some(x), p: Some(y), o: None },
+                TriplePattern { s: Some(x), p: None, o: Some(y) },
+                TriplePattern { s: None, p: Some(x), o: Some(y) },
+            ] {
+                assert_eq!(collect(live, shape), collect(folded, shape), "{shape:?} diverged");
+            }
+        }
+    }
+    // Fully bound: contains() over the cross-product is the same check
+    // with a cheaper shape (matching() delegates to contains()).
+    for &s in &ids {
+        for &p in &ids {
+            for &o in &ids {
+                let t = gqa_rdf::Triple::new(s, p, o);
+                assert_eq!(live.contains(t), folded.contains(t), "contains({t:?}) diverged");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `base + overlay` is observably identical to the folded CSR on all
+    /// 8 pattern shapes, for every id — including ids with no edges and
+    /// ids outside the dictionary — and the fold preserves term ids
+    /// bit-for-bit.
+    #[test]
+    fn overlay_scans_equal_compacted_store(base in arb_base(), batches in arb_ops()) {
+        let mut live = build_base(&base);
+        for ops in &batches {
+            let (next, _stats) = live.apply_delta(delta_of(ops));
+            live = next;
+        }
+        let folded = live.compact();
+        prop_assert!(!folded.has_overlay());
+        // Term ids survive the fold (the engine's "answers cannot change"
+        // invariant depends on this). `term_count` spans base dictionary
+        // plus overlay extras on the live side.
+        prop_assert_eq!(live.term_count(), folded.term_count());
+        for (id, term) in live.terms() {
+            prop_assert_eq!(term, folded.term(id));
+        }
+        assert_scans_identical(&live, &folded);
+    }
+
+    /// The overlay's *content* agrees with a naive model: a from-scratch
+    /// store built from (base ∪ upserts) ∖ deletes, replayed in order.
+    /// Term ids may differ (the rebuild interns in first-seen order), so
+    /// the comparison is textual.
+    #[test]
+    fn overlay_content_equals_naive_replay(base in arb_base(), batches in arb_ops()) {
+        let mut live = build_base(&base);
+        let mut model: BTreeSet<(String, String, String)> = text_triples(&live);
+        for ops in &batches {
+            for &(flag, s, p, o) in ops {
+                let key = (
+                    term_s(s).to_string(),
+                    term_p(p).to_string(),
+                    term_o(o).to_string(),
+                );
+                if flag % 2 == 0 {
+                    model.insert(key);
+                } else {
+                    model.remove(&key);
+                }
+            }
+            let (next, _stats) = live.apply_delta(delta_of(ops));
+            live = next;
+        }
+        prop_assert_eq!(text_triples(&live), model);
+    }
+}

@@ -100,7 +100,7 @@ proptest! {
         };
         let mut fast: Vec<_> = store.matching(pat).collect();
         fast.sort_unstable();
-        let mut slow: Vec<_> = store.triples().iter().copied().filter(|t| pat.matches(t)).collect();
+        let mut slow: Vec<_> = store.triples().filter(|t| pat.matches(t)).collect();
         slow.sort_unstable();
         prop_assert_eq!(fast, slow);
     }
@@ -147,10 +147,9 @@ proptest! {
         let Some(id) = store.iri(&format!("v{v}")) else { return Ok(()); };
         let manual = store
             .triples()
-            .iter()
             .filter(|t| t.s == id)
             .count()
-            + store.triples().iter().filter(|t| t.o == id).count();
+            + store.triples().filter(|t| t.o == id).count();
         prop_assert_eq!(store.degree(id), manual);
     }
 }

@@ -1,0 +1,218 @@
+//! The reloadable, incrementally-updatable engine behind one tenant.
+
+use gqa_core::pipeline::GAnswer;
+use gqa_rdf::overlay::{Delta, DeltaStats, OverlayStats};
+use gqa_rdf::snapshot::{Snapshot, Stamped};
+use gqa_rdf::Store;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+type Rebuild = Box<dyn Fn() -> Result<GAnswer<'static>, String> + Send + Sync>;
+type Assemble = Box<dyn Fn(Store) -> Result<GAnswer<'static>, String> + Send + Sync>;
+
+/// What one successful [`Engine::upsert`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpsertOutcome {
+    /// The epoch under which the mutated store was published.
+    pub epoch: u64,
+    /// What the delta changed (adds / deletes / no-ops / new terms).
+    pub stats: DeltaStats,
+    /// Whether this upsert pushed the overlay past the compaction
+    /// threshold and a background fold into a fresh CSR was scheduled.
+    pub compaction_scheduled: bool,
+}
+
+/// A reloadable handle around the QA system: the current snapshot plus
+/// the recipes to replace it. `POST /admin/reload` and SIGHUP call
+/// [`Engine::reload`]: the rebuild runs *outside* any snapshot lock, the
+/// swap is atomic, and in-flight requests keep the snapshot they loaded —
+/// the epoch bump is what invalidates answer-cache entries computed
+/// against the old store (each entry is stamped; see
+/// [`gqa_core::cache::AnswerCache`]).
+///
+/// An engine built with [`Engine::with_assemble`] additionally supports
+/// **incremental upserts**: [`Engine::upsert`] applies an N-Triples delta
+/// as an overlay on the immutable CSR base ([`Store::apply_delta`]),
+/// re-assembles the derived pipeline state (linker index, literal index,
+/// schema) around the mutated store, and publishes the result as a new
+/// epoch — no stop-the-world rebuild, no source re-read. Once the overlay
+/// grows past a threshold relative to the base, a background thread folds
+/// it into a fresh CSR ([`Store::compact`]) and publishes that as yet
+/// another epoch.
+///
+/// All mutations (`reload`, `upsert`, `compact`) are serialized by a
+/// write mutex so concurrent writers cannot lose each other's updates;
+/// readers never touch that mutex — [`Engine::load`] stays wait-free.
+pub struct Engine {
+    snapshot: Snapshot<GAnswer<'static>>,
+    rebuild: Rebuild,
+    assemble: Option<Assemble>,
+    /// Serializes reload/upsert/compact. Held across the (re)build so a
+    /// compaction cannot interleave with an upsert and drop its delta.
+    write: Mutex<()>,
+    /// Overlay ops (adds + dels) that trigger a background compaction.
+    compact_ops: usize,
+    /// At most one background compaction in flight per engine.
+    compacting: AtomicBool,
+}
+
+impl Engine {
+    /// Overlay ops (adds + dels) floor before compaction kicks in.
+    pub const DEFAULT_COMPACT_OPS: usize = 4096;
+
+    /// An engine serving `initial` (epoch 1), reloading via `rebuild`.
+    /// For metric continuity the rebuild closure should construct the new
+    /// system over the *same* `Obs` handle as `initial`. An engine built
+    /// this way rejects [`Engine::upsert`] (there is no assemble recipe).
+    pub fn new(
+        initial: GAnswer<'static>,
+        rebuild: impl Fn() -> Result<GAnswer<'static>, String> + Send + Sync + 'static,
+    ) -> Self {
+        Engine {
+            snapshot: Snapshot::new(initial),
+            rebuild: Box::new(rebuild),
+            assemble: None,
+            write: Mutex::new(()),
+            compact_ops: Self::DEFAULT_COMPACT_OPS,
+            compacting: AtomicBool::new(false),
+        }
+    }
+
+    /// Like [`Engine::new`] but also able to re-assemble the system
+    /// around a mutated [`Store`], which is what makes [`Engine::upsert`]
+    /// work. The assemble closure should be cheap relative to a full
+    /// reload: typically `GAnswer::shared(Arc::new(store), dict.clone(),
+    /// config.clone(), obs.clone())` — derived indexes are rebuilt, the
+    /// source files are not re-read.
+    pub fn with_assemble(
+        initial: GAnswer<'static>,
+        rebuild: impl Fn() -> Result<GAnswer<'static>, String> + Send + Sync + 'static,
+        assemble: impl Fn(Store) -> Result<GAnswer<'static>, String> + Send + Sync + 'static,
+    ) -> Self {
+        let mut engine = Engine::new(initial, rebuild);
+        engine.assemble = Some(Box::new(assemble));
+        engine
+    }
+
+    /// Override the compaction floor (before wrapping in an `Arc`).
+    /// Mostly for tests; the default keeps small interactive upserts from
+    /// ever paying a CSR rebuild.
+    pub fn compact_after(mut self, ops: usize) -> Self {
+        self.compact_ops = ops.max(1);
+        self
+    }
+
+    /// The currently published system, pinned for the caller's lifetime.
+    pub fn load(&self) -> Arc<Stamped<GAnswer<'static>>> {
+        self.snapshot.load()
+    }
+
+    /// The current store epoch (starts at 1, +1 per successful reload,
+    /// upsert, or compaction).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Whether this engine supports [`Engine::upsert`].
+    pub fn supports_upsert(&self) -> bool {
+        self.assemble.is_some()
+    }
+
+    /// Rebuild from source and atomically publish a fresh system; returns
+    /// the new epoch. On error the current snapshot stays published
+    /// untouched. A reload re-reads the source of truth, so any upserts
+    /// applied since the last load are intentionally discarded.
+    pub fn reload(&self) -> Result<u64, String> {
+        let _w = self.write.lock();
+        let fresh = (self.rebuild)()?;
+        Ok(self.snapshot.swap(fresh))
+    }
+
+    /// Apply a parsed N-Triples delta to the current store and publish
+    /// the result as a new epoch. Serialized with other mutations; readers
+    /// pinned to older epochs are unaffected. When the overlay crosses the
+    /// compaction threshold a background fold is scheduled (at most one at
+    /// a time) — answers are correct either way, compaction only restores
+    /// scan locality.
+    pub fn upsert(self: &Arc<Self>, delta: Delta) -> Result<UpsertOutcome, String> {
+        let assemble = self
+            .assemble
+            .as_ref()
+            .ok_or_else(|| "store does not support incremental upserts".to_string())?;
+        let overlay;
+        let epoch;
+        let stats;
+        {
+            let _w = self.write.lock();
+            let current = self.snapshot.load();
+            let (store, delta_stats) = current.value.store().apply_delta(delta);
+            overlay = store.overlay_stats();
+            let fresh = assemble(store)?;
+            epoch = self.snapshot.swap(fresh);
+            stats = delta_stats;
+        }
+        let compaction_scheduled = match overlay {
+            Some(ov) if self.overlay_is_heavy(&ov) => self.spawn_compaction(),
+            _ => false,
+        };
+        Ok(UpsertOutcome { epoch, stats, compaction_scheduled })
+    }
+
+    /// Fold the overlay into a fresh CSR base and publish it as a new
+    /// epoch. Returns `Ok(None)` when there is no overlay to fold.
+    /// Term ids and iteration order are preserved bit-for-bit
+    /// ([`Store::compact`]), so answers cannot change — only layout does.
+    pub fn compact(&self) -> Result<Option<u64>, String> {
+        let assemble = self
+            .assemble
+            .as_ref()
+            .ok_or_else(|| "store does not support incremental upserts".to_string())?;
+        let _w = self.write.lock();
+        let current = self.snapshot.load();
+        if !current.value.store().has_overlay() {
+            return Ok(None);
+        }
+        let folded = current.value.store().compact();
+        let fresh = assemble(folded)?;
+        Ok(Some(self.snapshot.swap(fresh)))
+    }
+
+    fn overlay_is_heavy(&self, ov: &OverlayStats) -> bool {
+        ov.adds + ov.dels >= self.compact_ops
+    }
+
+    /// Schedule a background [`Engine::compact`]; returns whether a new
+    /// one was actually spawned (false when one is already running or the
+    /// thread could not be created).
+    fn spawn_compaction(self: &Arc<Self>) -> bool {
+        if self.compacting.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        let engine = Arc::clone(self);
+        let spawned = std::thread::Builder::new()
+            .name("gqa-compact".to_owned())
+            .spawn(move || {
+                // A failed assemble leaves the overlay in place; the next
+                // heavy upsert will retry. Nothing to surface here — the
+                // published snapshot is still correct.
+                let _ = engine.compact();
+                engine.compacting.store(false, Ordering::Release);
+            })
+            .is_ok();
+        if !spawned {
+            self.compacting.store(false, Ordering::Release);
+        }
+        spawned
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("epoch", &self.epoch())
+            .field("supports_upsert", &self.supports_upsert())
+            .field("compact_ops", &self.compact_ops)
+            .finish_non_exhaustive()
+    }
+}

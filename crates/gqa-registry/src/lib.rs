@@ -1,0 +1,30 @@
+//! Multi-tenant store registry for the serving layer.
+//!
+//! One process can serve many named RDF stores ("tenants"), each with its
+//! own full serving stack:
+//!
+//! * an [`Engine`] — an epoch-stamped [`gqa_rdf::Snapshot`] of a built
+//!   [`gqa_core::pipeline::GAnswer`] system plus the recipes to rebuild it
+//!   (full reload from source) and to *re-assemble* it around a mutated
+//!   store (incremental upsert via a delta overlay, see
+//!   [`gqa_rdf::overlay`]);
+//! * an optional per-tenant answer cache whose entries are keyed by the
+//!   tenant's own epoch, so reloading or upserting tenant A can never
+//!   serve tenant B a stale answer — their caches and epochs are disjoint;
+//! * a scoped [`gqa_obs::Obs`] handle stamping every tenant-level metric
+//!   series with `store="<name>"` (the single-tenant default keeps the
+//!   label too: `store="default"`).
+//!
+//! The [`Registry`] maps tenant names to these stacks behind a single
+//! `RwLock<HashMap>`. The lock guards only the map — loading, reloading,
+//! and upserting a tenant happen outside it, so tenant A's multi-second
+//! rebuild never blocks a request routed to tenant B. Admin operations
+//! (`load`/`unload`/`reload`/`upsert`) and lookups return a typed
+//! [`TenantError`] that the HTTP layer maps onto 4xx/5xx statuses —
+//! a bad `store` field is a client error, never a panic.
+
+mod engine;
+mod registry;
+
+pub use engine::{Engine, UpsertOutcome};
+pub use registry::{valid_tenant_name, Registry, Tenant, TenantError, TenantState, TenantStatus};

@@ -1,0 +1,657 @@
+//! Named tenants and the registry that routes requests to them.
+
+use crate::engine::{Engine, UpsertOutcome};
+use gqa_core::cache::{AnswerCache, AnswerCacheStats};
+use gqa_obs::Obs;
+use gqa_rdf::overlay::{Delta, OverlayStats};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Builds a brand-new engine for `POST /admin/stores/load`: receives the
+/// tenant name (for metric scoping) and an operator-supplied source spec
+/// (e.g. `data.nt` or `data.nt,dict.tsv`). `None` means live loading is
+/// not wired up (embedding APIs, tests) and load requests get
+/// [`TenantError::NoFactory`].
+pub type Factory = Box<dyn Fn(&str, &str) -> Result<Engine, String> + Send + Sync>;
+
+/// Tenant names are path-safe identifiers: `[A-Za-z0-9._-]{1,64}`, and
+/// not `.` or `..` (the charset already excludes `/`, so a valid name can
+/// never traverse anywhere if an operator uses it in a path).
+pub fn valid_tenant_name(name: &str) -> bool {
+    (1..=64).contains(&name.len())
+        && name != "."
+        && name != ".."
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+/// Why a tenant operation failed. The HTTP layer maps these onto
+/// statuses; none of them is ever a panic or a blanket 500.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TenantError {
+    /// The name fails [`valid_tenant_name`].
+    InvalidName(String),
+    /// No tenant registered under this name.
+    Unknown(String),
+    /// The tenant is mid-load; try again shortly.
+    Loading(String),
+    /// The tenant's last (re)load failed; the error is kept for `/healthz`.
+    Failed { name: String, error: String },
+    /// `load` of a name that is already serving or loading.
+    AlreadyExists(String),
+    /// `load` without a configured [`Factory`].
+    NoFactory,
+    /// The default tenant cannot be unloaded (requests without a `store`
+    /// field route to it).
+    DefaultUnload(String),
+    /// A reload/upsert/compact on a live tenant failed; the previous
+    /// snapshot is still being served.
+    Engine { name: String, error: String },
+}
+
+impl fmt::Display for TenantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TenantError::InvalidName(n) => write!(
+                f,
+                "invalid store name {n:?}: want 1-64 chars of [A-Za-z0-9._-], not '.' or '..'"
+            ),
+            TenantError::Unknown(n) => write!(f, "unknown store {n:?}"),
+            TenantError::Loading(n) => write!(f, "store {n:?} is still loading"),
+            TenantError::Failed { name, error } => {
+                write!(f, "store {name:?} failed to load: {error}")
+            }
+            TenantError::AlreadyExists(n) => write!(f, "store {n:?} already exists"),
+            TenantError::NoFactory => write!(f, "live store loading is not enabled"),
+            TenantError::DefaultUnload(n) => {
+                write!(f, "store {n:?} is the default store and cannot be unloaded")
+            }
+            TenantError::Engine { name, error } => write!(f, "store {name:?}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for TenantError {}
+
+/// One tenant's serving stack: a named engine, its answer cache, and the
+/// scoped observability handle stamping its series with `store="<name>"`.
+pub struct Tenant {
+    name: String,
+    engine: Arc<Engine>,
+    cache: Option<AnswerCache>,
+    obs: Obs,
+}
+
+impl Tenant {
+    fn new(name: &str, engine: Arc<Engine>, cache_capacity: usize, base_obs: &Obs) -> Arc<Self> {
+        let obs = base_obs.scoped("store", name);
+        let cache = (cache_capacity > 0).then(|| AnswerCache::with_capacity(cache_capacity));
+        if cache.is_some() {
+            // Pre-register so a scrape is never missing the series.
+            obs.counter("gqa_server_cache_hits_total", &[]);
+            obs.counter("gqa_server_cache_misses_total", &[]);
+            obs.counter("gqa_server_cache_stale_total", &[]);
+            obs.counter("gqa_server_cache_evictions_total", &[]);
+            obs.histogram("gqa_server_cache_hit_duration_seconds", &[], gqa_obs::DURATION_BUCKETS);
+        }
+        Arc::new(Tenant { name: name.to_owned(), engine, cache, obs })
+    }
+
+    /// The tenant's name (also its `store` metric label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The reloadable engine behind this tenant.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// This tenant's answer cache, if caching is enabled.
+    pub fn cache(&self) -> Option<&AnswerCache> {
+        self.cache.as_ref()
+    }
+
+    /// The tenant-scoped observability handle (`store="<name>"`).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Copy cache counters into the metric registry (scrape-time) and
+    /// publish the pinned system's store/linker series through the
+    /// tenant-scoped handle.
+    pub fn publish_metrics(&self) {
+        self.engine.load().value.publish_metrics_to(&self.obs);
+        if let Some(cache) = &self.cache {
+            let s = cache.stats();
+            self.obs.set_counter("gqa_server_cache_hits_total", &[], s.hits);
+            self.obs.set_counter("gqa_server_cache_misses_total", &[], s.misses);
+            self.obs.set_counter("gqa_server_cache_stale_total", &[], s.stale);
+            self.obs.set_counter("gqa_server_cache_evictions_total", &[], s.evictions);
+        }
+    }
+
+    /// A point-in-time summary for `GET /admin/stores`.
+    pub fn status(&self) -> TenantStatus {
+        let pinned = self.engine.load();
+        let store = pinned.value.store();
+        TenantStatus {
+            name: self.name.clone(),
+            state: TenantState::Ready,
+            epoch: pinned.epoch,
+            triples: store.len(),
+            terms: store.term_count(),
+            bytes: store.section_bytes().total(),
+            overlay: store.overlay_stats(),
+            cache: self.cache.as_ref().map(|c| (c.stats(), c.len())),
+        }
+    }
+}
+
+impl fmt::Debug for Tenant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tenant")
+            .field("name", &self.name)
+            .field("epoch", &self.engine.epoch())
+            .field("cached", &self.cache.is_some())
+            .finish()
+    }
+}
+
+/// Lifecycle state of a registry slot, as reported by `/healthz` and
+/// `GET /admin/stores`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TenantState {
+    /// Serving.
+    Ready,
+    /// A `load` is running; the slot is reserved.
+    Loading,
+    /// The last `load` failed; kept so health checks can surface why.
+    Failed(String),
+}
+
+impl TenantState {
+    /// Lower-case wire name (`ready` / `loading` / `failed`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TenantState::Ready => "ready",
+            TenantState::Loading => "loading",
+            TenantState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One row of `GET /admin/stores` / `/healthz`.
+#[derive(Clone, Debug)]
+pub struct TenantStatus {
+    pub name: String,
+    pub state: TenantState,
+    /// 0 while loading/failed (epochs start at 1).
+    pub epoch: u64,
+    pub triples: usize,
+    pub terms: usize,
+    /// Estimated resident bytes of the store (dict + triples + indexes +
+    /// overlay).
+    pub bytes: usize,
+    /// Present when the store carries an unfolded delta overlay.
+    pub overlay: Option<OverlayStats>,
+    /// Cache counters and current entry count, when caching is on.
+    pub cache: Option<(AnswerCacheStats, usize)>,
+}
+
+enum Slot {
+    Ready(Arc<Tenant>),
+    Loading,
+    Failed(String),
+}
+
+/// The name → tenant map. The `RwLock` guards only the `HashMap`; engine
+/// (re)builds run outside it, so operating on one tenant never blocks
+/// requests to the others. All methods validate names first — an
+/// arbitrary `store` string from a request body can reach every public
+/// method safely.
+pub struct Registry {
+    slots: RwLock<HashMap<String, Slot>>,
+    default_name: String,
+    factory: Option<Factory>,
+    cache_capacity: usize,
+    /// Unscoped handle: the tenant-count gauge has no `store` label, and
+    /// each tenant's scoped handle is derived from this one.
+    obs: Obs,
+}
+
+impl Registry {
+    /// A registry serving `default_engine` under `default_name`. Requests
+    /// without a `store` field route here; this tenant cannot be
+    /// unloaded. `cache_capacity` applies per tenant (0 disables
+    /// caching). `obs` should be the *unscoped* serving handle — tenants
+    /// derive their `store="<name>"` scopes from it.
+    pub fn new(
+        default_name: &str,
+        default_engine: Arc<Engine>,
+        cache_capacity: usize,
+        obs: Obs,
+    ) -> Result<Self, TenantError> {
+        if !valid_tenant_name(default_name) {
+            return Err(TenantError::InvalidName(default_name.to_owned()));
+        }
+        let registry = Registry {
+            slots: RwLock::new(HashMap::new()),
+            default_name: default_name.to_owned(),
+            factory: None,
+            cache_capacity,
+            obs,
+        };
+        let tenant = Tenant::new(default_name, default_engine, cache_capacity, &registry.obs);
+        registry.slots.write().insert(default_name.to_owned(), Slot::Ready(tenant));
+        registry.publish_count();
+        Ok(registry)
+    }
+
+    /// Enable `POST /admin/stores/load` (builder-style, before sharing).
+    pub fn with_factory(mut self, factory: Factory) -> Self {
+        self.factory = Some(factory);
+        self
+    }
+
+    /// Register an additional pre-built tenant at boot (e.g. one
+    /// `--store NAME=SPEC` flag). Fails on invalid or duplicate names.
+    pub fn insert(&self, name: &str, engine: Arc<Engine>) -> Result<Arc<Tenant>, TenantError> {
+        if !valid_tenant_name(name) {
+            return Err(TenantError::InvalidName(name.to_owned()));
+        }
+        let tenant = Tenant::new(name, engine, self.cache_capacity, &self.obs);
+        {
+            let mut slots = self.slots.write();
+            if slots.contains_key(name) {
+                return Err(TenantError::AlreadyExists(name.to_owned()));
+            }
+            slots.insert(name.to_owned(), Slot::Ready(Arc::clone(&tenant)));
+        }
+        self.publish_count();
+        Ok(tenant)
+    }
+
+    /// The name requests without a `store` field route to.
+    pub fn default_name(&self) -> &str {
+        &self.default_name
+    }
+
+    /// The unscoped serving handle this registry was built over.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Resolve a request's optional `store` field to a serving tenant.
+    /// `None` or the default name always succeeds (the default tenant is
+    /// pinned at construction and cannot be unloaded).
+    pub fn get(&self, name: Option<&str>) -> Result<Arc<Tenant>, TenantError> {
+        let name = name.unwrap_or(&self.default_name);
+        if !valid_tenant_name(name) {
+            return Err(TenantError::InvalidName(name.to_owned()));
+        }
+        match self.slots.read().get(name) {
+            Some(Slot::Ready(t)) => Ok(Arc::clone(t)),
+            Some(Slot::Loading) => Err(TenantError::Loading(name.to_owned())),
+            Some(Slot::Failed(e)) => {
+                Err(TenantError::Failed { name: name.to_owned(), error: e.clone() })
+            }
+            None => Err(TenantError::Unknown(name.to_owned())),
+        }
+    }
+
+    /// The default tenant (always present and ready).
+    pub fn default_tenant(&self) -> Arc<Tenant> {
+        self.get(None).expect("default tenant is pinned at construction")
+    }
+
+    /// Build and register a new tenant from an operator source spec. The
+    /// factory runs *outside* the map lock — the slot is parked as
+    /// `Loading` meanwhile, so concurrent loads of the same name race
+    /// cleanly ([`TenantError::AlreadyExists`]) and requests to other
+    /// tenants proceed undisturbed. A failed load leaves a `Failed` slot
+    /// (visible in `/healthz`) that a retry may overwrite.
+    pub fn load(&self, name: &str, source: &str) -> Result<Arc<Tenant>, TenantError> {
+        if !valid_tenant_name(name) {
+            return Err(TenantError::InvalidName(name.to_owned()));
+        }
+        let factory = self.factory.as_ref().ok_or(TenantError::NoFactory)?;
+        {
+            let mut slots = self.slots.write();
+            match slots.get(name) {
+                Some(Slot::Ready(_)) | Some(Slot::Loading) => {
+                    return Err(TenantError::AlreadyExists(name.to_owned()));
+                }
+                Some(Slot::Failed(_)) | None => {
+                    slots.insert(name.to_owned(), Slot::Loading);
+                }
+            }
+        }
+        self.publish_count();
+        match factory(name, source) {
+            Ok(engine) => {
+                let tenant = Tenant::new(name, Arc::new(engine), self.cache_capacity, &self.obs);
+                self.slots.write().insert(name.to_owned(), Slot::Ready(Arc::clone(&tenant)));
+                Ok(tenant)
+            }
+            Err(error) => {
+                self.slots.write().insert(name.to_owned(), Slot::Failed(error.clone()));
+                Err(TenantError::Failed { name: name.to_owned(), error })
+            }
+        }
+    }
+
+    /// Drop a tenant. In-flight requests holding its `Arc` finish
+    /// normally; the memory goes away when the last of them drops. Metric
+    /// series already published for this store keep their last values
+    /// (the registry has no delete — the standard exposition caveat).
+    pub fn unload(&self, name: &str) -> Result<(), TenantError> {
+        if !valid_tenant_name(name) {
+            return Err(TenantError::InvalidName(name.to_owned()));
+        }
+        if name == self.default_name {
+            return Err(TenantError::DefaultUnload(name.to_owned()));
+        }
+        let removed = self.slots.write().remove(name);
+        match removed {
+            Some(_) => {
+                self.publish_count();
+                Ok(())
+            }
+            None => Err(TenantError::Unknown(name.to_owned())),
+        }
+    }
+
+    /// Reload one tenant from its sources; returns the new epoch. Runs
+    /// outside the map lock — only that tenant's writers serialize.
+    pub fn reload(&self, name: Option<&str>) -> Result<u64, TenantError> {
+        let tenant = self.get(name)?;
+        tenant
+            .engine()
+            .reload()
+            .map_err(|error| TenantError::Engine { name: tenant.name().to_owned(), error })
+    }
+
+    /// Apply a parsed delta to one tenant; returns the upsert outcome.
+    pub fn upsert(&self, name: Option<&str>, delta: Delta) -> Result<UpsertOutcome, TenantError> {
+        let tenant = self.get(name)?;
+        tenant
+            .engine()
+            .upsert(delta)
+            .map_err(|error| TenantError::Engine { name: tenant.name().to_owned(), error })
+    }
+
+    /// Every slot's status, sorted by name (deterministic output for
+    /// `GET /admin/stores` and tests).
+    pub fn list(&self) -> Vec<TenantStatus> {
+        let mut rows: Vec<TenantStatus> = self
+            .slots
+            .read()
+            .iter()
+            .map(|(name, slot)| match slot {
+                Slot::Ready(t) => t.status(),
+                Slot::Loading => TenantStatus {
+                    name: name.clone(),
+                    state: TenantState::Loading,
+                    epoch: 0,
+                    triples: 0,
+                    terms: 0,
+                    bytes: 0,
+                    overlay: None,
+                    cache: None,
+                },
+                Slot::Failed(e) => TenantStatus {
+                    name: name.clone(),
+                    state: TenantState::Failed(e.clone()),
+                    epoch: 0,
+                    triples: 0,
+                    terms: 0,
+                    bytes: 0,
+                    overlay: None,
+                    cache: None,
+                },
+            })
+            .collect();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows
+    }
+
+    /// All ready tenants (for scrape-time metric publication).
+    pub fn ready(&self) -> Vec<Arc<Tenant>> {
+        let mut tenants: Vec<Arc<Tenant>> = self
+            .slots
+            .read()
+            .values()
+            .filter_map(|slot| match slot {
+                Slot::Ready(t) => Some(Arc::clone(t)),
+                _ => None,
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.name().cmp(b.name()));
+        tenants
+    }
+
+    /// Number of registered slots (any state).
+    pub fn len(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// Never — the default tenant is always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the default tenant is ready (it always is — pinned at
+    /// construction) and whether *all* slots are ready. `/healthz`
+    /// reports 200 on the former and lists the laggards from the latter.
+    pub fn health(&self) -> (bool, Vec<TenantStatus>) {
+        let rows = self.list();
+        let default_ready =
+            rows.iter().any(|r| r.name == self.default_name && r.state == TenantState::Ready);
+        (default_ready, rows)
+    }
+
+    fn publish_count(&self) {
+        self.obs.gauge("gqa_server_stores", &[]).set(self.slots.read().len() as i64);
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("default", &self.default_name)
+            .field("stores", &self.len())
+            .field("cache_capacity", &self.cache_capacity)
+            .field("has_factory", &self.factory.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqa_core::concurrency::Concurrency;
+    use gqa_core::pipeline::{GAnswer, GAnswerConfig};
+    use gqa_datagen::minidbp::mini_dbpedia;
+    use gqa_datagen::patty::mini_dict;
+    use gqa_rdf::ntriples::parse_delta;
+    use std::sync::Arc;
+
+    fn engine(obs: &Obs) -> Engine {
+        let obs = obs.clone();
+        let build = move || {
+            let store = Arc::new(mini_dbpedia());
+            let dict = mini_dict(&store);
+            let config =
+                GAnswerConfig { concurrency: Concurrency::serial(), ..GAnswerConfig::default() };
+            Ok(GAnswer::shared(store, dict, config, obs.clone()))
+        };
+        let initial = build().unwrap();
+        let (dict, config, aobs) =
+            (initial.dict().clone(), initial.config.clone(), initial.obs().clone());
+        let assemble = move |store: gqa_rdf::Store| {
+            Ok(GAnswer::shared(Arc::new(store), dict.clone(), config.clone(), aobs.clone()))
+        };
+        Engine::with_assemble(initial, build, assemble)
+    }
+
+    fn registry() -> Registry {
+        let obs = Obs::new();
+        Registry::new("default", Arc::new(engine(&obs)), 8, obs).unwrap()
+    }
+
+    #[test]
+    fn names_are_validated() {
+        for good in ["default", "a", "Tenant-2", "v1.2_x", &"x".repeat(64)] {
+            assert!(valid_tenant_name(good), "{good:?} should be valid");
+        }
+        for bad in ["", ".", "..", "a/b", "a b", "na\u{e9}me", &"x".repeat(65), "a\nb"] {
+            assert!(!valid_tenant_name(bad), "{bad:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn get_routes_default_and_rejects_unknown() {
+        let reg = registry();
+        assert_eq!(reg.get(None).unwrap().name(), "default");
+        assert_eq!(reg.get(Some("default")).unwrap().name(), "default");
+        assert!(matches!(reg.get(Some("nope")), Err(TenantError::Unknown(n)) if n == "nope"));
+        assert!(matches!(reg.get(Some("../etc")), Err(TenantError::InvalidName(_))));
+    }
+
+    #[test]
+    fn insert_unload_and_default_protection() {
+        let reg = registry();
+        let obs = Obs::new();
+        reg.insert("beta", Arc::new(engine(&obs))).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert!(matches!(
+            reg.insert("beta", Arc::new(engine(&obs))),
+            Err(TenantError::AlreadyExists(_))
+        ));
+        assert!(matches!(reg.unload("default"), Err(TenantError::DefaultUnload(_))));
+        reg.unload("beta").unwrap();
+        assert!(matches!(reg.unload("beta"), Err(TenantError::Unknown(_))));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn load_without_factory_is_rejected_and_with_factory_works() {
+        let reg = registry();
+        assert!(matches!(reg.load("t2", "ignored"), Err(TenantError::NoFactory)));
+
+        let obs = Obs::new();
+        let factory_obs = obs.clone();
+        let reg = Registry::new("default", Arc::new(engine(&obs)), 8, obs).unwrap().with_factory(
+            Box::new(move |name, source| {
+                if source == "boom" {
+                    return Err("no such file".to_owned());
+                }
+                Ok(engine(&factory_obs.scoped("store", name)))
+            }),
+        );
+        let t = reg.load("t2", "whatever").unwrap();
+        assert_eq!(t.name(), "t2");
+        assert_eq!(reg.get(Some("t2")).unwrap().engine().epoch(), 1);
+        // A failed load parks a Failed slot that shows up in health()...
+        let err = reg.load("t3", "boom").unwrap_err();
+        assert!(matches!(err, TenantError::Failed { .. }), "{err}");
+        let (default_ready, rows) = reg.health();
+        assert!(default_ready);
+        let t3 = rows.iter().find(|r| r.name == "t3").unwrap();
+        assert_eq!(t3.state.as_str(), "failed");
+        // ...and a retry can replace it.
+        reg.load("t3", "ok now").unwrap();
+        assert_eq!(reg.get(Some("t3")).unwrap().name(), "t3");
+    }
+
+    #[test]
+    fn upsert_bumps_only_that_tenants_epoch_and_answers_change() {
+        let reg = registry();
+        let obs = Obs::new();
+        reg.insert("beta", Arc::new(engine(&obs))).unwrap();
+
+        let alpha_before = reg.get(None).unwrap().engine().epoch();
+        let delta = parse_delta(
+            "<http://dbpedia.org/resource/Novel_City> <http://xmlns.com/foaf/0.1/name> \"Novel City\" .\n",
+        )
+        .unwrap();
+        let outcome = reg.upsert(Some("beta"), delta).unwrap();
+        assert_eq!(outcome.epoch, 2);
+        assert_eq!(outcome.stats.added, 1);
+        assert!(!outcome.compaction_scheduled, "one triple must not trigger compaction");
+        // Isolation: default tenant untouched.
+        assert_eq!(reg.get(None).unwrap().engine().epoch(), alpha_before);
+        // The new fact is really in beta's published store.
+        let beta = reg.get(Some("beta")).unwrap();
+        let pinned = beta.engine().load();
+        assert!(pinned.value.store().iri("http://dbpedia.org/resource/Novel_City").is_some());
+        assert!(pinned.value.store().has_overlay());
+    }
+
+    #[test]
+    fn engine_without_assemble_rejects_upserts() {
+        let obs = Obs::new();
+        let store = Arc::new(mini_dbpedia());
+        let dict = mini_dict(&store);
+        let config =
+            GAnswerConfig { concurrency: Concurrency::serial(), ..GAnswerConfig::default() };
+        let initial = GAnswer::shared(store, dict, config, obs.clone());
+        let plain = Engine::new(initial, move || Err("no rebuild".to_owned()));
+        let reg = Registry::new("default", Arc::new(plain), 0, obs).unwrap();
+        let delta = parse_delta("<a> <b> <c> .\n").unwrap();
+        let err = reg.upsert(None, delta).unwrap_err();
+        assert!(matches!(err, TenantError::Engine { .. }), "{err}");
+    }
+
+    #[test]
+    fn heavy_overlay_schedules_background_compaction() {
+        let obs = Obs::new();
+        let eng = Arc::new(engine(&obs).compact_after(2));
+        let reg = Registry::new("default", Arc::clone(&eng), 0, obs).unwrap();
+        let delta = parse_delta("<x:a> <x:p> <x:b> .\n<x:a> <x:p> <x:c> .\n").unwrap();
+        let outcome = reg.upsert(None, delta).unwrap();
+        assert!(outcome.compaction_scheduled);
+        // The fold publishes a further epoch with the overlay gone.
+        for _ in 0..200 {
+            if eng.epoch() > outcome.epoch {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let pinned = eng.load();
+        assert!(pinned.epoch > outcome.epoch, "compaction never landed");
+        assert!(!pinned.value.store().has_overlay());
+        assert!(pinned.value.store().iri("x:a").is_some());
+    }
+
+    #[test]
+    fn tenant_metrics_carry_the_store_label() {
+        let reg = registry();
+        let tenant = reg.default_tenant();
+        tenant.publish_metrics();
+        let text = tenant.obs().prometheus();
+        assert!(text.contains("gqa_rdf_store_bytes{section=\"dict\",store=\"default\"}"), "{text}");
+        assert!(text.contains("gqa_server_cache_hits_total{store=\"default\"} 0"), "{text}");
+        assert!(text.contains("gqa_server_stores 1"), "{text}");
+    }
+
+    #[test]
+    fn status_reports_store_shape() {
+        let reg = registry();
+        let rows = reg.list();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.name, "default");
+        assert_eq!(row.state, TenantState::Ready);
+        assert_eq!(row.epoch, 1);
+        assert!(row.triples > 0);
+        assert!(row.terms > 0);
+        assert!(row.bytes > 0);
+        assert!(row.overlay.is_none());
+        let (stats, len) = row.cache.unwrap();
+        assert_eq!(stats, AnswerCacheStats::default());
+        assert_eq!(len, 0);
+    }
+}

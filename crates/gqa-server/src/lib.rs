@@ -32,3 +32,10 @@ pub mod server;
 pub mod signal;
 
 pub use server::{Engine, ServeStats, Server, ServerConfig, FAULT_SITE_WORKER};
+
+// The multi-tenant registry (named stores, per-tenant caches, incremental
+// upserts) lives in its own crate; re-exported for servers built over
+// [`Server::bind_registry`].
+pub use gqa_registry::{
+    valid_tenant_name, Registry, Tenant, TenantError, TenantState, TenantStatus, UpsertOutcome,
+};

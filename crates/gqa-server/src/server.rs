@@ -43,7 +43,9 @@ use gqa_fault::FaultPlan;
 use gqa_obs::{
     unix_ms_now, valid_request_id, AccessLog, Obs, Recorder, RequestIdGen, RequestTrace,
 };
-use gqa_rdf::snapshot::{Snapshot, Stamped};
+use gqa_rdf::ntriples::parse_delta;
+use gqa_rdf::snapshot::Stamped;
+use gqa_registry::{valid_tenant_name, Registry, Tenant, TenantError, TenantState};
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -170,72 +172,59 @@ struct Counters {
     timeouts: AtomicU64,
 }
 
-/// A reloadable answering engine: an epoch-stamped snapshot of a
-/// `'static` [`GAnswer`] (see [`GAnswer::shared`]) plus the recipe to
-/// rebuild it from its data sources. `POST /admin/reload` and SIGHUP call
-/// [`Engine::reload`]: the rebuild runs *outside* any lock, the swap is
-/// atomic, and in-flight requests keep the snapshot they loaded — the
-/// epoch bump is what invalidates answer-cache entries computed against
-/// the old store (each entry is stamped; see
-/// [`gqa_core::cache::AnswerCache`]).
-pub struct Engine {
-    snapshot: Snapshot<GAnswer<'static>>,
-    rebuild: Box<dyn Fn() -> Result<GAnswer<'static>, String> + Send + Sync>,
-}
-
-impl Engine {
-    /// An engine serving `initial` (epoch 1), reloading via `rebuild`.
-    /// For metric continuity the rebuild closure should construct the new
-    /// system over the *same* [`Obs`] handle as `initial`.
-    pub fn new(
-        initial: GAnswer<'static>,
-        rebuild: impl Fn() -> Result<GAnswer<'static>, String> + Send + Sync + 'static,
-    ) -> Self {
-        Engine { snapshot: Snapshot::new(initial), rebuild: Box::new(rebuild) }
-    }
-
-    /// The currently published system, pinned for the caller's lifetime.
-    pub fn load(&self) -> Arc<Stamped<GAnswer<'static>>> {
-        self.snapshot.load()
-    }
-
-    /// The current store epoch (starts at 1, +1 per successful reload).
-    pub fn epoch(&self) -> u64 {
-        self.snapshot.epoch()
-    }
-
-    /// Rebuild and atomically publish a fresh system; returns the new
-    /// epoch. On error the current snapshot stays published untouched.
-    pub fn reload(&self) -> Result<u64, String> {
-        let fresh = (self.rebuild)()?;
-        Ok(self.snapshot.swap(fresh))
-    }
-}
+// The reloadable engine moved to `gqa-registry` when serving went
+// multi-tenant; re-exported here so `gqa_server::Engine` keeps working.
+pub use gqa_registry::Engine;
 
 /// Where requests get their [`GAnswer`] from: a borrowed system (the
-/// historical embedding API) or a reloadable [`Engine`].
+/// historical embedding API) or a multi-tenant [`Registry`] of named
+/// reloadable [`Engine`]s (a single-engine server is a registry with one
+/// tenant called `default`).
 enum Backend<'s> {
     Fixed(&'s GAnswer<'s>),
-    Reloadable(Arc<Engine>),
+    Registry(Arc<Registry>),
 }
 
 impl Backend<'_> {
-    /// Pin the system for one request: every read the request performs
-    /// sees the same store snapshot, even across a concurrent reload.
-    fn guard(&self) -> SystemGuard<'_> {
+    /// The registry, when serving multi-tenant.
+    fn registry(&self) -> Option<&Arc<Registry>> {
         match self {
-            Backend::Fixed(s) => SystemGuard::Fixed(s),
-            Backend::Reloadable(e) => SystemGuard::Loaded(e.load()),
+            Backend::Fixed(_) => None,
+            Backend::Registry(r) => Some(r),
         }
     }
 
-    /// The epoch of the *currently published* snapshot — which may be
-    /// newer than a request's pinned [`SystemGuard::epoch`] if a reload
-    /// landed while the request was running.
-    fn current_epoch(&self) -> u64 {
+    /// Pin the system serving `store` (default tenant when `None`) for
+    /// one request: every read the request performs sees the same store
+    /// snapshot, even across a concurrent reload or upsert of that — or
+    /// any other — tenant. A bad `store` value is a typed error the
+    /// caller maps to a 4xx, never a panic.
+    fn guard_for(&self, store: Option<&str>) -> Result<SystemGuard<'_>, TenantError> {
+        match self {
+            Backend::Fixed(s) => match store {
+                None => Ok(SystemGuard::Fixed(s)),
+                Some(name) if !valid_tenant_name(name) => {
+                    Err(TenantError::InvalidName(name.to_owned()))
+                }
+                // A fixed server behaves as a registry of one: the
+                // default name still resolves.
+                Some("default") => Ok(SystemGuard::Fixed(s)),
+                Some(name) => Err(TenantError::Unknown(name.to_owned())),
+            },
+            Backend::Registry(reg) => {
+                let tenant = reg.get(store)?;
+                let pinned = tenant.engine().load();
+                Ok(SystemGuard::Loaded { tenant, pinned })
+            }
+        }
+    }
+
+    /// The default tenant's *currently published* epoch (for trace
+    /// stamping on non-answer endpoints).
+    fn default_epoch(&self) -> u64 {
         match self {
             Backend::Fixed(_) => 1,
-            Backend::Reloadable(e) => e.epoch(),
+            Backend::Registry(reg) => reg.default_tenant().engine().epoch(),
         }
     }
 }
@@ -243,7 +232,7 @@ impl Backend<'_> {
 /// One request's pinned view of the answering system.
 enum SystemGuard<'s> {
     Fixed(&'s GAnswer<'s>),
-    Loaded(Arc<Stamped<GAnswer<'static>>>),
+    Loaded { tenant: Arc<Tenant>, pinned: Arc<Stamped<GAnswer<'static>>> },
 }
 
 impl SystemGuard<'_> {
@@ -252,7 +241,7 @@ impl SystemGuard<'_> {
         // `&'s`/`Arc`), so both arms shorten to the guard borrow.
         match self {
             SystemGuard::Fixed(s) => s,
-            SystemGuard::Loaded(stamped) => &stamped.value,
+            SystemGuard::Loaded { pinned, .. } => &pinned.value,
         }
     }
 
@@ -261,9 +250,41 @@ impl SystemGuard<'_> {
     fn epoch(&self) -> u64 {
         match self {
             SystemGuard::Fixed(_) => 1,
-            SystemGuard::Loaded(stamped) => stamped.epoch,
+            SystemGuard::Loaded { pinned, .. } => pinned.epoch,
         }
     }
+
+    /// The epoch of the tenant's *currently published* snapshot — newer
+    /// than [`SystemGuard::epoch`] if a reload/upsert landed while this
+    /// request was running.
+    fn current_epoch(&self) -> u64 {
+        match self {
+            SystemGuard::Fixed(_) => 1,
+            SystemGuard::Loaded { tenant, .. } => tenant.engine().epoch(),
+        }
+    }
+
+    /// The tenant this request routed to (multi-tenant backends only).
+    fn tenant(&self) -> Option<&Arc<Tenant>> {
+        match self {
+            SystemGuard::Fixed(_) => None,
+            SystemGuard::Loaded { tenant, .. } => Some(tenant),
+        }
+    }
+}
+
+/// Map a [`TenantError`] onto an HTTP reply: client mistakes are 4xx
+/// (naming the offending store), capability gaps are 501, transient
+/// states are 503 — a bad `store` field can never take the worker down.
+fn tenant_error_reply(e: &TenantError) -> Reply {
+    let status = match e {
+        TenantError::InvalidName(_) | TenantError::Unknown(_) => 400,
+        TenantError::AlreadyExists(_) | TenantError::DefaultUnload(_) => 409,
+        TenantError::Loading(_) | TenantError::Failed { .. } => 503,
+        TenantError::NoFactory => 501,
+        TenantError::Engine { .. } => 500,
+    };
+    Reply::json(status, obj(vec![("error", Json::Str(e.to_string()))]))
 }
 
 /// The server. Workers share one [`GAnswer`] immutably (the same
@@ -323,13 +344,35 @@ impl<'s> Server<'s> {
     /// [`Server::bind`] over a reloadable [`Engine`]: `POST /admin/reload`
     /// and SIGHUP swap in a freshly rebuilt system without dropping
     /// in-flight requests. The returned server borrows nothing.
+    ///
+    /// Internally this is a one-tenant [`Registry`]: the engine serves as
+    /// the `default` store, so the multi-tenant surface (`store` request
+    /// field, `/admin/stores`, per-store metric labels) works uniformly —
+    /// single-tenant metric series simply carry `store="default"`.
     pub fn bind_reloadable(
         addr: impl ToSocketAddrs,
         engine: Arc<Engine>,
         config: ServerConfig,
     ) -> std::io::Result<Server<'static>> {
         let obs = engine.load().value.obs().clone();
-        Server::bind_backend(addr, Backend::Reloadable(engine), obs, config)
+        let registry = Registry::new("default", engine, config.cache_capacity, obs)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        Server::bind_registry(addr, Arc::new(registry), config)
+    }
+
+    /// [`Server::bind`] over a multi-tenant [`Registry`]: requests route
+    /// by their optional `store` field, `/admin/stores` manages tenants
+    /// live, and every tenant-level metric series carries
+    /// `store="<name>"`. Per-tenant answer caches belong to the registry
+    /// (its `cache_capacity`), not to [`ServerConfig::cache_capacity`] —
+    /// pass the same value to both for the config to describe reality.
+    pub fn bind_registry(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server<'static>> {
+        let obs = registry.obs().clone();
+        Server::bind_backend(addr, Backend::Registry(registry), obs, config)
     }
 
     fn bind_backend(
@@ -352,7 +395,10 @@ impl<'s> Server<'s> {
             obs.gauge("gqa_server_worker_threads", &[]).set(config.workers as i64);
             obs.gauge("gqa_server_queue_capacity", &[]).set(config.queue_capacity as i64);
             obs.histogram("gqa_server_request_duration_seconds", &[], gqa_obs::DURATION_BUCKETS);
-            if config.cache_capacity > 0 {
+            // Registry tenants own their caches and pre-register their
+            // labeled series themselves; only a fixed backend keeps a
+            // server-level, unlabeled cache.
+            if config.cache_capacity > 0 && matches!(backend, Backend::Fixed(_)) {
                 obs.counter("gqa_server_cache_hits_total", &[]);
                 obs.counter("gqa_server_cache_misses_total", &[]);
                 obs.counter("gqa_server_cache_stale_total", &[]);
@@ -363,9 +409,12 @@ impl<'s> Server<'s> {
                     gqa_obs::DURATION_BUCKETS,
                 );
             }
+            if let Backend::Registry(reg) = &backend {
+                obs.gauge("gqa_server_stores", &[]).set(reg.len() as i64);
+            }
         }
-        let cache =
-            (config.cache_capacity > 0).then(|| AnswerCache::with_capacity(config.cache_capacity));
+        let cache = (config.cache_capacity > 0 && matches!(backend, Backend::Fixed(_)))
+            .then(|| AnswerCache::with_capacity(config.cache_capacity));
         let recorder = (config.flight_recorder > 0).then(|| Recorder::new(config.flight_recorder));
         Ok(Server {
             backend,
@@ -456,8 +505,8 @@ impl<'s> Server<'s> {
             // rebuild runs on the acceptor thread — workers keep serving
             // from the old snapshot until the swap.
             if signal::take_reload() {
-                if let Backend::Reloadable(engine) = &self.backend {
-                    match engine.reload() {
+                if let Backend::Registry(reg) = &self.backend {
+                    match reg.reload(None) {
                         Ok(epoch) => eprintln!("[gqa-server] SIGHUP reload: epoch {epoch}"),
                         Err(e) => eprintln!("[gqa-server] SIGHUP reload failed: {e}"),
                     }
@@ -758,11 +807,11 @@ impl<'s> Server<'s> {
                 Ok(())
             };
             fire.map(|()| {
-                // Pin the store snapshot for the whole request: a reload
-                // concurrent with this request cannot change what it reads.
-                let guard = self.backend.guard();
-                info.epoch = guard.epoch();
-                self.route(req, &guard, accepted, counters, info)
+                // Non-answer endpoints trace against the default tenant's
+                // published epoch; `/answer` overwrites this with the
+                // epoch it pins for the tenant it routes to.
+                info.epoch = self.backend.default_epoch();
+                self.route(req, accepted, counters, info)
             })
         }));
         // On a fault or panic `route` never ran, so recover the endpoint
@@ -771,7 +820,7 @@ impl<'s> Server<'s> {
             "/answer" => "answer",
             "/metrics" => "metrics",
             "/healthz" => "healthz",
-            "/admin/reload" => "admin",
+            p if p == "/admin/reload" || p.starts_with("/admin/stores") => "admin",
             p if p == "/debug/requests" || p.starts_with("/debug/requests/") => "debug",
             _ => "other",
         };
@@ -804,7 +853,6 @@ impl<'s> Server<'s> {
     fn route(
         &self,
         req: &Request,
-        guard: &SystemGuard<'_>,
         accepted: Instant,
         counters: &Counters,
         info: &mut RequestInfo,
@@ -816,13 +864,14 @@ impl<'s> Server<'s> {
                 ("other", Reply::method_not_allowed("GET"))
             };
         }
+        if let Some(rest) = req.path.strip_prefix("/admin/stores") {
+            return ("admin", self.stores_route(req, rest));
+        }
         match (req.method.as_str(), req.path.as_str()) {
-            ("GET", "/healthz") => ("healthz", Reply::text(200, "ok\n")),
-            ("GET", "/metrics") => ("metrics", self.metrics_reply(guard, req)),
+            ("GET", "/healthz") => ("healthz", self.healthz_reply()),
+            ("GET", "/metrics") => ("metrics", self.metrics_reply(req)),
             ("GET", "/debug/requests") => ("debug", self.debug_requests_reply(req)),
-            ("POST", "/answer") => {
-                ("answer", self.answer_reply(req, guard, accepted, counters, info))
-            }
+            ("POST", "/answer") => ("answer", self.answer_reply(req, accepted, counters, info)),
             ("POST", "/admin/reload") => ("admin", self.reload_reply()),
             (_, "/healthz") | (_, "/metrics") | (_, "/debug/requests") => {
                 ("other", Reply::method_not_allowed("GET"))
@@ -833,6 +882,59 @@ impl<'s> Server<'s> {
                 Reply::json(404, obj(vec![("error", Json::Str("no such endpoint".into()))])),
             ),
         }
+    }
+
+    /// Everything under `/admin/stores`: the listing, the lifecycle verbs
+    /// (`load`/`unload`/`reload` with a JSON body naming the store), and
+    /// per-store N-Triples upserts (`/admin/stores/<name>/upsert`).
+    fn stores_route(&self, req: &Request, rest: &str) -> Reply {
+        match (req.method.as_str(), rest) {
+            ("GET", "") => self.stores_reply(),
+            (_, "") => Reply::method_not_allowed("GET"),
+            ("POST", "/load" | "/unload" | "/reload") => {
+                self.store_lifecycle_reply(req, &rest[1..])
+            }
+            (_, "/load" | "/unload" | "/reload") => Reply::method_not_allowed("POST"),
+            (method, sub) => match sub.strip_prefix('/').and_then(|s| s.strip_suffix("/upsert")) {
+                Some(name) if method == "POST" => self.upsert_reply(name, req),
+                Some(_) => Reply::method_not_allowed("POST"),
+                None => {
+                    Reply::json(404, obj(vec![("error", Json::Str("no such endpoint".into()))]))
+                }
+            },
+        }
+    }
+
+    /// `GET /healthz`. A fixed backend keeps the historical bare `ok`; a
+    /// registry reports per-store readiness — 200 as long as the default
+    /// store serves, with mid-load and failed tenants listed so an
+    /// operator (or the smoke test) can see exactly who is lagging.
+    fn healthz_reply(&self) -> Reply {
+        let Some(registry) = self.backend.registry() else {
+            return Reply::text(200, "ok\n");
+        };
+        let (default_ready, rows) = registry.health();
+        let stores: std::collections::BTreeMap<String, Json> = rows
+            .iter()
+            .map(|row| {
+                let mut pairs = vec![("state", Json::Str(row.state.as_str().into()))];
+                if row.state == TenantState::Ready {
+                    pairs.push(("epoch", Json::Num(row.epoch as f64)));
+                }
+                if let TenantState::Failed(e) = &row.state {
+                    pairs.push(("error", Json::Str(e.clone())));
+                }
+                (row.name.clone(), obj(pairs))
+            })
+            .collect();
+        let all_ready = rows.iter().all(|r| r.state == TenantState::Ready);
+        let body = obj(vec![
+            ("status", Json::Str(if default_ready { "ok" } else { "unavailable" }.into())),
+            ("default", Json::Str(registry.default_name().into())),
+            ("stores", Json::Obj(stores)),
+            ("degraded", Json::Bool(!all_ready)),
+        ]);
+        Reply::json(if default_ready { 200 } else { 503 }, body)
     }
 
     /// `POST /admin/reload`: rebuild the store and atomically publish it
@@ -849,18 +951,183 @@ impl<'s> Server<'s> {
                     Json::Str("server was started without a reloadable engine".into()),
                 )]),
             ),
-            Backend::Reloadable(engine) => match engine.reload() {
+            Backend::Registry(reg) => match reg.reload(None) {
                 Ok(epoch) => Reply::json(200, obj(vec![("epoch", Json::Num(epoch as f64))])),
-                Err(e) => {
-                    Reply::json(500, obj(vec![("error", Json::Str(format!("reload failed: {e}")))]))
-                }
+                Err(TenantError::Engine { error, .. }) => Reply::json(
+                    500,
+                    obj(vec![("error", Json::Str(format!("reload failed: {error}")))]),
+                ),
+                Err(e) => tenant_error_reply(&e),
             },
+        }
+    }
+
+    /// `GET /admin/stores`: every tenant's name, state, epoch, shape
+    /// (triples/terms/resident bytes), overlay backlog, and cache
+    /// counters — the operator's one-stop view of the registry.
+    fn stores_reply(&self) -> Reply {
+        let Some(registry) = self.backend.registry() else {
+            return Reply::json(
+                501,
+                obj(vec![(
+                    "error",
+                    Json::Str("server was started without a store registry".into()),
+                )]),
+            );
+        };
+        let stores: Vec<Json> = registry
+            .list()
+            .into_iter()
+            .map(|row| {
+                let overlay = row.overlay.map_or(Json::Null, |ov| {
+                    obj(vec![
+                        ("adds", Json::Num(ov.adds as f64)),
+                        ("dels", Json::Num(ov.dels as f64)),
+                        ("extra_terms", Json::Num(ov.extra_terms as f64)),
+                    ])
+                });
+                let cache = row.cache.map_or(Json::Null, |(s, len)| {
+                    obj(vec![
+                        ("entries", Json::Num(len as f64)),
+                        ("hits", Json::Num(s.hits as f64)),
+                        ("misses", Json::Num(s.misses as f64)),
+                        ("stale", Json::Num(s.stale as f64)),
+                        ("evictions", Json::Num(s.evictions as f64)),
+                    ])
+                });
+                let mut pairs = vec![
+                    ("name", Json::Str(row.name.clone())),
+                    ("state", Json::Str(row.state.as_str().into())),
+                    ("epoch", Json::Num(row.epoch as f64)),
+                    ("triples", Json::Num(row.triples as f64)),
+                    ("terms", Json::Num(row.terms as f64)),
+                    ("bytes", Json::Num(row.bytes as f64)),
+                    ("overlay", overlay),
+                    ("cache", cache),
+                ];
+                if let TenantState::Failed(e) = &row.state {
+                    pairs.push(("error", Json::Str(e.clone())));
+                }
+                obj(pairs)
+            })
+            .collect();
+        Reply::json(
+            200,
+            obj(vec![
+                ("default", Json::Str(registry.default_name().into())),
+                ("stores", Json::Arr(stores)),
+            ]),
+        )
+    }
+
+    /// `POST /admin/stores/{load,unload,reload}` with a JSON body naming
+    /// the store (`{"name": "...", "source": "..."}`; `source` only for
+    /// `load`). Lifecycle errors map through [`tenant_error_reply`].
+    fn store_lifecycle_reply(&self, req: &Request, verb: &str) -> Reply {
+        let Some(registry) = self.backend.registry() else {
+            return Reply::json(
+                501,
+                obj(vec![(
+                    "error",
+                    Json::Str("server was started without a store registry".into()),
+                )]),
+            );
+        };
+        let text = match std::str::from_utf8(&req.body) {
+            Ok(t) => t,
+            Err(_) => return Reply::bad_request("body is not valid UTF-8"),
+        };
+        let body = match json::parse(text) {
+            Ok(v) => v,
+            Err(e) => return Reply::bad_request(&format!("invalid JSON: {e}")),
+        };
+        let Some(name) = body.get("name").and_then(Json::as_str) else {
+            return Reply::bad_request("missing string field \"name\"");
+        };
+        match verb {
+            "load" => {
+                let Some(source) = body.get("source").and_then(Json::as_str) else {
+                    return Reply::bad_request(
+                        "missing string field \"source\" (e.g. \"data.nt\" or \"data.nt,dict.tsv\")",
+                    );
+                };
+                match registry.load(name, source) {
+                    Ok(tenant) => {
+                        let pinned = tenant.engine().load();
+                        Reply::json(
+                            200,
+                            obj(vec![
+                                ("store", Json::Str(name.into())),
+                                ("epoch", Json::Num(pinned.epoch as f64)),
+                                ("triples", Json::Num(pinned.value.store().len() as f64)),
+                            ]),
+                        )
+                    }
+                    Err(e) => tenant_error_reply(&e),
+                }
+            }
+            "unload" => match registry.unload(name) {
+                Ok(()) => Reply::json(200, obj(vec![("unloaded", Json::Str(name.into()))])),
+                Err(e) => tenant_error_reply(&e),
+            },
+            "reload" => match registry.reload(Some(name)) {
+                Ok(epoch) => Reply::json(
+                    200,
+                    obj(vec![
+                        ("store", Json::Str(name.into())),
+                        ("epoch", Json::Num(epoch as f64)),
+                    ]),
+                ),
+                Err(e) => tenant_error_reply(&e),
+            },
+            _ => unreachable!("routed verbs are load/unload/reload"),
+        }
+    }
+
+    /// `POST /admin/stores/<name>/upsert`: the body is N-Triples, one
+    /// statement per line, with a `-` prefix marking a delete. The batch
+    /// is atomic — any malformed line rejects the whole request with its
+    /// line number — and lands as a delta overlay published under a new
+    /// epoch ([`Engine::upsert`]); readers mid-request keep the snapshot
+    /// they pinned.
+    fn upsert_reply(&self, name: &str, req: &Request) -> Reply {
+        let Some(registry) = self.backend.registry() else {
+            return Reply::json(
+                501,
+                obj(vec![(
+                    "error",
+                    Json::Str("server was started without a store registry".into()),
+                )]),
+            );
+        };
+        let text = match std::str::from_utf8(&req.body) {
+            Ok(t) => t,
+            Err(_) => return Reply::bad_request("body is not valid UTF-8"),
+        };
+        let delta = match parse_delta(text) {
+            Ok(d) => d,
+            Err(e) => return Reply::bad_request(&format!("invalid N-Triples delta: {e}")),
+        };
+        match registry.upsert(Some(name), delta) {
+            Ok(outcome) => Reply::json(
+                200,
+                obj(vec![
+                    ("store", Json::Str(name.into())),
+                    ("epoch", Json::Num(outcome.epoch as f64)),
+                    ("added", Json::Num(outcome.stats.added as f64)),
+                    ("deleted", Json::Num(outcome.stats.deleted as f64)),
+                    ("noops", Json::Num(outcome.stats.noops as f64)),
+                    ("new_terms", Json::Num(outcome.stats.new_terms as f64)),
+                    ("compaction_scheduled", Json::Bool(outcome.compaction_scheduled)),
+                ]),
+            ),
+            Err(e) => tenant_error_reply(&e),
         }
     }
 
     /// `GET /metrics`: Prometheus text by default, the registry's JSON
     /// dump with `?format=json`.
-    fn metrics_reply(&self, guard: &SystemGuard<'_>, req: &Request) -> Reply {
+    fn metrics_reply(&self, req: &Request) -> Reply {
         let obs = &self.obs;
         let json_format = matches!(query_param(req.query.as_deref(), "format"), Some("json"));
         if !obs.is_enabled() {
@@ -874,18 +1141,37 @@ impl<'s> Server<'s> {
             }
             return Reply::text(200, "# metrics disabled (server started without obs)\n");
         }
-        guard.system().publish_metrics();
-        // The answer cache keeps its own atomics (single source of truth,
-        // shared with `AnswerCache::stats`); publish them absolutely at
-        // scrape time like the pipeline's component-local counters.
-        if let Some(registry) = obs.registry() {
-            if let Some(cache) = &self.cache {
-                let stats = cache.stats();
-                registry.set_counter("gqa_server_cache_hits_total", &[], stats.hits);
-                registry.set_counter("gqa_server_cache_misses_total", &[], stats.misses);
-                registry.set_counter("gqa_server_cache_stale_total", &[], stats.stale);
-                registry.set_counter("gqa_server_cache_evictions_total", &[], stats.evictions);
+        // The answer caches keep their own atomics (single source of
+        // truth, shared with `AnswerCache::stats`); publish them
+        // absolutely at scrape time like the pipeline's component-local
+        // counters. A registry backend publishes every ready tenant under
+        // its `store="<name>"` label; a fixed backend keeps the
+        // historical unlabeled series.
+        match &self.backend {
+            Backend::Fixed(system) => {
+                system.publish_metrics();
+                if let Some(registry) = obs.registry() {
+                    if let Some(cache) = &self.cache {
+                        let stats = cache.stats();
+                        registry.set_counter("gqa_server_cache_hits_total", &[], stats.hits);
+                        registry.set_counter("gqa_server_cache_misses_total", &[], stats.misses);
+                        registry.set_counter("gqa_server_cache_stale_total", &[], stats.stale);
+                        registry.set_counter(
+                            "gqa_server_cache_evictions_total",
+                            &[],
+                            stats.evictions,
+                        );
+                    }
+                }
             }
+            Backend::Registry(reg) => {
+                for tenant in reg.ready() {
+                    tenant.publish_metrics();
+                }
+                obs.gauge("gqa_server_stores", &[]).set(reg.len() as i64);
+            }
+        }
+        if let Some(registry) = obs.registry() {
             if let Some(log) = &self.access_log {
                 registry.set_counter("gqa_server_access_log_dropped_total", &[], log.dropped());
             }
@@ -990,7 +1276,6 @@ impl<'s> Server<'s> {
     fn answer_reply(
         &self,
         req: &Request,
-        guard: &SystemGuard<'_>,
         accepted: Instant,
         counters: &Counters,
         info: &mut RequestInfo,
@@ -1010,6 +1295,23 @@ impl<'s> Server<'s> {
         if question.trim().is_empty() {
             return Reply::bad_request("\"question\" must be non-empty");
         }
+        // Route to a tenant (absent `store` = the default) and pin its
+        // snapshot for the whole request: a reload or upsert — of this
+        // tenant or any other — concurrent with this request cannot
+        // change what it reads. An unknown or malformed store name is the
+        // client's mistake: a 400 naming it, never a 500.
+        let store_field = match body.get("store") {
+            None => None,
+            Some(v) => match v.as_str() {
+                Some(s) => Some(s),
+                None => return Reply::bad_request("\"store\" must be a string"),
+            },
+        };
+        let guard = match self.backend.guard_for(store_field) {
+            Ok(g) => g,
+            Err(e) => return tenant_error_reply(&e),
+        };
+        info.epoch = guard.epoch();
         // `k` accepts 0 (a valid "give me the empty prefix" request that
         // answers 200 with empty lists — it used to 400). Absent `k`
         // falls back to the configured default, where 0 means "no
@@ -1060,12 +1362,20 @@ impl<'s> Server<'s> {
             || self.config.fault.is_active()
             || system.config.fault.is_active()
             || !system.config.budget.is_unlimited();
-        let cached_key = match (&self.cache, bypass) {
+        // A tenant-routed request uses the tenant's own cache and its
+        // scoped obs handle (`store="<name>"`); a fixed backend keeps the
+        // server-level cache and unlabeled series.
+        let cache_ref = match guard.tenant() {
+            Some(tenant) => tenant.cache(),
+            None => self.cache.as_ref(),
+        };
+        let cache_obs = guard.tenant().map_or(&self.obs, |t| t.obs());
+        let cached_key = match (cache_ref, bypass) {
             (Some(cache), false) => {
                 let key = CacheKey::new(question, k, config_fingerprint(&system.config));
                 match cache.lookup(&key, guard.epoch()) {
                     Lookup::Hit(response) => {
-                        self.obs
+                        cache_obs
                             .histogram(
                                 "gqa_server_cache_hit_duration_seconds",
                                 &[],
@@ -1119,7 +1429,7 @@ impl<'s> Server<'s> {
                     // entry stamped with a retired epoch would be
                     // immediately stale, and (worse) could displace a
                     // fresh post-reload entry for the same key.
-                    if guard.epoch() == self.backend.current_epoch() {
+                    if guard.epoch() == guard.current_epoch() {
                         cache.insert(key, guard.epoch(), Arc::clone(&response));
                     }
                     info.cache = Some("miss".to_string());

@@ -736,8 +736,11 @@ fn admin_reload_bumps_epoch_and_invalidates_cached_answers() {
     assert_eq!(engine.epoch(), 2);
 
     let metrics = log[5].1.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap();
-    assert!(metrics.contains("gqa_server_cache_stale_total 1"), "{metrics}");
+    // A reloadable server is a one-tenant registry: its cache series
+    // carry the default tenant's store label.
+    assert!(metrics.contains("gqa_server_cache_stale_total{store=\"default\"} 1"), "{metrics}");
     assert!(metrics.contains("gqa_server_requests_total{endpoint=\"admin\"} 1"), "{metrics}");
+    assert!(metrics.contains("gqa_server_stores 1"), "{metrics}");
 }
 
 #[test]

@@ -1,0 +1,399 @@
+//! Multi-tenant serving end-to-end: one server, many named stores.
+//!
+//! What is asserted, per ISSUE acceptance:
+//! * `/answer` routes by the optional `store` field; a bad store name is
+//!   a 400 naming the offending tenant, never a 500 or a panic;
+//! * concurrent reload/upsert of tenant A is invisible to in-flight
+//!   tenant-B requests — B's answers stay byte-identical, B's epoch stays
+//!   put, and B's cache entries keep hitting;
+//! * the admin lifecycle works over HTTP: list, live-load through the
+//!   factory, incremental upsert making a brand-new fact answerable at a
+//!   bumped epoch, per-store health, unload, and default-tenant
+//!   protection.
+//!
+//! Same discipline as `e2e.rs`: client threads collect outcomes instead
+//! of asserting, the server is always shut down and joined, assertions
+//! run last.
+
+use gqa_core::concurrency::Concurrency;
+use gqa_core::pipeline::{GAnswer, GAnswerConfig};
+use gqa_datagen::minidbp::mini_dbpedia;
+use gqa_datagen::patty::mini_dict;
+use gqa_obs::Obs;
+use gqa_rdf::ntriples::parse_delta;
+use gqa_server::{Engine, Registry, ServeStats, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A client closure handed to [`serve_and_drive`].
+type Client<T> = Box<dyn FnOnce(SocketAddr) -> T + Send>;
+/// (status, full response text including headers) on success.
+type Outcome = Result<Vec<(u16, String)>, String>;
+
+/// A new city and its mayor, absent from `mini_dbpedia`. The IRIs use the
+/// same compact CURIE form the curated store interns (`parse_delta` keeps
+/// whatever sits between the angle brackets verbatim), so the upsert joins
+/// the existing `dbo:leaderName` schema and the "mayor of" dictionary
+/// entry keeps working for the new subject.
+const GRAPHVILLE_DELTA: &str = "\
+<dbr:Graphville> <rdf:type> <dbo:City> .\n\
+<dbr:Graphville> <rdfs:label> \"Graphville\" .\n\
+<dbr:Graphville> <dbo:leaderName> <dbr:Ada_Graphton> .\n\
+<dbr:Ada_Graphton> <rdf:type> <dbo:Person> .\n\
+<dbr:Ada_Graphton> <rdfs:label> \"Ada Graphton\" .\n";
+
+/// An upsertable engine over the mini graph: full rebuild re-reads the
+/// generator, assemble re-derives the pipeline around a mutated store.
+fn engine(obs: &Obs) -> Engine {
+    let obs = obs.clone();
+    let build = move || {
+        let store = Arc::new(mini_dbpedia());
+        let dict = mini_dict(&store);
+        let config =
+            GAnswerConfig { concurrency: Concurrency::serial(), ..GAnswerConfig::default() };
+        Ok(GAnswer::shared(store, dict, config, obs.clone()))
+    };
+    let initial = build().unwrap();
+    let (dict, config, aobs) =
+        (initial.dict().clone(), initial.config.clone(), initial.obs().clone());
+    let assemble = move |store: gqa_rdf::Store| {
+        Ok(GAnswer::shared(Arc::new(store), dict.clone(), config.clone(), aobs.clone()))
+    };
+    Engine::with_assemble(initial, build, assemble)
+}
+
+/// Send raw bytes, read to EOF, return (status, full text incl. headers).
+fn send_raw(addr: SocketAddr, bytes: &[u8]) -> Result<(u16, String), String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
+    s.write_all(bytes).map_err(|e| format!("write: {e}"))?;
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| format!("unparseable response: {text:?}"))?;
+    Ok((status, text))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> Result<(u16, String), String> {
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    send_raw(addr, req.as_bytes())
+}
+
+fn get(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
+    let req = format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    send_raw(addr, req.as_bytes())
+}
+
+/// Body of a full response text (everything after the blank line).
+fn body_of(text: &str) -> &str {
+    text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("")
+}
+
+/// The deterministic prefix of an `/answer` body: everything before the
+/// wall-clock `timings_ms` object.
+fn semantic_prefix(body: &str) -> &str {
+    body.split("\"timings_ms\"").next().unwrap()
+}
+
+/// The one `GET /admin/stores` array element describing `name` (keys are
+/// serialized alphabetically, so every tenant object starts at `"bytes"`).
+fn tenant_chunk<'l>(listing: &'l str, name: &str) -> &'l str {
+    let tag = format!("\"name\":\"{name}\"");
+    listing
+        .split("{\"bytes\"")
+        .find(|chunk| chunk.contains(&tag))
+        .unwrap_or_else(|| panic!("no {name} tenant in {listing}"))
+}
+
+/// Run `clients` concurrently against a served `Server`, always shut the
+/// server down, and hand back (per-client outcomes, server stats).
+fn serve_and_drive<T: Send>(
+    server: &Server<'_>,
+    clients: Vec<Client<T>>,
+) -> (Vec<std::thread::Result<T>>, ServeStats) {
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run());
+        let handles: Vec<_> = clients.into_iter().map(|c| scope.spawn(move || c(addr))).collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        shutdown.store(true, Ordering::SeqCst);
+        let stats = run.join().expect("server thread panicked");
+        (outcomes, stats)
+    })
+}
+
+fn unwrap_log<T>(outcomes: Vec<std::thread::Result<Result<T, String>>>) -> Vec<T> {
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("client thread panicked").expect("client i/o failed"))
+        .collect()
+}
+
+#[test]
+fn answer_routes_by_store_field_and_bad_stores_are_400() {
+    let obs = Obs::new();
+    let registry =
+        Registry::new("default", Arc::new(engine(&obs)), 16, obs.clone()).expect("registry");
+    registry.insert("city", Arc::new(engine(&obs))).expect("insert");
+    // Tenant "city" alone learns about Graphville before the server binds.
+    registry.upsert(Some("city"), parse_delta(GRAPHVILLE_DELTA).unwrap()).expect("pre-bind upsert");
+
+    let server = Server::bind_registry(
+        "127.0.0.1:0",
+        Arc::new(registry),
+        ServerConfig { workers: 2, ..ServerConfig::default() },
+    )
+    .expect("bind");
+
+    let berlin = r#"{"question": "Who is the mayor of Berlin?", "k": 3}"#;
+    let graphville_default = r#"{"question": "Who is the mayor of Graphville?", "k": 3}"#;
+    let graphville_city =
+        r#"{"question": "Who is the mayor of Graphville?", "k": 3, "store": "city"}"#;
+    let berlin_explicit =
+        r#"{"question": "Who is the mayor of Berlin?", "k": 3, "store": "default"}"#;
+    let unknown = r#"{"question": "Who is the mayor of Berlin?", "store": "nope"}"#;
+    let traversal = r#"{"question": "Who is the mayor of Berlin?", "store": "../../etc"}"#;
+    let non_string = r#"{"question": "Who is the mayor of Berlin?", "store": 5}"#;
+
+    let client = Box::new(move |addr: SocketAddr| -> Outcome {
+        Ok(vec![
+            post(addr, "/answer", berlin)?,
+            post(addr, "/answer", berlin_explicit)?,
+            post(addr, "/answer", graphville_city)?,
+            post(addr, "/answer", graphville_default)?,
+            post(addr, "/answer", unknown)?,
+            post(addr, "/answer", traversal)?,
+            post(addr, "/answer", non_string)?,
+        ])
+    }) as Client<Outcome>;
+
+    let (outcomes, _stats) = serve_and_drive(&server, vec![client]);
+    let log = unwrap_log(outcomes).remove(0);
+
+    // Default routing (absent and explicit) answers from the base graph.
+    assert_eq!(log[0].0, 200, "{}", log[0].1);
+    assert!(log[0].1.contains("Klaus Wowereit"), "{}", log[0].1);
+    assert_eq!(log[1].0, 200, "{}", log[1].1);
+    assert!(log[1].1.contains("Klaus Wowereit"), "{}", log[1].1);
+
+    // The upserted fact answers only on the tenant that received it.
+    assert_eq!(log[2].0, 200, "{}", log[2].1);
+    assert!(log[2].1.contains("Ada Graphton"), "{}", log[2].1);
+    assert!(
+        !log[3].1.contains("Ada Graphton"),
+        "default tenant leaked city-only data: {}",
+        log[3].1
+    );
+
+    // Bad store fields are client errors that name the problem.
+    assert_eq!(log[4].0, 400, "{}", log[4].1);
+    assert!(log[4].1.contains("nope"), "{}", log[4].1);
+    assert_eq!(log[5].0, 400, "{}", log[5].1);
+    assert_eq!(log[6].0, 400, "{}", log[6].1);
+    assert!(log[6].1.contains("string"), "{}", log[6].1);
+}
+
+#[test]
+fn mutating_one_tenant_is_invisible_to_in_flight_requests_on_another() {
+    let obs = Obs::new();
+    let registry =
+        Registry::new("default", Arc::new(engine(&obs)), 16, obs.clone()).expect("registry");
+    registry.insert("churner", Arc::new(engine(&obs))).expect("insert churner");
+    registry.insert("steady", Arc::new(engine(&obs))).expect("insert steady");
+
+    let server = Server::bind_registry(
+        "127.0.0.1:0",
+        Arc::new(registry),
+        ServerConfig { workers: 3, ..ServerConfig::default() },
+    )
+    .expect("bind");
+
+    const OBSERVER_ROUNDS: usize = 24;
+    const MUTATOR_ROUNDS: usize = 12;
+    let q = r#"{"question": "Who is the mayor of Berlin?", "k": 3, "store": "steady"}"#;
+
+    // Observer: hammer tenant "steady" with the same question while the
+    // mutator churns "churner". First response seeds the cache; every
+    // later one must be a hit with a byte-identical payload.
+    let observer = Box::new(move |addr: SocketAddr| -> Outcome {
+        let mut log = Vec::with_capacity(OBSERVER_ROUNDS + 1);
+        for _ in 0..OBSERVER_ROUNDS {
+            log.push(post(addr, "/answer", q)?);
+        }
+        log.push(get(addr, "/admin/stores")?);
+        Ok(log)
+    }) as Client<Outcome>;
+
+    // Mutator: alternate full reloads and incremental upserts of
+    // "churner" — the two mutation paths the registry serializes.
+    let mutator = Box::new(move |addr: SocketAddr| -> Outcome {
+        let mut log = Vec::with_capacity(MUTATOR_ROUNDS);
+        for round in 0..MUTATOR_ROUNDS {
+            log.push(if round % 2 == 0 {
+                post(addr, "/admin/stores/reload", r#"{"name": "churner"}"#)?
+            } else {
+                let delta = format!("<x:subj_{round}> <x:grew> <x:obj_{round}> .\n");
+                post(addr, "/admin/stores/churner/upsert", &delta)?
+            });
+        }
+        Ok(log)
+    }) as Client<Outcome>;
+
+    let (outcomes, _stats) = serve_and_drive(&server, vec![observer, mutator]);
+    let mut logs = unwrap_log(outcomes);
+    let mutator_log = logs.pop().unwrap();
+    let observer_log = logs.pop().unwrap();
+
+    // Every mutation succeeded and kept bumping churner's epoch.
+    for (i, (status, text)) in mutator_log.iter().enumerate() {
+        assert_eq!(*status, 200, "mutation {i}: {text}");
+    }
+    let last = body_of(&mutator_log.last().unwrap().1);
+    assert!(
+        last.contains(&format!("\"epoch\":{}", MUTATOR_ROUNDS + 1)),
+        "churner should sit at epoch {} after {} mutations: {last}",
+        MUTATOR_ROUNDS + 1,
+        MUTATOR_ROUNDS
+    );
+
+    // The steady tenant never noticed: identical answers, cache hits all
+    // the way after the seed, and (checked via the final listing) an
+    // epoch still at 1 with zero stale cache entries.
+    let seed = &observer_log[0];
+    assert_eq!(seed.0, 200, "{}", seed.1);
+    assert!(seed.1.contains("Klaus Wowereit"), "{}", seed.1);
+    assert!(seed.1.contains("X-Cache: miss"), "{}", seed.1);
+    for (i, (status, text)) in observer_log[1..OBSERVER_ROUNDS].iter().enumerate() {
+        assert_eq!(*status, 200, "observer round {}: {text}", i + 1);
+        assert!(text.contains("X-Cache: hit"), "observer round {}: {text}", i + 1);
+        assert_eq!(
+            semantic_prefix(body_of(text)),
+            semantic_prefix(body_of(&seed.1)),
+            "answer drifted on round {}",
+            i + 1
+        );
+    }
+
+    let listing = body_of(&observer_log[OBSERVER_ROUNDS].1);
+    let steady = tenant_chunk(listing, "steady");
+    assert!(steady.contains("\"epoch\":1"), "steady epoch moved: {steady}");
+    assert!(steady.contains("\"stale\":0"), "steady cache saw stale entries: {steady}");
+}
+
+#[test]
+fn admin_lifecycle_load_upsert_healthz_unload_over_http() {
+    let obs = Obs::new();
+    let factory_obs = obs.clone();
+    let registry = Registry::new("default", Arc::new(engine(&obs)), 16, obs.clone())
+        .expect("registry")
+        .with_factory(Box::new(move |_name, source| {
+            if source == "mini" {
+                Ok(engine(&factory_obs))
+            } else {
+                Err(format!("unknown source {source:?}"))
+            }
+        }));
+
+    let server = Server::bind_registry(
+        "127.0.0.1:0",
+        Arc::new(registry),
+        ServerConfig { workers: 2, ..ServerConfig::default() },
+    )
+    .expect("bind");
+
+    let graphville = r#"{"question": "Who is the mayor of Graphville?", "k": 3, "store": "extra"}"#;
+    let client = Box::new(move |addr: SocketAddr| -> Outcome {
+        Ok(vec![
+            get(addr, "/admin/stores")?, // 0
+            post(addr, "/admin/stores/load", r#"{"name":"extra","source":"mini"}"#)?, // 1
+            post(addr, "/admin/stores/extra/upsert", GRAPHVILLE_DELTA)?, // 2
+            post(addr, "/answer", graphville)?, // 3
+            get(addr, "/admin/stores")?, // 4
+            post(addr, "/admin/stores/load", r#"{"name":"broken","source":"nt"}"#)?, // 5
+            get(addr, "/healthz")?,      // 6
+            post(addr, "/admin/stores/unload", r#"{"name":"broken"}"#)?, // 7
+            post(addr, "/admin/stores/unload", r#"{"name":"extra"}"#)?, // 8
+            post(addr, "/answer", graphville)?, // 9
+            post(addr, "/admin/stores/unload", r#"{"name":"default"}"#)?, // 10
+            get(addr, "/healthz")?,      // 11
+            get(addr, "/admin/stores/load")?, // 12
+            post(addr, "/admin/stores/extra/nope", "")?, // 13
+        ])
+    }) as Client<Outcome>;
+
+    let (outcomes, _stats) = serve_and_drive(&server, vec![client]);
+    let log = unwrap_log(outcomes).remove(0);
+
+    // 0: boot listing shows exactly the default tenant.
+    assert_eq!(log[0].0, 200, "{}", log[0].1);
+    let boot = body_of(&log[0].1);
+    assert!(boot.contains("\"default\":\"default\""), "{boot}");
+    assert!(boot.contains("\"name\":\"default\""), "{boot}");
+    assert!(!boot.contains("\"name\":\"extra\""), "{boot}");
+
+    // 1: live-load through the factory lands ready at epoch 1.
+    assert_eq!(log[1].0, 200, "{}", log[1].1);
+    let loaded = body_of(&log[1].1);
+    assert!(loaded.contains("\"store\":\"extra\""), "{loaded}");
+    assert!(loaded.contains("\"epoch\":1"), "{loaded}");
+
+    // 2: the upsert applies atomically and bumps only extra's epoch.
+    assert_eq!(log[2].0, 200, "{}", log[2].1);
+    let upserted = body_of(&log[2].1);
+    assert!(upserted.contains("\"epoch\":2"), "{upserted}");
+    assert!(upserted.contains("\"added\":5"), "{upserted}");
+    assert!(upserted.contains("\"deleted\":0"), "{upserted}");
+    assert!(upserted.contains("\"compaction_scheduled\":false"), "{upserted}");
+
+    // 3: the brand-new fact is answerable over HTTP (the bumped epoch is
+    // confirmed in the listing below).
+    assert_eq!(log[3].0, 200, "{}", log[3].1);
+    assert!(log[3].1.contains("Ada Graphton"), "{}", log[3].1);
+
+    // 4: the listing reflects the overlay backlog and default isolation.
+    let listing = body_of(&log[4].1);
+    let extra = tenant_chunk(listing, "extra");
+    assert!(extra.contains("\"epoch\":2"), "{extra}");
+    assert!(extra.contains("\"adds\":5"), "{extra}");
+    let default = tenant_chunk(listing, "default");
+    assert!(default.contains("\"epoch\":1"), "{default}");
+
+    // 5–6: a failed load is a 503 and shows up in health without
+    // degrading the default store's 200.
+    assert_eq!(log[5].0, 503, "{}", log[5].1);
+    assert!(log[5].1.contains("unknown source"), "{}", log[5].1);
+    assert_eq!(log[6].0, 200, "{}", log[6].1);
+    let health = body_of(&log[6].1);
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(health.contains("\"degraded\":true"), "{health}");
+    assert!(health.contains("\"broken\":{\"error\":\"unknown source"), "{health}");
+    assert!(health.contains("\"state\":\"failed\""), "{health}");
+
+    // 7–10: unloads drop routing; the default tenant is protected.
+    assert_eq!(log[7].0, 200, "{}", log[7].1);
+    assert_eq!(log[8].0, 200, "{}", log[8].1);
+    assert_eq!(log[9].0, 400, "unloaded store should 400: {}", log[9].1);
+    assert!(log[9].1.contains("extra"), "{}", log[9].1);
+    assert_eq!(log[10].0, 409, "{}", log[10].1);
+
+    // 11: health is clean again once the failed slot is gone.
+    let health = body_of(&log[11].1);
+    assert_eq!(log[11].0, 200, "{}", log[11].1);
+    assert!(health.contains("\"degraded\":false"), "{health}");
+
+    // 12–13: method and path mistakes stay 405/404, never 500.
+    assert_eq!(log[12].0, 405, "{}", log[12].1);
+    assert_eq!(log[13].0, 404, "{}", log[13].1);
+}

@@ -75,7 +75,7 @@ pub fn evaluate(store: &Store, query: &Query) -> ResultSet {
                     Node::Const(TermId(u32::MAX))
                 }
             },
-            TermAst::Literal(l) => match store.dict().lookup(l) {
+            TermAst::Literal(l) => match store.lookup_term(l) {
                 Some(id) => Node::Const(id),
                 None => {
                     resolvable.set(false);
@@ -141,7 +141,7 @@ pub fn evaluate(store: &Store, query: &Query) -> ResultSet {
         [&pat.s, &pat.p, &pat.o].into_iter().all(|t| match t {
             TermAst::Var(_) => true,
             TermAst::Iri(i) => store.iri(i).is_some(),
-            TermAst::Literal(l) => store.dict().lookup(l).is_some(),
+            TermAst::Literal(l) => store.lookup_term(l).is_some(),
         })
     });
     let mut solutions: Vec<Vec<Option<TermId>>> = Vec::new();
@@ -176,7 +176,7 @@ pub fn evaluate(store: &Store, query: &Query) -> ResultSet {
             let val = match &f.value {
                 TermAst::Literal(t) => match t.numeric_value() {
                     Some(n) => FilterVal::Num(n),
-                    None => FilterVal::Term(store.dict().lookup(t)),
+                    None => FilterVal::Term(store.lookup_term(t)),
                 },
                 TermAst::Iri(i) => FilterVal::Term(store.iri(i)),
                 TermAst::Var(v) => FilterVal::Var(var_ids[v]),

@@ -41,6 +41,9 @@ struct Options {
     cache: Option<usize>,
     access_log: Option<String>,
     flight_recorder: Option<usize>,
+    /// Extra tenants for serve mode: repeatable `--store NAME=SPEC` where
+    /// SPEC is `mini`, `DATA.nt`, or `DATA.nt,DICT.tsv`.
+    stores: Vec<(String, String)>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -63,6 +66,7 @@ fn parse_args() -> Result<Options, String> {
         cache: None,
         access_log: None,
         flight_recorder: None,
+        stores: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -120,6 +124,18 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--no-cache" => opts.cache = Some(0),
+            "--store" => {
+                let spec = args.next().ok_or("--store needs NAME=DATA[,DICT] (or NAME=mini)")?;
+                let (name, source) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --store {spec:?}: expected NAME=DATA[,DICT]"))?;
+                if !ganswer::server::valid_tenant_name(name) {
+                    return Err(format!(
+                        "bad --store name {name:?}: use 1-64 chars of [A-Za-z0-9._-]"
+                    ));
+                }
+                opts.stores.push((name.to_owned(), source.to_owned()));
+            }
             "--access-log" => {
                 opts.access_log = Some(args.next().ok_or("--access-log needs a file")?);
             }
@@ -165,6 +181,14 @@ fn parse_args() -> Result<Options, String> {
                      --cache N            (--serve) answer cache capacity in responses\n\
                      \x20                    (default 1024); reloads invalidate stale entries\n\
                      --no-cache           (--serve) disable the answer cache\n\
+                     --store NAME=SPEC    (--serve, repeatable) serve an extra named store\n\
+                     \x20                    alongside the default; SPEC is \"mini\" (bundled\n\
+                     \x20                    demo graph), \"DATA.nt\" (demo dictionary), or\n\
+                     \x20                    \"DATA.nt,DICT.tsv\". Route with the \"store\"\n\
+                     \x20                    field of POST /answer; manage live with\n\
+                     \x20                    POST /admin/stores/{{load,unload,reload}} and\n\
+                     \x20                    POST /admin/stores/<name>/upsert (N-Triples\n\
+                     \x20                    body, \"-\"-prefixed lines delete)\n\
                      --access-log FILE    (--serve) append one JSON line per request to\n\
                      \x20                    FILE, written off the hot path; flushed on\n\
                      \x20                    graceful shutdown\n\
@@ -201,6 +225,69 @@ fn write_metrics(system: &GAnswer<'_>, path: &str) {
         Ok(()) => eprintln!("metrics written to {path}"),
         Err(e) => eprintln!("error: cannot write {path}: {e}"),
     }
+}
+
+/// Build one tenant's engine from a `--store` / `/admin/stores/load`
+/// source spec: `"mini"` is the bundled demo graph with its mined demo
+/// dictionary; otherwise `DATA[,DICT]`, where DATA is N-Triples text or a
+/// binary snapshot and DICT a mined dictionary TSV (omitting DICT falls
+/// back to the demo dictionary, which only fits snapshots of the demo
+/// graph). The engine reloads by re-reading the spec and supports
+/// incremental upserts (the pipeline is re-assembled around the mutated
+/// store; the dictionary loaded at boot is reused).
+fn tenant_engine(
+    source: &str,
+    base: &Options,
+    config: &GAnswerConfig,
+    obs: &Obs,
+) -> Result<ganswer::server::Engine, String> {
+    let mut opts = base.clone();
+    if source == "mini" {
+        opts.data = None;
+        opts.dict = None;
+        opts.mini_dict = false;
+    } else {
+        match source.split_once(',') {
+            Some((data, dict)) => {
+                opts.data = Some(data.to_owned());
+                opts.dict = Some(dict.to_owned());
+                opts.mini_dict = false;
+            }
+            None => {
+                opts.data = Some(source.to_owned());
+                opts.dict = None;
+                opts.mini_dict = true;
+            }
+        }
+    }
+    let build = {
+        let config = config.clone();
+        let obs = obs.clone();
+        move || -> Result<GAnswer<'static>, String> {
+            let (store, dict, parse_errors) = load(&opts)?;
+            let system = GAnswer::shared(Arc::new(store), dict, config.clone(), obs.clone());
+            system.obs().counter("gqa_rdf_parse_errors_total", &[]).add(parse_errors);
+            Ok(system)
+        }
+    };
+    let initial = build()?;
+    Ok(upsertable_engine(initial, build))
+}
+
+/// Wrap a built system and its rebuild recipe in an [`Engine`] that also
+/// supports incremental N-Triples upserts: the assemble step re-derives
+/// the linker and literal indexes around the mutated store while reusing
+/// the dictionary and configuration of the boot-time system.
+fn upsertable_engine(
+    initial: GAnswer<'static>,
+    build: impl Fn() -> Result<GAnswer<'static>, String> + Send + Sync + 'static,
+) -> ganswer::server::Engine {
+    let (dict, config, obs) =
+        (initial.dict().clone(), initial.config.clone(), initial.obs().clone());
+    let assemble = move |store: Store| {
+        Ok(GAnswer::shared(Arc::new(store), dict.clone(), config.clone(), obs.clone()))
+    };
+    ganswer::server::Engine::with_assemble(initial, build, assemble)
 }
 
 /// Load the triple store from `--data` or the bundled mini-DBpedia. A data
@@ -354,12 +441,41 @@ fn main() {
         };
         let initial = GAnswer::shared(Arc::new(store), dict, config.clone(), obs.clone());
         initial.obs().counter("gqa_rdf_parse_errors_total", &[]).add(parse_errors);
-        let engine = Arc::new(ganswer::server::Engine::new(initial, rebuild));
+        let engine = Arc::new(upsertable_engine(initial, rebuild));
         let mut server_config = ganswer::server::ServerConfig {
             cache_capacity: opts.cache.unwrap_or(1024),
             fault: fault.clone(),
             ..Default::default()
         };
+        // The default store plus any --store tenants live in one registry;
+        // /admin/stores/load can add more at runtime through the factory.
+        let registry = match ganswer::server::Registry::new(
+            "default",
+            Arc::clone(&engine),
+            server_config.cache_capacity,
+            obs.clone(),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let factory = {
+            let base = opts.clone();
+            let config = config.clone();
+            let obs = obs.clone();
+            Box::new(move |_name: &str, source: &str| tenant_engine(source, &base, &config, &obs))
+        };
+        let registry = Arc::new(registry.with_factory(factory));
+        for (name, source) in &opts.stores {
+            let tenant = tenant_engine(source, &opts, &config, &obs)
+                .and_then(|eng| registry.insert(name, Arc::new(eng)).map_err(|e| e.to_string()));
+            if let Err(e) = tenant {
+                eprintln!("error: --store {name}: {e}");
+                std::process::exit(2);
+            }
+        }
         if let Some(n) = opts.threads {
             server_config.workers = n.max(1);
         }
@@ -372,9 +488,9 @@ fn main() {
         if let Some(n) = opts.flight_recorder {
             server_config.flight_recorder = n;
         }
-        let mut server = match ganswer::server::Server::bind_reloadable(
+        let mut server = match ganswer::server::Server::bind_registry(
             addr.as_str(),
-            Arc::clone(&engine),
+            Arc::clone(&registry),
             server_config,
         ) {
             Ok(s) => s,
@@ -397,13 +513,16 @@ fn main() {
         // reloadable engine, so it is safe to claim the signal here.
         ganswer::server::signal::install_reload();
         let local = server.local_addr().expect("bound listener has an address");
+        let tenant_names: Vec<String> = registry.list().into_iter().map(|row| row.name).collect();
         println!(
             "ganswer serving on http://{local} — {} entities, {} triples; \
+             stores: {}; \
              {} workers, queue {}, default deadline {} ms, answer cache {}, \
              flight recorder {} \
              (SIGTERM to stop, SIGHUP or POST /admin/reload to reload)",
             stats.entities,
             stats.triples,
+            tenant_names.join(", "),
             server.config().workers,
             server.config().queue_capacity,
             server.config().default_timeout_ms,
@@ -420,7 +539,14 @@ fn main() {
         );
         let served = server.run();
         if let Some(path) = &opts.metrics {
-            write_metrics(&engine.load().value, path);
+            // Per-tenant publish so every store's series carry its label.
+            for tenant in registry.ready() {
+                tenant.publish_metrics();
+            }
+            match std::fs::write(path, obs.prometheus()) {
+                Ok(()) => eprintln!("metrics written to {path}"),
+                Err(e) => eprintln!("error: cannot write {path}: {e}"),
+            }
         }
         println!(
             "ganswer: drained — {} accepted, {} served, {} shed, {} timed out",

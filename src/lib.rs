@@ -42,6 +42,7 @@ pub use gqa_nlp as nlp;
 pub use gqa_obs as obs;
 pub use gqa_paraphrase as paraphrase;
 pub use gqa_rdf as rdf;
+pub use gqa_registry as registry;
 pub use gqa_server as server;
 pub use gqa_sparql as sparql;
 
