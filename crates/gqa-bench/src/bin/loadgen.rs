@@ -56,6 +56,14 @@ struct Opts {
     chaos: Option<u64>,
     cache: usize,
     tenants: bool,
+    /// `--crash SEED`: run the kill-9 crash-recovery phase with this seed.
+    crash: Option<u64>,
+    /// `--server-bin PATH`: the `ganswer` binary the crash phase spawns
+    /// (default: a `ganswer` sibling of the loadgen executable).
+    server_bin: Option<String>,
+    /// `--crash-faults SPEC`: fault spec armed on the crash phase's last
+    /// round (WAL sites; acked upserts must survive even when appends fail).
+    crash_faults: String,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -71,6 +79,9 @@ fn parse_args() -> Result<Opts, String> {
         chaos: None,
         cache: 0,
         tenants: true,
+        crash: None,
+        server_bin: None,
+        crash_faults: "wal.fsync:error:0.2".to_owned(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -92,6 +103,13 @@ fn parse_args() -> Result<Opts, String> {
             "--chaos" => opts.chaos = Some(num("--chaos")?),
             "--cache" => opts.cache = num("--cache")? as usize,
             "--no-tenants" => opts.tenants = false,
+            "--crash" => opts.crash = Some(num("--crash")?),
+            "--server-bin" => {
+                opts.server_bin = Some(args.next().ok_or("--server-bin needs a path")?);
+            }
+            "--crash-faults" => {
+                opts.crash_faults = args.next().ok_or("--crash-faults needs a spec")?;
+            }
             "--threads" => {
                 let _ = num("--threads")?; // consumed by threads_arg()
             }
@@ -119,7 +137,17 @@ fn parse_args() -> Result<Opts, String> {
                      --no-tenants   skip the multi-tenant phase (on by default in-process):\n\
                      \x20              two stores in one registry server, one churned by\n\
                      \x20              reloads + upserts under load while the other's traffic\n\
-                     \x20              must see zero errors and reconciling per-store tallies"
+                     \x20              must see zero errors and reconciling per-store tallies\n\
+                     --crash SEED   kill-9 crash-recovery phase: spawn `ganswer --serve\n\
+                     \x20              --durable` as a subprocess, churn upserts, SIGKILL it\n\
+                     \x20              at a seeded point, restart over the same directory, and\n\
+                     \x20              verify every acked upsert is answerable with an exact\n\
+                     \x20              tally reconciliation (3 rounds; WAL faults armed on the\n\
+                     \x20              last via --crash-faults)\n\
+                     --server-bin P ganswer binary for --crash (default: sibling of loadgen)\n\
+                     --crash-faults SPEC\n\
+                     \x20              fault spec for the crash phase's last round\n\
+                     \x20              (default \"wal.fsync:error:0.2\")"
                 );
                 std::process::exit(0);
             }
@@ -1007,6 +1035,303 @@ fn run_tenants(opts: &Opts) -> TenantOutcome {
     }
 }
 
+/// First integer value after `"key":` in a compact JSON body (the admin
+/// endpoints emit no whitespace around separators).
+fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let pattern = format!("\"{key}\":");
+    let at = body.find(&pattern)? + pattern.len();
+    let rest = &body[at..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// A `ganswer --serve` subprocess the crash phase can `kill -9`.
+struct ServerProc {
+    child: std::process::Child,
+    addr: SocketAddr,
+}
+
+impl ServerProc {
+    /// SIGKILL — no drain, no flush; exactly the crash under test.
+    fn kill9(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawn `ganswer --serve 127.0.0.1:0 --durable DIR`, parse the bound
+/// address from its startup banner, and wait for `/healthz`.
+fn spawn_durable_server(
+    bin: &std::path::Path,
+    dir: &std::path::Path,
+    faults: Option<(&str, u64)>,
+) -> Result<ServerProc, String> {
+    use std::io::BufRead;
+    use std::process::{Command, Stdio};
+    let mut cmd = Command::new(bin);
+    cmd.args(["--serve", "127.0.0.1:0", "--durable"])
+        .arg(dir)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if let Some((spec, seed)) = faults {
+        cmd.args(["--faults", spec, "--fault-seed", &seed.to_string()]);
+    }
+    let mut child = cmd.spawn().map_err(|e| format!("spawn {}: {e}", bin.display()))?;
+    let stdout = child.stdout.take().ok_or("server stdout not piped")?;
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err("server exited before printing its address".into());
+            }
+            Ok(_) => {}
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(format!("read server banner: {e}"));
+            }
+        }
+        if let Some(rest) = line.split("http://").nth(1) {
+            if let Ok(a) = rest.split_whitespace().next().unwrap_or("").parse::<SocketAddr>() {
+                break a;
+            }
+        }
+    };
+    // Keep draining stdout so the child can never block on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = Vec::new();
+        let _ = std::io::Read::read_to_end(&mut reader, &mut sink);
+    });
+    for _ in 0..200 {
+        if http_get(addr, "/healthz").is_ok() {
+            return Ok(ServerProc { child, addr });
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    Err("server never became healthy".into())
+}
+
+/// One kill-9 round of the crash phase.
+struct CrashRound {
+    faults: Option<String>,
+    kill_after: u64,
+    acked: u64,
+    failed: u64,
+    recovered_epoch: u64,
+    max_acked_epoch: u64,
+    replayed_records: u64,
+    reconciled_noops: u64,
+    reconciled_added: u64,
+    absent_failed_added: u64,
+    ok: bool,
+}
+
+/// What the crash phase saw across all rounds.
+struct CrashOutcome {
+    seed: u64,
+    server_bin: String,
+    rounds: Vec<CrashRound>,
+    total_acked: u64,
+    spawn_error: Option<String>,
+}
+
+impl CrashOutcome {
+    fn ok(&self) -> bool {
+        self.spawn_error.is_none() && !self.rounds.is_empty() && self.rounds.iter().all(|r| r.ok)
+    }
+}
+
+/// The durability invariant, end to end: spawn the real server binary with
+/// `--durable`, churn single-triple upserts against it, `kill -9` at a
+/// seeded point mid-churn, restart over the same directory, and verify
+/// that (a) the recovered epoch is at least the last acked epoch, (b)
+/// re-upserting every triple ever acked — across all rounds — comes back
+/// as pure no-ops (nothing acked was lost), and (c) upserts that *failed*
+/// under an armed WAL fault plan are absent after recovery (a failed
+/// append is never half-applied). Three rounds; the WAL log and its
+/// checkpoint directory persist across rounds, so later rounds also prove
+/// replay-over-recovered-state is idempotent.
+fn run_crash(seed: u64, opts: &Opts) -> CrashOutcome {
+    let bin = opts
+        .server_bin
+        .clone()
+        .map(std::path::PathBuf::from)
+        .or_else(|| {
+            std::env::current_exe().ok().and_then(|p| p.parent().map(|d| d.join("ganswer")))
+        })
+        .unwrap_or_else(|| std::path::PathBuf::from("ganswer"));
+    let mut outcome = CrashOutcome {
+        seed,
+        server_bin: bin.display().to_string(),
+        rounds: Vec::new(),
+        total_acked: 0,
+        spawn_error: None,
+    };
+    if !bin.exists() {
+        outcome.spawn_error = Some(format!(
+            "{} not found — build the ganswer binary or pass --server-bin",
+            bin.display()
+        ));
+        return outcome;
+    }
+    let dir = std::env::temp_dir().join(format!("gqa-loadgen-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rng = seed;
+    let mut next_n = 0u64;
+    let mut global_acked: Vec<u64> = Vec::new();
+    let mut max_acked_epoch = 0u64;
+    let fact = |n: u64| format!("<up:c{n}> <up:grew> <up:o{n}> .\n");
+
+    for round in 0..3u64 {
+        let fault_spec = (round == 2).then(|| opts.crash_faults.clone());
+        let kill_after = 4 + splitmix64(&mut rng) % 12;
+        println!(
+            "crash round {}: kill -9 after {kill_after} acked upserts{} ...",
+            round + 1,
+            fault_spec.as_deref().map(|s| format!(", faults \"{s}\"")).unwrap_or_default(),
+        );
+        let server = match spawn_durable_server(
+            &bin,
+            &dir,
+            fault_spec.as_deref().map(|s| (s, seed ^ round)),
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                outcome.spawn_error = Some(e);
+                break;
+            }
+        };
+        let addr = server.addr;
+
+        // Churn: a closed loop of single-triple upserts; the killer thread
+        // SIGKILLs the server the moment the seeded ack count is reached,
+        // so the kill lands mid-churn (an in-flight request simply errors
+        // — it was never acked, so it carries no durability promise).
+        let acked = Mutex::new(Vec::new()); // (n, epoch)
+        let failed = Mutex::new(Vec::new()); // n
+        let done = AtomicU64::new(0);
+        let end_n = std::thread::scope(|scope| {
+            let churner = scope.spawn(|| {
+                let mut n = next_n;
+                loop {
+                    if done.load(Ordering::Relaxed) != 0 {
+                        break;
+                    }
+                    match http_post(addr, "/admin/stores/default/upsert", &fact(n)) {
+                        Ok((200, body)) => {
+                            let epoch = json_u64(&body, "epoch").unwrap_or(0);
+                            acked.lock().unwrap().push((n, epoch));
+                        }
+                        Ok(_) => failed.lock().unwrap().push(n),
+                        Err(_) => break, // the kill landed mid-request
+                    }
+                    n += 1;
+                }
+                n
+            });
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while (acked.lock().unwrap().len() as u64) < kill_after
+                && Instant::now() < deadline
+                && !churner.is_finished()
+            {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            server.kill9();
+            done.store(1, Ordering::Relaxed);
+            churner.join().expect("churn thread panicked")
+        });
+        next_n = end_n;
+        let round_acked = acked.into_inner().unwrap();
+        let round_failed = failed.into_inner().unwrap();
+        let churn_max_epoch = round_acked.iter().map(|&(_, e)| e).max().unwrap_or(0);
+        max_acked_epoch = max_acked_epoch.max(churn_max_epoch);
+        global_acked.extend(round_acked.iter().map(|&(n, _)| n));
+
+        // Restart over the same durable directory — recovery replays the
+        // WAL — and reconcile, always fault-free (recovery is the part
+        // under test here, not the fault plan).
+        let verify = match spawn_durable_server(&bin, &dir, None) {
+            Ok(s) => s,
+            Err(e) => {
+                outcome.spawn_error = Some(format!("restart after kill: {e}"));
+                break;
+            }
+        };
+        let stores = http_get(verify.addr, "/admin/stores").unwrap_or_default();
+        let recovered_epoch = json_u64(&stores, "epoch").unwrap_or(0);
+        let replayed_records = json_u64(&stores, "replayed_records").unwrap_or(0);
+        // Every epoch ever acked — this round's churn and earlier rounds'
+        // reconciliation upserts alike — must be at or below the epoch the
+        // restarted server recovered to.
+        let epoch_floor = max_acked_epoch;
+
+        let body: String = global_acked.iter().map(|&n| fact(n)).collect();
+        let (reconciled_noops, reconciled_added) =
+            match http_post(verify.addr, "/admin/stores/default/upsert", &body) {
+                Ok((200, b)) => {
+                    max_acked_epoch = max_acked_epoch.max(json_u64(&b, "epoch").unwrap_or(0));
+                    (json_u64(&b, "noops").unwrap_or(0), json_u64(&b, "added").unwrap_or(0))
+                }
+                _ => (0, u64::MAX),
+            };
+        // Upserts that failed under the fault plan must NOT have survived:
+        // re-sending them now must add every one as a brand-new triple.
+        let absent_failed_added = if round_failed.is_empty() {
+            0
+        } else {
+            let body: String = round_failed.iter().map(|&n| fact(n)).collect();
+            match http_post(verify.addr, "/admin/stores/default/upsert", &body) {
+                Ok((200, b)) => {
+                    max_acked_epoch = max_acked_epoch.max(json_u64(&b, "epoch").unwrap_or(0));
+                    json_u64(&b, "added").unwrap_or(0)
+                }
+                _ => u64::MAX,
+            }
+        };
+        // Those formerly-failed triples are acked now — fold them into the
+        // global set so later rounds demand they survive too.
+        global_acked.extend(round_failed.iter().copied());
+        verify.kill9();
+
+        let ok = recovered_epoch >= epoch_floor
+            && replayed_records >= round_acked.len() as u64
+            && reconciled_noops == (global_acked.len() - round_failed.len()) as u64
+            && reconciled_added == 0
+            && absent_failed_added == round_failed.len() as u64;
+        println!(
+            "crash round {}: {} acked, {} failed, recovered epoch {recovered_epoch} \
+             (max acked {epoch_floor}), {replayed_records} replayed, \
+             reconciled {reconciled_noops} noops / {reconciled_added} added — ok: {ok}",
+            round + 1,
+            round_acked.len(),
+            round_failed.len(),
+        );
+        outcome.total_acked += round_acked.len() as u64;
+        outcome.rounds.push(CrashRound {
+            faults: fault_spec,
+            kill_after,
+            acked: round_acked.len() as u64,
+            failed: round_failed.len() as u64,
+            recovered_epoch,
+            max_acked_epoch: epoch_floor,
+            replayed_records,
+            reconciled_noops,
+            reconciled_added,
+            absent_failed_added,
+            ok,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome
+}
+
 /// Everything measured while the server was up.
 struct Report {
     addr: SocketAddr,
@@ -1042,7 +1367,8 @@ fn main() {
             std::process::exit(2);
         });
         let report = drive(addr, false, &opts, host_threads);
-        finish(report, None, &opts, host_threads, None, None, None);
+        let crash = opts.crash.map(|seed| run_crash(seed, &opts));
+        finish(report, None, &opts, host_threads, None, None, None, crash);
     } else {
         let store = mini_dbpedia();
         let workers = threads_arg()
@@ -1080,7 +1406,8 @@ fn main() {
         let cache = (opts.cache > 0).then(|| run_cache(&store, opts.cache, &opts));
         let chaos = opts.chaos.map(|seed| run_chaos(&store, seed, &opts));
         let tenants = opts.tenants.then(|| run_tenants(&opts));
-        finish(report, Some(stats), &opts, host_threads, chaos, cache, tenants);
+        let crash = opts.crash.map(|seed| run_crash(seed, &opts));
+        finish(report, Some(stats), &opts, host_threads, chaos, cache, tenants, crash);
     }
 }
 
@@ -1130,6 +1457,7 @@ fn drive(addr: SocketAddr, in_process: bool, opts: &Opts, host_threads: usize) -
 
 /// Check metrics agreement, write the artifact, print the summary, and set
 /// the exit status (the CI smoke job depends on it).
+#[allow(clippy::too_many_arguments)]
 fn finish(
     report: Report,
     server_stats: Option<gqa_server::ServeStats>,
@@ -1138,6 +1466,7 @@ fn finish(
     chaos: Option<ChaosOutcome>,
     cache: Option<CacheOutcome>,
     tenants: Option<TenantOutcome>,
+    crash: Option<CrashOutcome>,
 ) {
     let Report { addr, in_process, before, after, steady, overload } = report;
     let server_workers = metric_value(&before, "gqa_server_worker_threads") as u64;
@@ -1272,6 +1601,54 @@ fn finish(
         ",\n  \"multi_tenant\": {\"enabled\": false}".to_owned()
     };
 
+    let crash_json = if let Some(c) = &crash {
+        let rounds: Vec<String> = c
+            .rounds
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                format!(
+                    "{{\"round\": {}, \"faults\": {}, \"kill_after_acks\": {}, \
+                     \"acked\": {}, \"failed\": {}, \"recovered_epoch\": {}, \
+                     \"max_acked_epoch\": {}, \"replayed_records\": {}, \
+                     \"reconciled_noops\": {}, \"reconciled_added\": {}, \
+                     \"absent_failed_added\": {}, \"ok\": {}}}",
+                    i + 1,
+                    r.faults.as_deref().map_or("null".to_owned(), |s| format!("\"{s}\"")),
+                    r.kill_after,
+                    r.acked,
+                    r.failed,
+                    r.recovered_epoch,
+                    r.max_acked_epoch,
+                    r.replayed_records,
+                    r.reconciled_noops,
+                    r.reconciled_added,
+                    r.absent_failed_added,
+                    r.ok,
+                )
+            })
+            .collect();
+        format!(
+            ",\n  \"crash\": {{\n\
+             \x20   \"enabled\": true,\n\
+             \x20   \"seed\": {},\n\
+             \x20   \"server_bin\": \"{}\",\n\
+             \x20   \"spawn_error\": {},\n\
+             \x20   \"total_acked\": {},\n\
+             \x20   \"rounds\": [{}],\n\
+             \x20   \"ok\": {}\n\
+             \x20 }}",
+            c.seed,
+            c.server_bin,
+            c.spawn_error.as_deref().map_or("null".to_owned(), |e| format!("\"{e}\"")),
+            c.total_acked,
+            rounds.join(", "),
+            c.ok(),
+        )
+    } else {
+        ",\n  \"crash\": {\"enabled\": false}".to_owned()
+    };
+
     let chaos_json = if let Some(c) = &chaos {
         let client_500 = c.phase.status_counts.get(&500).copied().unwrap_or(0);
         let statuses: Vec<String> =
@@ -1319,7 +1696,7 @@ fn finish(
          \x20   \"answer_requests\": {{\"client\": {client_answered}, \"server_delta\": {answered_delta:.0}, \"agree\": {requests_agree}}},\n\
          \x20   \"shed\": {{\"client\": {client_shed}, \"server_delta\": {shed_delta:.0}, \"agree\": {shed_agree}}},\n\
          \x20   \"timeouts\": {{\"client\": {client_timeouts}, \"server_delta\": {timeout_delta:.0}, \"agree\": {timeouts_agree}}}\n\
-         \x20 }}{server_stats_json}{cache_json}{tenants_json}{chaos_json}\n\
+         \x20 }}{server_stats_json}{cache_json}{tenants_json}{chaos_json}{crash_json}\n\
          }}\n",
         opts.timeout_ms,
         phases.join(",\n"),
@@ -1397,9 +1774,24 @@ fn finish(
             c.agree(),
         );
     }
+    if let Some(c) = &crash {
+        if let Some(e) = &c.spawn_error {
+            println!("crash:    seed {}, spawn error: {e}", c.seed);
+        } else {
+            println!(
+                "crash:    seed {}, {} rounds, {} acked upserts total, every ack \
+                 answerable after kill -9 + recovery: {}",
+                c.seed,
+                c.rounds.len(),
+                c.total_acked,
+                c.ok(),
+            );
+        }
+    }
     let chaos_agree = chaos.as_ref().is_none_or(ChaosOutcome::agree);
     let cache_ok = cache.as_ref().is_none_or(|c| c.hit_rate_ok() && c.phase.io_errors == 0);
     let tenants_ok = tenants.as_ref().is_none_or(TenantOutcome::ok);
+    let crash_ok = crash.as_ref().is_none_or(CrashOutcome::ok);
     // Every response across every phase must have echoed the client's
     // X-Request-Id — a single missing or mangled echo fails the run.
     let ids_missing = steady.missing_ids
@@ -1415,13 +1807,20 @@ fn finish(
             format!("{ids_missing} responses missing X-Request-Id")
         }
     );
-    if !(requests_agree && shed_agree && timeouts_agree && chaos_agree && cache_ok && tenants_ok)
+    if !(requests_agree
+        && shed_agree
+        && timeouts_agree
+        && chaos_agree
+        && cache_ok
+        && tenants_ok
+        && crash_ok)
         || ids_missing > 0
     {
         eprintln!(
             "error: client tallies and /metrics deltas disagree, a response lost its \
-             X-Request-Id, the cache hit rate fell below 90%, or the multi-tenant \
-             phase failed isolation/reconciliation"
+             X-Request-Id, the cache hit rate fell below 90%, the multi-tenant \
+             phase failed isolation/reconciliation, or the crash-recovery phase \
+             lost an acked upsert"
         );
         std::process::exit(1);
     }

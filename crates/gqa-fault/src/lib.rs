@@ -48,6 +48,12 @@ pub enum FaultKind {
     Error,
     /// Allocate-and-touch `param` bytes, then free them (memory pressure).
     Alloc,
+    /// Return a [`FaultError`] with [`FaultError::torn`] set — a write
+    /// failed after part of it may already have reached disk. Durable
+    /// sinks (the WAL) respond by writing a deliberately partial record
+    /// and poisoning themselves, so torn-tail recovery after restart is
+    /// exercised end to end.
+    Torn,
 }
 
 impl FaultKind {
@@ -57,6 +63,7 @@ impl FaultKind {
             "latency" => Some(FaultKind::Latency),
             "error" => Some(FaultKind::Error),
             "alloc" => Some(FaultKind::Alloc),
+            "torn" => Some(FaultKind::Torn),
             _ => None,
         }
     }
@@ -65,7 +72,7 @@ impl FaultKind {
         match self {
             FaultKind::Latency => 10,    // ms
             FaultKind::Alloc => 1 << 20, // bytes
-            FaultKind::Panic | FaultKind::Error => 0,
+            FaultKind::Panic | FaultKind::Error | FaultKind::Torn => 0,
         }
     }
 }
@@ -79,11 +86,16 @@ impl FaultKind {
 pub struct FaultError {
     /// The site the error was injected at.
     pub site: String,
+    /// `true` for [`FaultKind::Torn`] rules: the failed operation may
+    /// have left a partial write behind, and the observing sink should
+    /// simulate exactly that (instead of failing cleanly before writing).
+    pub torn: bool,
 }
 
 impl std::fmt::Display for FaultError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "injected fault: spurious error at site {:?}", self.site)
+        let what = if self.torn { "torn write" } else { "spurious error" };
+        write!(f, "injected fault: {what} at site {:?}", self.site)
     }
 }
 
@@ -306,7 +318,12 @@ impl PlanInner {
                     }
                     std::hint::black_box(&buf);
                 }
-                FaultKind::Error => return (fired, Err(FaultError { site: site.to_owned() })),
+                FaultKind::Error => {
+                    return (fired, Err(FaultError { site: site.to_owned(), torn: false }))
+                }
+                FaultKind::Torn => {
+                    return (fired, Err(FaultError { site: site.to_owned(), torn: true }))
+                }
             }
         }
         (fired, Ok(()))
@@ -645,6 +662,17 @@ mod tests {
         assert_eq!(plan.fired("linker.lookup"), 1);
         assert_eq!(plan.calls("linker.lookup"), 1);
         assert_eq!(plan.fired("other.site"), 0);
+    }
+
+    #[test]
+    fn torn_rules_flag_the_error_as_torn() {
+        let plan = FaultPlan::parse("wal.append:torn:1.0", 0).unwrap();
+        let err = plan.fire("wal.append").unwrap_err();
+        assert!(err.torn);
+        assert!(err.to_string().contains("torn write"), "{err}");
+        // Plain error rules stay un-torn.
+        let plan = FaultPlan::parse("wal.fsync:error:1.0", 0).unwrap();
+        assert!(!plan.fire("wal.fsync").unwrap_err().torn);
     }
 
     #[test]

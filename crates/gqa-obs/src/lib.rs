@@ -159,6 +159,17 @@ impl Obs {
         self.inner.as_deref().map(|i| &i.registry)
     }
 
+    /// Drop every registered series carrying the label pair
+    /// `key="value"` (see [`Registry::remove_labeled`]); no-op when
+    /// disabled. The multi-tenant registry calls this on unload so a
+    /// departed tenant's `store="<name>"` series vanish from `/metrics`
+    /// instead of freezing at their last values.
+    pub fn remove_scoped(&self, key: &str, value: &str) {
+        if let Some(r) = self.registry() {
+            r.remove_labeled(key, value);
+        }
+    }
+
     /// Prometheus text exposition of all metrics (empty when disabled).
     pub fn prometheus(&self) -> String {
         self.registry().map(Registry::prometheus).unwrap_or_default()
@@ -239,5 +250,28 @@ mod tests {
         let clone = obs.clone();
         clone.counter("gqa_shared_total", &[]).inc();
         assert_eq!(obs.counter("gqa_shared_total", &[]).get(), 1);
+    }
+
+    #[test]
+    fn remove_scoped_drops_only_the_matching_series() {
+        let obs = Obs::new();
+        let beta = obs.scoped("store", "beta");
+        let cached = beta.counter("gqa_test_total", &[]);
+        cached.inc();
+        beta.gauge("gqa_test_depth", &[]).set(7);
+        beta.histogram("gqa_test_seconds", &[], DURATION_BUCKETS).observe(0.1);
+        obs.scoped("store", "alpha").counter("gqa_test_total", &[]).inc();
+        obs.counter("gqa_unscoped_total", &[]).inc();
+        assert!(obs.prometheus().contains("store=\"beta\""));
+        obs.remove_scoped("store", "beta");
+        let text = obs.prometheus();
+        assert!(!text.contains("store=\"beta\""), "{text}");
+        assert!(text.contains("store=\"alpha\""), "{text}");
+        assert!(text.contains("gqa_unscoped_total 1"), "{text}");
+        // A handle cached before removal keeps working, but its series
+        // is detached — it never reappears in the exposition.
+        cached.inc();
+        assert_eq!(cached.get(), 2);
+        assert!(!obs.prometheus().contains("store=\"beta\""));
     }
 }

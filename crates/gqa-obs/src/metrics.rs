@@ -409,6 +409,18 @@ impl Registry {
             .clone()
     }
 
+    /// Drop every series (counter, gauge, or histogram) carrying the
+    /// label pair `key="value"`. Used when a tenant is unloaded so its
+    /// `store="<name>"` series do not linger as ghosts in `/metrics`;
+    /// handles cached by the departed owner keep working, they just no
+    /// longer appear in expositions.
+    pub fn remove_labeled(&self, key: &str, value: &str) {
+        let keep = |series: &SeriesKey| !series.labels.iter().any(|(k, v)| k == key && v == value);
+        self.counters.lock().retain(|k, _| keep(k));
+        self.gauges.lock().retain(|k, _| keep(k));
+        self.histograms.lock().retain(|k, _| keep(k));
+    }
+
     /// Prometheus text exposition of every registered series.
     pub fn prometheus(&self) -> String {
         let mut out = String::new();

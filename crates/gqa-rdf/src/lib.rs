@@ -25,6 +25,8 @@
 //!   serving layer can reload a store without pausing in-flight readers,
 //! * [`snapfile`] — versioned, checksummed binary snapshots (dictionary +
 //!   triples) that load in one pass, feeding fast boot and `/admin/reload`,
+//! * [`wal`] — a per-tenant write-ahead log (checksummed, torn-tail
+//!   tolerant) making overlay upserts durable across `kill -9`,
 //! * [`stats`] — dataset statistics as reported in the paper's Table 4.
 
 #![forbid(unsafe_code)]
@@ -47,6 +49,7 @@ pub mod store;
 pub mod term;
 pub mod triple;
 pub mod varint;
+pub mod wal;
 
 pub use cache::{PathCache, PathCacheConfig, PathCacheStats};
 pub use csr::{CsrBytes, CsrIndexes};
@@ -55,8 +58,11 @@ pub use ids::TermId;
 pub use metrics::{StoreMetrics, StoreMetricsSnapshot};
 pub use overlay::{Delta, DeltaOp, DeltaStats, OverlayStats};
 pub use paths::{Dir, PathPattern, PathStep};
-pub use snapfile::{is_snapshot, read_snapshot, write_snapshot, SnapshotError};
+pub use snapfile::{
+    is_snapshot, read_snapshot, write_snapshot, write_snapshot_file, SnapshotError,
+};
 pub use snapshot::{Snapshot, Stamped};
 pub use store::{Store, StoreBuilder, StoreSectionBytes, UnknownIri};
 pub use term::Term;
 pub use triple::Triple;
+pub use wal::{Wal, WalError, WalRecord, WalScan};

@@ -56,10 +56,10 @@ pub const SNAPSHOT_VERSION: u32 = 1;
 const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 const CHECKSUM_LEN: usize = 8;
 
-const TAG_IRI: u8 = 0;
-const TAG_LITERAL: u8 = 1;
-const TAG_TYPED_LITERAL: u8 = 2;
-const TAG_BLANK: u8 = 3;
+pub(crate) const TAG_IRI: u8 = 0;
+pub(crate) const TAG_LITERAL: u8 = 1;
+pub(crate) const TAG_TYPED_LITERAL: u8 = 2;
+pub(crate) const TAG_BLANK: u8 = 3;
 
 /// A snapshot failed to load: wrong magic, version, checksum, or malformed
 /// content. The message says which.
@@ -177,6 +177,49 @@ pub fn write_snapshot(store: &Store) -> Vec<u8> {
     let sum = fnv1a64(&out);
     out.extend_from_slice(&sum.to_le_bytes());
     out
+}
+
+/// Write `store` as a snapshot file at `path`, crash-safely: the bytes go
+/// to a temporary sibling in the same directory, are fsynced, and are then
+/// atomically renamed over `path` (the directory is fsynced too, so the
+/// rename itself is durable). A crash at any point leaves either the old
+/// file or the new one — never a truncated hybrid.
+pub fn write_snapshot_file(store: &Store, path: &std::path::Path) -> std::io::Result<()> {
+    write_file_atomic(path, &write_snapshot(store))
+}
+
+/// Atomically replace `path` with `bytes` via tmp + fsync + rename +
+/// directory fsync. Shared by snapshot writing and WAL rotation.
+pub(crate) fn write_file_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("out");
+    let tmp = match dir {
+        Some(d) => d.join(format!(".{file_name}.tmp.{}", std::process::id())),
+        None => std::path::PathBuf::from(format!(".{file_name}.tmp.{}", std::process::id())),
+    };
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        // Make the rename itself durable: fsync the containing directory.
+        // Directories cannot be opened for write, so a read open suffices
+        // for fsync on unix; on platforms where this fails the rename is
+        // still atomic, just not yet journaled — ignore those errors.
+        if let Some(d) = dir {
+            if let Ok(dh) = std::fs::File::open(d) {
+                let _ = dh.sync_all();
+            }
+        } else if let Ok(dh) = std::fs::File::open(".") {
+            let _ = dh.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Parse snapshot bytes back into a [`Store`] in one pass — the dictionary
@@ -383,7 +426,7 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<Store, SnapshotError> {
 /// flipped bit still changes the digest. Detects the corruption and
 /// truncation a snapshot can realistically suffer; this is not a
 /// cryptographic signature.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut words = bytes.chunks_exact(8);
@@ -477,5 +520,26 @@ mod tests {
         let text = b"<a> <b> <c> .\n";
         assert!(!is_snapshot(text));
         assert!(read_snapshot(text).is_err());
+    }
+
+    #[test]
+    fn write_snapshot_file_replaces_atomically_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("gqa-snapfile-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.snap");
+        // Pre-existing garbage at the target is replaced wholesale.
+        std::fs::write(&path, b"junk that is not a snapshot").unwrap();
+        let s = sample();
+        write_snapshot_file(&s, &path).expect("atomic snapshot write");
+        let loaded = read_snapshot(&std::fs::read(&path).unwrap()).expect("reload");
+        assert!(stores_equal(&s, &loaded));
+        // No temporary sibling survives a successful write.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -68,6 +68,19 @@ impl<T> Snapshot<T> {
         *guard = Arc::new(Stamped { epoch, value });
         epoch
     }
+
+    /// Atomically replace the published value at `max(current + 1, at)`,
+    /// returning the epoch used. This is the WAL-recovery publish: after
+    /// replay the engine must resume at an epoch no lower than the last
+    /// one it acked to clients, while epochs stay strictly increasing for
+    /// in-process readers (caches key on them) even if the requested
+    /// epoch lags the current one.
+    pub fn swap_at_least(&self, value: T, at: u64) -> u64 {
+        let mut guard = self.inner.write();
+        let epoch = (guard.epoch + 1).max(at);
+        *guard = Arc::new(Stamped { epoch, value });
+        epoch
+    }
 }
 
 #[cfg(test)]
@@ -85,6 +98,18 @@ mod tests {
         assert_eq!(snap.load().value, "b");
         assert_eq!(snap.swap("c"), 3);
         assert_eq!(snap.load().epoch, 3);
+    }
+
+    #[test]
+    fn swap_at_least_restores_higher_epochs_but_never_regresses() {
+        let snap = Snapshot::new("a");
+        // Recovery can jump the epoch forward past acked history...
+        assert_eq!(snap.swap_at_least("b", 17), 17);
+        assert_eq!(snap.epoch(), 17);
+        // ...but a stale request can never stall or rewind it.
+        assert_eq!(snap.swap_at_least("c", 5), 18);
+        assert_eq!(snap.swap_at_least("d", 0), 19);
+        assert_eq!(snap.load().value, "d");
     }
 
     #[test]

@@ -1,0 +1,700 @@
+//! Per-tenant write-ahead log: durable upserts for the delta overlay.
+//!
+//! An upsert acked with 200 must survive `kill -9`. The WAL provides
+//! that: the serving engine appends the op batch (plus the epoch it is
+//! about to publish) and `sync_data`s **before** swapping the snapshot
+//! and acking — so by the time a client sees 200, the ops are on disk.
+//! On restart the registry replays the log over the checkpointed base
+//! and republishes at the recovered epoch.
+//!
+//! Layout (`wal.log`, version 1):
+//!
+//! ```text
+//! bytes 0..8    magic  b"GQAWAL01"
+//! u32 LE        format version (1)
+//! u64 LE        base epoch: the epoch of the snapshot this log extends
+//! u64 LE        FNV-1a 64 checksum of the 20 header bytes above
+//! records       each: u32 LE payload length
+//!                     u64 LE FNV-1a 64 checksum of the payload
+//!                     payload: varint epoch, varint op count, then each
+//!                       op as a tag byte (0 upsert | 1 delete) and three
+//!                       terms (term tag byte + strings as varint length
+//!                       + UTF-8, exactly the snapshot term encoding)
+//! ```
+//!
+//! The header is only ever produced whole — creation and rotation go
+//! through write-to-temp + fsync + atomic rename — so a short or
+//! mismatched header is real corruption and a hard error. Records, by
+//! contrast, are appended in place and *can* tear when the process dies
+//! mid-write: [`Wal::open`] scans forward and, at the first incomplete
+//! or checksum-failing record, truncates the file back to the last valid
+//! boundary instead of failing. Sequential appends mean only unacked
+//! bytes can ever live past that boundary. Within a live process, a
+//! failed append triggers the same repair immediately (truncate back to
+//! the known-good length); if even the repair fails, the log is
+//! *poisoned* — every later append errors, upserts surface as 500s, and
+//! the next restart re-runs torn-tail recovery from disk.
+//!
+//! The hardening discipline mirrors `snapfile.rs`: every read is
+//! bounds-checked, every byte-flip and truncation is covered by
+//! exhaustive tests, and arbitrary bytes never panic.
+
+use crate::overlay::{Delta, DeltaOp};
+use crate::snapfile::{
+    fnv1a64, write_file_atomic, TAG_BLANK, TAG_IRI, TAG_LITERAL, TAG_TYPED_LITERAL,
+};
+use crate::term::Term;
+use crate::varint;
+use gqa_fault::FaultPlan;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every WAL file (`GQAWAL` + 2-digit format era).
+pub const WAL_MAGIC: [u8; 8] = *b"GQAWAL01";
+
+/// Current WAL format version.
+pub const WAL_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 8 + 4 + 8 + 8;
+const RECORD_HEADER_LEN: usize = 4 + 8;
+/// Smallest possible op encoding: op tag + three terms of (tag + empty
+/// string). Used to reject implausible op counts before allocating.
+const MIN_OP_LEN: u64 = 1 + 3 * 2;
+
+/// Fault site armed before anything is written in [`Wal::append`]
+/// (`error` kind: the append fails cleanly; `torn` kind: half the record
+/// reaches disk and the log poisons itself, exercising restart
+/// recovery).
+pub const FAULT_SITE_WAL_APPEND: &str = "wal.append";
+
+/// Fault site armed between the record write and its `sync_data`
+/// (`error` kind: the unsynced record is truncated away and the append
+/// fails cleanly; `torn` kind: the bytes stay but the log poisons
+/// itself as if the machine died before the sync completed).
+pub const FAULT_SITE_WAL_FSYNC: &str = "wal.fsync";
+
+/// A WAL operation failed: I/O, corruption, or a poisoned log. The
+/// message says which.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalError(pub String);
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wal: {}", self.0)
+    }
+}
+
+impl std::error::Error for WalError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, WalError> {
+    Err(WalError(msg.into()))
+}
+
+/// One replayable record: the op batch and the epoch it was acked under.
+#[derive(Debug, Clone)]
+pub struct WalRecord {
+    /// The epoch the engine published (or was about to publish) when the
+    /// record was appended.
+    pub epoch: u64,
+    /// The op batch, in ack order.
+    pub delta: Delta,
+}
+
+/// Everything [`Wal::open`] recovered from disk.
+#[derive(Debug)]
+pub struct WalScan {
+    /// The base epoch from the header: the epoch of the snapshot this
+    /// log extends.
+    pub base_epoch: u64,
+    /// Complete, checksum-valid records in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of torn tail dropped past the last valid record boundary
+    /// (0 on a clean shutdown).
+    pub truncated_bytes: u64,
+    /// Byte length of the valid prefix (header + complete records).
+    valid_len: usize,
+}
+
+impl WalScan {
+    /// The highest epoch the log attests to: the last record's epoch, or
+    /// the base epoch for an empty log. Recovery republishes at no lower
+    /// than this, so acked epochs never regress across a restart.
+    pub fn max_epoch(&self) -> u64 {
+        self.records.last().map_or(self.base_epoch, |r| r.epoch.max(self.base_epoch))
+    }
+}
+
+/// Decode and validate WAL bytes without touching the filesystem.
+///
+/// A corrupt *header* is a hard error (headers are written atomically, so
+/// they cannot tear). A corrupt or incomplete *record* ends the scan at
+/// the preceding record boundary — everything before it is returned,
+/// everything from it on is counted in
+/// [`truncated_bytes`](WalScan::truncated_bytes). Arbitrary input never
+/// panics.
+pub fn scan(bytes: &[u8]) -> Result<WalScan, WalError> {
+    if bytes.len() < HEADER_LEN {
+        return err(format!("file too short for a header ({} bytes)", bytes.len()));
+    }
+    if bytes[..8] != WAL_MAGIC {
+        return err("bad magic (not a WAL file)");
+    }
+    let stored = u64::from_le_bytes(bytes[20..28].try_into().expect("8 checksum bytes"));
+    let actual = fnv1a64(&bytes[..20]);
+    if stored != actual {
+        return err(format!(
+            "header checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
+        ));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 version bytes"));
+    if version != WAL_VERSION {
+        return err(format!("unsupported version {version} (supported: {WAL_VERSION})"));
+    }
+    let base_epoch = u64::from_le_bytes(bytes[12..20].try_into().expect("8 epoch bytes"));
+
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN;
+    loop {
+        if pos == bytes.len() {
+            break; // clean end on a record boundary
+        }
+        let Some(header) = bytes.get(pos..pos + RECORD_HEADER_LEN) else {
+            break; // torn record header
+        };
+        let payload_len =
+            u32::from_le_bytes(header[..4].try_into().expect("4 length bytes")) as usize;
+        let checksum = u64::from_le_bytes(header[4..].try_into().expect("8 checksum bytes"));
+        let body_start = pos + RECORD_HEADER_LEN;
+        let Some(payload) = body_start
+            .checked_add(payload_len)
+            .and_then(|body_end| bytes.get(body_start..body_end))
+        else {
+            break; // torn payload
+        };
+        if fnv1a64(payload) != checksum {
+            break; // corrupt record: stop at the last good boundary
+        }
+        let Some(record) = decode_payload(payload) else {
+            // Checksummed-but-undecodable can only mean corruption that
+            // also forged the checksum; treat it like any other bad tail.
+            break;
+        };
+        records.push(record);
+        pos = body_start + payload_len;
+    }
+    Ok(WalScan { base_epoch, records, truncated_bytes: (bytes.len() - pos) as u64, valid_len: pos })
+}
+
+fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    let mut pos = 0usize;
+    let epoch = varint::read_u64(payload, &mut pos)?;
+    let op_count = varint::read_u64(payload, &mut pos)?;
+    if op_count > (payload.len() as u64).saturating_sub(pos as u64) / MIN_OP_LEN {
+        return None;
+    }
+    let mut delta = Delta::new();
+    for _ in 0..op_count {
+        let tag = *payload.get(pos)?;
+        pos += 1;
+        let s = decode_term(payload, &mut pos)?;
+        let p = decode_term(payload, &mut pos)?;
+        let o = decode_term(payload, &mut pos)?;
+        match tag {
+            0 => delta.upsert(s, p, o),
+            1 => delta.delete(s, p, o),
+            _ => return None,
+        }
+    }
+    if pos != payload.len() {
+        return None; // trailing garbage inside a record
+    }
+    Some(WalRecord { epoch, delta })
+}
+
+fn decode_term(payload: &[u8], pos: &mut usize) -> Option<Term> {
+    let tag = *payload.get(*pos)?;
+    *pos += 1;
+    let read_str = |pos: &mut usize| -> Option<Box<str>> {
+        let len = varint::read_u64(payload, pos)?;
+        let end = (*pos as u64).checked_add(len)?;
+        if end > payload.len() as u64 {
+            return None;
+        }
+        let s = std::str::from_utf8(&payload[*pos..end as usize]).ok()?;
+        *pos = end as usize;
+        Some(s.into())
+    };
+    match tag {
+        TAG_IRI => Some(Term::Iri(read_str(pos)?)),
+        TAG_LITERAL => Some(Term::Literal { lexical: read_str(pos)?, datatype: None }),
+        TAG_TYPED_LITERAL => {
+            let lexical = read_str(pos)?;
+            let datatype = read_str(pos)?;
+            Some(Term::Literal { lexical, datatype: Some(datatype) })
+        }
+        TAG_BLANK => Some(Term::Blank(read_str(pos)?)),
+        _ => None,
+    }
+}
+
+fn encode_term(out: &mut Vec<u8>, term: &Term) {
+    let write_str = |out: &mut Vec<u8>, s: &str| {
+        varint::write_u64(out, s.len() as u64);
+        out.extend_from_slice(s.as_bytes());
+    };
+    match term {
+        Term::Iri(s) => {
+            out.push(TAG_IRI);
+            write_str(out, s);
+        }
+        Term::Literal { lexical, datatype: None } => {
+            out.push(TAG_LITERAL);
+            write_str(out, lexical);
+        }
+        Term::Literal { lexical, datatype: Some(dt) } => {
+            out.push(TAG_TYPED_LITERAL);
+            write_str(out, lexical);
+            write_str(out, dt);
+        }
+        Term::Blank(b) => {
+            out.push(TAG_BLANK);
+            write_str(out, b);
+        }
+    }
+}
+
+fn encode_payload(epoch: u64, delta: &Delta) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + delta.ops.len() * 48);
+    varint::write_u64(&mut out, epoch);
+    varint::write_u64(&mut out, delta.ops.len() as u64);
+    for op in &delta.ops {
+        let (tag, s, p, o) = match op {
+            DeltaOp::Upsert(s, p, o) => (0u8, s, p, o),
+            DeltaOp::Delete(s, p, o) => (1u8, s, p, o),
+        };
+        out.push(tag);
+        encode_term(&mut out, s);
+        encode_term(&mut out, p);
+        encode_term(&mut out, o);
+    }
+    out
+}
+
+fn header_bytes(base_epoch: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN);
+    out.extend_from_slice(&WAL_MAGIC);
+    out.extend_from_slice(&WAL_VERSION.to_le_bytes());
+    out.extend_from_slice(&base_epoch.to_le_bytes());
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// An open, appendable write-ahead log.
+///
+/// `known_good` tracks the byte length of validated, durable log; any
+/// append failure truncates the file back to it so a later append can
+/// never land after garbage. If the truncation itself fails the log is
+/// poisoned: every later [`Wal::append`] errors until the process
+/// restarts and re-runs recovery from disk.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    known_good: u64,
+    records: u64,
+    poisoned: bool,
+    faults: FaultPlan,
+}
+
+impl Wal {
+    /// Create a fresh, empty log at `path` whose header claims
+    /// `base_epoch`, atomically replacing anything already there.
+    pub fn create(path: &Path, base_epoch: u64, faults: FaultPlan) -> Result<Wal, WalError> {
+        write_file_atomic(path, &header_bytes(base_epoch))
+            .map_err(|e| WalError(format!("create {path:?}: {e}")))?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| WalError(format!("open {path:?}: {e}")))?;
+        Ok(Wal {
+            file,
+            path: path.to_owned(),
+            known_good: HEADER_LEN as u64,
+            records: 0,
+            poisoned: false,
+            faults,
+        })
+    }
+
+    /// Open an existing log, running torn-tail recovery: the returned
+    /// [`WalScan`] carries every complete record, and any invalid tail
+    /// has been truncated off the file (and fsynced) so appends resume
+    /// on a clean boundary.
+    pub fn open(path: &Path, faults: FaultPlan) -> Result<(Wal, WalScan), WalError> {
+        let bytes = std::fs::read(path).map_err(|e| WalError(format!("read {path:?}: {e}")))?;
+        let scan = scan(&bytes)?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| WalError(format!("open {path:?}: {e}")))?;
+        if scan.truncated_bytes > 0 {
+            file.set_len(scan.valid_len as u64)
+                .and_then(|()| file.sync_data())
+                .map_err(|e| WalError(format!("truncate torn tail of {path:?}: {e}")))?;
+        }
+        let wal = Wal {
+            file,
+            path: path.to_owned(),
+            known_good: scan.valid_len as u64,
+            records: scan.records.len() as u64,
+            poisoned: false,
+            faults,
+        };
+        Ok((wal, scan))
+    }
+
+    /// Append one op batch under `epoch` and make it durable
+    /// (`sync_data`) before returning. Only a returned `Ok` means the
+    /// batch will survive a crash — callers must not ack before this
+    /// returns.
+    pub fn append(&mut self, epoch: u64, delta: &Delta) -> Result<(), WalError> {
+        if self.poisoned {
+            return err(format!(
+                "log {:?} is poisoned by an earlier failed repair; restart to recover",
+                self.path
+            ));
+        }
+        let payload = encode_payload(epoch, delta);
+        let mut record = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+
+        if let Err(f) = self.faults.fire(FAULT_SITE_WAL_APPEND) {
+            if f.torn {
+                // Simulate dying mid-write: half the record reaches the
+                // file, and this handle is unusable until "restart"
+                // (reopen), which must truncate the torn tail.
+                let _ = self.file.write_all(&record[..record.len() / 2]);
+                self.poisoned = true;
+            }
+            return err(format!("append to {:?}: {f}", self.path));
+        }
+        if let Err(e) = self.file.write_all(&record) {
+            self.repair();
+            return err(format!("append to {:?}: {e}", self.path));
+        }
+        if let Err(f) = self.faults.fire(FAULT_SITE_WAL_FSYNC) {
+            if f.torn {
+                // The record is written but the sync "never completed":
+                // leave the bytes, poison the handle, let restart decide.
+                self.poisoned = true;
+            } else {
+                self.repair();
+            }
+            return err(format!("sync {:?}: {f}", self.path));
+        }
+        if let Err(e) = self.file.sync_data() {
+            self.repair();
+            return err(format!("sync {:?}: {e}", self.path));
+        }
+        self.known_good += record.len() as u64;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Truncate back to the last known-good boundary after a failed
+    /// append, so the next append cannot land after garbage. A failed
+    /// repair poisons the log.
+    fn repair(&mut self) {
+        let ok = self.file.set_len(self.known_good).and_then(|()| self.file.sync_data());
+        if ok.is_err() {
+            self.poisoned = true;
+        }
+    }
+
+    /// Start a fresh log generation after a checkpoint: atomically
+    /// replace the file with an empty log whose header claims
+    /// `base_epoch` (the epoch of the snapshot just checkpointed).
+    /// Callers must have made the checkpoint durable *first* — the old
+    /// records are unrecoverable once this returns.
+    pub fn rotate(&mut self, base_epoch: u64) -> Result<(), WalError> {
+        write_file_atomic(&self.path, &header_bytes(base_epoch))
+            .map_err(|e| WalError(format!("rotate {:?}: {e}", self.path)))?;
+        self.file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| WalError(format!("reopen {:?}: {e}", self.path)))?;
+        self.known_good = HEADER_LEN as u64;
+        self.records = 0;
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// Bytes of validated log on disk (header + complete records).
+    pub fn bytes(&self) -> u64 {
+        self.known_good
+    }
+
+    /// Complete records appended or recovered into this generation.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// `true` once a failed repair has made this handle unusable.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The log's path on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The fault plan this log fires its chaos sites against.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gqa-wal-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_delta(round: u64) -> Delta {
+        let mut d = Delta::new();
+        d.upsert(
+            Term::iri(format!("up:s{round}")),
+            Term::iri("up:grew"),
+            Term::iri(format!("up:o{round}")),
+        );
+        d.upsert(Term::iri(format!("up:s{round}")), Term::iri("rdfs:label"), Term::lit("x"));
+        d.delete(Term::iri("up:gone"), Term::iri("up:was"), Term::int_lit(round as i64));
+        d
+    }
+
+    fn ops_equal(a: &Delta, b: &Delta) -> bool {
+        a.ops.len() == b.ops.len()
+            && a.ops.iter().zip(&b.ops).all(|(x, y)| match (x, y) {
+                (DeltaOp::Upsert(a1, a2, a3), DeltaOp::Upsert(b1, b2, b3))
+                | (DeltaOp::Delete(a1, a2, a3), DeltaOp::Delete(b1, b2, b3)) => {
+                    a1 == b1 && a2 == b2 && a3 == b3
+                }
+                _ => false,
+            })
+    }
+
+    #[test]
+    fn append_reopen_replays_every_batch_in_order() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, 3, FaultPlan::none()).unwrap();
+        for round in 0..5u64 {
+            wal.append(4 + round, &sample_delta(round)).unwrap();
+        }
+        assert_eq!(wal.records(), 5);
+        let on_disk = wal.bytes();
+        drop(wal);
+        let (wal, scan) = Wal::open(&path, FaultPlan::none()).unwrap();
+        assert_eq!(scan.base_epoch, 3);
+        assert_eq!(scan.truncated_bytes, 0);
+        assert_eq!(scan.records.len(), 5);
+        assert_eq!(scan.max_epoch(), 8);
+        assert_eq!(wal.bytes(), on_disk);
+        for (round, rec) in scan.records.iter().enumerate() {
+            assert_eq!(rec.epoch, 4 + round as u64);
+            assert!(ops_equal(&rec.delta, &sample_delta(round as u64)));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_log_scans_to_base_epoch() {
+        let dir = tmpdir("empty");
+        let path = dir.join("wal.log");
+        drop(Wal::create(&path, 42, FaultPlan::none()).unwrap());
+        let (_, scan) = Wal::open(&path, FaultPlan::none()).unwrap();
+        assert_eq!(scan.base_epoch, 42);
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.max_epoch(), 42);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The snapfile discipline: every prefix of a valid log either errs
+    /// (header cut) or recovers a clean record prefix, and never panics.
+    #[test]
+    fn every_truncation_recovers_a_record_prefix() {
+        let dir = tmpdir("trunc");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, 1, FaultPlan::none()).unwrap();
+        let mut boundaries = vec![HEADER_LEN as u64];
+        for round in 0..3u64 {
+            wal.append(2 + round, &sample_delta(round)).unwrap();
+            boundaries.push(wal.bytes());
+        }
+        drop(wal);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len() as u64, *boundaries.last().unwrap());
+        for len in 0..bytes.len() {
+            match scan(&bytes[..len]) {
+                Err(_) => assert!(len < HEADER_LEN, "only header cuts may hard-fail (len {len})"),
+                Ok(s) => {
+                    // The recovered records are exactly those whose end
+                    // boundary fits inside the truncated prefix.
+                    let want =
+                        boundaries.iter().filter(|&&b| b <= len as u64).count().saturating_sub(1);
+                    assert_eq!(s.records.len(), want, "truncation at {len}");
+                    let good = boundaries[want] as usize;
+                    assert_eq!(s.truncated_bytes as usize, len - good, "truncation at {len}");
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Every single-byte corruption either hard-fails (header) or drops
+    /// a suffix of records — and never panics or invents data.
+    #[test]
+    fn every_single_byte_flip_is_contained() {
+        let dir = tmpdir("flip");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, 1, FaultPlan::none()).unwrap();
+        for round in 0..3u64 {
+            wal.append(2 + round, &sample_delta(round)).unwrap();
+        }
+        drop(wal);
+        let bytes = std::fs::read(&path).unwrap();
+        let clean = scan(&bytes).unwrap();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            match scan(&bad) {
+                Err(_) => assert!(i < HEADER_LEN, "flip at {i} hard-failed outside the header"),
+                Ok(s) => {
+                    assert!(i >= HEADER_LEN, "header flip at {i} must hard-fail");
+                    assert!(s.records.len() < clean.records.len(), "flip at {i} undetected");
+                    for (got, want) in s.records.iter().zip(&clean.records) {
+                        assert_eq!(got.epoch, want.epoch);
+                        assert!(ops_equal(&got.delta, &want.delta), "flip at {i} altered a record");
+                    }
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open_and_appends_resume() {
+        let dir = tmpdir("torntail");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, 1, FaultPlan::none()).unwrap();
+        wal.append(2, &sample_delta(0)).unwrap();
+        let good = wal.bytes();
+        wal.append(3, &sample_delta(1)).unwrap();
+        drop(wal);
+        // Crash mid-append: cut the second record in half.
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = (good as usize + bytes.len()) / 2;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let (mut wal, scan) = Wal::open(&path, FaultPlan::none()).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.truncated_bytes, (cut as u64) - good);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good, "tail physically truncated");
+        // Appends continue on the clean boundary and survive reopen.
+        wal.append(3, &sample_delta(2)).unwrap();
+        drop(wal);
+        let (_, scan) = Wal::open(&path, FaultPlan::none()).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.max_epoch(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_starts_an_empty_generation_at_the_new_base() {
+        let dir = tmpdir("rotate");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, 1, FaultPlan::none()).unwrap();
+        wal.append(2, &sample_delta(0)).unwrap();
+        wal.rotate(7).unwrap();
+        assert_eq!(wal.records(), 0);
+        assert_eq!(wal.bytes(), HEADER_LEN as u64);
+        wal.append(8, &sample_delta(1)).unwrap();
+        drop(wal);
+        let (_, scan) = Wal::open(&path, FaultPlan::none()).unwrap();
+        assert_eq!(scan.base_epoch, 7);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.max_epoch(), 8);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_fsync_error_truncates_the_unsynced_record() {
+        let dir = tmpdir("fsyncfault");
+        let path = dir.join("wal.log");
+        let faults = FaultPlan::parse("wal.fsync:error:1.0", 0).unwrap();
+        let mut wal = Wal::create(&path, 1, faults).unwrap();
+        let e = wal.append(2, &sample_delta(0)).unwrap_err();
+        assert!(e.to_string().contains("injected"), "{e}");
+        assert!(!wal.poisoned(), "error-kind fsync fault repairs, not poisons");
+        // The failed record was truncated away: nothing to replay.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), HEADER_LEN as u64);
+        drop(wal);
+        let (_, scan) = Wal::open(&path, FaultPlan::none()).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_write_poisons_until_reopen_recovers() {
+        let dir = tmpdir("tornfault");
+        let path = dir.join("wal.log");
+        // One clean record first, then reopen with torn appends armed.
+        let mut clean = Wal::create(&path, 1, FaultPlan::none()).unwrap();
+        clean.append(2, &sample_delta(0)).unwrap();
+        drop(clean);
+        let faults = FaultPlan::parse("wal.append:torn:1.0", 0).unwrap();
+        let (mut wal, _) = Wal::open(&path, faults).unwrap();
+        let good = wal.bytes();
+        let e = wal.append(3, &sample_delta(1)).unwrap_err();
+        assert!(e.to_string().contains("torn"), "{e}");
+        assert!(wal.poisoned());
+        // Poisoned: later appends fail fast without touching the file.
+        assert!(wal.append(4, &sample_delta(2)).is_err());
+        // Half a record really is on disk past the good boundary...
+        assert!(std::fs::metadata(&path).unwrap().len() > good);
+        drop(wal);
+        // ...and "restart" (reopen) truncates it and recovers the rest.
+        let (_, scan) = Wal::open(&path, FaultPlan::none()).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.truncated_bytes > 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn not_a_wal_and_wrong_version_err_cleanly() {
+        assert!(scan(b"").is_err());
+        assert!(scan(b"GQAWAL0").is_err());
+        assert!(scan(&[0u8; 64]).is_err());
+        let mut wrong_version = header_bytes(1);
+        wrong_version[8] = 9; // version low byte
+        assert!(scan(&wrong_version).unwrap_err().to_string().contains("checksum"));
+        // A well-formed header of a future version names the version.
+        let mut future = Vec::new();
+        future.extend_from_slice(&WAL_MAGIC);
+        future.extend_from_slice(&2u32.to_le_bytes());
+        future.extend_from_slice(&1u64.to_le_bytes());
+        let sum = fnv1a64(&future);
+        future.extend_from_slice(&sum.to_le_bytes());
+        assert!(scan(&future).unwrap_err().to_string().contains("version"));
+    }
+}

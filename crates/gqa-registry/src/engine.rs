@@ -1,15 +1,59 @@
 //! The reloadable, incrementally-updatable engine behind one tenant.
 
 use gqa_core::pipeline::GAnswer;
+use gqa_fault::FaultPlan;
 use gqa_rdf::overlay::{Delta, DeltaStats, OverlayStats};
 use gqa_rdf::snapshot::{Snapshot, Stamped};
+use gqa_rdf::wal::Wal;
 use gqa_rdf::Store;
 use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 type Rebuild = Box<dyn Fn() -> Result<GAnswer<'static>, String> + Send + Sync>;
 type Assemble = Box<dyn Fn(Store) -> Result<GAnswer<'static>, String> + Send + Sync>;
+
+/// Durable (write-ahead-logged) state for one engine. Lives inside the
+/// write mutex so the WAL is only ever touched by the serialized
+/// mutation path — appends, checkpoints, and recovery can never race.
+struct Durable {
+    dir: PathBuf,
+    wal: Wal,
+    /// Records replayed from the log at the last open/recovery.
+    replayed_records: u64,
+    /// Individual ops inside those records.
+    replayed_ops: u64,
+    /// Torn-tail bytes dropped at the last open/recovery.
+    torn_bytes_dropped: u64,
+    /// Checkpoints (snapshot + WAL rotation) taken by this engine.
+    checkpoints: u64,
+}
+
+/// Point-in-time durability counters for `/admin/stores` and `/metrics`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DurableStatus {
+    /// Bytes of validated WAL on disk (header + complete records).
+    pub wal_bytes: u64,
+    /// Complete records in the current WAL generation.
+    pub wal_records: u64,
+    /// Records replayed at the last open/recovery.
+    pub replayed_records: u64,
+    /// Ops replayed at the last open/recovery.
+    pub replayed_ops: u64,
+    /// Torn-tail bytes truncated at the last open/recovery.
+    pub torn_bytes_dropped: u64,
+    /// Checkpoints (snapshot write + WAL rotation) taken so far.
+    pub checkpoints: u64,
+    /// Whether the WAL has poisoned itself after a failed repair (all
+    /// further upserts fail until restart).
+    pub poisoned: bool,
+}
+
+/// File name of the checkpointed base store inside a durable dir.
+const BASE_SNAPSHOT: &str = "base.snap";
+/// File name of the write-ahead log inside a durable dir.
+const WAL_LOG: &str = "wal.log";
 
 /// What one successful [`Engine::upsert`] did.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,9 +92,11 @@ pub struct Engine {
     snapshot: Snapshot<GAnswer<'static>>,
     rebuild: Rebuild,
     assemble: Option<Assemble>,
-    /// Serializes reload/upsert/compact. Held across the (re)build so a
-    /// compaction cannot interleave with an upsert and drop its delta.
-    write: Mutex<()>,
+    /// Serializes reload/upsert/compact, and owns the durable (WAL)
+    /// state when [`Engine::with_durable`] enabled it. Held across the
+    /// (re)build so a compaction cannot interleave with an upsert and
+    /// drop its delta — and so a WAL append can never race a rotation.
+    write: Mutex<Option<Durable>>,
     /// Overlay ops (adds + dels) that trigger a background compaction.
     compact_ops: usize,
     /// At most one background compaction in flight per engine.
@@ -73,7 +119,7 @@ impl Engine {
             snapshot: Snapshot::new(initial),
             rebuild: Box::new(rebuild),
             assemble: None,
-            write: Mutex::new(()),
+            write: Mutex::new(None),
             compact_ops: Self::DEFAULT_COMPACT_OPS,
             compacting: AtomicBool::new(false),
         }
@@ -103,6 +149,93 @@ impl Engine {
         self
     }
 
+    /// Turn on durability (builder-style, before wrapping in an `Arc`):
+    /// upserts are write-ahead logged under `dir` and survive `kill -9`.
+    ///
+    /// This *is* crash recovery: if `dir` already holds a checkpointed
+    /// base snapshot and/or a WAL, the base is loaded (falling back to
+    /// the engine's initial system when there is no checkpoint yet),
+    /// every logged op batch is re-applied as an overlay, and the result
+    /// is published at an epoch no lower than the highest one the log
+    /// attests to — so epochs acked before the crash stay meaningful.
+    /// Replay is idempotent (re-upserting a present triple and deleting
+    /// an absent one are no-ops), so a crash *during* recovery is itself
+    /// recoverable. A torn final record is truncated, never a panic.
+    ///
+    /// `faults` arms the `wal.append` / `wal.fsync` chaos sites; pass
+    /// [`FaultPlan::none()`] outside the chaos suite. Requires an
+    /// assemble recipe ([`Engine::with_assemble`]) since durability only
+    /// means something for upsertable engines.
+    pub fn with_durable(self, dir: &Path, faults: FaultPlan) -> Result<Self, String> {
+        let assemble = self.assemble.as_ref().ok_or("durable stores need an upsertable engine")?;
+        std::fs::create_dir_all(dir).map_err(|e| format!("create durable dir {dir:?}: {e}"))?;
+        let current = self.snapshot.load();
+        let (durable, recovered) = Self::recover(assemble, current.value.store(), dir, faults)?;
+        if let Some((fresh, at_least)) = recovered {
+            self.snapshot.swap_at_least(fresh, at_least);
+        }
+        *self.write.lock() = Some(durable);
+        Ok(self)
+    }
+
+    /// Open (or create) the durable state under `dir` and replay the log
+    /// over the checkpointed base — or over `fallback_base` when no
+    /// checkpoint exists yet. Returns the refreshed system to publish
+    /// (`None` when the dir is fresh and there is nothing to recover).
+    fn recover(
+        assemble: &Assemble,
+        fallback_base: &Store,
+        dir: &Path,
+        faults: FaultPlan,
+    ) -> Result<(Durable, Option<(GAnswer<'static>, u64)>), String> {
+        let base_path = dir.join(BASE_SNAPSHOT);
+        let wal_path = dir.join(WAL_LOG);
+        let checkpoint = match std::fs::read(&base_path) {
+            Ok(bytes) => Some(
+                gqa_rdf::read_snapshot(&bytes)
+                    .map_err(|e| format!("checkpoint {base_path:?}: {e}"))?,
+            ),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(format!("read checkpoint {base_path:?}: {e}")),
+        };
+        let (wal, scan) = if wal_path.exists() {
+            let (wal, scan) = Wal::open(&wal_path, faults).map_err(|e| e.to_string())?;
+            (wal, Some(scan))
+        } else {
+            // Fresh dir (or a hand-deleted log): start a new generation
+            // whose base is whatever we are about to serve.
+            (Wal::create(&wal_path, 1, faults).map_err(|e| e.to_string())?, None)
+        };
+        let mut durable = Durable {
+            dir: dir.to_owned(),
+            wal,
+            replayed_records: 0,
+            replayed_ops: 0,
+            torn_bytes_dropped: 0,
+            checkpoints: 0,
+        };
+        let mut store = checkpoint;
+        let mut at_least = 1;
+        if let Some(scan) = scan {
+            durable.replayed_records = scan.records.len() as u64;
+            durable.torn_bytes_dropped = scan.truncated_bytes;
+            at_least = scan.max_epoch();
+            for record in scan.records {
+                durable.replayed_ops += record.delta.ops.len() as u64;
+                let base = store.as_ref().unwrap_or(fallback_base);
+                store = Some(base.apply_delta(record.delta).0);
+            }
+        }
+        // Publish when the durable dir actually held state; a fresh dir
+        // keeps the engine's initial system (and epoch) untouched.
+        let recovered = match store {
+            Some(s) => Some((assemble(s)?, at_least)),
+            None if at_least > 1 => Some((assemble(fallback_base.clone())?, at_least)),
+            None => None,
+        };
+        Ok((durable, recovered))
+    }
+
     /// The currently published system, pinned for the caller's lifetime.
     pub fn load(&self) -> Arc<Stamped<GAnswer<'static>>> {
         self.snapshot.load()
@@ -119,12 +252,30 @@ impl Engine {
         self.assemble.is_some()
     }
 
-    /// Rebuild from source and atomically publish a fresh system; returns
-    /// the new epoch. On error the current snapshot stays published
-    /// untouched. A reload re-reads the source of truth, so any upserts
-    /// applied since the last load are intentionally discarded.
+    /// Rebuild and atomically publish a fresh system; returns the new
+    /// epoch. On error the current snapshot stays published untouched.
+    ///
+    /// For an in-memory engine a reload re-reads the source of truth, so
+    /// any upserts applied since the last load are intentionally
+    /// discarded. For a *durable* engine the durable dir **is** the
+    /// source of truth: the checkpointed base (or the original source
+    /// when no checkpoint exists yet) is re-read and the WAL replayed on
+    /// top, so every acked upsert survives — a reload is an in-process
+    /// crash-recovery drill.
     pub fn reload(&self) -> Result<u64, String> {
-        let _w = self.write.lock();
+        let mut w = self.write.lock();
+        if let Some(d) = w.as_mut() {
+            let assemble = self.assemble.as_ref().expect("durable engines have assemble");
+            let source = (self.rebuild)()?;
+            let faults = d.wal.faults().clone();
+            let (durable, recovered) = Self::recover(assemble, source.store(), &d.dir, faults)?;
+            let (fresh, at_least) = match recovered {
+                Some(r) => r,
+                None => (source, 1),
+            };
+            *d = durable;
+            return Ok(self.snapshot.swap_at_least(fresh, at_least));
+        }
         let fresh = (self.rebuild)()?;
         Ok(self.snapshot.swap(fresh))
     }
@@ -144,8 +295,15 @@ impl Engine {
         let epoch;
         let stats;
         {
-            let _w = self.write.lock();
+            let mut w = self.write.lock();
             let current = self.snapshot.load();
+            if let Some(d) = w.as_mut() {
+                // Write-ahead: the batch must be on disk (synced) under
+                // the epoch about to be published *before* any caller
+                // can see a success — that ordering is the entire 200-ack
+                // durability contract.
+                d.wal.append(current.epoch + 1, &delta).map_err(|e| e.to_string())?;
+            }
             let (store, delta_stats) = current.value.store().apply_delta(delta);
             overlay = store.overlay_stats();
             let fresh = assemble(store)?;
@@ -163,19 +321,60 @@ impl Engine {
     /// epoch. Returns `Ok(None)` when there is no overlay to fold.
     /// Term ids and iteration order are preserved bit-for-bit
     /// ([`Store::compact`]), so answers cannot change — only layout does.
+    ///
+    /// On a durable engine this is also the **checkpoint**: the folded
+    /// store is written (write-temp + fsync + atomic rename) as the new
+    /// base snapshot *before* anything else, then the fresh system is
+    /// published, then the WAL is rotated to an empty generation whose
+    /// header claims the published epoch. A crash between any two steps
+    /// is safe: the checkpoint already contains every logged op, so
+    /// replaying a stale log over it is an idempotent no-op. A failed
+    /// snapshot write aborts the checkpoint entirely (overlay and log
+    /// stay; a later compaction retries); a failed rotation is tolerated
+    /// for the same idempotence reason.
     pub fn compact(&self) -> Result<Option<u64>, String> {
         let assemble = self
             .assemble
             .as_ref()
             .ok_or_else(|| "store does not support incremental upserts".to_string())?;
-        let _w = self.write.lock();
+        let mut w = self.write.lock();
         let current = self.snapshot.load();
         if !current.value.store().has_overlay() {
             return Ok(None);
         }
         let folded = current.value.store().compact();
+        if let Some(d) = w.as_mut() {
+            let base_path = d.dir.join(BASE_SNAPSHOT);
+            gqa_rdf::write_snapshot_file(&folded, &base_path)
+                .map_err(|e| format!("checkpoint {base_path:?}: {e}"))?;
+        }
         let fresh = assemble(folded)?;
-        Ok(Some(self.snapshot.swap(fresh)))
+        let epoch = self.snapshot.swap(fresh);
+        if let Some(d) = w.as_mut() {
+            if d.wal.rotate(epoch).is_ok() {
+                d.checkpoints += 1;
+            }
+        }
+        Ok(Some(epoch))
+    }
+
+    /// Durability counters, or `None` for an in-memory engine. Takes the
+    /// write mutex briefly; meant for status/metrics paths, not hot ones.
+    pub fn durable_status(&self) -> Option<DurableStatus> {
+        self.write.lock().as_ref().map(|d| DurableStatus {
+            wal_bytes: d.wal.bytes(),
+            wal_records: d.wal.records(),
+            replayed_records: d.replayed_records,
+            replayed_ops: d.replayed_ops,
+            torn_bytes_dropped: d.torn_bytes_dropped,
+            checkpoints: d.checkpoints,
+            poisoned: d.wal.poisoned(),
+        })
+    }
+
+    /// Whether this engine write-ahead-logs its upserts.
+    pub fn is_durable(&self) -> bool {
+        self.write.lock().is_some()
     }
 
     fn overlay_is_heavy(&self, ov: &OverlayStats) -> bool {

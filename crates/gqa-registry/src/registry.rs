@@ -1,6 +1,6 @@
 //! Named tenants and the registry that routes requests to them.
 
-use crate::engine::{Engine, UpsertOutcome};
+use crate::engine::{DurableStatus, Engine, UpsertOutcome};
 use gqa_core::cache::{AnswerCache, AnswerCacheStats};
 use gqa_obs::Obs;
 use gqa_rdf::overlay::{Delta, OverlayStats};
@@ -130,6 +130,15 @@ impl Tenant {
             self.obs.set_counter("gqa_server_cache_stale_total", &[], s.stale);
             self.obs.set_counter("gqa_server_cache_evictions_total", &[], s.evictions);
         }
+        if let Some(d) = self.engine.durable_status() {
+            self.obs.gauge("gqa_wal_bytes", &[]).set(d.wal_bytes as i64);
+            self.obs.gauge("gqa_wal_records", &[]).set(d.wal_records as i64);
+            self.obs.gauge("gqa_wal_poisoned", &[]).set(d.poisoned as i64);
+            self.obs.set_counter("gqa_wal_replayed_records_total", &[], d.replayed_records);
+            self.obs.set_counter("gqa_wal_replayed_ops_total", &[], d.replayed_ops);
+            self.obs.set_counter("gqa_wal_torn_bytes_dropped_total", &[], d.torn_bytes_dropped);
+            self.obs.set_counter("gqa_wal_checkpoints_total", &[], d.checkpoints);
+        }
     }
 
     /// A point-in-time summary for `GET /admin/stores`.
@@ -145,6 +154,7 @@ impl Tenant {
             bytes: store.section_bytes().total(),
             overlay: store.overlay_stats(),
             cache: self.cache.as_ref().map(|c| (c.stats(), c.len())),
+            durable: self.engine.durable_status(),
         }
     }
 }
@@ -198,6 +208,8 @@ pub struct TenantStatus {
     pub overlay: Option<OverlayStats>,
     /// Cache counters and current entry count, when caching is on.
     pub cache: Option<(AnswerCacheStats, usize)>,
+    /// WAL counters, when the tenant is durable.
+    pub durable: Option<DurableStatus>,
 }
 
 enum Slot {
@@ -343,9 +355,9 @@ impl Registry {
     }
 
     /// Drop a tenant. In-flight requests holding its `Arc` finish
-    /// normally; the memory goes away when the last of them drops. Metric
-    /// series already published for this store keep their last values
-    /// (the registry has no delete — the standard exposition caveat).
+    /// normally; the memory goes away when the last of them drops. The
+    /// tenant's `store="<name>"` metric series are removed from the
+    /// registry so `/metrics` stops reporting a ghost of it.
     pub fn unload(&self, name: &str) -> Result<(), TenantError> {
         if !valid_tenant_name(name) {
             return Err(TenantError::InvalidName(name.to_owned()));
@@ -356,6 +368,7 @@ impl Registry {
         let removed = self.slots.write().remove(name);
         match removed {
             Some(_) => {
+                self.obs.remove_scoped("store", name);
                 self.publish_count();
                 Ok(())
             }
@@ -400,6 +413,7 @@ impl Registry {
                     bytes: 0,
                     overlay: None,
                     cache: None,
+                    durable: None,
                 },
                 Slot::Failed(e) => TenantStatus {
                     name: name.clone(),
@@ -410,6 +424,7 @@ impl Registry {
                     bytes: 0,
                     overlay: None,
                     cache: None,
+                    durable: None,
                 },
             })
             .collect();
@@ -635,6 +650,181 @@ mod tests {
         assert!(text.contains("gqa_rdf_store_bytes{section=\"dict\",store=\"default\"}"), "{text}");
         assert!(text.contains("gqa_server_cache_hits_total{store=\"default\"} 0"), "{text}");
         assert!(text.contains("gqa_server_stores 1"), "{text}");
+    }
+
+    #[test]
+    fn unload_removes_the_tenants_metric_series() {
+        let reg = registry();
+        let obs = reg.obs().clone();
+        let beta = reg.insert("beta", Arc::new(engine(&obs))).unwrap();
+        beta.publish_metrics();
+        reg.default_tenant().publish_metrics();
+        assert!(obs.prometheus().contains("store=\"beta\""));
+        reg.unload("beta").unwrap();
+        let text = obs.prometheus();
+        assert!(!text.contains("store=\"beta\""), "ghost series survived unload: {text}");
+        assert!(text.contains("store=\"default\""), "{text}");
+        assert!(text.contains("gqa_server_stores 1"), "{text}");
+    }
+
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gqa-durable-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fact_delta(n: u64) -> Delta {
+        parse_delta(&format!("<up:s{n}> <up:grew> <up:o{n}> .\n")).unwrap()
+    }
+
+    fn has_fact(eng: &Engine, n: u64) -> bool {
+        eng.load().value.store().iri(&format!("up:s{n}")).is_some()
+    }
+
+    #[test]
+    fn in_memory_engines_report_no_durable_state() {
+        let reg = registry();
+        let eng = reg.default_tenant().engine().clone();
+        assert!(!eng.is_durable());
+        assert!(eng.durable_status().is_none());
+        assert!(reg.list()[0].durable.is_none());
+    }
+
+    #[test]
+    fn durable_upserts_survive_a_simulated_crash() {
+        let dir = durable_dir("crash");
+        let obs = Obs::new();
+        let eng = Arc::new(engine(&obs).with_durable(&dir, gqa_fault::FaultPlan::none()).unwrap());
+        assert!(eng.is_durable());
+        let mut last_epoch = 0;
+        for n in 0..4 {
+            last_epoch = eng.upsert(fact_delta(n)).unwrap().epoch;
+        }
+        let status = eng.durable_status().unwrap();
+        assert_eq!(status.wal_records, 4);
+        assert!(status.wal_bytes > 0);
+        assert!(!status.poisoned);
+        // kill -9: the engine is dropped with no shutdown path at all.
+        drop(eng);
+
+        // Restart: a fresh engine over the same dir replays the log.
+        let obs2 = Obs::new();
+        let eng2 =
+            Arc::new(engine(&obs2).with_durable(&dir, gqa_fault::FaultPlan::none()).unwrap());
+        assert_eq!(eng2.epoch(), last_epoch, "recovered epoch must match the last ack");
+        for n in 0..4 {
+            assert!(has_fact(&eng2, n), "acked fact {n} lost across restart");
+        }
+        let status = eng2.durable_status().unwrap();
+        assert_eq!(status.replayed_records, 4);
+        assert_eq!(status.replayed_ops, 4);
+        assert_eq!(status.torn_bytes_dropped, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_without_panic_and_keeps_acked_records() {
+        let dir = durable_dir("torntail");
+        let obs = Obs::new();
+        let eng = Arc::new(engine(&obs).with_durable(&dir, gqa_fault::FaultPlan::none()).unwrap());
+        eng.upsert(fact_delta(0)).unwrap();
+        eng.upsert(fact_delta(1)).unwrap();
+        drop(eng);
+        // The crash tore the final record: chop off its second half and
+        // smear garbage after it.
+        let wal_path = dir.join("wal.log");
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        let keep = bytes.len() - 9;
+        bytes.truncate(keep);
+        bytes.extend_from_slice(&[0xde, 0xad]);
+        std::fs::write(&wal_path, &bytes).unwrap();
+
+        let obs2 = Obs::new();
+        let eng2 =
+            Arc::new(engine(&obs2).with_durable(&dir, gqa_fault::FaultPlan::none()).unwrap());
+        let status = eng2.durable_status().unwrap();
+        assert_eq!(status.replayed_records, 1, "only the intact record replays");
+        assert!(status.torn_bytes_dropped > 0);
+        assert!(has_fact(&eng2, 0));
+        assert!(!has_fact(&eng2, 1), "the torn (unacked) record must not resurrect");
+        // The repaired log accepts new appends on the clean boundary.
+        eng2.upsert(fact_delta(2)).unwrap();
+        assert!(has_fact(&eng2, 2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_reload_replays_instead_of_discarding() {
+        let dir = durable_dir("reload");
+        let obs = Obs::new();
+        let eng = Arc::new(engine(&obs).with_durable(&dir, gqa_fault::FaultPlan::none()).unwrap());
+        let acked = eng.upsert(fact_delta(0)).unwrap().epoch;
+        let reloaded = eng.reload().unwrap();
+        assert!(reloaded > acked);
+        assert!(has_fact(&eng, 0), "durable reload must not discard acked upserts");
+        assert_eq!(eng.durable_status().unwrap().replayed_records, 1);
+        // A second reload is idempotent — replaying the same log again
+        // changes nothing but the epoch.
+        eng.reload().unwrap();
+        assert!(has_fact(&eng, 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_checkpoints_and_rotates_the_wal() {
+        let dir = durable_dir("checkpoint");
+        let obs = Obs::new();
+        let eng = Arc::new(engine(&obs).with_durable(&dir, gqa_fault::FaultPlan::none()).unwrap());
+        eng.upsert(fact_delta(0)).unwrap();
+        eng.upsert(fact_delta(1)).unwrap();
+        let epoch = eng.compact().unwrap().expect("overlay to fold");
+        let status = eng.durable_status().unwrap();
+        assert_eq!(status.checkpoints, 1);
+        assert_eq!(status.wal_records, 0, "checkpoint must rotate the log empty");
+        assert!(dir.join("base.snap").exists());
+        drop(eng);
+
+        // Restart recovers from the checkpoint alone — no replay needed.
+        let obs2 = Obs::new();
+        let eng2 =
+            Arc::new(engine(&obs2).with_durable(&dir, gqa_fault::FaultPlan::none()).unwrap());
+        assert_eq!(eng2.epoch(), epoch);
+        assert!(has_fact(&eng2, 0) && has_fact(&eng2, 1));
+        let status = eng2.durable_status().unwrap();
+        assert_eq!(status.replayed_records, 0);
+        // And post-checkpoint upserts land in the fresh generation.
+        eng2.upsert(fact_delta(2)).unwrap();
+        drop(eng2);
+        let obs3 = Obs::new();
+        let eng3 =
+            Arc::new(engine(&obs3).with_durable(&dir, gqa_fault::FaultPlan::none()).unwrap());
+        assert!(has_fact(&eng3, 0) && has_fact(&eng3, 1) && has_fact(&eng3, 2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_wal_faults_fail_the_upsert_but_never_lose_acked_data() {
+        let dir = durable_dir("walfault");
+        let obs = Obs::new();
+        // Every other fsync fails (deterministic seeded coin).
+        let plan = gqa_fault::FaultPlan::parse("wal.fsync:error:0.5", 7).unwrap();
+        let eng = Arc::new(engine(&obs).with_durable(&dir, plan).unwrap());
+        let mut acked = Vec::new();
+        for n in 0..12 {
+            if eng.upsert(fact_delta(n)).is_ok() {
+                acked.push(n);
+            }
+        }
+        assert!(!acked.is_empty(), "the seeded coin should let some appends through");
+        assert!(acked.len() < 12, "the seeded coin should fail some appends");
+        drop(eng);
+        let obs2 = Obs::new();
+        let eng2 =
+            Arc::new(engine(&obs2).with_durable(&dir, gqa_fault::FaultPlan::none()).unwrap());
+        for n in acked {
+            assert!(has_fact(&eng2, n), "acked fact {n} lost despite fsync chaos");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

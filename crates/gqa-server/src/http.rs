@@ -21,12 +21,29 @@ pub struct Limits {
     pub max_head_bytes: usize,
     /// Maximum `Content-Length` accepted (guards giant bodies).
     pub max_body_bytes: usize,
+    /// Maximum `Content-Length` for `/admin/stores/<name>/upsert`
+    /// requests: bulk N-Triples bodies are legitimately much larger than
+    /// question payloads, so the upsert route gets its own cap instead
+    /// of sharing [`Limits::max_body_bytes`].
+    pub max_upsert_body_bytes: usize,
 }
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits { max_head_bytes: 16 * 1024, max_body_bytes: 64 * 1024 }
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 64 * 1024,
+            max_upsert_body_bytes: 4 * 1024 * 1024,
+        }
     }
+}
+
+/// Whether `path` is the bulk-upsert admin route (which gets
+/// [`Limits::max_upsert_body_bytes`] instead of the generic body cap).
+pub fn is_upsert_path(path: &str) -> bool {
+    path.strip_prefix("/admin/stores/")
+        .and_then(|rest| rest.strip_suffix("/upsert"))
+        .is_some_and(|name| !name.is_empty() && !name.contains('/'))
 }
 
 /// One parsed request.
@@ -79,8 +96,12 @@ impl Request {
 pub enum HttpError {
     /// Malformed request line, header, or `Content-Length` → 400.
     BadRequest(&'static str),
-    /// Declared body larger than [`Limits::max_body_bytes`] → 413.
-    PayloadTooLarge,
+    /// Declared body larger than the route's body cap → 413; carries the
+    /// limit that applied so the response can name it.
+    PayloadTooLarge {
+        /// The byte cap the declared `Content-Length` exceeded.
+        limit: usize,
+    },
     /// Request line + headers exceed [`Limits::max_head_bytes`] → 431.
     HeadersTooLarge,
     /// The peer stopped sending mid-request (torn read at EOF) → 400.
@@ -97,7 +118,7 @@ impl HttpError {
     pub fn status(&self) -> Option<u16> {
         match self {
             HttpError::BadRequest(_) | HttpError::UnexpectedEof => Some(400),
-            HttpError::PayloadTooLarge => Some(413),
+            HttpError::PayloadTooLarge { .. } => Some(413),
             HttpError::HeadersTooLarge => Some(431),
             HttpError::Timeout => Some(408),
             HttpError::Io(_) => None,
@@ -105,14 +126,16 @@ impl HttpError {
     }
 
     /// Short human-readable reason (the response body).
-    pub fn reason(&self) -> &'static str {
+    pub fn reason(&self) -> String {
         match self {
-            HttpError::BadRequest(r) => r,
-            HttpError::PayloadTooLarge => "request body too large",
-            HttpError::HeadersTooLarge => "request head too large",
-            HttpError::UnexpectedEof => "connection closed mid-request",
-            HttpError::Timeout => "timed out reading request",
-            HttpError::Io(_) => "i/o error",
+            HttpError::BadRequest(r) => (*r).to_owned(),
+            HttpError::PayloadTooLarge { limit } => {
+                format!("request body exceeds this route's {limit}-byte limit")
+            }
+            HttpError::HeadersTooLarge => "request head too large".to_owned(),
+            HttpError::UnexpectedEof => "connection closed mid-request".to_owned(),
+            HttpError::Timeout => "timed out reading request".to_owned(),
+            HttpError::Io(_) => "i/o error".to_owned(),
         }
     }
 }
@@ -233,8 +256,13 @@ pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<ParseOutco
             v.parse::<usize>().map_err(|_| HttpError::BadRequest("malformed content-length"))?
         }
     };
-    if len > limits.max_body_bytes {
-        return Err(HttpError::PayloadTooLarge);
+    let body_cap = if is_upsert_path(&request.path) {
+        limits.max_upsert_body_bytes
+    } else {
+        limits.max_body_bytes
+    };
+    if len > body_cap {
+        return Err(HttpError::PayloadTooLarge { limit: body_cap });
     }
     let mut request = request;
     if len > 0 {
@@ -411,6 +439,49 @@ mod tests {
         let req = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1 << 30);
         let err = parse(req.as_bytes()).unwrap_err();
         assert_eq!(err.status(), Some(413));
+    }
+
+    #[test]
+    fn upsert_route_gets_its_own_body_cap_and_413_names_the_limit() {
+        // Bigger than the generic cap, within the upsert cap: the upsert
+        // route accepts it, /answer rejects it.
+        let limits = Limits::default();
+        let len = limits.max_body_bytes + 1;
+        let head =
+            format!("POST /admin/stores/scale/upsert HTTP/1.1\r\nContent-Length: {len}\r\n\r\n");
+        let mut bytes = head.into_bytes();
+        bytes.extend(vec![b'x'; len]);
+        let out = read_request(&mut Cursor::new(bytes), &limits).unwrap();
+        assert!(matches!(out, ParseOutcome::Request(_)), "upsert body within its route cap");
+
+        let req = format!("POST /answer HTTP/1.1\r\nContent-Length: {len}\r\n\r\n");
+        let err = parse(req.as_bytes()).unwrap_err();
+        assert_eq!(err.status(), Some(413));
+        assert!(err.reason().contains(&limits.max_body_bytes.to_string()), "{}", err.reason());
+
+        // Past the upsert cap the 413 names *that* limit.
+        let req = format!(
+            "POST /admin/stores/scale/upsert HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            limits.max_upsert_body_bytes + 1
+        );
+        let err = parse(req.as_bytes()).unwrap_err();
+        assert_eq!(err.status(), Some(413));
+        assert!(
+            err.reason().contains(&limits.max_upsert_body_bytes.to_string()),
+            "{}",
+            err.reason()
+        );
+    }
+
+    #[test]
+    fn upsert_path_detection_is_exact() {
+        assert!(is_upsert_path("/admin/stores/scale/upsert"));
+        assert!(is_upsert_path("/admin/stores/a.b-c_d/upsert"));
+        assert!(!is_upsert_path("/admin/stores//upsert"));
+        assert!(!is_upsert_path("/admin/stores/upsert"));
+        assert!(!is_upsert_path("/admin/stores/x/y/upsert"));
+        assert!(!is_upsert_path("/answer"));
+        assert!(!is_upsert_path("/admin/stores/x/load"));
     }
 
     #[test]

@@ -702,7 +702,7 @@ impl<'s> Server<'s> {
                 }
                 Err(e) => match e.status() {
                     Some(status) => {
-                        let body = obj(vec![("error", Json::Str(e.reason().into()))]).to_string();
+                        let body = obj(vec![("error", Json::Str(e.reason()))]).to_string();
                         let reply = Reply {
                             status,
                             content_type: "application/json",
@@ -995,6 +995,17 @@ impl<'s> Server<'s> {
                         ("evictions", Json::Num(s.evictions as f64)),
                     ])
                 });
+                let wal = row.durable.map_or(Json::Null, |d| {
+                    obj(vec![
+                        ("wal_bytes", Json::Num(d.wal_bytes as f64)),
+                        ("wal_records", Json::Num(d.wal_records as f64)),
+                        ("replayed_records", Json::Num(d.replayed_records as f64)),
+                        ("replayed_ops", Json::Num(d.replayed_ops as f64)),
+                        ("torn_bytes_dropped", Json::Num(d.torn_bytes_dropped as f64)),
+                        ("checkpoints", Json::Num(d.checkpoints as f64)),
+                        ("poisoned", Json::Bool(d.poisoned)),
+                    ])
+                });
                 let mut pairs = vec![
                     ("name", Json::Str(row.name.clone())),
                     ("state", Json::Str(row.state.as_str().into())),
@@ -1004,6 +1015,7 @@ impl<'s> Server<'s> {
                     ("bytes", Json::Num(row.bytes as f64)),
                     ("overlay", overlay),
                     ("cache", cache),
+                    ("wal", wal),
                 ];
                 if let TenantState::Failed(e) = &row.state {
                     pairs.push(("error", Json::Str(e.clone())));

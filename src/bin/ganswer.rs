@@ -44,6 +44,12 @@ struct Options {
     /// Extra tenants for serve mode: repeatable `--store NAME=SPEC` where
     /// SPEC is `mini`, `DATA.nt`, or `DATA.nt,DICT.tsv`.
     stores: Vec<(String, String)>,
+    /// `--durable DIR`: per-store write-ahead logging under `DIR/<store>/`.
+    durable: Option<String>,
+    /// `--compact-ops N`: overlay ops before a store folds into a fresh CSR.
+    compact_ops: Option<usize>,
+    /// `--max-upsert-bytes N`: body cap for the upsert route.
+    max_upsert_bytes: Option<usize>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -67,6 +73,9 @@ fn parse_args() -> Result<Options, String> {
         access_log: None,
         flight_recorder: None,
         stores: Vec::new(),
+        durable: None,
+        compact_ops: None,
+        max_upsert_bytes: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -147,6 +156,25 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("bad --flight-recorder: {e}"))?,
                 );
             }
+            "--durable" => {
+                opts.durable = Some(args.next().ok_or("--durable needs a directory")?);
+            }
+            "--compact-ops" => {
+                opts.compact_ops = Some(
+                    args.next()
+                        .ok_or("--compact-ops needs a number of ops")?
+                        .parse()
+                        .map_err(|e| format!("bad --compact-ops: {e}"))?,
+                );
+            }
+            "--max-upsert-bytes" => {
+                opts.max_upsert_bytes = Some(
+                    args.next()
+                        .ok_or("--max-upsert-bytes needs a byte count")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-upsert-bytes: {e}"))?,
+                );
+            }
             "--faults" => opts.faults = Some(args.next().ok_or("--faults needs a spec")?),
             "--fault-seed" => {
                 opts.fault_seed = args
@@ -189,6 +217,16 @@ fn parse_args() -> Result<Options, String> {
                      \x20                    POST /admin/stores/{{load,unload,reload}} and\n\
                      \x20                    POST /admin/stores/<name>/upsert (N-Triples\n\
                      \x20                    body, \"-\"-prefixed lines delete)\n\
+                     --durable DIR        (--serve) per-store write-ahead logging under\n\
+                     \x20                    DIR/<store>/: upserts append + fsync to a WAL\n\
+                     \x20                    before the 200 ack, boot and reload replay the\n\
+                     \x20                    log (torn tails truncated, never fatal), and\n\
+                     \x20                    compaction checkpoints a base snapshot then\n\
+                     \x20                    rotates the log; default: in-memory upserts\n\
+                     --compact-ops N      (--serve) buffered overlay ops before a store\n\
+                     \x20                    folds into a fresh CSR index (default 4096)\n\
+                     --max-upsert-bytes N (--serve) request-body cap for the upsert route\n\
+                     \x20                    only (default 4194304); larger bodies get 413\n\
                      --access-log FILE    (--serve) append one JSON line per request to\n\
                      \x20                    FILE, written off the hot path; flushed on\n\
                      \x20                    graceful shutdown\n\
@@ -236,6 +274,7 @@ fn write_metrics(system: &GAnswer<'_>, path: &str) {
 /// incremental upserts (the pipeline is re-assembled around the mutated
 /// store; the dictionary loaded at boot is reused).
 fn tenant_engine(
+    name: &str,
     source: &str,
     base: &Options,
     config: &GAnswerConfig,
@@ -271,7 +310,31 @@ fn tenant_engine(
         }
     };
     let initial = build()?;
-    Ok(upsertable_engine(initial, build))
+    configure_engine(upsertable_engine(initial, build), name, base, &config.fault)
+}
+
+/// Apply serve-mode engine options shared by the default store, `--store`
+/// tenants, and stores loaded at runtime: the `--compact-ops` compaction
+/// cadence and — with `--durable DIR` — a per-tenant write-ahead log under
+/// `DIR/<name>/` (tenant names are `[A-Za-z0-9._-]`, so they are path-safe;
+/// recovery replays the log before the engine serves its first request).
+fn configure_engine(
+    engine: ganswer::server::Engine,
+    name: &str,
+    opts: &Options,
+    fault: &ganswer::fault::FaultPlan,
+) -> Result<ganswer::server::Engine, String> {
+    let mut engine = engine;
+    if let Some(n) = opts.compact_ops {
+        engine = engine.compact_after(n);
+    }
+    if let Some(root) = &opts.durable {
+        let dir = std::path::Path::new(root).join(name);
+        engine = engine
+            .with_durable(&dir, fault.clone())
+            .map_err(|e| format!("--durable {}: {e}", dir.display()))?;
+    }
+    Ok(engine)
 }
 
 /// Wrap a built system and its rebuild recipe in an [`Engine`] that also
@@ -374,17 +437,19 @@ fn main() {
         };
         let load_time = t0.elapsed();
         let t1 = std::time::Instant::now();
-        let bytes = ganswer::rdf::write_snapshot(&store);
-        if let Err(e) = std::fs::write(out, &bytes) {
+        // Atomic replace (tmp + fsync + rename): a crash mid-write leaves
+        // any existing OUT intact instead of a torn half-snapshot.
+        if let Err(e) = ganswer::rdf::write_snapshot_file(&store, std::path::Path::new(out)) {
             eprintln!("error: cannot write {out}: {e}");
             std::process::exit(2);
         }
+        let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
         println!(
             "snapshot written to {out}: {} triples, {} terms, {} bytes \
              (source load {:.2?}, encode+write {:.2?})",
             store.len(),
             store.dict().len(),
-            bytes.len(),
+            bytes,
             load_time,
             t1.elapsed(),
         );
@@ -441,12 +506,22 @@ fn main() {
         };
         let initial = GAnswer::shared(Arc::new(store), dict, config.clone(), obs.clone());
         initial.obs().counter("gqa_rdf_parse_errors_total", &[]).add(parse_errors);
-        let engine = Arc::new(upsertable_engine(initial, rebuild));
+        let engine =
+            match configure_engine(upsertable_engine(initial, rebuild), "default", &opts, &fault) {
+                Ok(e) => Arc::new(e),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            };
         let mut server_config = ganswer::server::ServerConfig {
             cache_capacity: opts.cache.unwrap_or(1024),
             fault: fault.clone(),
             ..Default::default()
         };
+        if let Some(n) = opts.max_upsert_bytes {
+            server_config.limits.max_upsert_body_bytes = n.max(1);
+        }
         // The default store plus any --store tenants live in one registry;
         // /admin/stores/load can add more at runtime through the factory.
         let registry = match ganswer::server::Registry::new(
@@ -465,11 +540,13 @@ fn main() {
             let base = opts.clone();
             let config = config.clone();
             let obs = obs.clone();
-            Box::new(move |_name: &str, source: &str| tenant_engine(source, &base, &config, &obs))
+            Box::new(move |name: &str, source: &str| {
+                tenant_engine(name, source, &base, &config, &obs)
+            })
         };
         let registry = Arc::new(registry.with_factory(factory));
         for (name, source) in &opts.stores {
-            let tenant = tenant_engine(source, &opts, &config, &obs)
+            let tenant = tenant_engine(name, source, &opts, &config, &obs)
                 .and_then(|eng| registry.insert(name, Arc::new(eng)).map_err(|e| e.to_string()));
             if let Err(e) = tenant {
                 eprintln!("error: --store {name}: {e}");
