@@ -64,6 +64,8 @@ struct Opts {
     /// `--crash-faults SPEC`: fault spec armed on the crash phase's last
     /// round (WAL sites; acked upserts must survive even when appends fail).
     crash_faults: String,
+    /// `--group-commit SEED`: run the WAL group-commit phase with this seed.
+    group_commit: Option<u64>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -82,6 +84,7 @@ fn parse_args() -> Result<Opts, String> {
         crash: None,
         server_bin: None,
         crash_faults: "wal.fsync:error:0.2".to_owned(),
+        group_commit: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -110,6 +113,7 @@ fn parse_args() -> Result<Opts, String> {
             "--crash-faults" => {
                 opts.crash_faults = args.next().ok_or("--crash-faults needs a spec")?;
             }
+            "--group-commit" => opts.group_commit = Some(num("--group-commit")?),
             "--threads" => {
                 let _ = num("--threads")?; // consumed by threads_arg()
             }
@@ -144,10 +148,21 @@ fn parse_args() -> Result<Opts, String> {
                      \x20              verify every acked upsert is answerable with an exact\n\
                      \x20              tally reconciliation (3 rounds; WAL faults armed on the\n\
                      \x20              last via --crash-faults)\n\
-                     --server-bin P ganswer binary for --crash (default: sibling of loadgen)\n\
+                     \x20              A final round loads a store over /admin/stores/load,\n\
+                     \x20              acks a few upserts, kills -9, and requires the restart\n\
+                     \x20              to bring the runtime-loaded tenant back from the\n\
+                     \x20              registry manifest at the acked epoch\n\
+                     --server-bin P ganswer binary for --crash / --group-commit\n\
+                     \x20              (default: sibling of loadgen)\n\
                      --crash-faults SPEC\n\
-                     \x20              fault spec for the crash phase's last round\n\
-                     \x20              (default \"wal.fsync:error:0.2\")"
+                     \x20              fault spec for the crash phase's last kill-9 round\n\
+                     \x20              (default \"wal.fsync:error:0.2\")\n\
+                     --group-commit SEED\n\
+                     \x20              WAL group-commit phase: spawn `ganswer --serve\n\
+                     \x20              --durable` with a seeded 2 ms fsync latency, hammer\n\
+                     \x20              the upsert route from 8 concurrent writers, and\n\
+                     \x20              require the fsync count to come in strictly below the\n\
+                     \x20              ack count (one sync_data amortized over a batch)"
                 );
                 std::process::exit(0);
             }
@@ -1045,6 +1060,55 @@ fn json_u64(body: &str, key: &str) -> Option<u64> {
     rest[..end].parse().ok()
 }
 
+/// The slice of an `/admin/stores` body describing one named store: the
+/// whole JSON object carrying `"name":"<name>"`. Keys serialize sorted, so
+/// fields sit on both sides of `"name"`; walk out to the enclosing braces
+/// (nested objects on either side are balanced, so depth counting works).
+fn store_chunk<'a>(stores: &'a str, name: &str) -> Option<&'a str> {
+    let at = stores.find(&format!("\"name\":\"{name}\""))?;
+    let bytes = stores.as_bytes();
+    let mut depth = 0i32;
+    let mut start = None;
+    for i in (0..at).rev() {
+        match bytes[i] {
+            b'}' => depth += 1,
+            b'{' if depth == 0 => {
+                start = Some(i);
+                break;
+            }
+            b'{' => depth -= 1,
+            _ => {}
+        }
+    }
+    let start = start?;
+    let mut depth = 0i32;
+    for (i, &b) in bytes.iter().enumerate().skip(start) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&stores[start..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The `ganswer` binary the subprocess phases spawn: `--server-bin`, else
+/// a sibling of the loadgen executable, else `ganswer` on PATH.
+fn server_binary(opts: &Opts) -> std::path::PathBuf {
+    opts.server_bin
+        .clone()
+        .map(std::path::PathBuf::from)
+        .or_else(|| {
+            std::env::current_exe().ok().and_then(|p| p.parent().map(|d| d.join("ganswer")))
+        })
+        .unwrap_or_else(|| std::path::PathBuf::from("ganswer"))
+}
+
 /// A `ganswer --serve` subprocess the crash phase can `kill -9`.
 struct ServerProc {
     child: std::process::Child,
@@ -1065,6 +1129,7 @@ fn spawn_durable_server(
     bin: &std::path::Path,
     dir: &std::path::Path,
     faults: Option<(&str, u64)>,
+    threads: Option<u64>,
 ) -> Result<ServerProc, String> {
     use std::io::BufRead;
     use std::process::{Command, Stdio};
@@ -1076,6 +1141,9 @@ fn spawn_durable_server(
         .stderr(Stdio::null());
     if let Some((spec, seed)) = faults {
         cmd.args(["--faults", spec, "--fault-seed", &seed.to_string()]);
+    }
+    if let Some(n) = threads {
+        cmd.args(["--threads", &n.to_string()]);
     }
     let mut child = cmd.spawn().map_err(|e| format!("spawn {}: {e}", bin.display()))?;
     let stdout = child.stdout.take().ok_or("server stdout not piped")?;
@@ -1133,18 +1201,37 @@ struct CrashRound {
     ok: bool,
 }
 
+/// The manifest leg of the crash phase: a store loaded over HTTP at
+/// runtime, killed -9 moments after its upserts were acked. Only the
+/// registry manifest remembers the tenant existed, so recovery must bring
+/// it back by itself, at (or past) the last acked epoch, and answering.
+struct RuntimeLoadRound {
+    acked: u64,
+    max_acked_epoch: u64,
+    recovered_epoch: u64,
+    recovered_ready: bool,
+    reconciled_noops: u64,
+    reconciled_added: u64,
+    answer_status: u16,
+    ok: bool,
+}
+
 /// What the crash phase saw across all rounds.
 struct CrashOutcome {
     seed: u64,
     server_bin: String,
     rounds: Vec<CrashRound>,
+    runtime: Option<RuntimeLoadRound>,
     total_acked: u64,
     spawn_error: Option<String>,
 }
 
 impl CrashOutcome {
     fn ok(&self) -> bool {
-        self.spawn_error.is_none() && !self.rounds.is_empty() && self.rounds.iter().all(|r| r.ok)
+        self.spawn_error.is_none()
+            && !self.rounds.is_empty()
+            && self.rounds.iter().all(|r| r.ok)
+            && self.runtime.as_ref().is_some_and(|r| r.ok)
     }
 }
 
@@ -1159,18 +1246,12 @@ impl CrashOutcome {
 /// checkpoint directory persist across rounds, so later rounds also prove
 /// replay-over-recovered-state is idempotent.
 fn run_crash(seed: u64, opts: &Opts) -> CrashOutcome {
-    let bin = opts
-        .server_bin
-        .clone()
-        .map(std::path::PathBuf::from)
-        .or_else(|| {
-            std::env::current_exe().ok().and_then(|p| p.parent().map(|d| d.join("ganswer")))
-        })
-        .unwrap_or_else(|| std::path::PathBuf::from("ganswer"));
+    let bin = server_binary(opts);
     let mut outcome = CrashOutcome {
         seed,
         server_bin: bin.display().to_string(),
         rounds: Vec::new(),
+        runtime: None,
         total_acked: 0,
         spawn_error: None,
     };
@@ -1201,6 +1282,7 @@ fn run_crash(seed: u64, opts: &Opts) -> CrashOutcome {
             &bin,
             &dir,
             fault_spec.as_deref().map(|s| (s, seed ^ round)),
+            None,
         ) {
             Ok(s) => s,
             Err(e) => {
@@ -1257,7 +1339,7 @@ fn run_crash(seed: u64, opts: &Opts) -> CrashOutcome {
         // Restart over the same durable directory — recovery replays the
         // WAL — and reconcile, always fault-free (recovery is the part
         // under test here, not the fault plan).
-        let verify = match spawn_durable_server(&bin, &dir, None) {
+        let verify = match spawn_durable_server(&bin, &dir, None, None) {
             Ok(s) => s,
             Err(e) => {
                 outcome.spawn_error = Some(format!("restart after kill: {e}"));
@@ -1328,7 +1410,225 @@ fn run_crash(seed: u64, opts: &Opts) -> CrashOutcome {
             ok,
         });
     }
+    if outcome.spawn_error.is_none() {
+        match run_runtime_load(&bin, &dir) {
+            Ok(round) => {
+                outcome.total_acked += round.acked;
+                outcome.runtime = Some(round);
+            }
+            Err(e) => outcome.spawn_error = Some(e),
+        }
+    }
     let _ = std::fs::remove_dir_all(&dir);
+    outcome
+}
+
+/// The crash phase's runtime-load round: load a store over
+/// `/admin/stores/load`, ack a handful of upserts to it, `kill -9`
+/// immediately, restart over the same durable directory, and require the
+/// tenant to come back — listed ready, at or past the last acked epoch,
+/// with every acked triple still present and the store answering. Without
+/// the registry manifest this fails outright: nothing else records that
+/// the tenant was ever loaded.
+fn run_runtime_load(
+    bin: &std::path::Path,
+    dir: &std::path::Path,
+) -> Result<RuntimeLoadRound, String> {
+    const UPSERTS: u64 = 6;
+    let fact = |n: u64| format!("<rt:c{n}> <rt:grew> <rt:o{n}> .\n");
+    println!("crash runtime-load round: load \"runtime\" over HTTP, kill -9 after {UPSERTS} acked upserts ...");
+    let server = spawn_durable_server(bin, dir, None, None)?;
+    let addr = server.addr;
+    match http_post(addr, "/admin/stores/load", "{\"name\": \"runtime\", \"source\": \"mini\"}") {
+        Ok((200, _)) => {}
+        Ok((status, body)) => {
+            server.kill9();
+            return Err(format!("/admin/stores/load -> {status}: {body}"));
+        }
+        Err(e) => {
+            server.kill9();
+            return Err(format!("/admin/stores/load: {e}"));
+        }
+    }
+    let (mut acked, mut max_acked_epoch) = (0u64, 0u64);
+    for n in 0..UPSERTS {
+        if let Ok((200, body)) = http_post(addr, "/admin/stores/runtime/upsert", &fact(n)) {
+            acked += 1;
+            max_acked_epoch = max_acked_epoch.max(json_u64(&body, "epoch").unwrap_or(0));
+        }
+    }
+    // The crash under test: no drain, no flush, no unload — the manifest
+    // write happened inside the load call or not at all.
+    server.kill9();
+
+    let verify = spawn_durable_server(bin, dir, None, None)
+        .map_err(|e| format!("restart after runtime-load kill: {e}"))?;
+    let stores = http_get(verify.addr, "/admin/stores").unwrap_or_default();
+    let chunk = store_chunk(&stores, "runtime").unwrap_or("");
+    let recovered_epoch = json_u64(chunk, "epoch").unwrap_or(0);
+    let recovered_ready = chunk.contains("\"state\":\"ready\"");
+    let body: String = (0..UPSERTS).map(fact).collect();
+    let (reconciled_noops, reconciled_added) =
+        match http_post(verify.addr, "/admin/stores/runtime/upsert", &body) {
+            Ok((200, b)) => {
+                (json_u64(&b, "noops").unwrap_or(0), json_u64(&b, "added").unwrap_or(u64::MAX))
+            }
+            _ => (0, u64::MAX),
+        };
+    let answer_status = http_post(
+        verify.addr,
+        "/answer",
+        "{\"question\": \"Who is the mayor of Berlin?\", \"k\": 3, \"timeout_ms\": 2000, \
+         \"store\": \"runtime\"}",
+    )
+    .map_or(0, |(status, _)| status);
+    verify.kill9();
+
+    let ok = acked == UPSERTS
+        && recovered_ready
+        && recovered_epoch >= max_acked_epoch
+        && reconciled_noops == UPSERTS
+        && reconciled_added == 0
+        && answer_status == 200;
+    println!(
+        "crash runtime-load round: {acked} acked, recovered epoch {recovered_epoch} \
+         (max acked {max_acked_epoch}), ready {recovered_ready}, reconciled \
+         {reconciled_noops} noops / {reconciled_added} added, answer {answer_status} — ok: {ok}"
+    );
+    Ok(RuntimeLoadRound {
+        acked,
+        max_acked_epoch,
+        recovered_epoch,
+        recovered_ready,
+        reconciled_noops,
+        reconciled_added,
+        answer_status,
+        ok,
+    })
+}
+
+/// What the group-commit phase measured.
+struct GroupCommitOutcome {
+    seed: u64,
+    writers: u64,
+    per_writer: u64,
+    fsync_latency_ms: u64,
+    acked: u64,
+    failed: u64,
+    syncs: u64,
+    commits: u64,
+    max_batch: u64,
+    metrics_exported: bool,
+    spawn_error: Option<String>,
+}
+
+impl GroupCommitOutcome {
+    fn ok(&self) -> bool {
+        self.spawn_error.is_none()
+            && self.failed == 0
+            && self.acked == self.writers * self.per_writer
+            && self.commits == self.acked
+            && self.syncs > 0
+            && self.syncs < self.acked
+            && self.max_batch > 1
+            && self.metrics_exported
+    }
+}
+
+/// The group-commit property, end to end: boot the real server binary
+/// with `--durable` and a seeded fsync latency (tmpfs syncs too fast to
+/// contend on their own), hammer the default store's upsert route from
+/// concurrent writers, and require the WAL to have amortized its fsyncs —
+/// every ack is exactly one commit, but the `sync_data` count must come
+/// in strictly below the ack count, with at least one multi-record batch.
+fn run_group_commit(seed: u64, opts: &Opts) -> GroupCommitOutcome {
+    const WRITERS: u64 = 8;
+    const PER_WRITER: u64 = 40;
+    const FSYNC_LATENCY_MS: u64 = 2;
+    let bin = server_binary(opts);
+    let mut outcome = GroupCommitOutcome {
+        seed,
+        writers: WRITERS,
+        per_writer: PER_WRITER,
+        fsync_latency_ms: FSYNC_LATENCY_MS,
+        acked: 0,
+        failed: 0,
+        syncs: 0,
+        commits: 0,
+        max_batch: 0,
+        metrics_exported: false,
+        spawn_error: None,
+    };
+    if !bin.exists() {
+        outcome.spawn_error = Some(format!(
+            "{} not found — build the ganswer binary or pass --server-bin",
+            bin.display()
+        ));
+        return outcome;
+    }
+    let dir = std::env::temp_dir().join(format!("gqa-loadgen-group-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = format!("wal.fsync:latency:1.0:{FSYNC_LATENCY_MS}");
+    println!(
+        "group-commit phase: {WRITERS} writers x {PER_WRITER} upserts, \
+         fsync +{FSYNC_LATENCY_MS} ms (\"{plan}\") ..."
+    );
+    let server = match spawn_durable_server(&bin, &dir, Some((&plan, seed)), Some(WRITERS)) {
+        Ok(s) => s,
+        Err(e) => {
+            outcome.spawn_error = Some(e);
+            let _ = std::fs::remove_dir_all(&dir);
+            return outcome;
+        }
+    };
+    let addr = server.addr;
+    (outcome.acked, outcome.failed) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                scope.spawn(move || {
+                    let (mut acked, mut failed) = (0u64, 0u64);
+                    for i in 0..PER_WRITER {
+                        let n = w * PER_WRITER + i;
+                        let fact = format!("<gc:s{n}> <gc:p> <gc:o{n}> .\n");
+                        match http_post(addr, "/admin/stores/default/upsert", &fact) {
+                            Ok((200, _)) => acked += 1,
+                            _ => failed += 1,
+                        }
+                    }
+                    (acked, failed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("writer thread panicked"))
+            .fold((0, 0), |(a, f), (x, y)| (a + x, f + y))
+    });
+    let stores = http_get(addr, "/admin/stores").unwrap_or_default();
+    if let Some(chunk) = store_chunk(&stores, "default") {
+        outcome.syncs = json_u64(chunk, "group_syncs").unwrap_or(0);
+        outcome.commits = json_u64(chunk, "group_commits").unwrap_or(0);
+        outcome.max_batch = json_u64(chunk, "group_max_batch").unwrap_or(0);
+    }
+    // The same numbers must be visible to scrapers (the CI smoke job greps
+    // these series), so require the exposition to carry them too.
+    let metrics = http_get(addr, "/metrics").unwrap_or_default();
+    outcome.metrics_exported = metrics.contains("gqa_wal_group_syncs_total")
+        && metrics.contains("gqa_wal_group_commits_total")
+        && metrics.contains("gqa_wal_group_max_batch");
+    server.kill9();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "group-commit: {} acked / {} failed, {} fsyncs over {} commits \
+         (max batch {}), exported {} — ok: {}",
+        outcome.acked,
+        outcome.failed,
+        outcome.syncs,
+        outcome.commits,
+        outcome.max_batch,
+        outcome.metrics_exported,
+        outcome.ok(),
+    );
     outcome
 }
 
@@ -1368,7 +1668,8 @@ fn main() {
         });
         let report = drive(addr, false, &opts, host_threads);
         let crash = opts.crash.map(|seed| run_crash(seed, &opts));
-        finish(report, None, &opts, host_threads, None, None, None, crash);
+        let group = opts.group_commit.map(|seed| run_group_commit(seed, &opts));
+        finish(report, None, &opts, host_threads, None, None, None, crash, group);
     } else {
         let store = mini_dbpedia();
         let workers = threads_arg()
@@ -1407,7 +1708,8 @@ fn main() {
         let chaos = opts.chaos.map(|seed| run_chaos(&store, seed, &opts));
         let tenants = opts.tenants.then(|| run_tenants(&opts));
         let crash = opts.crash.map(|seed| run_crash(seed, &opts));
-        finish(report, Some(stats), &opts, host_threads, chaos, cache, tenants, crash);
+        let group = opts.group_commit.map(|seed| run_group_commit(seed, &opts));
+        finish(report, Some(stats), &opts, host_threads, chaos, cache, tenants, crash, group);
     }
 }
 
@@ -1467,6 +1769,7 @@ fn finish(
     cache: Option<CacheOutcome>,
     tenants: Option<TenantOutcome>,
     crash: Option<CrashOutcome>,
+    group: Option<GroupCommitOutcome>,
 ) {
     let Report { addr, in_process, before, after, steady, overload } = report;
     let server_workers = metric_value(&before, "gqa_server_worker_threads") as u64;
@@ -1628,6 +1931,21 @@ fn finish(
                 )
             })
             .collect();
+        let runtime = c.runtime.as_ref().map_or("null".to_owned(), |r| {
+            format!(
+                "{{\"acked\": {}, \"max_acked_epoch\": {}, \"recovered_epoch\": {}, \
+                 \"recovered_ready\": {}, \"reconciled_noops\": {}, \
+                 \"reconciled_added\": {}, \"answer_status\": {}, \"ok\": {}}}",
+                r.acked,
+                r.max_acked_epoch,
+                r.recovered_epoch,
+                r.recovered_ready,
+                r.reconciled_noops,
+                r.reconciled_added,
+                r.answer_status,
+                r.ok,
+            )
+        });
         format!(
             ",\n  \"crash\": {{\n\
              \x20   \"enabled\": true,\n\
@@ -1636,6 +1954,7 @@ fn finish(
              \x20   \"spawn_error\": {},\n\
              \x20   \"total_acked\": {},\n\
              \x20   \"rounds\": [{}],\n\
+             \x20   \"runtime_load\": {runtime},\n\
              \x20   \"ok\": {}\n\
              \x20 }}",
             c.seed,
@@ -1647,6 +1966,40 @@ fn finish(
         )
     } else {
         ",\n  \"crash\": {\"enabled\": false}".to_owned()
+    };
+
+    let group_json = if let Some(g) = &group {
+        format!(
+            ",\n  \"group_commit\": {{\n\
+             \x20   \"enabled\": true,\n\
+             \x20   \"seed\": {},\n\
+             \x20   \"writers\": {},\n\
+             \x20   \"per_writer\": {},\n\
+             \x20   \"fsync_latency_ms\": {},\n\
+             \x20   \"spawn_error\": {},\n\
+             \x20   \"acked\": {},\n\
+             \x20   \"failed\": {},\n\
+             \x20   \"fsyncs\": {},\n\
+             \x20   \"commits\": {},\n\
+             \x20   \"max_batch\": {},\n\
+             \x20   \"metrics_exported\": {},\n\
+             \x20   \"ok\": {}\n\
+             \x20 }}",
+            g.seed,
+            g.writers,
+            g.per_writer,
+            g.fsync_latency_ms,
+            g.spawn_error.as_deref().map_or("null".to_owned(), |e| format!("\"{e}\"")),
+            g.acked,
+            g.failed,
+            g.syncs,
+            g.commits,
+            g.max_batch,
+            g.metrics_exported,
+            g.ok(),
+        )
+    } else {
+        ",\n  \"group_commit\": {\"enabled\": false}".to_owned()
     };
 
     let chaos_json = if let Some(c) = &chaos {
@@ -1696,7 +2049,7 @@ fn finish(
          \x20   \"answer_requests\": {{\"client\": {client_answered}, \"server_delta\": {answered_delta:.0}, \"agree\": {requests_agree}}},\n\
          \x20   \"shed\": {{\"client\": {client_shed}, \"server_delta\": {shed_delta:.0}, \"agree\": {shed_agree}}},\n\
          \x20   \"timeouts\": {{\"client\": {client_timeouts}, \"server_delta\": {timeout_delta:.0}, \"agree\": {timeouts_agree}}}\n\
-         \x20 }}{server_stats_json}{cache_json}{tenants_json}{chaos_json}{crash_json}\n\
+         \x20 }}{server_stats_json}{cache_json}{tenants_json}{chaos_json}{crash_json}{group_json}\n\
          }}\n",
         opts.timeout_ms,
         phases.join(",\n"),
@@ -1786,12 +2139,36 @@ fn finish(
                 c.total_acked,
                 c.ok(),
             );
+            if let Some(r) = &c.runtime {
+                println!(
+                    "          runtime-load: {} acked, tenant back from the manifest at \
+                     epoch {} (>= acked {}), answering: {}",
+                    r.acked, r.recovered_epoch, r.max_acked_epoch, r.ok,
+                );
+            }
+        }
+    }
+    if let Some(g) = &group {
+        if let Some(e) = &g.spawn_error {
+            println!("group:    seed {}, spawn error: {e}", g.seed);
+        } else {
+            println!(
+                "group:    seed {}, {} writers, {} acked upserts over {} fsyncs \
+                 (max batch {}) — ok: {}",
+                g.seed,
+                g.writers,
+                g.acked,
+                g.syncs,
+                g.max_batch,
+                g.ok(),
+            );
         }
     }
     let chaos_agree = chaos.as_ref().is_none_or(ChaosOutcome::agree);
     let cache_ok = cache.as_ref().is_none_or(|c| c.hit_rate_ok() && c.phase.io_errors == 0);
     let tenants_ok = tenants.as_ref().is_none_or(TenantOutcome::ok);
     let crash_ok = crash.as_ref().is_none_or(CrashOutcome::ok);
+    let group_ok = group.as_ref().is_none_or(GroupCommitOutcome::ok);
     // Every response across every phase must have echoed the client's
     // X-Request-Id — a single missing or mangled echo fails the run.
     let ids_missing = steady.missing_ids
@@ -1813,14 +2190,16 @@ fn finish(
         && chaos_agree
         && cache_ok
         && tenants_ok
-        && crash_ok)
+        && crash_ok
+        && group_ok)
         || ids_missing > 0
     {
         eprintln!(
             "error: client tallies and /metrics deltas disagree, a response lost its \
              X-Request-Id, the cache hit rate fell below 90%, the multi-tenant \
-             phase failed isolation/reconciliation, or the crash-recovery phase \
-             lost an acked upsert"
+             phase failed isolation/reconciliation, the crash-recovery phase \
+             lost an acked upsert or a runtime-loaded tenant, or the group-commit \
+             phase did not amortize fsyncs below the ack count"
         );
         std::process::exit(1);
     }

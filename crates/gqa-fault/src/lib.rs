@@ -4,7 +4,9 @@
 //! answering hot path:
 //!
 //! * [`FaultPlan`] — a seeded set of injection rules attached to *named
-//!   sites* (`rdf.bfs`, `linker.lookup`, `ta.probe`, `server.worker`).
+//!   sites* (`rdf.bfs`, `linker.lookup`, `ta.probe`, `server.worker`;
+//!   the durability layer adds `wal.append`, `wal.fsync`,
+//!   `engine.compact`, and `manifest.write`).
 //!   Code on the hot path calls [`FaultPlan::fire`] (usually via
 //!   [`Exec::fire`]) at each site; with an empty plan this is a single
 //!   `Option` branch, with rules it deterministically injects a panic,

@@ -59,10 +59,11 @@ pub use metrics::{StoreMetrics, StoreMetricsSnapshot};
 pub use overlay::{Delta, DeltaOp, DeltaStats, OverlayStats};
 pub use paths::{Dir, PathPattern, PathStep};
 pub use snapfile::{
-    is_snapshot, read_snapshot, write_snapshot, write_snapshot_file, SnapshotError,
+    is_snapshot, read_snapshot, write_file_atomic, write_snapshot, write_snapshot_file,
+    SnapshotError,
 };
 pub use snapshot::{Snapshot, Stamped};
 pub use store::{Store, StoreBuilder, StoreSectionBytes, UnknownIri};
 pub use term::Term;
 pub use triple::Triple;
-pub use wal::{Wal, WalError, WalRecord, WalScan};
+pub use wal::{GroupCommitStats, GroupWal, Wal, WalError, WalRecord, WalScan};

@@ -189,8 +189,10 @@ pub fn write_snapshot_file(store: &Store, path: &std::path::Path) -> std::io::Re
 }
 
 /// Atomically replace `path` with `bytes` via tmp + fsync + rename +
-/// directory fsync. Shared by snapshot writing and WAL rotation.
-pub(crate) fn write_file_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+/// directory fsync. Shared by snapshot writing, WAL rotation, and any
+/// other small durable file that must never be observed half-written
+/// (e.g. the registry manifest).
+pub fn write_file_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
     use std::io::Write;
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("out");

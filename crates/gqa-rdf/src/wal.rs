@@ -49,6 +49,8 @@ use gqa_fault::FaultPlan;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Magic bytes opening every WAL file (`GQAWAL` + 2-digit format era).
 pub const WAL_MAGIC: [u8; 8] = *b"GQAWAL01";
@@ -459,6 +461,317 @@ impl Wal {
     }
 }
 
+/// Point-in-time group-commit counters (see [`GroupWal`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GroupCommitStats {
+    /// `sync_data` calls performed by commit leaders. Under concurrent
+    /// load this is strictly below [`GroupCommitStats::commits`] — one
+    /// sync covers a whole batch of enqueued records.
+    pub syncs: u64,
+    /// Records acked durable through [`GroupWal::commit`].
+    pub commits: u64,
+    /// The largest number of records a single sync covered.
+    pub max_batch: u64,
+}
+
+/// Shared WAL state behind the [`GroupWal`] mutex.
+///
+/// `written` tracks the end offset of the last *fully enqueued* record —
+/// bytes that are in the file but not yet covered by a `sync_data`. The
+/// invariant `wal.known_good <= written <= file length` holds whenever
+/// the mutex is free; only the range `(known_good, written]` is ever at
+/// risk from a failed sync.
+///
+/// Waiters are identified by *tickets* (`next_seq`), never by byte
+/// offsets: after a failed batch is truncated away, new records re-fill
+/// the same offsets, so an offset comparison could ack a record that is
+/// no longer on disk. Each pending ticket is resolved explicitly by the
+/// leader that synced (or failed) it, into `outcomes`, and claimed by
+/// its owner.
+#[derive(Debug)]
+struct GroupShared {
+    wal: Wal,
+    /// End offset of the last fully enqueued record.
+    written: u64,
+    /// Records enqueued into this generation (synced or not).
+    written_records: u64,
+    /// Next enqueue ticket; strictly increasing, never reused.
+    next_seq: u64,
+    /// Enqueued-but-unresolved records, in append order:
+    /// `(ticket, end offset)`.
+    pending: std::collections::VecDeque<(u64, u64)>,
+    /// Resolved-but-unclaimed tickets (bounded by concurrent callers).
+    outcomes: std::collections::HashMap<u64, Result<(), WalError>>,
+    /// A commit leader is running `sync_data` with the mutex released.
+    syncing: bool,
+}
+
+/// A [`Wal`] shared by concurrent appenders with ARIES-style group
+/// commit.
+///
+/// [`GroupWal::enqueue`] writes the record bytes under the mutex (cheap)
+/// and returns a ticket. [`GroupWal::commit`] then makes it durable: if
+/// no sync is in flight the caller becomes the *leader*, releases the
+/// mutex, and runs one `sync_data` covering every record enqueued so
+/// far; otherwise it is a *follower* and blocks until a leader resolves
+/// its ticket (the batch synced, or it failed). Under N
+/// concurrent writers one fsync therefore acks up to N records — fsync
+/// count « ack count — while the durability contract is unchanged: only
+/// a returned `Ok` from `commit` means the record survives `kill -9`.
+///
+/// Failure semantics: an `error`-kind sync failure truncates the whole
+/// unsynced suffix back to the known-good boundary and fails every
+/// waiter in the batch (their records are *absent* after recovery, as an
+/// un-acked write must be). A `torn`-kind failure emulates the machine
+/// dying mid-sync: only a fragment of the batch's first record is left
+/// on disk and the log poisons itself, so reopen runs torn-tail recovery
+/// and again none of the failed batch survives.
+#[derive(Debug)]
+pub struct GroupWal {
+    shared: Mutex<GroupShared>,
+    /// Signals followers when a sync completes (or fails) and the next
+    /// leader when the syncing slot frees up.
+    synced: Condvar,
+    syncs: AtomicU64,
+    commits: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+impl GroupWal {
+    /// Wrap an open [`Wal`] for shared, group-committed appends.
+    pub fn new(wal: Wal) -> GroupWal {
+        let written = wal.known_good;
+        let written_records = wal.records;
+        GroupWal {
+            shared: Mutex::new(GroupShared {
+                wal,
+                written,
+                written_records,
+                next_seq: 0,
+                pending: std::collections::VecDeque::new(),
+                outcomes: std::collections::HashMap::new(),
+                syncing: false,
+            }),
+            synced: Condvar::new(),
+            syncs: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, GroupShared> {
+        self.shared.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write one record's bytes into the log *without* syncing and return
+    /// its ticket. The record is not durable — and must not be acked —
+    /// until [`GroupWal::commit`] returns `Ok` for that ticket.
+    ///
+    /// Callers that need record order to match an external order (the
+    /// engine's epoch order) should serialize their `enqueue` calls; the
+    /// expensive part — the fsync — still overlaps across callers.
+    pub fn enqueue(&self, epoch: u64, delta: &Delta) -> Result<u64, WalError> {
+        let mut g = self.lock();
+        if g.wal.poisoned {
+            return err(format!(
+                "log {:?} is poisoned by an earlier failed repair; restart to recover",
+                g.wal.path
+            ));
+        }
+        let payload = encode_payload(epoch, delta);
+        let mut record = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+
+        if let Err(f) = g.wal.faults.fire(FAULT_SITE_WAL_APPEND) {
+            if f.torn {
+                let _ = g.wal.file.write_all(&record[..record.len() / 2]);
+                g.wal.poisoned = true;
+            }
+            return err(format!("append to {:?}: {f}", g.wal.path));
+        }
+        if let Err(e) = g.wal.file.write_all(&record) {
+            // Part of the record may be on disk past `written`; truncate
+            // back so a later enqueue cannot land after garbage. Safe
+            // against a concurrent leader sync: its capture target is
+            // always <= `written`, so no claimed bytes are removed.
+            let repaired = g.wal.file.set_len(g.written).and_then(|()| g.wal.file.sync_data());
+            if repaired.is_err() {
+                g.wal.poisoned = true;
+            }
+            return err(format!("append to {:?}: {e}", g.wal.path));
+        }
+        g.written += record.len() as u64;
+        g.written_records += 1;
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        let end = g.written;
+        g.pending.push_back((seq, end));
+        Ok(seq)
+    }
+
+    /// Block until the record behind `ticket` is durable (leader/follower
+    /// group commit) and return whether it survived. See the type docs
+    /// for the batching protocol and failure semantics.
+    pub fn commit(&self, ticket: u64) -> Result<(), WalError> {
+        let mut g = self.lock();
+        loop {
+            if let Some(v) = g.outcomes.remove(&ticket) {
+                // A leader (ours or another's) already resolved us.
+                if v.is_ok() {
+                    self.commits.fetch_add(1, Ordering::Relaxed);
+                }
+                return v;
+            }
+            if !g.syncing {
+                break; // no leader in flight: become it
+            }
+            g = self.synced.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+        // Leader: capture the batch, release the mutex, sync once for
+        // everything enqueued so far.
+        g.syncing = true;
+        let target = g.written;
+        let target_records = g.written_records;
+        let batch = target_records - g.wal.records;
+        let path = g.wal.path.clone();
+        let faults = g.wal.faults.clone();
+        let file = g.wal.file.try_clone();
+        drop(g);
+
+        let outcome: Result<(), (WalError, bool)> = (|| {
+            if let Err(f) = faults.fire(FAULT_SITE_WAL_FSYNC) {
+                return Err((WalError(format!("sync {path:?}: {f}")), f.torn));
+            }
+            match &file {
+                Ok(f) => {
+                    f.sync_data().map_err(|e| (WalError(format!("sync {path:?}: {e}")), false))
+                }
+                Err(e) => Err((WalError(format!("clone handle to sync {path:?}: {e}")), false)),
+            }
+        })();
+
+        let mut g = self.lock();
+        g.syncing = false;
+        match outcome {
+            Ok(()) => {
+                g.wal.known_good = target;
+                g.wal.records = target_records;
+                self.syncs.fetch_add(1, Ordering::Relaxed);
+                self.max_batch.fetch_max(batch, Ordering::Relaxed);
+                // Resolve every record the sync covered; later enqueues
+                // stay pending for the next leader.
+                while let Some(&(seq, end)) = g.pending.front() {
+                    if end > target {
+                        break;
+                    }
+                    g.pending.pop_front();
+                    g.outcomes.insert(seq, Ok(()));
+                }
+            }
+            Err((ref e, torn)) => {
+                if torn {
+                    // The machine "died" mid-sync: an arbitrary fragment
+                    // of the batch reached disk. Emulate the worst case —
+                    // tear the first unsynced record — and poison the
+                    // handle, so reopen runs torn-tail recovery and none
+                    // of the failed batch resurrects.
+                    let frag = (g.written - g.wal.known_good).min(RECORD_HEADER_LEN as u64 / 2);
+                    let _ = g.wal.file.set_len(g.wal.known_good + frag);
+                    g.written = g.wal.known_good + frag;
+                    g.written_records = g.wal.records;
+                    g.wal.poisoned = true;
+                } else {
+                    // Fail the whole unsynced suffix cleanly: truncate to
+                    // the known-good boundary so the next enqueue cannot
+                    // land after doomed bytes.
+                    let repaired =
+                        g.wal.file.set_len(g.wal.known_good).and_then(|()| g.wal.file.sync_data());
+                    if repaired.is_err() {
+                        g.wal.poisoned = true;
+                    }
+                    g.written = g.wal.known_good;
+                    g.written_records = g.wal.records;
+                }
+                // Everything unsynced is gone — records enqueued after
+                // the capture included. None of them was ever acked.
+                let failed: Vec<u64> = g.pending.drain(..).map(|(seq, _)| seq).collect();
+                for seq in failed {
+                    g.outcomes.insert(seq, Err(e.clone()));
+                }
+            }
+        }
+        let mine = g
+            .outcomes
+            .remove(&ticket)
+            .unwrap_or_else(|| err("leader ticket left unresolved (bug)"));
+        drop(g);
+        self.synced.notify_all();
+        if mine.is_ok() {
+            self.commits.fetch_add(1, Ordering::Relaxed);
+        }
+        mine
+    }
+
+    /// [`GroupWal::enqueue`] + [`GroupWal::commit`] in one call, for
+    /// callers that do not need to overlap the enqueue with other work.
+    pub fn append(&self, epoch: u64, delta: &Delta) -> Result<(), WalError> {
+        let lsn = self.enqueue(epoch, delta)?;
+        self.commit(lsn)
+    }
+
+    /// Start a fresh generation after a checkpoint (see [`Wal::rotate`]).
+    /// Refuses to rotate while appends are in flight — callers must
+    /// quiesce writers first, since unsynced (and therefore un-acked)
+    /// records would be silently discarded.
+    pub fn rotate(&self, base_epoch: u64) -> Result<(), WalError> {
+        let mut g = self.lock();
+        if g.syncing || !g.pending.is_empty() {
+            return err(format!("rotate {:?} with appends in flight", g.wal.path));
+        }
+        g.wal.rotate(base_epoch)?;
+        g.written = g.wal.known_good;
+        g.written_records = 0;
+        Ok(())
+    }
+
+    /// Bytes of durable (synced) log on disk.
+    pub fn bytes(&self) -> u64 {
+        self.lock().wal.known_good
+    }
+
+    /// Durable records in the current generation.
+    pub fn records(&self) -> u64 {
+        self.lock().wal.records
+    }
+
+    /// `true` once a failed repair (or simulated torn sync) has made this
+    /// log unusable until restart.
+    pub fn poisoned(&self) -> bool {
+        self.lock().wal.poisoned
+    }
+
+    /// The log's path on disk.
+    pub fn path(&self) -> PathBuf {
+        self.lock().wal.path.clone()
+    }
+
+    /// The fault plan this log fires its chaos sites against.
+    pub fn faults(&self) -> FaultPlan {
+        self.lock().wal.faults.clone()
+    }
+
+    /// Cumulative group-commit counters for this handle's lifetime.
+    pub fn group_stats(&self) -> GroupCommitStats {
+        GroupCommitStats {
+            syncs: self.syncs.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -696,5 +1009,132 @@ mod tests {
         let sum = fnv1a64(&future);
         future.extend_from_slice(&sum.to_le_bytes());
         assert!(scan(&future).unwrap_err().to_string().contains("version"));
+    }
+
+    fn tagged_delta(tag: &str) -> Delta {
+        let mut d = Delta::new();
+        d.upsert(Term::iri(format!("up:{tag}")), Term::iri("up:grew"), Term::iri("up:o"));
+        d
+    }
+
+    fn replayed_tags(path: &Path) -> std::collections::HashSet<String> {
+        let (_, scan) = Wal::open(path, FaultPlan::none()).unwrap();
+        scan.records
+            .iter()
+            .flat_map(|r| r.delta.ops.iter())
+            .filter_map(|op| match op {
+                DeltaOp::Upsert(Term::Iri(s), _, _) => s.strip_prefix("up:").map(|t| t.to_owned()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn group_commit_acks_every_concurrent_append_and_replays_them() {
+        let dir = tmpdir("group");
+        let path = dir.join("wal.log");
+        let wal =
+            std::sync::Arc::new(GroupWal::new(Wal::create(&path, 1, FaultPlan::none()).unwrap()));
+        let threads = 4;
+        let per_thread = 25u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let wal = std::sync::Arc::clone(&wal);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        wal.append(2, &tagged_delta(&format!("t{t}x{i}"))).unwrap();
+                    }
+                });
+            }
+        });
+        let total = threads as u64 * per_thread;
+        assert_eq!(wal.records(), total);
+        let stats = wal.group_stats();
+        assert_eq!(stats.commits, total);
+        assert!(stats.syncs >= 1 && stats.syncs <= total, "{stats:?}");
+        drop(wal);
+        let tags = replayed_tags(&path);
+        for t in 0..threads {
+            for i in 0..per_thread {
+                assert!(tags.contains(&format!("t{t}x{i}")), "acked t{t}x{i} lost");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Property: under seeded `wal.fsync` chaos (both `error` and `torn`
+    /// kinds) with N concurrent appenders, every acked record replays
+    /// after reopen and every failed one is absent — at 1 and 4 threads,
+    /// across several seeds.
+    #[test]
+    fn group_commit_chaos_acked_replays_failed_absent() {
+        for &threads in &[1usize, 4] {
+            for kind in ["error", "torn"] {
+                for seed in 0..4u64 {
+                    let dir = tmpdir(&format!("groupchaos-{threads}-{kind}-{seed}"));
+                    let path = dir.join("wal.log");
+                    let prob = if kind == "torn" { 0.15 } else { 0.4 };
+                    let plan = FaultPlan::parse(&format!("wal.fsync:{kind}:{prob}"), seed).unwrap();
+                    let wal =
+                        std::sync::Arc::new(GroupWal::new(Wal::create(&path, 1, plan).unwrap()));
+                    let acked = Mutex::new(Vec::new());
+                    let failed = Mutex::new(Vec::new());
+                    std::thread::scope(|s| {
+                        for t in 0..threads {
+                            let wal = std::sync::Arc::clone(&wal);
+                            let (acked, failed) = (&acked, &failed);
+                            s.spawn(move || {
+                                for i in 0..12u64 {
+                                    let tag = format!("t{t}x{i}");
+                                    match wal.append(2, &tagged_delta(&tag)) {
+                                        Ok(()) => acked.lock().unwrap().push(tag),
+                                        Err(_) => failed.lock().unwrap().push(tag),
+                                    }
+                                }
+                            });
+                        }
+                    });
+                    let acked = acked.into_inner().unwrap();
+                    let failed = failed.into_inner().unwrap();
+                    assert_eq!(acked.len() + failed.len(), threads * 12);
+                    drop(wal);
+                    let tags = replayed_tags(&path);
+                    for tag in &acked {
+                        assert!(
+                            tags.contains(tag),
+                            "acked {tag} lost ({threads} threads, {kind}, seed {seed})"
+                        );
+                    }
+                    for tag in &failed {
+                        assert!(
+                            !tags.contains(tag),
+                            "failed {tag} resurrected ({threads} threads, {kind}, seed {seed})"
+                        );
+                    }
+                    std::fs::remove_dir_all(&dir).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_rotate_refuses_in_flight_appends_and_resets_cleanly() {
+        let dir = tmpdir("grouprotate");
+        let path = dir.join("wal.log");
+        let wal = GroupWal::new(Wal::create(&path, 1, FaultPlan::none()).unwrap());
+        wal.append(2, &sample_delta(0)).unwrap();
+        wal.rotate(2).unwrap();
+        assert_eq!(wal.records(), 0);
+        assert_eq!(wal.bytes(), HEADER_LEN as u64);
+        // An enqueued-but-uncommitted record blocks rotation.
+        let lsn = wal.enqueue(3, &sample_delta(1)).unwrap();
+        assert!(wal.rotate(3).unwrap_err().to_string().contains("in flight"));
+        wal.commit(lsn).unwrap();
+        wal.rotate(3).unwrap();
+        drop(wal);
+        let (_, scan) = Wal::open(&path, FaultPlan::none()).unwrap();
+        assert_eq!(scan.base_epoch, 3);
+        assert!(scan.records.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -4,9 +4,9 @@ use gqa_core::pipeline::GAnswer;
 use gqa_fault::FaultPlan;
 use gqa_rdf::overlay::{Delta, DeltaStats, OverlayStats};
 use gqa_rdf::snapshot::{Snapshot, Stamped};
-use gqa_rdf::wal::Wal;
+use gqa_rdf::wal::{GroupWal, Wal};
 use gqa_rdf::Store;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -14,12 +14,32 @@ use std::sync::Arc;
 type Rebuild = Box<dyn Fn() -> Result<GAnswer<'static>, String> + Send + Sync>;
 type Assemble = Box<dyn Fn(Store) -> Result<GAnswer<'static>, String> + Send + Sync>;
 
+/// Chaos site fired at the start of every [`Engine::compact`] on a
+/// durable engine, *before* the write mutex is taken — a `latency` rule
+/// here models a slow background fold (the unload-vs-compaction race),
+/// an `error` rule a fold that aborts before touching durable state.
+pub const FAULT_SITE_COMPACT: &str = "engine.compact";
+
 /// Durable (write-ahead-logged) state for one engine. Lives inside the
-/// write mutex so the WAL is only ever touched by the serialized
-/// mutation path — appends, checkpoints, and recovery can never race.
+/// write mutex so checkpoints, recovery, and bookkeeping are serialized
+/// with the mutation path; the [`GroupWal`] itself is shared so the
+/// expensive part of an upsert — the fsync — runs *outside* that mutex
+/// and batches across concurrent writers.
 struct Durable {
     dir: PathBuf,
-    wal: Wal,
+    wal: Arc<GroupWal>,
+    /// The epoch the next upsert will log and publish under. Kept
+    /// strictly above every epoch ever published by this engine so acked
+    /// epochs can never regress across recovery or compaction.
+    next_epoch: u64,
+    /// Upserts that have reserved an epoch + WAL slot (phase A).
+    enqueued: u64,
+    /// Upserts whose apply/publish phase has finished (phase C). When
+    /// `applied == enqueued` no durable upsert is in flight.
+    applied: u64,
+    /// Set by [`Engine::retire`]: the tenant was unloaded. Later upserts
+    /// are rejected and an in-flight compaction publishes nothing.
+    retired: bool,
     /// Records replayed from the log at the last open/recovery.
     replayed_records: u64,
     /// Individual ops inside those records.
@@ -48,6 +68,14 @@ pub struct DurableStatus {
     /// Whether the WAL has poisoned itself after a failed repair (all
     /// further upserts fail until restart).
     pub poisoned: bool,
+    /// `sync_data` calls performed by group-commit leaders.
+    pub group_syncs: u64,
+    /// Upserts acked durable through group commit. Under concurrent
+    /// load `group_syncs` stays strictly below this — one fsync covers
+    /// a whole batch.
+    pub group_commits: u64,
+    /// Largest number of records one sync covered.
+    pub group_max_batch: u64,
 }
 
 /// File name of the checkpointed base store inside a durable dir.
@@ -97,6 +125,10 @@ pub struct Engine {
     /// (re)build so a compaction cannot interleave with an upsert and
     /// drop its delta — and so a WAL append can never race a rotation.
     write: Mutex<Option<Durable>>,
+    /// Signals each bump of `Durable::applied`: durable upserts wait
+    /// here for their turn to apply, and quiescing paths (compaction,
+    /// reload, retire) wait here for `applied == enqueued`.
+    applied_cv: Condvar,
     /// Overlay ops (adds + dels) that trigger a background compaction.
     compact_ops: usize,
     /// At most one background compaction in flight per engine.
@@ -120,6 +152,7 @@ impl Engine {
             rebuild: Box::new(rebuild),
             assemble: None,
             write: Mutex::new(None),
+            applied_cv: Condvar::new(),
             compact_ops: Self::DEFAULT_COMPACT_OPS,
             compacting: AtomicBool::new(false),
         }
@@ -170,10 +203,11 @@ impl Engine {
         let assemble = self.assemble.as_ref().ok_or("durable stores need an upsertable engine")?;
         std::fs::create_dir_all(dir).map_err(|e| format!("create durable dir {dir:?}: {e}"))?;
         let current = self.snapshot.load();
-        let (durable, recovered) = Self::recover(assemble, current.value.store(), dir, faults)?;
+        let (mut durable, recovered) = Self::recover(assemble, current.value.store(), dir, faults)?;
         if let Some((fresh, at_least)) = recovered {
             self.snapshot.swap_at_least(fresh, at_least);
         }
+        durable.next_epoch = self.snapshot.epoch() + 1;
         *self.write.lock() = Some(durable);
         Ok(self)
     }
@@ -208,7 +242,11 @@ impl Engine {
         };
         let mut durable = Durable {
             dir: dir.to_owned(),
-            wal,
+            wal: Arc::new(GroupWal::new(wal)),
+            next_epoch: 2, // callers overwrite with published epoch + 1
+            enqueued: 0,
+            applied: 0,
+            retired: false,
             replayed_records: 0,
             replayed_ops: 0,
             torn_bytes_dropped: 0,
@@ -264,20 +302,50 @@ impl Engine {
     /// crash-recovery drill.
     pub fn reload(&self) -> Result<u64, String> {
         let mut w = self.write.lock();
+        w = self.quiesce(w);
         if let Some(d) = w.as_mut() {
             let assemble = self.assemble.as_ref().expect("durable engines have assemble");
             let source = (self.rebuild)()?;
-            let faults = d.wal.faults().clone();
-            let (durable, recovered) = Self::recover(assemble, source.store(), &d.dir, faults)?;
+            let faults = d.wal.faults();
+            let retired = d.retired;
+            let (mut durable, recovered) = Self::recover(assemble, source.store(), &d.dir, faults)?;
             let (fresh, at_least) = match recovered {
                 Some(r) => r,
                 None => (source, 1),
             };
+            let epoch = self.snapshot.swap_at_least(fresh, at_least);
+            durable.retired = retired;
+            durable.next_epoch = epoch + 1;
             *d = durable;
-            return Ok(self.snapshot.swap_at_least(fresh, at_least));
+            return Ok(epoch);
         }
         let fresh = (self.rebuild)()?;
         Ok(self.snapshot.swap(fresh))
+    }
+
+    /// Block until no durable upsert is between its WAL reservation and
+    /// its publish (phases A–C). Callers that are about to replace or
+    /// tear down durable state must hold the write lock across this.
+    fn quiesce<'a>(
+        &self,
+        mut w: MutexGuard<'a, Option<Durable>>,
+    ) -> MutexGuard<'a, Option<Durable>> {
+        while w.as_ref().is_some_and(|d| d.applied != d.enqueued) {
+            w = self.applied_cv.wait(w);
+        }
+        w
+    }
+
+    /// Mark the engine as unloaded: wait out in-flight durable upserts,
+    /// then flag the durable state so later upserts are rejected and an
+    /// in-flight background compaction publishes nothing into the (now
+    /// ownerless) durable dir. Idempotent; a no-op for in-memory engines.
+    pub fn retire(&self) {
+        let mut w = self.write.lock();
+        w = self.quiesce(w);
+        if let Some(d) = w.as_mut() {
+            d.retired = true;
+        }
     }
 
     /// Apply a parsed N-Triples delta to the current store and publish
@@ -286,6 +354,21 @@ impl Engine {
     /// compaction threshold a background fold is scheduled (at most one at
     /// a time) — answers are correct either way, compaction only restores
     /// scan locality.
+    ///
+    /// On a durable engine the write is three-phased so concurrent
+    /// upserts share fsyncs instead of serializing on them:
+    ///
+    /// 1. under the write mutex, reserve the next epoch and enqueue the
+    ///    record into the [`GroupWal`] (WAL order == epoch order);
+    /// 2. with the mutex *released*, group-commit the record — one
+    ///    leader's `sync_data` acks the whole concurrent batch;
+    /// 3. re-acquire the mutex and apply/publish in reservation order
+    ///    (overlay deltas do not commute, so apply order must equal
+    ///    replay order).
+    ///
+    /// Write-ahead holds as before: the record is synced under the epoch
+    /// about to be published before any caller can see a success — that
+    /// ordering is the entire 200-ack durability contract.
     pub fn upsert(self: &Arc<Self>, delta: Delta) -> Result<UpsertOutcome, String> {
         let assemble = self
             .assemble
@@ -296,19 +379,76 @@ impl Engine {
         let stats;
         {
             let mut w = self.write.lock();
-            let current = self.snapshot.load();
-            if let Some(d) = w.as_mut() {
-                // Write-ahead: the batch must be on disk (synced) under
-                // the epoch about to be published *before* any caller
-                // can see a success — that ordering is the entire 200-ack
-                // durability contract.
-                d.wal.append(current.epoch + 1, &delta).map_err(|e| e.to_string())?;
+            if w.is_some() {
+                // Phase A: reserve an epoch + WAL slot under the lock.
+                let (my_epoch, seq, wal, ticket) = {
+                    let d = w.as_mut().expect("checked is_some");
+                    if d.retired {
+                        return Err("store has been unloaded".to_string());
+                    }
+                    let my_epoch = d.next_epoch;
+                    let wal = Arc::clone(&d.wal);
+                    // A failed enqueue consumes nothing: no epoch, no
+                    // apply turn, no bytes claimed past `known_good`.
+                    let ticket = wal.enqueue(my_epoch, &delta).map_err(|e| e.to_string())?;
+                    d.next_epoch += 1;
+                    let seq = d.enqueued;
+                    d.enqueued += 1;
+                    (my_epoch, seq, wal, ticket)
+                };
+                drop(w);
+
+                // Phase B: make it durable. No engine lock held — this is
+                // where concurrent writers batch into one fsync.
+                let committed = wal.commit(ticket).map_err(|e| e.to_string());
+
+                // Phase C: apply and publish in reservation order.
+                w = self.write.lock();
+                while w.as_ref().is_some_and(|d| d.applied != seq) {
+                    w = self.applied_cv.wait(w);
+                }
+                let retired = w.as_ref().is_some_and(|d| d.retired);
+                let applied = match committed {
+                    Err(e) => Err(e),
+                    // The record is durable (it will replay on a future
+                    // load of this dir) but the tenant is gone — don't
+                    // publish into a snapshot nobody owns.
+                    Ok(()) if retired => Err("store has been unloaded".to_string()),
+                    Ok(()) => {
+                        let current = self.snapshot.load();
+                        let (store, delta_stats) = current.value.store().apply_delta(delta);
+                        let ov = store.overlay_stats();
+                        match assemble(store) {
+                            // `my_epoch` always exceeds the published
+                            // epoch (earlier reservations published
+                            // strictly smaller ones), so this publishes
+                            // exactly the epoch the WAL record carries.
+                            Ok(fresh) => {
+                                Ok((self.snapshot.swap_at_least(fresh, my_epoch), delta_stats, ov))
+                            }
+                            Err(e) => Err(e),
+                        }
+                    }
+                };
+                // Always pass the turn, even on failure — later
+                // reservations (and quiescing paths) are waiting on it.
+                if let Some(d) = w.as_mut() {
+                    d.applied += 1;
+                }
+                self.applied_cv.notify_all();
+                drop(w);
+                let (e, s, ov) = applied?;
+                epoch = e;
+                stats = s;
+                overlay = ov;
+            } else {
+                let current = self.snapshot.load();
+                let (store, delta_stats) = current.value.store().apply_delta(delta);
+                overlay = store.overlay_stats();
+                let fresh = assemble(store)?;
+                epoch = self.snapshot.swap(fresh);
+                stats = delta_stats;
             }
-            let (store, delta_stats) = current.value.store().apply_delta(delta);
-            overlay = store.overlay_stats();
-            let fresh = assemble(store)?;
-            epoch = self.snapshot.swap(fresh);
-            stats = delta_stats;
         }
         let compaction_scheduled = match overlay {
             Some(ov) if self.overlay_is_heavy(&ov) => self.spawn_compaction(),
@@ -337,7 +477,23 @@ impl Engine {
             .assemble
             .as_ref()
             .ok_or_else(|| "store does not support incremental upserts".to_string())?;
+        // Chaos site, fired *before* the write lock so a latency rule
+        // models a slow fold without stalling upserts or unload.
+        let faults = self.write.lock().as_ref().map(|d| d.wal.faults());
+        if let Some(f) = &faults {
+            if let Err(e) = f.fire(FAULT_SITE_COMPACT) {
+                return Err(format!("compact aborted: {e}"));
+            }
+        }
         let mut w = self.write.lock();
+        // Wait out in-flight durable upserts so the fold sees every
+        // applied record and the rotation cannot drop an unapplied one.
+        w = self.quiesce(w);
+        if w.as_ref().is_some_and(|d| d.retired) {
+            // Unloaded while we were folding/waiting: the durable dir is
+            // no longer ours to checkpoint into. Publish nothing.
+            return Ok(None);
+        }
         let current = self.snapshot.load();
         if !current.value.store().has_overlay() {
             return Ok(None);
@@ -354,6 +510,7 @@ impl Engine {
             if d.wal.rotate(epoch).is_ok() {
                 d.checkpoints += 1;
             }
+            d.next_epoch = d.next_epoch.max(epoch + 1);
         }
         Ok(Some(epoch))
     }
@@ -361,14 +518,20 @@ impl Engine {
     /// Durability counters, or `None` for an in-memory engine. Takes the
     /// write mutex briefly; meant for status/metrics paths, not hot ones.
     pub fn durable_status(&self) -> Option<DurableStatus> {
-        self.write.lock().as_ref().map(|d| DurableStatus {
-            wal_bytes: d.wal.bytes(),
-            wal_records: d.wal.records(),
-            replayed_records: d.replayed_records,
-            replayed_ops: d.replayed_ops,
-            torn_bytes_dropped: d.torn_bytes_dropped,
-            checkpoints: d.checkpoints,
-            poisoned: d.wal.poisoned(),
+        self.write.lock().as_ref().map(|d| {
+            let group = d.wal.group_stats();
+            DurableStatus {
+                wal_bytes: d.wal.bytes(),
+                wal_records: d.wal.records(),
+                replayed_records: d.replayed_records,
+                replayed_ops: d.replayed_ops,
+                torn_bytes_dropped: d.torn_bytes_dropped,
+                checkpoints: d.checkpoints,
+                poisoned: d.wal.poisoned(),
+                group_syncs: group.syncs,
+                group_commits: group.commits,
+                group_max_batch: group.max_batch,
+            }
         })
     }
 

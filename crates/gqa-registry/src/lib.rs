@@ -24,7 +24,9 @@
 //! a bad `store` field is a client error, never a panic.
 
 mod engine;
+mod manifest;
 mod registry;
 
-pub use engine::{Engine, UpsertOutcome};
+pub use engine::{Engine, UpsertOutcome, FAULT_SITE_COMPACT};
+pub use manifest::{Manifest, ManifestEntry, FAULT_SITE_MANIFEST_WRITE, MANIFEST_FILE};
 pub use registry::{valid_tenant_name, Registry, Tenant, TenantError, TenantState, TenantStatus};

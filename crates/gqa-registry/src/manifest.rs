@@ -1,0 +1,299 @@
+//! The registry manifest: which tenants exist, durably.
+//!
+//! PR 9 made *ops* durable (per-tenant WAL) but not *store definitions*:
+//! a tenant loaded at runtime via `/admin/stores/load` vanished on
+//! `kill -9` because nothing on disk remembered it. The manifest closes
+//! that hole. Under `--durable DIR` the file `DIR/manifest` maps tenant
+//! name → source spec (+ the options the registry loads it with), and is
+//! rewritten atomically — write-temp + fsync + rename, the same
+//! discipline as `base.snap` — on every runtime `load`/`unload`. On
+//! boot the serving binary replays it: each entry re-runs the tenant
+//! factory, then the tenant's own WAL replays on top, restoring the
+//! store to its last acked epoch.
+//!
+//! Only *runtime-loaded* tenants are recorded. Boot-flag tenants
+//! (`--store NAME=SPEC`) are re-created by the flags themselves on the
+//! next boot; duplicating them here would let a stale manifest resurrect
+//! a store the operator removed from the command line.
+//!
+//! Format: one header line, then one `name \t source \t options` line
+//! per tenant (fields escape `\` `\t` `\n` as `\\` `\t` `\n`). Tiny,
+//! human-inspectable, and order-independent (entries sort by name).
+
+use gqa_fault::FaultPlan;
+use gqa_rdf::write_file_atomic;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// File name of the manifest inside the durable root dir.
+pub const MANIFEST_FILE: &str = "manifest";
+
+/// Header line identifying the manifest format version.
+const MANIFEST_HEADER: &str = "# gqa-registry manifest v1";
+
+/// Chaos site fired before every manifest rewrite. An `error` rule makes
+/// `load`/`unload` fail *after* the slot change but before the on-disk
+/// record — exercising the rollback path.
+pub const FAULT_SITE_MANIFEST_WRITE: &str = "manifest.write";
+
+/// One durable tenant definition: enough to re-run the factory on boot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Tenant name (validated by the registry before it gets here).
+    pub name: String,
+    /// Source spec the factory understands (e.g. a dataset path or the
+    /// name of a built-in corpus).
+    pub source: String,
+    /// Free-form options string recorded at load time (compaction floor,
+    /// durability flags). Informational: boot replay warns on mismatch
+    /// with the current flags but the flags win.
+    pub options: String,
+}
+
+/// The on-disk tenant catalog under a durable root. All mutation goes
+/// through [`Manifest::record_load`] / [`Manifest::record_unload`],
+/// which rewrite the file atomically *before* committing the change in
+/// memory — a failed write leaves both file and catalog untouched.
+#[derive(Debug)]
+pub struct Manifest {
+    path: PathBuf,
+    entries: BTreeMap<String, ManifestEntry>,
+    faults: FaultPlan,
+    default_options: String,
+}
+
+fn escape(field: &str) -> String {
+    let mut out = String::with_capacity(field.len());
+    for c in field.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(field: &str) -> String {
+    let mut out = String::with_capacity(field.len());
+    let mut chars = field.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other), // includes '\\'
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Split one manifest line into fields on *unescaped* tabs.
+fn split_fields(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut escaped = false;
+    for c in line.chars() {
+        if escaped {
+            cur.push('\\');
+            cur.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '\t' {
+            fields.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    if escaped {
+        cur.push('\\');
+    }
+    fields.push(cur);
+    fields.into_iter().map(|f| unescape(&f)).collect()
+}
+
+impl Manifest {
+    /// Open (or start empty) the manifest under durable root `dir`.
+    /// A malformed file is an error, not a silent reset — losing the
+    /// catalog would lose tenants on the next boot.
+    pub fn open(dir: &Path, faults: FaultPlan) -> Result<Manifest, String> {
+        let path = dir.join(MANIFEST_FILE);
+        let mut entries = BTreeMap::new();
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                for (i, line) in text.lines().enumerate() {
+                    if line.is_empty() || line.starts_with('#') {
+                        continue;
+                    }
+                    let fields = split_fields(line);
+                    if fields.len() != 3 || fields[0].is_empty() {
+                        return Err(format!("manifest {path:?} line {}: malformed", i + 1));
+                    }
+                    let entry = ManifestEntry {
+                        name: fields[0].clone(),
+                        source: fields[1].clone(),
+                        options: fields[2].clone(),
+                    };
+                    entries.insert(entry.name.clone(), entry);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("read manifest {path:?}: {e}")),
+        }
+        Ok(Manifest { path, entries, faults, default_options: String::new() })
+    }
+
+    /// Set the options string recorded for subsequently loaded tenants
+    /// (builder-style). Typically a summary of the serving flags, e.g.
+    /// `compact_ops=4096 durable=1`.
+    pub fn with_default_options(mut self, options: &str) -> Manifest {
+        self.default_options = options.to_owned();
+        self
+    }
+
+    /// The cataloged tenants, sorted by name. Boot replay iterates this.
+    pub fn entries(&self) -> Vec<ManifestEntry> {
+        self.entries.values().cloned().collect()
+    }
+
+    /// Where the manifest lives on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Record a runtime-loaded tenant, durably. The file rewrite happens
+    /// (and must succeed) before the in-memory catalog changes; a
+    /// re-record of the same name updates its entry in place.
+    pub fn record_load(&mut self, name: &str, source: &str) -> Result<(), String> {
+        let mut next = self.entries.clone();
+        next.insert(
+            name.to_owned(),
+            ManifestEntry {
+                name: name.to_owned(),
+                source: source.to_owned(),
+                options: self.default_options.clone(),
+            },
+        );
+        self.rewrite(&next)?;
+        self.entries = next;
+        Ok(())
+    }
+
+    /// Remove a tenant from the catalog, durably. Unknown names are a
+    /// no-op (boot-flag tenants are never cataloged, but they are
+    /// unloadable).
+    pub fn record_unload(&mut self, name: &str) -> Result<(), String> {
+        if !self.entries.contains_key(name) {
+            return Ok(());
+        }
+        let mut next = self.entries.clone();
+        next.remove(name);
+        self.rewrite(&next)?;
+        self.entries = next;
+        Ok(())
+    }
+
+    /// Serialize `entries` and replace the file atomically (write-temp +
+    /// fsync + rename + dir fsync): a crash at any instant leaves either
+    /// the old complete catalog or the new one, never a torn mix.
+    fn rewrite(&self, entries: &BTreeMap<String, ManifestEntry>) -> Result<(), String> {
+        if let Err(f) = self.faults.fire(FAULT_SITE_MANIFEST_WRITE) {
+            return Err(format!("manifest {:?}: {f}", self.path));
+        }
+        let mut text = String::from(MANIFEST_HEADER);
+        text.push('\n');
+        for entry in entries.values() {
+            text.push_str(&escape(&entry.name));
+            text.push('\t');
+            text.push_str(&escape(&entry.source));
+            text.push('\t');
+            text.push_str(&escape(&entry.options));
+            text.push('\n');
+        }
+        write_file_atomic(&self.path, text.as_bytes())
+            .map_err(|e| format!("write manifest {:?}: {e}", self.path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gqa-manifest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrips_entries_across_reopen() {
+        let d = dir("roundtrip");
+        let mut m = Manifest::open(&d, FaultPlan::none()).unwrap().with_default_options("k=v");
+        m.record_load("beta", "data/beta.nt").unwrap();
+        m.record_load("alpha", "mini").unwrap();
+
+        let m2 = Manifest::open(&d, FaultPlan::none()).unwrap();
+        let names: Vec<_> = m2.entries().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(names, ["alpha", "beta"], "sorted by name");
+        assert_eq!(m2.entries()[1].source, "data/beta.nt");
+        assert_eq!(m2.entries()[0].options, "k=v");
+    }
+
+    #[test]
+    fn unload_removes_and_reload_updates() {
+        let d = dir("unload");
+        let mut m = Manifest::open(&d, FaultPlan::none()).unwrap();
+        m.record_load("a", "one").unwrap();
+        m.record_load("b", "two").unwrap();
+        m.record_unload("a").unwrap();
+        m.record_load("b", "three").unwrap();
+        m.record_unload("never-loaded").unwrap(); // no-op, not an error
+
+        let m2 = Manifest::open(&d, FaultPlan::none()).unwrap();
+        let entries = m2.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!((entries[0].name.as_str(), entries[0].source.as_str()), ("b", "three"));
+    }
+
+    #[test]
+    fn escapes_tabs_newlines_backslashes_in_sources() {
+        let d = dir("escape");
+        let hostile = "path\twith\nhostile\\chars";
+        let mut m = Manifest::open(&d, FaultPlan::none()).unwrap();
+        m.record_load("t", hostile).unwrap();
+
+        let m2 = Manifest::open(&d, FaultPlan::none()).unwrap();
+        assert_eq!(m2.entries()[0].source, hostile);
+    }
+
+    #[test]
+    fn failed_write_leaves_catalog_and_file_untouched() {
+        let d = dir("fault");
+        let mut m = Manifest::open(&d, FaultPlan::none()).unwrap();
+        m.record_load("keep", "mini").unwrap();
+
+        let plan = FaultPlan::parse(&format!("{FAULT_SITE_MANIFEST_WRITE}:error:1.0"), 0).unwrap();
+        let mut broken = Manifest::open(&d, plan).unwrap();
+        assert!(broken.record_load("doomed", "mini").is_err());
+        assert_eq!(broken.entries().len(), 1, "in-memory catalog rolled back");
+
+        let m2 = Manifest::open(&d, FaultPlan::none()).unwrap();
+        assert_eq!(m2.entries().len(), 1);
+        assert_eq!(m2.entries()[0].name, "keep");
+    }
+
+    #[test]
+    fn malformed_file_is_an_error_not_a_reset() {
+        let d = dir("malformed");
+        std::fs::write(d.join(MANIFEST_FILE), "just one field\n").unwrap();
+        let err = Manifest::open(&d, FaultPlan::none()).unwrap_err();
+        assert!(err.contains("malformed"), "got: {err}");
+    }
+}

@@ -1,10 +1,11 @@
 //! Named tenants and the registry that routes requests to them.
 
 use crate::engine::{DurableStatus, Engine, UpsertOutcome};
+use crate::manifest::Manifest;
 use gqa_core::cache::{AnswerCache, AnswerCacheStats};
 use gqa_obs::Obs;
 use gqa_rdf::overlay::{Delta, OverlayStats};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -138,23 +139,34 @@ impl Tenant {
             self.obs.set_counter("gqa_wal_replayed_ops_total", &[], d.replayed_ops);
             self.obs.set_counter("gqa_wal_torn_bytes_dropped_total", &[], d.torn_bytes_dropped);
             self.obs.set_counter("gqa_wal_checkpoints_total", &[], d.checkpoints);
+            self.obs.set_counter("gqa_wal_group_syncs_total", &[], d.group_syncs);
+            self.obs.set_counter("gqa_wal_group_commits_total", &[], d.group_commits);
+            self.obs.gauge("gqa_wal_group_max_batch", &[]).set(d.group_max_batch as i64);
         }
     }
 
-    /// A point-in-time summary for `GET /admin/stores`.
+    /// A point-in-time summary for `GET /admin/stores`. A serving tenant
+    /// whose WAL has poisoned itself reports `degraded`: reads still
+    /// work, but every durable upsert will 503 until a restart.
     pub fn status(&self) -> TenantStatus {
         let pinned = self.engine.load();
         let store = pinned.value.store();
+        let durable = self.engine.durable_status();
+        let state = if durable.as_ref().is_some_and(|d| d.poisoned) {
+            TenantState::Degraded
+        } else {
+            TenantState::Ready
+        };
         TenantStatus {
             name: self.name.clone(),
-            state: TenantState::Ready,
+            state,
             epoch: pinned.epoch,
             triples: store.len(),
             terms: store.term_count(),
             bytes: store.section_bytes().total(),
             overlay: store.overlay_stats(),
             cache: self.cache.as_ref().map(|c| (c.stats(), c.len())),
-            durable: self.engine.durable_status(),
+            durable,
         }
     }
 }
@@ -175,6 +187,9 @@ impl fmt::Debug for Tenant {
 pub enum TenantState {
     /// Serving.
     Ready,
+    /// Serving reads, but the WAL has poisoned itself — durable upserts
+    /// 503 until a restart replays the log into a fresh generation.
+    Degraded,
     /// A `load` is running; the slot is reserved.
     Loading,
     /// The last `load` failed; kept so health checks can surface why.
@@ -182,13 +197,20 @@ pub enum TenantState {
 }
 
 impl TenantState {
-    /// Lower-case wire name (`ready` / `loading` / `failed`).
+    /// Lower-case wire name (`ready` / `degraded` / `loading` / `failed`).
     pub fn as_str(&self) -> &'static str {
         match self {
             TenantState::Ready => "ready",
+            TenantState::Degraded => "degraded",
             TenantState::Loading => "loading",
             TenantState::Failed(_) => "failed",
         }
+    }
+
+    /// Whether a tenant in this state answers queries (`ready` or
+    /// `degraded` — a poisoned WAL only blocks writes).
+    pub fn serving(&self) -> bool {
+        matches!(self, TenantState::Ready | TenantState::Degraded)
     }
 }
 
@@ -231,6 +253,11 @@ pub struct Registry {
     /// Unscoped handle: the tenant-count gauge has no `store` label, and
     /// each tenant's scoped handle is derived from this one.
     obs: Obs,
+    /// The on-disk tenant catalog (durable deployments only): every
+    /// runtime `load`/`unload` is recorded here *before* it is acked, so
+    /// a `kill -9` cannot forget a tenant. Its own mutex — the slot lock
+    /// must not be held across a file write.
+    manifest: Option<Mutex<Manifest>>,
 }
 
 impl Registry {
@@ -254,6 +281,7 @@ impl Registry {
             factory: None,
             cache_capacity,
             obs,
+            manifest: None,
         };
         let tenant = Tenant::new(default_name, default_engine, cache_capacity, &registry.obs);
         registry.slots.write().insert(default_name.to_owned(), Slot::Ready(tenant));
@@ -264,6 +292,15 @@ impl Registry {
     /// Enable `POST /admin/stores/load` (builder-style, before sharing).
     pub fn with_factory(mut self, factory: Factory) -> Self {
         self.factory = Some(factory);
+        self
+    }
+
+    /// Attach the on-disk tenant catalog (builder-style, durable
+    /// deployments). From here on every successful runtime `load` and
+    /// `unload` rewrites the manifest before acking, and the serving
+    /// binary replays it on boot ([`Manifest::entries`]).
+    pub fn with_manifest(mut self, manifest: Manifest) -> Self {
+        self.manifest = Some(Mutex::new(manifest));
         self
     }
 
@@ -343,6 +380,17 @@ impl Registry {
         self.publish_count();
         match factory(name, source) {
             Ok(engine) => {
+                // Catalog the tenant *before* acking: once load returns
+                // Ok, a kill -9 must not forget the store. A failed
+                // manifest write fails the load — the slot reverts so a
+                // retry is clean and no unrecorded tenant serves.
+                if let Some(manifest) = &self.manifest {
+                    if let Err(error) = manifest.lock().record_load(name, source) {
+                        self.slots.write().remove(name);
+                        self.publish_count();
+                        return Err(TenantError::Failed { name: name.to_owned(), error });
+                    }
+                }
                 let tenant = Tenant::new(name, Arc::new(engine), self.cache_capacity, &self.obs);
                 self.slots.write().insert(name.to_owned(), Slot::Ready(Arc::clone(&tenant)));
                 Ok(tenant)
@@ -358,6 +406,12 @@ impl Registry {
     /// normally; the memory goes away when the last of them drops. The
     /// tenant's `store="<name>"` metric series are removed from the
     /// registry so `/metrics` stops reporting a ghost of it.
+    ///
+    /// A durable tenant is *retired* first ([`Engine::retire`]): unload
+    /// waits out in-flight durable upserts and flags the engine so a
+    /// background compaction still running cannot write a checkpoint or
+    /// rotate the WAL inside the removed tenant's durable dir. Then the
+    /// manifest forgets the name, so the next boot doesn't resurrect it.
     pub fn unload(&self, name: &str) -> Result<(), TenantError> {
         if !valid_tenant_name(name) {
             return Err(TenantError::InvalidName(name.to_owned()));
@@ -367,9 +421,20 @@ impl Registry {
         }
         let removed = self.slots.write().remove(name);
         match removed {
-            Some(_) => {
+            Some(slot) => {
+                if let Slot::Ready(tenant) = &slot {
+                    tenant.engine().retire();
+                }
                 self.obs.remove_scoped("store", name);
                 self.publish_count();
+                if let Some(manifest) = &self.manifest {
+                    manifest.lock().record_unload(name).map_err(|error| {
+                        // The tenant is gone from memory but still
+                        // cataloged: surface it so the operator knows the
+                        // next boot will bring the store back.
+                        TenantError::Engine { name: name.to_owned(), error }
+                    })?;
+                }
                 Ok(())
             }
             None => Err(TenantError::Unknown(name.to_owned())),
@@ -457,13 +522,13 @@ impl Registry {
         false
     }
 
-    /// Whether the default tenant is ready (it always is — pinned at
-    /// construction) and whether *all* slots are ready. `/healthz`
-    /// reports 200 on the former and lists the laggards from the latter.
+    /// Whether the default tenant is serving (it always is — pinned at
+    /// construction; a `degraded` default still answers reads) and
+    /// every slot's status. `/healthz` reports 200 on the former and
+    /// lists the laggards from the latter.
     pub fn health(&self) -> (bool, Vec<TenantStatus>) {
         let rows = self.list();
-        let default_ready =
-            rows.iter().any(|r| r.name == self.default_name && r.state == TenantState::Ready);
+        let default_ready = rows.iter().any(|r| r.name == self.default_name && r.state.serving());
         (default_ready, rows)
     }
 
@@ -824,6 +889,201 @@ mod tests {
         for n in acked {
             assert!(has_fact(&eng2, n), "acked fact {n} lost despite fsync chaos");
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_durable_upserts_group_commit_and_all_replay() {
+        let dir = durable_dir("groupcommit");
+        let obs = Obs::new();
+        // A 2ms sync latency forces enqueues to pile up behind the
+        // leader — on tmpfs a real fsync is too fast to ever batch.
+        let plan = gqa_fault::FaultPlan::parse("wal.fsync:latency:1.0:2", 0).unwrap();
+        let eng = Arc::new(engine(&obs).with_durable(&dir, plan).unwrap());
+        let threads = 4;
+        let per_thread = 10u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let eng = Arc::clone(&eng);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        eng.upsert(fact_delta(t * 100 + i)).unwrap();
+                    }
+                });
+            }
+        });
+        let total = threads * per_thread;
+        let status = eng.durable_status().unwrap();
+        assert_eq!(status.wal_records, total);
+        assert_eq!(status.group_commits, total, "every upsert must be group-acked");
+        assert!(
+            status.group_syncs < status.group_commits,
+            "no batching happened: {} syncs for {} acks",
+            status.group_syncs,
+            status.group_commits
+        );
+        assert_eq!(eng.epoch(), 1 + total, "epochs must be dense in reservation order");
+        drop(eng);
+
+        let obs2 = Obs::new();
+        let eng2 =
+            Arc::new(engine(&obs2).with_durable(&dir, gqa_fault::FaultPlan::none()).unwrap());
+        assert_eq!(eng2.epoch(), 1 + total, "recovered epoch below the last ack");
+        for t in 0..threads {
+            for i in 0..per_thread {
+                assert!(has_fact(&eng2, t * 100 + i), "acked fact {t}/{i} lost across restart");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unload_mid_compaction_leaves_the_durable_dir_untouched() {
+        let dir = durable_dir("unloadrace");
+        let obs = Obs::new();
+        // Pin the background fold at its chaos site for 250ms so the
+        // unload always wins the race.
+        let plan = gqa_fault::FaultPlan::parse("engine.compact:latency:1.0:250", 0).unwrap();
+        let eng = Arc::new(engine(&obs).with_durable(&dir, plan).unwrap().compact_after(2));
+        let reg = Registry::new("default", Arc::new(engine(&obs)), 0, obs.clone()).unwrap();
+        reg.insert("beta", Arc::clone(&eng)).unwrap();
+
+        let delta =
+            parse_delta("<up:s1> <up:grew> <up:o1> .\n<up:s2> <up:grew> <up:o2> .\n").unwrap();
+        let outcome = reg.upsert(Some("beta"), delta).unwrap();
+        assert!(outcome.compaction_scheduled, "two ops must cross the floor");
+        let records_before = eng.durable_status().unwrap().wal_records;
+        reg.unload("beta").unwrap();
+
+        // Let the pinned compaction run to completion against the
+        // retired engine.
+        std::thread::sleep(std::time::Duration::from_millis(600));
+        let status = eng.durable_status().unwrap();
+        assert_eq!(status.checkpoints, 0, "retired engine must not checkpoint");
+        assert!(!dir.join("base.snap").exists(), "base.snap written into an unloaded dir");
+        assert_eq!(status.wal_records, records_before, "WAL rotated after unload");
+        assert_eq!(eng.epoch(), outcome.epoch, "compaction published into a removed tenant");
+        // And the retired engine refuses further durable writes.
+        let err = eng.upsert(fact_delta(9)).unwrap_err();
+        assert!(err.contains("unloaded"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_records_runtime_loads_but_not_boot_tenants() {
+        let dir = durable_dir("manifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = Obs::new();
+        let factory_obs = obs.clone();
+        let manifest = Manifest::open(&dir, gqa_fault::FaultPlan::none()).unwrap();
+        let reg = Registry::new("default", Arc::new(engine(&obs)), 0, obs.clone())
+            .unwrap()
+            .with_factory(Box::new(move |name, _| Ok(engine(&factory_obs.scoped("store", name)))))
+            .with_manifest(manifest);
+
+        // Boot-flag tenants never enter the catalog.
+        reg.insert("bootflag", Arc::new(engine(&obs))).unwrap();
+        reg.load("runtime", "mini").unwrap();
+
+        let read = Manifest::open(&dir, gqa_fault::FaultPlan::none()).unwrap();
+        let names: Vec<_> = read.entries().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(names, ["runtime"], "only runtime loads belong in the manifest");
+        assert_eq!(read.entries()[0].source, "mini");
+
+        reg.unload("runtime").unwrap();
+        let read = Manifest::open(&dir, gqa_fault::FaultPlan::none()).unwrap();
+        assert!(read.entries().is_empty(), "unload must forget the tenant durably");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_manifest_write_fails_the_load_and_frees_the_slot() {
+        let dir = durable_dir("manifestfault");
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = Obs::new();
+        let factory_obs = obs.clone();
+        let plan = gqa_fault::FaultPlan::parse("manifest.write:error:1.0", 0).unwrap();
+        let manifest = Manifest::open(&dir, plan).unwrap();
+        let reg = Registry::new("default", Arc::new(engine(&obs)), 0, obs.clone())
+            .unwrap()
+            .with_factory(Box::new(move |name, _| Ok(engine(&factory_obs.scoped("store", name)))))
+            .with_manifest(manifest);
+
+        let err = reg.load("runtime", "mini").unwrap_err();
+        assert!(matches!(err, TenantError::Failed { .. }), "{err}");
+        // The slot reverted: the name is unknown, not parked as Failed,
+        // so the tenant can't serve unrecorded.
+        assert!(matches!(reg.get(Some("runtime")), Err(TenantError::Unknown(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_upsert_chaos_acked_facts_replay_failed_ones_absent() {
+        // Engine-level version of the GroupWal chaos property: under
+        // seeded fsync error/torn faults, every acked upsert survives
+        // reopen and every failed one is absent — at 1 and 4 writers.
+        for &threads in &[1u64, 4] {
+            for (kind, prob) in [("error", 0.4), ("torn", 0.15)] {
+                for seed in 0..2u64 {
+                    let tag = format!("upchaos-{threads}-{kind}-{seed}");
+                    let dir = durable_dir(&tag);
+                    let obs = Obs::new();
+                    let plan =
+                        gqa_fault::FaultPlan::parse(&format!("wal.fsync:{kind}:{prob}"), seed)
+                            .unwrap();
+                    let eng = Arc::new(engine(&obs).with_durable(&dir, plan).unwrap());
+                    let acked = Mutex::new(Vec::new());
+                    let failed = Mutex::new(Vec::new());
+                    std::thread::scope(|s| {
+                        for t in 0..threads {
+                            let eng = Arc::clone(&eng);
+                            let (acked, failed) = (&acked, &failed);
+                            s.spawn(move || {
+                                for i in 0..8 {
+                                    let n = t * 100 + i;
+                                    match eng.upsert(fact_delta(n)) {
+                                        Ok(_) => acked.lock().push(n),
+                                        Err(_) => failed.lock().push(n),
+                                    }
+                                }
+                            });
+                        }
+                    });
+                    drop(eng);
+                    let obs2 = Obs::new();
+                    let eng2 = Arc::new(
+                        engine(&obs2).with_durable(&dir, gqa_fault::FaultPlan::none()).unwrap(),
+                    );
+                    for &n in acked.lock().iter() {
+                        assert!(has_fact(&eng2, n), "acked fact {n} lost ({tag})");
+                    }
+                    for &n in failed.lock().iter() {
+                        assert!(!has_fact(&eng2, n), "failed fact {n} resurrected ({tag})");
+                    }
+                    std::fs::remove_dir_all(&dir).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_wal_degrades_health_but_keeps_serving_reads() {
+        let dir = durable_dir("degraded");
+        let obs = Obs::new();
+        // Every sync "tears": the first durable upsert fails and poisons
+        // the log.
+        let plan = gqa_fault::FaultPlan::parse("wal.fsync:torn:1.0", 0).unwrap();
+        let eng = Arc::new(engine(&obs).with_durable(&dir, plan).unwrap());
+        let reg = Registry::new("default", Arc::clone(&eng), 8, obs).unwrap();
+        assert!(reg.upsert(None, fact_delta(0)).is_err());
+        assert!(eng.durable_status().unwrap().poisoned);
+
+        let (default_ready, rows) = reg.health();
+        assert!(default_ready, "a degraded default still answers reads");
+        assert_eq!(rows[0].state, TenantState::Degraded);
+        assert_eq!(rows[0].state.as_str(), "degraded");
+        // Reads are unharmed: the pinned snapshot still answers.
+        assert!(!reg.default_tenant().engine().load().value.store().is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

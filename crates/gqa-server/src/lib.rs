@@ -37,5 +37,6 @@ pub use server::{Engine, ServeStats, Server, ServerConfig, FAULT_SITE_WORKER};
 // upserts) lives in its own crate; re-exported for servers built over
 // [`Server::bind_registry`].
 pub use gqa_registry::{
-    valid_tenant_name, Registry, Tenant, TenantError, TenantState, TenantStatus, UpsertOutcome,
+    valid_tenant_name, Manifest, ManifestEntry, Registry, Tenant, TenantError, TenantState,
+    TenantStatus, UpsertOutcome,
 };

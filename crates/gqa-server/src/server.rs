@@ -918,7 +918,7 @@ impl<'s> Server<'s> {
             .iter()
             .map(|row| {
                 let mut pairs = vec![("state", Json::Str(row.state.as_str().into()))];
-                if row.state == TenantState::Ready {
+                if row.state.serving() {
                     pairs.push(("epoch", Json::Num(row.epoch as f64)));
                 }
                 if let TenantState::Failed(e) = &row.state {
@@ -1004,6 +1004,9 @@ impl<'s> Server<'s> {
                         ("torn_bytes_dropped", Json::Num(d.torn_bytes_dropped as f64)),
                         ("checkpoints", Json::Num(d.checkpoints as f64)),
                         ("poisoned", Json::Bool(d.poisoned)),
+                        ("group_syncs", Json::Num(d.group_syncs as f64)),
+                        ("group_commits", Json::Num(d.group_commits as f64)),
+                        ("group_max_batch", Json::Num(d.group_max_batch as f64)),
                     ])
                 });
                 let mut pairs = vec![
@@ -1133,7 +1136,26 @@ impl<'s> Server<'s> {
                     ("compaction_scheduled", Json::Bool(outcome.compaction_scheduled)),
                 ]),
             ),
-            Err(e) => tenant_error_reply(&e),
+            Err(e) => {
+                // A poisoned WAL is transient from the client's point of
+                // view — a restart replays the log into a fresh
+                // generation — so answer 503 + Retry-After instead of a
+                // terminal-looking 500.
+                if matches!(e, TenantError::Engine { .. }) {
+                    let poisoned = registry
+                        .get(Some(name))
+                        .ok()
+                        .and_then(|t| t.engine().durable_status())
+                        .is_some_and(|d| d.poisoned);
+                    if poisoned {
+                        let mut reply =
+                            Reply::json(503, obj(vec![("error", Json::Str(e.to_string()))]));
+                        reply.extra.push(("Retry-After", "1".to_owned()));
+                        return reply;
+                    }
+                }
+                tenant_error_reply(&e)
+            }
         }
     }
 

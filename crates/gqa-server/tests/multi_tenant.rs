@@ -397,3 +397,60 @@ fn admin_lifecycle_load_upsert_healthz_unload_over_http() {
     assert_eq!(log[12].0, 405, "{}", log[12].1);
     assert_eq!(log[13].0, 404, "{}", log[13].1);
 }
+
+#[test]
+fn poisoned_wal_degrades_healthz_and_upserts_503_with_retry_after() {
+    let dir = std::env::temp_dir().join(format!("gqa-degraded-http-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let obs = Obs::new();
+    // Every WAL sync "tears": the first durable upsert poisons the log.
+    let plan = gqa_fault::FaultPlan::parse("wal.fsync:torn:1.0", 0).expect("plan");
+    let durable = engine(&obs).with_durable(&dir, plan).expect("durable engine");
+    let registry = Registry::new("default", Arc::new(durable), 16, obs.clone()).expect("registry");
+
+    let server = Server::bind_registry(
+        "127.0.0.1:0",
+        Arc::new(registry),
+        ServerConfig { workers: 2, ..ServerConfig::default() },
+    )
+    .expect("bind");
+
+    let question = r#"{"question": "Who is the mayor of Berlin?", "k": 3}"#;
+    let client = Box::new(move |addr: SocketAddr| -> Outcome {
+        Ok(vec![
+            post(addr, "/admin/stores/default/upsert", GRAPHVILLE_DELTA)?, // 0: poisons
+            post(addr, "/admin/stores/default/upsert", GRAPHVILLE_DELTA)?, // 1: poisoned
+            get(addr, "/healthz")?,                                        // 2
+            get(addr, "/admin/stores")?,                                   // 3
+            post(addr, "/answer", question)?,                              // 4
+        ])
+    }) as Client<Outcome>;
+
+    let (outcomes, _stats) = serve_and_drive(&server, vec![client]);
+    let log = unwrap_log(outcomes).remove(0);
+
+    // 0–1: both upserts fail 503 with a retry hint — the first tore its
+    // sync, the second hit the already-poisoned log.
+    for i in [0, 1] {
+        assert_eq!(log[i].0, 503, "{}", log[i].1);
+        assert!(log[i].1.contains("Retry-After: 1"), "no Retry-After: {}", log[i].1);
+    }
+
+    // 2: health stays 200 (reads work) but reports the degradation.
+    assert_eq!(log[2].0, 200, "{}", log[2].1);
+    let health = body_of(&log[2].1);
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(health.contains("\"state\":\"degraded\""), "{health}");
+    assert!(health.contains("\"degraded\":true"), "{health}");
+
+    // 3: the listing agrees and exposes the poisoned flag.
+    let listing = body_of(&log[3].1);
+    let default = tenant_chunk(listing, "default");
+    assert!(default.contains("\"state\":\"degraded\""), "{default}");
+    assert!(default.contains("\"poisoned\":true"), "{default}");
+
+    // 4: reads still answer.
+    assert_eq!(log[4].0, 200, "{}", log[4].1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

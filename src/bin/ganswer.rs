@@ -20,7 +20,7 @@ use ganswer::rdf::Store;
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 struct Options {
     data: Option<String>,
     dict: Option<String>,
@@ -53,6 +53,10 @@ struct Options {
 }
 
 fn parse_args() -> Result<Options, String> {
+    parse_args_from(std::env::args().skip(1))
+}
+
+fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut opts = Options {
         data: None,
         dict: None,
@@ -77,7 +81,7 @@ fn parse_args() -> Result<Options, String> {
         compact_ops: None,
         max_upsert_bytes: None,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = args;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--data" => opts.data = Some(args.next().ok_or("--data needs a file")?),
@@ -142,6 +146,20 @@ fn parse_args() -> Result<Options, String> {
                     return Err(format!(
                         "bad --store name {name:?}: use 1-64 chars of [A-Za-z0-9._-]"
                     ));
+                }
+                // Last-writer-wins here would silently drop an operator's
+                // earlier spec (the registry insert loop would only ever see
+                // the survivor), so repeats are a hard startup error.
+                if opts.stores.iter().any(|(n, _)| n == name) {
+                    return Err(format!(
+                        "duplicate --store name {name:?}: each store may be given once \
+                         (remove one of the conflicting --store flags)"
+                    ));
+                }
+                if name == "default" {
+                    return Err("bad --store name \"default\": the default store is built from \
+                         --data/--dict"
+                        .into());
                 }
                 opts.stores.push((name.to_owned(), source.to_owned()));
             }
@@ -219,10 +237,14 @@ fn parse_args() -> Result<Options, String> {
                      \x20                    body, \"-\"-prefixed lines delete)\n\
                      --durable DIR        (--serve) per-store write-ahead logging under\n\
                      \x20                    DIR/<store>/: upserts append + fsync to a WAL\n\
-                     \x20                    before the 200 ack, boot and reload replay the\n\
-                     \x20                    log (torn tails truncated, never fatal), and\n\
-                     \x20                    compaction checkpoints a base snapshot then\n\
-                     \x20                    rotates the log; default: in-memory upserts\n\
+                     \x20                    before the 200 ack (concurrent writers share\n\
+                     \x20                    one fsync via group commit), boot and reload\n\
+                     \x20                    replay the log (torn tails truncated, never\n\
+                     \x20                    fatal), and compaction checkpoints a base\n\
+                     \x20                    snapshot then rotates the log. DIR/manifest\n\
+                     \x20                    records stores loaded via /admin/stores/load\n\
+                     \x20                    so a restart brings them back; default:\n\
+                     \x20                    in-memory upserts\n\
                      --compact-ops N      (--serve) buffered overlay ops before a store\n\
                      \x20                    folds into a fresh CSR index (default 4096)\n\
                      --max-upsert-bytes N (--serve) request-body cap for the upsert route\n\
@@ -544,13 +566,58 @@ fn main() {
                 tenant_engine(name, source, &base, &config, &obs)
             })
         };
-        let registry = Arc::new(registry.with_factory(factory));
+        let mut registry = registry.with_factory(factory);
+        // With --durable, DIR/manifest is the catalog of stores loaded at
+        // runtime through /admin/stores/load: read it now (before attaching,
+        // so replay below sees the pre-boot entries), then attach it so
+        // future load/unload calls keep it current.
+        let mut manifest_entries = Vec::new();
+        if let Some(root) = &opts.durable {
+            let root = std::path::Path::new(root);
+            if let Err(e) = std::fs::create_dir_all(root) {
+                eprintln!("error: --durable {}: {e}", root.display());
+                std::process::exit(2);
+            }
+            let manifest = match ganswer::server::Manifest::open(root, fault.clone()) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("error: --durable {}: manifest: {e}", root.display());
+                    std::process::exit(2);
+                }
+            };
+            let options = format!(
+                "compact_ops={} durable=1",
+                opts.compact_ops.unwrap_or(ganswer::server::Engine::DEFAULT_COMPACT_OPS)
+            );
+            manifest_entries = manifest.entries();
+            registry = registry.with_manifest(manifest.with_default_options(&options));
+        }
+        let registry = Arc::new(registry);
         for (name, source) in &opts.stores {
             let tenant = tenant_engine(name, source, &opts, &config, &obs)
                 .and_then(|eng| registry.insert(name, Arc::new(eng)).map_err(|e| e.to_string()));
             if let Err(e) = tenant {
                 eprintln!("error: --store {name}: {e}");
                 std::process::exit(2);
+            }
+        }
+        // Replay the manifest: every store that was live via
+        // /admin/stores/load when the previous process died comes back
+        // through the same factory (which also replays its WAL). Failures
+        // are warnings, not fatal — the data that sourced a tenant may
+        // legitimately be gone, and the rest of the server still serves.
+        for entry in &manifest_entries {
+            match registry.load(&entry.name, &entry.source) {
+                Ok(_) => {}
+                Err(ganswer::server::TenantError::AlreadyExists(_)) => eprintln!(
+                    "warning: manifest store {:?} also given as a boot flag; the boot \
+                     flag wins",
+                    entry.name
+                ),
+                Err(e) => eprintln!(
+                    "warning: manifest store {:?} ({}) failed to recover: {e}",
+                    entry.name, entry.source
+                ),
             }
         }
         if let Some(n) = opts.threads {
@@ -742,5 +809,52 @@ fn main() {
     }
     if let Some(path) = &opts.metrics {
         write_metrics(&system, path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args_from;
+
+    fn parse(args: &[&str]) -> Result<super::Options, String> {
+        parse_args_from(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn distinct_store_names_parse() {
+        let opts = parse(&["--serve", "127.0.0.1:0", "--store", "a=mini", "--store", "b=mini"])
+            .expect("distinct names parse");
+        assert_eq!(
+            opts.stores,
+            vec![("a".to_owned(), "mini".to_owned()), ("b".to_owned(), "mini".to_owned())]
+        );
+    }
+
+    #[test]
+    fn duplicate_store_name_is_rejected_and_names_the_tenant() {
+        let err = parse(&["--store", "movies=mini", "--store", "movies=data.nt"])
+            .expect_err("duplicate names must not last-writer-win");
+        assert!(err.contains("duplicate --store name"), "unexpected error: {err}");
+        assert!(err.contains("\"movies\""), "error must name the tenant: {err}");
+    }
+
+    #[test]
+    fn duplicate_check_is_by_name_not_by_spec() {
+        // Same NAME=SPEC twice is still a duplicate — the operator repeated
+        // themselves, and the second flag would have been silently dropped.
+        let err = parse(&["--store", "m=mini", "--store", "m=mini"]).unwrap_err();
+        assert!(err.contains("duplicate --store name \"m\""), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn store_named_default_is_rejected_at_parse_time() {
+        let err = parse(&["--store", "default=mini"]).unwrap_err();
+        assert!(err.contains("default"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn invalid_store_name_still_rejected() {
+        let err = parse(&["--store", "bad/name=mini"]).unwrap_err();
+        assert!(err.contains("bad --store name"), "unexpected error: {err}");
     }
 }

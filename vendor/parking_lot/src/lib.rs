@@ -49,6 +49,37 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable that never poisons.
+///
+/// Shim deviation from upstream: `wait` consumes and returns the guard
+/// instead of taking `&mut` — the shim's guards are `std` guards, which
+/// can only be waited on by value.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Atomically release the guard's lock and block until notified;
+    /// re-acquires the lock before returning. Spurious wakeups possible.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 /// A reader-writer lock that never poisons.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
